@@ -1,0 +1,119 @@
+// Google-benchmark micro-benchmarks of the REAL in-process collective
+// library: vanilla vs hierarchical all-gather, reduce-scatter, coalesced
+// launches. These measure the implementation (rendezvous + copy/reduce
+// costs), complementing the modeled network costs in the figure benches.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "comm/communicator.h"
+#include "comm/hierarchical.h"
+#include "comm/topology.h"
+#include "comm/world.h"
+#include "tensor/tensor.h"
+#include "util/logging.h"
+
+namespace mics {
+namespace {
+
+std::vector<int> Range(int n) {
+  std::vector<int> r(n);
+  for (int i = 0; i < n; ++i) r[i] = i;
+  return r;
+}
+
+void BM_AllGather(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int64_t elems = state.range(1);
+  for (auto _ : state) {
+    World world(ranks);
+    MICS_CHECK_OK(RunRanks(ranks, [&](int rank) -> Status {
+      MICS_ASSIGN_OR_RETURN(Communicator comm,
+                            Communicator::Create(&world, Range(ranks), rank));
+      Tensor in({elems}, DType::kF32);
+      Tensor out({elems * ranks}, DType::kF32);
+      for (int i = 0; i < 8; ++i) {
+        MICS_RETURN_NOT_OK(comm.AllGather(in, &out));
+      }
+      return Status::OK();
+    }));
+  }
+  state.SetBytesProcessed(state.iterations() * 8 * elems * 4 * ranks);
+}
+BENCHMARK(BM_AllGather)->Args({4, 1 << 12})->Args({4, 1 << 16})->Args({8, 1 << 14});
+
+void BM_HierarchicalAllGather(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int64_t elems = state.range(1);
+  const RankTopology topo{ranks, ranks / 2};  // two "nodes"
+  for (auto _ : state) {
+    World world(ranks);
+    MICS_CHECK_OK(RunRanks(ranks, [&](int rank) -> Status {
+      MICS_ASSIGN_OR_RETURN(
+          HierarchicalAllGather hier,
+          HierarchicalAllGather::Create(&world, topo, Range(ranks), rank));
+      Tensor in({elems}, DType::kF32);
+      Tensor out({elems * ranks}, DType::kF32);
+      for (int i = 0; i < 8; ++i) {
+        MICS_RETURN_NOT_OK(hier.Run(in, &out));
+      }
+      return Status::OK();
+    }));
+  }
+  state.SetBytesProcessed(state.iterations() * 8 * elems * 4 * ranks);
+}
+BENCHMARK(BM_HierarchicalAllGather)
+    ->Args({4, 1 << 12})
+    ->Args({4, 1 << 16})
+    ->Args({8, 1 << 14});
+
+void BM_ReduceScatter(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int64_t elems = state.range(1);
+  for (auto _ : state) {
+    World world(ranks);
+    MICS_CHECK_OK(RunRanks(ranks, [&](int rank) -> Status {
+      MICS_ASSIGN_OR_RETURN(Communicator comm,
+                            Communicator::Create(&world, Range(ranks), rank));
+      Tensor in({elems * ranks}, DType::kF32);
+      Tensor out({elems}, DType::kF32);
+      for (int i = 0; i < 8; ++i) {
+        MICS_RETURN_NOT_OK(comm.ReduceScatter(in, &out));
+      }
+      return Status::OK();
+    }));
+  }
+  state.SetBytesProcessed(state.iterations() * 8 * elems * 4 * ranks);
+}
+BENCHMARK(BM_ReduceScatter)->Args({4, 1 << 12})->Args({8, 1 << 12});
+
+void BM_AllGatherCoalesced(benchmark::State& state) {
+  const int ranks = 4;
+  const int items = static_cast<int>(state.range(0));
+  const int64_t elems = state.range(1);
+  for (auto _ : state) {
+    World world(ranks);
+    MICS_CHECK_OK(RunRanks(ranks, [&](int rank) -> Status {
+      MICS_ASSIGN_OR_RETURN(Communicator comm,
+                            Communicator::Create(&world, Range(ranks), rank));
+      std::vector<Tensor> ins;
+      std::vector<Tensor> outs;
+      for (int i = 0; i < items; ++i) {
+        ins.emplace_back(std::vector<int64_t>{elems}, DType::kF32);
+        outs.emplace_back(std::vector<int64_t>{elems * ranks}, DType::kF32);
+      }
+      for (int i = 0; i < 8; ++i) {
+        MICS_RETURN_NOT_OK(comm.AllGatherCoalesced(ins, &outs));
+      }
+      return Status::OK();
+    }));
+  }
+  state.SetBytesProcessed(state.iterations() * 8 * items * elems * 4 * ranks);
+}
+BENCHMARK(BM_AllGatherCoalesced)->Args({8, 1 << 10})->Args({32, 1 << 8});
+
+}  // namespace
+}  // namespace mics
+
+BENCHMARK_MAIN();

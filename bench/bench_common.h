@@ -1,0 +1,47 @@
+#ifndef MICS_BENCH_BENCH_COMMON_H_
+#define MICS_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <string>
+
+#include "core/perf_engine.h"
+#include "model/transformer.h"
+#include "util/table_printer.h"
+
+namespace mics::bench {
+
+/// Builds the standard paper workload: BERT-style model, fp16, activation
+/// checkpointing, micro-batch 8, global batch 8192 (§5 defaults).
+inline TrainJob PaperJob(const TransformerConfig& config,
+                         int64_t micro_batch = 8,
+                         int64_t global_batch = 8192) {
+  TrainJob job;
+  job.model = BuildTransformerGraph(config, micro_batch, true).ValueOrDie();
+  job.micro_batch = micro_batch;
+  job.global_batch = global_batch;
+  job.fp16 = true;
+  job.activation_checkpointing = true;
+  return job;
+}
+
+/// Formats a PerfResult cell: throughput, or "x" for OOM as the paper's
+/// figures do.
+inline std::string Cell(const Result<PerfResult>& r, int precision = 1) {
+  if (!r.ok()) return "err";
+  if (r.value().oom) return "x";
+  return TablePrinter::Fmt(r.value().throughput, precision);
+}
+
+inline std::string TflopsCell(const Result<PerfResult>& r) {
+  if (!r.ok()) return "err";
+  if (r.value().oom) return "x";
+  return TablePrinter::Fmt(r.value().per_gpu_tflops, 1);
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace mics::bench
+
+#endif  // MICS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,53 @@
+// Reproduces Figure 9: throughput on p4d (A100 40GB, 400 Gbps EFA) for
+// BERT 15B and 20B, 16-64 GPUs, micro-batch 8. Paper: MiCS up to 2.21x
+// ZeRO-3; 96.7% scaling efficiency (vs 85.3% for ZeRO-3) for BERT 15B.
+
+#include <iostream>
+#include <vector>
+
+#include "baselines/zero.h"
+#include "bench_common.h"
+#include "model/model_zoo.h"
+
+int main() {
+  using namespace mics;
+  for (const auto& model : {Bert15B(), Bert20B()}) {
+    bench::PrintHeader("Figure 9: " + model.name +
+                       " on 400Gbps A100 (seq/s)");
+    TablePrinter table({"GPUs", "MiCS", "ZeRO-3", "MiCS/ZeRO-3"});
+    double mics16 = 0.0, zero16 = 0.0, mics64 = 0.0, zero64 = 0.0;
+    for (int nodes : {2, 4, 8}) {
+      PerfEngine engine(ClusterSpec::P4d(nodes));
+      auto mics =
+          engine.Simulate(bench::PaperJob(model), MicsConfig::Mics(16));
+      auto z3 = engine.Simulate(bench::PaperJob(model), DeepSpeedZero3());
+      std::string speedup = "-";
+      if (mics.ok() && z3.ok() && !mics.value().oom && !z3.value().oom) {
+        speedup = TablePrinter::Fmt(
+            mics.value().throughput / z3.value().throughput, 2);
+        if (nodes == 2) {
+          mics16 = mics.value().throughput;
+          zero16 = z3.value().throughput;
+        }
+        if (nodes == 8) {
+          mics64 = mics.value().throughput;
+          zero64 = z3.value().throughput;
+        }
+      }
+      table.AddRow({std::to_string(nodes * 8), bench::Cell(mics),
+                    bench::Cell(z3), speedup});
+    }
+    table.Print(std::cout);
+    if (mics16 > 0 && mics64 > 0) {
+      std::cout << "scaling efficiency 16->64 GPUs:  MiCS "
+                << TablePrinter::Fmt(100.0 * mics64 / mics16 / 4.0, 1)
+                << "%   ZeRO-3 "
+                << TablePrinter::Fmt(100.0 * zero64 / zero16 / 4.0, 1)
+                << "%\n";
+    }
+  }
+  std::cout << "\nPaper shape: gains persist but shrink on the faster\n"
+               "network (<= ~2.2x); MiCS stays near-linear while ZeRO-3's\n"
+               "efficiency drops as the cluster grows.\n";
+  return 0;
+}

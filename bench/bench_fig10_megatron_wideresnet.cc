@@ -1,0 +1,81 @@
+// Reproduces Figure 10 and Table 2: (a) MiCS vs three Megatron-LM-3D
+// configurations on the 128-layer BERT-10B variant (micro-batch 8, global
+// batch 4096); (b) WideResNet-3B throughput, MiCS vs ZeRO-3 (fp32, no
+// activation checkpointing; Megatron-LM-3D prints "no support" and
+// ZeRO-2 is not runnable).
+
+#include <iostream>
+#include <vector>
+
+#include "baselines/megatron.h"
+#include "baselines/zero.h"
+#include "bench_common.h"
+#include "model/model_zoo.h"
+#include "model/wide_resnet.h"
+
+int main() {
+  using namespace mics;
+
+  bench::PrintHeader(
+      "Figure 10a / Table 2: Megatron-LM-3D vs MiCS, BERT-10B-128L "
+      "(seq/s)");
+  {
+    TablePrinter table({"GPUs", "Megatron(t=8,pp=1)", "Megatron(t=4,pp=4)",
+                        "Megatron(t=2,pp=8)", "MiCS", "MiCS/best-3D"});
+    for (int nodes : {2, 4, 8}) {
+      const ClusterSpec cluster = ClusterSpec::P3dn(nodes);
+      MegatronModel megatron(cluster);
+      PerfEngine engine(cluster);
+      std::vector<std::string> row{std::to_string(nodes * 8)};
+      double best = 0.0;
+      for (const auto& cfg : Table2Configs()) {
+        auto r = megatron.Simulate(Bert10B128Layer(), 8, 4096, cfg);
+        if (r.ok() && !r.value().oom) {
+          best = std::max(best, r.value().throughput);
+          row.push_back(TablePrinter::Fmt(r.value().throughput, 1));
+        } else {
+          row.push_back("x");
+        }
+      }
+      auto mics = engine.Simulate(bench::PaperJob(Bert10B128Layer(), 8, 4096),
+                                  MicsConfig::Mics(8));
+      row.push_back(bench::Cell(mics));
+      row.push_back(mics.ok() && !mics.value().oom && best > 0
+                        ? TablePrinter::Fmt(mics.value().throughput / best, 2)
+                        : "-");
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
+
+  bench::PrintHeader("Figure 10b: WideResNet-3B (images/s); fp32, no ckpt");
+  {
+    TablePrinter table(
+        {"GPUs", "MiCS", "ZeRO-3", "ZeRO-2", "Megatron-3D", "MiCS/ZeRO-3"});
+    for (int nodes : {2, 4, 8, 16}) {
+      PerfEngine engine(ClusterSpec::P3dn(nodes));
+      TrainJob job;
+      job.model = BuildWideResNetGraph(WideResNetConfig(), 8).ValueOrDie();
+      job.micro_batch = 8;
+      job.global_batch = static_cast<int64_t>(8) * nodes * 8;  // s = 1
+      job.fp16 = false;
+      job.activation_checkpointing = false;
+      auto mics = engine.Simulate(job, MicsConfig::Mics(8));
+      auto z3 = engine.Simulate(job, DeepSpeedZero3());
+      auto z2 = engine.Simulate(job, DeepSpeedZero2());
+      std::string speedup = "-";
+      if (mics.ok() && z3.ok() && !mics.value().oom && !z3.value().oom) {
+        speedup = TablePrinter::Fmt(
+            mics.value().throughput / z3.value().throughput, 2);
+      }
+      table.AddRow({std::to_string(nodes * 8), bench::Cell(mics),
+                    bench::Cell(z3), bench::Cell(z2), "no support", speedup});
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nPaper shape: Megatron is sensitive to (t,pp) tuning\n"
+               "(config 3 ~38% over config 1); MiCS up to ~31% above the\n"
+               "best 3D config; WideResNet: MiCS up to 2.89x ZeRO-3 and\n"
+               "ZeRO-2 not runnable.\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Reproduces Figure 12: (a) micro-benchmark of the hierarchical vs
+// vanilla all-gather on 2 p3dn nodes (elapsed time normalized to vanilla,
+// message sizes up to 256MB); (b) end-to-end BERT 15B throughput with and
+// without hierarchical communication, normalized to DeepSpeed ZeRO-3.
+// Alongside the cost model, it also times the REAL in-process hierarchical
+// collective against the vanilla one to validate the implementation path.
+
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "baselines/zero.h"
+#include "bench_common.h"
+#include "comm/hierarchical.h"
+#include "model/model_zoo.h"
+#include "sim/cost_model.h"
+#include "util/math_util.h"
+
+namespace {
+
+using namespace mics;
+
+void MicroBenchmarkModel() {
+  bench::PrintHeader(
+      "Figure 12a: hierarchical vs vanilla all-gather, 2 nodes (modeled)");
+  const CostModel model(ClusterSpec::P3dn(2));
+  const GroupShape group = GroupShape::Partition(model.cluster(), 16)
+                               .ValueOrDie();
+  TablePrinter table({"message", "vanilla (ms)", "hierarchical (ms)",
+                      "hier/vanilla"});
+  for (int64_t mb : {16, 32, 64, 128, 256}) {
+    const double bytes = static_cast<double>(MiB(mb));
+    const double v = model.AllGatherTime(group, bytes);
+    const double h = model.HierarchicalAllGatherTime(group, bytes);
+    table.AddRow({std::to_string(mb) + "MB", TablePrinter::Fmt(v * 1e3, 2),
+                  TablePrinter::Fmt(h * 1e3, 2),
+                  TablePrinter::Fmt(h / v, 3)});
+  }
+  table.Print(std::cout);
+}
+
+void MicroBenchmarkReal() {
+  bench::PrintHeader(
+      "Figure 12a (real in-process collectives, wall-clock)");
+  // 2 "nodes" x 4 "GPUs" in-process; sizes scaled down to host scale.
+  const RankTopology topo{8, 4};
+  TablePrinter table({"elements/rank", "vanilla (us)", "hierarchical (us)"});
+  for (int64_t elems : {1 << 12, 1 << 14, 1 << 16}) {
+    double vanilla_us = 0.0;
+    double hier_us = 0.0;
+    World world(8);
+    Status st = RunRanks(8, [&](int rank) -> Status {
+      std::vector<int> group(8);
+      for (int i = 0; i < 8; ++i) group[i] = i;
+      MICS_ASSIGN_OR_RETURN(Communicator comm,
+                            Communicator::Create(&world, group, rank));
+      MICS_ASSIGN_OR_RETURN(
+          HierarchicalAllGather hier,
+          HierarchicalAllGather::Create(&world, topo, group, rank));
+      Tensor in({elems}, DType::kF32);
+      in.Fill(static_cast<float>(rank));
+      Tensor out({elems * 8}, DType::kF32);
+      const int reps = 20;
+      auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < reps; ++i) {
+        MICS_RETURN_NOT_OK(comm.AllGather(in, &out));
+      }
+      auto t1 = std::chrono::steady_clock::now();
+      for (int i = 0; i < reps; ++i) {
+        MICS_RETURN_NOT_OK(hier.Run(in, &out));
+      }
+      auto t2 = std::chrono::steady_clock::now();
+      if (rank == 0) {
+        vanilla_us =
+            std::chrono::duration<double, std::micro>(t1 - t0).count() / reps;
+        hier_us =
+            std::chrono::duration<double, std::micro>(t2 - t1).count() / reps;
+      }
+      return Status::OK();
+    });
+    MICS_CHECK_OK(st);
+    table.AddRow({std::to_string(elems), TablePrinter::Fmt(vanilla_us, 1),
+                  TablePrinter::Fmt(hier_us, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "(in-process wall-clock validates the code path; the network\n"
+               " benefit is modeled above — host threads have no NIC.)\n";
+}
+
+void EndToEnd() {
+  bench::PrintHeader(
+      "Figure 12b: BERT 15B end-to-end, normalized to DeepSpeed ZeRO-3");
+  TablePrinter table({"GPUs", "MiCS w/ hier", "MiCS w/o hier", "ZeRO-3=1.0"});
+  for (int nodes : {2, 4, 8, 16}) {
+    PerfEngine engine(ClusterSpec::P3dn(nodes));
+    MicsConfig with = MicsConfig::Mics(16);
+    MicsConfig without = with;
+    without.hierarchical_allgather = false;
+    auto w = engine.Simulate(bench::PaperJob(Bert15B()), with);
+    auto wo = engine.Simulate(bench::PaperJob(Bert15B()), without);
+    auto z = engine.Simulate(bench::PaperJob(Bert15B()), DeepSpeedZero3());
+    std::string cw = "-", cwo = "-";
+    if (w.ok() && z.ok() && !w.value().oom && !z.value().oom) {
+      cw = TablePrinter::Fmt(w.value().throughput / z.value().throughput, 2);
+    }
+    if (wo.ok() && z.ok() && !wo.value().oom && !z.value().oom) {
+      cwo = TablePrinter::Fmt(wo.value().throughput / z.value().throughput, 2);
+    }
+    table.AddRow({std::to_string(nodes * 8), cw, cwo, "1.00"});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  MicroBenchmarkModel();
+  MicroBenchmarkReal();
+  EndToEnd();
+  std::cout << "\nPaper shape: hierarchical all-gather ~72% of vanilla time\n"
+               "at 128MB; +30.6% to +38% end-to-end throughput.\n";
+  return 0;
+}

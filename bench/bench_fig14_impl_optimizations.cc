@@ -1,0 +1,43 @@
+// Reproduces Figure 14: the contribution of the §4 implementation
+// optimizations (fine-grained synchronization, precomputed fetch
+// decisions, memory defragmentation). Three systems on BERT 10B:
+//   DeepSpeed ZeRO-3      — coarse sync, on-the-fly decisions, dynamic alloc
+//   MiCS (ZeRO-3)         — partition over ALL devices + the §4 opts
+//   MiCS                  — small partition groups + everything
+// Paper: MiCS(ZeRO-3) is +54.1% over DeepSpeed ZeRO-3 at 128 GPUs; full
+// MiCS is far above both.
+
+#include <iostream>
+
+#include "baselines/zero.h"
+#include "bench_common.h"
+#include "model/model_zoo.h"
+
+int main() {
+  using namespace mics;
+  bench::PrintHeader("Figure 14: implementation optimizations (BERT 10B)");
+  TablePrinter table({"GPUs", "DeepSpeed ZeRO-3", "MiCS (ZeRO-3)", "MiCS",
+                      "MiCS(Z3)/DS", "MiCS/DS"});
+  for (int nodes : {2, 4, 8, 16}) {
+    PerfEngine engine(ClusterSpec::P3dn(nodes));
+    auto ds = engine.Simulate(bench::PaperJob(Bert10B()), DeepSpeedZero3());
+    auto mz3 = engine.Simulate(bench::PaperJob(Bert10B()),
+                               MicsConfig::MicsZero3(nodes * 8));
+    auto mics =
+        engine.Simulate(bench::PaperJob(Bert10B()), MicsConfig::Mics(8));
+    auto ratio = [](const Result<PerfResult>& a,
+                    const Result<PerfResult>& b) -> std::string {
+      if (!a.ok() || !b.ok() || a.value().oom || b.value().oom) return "-";
+      return TablePrinter::Fmt(a.value().throughput / b.value().throughput,
+                               2);
+    };
+    table.AddRow({std::to_string(nodes * 8), bench::Cell(ds),
+                  bench::Cell(mz3), bench::Cell(mics), ratio(mz3, ds),
+                  ratio(mics, ds)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper shape: MiCS(ZeRO-3) ~1.54x DeepSpeed ZeRO-3 at 128\n"
+               "GPUs (the §4 optimizations alone); minimizing the\n"
+               "communication scale adds the rest.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Figure 15: fidelity. Real distributed training (in-process
+// ranks, real gradients, real Adam) comparing loss curves of MiCS against
+// plain data parallelism (the DeepSpeed stand-in here is ZeRO-3-style
+// full partitioning). The paper's criterion: "the convergence behaviours
+// are the same", not bitwise equality. Setup mirrors §5.4's scale-down:
+// 4 ranks on 2 "nodes", gradient accumulation 4, micro-batch 8.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace mics;
+  bench::PrintHeader("Figure 15: training-loss fidelity (real training)");
+
+  auto run = [](Strategy strategy, int group) {
+    TrainRunOptions o;
+    o.world_size = 4;
+    o.gpus_per_node = 2;
+    o.sdp.strategy = strategy;
+    o.sdp.partition_group_size = group;
+    o.model.input_dim = 16;
+    o.model.hidden = 32;
+    o.model.classes = 4;
+    o.iterations = 40;
+    o.grad_accumulation_steps = 4;
+    o.micro_batch = 8;
+    o.adam.lr = 0.01f;
+    o.seed = 2022;
+    return RunDistributedTraining(o);
+  };
+
+  auto ddp = run(Strategy::kDDP, 1);
+  auto mics = run(Strategy::kMiCS, 2);
+  auto zero3 = run(Strategy::kZeRO3, 4);
+  MICS_CHECK(ddp.ok() && mics.ok() && zero3.ok());
+
+  TablePrinter table({"iteration", "DDP loss", "MiCS loss", "ZeRO-3 loss",
+                      "|MiCS-DDP|"});
+  float max_gap = 0.0f;
+  for (size_t i = 0; i < ddp.value().losses.size(); i += 4) {
+    const float gap =
+        std::abs(mics.value().losses[i] - ddp.value().losses[i]);
+    max_gap = std::max(max_gap, gap);
+    table.AddRow({std::to_string(i),
+                  TablePrinter::Fmt(ddp.value().losses[i], 4),
+                  TablePrinter::Fmt(mics.value().losses[i], 4),
+                  TablePrinter::Fmt(zero3.value().losses[i], 4),
+                  TablePrinter::Fmt(gap, 5)});
+  }
+  table.Print(std::cout);
+  std::cout << "max |MiCS-DDP| loss gap over the run: "
+            << TablePrinter::Fmt(max_gap, 6) << "\n";
+  std::cout << "\nPaper shape: the curves coincide — MiCS provides the same\n"
+               "convergence as the baseline data-parallel system.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Capacity planner: for each model in the paper's Table 1, find the
+// smallest MiCS partition group that fits on a chosen cluster, then print
+// the predicted performance and memory budget — the workflow a user runs
+// before renting cloud instances.
+//
+//   $ ./capacity_planner [num_nodes] [p3dn|p4d]
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/heuristics.h"
+#include "core/perf_engine.h"
+#include "model/model_zoo.h"
+#include "model/transformer.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace mics;
+  int nodes = 16;
+  std::string instance = "p3dn";
+  if (argc > 1) nodes = std::atoi(argv[1]);
+  if (argc > 2) instance = argv[2];
+  if (nodes <= 0) {
+    std::cerr << "usage: capacity_planner [num_nodes] [p3dn|p4d]\n";
+    return 1;
+  }
+  const ClusterSpec cluster =
+      instance == "p4d" ? ClusterSpec::P4d(nodes) : ClusterSpec::P3dn(nodes);
+  PerfEngine engine(cluster);
+
+  std::cout << "planning for " << nodes << "x " << instance << " ("
+            << cluster.world_size() << " " << cluster.gpu.name << ")\n\n";
+
+  TablePrinter table({"model", "params(B)", "group", "nodes/replica",
+                      "seq/s", "TFLOPS/GPU", "mem/GPU(GB)"});
+  for (const auto& config : Table1Models()) {
+    TrainJob job;
+    job.model = BuildTransformerGraph(config, 8, true).ValueOrDie();
+    job.micro_batch = 8;
+    job.global_batch = 8192;
+    auto plan = PlanTraining(engine, job);
+    if (!plan.ok()) {
+      table.AddRow({config.name, TablePrinter::Fmt(config.TotalParams() / 1e9, 1),
+                    "-", "-", "does not fit", "-", "-"});
+      continue;
+    }
+    const int p = plan.value().config.partition_group_size;
+    table.AddRow(
+        {config.name, TablePrinter::Fmt(config.TotalParams() / 1e9, 1),
+         std::to_string(p),
+         TablePrinter::Fmt(static_cast<double>(p) / cluster.gpus_per_node, 2),
+         TablePrinter::Fmt(plan.value().perf.throughput, 1),
+         TablePrinter::Fmt(plan.value().perf.per_gpu_tflops, 1),
+         TablePrinter::Fmt(plan.value().perf.memory.total / 1e9, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nRule of thumb (paper §5.1.1/§7): partition into the\n"
+               "smallest group that fits; smaller groups keep gathers on\n"
+               "faster, closer links.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fidelity training demo: run REAL distributed data-parallel training on
+// an in-process "cluster" (threads as ranks, real collectives, real Adam)
+// and show that MiCS's sharded schedule converges identically to plain
+// DDP — the §5.4 experiment at laptop scale.
+//
+//   $ ./fidelity_training
+
+#include <iostream>
+
+#include "train/trainer.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace mics;
+
+  auto run = [](const char* label, Strategy strategy, int group,
+                bool hierarchical) {
+    TrainRunOptions o;
+    o.world_size = 4;
+    o.gpus_per_node = 2;  // two "nodes" of two "GPUs"
+    o.sdp.strategy = strategy;
+    o.sdp.partition_group_size = group;
+    o.sdp.hierarchical_allgather = hierarchical;
+    o.model.input_dim = 16;
+    o.model.hidden = 32;
+    o.model.classes = 4;
+    o.iterations = 30;
+    o.grad_accumulation_steps = 4;  // 2-hop pays off across micro-steps
+    o.micro_batch = 8;
+    o.adam.lr = 0.01f;
+    o.seed = 7;
+    std::cout << "training with " << label << "...\n";
+    return RunDistributedTraining(o).ValueOrDie();
+  };
+
+  const TrainCurve ddp = run("DDP (baseline)", Strategy::kDDP, 1, false);
+  const TrainCurve mics =
+      run("MiCS (p=2, 2-hop, hierarchical)", Strategy::kMiCS, 2, true);
+  const TrainCurve zero3 = run("ZeRO-3 (full partition)", Strategy::kZeRO3,
+                               4, false);
+
+  std::cout << "\n";
+  TablePrinter table({"iter", "DDP", "MiCS", "ZeRO-3"});
+  for (size_t i = 0; i < ddp.losses.size(); i += 3) {
+    table.AddRow({std::to_string(i), TablePrinter::Fmt(ddp.losses[i], 4),
+                  TablePrinter::Fmt(mics.losses[i], 4),
+                  TablePrinter::Fmt(zero3.losses[i], 4)});
+  }
+  table.Print(std::cout);
+
+  float max_gap = 0.0f;
+  for (size_t i = 0; i < ddp.losses.size(); ++i) {
+    max_gap = std::max(max_gap, std::abs(ddp.losses[i] - mics.losses[i]));
+  }
+  std::cout << "\nmax |DDP - MiCS| loss gap: " << max_gap
+            << " (pure floating-point reordering noise)\n"
+            << "MiCS trains the same model, with 1/p of the states per "
+               "rank.\n";
+  return 0;
+}

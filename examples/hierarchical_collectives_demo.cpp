@@ -1,0 +1,78 @@
+// Demonstrates the communication layer directly: build a 2-node x 4-GPU
+// in-process cluster, run the three-stage hierarchical all-gather of
+// §3.3 next to a vanilla all-gather, verify bit-equality, and print the
+// inter-node traffic each would generate on a real network.
+//
+//   $ ./hierarchical_collectives_demo
+
+#include <iostream>
+#include <vector>
+
+#include "comm/communicator.h"
+#include "comm/hierarchical.h"
+#include "comm/topology.h"
+#include "comm/world.h"
+#include "tensor/tensor.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace mics;
+  const int world_size = 8;
+  const RankTopology topo{world_size, 4};  // 2 nodes x 4 GPUs
+  World world(world_size);
+
+  std::cout << "in-process cluster: " << topo.num_nodes() << " nodes x "
+            << topo.gpus_per_node << " ranks\n";
+
+  const int64_t elems = 1 << 14;
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    std::vector<int> group(world_size);
+    for (int i = 0; i < world_size; ++i) group[i] = i;
+
+    MICS_ASSIGN_OR_RETURN(Communicator vanilla,
+                          Communicator::Create(&world, group, rank));
+    MICS_ASSIGN_OR_RETURN(
+        HierarchicalAllGather hier,
+        HierarchicalAllGather::Create(&world, topo, group, rank));
+
+    // Each rank contributes a chunk tagged with its rank id.
+    Tensor shard({elems}, DType::kF32);
+    shard.Fill(static_cast<float>(rank));
+    Tensor out_v({elems * world_size}, DType::kF32);
+    Tensor out_h({elems * world_size}, DType::kF32);
+
+    MICS_RETURN_NOT_OK(vanilla.AllGather(shard, &out_v));
+    MICS_RETURN_NOT_OK(hier.Run(shard, &out_h));
+
+    MICS_ASSIGN_OR_RETURN(float diff, Tensor::MaxAbsDiff(out_v, out_h));
+    if (diff != 0.0f) return Status::Internal("outputs differ!");
+    if (rank == 0) {
+      std::cout << "stage-1 channels: " << topo.gpus_per_node
+                << " parallel inter-node all-gathers\n"
+                << "stage-3 batched intra-node all-gathers: "
+                << hier.num_nodes() << "\n"
+                << "hierarchical output == vanilla output (bitwise)\n\n";
+    }
+    return Status::OK();
+  });
+  MICS_CHECK_OK(st);
+
+  // What the algorithm buys on a real network: inter-node bytes per node
+  // for a 1 GB gather at several group sizes (k = 8 GPUs/node).
+  TablePrinter table({"group size p", "vanilla (MB)", "hierarchical (MB)",
+                      "reduction"});
+  for (int p : {16, 32, 64}) {
+    const double m = 1024.0;  // MB
+    const double v = VanillaInterNodeBytes(p, m);
+    const double h = HierarchicalInterNodeBytes(p, 8, m);
+    table.AddRow({std::to_string(p), TablePrinter::Fmt(v, 0),
+                  TablePrinter::Fmt(h, 0),
+                  TablePrinter::Fmt(100.0 * (1.0 - h / v), 1) + "%"});
+  }
+  table.Print(std::cout);
+  std::cout << "\n(§3.3: traffic drops from (p-1)M/p to (p-k)M/p; the gain\n"
+               "is largest for small multi-node partition groups.)\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Mixed-precision training demo: train the real transformer classifier
+// with fp16 parameters/gradients on the wire, fp32 master weights, and
+// dynamic loss scaling — the paper's default training setup (§5), run on
+// the in-process cluster, compared against a plain fp32 run.
+//
+//   $ ./mixed_precision_training
+
+#include <cmath>
+#include <iostream>
+
+#include "train/trainer.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace mics;
+
+  auto run = [](bool mixed) {
+    TransformerTrainRunOptions o;
+    o.world_size = 4;
+    o.gpus_per_node = 2;
+    o.sdp.strategy = Strategy::kMiCS;
+    o.sdp.partition_group_size = 2;
+    o.sdp.mixed_precision = mixed;
+    o.sdp.initial_loss_scale = 1024.0f;
+    o.sdp.max_grad_norm = 1.0f;  // global-norm clipping across the group
+    o.model.vocab = 16;
+    o.model.seq_len = 8;
+    o.model.dim = 16;
+    o.model.heads = 4;
+    o.model.ffn = 32;
+    o.model.blocks = 2;
+    o.model.classes = 4;
+    o.iterations = 25;
+    o.grad_accumulation_steps = 4;
+    o.micro_batch = 8;
+    o.adam.lr = 0.01f;
+    o.lr_warmup_iterations = 5;  // warmup + linear decay schedule
+    o.seed = 11;
+    return RunDistributedTransformerTraining(o).ValueOrDie();
+  };
+
+  std::cout << "training a real 2-block transformer under MiCS (p=2)...\n\n";
+  const TrainCurve fp32 = run(false);
+  const TrainCurve mixed = run(true);
+
+  TablePrinter table({"iter", "fp32 loss", "mixed loss", "|diff|"});
+  float max_gap = 0.0f;
+  for (size_t i = 0; i < fp32.losses.size(); i += 3) {
+    const float gap = std::fabs(fp32.losses[i] - mixed.losses[i]);
+    max_gap = std::max(max_gap, gap);
+    table.AddRow({std::to_string(i), TablePrinter::Fmt(fp32.losses[i], 4),
+                  TablePrinter::Fmt(mixed.losses[i], 4),
+                  TablePrinter::Fmt(gap, 5)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nmax loss gap fp32-vs-mixed: " << max_gap
+            << "  (fp16 rounding noise; both curves converge)\n"
+            << "Mixed precision halves the parameter/gradient bytes on\n"
+            << "every collective — exactly why the paper trains fp16.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: simulate training a 10B-parameter BERT on a public-cloud
+// cluster and compare MiCS against DeepSpeed ZeRO-3.
+//
+//   $ ./quickstart
+//
+// Walks through the three steps a user takes:
+//   1. describe the cluster (nodes, GPUs, network),
+//   2. describe the workload (model, batch sizes),
+//   3. pick a strategy and simulate — or let the planner pick for you.
+
+#include <iostream>
+
+#include "baselines/zero.h"
+#include "core/heuristics.h"
+#include "core/perf_engine.h"
+#include "model/model_zoo.h"
+#include "model/transformer.h"
+
+int main() {
+  using namespace mics;
+
+  // 1. A 16-node Amazon EC2 p3dn.24xlarge cluster: 128 V100 GPUs,
+  //    NVLink inside each node, 100 Gbps EFA between nodes.
+  const ClusterSpec cluster = ClusterSpec::P3dn(16);
+  PerfEngine engine(cluster);
+  std::cout << "cluster: " << cluster.num_nodes << " nodes x "
+            << cluster.gpus_per_node << " " << cluster.gpu.name << "\n";
+
+  // 2. The workload: BERT with 10B parameters, sequence length 512,
+  //    micro-batch 8 per GPU, global batch 8192, mixed precision +
+  //    activation checkpointing.
+  TrainJob job;
+  job.model = BuildTransformerGraph(Bert10B(), /*micro_batch=*/8,
+                                    /*fp16=*/true)
+                  .ValueOrDie();
+  job.micro_batch = 8;
+  job.global_batch = 8192;
+  std::cout << "model: " << job.model.name << " ("
+            << job.model.TotalParams() / 1e9 << "B params)\n\n";
+
+  // 3a. Let the capacity planner choose the smallest partition group
+  //     that fits (the paper's heuristic).
+  const PlanResult plan = PlanTraining(engine, job).ValueOrDie();
+  std::cout << "planner chose: " << plan.config.ToString() << "\n";
+  std::cout << "  throughput: " << plan.perf.throughput << " seq/s, "
+            << plan.perf.per_gpu_tflops << " TFLOPS/GPU\n";
+  std::cout << "  per-GPU memory: " << plan.perf.memory.ToString() << "\n\n";
+
+  // 3b. Compare against DeepSpeed ZeRO-3 on the same job.
+  const PerfResult zero3 =
+      engine.Simulate(job, DeepSpeedZero3()).ValueOrDie();
+  if (zero3.oom) {
+    std::cout << "DeepSpeed ZeRO-3: out of memory\n";
+  } else {
+    std::cout << "DeepSpeed ZeRO-3: " << zero3.throughput << " seq/s, "
+              << zero3.per_gpu_tflops << " TFLOPS/GPU\n";
+    std::cout << "MiCS speedup: "
+              << plan.perf.throughput / zero3.throughput << "x\n";
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Timeline explorer: simulate one training iteration and dump the
+// per-stream schedule as a Chrome trace (open in chrome://tracing or
+// https://ui.perfetto.dev) — see exactly how MiCS hides parameter gathers
+// under compute while DeepSpeed ZeRO-3 serializes on the NIC.
+//
+//   $ ./timeline_explorer [out_dir]
+//   writes <out_dir>/mics_timeline.json and <out_dir>/zero3_timeline.json
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "baselines/zero.h"
+#include "core/perf_engine.h"
+#include "model/model_zoo.h"
+#include "model/transformer.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace mics;
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  PerfEngine engine(ClusterSpec::P3dn(4));  // 32 V100s
+  TrainJob job;
+  job.model = BuildTransformerGraph(Bert10B(), 8, true).ValueOrDie();
+  job.micro_batch = 8;
+  // One micro-step keeps the trace compact.
+  job.global_batch = 8 * engine.cluster().world_size();
+
+  auto dump = [&](const char* label, const MicsConfig& config,
+                  const std::string& path) {
+    std::ofstream f(path);
+    MICS_CHECK(f.good()) << "cannot write " << path;
+    const PerfResult r = engine.Simulate(job, config, &f).ValueOrDie();
+    std::cout << label << ": iter " << r.iter_time * 1e3 << " ms, gather "
+              << r.param_gather_time * 1e3 << " ms, grad-sync "
+              << r.grad_sync_time * 1e3 << " ms, compute "
+              << r.compute_time * 1e3 << " ms, exposed stalls "
+              << r.exposed_comm_time * 1e3 << " ms\n  -> " << path << "\n";
+  };
+
+  dump("MiCS (p=8)", MicsConfig::Mics(8), out_dir + "/mics_timeline.json");
+  dump("DeepSpeed ZeRO-3", DeepSpeedZero3(),
+       out_dir + "/zero3_timeline.json");
+
+  std::cout << "\nLoad the JSON files in chrome://tracing: the 'NIC' row of\n"
+               "the ZeRO-3 trace is saturated while 'compute' idles; in the\n"
+               "MiCS trace gathers ride 'NVLink' underneath compute.\n";
+  return 0;
+}

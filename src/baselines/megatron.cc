@@ -1,0 +1,150 @@
+#include "baselines/megatron.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace mics {
+
+std::string MegatronConfig::ToString() const {
+  return "Megatron-3D(t=" + std::to_string(tensor_parallel) +
+         ",pp=" + std::to_string(pipeline_parallel) + ")";
+}
+
+std::vector<MegatronConfig> Table2Configs() {
+  return {{8, 1}, {4, 4}, {2, 8}};
+}
+
+MegatronModel::MegatronModel(const ClusterSpec& cluster,
+                             CommCostParams comm_params,
+                             ComputeCostParams compute_params)
+    : cluster_(cluster),
+      cost_(cluster, comm_params),
+      compute_(cluster.gpu, compute_params) {}
+
+Result<PerfResult> MegatronModel::Simulate(
+    const TransformerConfig& model, int64_t micro_batch, int64_t global_batch,
+    const MegatronConfig& config, bool activation_checkpointing) const {
+  MICS_RETURN_NOT_OK(model.Validate());
+  const int n = cluster_.world_size();
+  const int t = config.tensor_parallel;
+  const int pp = config.pipeline_parallel;
+  if (t <= 0 || pp <= 0 || n % (t * pp) != 0) {
+    return Status::InvalidArgument(
+        "tensor*pipeline size must divide the cluster");
+  }
+  if (t > cluster_.gpus_per_node) {
+    return Status::InvalidArgument(
+        "tensor parallelism must stay within a node (paper's tuning rule)");
+  }
+  if (model.layers % pp != 0) {
+    return Status::InvalidArgument(
+        "layers must be divisible by the pipeline size");
+  }
+  const int d = n / (t * pp);  // data-parallel size
+  const int64_t m =
+      std::max<int64_t>(1, global_batch / (d * micro_batch));  // microbatches
+
+  const double b = static_cast<double>(micro_batch);
+  const double s = static_cast<double>(model.seq_len);
+  const double h = static_cast<double>(model.hidden);
+  const double i = static_cast<double>(model.intermediate);
+  const double total_params = model.TotalParams();
+
+  PerfResult result;
+  result.micro_steps = static_cast<int>(m);
+
+  // ---- Memory (per GPU) ----
+  const double states_per_gpu = 16.0 * total_params / (t * pp);
+  // 1F1B keeps up to pp in-flight micro-batches of checkpoints per stage.
+  const double layers_per_stage = static_cast<double>(model.layers) / pp;
+  const double ckpt_per_layer = 2.0 * b * s * h / t;
+  const double act_full_layer =
+      2.0 * b * s * (10.0 * h + 2.0 * i) / t + 2.0 * b * s * s * model.heads / t;
+  const double act_bytes =
+      activation_checkpointing
+          ? layers_per_stage * ckpt_per_layer * std::min<double>(m, pp) +
+                act_full_layer
+          : layers_per_stage * act_full_layer * std::min<double>(m, pp);
+  result.memory.params = 2.0 * total_params / (t * pp);
+  result.memory.grads = result.memory.params;
+  result.memory.optimizer = 12.0 * total_params / (t * pp);
+  result.memory.activations = act_bytes;
+  result.memory.total = states_per_gpu + act_bytes;
+  if (result.memory.total > static_cast<double>(cluster_.gpu.memory_bytes)) {
+    result.oom = true;
+    result.oom_detail = config.ToString() + " per-GPU states exceed memory";
+    return result;
+  }
+
+  // ---- Per-stage, per-micro-batch time ----
+  // Compute: this stage's share of layers, each split t ways. TP slicing
+  // narrows the per-GPU matmuls, which costs efficiency.
+  const double layer_fwd_flops =
+      b * (2.0 * s * (4.0 * h * h + 2.0 * h * i) + 4.0 * s * s * h) / t;
+  const double eff_width = h / std::sqrt(static_cast<double>(t));
+  double stage_fwd = layers_per_stage *
+                     compute_.MatmulTime(layer_fwd_flops, eff_width, true);
+  double stage_bwd = layers_per_stage *
+                     compute_.MatmulTime(2.0 * layer_fwd_flops, eff_width, true);
+  if (activation_checkpointing) stage_bwd += stage_fwd;
+
+  // Tensor-parallel all-reduces: 2 in forward, 2 in backward (+2 during
+  // recompute) per layer, of the b*s*h activation, within the node.
+  double tp_comm = 0.0;
+  if (t > 1) {
+    GroupShape tp_shape;
+    tp_shape.size = t;
+    tp_shape.ranks_per_node = t;
+    const double act = 2.0 * b * s * h;
+    const int ar_per_layer = activation_checkpointing ? 6 : 4;
+    tp_comm = layers_per_stage * ar_per_layer *
+              cost_.AllReduceTime(tp_shape, act);
+  }
+
+  // Pipeline stage boundary: activation (and its gradient) transfer.
+  // Stages are laid out across nodes once t*pp exceeds a node.
+  double p2p = 0.0;
+  if (pp > 1) {
+    const bool cross_node = t * pp > cluster_.gpus_per_node;
+    p2p = 2.0 * cost_.P2PTime(cross_node, 2.0 * b * s * h);
+  }
+
+  const double per_micro = stage_fwd + stage_bwd + tp_comm + p2p;
+
+  // 1F1B pipeline: m micro-batches + (pp-1) bubble slots.
+  const double pipeline_time = (m + pp - 1) * per_micro;
+
+  // Data-parallel gradient all-reduce at the boundary. Every GPU on a
+  // node belongs to a different DP ring, so the rings share the NIC.
+  double dp_sync = 0.0;
+  if (d > 1) {
+    GroupShape dp_shape;
+    dp_shape.size = d;
+    dp_shape.ranks_per_node = 1;
+    dp_shape.nic_sharers = cluster_.gpus_per_node;
+    dp_sync = cost_.AllReduceTime(dp_shape, 2.0 * total_params / (t * pp));
+  }
+
+  const double opt =
+      compute_.OptimizerStepTime(total_params / (t * pp));
+
+  result.iter_time = pipeline_time + dp_sync + opt;
+  result.throughput =
+      static_cast<double>(d) * micro_batch * m / result.iter_time;
+
+  const double hw_flops =
+      static_cast<double>(d) * m *
+      (3.0 + (activation_checkpointing ? 1.0 : 0.0)) *
+      (static_cast<double>(model.layers) * layer_fwd_flops * t);
+  result.per_gpu_tflops = hw_flops / n / result.iter_time / 1e12;
+  result.compute_time = (stage_fwd + stage_bwd) * m;
+  result.comm_time = (tp_comm + p2p) * m + dp_sync;
+  result.exposed_comm_time =
+      std::max(0.0, result.iter_time - result.compute_time);
+  return result;
+}
+
+}  // namespace mics

@@ -1,0 +1,53 @@
+#ifndef MICS_BASELINES_MEGATRON_H_
+#define MICS_BASELINES_MEGATRON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/perf_engine.h"
+#include "model/transformer.h"
+#include "sim/cluster_topology.h"
+#include "sim/compute_model.h"
+#include "sim/cost_model.h"
+
+namespace mics {
+
+/// One (tensor, pipeline) parallel size pair; the data-parallel size is
+/// derived from the cluster (Table 2 of the paper).
+struct MegatronConfig {
+  int tensor_parallel = 1;
+  int pipeline_parallel = 1;
+
+  std::string ToString() const;
+};
+
+/// The three configurations of Table 2.
+std::vector<MegatronConfig> Table2Configs();
+
+/// Analytic cost model of Megatron-LM-3D (tensor + pipeline + data
+/// parallelism) for the §5.1.3 comparison. Captures the two inefficiency
+/// sources the paper's profiling identifies: pipeline bubbles
+/// ((pp-1)/(m+pp-1) idle fraction) and tensor-parallel activation
+/// all-reduces on the critical path.
+class MegatronModel {
+ public:
+  explicit MegatronModel(const ClusterSpec& cluster,
+                         CommCostParams comm_params = CommCostParams(),
+                         ComputeCostParams compute_params = ComputeCostParams());
+
+  /// Simulates one iteration; returns an OOM-flagged result when the
+  /// per-GPU states do not fit.
+  Result<PerfResult> Simulate(const TransformerConfig& model,
+                              int64_t micro_batch, int64_t global_batch,
+                              const MegatronConfig& config,
+                              bool activation_checkpointing = true) const;
+
+ private:
+  ClusterSpec cluster_;
+  CostModel cost_;
+  GpuComputeModel compute_;
+};
+
+}  // namespace mics
+
+#endif  // MICS_BASELINES_MEGATRON_H_

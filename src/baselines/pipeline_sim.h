@@ -1,0 +1,37 @@
+#ifndef MICS_BASELINES_PIPELINE_SIM_H_
+#define MICS_BASELINES_PIPELINE_SIM_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace mics {
+
+/// Result of simulating one pipeline flush.
+struct PipelineSimResult {
+  double iter_time = 0.0;
+  /// Fraction of stage-time lost to pipeline bubbles; the Megatron paper's
+  /// closed form is (pp - 1) / (m + pp - 1) for uniform stages.
+  double bubble_fraction = 0.0;
+};
+
+/// Simulates Megatron-LM-3D's 1F1B pipeline schedule explicitly (the
+/// §5.1.3 baseline's core mechanism): `stages` pipeline stages execute
+/// `micro_batches` forward/backward pairs; stage s runs (stages - 1 - s)
+/// warm-up forwards, then alternates one-forward-one-backward, then
+/// drains. Dependencies: F(m, s) needs F(m, s-1); B(m, s) needs B(m, s+1)
+/// and the stage's own F(m, s). `fwd_time`/`bwd_time` are per-micro-batch
+/// per-stage compute times with the stage-boundary p2p transfer folded
+/// in.
+///
+/// For uniform stages this reproduces the closed form
+///   T = (m + stages - 1) * (fwd + bwd)
+/// exactly (tested), grounding the analytic MegatronModel in a schedule.
+Result<PipelineSimResult> SimulatePipeline1F1B(int stages,
+                                               int64_t micro_batches,
+                                               double fwd_time,
+                                               double bwd_time);
+
+}  // namespace mics
+
+#endif  // MICS_BASELINES_PIPELINE_SIM_H_

@@ -1,0 +1,34 @@
+#include "baselines/zero.h"
+
+namespace mics {
+
+namespace {
+
+MicsConfig DeepSpeedBase(Strategy strategy) {
+  MicsConfig c;
+  c.strategy = strategy;
+  c.hierarchical_allgather = false;
+  c.two_hop_sync = false;
+  c.fine_grained_sync = false;
+  c.decision_caching = false;
+  c.arena_allocator = false;
+  return c;
+}
+
+}  // namespace
+
+MicsConfig DeepSpeedZero1() { return DeepSpeedBase(Strategy::kZeRO1); }
+
+MicsConfig DeepSpeedZero2() { return DeepSpeedBase(Strategy::kZeRO2); }
+
+MicsConfig DeepSpeedZero3() { return DeepSpeedBase(Strategy::kZeRO3); }
+
+MicsConfig PytorchDdp() {
+  MicsConfig c;
+  c.strategy = Strategy::kDDP;
+  c.hierarchical_allgather = false;
+  c.two_hop_sync = false;
+  return c;
+}
+
+}  // namespace mics

@@ -1,0 +1,21 @@
+#ifndef MICS_BASELINES_ZERO_H_
+#define MICS_BASELINES_ZERO_H_
+
+#include "core/mics_config.h"
+
+namespace mics {
+
+/// Configuration presets reproducing the DeepSpeed baselines the paper
+/// compares against (DeepSpeed-v0.5.6 behaviour): coarse-grained stream
+/// synchronization, on-the-fly fetch/release decisions, and dynamic
+/// (fragmenting) allocation — the three §4 deficiencies MiCS fixes.
+MicsConfig DeepSpeedZero1();
+MicsConfig DeepSpeedZero2();
+MicsConfig DeepSpeedZero3();
+
+/// Plain PyTorch-DDP-style baseline (full replication).
+MicsConfig PytorchDdp();
+
+}  // namespace mics
+
+#endif  // MICS_BASELINES_ZERO_H_

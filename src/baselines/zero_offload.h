@@ -1,0 +1,52 @@
+#ifndef MICS_BASELINES_ZERO_OFFLOAD_H_
+#define MICS_BASELINES_ZERO_OFFLOAD_H_
+
+#include "core/perf_engine.h"
+#include "sim/cluster_topology.h"
+#include "sim/compute_model.h"
+#include "sim/cost_model.h"
+
+namespace mics {
+
+/// Host-side resources of a ZeRO-Offload deployment.
+struct OffloadCostParams {
+  /// Effective PCIe bandwidth per GPU for gradient/parameter streaming.
+  double pcie_bw = 12e9;
+  /// Throughput of the (optimized, SIMD) CPU Adam in parameters/second.
+  double cpu_adam_params_per_sec = 1.5e9;
+  /// Host memory available for optimizer states per node.
+  int64_t host_memory_bytes = 768LL * 1024 * 1024 * 1024;
+};
+
+/// Cost model of ZeRO-Offload (Ren et al.; §2.2 of the MiCS paper, which
+/// excludes it from evaluation as "orthogonal"): built on ZeRO-2, it
+/// keeps fp16 parameters on the GPU, reduce-scatters gradients across the
+/// world each micro-step, streams the gradient shard to the host over
+/// PCIe, runs Adam on the CPU, and streams updated fp16 parameters back
+/// before the boundary all-gather.
+///
+/// Reproducing it alongside MiCS makes the trade-off measurable: offload
+/// buys model CAPACITY (GPU memory holds only fp16 params + activations)
+/// at the cost of PCIe/CPU time that MiCS never pays.
+class ZeroOffloadModel {
+ public:
+  explicit ZeroOffloadModel(const ClusterSpec& cluster,
+                            OffloadCostParams offload = OffloadCostParams(),
+                            CommCostParams comm = CommCostParams(),
+                            ComputeCostParams compute = ComputeCostParams());
+
+  /// Simulates one iteration; OOM-flagged result if even the offloaded
+  /// footprint (GPU: fp16 params + grads + activations; host: 12P/n)
+  /// does not fit.
+  Result<PerfResult> Simulate(const TrainJob& job) const;
+
+ private:
+  ClusterSpec cluster_;
+  OffloadCostParams offload_;
+  CostModel cost_;
+  GpuComputeModel compute_;
+};
+
+}  // namespace mics
+
+#endif  // MICS_BASELINES_ZERO_OFFLOAD_H_

@@ -1,0 +1,136 @@
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.h"
+#include "tensor/half.h"
+#include "util/logging.h"
+
+namespace mics {
+
+namespace {
+
+/// Descriptor published by each member during a coalesced collective: a
+/// pointer to its local list of per-item input buffers. This mirrors how
+/// the real implementation passes a list of tensors to one nccl group
+/// launch instead of staging them through a shared interleaved buffer.
+struct CoalescedDesc {
+  const std::vector<Tensor>* inputs;
+};
+
+float LoadElem(const void* base, DType dt, int64_t i) {
+  if (dt == DType::kF32) return static_cast<const float*>(base)[i];
+  return HalfToFloat(static_cast<const uint16_t*>(base)[i]);
+}
+
+void StoreElem(void* base, DType dt, int64_t i, float v) {
+  if (dt == DType::kF32) {
+    static_cast<float*>(base)[i] = v;
+  } else {
+    static_cast<uint16_t*>(base)[i] = FloatToHalf(v);
+  }
+}
+
+Status ValidateCoalesced(const std::vector<Tensor>& inputs,
+                         const std::vector<Tensor>* outputs, int group_size,
+                         bool gather) {
+  if (outputs == nullptr) {
+    return Status::InvalidArgument("coalesced: outputs is null");
+  }
+  if (inputs.size() != outputs->size()) {
+    return Status::InvalidArgument("coalesced: item count mismatch");
+  }
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const Tensor& in = inputs[i];
+    const Tensor& out = (*outputs)[i];
+    if (in.dtype() != out.dtype()) {
+      return Status::InvalidArgument("coalesced: dtype mismatch at item " +
+                                     std::to_string(i));
+    }
+    if (in.dtype() != DType::kF32 && in.dtype() != DType::kF16) {
+      return Status::InvalidArgument("coalesced: unsupported dtype");
+    }
+    const int64_t expect =
+        gather ? in.numel() * group_size : out.numel() * group_size;
+    const int64_t got = gather ? out.numel() : in.numel();
+    if (got != expect) {
+      return Status::InvalidArgument(
+          "coalesced: size mismatch at item " + std::to_string(i) + " (" +
+          std::to_string(got) + " vs " + std::to_string(expect) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Communicator::AllGatherCoalesced(const std::vector<Tensor>& inputs,
+                                        std::vector<Tensor>* outputs) {
+  MICS_RETURN_NOT_OK(ValidateCoalesced(inputs, outputs, size(), true));
+  if (size() == 1) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if ((*outputs)[i].data() != inputs[i].data()) {
+        std::memcpy((*outputs)[i].data(), inputs[i].data(),
+                    inputs[i].nbytes());
+      }
+    }
+    return Status::OK();
+  }
+  CoalescedDesc desc{&inputs};
+  state_->Publish(group_rank_, &desc);
+  state_->ArriveAndWait();
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    Tensor& out = (*outputs)[i];
+    const int64_t chunk_bytes = inputs[i].nbytes();
+    uint8_t* out_base = static_cast<uint8_t*>(out.data());
+    for (int r = 0; r < size(); ++r) {
+      const auto* peer = static_cast<const CoalescedDesc*>(state_->Peek(r));
+      const void* src = (*peer->inputs)[i].data();
+      uint8_t* dst = out_base + r * chunk_bytes;
+      if (src != dst) std::memcpy(dst, src, chunk_bytes);
+    }
+  }
+  state_->ArriveAndWait();
+  return Status::OK();
+}
+
+Status Communicator::ReduceScatterCoalesced(const std::vector<Tensor>& inputs,
+                                            std::vector<Tensor>* outputs,
+                                            ReduceOp op) {
+  MICS_RETURN_NOT_OK(ValidateCoalesced(inputs, outputs, size(), false));
+  if (size() == 1) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if ((*outputs)[i].data() != inputs[i].data()) {
+        std::memcpy((*outputs)[i].data(), inputs[i].data(),
+                    inputs[i].nbytes());
+      }
+    }
+    return Status::OK();
+  }
+  CoalescedDesc desc{&inputs};
+  state_->Publish(group_rank_, &desc);
+  state_->ArriveAndWait();
+  const float inv = 1.0f / static_cast<float>(size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    Tensor& out = (*outputs)[i];
+    const DType dt = out.dtype();
+    const int64_t n = out.numel();
+    const int64_t base = group_rank_ * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const auto* peer0 = static_cast<const CoalescedDesc*>(state_->Peek(0));
+      float acc = LoadElem((*peer0->inputs)[i].data(), dt, base + j);
+      for (int r = 1; r < size(); ++r) {
+        const auto* peer = static_cast<const CoalescedDesc*>(state_->Peek(r));
+        const float v = LoadElem((*peer->inputs)[i].data(), dt, base + j);
+        acc = (op == ReduceOp::kMax) ? std::max(acc, v) : acc + v;
+      }
+      if (op == ReduceOp::kAvg) acc *= inv;
+      StoreElem(out.data(), dt, j, acc);
+    }
+  }
+  state_->ArriveAndWait();
+  return Status::OK();
+}
+
+}  // namespace mics

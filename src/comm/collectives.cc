@@ -1,0 +1,296 @@
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.h"
+#include "tensor/half.h"
+#include "util/logging.h"
+
+namespace mics {
+
+namespace {
+
+bool SupportedDtype(DType dt) { return dt == DType::kF32 || dt == DType::kF16; }
+
+float LoadElem(const void* base, DType dt, int64_t i) {
+  if (dt == DType::kF32) return static_cast<const float*>(base)[i];
+  return HalfToFloat(static_cast<const uint16_t*>(base)[i]);
+}
+
+void StoreElem(void* base, DType dt, int64_t i, float v) {
+  if (dt == DType::kF32) {
+    static_cast<float*>(base)[i] = v;
+  } else {
+    static_cast<uint16_t*>(base)[i] = FloatToHalf(v);
+  }
+}
+
+/// Reduces element range [0, n) across `srcs` (in fixed member order, f32
+/// accumulation) into dst. Deterministic: every caller produces identical
+/// bits for the same inputs.
+void ReduceInto(const std::vector<const void*>& srcs, void* dst, DType dt,
+                int64_t src_offset, int64_t n, ReduceOp op) {
+  const float inv = 1.0f / static_cast<float>(srcs.size());
+  for (int64_t i = 0; i < n; ++i) {
+    float acc = LoadElem(srcs[0], dt, src_offset + i);
+    for (size_t m = 1; m < srcs.size(); ++m) {
+      const float v = LoadElem(srcs[m], dt, src_offset + i);
+      acc = (op == ReduceOp::kMax) ? std::max(acc, v) : acc + v;
+    }
+    if (op == ReduceOp::kAvg) acc *= inv;
+    StoreElem(dst, dt, i, acc);
+  }
+}
+
+}  // namespace
+
+Status Communicator::AllGather(const Tensor& input, Tensor* output) {
+  if (output == nullptr) {
+    return Status::InvalidArgument("AllGather: output is null");
+  }
+  if (!SupportedDtype(input.dtype())) {
+    return Status::InvalidArgument("AllGather: unsupported dtype");
+  }
+  if (input.dtype() != output->dtype()) {
+    return Status::InvalidArgument("AllGather: dtype mismatch");
+  }
+  const int64_t n = input.numel();
+  if (output->numel() != n * size()) {
+    return Status::InvalidArgument(
+        "AllGather: output numel must be input numel * group size (" +
+        std::to_string(output->numel()) + " vs " + std::to_string(n * size()) +
+        ")");
+  }
+  if (size() == 1) {
+    if (output->data() != input.data()) {
+      std::memcpy(output->data(), input.data(), input.nbytes());
+    }
+    return Status::OK();
+  }
+  state_->Publish(group_rank_, input.data());
+  state_->ArriveAndWait();
+  const int64_t chunk_bytes = input.nbytes();
+  uint8_t* out = static_cast<uint8_t*>(output->data());
+  for (int r = 0; r < size(); ++r) {
+    const void* src = state_->Peek(r);
+    uint8_t* dst = out + r * chunk_bytes;
+    if (src != dst) std::memcpy(dst, src, chunk_bytes);
+  }
+  state_->ArriveAndWait();
+  return Status::OK();
+}
+
+Status Communicator::ReduceScatter(const Tensor& input, Tensor* output,
+                                   ReduceOp op) {
+  if (output == nullptr) {
+    return Status::InvalidArgument("ReduceScatter: output is null");
+  }
+  if (!SupportedDtype(input.dtype())) {
+    return Status::InvalidArgument("ReduceScatter: unsupported dtype");
+  }
+  if (input.dtype() != output->dtype()) {
+    return Status::InvalidArgument("ReduceScatter: dtype mismatch");
+  }
+  const int64_t n = output->numel();
+  if (input.numel() != n * size()) {
+    return Status::InvalidArgument(
+        "ReduceScatter: input numel must be output numel * group size");
+  }
+  if (size() == 1) {
+    if (output->data() != input.data()) {
+      std::memcpy(output->data(), input.data(), input.nbytes());
+    }
+    return Status::OK();
+  }
+  state_->Publish(group_rank_, input.data());
+  state_->ArriveAndWait();
+  std::vector<const void*> srcs(size());
+  for (int r = 0; r < size(); ++r) srcs[r] = state_->Peek(r);
+  ReduceInto(srcs, output->data(), input.dtype(), group_rank_ * n, n, op);
+  state_->ArriveAndWait();
+  return Status::OK();
+}
+
+Status Communicator::AllReduce(Tensor* inout, ReduceOp op) {
+  if (inout == nullptr) {
+    return Status::InvalidArgument("AllReduce: buffer is null");
+  }
+  if (!SupportedDtype(inout->dtype())) {
+    return Status::InvalidArgument("AllReduce: unsupported dtype");
+  }
+  if (size() == 1) return Status::OK();
+  // Reduce into a private scratch first: members read each other's inputs,
+  // so writing in place before the exit barrier would race.
+  Tensor scratch({inout->numel()}, inout->dtype());
+  state_->Publish(group_rank_, inout->data());
+  state_->ArriveAndWait();
+  std::vector<const void*> srcs(size());
+  for (int r = 0; r < size(); ++r) srcs[r] = state_->Peek(r);
+  ReduceInto(srcs, scratch.data(), inout->dtype(), 0, inout->numel(), op);
+  state_->ArriveAndWait();
+  std::memcpy(inout->data(), scratch.data(), inout->nbytes());
+  return Status::OK();
+}
+
+Status Communicator::Broadcast(Tensor* inout, int root) {
+  if (inout == nullptr) {
+    return Status::InvalidArgument("Broadcast: buffer is null");
+  }
+  if (root < 0 || root >= size()) {
+    return Status::InvalidArgument("Broadcast: root out of range");
+  }
+  if (size() == 1) return Status::OK();
+  state_->Publish(group_rank_, inout->data());
+  state_->ArriveAndWait();
+  if (group_rank_ != root) {
+    std::memcpy(inout->data(), state_->Peek(root), inout->nbytes());
+  }
+  state_->ArriveAndWait();
+  return Status::OK();
+}
+
+Status Communicator::Reduce(const Tensor& input, Tensor* output, int root,
+                            ReduceOp op) {
+  if (root < 0 || root >= size()) {
+    return Status::InvalidArgument("Reduce: root out of range");
+  }
+  if (!SupportedDtype(input.dtype())) {
+    return Status::InvalidArgument("Reduce: unsupported dtype");
+  }
+  const bool is_root = group_rank_ == root;
+  if (is_root) {
+    if (output == nullptr) {
+      return Status::InvalidArgument("Reduce: root needs an output");
+    }
+    if (output->dtype() != input.dtype() ||
+        output->numel() != input.numel()) {
+      return Status::InvalidArgument("Reduce: output shape mismatch");
+    }
+  }
+  if (size() == 1) {
+    if (output->data() != input.data()) {
+      std::memcpy(output->data(), input.data(), input.nbytes());
+    }
+    return Status::OK();
+  }
+  state_->Publish(group_rank_, input.data());
+  state_->ArriveAndWait();
+  if (is_root) {
+    std::vector<const void*> srcs(size());
+    for (int r = 0; r < size(); ++r) srcs[r] = state_->Peek(r);
+    ReduceInto(srcs, output->data(), input.dtype(), 0, input.numel(), op);
+  }
+  state_->ArriveAndWait();
+  return Status::OK();
+}
+
+Status Communicator::Gather(const Tensor& input, Tensor* output, int root) {
+  if (root < 0 || root >= size()) {
+    return Status::InvalidArgument("Gather: root out of range");
+  }
+  if (!SupportedDtype(input.dtype())) {
+    return Status::InvalidArgument("Gather: unsupported dtype");
+  }
+  const bool is_root = group_rank_ == root;
+  if (is_root) {
+    if (output == nullptr) {
+      return Status::InvalidArgument("Gather: root needs an output");
+    }
+    if (output->dtype() != input.dtype() ||
+        output->numel() != input.numel() * size()) {
+      return Status::InvalidArgument("Gather: output shape mismatch");
+    }
+  }
+  if (size() == 1) {
+    if (output->data() != input.data()) {
+      std::memcpy(output->data(), input.data(), input.nbytes());
+    }
+    return Status::OK();
+  }
+  state_->Publish(group_rank_, input.data());
+  state_->ArriveAndWait();
+  if (is_root) {
+    uint8_t* out = static_cast<uint8_t*>(output->data());
+    const int64_t chunk = input.nbytes();
+    for (int r = 0; r < size(); ++r) {
+      const void* src = state_->Peek(r);
+      if (src != out + r * chunk) std::memcpy(out + r * chunk, src, chunk);
+    }
+  }
+  state_->ArriveAndWait();
+  return Status::OK();
+}
+
+Status Communicator::Scatter(const Tensor& input, Tensor* output, int root) {
+  if (root < 0 || root >= size()) {
+    return Status::InvalidArgument("Scatter: root out of range");
+  }
+  if (output == nullptr) {
+    return Status::InvalidArgument("Scatter: output is null");
+  }
+  if (!SupportedDtype(output->dtype())) {
+    return Status::InvalidArgument("Scatter: unsupported dtype");
+  }
+  const bool is_root = group_rank_ == root;
+  if (is_root &&
+      (input.dtype() != output->dtype() ||
+       input.numel() != output->numel() * size())) {
+    return Status::InvalidArgument("Scatter: input shape mismatch");
+  }
+  if (size() == 1) {
+    if (output->data() != input.data()) {
+      std::memcpy(output->data(), input.data(), output->nbytes());
+    }
+    return Status::OK();
+  }
+  state_->Publish(group_rank_, is_root ? input.data() : nullptr);
+  state_->ArriveAndWait();
+  const uint8_t* src = static_cast<const uint8_t*>(state_->Peek(root));
+  std::memcpy(output->data(), src + group_rank_ * output->nbytes(),
+              output->nbytes());
+  state_->ArriveAndWait();
+  return Status::OK();
+}
+
+Status Communicator::AllToAll(const Tensor& input, Tensor* output) {
+  if (output == nullptr) {
+    return Status::InvalidArgument("AllToAll: output is null");
+  }
+  if (!SupportedDtype(input.dtype())) {
+    return Status::InvalidArgument("AllToAll: unsupported dtype");
+  }
+  if (input.dtype() != output->dtype() ||
+      input.numel() != output->numel()) {
+    return Status::InvalidArgument("AllToAll: shape mismatch");
+  }
+  if (input.numel() % size() != 0) {
+    return Status::InvalidArgument(
+        "AllToAll: numel must be divisible by group size");
+  }
+  if (size() == 1) {
+    if (output->data() != input.data()) {
+      std::memcpy(output->data(), input.data(), input.nbytes());
+    }
+    return Status::OK();
+  }
+  state_->Publish(group_rank_, input.data());
+  state_->ArriveAndWait();
+  const int64_t chunk = input.nbytes() / size();
+  uint8_t* out = static_cast<uint8_t*>(output->data());
+  for (int r = 0; r < size(); ++r) {
+    const uint8_t* src = static_cast<const uint8_t*>(state_->Peek(r));
+    std::memcpy(out + r * chunk, src + group_rank_ * chunk,
+                static_cast<size_t>(chunk));
+  }
+  state_->ArriveAndWait();
+  return Status::OK();
+}
+
+Status Communicator::Barrier() {
+  if (size() == 1) return Status::OK();
+  state_->ArriveAndWait();
+  return Status::OK();
+}
+
+}  // namespace mics

@@ -1,0 +1,26 @@
+#include "comm/communicator.h"
+
+#include <algorithm>
+#include <string>
+
+namespace mics {
+
+Result<Communicator> Communicator::Create(World* world,
+                                          std::vector<int> ranks,
+                                          int global_rank) {
+  if (world == nullptr) {
+    return Status::InvalidArgument("world must not be null");
+  }
+  auto it = std::find(ranks.begin(), ranks.end(), global_rank);
+  if (it == ranks.end()) {
+    return Status::InvalidArgument("global rank " +
+                                   std::to_string(global_rank) +
+                                   " is not a member of the group");
+  }
+  const int group_rank = static_cast<int>(it - ranks.begin());
+  MICS_ASSIGN_OR_RETURN(auto state, world->GetOrCreateGroup(ranks));
+  return Communicator(world, std::move(ranks), group_rank, global_rank,
+                      std::move(state));
+}
+
+}  // namespace mics

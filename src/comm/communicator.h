@@ -1,0 +1,107 @@
+#ifndef MICS_COMM_COMMUNICATOR_H_
+#define MICS_COMM_COMMUNICATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "comm/world.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+
+/// Reduction operators supported by the reducing collectives.
+enum class ReduceOp { kSum = 0, kAvg = 1, kMax = 2 };
+
+/// Per-rank handle to a communication group, analogous to an ncclComm_t /
+/// torch ProcessGroup. All members must issue the same sequence of
+/// collectives with compatible sizes; each call blocks until the whole
+/// group participates. Reductions accumulate in f32 in a fixed rank order,
+/// so results are bitwise identical on every member and across runs.
+class Communicator {
+ public:
+  /// Creates the handle for `global_rank`, which must appear in `ranks`.
+  /// All members must pass the same `ranks` list (group order matters).
+  static Result<Communicator> Create(World* world, std::vector<int> ranks,
+                                     int global_rank);
+
+  /// Rank within the group / group size / rank within the world.
+  int rank() const { return group_rank_; }
+  int size() const { return static_cast<int>(ranks_.size()); }
+  int global_rank() const { return global_rank_; }
+  const std::vector<int>& ranks() const { return ranks_; }
+
+  /// output[r*N .. (r+1)*N) = member r's input (N = input.numel()).
+  /// Requires output.numel() == input.numel() * size() and equal dtypes.
+  /// Supports in-place use: input may alias output at this rank's slot.
+  Status AllGather(const Tensor& input, Tensor* output);
+
+  /// output = sum/avg over members of input[rank*N .. (rank+1)*N) where
+  /// N = output.numel(). Requires input.numel() == output.numel()*size().
+  Status ReduceScatter(const Tensor& input, Tensor* output,
+                       ReduceOp op = ReduceOp::kSum);
+
+  /// In-place reduction of `inout` across the group.
+  Status AllReduce(Tensor* inout, ReduceOp op = ReduceOp::kSum);
+
+  /// Copies root's buffer to every member.
+  Status Broadcast(Tensor* inout, int root);
+
+  /// Reduces every member's `input` into root's `output` (non-roots may
+  /// pass output == nullptr).
+  Status Reduce(const Tensor& input, Tensor* output, int root,
+                ReduceOp op = ReduceOp::kSum);
+
+  /// Root's output[r*N..(r+1)*N) = member r's input (N = input numel).
+  /// Non-roots may pass output == nullptr.
+  Status Gather(const Tensor& input, Tensor* output, int root);
+
+  /// Every member's output = root's input[rank*N..(rank+1)*N). Non-roots
+  /// pass input with numel 0 (ignored); root's input must have
+  /// N * size() elements.
+  Status Scatter(const Tensor& input, Tensor* output, int root);
+
+  /// output[r*N..(r+1)*N) = member r's input[rank*N..(rank+1)*N): every
+  /// pair of members exchanges one chunk (the transpose collective).
+  Status AllToAll(const Tensor& input, Tensor* output);
+
+  /// Synchronizes all members.
+  Status Barrier();
+
+  /// Shared rendezvous state — the building block for collective
+  /// algorithms layered on top of the communicator (e.g. comm/ring.h).
+  /// Same SPMD contract as the collectives: all members must issue the
+  /// same publish/wait sequence.
+  GroupState* group_state() { return state_.get(); }
+
+  /// Batched all-gather: item i gathers inputs[i] (N_i elements per rank)
+  /// into outputs[i] (N_i * size() elements). Matches MiCS's
+  /// all_gather_coalesced API (§4): one group launch, no shared staging
+  /// buffer or interleaving copies.
+  Status AllGatherCoalesced(const std::vector<Tensor>& inputs,
+                            std::vector<Tensor>* outputs);
+
+  /// Batched reduce-scatter, the dual of AllGatherCoalesced.
+  Status ReduceScatterCoalesced(const std::vector<Tensor>& inputs,
+                                std::vector<Tensor>* outputs,
+                                ReduceOp op = ReduceOp::kSum);
+
+ private:
+  Communicator(World* world, std::vector<int> ranks, int group_rank,
+               int global_rank, std::shared_ptr<GroupState> state)
+      : world_(world),
+        ranks_(std::move(ranks)),
+        group_rank_(group_rank),
+        global_rank_(global_rank),
+        state_(std::move(state)) {}
+
+  World* world_;
+  std::vector<int> ranks_;
+  int group_rank_;
+  int global_rank_;
+  std::shared_ptr<GroupState> state_;
+};
+
+}  // namespace mics
+
+#endif  // MICS_COMM_COMMUNICATOR_H_

@@ -1,0 +1,276 @@
+#include "comm/hierarchical.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "util/logging.h"
+
+namespace mics {
+
+Result<HierarchicalAllGather> HierarchicalAllGather::Create(
+    World* world, const RankTopology& topo, std::vector<int> group_ranks,
+    int global_rank) {
+  MICS_RETURN_NOT_OK(topo.Validate());
+  if (!IsNodeAligned(topo, group_ranks)) {
+    return Status::InvalidArgument(
+        "hierarchical all-gather requires a node-aligned group");
+  }
+  if (std::find(group_ranks.begin(), group_ranks.end(), global_rank) ==
+      group_ranks.end()) {
+    return Status::InvalidArgument("rank is not a member of the group");
+  }
+  if (!std::is_sorted(group_ranks.begin(), group_ranks.end())) {
+    return Status::InvalidArgument(
+        "group ranks must be sorted (node-major order)");
+  }
+  const int k = topo.gpus_per_node;
+  const int p = static_cast<int>(group_ranks.size());
+  const int num_nodes = p / k;
+
+  const std::vector<int> channel_ranks =
+      ChannelRanks(topo, group_ranks, global_rank);
+  const std::vector<int> intra_ranks =
+      IntraNodeRanks(topo, group_ranks, global_rank);
+  MICS_ASSIGN_OR_RETURN(
+      Communicator channel,
+      Communicator::Create(world, channel_ranks, global_rank));
+  std::optional<Communicator> intra;
+  if (k > 1) {
+    MICS_ASSIGN_OR_RETURN(Communicator c,
+                          Communicator::Create(world, intra_ranks, global_rank));
+    intra = std::move(c);
+  }
+  // Group ranks are sorted and node-aligned, so my node's index within the
+  // group equals my channel rank.
+  const int node_index = channel.rank();
+  const int local_rank = topo.LocalRankOf(global_rank);
+  return HierarchicalAllGather(std::move(channel), std::move(intra), p,
+                               num_nodes, k, node_index, local_rank);
+}
+
+Status HierarchicalAllGather::Run(const Tensor& input, Tensor* output) {
+  if (output == nullptr) {
+    return Status::InvalidArgument("hierarchical all-gather: output is null");
+  }
+  if (input.dtype() != output->dtype()) {
+    return Status::InvalidArgument("hierarchical all-gather: dtype mismatch");
+  }
+  const int64_t n = input.numel();
+  if (output->numel() != n * group_size_) {
+    return Status::InvalidArgument(
+        "hierarchical all-gather: output numel must be input numel * p");
+  }
+
+  // Degenerate cases: single node -> plain intra-node all-gather; single
+  // rank per node -> the channel all-gather IS the whole operation.
+  if (num_nodes_ == 1) {
+    return intra_ ? intra_->AllGather(input, output)
+                  : channel_.AllGather(input, output);
+  }
+  if (gpus_per_node_ == 1) {
+    return channel_.AllGather(input, output);
+  }
+
+  const int64_t elem = SizeOf(input.dtype());
+  const int64_t chunk_bytes = n * elem;
+
+  // Stage 1: inter-node all-gather on this rank's channel. All k channels
+  // run concurrently (each rank drives its own). tmp[g] = node g's shard
+  // for local rank `local_rank_`.
+  Tensor tmp({n * num_nodes_}, input.dtype());
+  MICS_RETURN_NOT_OK(channel_.AllGather(input, &tmp));
+
+  // Stage 2: data movement. Place chunk g at its final strided position
+  // (g*k + local_rank) in the output; a direct intra-node all-gather on
+  // tmp would interleave chunks in the wrong order (Figure 4).
+  uint8_t* out_base = static_cast<uint8_t*>(output->data());
+  const uint8_t* tmp_base = static_cast<const uint8_t*>(tmp.data());
+  for (int g = 0; g < num_nodes_; ++g) {
+    const int64_t dst_slot = static_cast<int64_t>(g) * gpus_per_node_ +
+                             local_rank_;
+    std::memcpy(out_base + dst_slot * chunk_bytes, tmp_base + g * chunk_bytes,
+                chunk_bytes);
+  }
+
+  // Stage 3: G batched intra-node all-gathers in one coalesced launch.
+  // Item g gathers the k chunks of node g's segment in place: each rank's
+  // item-g input is its own already-placed chunk inside the output buffer.
+  std::vector<Tensor> stage3_in;
+  std::vector<Tensor> stage3_out;
+  stage3_in.reserve(num_nodes_);
+  stage3_out.reserve(num_nodes_);
+  for (int g = 0; g < num_nodes_; ++g) {
+    const int64_t seg = static_cast<int64_t>(g) * gpus_per_node_ * n;
+    stage3_in.push_back(output->Slice(seg + local_rank_ * n, n));
+    stage3_out.push_back(output->Slice(seg, static_cast<int64_t>(n) *
+                                                gpus_per_node_));
+  }
+  return intra_->AllGatherCoalesced(stage3_in, &stage3_out);
+}
+
+Status HierarchicalAllGather::RunCoalesced(const std::vector<Tensor>& inputs,
+                                           std::vector<Tensor>* outputs) {
+  if (outputs == nullptr || inputs.size() != outputs->size()) {
+    return Status::InvalidArgument("coalesced hierarchical: item mismatch");
+  }
+  if (inputs.empty()) return Status::OK();
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if ((*outputs)[i].numel() != inputs[i].numel() * group_size_ ||
+        (*outputs)[i].dtype() != inputs[i].dtype()) {
+      return Status::InvalidArgument(
+          "coalesced hierarchical: bad shapes at item " + std::to_string(i));
+    }
+  }
+  // Degenerate topologies reduce to a single coalesced collective.
+  if (num_nodes_ == 1) {
+    return intra_ ? intra_->AllGatherCoalesced(inputs, outputs)
+                  : channel_.AllGatherCoalesced(inputs, outputs);
+  }
+  if (gpus_per_node_ == 1) {
+    return channel_.AllGatherCoalesced(inputs, outputs);
+  }
+
+  // Stage 1: one coalesced inter-node all-gather over all items.
+  std::vector<Tensor> tmps;
+  tmps.reserve(inputs.size());
+  for (const Tensor& in : inputs) {
+    tmps.emplace_back(std::vector<int64_t>{in.numel() * num_nodes_},
+                      in.dtype());
+  }
+  // Hand non-owning views to the collective (Tensor copies are deep).
+  std::vector<Tensor> stage1_out;
+  stage1_out.reserve(tmps.size());
+  for (Tensor& t : tmps) {
+    stage1_out.push_back(Tensor::View(t.data(), t.shape(), t.dtype()));
+  }
+  MICS_RETURN_NOT_OK(channel_.AllGatherCoalesced(inputs, &stage1_out));
+
+  // Stage 2: place every item's chunks at their strided positions.
+  std::vector<Tensor> stage3_in;
+  std::vector<Tensor> stage3_out;
+  stage3_in.reserve(inputs.size() * static_cast<size_t>(num_nodes_));
+  stage3_out.reserve(inputs.size() * static_cast<size_t>(num_nodes_));
+  for (size_t item = 0; item < inputs.size(); ++item) {
+    const int64_t n = inputs[item].numel();
+    const int64_t elem = SizeOf(inputs[item].dtype());
+    const int64_t chunk_bytes = n * elem;
+    uint8_t* out_base = static_cast<uint8_t*>((*outputs)[item].data());
+    const uint8_t* tmp_base = static_cast<const uint8_t*>(tmps[item].data());
+    for (int g = 0; g < num_nodes_; ++g) {
+      const int64_t dst_slot =
+          static_cast<int64_t>(g) * gpus_per_node_ + local_rank_;
+      std::memcpy(out_base + dst_slot * chunk_bytes,
+                  tmp_base + g * chunk_bytes, chunk_bytes);
+      const int64_t seg = static_cast<int64_t>(g) * gpus_per_node_ * n;
+      stage3_in.push_back((*outputs)[item].Slice(seg + local_rank_ * n, n));
+      stage3_out.push_back((*outputs)[item].Slice(
+          seg, static_cast<int64_t>(n) * gpus_per_node_));
+    }
+  }
+  // Stage 3: one coalesced intra-node launch over all item-segments.
+  return intra_->AllGatherCoalesced(stage3_in, &stage3_out);
+}
+
+Result<HierarchicalReduceScatter> HierarchicalReduceScatter::Create(
+    World* world, const RankTopology& topo, std::vector<int> group_ranks,
+    int global_rank) {
+  MICS_RETURN_NOT_OK(topo.Validate());
+  if (!IsNodeAligned(topo, group_ranks)) {
+    return Status::InvalidArgument(
+        "hierarchical reduce-scatter requires a node-aligned group");
+  }
+  if (std::find(group_ranks.begin(), group_ranks.end(), global_rank) ==
+      group_ranks.end()) {
+    return Status::InvalidArgument("rank is not a member of the group");
+  }
+  if (!std::is_sorted(group_ranks.begin(), group_ranks.end())) {
+    return Status::InvalidArgument(
+        "group ranks must be sorted (node-major order)");
+  }
+  const int k = topo.gpus_per_node;
+  const int p = static_cast<int>(group_ranks.size());
+  const std::vector<int> channel_ranks =
+      ChannelRanks(topo, group_ranks, global_rank);
+  const std::vector<int> intra_ranks =
+      IntraNodeRanks(topo, group_ranks, global_rank);
+  MICS_ASSIGN_OR_RETURN(
+      Communicator channel,
+      Communicator::Create(world, channel_ranks, global_rank));
+  std::optional<Communicator> intra;
+  if (k > 1) {
+    MICS_ASSIGN_OR_RETURN(Communicator c,
+                          Communicator::Create(world, intra_ranks, global_rank));
+    intra = std::move(c);
+  }
+  const int node_index = channel.rank();
+  return HierarchicalReduceScatter(std::move(channel), std::move(intra), p,
+                                   p / k, k, node_index,
+                                   topo.LocalRankOf(global_rank));
+}
+
+Status HierarchicalReduceScatter::Run(const Tensor& input, Tensor* output,
+                                      ReduceOp op) {
+  if (output == nullptr) {
+    return Status::InvalidArgument("hierarchical reduce-scatter: null output");
+  }
+  if (input.dtype() != output->dtype()) {
+    return Status::InvalidArgument("hierarchical reduce-scatter: dtype mismatch");
+  }
+  const int64_t n = output->numel();
+  if (input.numel() != n * group_size_) {
+    return Status::InvalidArgument(
+        "hierarchical reduce-scatter: input numel must be output numel * p");
+  }
+  if (op == ReduceOp::kAvg) {
+    // Averaging would double-scale across the two stages; the callers that
+    // need means divide after a kSum pass.
+    return Status::Unimplemented(
+        "hierarchical reduce-scatter supports kSum and kMax only");
+  }
+
+  if (num_nodes_ == 1) {
+    return intra_ ? intra_->ReduceScatter(input, output, op)
+                  : channel_.ReduceScatter(input, output, op);
+  }
+  if (gpus_per_node_ == 1) {
+    return channel_.ReduceScatter(input, output, op);
+  }
+
+  // Stage 1: G batched intra-node reduce-scatters. Segment g of the input
+  // holds the chunks destined to node g's ranks; the intra-node
+  // reduce-scatter of that segment leaves this rank the node-local
+  // partial sum of chunk (g*k + local_rank).
+  Tensor tmp({n * num_nodes_}, input.dtype());
+  std::vector<Tensor> stage1_in;
+  std::vector<Tensor> stage1_out;
+  stage1_in.reserve(num_nodes_);
+  stage1_out.reserve(num_nodes_);
+  // The coalesced API needs non-owning views of the (const) input; the
+  // collective only reads them.
+  Tensor input_view = Tensor::View(const_cast<void*>(input.data()),
+                                   {input.numel()}, input.dtype());
+  for (int g = 0; g < num_nodes_; ++g) {
+    const int64_t seg = static_cast<int64_t>(g) * gpus_per_node_ * n;
+    stage1_in.push_back(
+        input_view.Slice(seg, static_cast<int64_t>(gpus_per_node_) * n));
+    stage1_out.push_back(tmp.Slice(static_cast<int64_t>(g) * n, n));
+  }
+  MICS_RETURN_NOT_OK(intra_->ReduceScatterCoalesced(stage1_in, &stage1_out, op));
+
+  // Stage 2 is implicit: stage 1 already wrote the G partial chunks into
+  // `tmp` in node order, which is exactly the channel's input layout.
+  // Stage 3: inter-node reduce-scatter over the channel completes the sum
+  // and keeps only this rank's chunk.
+  return channel_.ReduceScatter(tmp, output, op);
+}
+
+double VanillaInterNodeBytes(int p, double model_bytes) {
+  return (p - 1) * model_bytes / p;
+}
+
+double HierarchicalInterNodeBytes(int p, int k, double model_bytes) {
+  return (p - k) * model_bytes / p;
+}
+
+}  // namespace mics

@@ -1,0 +1,105 @@
+#include "comm/ring.h"
+
+#include <cstring>
+#include <string>
+
+namespace mics {
+
+namespace {
+
+int Mod(int a, int p) { return ((a % p) + p) % p; }
+
+}  // namespace
+
+Status RingAllGather(Communicator* comm, const Tensor& input,
+                     Tensor* output) {
+  if (comm == nullptr || output == nullptr) {
+    return Status::InvalidArgument("RingAllGather: null argument");
+  }
+  if (input.dtype() != DType::kF32 || output->dtype() != DType::kF32) {
+    return Status::InvalidArgument("RingAllGather: fp32 only");
+  }
+  const int p = comm->size();
+  const int64_t n = input.numel();
+  if (output->numel() != n * p) {
+    return Status::InvalidArgument("RingAllGather: output numel mismatch");
+  }
+  const int r = comm->rank();
+  // Place own chunk.
+  Tensor own_slot = output->Slice(static_cast<int64_t>(r) * n, n);
+  if (own_slot.data() != input.data()) {
+    MICS_RETURN_NOT_OK(own_slot.CopyFrom(input));
+  }
+  if (p == 1) return Status::OK();
+
+  // p-1 steps: at step t, forward chunk (r - t) mod p to the right; the
+  // left neighbour is simultaneously forwarding chunk (r - 1 - t) mod p,
+  // which we receive into its final slot. The rendezvous plays the role
+  // of the neighbour send/recv pair.
+  GroupState* state = comm->group_state();
+  for (int t = 0; t < p - 1; ++t) {
+    const int send_idx = Mod(r - t, p);
+    const int recv_idx = Mod(r - 1 - t, p);
+    state->Publish(r, static_cast<const uint8_t*>(output->data()) +
+                          static_cast<int64_t>(send_idx) * n * 4);
+    state->ArriveAndWait();
+    const void* from_left = state->Peek(Mod(r - 1, p));
+    std::memcpy(static_cast<uint8_t*>(output->data()) +
+                    static_cast<int64_t>(recv_idx) * n * 4,
+                from_left, static_cast<size_t>(n) * 4);
+    state->ArriveAndWait();
+  }
+  return Status::OK();
+}
+
+Status RingReduceScatter(Communicator* comm, const Tensor& input,
+                         Tensor* output) {
+  if (comm == nullptr || output == nullptr) {
+    return Status::InvalidArgument("RingReduceScatter: null argument");
+  }
+  if (input.dtype() != DType::kF32 || output->dtype() != DType::kF32) {
+    return Status::InvalidArgument("RingReduceScatter: fp32 only");
+  }
+  const int p = comm->size();
+  const int64_t n = output->numel();
+  if (input.numel() != n * p) {
+    return Status::InvalidArgument("RingReduceScatter: input numel mismatch");
+  }
+  const int r = comm->rank();
+  if (p == 1) {
+    if (output->data() != input.data()) {
+      MICS_RETURN_NOT_OK(output->CopyFrom(input));
+    }
+    return Status::OK();
+  }
+
+  // Start by sending own raw chunk (r-1) mod p; each step receives the
+  // left neighbour's partial for chunk (r - 2 - t) mod p, adds our own
+  // contribution, and forwards it next step. After p-1 steps we hold the
+  // complete sum of chunk r.
+  auto input_chunk = [&](int idx) {
+    return static_cast<const float*>(input.data()) +
+           static_cast<int64_t>(idx) * n;
+  };
+  Tensor send_buf({n}, DType::kF32);
+  Tensor recv_buf({n}, DType::kF32);
+  std::memcpy(send_buf.data(), input_chunk(Mod(r - 1, p)),
+              static_cast<size_t>(n) * 4);
+
+  GroupState* state = comm->group_state();
+  for (int t = 0; t < p - 1; ++t) {
+    state->Publish(r, send_buf.data());
+    state->ArriveAndWait();
+    const int c = Mod(r - 2 - t, p);
+    const float* from_left =
+        static_cast<const float*>(state->Peek(Mod(r - 1, p)));
+    const float* own = input_chunk(c);
+    float* dst = recv_buf.f32();
+    for (int64_t i = 0; i < n; ++i) dst[i] = from_left[i] + own[i];
+    state->ArriveAndWait();
+    std::swap(send_buf, recv_buf);
+  }
+  return output->CopyFrom(send_buf);
+}
+
+}  // namespace mics

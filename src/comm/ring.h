@@ -1,0 +1,33 @@
+#ifndef MICS_COMM_RING_H_
+#define MICS_COMM_RING_H_
+
+#include "comm/communicator.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+
+/// Step-by-step ring implementations of the two collectives MiCS leans
+/// on, with the exact dataflow nccl uses (§2.3's cost footnote: p-1
+/// steps, each moving one M/p chunk per rank to its right neighbour):
+///
+///   all-gather:      at step t, rank r forwards chunk (r - t) mod p.
+///   reduce-scatter:  at step t, rank r receives chunk (r - t - 1) mod p,
+///                    adds its own contribution, forwards; after p-1
+///                    steps rank r holds the full sum of chunk r.
+///
+/// The direct implementations in Communicator are the reference; these
+/// exist to validate the ring algorithm itself (chunk routing, step
+/// count, accumulation order) and to ground the cost model's
+/// "(p-1) * (alpha + chunk/bw)" structure in executable code. Tested
+/// equal to the reference.
+///
+/// Both require numel divisible by the group size and fp32 payloads.
+Status RingAllGather(Communicator* comm, const Tensor& input, Tensor* output);
+
+Status RingReduceScatter(Communicator* comm, const Tensor& input,
+                         Tensor* output);
+
+}  // namespace mics
+
+#endif  // MICS_COMM_RING_H_

@@ -1,0 +1,125 @@
+#include "comm/topology.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace mics {
+
+Status RankTopology::Validate() const {
+  if (world_size <= 0 || gpus_per_node <= 0) {
+    return Status::InvalidArgument("topology sizes must be positive");
+  }
+  if (world_size % gpus_per_node != 0) {
+    return Status::InvalidArgument(
+        "world_size " + std::to_string(world_size) +
+        " is not a multiple of gpus_per_node " + std::to_string(gpus_per_node));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status ValidateGroupSize(const RankTopology& topo, int group_size) {
+  MICS_RETURN_NOT_OK(topo.Validate());
+  if (group_size <= 0 || group_size > topo.world_size) {
+    return Status::InvalidArgument("partition group size out of range");
+  }
+  if (topo.world_size % group_size != 0) {
+    return Status::InvalidArgument(
+        "world_size " + std::to_string(topo.world_size) +
+        " is not a multiple of partition group size " +
+        std::to_string(group_size));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<int>>> MakePartitionGroups(
+    const RankTopology& topo, int group_size) {
+  MICS_RETURN_NOT_OK(ValidateGroupSize(topo, group_size));
+  std::vector<std::vector<int>> groups;
+  for (int base = 0; base < topo.world_size; base += group_size) {
+    std::vector<int> g(group_size);
+    for (int i = 0; i < group_size; ++i) g[i] = base + i;
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+Result<std::vector<std::vector<int>>> MakeReplicationGroups(
+    const RankTopology& topo, int group_size) {
+  MICS_RETURN_NOT_OK(ValidateGroupSize(topo, group_size));
+  const int num_groups = topo.world_size / group_size;
+  std::vector<std::vector<int>> groups;
+  for (int local = 0; local < group_size; ++local) {
+    std::vector<int> g(num_groups);
+    for (int j = 0; j < num_groups; ++j) g[j] = j * group_size + local;
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+Result<std::vector<int>> PartitionGroupOf(const RankTopology& topo,
+                                          int group_size, int rank) {
+  MICS_RETURN_NOT_OK(ValidateGroupSize(topo, group_size));
+  if (rank < 0 || rank >= topo.world_size) {
+    return Status::InvalidArgument("rank out of range");
+  }
+  const int base = (rank / group_size) * group_size;
+  std::vector<int> g(group_size);
+  for (int i = 0; i < group_size; ++i) g[i] = base + i;
+  return g;
+}
+
+Result<std::vector<int>> ReplicationGroupOf(const RankTopology& topo,
+                                            int group_size, int rank) {
+  MICS_RETURN_NOT_OK(ValidateGroupSize(topo, group_size));
+  if (rank < 0 || rank >= topo.world_size) {
+    return Status::InvalidArgument("rank out of range");
+  }
+  const int local = rank % group_size;
+  const int num_groups = topo.world_size / group_size;
+  std::vector<int> g(num_groups);
+  for (int j = 0; j < num_groups; ++j) g[j] = j * group_size + local;
+  return g;
+}
+
+std::vector<int> IntraNodeRanks(const RankTopology& topo,
+                                const std::vector<int>& group, int rank) {
+  std::vector<int> out;
+  const int node = topo.NodeOf(rank);
+  for (int r : group) {
+    if (topo.NodeOf(r) == node) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<int> ChannelRanks(const RankTopology& topo,
+                              const std::vector<int>& group, int rank) {
+  std::vector<int> out;
+  const int local = topo.LocalRankOf(rank);
+  for (int r : group) {
+    if (topo.LocalRankOf(r) == local) out.push_back(r);
+  }
+  return out;
+}
+
+bool IsNodeAligned(const RankTopology& topo, const std::vector<int>& group) {
+  std::set<int> nodes;
+  for (int r : group) nodes.insert(topo.NodeOf(r));
+  if (group.size() != nodes.size() * static_cast<size_t>(topo.gpus_per_node)) {
+    return false;
+  }
+  // Every node in the set must contribute all of its local ranks.
+  std::set<int> members(group.begin(), group.end());
+  for (int node : nodes) {
+    for (int l = 0; l < topo.gpus_per_node; ++l) {
+      if (members.count(node * topo.gpus_per_node + l) == 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mics

@@ -1,0 +1,59 @@
+#ifndef MICS_COMM_TOPOLOGY_H_
+#define MICS_COMM_TOPOLOGY_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace mics {
+
+/// Logical placement of ranks onto computational nodes, following the HPC
+/// convention the paper uses: ranks are numbered node-major, so node g owns
+/// ranks [g*k, (g+1)*k) where k = gpus_per_node.
+struct RankTopology {
+  int world_size = 1;
+  int gpus_per_node = 1;
+
+  int num_nodes() const { return world_size / gpus_per_node; }
+  int NodeOf(int rank) const { return rank / gpus_per_node; }
+  int LocalRankOf(int rank) const { return rank % gpus_per_node; }
+
+  /// world_size must be a positive multiple of gpus_per_node.
+  Status Validate() const;
+};
+
+/// Splits all ranks into partition groups of `group_size` consecutive
+/// ranks. Every group holds one full replica of the model states (§3.2).
+Result<std::vector<std::vector<int>>> MakePartitionGroups(
+    const RankTopology& topo, int group_size);
+
+/// Replication groups: ranks with the same local group rank across all
+/// partition groups; they hold the same part of the model states (§3.2).
+Result<std::vector<std::vector<int>>> MakeReplicationGroups(
+    const RankTopology& topo, int group_size);
+
+/// The partition group containing `rank`.
+Result<std::vector<int>> PartitionGroupOf(const RankTopology& topo,
+                                          int group_size, int rank);
+
+/// The replication group containing `rank`.
+Result<std::vector<int>> ReplicationGroupOf(const RankTopology& topo,
+                                            int group_size, int rank);
+
+/// Ranks of `group` that live on the same node as `rank` (in group order).
+/// Used for the intra-node stage of hierarchical communication.
+std::vector<int> IntraNodeRanks(const RankTopology& topo,
+                                const std::vector<int>& group, int rank);
+
+/// Ranks of `group` with the same local rank as `rank`, one per node (the
+/// inter-node "channel" of §3.3), in group order.
+std::vector<int> ChannelRanks(const RankTopology& topo,
+                              const std::vector<int>& group, int rank);
+
+/// True when `group` is "node aligned": it spans whole nodes, with every
+/// node of the group contributing all of its gpus_per_node ranks.
+bool IsNodeAligned(const RankTopology& topo, const std::vector<int>& group);
+
+}  // namespace mics
+
+#endif  // MICS_COMM_TOPOLOGY_H_

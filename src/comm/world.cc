@@ -1,0 +1,46 @@
+#include "comm/world.h"
+
+#include <string>
+#include <thread>
+
+namespace mics {
+
+World::World(int world_size) : world_size_(world_size) {
+  MICS_CHECK_GT(world_size, 0);
+}
+
+Result<std::shared_ptr<GroupState>> World::GetOrCreateGroup(
+    const std::vector<int>& ranks) {
+  if (ranks.empty()) {
+    return Status::InvalidArgument("group must be non-empty");
+  }
+  for (int r : ranks) {
+    if (r < 0 || r >= world_size_) {
+      return Status::InvalidArgument("group rank " + std::to_string(r) +
+                                     " outside world of size " +
+                                     std::to_string(world_size_));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = groups_.find(ranks);
+  if (it != groups_.end()) return it->second;
+  auto state = std::make_shared<GroupState>(static_cast<int>(ranks.size()));
+  groups_[ranks] = state;
+  return state;
+}
+
+Status RunRanks(int world_size, const std::function<Status(int)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<Status> results(world_size);
+  threads.reserve(world_size);
+  for (int r = 0; r < world_size; ++r) {
+    threads.emplace_back([&, r] { results[r] = fn(r); });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& st : results) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace mics

@@ -1,0 +1,73 @@
+#ifndef MICS_COMM_WORLD_H_
+#define MICS_COMM_WORLD_H_
+
+#include <barrier>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mics {
+
+/// Shared rendezvous state for one communication group (one unique set of
+/// ranks). Collectives publish per-member buffer pointers into `slots`,
+/// synchronize on `barrier`, read peers' buffers, and synchronize again
+/// before returning, which gives the same happens-before guarantees a real
+/// NCCL communicator provides at kernel boundaries.
+class GroupState {
+ public:
+  explicit GroupState(int size)
+      : size_(size), barrier_(size), slots_(size, nullptr) {}
+
+  GroupState(const GroupState&) = delete;
+  GroupState& operator=(const GroupState&) = delete;
+
+  int size() const { return size_; }
+  void ArriveAndWait() { barrier_.arrive_and_wait(); }
+
+  /// Publishes an opaque pointer for the member at `group_rank`. Only valid
+  /// between the surrounding barrier phases of one collective.
+  void Publish(int group_rank, const void* p) { slots_[group_rank] = p; }
+  const void* Peek(int group_rank) const { return slots_[group_rank]; }
+
+ private:
+  int size_;
+  std::barrier<> barrier_;
+  std::vector<const void*> slots_;
+};
+
+/// The in-process "cluster": a fixed number of ranks (threads) and a
+/// registry of communication groups. Plays the role NCCL's bootstrap plays
+/// in the real system. Thread-safe.
+class World {
+ public:
+  explicit World(int world_size);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int world_size() const { return world_size_; }
+
+  /// Returns the shared state for the group identified by this exact rank
+  /// set (order-sensitive: ranks must be listed in group order, and all
+  /// members must pass the same list). Creates it on first use.
+  Result<std::shared_ptr<GroupState>> GetOrCreateGroup(
+      const std::vector<int>& ranks);
+
+ private:
+  int world_size_;
+  std::mutex mu_;
+  std::map<std::vector<int>, std::shared_ptr<GroupState>> groups_;
+};
+
+/// Spawns `world_size` threads, runs `fn(rank)` on each, joins them all,
+/// and returns the first non-OK status any rank produced (or OK). This is
+/// the harness examples and tests use to stand up a "cluster".
+Status RunRanks(int world_size, const std::function<Status(int)>& fn);
+
+}  // namespace mics
+
+#endif  // MICS_COMM_WORLD_H_

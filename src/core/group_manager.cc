@@ -1,0 +1,70 @@
+#include "core/group_manager.h"
+
+#include <utility>
+
+namespace mics {
+
+Result<GroupManager> GroupManager::Create(World* world,
+                                          const RankTopology& topo,
+                                          int partition_group_size,
+                                          int global_rank,
+                                          bool enable_hierarchical,
+                                          bool enable_hierarchical_rs) {
+  MICS_RETURN_NOT_OK(topo.Validate());
+  if (world->world_size() != topo.world_size) {
+    return Status::InvalidArgument("world and topology sizes differ");
+  }
+  MICS_ASSIGN_OR_RETURN(
+      std::vector<int> part_ranks,
+      PartitionGroupOf(topo, partition_group_size, global_rank));
+  MICS_ASSIGN_OR_RETURN(
+      std::vector<int> repl_ranks,
+      ReplicationGroupOf(topo, partition_group_size, global_rank));
+  std::vector<int> all_ranks(topo.world_size);
+  for (int r = 0; r < topo.world_size; ++r) all_ranks[r] = r;
+
+  GroupManager gm;
+  gm.global_rank_ = global_rank;
+  MICS_ASSIGN_OR_RETURN(Communicator part,
+                        Communicator::Create(world, part_ranks, global_rank));
+  MICS_ASSIGN_OR_RETURN(Communicator repl,
+                        Communicator::Create(world, repl_ranks, global_rank));
+  MICS_ASSIGN_OR_RETURN(Communicator all,
+                        Communicator::Create(world, all_ranks, global_rank));
+  gm.partition_ = std::make_unique<Communicator>(std::move(part));
+  gm.replication_ = std::make_unique<Communicator>(std::move(repl));
+  gm.world_comm_ = std::make_unique<Communicator>(std::move(all));
+
+  // Hierarchical all-gather is only defined for node-aligned groups that
+  // span more than one node; otherwise GatherParams falls back to the
+  // vanilla collective.
+  if (enable_hierarchical && IsNodeAligned(topo, part_ranks) &&
+      partition_group_size > topo.gpus_per_node) {
+    auto h = HierarchicalAllGather::Create(world, topo, part_ranks,
+                                           global_rank);
+    if (h.ok()) gm.hierarchical_ = std::move(h).value();
+  }
+  if (enable_hierarchical_rs && IsNodeAligned(topo, part_ranks) &&
+      partition_group_size > topo.gpus_per_node) {
+    auto h = HierarchicalReduceScatter::Create(world, topo, part_ranks,
+                                               global_rank);
+    if (h.ok()) gm.hierarchical_rs_ = std::move(h).value();
+  }
+  return gm;
+}
+
+Status GroupManager::ReduceScatterGrads(const Tensor& input, Tensor* output) {
+  if (hierarchical_rs_.has_value()) {
+    return hierarchical_rs_->Run(input, output, ReduceOp::kSum);
+  }
+  return partition_->ReduceScatter(input, output, ReduceOp::kSum);
+}
+
+Status GroupManager::GatherParams(const Tensor& input, Tensor* output) {
+  if (hierarchical_.has_value()) {
+    return hierarchical_->Run(input, output);
+  }
+  return partition_->AllGather(input, output);
+}
+
+}  // namespace mics

@@ -1,0 +1,63 @@
+#ifndef MICS_CORE_GROUP_MANAGER_H_
+#define MICS_CORE_GROUP_MANAGER_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "comm/communicator.h"
+#include "comm/hierarchical.h"
+#include "comm/topology.h"
+#include "comm/world.h"
+#include "util/status.h"
+
+namespace mics {
+
+/// Per-rank bundle of the communicators MiCS training needs: the
+/// partition-group communicator (parameter gathering, per-micro-step
+/// reduce-scatter), the replication-group communicator (boundary
+/// all-reduce of the 2-hop schedule), and, when the partition group is
+/// node-aligned and spans nodes, a hierarchical all-gather.
+class GroupManager {
+ public:
+  static Result<GroupManager> Create(World* world, const RankTopology& topo,
+                                     int partition_group_size,
+                                     int global_rank,
+                                     bool enable_hierarchical = true,
+                                     bool enable_hierarchical_rs = false);
+
+  Communicator& partition() { return *partition_; }
+  Communicator& replication() { return *replication_; }
+  Communicator& world_comm() { return *world_comm_; }
+
+  int partition_group_size() const { return partition_->size(); }
+  int replication_group_size() const { return replication_->size(); }
+  int global_rank() const { return global_rank_; }
+  /// This rank's shard index within its partition group.
+  int shard_index() const { return partition_->rank(); }
+
+  /// All-gathers `input` across the partition group, using the
+  /// hierarchical three-stage algorithm when available.
+  Status GatherParams(const Tensor& input, Tensor* output);
+
+  /// Reduce-scatters `input` across the partition group (the 2-hop first
+  /// hop), using the hierarchical variant when enabled and available.
+  Status ReduceScatterGrads(const Tensor& input, Tensor* output);
+
+  bool has_hierarchical() const { return hierarchical_.has_value(); }
+  bool has_hierarchical_rs() const { return hierarchical_rs_.has_value(); }
+
+ private:
+  GroupManager() = default;
+
+  int global_rank_ = 0;
+  std::unique_ptr<Communicator> partition_;
+  std::unique_ptr<Communicator> replication_;
+  std::unique_ptr<Communicator> world_comm_;
+  std::optional<HierarchicalAllGather> hierarchical_;
+  std::optional<HierarchicalReduceScatter> hierarchical_rs_;
+};
+
+}  // namespace mics
+
+#endif  // MICS_CORE_GROUP_MANAGER_H_

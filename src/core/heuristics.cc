@@ -1,0 +1,78 @@
+#include "core/heuristics.h"
+
+#include <vector>
+
+namespace mics {
+
+namespace {
+
+std::vector<int> CandidateGroupSizes(const ClusterSpec& cluster) {
+  std::vector<int> sizes;
+  const int k = cluster.gpus_per_node;
+  for (int g = 1; g < k; g *= 2) sizes.push_back(g);
+  for (int nodes = 1; nodes <= cluster.num_nodes; nodes *= 2) {
+    sizes.push_back(nodes * k);
+  }
+  // Keep only divisors of the world size (partition groups must tile it).
+  std::vector<int> out;
+  for (int g : sizes) {
+    if (cluster.world_size() % g == 0) out.push_back(g);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<int> ChoosePartitionGroupSize(const PerfEngine& engine,
+                                     const TrainJob& job) {
+  for (int g : CandidateGroupSizes(engine.cluster())) {
+    MICS_ASSIGN_OR_RETURN(PerfResult r,
+                          engine.Simulate(job, MicsConfig::Mics(g)));
+    if (!r.oom) return g;
+  }
+  return Status::FailedPrecondition(
+      "model does not fit even when partitioned across the whole cluster");
+}
+
+Result<ConfigSearchResult> SearchBestConfig(const PerfEngine& engine,
+                                            const TrainJob& job) {
+  ConfigSearchResult best;
+  bool found = false;
+  for (int g : CandidateGroupSizes(engine.cluster())) {
+    for (bool hier_ag : {true, false}) {
+      for (bool hier_rs : {true, false}) {
+        for (bool two_hop : {true, false}) {
+          MicsConfig config = MicsConfig::Mics(g);
+          config.hierarchical_allgather = hier_ag;
+          config.hierarchical_reduce_scatter = hier_rs;
+          config.two_hop_sync = two_hop;
+          MICS_ASSIGN_OR_RETURN(PerfResult r, engine.Simulate(job, config));
+          ++best.evaluated;
+          if (r.oom) continue;
+          ++best.feasible;
+          if (!found || r.throughput > best.perf.throughput) {
+            best.config = config;
+            best.perf = r;
+            found = true;
+          }
+        }
+      }
+    }
+  }
+  if (!found) {
+    return Status::FailedPrecondition(
+        "no feasible configuration: the model does not fit this cluster");
+  }
+  return best;
+}
+
+Result<PlanResult> PlanTraining(const PerfEngine& engine,
+                                const TrainJob& job) {
+  MICS_ASSIGN_OR_RETURN(int g, ChoosePartitionGroupSize(engine, job));
+  PlanResult plan;
+  plan.config = MicsConfig::Mics(g);
+  MICS_ASSIGN_OR_RETURN(plan.perf, engine.Simulate(job, plan.config));
+  return plan;
+}
+
+}  // namespace mics

@@ -1,0 +1,47 @@
+#ifndef MICS_CORE_HEURISTICS_H_
+#define MICS_CORE_HEURISTICS_H_
+
+#include "core/perf_engine.h"
+
+namespace mics {
+
+/// The partition-group sizing heuristic of §5.1.1 / §7: pick the SMALLEST
+/// group that fits the model states and batch in GPU memory — first
+/// within a node (1, 2, 4, ..., k GPUs), then whole-node multiples
+/// (2, 4, ... nodes). Smaller groups communicate over faster, closer
+/// links (Fig. 11 shows throughput decreasing monotonically with group
+/// size), so smallest-feasible is best-throughput.
+///
+/// Returns the chosen group size (in ranks), or FailedPrecondition when
+/// even the whole cluster cannot hold the job.
+Result<int> ChoosePartitionGroupSize(const PerfEngine& engine,
+                                     const TrainJob& job);
+
+/// Full capacity-planner result for the example app: the chosen config
+/// and its simulated performance.
+struct PlanResult {
+  MicsConfig config;
+  PerfResult perf;
+};
+
+Result<PlanResult> PlanTraining(const PerfEngine& engine, const TrainJob& job);
+
+/// The paper's stated future work (§7): instead of the smallest-feasible
+/// heuristic, SEARCH the configuration space — partition group sizes x
+/// hierarchical all-gather x hierarchical reduce-scatter x 2-hop — and
+/// return the highest-throughput configuration that fits. The space is
+/// tiny (dozens of points) and each point is one closed-form simulation,
+/// so exhaustive search is exact and fast.
+struct ConfigSearchResult {
+  MicsConfig config;
+  PerfResult perf;
+  int evaluated = 0;   // configurations simulated
+  int feasible = 0;    // configurations that fit in memory
+};
+
+Result<ConfigSearchResult> SearchBestConfig(const PerfEngine& engine,
+                                            const TrainJob& job);
+
+}  // namespace mics
+
+#endif  // MICS_CORE_HEURISTICS_H_

@@ -1,0 +1,117 @@
+#include "core/mics_config.h"
+
+#include <sstream>
+
+namespace mics {
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kDDP:
+      return "DDP";
+    case Strategy::kZeRO1:
+      return "ZeRO-1";
+    case Strategy::kZeRO2:
+      return "ZeRO-2";
+    case Strategy::kZeRO3:
+      return "ZeRO-3";
+    case Strategy::kMiCS:
+      return "MiCS";
+  }
+  return "?";
+}
+
+Status MicsConfig::Validate(int world_size) const {
+  if (world_size <= 0) {
+    return Status::InvalidArgument("world_size must be positive");
+  }
+  if (strategy == Strategy::kMiCS) {
+    if (partition_group_size <= 0 || partition_group_size > world_size) {
+      return Status::InvalidArgument("partition_group_size out of range");
+    }
+    if (world_size % partition_group_size != 0) {
+      return Status::InvalidArgument(
+          "partition_group_size must divide world_size");
+    }
+  }
+  if (prefetch_depth < 0) {
+    return Status::InvalidArgument("prefetch_depth must be >= 0");
+  }
+  return Status::OK();
+}
+
+int MicsConfig::ParamShards(int world_size) const {
+  switch (strategy) {
+    case Strategy::kDDP:
+    case Strategy::kZeRO1:
+    case Strategy::kZeRO2:
+      return 1;
+    case Strategy::kZeRO3:
+      return world_size;
+    case Strategy::kMiCS:
+      return partition_group_size;
+  }
+  return 1;
+}
+
+int MicsConfig::GradShards(int world_size) const {
+  switch (strategy) {
+    case Strategy::kDDP:
+    case Strategy::kZeRO1:
+      return 1;
+    case Strategy::kZeRO2:
+    case Strategy::kZeRO3:
+      return world_size;
+    case Strategy::kMiCS:
+      return partition_group_size;
+  }
+  return 1;
+}
+
+int MicsConfig::OptimizerShards(int world_size) const {
+  switch (strategy) {
+    case Strategy::kDDP:
+      return 1;
+    case Strategy::kZeRO1:
+    case Strategy::kZeRO2:
+    case Strategy::kZeRO3:
+      return world_size;
+    case Strategy::kMiCS:
+      return partition_group_size;
+  }
+  return 1;
+}
+
+MicsConfig MicsConfig::Mics(int partition_group_size) {
+  MicsConfig c;
+  c.strategy = Strategy::kMiCS;
+  c.partition_group_size = partition_group_size;
+  return c;
+}
+
+MicsConfig MicsConfig::MicsZero3(int world_size) {
+  MicsConfig c;
+  c.strategy = Strategy::kMiCS;
+  c.partition_group_size = world_size;
+  // "Optimizations unique to MiCS" are off (§5.3): no small partition
+  // group, no hierarchical gathering; the §4 implementation
+  // optimizations stay on.
+  c.hierarchical_allgather = false;
+  return c;
+}
+
+std::string MicsConfig::ToString() const {
+  std::ostringstream os;
+  os << StrategyName(strategy);
+  if (strategy == Strategy::kMiCS) {
+    os << "(p=" << partition_group_size
+       << (hierarchical_allgather ? ",hier" : "")
+       << (hierarchical_reduce_scatter ? ",hierRS" : "")
+       << (two_hop_sync ? ",2hop" : "") << ")";
+  }
+  if (!fine_grained_sync || !decision_caching || !arena_allocator) {
+    os << "[coarse-impl]";
+  }
+  return os.str();
+}
+
+}  // namespace mics

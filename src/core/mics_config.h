@@ -1,0 +1,87 @@
+#ifndef MICS_CORE_MICS_CONFIG_H_
+#define MICS_CORE_MICS_CONFIG_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace mics {
+
+/// Data-parallel training strategies the engine can simulate/execute.
+/// kZeRO* follow DeepSpeed's stages (§2.2): progressively sharding
+/// optimizer states, gradients, and parameters across the WHOLE cluster;
+/// kMiCS shards all three across a small partition group (§3.2).
+enum class Strategy {
+  kDDP = 0,
+  kZeRO1 = 1,
+  kZeRO2 = 2,
+  kZeRO3 = 3,
+  kMiCS = 4,
+};
+
+const char* StrategyName(Strategy s);
+
+/// Options controlling sharding scale, communication schedule, and the §4
+/// implementation optimizations. Styled after RocksDB options structs.
+struct MicsConfig {
+  Strategy strategy = Strategy::kMiCS;
+
+  /// Ranks per partition group (each group holds one full replica of the
+  /// model states). Ignored unless strategy == kMiCS. Must divide the
+  /// world size.
+  int partition_group_size = 8;
+
+  /// §3.3 three-stage hierarchical all-gather for parameter gathering
+  /// when the partition group spans nodes.
+  bool hierarchical_allgather = true;
+
+  /// EXTENSION (beyond the paper): apply the three-stage hierarchical
+  /// algorithm to the 2-hop schedule's per-micro-step reduce-scatter as
+  /// well, cutting its inter-node traffic by the same (p-1)->(p-k)
+  /// factor. Off by default to match the published system.
+  bool hierarchical_reduce_scatter = false;
+
+  /// §3.4 2-hop gradient synchronization: per-micro-step reduce-scatter
+  /// inside the partition group, one all-reduce across replication groups
+  /// at the gradient accumulation boundary. When false, MiCS falls back
+  /// to the "alternative schedule": a global all-reduce every micro-step.
+  bool two_hop_sync = true;
+
+  /// §4 fine-grained stream synchronization (wait_event/wait_stream
+  /// instead of device/stream synchronize). When false, communication
+  /// cannot be issued ahead of the compute it trails (DeepSpeed-v0.5.6
+  /// behaviour).
+  bool fine_grained_sync = true;
+
+  /// §4 precomputed & cached fetch/release decisions. When false, each
+  /// gather pays an on-the-fly host decision overhead.
+  bool decision_caching = true;
+
+  /// §4 memory defragmentation: pre-allocated contiguous arenas instead
+  /// of dynamic caching allocation (lower fragmentation headroom).
+  bool arena_allocator = true;
+
+  /// How many layers ahead parameters are prefetched when sharded.
+  int prefetch_depth = 2;
+
+  Status Validate(int world_size) const;
+
+  /// Effective number of ranks each state class is sharded across, given
+  /// the world size.
+  int ParamShards(int world_size) const;
+  int GradShards(int world_size) const;
+  int OptimizerShards(int world_size) const;
+
+  /// MiCS with all optimizations (the paper's full system).
+  static MicsConfig Mics(int partition_group_size);
+
+  /// "MiCS (ZeRO-3)" of §5.3: partition over ALL devices but keep the §4
+  /// implementation optimizations.
+  static MicsConfig MicsZero3(int world_size);
+
+  std::string ToString() const;
+};
+
+}  // namespace mics
+
+#endif  // MICS_CORE_MICS_CONFIG_H_

@@ -1,0 +1,328 @@
+#include "core/perf_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "sim/stream_scheduler.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace mics {
+
+namespace {
+
+// Stream 1 carries intra-node (NVLink) collectives; stream 2 models the
+// node's NIC, which parameter gathers and gradient synchronizations SHARE
+// when they cross nodes — the contention that exposes communication as
+// partition groups grow (Fig. 11).
+constexpr int kComputeStream = 0;
+constexpr int kIntraCommStream = 1;
+constexpr int kNicStream = 2;
+
+}  // namespace
+
+PerfEngine::PerfEngine(const ClusterSpec& cluster, CommCostParams comm_params,
+                       ComputeCostParams compute_params,
+                       EngineCostParams engine_params)
+    : cluster_(cluster),
+      cost_(cluster, comm_params),
+      compute_(cluster.gpu, compute_params),
+      engine_params_(engine_params) {}
+
+MemoryBreakdown PerfEngine::EstimateMemory(const TrainJob& job,
+                                           const MicsConfig& config,
+                                           int micro_steps) const {
+  (void)micro_steps;  // activations are per-micro-batch; s does not add.
+  const int n = cluster_.world_size();
+  MemoryInputs in;
+  in.total_params = job.model.TotalParams();
+  in.max_layer_params = job.model.MaxLayerParams();
+  in.param_shards = config.ParamShards(n);
+  in.grad_shards = config.GradShards(n);
+  in.optimizer_shards = config.OptimizerShards(n);
+  in.fp16 = job.fp16;
+  in.activation_bytes =
+      job.model.TotalActivationBytes(job.activation_checkpointing);
+  if (job.activation_checkpointing) {
+    // Roughly half the recomputed layer's activation is live at once
+    // (buffers free as the backward pass consumes them).
+    in.activation_bytes += 0.5 * job.model.MaxLayerActivationBytes();
+  }
+  in.gathered_layers = config.prefetch_depth + 1;
+  in.fragmentation_factor = config.arena_allocator
+                                ? engine_params_.fragmentation_arena
+                                : engine_params_.fragmentation_dynamic;
+  return EstimateTrainingMemory(in);
+}
+
+Result<PerfResult> PerfEngine::Simulate(const TrainJob& job,
+                                        const MicsConfig& config,
+                                        std::ostream* trace) const {
+  const int n = cluster_.world_size();
+  MICS_RETURN_NOT_OK(config.Validate(n));
+  if (job.micro_batch <= 0 || job.global_batch <= 0) {
+    return Status::InvalidArgument("batch sizes must be positive");
+  }
+  if (job.model.layers.empty()) {
+    return Status::InvalidArgument("model has no layers");
+  }
+
+  PerfResult result;
+  const int64_t per_step_samples = job.micro_batch * n;
+  result.micro_steps =
+      static_cast<int>(std::max<int64_t>(1, CeilDiv(job.global_batch,
+                                                    per_step_samples)));
+  const int s = result.micro_steps;
+
+  result.memory = EstimateMemory(job, config, s);
+  if (result.memory.total > static_cast<double>(cluster_.gpu.memory_bytes)) {
+    result.oom = true;
+    result.oom_detail = config.ToString() + " needs " +
+                        result.memory.ToString() + " on " +
+                        cluster_.gpu.name;
+    return result;
+  }
+
+  const double param_elem = job.fp16 ? 2.0 : 4.0;
+  const int p = config.ParamShards(n);
+  const bool params_sharded = p > 1;
+  const double total_params = job.model.TotalParams();
+
+  MICS_ASSIGN_OR_RETURN(
+      GroupShape part_shape,
+      GroupShape::Partition(cluster_, params_sharded ? p : 1));
+  const GroupShape world_shape = GroupShape::World(cluster_);
+  GroupShape repl_shape;  // only meaningful for MiCS
+  if (config.strategy == Strategy::kMiCS) {
+    MICS_ASSIGN_OR_RETURN(repl_shape, GroupShape::Replication(
+                                          cluster_, config.partition_group_size));
+  }
+
+  const bool use_hier = config.strategy == Strategy::kMiCS &&
+                        config.hierarchical_allgather &&
+                        part_shape.spans_nodes();
+
+  // Per-communication host-side overheads of the §4 ablations.
+  const double host_overhead =
+      config.decision_caching ? 0.0 : engine_params_.host_decision_overhead;
+  const double alloc_overhead =
+      config.arena_allocator ? 0.0 : engine_params_.alloc_overhead;
+
+  const size_t num_layers = job.model.layers.size();
+  std::vector<double> ag_dur(num_layers, 0.0);
+  std::vector<double> fwd_dur(num_layers, 0.0);
+  std::vector<double> bwd_dur(num_layers, 0.0);
+  std::vector<double> grad_sync_dur(num_layers, 0.0);
+
+  // Which simulated stream each communication class runs on: collectives
+  // that cross nodes contend for the NIC; intra-node ones ride NVLink.
+  const int ag_stream =
+      part_shape.spans_nodes() ? kNicStream : kIntraCommStream;
+  const bool grad_sync_on_nic =
+      (config.strategy == Strategy::kMiCS && config.two_hop_sync)
+          ? part_shape.spans_nodes()
+          : world_shape.spans_nodes();
+  const int rs_stream = grad_sync_on_nic ? kNicStream : kIntraCommStream;
+  const double beta = engine_params_.comm_compute_interference;
+
+  // Characteristic matmul width for the efficiency model: infer from the
+  // dominant layer (sqrt of params/12 approximates hidden for a
+  // transformer; harmless for CNNs where we use the same proxy).
+  for (size_t i = 0; i < num_layers; ++i) {
+    const LayerSpec& layer = job.model.layers[i];
+    const double hidden_proxy =
+        std::max(256.0, std::sqrt(std::max(1.0, layer.params) / 12.0));
+    fwd_dur[i] = compute_.MatmulTime(layer.fwd_flops, hidden_proxy, job.fp16);
+    double bwd_flops = layer.bwd_flops;
+    if (job.activation_checkpointing) bwd_flops += layer.fwd_flops;
+    bwd_dur[i] = compute_.MatmulTime(bwd_flops, hidden_proxy, job.fp16);
+
+    const double param_bytes = param_elem * layer.params;
+    if (params_sharded) {
+      // With hierarchical gathering enabled the runtime still falls back
+      // to the vanilla ring when that is cheaper (it can be on balanced
+      // fabrics / very large messages — see cost_model_sweep_test).
+      const double vanilla = cost_.AllGatherTime(part_shape, param_bytes);
+      ag_dur[i] =
+          (use_hier
+               ? std::min(vanilla, cost_.HierarchicalAllGatherTime(
+                                       part_shape, param_bytes))
+               : vanilla) +
+          host_overhead + alloc_overhead;
+    }
+    // Per-micro-step gradient synchronization, by strategy (§3.4).
+    switch (config.strategy) {
+      case Strategy::kMiCS:
+        if (config.two_hop_sync) {
+          grad_sync_dur[i] =
+              (config.hierarchical_reduce_scatter && part_shape.spans_nodes())
+                  ? cost_.HierarchicalReduceScatterTime(part_shape,
+                                                        param_bytes)
+                  : cost_.ReduceScatterTime(part_shape, param_bytes);
+        } else {
+          grad_sync_dur[i] = cost_.AllReduceTime(world_shape, param_bytes);
+        }
+        break;
+      case Strategy::kZeRO3:
+        // DeepSpeed's default: global all-reduce, then partition.
+        grad_sync_dur[i] = cost_.AllReduceTime(world_shape, param_bytes);
+        break;
+      case Strategy::kZeRO2:
+        grad_sync_dur[i] = cost_.ReduceScatterTime(world_shape, param_bytes);
+        break;
+      case Strategy::kDDP:
+      case Strategy::kZeRO1:
+        grad_sync_dur[i] = 0.0;  // synchronized once at the boundary
+        break;
+    }
+    if (grad_sync_dur[i] > 0.0) grad_sync_dur[i] += host_overhead;
+  }
+
+  // Communication kernels interfere with computation (SM occupancy,
+  // imperfect synchronization): charge a fraction of each layer's comm to
+  // its compute time.
+  for (size_t i = 0; i < num_layers; ++i) {
+    fwd_dur[i] += beta * ag_dur[i];
+    bwd_dur[i] += beta * (ag_dur[i] + grad_sync_dur[i]);
+  }
+
+  StreamScheduler sched(3);
+  int last_compute = -1;
+  int prev_compute = -1;  // the compute task before last_compute
+  int last_reduce = -1;
+
+  // Issues the all-gather for layer `i`. Fine-grained sync allows a
+  // prefetch window of `prefetch_depth` layers; coarse (device/stream)
+  // synchronization limits DeepSpeed-v0.5.6 to roughly one layer of
+  // lookahead — each gather trails the compute issued two ops ago.
+  auto issue_gather = [&](size_t i, const std::vector<int>& compute_ids,
+                          size_t processed) -> int {
+    std::vector<int> deps;
+    if (!config.fine_grained_sync) {
+      if (prev_compute >= 0) deps.push_back(prev_compute);
+    } else if (processed > static_cast<size_t>(config.prefetch_depth)) {
+      // Keep at most prefetch_depth+1 gathered layers outstanding.
+      const size_t window_anchor =
+          processed - static_cast<size_t>(config.prefetch_depth) - 1;
+      if (compute_ids[window_anchor] >= 0) {
+        deps.push_back(compute_ids[window_anchor]);
+      }
+    }
+    result.param_gather_time += ag_dur[i];
+    return sched.AddTask(ag_stream, ag_dur[i], deps,
+                         trace ? "gather " + job.model.layers[i].name
+                               : std::string());
+  };
+
+  for (int step = 0; step < s; ++step) {
+    // Forward pass.
+    std::vector<int> fwd_compute_ids(num_layers, -1);
+    for (size_t i = 0; i < num_layers; ++i) {
+      std::vector<int> deps;
+      if (params_sharded) {
+        const int ag = issue_gather(i, fwd_compute_ids, i);
+        deps.push_back(ag);
+      }
+      fwd_compute_ids[i] = sched.AddTask(
+          kComputeStream, fwd_dur[i], deps,
+          trace ? "fwd " + job.model.layers[i].name : std::string());
+      prev_compute = last_compute;
+      last_compute = fwd_compute_ids[i];
+    }
+    // Backward pass (reverse layer order).
+    std::vector<int> bwd_compute_ids(num_layers, -1);
+    for (size_t j = 0; j < num_layers; ++j) {
+      const size_t i = num_layers - 1 - j;
+      std::vector<int> deps;
+      if (params_sharded) {
+        const int ag = issue_gather(i, bwd_compute_ids, j);
+        deps.push_back(ag);
+      }
+      bwd_compute_ids[j] = sched.AddTask(
+          kComputeStream, bwd_dur[i], deps,
+          trace ? "bwd " + job.model.layers[i].name : std::string());
+      prev_compute = last_compute;
+      last_compute = bwd_compute_ids[j];
+      if (grad_sync_dur[i] > 0.0) {
+        result.grad_sync_time += grad_sync_dur[i];
+        last_reduce = sched.AddTask(
+            rs_stream, grad_sync_dur[i], {bwd_compute_ids[j]},
+            trace ? "grad-sync " + job.model.layers[i].name : std::string());
+      }
+    }
+  }
+
+  // Gradient-accumulation boundary (§3.4 second hop / boundary sync).
+  const double grad_elem = param_elem;
+  int boundary_dep = last_reduce >= 0 ? last_reduce : last_compute;
+  if (config.strategy == Strategy::kMiCS && config.two_hop_sync &&
+      repl_shape.size > 1) {
+    const double shard_bytes = grad_elem * total_params / p;
+    const int stream =
+        repl_shape.spans_nodes() ? kNicStream : kIntraCommStream;
+    const double dur = cost_.AllReduceTime(repl_shape, shard_bytes);
+    result.grad_sync_time += dur;
+    boundary_dep = sched.AddTask(
+        stream, dur, {last_reduce >= 0 ? last_reduce : last_compute},
+        trace ? "boundary all-reduce" : std::string());
+  } else if (config.strategy == Strategy::kDDP ||
+             config.strategy == Strategy::kZeRO1) {
+    const double grad_bytes = grad_elem * total_params;
+    const int stream =
+        world_shape.spans_nodes() ? kNicStream : kIntraCommStream;
+    const double dur = cost_.AllReduceTime(world_shape, grad_bytes);
+    result.grad_sync_time += dur;
+    boundary_dep = sched.AddTask(stream, dur, {last_compute},
+                                 trace ? "gradient all-reduce"
+                                       : std::string());
+  }
+
+  // Optimizer step over this rank's shard.
+  const double shard_params = total_params / config.OptimizerShards(n);
+  const double opt_dur = compute_.OptimizerStepTime(shard_params);
+  result.optimizer_time += opt_dur;
+  const int opt_task =
+      sched.AddTask(kComputeStream, opt_dur, {boundary_dep},
+                    trace ? "optimizer step" : std::string());
+
+  // ZeRO-1/2 keep full parameter replicas but only update their optimizer
+  // shard, so the refreshed fp16 parameters are re-gathered once per
+  // iteration.
+  if (config.strategy == Strategy::kZeRO1 ||
+      config.strategy == Strategy::kZeRO2) {
+    const int stream =
+        world_shape.spans_nodes() ? kNicStream : kIntraCommStream;
+    const double dur =
+        cost_.AllGatherTime(world_shape, param_elem * total_params);
+    result.param_gather_time += dur;
+    sched.AddTask(stream, dur, {opt_task},
+                  trace ? "parameter refresh all-gather" : std::string());
+  }
+
+  result.iter_time = sched.Makespan();
+  result.throughput =
+      static_cast<double>(per_step_samples) * s / result.iter_time;
+
+  double hw_flops_per_microstep = job.model.TotalFwdFlops() +
+                                  job.model.TotalBwdFlops();
+  if (job.activation_checkpointing) {
+    hw_flops_per_microstep += job.model.TotalFwdFlops();
+  }
+  result.per_gpu_tflops =
+      hw_flops_per_microstep * s / result.iter_time / 1e12;
+
+  result.compute_time = sched.StreamBusyTime(kComputeStream);
+  result.comm_time = sched.StreamBusyTime(kIntraCommStream) +
+                     sched.StreamBusyTime(kNicStream);
+  result.exposed_comm_time =
+      std::max(0.0, result.iter_time - result.compute_time);
+
+  if (trace != nullptr) {
+    sched.WriteChromeTrace(*trace, {"compute", "NVLink", "NIC"});
+  }
+  return result;
+}
+
+}  // namespace mics

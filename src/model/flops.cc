@@ -1,0 +1,26 @@
+#include "model/flops.h"
+
+namespace mics {
+
+double TransformerTrainFlopsPerSequence(const TransformerConfig& config) {
+  const double l = static_cast<double>(config.seq_len);
+  const double big_l = static_cast<double>(config.layers);
+  const double h = static_cast<double>(config.hidden);
+  const double v = static_cast<double>(config.vocab);
+  // The published formula assumes intermediate = 4h; generalize the h^2
+  // factor to h^2 * (4h^2 + 2hI)/(12h^2) so non-4h models are counted
+  // consistently with their actual projection sizes.
+  const double i = static_cast<double>(config.intermediate);
+  const double width_scale = (4.0 * h * h + 2.0 * h * i) / (12.0 * h * h);
+  return 96.0 * l * big_l * h * h * width_scale *
+         (1.0 + l / (6.0 * h) + v / (16.0 * big_l * h));
+}
+
+double PerGpuTflops(const TransformerConfig& config, double sequences_per_sec,
+                    int num_gpus) {
+  const double total =
+      TransformerTrainFlopsPerSequence(config) * sequences_per_sec;
+  return total / num_gpus / 1e12;
+}
+
+}  // namespace mics

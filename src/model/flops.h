@@ -1,0 +1,21 @@
+#ifndef MICS_MODEL_FLOPS_H_
+#define MICS_MODEL_FLOPS_H_
+
+#include "model/transformer.h"
+
+namespace mics {
+
+/// FLOPs to process one sequence for a full training step (forward +
+/// backward + activation recomputation), per the Megatron-LM formula the
+/// paper uses for TFLOPS reporting (§5.1.1):
+///   F = 96 * l * L * h^2 * (1 + l/(6h) + V/(16 L h))
+/// where l = sequence length, L = layers, h = hidden, V = vocabulary.
+double TransformerTrainFlopsPerSequence(const TransformerConfig& config);
+
+/// Per-GPU TFLOPS given a cluster-wide throughput of `sequences_per_sec`.
+double PerGpuTflops(const TransformerConfig& config, double sequences_per_sec,
+                    int num_gpus);
+
+}  // namespace mics
+
+#endif  // MICS_MODEL_FLOPS_H_

@@ -1,0 +1,45 @@
+#include "model/model_graph.h"
+
+#include <algorithm>
+
+namespace mics {
+
+double ModelGraph::TotalParams() const {
+  double s = 0.0;
+  for (const auto& l : layers) s += l.params;
+  return s;
+}
+
+double ModelGraph::TotalFwdFlops() const {
+  double s = 0.0;
+  for (const auto& l : layers) s += l.fwd_flops;
+  return s;
+}
+
+double ModelGraph::TotalBwdFlops() const {
+  double s = 0.0;
+  for (const auto& l : layers) s += l.bwd_flops;
+  return s;
+}
+
+double ModelGraph::TotalActivationBytes(bool checkpointing) const {
+  double s = 0.0;
+  for (const auto& l : layers) {
+    s += checkpointing ? l.checkpoint_bytes : l.activation_bytes;
+  }
+  return s;
+}
+
+double ModelGraph::MaxLayerParams() const {
+  double m = 0.0;
+  for (const auto& l : layers) m = std::max(m, l.params);
+  return m;
+}
+
+double ModelGraph::MaxLayerActivationBytes() const {
+  double m = 0.0;
+  for (const auto& l : layers) m = std::max(m, l.activation_bytes);
+  return m;
+}
+
+}  // namespace mics

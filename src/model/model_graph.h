@@ -1,0 +1,40 @@
+#ifndef MICS_MODEL_MODEL_GRAPH_H_
+#define MICS_MODEL_MODEL_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+namespace mics {
+
+/// One schedulable unit of a model: the performance engine gathers its
+/// parameters, runs its forward/backward, and reduce-scatters its
+/// gradients. All quantities are per micro-batch where applicable.
+struct LayerSpec {
+  std::string name;
+  double params = 0.0;             // parameter count
+  double fwd_flops = 0.0;          // forward FLOPs per micro-batch
+  double bwd_flops = 0.0;          // backward FLOPs per micro-batch
+  double activation_bytes = 0.0;   // saved activations w/o checkpointing
+  double checkpoint_bytes = 0.0;   // saved bytes with checkpointing
+};
+
+/// A model as the engine sees it: an ordered list of layers. Transformer
+/// and CNN builders produce this common representation, which keeps the
+/// engine model-agnostic (the generality the paper claims for pure DP).
+struct ModelGraph {
+  std::string name;
+  std::vector<LayerSpec> layers;
+
+  double TotalParams() const;
+  double TotalFwdFlops() const;
+  double TotalBwdFlops() const;
+  double TotalActivationBytes(bool checkpointing) const;
+  double MaxLayerParams() const;
+  /// Peak transient activation working set: the largest single layer's
+  /// full activation (needed live during recompute / backward).
+  double MaxLayerActivationBytes() const;
+};
+
+}  // namespace mics
+
+#endif  // MICS_MODEL_MODEL_GRAPH_H_

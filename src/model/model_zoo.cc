@@ -1,0 +1,67 @@
+#include "model/model_zoo.h"
+
+namespace mics {
+
+namespace {
+
+TransformerConfig Make(const char* name, int64_t hidden, int64_t intermediate,
+                       int64_t layers, int64_t heads, int64_t vocab) {
+  TransformerConfig c;
+  c.name = name;
+  c.hidden = hidden;
+  c.intermediate = intermediate;
+  c.layers = layers;
+  c.heads = heads;
+  c.vocab = vocab;
+  c.seq_len = 512;
+  return c;
+}
+
+}  // namespace
+
+TransformerConfig Bert10B() {
+  return Make("BERT-10B", 2560, 10240, 127, 40, 32008);
+}
+
+TransformerConfig Bert15B() {
+  return Make("BERT-15B", 2560, 10240, 190, 40, 32008);
+}
+
+TransformerConfig Bert20B() {
+  return Make("BERT-20B", 5120, 20480, 64, 40, 32008);
+}
+
+TransformerConfig Bert50B() {
+  return Make("BERT-50B", 8192, 32768, 62, 40, 32008);
+}
+
+TransformerConfig Roberta20B() {
+  return Make("RoBERTa-20B", 5120, 20480, 62, 40, 50265);
+}
+
+TransformerConfig Gpt2_20B() {
+  return Make("GPT2-20B", 5120, 20480, 62, 40, 50265);
+}
+
+TransformerConfig Bert10B128Layer() {
+  return Make("BERT-10B-128L", 2560, 10240, 128, 40, 32008);
+}
+
+TransformerConfig Bert1_5B() {
+  return Make("BERT-1.5B", 1600, 6400, 48, 32, 32008);
+}
+
+TransformerConfig Model52B() {
+  return Make("Model-52B", 8192, 32768, 64, 64, 50265);
+}
+
+TransformerConfig Model100B() {
+  return Make("Model-100B", 10240, 40960, 80, 80, 50265);
+}
+
+std::vector<TransformerConfig> Table1Models() {
+  return {Bert10B(),  Bert15B(),    Bert20B(),
+          Bert50B(),  Roberta20B(), Gpt2_20B()};
+}
+
+}  // namespace mics

@@ -1,0 +1,36 @@
+#ifndef MICS_MODEL_MODEL_ZOO_H_
+#define MICS_MODEL_MODEL_ZOO_H_
+
+#include <vector>
+
+#include "model/transformer.h"
+
+namespace mics {
+
+/// The language-model configurations of Table 1 (sequence length 512).
+TransformerConfig Bert10B();
+TransformerConfig Bert15B();
+TransformerConfig Bert20B();
+TransformerConfig Bert50B();
+TransformerConfig Roberta20B();
+TransformerConfig Gpt2_20B();
+
+/// The 128-layer variant of BERT 10B used for the Megatron-LM-3D
+/// comparison (§5.1.3): layer count divisible by the pipeline size.
+TransformerConfig Bert10B128Layer();
+
+/// The 1.5B-parameter model of the fidelity experiment (§5.4): 48 layers,
+/// hidden 1600, intermediate 6400.
+TransformerConfig Bert1_5B();
+
+/// Proprietary-model stand-ins for the §5.1.5 case study, built as
+/// BERT-style configs with ~52B and ~100B parameters.
+TransformerConfig Model52B();
+TransformerConfig Model100B();
+
+/// All Table 1 configs, for parameterized tests.
+std::vector<TransformerConfig> Table1Models();
+
+}  // namespace mics
+
+#endif  // MICS_MODEL_MODEL_ZOO_H_

@@ -1,0 +1,82 @@
+#include "model/transformer.h"
+
+#include <string>
+
+namespace mics {
+
+double TransformerConfig::LayerParams() const {
+  const double h = static_cast<double>(hidden);
+  const double i = static_cast<double>(intermediate);
+  // Attention: QKV + output projections (4h^2 + 4h biases); MLP: two
+  // projections (2hI + I + h); two LayerNorms (4h).
+  return 4.0 * h * h + 2.0 * h * i + 9.0 * h + i;
+}
+
+double TransformerConfig::EmbeddingParams() const {
+  return static_cast<double>(vocab + seq_len) * hidden + 2.0 * hidden;
+}
+
+double TransformerConfig::TotalParams() const {
+  return EmbeddingParams() + layers * LayerParams();
+}
+
+Status TransformerConfig::Validate() const {
+  if (hidden <= 0 || intermediate <= 0 || layers <= 0 || heads <= 0 ||
+      vocab <= 0 || seq_len <= 0) {
+    return Status::InvalidArgument("transformer config fields must be > 0");
+  }
+  // Note: hidden need not divide evenly by heads — Table 1's BERT-50B
+  // (hidden 8192, 40 heads) does not, and the paper trains it anyway.
+  return Status::OK();
+}
+
+Result<ModelGraph> BuildTransformerGraph(const TransformerConfig& config,
+                                         int64_t micro_batch, bool fp16) {
+  MICS_RETURN_NOT_OK(config.Validate());
+  if (micro_batch <= 0) {
+    return Status::InvalidArgument("micro_batch must be positive");
+  }
+  const double b = static_cast<double>(micro_batch);
+  const double s = static_cast<double>(config.seq_len);
+  const double h = static_cast<double>(config.hidden);
+  const double i = static_cast<double>(config.intermediate);
+  const double v = static_cast<double>(config.vocab);
+  const double a = static_cast<double>(config.heads);
+  const double elem = fp16 ? 2.0 : 4.0;
+
+  ModelGraph graph;
+  graph.name = config.name;
+
+  // Embedding layer. The LM head is weight-tied to it, so the head's
+  // logits matmul FLOPs are accounted here.
+  LayerSpec embed;
+  embed.name = "embedding";
+  embed.params = config.EmbeddingParams();
+  embed.fwd_flops = 2.0 * b * s * h * v;  // tied-head logits matmul
+  embed.bwd_flops = 2.0 * embed.fwd_flops;
+  embed.activation_bytes = elem * b * s * h;
+  embed.checkpoint_bytes = elem * b * s * h;
+  graph.layers.push_back(embed);
+
+  // Transformer layers.
+  LayerSpec layer;
+  layer.params = config.LayerParams();
+  // Projections: 2 FLOPs per weight per token; attention score/context
+  // matmuls: 4*s^2*h per sequence.
+  layer.fwd_flops = b * (2.0 * s * (4.0 * h * h + 2.0 * h * i) +
+                         4.0 * s * s * h);
+  layer.bwd_flops = 2.0 * layer.fwd_flops;
+  // Saved activations (no checkpointing): projection inputs/outputs
+  // (~10h + 2I floats per token) plus attention score matrices
+  // (2*a*s per token: softmax input and output).
+  layer.activation_bytes =
+      elem * b * s * (10.0 * h + 2.0 * i + 2.0 * a * s);
+  layer.checkpoint_bytes = elem * b * s * h;  // layer input only
+  for (int64_t l = 0; l < config.layers; ++l) {
+    layer.name = "layer" + std::to_string(l);
+    graph.layers.push_back(layer);
+  }
+  return graph;
+}
+
+}  // namespace mics

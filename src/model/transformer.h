@@ -1,0 +1,43 @@
+#ifndef MICS_MODEL_TRANSFORMER_H_
+#define MICS_MODEL_TRANSFORMER_H_
+
+#include <string>
+
+#include "model/model_graph.h"
+#include "util/status.h"
+
+namespace mics {
+
+/// Architecture hyperparameters of a BERT/GPT-style transformer encoder
+/// (the rows of Table 1 in the paper).
+struct TransformerConfig {
+  std::string name;
+  int64_t hidden = 0;
+  int64_t intermediate = 0;  // MLP inner width
+  int64_t layers = 0;
+  int64_t heads = 0;
+  int64_t vocab = 0;
+  int64_t seq_len = 512;
+
+  /// Parameters of one transformer layer: attention (4 h^2 + 4h) + MLP
+  /// (2 h I + h + I) + 2 LayerNorms (4h).
+  double LayerParams() const;
+
+  /// Embedding (+ position) parameters: (V + seq) * h.
+  double EmbeddingParams() const;
+
+  /// Total parameter count (embeddings tied with the LM head).
+  double TotalParams() const;
+
+  Status Validate() const;
+};
+
+/// Expands a transformer config into a ModelGraph whose per-layer FLOPs /
+/// activation sizes feed the performance engine. `micro_batch` is the
+/// per-GPU micro-batch size (sequences).
+Result<ModelGraph> BuildTransformerGraph(const TransformerConfig& config,
+                                         int64_t micro_batch, bool fp16);
+
+}  // namespace mics
+
+#endif  // MICS_MODEL_TRANSFORMER_H_

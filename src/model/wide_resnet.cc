@@ -1,0 +1,86 @@
+#include "model/wide_resnet.h"
+
+#include <string>
+
+namespace mics {
+
+Status WideResNetConfig::Validate() const {
+  if (width_factor <= 0 || base_width <= 0 || image_size <= 0 ||
+      num_classes <= 0) {
+    return Status::InvalidArgument("WideResNet config fields must be > 0");
+  }
+  for (int b : blocks) {
+    if (b <= 0) return Status::InvalidArgument("block counts must be > 0");
+  }
+  return Status::OK();
+}
+
+int WideResNetConfig::NumConvLayers() const {
+  int n = 0;
+  for (int b : blocks) n += 3 * b;
+  return n + 2;  // stem conv + classifier
+}
+
+Result<ModelGraph> BuildWideResNetGraph(const WideResNetConfig& config,
+                                        int64_t micro_batch) {
+  MICS_RETURN_NOT_OK(config.Validate());
+  if (micro_batch <= 0) {
+    return Status::InvalidArgument("micro_batch must be positive");
+  }
+  const double b = static_cast<double>(micro_batch);
+  const double elem = 4.0;  // fp32 training
+
+  ModelGraph graph;
+  graph.name = config.name;
+
+  // Stem: 7x7 conv, 3 -> 256 channels, stride 2, then pooled to /4.
+  const int stem_out = 256;
+  const double stem_hw = config.image_size / 2.0;
+  LayerSpec stem;
+  stem.name = "stem";
+  stem.params = 3.0 * stem_out * 49.0 + 2.0 * stem_out;
+  stem.fwd_flops = 2.0 * b * stem_hw * stem_hw * 3.0 * stem_out * 49.0;
+  stem.bwd_flops = 2.0 * stem.fwd_flops;
+  stem.activation_bytes = elem * b * stem_hw * stem_hw * stem_out;
+  stem.checkpoint_bytes = stem.activation_bytes;
+  graph.layers.push_back(stem);
+
+  // Four stages of bottleneck blocks. Outer channels are the standard
+  // ResNet 256*2^s; only the inner 3x3 width is widened by width_factor.
+  for (int stage = 0; stage < 4; ++stage) {
+    const double outer = 256.0 * (1 << stage);
+    const double inner =
+        static_cast<double>(config.base_width) * config.width_factor *
+        (1 << stage);
+    const double hw = 56.0 / (1 << stage);  // feature map side
+    for (int blk = 0; blk < config.blocks[static_cast<size_t>(stage)];
+         ++blk) {
+      LayerSpec block;
+      block.name = "s" + std::to_string(stage) + "b" + std::to_string(blk);
+      // 1x1 reduce, widened 3x3, 1x1 expand (+BN params).
+      block.params = outer * inner + 9.0 * inner * inner + inner * outer +
+                     2.0 * (2.0 * inner + outer);
+      block.fwd_flops =
+          2.0 * b * hw * hw * (outer * inner + 9.0 * inner * inner +
+                               inner * outer);
+      block.bwd_flops = 2.0 * block.fwd_flops;
+      block.activation_bytes = elem * b * hw * hw * (2.0 * inner + outer);
+      block.checkpoint_bytes = elem * b * hw * hw * outer;
+      graph.layers.push_back(block);
+    }
+  }
+
+  // Global pool + classifier.
+  LayerSpec head;
+  head.name = "classifier";
+  const double feat = 256.0 * 8;  // stage-4 outer channels
+  head.params = feat * config.num_classes + config.num_classes;
+  head.fwd_flops = 2.0 * b * feat * config.num_classes;
+  head.bwd_flops = 2.0 * head.fwd_flops;
+  head.activation_bytes = elem * b * feat;
+  head.checkpoint_bytes = head.activation_bytes;
+  graph.layers.push_back(head);
+  return graph;
+}
+
+}  // namespace mics

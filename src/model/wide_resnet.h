@@ -1,0 +1,37 @@
+#ifndef MICS_MODEL_WIDE_RESNET_H_
+#define MICS_MODEL_WIDE_RESNET_H_
+
+#include <array>
+#include <string>
+
+#include "model/model_graph.h"
+#include "util/status.h"
+
+namespace mics {
+
+/// The WideResNet variant of §5.1.4: bottleneck blocks whose inner 3x3
+/// width is scaled by `width_factor`, block configuration [6, 8, 46, 6]
+/// (200 conv layers including stem and head), ~3B parameters at width 8.
+/// Trained in fp32 with activation checkpointing disabled.
+struct WideResNetConfig {
+  std::string name = "WideResNet-3B";
+  int width_factor = 8;
+  std::array<int, 4> blocks = {6, 8, 46, 6};
+  int base_width = 64;
+  int image_size = 224;
+  int num_classes = 1000;
+
+  Status Validate() const;
+
+  /// Total conv layers (3 per block + stem + classifier).
+  int NumConvLayers() const;
+};
+
+/// Builds the scheduling graph (one LayerSpec per bottleneck block plus
+/// stem and classifier). Quantities are fp32 and per `micro_batch` images.
+Result<ModelGraph> BuildWideResNetGraph(const WideResNetConfig& config,
+                                        int64_t micro_batch);
+
+}  // namespace mics
+
+#endif  // MICS_MODEL_WIDE_RESNET_H_

@@ -1,0 +1,75 @@
+#include "sim/analysis.h"
+
+namespace mics {
+
+namespace {
+
+Status CheckPositive(double v, const char* what) {
+  if (v <= 0.0) {
+    return Status::InvalidArgument(std::string(what) + " must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+double AllGatherCost(int p, double model_bytes, double bandwidth) {
+  if (p <= 1) return 0.0;
+  return (p - 1) * model_bytes / (static_cast<double>(p) * bandwidth);
+}
+
+double PartitioningGainLowerBound(double b_part, double b_all) {
+  return b_part / b_all;
+}
+
+Result<double> PartitioningGainExact(int n, int p, double b_part,
+                                     double b_all) {
+  if (p < 1 || n < p) {
+    return Status::InvalidArgument("need 1 <= p <= n");
+  }
+  MICS_RETURN_NOT_OK(CheckPositive(b_part, "B_part"));
+  MICS_RETURN_NOT_OK(CheckPositive(b_all, "B_all"));
+  if (p == 1) return Status::InvalidArgument("p = 1 has no gathering cost");
+  const double c_all = (n - 1) / (static_cast<double>(n) * b_all);
+  const double c_mics = (p - 1) / (static_cast<double>(p) * b_part);
+  return c_all / c_mics;
+}
+
+Result<double> HierarchicalTrafficRatio(int p, int k) {
+  if (k < 1 || p <= k) {
+    return Status::InvalidArgument(
+        "hierarchical communication needs p > k >= 1");
+  }
+  return static_cast<double>(p - 1) / static_cast<double>(p - k);
+}
+
+Result<double> TwoHopCost(int s, double model_bytes, int p, int n,
+                          double b_part, double b_repl) {
+  if (s < 1 || p < 1 || n < p) {
+    return Status::InvalidArgument("need s >= 1 and 1 <= p <= n");
+  }
+  MICS_RETURN_NOT_OK(CheckPositive(b_part, "B_part"));
+  MICS_RETURN_NOT_OK(CheckPositive(b_repl, "B_repl"));
+  return s * model_bytes * (p - 1) / (static_cast<double>(p) * b_part) +
+         2.0 * model_bytes * (n - p) / (static_cast<double>(n) * b_repl);
+}
+
+Result<double> AlternativeSyncCost(int s, double model_bytes, int n,
+                                   double b_all) {
+  if (s < 1 || n < 1) {
+    return Status::InvalidArgument("need s >= 1 and n >= 1");
+  }
+  MICS_RETURN_NOT_OK(CheckPositive(b_all, "B_all"));
+  return 2.0 * s * model_bytes * (n - 1) / (static_cast<double>(n) * b_all);
+}
+
+Result<double> TwoHopGainLowerBound(int s, double b_all, double b_part,
+                                    double b_repl) {
+  if (s < 1) return Status::InvalidArgument("need s >= 1");
+  MICS_RETURN_NOT_OK(CheckPositive(b_all, "B_all"));
+  MICS_RETURN_NOT_OK(CheckPositive(b_part, "B_part"));
+  MICS_RETURN_NOT_OK(CheckPositive(b_repl, "B_repl"));
+  return (2.0 * s / b_all) / (s / b_part + 2.0 / b_repl);
+}
+
+}  // namespace mics

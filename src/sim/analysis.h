@@ -1,0 +1,48 @@
+#ifndef MICS_SIM_ANALYSIS_H_
+#define MICS_SIM_ANALYSIS_H_
+
+#include "util/status.h"
+
+namespace mics {
+
+/// The paper's closed-form cost analysis (§3.2-§3.4), implemented exactly
+/// as printed so the simulator can be checked against the theory and the
+/// benches can report "predicted vs simulated".
+///
+/// Notation (§3.1): n devices, k devices per node, model size M, p devices
+/// per replica, s micro-steps, B_g effective bandwidth of group g.
+
+/// §3.2: cost of all-gathering an M-byte model sharded over p ranks at
+/// effective bandwidth B: C = (p-1) M / (p B).
+double AllGatherCost(int p, double model_bytes, double bandwidth);
+
+/// §3.2 inequality: C_all / C_MiCS >= B_part / B_all (since (x-1)/x is
+/// increasing and p <= n). Returns that lower bound.
+double PartitioningGainLowerBound(double b_part, double b_all);
+
+/// §3.2 exact ratio C_all / C_MiCS for given scales and bandwidths.
+Result<double> PartitioningGainExact(int n, int p, double b_part,
+                                     double b_all);
+
+/// §3.3: inter-node traffic reduction of hierarchical communication,
+/// (p-1)/(p-k). Monotonically decreasing toward 1 as p grows.
+Result<double> HierarchicalTrafficRatio(int p, int k);
+
+/// §3.4: cost of the 2-hop schedule,
+///   C = s M (p-1) / (p B_part) + 2 M (n-p) / (n B_repl).
+Result<double> TwoHopCost(int s, double model_bytes, int p, int n,
+                          double b_part, double b_repl);
+
+/// §3.4: cost of the alternative schedule, C = 2 s M (n-1) / (n B_all).
+Result<double> AlternativeSyncCost(int s, double model_bytes, int n,
+                                   double b_all);
+
+/// §3.4 inequality: C_alt / C_2hop >= (2s/B_all) / (s/B_part + 2/B_repl).
+/// At s = 4 and equal bandwidths this is 4/3 (the paper's "at least 25%
+/// cost reduction").
+Result<double> TwoHopGainLowerBound(int s, double b_all, double b_part,
+                                    double b_repl);
+
+}  // namespace mics
+
+#endif  // MICS_SIM_ANALYSIS_H_

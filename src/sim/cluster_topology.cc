@@ -1,0 +1,76 @@
+#include "sim/cluster_topology.h"
+
+#include "util/math_util.h"
+
+namespace mics {
+
+GpuSpec GpuSpec::V100_32GB() {
+  GpuSpec g;
+  g.name = "V100-SXM2-32GB";
+  g.peak_fp16_flops = 125e12;  // tensor cores
+  g.peak_fp32_flops = 15.7e12;
+  g.memory_bytes = GiB(32);
+  return g;
+}
+
+GpuSpec GpuSpec::A100_40GB() {
+  GpuSpec g;
+  g.name = "A100-SXM4-40GB";
+  g.peak_fp16_flops = 312e12;
+  g.peak_fp32_flops = 19.5e12;
+  g.memory_bytes = GiB(40);
+  return g;
+}
+
+Status ClusterSpec::Validate() const {
+  if (num_nodes <= 0 || gpus_per_node <= 0) {
+    return Status::InvalidArgument("cluster sizes must be positive");
+  }
+  if (intra_node_bw <= 0 || inter_node_bw <= 0) {
+    return Status::InvalidArgument("bandwidths must be positive");
+  }
+  if (intra_latency < 0 || inter_latency < 0) {
+    return Status::InvalidArgument("latencies must be non-negative");
+  }
+  return Status::OK();
+}
+
+ClusterSpec ClusterSpec::P3dn(int num_nodes) {
+  ClusterSpec c;
+  c.num_nodes = num_nodes;
+  c.gpus_per_node = 8;
+  c.gpu = GpuSpec::V100_32GB();
+  // The paper measures B_part ~= 128 GB/s for an 8-GPU intra-node group.
+  c.intra_node_bw = 128e9;
+  c.inter_node_bw = GbpsToBytesPerSec(100.0);  // EFA
+  c.intra_latency = 4e-6;
+  c.inter_latency = 22e-6;  // EFA has higher startup cost than InfiniBand
+  return c;
+}
+
+ClusterSpec ClusterSpec::P4d(int num_nodes) {
+  ClusterSpec c;
+  c.num_nodes = num_nodes;
+  c.gpus_per_node = 8;
+  c.gpu = GpuSpec::A100_40GB();
+  c.intra_node_bw = 230e9;  // NVLink3 effective
+  c.inter_node_bw = GbpsToBytesPerSec(400.0);
+  c.intra_latency = 3e-6;
+  c.inter_latency = 18e-6;
+  return c;
+}
+
+ClusterSpec ClusterSpec::DgxA100(int num_nodes) {
+  ClusterSpec c;
+  c.num_nodes = num_nodes;
+  c.gpus_per_node = 8;
+  c.gpu = GpuSpec::A100_40GB();
+  c.gpu.memory_bytes = GiB(80);
+  c.intra_node_bw = 230e9;
+  c.inter_node_bw = GbpsToBytesPerSec(1600.0);  // 8x HDR InfiniBand
+  c.intra_latency = 3e-6;
+  c.inter_latency = 6e-6;
+  return c;
+}
+
+}  // namespace mics

@@ -1,0 +1,57 @@
+#ifndef MICS_SIM_CLUSTER_TOPOLOGY_H_
+#define MICS_SIM_CLUSTER_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace mics {
+
+/// Compute/memory description of one accelerator.
+struct GpuSpec {
+  std::string name;
+  double peak_fp16_flops = 0.0;  // dense half-precision peak, FLOP/s
+  double peak_fp32_flops = 0.0;
+  int64_t memory_bytes = 0;
+
+  static GpuSpec V100_32GB();
+  static GpuSpec A100_40GB();
+};
+
+/// The hardware model every simulation runs against: a cluster of
+/// identical multi-GPU nodes with fast intra-node interconnect (NVLink)
+/// and a much slower per-node NIC, i.e. the heterogeneous public-cloud
+/// network the paper targets (intra/inter gap of 12-24x, vs 3x on DGX).
+struct ClusterSpec {
+  int num_nodes = 1;
+  int gpus_per_node = 8;
+  GpuSpec gpu;
+
+  /// Effective per-GPU NVLink bus bandwidth for collectives (bytes/s).
+  double intra_node_bw = 0.0;
+  /// Per-node NIC bandwidth (bytes/s), shared by all local GPUs.
+  double inter_node_bw = 0.0;
+  /// Per-ring-step startup latency (the alpha term of §2.3, seconds).
+  double intra_latency = 0.0;
+  double inter_latency = 0.0;
+
+  int world_size() const { return num_nodes * gpus_per_node; }
+
+  Status Validate() const;
+
+  /// Amazon EC2 p3dn.24xlarge fleet: 8x V100 32GB, NVLink ~128 GB/s
+  /// effective, 100 Gbps EFA (the paper's primary testbed).
+  static ClusterSpec P3dn(int num_nodes);
+
+  /// Amazon EC2 p4d.24xlarge fleet: 8x A100 40GB, 400 Gbps EFA.
+  static ClusterSpec P4d(int num_nodes);
+
+  /// DGX-A100-like cluster with 1.6 Tb/s InfiniBand for contrast
+  /// experiments (balanced network: intra/inter gap ~3x).
+  static ClusterSpec DgxA100(int num_nodes);
+};
+
+}  // namespace mics
+
+#endif  // MICS_SIM_CLUSTER_TOPOLOGY_H_

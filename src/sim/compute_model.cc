@@ -1,0 +1,34 @@
+#include "sim/compute_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mics {
+
+GpuComputeModel::GpuComputeModel(GpuSpec gpu, ComputeCostParams params)
+    : gpu_(std::move(gpu)), params_(params) {
+  MICS_CHECK_GT(gpu_.peak_fp16_flops, 0.0);
+  MICS_CHECK_GT(gpu_.peak_fp32_flops, 0.0);
+}
+
+double GpuComputeModel::Efficiency(double hidden) const {
+  return params_.base_efficiency * hidden /
+         (hidden + params_.efficiency_ramp_hidden);
+}
+
+double GpuComputeModel::MatmulTime(double flops, double hidden,
+                                   bool fp16) const {
+  const double peak = fp16 ? gpu_.peak_fp16_flops : gpu_.peak_fp32_flops;
+  const double eff = std::max(0.05, Efficiency(hidden));
+  return params_.kernel_launch + flops / (peak * eff);
+}
+
+double GpuComputeModel::OptimizerStepTime(double shard_params) const {
+  // fp32 master + momentum + variance read/write (24B) plus fp16 grad read
+  // and fp16 param write (4B): ~28 bytes of HBM traffic per parameter.
+  const double bytes = shard_params * 28.0;
+  return params_.kernel_launch + bytes / params_.hbm_bw;
+}
+
+}  // namespace mics

@@ -1,0 +1,49 @@
+#ifndef MICS_SIM_COMPUTE_MODEL_H_
+#define MICS_SIM_COMPUTE_MODEL_H_
+
+#include "sim/cluster_topology.h"
+
+namespace mics {
+
+/// Tunable constants of the GPU compute-time model.
+struct ComputeCostParams {
+  /// Fraction of peak a large, well-shaped dense matmul achieves.
+  double base_efficiency = 0.68;
+  /// Efficiency ramps with the characteristic matrix dimension:
+  /// eff(h) = base * h / (h + ramp). Narrow layers run less efficiently
+  /// (the paper's BERT-15B-vs-20B discussion relies on this).
+  double efficiency_ramp_hidden = 640.0;
+  /// Per-kernel launch overhead (seconds).
+  double kernel_launch = 7e-6;
+  /// HBM bandwidth for the (memory-bound) optimizer step, bytes/s.
+  double hbm_bw = 1.1e12;
+};
+
+/// Converts FLOP counts into execution times for one GPU.
+class GpuComputeModel {
+ public:
+  explicit GpuComputeModel(GpuSpec gpu,
+                           ComputeCostParams params = ComputeCostParams());
+
+  /// Time for `flops` of dense math whose inner dimension is ~`hidden`.
+  double MatmulTime(double flops, double hidden, bool fp16) const;
+
+  /// Adam step over a shard of `shard_params` parameters: memory bound,
+  /// reading/writing fp32 master weights and two moments plus the fp16
+  /// param/grad copies (~20 bytes per parameter each way).
+  double OptimizerStepTime(double shard_params) const;
+
+  double kernel_launch() const { return params_.kernel_launch; }
+  const GpuSpec& gpu() const { return gpu_; }
+
+  /// Achieved fraction of peak for a matmul of this width.
+  double Efficiency(double hidden) const;
+
+ private:
+  GpuSpec gpu_;
+  ComputeCostParams params_;
+};
+
+}  // namespace mics
+
+#endif  // MICS_SIM_COMPUTE_MODEL_H_

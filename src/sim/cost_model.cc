@@ -1,0 +1,178 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/logging.h"
+
+namespace mics {
+
+Result<GroupShape> GroupShape::Partition(const ClusterSpec& cluster,
+                                         int group_size) {
+  MICS_RETURN_NOT_OK(cluster.Validate());
+  if (group_size <= 0 || group_size > cluster.world_size()) {
+    return Status::InvalidArgument("partition group size out of range");
+  }
+  GroupShape g;
+  g.size = group_size;
+  g.ranks_per_node = std::min(group_size, cluster.gpus_per_node);
+  g.nic_sharers = 1;
+  return g;
+}
+
+Result<GroupShape> GroupShape::Replication(const ClusterSpec& cluster,
+                                           int group_size) {
+  MICS_RETURN_NOT_OK(cluster.Validate());
+  const int n = cluster.world_size();
+  if (group_size <= 0 || group_size > n || n % group_size != 0) {
+    return Status::InvalidArgument(
+        "replication shape requires a valid partition group size");
+  }
+  GroupShape g;
+  g.size = n / group_size;
+  // Members are `group_size` ranks apart. When a partition group fits
+  // inside a node, several replication-group members share a node.
+  if (group_size < cluster.gpus_per_node) {
+    g.ranks_per_node = cluster.gpus_per_node / group_size;
+  } else {
+    g.ranks_per_node = 1;
+  }
+  g.ranks_per_node = std::min(g.ranks_per_node, g.size);
+  // Every GPU of a node sits in some replication group and all groups
+  // synchronize concurrently, so min(p, k) rings share the NIC.
+  g.nic_sharers = std::min(group_size, cluster.gpus_per_node);
+  return g;
+}
+
+GroupShape GroupShape::World(const ClusterSpec& cluster) {
+  GroupShape g;
+  g.size = cluster.world_size();
+  g.ranks_per_node = std::min(g.size, cluster.gpus_per_node);
+  g.nic_sharers = 1;
+  return g;
+}
+
+CostModel::CostModel(const ClusterSpec& cluster, CommCostParams params)
+    : cluster_(cluster), params_(params) {
+  MICS_CHECK_OK(cluster.Validate());
+}
+
+double CostModel::StepLatency(const GroupShape& g) const {
+  return g.spans_nodes() ? cluster_.inter_latency : cluster_.intra_latency;
+}
+
+double CostModel::RingLinkBandwidth(const GroupShape& g,
+                                    double chunk_bytes) const {
+  if (!g.spans_nodes()) {
+    const double util =
+        chunk_bytes / (chunk_bytes + params_.nvlink_ramp_bytes);
+    return cluster_.intra_node_bw * util;
+  }
+  // In a ring that crosses nodes, each step moves exactly one chunk over
+  // each node's NIC (co-located members hand off over NVLink), so the
+  // bottleneck is the NIC divided among whatever concurrent rings share
+  // it, degraded by the short-message utilization ramp.
+  const double util = chunk_bytes / (chunk_bytes + params_.nic_ramp_bytes);
+  return (cluster_.inter_node_bw / g.nic_sharers) * util;
+}
+
+double CostModel::AllGatherTime(const GroupShape& g, double bytes) const {
+  if (g.size <= 1) return params_.launch_overhead;
+  const double chunk = bytes / g.size;
+  const int steps = g.size - 1;
+  const double bw = RingLinkBandwidth(g, chunk);
+  return params_.launch_overhead + steps * (StepLatency(g) + chunk / bw);
+}
+
+double CostModel::ReduceScatterTime(const GroupShape& g, double bytes) const {
+  // A ring reduce-scatter moves the same chunks through the same links as
+  // the all-gather (the reduction itself rides on the memory system).
+  return AllGatherTime(g, bytes);
+}
+
+double CostModel::AllReduceTime(const GroupShape& g, double bytes,
+                                CollectiveAlgo algo) const {
+  if (g.size <= 1) return params_.launch_overhead;
+  if (algo == CollectiveAlgo::kRing) {
+    // reduce-scatter followed by all-gather.
+    return AllGatherTime(g, bytes) + ReduceScatterTime(g, bytes);
+  }
+  // Tree: latency ~ 2*ceil(log2 p)*alpha; bandwidth term ~ 2*M/bw.
+  const int steps = 2 * static_cast<int>(std::ceil(std::log2(g.size)));
+  const double bw = RingLinkBandwidth(g, bytes);
+  return params_.launch_overhead + steps * StepLatency(g) + 2.0 * bytes / bw;
+}
+
+double CostModel::HierarchicalAllGatherTime(const GroupShape& g,
+                                            double bytes) const {
+  if (!g.spans_nodes() || g.ranks_per_node <= 1) {
+    return AllGatherTime(g, bytes);
+  }
+  const int p = g.size;
+  const int k = g.ranks_per_node;
+  const int nodes = g.nodes();
+  const double chunk = bytes / p;
+
+  // Stage 1: k parallel inter-node all-gathers, one per channel (ranks of
+  // equal local rank). Each channel spans `nodes` participants, one per
+  // node, and the k channels share the NIC.
+  const double chan_bw = (cluster_.inter_node_bw / k) *
+                         (chunk / (chunk + params_.nic_ramp_bytes));
+  const double stage1 =
+      params_.launch_overhead +
+      (nodes - 1) * (cluster_.inter_latency + chunk / chan_bw);
+
+  // Stage 2: on-device rearrangement of this rank's gathered chunks.
+  const double stage2 =
+      (bytes / static_cast<double>(k)) / params_.memcpy_bw +
+      params_.launch_overhead;
+
+  // Stage 3: `nodes` batched intra-node all-gathers in one coalesced
+  // launch. Together they gather the full M bytes over NVLink: (k-1)
+  // steps, each moving M/k bytes per rank.
+  const double step_bytes = bytes / k;
+  const double intra_bw =
+      cluster_.intra_node_bw *
+      (step_bytes / (step_bytes + params_.nvlink_ramp_bytes));
+  const double stage3 =
+      params_.launch_overhead +
+      (k - 1) * (cluster_.intra_latency + step_bytes / intra_bw);
+
+  return stage1 + stage2 + stage3;
+}
+
+double CostModel::HierarchicalReduceScatterTime(const GroupShape& g,
+                                                double bytes) const {
+  // Mirror image of the hierarchical all-gather: the intra-node stage
+  // runs first and the channel stage second, but each stage moves the
+  // same volume through the same links, so the cost decomposition is
+  // identical.
+  return HierarchicalAllGatherTime(g, bytes);
+}
+
+double CostModel::P2PTime(bool cross_node, double bytes) const {
+  if (cross_node) {
+    const double util = bytes / (bytes + params_.nic_ramp_bytes);
+    return cluster_.inter_latency + bytes / (cluster_.inter_node_bw * util);
+  }
+  const double util = bytes / (bytes + params_.nvlink_ramp_bytes);
+  return cluster_.intra_latency + bytes / (cluster_.intra_node_bw * util);
+}
+
+double CostModel::InterNodeBytesPerNode(const GroupShape& g,
+                                        double bytes) const {
+  if (!g.spans_nodes()) return 0.0;
+  return (g.size - 1) * bytes / g.size;
+}
+
+double CostModel::EffectiveAllGatherBandwidth(const GroupShape& g,
+                                              double bytes) const {
+  const double t = AllGatherTime(g, bytes);
+  // Goodput of the bottleneck link: bytes it carried divided by the
+  // operation time. Saturates at the NIC line rate (resp. NVLink) for
+  // large messages; this is the metric plotted in Figure 1.
+  return (g.size - 1) * (bytes / g.size) / t;
+}
+
+}  // namespace mics

@@ -1,0 +1,115 @@
+#ifndef MICS_SIM_COST_MODEL_H_
+#define MICS_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "sim/cluster_topology.h"
+#include "util/status.h"
+
+namespace mics {
+
+/// Placement shape of a communication group inside the cluster: how many
+/// members it has and how many of them share each node. This is all the
+/// alpha-beta cost model needs to know about a group.
+struct GroupShape {
+  int size = 1;            // p: number of participants
+  int ranks_per_node = 1;  // members co-located on each node
+  /// Number of concurrent identical collectives whose rings share each
+  /// node's NIC. 1 for a partition-group or whole-cluster collective
+  /// (one ring per NIC); min(p, k) for the per-replication-group
+  /// all-reduce of the 2-hop schedule, where every GPU on a node belongs
+  /// to a different replication group and all rings run at once.
+  int nic_sharers = 1;
+
+  bool spans_nodes() const { return size > ranks_per_node; }
+  int nodes() const { return size / ranks_per_node; }
+
+  /// Shape of a partition group of `group_size` consecutive ranks.
+  static Result<GroupShape> Partition(const ClusterSpec& cluster,
+                                      int group_size);
+
+  /// Shape of a replication group when partition groups have `group_size`
+  /// ranks: members are spaced `group_size` apart across the cluster.
+  static Result<GroupShape> Replication(const ClusterSpec& cluster,
+                                        int group_size);
+
+  /// Shape of the whole-cluster group.
+  static GroupShape World(const ClusterSpec& cluster);
+};
+
+/// Tunable constants of the communication cost model.
+struct CommCostParams {
+  /// Transfer sizes below which the NIC runs under line rate:
+  /// utilization(bytes) = bytes / (bytes + nic_ramp_bytes). Models the
+  /// measured behaviour behind Figure 1 (larger clusters chop messages
+  /// into smaller per-step chunks and lose bandwidth).
+  double nic_ramp_bytes = 2.0 * 1024 * 1024;
+  /// Same ramp for NVLink (much smaller: on-node transfers ramp fast).
+  double nvlink_ramp_bytes = 128.0 * 1024;
+  /// Device-to-device memcpy bandwidth for the hierarchical stage-2
+  /// rearrangement (bytes/s).
+  double memcpy_bw = 600e9;
+  /// Fixed per-collective launch overhead (seconds).
+  double launch_overhead = 6e-6;
+};
+
+/// Which algorithm a collective uses; NCCL picks rings for all-gather /
+/// reduce-scatter and may use trees for all-reduce at scale.
+enum class CollectiveAlgo { kRing = 0, kTree = 1 };
+
+/// Alpha-beta cost model for collectives over the hierarchical cluster
+/// network (§2.3 of the paper; Chan et al. for the algorithm terms). All
+/// `bytes` arguments are the size M of the *full* (gathered / reduced)
+/// buffer; each of the p participants owns M/p of it.
+class CostModel {
+ public:
+  explicit CostModel(const ClusterSpec& cluster,
+                     CommCostParams params = CommCostParams());
+
+  /// Ring all-gather: (p-1) steps of M/p bytes over the bottleneck link.
+  double AllGatherTime(const GroupShape& g, double bytes) const;
+
+  /// Ring reduce-scatter: identical step structure to all-gather.
+  double ReduceScatterTime(const GroupShape& g, double bytes) const;
+
+  /// All-reduce: ring (reduce-scatter + all-gather) or tree.
+  double AllReduceTime(const GroupShape& g, double bytes,
+                       CollectiveAlgo algo = CollectiveAlgo::kRing) const;
+
+  /// Three-stage hierarchical all-gather of §3.3. Falls back to the
+  /// vanilla cost when the group does not span nodes.
+  double HierarchicalAllGatherTime(const GroupShape& g, double bytes) const;
+
+  /// The dual three-stage hierarchical reduce-scatter (extension): G
+  /// batched intra-node reduce-scatters, then k parallel inter-node
+  /// reduce-scatters over the channels. Same traffic reduction.
+  double HierarchicalReduceScatterTime(const GroupShape& g,
+                                       double bytes) const;
+
+  /// Point-to-point transfer (pipeline parallelism stage boundary).
+  double P2PTime(bool cross_node, double bytes) const;
+
+  /// Per-node NIC goodput achieved by an all-gather of `bytes`, i.e. the
+  /// metric of Figure 1 (saturates at the NIC line rate for large
+  /// messages; degrades with scale for small ones).
+  double EffectiveAllGatherBandwidth(const GroupShape& g, double bytes) const;
+
+  /// Bytes crossing each node's NIC during a (vanilla) all-gather.
+  double InterNodeBytesPerNode(const GroupShape& g, double bytes) const;
+
+  const ClusterSpec& cluster() const { return cluster_; }
+  const CommCostParams& params() const { return params_; }
+
+ private:
+  /// Per-participant bottleneck bandwidth for a ring over this group:
+  /// NVLink within a node; the NIC share when the ring crosses nodes.
+  double RingLinkBandwidth(const GroupShape& g, double chunk_bytes) const;
+  double StepLatency(const GroupShape& g) const;
+
+  ClusterSpec cluster_;
+  CommCostParams params_;
+};
+
+}  // namespace mics
+
+#endif  // MICS_SIM_COST_MODEL_H_

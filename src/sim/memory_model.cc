@@ -1,0 +1,61 @@
+#include "sim/memory_model.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace mics {
+
+std::string MemoryBreakdown::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "params=%.2fGB gathered=%.2fGB grads=%.2fGB opt=%.2fGB "
+                "act=%.2fGB total=%.2fGB",
+                params / 1e9, gathered / 1e9, grads / 1e9, optimizer / 1e9,
+                activations / 1e9, total / 1e9);
+  return buf;
+}
+
+MemoryBreakdown EstimateTrainingMemory(const MemoryInputs& in) {
+  MICS_CHECK_GE(in.param_shards, 1);
+  MICS_CHECK_GE(in.grad_shards, 1);
+  MICS_CHECK_GE(in.optimizer_shards, 1);
+  MICS_CHECK_GE(in.fragmentation_factor, 1.0);
+
+  const double param_elem = in.fp16 ? 2.0 : 4.0;
+  MemoryBreakdown out;
+
+  out.params = param_elem * in.total_params / in.param_shards;
+  if (in.param_shards > 1) {
+    // Gathered working set: the active layer's full parameters plus a
+    // byte-capped prefetch window.
+    const double layer_bytes = param_elem * in.max_layer_params;
+    const double prefetch =
+        std::min(layer_bytes * std::max(0, in.gathered_layers - 1),
+                 in.prefetch_byte_cap);
+    out.gathered = layer_bytes + prefetch;
+  }
+
+  // Gradients live in the same precision as parameters; one transient
+  // full-layer gradient exists before its reduce-scatter completes.
+  out.grads = param_elem * in.total_params / in.grad_shards;
+  if (in.grad_shards > 1) {
+    out.grads += param_elem * in.max_layer_params;
+  }
+
+  // Adam: mixed precision keeps fp32 master weights + two fp32 moments
+  // (12 bytes/param); fp32 training needs only the two moments (8).
+  const double opt_bytes_per_param = in.fp16 ? 12.0 : 8.0;
+  out.optimizer =
+      opt_bytes_per_param * in.total_params / in.optimizer_shards;
+
+  out.activations = in.activation_bytes;
+
+  out.total = (out.params + out.gathered + out.grads + out.optimizer +
+               out.activations) *
+              in.fragmentation_factor;
+  return out;
+}
+
+}  // namespace mics

@@ -1,0 +1,65 @@
+#ifndef MICS_SIM_MEMORY_MODEL_H_
+#define MICS_SIM_MEMORY_MODEL_H_
+
+#include <string>
+
+#include "model/model_graph.h"
+
+namespace mics {
+
+/// How each class of model state is sharded and how training is set up;
+/// the inputs to the per-GPU memory estimate.
+struct MemoryInputs {
+  double total_params = 0.0;
+  double max_layer_params = 0.0;
+
+  /// Number of ranks each state class is divided across (1 = replicated).
+  /// ZeRO-1: optimizer only; ZeRO-2: + gradients; ZeRO-3/MiCS: all three
+  /// (across the partition group for MiCS, the world for ZeRO).
+  int param_shards = 1;
+  int grad_shards = 1;
+  int optimizer_shards = 1;
+
+  /// Mixed-precision (fp16 params/grads + fp32 Adam master states) vs
+  /// plain fp32 (fp32 params/grads + fp32 moments).
+  bool fp16 = true;
+
+  /// Resident activation bytes for ONE micro-batch (already reflecting
+  /// whether checkpointing is on) plus the largest transient layer
+  /// activation (recompute working set).
+  double activation_bytes = 0.0;
+
+  /// Gathered-parameter working set: how many layers' full parameters are
+  /// simultaneously materialized when params are sharded (current layer +
+  /// prefetched next layers).
+  int gathered_layers = 2;
+
+  /// Bytes the prefetcher may hold BEYOND the active layer. Real
+  /// implementations bound prefetch by bytes, not layer count, so huge
+  /// layers (100B-class models) don't multiply the working set.
+  double prefetch_byte_cap = 2e9;
+
+  /// Multiplier (>= 1) modeling allocator fragmentation + temporaries:
+  /// high for the dynamic caching allocator, near 1 for MiCS's
+  /// pre-allocated contiguous arenas (§4 memory defragmentation).
+  double fragmentation_factor = 1.0;
+};
+
+/// Per-GPU bytes by category.
+struct MemoryBreakdown {
+  double params = 0.0;      // resident (sharded) parameter copy
+  double gathered = 0.0;    // transiently gathered full layers
+  double grads = 0.0;
+  double optimizer = 0.0;
+  double activations = 0.0;
+  double total = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Analytic per-GPU memory estimate for one training configuration.
+MemoryBreakdown EstimateTrainingMemory(const MemoryInputs& in);
+
+}  // namespace mics
+
+#endif  // MICS_SIM_MEMORY_MODEL_H_

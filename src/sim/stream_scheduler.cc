@@ -1,0 +1,84 @@
+#include "sim/stream_scheduler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mics {
+
+StreamScheduler::StreamScheduler(int num_streams)
+    : num_streams_(num_streams),
+      stream_free_(num_streams, 0.0),
+      stream_busy_(num_streams, 0.0) {
+  MICS_CHECK_GT(num_streams, 0);
+}
+
+int StreamScheduler::AddTask(int stream, double duration,
+                             const std::vector<int>& deps, std::string name) {
+  MICS_CHECK(stream >= 0 && stream < num_streams_) << "bad stream " << stream;
+  MICS_CHECK_GE(duration, 0.0);
+  double ready = stream_free_[stream];
+  for (int dep : deps) {
+    MICS_CHECK(dep >= 0 && dep < num_tasks()) << "dep on unissued task";
+    ready = std::max(ready, finish_[dep]);
+  }
+  const int id = num_tasks();
+  start_.push_back(ready);
+  finish_.push_back(ready + duration);
+  names_.push_back(std::move(name));
+  task_stream_.push_back(stream);
+  stream_free_[stream] = ready + duration;
+  stream_busy_[stream] += duration;
+  makespan_ = std::max(makespan_, ready + duration);
+  return id;
+}
+
+double StreamScheduler::TaskStart(int id) const {
+  MICS_CHECK(id >= 0 && id < num_tasks());
+  return start_[id];
+}
+
+double StreamScheduler::TaskFinish(int id) const {
+  MICS_CHECK(id >= 0 && id < num_tasks());
+  return finish_[id];
+}
+
+double StreamScheduler::StreamBusyTime(int stream) const {
+  MICS_CHECK(stream >= 0 && stream < num_streams_);
+  return stream_busy_[stream];
+}
+
+std::vector<int> StreamScheduler::AllTaskIds() const {
+  std::vector<int> ids(num_tasks());
+  for (int i = 0; i < num_tasks(); ++i) ids[i] = i;
+  return ids;
+}
+
+void StreamScheduler::WriteChromeTrace(
+    std::ostream& os, const std::vector<std::string>& stream_names) const {
+  os << "[";
+  for (int i = 0; i < num_tasks(); ++i) {
+    if (i) os << ",";
+    const int stream = task_stream_[static_cast<size_t>(i)];
+    const std::string& name = names_[static_cast<size_t>(i)];
+    os << "\n{\"name\":\"" << (name.empty() ? "task" : name)
+       << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << stream
+       << ",\"ts\":" << start_[static_cast<size_t>(i)] * 1e6
+       << ",\"dur\":"
+       << (finish_[static_cast<size_t>(i)] - start_[static_cast<size_t>(i)]) *
+              1e6
+       << "}";
+  }
+  // Thread-name metadata so the viewer labels streams.
+  for (int s = 0; s < num_streams_; ++s) {
+    const std::string label =
+        s < static_cast<int>(stream_names.size())
+            ? stream_names[static_cast<size_t>(s)]
+            : "stream " + std::to_string(s);
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << s
+       << ",\"args\":{\"name\":\"" << label << "\"}}";
+  }
+  os << "\n]\n";
+}
+
+}  // namespace mics

@@ -1,0 +1,61 @@
+#ifndef MICS_SIM_STREAM_SCHEDULER_H_
+#define MICS_SIM_STREAM_SCHEDULER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mics {
+
+/// Critical-path executor modeling CUDA streams: tasks on one stream run
+/// FIFO in issue order; cross-stream ordering comes only from explicit
+/// dependencies (events). A task starts at
+///   max(stream-available-time, max over deps of finish time)
+/// just like a kernel waiting on recorded events. This is how the
+/// performance engine models compute/communication overlap and how
+/// coarse- vs fine-grained synchronization (§4) differ: coarse sync adds
+/// dependencies on *everything* issued so far.
+class StreamScheduler {
+ public:
+  explicit StreamScheduler(int num_streams);
+
+  /// Issues a task. `deps` must reference already-issued tasks. Returns
+  /// the task id. Dies on invalid stream/dep (programmer error).
+  int AddTask(int stream, double duration, const std::vector<int>& deps,
+              std::string name = std::string());
+
+  int num_tasks() const { return static_cast<int>(finish_.size()); }
+  double TaskStart(int id) const;
+  double TaskFinish(int id) const;
+
+  /// Completion time of the last-finishing task issued so far.
+  double Makespan() const { return makespan_; }
+
+  /// Total busy time of a stream (sum of durations of its tasks).
+  double StreamBusyTime(int stream) const;
+
+  /// Ids of every task issued so far (useful for coarse sync barriers).
+  std::vector<int> AllTaskIds() const;
+
+  /// Writes the schedule as a Chrome trace-event JSON (load it in
+  /// chrome://tracing or Perfetto). `stream_names` labels the "threads";
+  /// missing entries fall back to "stream N". Times are microseconds.
+  void WriteChromeTrace(std::ostream& os,
+                        const std::vector<std::string>& stream_names) const;
+
+ private:
+  int num_streams_;
+  std::vector<double> stream_free_;   // per-stream next available time
+  std::vector<double> stream_busy_;   // per-stream total busy time
+  std::vector<int> task_stream_;
+  std::vector<double> start_;
+  std::vector<double> finish_;
+  std::vector<std::string> names_;
+  double makespan_ = 0.0;
+};
+
+}  // namespace mics
+
+#endif  // MICS_SIM_STREAM_SCHEDULER_H_

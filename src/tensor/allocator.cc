@@ -1,0 +1,172 @@
+#include "tensor/allocator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace mics {
+
+double DeviceMemoryStats::FragmentationRatio() const {
+  const int64_t total_free = capacity - allocated;
+  if (total_free <= 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_extent) /
+                   static_cast<double>(total_free);
+}
+
+CachingAllocator::CachingAllocator(int64_t capacity, int64_t alignment)
+    : capacity_(capacity), alignment_(alignment) {
+  MICS_CHECK_GT(capacity, 0);
+  MICS_CHECK_GT(alignment, 0);
+  free_[0] = capacity;
+  stats_.capacity = capacity;
+  stats_.largest_free_extent = capacity;
+}
+
+Result<MemBlock> CachingAllocator::Allocate(int64_t size) {
+  if (size <= 0) {
+    return Status::InvalidArgument("Allocate: size must be positive");
+  }
+  const int64_t need = AlignUp(size, alignment_);
+  // First fit.
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second >= need) {
+      MemBlock block{it->first, need, next_id_++};
+      const int64_t rem = it->second - need;
+      const int64_t rem_off = it->first + need;
+      free_.erase(it);
+      if (rem > 0) free_[rem_off] = rem;
+      live_[block.id] = block;
+      stats_.allocated += need;
+      stats_.peak_allocated = std::max(stats_.peak_allocated, stats_.allocated);
+      ++stats_.num_allocs;
+      stats_.largest_free_extent = 0;
+      for (const auto& [off, sz] : free_) {
+        stats_.largest_free_extent = std::max(stats_.largest_free_extent, sz);
+      }
+      return block;
+    }
+  }
+  ++stats_.failed_allocs;
+  return Status::OutOfMemory(
+      "CachingAllocator: no contiguous extent of " + std::to_string(need) +
+      " bytes (free total " + std::to_string(capacity_ - stats_.allocated) +
+      ", largest hole " + std::to_string(stats_.largest_free_extent) + ")");
+}
+
+Status CachingAllocator::Free(const MemBlock& block) {
+  auto it = live_.find(block.id);
+  if (it == live_.end()) {
+    return Status::InvalidArgument("Free: unknown block id");
+  }
+  free_[it->second.offset] = it->second.size;
+  stats_.allocated -= it->second.size;
+  ++stats_.num_frees;
+  live_.erase(it);
+  Coalesce();
+  return Status::OK();
+}
+
+void CachingAllocator::Coalesce() {
+  auto it = free_.begin();
+  while (it != free_.end()) {
+    auto next = std::next(it);
+    if (next != free_.end() && it->first + it->second == next->first) {
+      it->second += next->second;
+      free_.erase(next);
+    } else {
+      ++it;
+    }
+  }
+  stats_.largest_free_extent = 0;
+  for (const auto& [off, sz] : free_) {
+    stats_.largest_free_extent = std::max(stats_.largest_free_extent, sz);
+  }
+}
+
+DeviceMemoryStats CachingAllocator::stats() const { return stats_; }
+
+ArenaAllocator::ArenaAllocator(
+    int64_t capacity,
+    std::vector<std::pair<std::string, int64_t>> region_sizes)
+    : capacity_(capacity) {
+  MICS_CHECK_GT(capacity, 0);
+  int64_t base = 0;
+  for (auto& [name, size] : region_sizes) {
+    MICS_CHECK_GE(size, 0);
+    regions_[name] = Region{base, size, 0};
+    base += size;
+  }
+  MICS_CHECK_LE(base, capacity) << "arena regions exceed device capacity";
+  stats_.capacity = capacity;
+  stats_.largest_free_extent = capacity - base;
+}
+
+Result<MemBlock> ArenaAllocator::AllocateFrom(const std::string& region,
+                                              int64_t size) {
+  auto it = regions_.find(region);
+  if (it == regions_.end()) {
+    return Status::NotFound("ArenaAllocator: no region named " + region);
+  }
+  if (size <= 0) {
+    return Status::InvalidArgument("AllocateFrom: size must be positive");
+  }
+  Region& r = it->second;
+  if (r.used + size > r.size) {
+    ++stats_.failed_allocs;
+    return Status::OutOfMemory("ArenaAllocator: region " + region +
+                               " exhausted (" + std::to_string(r.size - r.used) +
+                               " bytes left, need " + std::to_string(size) +
+                               ")");
+  }
+  MemBlock block{r.base + r.used, size, next_id_++};
+  r.used += size;
+  stats_.allocated += size;
+  stats_.peak_allocated = std::max(stats_.peak_allocated, stats_.allocated);
+  ++stats_.num_allocs;
+  return block;
+}
+
+Status ArenaAllocator::ResetRegion(const std::string& region) {
+  auto it = regions_.find(region);
+  if (it == regions_.end()) {
+    return Status::NotFound("ArenaAllocator: no region named " + region);
+  }
+  stats_.allocated -= it->second.used;
+  it->second.used = 0;
+  return Status::OK();
+}
+
+Result<MemBlock> ArenaAllocator::Allocate(int64_t size) {
+  return AllocateFrom("temp", size);
+}
+
+Status ArenaAllocator::Free(const MemBlock& block) {
+  // Individual frees are no-ops in a bump arena; space is reclaimed by
+  // ResetRegion. Accept the call so the interface is interchangeable.
+  (void)block;
+  ++stats_.num_frees;
+  return Status::OK();
+}
+
+DeviceMemoryStats ArenaAllocator::stats() const {
+  DeviceMemoryStats s = stats_;
+  // The arena never fragments: its free space inside each region is always
+  // one contiguous tail.
+  s.largest_free_extent = 0;
+  for (const auto& [name, r] : regions_) {
+    s.largest_free_extent = std::max(s.largest_free_extent, r.size - r.used);
+  }
+  return s;
+}
+
+Result<int64_t> ArenaAllocator::RegionAvailable(
+    const std::string& region) const {
+  auto it = regions_.find(region);
+  if (it == regions_.end()) {
+    return Status::NotFound("ArenaAllocator: no region named " + region);
+  }
+  return it->second.size - it->second.used;
+}
+
+}  // namespace mics

@@ -1,0 +1,125 @@
+#ifndef MICS_TENSOR_ALLOCATOR_H_
+#define MICS_TENSOR_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mics {
+
+/// A block of simulated device memory: an (offset, size) range inside a
+/// fixed-capacity device address space. The allocators in this file manage
+/// *accounting*, not host RAM — they model the GPU-memory behaviour that
+/// the paper's §4 "memory defragmentation" optimization addresses, so OOM
+/// and fragmentation are observable and testable.
+struct MemBlock {
+  int64_t offset = 0;
+  int64_t size = 0;
+  uint64_t id = 0;  // handle used to free
+};
+
+/// Usage counters for a simulated device.
+struct DeviceMemoryStats {
+  int64_t capacity = 0;
+  int64_t allocated = 0;        // bytes currently handed out
+  int64_t peak_allocated = 0;   // high-water mark of `allocated`
+  int64_t num_allocs = 0;
+  int64_t num_frees = 0;
+  int64_t failed_allocs = 0;
+
+  /// Largest single free extent (contiguous hole). When this is much
+  /// smaller than (capacity - allocated) the heap is fragmented.
+  int64_t largest_free_extent = 0;
+
+  /// 1 - largest_free_extent / total_free; 0 when unfragmented.
+  double FragmentationRatio() const;
+};
+
+/// Interface for simulated device allocators.
+class DeviceAllocator {
+ public:
+  virtual ~DeviceAllocator() = default;
+
+  /// Allocates `size` bytes; fails with OutOfMemory when no contiguous
+  /// extent fits (even if total free space would suffice).
+  virtual Result<MemBlock> Allocate(int64_t size) = 0;
+
+  /// Releases a block previously returned by Allocate.
+  virtual Status Free(const MemBlock& block) = 0;
+
+  virtual DeviceMemoryStats stats() const = 0;
+};
+
+/// First-fit free-list allocator over a fixed capacity, modeling the
+/// dynamic PyTorch caching allocator: repeated alloc/free of mixed sizes
+/// (gathered parameters, gradient buckets, temporaries) carves the address
+/// space into holes, and a later large contiguous request can fail even
+/// though enough total memory is free. Adjacent free ranges are coalesced
+/// on free (as the real allocator does within a segment), but live blocks
+/// pin the space between holes.
+class CachingAllocator : public DeviceAllocator {
+ public:
+  explicit CachingAllocator(int64_t capacity, int64_t alignment = 512);
+
+  Result<MemBlock> Allocate(int64_t size) override;
+  Status Free(const MemBlock& block) override;
+  DeviceMemoryStats stats() const override;
+
+ private:
+  void Coalesce();
+
+  int64_t capacity_;
+  int64_t alignment_;
+  // offset -> size, for free extents; kept coalesced and sorted.
+  std::map<int64_t, int64_t> free_;
+  // id -> block, for live allocations.
+  std::map<uint64_t, MemBlock> live_;
+  uint64_t next_id_ = 1;
+  DeviceMemoryStats stats_;
+};
+
+/// MiCS-style pre-allocated contiguous arenas. A fixed number of named
+/// regions (partitioned parameters, partitioned gradients, temporary
+/// buffers) are reserved up front; each region is a bump allocator that is
+/// reset wholesale (e.g., per iteration), so the heap can never fragment.
+class ArenaAllocator : public DeviceAllocator {
+ public:
+  /// `region_sizes` maps region name -> reserved bytes. Their sum must not
+  /// exceed `capacity`.
+  ArenaAllocator(int64_t capacity,
+                 std::vector<std::pair<std::string, int64_t>> region_sizes);
+
+  /// Bump-allocates from the named region.
+  Result<MemBlock> AllocateFrom(const std::string& region, int64_t size);
+
+  /// Resets the named region's bump pointer (frees everything in it).
+  Status ResetRegion(const std::string& region);
+
+  /// DeviceAllocator interface: allocates from the region named "temp"
+  /// (which must exist).
+  Result<MemBlock> Allocate(int64_t size) override;
+  Status Free(const MemBlock& block) override;
+  DeviceMemoryStats stats() const override;
+
+  /// Bytes still available in a region.
+  Result<int64_t> RegionAvailable(const std::string& region) const;
+
+ private:
+  struct Region {
+    int64_t base = 0;
+    int64_t size = 0;
+    int64_t used = 0;
+  };
+
+  int64_t capacity_;
+  std::map<std::string, Region> regions_;
+  DeviceMemoryStats stats_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace mics
+
+#endif  // MICS_TENSOR_ALLOCATOR_H_

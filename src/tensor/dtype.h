@@ -1,0 +1,46 @@
+#ifndef MICS_TENSOR_DTYPE_H_
+#define MICS_TENSOR_DTYPE_H_
+
+#include <cstdint>
+
+namespace mics {
+
+/// Element types supported by the tensor library and the collectives.
+enum class DType : uint8_t {
+  kF32 = 0,
+  kF16 = 1,
+  kBF16 = 2,
+  kI32 = 3,
+};
+
+/// Bytes per element.
+constexpr int64_t SizeOf(DType dt) {
+  switch (dt) {
+    case DType::kF32:
+      return 4;
+    case DType::kF16:
+    case DType::kBF16:
+      return 2;
+    case DType::kI32:
+      return 4;
+  }
+  return 0;
+}
+
+constexpr const char* DTypeName(DType dt) {
+  switch (dt) {
+    case DType::kF32:
+      return "f32";
+    case DType::kF16:
+      return "f16";
+    case DType::kBF16:
+      return "bf16";
+    case DType::kI32:
+      return "i32";
+  }
+  return "?";
+}
+
+}  // namespace mics
+
+#endif  // MICS_TENSOR_DTYPE_H_

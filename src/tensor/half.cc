@@ -1,0 +1,102 @@
+#include "tensor/half.h"
+
+#include <cstring>
+
+namespace mics {
+
+namespace {
+
+uint32_t FloatBits(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+float BitsToFloat(uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+}  // namespace
+
+uint16_t FloatToHalf(float f) {
+  const uint32_t x = FloatBits(f);
+  const uint32_t sign = (x >> 16) & 0x8000u;
+  const uint32_t abs = x & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {
+    // Inf or NaN. Preserve NaN-ness with a quiet mantissa bit.
+    const uint32_t mantissa = abs > 0x7f800000u ? 0x0200u : 0;
+    return static_cast<uint16_t>(sign | 0x7c00u | mantissa |
+                                 ((abs & 0x007fffffu) >> 13));
+  }
+  if (abs >= 0x477ff000u) {
+    // Overflows half range after rounding -> infinity.
+    return static_cast<uint16_t>(sign | 0x7c00u);
+  }
+  if (abs >= 0x38800000u) {
+    // Normal half. Rebias exponent from 127 to 15.
+    const uint32_t mant = abs + 0xc8000000u;  // exponent - 112 << 23
+    // Round to nearest even on the 13 dropped bits.
+    const uint32_t rounded = mant + 0x00000fffu + ((mant >> 13) & 1u);
+    return static_cast<uint16_t>(sign | (rounded >> 13));
+  }
+  if (abs >= 0x33000000u) {
+    // Subnormal half: value = mant_h * 2^-24, so the 24-bit significand
+    // (hidden bit included) shifts right by 126 - E bits (14..24 here).
+    const int shift = 126 - static_cast<int>(abs >> 23);
+    uint32_t mant = (abs & 0x007fffffu) | 0x00800000u;
+    const uint32_t dropped = mant & ((1u << shift) - 1);
+    const uint32_t half_ulp = 1u << (shift - 1);
+    mant >>= shift;
+    // Round to nearest even.
+    if (dropped > half_ulp || (dropped == half_ulp && (mant & 1u))) ++mant;
+    return static_cast<uint16_t>(sign | mant);
+  }
+  // Underflows to signed zero.
+  return static_cast<uint16_t>(sign);
+}
+
+float HalfToFloat(uint16_t h) {
+  const uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1fu;
+  const uint32_t mant = h & 0x3ffu;
+
+  if (exp == 0x1fu) {
+    // Inf / NaN.
+    return BitsToFloat(sign | 0x7f800000u | (mant << 13));
+  }
+  if (exp == 0) {
+    if (mant == 0) return BitsToFloat(sign);  // signed zero
+    // Subnormal: normalize. After e+1 left shifts the hidden bit lands at
+    // position 10; the float exponent is then 112 - e (mant = 1 maps to
+    // 2^-24, i.e. exponent field 103).
+    uint32_t m = mant;
+    int e = -1;
+    do {
+      ++e;
+      m <<= 1;
+    } while ((m & 0x400u) == 0);
+    return BitsToFloat(sign | (static_cast<uint32_t>(112 - e) << 23) |
+                       ((m & 0x3ffu) << 13));
+  }
+  return BitsToFloat(sign | ((exp + 112) << 23) | (mant << 13));
+}
+
+uint16_t FloatToBfloat16(float f) {
+  uint32_t x = FloatBits(f);
+  if ((x & 0x7f800000u) == 0x7f800000u && (x & 0x007fffffu) != 0) {
+    // NaN: keep quiet bit.
+    return static_cast<uint16_t>((x >> 16) | 0x0040u);
+  }
+  // Round to nearest even on the dropped 16 bits.
+  const uint32_t rounded = x + 0x7fffu + ((x >> 16) & 1u);
+  return static_cast<uint16_t>(rounded >> 16);
+}
+
+float Bfloat16ToFloat(uint16_t b) {
+  return BitsToFloat(static_cast<uint32_t>(b) << 16);
+}
+
+}  // namespace mics

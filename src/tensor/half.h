@@ -1,0 +1,42 @@
+#ifndef MICS_TENSOR_HALF_H_
+#define MICS_TENSOR_HALF_H_
+
+#include <cstdint>
+
+namespace mics {
+
+/// IEEE 754 binary16 <-> binary32 conversions implemented in software.
+/// Round-to-nearest-even on the f32 -> f16 path; subnormals handled on both
+/// paths. Used to emulate mixed-precision training without GPU hardware.
+uint16_t FloatToHalf(float f);
+float HalfToFloat(uint16_t h);
+
+/// bfloat16 conversions (truncation with round-to-nearest-even).
+uint16_t FloatToBfloat16(float f);
+float Bfloat16ToFloat(uint16_t b);
+
+/// A value type wrapping the binary16 representation. Arithmetic promotes
+/// to float, matching how GPU half math accumulates in wider registers.
+class Half {
+ public:
+  Half() : bits_(0) {}
+  explicit Half(float f) : bits_(FloatToHalf(f)) {}
+
+  static Half FromBits(uint16_t bits) {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  uint16_t bits() const { return bits_; }
+  float ToFloat() const { return HalfToFloat(bits_); }
+
+  friend bool operator==(Half a, Half b) { return a.bits_ == b.bits_; }
+
+ private:
+  uint16_t bits_;
+};
+
+}  // namespace mics
+
+#endif  // MICS_TENSOR_HALF_H_

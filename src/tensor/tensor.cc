@@ -1,0 +1,155 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "tensor/half.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace mics {
+
+int64_t NumelOf(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+Tensor::Tensor(std::vector<int64_t> shape, DType dtype)
+    : shape_(std::move(shape)), dtype_(dtype), numel_(NumelOf(shape_)) {
+  const int64_t bytes = nbytes();
+  MICS_CHECK_GE(bytes, 0);
+  owned_ = std::shared_ptr<uint8_t[]>(new uint8_t[bytes]());
+  data_ = owned_.get();
+}
+
+Tensor Tensor::View(void* data, std::vector<int64_t> shape, DType dtype) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.dtype_ = dtype;
+  t.numel_ = NumelOf(t.shape_);
+  t.data_ = data;
+  return t;
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), dtype_(other.dtype_), numel_(other.numel_) {
+  if (other.owned_) {
+    owned_ = std::shared_ptr<uint8_t[]>(new uint8_t[other.nbytes()]);
+    std::memcpy(owned_.get(), other.data_, other.nbytes());
+    data_ = owned_.get();
+  } else {
+    data_ = other.data_;
+  }
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  Tensor tmp(other);
+  *this = std::move(tmp);
+  return *this;
+}
+
+Tensor Tensor::Slice(int64_t offset, int64_t n) {
+  MICS_CHECK_GE(offset, 0);
+  MICS_CHECK_GE(n, 0);
+  MICS_CHECK_LE(offset + n, numel_);
+  return View(static_cast<uint8_t*>(data_) + offset * SizeOf(dtype_), {n},
+              dtype_);
+}
+
+float Tensor::At(int64_t i) const {
+  MICS_DCHECK(i >= 0 && i < numel_);
+  switch (dtype_) {
+    case DType::kF32:
+      return f32()[i];
+    case DType::kF16:
+      return HalfToFloat(f16()[i]);
+    case DType::kBF16:
+      return Bfloat16ToFloat(f16()[i]);
+    case DType::kI32:
+      return static_cast<float>(i32()[i]);
+  }
+  return 0.0f;
+}
+
+void Tensor::Set(int64_t i, float v) {
+  MICS_DCHECK(i >= 0 && i < numel_);
+  switch (dtype_) {
+    case DType::kF32:
+      f32()[i] = v;
+      return;
+    case DType::kF16:
+      f16()[i] = FloatToHalf(v);
+      return;
+    case DType::kBF16:
+      f16()[i] = FloatToBfloat16(v);
+      return;
+    case DType::kI32:
+      i32()[i] = static_cast<int32_t>(v);
+      return;
+  }
+}
+
+void Tensor::FillZero() {
+  if (data_ != nullptr) std::memset(data_, 0, nbytes());
+}
+
+void Tensor::Fill(float value) {
+  for (int64_t i = 0; i < numel_; ++i) Set(i, value);
+}
+
+void Tensor::FillNormal(Rng* rng, float stddev) {
+  if (dtype_ == DType::kF32) {
+    rng->FillNormal(f32(), numel_, stddev);
+    return;
+  }
+  for (int64_t i = 0; i < numel_; ++i) Set(i, rng->Normal() * stddev);
+}
+
+Status Tensor::Add(const Tensor& other) {
+  if (dtype_ != DType::kF32 || other.dtype_ != DType::kF32) {
+    return Status::InvalidArgument("Tensor::Add requires f32 tensors");
+  }
+  if (numel_ != other.numel_) {
+    return Status::InvalidArgument("Tensor::Add numel mismatch");
+  }
+  const float* src = other.f32();
+  float* dst = f32();
+  for (int64_t i = 0; i < numel_; ++i) dst[i] += src[i];
+  return Status::OK();
+}
+
+void Tensor::Scale(float s) {
+  MICS_CHECK(dtype_ == DType::kF32);
+  float* dst = f32();
+  for (int64_t i = 0; i < numel_; ++i) dst[i] *= s;
+}
+
+Result<Tensor> Tensor::Cast(DType to) const {
+  Tensor out(shape_, to);
+  for (int64_t i = 0; i < numel_; ++i) out.Set(i, At(i));
+  return out;
+}
+
+Status Tensor::CopyFrom(const Tensor& src) {
+  if (dtype_ != src.dtype_ || numel_ != src.numel_) {
+    return Status::InvalidArgument("Tensor::CopyFrom shape/dtype mismatch");
+  }
+  std::memcpy(data_, src.data_, nbytes());
+  return Status::OK();
+}
+
+Result<float> Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  if (a.numel() != b.numel()) {
+    return Status::InvalidArgument("MaxAbsDiff numel mismatch");
+  }
+  float m = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(a.At(i) - b.At(i)));
+  }
+  return m;
+}
+
+}  // namespace mics

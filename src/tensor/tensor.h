@@ -1,0 +1,92 @@
+#ifndef MICS_TENSOR_TENSOR_H_
+#define MICS_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/dtype.h"
+#include "util/status.h"
+
+namespace mics {
+
+class Rng;
+
+/// A dense tensor over a flat byte buffer: either owning (allocated on
+/// construction) or a non-owning view into another tensor's storage. Shapes
+/// are row-major; most of the training plane works on effectively-flat
+/// tensors, so only the operations that training needs are provided.
+class Tensor {
+ public:
+  /// Empty tensor (numel() == 0, no storage).
+  Tensor() = default;
+
+  /// Allocates zero-initialized owning storage.
+  Tensor(std::vector<int64_t> shape, DType dtype);
+
+  /// Creates a non-owning view over external memory; caller guarantees the
+  /// memory outlives the view.
+  static Tensor View(void* data, std::vector<int64_t> shape, DType dtype);
+
+  /// Movable and copyable; copies are deep for owning tensors and shallow
+  /// for views.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  DType dtype() const { return dtype_; }
+  int64_t numel() const { return numel_; }
+  int64_t nbytes() const { return numel_ * SizeOf(dtype_); }
+  bool is_view() const { return owned_ == nullptr && data_ != nullptr; }
+
+  void* data() { return data_; }
+  const void* data() const { return data_; }
+
+  float* f32() { return static_cast<float*>(data_); }
+  const float* f32() const { return static_cast<const float*>(data_); }
+  uint16_t* f16() { return static_cast<uint16_t*>(data_); }
+  const uint16_t* f16() const { return static_cast<const uint16_t*>(data_); }
+  int32_t* i32() { return static_cast<int32_t*>(data_); }
+  const int32_t* i32() const { return static_cast<const int32_t*>(data_); }
+
+  /// A view of elements [offset, offset+n) as a 1-D tensor of same dtype.
+  Tensor Slice(int64_t offset, int64_t n);
+
+  /// Element accessors for f32 tensors (flat index). DCHECK bounds.
+  float At(int64_t i) const;
+  void Set(int64_t i, float v);
+
+  void FillZero();
+  void Fill(float value);
+  void FillNormal(Rng* rng, float stddev);
+
+  /// this += other (elementwise, f32 only, shapes must match numel).
+  Status Add(const Tensor& other);
+  /// this *= s (f32 only).
+  void Scale(float s);
+
+  /// Converts to the requested dtype into a new owning tensor.
+  Result<Tensor> Cast(DType to) const;
+
+  /// Copies raw bytes from `src` (same dtype/numel required).
+  Status CopyFrom(const Tensor& src);
+
+  /// Max |a-b| over f32 tensors of equal numel.
+  static Result<float> MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+ private:
+  std::vector<int64_t> shape_;
+  DType dtype_ = DType::kF32;
+  int64_t numel_ = 0;
+  std::shared_ptr<uint8_t[]> owned_;  // null for views
+  void* data_ = nullptr;
+};
+
+/// Product of dims.
+int64_t NumelOf(const std::vector<int64_t>& shape);
+
+}  // namespace mics
+
+#endif  // MICS_TENSOR_TENSOR_H_

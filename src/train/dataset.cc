@@ -1,0 +1,89 @@
+#include "train/dataset.h"
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace mics {
+
+SyntheticClassificationDataset::SyntheticClassificationDataset(Config config,
+                                                               uint64_t seed)
+    : config_(config), seed_(seed) {
+  MICS_CHECK_GT(config.input_dim, 0);
+  MICS_CHECK_GT(config.classes, 0);
+  Rng rng(seed ^ 0xc1a55e5ULL);
+  centers_.resize(static_cast<size_t>(config.classes * config.input_dim));
+  rng.FillNormal(centers_.data(), static_cast<int64_t>(centers_.size()),
+                 config.center_scale);
+}
+
+Status SyntheticClassificationDataset::Sample(int64_t step, int rank,
+                                              int64_t batch, Tensor* x,
+                                              std::vector<int32_t>* y) const {
+  if (x == nullptr || y == nullptr) {
+    return Status::InvalidArgument("null outputs");
+  }
+  if (batch <= 0) return Status::InvalidArgument("batch must be positive");
+  // Mix (step, rank) into the stream so every batch is unique but
+  // reproducible.
+  Rng rng(seed_ + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(step + 1) +
+          0x100000001b3ULL * static_cast<uint64_t>(rank + 1));
+  *x = Tensor({batch, config_.input_dim}, DType::kF32);
+  y->resize(static_cast<size_t>(batch));
+  float* xp = x->f32();
+  for (int64_t i = 0; i < batch; ++i) {
+    const int32_t label =
+        static_cast<int32_t>(rng.Uniform(static_cast<uint64_t>(config_.classes)));
+    (*y)[static_cast<size_t>(i)] = label;
+    const float* center = centers_.data() + label * config_.input_dim;
+    for (int64_t j = 0; j < config_.input_dim; ++j) {
+      xp[i * config_.input_dim + j] =
+          center[j] + rng.Normal() * config_.cluster_stddev;
+    }
+  }
+  return Status::OK();
+}
+
+SyntheticSequenceDataset::SyntheticSequenceDataset(Config config,
+                                                   uint64_t seed)
+    : config_(config), seed_(seed) {
+  MICS_CHECK_GT(config.vocab, 0);
+  MICS_CHECK_GT(config.seq_len, 0);
+  MICS_CHECK_GT(config.classes, 0);
+  MICS_CHECK_GE(config.vocab, config.classes);
+}
+
+Status SyntheticSequenceDataset::Sample(int64_t step, int rank, int64_t batch,
+                                        Tensor* tokens,
+                                        std::vector<int32_t>* y) const {
+  if (tokens == nullptr || y == nullptr) {
+    return Status::InvalidArgument("null outputs");
+  }
+  if (batch <= 0) return Status::InvalidArgument("batch must be positive");
+  Rng rng(seed_ + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(step + 1) +
+          0x100000001b3ULL * static_cast<uint64_t>(rank + 1));
+  *tokens = Tensor({batch, config_.seq_len}, DType::kI32);
+  y->resize(static_cast<size_t>(batch));
+  // Each class owns a contiguous slice of the vocabulary.
+  const int64_t slice = config_.vocab / config_.classes;
+  int32_t* out = tokens->i32();
+  for (int64_t b = 0; b < batch; ++b) {
+    const int32_t label = static_cast<int32_t>(
+        rng.Uniform(static_cast<uint64_t>(config_.classes)));
+    (*y)[static_cast<size_t>(b)] = label;
+    for (int64_t t = 0; t < config_.seq_len; ++t) {
+      int32_t tok;
+      if (rng.UniformDouble() < config_.noise_prob) {
+        tok = static_cast<int32_t>(
+            rng.Uniform(static_cast<uint64_t>(config_.vocab)));
+      } else {
+        tok = static_cast<int32_t>(label * slice +
+                                   static_cast<int64_t>(rng.Uniform(
+                                       static_cast<uint64_t>(slice))));
+      }
+      out[b * config_.seq_len + t] = tok;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mics

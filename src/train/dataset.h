@@ -1,0 +1,72 @@
+#ifndef MICS_TRAIN_DATASET_H_
+#define MICS_TRAIN_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+
+/// Deterministic synthetic classification data: Gaussian clusters, one
+/// per class. Batches are a pure function of (seed, step, rank), so every
+/// strategy in the fidelity experiment sees exactly the same samples in
+/// the same order — loss-curve differences can then only come from the
+/// distributed synchronization schedule, which is the property under
+/// test.
+class SyntheticClassificationDataset {
+ public:
+  struct Config {
+    int64_t input_dim = 32;
+    int64_t classes = 4;
+    float cluster_stddev = 0.6f;
+    float center_scale = 2.0f;
+  };
+
+  SyntheticClassificationDataset(Config config, uint64_t seed);
+
+  /// Fills `x` ([batch, input_dim] fp32, allocated by the call) and `y`
+  /// with the batch for a given (step, rank).
+  Status Sample(int64_t step, int rank, int64_t batch, Tensor* x,
+                std::vector<int32_t>* y) const;
+
+  const Config& config() const { return config_; }
+  const std::vector<float>& centers() const { return centers_; }
+
+ private:
+  Config config_;
+  uint64_t seed_;
+  std::vector<float> centers_;  // [classes, input_dim]
+};
+
+/// Deterministic synthetic token sequences for the transformer fidelity
+/// runs: each class draws most of its tokens from a class-specific slice
+/// of the vocabulary (plus uniform noise), so sequence classification is
+/// learnable. Batches are a pure function of (seed, step, rank).
+class SyntheticSequenceDataset {
+ public:
+  struct Config {
+    int64_t vocab = 32;
+    int64_t seq_len = 8;
+    int64_t classes = 4;
+    float noise_prob = 0.2f;  // fraction of uniformly random tokens
+  };
+
+  SyntheticSequenceDataset(Config config, uint64_t seed);
+
+  /// Fills `tokens` (i32, [batch, seq_len]) and `y` with the batch for a
+  /// given (step, rank).
+  Status Sample(int64_t step, int rank, int64_t batch, Tensor* tokens,
+                std::vector<int32_t>* y) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  uint64_t seed_;
+};
+
+}  // namespace mics
+
+#endif  // MICS_TRAIN_DATASET_H_

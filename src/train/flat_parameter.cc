@@ -1,0 +1,28 @@
+#include "train/flat_parameter.h"
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace mics {
+
+Result<FlatParameter> FlatParameter::Create(int64_t numel, int num_shards,
+                                            int shard_index) {
+  if (numel <= 0) {
+    return Status::InvalidArgument("numel must be positive");
+  }
+  if (num_shards <= 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  if (shard_index < 0 || shard_index >= num_shards) {
+    return Status::InvalidArgument("shard_index out of range");
+  }
+  const int64_t padded = AlignUp(numel, num_shards);
+  return FlatParameter(numel, padded, num_shards, shard_index);
+}
+
+Tensor FlatParameter::ShardView(Tensor* full) const {
+  MICS_CHECK_EQ(full->numel(), padded_);
+  return full->Slice(shard_offset(), shard_numel());
+}
+
+}  // namespace mics

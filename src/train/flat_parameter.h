@@ -1,0 +1,51 @@
+#ifndef MICS_TRAIN_FLAT_PARAMETER_H_
+#define MICS_TRAIN_FLAT_PARAMETER_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+
+/// Bookkeeping for a model's parameters flattened into one contiguous
+/// fp32 buffer that is sharded evenly across `num_shards` ranks (the
+/// "model states partitioning" of §3.2, at the granularity real ZeRO/MiCS
+/// implementations use). The logical size is padded up so every shard is
+/// equal — collectives require uniform chunk sizes.
+class FlatParameter {
+ public:
+  /// `numel` is the model's true parameter count; `num_shards` the number
+  /// of ranks in the partition group; `shard_index` this rank's slot.
+  static Result<FlatParameter> Create(int64_t numel, int num_shards,
+                                      int shard_index);
+
+  int64_t numel() const { return numel_; }          // true size
+  int64_t padded_numel() const { return padded_; }  // multiple of shards
+  int64_t shard_numel() const { return padded_ / num_shards_; }
+  int num_shards() const { return num_shards_; }
+  int shard_index() const { return shard_index_; }
+
+  /// First element of this rank's shard within the padded buffer.
+  int64_t shard_offset() const { return shard_numel() * shard_index_; }
+
+  /// This rank's view of `full` (a padded_numel() fp32 tensor).
+  Tensor ShardView(Tensor* full) const;
+
+ private:
+  FlatParameter(int64_t numel, int64_t padded, int num_shards,
+                int shard_index)
+      : numel_(numel),
+        padded_(padded),
+        num_shards_(num_shards),
+        shard_index_(shard_index) {}
+
+  int64_t numel_;
+  int64_t padded_;
+  int num_shards_;
+  int shard_index_;
+};
+
+}  // namespace mics
+
+#endif  // MICS_TRAIN_FLAT_PARAMETER_H_

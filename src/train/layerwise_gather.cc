@@ -1,0 +1,120 @@
+#include "train/layerwise_gather.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/math_util.h"
+
+namespace mics {
+
+Result<LayerwiseGatherManager> LayerwiseGatherManager::Create(
+    GroupManager* groups, std::vector<int64_t> segment_numels) {
+  return Create(groups, std::move(segment_numels), Options());
+}
+
+Result<LayerwiseGatherManager> LayerwiseGatherManager::Create(
+    GroupManager* groups, std::vector<int64_t> segment_numels,
+    Options options) {
+  if (groups == nullptr) {
+    return Status::InvalidArgument("groups must not be null");
+  }
+  if (segment_numels.empty()) {
+    return Status::InvalidArgument("need at least one segment");
+  }
+  if (options.prefetch_depth < 0) {
+    return Status::InvalidArgument("prefetch_depth must be >= 0");
+  }
+  LayerwiseGatherManager mgr(groups, options);
+  const int p = groups->partition_group_size();
+  mgr.segments_.reserve(segment_numels.size());
+  for (int64_t numel : segment_numels) {
+    if (numel <= 0) {
+      return Status::InvalidArgument("segment sizes must be positive");
+    }
+    Segment seg;
+    seg.numel = numel;
+    seg.padded = AlignUp(numel, p);
+    seg.shard = Tensor({seg.padded / p}, DType::kF32);
+    mgr.segments_.push_back(std::move(seg));
+  }
+  return mgr;
+}
+
+int64_t LayerwiseGatherManager::segment_numel(int index) const {
+  MICS_CHECK(index >= 0 && index < num_segments());
+  return segments_[static_cast<size_t>(index)].numel;
+}
+
+Result<Tensor*> LayerwiseGatherManager::Shard(int index) {
+  if (index < 0 || index >= num_segments()) {
+    return Status::InvalidArgument("segment index out of range");
+  }
+  return &segments_[static_cast<size_t>(index)].shard;
+}
+
+Status LayerwiseGatherManager::GatherSegment(int index) {
+  Segment& seg = segments_[static_cast<size_t>(index)];
+  if (seg.gathered != nullptr) return Status::OK();
+  seg.gathered = std::make_unique<Tensor>(
+      std::vector<int64_t>{seg.padded}, DType::kF32);
+  if (groups_->partition_group_size() == 1) {
+    MICS_RETURN_NOT_OK(seg.gathered->CopyFrom(seg.shard));
+  } else {
+    MICS_RETURN_NOT_OK(groups_->GatherParams(seg.shard, seg.gathered.get()));
+  }
+  peak_resident_bytes_ = std::max(peak_resident_bytes_, resident_bytes());
+  return Status::OK();
+}
+
+Result<Tensor> LayerwiseGatherManager::Acquire(int index) {
+  if (index < 0 || index >= num_segments()) {
+    return Status::InvalidArgument("segment index out of range");
+  }
+  // Infer the traversal direction from consecutive acquires: the forward
+  // pass walks +1, the backward pass walks -1. This is the "precomputed
+  // decision" the real system caches (§4).
+  if (last_acquired_ >= 0 && index != last_acquired_) {
+    direction_ = index > last_acquired_ ? 1 : -1;
+  }
+  last_acquired_ = index;
+
+  MICS_RETURN_NOT_OK(GatherSegment(index));
+  for (int ahead = 1; ahead <= options_.prefetch_depth; ++ahead) {
+    const int next = index + ahead * direction_;
+    if (next < 0 || next >= num_segments()) break;
+    MICS_RETURN_NOT_OK(GatherSegment(next));
+  }
+  Segment& seg = segments_[static_cast<size_t>(index)];
+  return seg.gathered->Slice(0, seg.numel);
+}
+
+Status LayerwiseGatherManager::Release(int index) {
+  if (index < 0 || index >= num_segments()) {
+    return Status::InvalidArgument("segment index out of range");
+  }
+  Segment& seg = segments_[static_cast<size_t>(index)];
+  if (seg.gathered == nullptr) {
+    return Status::FailedPrecondition("segment " + std::to_string(index) +
+                                      " is not resident");
+  }
+  seg.gathered.reset();
+  return Status::OK();
+}
+
+int LayerwiseGatherManager::resident_segments() const {
+  int n = 0;
+  for (const auto& seg : segments_) {
+    if (seg.gathered != nullptr) ++n;
+  }
+  return n;
+}
+
+int64_t LayerwiseGatherManager::resident_bytes() const {
+  int64_t bytes = 0;
+  for (const auto& seg : segments_) {
+    if (seg.gathered != nullptr) bytes += seg.gathered->nbytes();
+  }
+  return bytes;
+}
+
+}  // namespace mics

@@ -1,0 +1,91 @@
+#ifndef MICS_TRAIN_LAYERWISE_GATHER_H_
+#define MICS_TRAIN_LAYERWISE_GATHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/group_manager.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+
+/// The per-layer parameter lifecycle of §4: "which parameters should be
+/// fetched, predicting which parameters will be used next, which may be
+/// reused soon and should be kept, and which can be released."
+///
+/// The model's flat parameter space is split into segments (one per
+/// layer). Each segment stays SHARDED across the partition group; before
+/// a layer computes, Acquire() gathers its segment (and prefetches the
+/// next `prefetch_depth` segments in the traversal direction), and
+/// Release() frees the gathered buffer once the layer is done. The
+/// resident working set is therefore bounded by prefetch_depth + 1
+/// segments — the memory behaviour the PerfEngine's gathered-window model
+/// assumes, here implemented and enforced on real tensors.
+///
+/// All ranks of the partition group must call Acquire/Release in the same
+/// order (SPMD), like every collective in this library.
+class LayerwiseGatherManager {
+ public:
+  struct Options {
+    int prefetch_depth = 2;
+  };
+
+  /// `segment_numels` gives each layer's (unpadded) parameter count.
+  /// `groups` must outlive the manager.
+  static Result<LayerwiseGatherManager> Create(
+      GroupManager* groups, std::vector<int64_t> segment_numels,
+      Options options);
+  static Result<LayerwiseGatherManager> Create(
+      GroupManager* groups, std::vector<int64_t> segment_numels);
+
+  int num_segments() const { return static_cast<int>(segments_.size()); }
+  int64_t segment_numel(int index) const;
+
+  /// This rank's shard of segment `index` (fp32); the caller initializes
+  /// and updates it (optimizer).
+  Result<Tensor*> Shard(int index);
+
+  /// Ensures segment `index` is gathered (collective!) and prefetches
+  /// ahead in the direction implied by the previous Acquire (+1 forward,
+  /// -1 backward). Returns a view of the full (unpadded) segment.
+  Result<Tensor> Acquire(int index);
+
+  /// Releases segment `index`'s gathered buffer. Acquired-but-unreleased
+  /// prefetched segments stay resident until their own Release.
+  Status Release(int index);
+
+  /// Currently materialized segments / bytes, and the high-water mark.
+  int resident_segments() const;
+  int64_t resident_bytes() const;
+  int64_t peak_resident_bytes() const { return peak_resident_bytes_; }
+
+  /// Sanity invariant: residency may never exceed prefetch_depth + 1
+  /// segments beyond those the caller has acquired and not released.
+  int prefetch_depth() const { return options_.prefetch_depth; }
+
+ private:
+  struct Segment {
+    int64_t numel = 0;          // unpadded
+    int64_t padded = 0;         // multiple of group size
+    Tensor shard;               // this rank's slice (padded/p elements)
+    std::unique_ptr<Tensor> gathered;  // padded buffer when resident
+  };
+
+  LayerwiseGatherManager(GroupManager* groups, Options options)
+      : groups_(groups), options_(options) {}
+
+  Status GatherSegment(int index);
+
+  GroupManager* groups_;
+  Options options_;
+  std::vector<Segment> segments_;
+  int last_acquired_ = -1;
+  int direction_ = 1;  // +1 forward, -1 backward
+  int64_t peak_resident_bytes_ = 0;
+};
+
+}  // namespace mics
+
+#endif  // MICS_TRAIN_LAYERWISE_GATHER_H_

@@ -1,0 +1,67 @@
+#include "train/lr_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mics {
+
+namespace {
+
+Status ValidateScheduleArgs(float base_lr, int64_t warmup, int64_t total,
+                            float min_lr) {
+  if (base_lr <= 0.0f) {
+    return Status::InvalidArgument("base_lr must be positive");
+  }
+  if (warmup < 0 || total <= 0 || warmup > total) {
+    return Status::InvalidArgument("need 0 <= warmup_steps <= total_steps");
+  }
+  if (min_lr < 0.0f || min_lr > base_lr) {
+    return Status::InvalidArgument("need 0 <= min_lr <= base_lr");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<WarmupLinearDecayLr> WarmupLinearDecayLr::Create(float base_lr,
+                                                        int64_t warmup_steps,
+                                                        int64_t total_steps,
+                                                        float min_lr) {
+  MICS_RETURN_NOT_OK(
+      ValidateScheduleArgs(base_lr, warmup_steps, total_steps, min_lr));
+  return WarmupLinearDecayLr(base_lr, warmup_steps, total_steps, min_lr);
+}
+
+float WarmupLinearDecayLr::LearningRate(int64_t step) const {
+  if (warmup_ > 0 && step < warmup_) {
+    return base_lr_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_);
+  }
+  if (step >= total_) return min_lr_;
+  const float progress = static_cast<float>(step - warmup_) /
+                         static_cast<float>(std::max<int64_t>(1, total_ - warmup_));
+  return min_lr_ + (base_lr_ - min_lr_) * (1.0f - progress);
+}
+
+Result<WarmupCosineLr> WarmupCosineLr::Create(float base_lr,
+                                              int64_t warmup_steps,
+                                              int64_t total_steps,
+                                              float min_lr) {
+  MICS_RETURN_NOT_OK(
+      ValidateScheduleArgs(base_lr, warmup_steps, total_steps, min_lr));
+  return WarmupCosineLr(base_lr, warmup_steps, total_steps, min_lr);
+}
+
+float WarmupCosineLr::LearningRate(int64_t step) const {
+  if (warmup_ > 0 && step < warmup_) {
+    return base_lr_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_);
+  }
+  if (step >= total_) return min_lr_;
+  const float progress = static_cast<float>(step - warmup_) /
+                         static_cast<float>(std::max<int64_t>(1, total_ - warmup_));
+  const float cosine = 0.5f * (1.0f + std::cos(progress * static_cast<float>(M_PI)));
+  return min_lr_ + (base_lr_ - min_lr_) * cosine;
+}
+
+}  // namespace mics

@@ -1,0 +1,74 @@
+#ifndef MICS_TRAIN_LR_SCHEDULER_H_
+#define MICS_TRAIN_LR_SCHEDULER_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace mics {
+
+/// Learning-rate schedules used by large-batch training (the paper's
+/// workloads warm up and decay; §3.4 motivates gradient accumulation with
+/// exactly this large-batch regime). Pure functions of the step index so
+/// every rank computes identical rates without synchronization.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate for 0-indexed optimizer step `step`.
+  virtual float LearningRate(int64_t step) const = 0;
+};
+
+/// Constant rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float LearningRate(int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Linear warmup from 0 to `base_lr` over `warmup_steps`, then linear
+/// decay to `min_lr` at `total_steps` (BERT-style).
+class WarmupLinearDecayLr : public LrSchedule {
+ public:
+  static Result<WarmupLinearDecayLr> Create(float base_lr,
+                                            int64_t warmup_steps,
+                                            int64_t total_steps,
+                                            float min_lr = 0.0f);
+
+  float LearningRate(int64_t step) const override;
+
+ private:
+  WarmupLinearDecayLr(float base_lr, int64_t warmup, int64_t total,
+                      float min_lr)
+      : base_lr_(base_lr), warmup_(warmup), total_(total), min_lr_(min_lr) {}
+
+  float base_lr_;
+  int64_t warmup_;
+  int64_t total_;
+  float min_lr_;
+};
+
+/// Linear warmup then cosine decay to `min_lr` (GPT-style).
+class WarmupCosineLr : public LrSchedule {
+ public:
+  static Result<WarmupCosineLr> Create(float base_lr, int64_t warmup_steps,
+                                       int64_t total_steps,
+                                       float min_lr = 0.0f);
+
+  float LearningRate(int64_t step) const override;
+
+ private:
+  WarmupCosineLr(float base_lr, int64_t warmup, int64_t total, float min_lr)
+      : base_lr_(base_lr), warmup_(warmup), total_(total), min_lr_(min_lr) {}
+
+  float base_lr_;
+  int64_t warmup_;
+  int64_t total_;
+  float min_lr_;
+};
+
+}  // namespace mics
+
+#endif  // MICS_TRAIN_LR_SCHEDULER_H_

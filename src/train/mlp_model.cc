@@ -1,0 +1,225 @@
+#include "train/mlp_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace mics {
+
+MlpModel::MlpModel(Config config) : config_(config) {
+  MICS_CHECK_GT(config.input_dim, 0);
+  MICS_CHECK_GT(config.hidden, 0);
+  MICS_CHECK_GT(config.classes, 0);
+}
+
+int64_t MlpModel::NumParams() const {
+  return config_.input_dim * config_.hidden + config_.hidden +
+         config_.hidden * config_.classes + config_.classes;
+}
+
+Status MlpModel::BindParameters(Tensor* params_flat, Tensor* grads_flat) {
+  if (params_flat == nullptr || grads_flat == nullptr) {
+    return Status::InvalidArgument("null parameter buffers");
+  }
+  if (params_flat->dtype() != DType::kF32 ||
+      grads_flat->dtype() != DType::kF32) {
+    return Status::InvalidArgument("parameter buffers must be fp32");
+  }
+  if (params_flat->numel() < NumParams() ||
+      grads_flat->numel() < NumParams()) {
+    return Status::InvalidArgument("parameter buffers too small");
+  }
+  const int64_t d = config_.input_dim;
+  const int64_t h = config_.hidden;
+  const int64_t c = config_.classes;
+  int64_t off = 0;
+  w1_ = params_flat->Slice(off, d * h);
+  gw1_ = grads_flat->Slice(off, d * h);
+  off += d * h;
+  b1_ = params_flat->Slice(off, h);
+  gb1_ = grads_flat->Slice(off, h);
+  off += h;
+  w2_ = params_flat->Slice(off, h * c);
+  gw2_ = grads_flat->Slice(off, h * c);
+  off += h * c;
+  b2_ = params_flat->Slice(off, c);
+  gb2_ = grads_flat->Slice(off, c);
+  bound_ = true;
+  return Status::OK();
+}
+
+Status MlpModel::InitParameters(Rng* rng) {
+  if (!bound_) return Status::FailedPrecondition("parameters not bound");
+  const float s1 =
+      std::sqrt(2.0f / static_cast<float>(config_.input_dim));
+  const float s2 = std::sqrt(2.0f / static_cast<float>(config_.hidden));
+  w1_.FillNormal(rng, s1);
+  b1_.FillZero();
+  w2_.FillNormal(rng, s2);
+  b2_.FillZero();
+  return Status::OK();
+}
+
+Status MlpModel::CheckBatch(const Tensor& x, int64_t labels) const {
+  if (!bound_) return Status::FailedPrecondition("parameters not bound");
+  if (x.dtype() != DType::kF32) {
+    return Status::InvalidArgument("inputs must be fp32");
+  }
+  if (x.numel() % config_.input_dim != 0) {
+    return Status::InvalidArgument("input numel not a multiple of input_dim");
+  }
+  const int64_t batch = x.numel() / config_.input_dim;
+  if (batch == 0 || batch != labels) {
+    return Status::InvalidArgument("batch/label size mismatch");
+  }
+  return Status::OK();
+}
+
+void MlpModel::ForwardImpl(const Tensor& x, std::vector<float>* z1,
+                           std::vector<float>* logits) const {
+  const int64_t d = config_.input_dim;
+  const int64_t h = config_.hidden;
+  const int64_t c = config_.classes;
+  const int64_t batch = x.numel() / d;
+  const float* xp = x.f32();
+  const float* w1 = w1_.f32();
+  const float* b1 = b1_.f32();
+  const float* w2 = w2_.f32();
+  const float* b2 = b2_.f32();
+
+  z1->assign(static_cast<size_t>(batch * h), 0.0f);
+  logits->assign(static_cast<size_t>(batch * c), 0.0f);
+  for (int64_t i = 0; i < batch; ++i) {
+    float* zrow = z1->data() + i * h;
+    const float* xrow = xp + i * d;
+    for (int64_t j = 0; j < h; ++j) zrow[j] = b1[j];
+    for (int64_t kd = 0; kd < d; ++kd) {
+      const float xv = xrow[kd];
+      const float* wrow = w1 + kd * h;
+      for (int64_t j = 0; j < h; ++j) zrow[j] += xv * wrow[j];
+    }
+    float* lrow = logits->data() + i * c;
+    for (int64_t j = 0; j < c; ++j) lrow[j] = b2[j];
+    for (int64_t j = 0; j < h; ++j) {
+      const float a = std::max(0.0f, zrow[j]);
+      if (a == 0.0f) continue;
+      const float* wrow = w2 + j * c;
+      for (int64_t kc = 0; kc < c; ++kc) lrow[kc] += a * wrow[kc];
+    }
+  }
+}
+
+namespace {
+
+/// Row-wise softmax cross-entropy; writes probabilities in place over the
+/// logits and returns the mean loss.
+float SoftmaxCrossEntropy(std::vector<float>* logits,
+                          const std::vector<int32_t>& y, int64_t classes) {
+  const int64_t batch = static_cast<int64_t>(y.size());
+  double loss = 0.0;
+  for (int64_t i = 0; i < batch; ++i) {
+    float* row = logits->data() + i * classes;
+    float mx = row[0];
+    for (int64_t j = 1; j < classes; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < classes; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      denom += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < classes; ++j) row[j] *= inv;
+    loss += -std::log(std::max(1e-12f, row[y[static_cast<size_t>(i)]]));
+  }
+  return static_cast<float>(loss / batch);
+}
+
+}  // namespace
+
+Result<float> MlpModel::ForwardBackward(const Tensor& x,
+                                        const std::vector<int32_t>& y) {
+  MICS_RETURN_NOT_OK(CheckBatch(x, static_cast<int64_t>(y.size())));
+  const int64_t d = config_.input_dim;
+  const int64_t h = config_.hidden;
+  const int64_t c = config_.classes;
+  const int64_t batch = x.numel() / d;
+
+  std::vector<float> z1, probs;
+  ForwardImpl(x, &z1, &probs);
+  const float loss = SoftmaxCrossEntropy(&probs, y, c);
+
+  // dlogits = (probs - onehot(y)) / batch.
+  const float invb = 1.0f / static_cast<float>(batch);
+  std::vector<float> dlogits(probs);
+  for (int64_t i = 0; i < batch; ++i) {
+    for (int64_t j = 0; j < c; ++j) dlogits[i * c + j] *= invb;
+    dlogits[i * c + y[static_cast<size_t>(i)]] -= invb;
+  }
+
+  const float* xp = x.f32();
+  const float* w2 = w2_.f32();
+  float* gw1 = gw1_.f32();
+  float* gb1 = gb1_.f32();
+  float* gw2 = gw2_.f32();
+  float* gb2 = gb2_.f32();
+
+  std::vector<float> dz1(static_cast<size_t>(batch * h), 0.0f);
+  for (int64_t i = 0; i < batch; ++i) {
+    const float* drow = dlogits.data() + i * c;
+    const float* zrow = z1.data() + i * h;
+    // gb2 += dlogits; gw2 += a^T dlogits; da = dlogits W2^T (relu-masked).
+    for (int64_t j = 0; j < c; ++j) gb2[j] += drow[j];
+    float* dzrow = dz1.data() + i * h;
+    for (int64_t j = 0; j < h; ++j) {
+      const float a = std::max(0.0f, zrow[j]);
+      float da = 0.0f;
+      const float* wrow = w2 + j * c;
+      float* gwrow = gw2 + j * c;
+      for (int64_t kc = 0; kc < c; ++kc) {
+        gwrow[kc] += a * drow[kc];
+        da += wrow[kc] * drow[kc];
+      }
+      dzrow[j] = zrow[j] > 0.0f ? da : 0.0f;
+    }
+    // gb1 += dz1; gw1 += x^T dz1.
+    const float* xrow = xp + i * d;
+    for (int64_t j = 0; j < h; ++j) gb1[j] += dzrow[j];
+    for (int64_t kd = 0; kd < d; ++kd) {
+      const float xv = xrow[kd];
+      if (xv == 0.0f) continue;
+      float* gwrow = gw1 + kd * h;
+      for (int64_t j = 0; j < h; ++j) gwrow[j] += xv * dzrow[j];
+    }
+  }
+  return loss;
+}
+
+Result<float> MlpModel::Loss(const Tensor& x,
+                             const std::vector<int32_t>& y) const {
+  MICS_RETURN_NOT_OK(CheckBatch(x, static_cast<int64_t>(y.size())));
+  std::vector<float> z1, probs;
+  ForwardImpl(x, &z1, &probs);
+  return SoftmaxCrossEntropy(&probs, y, config_.classes);
+}
+
+Result<std::vector<int32_t>> MlpModel::Predict(const Tensor& x) const {
+  MICS_RETURN_NOT_OK(CheckBatch(x, x.numel() / config_.input_dim));
+  const int64_t c = config_.classes;
+  const int64_t batch = x.numel() / config_.input_dim;
+  std::vector<float> z1, logits;
+  ForwardImpl(x, &z1, &logits);
+  std::vector<int32_t> out(static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i) {
+    const float* row = logits.data() + i * c;
+    int32_t best = 0;
+    for (int64_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = static_cast<int32_t>(j);
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+}  // namespace mics

@@ -1,0 +1,74 @@
+#ifndef MICS_TRAIN_MLP_MODEL_H_
+#define MICS_TRAIN_MLP_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+
+class Rng;
+
+/// A real (CPU-executed) two-layer MLP classifier with hand-written
+/// forward and backward passes:
+///
+///   logits = relu(x W1 + b1) W2 + b2,  loss = mean cross-entropy.
+///
+/// Its parameters and gradients live as views into externally owned flat
+/// buffers, which is how the sharded training plane materializes gathered
+/// parameters (§3.2): the model computes, the distributed engine owns
+/// storage and synchronization. Used by the fidelity experiment (Fig. 15)
+/// to show MiCS trains identically to plain data parallelism.
+class MlpModel {
+ public:
+  struct Config {
+    int64_t input_dim = 32;
+    int64_t hidden = 64;
+    int64_t classes = 4;
+  };
+
+  explicit MlpModel(Config config);
+
+  /// Total parameter count (W1 + b1 + W2 + b2).
+  int64_t NumParams() const;
+
+  /// Binds parameter/gradient storage. Both must be fp32 with at least
+  /// NumParams() elements; the model keeps views, not copies.
+  Status BindParameters(Tensor* params_flat, Tensor* grads_flat);
+
+  /// Writes a deterministic initialization into the bound parameters
+  /// (same seed => identical weights on every rank).
+  Status InitParameters(Rng* rng);
+
+  /// Runs forward + backward on a batch: `x` is [batch, input_dim] fp32,
+  /// `y` holds `batch` labels. ACCUMULATES dLoss/dparams into the bound
+  /// gradient buffer (callers zero it per micro-step or let it
+  /// accumulate, as gradient accumulation requires). Returns mean loss.
+  Result<float> ForwardBackward(const Tensor& x, const std::vector<int32_t>& y);
+
+  /// Forward only; returns mean loss.
+  Result<float> Loss(const Tensor& x, const std::vector<int32_t>& y) const;
+
+  /// Predicted class per row.
+  Result<std::vector<int32_t>> Predict(const Tensor& x) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Status CheckBatch(const Tensor& x, int64_t labels) const;
+  /// Computes logits [batch, classes] and optionally hidden activations.
+  void ForwardImpl(const Tensor& x, std::vector<float>* z1,
+                   std::vector<float>* logits) const;
+
+  Config config_;
+  bool bound_ = false;
+  // Views into the flat buffers.
+  Tensor w1_, b1_, w2_, b2_;
+  Tensor gw1_, gb1_, gw2_, gb2_;
+};
+
+}  // namespace mics
+
+#endif  // MICS_TRAIN_MLP_MODEL_H_

@@ -1,0 +1,102 @@
+#include "train/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mics {
+
+AdamOptimizer::AdamOptimizer(int64_t numel, Config config)
+    : numel_(numel), config_(config) {
+  MICS_CHECK_GT(numel, 0);
+  m_.assign(static_cast<size_t>(numel), 0.0f);
+  v_.assign(static_cast<size_t>(numel), 0.0f);
+}
+
+Status AdamOptimizer::Step(Tensor* params, const Tensor& grads) {
+  if (params == nullptr || params->dtype() != DType::kF32 ||
+      grads.dtype() != DType::kF32) {
+    return Status::InvalidArgument("Adam requires fp32 buffers");
+  }
+  if (params->numel() != numel_ || grads.numel() != numel_) {
+    return Status::InvalidArgument("Adam buffer size mismatch");
+  }
+  ++step_;
+  const float b1 = config_.beta1;
+  const float b2 = config_.beta2;
+  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(step_));
+  float* w = params->f32();
+  const float* g = grads.f32();
+  for (int64_t i = 0; i < numel_; ++i) {
+    const float gi = g[i];
+    m_[i] = b1 * m_[i] + (1.0f - b1) * gi;
+    v_[i] = b2 * v_[i] + (1.0f - b2) * gi * gi;
+    const float mhat = m_[i] / bc1;
+    const float vhat = v_[i] / bc2;
+    float update = mhat / (std::sqrt(vhat) + config_.eps);
+    if (config_.weight_decay > 0.0f) update += config_.weight_decay * w[i];
+    w[i] -= config_.lr * update;
+  }
+  return Status::OK();
+}
+
+Status AdamOptimizer::SetLearningRate(float lr) {
+  if (lr <= 0.0f) return Status::InvalidArgument("lr must be positive");
+  config_.lr = lr;
+  return Status::OK();
+}
+
+Status AdamOptimizer::SaveState(std::ostream& os) const {
+  os.write(reinterpret_cast<const char*>(&numel_), sizeof(numel_));
+  os.write(reinterpret_cast<const char*>(&step_), sizeof(step_));
+  os.write(reinterpret_cast<const char*>(m_.data()),
+           static_cast<std::streamsize>(m_.size() * sizeof(float)));
+  os.write(reinterpret_cast<const char*>(v_.data()),
+           static_cast<std::streamsize>(v_.size() * sizeof(float)));
+  if (!os.good()) return Status::Internal("optimizer state write failed");
+  return Status::OK();
+}
+
+Status AdamOptimizer::LoadState(std::istream& is) {
+  int64_t numel = 0;
+  is.read(reinterpret_cast<char*>(&numel), sizeof(numel));
+  if (!is.good() || numel != numel_) {
+    return Status::InvalidArgument(
+        "optimizer state size mismatch (checkpoint from a different "
+        "sharding?)");
+  }
+  is.read(reinterpret_cast<char*>(&step_), sizeof(step_));
+  is.read(reinterpret_cast<char*>(m_.data()),
+          static_cast<std::streamsize>(m_.size() * sizeof(float)));
+  is.read(reinterpret_cast<char*>(v_.data()),
+          static_cast<std::streamsize>(v_.size() * sizeof(float)));
+  if (!is.good()) return Status::Internal("optimizer state read failed");
+  return Status::OK();
+}
+
+SgdOptimizer::SgdOptimizer(int64_t numel, Config config)
+    : numel_(numel), config_(config) {
+  MICS_CHECK_GT(numel, 0);
+  velocity_.assign(static_cast<size_t>(numel), 0.0f);
+}
+
+Status SgdOptimizer::Step(Tensor* params, const Tensor& grads) {
+  if (params == nullptr || params->dtype() != DType::kF32 ||
+      grads.dtype() != DType::kF32) {
+    return Status::InvalidArgument("SGD requires fp32 buffers");
+  }
+  if (params->numel() != numel_ || grads.numel() != numel_) {
+    return Status::InvalidArgument("SGD buffer size mismatch");
+  }
+  ++step_;
+  float* w = params->f32();
+  const float* g = grads.f32();
+  for (int64_t i = 0; i < numel_; ++i) {
+    velocity_[i] = config_.momentum * velocity_[i] + g[i];
+    w[i] -= config_.lr * velocity_[i];
+  }
+  return Status::OK();
+}
+
+}  // namespace mics

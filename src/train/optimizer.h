@@ -1,0 +1,82 @@
+#ifndef MICS_TRAIN_OPTIMIZER_H_
+#define MICS_TRAIN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+
+/// Adam with optional decoupled weight decay, operating on a flat fp32
+/// parameter (shard) buffer. Each rank of a sharded run owns one of these
+/// over its shard only — exactly the optimizer-state partitioning of
+/// ZeRO-1/3 and MiCS.
+class AdamOptimizer {
+ public:
+  struct Config {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  /// `numel` is the size of the parameter buffer this instance updates.
+  AdamOptimizer(int64_t numel, Config config);
+
+  /// params -= update(grads); both must be fp32 of `numel` elements.
+  Status Step(Tensor* params, const Tensor& grads);
+
+  int64_t step_count() const { return step_; }
+  int64_t numel() const { return numel_; }
+  const Config& config() const { return config_; }
+
+  /// Updates the learning rate (for LR schedules). Must be positive.
+  Status SetLearningRate(float lr);
+
+  /// Serializes / restores the moment buffers and step counter (binary,
+  /// host byte order). Used by distributed checkpointing: each rank saves
+  /// exactly its shard's optimizer state.
+  Status SaveState(std::ostream& os) const;
+  Status LoadState(std::istream& is);
+
+  /// Bytes of optimizer state this instance holds (the 8*numel of §2.1's
+  /// "optimizer states" for fp32, used by memory assertions in tests).
+  int64_t StateBytes() const { return 2 * numel_ * 4; }
+
+ private:
+  int64_t numel_;
+  Config config_;
+  int64_t step_ = 0;
+  std::vector<float> m_;
+  std::vector<float> v_;
+};
+
+/// Plain SGD with momentum, same contract as AdamOptimizer.
+class SgdOptimizer {
+ public:
+  struct Config {
+    float lr = 1e-2f;
+    float momentum = 0.0f;
+  };
+
+  SgdOptimizer(int64_t numel, Config config);
+
+  Status Step(Tensor* params, const Tensor& grads);
+
+  int64_t step_count() const { return step_; }
+
+ private:
+  int64_t numel_;
+  Config config_;
+  int64_t step_ = 0;
+  std::vector<float> velocity_;
+};
+
+}  // namespace mics
+
+#endif  // MICS_TRAIN_OPTIMIZER_H_

@@ -1,0 +1,426 @@
+#include "train/sharded_data_parallel.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "tensor/half.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace mics {
+
+int SdpOptions::EffectiveGroupSize(int world_size) const {
+  switch (strategy) {
+    case Strategy::kDDP:
+    case Strategy::kZeRO1:
+    case Strategy::kZeRO2:
+      return 1;  // parameters replicated
+    case Strategy::kZeRO3:
+      return world_size;
+    case Strategy::kMiCS:
+      return partition_group_size;
+  }
+  return 1;
+}
+
+int ShardedDataParallel::OptimizerShards(Strategy strategy, int world_size,
+                                         int partition_shards) {
+  switch (strategy) {
+    case Strategy::kDDP:
+      return 1;
+    case Strategy::kZeRO1:
+    case Strategy::kZeRO2:
+      return world_size;
+    case Strategy::kZeRO3:
+    case Strategy::kMiCS:
+      return partition_shards;
+  }
+  return 1;
+}
+
+ShardedDataParallel::ShardedDataParallel(GroupManager groups,
+                                         FlatParameter flat,
+                                         FlatParameter opt_flat,
+                                         SdpOptions options, int world_size,
+                                         int64_t true_numel,
+                                         AdamOptimizer::Config adam)
+    : groups_(std::move(groups)),
+      flat_(flat),
+      opt_flat_(opt_flat),
+      options_(options),
+      world_size_(world_size),
+      true_numel_(true_numel),
+      shard_params_({flat.shard_numel()}, DType::kF32),
+      full_params_({flat.padded_numel()}, DType::kF32),
+      micro_grads_({flat.padded_numel()}, DType::kF32),
+      accum_shard_({flat.shard_numel()}, DType::kF32),
+      scratch_shard_({flat.shard_numel()}, DType::kF32),
+      optimizer_(opt_flat.shard_numel(), adam) {
+  if (options_.strategy == Strategy::kZeRO2) {
+    accum_opt_ = Tensor({opt_flat.shard_numel()}, DType::kF32);
+    scratch_opt_ = Tensor({opt_flat.shard_numel()}, DType::kF32);
+  }
+  if (options_.mixed_precision) {
+    shard_params16_ = Tensor({flat.shard_numel()}, DType::kF16);
+    full_params16_ = Tensor({flat.padded_numel()}, DType::kF16);
+    micro_grads16_ = Tensor({flat.padded_numel()}, DType::kF16);
+    scratch_shard16_ = Tensor({flat.shard_numel()}, DType::kF16);
+    loss_scale_ = options_.initial_loss_scale;
+  }
+}
+
+Result<std::unique_ptr<ShardedDataParallel>> ShardedDataParallel::Create(
+    World* world, const RankTopology& topo, const SdpOptions& options,
+    int64_t num_params, int global_rank, AdamOptimizer::Config adam) {
+  MICS_RETURN_NOT_OK(topo.Validate());
+  const int n = topo.world_size;
+  const int p = options.EffectiveGroupSize(n);
+  if (p <= 0 || n % p != 0) {
+    return Status::InvalidArgument(
+        "partition group size must divide the world size");
+  }
+  if (options.mixed_precision && (options.strategy == Strategy::kZeRO1 ||
+                                  options.strategy == Strategy::kZeRO2)) {
+    return Status::Unimplemented(
+        "mixed precision is implemented for the DDP/ZeRO-3/MiCS paths");
+  }
+  MICS_ASSIGN_OR_RETURN(
+      GroupManager groups,
+      GroupManager::Create(world, topo, p, global_rank,
+                           options.hierarchical_allgather,
+                           options.hierarchical_reduce_scatter));
+  // Pad the flat space to a multiple of the world size so the optimizer
+  // sharding of ZeRO-1/2 (world-wide) tiles the same buffers as the
+  // parameter sharding (p divides the world, so both alignments hold).
+  const int64_t base_numel = AlignUp(num_params, n);
+  MICS_ASSIGN_OR_RETURN(FlatParameter flat,
+                        FlatParameter::Create(base_numel, p,
+                                              groups.shard_index()));
+  const int opt_shards = OptimizerShards(options.strategy, n, p);
+  const int opt_index =
+      opt_shards == n ? global_rank
+                      : (opt_shards == 1 ? 0 : groups.shard_index());
+  MICS_ASSIGN_OR_RETURN(FlatParameter opt_flat,
+                        FlatParameter::Create(base_numel, opt_shards,
+                                              opt_index));
+  return std::unique_ptr<ShardedDataParallel>(new ShardedDataParallel(
+      std::move(groups), flat, opt_flat, options, n, num_params, adam));
+}
+
+Status ShardedDataParallel::InitParameters(
+    const std::function<Status(Tensor*)>& init) {
+  full_params_.FillZero();
+  MICS_RETURN_NOT_OK(init(&full_params_));
+  Tensor shard_view = flat_.ShardView(&full_params_);
+  MICS_RETURN_NOT_OK(shard_params_.CopyFrom(shard_view));
+  micro_grads_.FillZero();
+  accum_shard_.FillZero();
+  if (options_.strategy == Strategy::kZeRO2) accum_opt_.FillZero();
+  return Status::OK();
+}
+
+Status ShardedDataParallel::GatherParams() {
+  if (!options_.mixed_precision) {
+    if (flat_.num_shards() == 1) {
+      return full_params_.CopyFrom(shard_params_);
+    }
+    return groups_.GatherParams(shard_params_, &full_params_);
+  }
+  // Mixed precision: fp32 master -> fp16 wire -> gather -> fp32 compute
+  // copy. Parameters round-trip through fp16 every iteration, exactly as
+  // they do on real hardware.
+  const float* master = shard_params_.f32();
+  uint16_t* wire = shard_params16_.f16();
+  for (int64_t i = 0; i < shard_params_.numel(); ++i) {
+    wire[i] = FloatToHalf(master[i]);
+  }
+  if (flat_.num_shards() == 1) {
+    MICS_RETURN_NOT_OK(full_params16_.CopyFrom(shard_params16_));
+  } else {
+    MICS_RETURN_NOT_OK(
+        groups_.GatherParams(shard_params16_, &full_params16_));
+  }
+  const uint16_t* gathered = full_params16_.f16();
+  float* compute = full_params_.f32();
+  for (int64_t i = 0; i < full_params_.numel(); ++i) {
+    compute[i] = HalfToFloat(gathered[i]);
+  }
+  return Status::OK();
+}
+
+Status ShardedDataParallel::ReduceMicroStepGrads() {
+  if (options_.strategy == Strategy::kZeRO1) {
+    // ZeRO-1 accumulates FULL gradients locally; synchronization happens
+    // once at the boundary (then each rank updates only its optimizer
+    // shard). accum_shard_ is full-size here (p == 1).
+    MICS_RETURN_NOT_OK(accum_shard_.Add(micro_grads_));
+    micro_grads_.FillZero();
+    ++pending_micro_steps_;
+    return Status::OK();
+  }
+  if (options_.strategy == Strategy::kZeRO2) {
+    // ZeRO-2 reduce-scatters every micro-step across the WORLD; each rank
+    // accumulates only its world shard.
+    MICS_RETURN_NOT_OK(groups_.world_comm().ReduceScatter(
+        micro_grads_, &scratch_opt_, ReduceOp::kSum));
+    MICS_RETURN_NOT_OK(accum_opt_.Add(scratch_opt_));
+    micro_grads_.FillZero();
+    ++pending_micro_steps_;
+    return Status::OK();
+  }
+  if (options_.mixed_precision) {
+    // Loss-scale, quantize to fp16 for the wire, synchronize, unscale
+    // into fp32, detecting overflow (inf/nan after the fp16 round-trip).
+    const float scale = loss_scale_;
+    const float* g32 = micro_grads_.f32();
+    uint16_t* g16 = micro_grads16_.f16();
+    for (int64_t i = 0; i < micro_grads_.numel(); ++i) {
+      g16[i] = FloatToHalf(g32[i] * scale);
+    }
+    if (options_.two_hop_sync) {
+      MICS_RETURN_NOT_OK(
+          groups_.ReduceScatterGrads(micro_grads16_, &scratch_shard16_));
+    } else {
+      MICS_RETURN_NOT_OK(
+          groups_.world_comm().AllReduce(&micro_grads16_, ReduceOp::kSum));
+      Tensor slice = flat_.ShardView(&micro_grads16_);
+      MICS_RETURN_NOT_OK(scratch_shard16_.CopyFrom(slice));
+    }
+    const uint16_t* r16 = scratch_shard16_.f16();
+    float* out = scratch_shard_.f32();
+    const float inv_scale = 1.0f / scale;
+    for (int64_t i = 0; i < scratch_shard_.numel(); ++i) {
+      const float v = HalfToFloat(r16[i]);
+      if (!std::isfinite(v)) {
+        overflow_ = true;
+        out[i] = 0.0f;
+      } else {
+        out[i] = v * inv_scale;
+      }
+    }
+    MICS_RETURN_NOT_OK(accum_shard_.Add(scratch_shard_));
+    micro_grads_.FillZero();
+    ++pending_micro_steps_;
+    return Status::OK();
+  }
+  if (options_.two_hop_sync) {
+    // First hop: reduce-scatter within the partition group; each rank
+    // accumulates its own slice. With p == 1 this degenerates to local
+    // accumulation (plain DDP gradient accumulation).
+    MICS_RETURN_NOT_OK(
+        groups_.ReduceScatterGrads(micro_grads_, &scratch_shard_));
+  } else {
+    // Alternative schedule (§3.4): global all-reduce, then keep only the
+    // owned slice — redundant traffic, identical math.
+    MICS_RETURN_NOT_OK(
+        groups_.world_comm().AllReduce(&micro_grads_, ReduceOp::kSum));
+    Tensor slice = flat_.ShardView(&micro_grads_);
+    MICS_RETURN_NOT_OK(scratch_shard_.CopyFrom(slice));
+  }
+  MICS_RETURN_NOT_OK(accum_shard_.Add(scratch_shard_));
+  micro_grads_.FillZero();
+  ++pending_micro_steps_;
+  return Status::OK();
+}
+
+Status ShardedDataParallel::FinishIterationAndStep() {
+  if (pending_micro_steps_ == 0) {
+    return Status::FailedPrecondition(
+        "no micro-steps accumulated before FinishIterationAndStep");
+  }
+  const bool zero1 = options_.strategy == Strategy::kZeRO1;
+  const bool zero2 = options_.strategy == Strategy::kZeRO2;
+  if (zero1) {
+    // ZeRO-1's single synchronization point: all-reduce the full local
+    // gradient accumulation across the world.
+    MICS_RETURN_NOT_OK(
+        groups_.world_comm().AllReduce(&accum_shard_, ReduceOp::kSum));
+  } else if (!zero2 && options_.two_hop_sync &&
+             groups_.replication_group_size() > 1) {
+    // Second hop: synchronize the shard across replication groups at the
+    // gradient accumulation boundary.
+    MICS_RETURN_NOT_OK(
+        groups_.replication().AllReduce(&accum_shard_, ReduceOp::kSum));
+  }
+  // Every element now holds the SUM over all ranks and micro-steps of the
+  // per-rank micro-batch-mean gradients; normalize to the global mean.
+  Tensor& grad_accum = zero2 ? accum_opt_ : accum_shard_;
+  const float scale =
+      1.0f / (static_cast<float>(world_size_) *
+              static_cast<float>(pending_micro_steps_));
+  grad_accum.Scale(scale);
+
+  // Overflow consensus: any rank that saw inf/nan in its shard forces the
+  // whole world to skip the step (ranks must stay in lockstep).
+  if (options_.mixed_precision) {
+    Tensor flag({1}, DType::kF32);
+    flag.f32()[0] = overflow_ ? 1.0f : 0.0f;
+    MICS_RETURN_NOT_OK(
+        groups_.world_comm().AllReduce(&flag, ReduceOp::kMax));
+    if (flag.f32()[0] > 0.0f) {
+      ++skipped_steps_;
+      clean_iterations_ = 0;
+      loss_scale_ = std::max(1.0f, loss_scale_ * 0.5f);
+      overflow_ = false;
+      accum_shard_.FillZero();
+      pending_micro_steps_ = 0;
+      ++iterations_;
+      return Status::OK();
+    }
+  }
+
+  // Global gradient-norm clipping. The group whose shards tile the full
+  // gradient exactly once depends on the strategy: the partition group
+  // for DDP/ZeRO-3/MiCS (and ZeRO-1, where p == 1 and the buffer is the
+  // full gradient), the whole world for ZeRO-2's world shards.
+  if (options_.max_grad_norm > 0.0f) {
+    double sq = 0.0;
+    const float* g = grad_accum.f32();
+    for (int64_t i = 0; i < grad_accum.numel(); ++i) {
+      sq += static_cast<double>(g[i]) * g[i];
+    }
+    Tensor total({1}, DType::kF32);
+    total.f32()[0] = static_cast<float>(sq);
+    Communicator& norm_comm =
+        zero2 ? groups_.world_comm() : groups_.partition();
+    MICS_RETURN_NOT_OK(norm_comm.AllReduce(&total, ReduceOp::kSum));
+    const float norm = std::sqrt(std::max(0.0f, total.f32()[0]));
+    last_grad_norm_ = norm;
+    if (norm > options_.max_grad_norm) {
+      grad_accum.Scale(options_.max_grad_norm / (norm + 1e-6f));
+    }
+  }
+
+  if (zero1 || zero2) {
+    // Update only this rank's optimizer shard, then refresh the full
+    // replicated parameters with an in-place world all-gather — the
+    // boundary step DeepSpeed's ZeRO-1/2 perform.
+    Tensor param_slice = opt_flat_.ShardView(&shard_params_);
+    Tensor grad_slice =
+        zero2 ? grad_accum.Slice(0, grad_accum.numel())
+              : opt_flat_.ShardView(&accum_shard_);
+    MICS_RETURN_NOT_OK(optimizer_.Step(&param_slice, grad_slice));
+    MICS_RETURN_NOT_OK(
+        groups_.world_comm().AllGather(param_slice, &shard_params_));
+  } else {
+    MICS_RETURN_NOT_OK(optimizer_.Step(&shard_params_, accum_shard_));
+  }
+  if (options_.mixed_precision) {
+    ++clean_iterations_;
+    if (clean_iterations_ >= options_.loss_scale_growth_interval &&
+        loss_scale_ < 16777216.0f) {
+      loss_scale_ *= 2.0f;
+      clean_iterations_ = 0;
+    }
+  }
+  grad_accum.FillZero();
+  pending_micro_steps_ = 0;
+  ++iterations_;
+  return Status::OK();
+}
+
+namespace {
+
+constexpr uint64_t kCheckpointMagic = 0x4d694353434b5054ULL;  // "MiCSCKPT"
+constexpr uint32_t kCheckpointVersion = 1;
+
+struct CheckpointHeader {
+  uint64_t magic = kCheckpointMagic;
+  uint32_t version = kCheckpointVersion;
+  int32_t world_size = 0;
+  int32_t partition_group_size = 0;
+  int32_t global_rank = 0;
+  int64_t num_params = 0;
+  int64_t shard_numel = 0;
+  int32_t iterations = 0;
+  int32_t skipped_steps = 0;
+  float loss_scale = 1.0f;
+  int32_t clean_iterations = 0;
+};
+
+std::string CheckpointPath(const std::string& dir, int global_rank) {
+  return dir + "/mics-rank" + std::to_string(global_rank) + ".ckpt";
+}
+
+}  // namespace
+
+Status ShardedDataParallel::SaveCheckpoint(const std::string& dir) const {
+  if (pending_micro_steps_ != 0) {
+    return Status::FailedPrecondition(
+        "checkpoint only at iteration boundaries (micro-steps pending)");
+  }
+  const std::string path = CheckpointPath(dir, groups_.global_rank());
+  std::ofstream os(path, std::ios::binary);
+  if (!os.good()) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  CheckpointHeader header;
+  header.world_size = world_size_;
+  header.partition_group_size = flat_.num_shards();
+  header.global_rank = groups_.global_rank();
+  header.num_params = true_numel_;
+  header.shard_numel = flat_.shard_numel();
+  header.iterations = iterations_;
+  header.skipped_steps = skipped_steps_;
+  header.loss_scale = loss_scale_;
+  header.clean_iterations = clean_iterations_;
+  os.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  os.write(static_cast<const char*>(shard_params_.data()),
+           static_cast<std::streamsize>(shard_params_.nbytes()));
+  MICS_RETURN_NOT_OK(optimizer_.SaveState(os));
+  if (!os.good()) return Status::Internal("checkpoint write failed");
+  return Status::OK();
+}
+
+Status ShardedDataParallel::LoadCheckpoint(const std::string& dir) {
+  const std::string path = CheckpointPath(dir, groups_.global_rank());
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) {
+    return Status::NotFound("no checkpoint at " + path);
+  }
+  CheckpointHeader header;
+  is.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!is.good() || header.magic != kCheckpointMagic) {
+    return Status::InvalidArgument(path + " is not a MiCS checkpoint");
+  }
+  if (header.version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (header.world_size != world_size_ ||
+      header.partition_group_size != flat_.num_shards() ||
+      header.global_rank != groups_.global_rank() ||
+      header.num_params != true_numel_ ||
+      header.shard_numel != flat_.shard_numel()) {
+    return Status::InvalidArgument(
+        "checkpoint topology mismatch (was: world=" +
+        std::to_string(header.world_size) +
+        " p=" + std::to_string(header.partition_group_size) + ")");
+  }
+  is.read(static_cast<char*>(shard_params_.data()),
+          static_cast<std::streamsize>(shard_params_.nbytes()));
+  MICS_RETURN_NOT_OK(optimizer_.LoadState(is));
+  if (!is.good()) return Status::Internal("checkpoint read failed");
+  iterations_ = header.iterations;
+  skipped_steps_ = header.skipped_steps;
+  loss_scale_ = header.loss_scale;
+  clean_iterations_ = header.clean_iterations;
+  pending_micro_steps_ = 0;
+  overflow_ = false;
+  accum_shard_.FillZero();
+  micro_grads_.FillZero();
+  return Status::OK();
+}
+
+Status ShardedDataParallel::AverageScalar(float* value) {
+  if (value == nullptr) return Status::InvalidArgument("null value");
+  Tensor t({1}, DType::kF32);
+  t.f32()[0] = *value;
+  MICS_RETURN_NOT_OK(groups_.world_comm().AllReduce(&t, ReduceOp::kAvg));
+  *value = t.f32()[0];
+  return Status::OK();
+}
+
+}  // namespace mics

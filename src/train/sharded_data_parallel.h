@@ -1,0 +1,179 @@
+#ifndef MICS_TRAIN_SHARDED_DATA_PARALLEL_H_
+#define MICS_TRAIN_SHARDED_DATA_PARALLEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "comm/topology.h"
+#include "comm/world.h"
+#include "core/group_manager.h"
+#include "core/mics_config.h"
+#include "tensor/tensor.h"
+#include "train/flat_parameter.h"
+#include "train/optimizer.h"
+#include "util/status.h"
+
+namespace mics {
+
+/// Options for real (executed, not simulated) sharded data-parallel
+/// training. In execution, every strategy is a special case of MiCS's
+/// partition-group scheme: DDP is partition_group_size == 1 (states
+/// replicated, replication group == the world), ZeRO-3 is
+/// partition_group_size == world_size, MiCS is anything in between.
+struct SdpOptions {
+  /// All five strategies run for real: DDP (full replication), ZeRO-1
+  /// (optimizer sharded across the world), ZeRO-2 (+ gradients sharded),
+  /// ZeRO-3 (everything sharded across the world) and MiCS (everything
+  /// sharded across a partition group).
+  Strategy strategy = Strategy::kMiCS;
+  int partition_group_size = 2;
+  /// Use the three-stage hierarchical all-gather for parameter gathering
+  /// when the partition group is node-aligned and spans nodes (§3.3).
+  bool hierarchical_allgather = true;
+  /// EXTENSION: hierarchical variant of the per-micro-step gradient
+  /// reduce-scatter. Changes only fp summation order, not semantics.
+  bool hierarchical_reduce_scatter = false;
+  /// §3.4. When false, uses the "alternative schedule": a global
+  /// all-reduce every micro-step followed by discarding non-owned slices
+  /// (DeepSpeed's default) — numerically equivalent, more communication.
+  bool two_hop_sync = true;
+
+  /// Mixed precision (the paper's default training setup): parameters and
+  /// gradients travel the wire in fp16; fp32 master weights live in the
+  /// shard; gradients are loss-scaled before the fp16 reduce-scatter and
+  /// unscaled on arrival. Steps whose gradients overflowed are skipped
+  /// and the dynamic loss scale adjusts, exactly like real AMP training.
+  bool mixed_precision = false;
+  float initial_loss_scale = 1024.0f;
+  /// Consecutive overflow-free iterations before the scale doubles.
+  int loss_scale_growth_interval = 100;
+
+  /// Global gradient-norm clipping threshold; 0 disables. The norm is
+  /// computed across ALL shards via an all-reduce within the partition
+  /// group (each group holds the full gradient exactly once).
+  float max_grad_norm = 0.0f;
+
+  /// Partition group size implied by (strategy, world size).
+  int EffectiveGroupSize(int world_size) const;
+};
+
+/// The real MiCS training engine for one rank: owns the sharded fp32
+/// master parameters, the gathered-parameter workspace, gradient
+/// accumulation, the 2-hop synchronization schedule, and the sharded
+/// Adam optimizer. Drives the in-process collectives in comm/.
+///
+/// Per-iteration protocol (s = gradient accumulation steps):
+///   for step in 0..s-1:
+///     GatherParams();               // params visible in full_params()
+///     model.ForwardBackward(...);   // accumulates into micro_grads()
+///     ReduceMicroStepGrads();       // intra-group hop (reduce-scatter)
+///   FinishIterationAndStep();       // inter-group hop + Adam
+class ShardedDataParallel {
+ public:
+  static Result<std::unique_ptr<ShardedDataParallel>> Create(
+      World* world, const RankTopology& topo, const SdpOptions& options,
+      int64_t num_params, int global_rank,
+      AdamOptimizer::Config adam = AdamOptimizer::Config());
+
+  /// Gathered full parameter buffer (padded; bind model views into it).
+  Tensor* full_params() { return &full_params_; }
+
+  /// Per-micro-step gradient buffer the model accumulates into.
+  Tensor* micro_grads() { return &micro_grads_; }
+
+  /// This rank's fp32 master shard (tests inspect it).
+  const Tensor& shard_params() const { return shard_params_; }
+
+  int64_t num_params() const { return true_numel_; }
+  int64_t padded_numel() const { return flat_.padded_numel(); }
+  int64_t shard_numel() const { return flat_.shard_numel(); }
+  int partition_group_size() const { return flat_.num_shards(); }
+  int global_rank() const { return groups_.global_rank(); }
+  bool using_hierarchical() const { return groups_.has_hierarchical(); }
+
+  /// Runs `init` on the full buffer (must be deterministic and identical
+  /// on every rank), then keeps this rank's shard as the master copy.
+  Status InitParameters(const std::function<Status(Tensor*)>& init);
+
+  /// Makes the current parameters visible in full_params().
+  Status GatherParams();
+
+  /// First hop: folds micro_grads() into the shard accumulator
+  /// (reduce-scatter within the partition group under 2-hop; global
+  /// all-reduce under the alternative schedule) and zeroes micro_grads().
+  Status ReduceMicroStepGrads();
+
+  /// Second hop + update: all-reduce across the replication group (2-hop
+  /// only), average by (world_size * micro_steps), Adam on the shard.
+  Status FinishIterationAndStep();
+
+  /// Averages a scalar across the whole world (loss reporting).
+  Status AverageScalar(float* value);
+
+  /// Sets the Adam learning rate (LR schedules call this each iteration;
+  /// all ranks must pass the same value to stay in lockstep).
+  Status SetLearningRate(float lr) { return optimizer_.SetLearningRate(lr); }
+
+  /// Distributed checkpointing: each rank writes/reads exactly its shard
+  /// of the model states (fp32 master parameters + Adam moments + the
+  /// loss-scale machinery) to `dir`/mics-rank<global>.ckpt. Every rank
+  /// must call it; restoring requires the same world size, partition
+  /// group size, and parameter count.
+  Status SaveCheckpoint(const std::string& dir) const;
+  Status LoadCheckpoint(const std::string& dir);
+
+  int completed_iterations() const { return iterations_; }
+  int pending_micro_steps() const { return pending_micro_steps_; }
+
+  /// Mixed-precision telemetry.
+  float loss_scale() const { return loss_scale_; }
+  int skipped_steps() const { return skipped_steps_; }
+  /// Global gradient norm of the last completed iteration (post-scale,
+  /// pre-clip); 0 until an iteration finishes or when clipping is off.
+  float last_grad_norm() const { return last_grad_norm_; }
+
+ private:
+  ShardedDataParallel(GroupManager groups, FlatParameter flat,
+                      FlatParameter opt_flat, SdpOptions options,
+                      int world_size, int64_t true_numel,
+                      AdamOptimizer::Config adam);
+
+  /// Number of ranks the optimizer states are divided across.
+  static int OptimizerShards(Strategy strategy, int world_size,
+                             int partition_shards);
+
+  GroupManager groups_;
+  FlatParameter flat_;      // parameter sharding (partition group)
+  FlatParameter opt_flat_;  // optimizer/gradient sharding (ZeRO-1/2: world)
+  SdpOptions options_;
+  int world_size_;
+  int64_t true_numel_;  // unpadded model parameter count
+
+  Tensor shard_params_;   // fp32 master shard (full buffer when p == 1)
+  Tensor full_params_;    // gathered workspace (padded)
+  Tensor micro_grads_;    // per-micro-step gradients (padded)
+  Tensor accum_shard_;    // reduced gradient accumulator (param-shard size)
+  Tensor scratch_shard_;  // reduce-scatter output scratch
+  // ZeRO-2 only: world-sharded gradient accumulator and scratch.
+  Tensor accum_opt_;
+  Tensor scratch_opt_;
+  // Mixed-precision wire buffers (allocated only when enabled).
+  Tensor shard_params16_;
+  Tensor full_params16_;
+  Tensor micro_grads16_;
+  Tensor scratch_shard16_;
+  AdamOptimizer optimizer_;
+
+  int pending_micro_steps_ = 0;
+  int iterations_ = 0;
+  float loss_scale_ = 1.0f;
+  bool overflow_ = false;
+  int clean_iterations_ = 0;
+  int skipped_steps_ = 0;
+  float last_grad_norm_ = 0.0f;
+};
+
+}  // namespace mics
+
+#endif  // MICS_TRAIN_SHARDED_DATA_PARALLEL_H_

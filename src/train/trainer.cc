@@ -1,0 +1,165 @@
+#include "train/trainer.h"
+
+#include <memory>
+
+#include "comm/world.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace mics {
+
+namespace {
+
+/// Shared SPMD training loop: `Model` must expose NumParams /
+/// BindParameters / InitParameters / ForwardBackward, and `sample` must
+/// fill a batch for (step, rank). Both real models (MLP, transformer)
+/// run through this one harness.
+template <typename Model, typename SampleFn>
+Result<TrainCurve> RunLoop(int world_size, int gpus_per_node,
+                           const SdpOptions& sdp_options,
+                           const AdamOptimizer::Config& adam, int iterations,
+                           int grad_accumulation_steps, uint64_t seed,
+                           const std::function<Model()>& make_model,
+                           const SampleFn& sample,
+                           const LrSchedule* lr_schedule = nullptr) {
+  RankTopology topo{world_size, gpus_per_node};
+  MICS_RETURN_NOT_OK(topo.Validate());
+  if (iterations <= 0 || grad_accumulation_steps <= 0) {
+    return Status::InvalidArgument("training extents must be positive");
+  }
+  World world(world_size);
+  TrainCurve curve;
+  curve.losses.assign(static_cast<size_t>(iterations), 0.0f);
+
+  Status run_status = RunRanks(world_size, [&](int rank) -> Status {
+    Model model = make_model();
+    MICS_ASSIGN_OR_RETURN(
+        std::unique_ptr<ShardedDataParallel> sdp,
+        ShardedDataParallel::Create(&world, topo, sdp_options,
+                                    model.NumParams(), rank, adam));
+    MICS_RETURN_NOT_OK(sdp->InitParameters([&](Tensor* full) -> Status {
+      MICS_RETURN_NOT_OK(model.BindParameters(full, sdp->micro_grads()));
+      Rng init_rng(seed);
+      return model.InitParameters(&init_rng);
+    }));
+    MICS_RETURN_NOT_OK(
+        model.BindParameters(sdp->full_params(), sdp->micro_grads()));
+
+    int64_t step_counter = 0;
+    for (int iter = 0; iter < iterations; ++iter) {
+      if (lr_schedule != nullptr) {
+        MICS_RETURN_NOT_OK(
+            sdp->SetLearningRate(lr_schedule->LearningRate(iter)));
+      }
+      float iter_loss = 0.0f;
+      for (int micro = 0; micro < grad_accumulation_steps; ++micro) {
+        MICS_RETURN_NOT_OK(sdp->GatherParams());
+        Tensor x;
+        std::vector<int32_t> y;
+        MICS_RETURN_NOT_OK(sample(step_counter++, rank, &x, &y));
+        MICS_ASSIGN_OR_RETURN(float loss, model.ForwardBackward(x, y));
+        iter_loss += loss;
+        MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+      }
+      MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
+      iter_loss /= static_cast<float>(grad_accumulation_steps);
+      MICS_RETURN_NOT_OK(sdp->AverageScalar(&iter_loss));
+      if (rank == 0) curve.losses[static_cast<size_t>(iter)] = iter_loss;
+    }
+    return Status::OK();
+  });
+  MICS_RETURN_NOT_OK(run_status);
+  return curve;
+}
+
+}  // namespace
+
+Result<TrainCurve> RunDistributedTransformerTraining(
+    const TransformerTrainRunOptions& options) {
+  if (options.micro_batch <= 0) {
+    return Status::InvalidArgument("micro_batch must be positive");
+  }
+  TransformerClassifier::Config model_config = options.model;
+  MICS_RETURN_NOT_OK(model_config.Validate());
+  SyntheticSequenceDataset::Config data_config = options.data;
+  data_config.vocab = model_config.vocab;
+  data_config.seq_len = model_config.seq_len;
+  data_config.classes = model_config.classes;
+  SyntheticSequenceDataset dataset(data_config, options.seed + 1);
+  std::unique_ptr<LrSchedule> schedule;
+  if (options.lr_warmup_iterations > 0) {
+    MICS_ASSIGN_OR_RETURN(
+        WarmupLinearDecayLr s,
+        WarmupLinearDecayLr::Create(options.adam.lr,
+                                    options.lr_warmup_iterations,
+                                    options.iterations));
+    schedule = std::make_unique<WarmupLinearDecayLr>(s);
+  }
+  return RunLoop<TransformerClassifier>(
+      options.world_size, options.gpus_per_node, options.sdp, options.adam,
+      options.iterations, options.grad_accumulation_steps, options.seed,
+      [&]() { return TransformerClassifier(model_config); },
+      [&](int64_t step, int rank, Tensor* x, std::vector<int32_t>* y) {
+        return dataset.Sample(step, rank, options.micro_batch, x, y);
+      },
+      schedule.get());
+}
+
+Result<TrainCurve> RunDistributedTraining(const TrainRunOptions& options) {
+  RankTopology topo{options.world_size, options.gpus_per_node};
+  MICS_RETURN_NOT_OK(topo.Validate());
+  if (options.iterations <= 0 || options.grad_accumulation_steps <= 0 ||
+      options.micro_batch <= 0) {
+    return Status::InvalidArgument("training extents must be positive");
+  }
+
+  World world(options.world_size);
+  SyntheticClassificationDataset::Config data_config = options.data;
+  data_config.input_dim = options.model.input_dim;
+  data_config.classes = options.model.classes;
+
+  TrainCurve curve;
+  curve.losses.assign(static_cast<size_t>(options.iterations), 0.0f);
+
+  Status run_status = RunRanks(options.world_size, [&](int rank) -> Status {
+    MlpModel model(options.model);
+    MICS_ASSIGN_OR_RETURN(
+        std::unique_ptr<ShardedDataParallel> sdp,
+        ShardedDataParallel::Create(&world, topo, options.sdp,
+                                    model.NumParams(), rank, options.adam));
+    MICS_RETURN_NOT_OK(sdp->InitParameters([&](Tensor* full) -> Status {
+      MICS_RETURN_NOT_OK(model.BindParameters(full, sdp->micro_grads()));
+      Rng init_rng(options.seed);
+      return model.InitParameters(&init_rng);
+    }));
+    // Rebind after init so views stay attached to the live buffers.
+    MICS_RETURN_NOT_OK(
+        model.BindParameters(sdp->full_params(), sdp->micro_grads()));
+
+    SyntheticClassificationDataset dataset(data_config, options.seed + 1);
+    const int s = options.grad_accumulation_steps;
+    int64_t step_counter = 0;
+    for (int iter = 0; iter < options.iterations; ++iter) {
+      float iter_loss = 0.0f;
+      for (int micro = 0; micro < s; ++micro) {
+        MICS_RETURN_NOT_OK(sdp->GatherParams());
+        Tensor x;
+        std::vector<int32_t> y;
+        MICS_RETURN_NOT_OK(
+            dataset.Sample(step_counter++, rank, options.micro_batch, &x, &y));
+        MICS_ASSIGN_OR_RETURN(float loss, model.ForwardBackward(x, y));
+        iter_loss += loss;
+        MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+      }
+      MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
+      iter_loss /= static_cast<float>(s);
+      MICS_RETURN_NOT_OK(sdp->AverageScalar(&iter_loss));
+      if (rank == 0) curve.losses[static_cast<size_t>(iter)] = iter_loss;
+    }
+    return Status::OK();
+  });
+  MICS_RETURN_NOT_OK(run_status);
+  return curve;
+}
+
+}  // namespace mics

@@ -1,0 +1,69 @@
+#ifndef MICS_TRAIN_TRAINER_H_
+#define MICS_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "train/dataset.h"
+#include "train/lr_scheduler.h"
+#include "train/mlp_model.h"
+#include "train/optimizer.h"
+#include "train/sharded_data_parallel.h"
+#include "train/transformer_model.h"
+#include "util/status.h"
+
+namespace mics {
+
+/// Everything needed to run one real distributed training job end-to-end
+/// on the in-process cluster (the fidelity experiment harness, §5.4).
+struct TrainRunOptions {
+  int world_size = 4;
+  int gpus_per_node = 2;
+  SdpOptions sdp;
+  MlpModel::Config model;
+  SyntheticClassificationDataset::Config data;
+  AdamOptimizer::Config adam;
+  int iterations = 50;
+  int grad_accumulation_steps = 4;  // micro-steps per iteration
+  int64_t micro_batch = 8;
+  uint64_t seed = 42;
+};
+
+/// Per-iteration world-averaged training losses.
+struct TrainCurve {
+  std::vector<float> losses;
+
+  float final_loss() const { return losses.empty() ? 0.0f : losses.back(); }
+};
+
+/// Spawns `world_size` rank threads, trains the MLP with the configured
+/// sharding strategy, and returns the loss curve (identical on all ranks
+/// by construction; rank 0's copy is returned).
+Result<TrainCurve> RunDistributedTraining(const TrainRunOptions& options);
+
+/// Same harness for the real transformer classifier over synthetic token
+/// sequences — the §5.4 fidelity experiment run on the workload class the
+/// paper actually trains.
+struct TransformerTrainRunOptions {
+  int world_size = 4;
+  int gpus_per_node = 2;
+  SdpOptions sdp;
+  TransformerClassifier::Config model;
+  SyntheticSequenceDataset::Config data;
+  AdamOptimizer::Config adam;
+  int iterations = 30;
+  int grad_accumulation_steps = 4;
+  int64_t micro_batch = 8;
+  uint64_t seed = 42;
+  /// Linear warmup over this many iterations to adam.lr, then linear
+  /// decay to zero at `iterations` (large-batch BERT recipe). 0 keeps the
+  /// rate constant.
+  int lr_warmup_iterations = 0;
+};
+
+Result<TrainCurve> RunDistributedTransformerTraining(
+    const TransformerTrainRunOptions& options);
+
+}  // namespace mics
+
+#endif  // MICS_TRAIN_TRAINER_H_

@@ -1,0 +1,591 @@
+#include "train/transformer_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace mics {
+
+namespace {
+
+constexpr float kLnEps = 1e-5f;
+
+/// y[r, :out] = x[r, :in] * w[in, out] + b[out], row-major.
+void Linear(const float* x, const float* w, const float* b, int64_t rows,
+            int64_t in, int64_t out, float* y) {
+  for (int64_t r = 0; r < rows; ++r) {
+    float* yr = y + r * out;
+    for (int64_t o = 0; o < out; ++o) yr[o] = b[o];
+    const float* xr = x + r * in;
+    for (int64_t i = 0; i < in; ++i) {
+      const float xv = xr[i];
+      if (xv == 0.0f) continue;
+      const float* wrow = w + i * out;
+      for (int64_t o = 0; o < out; ++o) yr[o] += xv * wrow[o];
+    }
+  }
+}
+
+/// Accumulates dw/db and writes dx (overwriting) for y = xW + b.
+void LinearBackward(const float* x, const float* w, const float* dy,
+                    int64_t rows, int64_t in, int64_t out, float* dx,
+                    float* dw, float* db) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* dyr = dy + r * out;
+    const float* xr = x + r * in;
+    for (int64_t o = 0; o < out; ++o) db[o] += dyr[o];
+    for (int64_t i = 0; i < in; ++i) {
+      const float* wrow = w + i * out;
+      float* dwrow = dw + i * out;
+      const float xv = xr[i];
+      float acc = 0.0f;
+      for (int64_t o = 0; o < out; ++o) {
+        dwrow[o] += xv * dyr[o];
+        acc += wrow[o] * dyr[o];
+      }
+      dx[r * in + i] = acc;
+    }
+  }
+}
+
+/// Row-wise LayerNorm. Writes y, and caches xhat and 1/sigma per row.
+void LayerNormFwd(const float* x, const float* gamma, const float* beta,
+                  int64_t rows, int64_t d, float* y, float* xhat,
+                  float* inv_sigma) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * d;
+    double mean = 0.0;
+    for (int64_t i = 0; i < d; ++i) mean += xr[i];
+    mean /= d;
+    double var = 0.0;
+    for (int64_t i = 0; i < d; ++i) {
+      const double c = xr[i] - mean;
+      var += c * c;
+    }
+    var /= d;
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + kLnEps);
+    inv_sigma[r] = inv;
+    for (int64_t i = 0; i < d; ++i) {
+      const float h = (xr[i] - static_cast<float>(mean)) * inv;
+      xhat[r * d + i] = h;
+      y[r * d + i] = gamma[i] * h + beta[i];
+    }
+  }
+}
+
+/// dx = (gamma/sigma) * (dy - mean(dy*gamma)/gamma... ) — standard LN
+/// backward using cached xhat and inv_sigma. Accumulates dgamma/dbeta.
+void LayerNormBwd(const float* xhat, const float* inv_sigma,
+                  const float* gamma, const float* dy, int64_t rows,
+                  int64_t d, float* dx, float* dgamma, float* dbeta) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* hy = xhat + r * d;
+    const float* dyr = dy + r * d;
+    double sum_dyg = 0.0;
+    double sum_dyg_h = 0.0;
+    for (int64_t i = 0; i < d; ++i) {
+      const float dyg = dyr[i] * gamma[i];
+      sum_dyg += dyg;
+      sum_dyg_h += dyg * hy[i];
+      dgamma[i] += dyr[i] * hy[i];
+      dbeta[i] += dyr[i];
+    }
+    const float m1 = static_cast<float>(sum_dyg / d);
+    const float m2 = static_cast<float>(sum_dyg_h / d);
+    for (int64_t i = 0; i < d; ++i) {
+      dx[r * d + i] =
+          inv_sigma[r] * (dyr[i] * gamma[i] - m1 - hy[i] * m2);
+    }
+  }
+}
+
+void SoftmaxRows(float* x, int64_t rows, int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = x + r * cols;
+    float mx = row[0];
+    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      denom += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < cols; ++j) row[j] *= inv;
+  }
+}
+
+}  // namespace
+
+Status TransformerClassifier::Config::Validate() const {
+  if (vocab <= 0 || seq_len <= 0 || dim <= 0 || heads <= 0 || ffn <= 0 ||
+      blocks <= 0 || classes <= 0) {
+    return Status::InvalidArgument("transformer config fields must be > 0");
+  }
+  if (dim % heads != 0) {
+    return Status::InvalidArgument("dim must be divisible by heads");
+  }
+  return Status::OK();
+}
+
+TransformerClassifier::TransformerClassifier(Config config)
+    : config_(config) {
+  MICS_CHECK_OK(config.Validate());
+}
+
+int64_t TransformerClassifier::NumParams() const {
+  const int64_t d = config_.dim;
+  const int64_t f = config_.ffn;
+  const int64_t per_block = 2 * d +                      // ln1
+                            4 * (d * d + d) +            // q,k,v,o
+                            2 * d +                      // ln2
+                            d * f + f + f * d + d;       // mlp
+  return (config_.vocab + config_.seq_len) * d + config_.blocks * per_block +
+         2 * d +                                   // final ln
+         d * config_.classes + config_.classes;    // head
+}
+
+Status TransformerClassifier::BindParameters(Tensor* params_flat,
+                                             Tensor* grads_flat) {
+  if (params_flat == nullptr || grads_flat == nullptr) {
+    return Status::InvalidArgument("null parameter buffers");
+  }
+  if (params_flat->dtype() != DType::kF32 ||
+      grads_flat->dtype() != DType::kF32) {
+    return Status::InvalidArgument("parameter buffers must be fp32");
+  }
+  if (params_flat->numel() < NumParams() ||
+      grads_flat->numel() < NumParams()) {
+    return Status::InvalidArgument("parameter buffers too small");
+  }
+  const int64_t d = config_.dim;
+  const int64_t f = config_.ffn;
+  int64_t off = 0;
+  auto take = [&](int64_t n, Tensor* view, float** grad) {
+    *view = params_flat->Slice(off, n);
+    *grad = grads_flat->Slice(off, n).f32();
+    off += n;
+  };
+  take(config_.vocab * d, &tok_emb_, &g_tok_emb_);
+  take(config_.seq_len * d, &pos_emb_, &g_pos_emb_);
+  block_params_.assign(static_cast<size_t>(config_.blocks), BlockParams{});
+  block_grads_.assign(static_cast<size_t>(config_.blocks), BlockGrads{});
+  for (int64_t blk = 0; blk < config_.blocks; ++blk) {
+    BlockParams& p = block_params_[static_cast<size_t>(blk)];
+    BlockGrads& g = block_grads_[static_cast<size_t>(blk)];
+    take(d, &p.ln1_g, &g.ln1_g);
+    take(d, &p.ln1_b, &g.ln1_b);
+    take(d * d, &p.wq, &g.wq);
+    take(d, &p.bq, &g.bq);
+    take(d * d, &p.wk, &g.wk);
+    take(d, &p.bk, &g.bk);
+    take(d * d, &p.wv, &g.wv);
+    take(d, &p.bv, &g.bv);
+    take(d * d, &p.wo, &g.wo);
+    take(d, &p.bo, &g.bo);
+    take(d, &p.ln2_g, &g.ln2_g);
+    take(d, &p.ln2_b, &g.ln2_b);
+    take(d * f, &p.w1, &g.w1);
+    take(f, &p.b1, &g.b1);
+    take(f * d, &p.w2, &g.w2);
+    take(d, &p.b2, &g.b2);
+  }
+  take(d, &lnf_g_, &g_lnf_g_);
+  take(d, &lnf_b_, &g_lnf_b_);
+  take(d * config_.classes, &whead_, &g_whead_);
+  take(config_.classes, &bhead_, &g_bhead_);
+  MICS_CHECK_EQ(off, NumParams());
+  bound_ = true;
+  return Status::OK();
+}
+
+Status TransformerClassifier::InitParameters(Rng* rng) {
+  if (!bound_) return Status::FailedPrecondition("parameters not bound");
+  const float d_scale = 1.0f / std::sqrt(static_cast<float>(config_.dim));
+  tok_emb_.FillNormal(rng, 0.5f);
+  pos_emb_.FillNormal(rng, 0.1f);
+  for (auto& p : block_params_) {
+    p.ln1_g.Fill(1.0f);
+    p.ln1_b.FillZero();
+    p.wq.FillNormal(rng, d_scale);
+    p.bq.FillZero();
+    p.wk.FillNormal(rng, d_scale);
+    p.bk.FillZero();
+    p.wv.FillNormal(rng, d_scale);
+    p.bv.FillZero();
+    p.wo.FillNormal(rng, d_scale);
+    p.bo.FillZero();
+    p.ln2_g.Fill(1.0f);
+    p.ln2_b.FillZero();
+    p.w1.FillNormal(rng, d_scale);
+    p.b1.FillZero();
+    p.w2.FillNormal(
+        rng, 1.0f / std::sqrt(static_cast<float>(config_.ffn)));
+    p.b2.FillZero();
+  }
+  lnf_g_.Fill(1.0f);
+  lnf_b_.FillZero();
+  whead_.FillNormal(rng, d_scale);
+  bhead_.FillZero();
+  return Status::OK();
+}
+
+Status TransformerClassifier::CheckBatch(const Tensor& tokens,
+                                         int64_t labels) const {
+  if (!bound_) return Status::FailedPrecondition("parameters not bound");
+  if (tokens.dtype() != DType::kI32) {
+    return Status::InvalidArgument("tokens must be i32");
+  }
+  if (tokens.numel() % config_.seq_len != 0) {
+    return Status::InvalidArgument("token count not a multiple of seq_len");
+  }
+  const int64_t batch = tokens.numel() / config_.seq_len;
+  if (batch == 0 || (labels >= 0 && batch != labels)) {
+    return Status::InvalidArgument("batch/label size mismatch");
+  }
+  for (int64_t i = 0; i < tokens.numel(); ++i) {
+    const int32_t t = tokens.i32()[i];
+    if (t < 0 || t >= config_.vocab) {
+      return Status::InvalidArgument("token id out of range");
+    }
+  }
+  return Status::OK();
+}
+
+/// Everything the backward pass needs, for one sample. All row-major
+/// [seq, dim] unless noted.
+struct TransformerClassifier::SampleCache {
+  struct BlockCache {
+    std::vector<float> x_in;       // block input
+    std::vector<float> h1, h1_hat; // LN1 output / normalized
+    std::vector<float> ln1_inv;    // [seq]
+    std::vector<float> q, k, v;    // projections
+    std::vector<float> attn;       // [heads, seq, seq] probabilities
+    std::vector<float> ctx;        // attention context
+    std::vector<float> x_mid;      // after attention residual
+    std::vector<float> h2, h2_hat;
+    std::vector<float> ln2_inv;
+    std::vector<float> z1;         // pre-relu [seq, ffn]
+  };
+  std::vector<BlockCache> blocks;
+  std::vector<float> x_final;      // encoder output
+  std::vector<float> f, f_hat;     // final LN output / normalized
+  std::vector<float> lnf_inv;
+  std::vector<float> pooled;       // [dim]
+};
+
+void TransformerClassifier::ForwardSample(const int32_t* tokens,
+                                          SampleCache* cache,
+                                          std::vector<float>* probs) const {
+  const int64_t s = config_.seq_len;
+  const int64_t d = config_.dim;
+  const int64_t f = config_.ffn;
+  const int64_t h = config_.heads;
+  const int64_t dh = d / h;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  std::vector<float> x(static_cast<size_t>(s * d));
+  const float* tok = tok_emb_.f32();
+  const float* pos = pos_emb_.f32();
+  for (int64_t t = 0; t < s; ++t) {
+    const float* e = tok + static_cast<int64_t>(tokens[t]) * d;
+    for (int64_t i = 0; i < d; ++i) x[t * d + i] = e[i] + pos[t * d + i];
+  }
+
+  if (cache != nullptr) {
+    cache->blocks.assign(static_cast<size_t>(config_.blocks),
+                         SampleCache::BlockCache{});
+  }
+
+  std::vector<float> h1(s * d), h1_hat(s * d), inv1(s);
+  std::vector<float> q(s * d), k(s * d), v(s * d), ctx(s * d), o(s * d);
+  std::vector<float> attn(h * s * s);
+  std::vector<float> h2(s * d), h2_hat(s * d), inv2(s);
+  std::vector<float> z1(s * f), a1(s * f), m(s * d);
+
+  for (int64_t blk = 0; blk < config_.blocks; ++blk) {
+    const BlockParams& p = block_params_[static_cast<size_t>(blk)];
+    if (cache) cache->blocks[static_cast<size_t>(blk)].x_in = x;
+
+    LayerNormFwd(x.data(), p.ln1_g.f32(), p.ln1_b.f32(), s, d, h1.data(),
+                 h1_hat.data(), inv1.data());
+    Linear(h1.data(), p.wq.f32(), p.bq.f32(), s, d, d, q.data());
+    Linear(h1.data(), p.wk.f32(), p.bk.f32(), s, d, d, k.data());
+    Linear(h1.data(), p.wv.f32(), p.bv.f32(), s, d, d, v.data());
+
+    // Per-head scaled dot-product attention (no mask: encoder style).
+    for (int64_t head = 0; head < h; ++head) {
+      float* a = attn.data() + head * s * s;
+      const int64_t col = head * dh;
+      for (int64_t i = 0; i < s; ++i) {
+        for (int64_t j = 0; j < s; ++j) {
+          float dot = 0.0f;
+          for (int64_t c = 0; c < dh; ++c) {
+            dot += q[i * d + col + c] * k[j * d + col + c];
+          }
+          a[i * s + j] = dot * scale;
+        }
+      }
+      SoftmaxRows(a, s, s);
+      for (int64_t i = 0; i < s; ++i) {
+        for (int64_t c = 0; c < dh; ++c) {
+          float acc = 0.0f;
+          for (int64_t j = 0; j < s; ++j) {
+            acc += a[i * s + j] * v[j * d + col + c];
+          }
+          ctx[i * d + col + c] = acc;
+        }
+      }
+    }
+    Linear(ctx.data(), p.wo.f32(), p.bo.f32(), s, d, d, o.data());
+    for (int64_t i = 0; i < s * d; ++i) x[i] += o[i];
+
+    if (cache) {
+      auto& bc = cache->blocks[static_cast<size_t>(blk)];
+      bc.h1 = h1;
+      bc.h1_hat = h1_hat;
+      bc.ln1_inv = inv1;
+      bc.q = q;
+      bc.k = k;
+      bc.v = v;
+      bc.attn = attn;
+      bc.ctx = ctx;
+      bc.x_mid = x;
+    }
+
+    LayerNormFwd(x.data(), p.ln2_g.f32(), p.ln2_b.f32(), s, d, h2.data(),
+                 h2_hat.data(), inv2.data());
+    Linear(h2.data(), p.w1.f32(), p.b1.f32(), s, d, f, z1.data());
+    for (int64_t i = 0; i < s * f; ++i) a1[i] = std::max(0.0f, z1[i]);
+    Linear(a1.data(), p.w2.f32(), p.b2.f32(), s, f, d, m.data());
+    for (int64_t i = 0; i < s * d; ++i) x[i] += m[i];
+
+    if (cache) {
+      auto& bc = cache->blocks[static_cast<size_t>(blk)];
+      bc.h2 = h2;
+      bc.h2_hat = h2_hat;
+      bc.ln2_inv = inv2;
+      bc.z1 = z1;
+    }
+  }
+
+  std::vector<float> fout(s * d), f_hat(s * d), invf(s);
+  LayerNormFwd(x.data(), lnf_g_.f32(), lnf_b_.f32(), s, d, fout.data(),
+               f_hat.data(), invf.data());
+  std::vector<float> pooled(static_cast<size_t>(d), 0.0f);
+  for (int64_t t = 0; t < s; ++t) {
+    for (int64_t i = 0; i < d; ++i) pooled[i] += fout[t * d + i];
+  }
+  const float invs = 1.0f / static_cast<float>(s);
+  for (int64_t i = 0; i < d; ++i) pooled[i] *= invs;
+
+  probs->assign(static_cast<size_t>(config_.classes), 0.0f);
+  Linear(pooled.data(), whead_.f32(), bhead_.f32(), 1, d, config_.classes,
+         probs->data());
+  SoftmaxRows(probs->data(), 1, config_.classes);
+
+  if (cache) {
+    cache->x_final = x;
+    cache->f = fout;
+    cache->f_hat = f_hat;
+    cache->lnf_inv = invf;
+    cache->pooled = pooled;
+  }
+}
+
+void TransformerClassifier::BackwardSample(const int32_t* tokens,
+                                           const SampleCache& cache,
+                                           const std::vector<float>& dlogits) {
+  const int64_t s = config_.seq_len;
+  const int64_t d = config_.dim;
+  const int64_t f = config_.ffn;
+  const int64_t h = config_.heads;
+  const int64_t dh = d / h;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  // Head: logits = pooled * Whead + bhead.
+  std::vector<float> dpooled(static_cast<size_t>(d), 0.0f);
+  LinearBackward(cache.pooled.data(), whead_.f32(), dlogits.data(), 1, d,
+                 config_.classes, dpooled.data(), g_whead_, g_bhead_);
+
+  // Mean pool: df[t] = dpooled / s; final LayerNorm backward.
+  std::vector<float> df(s * d);
+  const float invs = 1.0f / static_cast<float>(s);
+  for (int64_t t = 0; t < s; ++t) {
+    for (int64_t i = 0; i < d; ++i) df[t * d + i] = dpooled[i] * invs;
+  }
+  std::vector<float> dx(s * d);
+  LayerNormBwd(cache.f_hat.data(), cache.lnf_inv.data(), lnf_g_.f32(),
+               df.data(), s, d, dx.data(), g_lnf_g_, g_lnf_b_);
+
+  std::vector<float> dh2(s * d), dz1(s * f), da1(s * f), dm(s * d);
+  std::vector<float> dctx(s * d), do_(s * d), dh1(s * d), dtmp(s * d);
+  std::vector<float> dq(s * d), dk(s * d), dv(s * d);
+  std::vector<float> da(s * s), ds(s * s);
+
+  for (int64_t blk = config_.blocks - 1; blk >= 0; --blk) {
+    const BlockParams& p = block_params_[static_cast<size_t>(blk)];
+    BlockGrads& g = block_grads_[static_cast<size_t>(blk)];
+    const auto& bc = cache.blocks[static_cast<size_t>(blk)];
+
+    // ---- MLP sub-block: x_out = x_mid + W2 relu(W1 LN2(x_mid)) ----
+    // dm = dx (residual); back through W2, relu, W1, LN2.
+    std::vector<float> a1(s * f);
+    for (int64_t i = 0; i < s * f; ++i) a1[i] = std::max(0.0f, bc.z1[i]);
+    std::fill(da1.begin(), da1.end(), 0.0f);
+    LinearBackward(a1.data(), p.w2.f32(), dx.data(), s, f, d, da1.data(),
+                   g.w2, g.b2);
+    for (int64_t i = 0; i < s * f; ++i) {
+      dz1[i] = bc.z1[i] > 0.0f ? da1[i] : 0.0f;
+    }
+    std::fill(dh2.begin(), dh2.end(), 0.0f);
+    LinearBackward(bc.h2.data(), p.w1.f32(), dz1.data(), s, d, f, dh2.data(),
+                   g.w1, g.b1);
+    LayerNormBwd(bc.h2_hat.data(), bc.ln2_inv.data(), p.ln2_g.f32(),
+                 dh2.data(), s, d, dtmp.data(), g.ln2_g, g.ln2_b);
+    // dx_mid = dx (residual) + LN2 path.
+    for (int64_t i = 0; i < s * d; ++i) dx[i] += dtmp[i];
+
+    // ---- Attention sub-block: x_mid = x_in + Wo * Attn(LN1(x_in)) ----
+    std::fill(dctx.begin(), dctx.end(), 0.0f);
+    LinearBackward(bc.ctx.data(), p.wo.f32(), dx.data(), s, d, d,
+                   dctx.data(), g.wo, g.bo);
+
+    std::fill(dq.begin(), dq.end(), 0.0f);
+    std::fill(dk.begin(), dk.end(), 0.0f);
+    std::fill(dv.begin(), dv.end(), 0.0f);
+    for (int64_t head = 0; head < h; ++head) {
+      const float* a = bc.attn.data() + head * s * s;
+      const int64_t col = head * dh;
+      // da[i][j] = dctx_i . v_j ; dv_j += sum_i a[i][j] dctx_i.
+      for (int64_t i = 0; i < s; ++i) {
+        for (int64_t j = 0; j < s; ++j) {
+          float dot = 0.0f;
+          for (int64_t c = 0; c < dh; ++c) {
+            dot += dctx[i * d + col + c] * bc.v[j * d + col + c];
+          }
+          da[i * s + j] = dot;
+        }
+      }
+      for (int64_t j = 0; j < s; ++j) {
+        for (int64_t c = 0; c < dh; ++c) {
+          float acc = 0.0f;
+          for (int64_t i = 0; i < s; ++i) {
+            acc += a[i * s + j] * dctx[i * d + col + c];
+          }
+          dv[j * d + col + c] += acc;
+        }
+      }
+      // Softmax backward: ds = a * (da - sum_j da*a), then scale.
+      for (int64_t i = 0; i < s; ++i) {
+        double dot = 0.0;
+        for (int64_t j = 0; j < s; ++j) {
+          dot += static_cast<double>(da[i * s + j]) * a[i * s + j];
+        }
+        for (int64_t j = 0; j < s; ++j) {
+          ds[i * s + j] = a[i * s + j] *
+                          (da[i * s + j] - static_cast<float>(dot)) * scale;
+        }
+      }
+      // dq_i += sum_j ds[i][j] k_j ; dk_j += sum_i ds[i][j] q_i.
+      for (int64_t i = 0; i < s; ++i) {
+        for (int64_t j = 0; j < s; ++j) {
+          const float dsv = ds[i * s + j];
+          if (dsv == 0.0f) continue;
+          for (int64_t c = 0; c < dh; ++c) {
+            dq[i * d + col + c] += dsv * bc.k[j * d + col + c];
+            dk[j * d + col + c] += dsv * bc.q[i * d + col + c];
+          }
+        }
+      }
+    }
+
+    std::fill(dh1.begin(), dh1.end(), 0.0f);
+    LinearBackward(bc.h1.data(), p.wq.f32(), dq.data(), s, d, d, dtmp.data(),
+                   g.wq, g.bq);
+    for (int64_t i = 0; i < s * d; ++i) dh1[i] += dtmp[i];
+    LinearBackward(bc.h1.data(), p.wk.f32(), dk.data(), s, d, d, dtmp.data(),
+                   g.wk, g.bk);
+    for (int64_t i = 0; i < s * d; ++i) dh1[i] += dtmp[i];
+    LinearBackward(bc.h1.data(), p.wv.f32(), dv.data(), s, d, d, dtmp.data(),
+                   g.wv, g.bv);
+    for (int64_t i = 0; i < s * d; ++i) dh1[i] += dtmp[i];
+
+    LayerNormBwd(bc.h1_hat.data(), bc.ln1_inv.data(), p.ln1_g.f32(),
+                 dh1.data(), s, d, dtmp.data(), g.ln1_g, g.ln1_b);
+    // dx_in = dx_mid (residual) + LN1 path.
+    for (int64_t i = 0; i < s * d; ++i) dx[i] += dtmp[i];
+  }
+
+  // Embedding backward.
+  for (int64_t t = 0; t < s; ++t) {
+    float* gtok = g_tok_emb_ + static_cast<int64_t>(tokens[t]) * d;
+    float* gpos = g_pos_emb_ + t * d;
+    for (int64_t i = 0; i < d; ++i) {
+      gtok[i] += dx[t * d + i];
+      gpos[i] += dx[t * d + i];
+    }
+  }
+}
+
+Result<float> TransformerClassifier::ForwardBackward(
+    const Tensor& tokens, const std::vector<int32_t>& y) {
+  MICS_RETURN_NOT_OK(CheckBatch(tokens, static_cast<int64_t>(y.size())));
+  const int64_t batch = tokens.numel() / config_.seq_len;
+  const int64_t c = config_.classes;
+  const float invb = 1.0f / static_cast<float>(batch);
+  double loss = 0.0;
+  std::vector<float> probs;
+  std::vector<float> dlogits(static_cast<size_t>(c));
+  SampleCache cache;
+  for (int64_t b = 0; b < batch; ++b) {
+    const int32_t* toks = tokens.i32() + b * config_.seq_len;
+    ForwardSample(toks, &cache, &probs);
+    const int32_t label = y[static_cast<size_t>(b)];
+    loss += -std::log(std::max(1e-12f, probs[static_cast<size_t>(label)]));
+    for (int64_t j = 0; j < c; ++j) {
+      dlogits[static_cast<size_t>(j)] = probs[static_cast<size_t>(j)] * invb;
+    }
+    dlogits[static_cast<size_t>(label)] -= invb;
+    BackwardSample(toks, cache, dlogits);
+  }
+  return static_cast<float>(loss / batch);
+}
+
+Result<float> TransformerClassifier::Loss(const Tensor& tokens,
+                                          const std::vector<int32_t>& y) const {
+  MICS_RETURN_NOT_OK(CheckBatch(tokens, static_cast<int64_t>(y.size())));
+  const int64_t batch = tokens.numel() / config_.seq_len;
+  double loss = 0.0;
+  std::vector<float> probs;
+  for (int64_t b = 0; b < batch; ++b) {
+    ForwardSample(tokens.i32() + b * config_.seq_len, nullptr, &probs);
+    loss += -std::log(std::max(
+        1e-12f, probs[static_cast<size_t>(y[static_cast<size_t>(b)])]));
+  }
+  return static_cast<float>(loss / batch);
+}
+
+Result<std::vector<int32_t>> TransformerClassifier::Predict(
+    const Tensor& tokens) const {
+  MICS_RETURN_NOT_OK(CheckBatch(tokens, -1));
+  const int64_t batch = tokens.numel() / config_.seq_len;
+  std::vector<int32_t> out(static_cast<size_t>(batch));
+  std::vector<float> probs;
+  for (int64_t b = 0; b < batch; ++b) {
+    ForwardSample(tokens.i32() + b * config_.seq_len, nullptr, &probs);
+    int32_t best = 0;
+    for (int64_t j = 1; j < config_.classes; ++j) {
+      if (probs[static_cast<size_t>(j)] > probs[static_cast<size_t>(best)]) {
+        best = static_cast<int32_t>(j);
+      }
+    }
+    out[static_cast<size_t>(b)] = best;
+  }
+  return out;
+}
+
+}  // namespace mics

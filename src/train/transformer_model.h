@@ -1,0 +1,109 @@
+#ifndef MICS_TRAIN_TRANSFORMER_MODEL_H_
+#define MICS_TRAIN_TRANSFORMER_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+
+class Rng;
+
+/// A real (CPU-executed) BERT-style transformer encoder classifier with
+/// hand-written forward AND backward passes — no autograd anywhere:
+///
+///   x0   = tok_emb[token] + pos_emb
+///   for each block:
+///     x  = x + Wo * MultiHeadSelfAttention(LN1(x))        (pre-norm)
+///     x  = x + W2 * relu(W1 * LN2(x))
+///   loss = CrossEntropy(mean-pool(LNf(x)) * Whead)
+///
+/// Like MlpModel, its parameters/gradients are views into externally
+/// owned flat buffers, so the sharded training engine can gather/scatter
+/// them. This is the workload class the paper actually trains; the
+/// fidelity tests run it under DDP / ZeRO-3 / MiCS and compare curves.
+class TransformerClassifier {
+ public:
+  struct Config {
+    int64_t vocab = 32;
+    int64_t seq_len = 8;
+    int64_t dim = 16;
+    int64_t heads = 2;   // must divide dim
+    int64_t ffn = 32;
+    int64_t blocks = 2;
+    int64_t classes = 4;
+
+    Status Validate() const;
+  };
+
+  explicit TransformerClassifier(Config config);
+
+  int64_t NumParams() const;
+
+  /// Binds parameter/gradient storage (fp32, >= NumParams() elements).
+  Status BindParameters(Tensor* params_flat, Tensor* grads_flat);
+
+  /// Deterministic initialization (same seed => same weights).
+  Status InitParameters(Rng* rng);
+
+  /// tokens: i32 tensor of batch*seq_len entries in [0, vocab);
+  /// y: batch labels. ACCUMULATES gradients; returns mean loss.
+  Result<float> ForwardBackward(const Tensor& tokens,
+                                const std::vector<int32_t>& y);
+
+  /// Forward only.
+  Result<float> Loss(const Tensor& tokens, const std::vector<int32_t>& y) const;
+
+  /// Argmax class per sequence.
+  Result<std::vector<int32_t>> Predict(const Tensor& tokens) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct BlockParams {
+    Tensor ln1_g, ln1_b;
+    Tensor wq, bq, wk, bk, wv, bv, wo, bo;
+    Tensor ln2_g, ln2_b;
+    Tensor w1, b1, w2, b2;
+  };
+  struct BlockGrads {
+    float *ln1_g, *ln1_b;
+    float *wq, *bq, *wk, *bk, *wv, *bv, *wo, *bo;
+    float *ln2_g, *ln2_b;
+    float *w1, *b1, *w2, *b2;
+  };
+
+  /// Per-sample forward caches needed by the backward pass.
+  struct SampleCache;
+
+  Status CheckBatch(const Tensor& tokens, int64_t labels) const;
+  /// Forward for one sample; fills `cache` when non-null. Returns the
+  /// class probabilities (after softmax) for the sample.
+  void ForwardSample(const int32_t* tokens, SampleCache* cache,
+                     std::vector<float>* probs) const;
+  /// Backward for one sample given dlogits; accumulates into grads.
+  void BackwardSample(const int32_t* tokens, const SampleCache& cache,
+                      const std::vector<float>& dlogits);
+
+  Config config_;
+  bool bound_ = false;
+
+  Tensor tok_emb_, pos_emb_;
+  std::vector<BlockParams> block_params_;
+  Tensor lnf_g_, lnf_b_;
+  Tensor whead_, bhead_;
+
+  float* g_tok_emb_ = nullptr;
+  float* g_pos_emb_ = nullptr;
+  std::vector<BlockGrads> block_grads_;
+  float* g_lnf_g_ = nullptr;
+  float* g_lnf_b_ = nullptr;
+  float* g_whead_ = nullptr;
+  float* g_bhead_ = nullptr;
+};
+
+}  // namespace mics
+
+#endif  // MICS_TRAIN_TRANSFORMER_MODEL_H_

@@ -1,0 +1,81 @@
+#ifndef MICS_UTIL_LOGGING_H_
+#define MICS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mics {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// A kFatal message aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a CHECK passes.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+/// Sets the minimum severity that is actually emitted (default kInfo is
+/// emitted; set kWarning to silence INFO logs in benchmarks).
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+#define MICS_LOG(severity)                                          \
+  ::mics::internal_logging::LogMessage(::mics::LogSeverity::k##severity, \
+                                       __FILE__, __LINE__)
+
+/// Dies with a message when the condition is false. Used for programmer
+/// errors (invariant violations), not for recoverable input errors.
+#define MICS_CHECK(cond)                                       \
+  if (!(cond))                                                 \
+  MICS_LOG(Fatal) << "Check failed: " #cond " "
+
+#define MICS_CHECK_OK(expr)                              \
+  do {                                                   \
+    ::mics::Status _st = (expr);                         \
+    MICS_CHECK(_st.ok()) << _st.ToString();              \
+  } while (false)
+
+#define MICS_CHECK_EQ(a, b) MICS_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MICS_CHECK_NE(a, b) MICS_CHECK((a) != (b))
+#define MICS_CHECK_LT(a, b) MICS_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MICS_CHECK_LE(a, b) MICS_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MICS_CHECK_GT(a, b) MICS_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MICS_CHECK_GE(a, b) MICS_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define MICS_DCHECK(cond) \
+  if (false) MICS_LOG(Fatal)
+#else
+#define MICS_DCHECK(cond) MICS_CHECK(cond)
+#endif
+
+}  // namespace mics
+
+#endif  // MICS_UTIL_LOGGING_H_

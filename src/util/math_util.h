@@ -1,0 +1,36 @@
+#ifndef MICS_UTIL_MATH_UTIL_H_
+#define MICS_UTIL_MATH_UTIL_H_
+
+#include <cstdint>
+
+namespace mics {
+
+/// Ceiling division for non-negative integers.
+constexpr int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+/// Rounds `a` up to the next multiple of `align` (align > 0).
+constexpr int64_t AlignUp(int64_t a, int64_t align) {
+  return CeilDiv(a, align) * align;
+}
+
+/// True when `a` divides evenly into `b`-sized groups.
+constexpr bool IsDivisible(int64_t a, int64_t b) {
+  return b != 0 && a % b == 0;
+}
+
+/// Integer power-of-two predicate.
+constexpr bool IsPowerOfTwo(int64_t x) { return x > 0 && (x & (x - 1)) == 0; }
+
+constexpr int64_t KiB(int64_t n) { return n * 1024; }
+constexpr int64_t MiB(int64_t n) { return n * 1024 * 1024; }
+constexpr int64_t GiB(int64_t n) { return n * 1024 * 1024 * 1024; }
+
+/// Converts a link rate in gigabits/s to bytes/s.
+constexpr double GbpsToBytesPerSec(double gbps) { return gbps * 1e9 / 8.0; }
+
+/// Converts bytes/s to GB/s (decimal gigabytes, as network specs use).
+constexpr double BytesPerSecToGBps(double bps) { return bps / 1e9; }
+
+}  // namespace mics
+
+#endif  // MICS_UTIL_MATH_UTIL_H_

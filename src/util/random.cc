@@ -1,0 +1,84 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mics {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next64() {
+  // xoshiro256**
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  MICS_DCHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  while (true) {
+    uint64_t r = Next64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::UniformFloat(float lo, float hi) {
+  return lo + static_cast<float>(UniformDouble()) * (hi - lo);
+}
+
+float Rng::Normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-12);
+  const double u2 = UniformDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_ = static_cast<float>(mag * std::sin(2.0 * M_PI * u2));
+  has_spare_ = true;
+  return static_cast<float>(mag * std::cos(2.0 * M_PI * u2));
+}
+
+void Rng::FillNormal(float* out, int64_t n, float stddev) {
+  for (int64_t i = 0; i < n; ++i) out[i] = Normal() * stddev;
+}
+
+std::vector<int32_t> Rng::Tokens(int64_t n, int32_t vocab) {
+  std::vector<int32_t> out(static_cast<size_t>(n));
+  for (auto& t : out) t = static_cast<int32_t>(Uniform(vocab));
+  return out;
+}
+
+}  // namespace mics

@@ -1,0 +1,46 @@
+#ifndef MICS_UTIL_RANDOM_H_
+#define MICS_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mics {
+
+/// Deterministic, seedable PRNG (SplitMix64 core with a xoshiro256**
+/// stream). Used everywhere randomness is needed so runs are reproducible
+/// across ranks and platforms; std::mt19937 is avoided because its
+/// distributions are not portable across standard libraries.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next64();
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform float in [lo, hi).
+  float UniformFloat(float lo, float hi);
+
+  /// Standard normal via Box-Muller.
+  float Normal();
+
+  /// Fills `out` with iid normal(0, stddev) floats.
+  void FillNormal(float* out, int64_t n, float stddev);
+
+  /// Returns `n` iid uniform ints in [0, vocab).
+  std::vector<int32_t> Tokens(int64_t n, int32_t vocab);
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_ = false;
+  float spare_ = 0.0f;
+};
+
+}  // namespace mics
+
+#endif  // MICS_UTIL_RANDOM_H_

@@ -1,0 +1,135 @@
+#ifndef MICS_UTIL_STATUS_H_
+#define MICS_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace mics {
+
+/// Error categories used across the library. Follows the RocksDB/Arrow
+/// convention: library functions that can fail return a Status (or a
+/// Result<T>), never throw.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfMemory = 2,
+  kFailedPrecondition = 3,
+  kUnimplemented = 4,
+  kInternal = 5,
+  kNotFound = 6,
+};
+
+/// Returns a human-readable name for a status code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. Mirrors arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Precondition: ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the value or dies with the error message. For tests/examples.
+  const T& ValueOrDie() const {
+    MICS_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return *value_;
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define MICS_RETURN_NOT_OK(expr)        \
+  do {                                  \
+    ::mics::Status _st = (expr);        \
+    if (!_st.ok()) return _st;          \
+  } while (false)
+
+/// Assigns the value of a Result<T> expression or propagates its error.
+#define MICS_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto MICS_CONCAT_(result_, __LINE__) = (expr);  \
+  if (!MICS_CONCAT_(result_, __LINE__).ok())      \
+    return MICS_CONCAT_(result_, __LINE__).status(); \
+  lhs = std::move(MICS_CONCAT_(result_, __LINE__)).value()
+
+#define MICS_CONCAT_IMPL_(a, b) a##b
+#define MICS_CONCAT_(a, b) MICS_CONCAT_IMPL_(a, b)
+
+}  // namespace mics
+
+#endif  // MICS_UTIL_STATUS_H_

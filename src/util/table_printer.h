@@ -1,0 +1,39 @@
+#ifndef MICS_UTIL_TABLE_PRINTER_H_
+#define MICS_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mics {
+
+/// Accumulates rows and prints an aligned plain-text table (and optionally
+/// CSV). Benchmarks use this to emit the series that correspond to each
+/// figure/table in the paper.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the number of cells must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Fmt(double v, int precision = 2);
+
+  /// Writes an aligned table with a header separator line.
+  void Print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (no quoting; cells must not contain commas).
+  void PrintCsv(std::ostream& os) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mics
+
+#endif  // MICS_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,79 @@
+#include "baselines/megatron.h"
+
+#include <gtest/gtest.h>
+
+#include "model/model_zoo.h"
+
+namespace mics {
+namespace {
+
+TEST(MegatronTest, Table2ConfigsPresent) {
+  const auto configs = Table2Configs();
+  ASSERT_EQ(configs.size(), 3u);
+  EXPECT_EQ(configs[0].tensor_parallel, 8);
+  EXPECT_EQ(configs[0].pipeline_parallel, 1);
+  EXPECT_EQ(configs[1].tensor_parallel, 4);
+  EXPECT_EQ(configs[1].pipeline_parallel, 4);
+  EXPECT_EQ(configs[2].tensor_parallel, 2);
+  EXPECT_EQ(configs[2].pipeline_parallel, 8);
+}
+
+TEST(MegatronTest, SimulateProducesThroughput) {
+  MegatronModel model(ClusterSpec::P3dn(8));
+  for (const auto& cfg : Table2Configs()) {
+    auto r = model.Simulate(Bert10B128Layer(), 8, 4096, cfg);
+    ASSERT_TRUE(r.ok()) << cfg.ToString();
+    EXPECT_FALSE(r.value().oom) << cfg.ToString();
+    EXPECT_GT(r.value().throughput, 0.0);
+    EXPECT_GT(r.value().per_gpu_tflops, 0.0);
+  }
+}
+
+TEST(MegatronTest, ConfigurationSensitivity) {
+  // §5.1.3: Megatron-LM-3D is sensitive to (t, pp) tuning; config (3)
+  // t=2,pp=8 beats config (1) t=8,pp=1 by ~38% on this workload.
+  MegatronModel model(ClusterSpec::P3dn(8));
+  auto c1 = model.Simulate(Bert10B128Layer(), 8, 4096, {8, 1});
+  auto c3 = model.Simulate(Bert10B128Layer(), 8, 4096, {2, 8});
+  ASSERT_TRUE(c1.ok() && c3.ok());
+  const double spread = c3.value().throughput / c1.value().throughput;
+  EXPECT_GT(spread, 1.1);
+  EXPECT_LT(spread, 2.2);
+}
+
+TEST(MegatronTest, PipelineBubbleGrowsWithFewerMicrobatches) {
+  MegatronModel model(ClusterSpec::P3dn(8));
+  // Same config, smaller global batch -> fewer in-flight micro-batches
+  // -> proportionally bigger bubble -> lower per-GPU efficiency.
+  auto big = model.Simulate(Bert10B128Layer(), 8, 4096, {2, 8});
+  auto small = model.Simulate(Bert10B128Layer(), 8, 512, {2, 8});
+  ASSERT_TRUE(big.ok() && small.ok());
+  EXPECT_GT(big.value().per_gpu_tflops, small.value().per_gpu_tflops);
+}
+
+TEST(MegatronTest, ValidationRules) {
+  MegatronModel model(ClusterSpec::P3dn(8));
+  // Tensor parallelism beyond a node violates the paper's tuning rule.
+  EXPECT_FALSE(model.Simulate(Bert10B128Layer(), 8, 4096, {16, 1}).ok());
+  // t*pp must divide the cluster.
+  EXPECT_FALSE(model.Simulate(Bert10B128Layer(), 8, 4096, {3, 5}).ok());
+  // Layers must divide by pp (the reason the paper uses 128 layers).
+  EXPECT_FALSE(model.Simulate(Bert10B(), 8, 4096, {2, 8}).ok());
+}
+
+TEST(MegatronTest, ToStringDescribes) {
+  EXPECT_EQ(MegatronConfig({4, 4}).ToString(), "Megatron-3D(t=4,pp=4)");
+}
+
+TEST(MegatronTest, TensorParallelCommPenalizesWideTp) {
+  // t=8 puts 6 intra-node all-reduces per layer on the critical path;
+  // with pp=1 there is no bubble but TP comm + efficiency loss dominate.
+  MegatronModel model(ClusterSpec::P3dn(8));
+  auto t8 = model.Simulate(Bert10B128Layer(), 8, 4096, {8, 1});
+  auto t4 = model.Simulate(Bert10B128Layer(), 8, 4096, {4, 4});
+  ASSERT_TRUE(t8.ok() && t4.ok());
+  EXPECT_GT(t4.value().throughput, t8.value().throughput);
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,83 @@
+#include "baselines/pipeline_sim.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace mics {
+namespace {
+
+TEST(PipelineSimTest, SingleStageHasNoBubble) {
+  auto r = SimulatePipeline1F1B(1, 8, 1.0, 2.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().iter_time, 8 * 3.0);
+  EXPECT_DOUBLE_EQ(r.value().bubble_fraction, 0.0);
+}
+
+class PipelineClosedFormTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PipelineClosedFormTest, MatchesMegatronFormulaForUniformStages) {
+  // 1F1B with uniform stage times: T = (m + pp - 1) * (tf + tb), bubble
+  // fraction (pp-1)/(m+pp-1) — the formula the paper's §6 discussion and
+  // our MegatronModel rely on, here emerging from the explicit schedule.
+  const auto [stages, micros] = GetParam();
+  const double tf = 1.0;
+  const double tb = 2.0;
+  auto r = SimulatePipeline1F1B(stages, micros, tf, tb);
+  ASSERT_TRUE(r.ok());
+  const double expect = (micros + stages - 1) * (tf + tb);
+  EXPECT_NEAR(r.value().iter_time, expect, 1e-9);
+  EXPECT_NEAR(r.value().bubble_fraction,
+              static_cast<double>(stages - 1) / (micros + stages - 1),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PipelineClosedFormTest,
+                         ::testing::Values(std::make_tuple(2, 8),
+                                           std::make_tuple(4, 8),
+                                           std::make_tuple(4, 16),
+                                           std::make_tuple(8, 8),
+                                           std::make_tuple(8, 64),
+                                           std::make_tuple(4, 4)));
+
+TEST(PipelineSimTest, FewerMicrobatchesThanStagesStillSchedules) {
+  auto r = SimulatePipeline1F1B(8, 2, 1.0, 1.0);
+  ASSERT_TRUE(r.ok());
+  // Two micro-batches through 8 stages: mostly bubble.
+  EXPECT_GT(r.value().bubble_fraction, 0.5);
+  EXPECT_GE(r.value().iter_time, (2 + 8 - 1) * 2.0 - 1e-9);
+}
+
+TEST(PipelineSimTest, MoreMicrobatchesShrinkBubble) {
+  double prev = 1.0;
+  for (int64_t m : {4, 8, 16, 32, 64}) {
+    auto r = SimulatePipeline1F1B(4, m, 1.0, 2.0);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LT(r.value().bubble_fraction, prev);
+    prev = r.value().bubble_fraction;
+  }
+  EXPECT_LT(prev, 0.05);  // 64 micro-batches: bubble nearly gone
+}
+
+TEST(PipelineSimTest, Validation) {
+  EXPECT_FALSE(SimulatePipeline1F1B(0, 8, 1.0, 1.0).ok());
+  EXPECT_FALSE(SimulatePipeline1F1B(4, 0, 1.0, 1.0).ok());
+  EXPECT_FALSE(SimulatePipeline1F1B(4, 8, -1.0, 1.0).ok());
+}
+
+TEST(PipelineSimTest, ConsistentWithAnalyticMegatronBubbleTerm) {
+  // The analytic MegatronModel multiplies per-micro stage time by
+  // (m + pp - 1); the simulated schedule must agree for its inputs.
+  const int pp = 4;
+  const int64_t m = 8;
+  const double per_micro_f = 0.010;
+  const double per_micro_b = 0.022;
+  auto sim = SimulatePipeline1F1B(pp, m, per_micro_f, per_micro_b);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_NEAR(sim.value().iter_time,
+              (m + pp - 1) * (per_micro_f + per_micro_b), 1e-12);
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,97 @@
+#include "baselines/zero_offload.h"
+
+#include <gtest/gtest.h>
+
+#include "core/heuristics.h"
+#include "model/model_zoo.h"
+#include "model/transformer.h"
+
+namespace mics {
+namespace {
+
+TrainJob MakeJob(const TransformerConfig& config, int64_t micro = 8,
+                 int64_t global = 8192) {
+  TrainJob job;
+  job.model = BuildTransformerGraph(config, micro, true).ValueOrDie();
+  job.micro_batch = micro;
+  job.global_batch = global;
+  return job;
+}
+
+TEST(ZeroOffloadTest, RunsWhereInGpuShardingCannot) {
+  // ZeRO-Offload's reason to exist: on FEW GPUs, the 16-bytes-per-param
+  // on-GPU states dwarf memory while offload only needs the fp16 copy.
+  // A ~5B model on a single V100: in-GPU Adam needs ~80GB, offload ~25GB.
+  ClusterSpec single = ClusterSpec::P3dn(1);
+  single.gpus_per_node = 1;
+  TransformerConfig model5b;
+  model5b.name = "BERT-5B";
+  model5b.hidden = 2560;
+  model5b.intermediate = 10240;
+  model5b.layers = 60;
+  model5b.heads = 40;
+  model5b.vocab = 32008;
+  model5b.seq_len = 512;
+  ZeroOffloadModel offload(single);
+  PerfEngine engine(single);
+  auto off = offload.Simulate(MakeJob(model5b, 4, 64));
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off.value().oom) << off.value().oom_detail;
+  EXPECT_GT(off.value().throughput, 0.0);
+  auto in_gpu = SearchBestConfig(engine, MakeJob(model5b, 4, 64));
+  EXPECT_FALSE(in_gpu.ok());  // nothing fits on-GPU
+}
+
+TEST(ZeroOffloadTest, SlowerThanMicsWhenBothFit) {
+  // The throughput cost of offload: when MiCS fits, it wins clearly.
+  const ClusterSpec cluster = ClusterSpec::P3dn(8);
+  ZeroOffloadModel offload(cluster);
+  PerfEngine engine(cluster);
+  auto off = offload.Simulate(MakeJob(Bert10B()));
+  auto mics = engine.Simulate(MakeJob(Bert10B()), MicsConfig::Mics(8));
+  ASSERT_TRUE(off.ok() && mics.ok());
+  ASSERT_FALSE(off.value().oom);
+  ASSERT_FALSE(mics.value().oom);
+  EXPECT_GT(mics.value().throughput, 1.2 * off.value().throughput);
+}
+
+TEST(ZeroOffloadTest, GpuMemoryExcludesOptimizerStates) {
+  ZeroOffloadModel offload(ClusterSpec::P3dn(4));
+  auto r = offload.Simulate(MakeJob(Bert10B()));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().memory.optimizer, 0.0);
+  EXPECT_GT(r.value().memory.params, 0.0);
+}
+
+TEST(ZeroOffloadTest, HostMemoryLimitEnforced) {
+  OffloadCostParams params;
+  params.host_memory_bytes = 1LL << 30;  // 1 GiB host: far too small
+  ZeroOffloadModel offload(ClusterSpec::P3dn(4), params);
+  auto r = offload.Simulate(MakeJob(Bert10B()));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().oom);
+  EXPECT_NE(r.value().oom_detail.find("host"), std::string::npos);
+}
+
+TEST(ZeroOffloadTest, BoundaryCostAmortizesWithMicroSteps) {
+  // More gradient accumulation amortizes the PCIe/CPU boundary, raising
+  // per-GPU efficiency.
+  ZeroOffloadModel offload(ClusterSpec::P3dn(8));
+  auto few = offload.Simulate(MakeJob(Bert10B(), 8, 8 * 64 * 2));   // s=2
+  auto many = offload.Simulate(MakeJob(Bert10B(), 8, 8 * 64 * 32)); // s=32
+  ASSERT_TRUE(few.ok() && many.ok());
+  EXPECT_GT(many.value().per_gpu_tflops, few.value().per_gpu_tflops);
+}
+
+TEST(ZeroOffloadTest, ValidationErrors) {
+  ZeroOffloadModel offload(ClusterSpec::P3dn(2));
+  TrainJob job = MakeJob(Bert10B());
+  job.micro_batch = 0;
+  EXPECT_FALSE(offload.Simulate(job).ok());
+  job = MakeJob(Bert10B());
+  job.model.layers.clear();
+  EXPECT_FALSE(offload.Simulate(job).ok());
+}
+
+}  // namespace
+}  // namespace mics

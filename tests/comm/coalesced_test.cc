@@ -1,0 +1,172 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/communicator.h"
+#include "comm/world.h"
+#include "tensor/tensor.h"
+
+namespace mics {
+namespace {
+
+std::vector<int> AllRanks(int n) {
+  std::vector<int> r(n);
+  for (int i = 0; i < n; ++i) r[i] = i;
+  return r;
+}
+
+class CoalescedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoalescedTest, AllGatherCoalescedMatchesSequentialGathers) {
+  const int n = GetParam();
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    // Three items of different sizes.
+    const std::vector<int64_t> sizes{2, 5, 3};
+    std::vector<Tensor> ins;
+    std::vector<Tensor> outs;
+    for (size_t item = 0; item < sizes.size(); ++item) {
+      Tensor in({sizes[item]}, DType::kF32);
+      for (int64_t i = 0; i < sizes[item]; ++i) {
+        in.Set(i, 100.0f * item + 10.0f * rank + i);
+      }
+      ins.push_back(in);
+      outs.emplace_back(std::vector<int64_t>{sizes[item] * n}, DType::kF32);
+    }
+    MICS_RETURN_NOT_OK(comm.AllGatherCoalesced(ins, &outs));
+    for (size_t item = 0; item < sizes.size(); ++item) {
+      for (int r = 0; r < n; ++r) {
+        for (int64_t i = 0; i < sizes[item]; ++i) {
+          const float expect = 100.0f * item + 10.0f * r + i;
+          if (outs[item].At(r * sizes[item] + i) != expect) {
+            return Status::Internal("coalesced gather wrong");
+          }
+        }
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(CoalescedTest, ReduceScatterCoalescedSums) {
+  const int n = GetParam();
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    const std::vector<int64_t> out_sizes{3, 2};
+    std::vector<Tensor> ins;
+    std::vector<Tensor> outs;
+    for (size_t item = 0; item < out_sizes.size(); ++item) {
+      Tensor in({out_sizes[item] * n}, DType::kF32);
+      in.Fill(static_cast<float>(rank + 1 + item));
+      ins.push_back(in);
+      outs.emplace_back(std::vector<int64_t>{out_sizes[item]}, DType::kF32);
+    }
+    MICS_RETURN_NOT_OK(comm.ReduceScatterCoalesced(ins, &outs));
+    for (size_t item = 0; item < out_sizes.size(); ++item) {
+      float expect = 0.0f;
+      for (int r = 0; r < n; ++r) expect += r + 1 + item;
+      for (int64_t i = 0; i < out_sizes[item]; ++i) {
+        if (outs[item].At(i) != expect) {
+          return Status::Internal("coalesced reduce-scatter wrong");
+        }
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CoalescedTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(CoalescedValidationTest, MismatchedItemCountsRejected) {
+  World world(2);
+  Status st = RunRanks(2, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, {0, 1}, rank));
+    std::vector<Tensor> ins;
+    ins.emplace_back(std::vector<int64_t>{2}, DType::kF32);
+    std::vector<Tensor> outs;  // empty: mismatch
+    Status s = comm.AllGatherCoalesced(ins, &outs);
+    if (!s.IsInvalidArgument()) return Status::Internal("expected error");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(CoalescedValidationTest, WrongItemSizeRejected) {
+  World world(2);
+  Status st = RunRanks(2, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, {0, 1}, rank));
+    std::vector<Tensor> ins;
+    ins.emplace_back(std::vector<int64_t>{2}, DType::kF32);
+    std::vector<Tensor> outs;
+    outs.emplace_back(std::vector<int64_t>{3}, DType::kF32);  // want 4
+    Status s = comm.AllGatherCoalesced(ins, &outs);
+    if (!s.IsInvalidArgument()) return Status::Internal("expected error");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(CoalescedTest, F16ItemsSupported) {
+  const int n = 4;
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    std::vector<Tensor> ins;
+    Tensor in({2}, DType::kF16);
+    in.Fill(static_cast<float>(rank));
+    ins.push_back(in);
+    std::vector<Tensor> outs;
+    outs.emplace_back(std::vector<int64_t>{2 * n}, DType::kF16);
+    MICS_RETURN_NOT_OK(comm.AllGatherCoalesced(ins, &outs));
+    for (int r = 0; r < n; ++r) {
+      if (outs[0].At(r * 2) != static_cast<float>(r)) {
+        return Status::Internal("f16 coalesced wrong");
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(CoalescedTest, ManySmallItems) {
+  // Mimics gathering many small parameter tensors in one group launch.
+  const int n = 4;
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    const int items = 32;
+    std::vector<Tensor> ins;
+    std::vector<Tensor> outs;
+    for (int it = 0; it < items; ++it) {
+      Tensor in({1}, DType::kF32);
+      in.Set(0, static_cast<float>(rank * items + it));
+      ins.push_back(in);
+      outs.emplace_back(std::vector<int64_t>{n}, DType::kF32);
+    }
+    MICS_RETURN_NOT_OK(comm.AllGatherCoalesced(ins, &outs));
+    for (int it = 0; it < items; ++it) {
+      for (int r = 0; r < n; ++r) {
+        if (outs[static_cast<size_t>(it)].At(r) !=
+            static_cast<float>(r * items + it)) {
+          return Status::Internal("many-item gather wrong");
+        }
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,255 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/communicator.h"
+#include "comm/world.h"
+#include "tensor/tensor.h"
+
+namespace mics {
+namespace {
+
+std::vector<int> AllRanks(int n) {
+  std::vector<int> r(n);
+  for (int i = 0; i < n; ++i) r[i] = i;
+  return r;
+}
+
+class CollectivesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesTest, AllGatherCollectsRankChunksInOrder) {
+  const int n = GetParam();
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    Tensor in({4}, DType::kF32);
+    for (int64_t i = 0; i < 4; ++i) in.Set(i, rank * 10.0f + i);
+    Tensor out({4 * n}, DType::kF32);
+    MICS_RETURN_NOT_OK(comm.AllGather(in, &out));
+    for (int r = 0; r < n; ++r) {
+      for (int64_t i = 0; i < 4; ++i) {
+        if (out.At(r * 4 + i) != r * 10.0f + i) {
+          return Status::Internal("wrong gathered value");
+        }
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(CollectivesTest, ReduceScatterSumsPerChunk) {
+  const int n = GetParam();
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    // Rank r contributes value (r+1) everywhere; chunk sums = n(n+1)/2.
+    Tensor in({3 * static_cast<int64_t>(n)}, DType::kF32);
+    in.Fill(static_cast<float>(rank + 1));
+    Tensor out({3}, DType::kF32);
+    MICS_RETURN_NOT_OK(comm.ReduceScatter(in, &out, ReduceOp::kSum));
+    const float expect = n * (n + 1) / 2.0f;
+    for (int64_t i = 0; i < 3; ++i) {
+      if (out.At(i) != expect) return Status::Internal("wrong sum");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(CollectivesTest, AllReduceSumIdenticalEverywhere) {
+  const int n = GetParam();
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    Tensor buf({5}, DType::kF32);
+    for (int64_t i = 0; i < 5; ++i) buf.Set(i, rank + i * 0.5f);
+    MICS_RETURN_NOT_OK(comm.AllReduce(&buf, ReduceOp::kSum));
+    for (int64_t i = 0; i < 5; ++i) {
+      const float expect = n * (n - 1) / 2.0f + n * i * 0.5f;
+      if (buf.At(i) != expect) return Status::Internal("wrong allreduce");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(CollectivesTest, AllReduceAvgAndMax) {
+  const int n = GetParam();
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    Tensor avg({1}, DType::kF32);
+    avg.Set(0, static_cast<float>(rank));
+    MICS_RETURN_NOT_OK(comm.AllReduce(&avg, ReduceOp::kAvg));
+    if (avg.At(0) != (n - 1) / 2.0f) return Status::Internal("wrong avg");
+
+    Tensor mx({1}, DType::kF32);
+    mx.Set(0, static_cast<float>(rank));
+    MICS_RETURN_NOT_OK(comm.AllReduce(&mx, ReduceOp::kMax));
+    if (mx.At(0) != static_cast<float>(n - 1)) {
+      return Status::Internal("wrong max");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(CollectivesTest, BroadcastFromEveryRoot) {
+  const int n = GetParam();
+  World world(n);
+  for (int root = 0; root < n; ++root) {
+    Status st = RunRanks(n, [&](int rank) -> Status {
+      MICS_ASSIGN_OR_RETURN(Communicator comm,
+                            Communicator::Create(&world, AllRanks(n), rank));
+      Tensor buf({2}, DType::kF32);
+      buf.Fill(rank == root ? 77.0f : -1.0f);
+      MICS_RETURN_NOT_OK(comm.Broadcast(&buf, root));
+      if (buf.At(0) != 77.0f || buf.At(1) != 77.0f) {
+        return Status::Internal("broadcast mismatch");
+      }
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+}
+
+TEST_P(CollectivesTest, F16ReductionAccumulatesInF32) {
+  const int n = GetParam();
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    (void)rank;
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    Tensor buf({8}, DType::kF16);
+    buf.Fill(0.5f);
+    MICS_RETURN_NOT_OK(comm.AllReduce(&buf, ReduceOp::kSum));
+    for (int64_t i = 0; i < 8; ++i) {
+      if (buf.At(i) != 0.5f * n) return Status::Internal("f16 sum wrong");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectivesTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(CollectivesValidationTest, SizeAndDtypeMismatchesRejected) {
+  World world(2);
+  Status st = RunRanks(2, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, {0, 1}, rank));
+    Tensor in({4}, DType::kF32);
+    Tensor bad_out({7}, DType::kF32);  // should be 8
+    Status s = comm.AllGather(in, &bad_out);
+    if (!s.IsInvalidArgument()) return Status::Internal("expected error");
+    Tensor f16_out({8}, DType::kF16);
+    s = comm.AllGather(in, &f16_out);
+    if (!s.IsInvalidArgument()) return Status::Internal("expected error");
+    Tensor i32({4}, DType::kI32);
+    Tensor i32_out({8}, DType::kI32);
+    s = comm.AllGather(i32, &i32_out);
+    if (!s.IsInvalidArgument()) return Status::Internal("expected error");
+    // Keep the group in lockstep: the errors above return before any
+    // barrier, so no rendezvous mismatch occurs.
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(CollectivesValidationTest, CreateRejectsNonMember) {
+  World world(4);
+  auto c = Communicator::Create(&world, {0, 1}, 3);
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(c.status().IsInvalidArgument());
+}
+
+TEST(CollectivesValidationTest, GroupRankOutsideWorldRejected) {
+  World world(2);
+  auto g = world.GetOrCreateGroup({0, 5});
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(world.GetOrCreateGroup({}).status().IsInvalidArgument());
+}
+
+TEST(SubgroupTest, DisjointSubgroupsOperateConcurrently) {
+  // Ranks {0,1} and {2,3} run independent all-reduces at the same time.
+  World world(4);
+  Status st = RunRanks(4, [&](int rank) -> Status {
+    const std::vector<int> group =
+        rank < 2 ? std::vector<int>{0, 1} : std::vector<int>{2, 3};
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, group, rank));
+    Tensor buf({1}, DType::kF32);
+    buf.Set(0, static_cast<float>(rank));
+    MICS_RETURN_NOT_OK(comm.AllReduce(&buf, ReduceOp::kSum));
+    const float expect = rank < 2 ? 1.0f : 5.0f;
+    if (buf.At(0) != expect) return Status::Internal("subgroup sum wrong");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SubgroupTest, RankIndexingWithinGroup) {
+  World world(6);
+  Status st = RunRanks(6, [&](int rank) -> Status {
+    if (rank % 2 != 0) return Status::OK();  // only even ranks join
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, {0, 2, 4}, rank));
+    if (comm.size() != 3) return Status::Internal("wrong size");
+    if (comm.rank() != rank / 2) return Status::Internal("wrong group rank");
+    if (comm.global_rank() != rank) return Status::Internal("wrong global");
+    return comm.Barrier();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(CollectivesTest, InPlaceAllGatherSupported) {
+  // NCCL-style in-place: input aliases the rank's slot of the output.
+  const int n = 4;
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    Tensor out({4 * n}, DType::kF32);
+    Tensor in = out.Slice(rank * 4, 4);
+    for (int64_t i = 0; i < 4; ++i) in.Set(i, rank * 100.0f + i);
+    MICS_RETURN_NOT_OK(comm.AllGather(in, &out));
+    for (int r = 0; r < n; ++r) {
+      for (int64_t i = 0; i < 4; ++i) {
+        if (out.At(r * 4 + i) != r * 100.0f + i) {
+          return Status::Internal("in-place gather wrong");
+        }
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(CollectivesTest, RepeatedCollectivesStaySynchronized) {
+  const int n = 4;
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    Tensor buf({2}, DType::kF32);
+    for (int iter = 0; iter < 50; ++iter) {
+      buf.Fill(1.0f);
+      MICS_RETURN_NOT_OK(comm.AllReduce(&buf, ReduceOp::kSum));
+      if (buf.At(0) != static_cast<float>(n)) {
+        return Status::Internal("iteration " + std::to_string(iter));
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace mics

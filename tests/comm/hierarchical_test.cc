@@ -1,0 +1,367 @@
+#include "comm/hierarchical.h"
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/communicator.h"
+#include "comm/topology.h"
+#include "comm/world.h"
+#include "util/random.h"
+
+namespace mics {
+namespace {
+
+std::vector<int> Range(int n) {
+  std::vector<int> r(n);
+  for (int i = 0; i < n; ++i) r[i] = i;
+  return r;
+}
+
+/// (world_size, gpus_per_node, group_size, elems_per_rank)
+class HierarchicalEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(HierarchicalEquivalenceTest, MatchesVanillaAllGatherBitwise) {
+  const auto [world_size, k, p, elems] = GetParam();
+  RankTopology topo{world_size, k};
+  World world(world_size);
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(std::vector<int> group,
+                          PartitionGroupOf(topo, p, rank));
+    MICS_ASSIGN_OR_RETURN(
+        HierarchicalAllGather hier,
+        HierarchicalAllGather::Create(&world, topo, group, rank));
+    MICS_ASSIGN_OR_RETURN(Communicator vanilla,
+                          Communicator::Create(&world, group, rank));
+
+    Rng rng(1000 + static_cast<uint64_t>(rank));
+    Tensor in({elems}, DType::kF32);
+    in.FillNormal(&rng, 1.0f);
+
+    Tensor out_hier({static_cast<int64_t>(elems) * p}, DType::kF32);
+    Tensor out_vanilla({static_cast<int64_t>(elems) * p}, DType::kF32);
+    MICS_RETURN_NOT_OK(hier.Run(in, &out_hier));
+    MICS_RETURN_NOT_OK(vanilla.AllGather(in, &out_vanilla));
+
+    MICS_ASSIGN_OR_RETURN(float diff,
+                          Tensor::MaxAbsDiff(out_hier, out_vanilla));
+    if (diff != 0.0f) {
+      return Status::Internal("hierarchical != vanilla, diff=" +
+                              std::to_string(diff));
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HierarchicalEquivalenceTest,
+    ::testing::Values(
+        // 2 nodes x 2 GPUs, whole-cluster group (the Figure 3/4 setup).
+        std::make_tuple(4, 2, 4, 8),
+        // 2 nodes x 4 GPUs.
+        std::make_tuple(8, 4, 8, 5),
+        // 4 nodes x 2 GPUs, group = whole cluster.
+        std::make_tuple(8, 2, 8, 3),
+        // 4 nodes x 2 GPUs, two groups of 2 nodes each.
+        std::make_tuple(8, 2, 4, 6),
+        // Group within a single node (degenerate: no inter-node stage).
+        std::make_tuple(8, 4, 4, 4),
+        // One GPU per node (degenerate: channel gather is everything).
+        std::make_tuple(4, 1, 4, 7),
+        // 16 ranks, 2 groups of 8 spanning 2 nodes of 4.
+        std::make_tuple(16, 4, 8, 2)));
+
+TEST(HierarchicalTest, ChunkPlacementMatchesFigure4) {
+  // 2 nodes x 2 GPUs: rank r contributes chunk Cr; the gathered result
+  // must be [C0, C1, C2, C3] — NOT the [C0, C2, C1, C3] layout a naive
+  // intra-node gather on the stage-1 output would produce.
+  RankTopology topo{4, 2};
+  World world(4);
+  Status st = RunRanks(4, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(
+        HierarchicalAllGather hier,
+        HierarchicalAllGather::Create(&world, topo, Range(4), rank));
+    Tensor in({2}, DType::kF32);
+    in.Set(0, rank * 2.0f);
+    in.Set(1, rank * 2.0f + 1.0f);
+    Tensor out({8}, DType::kF32);
+    MICS_RETURN_NOT_OK(hier.Run(in, &out));
+    for (int64_t i = 0; i < 8; ++i) {
+      if (out.At(i) != static_cast<float>(i)) {
+        return Status::Internal("chunk misplaced at " + std::to_string(i));
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(HierarchicalTest, RejectsNonNodeAlignedGroup) {
+  RankTopology topo{8, 4};
+  World world(8);
+  auto h = HierarchicalAllGather::Create(&world, topo, {0, 1}, 0);
+  EXPECT_FALSE(h.ok());
+  EXPECT_TRUE(h.status().IsInvalidArgument());
+}
+
+TEST(HierarchicalTest, RejectsNonMember) {
+  RankTopology topo{8, 4};
+  World world(8);
+  auto h = HierarchicalAllGather::Create(&world, topo, {0, 1, 2, 3}, 7);
+  EXPECT_FALSE(h.ok());
+}
+
+TEST(HierarchicalTest, RejectsUnsortedGroup) {
+  RankTopology topo{4, 2};
+  World world(4);
+  auto h = HierarchicalAllGather::Create(&world, topo, {2, 3, 0, 1}, 0);
+  EXPECT_FALSE(h.ok());
+}
+
+TEST(HierarchicalTest, OutputSizeValidated) {
+  RankTopology topo{4, 2};
+  World world(4);
+  Status st = RunRanks(4, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(
+        HierarchicalAllGather hier,
+        HierarchicalAllGather::Create(&world, topo, Range(4), rank));
+    Tensor in({2}, DType::kF32);
+    Tensor bad({7}, DType::kF32);
+    Status s = hier.Run(in, &bad);
+    if (!s.IsInvalidArgument()) return Status::Internal("expected error");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(HierarchicalTest, F16Payload) {
+  RankTopology topo{4, 2};
+  World world(4);
+  Status st = RunRanks(4, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(
+        HierarchicalAllGather hier,
+        HierarchicalAllGather::Create(&world, topo, Range(4), rank));
+    Tensor in({4}, DType::kF16);
+    in.Fill(static_cast<float>(rank) + 0.5f);
+    Tensor out({16}, DType::kF16);
+    MICS_RETURN_NOT_OK(hier.Run(in, &out));
+    for (int r = 0; r < 4; ++r) {
+      if (out.At(r * 4) != static_cast<float>(r) + 0.5f) {
+        return Status::Internal("f16 hierarchical wrong");
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(HierarchicalTest, RepeatedRunsConsistent) {
+  RankTopology topo{8, 4};
+  World world(8);
+  Status st = RunRanks(8, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(
+        HierarchicalAllGather hier,
+        HierarchicalAllGather::Create(&world, topo, Range(8), rank));
+    for (int iter = 0; iter < 20; ++iter) {
+      Tensor in({3}, DType::kF32);
+      in.Fill(static_cast<float>(rank * 100 + iter));
+      Tensor out({24}, DType::kF32);
+      MICS_RETURN_NOT_OK(hier.Run(in, &out));
+      for (int r = 0; r < 8; ++r) {
+        if (out.At(r * 3) != static_cast<float>(r * 100 + iter)) {
+          return Status::Internal("iteration " + std::to_string(iter));
+        }
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+class HierarchicalCoalescedTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(HierarchicalCoalescedTest, MatchesPerItemRuns) {
+  const auto [world_size, k, p] = GetParam();
+  RankTopology topo{world_size, k};
+  World world(world_size);
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(std::vector<int> group,
+                          PartitionGroupOf(topo, p, rank));
+    MICS_ASSIGN_OR_RETURN(
+        HierarchicalAllGather hier,
+        HierarchicalAllGather::Create(&world, topo, group, rank));
+    Rng rng(900 + static_cast<uint64_t>(rank));
+    const std::vector<int64_t> sizes{3, 7, 2, 5};
+    std::vector<Tensor> ins;
+    std::vector<Tensor> coalesced_out;
+    for (int64_t sz : sizes) {
+      Tensor in({sz}, DType::kF32);
+      in.FillNormal(&rng, 1.0f);
+      ins.push_back(in);
+      coalesced_out.emplace_back(std::vector<int64_t>{sz * p}, DType::kF32);
+    }
+    MICS_RETURN_NOT_OK(hier.RunCoalesced(ins, &coalesced_out));
+    for (size_t i = 0; i < sizes.size(); ++i) {
+      Tensor single({sizes[i] * p}, DType::kF32);
+      MICS_RETURN_NOT_OK(hier.Run(ins[i], &single));
+      MICS_ASSIGN_OR_RETURN(float diff,
+                            Tensor::MaxAbsDiff(single, coalesced_out[i]));
+      if (diff != 0.0f) {
+        return Status::Internal("coalesced mismatch at item " +
+                                std::to_string(i));
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, HierarchicalCoalescedTest,
+                         ::testing::Values(std::make_tuple(4, 2, 4),
+                                           std::make_tuple(8, 4, 8),
+                                           std::make_tuple(8, 2, 4),
+                                           std::make_tuple(8, 4, 4),
+                                           std::make_tuple(4, 1, 4)));
+
+TEST(HierarchicalCoalescedTest, EmptyAndMismatchedItems) {
+  RankTopology topo{4, 2};
+  World world(4);
+  Status st = RunRanks(4, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(
+        HierarchicalAllGather hier,
+        HierarchicalAllGather::Create(&world, topo, {0, 1, 2, 3}, rank));
+    std::vector<Tensor> empty_in;
+    std::vector<Tensor> empty_out;
+    MICS_RETURN_NOT_OK(hier.RunCoalesced(empty_in, &empty_out));
+    std::vector<Tensor> ins;
+    ins.emplace_back(std::vector<int64_t>{2}, DType::kF32);
+    std::vector<Tensor> bad;
+    bad.emplace_back(std::vector<int64_t>{7}, DType::kF32);
+    Status s = hier.RunCoalesced(ins, &bad);
+    if (!s.IsInvalidArgument()) return Status::Internal("expected error");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+/// (world_size, gpus_per_node, group_size, elems_per_rank)
+class HierarchicalRsTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(HierarchicalRsTest, MatchesVanillaReduceScatter) {
+  const auto [world_size, k, p, elems] = GetParam();
+  RankTopology topo{world_size, k};
+  World world(world_size);
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(std::vector<int> group,
+                          PartitionGroupOf(topo, p, rank));
+    MICS_ASSIGN_OR_RETURN(
+        HierarchicalReduceScatter hier,
+        HierarchicalReduceScatter::Create(&world, topo, group, rank));
+    MICS_ASSIGN_OR_RETURN(Communicator vanilla,
+                          Communicator::Create(&world, group, rank));
+    // Integer-valued payloads sum exactly in fp32 regardless of
+    // association order, so hierarchical must match vanilla bitwise.
+    Tensor in({static_cast<int64_t>(elems) * p}, DType::kF32);
+    Rng rng(500 + static_cast<uint64_t>(rank));
+    for (int64_t i = 0; i < in.numel(); ++i) {
+      in.Set(i, static_cast<float>(static_cast<int64_t>(rng.Uniform(64)) - 32));
+    }
+    Tensor out_hier({elems}, DType::kF32);
+    Tensor out_vanilla({elems}, DType::kF32);
+    MICS_RETURN_NOT_OK(hier.Run(in, &out_hier));
+    MICS_RETURN_NOT_OK(vanilla.ReduceScatter(in, &out_vanilla));
+    MICS_ASSIGN_OR_RETURN(float diff,
+                          Tensor::MaxAbsDiff(out_hier, out_vanilla));
+    if (diff != 0.0f) {
+      return Status::Internal("hier RS != vanilla RS, diff=" +
+                              std::to_string(diff));
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HierarchicalRsTest,
+    ::testing::Values(std::make_tuple(4, 2, 4, 8),
+                      std::make_tuple(8, 4, 8, 5),
+                      std::make_tuple(8, 2, 8, 3),
+                      std::make_tuple(8, 2, 4, 6),
+                      std::make_tuple(8, 4, 4, 4),   // single node
+                      std::make_tuple(4, 1, 4, 7),   // one GPU per node
+                      std::make_tuple(16, 4, 8, 2)));
+
+TEST(HierarchicalRsTest, FloatPayloadCloseToVanilla) {
+  // Real-valued sums may differ in the last ulps (different association);
+  // bound the drift.
+  RankTopology topo{8, 4};
+  World world(8);
+  Status st = RunRanks(8, [&](int rank) -> Status {
+    std::vector<int> group{0, 1, 2, 3, 4, 5, 6, 7};
+    MICS_ASSIGN_OR_RETURN(
+        HierarchicalReduceScatter hier,
+        HierarchicalReduceScatter::Create(&world, topo, group, rank));
+    MICS_ASSIGN_OR_RETURN(Communicator vanilla,
+                          Communicator::Create(&world, group, rank));
+    Rng rng(42 + static_cast<uint64_t>(rank));
+    Tensor in({64}, DType::kF32);
+    in.FillNormal(&rng, 1.0f);
+    Tensor a({8}, DType::kF32);
+    Tensor b({8}, DType::kF32);
+    MICS_RETURN_NOT_OK(hier.Run(in, &a));
+    MICS_RETURN_NOT_OK(vanilla.ReduceScatter(in, &b));
+    MICS_ASSIGN_OR_RETURN(float diff, Tensor::MaxAbsDiff(a, b));
+    if (diff > 1e-5f) return Status::Internal("drift too large");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(HierarchicalRsTest, RejectsAvgAndBadShapes) {
+  RankTopology topo{4, 2};
+  World world(4);
+  Status st = RunRanks(4, [&](int rank) -> Status {
+    std::vector<int> group{0, 1, 2, 3};
+    MICS_ASSIGN_OR_RETURN(
+        HierarchicalReduceScatter hier,
+        HierarchicalReduceScatter::Create(&world, topo, group, rank));
+    Tensor in({8}, DType::kF32);
+    Tensor out({2}, DType::kF32);
+    Status s = hier.Run(in, &out, ReduceOp::kAvg);
+    if (!s.IsUnimplemented()) return Status::Internal("expected avg error");
+    Tensor bad({3}, DType::kF32);
+    s = hier.Run(in, &bad);
+    if (!s.IsInvalidArgument()) return Status::Internal("expected size error");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(HierarchicalRsTest, RejectsNonNodeAlignedGroup) {
+  RankTopology topo{8, 4};
+  World world(8);
+  auto h = HierarchicalReduceScatter::Create(&world, topo, {0, 1}, 0);
+  EXPECT_FALSE(h.ok());
+}
+
+TEST(HierarchicalTrafficTest, InterNodeByteFormulas) {
+  // §3.3: vanilla (p-1)M/p vs hierarchical (p-k)M/p. For p=16, k=8 the
+  // reduction is (p-1)/(p-k) = 15/8.
+  EXPECT_DOUBLE_EQ(VanillaInterNodeBytes(16, 160.0), 150.0);
+  EXPECT_DOUBLE_EQ(HierarchicalInterNodeBytes(16, 8, 160.0), 80.0);
+  // Ratio approaches 1 as p grows (paper: gains shrink at larger scale).
+  const double r16 = VanillaInterNodeBytes(16, 1.0) /
+                     HierarchicalInterNodeBytes(16, 8, 1.0);
+  const double r64 = VanillaInterNodeBytes(64, 1.0) /
+                     HierarchicalInterNodeBytes(64, 8, 1.0);
+  EXPECT_GT(r16, r64);
+  EXPECT_GT(r64, 1.0);
+}
+
+}  // namespace
+}  // namespace mics

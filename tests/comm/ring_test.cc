@@ -1,0 +1,133 @@
+#include "comm/ring.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/world.h"
+#include "util/random.h"
+
+namespace mics {
+namespace {
+
+std::vector<int> AllRanks(int n) {
+  std::vector<int> r(n);
+  for (int i = 0; i < n; ++i) r[i] = i;
+  return r;
+}
+
+class RingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingTest, RingAllGatherMatchesReference) {
+  const int n = GetParam();
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    Rng rng(123 + static_cast<uint64_t>(rank));
+    Tensor in({6}, DType::kF32);
+    in.FillNormal(&rng, 1.0f);
+    Tensor ring_out({6 * static_cast<int64_t>(n)}, DType::kF32);
+    Tensor ref_out({6 * static_cast<int64_t>(n)}, DType::kF32);
+    MICS_RETURN_NOT_OK(RingAllGather(&comm, in, &ring_out));
+    MICS_RETURN_NOT_OK(comm.AllGather(in, &ref_out));
+    MICS_ASSIGN_OR_RETURN(float diff, Tensor::MaxAbsDiff(ring_out, ref_out));
+    if (diff != 0.0f) return Status::Internal("ring AG mismatch");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(RingTest, RingReduceScatterMatchesExactSums) {
+  const int n = GetParam();
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    // Integer payloads: ring accumulation order differs from the
+    // reference but integer sums in fp32 are exact -> bitwise equal.
+    Tensor in({4 * static_cast<int64_t>(n)}, DType::kF32);
+    for (int64_t i = 0; i < in.numel(); ++i) {
+      in.Set(i, static_cast<float>((rank + 1) * (i % 9) - 3));
+    }
+    Tensor ring_out({4}, DType::kF32);
+    Tensor ref_out({4}, DType::kF32);
+    MICS_RETURN_NOT_OK(RingReduceScatter(&comm, in, &ring_out));
+    MICS_RETURN_NOT_OK(comm.ReduceScatter(in, &ref_out));
+    MICS_ASSIGN_OR_RETURN(float diff, Tensor::MaxAbsDiff(ring_out, ref_out));
+    if (diff != 0.0f) return Status::Internal("ring RS mismatch");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, RingTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(RingTest, InPlaceAllGather) {
+  const int n = 4;
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    Tensor out({8 * n}, DType::kF32);
+    Tensor in = out.Slice(rank * 8, 8);
+    in.Fill(static_cast<float>(rank + 1));
+    MICS_RETURN_NOT_OK(RingAllGather(&comm, in, &out));
+    for (int r = 0; r < n; ++r) {
+      if (out.At(r * 8) != static_cast<float>(r + 1)) {
+        return Status::Internal("in-place ring wrong");
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(RingTest, ValidationErrors) {
+  World world(2);
+  Status st = RunRanks(2, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, {0, 1}, rank));
+    Tensor in({4}, DType::kF32);
+    Tensor bad({7}, DType::kF32);
+    if (!RingAllGather(&comm, in, &bad).IsInvalidArgument()) {
+      return Status::Internal("expected size error");
+    }
+    Tensor f16({4}, DType::kF16);
+    Tensor out16({8}, DType::kF16);
+    if (!RingAllGather(&comm, f16, &out16).IsInvalidArgument()) {
+      return Status::Internal("expected dtype error");
+    }
+    if (!RingReduceScatter(&comm, in, &bad).IsInvalidArgument()) {
+      return Status::Internal("expected RS size error");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(RingTest, ManyIterationsStayConsistent) {
+  const int n = 4;
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    for (int iter = 0; iter < 30; ++iter) {
+      Tensor in({2}, DType::kF32);
+      in.Fill(static_cast<float>(rank * 10 + iter));
+      Tensor out({2 * n}, DType::kF32);
+      MICS_RETURN_NOT_OK(RingAllGather(&comm, in, &out));
+      for (int r = 0; r < n; ++r) {
+        if (out.At(r * 2) != static_cast<float>(r * 10 + iter)) {
+          return Status::Internal("iter " + std::to_string(iter));
+        }
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace mics

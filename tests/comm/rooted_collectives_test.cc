@@ -1,0 +1,188 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/communicator.h"
+#include "comm/world.h"
+#include "tensor/tensor.h"
+
+namespace mics {
+namespace {
+
+std::vector<int> AllRanks(int n) {
+  std::vector<int> r(n);
+  for (int i = 0; i < n; ++i) r[i] = i;
+  return r;
+}
+
+class RootedCollectivesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RootedCollectivesTest, ReduceSumsAtRoot) {
+  const int n = GetParam();
+  World world(n);
+  for (int root = 0; root < n; ++root) {
+    Status st = RunRanks(n, [&](int rank) -> Status {
+      MICS_ASSIGN_OR_RETURN(Communicator comm,
+                            Communicator::Create(&world, AllRanks(n), rank));
+      Tensor in({3}, DType::kF32);
+      in.Fill(static_cast<float>(rank + 1));
+      Tensor out({3}, DType::kF32);
+      MICS_RETURN_NOT_OK(
+          comm.Reduce(in, rank == root ? &out : nullptr, root));
+      if (rank == root) {
+        const float expect = n * (n + 1) / 2.0f;
+        for (int64_t i = 0; i < 3; ++i) {
+          if (out.At(i) != expect) return Status::Internal("wrong sum");
+        }
+      }
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+}
+
+TEST_P(RootedCollectivesTest, GatherCollectsAtRoot) {
+  const int n = GetParam();
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    Tensor in({2}, DType::kF32);
+    in.Set(0, rank * 2.0f);
+    in.Set(1, rank * 2.0f + 1.0f);
+    Tensor out({2 * n}, DType::kF32);
+    MICS_RETURN_NOT_OK(comm.Gather(in, rank == 0 ? &out : nullptr, 0));
+    if (rank == 0) {
+      for (int64_t i = 0; i < 2 * n; ++i) {
+        if (out.At(i) != static_cast<float>(i)) {
+          return Status::Internal("wrong gather");
+        }
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(RootedCollectivesTest, ScatterDistributesFromRoot) {
+  const int n = GetParam();
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    Tensor in;
+    if (rank == 0) {
+      in = Tensor({2 * static_cast<int64_t>(n)}, DType::kF32);
+      for (int64_t i = 0; i < in.numel(); ++i) {
+        in.Set(i, static_cast<float>(i));
+      }
+    }
+    Tensor out({2}, DType::kF32);
+    MICS_RETURN_NOT_OK(comm.Scatter(in, &out, 0));
+    if (out.At(0) != rank * 2.0f || out.At(1) != rank * 2.0f + 1.0f) {
+      return Status::Internal("wrong scatter chunk");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(RootedCollectivesTest, AllToAllTransposesChunks) {
+  const int n = GetParam();
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    // input[j] = value destined to rank j: encode (src, dst).
+    Tensor in({static_cast<int64_t>(n)}, DType::kF32);
+    for (int j = 0; j < n; ++j) in.Set(j, rank * 100.0f + j);
+    Tensor out({static_cast<int64_t>(n)}, DType::kF32);
+    MICS_RETURN_NOT_OK(comm.AllToAll(in, &out));
+    // output[r] must be what rank r addressed to me: r*100 + rank.
+    for (int r = 0; r < n; ++r) {
+      if (out.At(r) != r * 100.0f + rank) {
+        return Status::Internal("wrong all-to-all");
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(RootedCollectivesTest, ScatterGatherRoundTrip) {
+  const int n = GetParam();
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    Tensor full;
+    if (rank == 0) {
+      full = Tensor({4 * static_cast<int64_t>(n)}, DType::kF32);
+      for (int64_t i = 0; i < full.numel(); ++i) {
+        full.Set(i, static_cast<float>(i) * 0.25f);
+      }
+    }
+    Tensor piece({4}, DType::kF32);
+    MICS_RETURN_NOT_OK(comm.Scatter(full, &piece, 0));
+    Tensor back({4 * static_cast<int64_t>(n)}, DType::kF32);
+    MICS_RETURN_NOT_OK(comm.Gather(piece, rank == 0 ? &back : nullptr, 0));
+    if (rank == 0) {
+      MICS_ASSIGN_OR_RETURN(float diff, Tensor::MaxAbsDiff(full, back));
+      if (diff != 0.0f) return Status::Internal("round trip mismatch");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, RootedCollectivesTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(RootedCollectivesValidationTest, ErrorsReported) {
+  World world(2);
+  Status st = RunRanks(2, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, {0, 1}, rank));
+    Tensor in({4}, DType::kF32);
+    Tensor out({4}, DType::kF32);
+    // Bad root.
+    if (!comm.Reduce(in, &out, 5).IsInvalidArgument()) {
+      return Status::Internal("expected root error");
+    }
+    // Root without output.
+    if (rank == 0) {
+      if (!comm.Reduce(in, nullptr, 0).IsInvalidArgument()) {
+        return Status::Internal("expected output error");
+      }
+    }
+    // AllToAll indivisible numel.
+    Tensor odd({3}, DType::kF32);
+    Tensor odd_out({3}, DType::kF32);
+    if (!comm.AllToAll(odd, &odd_out).IsInvalidArgument()) {
+      return Status::Internal("expected divisibility error");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(RootedCollectivesTest, ReduceMaxAndF16) {
+  World world(4);
+  Status st = RunRanks(4, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(4), rank));
+    Tensor in({2}, DType::kF16);
+    in.Fill(static_cast<float>(rank));
+    Tensor out({2}, DType::kF16);
+    MICS_RETURN_NOT_OK(
+        comm.Reduce(in, rank == 1 ? &out : nullptr, 1, ReduceOp::kMax));
+    if (rank == 1 && out.At(0) != 3.0f) {
+      return Status::Internal("wrong f16 max");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace mics

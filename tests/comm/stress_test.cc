@@ -1,0 +1,180 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/communicator.h"
+#include "comm/hierarchical.h"
+#include "comm/topology.h"
+#include "comm/world.h"
+#include "core/group_manager.h"
+#include "util/random.h"
+
+namespace mics {
+namespace {
+
+std::vector<int> AllRanks(int n) {
+  std::vector<int> r(n);
+  for (int i = 0; i < n; ++i) r[i] = i;
+  return r;
+}
+
+TEST(CommStressTest, RandomizedMixedCollectiveSequence) {
+  // 200 randomly chosen collectives with randomly sized payloads; all
+  // ranks draw the SAME op sequence (shared seed), payloads differ per
+  // rank. Exercises rendezvous reuse, slot lifetimes, and dtype paths.
+  const int n = 4;
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    Rng plan(2024);                       // identical on every rank
+    Rng data(5000 + static_cast<uint64_t>(rank));
+    for (int op = 0; op < 200; ++op) {
+      const int kind = static_cast<int>(plan.Uniform(5));
+      const int64_t elems = 1 + static_cast<int64_t>(plan.Uniform(64));
+      const DType dt = plan.Uniform(2) == 0 ? DType::kF32 : DType::kF16;
+      switch (kind) {
+        case 0: {  // all-gather
+          Tensor in({elems}, dt);
+          in.Fill(static_cast<float>(rank + 1));
+          Tensor out({elems * n}, dt);
+          MICS_RETURN_NOT_OK(comm.AllGather(in, &out));
+          for (int r = 0; r < n; ++r) {
+            if (out.At(r * elems) != static_cast<float>(r + 1)) {
+              return Status::Internal("AG wrong at op " + std::to_string(op));
+            }
+          }
+          break;
+        }
+        case 1: {  // reduce-scatter
+          Tensor in({elems * n}, dt);
+          in.Fill(1.0f);
+          Tensor out({elems}, dt);
+          MICS_RETURN_NOT_OK(comm.ReduceScatter(in, &out));
+          if (out.At(0) != static_cast<float>(n)) {
+            return Status::Internal("RS wrong at op " + std::to_string(op));
+          }
+          break;
+        }
+        case 2: {  // all-reduce
+          Tensor buf({elems}, dt);
+          buf.Fill(2.0f);
+          MICS_RETURN_NOT_OK(comm.AllReduce(&buf, ReduceOp::kSum));
+          if (buf.At(0) != static_cast<float>(2 * n)) {
+            return Status::Internal("AR wrong at op " + std::to_string(op));
+          }
+          break;
+        }
+        case 3: {  // broadcast from a rotating root
+          const int root = op % n;
+          Tensor buf({elems}, dt);
+          buf.Fill(rank == root ? 9.0f : -1.0f);
+          MICS_RETURN_NOT_OK(comm.Broadcast(&buf, root));
+          if (buf.At(elems - 1) != 9.0f) {
+            return Status::Internal("BC wrong at op " + std::to_string(op));
+          }
+          break;
+        }
+        default: {  // barrier + random local work
+          const int spins = static_cast<int>(data.Uniform(100));
+          volatile float sink = 0.0f;
+          for (int i = 0; i < spins; ++i) sink += data.Normal();
+          MICS_RETURN_NOT_OK(comm.Barrier());
+          break;
+        }
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(CommStressTest, InterleavedPartitionAndReplicationGroups) {
+  // The exact interleaving MiCS training produces: partition-group
+  // gathers/reduce-scatters alternating with replication-group
+  // all-reduces and world-level scalars, many iterations.
+  RankTopology topo{8, 2};
+  World world(8);
+  Status st = RunRanks(8, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(GroupManager gm,
+                          GroupManager::Create(&world, topo, 4, rank));
+    Tensor shard({4}, DType::kF32);
+    Tensor full({16}, DType::kF32);
+    for (int iter = 0; iter < 60; ++iter) {
+      shard.Fill(static_cast<float>(gm.shard_index() + iter));
+      MICS_RETURN_NOT_OK(gm.GatherParams(shard, &full));
+      for (int s = 0; s < 4; ++s) {
+        if (full.At(s * 4) != static_cast<float>(s + iter)) {
+          return Status::Internal("gather wrong at iter " +
+                                  std::to_string(iter));
+        }
+      }
+      Tensor grads({16}, DType::kF32);
+      grads.Fill(1.0f);
+      Tensor reduced({4}, DType::kF32);
+      MICS_RETURN_NOT_OK(gm.ReduceScatterGrads(grads, &reduced));
+      if (reduced.At(0) != 4.0f) return Status::Internal("RS wrong");
+      MICS_RETURN_NOT_OK(gm.replication().AllReduce(&reduced));
+      if (reduced.At(0) != 8.0f) return Status::Internal("repl AR wrong");
+      Tensor scalar({1}, DType::kF32);
+      scalar.Set(0, 1.0f);
+      MICS_RETURN_NOT_OK(gm.world_comm().AllReduce(&scalar, ReduceOp::kAvg));
+      if (scalar.At(0) != 1.0f) return Status::Internal("world avg wrong");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(CommStressTest, HierarchicalAllGatherRandomSizes) {
+  RankTopology topo{8, 4};
+  World world(8);
+  Status st = RunRanks(8, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(
+        HierarchicalAllGather hier,
+        HierarchicalAllGather::Create(&world, topo, AllRanks(8), rank));
+    MICS_ASSIGN_OR_RETURN(Communicator vanilla,
+                          Communicator::Create(&world, AllRanks(8), rank));
+    Rng plan(99);
+    Rng data(700 + static_cast<uint64_t>(rank));
+    for (int op = 0; op < 40; ++op) {
+      const int64_t elems = 1 + static_cast<int64_t>(plan.Uniform(128));
+      Tensor in({elems}, DType::kF32);
+      in.FillNormal(&data, 1.0f);
+      Tensor a({elems * 8}, DType::kF32);
+      Tensor b({elems * 8}, DType::kF32);
+      MICS_RETURN_NOT_OK(hier.Run(in, &a));
+      MICS_RETURN_NOT_OK(vanilla.AllGather(in, &b));
+      MICS_ASSIGN_OR_RETURN(float diff, Tensor::MaxAbsDiff(a, b));
+      if (diff != 0.0f) {
+        return Status::Internal("mismatch at op " + std::to_string(op));
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(CommStressTest, GroupStateSharedAcrossCommunicators) {
+  // Two Communicator handles over the same rank set share one rendezvous
+  // state: ops issued alternately through either handle stay consistent.
+  World world(2);
+  Status st = RunRanks(2, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator a,
+                          Communicator::Create(&world, {0, 1}, rank));
+    MICS_ASSIGN_OR_RETURN(Communicator b,
+                          Communicator::Create(&world, {0, 1}, rank));
+    for (int i = 0; i < 20; ++i) {
+      Tensor t({1}, DType::kF32);
+      t.Set(0, 1.0f);
+      Communicator& comm = (i % 2 == 0) ? a : b;
+      MICS_RETURN_NOT_OK(comm.AllReduce(&t, ReduceOp::kSum));
+      if (t.At(0) != 2.0f) return Status::Internal("shared state broken");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace mics

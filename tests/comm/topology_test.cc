@@ -1,0 +1,127 @@
+#include "comm/topology.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace mics {
+namespace {
+
+TEST(RankTopologyTest, Basics) {
+  RankTopology t{16, 8};
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.num_nodes(), 2);
+  EXPECT_EQ(t.NodeOf(0), 0);
+  EXPECT_EQ(t.NodeOf(7), 0);
+  EXPECT_EQ(t.NodeOf(8), 1);
+  EXPECT_EQ(t.LocalRankOf(11), 3);
+}
+
+TEST(RankTopologyTest, ValidationRejectsBadShapes) {
+  EXPECT_FALSE((RankTopology{0, 8}).Validate().ok());
+  EXPECT_FALSE((RankTopology{8, 0}).Validate().ok());
+  EXPECT_FALSE((RankTopology{12, 8}).Validate().ok());
+}
+
+TEST(GroupsTest, PartitionGroupsMatchPaperFigure2) {
+  // Figure 2: every 2 consecutive devices form a partition group; odd and
+  // even ranks form the two replication groups.
+  RankTopology t{8, 4};
+  auto parts = MakePartitionGroups(t, 2);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts.value().size(), 4u);
+  EXPECT_EQ(parts.value()[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(parts.value()[3], (std::vector<int>{6, 7}));
+
+  auto repls = MakeReplicationGroups(t, 2);
+  ASSERT_TRUE(repls.ok());
+  ASSERT_EQ(repls.value().size(), 2u);
+  EXPECT_EQ(repls.value()[0], (std::vector<int>{0, 2, 4, 6}));
+  EXPECT_EQ(repls.value()[1], (std::vector<int>{1, 3, 5, 7}));
+}
+
+TEST(GroupsTest, InvalidGroupSizesRejected) {
+  RankTopology t{16, 8};
+  EXPECT_FALSE(MakePartitionGroups(t, 0).ok());
+  EXPECT_FALSE(MakePartitionGroups(t, 3).ok());  // does not divide 16
+  EXPECT_FALSE(MakePartitionGroups(t, 32).ok());
+  EXPECT_FALSE(MakeReplicationGroups(t, 5).ok());
+}
+
+TEST(GroupsTest, PartitionGroupOfContainsRank) {
+  RankTopology t{16, 8};
+  auto g = PartitionGroupOf(t, 4, 6);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value(), (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_FALSE(PartitionGroupOf(t, 4, 99).ok());
+}
+
+TEST(GroupsTest, ReplicationGroupOfContainsRank) {
+  RankTopology t{16, 8};
+  auto g = ReplicationGroupOf(t, 4, 6);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value(), (std::vector<int>{2, 6, 10, 14}));
+}
+
+class GroupPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GroupPropertyTest, PartitionAndReplicationGroupsTileTheWorld) {
+  const auto [world, gpus_per_node, group_size] = GetParam();
+  RankTopology t{world, gpus_per_node};
+  auto parts = MakePartitionGroups(t, group_size);
+  auto repls = MakeReplicationGroups(t, group_size);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_TRUE(repls.ok());
+
+  // Every rank appears in exactly one partition group and one
+  // replication group; group sizes are uniform.
+  std::set<int> in_part;
+  for (const auto& g : parts.value()) {
+    EXPECT_EQ(static_cast<int>(g.size()), group_size);
+    for (int r : g) EXPECT_TRUE(in_part.insert(r).second);
+  }
+  EXPECT_EQ(static_cast<int>(in_part.size()), world);
+
+  std::set<int> in_repl;
+  for (const auto& g : repls.value()) {
+    EXPECT_EQ(static_cast<int>(g.size()), world / group_size);
+    for (int r : g) EXPECT_TRUE(in_repl.insert(r).second);
+  }
+  EXPECT_EQ(static_cast<int>(in_repl.size()), world);
+
+  // Transpose property: rank r's replication group members all have the
+  // same local group rank r % group_size.
+  for (const auto& g : repls.value()) {
+    for (int r : g) EXPECT_EQ(r % group_size, g[0] % group_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GroupPropertyTest,
+    ::testing::Values(std::make_tuple(8, 4, 2), std::make_tuple(8, 4, 4),
+                      std::make_tuple(16, 8, 8), std::make_tuple(16, 4, 4),
+                      std::make_tuple(16, 2, 2), std::make_tuple(16, 8, 16),
+                      std::make_tuple(16, 8, 1), std::make_tuple(32, 8, 16),
+                      std::make_tuple(64, 8, 8)));
+
+TEST(GroupsTest, IntraNodeRanksAndChannels) {
+  RankTopology t{16, 4};
+  const std::vector<int> group{4, 5, 6, 7, 8, 9, 10, 11};  // nodes 1 and 2
+  EXPECT_EQ(IntraNodeRanks(t, group, 5), (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_EQ(IntraNodeRanks(t, group, 10), (std::vector<int>{8, 9, 10, 11}));
+  EXPECT_EQ(ChannelRanks(t, group, 5), (std::vector<int>{5, 9}));
+  EXPECT_EQ(ChannelRanks(t, group, 8), (std::vector<int>{4, 8}));
+}
+
+TEST(GroupsTest, NodeAlignment) {
+  RankTopology t{16, 4};
+  EXPECT_TRUE(IsNodeAligned(t, {0, 1, 2, 3}));
+  EXPECT_TRUE(IsNodeAligned(t, {4, 5, 6, 7, 8, 9, 10, 11}));
+  EXPECT_FALSE(IsNodeAligned(t, {0, 1}));            // partial node
+  EXPECT_FALSE(IsNodeAligned(t, {2, 3, 4, 5}));      // straddles nodes
+  EXPECT_FALSE(IsNodeAligned(t, {0, 1, 2, 3, 4}));   // ragged
+}
+
+}  // namespace
+}  // namespace mics

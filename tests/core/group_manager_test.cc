@@ -1,0 +1,106 @@
+#include "core/group_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace mics {
+namespace {
+
+TEST(GroupManagerTest, GroupSizesAndIndexing) {
+  RankTopology topo{8, 4};
+  World world(8);
+  Status st = RunRanks(8, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(GroupManager gm,
+                          GroupManager::Create(&world, topo, 4, rank));
+    if (gm.partition_group_size() != 4) return Status::Internal("part size");
+    if (gm.replication_group_size() != 2) return Status::Internal("repl size");
+    if (gm.shard_index() != rank % 4) return Status::Internal("shard idx");
+    if (gm.global_rank() != rank) return Status::Internal("global rank");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(GroupManagerTest, HierarchicalEnabledOnlyWhenNodeAlignedAndMultiNode) {
+  RankTopology topo{8, 2};  // 4 nodes x 2 GPUs
+  World world(8);
+  Status st = RunRanks(8, [&](int rank) -> Status {
+    // p=4 spans 2 nodes and is node-aligned -> hierarchical available.
+    MICS_ASSIGN_OR_RETURN(GroupManager multi,
+                          GroupManager::Create(&world, topo, 4, rank));
+    if (!multi.has_hierarchical()) {
+      return Status::Internal("expected hierarchical for p=4");
+    }
+    // p=2 fits in a node -> vanilla intra-node gathering.
+    MICS_ASSIGN_OR_RETURN(GroupManager intra,
+                          GroupManager::Create(&world, topo, 2, rank));
+    if (intra.has_hierarchical()) {
+      return Status::Internal("unexpected hierarchical for p=2");
+    }
+    // Explicitly disabled.
+    MICS_ASSIGN_OR_RETURN(GroupManager off,
+                          GroupManager::Create(&world, topo, 4, rank, false));
+    if (off.has_hierarchical()) {
+      return Status::Internal("hierarchical should be off");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(GroupManagerTest, GatherParamsEquivalentWithAndWithoutHierarchy) {
+  RankTopology topo{8, 2};
+  World world(8);
+  Status st = RunRanks(8, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(GroupManager hier,
+                          GroupManager::Create(&world, topo, 4, rank, true));
+    MICS_ASSIGN_OR_RETURN(GroupManager flat,
+                          GroupManager::Create(&world, topo, 4, rank, false));
+    Rng rng(77 + static_cast<uint64_t>(rank));
+    Tensor shard({6}, DType::kF32);
+    shard.FillNormal(&rng, 1.0f);
+    Tensor out1({24}, DType::kF32);
+    Tensor out2({24}, DType::kF32);
+    MICS_RETURN_NOT_OK(hier.GatherParams(shard, &out1));
+    MICS_RETURN_NOT_OK(flat.GatherParams(shard, &out2));
+    MICS_ASSIGN_OR_RETURN(float diff, Tensor::MaxAbsDiff(out1, out2));
+    if (diff != 0.0f) return Status::Internal("gather mismatch");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(GroupManagerTest, ReplicationAllReduceCrossesGroups) {
+  // 4 ranks, p=2: replication groups {0,2} and {1,3}.
+  RankTopology topo{4, 2};
+  World world(4);
+  Status st = RunRanks(4, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(GroupManager gm,
+                          GroupManager::Create(&world, topo, 2, rank));
+    Tensor t({1}, DType::kF32);
+    t.Set(0, static_cast<float>(rank));
+    MICS_RETURN_NOT_OK(gm.replication().AllReduce(&t, ReduceOp::kSum));
+    const float expect = rank % 2 == 0 ? 2.0f : 4.0f;  // 0+2 or 1+3
+    if (t.At(0) != expect) return Status::Internal("repl allreduce wrong");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(GroupManagerTest, MismatchedWorldRejected) {
+  RankTopology topo{8, 4};
+  World world(4);  // wrong size
+  auto gm = GroupManager::Create(&world, topo, 4, 0);
+  EXPECT_FALSE(gm.ok());
+}
+
+TEST(GroupManagerTest, InvalidGroupSizeRejected) {
+  RankTopology topo{8, 4};
+  World world(8);
+  auto gm = GroupManager::Create(&world, topo, 3, 0);
+  EXPECT_FALSE(gm.ok());
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,126 @@
+#include "core/heuristics.h"
+
+#include <gtest/gtest.h>
+
+#include "model/model_zoo.h"
+#include "model/transformer.h"
+
+namespace mics {
+namespace {
+
+TrainJob MakeJob(const TransformerConfig& config) {
+  TrainJob job;
+  job.model = BuildTransformerGraph(config, 8, true).ValueOrDie();
+  job.micro_batch = 8;
+  job.global_batch = 8192;
+  return job;
+}
+
+TEST(HeuristicsTest, PaperGroupSizesReproduced) {
+  // §5.1.1: "1 node for BERT 10B, 2 nodes for BERT 15B and 20B, 8 nodes
+  // for BERT 50B" (8 GPUs per node).
+  PerfEngine engine(ClusterSpec::P3dn(16));
+  EXPECT_EQ(ChoosePartitionGroupSize(engine, MakeJob(Bert10B())).ValueOrDie(),
+            8);
+  EXPECT_EQ(ChoosePartitionGroupSize(engine, MakeJob(Bert15B())).ValueOrDie(),
+            16);
+  EXPECT_EQ(ChoosePartitionGroupSize(engine, MakeJob(Bert20B())).ValueOrDie(),
+            16);
+  EXPECT_EQ(ChoosePartitionGroupSize(engine, MakeJob(Bert50B())).ValueOrDie(),
+            64);
+}
+
+TEST(HeuristicsTest, SmallModelFitsInOneGpu) {
+  PerfEngine engine(ClusterSpec::P3dn(2));
+  TrainJob job;
+  TransformerConfig tiny;
+  tiny.name = "tiny";
+  tiny.hidden = 256;
+  tiny.intermediate = 1024;
+  tiny.layers = 4;
+  tiny.heads = 4;
+  tiny.vocab = 1000;
+  tiny.seq_len = 128;
+  job.model = BuildTransformerGraph(tiny, 8, true).ValueOrDie();
+  job.micro_batch = 8;
+  job.global_batch = 128;
+  EXPECT_EQ(ChoosePartitionGroupSize(engine, job).ValueOrDie(), 1);
+}
+
+TEST(HeuristicsTest, TooBigModelFailsPrecondition) {
+  PerfEngine engine(ClusterSpec::P3dn(2));  // 16 V100s: 512GB total
+  auto r = ChoosePartitionGroupSize(engine, MakeJob(Bert50B()));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+}
+
+TEST(HeuristicsTest, PlanTrainingReturnsRunnableConfig) {
+  PerfEngine engine(ClusterSpec::P3dn(16));
+  auto plan = PlanTraining(engine, MakeJob(Bert15B()));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().config.strategy, Strategy::kMiCS);
+  EXPECT_FALSE(plan.value().perf.oom);
+  EXPECT_GT(plan.value().perf.throughput, 0.0);
+}
+
+TEST(HeuristicsTest, ChosenSizeIsSmallestFeasible) {
+  PerfEngine engine(ClusterSpec::P3dn(16));
+  const TrainJob job = MakeJob(Bert20B());
+  auto chosen = ChoosePartitionGroupSize(engine, job);
+  ASSERT_TRUE(chosen.ok());
+  // Everything smaller must OOM.
+  for (int p : {1, 2, 4, 8}) {
+    if (p >= chosen.value()) break;
+    auto r = engine.Simulate(job, MicsConfig::Mics(p));
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().oom) << "p=" << p;
+  }
+}
+
+TEST(ConfigSearchTest, BestBeatsOrMatchesHeuristic) {
+  PerfEngine engine(ClusterSpec::P3dn(16));
+  const TrainJob job = MakeJob(Bert15B());
+  auto plan = PlanTraining(engine, job);
+  auto best = SearchBestConfig(engine, job);
+  ASSERT_TRUE(plan.ok() && best.ok());
+  EXPECT_GE(best.value().perf.throughput, plan.value().perf.throughput);
+  EXPECT_GT(best.value().evaluated, best.value().feasible);
+  EXPECT_GT(best.value().feasible, 0);
+}
+
+TEST(ConfigSearchTest, PicksMicsMechanismsForCrossNodeGroups) {
+  // For a model whose replica spans nodes, the optimum must use the
+  // paper's mechanisms: 2-hop on and hierarchical gathering on.
+  PerfEngine engine(ClusterSpec::P3dn(16));
+  auto best = SearchBestConfig(engine, MakeJob(Bert15B()));
+  ASSERT_TRUE(best.ok());
+  EXPECT_GT(best.value().config.partition_group_size, 8);
+  EXPECT_TRUE(best.value().config.two_hop_sync);
+  EXPECT_TRUE(best.value().config.hierarchical_allgather);
+}
+
+TEST(ConfigSearchTest, FailsWhenNothingFits) {
+  PerfEngine engine(ClusterSpec::P3dn(2));
+  auto best = SearchBestConfig(engine, MakeJob(Bert50B()));
+  ASSERT_FALSE(best.ok());
+  EXPECT_TRUE(best.status().IsFailedPrecondition());
+}
+
+TEST(ConfigSearchTest, AgreesWithExhaustiveGroupSweepOnThroughput) {
+  // The search result must be at least as good as every MiCS default
+  // config over the candidate group sizes.
+  PerfEngine engine(ClusterSpec::P3dn(8));
+  const TrainJob job = MakeJob(Bert10B());
+  auto best = SearchBestConfig(engine, job);
+  ASSERT_TRUE(best.ok());
+  for (int p : {1, 2, 4, 8, 16, 32, 64}) {
+    auto r = engine.Simulate(job, MicsConfig::Mics(p));
+    ASSERT_TRUE(r.ok());
+    if (!r.value().oom) {
+      EXPECT_GE(best.value().perf.throughput, r.value().throughput) << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mics

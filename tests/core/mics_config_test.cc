@@ -1,0 +1,105 @@
+#include "core/mics_config.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/zero.h"
+
+namespace mics {
+namespace {
+
+TEST(MicsConfigTest, StrategyNames) {
+  EXPECT_STREQ(StrategyName(Strategy::kDDP), "DDP");
+  EXPECT_STREQ(StrategyName(Strategy::kZeRO3), "ZeRO-3");
+  EXPECT_STREQ(StrategyName(Strategy::kMiCS), "MiCS");
+}
+
+TEST(MicsConfigTest, ShardCountsPerStrategy) {
+  const int n = 64;
+  MicsConfig ddp;
+  ddp.strategy = Strategy::kDDP;
+  EXPECT_EQ(ddp.ParamShards(n), 1);
+  EXPECT_EQ(ddp.GradShards(n), 1);
+  EXPECT_EQ(ddp.OptimizerShards(n), 1);
+
+  MicsConfig z1;
+  z1.strategy = Strategy::kZeRO1;
+  EXPECT_EQ(z1.ParamShards(n), 1);
+  EXPECT_EQ(z1.GradShards(n), 1);
+  EXPECT_EQ(z1.OptimizerShards(n), n);
+
+  MicsConfig z2;
+  z2.strategy = Strategy::kZeRO2;
+  EXPECT_EQ(z2.ParamShards(n), 1);
+  EXPECT_EQ(z2.GradShards(n), n);
+  EXPECT_EQ(z2.OptimizerShards(n), n);
+
+  MicsConfig z3;
+  z3.strategy = Strategy::kZeRO3;
+  EXPECT_EQ(z3.ParamShards(n), n);
+  EXPECT_EQ(z3.GradShards(n), n);
+
+  MicsConfig m = MicsConfig::Mics(8);
+  EXPECT_EQ(m.ParamShards(n), 8);
+  EXPECT_EQ(m.GradShards(n), 8);
+  EXPECT_EQ(m.OptimizerShards(n), 8);
+}
+
+TEST(MicsConfigTest, ValidationRules) {
+  MicsConfig m = MicsConfig::Mics(8);
+  EXPECT_TRUE(m.Validate(64).ok());
+  EXPECT_FALSE(m.Validate(0).ok());
+  EXPECT_FALSE(m.Validate(12).ok());  // 8 does not divide 12
+  m.partition_group_size = 0;
+  EXPECT_FALSE(m.Validate(64).ok());
+  m = MicsConfig::Mics(8);
+  m.prefetch_depth = -1;
+  EXPECT_FALSE(m.Validate(64).ok());
+  // Non-MiCS strategies ignore the group size.
+  MicsConfig z3;
+  z3.strategy = Strategy::kZeRO3;
+  z3.partition_group_size = 7;
+  EXPECT_TRUE(z3.Validate(64).ok());
+}
+
+TEST(MicsConfigTest, MicsPresetDefaults) {
+  const MicsConfig m = MicsConfig::Mics(16);
+  EXPECT_EQ(m.strategy, Strategy::kMiCS);
+  EXPECT_EQ(m.partition_group_size, 16);
+  EXPECT_TRUE(m.hierarchical_allgather);
+  EXPECT_TRUE(m.two_hop_sync);
+  EXPECT_TRUE(m.fine_grained_sync);
+  EXPECT_TRUE(m.decision_caching);
+  EXPECT_TRUE(m.arena_allocator);
+}
+
+TEST(MicsConfigTest, MicsZero3PresetDisablesMicsUniqueParts) {
+  const MicsConfig m = MicsConfig::MicsZero3(64);
+  EXPECT_EQ(m.partition_group_size, 64);
+  EXPECT_FALSE(m.hierarchical_allgather);
+  // ...but keeps the §4 implementation optimizations.
+  EXPECT_TRUE(m.fine_grained_sync);
+  EXPECT_TRUE(m.decision_caching);
+  EXPECT_TRUE(m.arena_allocator);
+}
+
+TEST(MicsConfigTest, DeepSpeedPresetsAreCoarse) {
+  for (const MicsConfig& c :
+       {DeepSpeedZero1(), DeepSpeedZero2(), DeepSpeedZero3()}) {
+    EXPECT_FALSE(c.fine_grained_sync);
+    EXPECT_FALSE(c.decision_caching);
+    EXPECT_FALSE(c.arena_allocator);
+    EXPECT_FALSE(c.hierarchical_allgather);
+  }
+  EXPECT_EQ(DeepSpeedZero3().strategy, Strategy::kZeRO3);
+  EXPECT_EQ(PytorchDdp().strategy, Strategy::kDDP);
+}
+
+TEST(MicsConfigTest, ToStringDescribesConfig) {
+  const std::string s = MicsConfig::Mics(8).ToString();
+  EXPECT_NE(s.find("MiCS"), std::string::npos);
+  EXPECT_NE(s.find("p=8"), std::string::npos);
+  EXPECT_NE(DeepSpeedZero3().ToString().find("coarse"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,289 @@
+#include "core/perf_engine.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "baselines/zero.h"
+#include "model/model_zoo.h"
+#include "model/transformer.h"
+
+namespace mics {
+namespace {
+
+TrainJob MakeJob(const TransformerConfig& config, int64_t micro_batch = 8,
+                 int64_t global_batch = 8192) {
+  TrainJob job;
+  job.model = BuildTransformerGraph(config, micro_batch, true).ValueOrDie();
+  job.micro_batch = micro_batch;
+  job.global_batch = global_batch;
+  job.fp16 = true;
+  job.activation_checkpointing = true;
+  return job;
+}
+
+TEST(PerfEngineTest, MicroStepComputation) {
+  PerfEngine engine(ClusterSpec::P3dn(2));  // 16 GPUs
+  auto r = engine.Simulate(MakeJob(Bert10B(), 8, 8192), MicsConfig::Mics(8));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().oom);
+  // 8192 / (8 * 16) = 64 micro-steps.
+  EXPECT_EQ(r.value().micro_steps, 64);
+}
+
+TEST(PerfEngineTest, ThroughputAndTflopsPositive) {
+  PerfEngine engine(ClusterSpec::P3dn(2));
+  auto r = engine.Simulate(MakeJob(Bert10B()), MicsConfig::Mics(8));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().throughput, 0.0);
+  EXPECT_GT(r.value().per_gpu_tflops, 0.0);
+  EXPECT_GT(r.value().iter_time, 0.0);
+  EXPECT_GT(r.value().compute_time, 0.0);
+  EXPECT_GT(r.value().comm_time, 0.0);
+}
+
+TEST(PerfEngineTest, MicsBeatsZero3AtScale) {
+  // The headline claim: on a 100Gbps multi-node cluster MiCS with a
+  // 1-node partition group far outruns DeepSpeed ZeRO-3 (Fig. 6a shows
+  // ~2.2-3.2x for BERT 10B).
+  PerfEngine engine(ClusterSpec::P3dn(16));  // 128 GPUs
+  const TrainJob job = MakeJob(Bert10B());
+  auto mics = engine.Simulate(job, MicsConfig::Mics(8));
+  auto zero3 = engine.Simulate(job, DeepSpeedZero3());
+  ASSERT_TRUE(mics.ok());
+  ASSERT_TRUE(zero3.ok());
+  ASSERT_FALSE(mics.value().oom);
+  ASSERT_FALSE(zero3.value().oom);
+  const double speedup = mics.value().throughput / zero3.value().throughput;
+  EXPECT_GT(speedup, 1.8);
+  EXPECT_LT(speedup, 5.0);
+}
+
+TEST(PerfEngineTest, ThroughputDecreasesWithPartitionGroupSize) {
+  // Figure 11: larger partition groups are monotonically slower.
+  PerfEngine engine(ClusterSpec::P3dn(8));  // 64 GPUs
+  const TrainJob job = MakeJob(Bert10B());
+  double prev = 1e18;
+  for (int p : {8, 16, 32, 64}) {
+    auto r = engine.Simulate(job, MicsConfig::Mics(p));
+    ASSERT_TRUE(r.ok());
+    ASSERT_FALSE(r.value().oom) << "p=" << p;
+    EXPECT_LT(r.value().throughput, prev) << "p=" << p;
+    prev = r.value().throughput;
+  }
+}
+
+TEST(PerfEngineTest, HierarchicalAllGatherImprovesMultiNodeGroups) {
+  PerfEngine engine(ClusterSpec::P3dn(8));
+  const TrainJob job = MakeJob(Bert15B());
+  MicsConfig with = MicsConfig::Mics(16);
+  MicsConfig without = with;
+  without.hierarchical_allgather = false;
+  auto a = engine.Simulate(job, with);
+  auto b = engine.Simulate(job, without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a.value().throughput, b.value().throughput);
+}
+
+TEST(PerfEngineTest, HierarchicalIrrelevantWithinSingleNodeGroup) {
+  PerfEngine engine(ClusterSpec::P3dn(8));
+  const TrainJob job = MakeJob(Bert10B());
+  MicsConfig with = MicsConfig::Mics(8);
+  MicsConfig without = with;
+  without.hierarchical_allgather = false;
+  auto a = engine.Simulate(job, with);
+  auto b = engine.Simulate(job, without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value().throughput, b.value().throughput);
+}
+
+TEST(PerfEngineTest, HierarchicalReduceScatterExtensionHelps) {
+  // Extension beyond the paper: applying the 3-stage algorithm to the
+  // per-micro-step reduce-scatter speeds up cross-node partition groups
+  // and is a no-op for single-node groups.
+  PerfEngine engine(ClusterSpec::P3dn(8));
+  const TrainJob job = MakeJob(Bert15B());
+  MicsConfig base = MicsConfig::Mics(16);
+  MicsConfig ext = base;
+  ext.hierarchical_reduce_scatter = true;
+  auto a = engine.Simulate(job, ext);
+  auto b = engine.Simulate(job, base);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GE(a.value().throughput, b.value().throughput);
+  EXPECT_LT(a.value().comm_time, b.value().comm_time);
+
+  const TrainJob job10 = MakeJob(Bert10B());
+  MicsConfig intra = MicsConfig::Mics(8);
+  MicsConfig intra_ext = intra;
+  intra_ext.hierarchical_reduce_scatter = true;
+  auto c = engine.Simulate(job10, intra);
+  auto d = engine.Simulate(job10, intra_ext);
+  ASSERT_TRUE(c.ok() && d.ok());
+  EXPECT_DOUBLE_EQ(c.value().throughput, d.value().throughput);
+}
+
+TEST(PerfEngineTest, TwoHopSyncImprovesThroughput) {
+  // Figure 13: enabling 2-hop gives 11-25% on 16-128 GPUs.
+  PerfEngine engine(ClusterSpec::P3dn(16));
+  const TrainJob job = MakeJob(Bert10B());
+  MicsConfig with = MicsConfig::Mics(8);
+  MicsConfig without = with;
+  without.two_hop_sync = false;
+  auto a = engine.Simulate(job, with);
+  auto b = engine.Simulate(job, without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const double gain = a.value().throughput / b.value().throughput;
+  EXPECT_GT(gain, 1.05);
+  EXPECT_LT(gain, 1.8);
+}
+
+TEST(PerfEngineTest, ImplementationOptimizationsMatter) {
+  // Figure 14 ordering: MiCS > MiCS(ZeRO-3) > DeepSpeed ZeRO-3.
+  PerfEngine engine(ClusterSpec::P3dn(16));
+  const TrainJob job = MakeJob(Bert10B());
+  auto mics = engine.Simulate(job, MicsConfig::Mics(8));
+  auto mics_z3 = engine.Simulate(job, MicsConfig::MicsZero3(128));
+  auto ds_z3 = engine.Simulate(job, DeepSpeedZero3());
+  ASSERT_TRUE(mics.ok() && mics_z3.ok() && ds_z3.ok());
+  EXPECT_GT(mics.value().throughput, mics_z3.value().throughput);
+  EXPECT_GT(mics_z3.value().throughput, ds_z3.value().throughput);
+}
+
+TEST(PerfEngineTest, Zero2OomsFor15BBut10BDependsOnScale) {
+  // Fig 6b: ZeRO-2 cannot hold 15B (30GB fp16 params alone) on V100.
+  PerfEngine engine(ClusterSpec::P3dn(16));
+  auto z2_15b = engine.Simulate(MakeJob(Bert15B(), 4), DeepSpeedZero2());
+  ASSERT_TRUE(z2_15b.ok());
+  EXPECT_TRUE(z2_15b.value().oom);
+}
+
+TEST(PerfEngineTest, DdpOomsForGiganticModels) {
+  PerfEngine engine(ClusterSpec::P3dn(16));
+  auto ddp = engine.Simulate(MakeJob(Bert10B()), PytorchDdp());
+  ASSERT_TRUE(ddp.ok());
+  EXPECT_TRUE(ddp.value().oom);
+  EXPECT_FALSE(ddp.value().oom_detail.empty());
+}
+
+TEST(PerfEngineTest, MicsOomsWhenGroupTooSmall) {
+  // BERT 50B needs ~8 nodes of states; a 1-node group must OOM.
+  PerfEngine engine(ClusterSpec::P3dn(16));
+  auto r = engine.Simulate(MakeJob(Bert50B()), MicsConfig::Mics(8));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().oom);
+  auto ok = engine.Simulate(MakeJob(Bert50B()), MicsConfig::Mics(64));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(ok.value().oom);
+}
+
+TEST(PerfEngineTest, StrongScalingNearLinearForMics) {
+  // Fixed global batch; doubling the cluster should nearly double MiCS
+  // throughput (the paper reports >90% scaling efficiencies).
+  const TrainJob job = MakeJob(Bert10B());
+  PerfEngine e2(ClusterSpec::P3dn(2));
+  PerfEngine e16(ClusterSpec::P3dn(16));
+  auto r2 = e2.Simulate(job, MicsConfig::Mics(8));
+  auto r16 = e16.Simulate(job, MicsConfig::Mics(8));
+  ASSERT_TRUE(r2.ok() && r16.ok());
+  const double efficiency =
+      (r16.value().throughput / r2.value().throughput) / 8.0;
+  EXPECT_GT(efficiency, 0.8);
+  EXPECT_LE(efficiency, 1.15);
+}
+
+TEST(PerfEngineTest, FasterNetworkShrinksMicsAdvantage) {
+  // §5.1.2: on 400Gbps the ZeRO-3 gap narrows vs 100Gbps.
+  const TrainJob job15 = MakeJob(Bert15B());
+  PerfEngine e100(ClusterSpec::P3dn(8));
+  PerfEngine e400(ClusterSpec::P4d(8));
+  auto m100 = e100.Simulate(job15, MicsConfig::Mics(16));
+  auto z100 = e100.Simulate(job15, DeepSpeedZero3());
+  auto m400 = e400.Simulate(job15, MicsConfig::Mics(16));
+  auto z400 = e400.Simulate(job15, DeepSpeedZero3());
+  ASSERT_TRUE(m100.ok() && z100.ok() && m400.ok() && z400.ok());
+  const double gain100 = m100.value().throughput / z100.value().throughput;
+  const double gain400 = m400.value().throughput / z400.value().throughput;
+  EXPECT_GT(gain100, gain400);
+  EXPECT_GT(gain400, 1.0);
+}
+
+TEST(PerfEngineTest, MemoryBreakdownPopulated) {
+  PerfEngine engine(ClusterSpec::P3dn(2));
+  auto r = engine.Simulate(MakeJob(Bert10B()), MicsConfig::Mics(8));
+  ASSERT_TRUE(r.ok());
+  const MemoryBreakdown& m = r.value().memory;
+  EXPECT_GT(m.params, 0.0);
+  EXPECT_GT(m.optimizer, m.params);  // 12B vs 2B per param
+  EXPECT_GT(m.total, m.params + m.optimizer);
+}
+
+TEST(PerfEngineTest, InvalidInputsRejected) {
+  PerfEngine engine(ClusterSpec::P3dn(2));
+  TrainJob job = MakeJob(Bert10B());
+  job.micro_batch = 0;
+  EXPECT_FALSE(engine.Simulate(job, MicsConfig::Mics(8)).ok());
+  job = MakeJob(Bert10B());
+  job.model.layers.clear();
+  EXPECT_FALSE(engine.Simulate(job, MicsConfig::Mics(8)).ok());
+  EXPECT_FALSE(engine.Simulate(MakeJob(Bert10B()), MicsConfig::Mics(7)).ok());
+}
+
+TEST(PerfEngineTest, BreakdownCategoriesSumSensibly) {
+  PerfEngine engine(ClusterSpec::P3dn(8));
+  auto r = engine.Simulate(MakeJob(Bert10B()), MicsConfig::Mics(8));
+  ASSERT_TRUE(r.ok());
+  const PerfResult& p = r.value();
+  EXPECT_GT(p.param_gather_time, 0.0);
+  EXPECT_GT(p.grad_sync_time, 0.0);
+  EXPECT_GT(p.optimizer_time, 0.0);
+  // Gathers + micro-step syncs ride the comm streams; boundary too.
+  EXPECT_NEAR(p.comm_time, p.param_gather_time + p.grad_sync_time,
+              1e-9 * p.comm_time + 1e-12);
+}
+
+TEST(PerfEngineTest, Section23GatherVsComputeRatio) {
+  // §2.3: "for a BERT model with 10B parameters, parameter gathering
+  // takes 2.85x more time than computation" under ZeRO-3 on the cloud
+  // (their measurement is per forward op; over the whole iteration —
+  // where backward triples the compute — the ratio compresses, but
+  // gathering must still exceed computation: ZeRO-3 is comm-bound).
+  PerfEngine engine(ClusterSpec::P3dn(16));
+  auto r = engine.Simulate(MakeJob(Bert10B()), DeepSpeedZero3());
+  ASSERT_TRUE(r.ok());
+  const double ratio =
+      r.value().param_gather_time / r.value().compute_time;
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(PerfEngineTest, ChromeTraceContainsStreamsAndTasks) {
+  PerfEngine engine(ClusterSpec::P3dn(2));
+  std::ostringstream trace;
+  auto r = engine.Simulate(MakeJob(Bert10B(), 8, 256), MicsConfig::Mics(8),
+                           &trace);
+  ASSERT_TRUE(r.ok());
+  const std::string json = trace.str();
+  EXPECT_NE(json.find("\"gather layer0\""), std::string::npos);
+  EXPECT_NE(json.find("\"fwd embedding\""), std::string::npos);
+  EXPECT_NE(json.find("\"grad-sync"), std::string::npos);
+  EXPECT_NE(json.find("\"optimizer step\""), std::string::npos);
+  EXPECT_NE(json.find("\"NIC\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+TEST(PerfEngineTest, Zero1RunsComputeOnlyMicroSteps) {
+  // A small model lets ZeRO-1 fit; its per-micro-step comm must be nil
+  // (sync only at the boundary).
+  PerfEngine engine(ClusterSpec::P3dn(2));
+  auto r = engine.Simulate(MakeJob(Bert1_5B(), 8, 2048), DeepSpeedZero1());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().oom);
+  EXPECT_GT(r.value().throughput, 0.0);
+}
+
+}  // namespace
+}  // namespace mics

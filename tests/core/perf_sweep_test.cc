@@ -1,0 +1,99 @@
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "baselines/zero.h"
+#include "core/perf_engine.h"
+#include "model/model_zoo.h"
+#include "model/transformer.h"
+
+namespace mics {
+namespace {
+
+/// Property sweep over (model, cluster nodes, strategy): every simulation
+/// must be internally consistent, independent of the configuration.
+struct SweepCase {
+  const char* model;
+  int nodes;
+  const char* strategy;
+};
+
+TransformerConfig ModelByName(const std::string& name) {
+  if (name == "10B") return Bert10B();
+  if (name == "15B") return Bert15B();
+  if (name == "20B") return Bert20B();
+  return Bert1_5B();
+}
+
+MicsConfig ConfigByName(const std::string& name, int world) {
+  if (name == "ddp") return PytorchDdp();
+  if (name == "zero1") return DeepSpeedZero1();
+  if (name == "zero2") return DeepSpeedZero2();
+  if (name == "zero3") return DeepSpeedZero3();
+  if (name == "mics8") return MicsConfig::Mics(8);
+  if (name == "mics16") return MicsConfig::Mics(16);
+  return MicsConfig::MicsZero3(world);
+}
+
+class PerfSweepTest
+    : public ::testing::TestWithParam<std::tuple<const char*, int,
+                                                 const char*>> {};
+
+TEST_P(PerfSweepTest, SimulationInvariants) {
+  const auto [model_name, nodes, strategy_name] = GetParam();
+  PerfEngine engine(ClusterSpec::P3dn(nodes));
+  const int world = nodes * 8;
+  TrainJob job;
+  job.model =
+      BuildTransformerGraph(ModelByName(model_name), 8, true).ValueOrDie();
+  job.micro_batch = 8;
+  job.global_batch = 8192;
+  const MicsConfig config = ConfigByName(strategy_name, world);
+  auto r = engine.Simulate(job, config);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const PerfResult& p = r.value();
+  if (p.oom) {
+    EXPECT_FALSE(p.oom_detail.empty());
+    EXPECT_GT(p.memory.total,
+              static_cast<double>(engine.cluster().gpu.memory_bytes));
+    return;
+  }
+  // Consistency invariants.
+  EXPECT_GT(p.iter_time, 0.0);
+  EXPECT_GT(p.throughput, 0.0);
+  EXPECT_GT(p.per_gpu_tflops, 0.0);
+  EXPECT_LE(p.per_gpu_tflops * 1e12,
+            engine.cluster().gpu.peak_fp16_flops);
+  EXPECT_GE(p.micro_steps, 1);
+  // Throughput algebra: samples per iteration / iteration time.
+  EXPECT_NEAR(p.throughput,
+              static_cast<double>(p.micro_steps) * 8.0 * world / p.iter_time,
+              1e-6 * p.throughput);
+  // Streams can't be busier than the makespan.
+  EXPECT_LE(p.compute_time, p.iter_time * (1.0 + 1e-9));
+  EXPECT_GE(p.exposed_comm_time, 0.0);
+  // Categories sum to the comm-stream busy time.
+  EXPECT_NEAR(p.param_gather_time + p.grad_sync_time, p.comm_time,
+              1e-9 * (p.comm_time + 1.0));
+  // Memory positive and composed of its parts.
+  EXPECT_GT(p.memory.total, 0.0);
+  EXPECT_LE(p.memory.params + p.memory.grads + p.memory.optimizer +
+                p.memory.activations + p.memory.gathered,
+            p.memory.total + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PerfSweepTest,
+    ::testing::Combine(::testing::Values("1p5B", "10B", "15B", "20B"),
+                       ::testing::Values(2, 8, 16),
+                       ::testing::Values("ddp", "zero1", "zero2", "zero3",
+                                         "mics8", "mics16", "micszero3")),
+    [](const ::testing::TestParamInfo<PerfSweepTest::ParamType>& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param)) + "nodes_" +
+             std::get<2>(info.param);
+    });
+
+}  // namespace
+}  // namespace mics

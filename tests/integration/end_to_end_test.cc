@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/heuristics.h"
+#include "core/perf_engine.h"
+#include "model/model_zoo.h"
+#include "model/transformer.h"
+#include "model/wide_resnet.h"
+#include "train/trainer.h"
+
+namespace mics {
+namespace {
+
+/// Full stack exercise: plan a job with the heuristic, simulate it with
+/// the chosen config, and check the plan is self-consistent.
+TEST(EndToEndTest, PlanSimulateConsistency) {
+  PerfEngine engine(ClusterSpec::P3dn(16));
+  TrainJob job;
+  job.model = BuildTransformerGraph(Bert15B(), 8, true).ValueOrDie();
+  job.micro_batch = 8;
+  job.global_batch = 8192;
+  auto plan = PlanTraining(engine, job);
+  ASSERT_TRUE(plan.ok());
+  auto direct = engine.Simulate(job, plan.value().config);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_DOUBLE_EQ(plan.value().perf.throughput,
+                   direct.value().throughput);
+}
+
+/// Real distributed training across every strategy on a 2-node world,
+/// with hierarchical gathering active for the cross-node group — the
+/// whole execution plane in one test.
+TEST(EndToEndTest, AllStrategiesTrainTheSameModel) {
+  std::vector<float> reference;
+  for (auto [strategy, p] :
+       std::vector<std::pair<Strategy, int>>{{Strategy::kDDP, 1},
+                                             {Strategy::kMiCS, 2},
+                                             {Strategy::kMiCS, 4},
+                                             {Strategy::kZeRO3, 4}}) {
+    TrainRunOptions o;
+    o.world_size = 4;
+    o.gpus_per_node = 2;
+    o.sdp.strategy = strategy;
+    o.sdp.partition_group_size = p;
+    o.model.input_dim = 6;
+    o.model.hidden = 12;
+    o.model.classes = 3;
+    o.iterations = 12;
+    o.grad_accumulation_steps = 3;
+    o.micro_batch = 4;
+    o.seed = 7;
+    auto curve = RunDistributedTraining(o);
+    ASSERT_TRUE(curve.ok()) << StrategyName(strategy) << " p=" << p << ": "
+                            << curve.status().ToString();
+    if (reference.empty()) {
+      reference = curve.value().losses;
+    } else {
+      for (size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_NEAR(curve.value().losses[i], reference[i], 5e-3f)
+            << StrategyName(strategy) << " p=" << p << " iter " << i;
+      }
+    }
+  }
+}
+
+/// The simulation plane and the real execution plane agree on WHO
+/// communicates: a MiCS run with p == world has no replication-group
+/// boundary sync; with p == 1 the boundary sync is the whole job.
+TEST(EndToEndTest, SimulatedCommunicationReflectsConfiguration) {
+  PerfEngine engine(ClusterSpec::P3dn(4));
+  TrainJob job;
+  job.model = BuildTransformerGraph(Bert10B(), 8, true).ValueOrDie();
+  job.micro_batch = 8;
+  job.global_batch = 2048;
+  auto mics8 = engine.Simulate(job, MicsConfig::Mics(8));
+  auto mics32 = engine.Simulate(job, MicsConfig::MicsZero3(32));
+  ASSERT_TRUE(mics8.ok() && mics32.ok());
+  ASSERT_FALSE(mics8.value().oom);
+  ASSERT_FALSE(mics32.value().oom);
+  // Full partitioning gathers over slow links: more total comm time.
+  EXPECT_GT(mics32.value().comm_time, mics8.value().comm_time);
+  // And more of it is exposed (not hidden under compute).
+  EXPECT_GT(mics32.value().exposed_comm_time,
+            mics8.value().exposed_comm_time);
+}
+
+/// WideResNet flows through the same engine (the §5.1.4 generality
+/// claim): fp32, no checkpointing.
+TEST(EndToEndTest, WideResNetThroughPerfEngine) {
+  PerfEngine engine(ClusterSpec::P3dn(4));
+  TrainJob job;
+  job.model = BuildWideResNetGraph(WideResNetConfig(), 8).ValueOrDie();
+  job.micro_batch = 8;
+  job.global_batch = 8 * 32;
+  job.fp16 = false;
+  job.activation_checkpointing = false;
+  auto mics = engine.Simulate(job, MicsConfig::Mics(8));
+  ASSERT_TRUE(mics.ok());
+  EXPECT_FALSE(mics.value().oom);
+  EXPECT_GT(mics.value().throughput, 0.0);
+}
+
+}  // namespace
+}  // namespace mics

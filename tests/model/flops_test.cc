@@ -1,0 +1,61 @@
+#include "model/flops.h"
+
+#include <gtest/gtest.h>
+
+#include "model/model_zoo.h"
+#include "model/transformer.h"
+
+namespace mics {
+namespace {
+
+TEST(FlopsTest, FormulaMatchesHandComputation) {
+  // For intermediate = 4h the width_scale is 1 and the published formula
+  // applies literally: F = 96 l L h^2 (1 + l/(6h) + V/(16 L h)).
+  TransformerConfig c;
+  c.hidden = 1024;
+  c.intermediate = 4096;
+  c.layers = 24;
+  c.heads = 16;
+  c.vocab = 32000;
+  c.seq_len = 512;
+  const double expect = 96.0 * 512 * 24 * 1024.0 * 1024.0 *
+                        (1.0 + 512.0 / (6 * 1024.0) +
+                         32000.0 / (16.0 * 24 * 1024.0));
+  EXPECT_NEAR(TransformerTrainFlopsPerSequence(c), expect, expect * 1e-12);
+}
+
+TEST(FlopsTest, ConsistentWithGraphFlops) {
+  // The reporting formula and the per-layer scheduling decomposition must
+  // agree to within a few percent (they count the same math).
+  for (const auto& config : Table1Models()) {
+    auto g = BuildTransformerGraph(config, 1, true);
+    ASSERT_TRUE(g.ok());
+    const double graph_flops = g.value().TotalFwdFlops() +
+                               g.value().TotalBwdFlops() +
+                               g.value().TotalFwdFlops();  // recompute
+    const double formula = TransformerTrainFlopsPerSequence(config);
+    EXPECT_NEAR(graph_flops / formula, 1.0, 0.10) << config.name;
+  }
+}
+
+TEST(FlopsTest, ScalesWithModelSize) {
+  EXPECT_GT(TransformerTrainFlopsPerSequence(Bert50B()),
+            2.0 * TransformerTrainFlopsPerSequence(Bert20B()));
+}
+
+TEST(FlopsTest, PerGpuTflops) {
+  // 10 sequences/s on 10 GPUs = 1 seq/s/GPU.
+  const TransformerConfig c = Bert10B();
+  const double per_gpu = PerGpuTflops(c, 10.0, 10);
+  EXPECT_NEAR(per_gpu, TransformerTrainFlopsPerSequence(c) / 1e12, 1e-9);
+}
+
+TEST(FlopsTest, PaperScaleSanity) {
+  // BERT-10B: ~4e13 train FLOPs per 512-token sequence.
+  const double f = TransformerTrainFlopsPerSequence(Bert10B());
+  EXPECT_GT(f, 2e13);
+  EXPECT_LT(f, 8e13);
+}
+
+}  // namespace
+}  // namespace mics

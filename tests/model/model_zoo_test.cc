@@ -1,0 +1,81 @@
+#include "model/model_zoo.h"
+
+#include <gtest/gtest.h>
+
+namespace mics {
+namespace {
+
+/// Each Table 1 config must produce roughly the parameter count its name
+/// claims (within 8%: the paper's names are rounded).
+struct NamedSize {
+  TransformerConfig config;
+  double billions;
+};
+
+class Table1Test : public ::testing::TestWithParam<NamedSize> {};
+
+TEST_P(Table1Test, ParameterCountMatchesName) {
+  const auto& p = GetParam();
+  const double actual = p.config.TotalParams() / 1e9;
+  EXPECT_NEAR(actual, p.billions, p.billions * 0.08)
+      << p.config.name << " has " << actual << "B parameters";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, Table1Test,
+    ::testing::Values(NamedSize{Bert10B(), 10.0}, NamedSize{Bert15B(), 15.0},
+                      NamedSize{Bert20B(), 20.0}, NamedSize{Bert50B(), 50.0},
+                      NamedSize{Roberta20B(), 20.0},
+                      NamedSize{Gpt2_20B(), 20.0},
+                      NamedSize{Bert1_5B(), 1.5},
+                      NamedSize{Model52B(), 52.0},
+                      NamedSize{Model100B(), 100.0}));
+
+TEST(ModelZooTest, Table1StructureFields) {
+  const TransformerConfig b10 = Bert10B();
+  EXPECT_EQ(b10.hidden, 2560);
+  EXPECT_EQ(b10.intermediate, 10240);
+  EXPECT_EQ(b10.layers, 127);
+  EXPECT_EQ(b10.heads, 40);
+  EXPECT_EQ(b10.vocab, 32008);
+  EXPECT_EQ(b10.seq_len, 512);
+
+  const TransformerConfig b50 = Bert50B();
+  EXPECT_EQ(b50.hidden, 8192);
+  EXPECT_EQ(b50.layers, 62);
+
+  const TransformerConfig r20 = Roberta20B();
+  EXPECT_EQ(r20.vocab, 50265);
+  EXPECT_EQ(r20.layers, 62);
+}
+
+TEST(ModelZooTest, MegatronVariantHas128Layers) {
+  const TransformerConfig m = Bert10B128Layer();
+  EXPECT_EQ(m.layers, 128);
+  EXPECT_EQ(m.hidden, Bert10B().hidden);
+  EXPECT_EQ(m.intermediate, Bert10B().intermediate);
+  // Divisible by all Table 2 pipeline sizes.
+  for (int pp : {1, 4, 8}) EXPECT_EQ(m.layers % pp, 0);
+}
+
+TEST(ModelZooTest, FidelityModelMatchesSection54) {
+  const TransformerConfig f = Bert1_5B();
+  EXPECT_EQ(f.layers, 48);
+  EXPECT_EQ(f.hidden, 1600);
+  EXPECT_EQ(f.intermediate, 6400);
+}
+
+TEST(ModelZooTest, Table1ListComplete) {
+  const auto models = Table1Models();
+  EXPECT_EQ(models.size(), 6u);
+  for (const auto& m : models) EXPECT_TRUE(m.Validate().ok());
+}
+
+TEST(ModelZooTest, Bert15BIsNarrowerButDeeperThan20B) {
+  // §5.1.1 explains the 15B-vs-20B gain difference by this structure.
+  EXPECT_LT(Bert15B().hidden, Bert20B().hidden);
+  EXPECT_GT(Bert15B().layers, Bert20B().layers);
+}
+
+}  // namespace
+}  // namespace mics

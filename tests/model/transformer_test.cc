@@ -1,0 +1,122 @@
+#include "model/transformer.h"
+
+#include <gtest/gtest.h>
+
+#include "model/model_zoo.h"
+
+namespace mics {
+namespace {
+
+TEST(TransformerConfigTest, ValidationCatchesBadFields) {
+  TransformerConfig c = Bert10B();
+  EXPECT_TRUE(c.Validate().ok());
+  c.hidden = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = Bert10B();
+  c.heads = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  // Table 1's BERT-50B has hidden 8192 with 40 heads (not divisible);
+  // the paper trains it, so the config must be accepted.
+  EXPECT_TRUE(Bert50B().Validate().ok());
+}
+
+TEST(TransformerConfigTest, LayerParamsFormula) {
+  TransformerConfig c;
+  c.hidden = 4;
+  c.intermediate = 16;
+  c.layers = 1;
+  c.heads = 1;
+  c.vocab = 10;
+  c.seq_len = 2;
+  // 4h^2 + 2hI + 9h + I = 64 + 128 + 36 + 16 = 244.
+  EXPECT_DOUBLE_EQ(c.LayerParams(), 244.0);
+  // (V + s) h + 2h = 12*4 + 8 = 56.
+  EXPECT_DOUBLE_EQ(c.EmbeddingParams(), 56.0);
+  EXPECT_DOUBLE_EQ(c.TotalParams(), 300.0);
+}
+
+TEST(TransformerGraphTest, GraphStructure) {
+  auto g = BuildTransformerGraph(Bert10B(), 8, true);
+  ASSERT_TRUE(g.ok());
+  const ModelGraph& graph = g.value();
+  // Embedding + 127 transformer layers.
+  EXPECT_EQ(graph.layers.size(), 128u);
+  EXPECT_EQ(graph.layers[0].name, "embedding");
+  EXPECT_NEAR(graph.TotalParams(), Bert10B().TotalParams(), 1.0);
+}
+
+TEST(TransformerGraphTest, FlopsScaleWithMicroBatch) {
+  auto g8 = BuildTransformerGraph(Bert10B(), 8, true);
+  auto g16 = BuildTransformerGraph(Bert10B(), 16, true);
+  ASSERT_TRUE(g8.ok());
+  ASSERT_TRUE(g16.ok());
+  EXPECT_NEAR(g16.value().TotalFwdFlops() / g8.value().TotalFwdFlops(), 2.0,
+              1e-9);
+}
+
+TEST(TransformerGraphTest, BackwardIsTwiceForward) {
+  auto g = BuildTransformerGraph(Bert20B(), 8, true);
+  ASSERT_TRUE(g.ok());
+  for (const auto& layer : g.value().layers) {
+    EXPECT_DOUBLE_EQ(layer.bwd_flops, 2.0 * layer.fwd_flops);
+  }
+}
+
+TEST(TransformerGraphTest, CheckpointBytesMuchSmallerThanFull) {
+  auto g = BuildTransformerGraph(Bert10B(), 8, true);
+  ASSERT_TRUE(g.ok());
+  const ModelGraph& graph = g.value();
+  EXPECT_LT(graph.TotalActivationBytes(true),
+            0.2 * graph.TotalActivationBytes(false));
+}
+
+TEST(TransformerGraphTest, Fp32DoublesActivationBytes) {
+  auto g16 = BuildTransformerGraph(Bert10B(), 8, true);
+  auto g32 = BuildTransformerGraph(Bert10B(), 8, false);
+  ASSERT_TRUE(g16.ok());
+  ASSERT_TRUE(g32.ok());
+  EXPECT_NEAR(g32.value().TotalActivationBytes(false) /
+                  g16.value().TotalActivationBytes(false),
+              2.0, 1e-9);
+}
+
+TEST(TransformerGraphTest, RejectsBadInputs) {
+  EXPECT_FALSE(BuildTransformerGraph(Bert10B(), 0, true).ok());
+  TransformerConfig bad = Bert10B();
+  bad.layers = 0;
+  EXPECT_FALSE(BuildTransformerGraph(bad, 8, true).ok());
+}
+
+TEST(TransformerGraphTest, PerLayerFlopsMatchHandComputation) {
+  // One layer, b=1: 2*s*(4h^2+2hI) + 4*s^2*h.
+  TransformerConfig c;
+  c.name = "tiny";
+  c.hidden = 8;
+  c.intermediate = 32;
+  c.layers = 1;
+  c.heads = 2;
+  c.vocab = 100;
+  c.seq_len = 4;
+  auto g = BuildTransformerGraph(c, 1, true);
+  ASSERT_TRUE(g.ok());
+  const double expect = 2.0 * 4 * (4 * 64 + 2 * 8 * 32) + 4.0 * 16 * 8;
+  EXPECT_DOUBLE_EQ(g.value().layers[1].fwd_flops, expect);
+  // Embedding layer carries the tied-head logits matmul: 2*b*s*h*V.
+  EXPECT_DOUBLE_EQ(g.value().layers[0].fwd_flops, 2.0 * 4 * 8 * 100);
+}
+
+TEST(ModelGraphTest, Aggregates) {
+  ModelGraph g;
+  g.layers.push_back({"a", 10.0, 100.0, 200.0, 1000.0, 50.0});
+  g.layers.push_back({"b", 30.0, 300.0, 600.0, 2000.0, 70.0});
+  EXPECT_DOUBLE_EQ(g.TotalParams(), 40.0);
+  EXPECT_DOUBLE_EQ(g.TotalFwdFlops(), 400.0);
+  EXPECT_DOUBLE_EQ(g.TotalBwdFlops(), 800.0);
+  EXPECT_DOUBLE_EQ(g.TotalActivationBytes(false), 3000.0);
+  EXPECT_DOUBLE_EQ(g.TotalActivationBytes(true), 120.0);
+  EXPECT_DOUBLE_EQ(g.MaxLayerParams(), 30.0);
+  EXPECT_DOUBLE_EQ(g.MaxLayerActivationBytes(), 2000.0);
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,86 @@
+#include "model/wide_resnet.h"
+
+#include <gtest/gtest.h>
+
+namespace mics {
+namespace {
+
+TEST(WideResNetTest, DefaultConfigMatchesSection514) {
+  WideResNetConfig c;
+  EXPECT_TRUE(c.Validate().ok());
+  EXPECT_EQ(c.width_factor, 8);
+  EXPECT_EQ(c.blocks, (std::array<int, 4>{6, 8, 46, 6}));
+  // "It has 200 convolution layers".
+  EXPECT_EQ(c.NumConvLayers(), 200);
+}
+
+TEST(WideResNetTest, ParameterCountNear3B) {
+  auto g = BuildWideResNetGraph(WideResNetConfig(), 8);
+  ASSERT_TRUE(g.ok());
+  const double billions = g.value().TotalParams() / 1e9;
+  EXPECT_GT(billions, 2.5);
+  EXPECT_LT(billions, 3.6);
+}
+
+TEST(WideResNetTest, GraphStructure) {
+  auto g = BuildWideResNetGraph(WideResNetConfig(), 8);
+  ASSERT_TRUE(g.ok());
+  // stem + 66 blocks + classifier.
+  EXPECT_EQ(g.value().layers.size(), 68u);
+  EXPECT_EQ(g.value().layers.front().name, "stem");
+  EXPECT_EQ(g.value().layers.back().name, "classifier");
+}
+
+TEST(WideResNetTest, Stage3DominatesParameters) {
+  // 46 of the 66 blocks sit in stage 3.
+  auto g = BuildWideResNetGraph(WideResNetConfig(), 8);
+  ASSERT_TRUE(g.ok());
+  double stage3 = 0.0;
+  for (const auto& l : g.value().layers) {
+    if (l.name.rfind("s2", 0) == 0) stage3 += l.params;
+  }
+  EXPECT_GT(stage3 / g.value().TotalParams(), 0.5);
+}
+
+TEST(WideResNetTest, FlopsScaleWithBatch) {
+  auto g8 = BuildWideResNetGraph(WideResNetConfig(), 8);
+  auto g16 = BuildWideResNetGraph(WideResNetConfig(), 16);
+  ASSERT_TRUE(g8.ok());
+  ASSERT_TRUE(g16.ok());
+  EXPECT_NEAR(g16.value().TotalFwdFlops() / g8.value().TotalFwdFlops(), 2.0,
+              1e-9);
+}
+
+TEST(WideResNetTest, WidthScalesParamsQuadratically) {
+  WideResNetConfig w4;
+  w4.width_factor = 4;
+  auto g4 = BuildWideResNetGraph(w4, 8);
+  auto g8 = BuildWideResNetGraph(WideResNetConfig(), 8);
+  ASSERT_TRUE(g4.ok());
+  ASSERT_TRUE(g8.ok());
+  const double ratio = g8.value().TotalParams() / g4.value().TotalParams();
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(WideResNetTest, ValidationRejectsBadConfigs) {
+  WideResNetConfig c;
+  c.width_factor = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = WideResNetConfig();
+  c.blocks[2] = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  EXPECT_FALSE(BuildWideResNetGraph(WideResNetConfig(), 0).ok());
+}
+
+TEST(WideResNetTest, ActivationsUseFp32) {
+  // The paper trains WideResNet in fp32 with checkpointing disabled.
+  auto g = BuildWideResNetGraph(WideResNetConfig(), 1);
+  ASSERT_TRUE(g.ok());
+  // Stem output: 112x112x256 floats * 4 bytes.
+  EXPECT_DOUBLE_EQ(g.value().layers[0].activation_bytes,
+                   4.0 * 112 * 112 * 256);
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,126 @@
+#include "sim/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+#include "util/math_util.h"
+
+namespace mics {
+namespace {
+
+TEST(AnalysisTest, AllGatherCostForm) {
+  // C = (p-1) M / (p B).
+  EXPECT_DOUBLE_EQ(AllGatherCost(8, 160e9, 128e9), 7.0 * 160e9 / (8 * 128e9));
+  EXPECT_DOUBLE_EQ(AllGatherCost(1, 160e9, 128e9), 0.0);
+}
+
+TEST(AnalysisTest, PaperSection32Numbers) {
+  // §3.2: with B_part ~= 128 GB/s and B_all ~= 11 GB/s, the cost ratio
+  // "can be as large as 11.6".
+  const double bound = PartitioningGainLowerBound(128e9, 11e9);
+  EXPECT_NEAR(bound, 11.64, 0.01);
+  // Exact ratio for n=64, p=8 is slightly above the bound.
+  auto exact = PartitioningGainExact(64, 8, 128e9, 11e9);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_GT(exact.value(), bound);
+  EXPECT_NEAR(exact.value(), bound * (63.0 / 64.0) / (7.0 / 8.0), 1e-9);
+}
+
+TEST(AnalysisTest, PartitioningGainValidation) {
+  EXPECT_FALSE(PartitioningGainExact(8, 16, 1.0, 1.0).ok());
+  EXPECT_FALSE(PartitioningGainExact(8, 1, 1.0, 1.0).ok());
+  EXPECT_FALSE(PartitioningGainExact(8, 4, 0.0, 1.0).ok());
+}
+
+TEST(AnalysisTest, HierarchicalTrafficRatioSection33) {
+  // §3.3: "In a typical setup, we would have k = 8. A 10B-50B parameter
+  // model typically requires 8 <= p <= 64 workers... 11.1% to 46.6% data
+  // volume reduction."
+  auto r16 = HierarchicalTrafficRatio(16, 8);
+  ASSERT_TRUE(r16.ok());
+  EXPECT_NEAR(1.0 - 1.0 / r16.value(), 0.466, 0.002);  // p=16: 46.6%
+  auto r64 = HierarchicalTrafficRatio(64, 8);
+  ASSERT_TRUE(r64.ok());
+  EXPECT_NEAR(1.0 - 1.0 / r64.value(), 0.111, 0.002);  // p=64: 11.1%
+  // Monotone toward 1.
+  EXPECT_GT(r16.value(), r64.value());
+  EXPECT_GT(r64.value(), 1.0);
+  EXPECT_FALSE(HierarchicalTrafficRatio(8, 8).ok());
+}
+
+TEST(AnalysisTest, TwoHopLowerBoundSection34) {
+  // §3.4: s=4 and B_all = B_part = B_repl gives exactly 4/3 ("at least
+  // 25% cost reduction").
+  auto bound = TwoHopGainLowerBound(4, 1.0, 1.0, 1.0);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_DOUBLE_EQ(bound.value(), 4.0 / 3.0);
+  // s=1 with equal bandwidths: 2/3 < 1 — 2-hop is sub-optimal, as the
+  // paper notes...
+  auto s1 = TwoHopGainLowerBound(1, 1.0, 1.0, 1.0);
+  ASSERT_TRUE(s1.ok());
+  EXPECT_LT(s1.value(), 1.0);
+  // ...but with heterogeneous bandwidths (B_part = B_repl = 1.5 B_all)
+  // even s=1 prefers 2-hop.
+  auto s1h = TwoHopGainLowerBound(1, 1.0, 1.5, 1.5);
+  ASSERT_TRUE(s1h.ok());
+  EXPECT_GE(s1h.value(), 1.0);
+}
+
+TEST(AnalysisTest, TwoHopCostFormsAndBound) {
+  const double m = 20e9;
+  const int s = 4, p = 8, n = 64;
+  const double b = 10e9;
+  auto two_hop = TwoHopCost(s, m, p, n, b, b);
+  auto alt = AlternativeSyncCost(s, m, n, b);
+  ASSERT_TRUE(two_hop.ok() && alt.ok());
+  // The lower bound must actually lower-bound the exact ratio.
+  auto bound = TwoHopGainLowerBound(s, b, b, b);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_GE(alt.value() / two_hop.value(), bound.value());
+  // More micro-steps amortize the boundary hop: gain grows with s.
+  auto th8 = TwoHopCost(8, m, p, n, b, b);
+  auto alt8 = AlternativeSyncCost(8, m, n, b);
+  ASSERT_TRUE(th8.ok() && alt8.ok());
+  EXPECT_GT(alt8.value() / th8.value(), alt.value() / two_hop.value());
+}
+
+TEST(AnalysisTest, ValidationErrors) {
+  EXPECT_FALSE(TwoHopCost(0, 1e9, 8, 64, 1.0, 1.0).ok());
+  EXPECT_FALSE(TwoHopCost(4, 1e9, 65, 64, 1.0, 1.0).ok());
+  EXPECT_FALSE(AlternativeSyncCost(4, 1e9, 64, 0.0).ok());
+  EXPECT_FALSE(TwoHopGainLowerBound(0, 1.0, 1.0, 1.0).ok());
+}
+
+TEST(AnalysisVsSimulatorTest, CostModelRespectsPartitioningBound) {
+  // For a large message (latency negligible) the simulator's
+  // all-gather-time ratio between whole-cluster and single-node groups
+  // must be at least the theory's B_part/B_all bound computed from its
+  // own effective bandwidths.
+  const CostModel model(ClusterSpec::P3dn(8));
+  const double bytes = static_cast<double>(GiB(1));
+  const GroupShape all = GroupShape::World(model.cluster());
+  const GroupShape part =
+      GroupShape::Partition(model.cluster(), 8).ValueOrDie();
+  const double b_all = model.EffectiveAllGatherBandwidth(all, bytes);
+  const double b_part = model.EffectiveAllGatherBandwidth(part, bytes);
+  const double sim_ratio =
+      model.AllGatherTime(all, bytes) / model.AllGatherTime(part, bytes);
+  EXPECT_GE(sim_ratio, 0.95 * PartitioningGainLowerBound(b_part, b_all));
+}
+
+TEST(AnalysisVsSimulatorTest, HierarchicalGainTrackstrafficRatio) {
+  // The simulator's hierarchical speedup should approach the traffic
+  // ratio (p-1)/(p-k) for bandwidth-dominated transfers (inter-node is
+  // the bottleneck; intra-node stage adds a little).
+  const CostModel model(ClusterSpec::P3dn(2));
+  const GroupShape g = GroupShape::Partition(model.cluster(), 16).ValueOrDie();
+  const double bytes = static_cast<double>(GiB(1));
+  const double sim_gain = model.AllGatherTime(g, bytes) /
+                          model.HierarchicalAllGatherTime(g, bytes);
+  const double traffic = HierarchicalTrafficRatio(16, 8).ValueOrDie();
+  EXPECT_GT(sim_gain, 1.0);
+  EXPECT_LT(sim_gain, traffic * 1.05);  // can't beat the traffic bound
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,70 @@
+#include "sim/compute_model.h"
+
+#include <gtest/gtest.h>
+
+namespace mics {
+namespace {
+
+TEST(ComputeModelTest, TimeScalesWithFlops) {
+  GpuComputeModel m(GpuSpec::V100_32GB());
+  const double t1 = m.MatmulTime(1e12, 4096, true);
+  const double t2 = m.MatmulTime(2e12, 4096, true);
+  EXPECT_GT(t2, 1.9 * t1);
+}
+
+TEST(ComputeModelTest, Fp16FasterThanFp32) {
+  GpuComputeModel m(GpuSpec::V100_32GB());
+  EXPECT_LT(m.MatmulTime(1e12, 4096, true), m.MatmulTime(1e12, 4096, false));
+}
+
+TEST(ComputeModelTest, NarrowLayersLessEfficient) {
+  // The BERT-15B (h=2560) vs 20B (h=5120) discussion in §5.1.1 relies on
+  // narrower layers achieving lower efficiency.
+  GpuComputeModel m(GpuSpec::V100_32GB());
+  EXPECT_LT(m.Efficiency(1024), m.Efficiency(2560));
+  EXPECT_LT(m.Efficiency(2560), m.Efficiency(5120));
+  EXPECT_LT(m.Efficiency(5120), 1.0);
+}
+
+TEST(ComputeModelTest, EfficiencyBounded) {
+  ComputeCostParams params;
+  GpuComputeModel m(GpuSpec::A100_40GB(), params);
+  for (double h : {128.0, 1024.0, 8192.0, 1e6}) {
+    EXPECT_GT(m.Efficiency(h), 0.0);
+    EXPECT_LE(m.Efficiency(h), params.base_efficiency);
+  }
+}
+
+TEST(ComputeModelTest, A100FasterThanV100) {
+  GpuComputeModel v(GpuSpec::V100_32GB());
+  GpuComputeModel a(GpuSpec::A100_40GB());
+  EXPECT_LT(a.MatmulTime(1e13, 5120, true), v.MatmulTime(1e13, 5120, true));
+}
+
+TEST(ComputeModelTest, KernelLaunchFloorsSmallWork) {
+  GpuComputeModel m(GpuSpec::V100_32GB());
+  EXPECT_GE(m.MatmulTime(1.0, 4096, true), m.kernel_launch());
+}
+
+TEST(ComputeModelTest, OptimizerStepMemoryBound) {
+  GpuComputeModel m(GpuSpec::V100_32GB());
+  const double t1 = m.OptimizerStepTime(1e9);
+  const double t2 = m.OptimizerStepTime(2e9);
+  EXPECT_GT(t2, 1.9 * t1);
+  // 1B params * 28B at ~1.1TB/s ~= 25ms.
+  EXPECT_GT(t1, 0.01);
+  EXPECT_LT(t1, 0.1);
+}
+
+TEST(ComputeModelTest, V100AchievableTflopsInPaperBallpark) {
+  // With the calibrated efficiency the model should allow roughly the
+  // 42-52% of V100 peak the paper reports for BERT-width layers.
+  GpuComputeModel m(GpuSpec::V100_32GB());
+  const double achieved =
+      m.Efficiency(2560) * m.gpu().peak_fp16_flops / 1e12;
+  EXPECT_GT(achieved, 40.0);
+  EXPECT_LT(achieved, 75.0);
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,109 @@
+#include <string>
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+#include "util/math_util.h"
+
+namespace mics {
+namespace {
+
+ClusterSpec ClusterByName(const std::string& name, int nodes) {
+  if (name == "p4d") return ClusterSpec::P4d(nodes);
+  if (name == "dgx") return ClusterSpec::DgxA100(nodes);
+  return ClusterSpec::P3dn(nodes);
+}
+
+/// Cost-model invariants that must hold on EVERY fabric, scale, and
+/// message size — the properties the figures rely on.
+class CostModelSweepTest
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, int, int64_t>> {};
+
+TEST_P(CostModelSweepTest, UniversalInvariants) {
+  const auto [fabric, nodes, mb] = GetParam();
+  const ClusterSpec cluster = ClusterByName(fabric, nodes);
+  const CostModel model(cluster);
+  const double bytes = static_cast<double>(MiB(mb));
+
+  const GroupShape world = GroupShape::World(cluster);
+  const GroupShape intra = GroupShape::Partition(cluster, 8).ValueOrDie();
+
+  // Times are positive and finite.
+  const double t_world = model.AllGatherTime(world, bytes);
+  const double t_intra = model.AllGatherTime(intra, bytes);
+  EXPECT_GT(t_world, 0.0);
+  EXPECT_GT(t_intra, 0.0);
+
+  // Cross-node gathering is never cheaper than intra-node (same bytes).
+  if (nodes > 1) EXPECT_GE(t_world, t_intra);
+
+  // Reduce-scatter mirrors all-gather; all-reduce costs exactly both.
+  EXPECT_DOUBLE_EQ(model.ReduceScatterTime(world, bytes), t_world);
+  EXPECT_DOUBLE_EQ(model.AllReduceTime(world, bytes), 2.0 * t_world);
+
+  // Hierarchical communication on node-spanning groups: its speedup
+  // cannot exceed the combined §3.3 gains — the traffic reduction
+  // (p-1)/(p-k) on the bandwidth term and the step reduction
+  // (p-1)/(p/k - 1) on the latency term. It is guaranteed to WIN only
+  // on imbalanced (cloud) fabrics, where the added intra-node stage is
+  // nearly free compared to the inter-node saving; on balanced fabrics
+  // (DGX-class) it can lose, which is itself the paper's premise.
+  if (nodes > 1) {
+    const double t_hier = model.HierarchicalAllGatherTime(world, bytes);
+    const bool imbalanced_fabric =
+        cluster.intra_node_bw >= 3.0 * cluster.inter_node_bw;
+    if (imbalanced_fabric && mb <= 256) {
+      EXPECT_LE(t_hier, t_world * (1.0 + 1e-9));
+    }
+    EXPECT_LE(t_hier, t_world * 2.0);  // never catastrophically worse
+    const double traffic_gain =
+        static_cast<double>(world.size - 1) /
+        (world.size - cluster.gpus_per_node);
+    const double latency_gain =
+        static_cast<double>(world.size - 1) /
+        std::max(1, world.nodes() - 1);
+    const double max_gain = std::max(traffic_gain, latency_gain);
+    EXPECT_GE(t_hier, t_world / max_gain / 1.3);
+  }
+
+  // Effective bandwidth is bounded by the line rate.
+  EXPECT_LE(model.EffectiveAllGatherBandwidth(world, bytes),
+            cluster.inter_node_bw * (nodes > 1 ? 1.0 : 100.0));
+
+  // Doubling the message never reduces the time.
+  EXPECT_GE(model.AllGatherTime(world, 2.0 * bytes), t_world);
+}
+
+TEST(CostModelFabricTest, HierarchicalCanLoseOnBalancedFabrics) {
+  // The flip side of §3.3, discovered by the sweep: on a DGX-class
+  // balanced network the intra-node stage's extra (k-1)M/k transfer can
+  // outweigh the (p-1 -> p-k) inter-node saving for large messages —
+  // hierarchical communication is a CLOUD optimization.
+  const CostModel dgx(ClusterSpec::DgxA100(2));
+  const GroupShape g16 = GroupShape::World(dgx.cluster());
+  const double big = static_cast<double>(GiB(1));
+  EXPECT_GT(dgx.HierarchicalAllGatherTime(g16, big),
+            dgx.AllGatherTime(g16, big));
+  // Same shape on the cloud fabric: hierarchical wins comfortably.
+  const CostModel p3(ClusterSpec::P3dn(2));
+  const GroupShape cloud = GroupShape::World(p3.cluster());
+  EXPECT_LT(p3.HierarchicalAllGatherTime(cloud, big),
+            p3.AllGatherTime(cloud, big));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CostModelSweepTest,
+    ::testing::Combine(::testing::Values("p3dn", "p4d", "dgx"),
+                       ::testing::Values(1, 2, 8, 32),
+                       ::testing::Values<int64_t>(1, 16, 256, 1024)),
+    [](const ::testing::TestParamInfo<CostModelSweepTest::ParamType>& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param)) + "nodes_" +
+             std::to_string(std::get<2>(info.param)) + "MB";
+    });
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,254 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/math_util.h"
+
+namespace mics {
+namespace {
+
+CostModel P3dnModel(int nodes) { return CostModel(ClusterSpec::P3dn(nodes)); }
+
+TEST(GroupShapeTest, PartitionShapes) {
+  const ClusterSpec c = ClusterSpec::P3dn(4);
+  auto g8 = GroupShape::Partition(c, 8);
+  ASSERT_TRUE(g8.ok());
+  EXPECT_EQ(g8.value().size, 8);
+  EXPECT_EQ(g8.value().ranks_per_node, 8);
+  EXPECT_FALSE(g8.value().spans_nodes());
+
+  auto g16 = GroupShape::Partition(c, 16);
+  ASSERT_TRUE(g16.ok());
+  EXPECT_TRUE(g16.value().spans_nodes());
+  EXPECT_EQ(g16.value().nodes(), 2);
+
+  auto g2 = GroupShape::Partition(c, 2);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2.value().ranks_per_node, 2);
+  EXPECT_FALSE(GroupShape::Partition(c, 0).ok());
+  EXPECT_FALSE(GroupShape::Partition(c, 64).ok());
+}
+
+TEST(GroupShapeTest, ReplicationShapes) {
+  const ClusterSpec c = ClusterSpec::P3dn(4);  // 32 GPUs
+  // p=8 (one node): replication groups have 4 members, one per node, and
+  // all 8 GPUs of a node run concurrent rings over the NIC.
+  auto r = GroupShape::Replication(c, 8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size, 4);
+  EXPECT_EQ(r.value().ranks_per_node, 1);
+  EXPECT_EQ(r.value().nic_sharers, 8);
+
+  // p=2 (inside a node): members are 2 apart; 4 per node.
+  auto r2 = GroupShape::Replication(c, 2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().size, 16);
+  EXPECT_EQ(r2.value().ranks_per_node, 4);
+  EXPECT_EQ(r2.value().nic_sharers, 2);
+
+  EXPECT_FALSE(GroupShape::Replication(c, 3).ok());
+}
+
+TEST(GroupShapeTest, WorldShape) {
+  const GroupShape w = GroupShape::World(ClusterSpec::P3dn(2));
+  EXPECT_EQ(w.size, 16);
+  EXPECT_EQ(w.ranks_per_node, 8);
+  EXPECT_TRUE(w.spans_nodes());
+}
+
+TEST(CostModelTest, AllGatherTimeIncreasesWithMessageSize) {
+  const CostModel m = P3dnModel(4);
+  const GroupShape g = GroupShape::World(m.cluster());
+  double prev = 0.0;
+  for (double bytes : {1e6, 1e7, 1e8, 1e9}) {
+    const double t = m.AllGatherTime(g, bytes);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CostModelTest, AllGatherTimeIncreasesWithScale) {
+  // Same message, larger group spanning more nodes -> strictly slower.
+  double prev = 0.0;
+  for (int nodes : {2, 4, 8, 16}) {
+    const CostModel m = P3dnModel(nodes);
+    const GroupShape g = GroupShape::World(m.cluster());
+    const double t = m.AllGatherTime(g, 256.0 * 1024 * 1024);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CostModelTest, IntraNodeMuchFasterThanCrossNode) {
+  // The heterogeneity motivating the paper: B_part >> B_all (§3.2 quotes
+  // a cost ratio up to ~11.6 on p3dn).
+  const CostModel m = P3dnModel(8);
+  auto intra = GroupShape::Partition(m.cluster(), 8);
+  ASSERT_TRUE(intra.ok());
+  const GroupShape all = GroupShape::World(m.cluster());
+  const double bytes = 256.0 * 1024 * 1024;
+  const double ratio =
+      m.AllGatherTime(all, bytes) / m.AllGatherTime(intra.value(), bytes);
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 40.0);
+}
+
+TEST(CostModelTest, SingleParticipantIsLaunchOverheadOnly) {
+  const CostModel m = P3dnModel(2);
+  GroupShape g;
+  g.size = 1;
+  EXPECT_DOUBLE_EQ(m.AllGatherTime(g, 1e9), m.params().launch_overhead);
+}
+
+TEST(CostModelTest, ReduceScatterEqualsAllGather) {
+  const CostModel m = P3dnModel(4);
+  const GroupShape g = GroupShape::World(m.cluster());
+  EXPECT_DOUBLE_EQ(m.ReduceScatterTime(g, 1e8), m.AllGatherTime(g, 1e8));
+}
+
+TEST(CostModelTest, RingAllReduceIsTwicePerStepCost) {
+  const CostModel m = P3dnModel(4);
+  const GroupShape g = GroupShape::World(m.cluster());
+  EXPECT_DOUBLE_EQ(m.AllReduceTime(g, 1e8),
+                   2.0 * m.AllGatherTime(g, 1e8));
+}
+
+TEST(CostModelTest, TreeAllReduceBeatsRingForTinyMessages) {
+  // Tree latency scales log(p) vs ring's p: at 32 nodes a tiny message
+  // should prefer the tree.
+  const CostModel m = P3dnModel(32);
+  const GroupShape g = GroupShape::World(m.cluster());
+  const double tiny = 64.0 * 1024;
+  EXPECT_LT(m.AllReduceTime(g, tiny, CollectiveAlgo::kTree),
+            m.AllReduceTime(g, tiny, CollectiveAlgo::kRing));
+}
+
+TEST(CostModelTest, HierarchicalBeatsVanillaAcrossNodes) {
+  const CostModel m = P3dnModel(2);
+  auto g = GroupShape::Partition(m.cluster(), 16);
+  ASSERT_TRUE(g.ok());
+  for (double mb : {16.0, 32.0, 64.0, 128.0, 256.0}) {
+    const double bytes = mb * 1024 * 1024;
+    EXPECT_LT(m.HierarchicalAllGatherTime(g.value(), bytes),
+              m.AllGatherTime(g.value(), bytes))
+        << mb << "MB";
+  }
+}
+
+TEST(CostModelTest, HierarchicalRatioNearPaperAt128MB) {
+  // Fig 12a: hierarchical uses ~72% of vanilla's time at 128MB on two
+  // p3dn nodes. Accept a generous band around that shape.
+  const CostModel m = P3dnModel(2);
+  auto g = GroupShape::Partition(m.cluster(), 16);
+  ASSERT_TRUE(g.ok());
+  const double bytes = 128.0 * 1024 * 1024;
+  const double ratio = m.HierarchicalAllGatherTime(g.value(), bytes) /
+                       m.AllGatherTime(g.value(), bytes);
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 0.95);
+}
+
+TEST(CostModelTest, HierarchicalFallsBackWithinNode) {
+  const CostModel m = P3dnModel(2);
+  auto g = GroupShape::Partition(m.cluster(), 8);
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(m.HierarchicalAllGatherTime(g.value(), 1e8),
+                   m.AllGatherTime(g.value(), 1e8));
+}
+
+TEST(CostModelTest, HierarchicalGainShrinksWithGroupNodes) {
+  // §3.3: traffic ratio (p-1)/(p-k) decreases toward 1 as p grows.
+  const double bytes = 128.0 * 1024 * 1024;
+  double prev_gain = 1e9;
+  for (int nodes : {2, 4, 8, 16}) {
+    const CostModel m = P3dnModel(nodes);
+    auto g = GroupShape::Partition(m.cluster(), nodes * 8);
+    ASSERT_TRUE(g.ok());
+    const double gain = m.AllGatherTime(g.value(), bytes) /
+                        m.HierarchicalAllGatherTime(g.value(), bytes);
+    EXPECT_LT(gain, prev_gain);
+    EXPECT_GT(gain, 1.0);
+    prev_gain = gain;
+  }
+}
+
+TEST(CostModelTest, EffectiveBandwidthSaturatesAtNicRate) {
+  const CostModel m = P3dnModel(2);
+  const GroupShape g = GroupShape::World(m.cluster());
+  const double bw = m.EffectiveAllGatherBandwidth(g, 1024.0 * MiB(1));
+  // 100 Gbps = 12.5 GB/s line rate; large messages should get close.
+  EXPECT_GT(bw, 9e9);
+  EXPECT_LE(bw, 12.5e9);
+}
+
+TEST(CostModelTest, EffectiveBandwidthDegradesWithScaleForSmallMessages) {
+  // The Figure 1 shape: 128MB performs well on 2 nodes, poorly on 32.
+  const double bytes = 128.0 * MiB(1);
+  const CostModel m2 = P3dnModel(2);
+  const CostModel m32 = P3dnModel(32);
+  const double bw2 =
+      m2.EffectiveAllGatherBandwidth(GroupShape::World(m2.cluster()), bytes);
+  const double bw32 = m32.EffectiveAllGatherBandwidth(
+      GroupShape::World(m32.cluster()), bytes);
+  EXPECT_GT(bw2, 2.5 * bw32);
+}
+
+TEST(CostModelTest, NicSharersSlowDownCrossNodeRings) {
+  const CostModel m = P3dnModel(4);
+  GroupShape lone;
+  lone.size = 4;
+  lone.ranks_per_node = 1;
+  lone.nic_sharers = 1;
+  GroupShape shared = lone;
+  shared.nic_sharers = 8;
+  EXPECT_LT(m.AllGatherTime(lone, 1e8), m.AllGatherTime(shared, 1e8));
+}
+
+TEST(CostModelTest, P2PCost) {
+  const CostModel m = P3dnModel(2);
+  EXPECT_LT(m.P2PTime(false, 1e7), m.P2PTime(true, 1e7));
+  EXPECT_GT(m.P2PTime(true, 1e8), m.P2PTime(true, 1e7));
+}
+
+TEST(CostModelTest, InterNodeBytesPerNode) {
+  const CostModel m = P3dnModel(2);
+  const GroupShape g = GroupShape::World(m.cluster());  // p=16
+  EXPECT_DOUBLE_EQ(m.InterNodeBytesPerNode(g, 160.0), 150.0);
+  auto intra = GroupShape::Partition(m.cluster(), 8);
+  ASSERT_TRUE(intra.ok());
+  EXPECT_DOUBLE_EQ(m.InterNodeBytesPerNode(intra.value(), 160.0), 0.0);
+}
+
+TEST(ClusterSpecTest, Presets) {
+  const ClusterSpec p3 = ClusterSpec::P3dn(4);
+  EXPECT_TRUE(p3.Validate().ok());
+  EXPECT_EQ(p3.world_size(), 32);
+  EXPECT_EQ(p3.gpu.memory_bytes, GiB(32));
+  EXPECT_DOUBLE_EQ(p3.inter_node_bw, 12.5e9);
+
+  const ClusterSpec p4 = ClusterSpec::P4d(2);
+  EXPECT_DOUBLE_EQ(p4.inter_node_bw, 50e9);
+  EXPECT_EQ(p4.gpu.memory_bytes, GiB(40));
+
+  const ClusterSpec dgx = ClusterSpec::DgxA100(2);
+  EXPECT_GT(dgx.inter_node_bw, p4.inter_node_bw);
+  // DGX is the "balanced" network: intra/inter gap ~3x or less, vs 10x+
+  // on p3dn (§1).
+  EXPECT_LT(dgx.intra_node_bw / dgx.inter_node_bw, 3.0);
+  EXPECT_GT(p3.intra_node_bw / p3.inter_node_bw, 10.0);
+}
+
+TEST(ClusterSpecTest, ValidationCatchesBadSpecs) {
+  ClusterSpec c = ClusterSpec::P3dn(2);
+  c.inter_node_bw = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = ClusterSpec::P3dn(2);
+  c.num_nodes = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = ClusterSpec::P3dn(2);
+  c.inter_latency = -1;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+}  // namespace
+}  // namespace mics

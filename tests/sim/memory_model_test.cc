@@ -1,0 +1,137 @@
+#include "sim/memory_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/math_util.h"
+
+namespace mics {
+namespace {
+
+MemoryInputs BaseInputs() {
+  MemoryInputs in;
+  in.total_params = 10e9;
+  in.max_layer_params = 80e6;
+  in.fp16 = true;
+  in.activation_bytes = 2e9;
+  in.gathered_layers = 3;
+  in.fragmentation_factor = 1.0;
+  return in;
+}
+
+TEST(MemoryModelTest, UnshardedMixedPrecisionIs16BytesPerParam) {
+  MemoryInputs in = BaseInputs();
+  in.activation_bytes = 0;
+  const MemoryBreakdown out = EstimateTrainingMemory(in);
+  // 2 (fp16 params) + 2 (fp16 grads) + 12 (fp32 master+moments) = 16 B.
+  EXPECT_NEAR(out.total, 16.0 * in.total_params, 1e6);
+  EXPECT_EQ(out.gathered, 0.0);
+}
+
+TEST(MemoryModelTest, FullShardingDividesStates) {
+  MemoryInputs in = BaseInputs();
+  in.param_shards = 16;
+  in.grad_shards = 16;
+  in.optimizer_shards = 16;
+  const MemoryBreakdown out = EstimateTrainingMemory(in);
+  EXPECT_NEAR(out.params, 2.0 * in.total_params / 16, 1.0);
+  EXPECT_NEAR(out.optimizer, 12.0 * in.total_params / 16, 1.0);
+  // Gathered working set appears once params are sharded: the active
+  // layer plus two prefetched layers (under the byte cap here).
+  EXPECT_NEAR(out.gathered, 2.0 * in.max_layer_params * 3, 1.0);
+  EXPECT_LT(out.total, 16.0 * in.total_params / 4);
+}
+
+TEST(MemoryModelTest, PrefetchByteCapBoundsGatheredWindow) {
+  // A 100B-class layer (~2.5GB gathered) must not triple the working set:
+  // prefetch beyond the active layer is capped in bytes.
+  MemoryInputs in = BaseInputs();
+  in.param_shards = 128;
+  in.max_layer_params = 1.26e9;
+  in.gathered_layers = 3;
+  const MemoryBreakdown out = EstimateTrainingMemory(in);
+  EXPECT_NEAR(out.gathered, 2.0 * 1.26e9 + in.prefetch_byte_cap, 1e6);
+}
+
+TEST(MemoryModelTest, ZeroStagesProgression) {
+  // ZeRO-1 < ZeRO-2 < unsharded; ZeRO-3 < ZeRO-2 (for big models).
+  MemoryInputs ddp = BaseInputs();
+  MemoryInputs z1 = BaseInputs();
+  z1.optimizer_shards = 64;
+  MemoryInputs z2 = z1;
+  z2.grad_shards = 64;
+  MemoryInputs z3 = z2;
+  z3.param_shards = 64;
+  const double t_ddp = EstimateTrainingMemory(ddp).total;
+  const double t1 = EstimateTrainingMemory(z1).total;
+  const double t2 = EstimateTrainingMemory(z2).total;
+  const double t3 = EstimateTrainingMemory(z3).total;
+  EXPECT_GT(t_ddp, t1);
+  EXPECT_GT(t1, t2);
+  EXPECT_GT(t2, t3);
+}
+
+TEST(MemoryModelTest, MicsTradesMemoryForCommunication) {
+  // §7: MiCS with a small partition group uses MORE memory per GPU than
+  // ZeRO-3 over the whole cluster — the deliberate trade.
+  MemoryInputs mics = BaseInputs();
+  mics.param_shards = 8;
+  mics.grad_shards = 8;
+  mics.optimizer_shards = 8;
+  MemoryInputs zero3 = BaseInputs();
+  zero3.param_shards = 128;
+  zero3.grad_shards = 128;
+  zero3.optimizer_shards = 128;
+  EXPECT_GT(EstimateTrainingMemory(mics).total,
+            EstimateTrainingMemory(zero3).total);
+}
+
+TEST(MemoryModelTest, Fp32TrainingUsesMoments) {
+  MemoryInputs in = BaseInputs();
+  in.fp16 = false;
+  in.activation_bytes = 0;
+  const MemoryBreakdown out = EstimateTrainingMemory(in);
+  // 4 + 4 + 8 = 16 bytes/param for fp32 Adam.
+  EXPECT_NEAR(out.params, 4.0 * in.total_params, 1.0);
+  EXPECT_NEAR(out.optimizer, 8.0 * in.total_params, 1.0);
+}
+
+TEST(MemoryModelTest, FragmentationFactorMultiplies) {
+  MemoryInputs in = BaseInputs();
+  const double base = EstimateTrainingMemory(in).total;
+  in.fragmentation_factor = 1.25;
+  EXPECT_NEAR(EstimateTrainingMemory(in).total, base * 1.25, 1e3);
+}
+
+TEST(MemoryModelTest, PaperExample10BTakes160GB) {
+  // §3.2: "a model with 10 billion parameters takes about 160GB of memory
+  // when training with Adam using mixed-precision", i.e. partitioning
+  // across 8 V100-32GB is "already more than enough".
+  MemoryInputs in;
+  in.total_params = 10e9;
+  in.fp16 = true;
+  const MemoryBreakdown out = EstimateTrainingMemory(in);
+  EXPECT_NEAR(out.total / 1e9, 160.0, 1.0);
+  // Sharded 8 ways the states alone fit comfortably in 8x32GB.
+  in.param_shards = in.grad_shards = in.optimizer_shards = 8;
+  in.max_layer_params = 80e6;
+  EXPECT_LT(EstimateTrainingMemory(in).total, 32.0 * 1e9);
+}
+
+TEST(MemoryModelTest, ToStringMentionsCategories) {
+  const MemoryBreakdown out = EstimateTrainingMemory(BaseInputs());
+  const std::string s = out.ToString();
+  EXPECT_NE(s.find("params="), std::string::npos);
+  EXPECT_NE(s.find("total="), std::string::npos);
+}
+
+TEST(MemoryModelDeathTest, InvalidShardsDie) {
+  MemoryInputs in = BaseInputs();
+  in.param_shards = 0;
+  EXPECT_DEATH(EstimateTrainingMemory(in), "Check failed");
+  in = BaseInputs();
+  in.fragmentation_factor = 0.5;
+  EXPECT_DEATH(EstimateTrainingMemory(in), "Check failed");
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,161 @@
+#include "tensor/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/math_util.h"
+
+namespace mics {
+namespace {
+
+TEST(CachingAllocatorTest, AllocateAndFree) {
+  CachingAllocator alloc(KiB(64), 64);
+  auto b = alloc.Allocate(1000);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().size, AlignUp(1000, 64));
+  EXPECT_EQ(alloc.stats().allocated, b.value().size);
+  ASSERT_TRUE(alloc.Free(b.value()).ok());
+  EXPECT_EQ(alloc.stats().allocated, 0);
+  EXPECT_EQ(alloc.stats().largest_free_extent, KiB(64));
+}
+
+TEST(CachingAllocatorTest, RejectsNonPositiveSize) {
+  CachingAllocator alloc(KiB(4));
+  EXPECT_TRUE(alloc.Allocate(0).status().IsInvalidArgument());
+  EXPECT_TRUE(alloc.Allocate(-5).status().IsInvalidArgument());
+}
+
+TEST(CachingAllocatorTest, DoubleFreeRejected) {
+  CachingAllocator alloc(KiB(4));
+  auto b = alloc.Allocate(512);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(alloc.Free(b.value()).ok());
+  EXPECT_TRUE(alloc.Free(b.value()).IsInvalidArgument());
+}
+
+TEST(CachingAllocatorTest, OomWhenFull) {
+  CachingAllocator alloc(KiB(4), 64);
+  auto b = alloc.Allocate(KiB(4));
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(alloc.Allocate(64).status().IsOutOfMemory());
+  EXPECT_EQ(alloc.stats().failed_allocs, 1);
+}
+
+TEST(CachingAllocatorTest, FragmentationBlocksLargeAllocDespiteFreeSpace) {
+  // Fill with 8 blocks of 1KiB, free the even ones: 4KiB total free but
+  // the largest hole is 1KiB -> a 2KiB request must fail. This is the
+  // exact failure mode the paper's memory defragmentation (§4) targets.
+  CachingAllocator alloc(KiB(8), 64);
+  std::vector<MemBlock> blocks;
+  for (int i = 0; i < 8; ++i) {
+    auto b = alloc.Allocate(KiB(1));
+    ASSERT_TRUE(b.ok());
+    blocks.push_back(b.value());
+  }
+  for (int i = 0; i < 8; i += 2) {
+    ASSERT_TRUE(alloc.Free(blocks[static_cast<size_t>(i)]).ok());
+  }
+  EXPECT_EQ(alloc.stats().allocated, KiB(4));
+  EXPECT_EQ(alloc.stats().largest_free_extent, KiB(1));
+  EXPECT_GT(alloc.stats().FragmentationRatio(), 0.7);
+  EXPECT_TRUE(alloc.Allocate(KiB(2)).status().IsOutOfMemory());
+}
+
+TEST(CachingAllocatorTest, CoalescingMergesAdjacentHoles) {
+  CachingAllocator alloc(KiB(8), 64);
+  auto a = alloc.Allocate(KiB(2));
+  auto b = alloc.Allocate(KiB(2));
+  auto c = alloc.Allocate(KiB(2));
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(alloc.Free(a.value()).ok());
+  ASSERT_TRUE(alloc.Free(b.value()).ok());
+  // a and b merge with each other (and not with the tail, blocked by c).
+  EXPECT_EQ(alloc.stats().largest_free_extent, KiB(4));
+  ASSERT_TRUE(alloc.Free(c.value()).ok());
+  EXPECT_EQ(alloc.stats().largest_free_extent, KiB(8));
+  EXPECT_EQ(alloc.stats().FragmentationRatio(), 0.0);
+}
+
+TEST(CachingAllocatorTest, PeakTracksHighWater) {
+  CachingAllocator alloc(KiB(8), 64);
+  auto a = alloc.Allocate(KiB(3));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(alloc.Free(a.value()).ok());
+  auto b = alloc.Allocate(KiB(1));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(alloc.stats().peak_allocated, KiB(3));
+}
+
+TEST(CachingAllocatorTest, ReusesFreedSpaceFirstFit) {
+  CachingAllocator alloc(KiB(4), 64);
+  auto a = alloc.Allocate(KiB(1));
+  ASSERT_TRUE(a.ok());
+  const int64_t off = a.value().offset;
+  ASSERT_TRUE(alloc.Free(a.value()).ok());
+  auto b = alloc.Allocate(KiB(1));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().offset, off);
+}
+
+TEST(ArenaAllocatorTest, RegionsBumpAndReset) {
+  ArenaAllocator arena(KiB(16), {{"params", KiB(8)}, {"temp", KiB(4)}});
+  auto a = arena.AllocateFrom("params", KiB(3));
+  auto b = arena.AllocateFrom("params", KiB(3));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(b.value().offset, a.value().offset + KiB(3));
+  auto avail = arena.RegionAvailable("params");
+  ASSERT_TRUE(avail.ok());
+  EXPECT_EQ(avail.value(), KiB(2));
+  ASSERT_TRUE(arena.ResetRegion("params").ok());
+  EXPECT_EQ(arena.RegionAvailable("params").value(), KiB(8));
+}
+
+TEST(ArenaAllocatorTest, RegionExhaustionIsOom) {
+  ArenaAllocator arena(KiB(8), {{"temp", KiB(2)}});
+  ASSERT_TRUE(arena.AllocateFrom("temp", KiB(2)).ok());
+  EXPECT_TRUE(arena.AllocateFrom("temp", 64).status().IsOutOfMemory());
+}
+
+TEST(ArenaAllocatorTest, UnknownRegionIsNotFound) {
+  ArenaAllocator arena(KiB(8), {{"temp", KiB(2)}});
+  EXPECT_TRUE(arena.AllocateFrom("nope", 64).status().IsNotFound());
+  EXPECT_TRUE(arena.ResetRegion("nope").IsNotFound());
+  EXPECT_TRUE(arena.RegionAvailable("nope").status().IsNotFound());
+}
+
+TEST(ArenaAllocatorTest, DefaultAllocateUsesTempRegion) {
+  ArenaAllocator arena(KiB(8), {{"temp", KiB(2)}});
+  auto b = arena.Allocate(KiB(1));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(arena.RegionAvailable("temp").value(), KiB(1));
+  // Free is a no-op in a bump arena (space returns on reset).
+  ASSERT_TRUE(arena.Free(b.value()).ok());
+  EXPECT_EQ(arena.RegionAvailable("temp").value(), KiB(1));
+}
+
+TEST(ArenaAllocatorTest, NeverFragments) {
+  // The same interleaved alloc/free pattern that fragments the caching
+  // allocator leaves the arena with one contiguous tail per region.
+  ArenaAllocator arena(KiB(16), {{"temp", KiB(8)}});
+  for (int round = 0; round < 4; ++round) {
+    std::vector<MemBlock> blocks;
+    for (int i = 0; i < 8; ++i) {
+      auto b = arena.AllocateFrom("temp", KiB(1));
+      ASSERT_TRUE(b.ok());
+      blocks.push_back(b.value());
+    }
+    for (int i = 0; i < 8; i += 2) {
+      ASSERT_TRUE(arena.Free(blocks[static_cast<size_t>(i)]).ok());
+    }
+    ASSERT_TRUE(arena.ResetRegion("temp").ok());
+  }
+  auto stats = arena.stats();
+  EXPECT_EQ(stats.largest_free_extent, KiB(8));
+}
+
+TEST(ArenaAllocatorDeathTest, RegionsExceedingCapacityDie) {
+  EXPECT_DEATH(ArenaAllocator(KiB(4), {{"a", KiB(3)}, {"b", KiB(2)}}),
+               "exceed");
+}
+
+}  // namespace
+}  // namespace mics

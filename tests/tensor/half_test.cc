@@ -1,0 +1,121 @@
+#include "tensor/half.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace mics {
+namespace {
+
+TEST(HalfTest, KnownValues) {
+  EXPECT_EQ(FloatToHalf(0.0f), 0x0000);
+  EXPECT_EQ(FloatToHalf(-0.0f), 0x8000);
+  EXPECT_EQ(FloatToHalf(1.0f), 0x3c00);
+  EXPECT_EQ(FloatToHalf(-1.0f), 0xbc00);
+  EXPECT_EQ(FloatToHalf(2.0f), 0x4000);
+  EXPECT_EQ(FloatToHalf(0.5f), 0x3800);
+  EXPECT_EQ(FloatToHalf(65504.0f), 0x7bff);  // max finite half
+}
+
+TEST(HalfTest, KnownValuesBack) {
+  EXPECT_EQ(HalfToFloat(0x3c00), 1.0f);
+  EXPECT_EQ(HalfToFloat(0xc000), -2.0f);
+  EXPECT_EQ(HalfToFloat(0x7bff), 65504.0f);
+  EXPECT_EQ(HalfToFloat(0x0001), std::ldexp(1.0f, -24));  // min subnormal
+  EXPECT_EQ(HalfToFloat(0x0400), std::ldexp(1.0f, -14));  // min normal
+}
+
+TEST(HalfTest, OverflowGoesToInfinity) {
+  EXPECT_EQ(FloatToHalf(1e6f), 0x7c00);
+  EXPECT_EQ(FloatToHalf(-1e6f), 0xfc00);
+  EXPECT_TRUE(std::isinf(HalfToFloat(0x7c00)));
+}
+
+TEST(HalfTest, NanPreserved) {
+  const uint16_t h = FloatToHalf(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(HalfToFloat(h)));
+}
+
+TEST(HalfTest, InfinityPreserved) {
+  const uint16_t h = FloatToHalf(std::numeric_limits<float>::infinity());
+  EXPECT_EQ(h, 0x7c00);
+  EXPECT_TRUE(std::isinf(HalfToFloat(h)));
+}
+
+TEST(HalfTest, TinyValuesFlushTowardZeroOrSubnormal) {
+  // Below half's min subnormal: rounds to zero.
+  EXPECT_EQ(FloatToHalf(1e-9f), 0x0000);
+  EXPECT_EQ(FloatToHalf(-1e-9f), 0x8000);
+  // Representable subnormal survives.
+  const float sub = std::ldexp(1.0f, -20);
+  EXPECT_NEAR(HalfToFloat(FloatToHalf(sub)), sub, sub * 0.01f);
+}
+
+TEST(HalfTest, RoundTripAllHalfBitPatterns) {
+  // Every finite half converts to float and back exactly.
+  for (uint32_t bits = 0; bits <= 0xffff; ++bits) {
+    const uint16_t h = static_cast<uint16_t>(bits);
+    const uint32_t exp = (h >> 10) & 0x1f;
+    if (exp == 0x1f) continue;  // skip inf/nan
+    const float f = HalfToFloat(h);
+    EXPECT_EQ(FloatToHalf(f), h) << "bits=" << bits << " f=" << f;
+  }
+}
+
+TEST(HalfTest, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half; round to
+  // even keeps 1.0. 1 + 3*2^-11 rounds up to 1 + 2^-9... check both.
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(FloatToHalf(halfway), 0x3c00);  // ties to even: stays 1.0
+  const float above = 1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -13);
+  EXPECT_EQ(FloatToHalf(above), 0x3c01);
+}
+
+class HalfRoundTripTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(HalfRoundTripTest, RelativeErrorWithinHalfPrecision) {
+  const float f = GetParam();
+  const float back = HalfToFloat(FloatToHalf(f));
+  // Half has a 10-bit mantissa: eps = 2^-10.
+  EXPECT_NEAR(back, f, std::fabs(f) * 0x1.0p-10 + 1e-7f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HalfRoundTripTest,
+                         ::testing::Values(0.1f, -0.1f, 3.14159f, 100.0f,
+                                           -1234.5f, 0.001f, 1e4f, -6e4f,
+                                           1.0f / 3.0f, 2.718281f));
+
+TEST(Bfloat16Test, KnownValues) {
+  EXPECT_EQ(FloatToBfloat16(1.0f), 0x3f80);
+  EXPECT_EQ(FloatToBfloat16(-2.0f), 0xc000);
+  EXPECT_EQ(Bfloat16ToFloat(0x3f80), 1.0f);
+}
+
+TEST(Bfloat16Test, RoundTripPreservesTopBits) {
+  for (float f : {0.5f, 3.25f, -7.0f, 1024.0f}) {
+    EXPECT_EQ(Bfloat16ToFloat(FloatToBfloat16(f)), f);
+  }
+}
+
+TEST(Bfloat16Test, NanPreserved) {
+  const uint16_t b = FloatToBfloat16(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(Bfloat16ToFloat(b)));
+}
+
+TEST(Bfloat16Test, WideRangeSurvives) {
+  // bf16 keeps float's exponent range: 1e30 must not overflow.
+  const float f = 1e30f;
+  const float back = Bfloat16ToFloat(FloatToBfloat16(f));
+  EXPECT_NEAR(back, f, f * 0.01f);
+}
+
+TEST(HalfClassTest, WrapperBasics) {
+  Half h(1.5f);
+  EXPECT_EQ(h.ToFloat(), 1.5f);
+  EXPECT_EQ(Half::FromBits(h.bits()), h);
+  EXPECT_EQ(Half().ToFloat(), 0.0f);
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,164 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/half.h"
+#include "util/random.h"
+
+namespace mics {
+namespace {
+
+TEST(TensorTest, ConstructionZeroInitialized) {
+  Tensor t({4, 3}, DType::kF32);
+  EXPECT_EQ(t.numel(), 12);
+  EXPECT_EQ(t.nbytes(), 48);
+  EXPECT_EQ(t.dtype(), DType::kF32);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.At(i), 0.0f);
+}
+
+TEST(TensorTest, EmptyTensor) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.data(), nullptr);
+}
+
+TEST(TensorTest, SetAndAt) {
+  Tensor t({5}, DType::kF32);
+  t.Set(2, 3.5f);
+  EXPECT_EQ(t.At(2), 3.5f);
+  EXPECT_EQ(t.f32()[2], 3.5f);
+}
+
+TEST(TensorTest, F16SetAtQuantizes) {
+  Tensor t({2}, DType::kF16);
+  t.Set(0, 1.0f);
+  t.Set(1, 0.1f);
+  EXPECT_EQ(t.At(0), 1.0f);
+  EXPECT_NEAR(t.At(1), 0.1f, 1e-4f);
+  EXPECT_EQ(t.nbytes(), 4);
+}
+
+TEST(TensorTest, ViewSharesMemory) {
+  Tensor owner({8}, DType::kF32);
+  Tensor view = Tensor::View(owner.data(), {8}, DType::kF32);
+  EXPECT_TRUE(view.is_view());
+  view.Set(3, 9.0f);
+  EXPECT_EQ(owner.At(3), 9.0f);
+}
+
+TEST(TensorTest, SliceIsViewIntoParent) {
+  Tensor t({10}, DType::kF32);
+  Tensor s = t.Slice(4, 3);
+  EXPECT_EQ(s.numel(), 3);
+  s.Set(0, 7.0f);
+  EXPECT_EQ(t.At(4), 7.0f);
+}
+
+TEST(TensorDeathTest, SliceOutOfRangeDies) {
+  Tensor t({10}, DType::kF32);
+  EXPECT_DEATH(t.Slice(8, 4), "Check failed");
+}
+
+TEST(TensorTest, CopyIsDeepForOwners) {
+  Tensor a({4}, DType::kF32);
+  a.Fill(2.0f);
+  Tensor b = a;
+  b.Set(0, 5.0f);
+  EXPECT_EQ(a.At(0), 2.0f);
+  EXPECT_EQ(b.At(0), 5.0f);
+}
+
+TEST(TensorTest, FillAndFillZero) {
+  Tensor t({6}, DType::kF32);
+  t.Fill(1.25f);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.At(i), 1.25f);
+  t.FillZero();
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.At(i), 0.0f);
+}
+
+TEST(TensorTest, FillNormalProducesSpread) {
+  Rng rng(5);
+  Tensor t({1000}, DType::kF32);
+  t.FillNormal(&rng, 1.0f);
+  double sq = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) sq += t.At(i) * t.At(i);
+  EXPECT_NEAR(sq / t.numel(), 1.0, 0.2);
+}
+
+TEST(TensorTest, AddElementwise) {
+  Tensor a({3}, DType::kF32);
+  Tensor b({3}, DType::kF32);
+  a.Fill(1.0f);
+  b.Fill(2.5f);
+  ASSERT_TRUE(a.Add(b).ok());
+  EXPECT_EQ(a.At(1), 3.5f);
+}
+
+TEST(TensorTest, AddRejectsMismatch) {
+  Tensor a({3}, DType::kF32);
+  Tensor b({4}, DType::kF32);
+  EXPECT_TRUE(a.Add(b).IsInvalidArgument());
+  Tensor c({3}, DType::kF16);
+  EXPECT_TRUE(a.Add(c).IsInvalidArgument());
+}
+
+TEST(TensorTest, Scale) {
+  Tensor a({3}, DType::kF32);
+  a.Fill(2.0f);
+  a.Scale(0.5f);
+  EXPECT_EQ(a.At(0), 1.0f);
+}
+
+TEST(TensorTest, CastF32ToF16AndBack) {
+  Tensor a({4}, DType::kF32);
+  a.Set(0, 1.0f);
+  a.Set(1, -2.0f);
+  a.Set(2, 0.333f);
+  a.Set(3, 100.0f);
+  auto h = a.Cast(DType::kF16);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().dtype(), DType::kF16);
+  auto back = h.value().Cast(DType::kF32);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().At(0), 1.0f);
+  EXPECT_NEAR(back.value().At(2), 0.333f, 1e-3f);
+}
+
+TEST(TensorTest, CopyFromChecksShape) {
+  Tensor a({4}, DType::kF32);
+  Tensor b({4}, DType::kF32);
+  b.Fill(3.0f);
+  ASSERT_TRUE(a.CopyFrom(b).ok());
+  EXPECT_EQ(a.At(2), 3.0f);
+  Tensor c({5}, DType::kF32);
+  EXPECT_TRUE(a.CopyFrom(c).IsInvalidArgument());
+}
+
+TEST(TensorTest, MaxAbsDiff) {
+  Tensor a({3}, DType::kF32);
+  Tensor b({3}, DType::kF32);
+  a.Set(1, 1.0f);
+  b.Set(1, -1.0f);
+  auto d = Tensor::MaxAbsDiff(a, b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), 2.0f);
+  Tensor c({2}, DType::kF32);
+  EXPECT_FALSE(Tensor::MaxAbsDiff(a, c).ok());
+}
+
+TEST(TensorTest, I32Access) {
+  Tensor t({3}, DType::kI32);
+  t.i32()[1] = 42;
+  EXPECT_EQ(t.At(1), 42.0f);
+  t.Set(2, 7.0f);
+  EXPECT_EQ(t.i32()[2], 7);
+}
+
+TEST(TensorTest, NumelOfComputesProduct) {
+  EXPECT_EQ(NumelOf({2, 3, 4}), 24);
+  EXPECT_EQ(NumelOf({}), 1);
+  EXPECT_EQ(NumelOf({0, 5}), 0);
+}
+
+}  // namespace
+}  // namespace mics

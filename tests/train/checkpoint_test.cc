@@ -1,0 +1,187 @@
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "train/sharded_data_parallel.h"
+#include "train/trainer.h"
+#include "util/random.h"
+
+namespace mics {
+namespace {
+
+Status FillInit(Tensor* full) {
+  Rng rng(4321);
+  full->FillNormal(&rng, 0.5f);
+  return Status::OK();
+}
+
+std::string TempDir(const char* tag) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("mics_ckpt_" + std::string(tag));
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+TEST(AdamStateTest, SaveLoadRoundTrip) {
+  AdamOptimizer a(8, {});
+  Tensor w({8}, DType::kF32);
+  Tensor g({8}, DType::kF32);
+  g.Fill(0.3f);
+  ASSERT_TRUE(a.Step(&w, g).ok());
+  ASSERT_TRUE(a.Step(&w, g).ok());
+
+  std::stringstream buf;
+  ASSERT_TRUE(a.SaveState(buf).ok());
+  AdamOptimizer b(8, {});
+  ASSERT_TRUE(b.LoadState(buf).ok());
+  EXPECT_EQ(b.step_count(), 2);
+
+  // Both must produce identical updates from here on.
+  Tensor wa = w;
+  Tensor wb = w;
+  ASSERT_TRUE(a.Step(&wa, g).ok());
+  ASSERT_TRUE(b.Step(&wb, g).ok());
+  EXPECT_EQ(Tensor::MaxAbsDiff(wa, wb).ValueOrDie(), 0.0f);
+}
+
+TEST(AdamStateTest, SizeMismatchRejected) {
+  AdamOptimizer a(8, {});
+  std::stringstream buf;
+  ASSERT_TRUE(a.SaveState(buf).ok());
+  AdamOptimizer b(9, {});
+  EXPECT_TRUE(b.LoadState(buf).IsInvalidArgument());
+}
+
+/// Runs `iters` deterministic iterations; optionally saves at `save_at`
+/// and returns final rank-0 full parameters.
+Result<std::vector<float>> RunWithCheckpoint(const std::string& dir,
+                                             int iters, int save_at,
+                                             bool load_first) {
+  const int world_size = 4;
+  RankTopology topo{world_size, 2};
+  World world(world_size);
+  std::vector<float> final_params;
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    SdpOptions opts;
+    opts.strategy = Strategy::kMiCS;
+    opts.partition_group_size = 2;
+    MICS_ASSIGN_OR_RETURN(auto sdp, ShardedDataParallel::Create(
+                                        &world, topo, opts, 37, rank));
+    MICS_RETURN_NOT_OK(sdp->InitParameters(FillInit));
+    int start = 0;
+    if (load_first) {
+      MICS_RETURN_NOT_OK(sdp->LoadCheckpoint(dir));
+      start = sdp->completed_iterations();
+    }
+    for (int iter = start; iter < iters; ++iter) {
+      for (int m = 0; m < 2; ++m) {
+        MICS_RETURN_NOT_OK(sdp->GatherParams());
+        Tensor* g = sdp->micro_grads();
+        for (int64_t i = 0; i < 37; ++i) {
+          g->Set(i, 0.01f * (rank + 1) * ((i + iter + m) % 7));
+        }
+        MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+      }
+      MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
+      if (!load_first && iter + 1 == save_at) {
+        MICS_RETURN_NOT_OK(sdp->SaveCheckpoint(dir));
+      }
+    }
+    MICS_RETURN_NOT_OK(sdp->GatherParams());
+    if (rank == 0) {
+      final_params.resize(37);
+      for (int64_t i = 0; i < 37; ++i) {
+        final_params[static_cast<size_t>(i)] = sdp->full_params()->At(i);
+      }
+    }
+    return Status::OK();
+  });
+  MICS_RETURN_NOT_OK(st);
+  return final_params;
+}
+
+TEST(CheckpointTest, ResumeReproducesUninterruptedRun) {
+  const std::string dir = TempDir("resume");
+  // Uninterrupted 6 iterations, saving at iteration 3.
+  auto full = RunWithCheckpoint(dir, 6, 3, false);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  // Fresh engines resume from the checkpoint and run the remaining 3.
+  auto resumed = RunWithCheckpoint(dir, 6, -1, true);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  for (size_t i = 0; i < full.value().size(); ++i) {
+    EXPECT_EQ(full.value()[i], resumed.value()[i]) << i;  // bitwise
+  }
+}
+
+TEST(CheckpointTest, TopologyMismatchRejected) {
+  const std::string dir = TempDir("mismatch");
+  // Save under p=2.
+  ASSERT_TRUE(RunWithCheckpoint(dir, 2, 2, false).ok());
+  // Attempt to load under p=4.
+  const int world_size = 4;
+  RankTopology topo{world_size, 2};
+  World world(world_size);
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    SdpOptions opts;
+    opts.strategy = Strategy::kMiCS;
+    opts.partition_group_size = 4;
+    MICS_ASSIGN_OR_RETURN(auto sdp, ShardedDataParallel::Create(
+                                        &world, topo, opts, 37, rank));
+    MICS_RETURN_NOT_OK(sdp->InitParameters(FillInit));
+    Status s = sdp->LoadCheckpoint(dir);
+    if (!s.IsInvalidArgument()) {
+      return Status::Internal("expected topology mismatch, got " +
+                              s.ToString());
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(CheckpointTest, MissingCheckpointIsNotFound) {
+  const int world_size = 2;
+  RankTopology topo{world_size, 2};
+  World world(world_size);
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    SdpOptions opts;
+    opts.strategy = Strategy::kDDP;
+    MICS_ASSIGN_OR_RETURN(auto sdp, ShardedDataParallel::Create(
+                                        &world, topo, opts, 16, rank));
+    MICS_RETURN_NOT_OK(sdp->InitParameters(FillInit));
+    Status s = sdp->LoadCheckpoint("/nonexistent/dir");
+    if (!s.IsNotFound()) return Status::Internal("expected NotFound");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(CheckpointTest, SaveMidIterationRefused) {
+  const int world_size = 2;
+  RankTopology topo{world_size, 2};
+  World world(world_size);
+  const std::string dir = TempDir("midstep");
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    SdpOptions opts;
+    opts.strategy = Strategy::kMiCS;
+    opts.partition_group_size = 2;
+    MICS_ASSIGN_OR_RETURN(auto sdp, ShardedDataParallel::Create(
+                                        &world, topo, opts, 16, rank));
+    MICS_RETURN_NOT_OK(sdp->InitParameters(FillInit));
+    MICS_RETURN_NOT_OK(sdp->GatherParams());
+    sdp->micro_grads()->Fill(0.1f);
+    MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+    Status s = sdp->SaveCheckpoint(dir);
+    if (!s.IsFailedPrecondition()) {
+      return Status::Internal("expected FailedPrecondition");
+    }
+    MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
+    return sdp->SaveCheckpoint(dir);
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,86 @@
+#include "train/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace mics {
+namespace {
+
+SyntheticClassificationDataset::Config SmallConfig() {
+  SyntheticClassificationDataset::Config c;
+  c.input_dim = 8;
+  c.classes = 3;
+  return c;
+}
+
+TEST(DatasetTest, SampleShapes) {
+  SyntheticClassificationDataset ds(SmallConfig(), 1);
+  Tensor x;
+  std::vector<int32_t> y;
+  ASSERT_TRUE(ds.Sample(0, 0, 16, &x, &y).ok());
+  EXPECT_EQ(x.shape(), (std::vector<int64_t>{16, 8}));
+  EXPECT_EQ(y.size(), 16u);
+  for (int32_t label : y) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 3);
+  }
+}
+
+TEST(DatasetTest, DeterministicForSameKey) {
+  SyntheticClassificationDataset ds(SmallConfig(), 9);
+  Tensor x1, x2;
+  std::vector<int32_t> y1, y2;
+  ASSERT_TRUE(ds.Sample(5, 2, 8, &x1, &y1).ok());
+  ASSERT_TRUE(ds.Sample(5, 2, 8, &x2, &y2).ok());
+  EXPECT_EQ(y1, y2);
+  EXPECT_EQ(Tensor::MaxAbsDiff(x1, x2).ValueOrDie(), 0.0f);
+}
+
+TEST(DatasetTest, DifferentStepsAndRanksDiffer) {
+  SyntheticClassificationDataset ds(SmallConfig(), 9);
+  Tensor a, b, c;
+  std::vector<int32_t> ya, yb, yc;
+  ASSERT_TRUE(ds.Sample(0, 0, 8, &a, &ya).ok());
+  ASSERT_TRUE(ds.Sample(1, 0, 8, &b, &yb).ok());
+  ASSERT_TRUE(ds.Sample(0, 1, 8, &c, &yc).ok());
+  EXPECT_GT(Tensor::MaxAbsDiff(a, b).ValueOrDie(), 0.0f);
+  EXPECT_GT(Tensor::MaxAbsDiff(a, c).ValueOrDie(), 0.0f);
+}
+
+TEST(DatasetTest, SamplesClusterAroundCenters) {
+  SyntheticClassificationDataset::Config cfg = SmallConfig();
+  cfg.cluster_stddev = 0.1f;
+  SyntheticClassificationDataset ds(cfg, 3);
+  Tensor x;
+  std::vector<int32_t> y;
+  ASSERT_TRUE(ds.Sample(0, 0, 64, &x, &y).ok());
+  for (int64_t i = 0; i < 64; ++i) {
+    const float* row = x.f32() + i * cfg.input_dim;
+    const float* center =
+        ds.centers().data() + y[static_cast<size_t>(i)] * cfg.input_dim;
+    for (int64_t j = 0; j < cfg.input_dim; ++j) {
+      EXPECT_NEAR(row[j], center[j], 0.6f);
+    }
+  }
+}
+
+TEST(DatasetTest, InvalidArgsRejected) {
+  SyntheticClassificationDataset ds(SmallConfig(), 1);
+  Tensor x;
+  std::vector<int32_t> y;
+  EXPECT_TRUE(ds.Sample(0, 0, 0, &x, &y).IsInvalidArgument());
+  EXPECT_TRUE(ds.Sample(0, 0, 4, nullptr, &y).IsInvalidArgument());
+  EXPECT_TRUE(ds.Sample(0, 0, 4, &x, nullptr).IsInvalidArgument());
+}
+
+TEST(DatasetTest, DifferentSeedsGiveDifferentCenters) {
+  SyntheticClassificationDataset a(SmallConfig(), 1);
+  SyntheticClassificationDataset b(SmallConfig(), 2);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.centers().size(); ++i) {
+    if (a.centers()[i] != b.centers()[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace mics

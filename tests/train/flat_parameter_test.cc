@@ -1,0 +1,65 @@
+#include "train/flat_parameter.h"
+
+#include <gtest/gtest.h>
+
+namespace mics {
+namespace {
+
+TEST(FlatParameterTest, ExactDivision) {
+  auto f = FlatParameter::Create(100, 4, 1);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value().numel(), 100);
+  EXPECT_EQ(f.value().padded_numel(), 100);
+  EXPECT_EQ(f.value().shard_numel(), 25);
+  EXPECT_EQ(f.value().shard_offset(), 25);
+}
+
+TEST(FlatParameterTest, PadsToShardMultiple) {
+  auto f = FlatParameter::Create(10, 4, 3);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value().padded_numel(), 12);
+  EXPECT_EQ(f.value().shard_numel(), 3);
+  EXPECT_EQ(f.value().shard_offset(), 9);
+}
+
+TEST(FlatParameterTest, SingleShardIsWholeBuffer) {
+  auto f = FlatParameter::Create(17, 1, 0);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value().shard_numel(), 17);
+  EXPECT_EQ(f.value().shard_offset(), 0);
+}
+
+TEST(FlatParameterTest, ShardViewAliasesFullBuffer) {
+  auto f = FlatParameter::Create(8, 2, 1);
+  ASSERT_TRUE(f.ok());
+  Tensor full({8}, DType::kF32);
+  Tensor view = f.value().ShardView(&full);
+  EXPECT_EQ(view.numel(), 4);
+  view.Set(0, 9.0f);
+  EXPECT_EQ(full.At(4), 9.0f);
+}
+
+TEST(FlatParameterTest, InvalidInputsRejected) {
+  EXPECT_FALSE(FlatParameter::Create(0, 2, 0).ok());
+  EXPECT_FALSE(FlatParameter::Create(10, 0, 0).ok());
+  EXPECT_FALSE(FlatParameter::Create(10, 2, 2).ok());
+  EXPECT_FALSE(FlatParameter::Create(10, 2, -1).ok());
+}
+
+TEST(FlatParameterTest, ShardsTileThePaddedBuffer) {
+  const int64_t numel = 31;
+  const int shards = 8;
+  int64_t covered = 0;
+  for (int i = 0; i < shards; ++i) {
+    auto f = FlatParameter::Create(numel, shards, i);
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ(f.value().shard_offset(), covered);
+    covered += f.value().shard_numel();
+  }
+  auto f0 = FlatParameter::Create(numel, shards, 0);
+  EXPECT_EQ(covered, f0.value().padded_numel());
+  EXPECT_GE(f0.value().padded_numel(), numel);
+}
+
+}  // namespace
+}  // namespace mics

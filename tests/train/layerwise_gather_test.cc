@@ -1,0 +1,186 @@
+#include "train/layerwise_gather.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/world.h"
+#include "util/random.h"
+
+namespace mics {
+namespace {
+
+/// Runs `fn(rank, manager, groups)` on a 4-rank world with p = 2.
+Status RunWithManager(
+    int prefetch,
+    const std::function<Status(int, LayerwiseGatherManager*)>& fn) {
+  RankTopology topo{4, 2};
+  World world(4);
+  return RunRanks(4, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(GroupManager groups,
+                          GroupManager::Create(&world, topo, 2, rank));
+    LayerwiseGatherManager::Options opts;
+    opts.prefetch_depth = prefetch;
+    MICS_ASSIGN_OR_RETURN(
+        LayerwiseGatherManager mgr,
+        LayerwiseGatherManager::Create(&groups, {5, 7, 3, 9, 4}, opts));
+    return fn(rank, &mgr);
+  });
+}
+
+/// Seeds segment shards so the gathered segment s has value
+/// 1000*s + global-element-index at each position.
+Status SeedShards(int rank_in_group, LayerwiseGatherManager* mgr) {
+  for (int s = 0; s < mgr->num_segments(); ++s) {
+    MICS_ASSIGN_OR_RETURN(Tensor * shard, mgr->Shard(s));
+    const int64_t per = shard->numel();
+    for (int64_t i = 0; i < per; ++i) {
+      shard->Set(i, 1000.0f * s + rank_in_group * per + i);
+    }
+  }
+  return Status::OK();
+}
+
+TEST(LayerwiseGatherTest, AcquireGathersCorrectContents) {
+  Status st = RunWithManager(0, [&](int rank, LayerwiseGatherManager* mgr) {
+    MICS_RETURN_NOT_OK(SeedShards(rank % 2, mgr));
+    for (int s = 0; s < mgr->num_segments(); ++s) {
+      MICS_ASSIGN_OR_RETURN(Tensor seg, mgr->Acquire(s));
+      if (seg.numel() != mgr->segment_numel(s)) {
+        return Status::Internal("wrong segment size");
+      }
+      for (int64_t i = 0; i < seg.numel(); ++i) {
+        if (seg.At(i) != 1000.0f * s + i) {
+          return Status::Internal("wrong gathered value at segment " +
+                                  std::to_string(s));
+        }
+      }
+      MICS_RETURN_NOT_OK(mgr->Release(s));
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(LayerwiseGatherTest, ResidencyBoundedByPrefetchWindow) {
+  Status st = RunWithManager(2, [&](int rank, LayerwiseGatherManager* mgr) {
+    MICS_RETURN_NOT_OK(SeedShards(rank % 2, mgr));
+    // Forward walk with release-after-use: at most 1 (active) + 2
+    // (prefetched) segments resident at any time.
+    for (int s = 0; s < mgr->num_segments(); ++s) {
+      MICS_ASSIGN_OR_RETURN(Tensor seg, mgr->Acquire(s));
+      (void)seg;
+      if (mgr->resident_segments() > 3) {
+        return Status::Internal("window exceeded: " +
+                                std::to_string(mgr->resident_segments()));
+      }
+      MICS_RETURN_NOT_OK(mgr->Release(s));
+    }
+    if (mgr->peak_resident_bytes() <= 0) {
+      return Status::Internal("peak not tracked");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(LayerwiseGatherTest, BackwardWalkPrefetchesDownward) {
+  Status st = RunWithManager(1, [&](int rank, LayerwiseGatherManager* mgr) {
+    MICS_RETURN_NOT_OK(SeedShards(rank % 2, mgr));
+    // Establish the backward direction, then check that acquiring
+    // segment 3 also prefetches segment 2 (resident without Acquire).
+    MICS_ASSIGN_OR_RETURN(Tensor a, mgr->Acquire(4));
+    (void)a;
+    MICS_ASSIGN_OR_RETURN(Tensor b, mgr->Acquire(3));
+    (void)b;
+    if (mgr->resident_segments() != 3) {  // 4 (kept), 3, and prefetched 2
+      return Status::Internal("expected 3 resident, got " +
+                              std::to_string(mgr->resident_segments()));
+    }
+    MICS_RETURN_NOT_OK(mgr->Release(4));
+    MICS_RETURN_NOT_OK(mgr->Release(3));
+    MICS_RETURN_NOT_OK(mgr->Release(2));  // was prefetched
+    if (mgr->resident_segments() != 0) {
+      return Status::Internal("not all released");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(LayerwiseGatherTest, DoubleReleaseRejected) {
+  Status st = RunWithManager(0, [&](int rank, LayerwiseGatherManager* mgr) {
+    MICS_RETURN_NOT_OK(SeedShards(rank % 2, mgr));
+    MICS_ASSIGN_OR_RETURN(Tensor seg, mgr->Acquire(0));
+    (void)seg;
+    MICS_RETURN_NOT_OK(mgr->Release(0));
+    Status s = mgr->Release(0);
+    if (!s.IsFailedPrecondition()) {
+      return Status::Internal("expected FailedPrecondition");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(LayerwiseGatherTest, ReacquireAfterReleaseReGathersUpdatedShard) {
+  Status st = RunWithManager(0, [&](int rank, LayerwiseGatherManager* mgr) {
+    MICS_RETURN_NOT_OK(SeedShards(rank % 2, mgr));
+    MICS_ASSIGN_OR_RETURN(Tensor before, mgr->Acquire(1));
+    const float old0 = before.At(0);
+    MICS_RETURN_NOT_OK(mgr->Release(1));
+    // Simulate an optimizer update on the shard.
+    MICS_ASSIGN_OR_RETURN(Tensor * shard, mgr->Shard(1));
+    shard->Set(0, shard->At(0) + 1.0f);
+    MICS_ASSIGN_OR_RETURN(Tensor after, mgr->Acquire(1));
+    // Rank 0's shard covers the first elements of the segment.
+    const float expect = (rank % 2 == 0) ? old0 + 1.0f : old0;
+    (void)expect;
+    if (rank % 2 == 0 && after.At(0) != old0 + 1.0f) {
+      return Status::Internal("stale gather after update");
+    }
+    MICS_RETURN_NOT_OK(mgr->Release(1));
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(LayerwiseGatherTest, CreateValidation) {
+  RankTopology topo{2, 2};
+  World world(2);
+  Status st = RunRanks(2, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(GroupManager groups,
+                          GroupManager::Create(&world, topo, 2, rank));
+    if (LayerwiseGatherManager::Create(nullptr, {4}).ok()) {
+      return Status::Internal("null groups accepted");
+    }
+    if (LayerwiseGatherManager::Create(&groups, {}).ok()) {
+      return Status::Internal("empty segments accepted");
+    }
+    if (LayerwiseGatherManager::Create(&groups, {4, 0}).ok()) {
+      return Status::Internal("zero segment accepted");
+    }
+    LayerwiseGatherManager::Options bad;
+    bad.prefetch_depth = -1;
+    if (LayerwiseGatherManager::Create(&groups, {4}, bad).ok()) {
+      return Status::Internal("negative prefetch accepted");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(LayerwiseGatherTest, IndexValidation) {
+  Status st = RunWithManager(0, [&](int rank, LayerwiseGatherManager* mgr) {
+    (void)rank;
+    if (mgr->Acquire(-1).ok()) return Status::Internal("bad index ok");
+    if (mgr->Acquire(99).ok()) return Status::Internal("bad index ok");
+    if (mgr->Shard(99).ok()) return Status::Internal("bad index ok");
+    if (mgr->Release(99).ok()) return Status::Internal("bad index ok");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,63 @@
+#include "train/lr_scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace mics {
+namespace {
+
+TEST(LrScheduleTest, ConstantIsConstant) {
+  ConstantLr lr(0.01f);
+  EXPECT_EQ(lr.LearningRate(0), 0.01f);
+  EXPECT_EQ(lr.LearningRate(1000000), 0.01f);
+}
+
+TEST(LrScheduleTest, WarmupLinearShape) {
+  auto s = WarmupLinearDecayLr::Create(1.0f, 10, 110, 0.0f).ValueOrDie();
+  // Warmup: ramps to base at step warmup-1.
+  EXPECT_NEAR(s.LearningRate(0), 0.1f, 1e-6f);
+  EXPECT_NEAR(s.LearningRate(4), 0.5f, 1e-6f);
+  EXPECT_NEAR(s.LearningRate(9), 1.0f, 1e-6f);
+  // Decay: halfway through the decay phase -> half the base.
+  EXPECT_NEAR(s.LearningRate(60), 0.5f, 1e-6f);
+  // Past the horizon -> min.
+  EXPECT_EQ(s.LearningRate(110), 0.0f);
+  EXPECT_EQ(s.LearningRate(99999), 0.0f);
+}
+
+TEST(LrScheduleTest, WarmupLinearRespectsMinLr) {
+  auto s = WarmupLinearDecayLr::Create(1.0f, 0, 100, 0.2f).ValueOrDie();
+  EXPECT_NEAR(s.LearningRate(50), 0.6f, 1e-6f);
+  EXPECT_EQ(s.LearningRate(100), 0.2f);
+}
+
+TEST(LrScheduleTest, WarmupCosineShape) {
+  auto s = WarmupCosineLr::Create(1.0f, 10, 110, 0.0f).ValueOrDie();
+  EXPECT_NEAR(s.LearningRate(0), 0.1f, 1e-6f);
+  EXPECT_NEAR(s.LearningRate(9), 1.0f, 1e-6f);
+  // Halfway through the cosine -> half the base.
+  EXPECT_NEAR(s.LearningRate(60), 0.5f, 1e-5f);
+  EXPECT_NEAR(s.LearningRate(110), 0.0f, 1e-6f);
+  // Cosine decays slower than linear early on.
+  auto lin = WarmupLinearDecayLr::Create(1.0f, 10, 110, 0.0f).ValueOrDie();
+  EXPECT_GT(s.LearningRate(30), lin.LearningRate(30));
+}
+
+TEST(LrScheduleTest, MonotoneDecayAfterWarmup) {
+  auto s = WarmupCosineLr::Create(0.5f, 5, 50, 0.0f).ValueOrDie();
+  float prev = 1e9f;
+  for (int64_t step = 5; step < 50; ++step) {
+    const float lr = s.LearningRate(step);
+    EXPECT_LE(lr, prev);
+    prev = lr;
+  }
+}
+
+TEST(LrScheduleTest, ValidationRejectsBadArgs) {
+  EXPECT_FALSE(WarmupLinearDecayLr::Create(0.0f, 1, 10).ok());
+  EXPECT_FALSE(WarmupLinearDecayLr::Create(1.0f, 20, 10).ok());
+  EXPECT_FALSE(WarmupLinearDecayLr::Create(1.0f, 1, 10, 2.0f).ok());
+  EXPECT_FALSE(WarmupCosineLr::Create(1.0f, -1, 10).ok());
+}
+
+}  // namespace
+}  // namespace mics

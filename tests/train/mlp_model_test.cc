@@ -1,0 +1,174 @@
+#include "train/mlp_model.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "train/optimizer.h"
+#include "util/random.h"
+
+namespace mics {
+namespace {
+
+MlpModel::Config TinyConfig() {
+  MlpModel::Config c;
+  c.input_dim = 5;
+  c.hidden = 7;
+  c.classes = 3;
+  return c;
+}
+
+TEST(MlpModelTest, NumParams) {
+  MlpModel m(TinyConfig());
+  EXPECT_EQ(m.NumParams(), 5 * 7 + 7 + 7 * 3 + 3);
+}
+
+TEST(MlpModelTest, RequiresBindingBeforeUse) {
+  MlpModel m(TinyConfig());
+  Tensor x({2, 5}, DType::kF32);
+  std::vector<int32_t> y{0, 1};
+  EXPECT_TRUE(m.Loss(x, y).status().IsFailedPrecondition());
+  Rng rng(1);
+  EXPECT_TRUE(m.InitParameters(&rng).IsFailedPrecondition());
+}
+
+TEST(MlpModelTest, BindValidatesBuffers) {
+  MlpModel m(TinyConfig());
+  Tensor small({5}, DType::kF32);
+  Tensor grads({m.NumParams()}, DType::kF32);
+  EXPECT_TRUE(m.BindParameters(&small, &grads).IsInvalidArgument());
+  Tensor f16({m.NumParams()}, DType::kF16);
+  EXPECT_TRUE(m.BindParameters(&f16, &grads).IsInvalidArgument());
+}
+
+TEST(MlpModelTest, UniformLogitsGiveLogCLoss) {
+  // With zero weights every class gets probability 1/C.
+  MlpModel m(TinyConfig());
+  Tensor params({m.NumParams()}, DType::kF32);
+  Tensor grads({m.NumParams()}, DType::kF32);
+  ASSERT_TRUE(m.BindParameters(&params, &grads).ok());
+  Tensor x({4, 5}, DType::kF32);
+  Rng rng(3);
+  x.FillNormal(&rng, 1.0f);
+  std::vector<int32_t> y{0, 1, 2, 0};
+  auto loss = m.Loss(x, y);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_NEAR(loss.value(), std::log(3.0f), 1e-5f);
+}
+
+TEST(MlpModelTest, GradientMatchesFiniteDifferences) {
+  // The critical correctness test: analytic backward vs numeric gradient
+  // on every parameter of a tiny model.
+  MlpModel::Config cfg;
+  cfg.input_dim = 3;
+  cfg.hidden = 4;
+  cfg.classes = 2;
+  MlpModel m(cfg);
+  Tensor params({m.NumParams()}, DType::kF32);
+  Tensor grads({m.NumParams()}, DType::kF32);
+  ASSERT_TRUE(m.BindParameters(&params, &grads).ok());
+  Rng rng(11);
+  ASSERT_TRUE(m.InitParameters(&rng).ok());
+
+  Tensor x({3, 3}, DType::kF32);
+  x.FillNormal(&rng, 1.0f);
+  std::vector<int32_t> y{0, 1, 0};
+
+  grads.FillZero();
+  ASSERT_TRUE(m.ForwardBackward(x, y).ok());
+
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < m.NumParams(); ++i) {
+    const float orig = params.At(i);
+    params.Set(i, orig + eps);
+    const float up = m.Loss(x, y).ValueOrDie();
+    params.Set(i, orig - eps);
+    const float down = m.Loss(x, y).ValueOrDie();
+    params.Set(i, orig);
+    const float numeric = (up - down) / (2.0f * eps);
+    EXPECT_NEAR(grads.At(i), numeric, 5e-3f) << "param " << i;
+  }
+}
+
+TEST(MlpModelTest, GradientsAccumulateAcrossCalls) {
+  MlpModel m(TinyConfig());
+  Tensor params({m.NumParams()}, DType::kF32);
+  Tensor grads({m.NumParams()}, DType::kF32);
+  ASSERT_TRUE(m.BindParameters(&params, &grads).ok());
+  Rng rng(5);
+  ASSERT_TRUE(m.InitParameters(&rng).ok());
+  Tensor x({2, 5}, DType::kF32);
+  x.FillNormal(&rng, 1.0f);
+  std::vector<int32_t> y{1, 2};
+
+  grads.FillZero();
+  ASSERT_TRUE(m.ForwardBackward(x, y).ok());
+  Tensor once = grads;  // deep copy
+  ASSERT_TRUE(m.ForwardBackward(x, y).ok());
+  for (int64_t i = 0; i < grads.numel(); ++i) {
+    EXPECT_NEAR(grads.At(i), 2.0f * once.At(i), 1e-5f);
+  }
+}
+
+TEST(MlpModelTest, TrainsToLowLossOnSeparableData) {
+  MlpModel::Config cfg;
+  cfg.input_dim = 2;
+  cfg.hidden = 16;
+  cfg.classes = 2;
+  MlpModel m(cfg);
+  Tensor params({m.NumParams()}, DType::kF32);
+  Tensor grads({m.NumParams()}, DType::kF32);
+  ASSERT_TRUE(m.BindParameters(&params, &grads).ok());
+  Rng rng(7);
+  ASSERT_TRUE(m.InitParameters(&rng).ok());
+  AdamOptimizer::Config acfg;
+  acfg.lr = 0.05f;
+  AdamOptimizer opt(m.NumParams(), acfg);
+
+  // Two well-separated clusters.
+  const int64_t n = 32;
+  Tensor x({n, 2}, DType::kF32);
+  std::vector<int32_t> y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t label = static_cast<int32_t>(i % 2);
+    y[static_cast<size_t>(i)] = label;
+    x.Set(i * 2, label == 0 ? -2.0f : 2.0f);
+    x.Set(i * 2 + 1, rng.Normal() * 0.3f);
+  }
+  float first = 0.0f;
+  float last = 0.0f;
+  for (int step = 0; step < 150; ++step) {
+    grads.FillZero();
+    const float loss = m.ForwardBackward(x, y).ValueOrDie();
+    if (step == 0) first = loss;
+    last = loss;
+    ASSERT_TRUE(opt.Step(&params, grads).ok());
+  }
+  EXPECT_LT(last, 0.1f * first);
+  auto preds = m.Predict(x);
+  ASSERT_TRUE(preds.ok());
+  int correct = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (preds.value()[static_cast<size_t>(i)] == y[static_cast<size_t>(i)]) {
+      ++correct;
+    }
+  }
+  EXPECT_EQ(correct, n);
+}
+
+TEST(MlpModelTest, BatchValidation) {
+  MlpModel m(TinyConfig());
+  Tensor params({m.NumParams()}, DType::kF32);
+  Tensor grads({m.NumParams()}, DType::kF32);
+  ASSERT_TRUE(m.BindParameters(&params, &grads).ok());
+  Tensor bad({7}, DType::kF32);  // not a multiple of input_dim=5
+  std::vector<int32_t> y{0};
+  EXPECT_TRUE(m.ForwardBackward(bad, y).status().IsInvalidArgument());
+  Tensor x({2, 5}, DType::kF32);
+  std::vector<int32_t> wrong{0};  // batch 2, labels 1
+  EXPECT_TRUE(m.ForwardBackward(x, wrong).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,131 @@
+#include "train/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mics {
+namespace {
+
+TEST(AdamTest, FirstStepMatchesHandComputation) {
+  AdamOptimizer::Config cfg;
+  cfg.lr = 0.1f;
+  AdamOptimizer opt(2, cfg);
+  Tensor w({2}, DType::kF32);
+  w.Set(0, 1.0f);
+  w.Set(1, -1.0f);
+  Tensor g({2}, DType::kF32);
+  g.Set(0, 0.5f);
+  g.Set(1, -0.25f);
+  ASSERT_TRUE(opt.Step(&w, g).ok());
+  // After bias correction the first step is ~lr * sign(g) for eps<<|g|.
+  EXPECT_NEAR(w.At(0), 1.0f - 0.1f, 1e-5f);
+  EXPECT_NEAR(w.At(1), -1.0f + 0.1f, 1e-5f);
+  EXPECT_EQ(opt.step_count(), 1);
+}
+
+TEST(AdamTest, ZeroGradientLeavesWeights) {
+  AdamOptimizer opt(3, {});
+  Tensor w({3}, DType::kF32);
+  w.Fill(2.0f);
+  Tensor g({3}, DType::kF32);
+  ASSERT_TRUE(opt.Step(&w, g).ok());
+  for (int64_t i = 0; i < 3; ++i) EXPECT_EQ(w.At(i), 2.0f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize f(w) = (w-3)^2: Adam should get close in a few hundred steps.
+  AdamOptimizer::Config cfg;
+  cfg.lr = 0.05f;
+  AdamOptimizer opt(1, cfg);
+  Tensor w({1}, DType::kF32);
+  Tensor g({1}, DType::kF32);
+  for (int i = 0; i < 500; ++i) {
+    g.Set(0, 2.0f * (w.At(0) - 3.0f));
+    ASSERT_TRUE(opt.Step(&w, g).ok());
+  }
+  EXPECT_NEAR(w.At(0), 3.0f, 0.05f);
+}
+
+TEST(AdamTest, WeightDecayPullsTowardZero) {
+  AdamOptimizer::Config cfg;
+  cfg.lr = 0.01f;
+  cfg.weight_decay = 0.1f;
+  AdamOptimizer opt(1, cfg);
+  Tensor w({1}, DType::kF32);
+  w.Set(0, 5.0f);
+  Tensor g({1}, DType::kF32);  // zero gradient
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(opt.Step(&w, g).ok());
+  EXPECT_LT(w.At(0), 5.0f);
+  EXPECT_GT(w.At(0), 0.0f);
+}
+
+TEST(AdamTest, RejectsMismatchedBuffers) {
+  AdamOptimizer opt(4, {});
+  Tensor w({3}, DType::kF32);
+  Tensor g({4}, DType::kF32);
+  EXPECT_TRUE(opt.Step(&w, g).IsInvalidArgument());
+  Tensor w16({4}, DType::kF16);
+  EXPECT_TRUE(opt.Step(&w16, g).IsInvalidArgument());
+}
+
+TEST(AdamTest, StateBytesAccounting) {
+  AdamOptimizer opt(1000, {});
+  EXPECT_EQ(opt.StateBytes(), 8000);
+}
+
+TEST(AdamTest, DeterministicAcrossInstances) {
+  // Two optimizers fed identical gradient streams produce identical
+  // weights — the property sharded training relies on for replicated
+  // shards.
+  AdamOptimizer a(4, {});
+  AdamOptimizer b(4, {});
+  Tensor wa({4}, DType::kF32);
+  Tensor wb({4}, DType::kF32);
+  wa.Fill(1.0f);
+  wb.Fill(1.0f);
+  Tensor g({4}, DType::kF32);
+  for (int i = 0; i < 20; ++i) {
+    for (int64_t j = 0; j < 4; ++j) g.Set(j, 0.1f * (i + 1) * (j - 1.5f));
+    ASSERT_TRUE(a.Step(&wa, g).ok());
+    ASSERT_TRUE(b.Step(&wb, g).ok());
+  }
+  for (int64_t j = 0; j < 4; ++j) EXPECT_EQ(wa.At(j), wb.At(j));
+}
+
+TEST(SgdTest, PlainStep) {
+  SgdOptimizer::Config cfg;
+  cfg.lr = 0.5f;
+  SgdOptimizer opt(2, cfg);
+  Tensor w({2}, DType::kF32);
+  w.Fill(1.0f);
+  Tensor g({2}, DType::kF32);
+  g.Fill(1.0f);
+  ASSERT_TRUE(opt.Step(&w, g).ok());
+  EXPECT_EQ(w.At(0), 0.5f);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  SgdOptimizer::Config cfg;
+  cfg.lr = 0.1f;
+  cfg.momentum = 0.9f;
+  SgdOptimizer opt(1, cfg);
+  Tensor w({1}, DType::kF32);
+  Tensor g({1}, DType::kF32);
+  g.Fill(1.0f);
+  ASSERT_TRUE(opt.Step(&w, g).ok());
+  EXPECT_NEAR(w.At(0), -0.1f, 1e-6f);
+  ASSERT_TRUE(opt.Step(&w, g).ok());
+  // Second step velocity = 0.9*1 + 1 = 1.9 -> w -= 0.19.
+  EXPECT_NEAR(w.At(0), -0.29f, 1e-6f);
+}
+
+TEST(SgdTest, RejectsMismatch) {
+  SgdOptimizer opt(2, {});
+  Tensor w({1}, DType::kF32);
+  Tensor g({2}, DType::kF32);
+  EXPECT_TRUE(opt.Step(&w, g).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mics

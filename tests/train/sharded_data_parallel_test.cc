@@ -1,0 +1,448 @@
+#include "train/sharded_data_parallel.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace mics {
+namespace {
+
+Status FillInitDeterministic(Tensor* full) {
+  Rng rng(1234);
+  full->FillNormal(&rng, 0.5f);
+  return Status::OK();
+}
+
+TEST(SdpOptionsTest, EffectiveGroupSizes) {
+  SdpOptions o;
+  o.strategy = Strategy::kDDP;
+  EXPECT_EQ(o.EffectiveGroupSize(8), 1);
+  o.strategy = Strategy::kZeRO3;
+  EXPECT_EQ(o.EffectiveGroupSize(8), 8);
+  o.strategy = Strategy::kMiCS;
+  o.partition_group_size = 4;
+  EXPECT_EQ(o.EffectiveGroupSize(8), 4);
+}
+
+TEST(SdpTest, CreateValidatesDivisibility) {
+  RankTopology topo{4, 2};
+  World world(4);
+  SdpOptions opts;
+  opts.strategy = Strategy::kMiCS;
+  opts.partition_group_size = 3;
+  auto sdp = ShardedDataParallel::Create(&world, topo, opts, 100, 0);
+  EXPECT_FALSE(sdp.ok());
+}
+
+TEST(SdpTest, ShardSizesAndPadding) {
+  RankTopology topo{4, 2};
+  World world(4);
+  Status st = RunRanks(4, [&](int rank) -> Status {
+    SdpOptions opts;
+    opts.strategy = Strategy::kMiCS;
+    opts.partition_group_size = 4;
+    MICS_ASSIGN_OR_RETURN(auto sdp, ShardedDataParallel::Create(
+                                        &world, topo, opts, 10, rank));
+    if (sdp->num_params() != 10) return Status::Internal("numel");
+    if (sdp->padded_numel() != 12) return Status::Internal("padded");
+    if (sdp->shard_numel() != 3) return Status::Internal("shard");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SdpTest, InitThenGatherReproducesFullParams) {
+  RankTopology topo{4, 2};
+  World world(4);
+  Status st = RunRanks(4, [&](int rank) -> Status {
+    SdpOptions opts;
+    opts.strategy = Strategy::kZeRO3;
+    MICS_ASSIGN_OR_RETURN(auto sdp, ShardedDataParallel::Create(
+                                        &world, topo, opts, 64, rank));
+    MICS_RETURN_NOT_OK(sdp->InitParameters(FillInitDeterministic));
+    // Overwrite the gathered buffer, then re-gather: must restore.
+    sdp->full_params()->FillZero();
+    MICS_RETURN_NOT_OK(sdp->GatherParams());
+    Tensor expect({64}, DType::kF32);
+    MICS_RETURN_NOT_OK(FillInitDeterministic(&expect));
+    for (int64_t i = 0; i < 64; ++i) {
+      if (sdp->full_params()->At(i) != expect.At(i)) {
+        return Status::Internal("gather mismatch at " + std::to_string(i));
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+/// Runs `iters` iterations of a synthetic quadratic "training" job where
+/// rank r's gradient for element i is (r+1)*(i%5+1)*0.01 at micro-step m
+/// scaled by (m+1) — fully deterministic, so different strategies must
+/// produce identical parameters up to fp reordering.
+Result<std::vector<float>> RunSyntheticTraining(int world_size,
+                                                int gpus_per_node,
+                                                SdpOptions opts, int iters,
+                                                int micro_steps,
+                                                int64_t num_params) {
+  RankTopology topo{world_size, gpus_per_node};
+  World world(world_size);
+  std::vector<float> rank0_params;
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(auto sdp,
+                          ShardedDataParallel::Create(&world, topo, opts,
+                                                      num_params, rank));
+    MICS_RETURN_NOT_OK(sdp->InitParameters(FillInitDeterministic));
+    for (int iter = 0; iter < iters; ++iter) {
+      for (int m = 0; m < micro_steps; ++m) {
+        MICS_RETURN_NOT_OK(sdp->GatherParams());
+        Tensor* g = sdp->micro_grads();
+        for (int64_t i = 0; i < num_params; ++i) {
+          g->Set(i, 0.01f * (rank + 1) * (i % 5 + 1) * (m + 1));
+        }
+        MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+      }
+      MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
+    }
+    // Publish final full params from rank 0.
+    MICS_RETURN_NOT_OK(sdp->GatherParams());
+    if (rank == 0) {
+      rank0_params.resize(static_cast<size_t>(num_params));
+      for (int64_t i = 0; i < num_params; ++i) {
+        rank0_params[static_cast<size_t>(i)] = sdp->full_params()->At(i);
+      }
+    }
+    return Status::OK();
+  });
+  MICS_RETURN_NOT_OK(st);
+  return rank0_params;
+}
+
+TEST(SdpEquivalenceTest, MicsMatchesDdpOnIdenticalGradientStreams) {
+  SdpOptions ddp;
+  ddp.strategy = Strategy::kDDP;
+  SdpOptions mics;
+  mics.strategy = Strategy::kMiCS;
+  mics.partition_group_size = 2;
+  auto a = RunSyntheticTraining(4, 2, ddp, 3, 4, 37);
+  auto b = RunSyntheticTraining(4, 2, mics, 3, 4, 37);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_NEAR(a.value()[i], b.value()[i], 2e-5f) << i;
+  }
+}
+
+TEST(SdpEquivalenceTest, Zero3MatchesDdp) {
+  SdpOptions ddp;
+  ddp.strategy = Strategy::kDDP;
+  SdpOptions z3;
+  z3.strategy = Strategy::kZeRO3;
+  auto a = RunSyntheticTraining(4, 2, ddp, 3, 2, 29);
+  auto b = RunSyntheticTraining(4, 2, z3, 3, 2, 29);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_NEAR(a.value()[i], b.value()[i], 2e-5f) << i;
+  }
+}
+
+TEST(SdpEquivalenceTest, Zero1AndZero2MatchDdp) {
+  // All five strategies are the same optimizer trajectory; ZeRO-1/2 just
+  // shard optimizer states (and gradients) across the world and refresh
+  // parameters at the boundary.
+  SdpOptions ddp;
+  ddp.strategy = Strategy::kDDP;
+  SdpOptions z1;
+  z1.strategy = Strategy::kZeRO1;
+  SdpOptions z2;
+  z2.strategy = Strategy::kZeRO2;
+  auto a = RunSyntheticTraining(4, 2, ddp, 3, 3, 31);
+  auto b = RunSyntheticTraining(4, 2, z1, 3, 3, 31);
+  auto c = RunSyntheticTraining(4, 2, z2, 3, 3, 31);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_NEAR(a.value()[i], b.value()[i], 2e-5f) << "z1 @" << i;
+    EXPECT_NEAR(a.value()[i], c.value()[i], 2e-5f) << "z2 @" << i;
+  }
+}
+
+TEST(SdpEquivalenceTest, Zero2WithClippingMatchesDdp) {
+  SdpOptions ddp;
+  ddp.strategy = Strategy::kDDP;
+  ddp.max_grad_norm = 0.05f;
+  SdpOptions z2;
+  z2.strategy = Strategy::kZeRO2;
+  z2.max_grad_norm = 0.05f;
+  auto a = RunSyntheticTraining(4, 2, ddp, 3, 2, 31);
+  auto b = RunSyntheticTraining(4, 2, z2, 3, 2, 31);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_NEAR(a.value()[i], b.value()[i], 2e-5f) << i;
+  }
+}
+
+TEST(SdpTest, MixedPrecisionWithZero2Unimplemented) {
+  RankTopology topo{2, 2};
+  World world(2);
+  SdpOptions opts;
+  opts.strategy = Strategy::kZeRO2;
+  opts.mixed_precision = true;
+  auto sdp = ShardedDataParallel::Create(&world, topo, opts, 16, 0);
+  ASSERT_FALSE(sdp.ok());
+  EXPECT_TRUE(sdp.status().IsUnimplemented());
+}
+
+TEST(SdpEquivalenceTest, TwoHopMatchesAlternativeSchedule) {
+  // §3.4: the 2-hop schedule and the all-reduce-then-discard schedule are
+  // numerically equivalent; MiCS just pays less communication.
+  SdpOptions two_hop;
+  two_hop.strategy = Strategy::kMiCS;
+  two_hop.partition_group_size = 2;
+  two_hop.two_hop_sync = true;
+  SdpOptions alt = two_hop;
+  alt.two_hop_sync = false;
+  auto a = RunSyntheticTraining(4, 2, two_hop, 3, 4, 41);
+  auto b = RunSyntheticTraining(4, 2, alt, 3, 4, 41);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_NEAR(a.value()[i], b.value()[i], 2e-5f) << i;
+  }
+}
+
+TEST(SdpEquivalenceTest, HierarchicalGatherDoesNotChangeTraining) {
+  SdpOptions hier;
+  hier.strategy = Strategy::kMiCS;
+  hier.partition_group_size = 4;  // spans 2 nodes of 2 GPUs
+  hier.hierarchical_allgather = true;
+  SdpOptions vanilla = hier;
+  vanilla.hierarchical_allgather = false;
+  auto a = RunSyntheticTraining(4, 2, hier, 2, 2, 23);
+  auto b = RunSyntheticTraining(4, 2, vanilla, 2, 2, 23);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_EQ(a.value()[i], b.value()[i]) << i;  // bitwise: same math
+  }
+}
+
+TEST(SdpEquivalenceTest, HierarchicalReduceScatterMatchesVanilla) {
+  // Extension: the 3-stage reduce-scatter on the gradient path must not
+  // change training (integer-free float drift only; tolerance covers it).
+  SdpOptions hier;
+  hier.strategy = Strategy::kMiCS;
+  hier.partition_group_size = 4;
+  hier.hierarchical_reduce_scatter = true;
+  SdpOptions vanilla = hier;
+  vanilla.hierarchical_reduce_scatter = false;
+  auto a = RunSyntheticTraining(4, 2, hier, 2, 3, 23);
+  auto b = RunSyntheticTraining(4, 2, vanilla, 2, 3, 23);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_NEAR(a.value()[i], b.value()[i], 1e-5f) << i;
+  }
+}
+
+TEST(SdpMixedPrecisionTest, CurveCloseToFp32) {
+  // fp16 wire + fp32 master should track the fp32 run within half
+  // precision error; sharding must not change that.
+  SdpOptions fp32;
+  fp32.strategy = Strategy::kMiCS;
+  fp32.partition_group_size = 2;
+  SdpOptions mixed = fp32;
+  mixed.mixed_precision = true;
+  mixed.initial_loss_scale = 256.0f;
+  auto a = RunSyntheticTraining(4, 2, fp32, 3, 2, 33);
+  auto b = RunSyntheticTraining(4, 2, mixed, 3, 2, 33);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_NEAR(a.value()[i], b.value()[i],
+                5e-3f + 5e-3f * std::fabs(a.value()[i]))
+        << i;
+  }
+}
+
+TEST(SdpMixedPrecisionTest, OverflowSkipsStepAndHalvesScale) {
+  RankTopology topo{2, 2};
+  World world(2);
+  Status st = RunRanks(2, [&](int rank) -> Status {
+    SdpOptions opts;
+    opts.strategy = Strategy::kMiCS;
+    opts.partition_group_size = 2;
+    opts.mixed_precision = true;
+    opts.initial_loss_scale = 65536.0f;
+    MICS_ASSIGN_OR_RETURN(auto sdp, ShardedDataParallel::Create(
+                                        &world, topo, opts, 16, rank));
+    MICS_RETURN_NOT_OK(sdp->InitParameters(FillInitDeterministic));
+    const float before = sdp->shard_params().At(0);
+    MICS_RETURN_NOT_OK(sdp->GatherParams());
+    // Gradients large enough that grad * 65536 overflows fp16.
+    sdp->micro_grads()->Fill(10.0f);
+    MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+    MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
+    if (sdp->skipped_steps() != 1) return Status::Internal("not skipped");
+    if (sdp->loss_scale() != 32768.0f) return Status::Internal("scale");
+    if (sdp->shard_params().At(0) != before) {
+      return Status::Internal("params changed on skipped step");
+    }
+    // A benign follow-up step must apply.
+    MICS_RETURN_NOT_OK(sdp->GatherParams());
+    sdp->micro_grads()->Fill(0.01f);
+    MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+    MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
+    if (sdp->skipped_steps() != 1) return Status::Internal("double skip");
+    if (sdp->shard_params().At(0) == before) {
+      return Status::Internal("params did not update");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SdpMixedPrecisionTest, LossScaleGrowsAfterCleanInterval) {
+  RankTopology topo{2, 2};
+  World world(2);
+  Status st = RunRanks(2, [&](int rank) -> Status {
+    SdpOptions opts;
+    opts.strategy = Strategy::kMiCS;
+    opts.partition_group_size = 2;
+    opts.mixed_precision = true;
+    opts.initial_loss_scale = 64.0f;
+    opts.loss_scale_growth_interval = 3;
+    MICS_ASSIGN_OR_RETURN(auto sdp, ShardedDataParallel::Create(
+                                        &world, topo, opts, 16, rank));
+    MICS_RETURN_NOT_OK(sdp->InitParameters(FillInitDeterministic));
+    for (int i = 0; i < 3; ++i) {
+      MICS_RETURN_NOT_OK(sdp->GatherParams());
+      sdp->micro_grads()->Fill(0.01f);
+      MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+      MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
+    }
+    if (sdp->loss_scale() != 128.0f) {
+      return Status::Internal("scale did not grow: " +
+                              std::to_string(sdp->loss_scale()));
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SdpClippingTest, GlobalNormClipMatchesAcrossShardings) {
+  // With clipping active, DDP and MiCS must still agree: the norm is a
+  // global property, reduced across the partition group.
+  SdpOptions ddp;
+  ddp.strategy = Strategy::kDDP;
+  ddp.max_grad_norm = 0.05f;
+  SdpOptions mics;
+  mics.strategy = Strategy::kMiCS;
+  mics.partition_group_size = 4;
+  mics.max_grad_norm = 0.05f;
+  auto a = RunSyntheticTraining(4, 2, ddp, 3, 2, 37);
+  auto b = RunSyntheticTraining(4, 2, mics, 3, 2, 37);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_NEAR(a.value()[i], b.value()[i], 2e-5f) << i;
+  }
+}
+
+TEST(SdpClippingTest, NormReportedAndClipApplied) {
+  RankTopology topo{2, 2};
+  World world(2);
+  Status st = RunRanks(2, [&](int rank) -> Status {
+    SdpOptions opts;
+    opts.strategy = Strategy::kMiCS;
+    opts.partition_group_size = 2;
+    opts.max_grad_norm = 1.0f;
+    MICS_ASSIGN_OR_RETURN(auto sdp, ShardedDataParallel::Create(
+                                        &world, topo, opts, 16, rank));
+    MICS_RETURN_NOT_OK(sdp->InitParameters(FillInitDeterministic));
+    MICS_RETURN_NOT_OK(sdp->GatherParams());
+    sdp->micro_grads()->Fill(2.0f);  // summed over 2 ranks, avg by 2 -> 2
+    MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+    MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
+    // Mean grad = 2 everywhere over 16 elems: global norm = 2*sqrt(16)=8.
+    if (std::fabs(sdp->last_grad_norm() - 8.0f) > 1e-4f) {
+      return Status::Internal("norm " + std::to_string(sdp->last_grad_norm()));
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SdpTest, FinishWithoutMicroStepsFails) {
+  RankTopology topo{2, 2};
+  World world(2);
+  Status st = RunRanks(2, [&](int rank) -> Status {
+    SdpOptions opts;
+    opts.strategy = Strategy::kDDP;
+    MICS_ASSIGN_OR_RETURN(auto sdp, ShardedDataParallel::Create(
+                                        &world, topo, opts, 16, rank));
+    MICS_RETURN_NOT_OK(sdp->InitParameters(FillInitDeterministic));
+    Status s = sdp->FinishIterationAndStep();
+    if (!s.IsFailedPrecondition()) return Status::Internal("expected error");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SdpTest, IterationCounters) {
+  RankTopology topo{2, 2};
+  World world(2);
+  Status st = RunRanks(2, [&](int rank) -> Status {
+    SdpOptions opts;
+    opts.strategy = Strategy::kMiCS;
+    opts.partition_group_size = 2;
+    MICS_ASSIGN_OR_RETURN(auto sdp, ShardedDataParallel::Create(
+                                        &world, topo, opts, 16, rank));
+    MICS_RETURN_NOT_OK(sdp->InitParameters(FillInitDeterministic));
+    MICS_RETURN_NOT_OK(sdp->GatherParams());
+    sdp->micro_grads()->Fill(0.1f);
+    MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+    if (sdp->pending_micro_steps() != 1) return Status::Internal("pending");
+    MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
+    if (sdp->completed_iterations() != 1) return Status::Internal("iters");
+    if (sdp->pending_micro_steps() != 0) return Status::Internal("reset");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SdpTest, AverageScalar) {
+  RankTopology topo{4, 2};
+  World world(4);
+  Status st = RunRanks(4, [&](int rank) -> Status {
+    SdpOptions opts;
+    opts.strategy = Strategy::kMiCS;
+    opts.partition_group_size = 2;
+    MICS_ASSIGN_OR_RETURN(auto sdp, ShardedDataParallel::Create(
+                                        &world, topo, opts, 8, rank));
+    float v = static_cast<float>(rank);
+    MICS_RETURN_NOT_OK(sdp->AverageScalar(&v));
+    if (v != 1.5f) return Status::Internal("avg wrong");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SdpTest, MicsUsesHierarchicalWhenGroupSpansNodes) {
+  RankTopology topo{4, 2};
+  World world(4);
+  Status st = RunRanks(4, [&](int rank) -> Status {
+    SdpOptions opts;
+    opts.strategy = Strategy::kMiCS;
+    opts.partition_group_size = 4;
+    MICS_ASSIGN_OR_RETURN(auto sdp, ShardedDataParallel::Create(
+                                        &world, topo, opts, 16, rank));
+    if (!sdp->using_hierarchical()) {
+      return Status::Internal("expected hierarchical gathering");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace mics

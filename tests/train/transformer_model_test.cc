@@ -1,0 +1,245 @@
+#include "train/transformer_model.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "train/dataset.h"
+#include "train/optimizer.h"
+#include "util/random.h"
+
+namespace mics {
+namespace {
+
+TransformerClassifier::Config TinyConfig() {
+  TransformerClassifier::Config c;
+  c.vocab = 11;
+  c.seq_len = 5;
+  c.dim = 8;
+  c.heads = 2;
+  c.ffn = 12;
+  c.blocks = 2;
+  c.classes = 3;
+  return c;
+}
+
+Tensor MakeTokens(const std::vector<int32_t>& toks, int64_t batch,
+                  int64_t seq) {
+  Tensor t({batch, seq}, DType::kI32);
+  for (size_t i = 0; i < toks.size(); ++i) t.i32()[i] = toks[i];
+  return t;
+}
+
+TEST(TransformerModelTest, ConfigValidation) {
+  TransformerClassifier::Config c = TinyConfig();
+  EXPECT_TRUE(c.Validate().ok());
+  c.dim = 9;  // not divisible by 2 heads
+  EXPECT_FALSE(c.Validate().ok());
+  c = TinyConfig();
+  c.blocks = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(TransformerModelTest, NumParamsFormula) {
+  TransformerClassifier m(TinyConfig());
+  const int64_t d = 8, f = 12;
+  const int64_t per_block = 2 * d + 4 * (d * d + d) + 2 * d + d * f + f +
+                            f * d + d;
+  EXPECT_EQ(m.NumParams(),
+            (11 + 5) * d + 2 * per_block + 2 * d + d * 3 + 3);
+}
+
+TEST(TransformerModelTest, RequiresBinding) {
+  TransformerClassifier m(TinyConfig());
+  Rng rng(1);
+  EXPECT_TRUE(m.InitParameters(&rng).IsFailedPrecondition());
+  Tensor toks = MakeTokens({0, 1, 2, 3, 4}, 1, 5);
+  EXPECT_TRUE(m.Loss(toks, {0}).status().IsFailedPrecondition());
+}
+
+TEST(TransformerModelTest, RejectsBadTokens) {
+  TransformerClassifier m(TinyConfig());
+  Tensor params({m.NumParams()}, DType::kF32);
+  Tensor grads({m.NumParams()}, DType::kF32);
+  ASSERT_TRUE(m.BindParameters(&params, &grads).ok());
+  Tensor out_of_range = MakeTokens({0, 1, 2, 3, 99}, 1, 5);
+  EXPECT_TRUE(m.Loss(out_of_range, {0}).status().IsInvalidArgument());
+  Tensor f32toks({1, 5}, DType::kF32);
+  EXPECT_TRUE(m.Loss(f32toks, {0}).status().IsInvalidArgument());
+}
+
+TEST(TransformerModelTest, GradientMatchesFiniteDifferences) {
+  // The decisive correctness test for the hand-written backward: numeric
+  // vs analytic gradient over EVERY parameter (embeddings, LayerNorms,
+  // attention projections, MLP, head).
+  TransformerClassifier::Config cfg;
+  cfg.vocab = 7;
+  cfg.seq_len = 4;
+  cfg.dim = 6;
+  cfg.heads = 2;
+  cfg.ffn = 8;
+  cfg.blocks = 2;
+  cfg.classes = 3;
+  TransformerClassifier m(cfg);
+  Tensor params({m.NumParams()}, DType::kF32);
+  Tensor grads({m.NumParams()}, DType::kF32);
+  ASSERT_TRUE(m.BindParameters(&params, &grads).ok());
+  Rng rng(23);
+  ASSERT_TRUE(m.InitParameters(&rng).ok());
+
+  Tensor toks = MakeTokens({1, 3, 0, 6, 2, 2, 5, 4}, 2, 4);
+  const std::vector<int32_t> y{0, 2};
+
+  grads.FillZero();
+  ASSERT_TRUE(m.ForwardBackward(toks, y).ok());
+
+  const float eps = 2e-3f;
+  int checked = 0;
+  for (int64_t i = 0; i < m.NumParams(); i += 3) {  // stride for speed
+    const float orig = params.At(i);
+    params.Set(i, orig + eps);
+    const float up = m.Loss(toks, y).ValueOrDie();
+    params.Set(i, orig - eps);
+    const float down = m.Loss(toks, y).ValueOrDie();
+    params.Set(i, orig);
+    const float numeric = (up - down) / (2.0f * eps);
+    EXPECT_NEAR(grads.At(i), numeric,
+                5e-3f + 0.02f * std::fabs(numeric))
+        << "param " << i;
+    ++checked;
+  }
+  EXPECT_GT(checked, 200);
+}
+
+TEST(TransformerModelTest, GradientsAccumulate) {
+  TransformerClassifier m(TinyConfig());
+  Tensor params({m.NumParams()}, DType::kF32);
+  Tensor grads({m.NumParams()}, DType::kF32);
+  ASSERT_TRUE(m.BindParameters(&params, &grads).ok());
+  Rng rng(5);
+  ASSERT_TRUE(m.InitParameters(&rng).ok());
+  Tensor toks = MakeTokens({1, 2, 3, 4, 5}, 1, 5);
+  const std::vector<int32_t> y{1};
+  grads.FillZero();
+  ASSERT_TRUE(m.ForwardBackward(toks, y).ok());
+  Tensor once = grads;
+  ASSERT_TRUE(m.ForwardBackward(toks, y).ok());
+  for (int64_t i = 0; i < grads.numel(); i += 7) {
+    EXPECT_NEAR(grads.At(i), 2.0f * once.At(i),
+                1e-5f + 1e-4f * std::fabs(once.At(i)));
+  }
+}
+
+TEST(TransformerModelTest, LossIsLogClassesAtUniform) {
+  // Zeroing the head weights makes logits zero -> uniform distribution.
+  TransformerClassifier m(TinyConfig());
+  Tensor params({m.NumParams()}, DType::kF32);
+  Tensor grads({m.NumParams()}, DType::kF32);
+  ASSERT_TRUE(m.BindParameters(&params, &grads).ok());
+  Rng rng(9);
+  ASSERT_TRUE(m.InitParameters(&rng).ok());
+  // Zero the last d*c + c head parameters.
+  for (int64_t i = m.NumParams() - (8 * 3 + 3); i < m.NumParams(); ++i) {
+    params.Set(i, 0.0f);
+  }
+  Tensor toks = MakeTokens({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 2, 5);
+  auto loss = m.Loss(toks, {0, 1});
+  ASSERT_TRUE(loss.ok());
+  EXPECT_NEAR(loss.value(), std::log(3.0f), 1e-5f);
+}
+
+TEST(TransformerModelTest, TrainsOnSyntheticSequences) {
+  TransformerClassifier::Config cfg;
+  cfg.vocab = 12;
+  cfg.seq_len = 6;
+  cfg.dim = 16;
+  cfg.heads = 4;
+  cfg.ffn = 24;
+  cfg.blocks = 1;
+  cfg.classes = 3;
+  TransformerClassifier m(cfg);
+  Tensor params({m.NumParams()}, DType::kF32);
+  Tensor grads({m.NumParams()}, DType::kF32);
+  ASSERT_TRUE(m.BindParameters(&params, &grads).ok());
+  Rng rng(77);
+  ASSERT_TRUE(m.InitParameters(&rng).ok());
+
+  SyntheticSequenceDataset::Config dcfg;
+  dcfg.vocab = 12;
+  dcfg.seq_len = 6;
+  dcfg.classes = 3;
+  dcfg.noise_prob = 0.1f;
+  SyntheticSequenceDataset data(dcfg, 5);
+
+  AdamOptimizer::Config acfg;
+  acfg.lr = 0.01f;
+  AdamOptimizer opt(m.NumParams(), acfg);
+
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 60; ++step) {
+    Tensor toks;
+    std::vector<int32_t> y;
+    ASSERT_TRUE(data.Sample(step, 0, 16, &toks, &y).ok());
+    grads.FillZero();
+    const float loss = m.ForwardBackward(toks, y).ValueOrDie();
+    if (step == 0) first = loss;
+    last = loss;
+    ASSERT_TRUE(opt.Step(&params, grads).ok());
+  }
+  EXPECT_LT(last, 0.5f * first);
+}
+
+TEST(TransformerModelTest, PredictIsConsistentWithLoss) {
+  TransformerClassifier m(TinyConfig());
+  Tensor params({m.NumParams()}, DType::kF32);
+  Tensor grads({m.NumParams()}, DType::kF32);
+  ASSERT_TRUE(m.BindParameters(&params, &grads).ok());
+  Rng rng(3);
+  ASSERT_TRUE(m.InitParameters(&rng).ok());
+  Tensor toks = MakeTokens({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 2, 5);
+  auto preds = m.Predict(toks);
+  ASSERT_TRUE(preds.ok());
+  ASSERT_EQ(preds.value().size(), 2u);
+  // Loss against the predicted labels is <= loss against any other labels.
+  const float best = m.Loss(toks, preds.value()).ValueOrDie();
+  const float other =
+      m.Loss(toks, {static_cast<int32_t>((preds.value()[0] + 1) % 3),
+                    static_cast<int32_t>((preds.value()[1] + 1) % 3)})
+          .ValueOrDie();
+  EXPECT_LE(best, other);
+}
+
+TEST(SequenceDatasetTest, DeterministicAndInRange) {
+  SyntheticSequenceDataset::Config cfg;
+  SyntheticSequenceDataset data(cfg, 3);
+  Tensor a, b;
+  std::vector<int32_t> ya, yb;
+  ASSERT_TRUE(data.Sample(2, 1, 8, &a, &ya).ok());
+  ASSERT_TRUE(data.Sample(2, 1, 8, &b, &yb).ok());
+  EXPECT_EQ(ya, yb);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(a.i32()[i], b.i32()[i]);
+    EXPECT_GE(a.i32()[i], 0);
+    EXPECT_LT(a.i32()[i], cfg.vocab);
+  }
+}
+
+TEST(SequenceDatasetTest, ClassSlicesDominate) {
+  SyntheticSequenceDataset::Config cfg;
+  cfg.noise_prob = 0.0f;
+  SyntheticSequenceDataset data(cfg, 3);
+  Tensor toks;
+  std::vector<int32_t> y;
+  ASSERT_TRUE(data.Sample(0, 0, 32, &toks, &y).ok());
+  const int64_t slice = cfg.vocab / cfg.classes;
+  for (int64_t b = 0; b < 32; ++b) {
+    for (int64_t t = 0; t < cfg.seq_len; ++t) {
+      const int32_t tok = toks.i32()[b * cfg.seq_len + t];
+      EXPECT_EQ(tok / slice, y[static_cast<size_t>(b)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,52 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace mics {
+namespace {
+
+TEST(LoggingTest, MinSeverityRoundTrips) {
+  const LogSeverity prev = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kWarning);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kWarning);
+  SetMinLogSeverity(prev);
+}
+
+TEST(LoggingTest, InfoDoesNotAbort) {
+  MICS_LOG(Info) << "informational message from test";
+  MICS_LOG(Warning) << "warning message from test";
+  SUCCEED();
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  MICS_CHECK(1 + 1 == 2) << "never shown";
+  MICS_CHECK_EQ(4, 4);
+  MICS_CHECK_NE(4, 5);
+  MICS_CHECK_LT(1, 2);
+  MICS_CHECK_LE(2, 2);
+  MICS_CHECK_GT(3, 2);
+  MICS_CHECK_GE(3, 3);
+  SUCCEED();
+}
+
+TEST(LoggingTest, CheckOkPassesOnOkStatus) {
+  MICS_CHECK_OK(Status::OK());
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ MICS_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckEqFailureAborts) {
+  EXPECT_DEATH({ MICS_CHECK_EQ(1, 2); }, "Check failed");
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH({ MICS_LOG(Fatal) << "fatal"; }, "fatal");
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,52 @@
+#include "util/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace mics {
+namespace {
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 5), 2);
+  EXPECT_EQ(CeilDiv(11, 5), 3);
+  EXPECT_EQ(CeilDiv(0, 5), 0);
+  EXPECT_EQ(CeilDiv(1, 1), 1);
+  EXPECT_EQ(CeilDiv(1'000'000'007, 2), 500'000'004);
+}
+
+TEST(MathUtilTest, AlignUp) {
+  EXPECT_EQ(AlignUp(0, 8), 0);
+  EXPECT_EQ(AlignUp(1, 8), 8);
+  EXPECT_EQ(AlignUp(8, 8), 8);
+  EXPECT_EQ(AlignUp(9, 8), 16);
+  EXPECT_EQ(AlignUp(513, 512), 1024);
+}
+
+TEST(MathUtilTest, IsDivisible) {
+  EXPECT_TRUE(IsDivisible(16, 8));
+  EXPECT_FALSE(IsDivisible(17, 8));
+  EXPECT_FALSE(IsDivisible(8, 0));
+}
+
+TEST(MathUtilTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(-4));
+}
+
+TEST(MathUtilTest, ByteUnits) {
+  EXPECT_EQ(KiB(1), 1024);
+  EXPECT_EQ(MiB(1), 1024 * 1024);
+  EXPECT_EQ(GiB(2), 2LL * 1024 * 1024 * 1024);
+}
+
+TEST(MathUtilTest, BandwidthConversions) {
+  EXPECT_DOUBLE_EQ(GbpsToBytesPerSec(100.0), 12.5e9);
+  EXPECT_DOUBLE_EQ(GbpsToBytesPerSec(400.0), 50e9);
+  EXPECT_DOUBLE_EQ(BytesPerSecToGBps(12.5e9), 12.5);
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,95 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace mics {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformFloatRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const float v = rng.UniformFloat(-2.0f, 5.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 5.0f);
+  }
+}
+
+TEST(RngTest, NormalHasApproxUnitMoments) {
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.08);
+}
+
+TEST(RngTest, FillNormalScalesStddev) {
+  Rng rng(19);
+  std::vector<float> buf(20000);
+  rng.FillNormal(buf.data(), static_cast<int64_t>(buf.size()), 3.0f);
+  double sq = 0.0;
+  for (float v : buf) sq += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(sq / buf.size()), 3.0, 0.15);
+}
+
+TEST(RngTest, TokensWithinVocab) {
+  Rng rng(21);
+  auto toks = rng.Tokens(512, 1000);
+  ASSERT_EQ(toks.size(), 512u);
+  for (int32_t t : toks) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 1000);
+  }
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,95 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace mics {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("bad").IsInvalidArgument());
+  EXPECT_TRUE(Status::OutOfMemory("oom").IsOutOfMemory());
+  EXPECT_TRUE(Status::FailedPrecondition("pre").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("nyi").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("int").IsInternal());
+  EXPECT_TRUE(Status::NotFound("nf").IsNotFound());
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::OutOfMemory("no contiguous extent");
+  EXPECT_EQ(s.ToString(), "OutOfMemory: no contiguous extent");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+  EXPECT_FALSE(Status::Internal("x") == Status::InvalidArgument("x"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfMemory), "OutOfMemory");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(r.ValueOrDie(), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UseReturnMacro(int x) {
+  MICS_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(UseReturnMacro(1).ok());
+  EXPECT_TRUE(UseReturnMacro(-1).IsInvalidArgument());
+}
+
+Result<int> Doubled(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return 2 * x;
+}
+
+Status UseAssignMacro(int x, int* out) {
+  MICS_ASSIGN_OR_RETURN(*out, Doubled(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignMacro(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_TRUE(UseAssignMacro(-1, &out).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,43 @@
+#include "util/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace mics {
+namespace {
+
+TEST(TablePrinterTest, PrintsHeaderAndRowsAligned) {
+  TablePrinter t({"gpus", "throughput"});
+  t.AddRow({"16", "43.1"});
+  t.AddRow({"128", "230.5"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("gpus"), std::string::npos);
+  EXPECT_NE(out.find("230.5"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, FmtFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Fmt(1.005e3, 1), "1005.0");
+}
+
+TEST(TablePrinterDeathTest, WrongCellCountDies) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "Check failed");
+}
+
+}  // namespace
+}  // namespace mics
