@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_study_100b.dir/bench_case_study_100b.cc.o"
+  "CMakeFiles/bench_case_study_100b.dir/bench_case_study_100b.cc.o.d"
+  "bench_case_study_100b"
+  "bench_case_study_100b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_study_100b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collectives_micro.dir/bench_collectives_micro.cc.o"
+  "CMakeFiles/bench_collectives_micro.dir/bench_collectives_micro.cc.o.d"
+  "bench_collectives_micro"
+  "bench_collectives_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collectives_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_strong_scaling_100g.dir/bench_fig06_strong_scaling_100g.cc.o"
+  "CMakeFiles/bench_fig06_strong_scaling_100g.dir/bench_fig06_strong_scaling_100g.cc.o.d"
+  "bench_fig06_strong_scaling_100g"
+  "bench_fig06_strong_scaling_100g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_strong_scaling_100g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

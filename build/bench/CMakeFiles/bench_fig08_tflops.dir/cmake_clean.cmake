@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_tflops.dir/bench_fig08_tflops.cc.o"
+  "CMakeFiles/bench_fig08_tflops.dir/bench_fig08_tflops.cc.o.d"
+  "bench_fig08_tflops"
+  "bench_fig08_tflops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_tflops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_scaling_400g.dir/bench_fig09_scaling_400g.cc.o"
+  "CMakeFiles/bench_fig09_scaling_400g.dir/bench_fig09_scaling_400g.cc.o.d"
+  "bench_fig09_scaling_400g"
+  "bench_fig09_scaling_400g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_scaling_400g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_megatron_wideresnet.dir/bench_fig10_megatron_wideresnet.cc.o"
+  "CMakeFiles/bench_fig10_megatron_wideresnet.dir/bench_fig10_megatron_wideresnet.cc.o.d"
+  "bench_fig10_megatron_wideresnet"
+  "bench_fig10_megatron_wideresnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_megatron_wideresnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig10_megatron_wideresnet.
+# This may be replaced when dependencies are built.

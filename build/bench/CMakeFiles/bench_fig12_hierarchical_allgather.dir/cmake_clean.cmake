@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_hierarchical_allgather.dir/bench_fig12_hierarchical_allgather.cc.o"
+  "CMakeFiles/bench_fig12_hierarchical_allgather.dir/bench_fig12_hierarchical_allgather.cc.o.d"
+  "bench_fig12_hierarchical_allgather"
+  "bench_fig12_hierarchical_allgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_hierarchical_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

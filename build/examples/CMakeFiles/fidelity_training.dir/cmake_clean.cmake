@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidelity_training.dir/fidelity_training.cpp.o"
+  "CMakeFiles/fidelity_training.dir/fidelity_training.cpp.o.d"
+  "fidelity_training"
+  "fidelity_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidelity_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

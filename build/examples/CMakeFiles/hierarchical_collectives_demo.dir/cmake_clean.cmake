@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_collectives_demo.dir/hierarchical_collectives_demo.cpp.o"
+  "CMakeFiles/hierarchical_collectives_demo.dir/hierarchical_collectives_demo.cpp.o.d"
+  "hierarchical_collectives_demo"
+  "hierarchical_collectives_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_collectives_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_explorer.dir/timeline_explorer.cpp.o"
+  "CMakeFiles/timeline_explorer.dir/timeline_explorer.cpp.o.d"
+  "timeline_explorer"
+  "timeline_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/megatron.cc" "src/CMakeFiles/mics.dir/baselines/megatron.cc.o" "gcc" "src/CMakeFiles/mics.dir/baselines/megatron.cc.o.d"
+  "/root/repo/src/baselines/pipeline_sim.cc" "src/CMakeFiles/mics.dir/baselines/pipeline_sim.cc.o" "gcc" "src/CMakeFiles/mics.dir/baselines/pipeline_sim.cc.o.d"
+  "/root/repo/src/baselines/zero.cc" "src/CMakeFiles/mics.dir/baselines/zero.cc.o" "gcc" "src/CMakeFiles/mics.dir/baselines/zero.cc.o.d"
+  "/root/repo/src/baselines/zero_offload.cc" "src/CMakeFiles/mics.dir/baselines/zero_offload.cc.o" "gcc" "src/CMakeFiles/mics.dir/baselines/zero_offload.cc.o.d"
+  "/root/repo/src/comm/coalesced.cc" "src/CMakeFiles/mics.dir/comm/coalesced.cc.o" "gcc" "src/CMakeFiles/mics.dir/comm/coalesced.cc.o.d"
+  "/root/repo/src/comm/collectives.cc" "src/CMakeFiles/mics.dir/comm/collectives.cc.o" "gcc" "src/CMakeFiles/mics.dir/comm/collectives.cc.o.d"
+  "/root/repo/src/comm/communicator.cc" "src/CMakeFiles/mics.dir/comm/communicator.cc.o" "gcc" "src/CMakeFiles/mics.dir/comm/communicator.cc.o.d"
+  "/root/repo/src/comm/hierarchical.cc" "src/CMakeFiles/mics.dir/comm/hierarchical.cc.o" "gcc" "src/CMakeFiles/mics.dir/comm/hierarchical.cc.o.d"
+  "/root/repo/src/comm/ring.cc" "src/CMakeFiles/mics.dir/comm/ring.cc.o" "gcc" "src/CMakeFiles/mics.dir/comm/ring.cc.o.d"
+  "/root/repo/src/comm/topology.cc" "src/CMakeFiles/mics.dir/comm/topology.cc.o" "gcc" "src/CMakeFiles/mics.dir/comm/topology.cc.o.d"
+  "/root/repo/src/comm/world.cc" "src/CMakeFiles/mics.dir/comm/world.cc.o" "gcc" "src/CMakeFiles/mics.dir/comm/world.cc.o.d"
+  "/root/repo/src/core/group_manager.cc" "src/CMakeFiles/mics.dir/core/group_manager.cc.o" "gcc" "src/CMakeFiles/mics.dir/core/group_manager.cc.o.d"
+  "/root/repo/src/core/heuristics.cc" "src/CMakeFiles/mics.dir/core/heuristics.cc.o" "gcc" "src/CMakeFiles/mics.dir/core/heuristics.cc.o.d"
+  "/root/repo/src/core/mics_config.cc" "src/CMakeFiles/mics.dir/core/mics_config.cc.o" "gcc" "src/CMakeFiles/mics.dir/core/mics_config.cc.o.d"
+  "/root/repo/src/core/perf_engine.cc" "src/CMakeFiles/mics.dir/core/perf_engine.cc.o" "gcc" "src/CMakeFiles/mics.dir/core/perf_engine.cc.o.d"
+  "/root/repo/src/model/flops.cc" "src/CMakeFiles/mics.dir/model/flops.cc.o" "gcc" "src/CMakeFiles/mics.dir/model/flops.cc.o.d"
+  "/root/repo/src/model/model_graph.cc" "src/CMakeFiles/mics.dir/model/model_graph.cc.o" "gcc" "src/CMakeFiles/mics.dir/model/model_graph.cc.o.d"
+  "/root/repo/src/model/model_zoo.cc" "src/CMakeFiles/mics.dir/model/model_zoo.cc.o" "gcc" "src/CMakeFiles/mics.dir/model/model_zoo.cc.o.d"
+  "/root/repo/src/model/transformer.cc" "src/CMakeFiles/mics.dir/model/transformer.cc.o" "gcc" "src/CMakeFiles/mics.dir/model/transformer.cc.o.d"
+  "/root/repo/src/model/wide_resnet.cc" "src/CMakeFiles/mics.dir/model/wide_resnet.cc.o" "gcc" "src/CMakeFiles/mics.dir/model/wide_resnet.cc.o.d"
+  "/root/repo/src/sim/analysis.cc" "src/CMakeFiles/mics.dir/sim/analysis.cc.o" "gcc" "src/CMakeFiles/mics.dir/sim/analysis.cc.o.d"
+  "/root/repo/src/sim/cluster_topology.cc" "src/CMakeFiles/mics.dir/sim/cluster_topology.cc.o" "gcc" "src/CMakeFiles/mics.dir/sim/cluster_topology.cc.o.d"
+  "/root/repo/src/sim/compute_model.cc" "src/CMakeFiles/mics.dir/sim/compute_model.cc.o" "gcc" "src/CMakeFiles/mics.dir/sim/compute_model.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/mics.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/mics.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/memory_model.cc" "src/CMakeFiles/mics.dir/sim/memory_model.cc.o" "gcc" "src/CMakeFiles/mics.dir/sim/memory_model.cc.o.d"
+  "/root/repo/src/sim/stream_scheduler.cc" "src/CMakeFiles/mics.dir/sim/stream_scheduler.cc.o" "gcc" "src/CMakeFiles/mics.dir/sim/stream_scheduler.cc.o.d"
+  "/root/repo/src/tensor/allocator.cc" "src/CMakeFiles/mics.dir/tensor/allocator.cc.o" "gcc" "src/CMakeFiles/mics.dir/tensor/allocator.cc.o.d"
+  "/root/repo/src/tensor/half.cc" "src/CMakeFiles/mics.dir/tensor/half.cc.o" "gcc" "src/CMakeFiles/mics.dir/tensor/half.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/mics.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/mics.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/train/dataset.cc" "src/CMakeFiles/mics.dir/train/dataset.cc.o" "gcc" "src/CMakeFiles/mics.dir/train/dataset.cc.o.d"
+  "/root/repo/src/train/flat_parameter.cc" "src/CMakeFiles/mics.dir/train/flat_parameter.cc.o" "gcc" "src/CMakeFiles/mics.dir/train/flat_parameter.cc.o.d"
+  "/root/repo/src/train/layerwise_gather.cc" "src/CMakeFiles/mics.dir/train/layerwise_gather.cc.o" "gcc" "src/CMakeFiles/mics.dir/train/layerwise_gather.cc.o.d"
+  "/root/repo/src/train/lr_scheduler.cc" "src/CMakeFiles/mics.dir/train/lr_scheduler.cc.o" "gcc" "src/CMakeFiles/mics.dir/train/lr_scheduler.cc.o.d"
+  "/root/repo/src/train/mlp_model.cc" "src/CMakeFiles/mics.dir/train/mlp_model.cc.o" "gcc" "src/CMakeFiles/mics.dir/train/mlp_model.cc.o.d"
+  "/root/repo/src/train/optimizer.cc" "src/CMakeFiles/mics.dir/train/optimizer.cc.o" "gcc" "src/CMakeFiles/mics.dir/train/optimizer.cc.o.d"
+  "/root/repo/src/train/sharded_data_parallel.cc" "src/CMakeFiles/mics.dir/train/sharded_data_parallel.cc.o" "gcc" "src/CMakeFiles/mics.dir/train/sharded_data_parallel.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/mics.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/mics.dir/train/trainer.cc.o.d"
+  "/root/repo/src/train/transformer_model.cc" "src/CMakeFiles/mics.dir/train/transformer_model.cc.o" "gcc" "src/CMakeFiles/mics.dir/train/transformer_model.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/mics.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/mics.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/mics.dir/util/random.cc.o" "gcc" "src/CMakeFiles/mics.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/mics.dir/util/status.cc.o" "gcc" "src/CMakeFiles/mics.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/mics.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/mics.dir/util/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

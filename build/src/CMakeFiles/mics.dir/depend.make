@@ -1,0 +1,2 @@
+# Empty dependencies file for mics.
+# This may be replaced when dependencies are built.

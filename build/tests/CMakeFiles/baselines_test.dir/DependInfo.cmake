@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/megatron_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines/megatron_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/megatron_test.cc.o.d"
+  "/root/repo/tests/baselines/pipeline_sim_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines/pipeline_sim_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/pipeline_sim_test.cc.o.d"
+  "/root/repo/tests/baselines/zero_offload_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines/zero_offload_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/zero_offload_test.cc.o.d"
+  "/root/repo/tests/baselines/zero_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines/zero_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/zero_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/comm/coalesced_test.cc" "tests/CMakeFiles/comm_test.dir/comm/coalesced_test.cc.o" "gcc" "tests/CMakeFiles/comm_test.dir/comm/coalesced_test.cc.o.d"
+  "/root/repo/tests/comm/collectives_test.cc" "tests/CMakeFiles/comm_test.dir/comm/collectives_test.cc.o" "gcc" "tests/CMakeFiles/comm_test.dir/comm/collectives_test.cc.o.d"
+  "/root/repo/tests/comm/hierarchical_test.cc" "tests/CMakeFiles/comm_test.dir/comm/hierarchical_test.cc.o" "gcc" "tests/CMakeFiles/comm_test.dir/comm/hierarchical_test.cc.o.d"
+  "/root/repo/tests/comm/ring_test.cc" "tests/CMakeFiles/comm_test.dir/comm/ring_test.cc.o" "gcc" "tests/CMakeFiles/comm_test.dir/comm/ring_test.cc.o.d"
+  "/root/repo/tests/comm/rooted_collectives_test.cc" "tests/CMakeFiles/comm_test.dir/comm/rooted_collectives_test.cc.o" "gcc" "tests/CMakeFiles/comm_test.dir/comm/rooted_collectives_test.cc.o.d"
+  "/root/repo/tests/comm/stress_test.cc" "tests/CMakeFiles/comm_test.dir/comm/stress_test.cc.o" "gcc" "tests/CMakeFiles/comm_test.dir/comm/stress_test.cc.o.d"
+  "/root/repo/tests/comm/topology_test.cc" "tests/CMakeFiles/comm_test.dir/comm/topology_test.cc.o" "gcc" "tests/CMakeFiles/comm_test.dir/comm/topology_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_test.dir/comm/coalesced_test.cc.o"
+  "CMakeFiles/comm_test.dir/comm/coalesced_test.cc.o.d"
+  "CMakeFiles/comm_test.dir/comm/collectives_test.cc.o"
+  "CMakeFiles/comm_test.dir/comm/collectives_test.cc.o.d"
+  "CMakeFiles/comm_test.dir/comm/hierarchical_test.cc.o"
+  "CMakeFiles/comm_test.dir/comm/hierarchical_test.cc.o.d"
+  "CMakeFiles/comm_test.dir/comm/ring_test.cc.o"
+  "CMakeFiles/comm_test.dir/comm/ring_test.cc.o.d"
+  "CMakeFiles/comm_test.dir/comm/rooted_collectives_test.cc.o"
+  "CMakeFiles/comm_test.dir/comm/rooted_collectives_test.cc.o.d"
+  "CMakeFiles/comm_test.dir/comm/stress_test.cc.o"
+  "CMakeFiles/comm_test.dir/comm/stress_test.cc.o.d"
+  "CMakeFiles/comm_test.dir/comm/topology_test.cc.o"
+  "CMakeFiles/comm_test.dir/comm/topology_test.cc.o.d"
+  "comm_test"
+  "comm_test.pdb"
+  "comm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/group_manager_test.cc" "tests/CMakeFiles/core_test.dir/core/group_manager_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/group_manager_test.cc.o.d"
+  "/root/repo/tests/core/heuristics_test.cc" "tests/CMakeFiles/core_test.dir/core/heuristics_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/heuristics_test.cc.o.d"
+  "/root/repo/tests/core/mics_config_test.cc" "tests/CMakeFiles/core_test.dir/core/mics_config_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/mics_config_test.cc.o.d"
+  "/root/repo/tests/core/perf_engine_test.cc" "tests/CMakeFiles/core_test.dir/core/perf_engine_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/perf_engine_test.cc.o.d"
+  "/root/repo/tests/core/perf_sweep_test.cc" "tests/CMakeFiles/core_test.dir/core/perf_sweep_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/perf_sweep_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

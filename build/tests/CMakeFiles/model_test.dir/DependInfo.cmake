@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/flops_test.cc" "tests/CMakeFiles/model_test.dir/model/flops_test.cc.o" "gcc" "tests/CMakeFiles/model_test.dir/model/flops_test.cc.o.d"
+  "/root/repo/tests/model/model_zoo_test.cc" "tests/CMakeFiles/model_test.dir/model/model_zoo_test.cc.o" "gcc" "tests/CMakeFiles/model_test.dir/model/model_zoo_test.cc.o.d"
+  "/root/repo/tests/model/transformer_test.cc" "tests/CMakeFiles/model_test.dir/model/transformer_test.cc.o" "gcc" "tests/CMakeFiles/model_test.dir/model/transformer_test.cc.o.d"
+  "/root/repo/tests/model/wide_resnet_test.cc" "tests/CMakeFiles/model_test.dir/model/wide_resnet_test.cc.o" "gcc" "tests/CMakeFiles/model_test.dir/model/wide_resnet_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/analysis_test.cc" "tests/CMakeFiles/sim_test.dir/sim/analysis_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/analysis_test.cc.o.d"
+  "/root/repo/tests/sim/compute_model_test.cc" "tests/CMakeFiles/sim_test.dir/sim/compute_model_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/compute_model_test.cc.o.d"
+  "/root/repo/tests/sim/cost_model_sweep_test.cc" "tests/CMakeFiles/sim_test.dir/sim/cost_model_sweep_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/cost_model_sweep_test.cc.o.d"
+  "/root/repo/tests/sim/cost_model_test.cc" "tests/CMakeFiles/sim_test.dir/sim/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/cost_model_test.cc.o.d"
+  "/root/repo/tests/sim/memory_model_test.cc" "tests/CMakeFiles/sim_test.dir/sim/memory_model_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/memory_model_test.cc.o.d"
+  "/root/repo/tests/sim/stream_scheduler_test.cc" "tests/CMakeFiles/sim_test.dir/sim/stream_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/stream_scheduler_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/analysis_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/analysis_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/compute_model_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/compute_model_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/cost_model_sweep_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/cost_model_sweep_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/cost_model_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/cost_model_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/memory_model_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/memory_model_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/stream_scheduler_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/stream_scheduler_test.cc.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

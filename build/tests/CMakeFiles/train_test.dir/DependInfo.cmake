@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/train/checkpoint_test.cc" "tests/CMakeFiles/train_test.dir/train/checkpoint_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train/checkpoint_test.cc.o.d"
+  "/root/repo/tests/train/dataset_test.cc" "tests/CMakeFiles/train_test.dir/train/dataset_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train/dataset_test.cc.o.d"
+  "/root/repo/tests/train/flat_parameter_test.cc" "tests/CMakeFiles/train_test.dir/train/flat_parameter_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train/flat_parameter_test.cc.o.d"
+  "/root/repo/tests/train/layerwise_gather_test.cc" "tests/CMakeFiles/train_test.dir/train/layerwise_gather_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train/layerwise_gather_test.cc.o.d"
+  "/root/repo/tests/train/lr_scheduler_test.cc" "tests/CMakeFiles/train_test.dir/train/lr_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train/lr_scheduler_test.cc.o.d"
+  "/root/repo/tests/train/mlp_model_test.cc" "tests/CMakeFiles/train_test.dir/train/mlp_model_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train/mlp_model_test.cc.o.d"
+  "/root/repo/tests/train/optimizer_test.cc" "tests/CMakeFiles/train_test.dir/train/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train/optimizer_test.cc.o.d"
+  "/root/repo/tests/train/sharded_data_parallel_test.cc" "tests/CMakeFiles/train_test.dir/train/sharded_data_parallel_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train/sharded_data_parallel_test.cc.o.d"
+  "/root/repo/tests/train/trainer_test.cc" "tests/CMakeFiles/train_test.dir/train/trainer_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train/trainer_test.cc.o.d"
+  "/root/repo/tests/train/transformer_model_test.cc" "tests/CMakeFiles/train_test.dir/train/transformer_model_test.cc.o" "gcc" "tests/CMakeFiles/train_test.dir/train/transformer_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

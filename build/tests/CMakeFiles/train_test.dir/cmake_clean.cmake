@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_test.dir/train/checkpoint_test.cc.o"
+  "CMakeFiles/train_test.dir/train/checkpoint_test.cc.o.d"
+  "CMakeFiles/train_test.dir/train/dataset_test.cc.o"
+  "CMakeFiles/train_test.dir/train/dataset_test.cc.o.d"
+  "CMakeFiles/train_test.dir/train/flat_parameter_test.cc.o"
+  "CMakeFiles/train_test.dir/train/flat_parameter_test.cc.o.d"
+  "CMakeFiles/train_test.dir/train/layerwise_gather_test.cc.o"
+  "CMakeFiles/train_test.dir/train/layerwise_gather_test.cc.o.d"
+  "CMakeFiles/train_test.dir/train/lr_scheduler_test.cc.o"
+  "CMakeFiles/train_test.dir/train/lr_scheduler_test.cc.o.d"
+  "CMakeFiles/train_test.dir/train/mlp_model_test.cc.o"
+  "CMakeFiles/train_test.dir/train/mlp_model_test.cc.o.d"
+  "CMakeFiles/train_test.dir/train/optimizer_test.cc.o"
+  "CMakeFiles/train_test.dir/train/optimizer_test.cc.o.d"
+  "CMakeFiles/train_test.dir/train/sharded_data_parallel_test.cc.o"
+  "CMakeFiles/train_test.dir/train/sharded_data_parallel_test.cc.o.d"
+  "CMakeFiles/train_test.dir/train/trainer_test.cc.o"
+  "CMakeFiles/train_test.dir/train/trainer_test.cc.o.d"
+  "CMakeFiles/train_test.dir/train/transformer_model_test.cc.o"
+  "CMakeFiles/train_test.dir/train/transformer_model_test.cc.o.d"
+  "train_test"
+  "train_test.pdb"
+  "train_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
