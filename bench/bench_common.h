@@ -6,6 +6,7 @@
 
 #include "core/perf_engine.h"
 #include "model/transformer.h"
+#include "obs/metrics.h"
 #include "util/table_printer.h"
 
 namespace mics::bench {
@@ -40,6 +41,14 @@ inline std::string TflopsCell(const Result<PerfResult>& r) {
 
 inline void PrintHeader(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Dumps the global comm.* traffic counters (call counts, bytes moved,
+/// intra-/inter-node split) accumulated by real in-process collectives
+/// since the last MetricsRegistry reset.
+inline void PrintCommCounters(const std::string& title = "comm counters") {
+  std::cout << "\n--- " << title << " ---\n";
+  obs::MetricsRegistry::Global().WriteText(std::cout, "comm.");
 }
 
 }  // namespace mics::bench

@@ -6,7 +6,6 @@
 //   $ ./timeline_explorer [out_dir]
 //   writes <out_dir>/mics_timeline.json and <out_dir>/zero3_timeline.json
 
-#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -14,6 +13,7 @@
 #include "core/perf_engine.h"
 #include "model/model_zoo.h"
 #include "model/transformer.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 int main(int argc, char** argv) {
@@ -29,9 +29,10 @@ int main(int argc, char** argv) {
 
   auto dump = [&](const char* label, const MicsConfig& config,
                   const std::string& path) {
-    std::ofstream f(path);
-    MICS_CHECK(f.good()) << "cannot write " << path;
-    const PerfResult r = engine.Simulate(job, config, &f).ValueOrDie();
+    obs::TraceRecorder recorder;
+    const PerfResult r = engine.Simulate(job, config, &recorder).ValueOrDie();
+    MICS_CHECK(recorder.WriteChromeTraceFile(path).ok())
+        << "cannot write " << path;
     std::cout << label << ": iter " << r.iter_time * 1e3 << " ms, gather "
               << r.param_gather_time * 1e3 << " ms, grad-sync "
               << r.grad_sync_time * 1e3 << " ms, compute "

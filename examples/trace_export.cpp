@@ -1,0 +1,58 @@
+// Trace export: run REAL MiCS training (executed collectives, not
+// simulation) on the in-process cluster and export what the observability
+// layer saw — a Chrome trace of every rank's per-iteration phases and the
+// global communication counters, including the intra-/inter-node traffic
+// split the MiCS analysis is about.
+//
+//   $ ./trace_export [out_dir]
+//   writes <out_dir>/mics_train_trace.json (chrome://tracing / Perfetto)
+//   and prints the comm.* counters.
+
+#include <iostream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "train/trainer.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace mics;
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  const std::string trace_path = out_dir + "/mics_train_trace.json";
+
+  // 8 ranks on 4 "nodes" of 2 GPUs each, partition groups of 4: each
+  // group spans 2 nodes, so the hierarchical all-gather engages and the
+  // 2-hop schedule has a real second hop.
+  TrainRunOptions options;
+  options.world_size = 8;
+  options.gpus_per_node = 2;
+  options.sdp.strategy = Strategy::kMiCS;
+  options.sdp.partition_group_size = 4;
+  options.sdp.hierarchical_allgather = true;
+  options.iterations = 5;
+  options.grad_accumulation_steps = 2;
+  options.micro_batch = 4;
+  options.model.input_dim = 32;
+  options.model.hidden = 64;
+  options.model.classes = 10;
+
+  obs::TraceRecorder recorder;
+  options.sdp.trace = &recorder;
+  obs::MetricsRegistry::Global().Reset();
+
+  const TrainCurve curve = RunDistributedTraining(options).ValueOrDie();
+  MICS_CHECK(recorder.WriteChromeTraceFile(trace_path).ok())
+      << "cannot write " << trace_path;
+
+  std::cout << "Trained " << curve.losses.size() << " iterations, loss "
+            << curve.losses.front() << " -> " << curve.final_loss() << "\n";
+  std::cout << "Recorded " << recorder.num_events() << " spans on "
+            << recorder.num_tracks() << " rank tracks -> " << trace_path
+            << "\n\nCommunication counters (ring-model bytes, all ranks):\n";
+  obs::MetricsRegistry::Global().WriteText(std::cout, "comm.");
+  std::cout << "\nOpen the JSON in chrome://tracing: one row per rank,\n"
+               "with gather-params / grad-reduce / boundary-sync /\n"
+               "optimizer-step spans nested inside each iteration.\n";
+  return 0;
+}

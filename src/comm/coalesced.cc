@@ -68,6 +68,13 @@ Status ValidateCoalesced(const std::vector<Tensor>& inputs,
 Status Communicator::AllGatherCoalesced(const std::vector<Tensor>& inputs,
                                         std::vector<Tensor>* outputs) {
   MICS_RETURN_NOT_OK(ValidateCoalesced(inputs, outputs, size(), true));
+  // One coalesced launch counts as one all-gather call whose traffic is
+  // the sum over items (exactly how one nccl group launch hits the wire).
+  double link_bytes = 0.0;
+  for (const Tensor& in : inputs) {
+    link_bytes += static_cast<double>(size() - 1) * in.nbytes();
+  }
+  RecordOp(OpKind::kAllGather, link_bytes);
   if (size() == 1) {
     for (size_t i = 0; i < inputs.size(); ++i) {
       if ((*outputs)[i].data() != inputs[i].data()) {
@@ -99,6 +106,11 @@ Status Communicator::ReduceScatterCoalesced(const std::vector<Tensor>& inputs,
                                             std::vector<Tensor>* outputs,
                                             ReduceOp op) {
   MICS_RETURN_NOT_OK(ValidateCoalesced(inputs, outputs, size(), false));
+  double link_bytes = 0.0;
+  for (const Tensor& out : *outputs) {
+    link_bytes += static_cast<double>(size() - 1) * out.nbytes();
+  }
+  RecordOp(OpKind::kReduceScatter, link_bytes);
   if (size() == 1) {
     for (size_t i = 0; i < inputs.size(); ++i) {
       if ((*outputs)[i].data() != inputs[i].data()) {

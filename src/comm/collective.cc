@@ -1,0 +1,70 @@
+#include "comm/collective.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace mics {
+
+Result<HierarchicalComm> HierarchicalComm::Create(
+    World* world, const RankTopology& topo,
+    const std::vector<int>& group_ranks, int global_rank,
+    Communicator* fallback, bool enable_all_gather,
+    bool enable_reduce_scatter) {
+  if (fallback == nullptr) {
+    return Status::InvalidArgument("hierarchical comm needs a fallback");
+  }
+  if (!enable_all_gather && !enable_reduce_scatter) {
+    return Status::InvalidArgument(
+        "hierarchical comm with every algorithm disabled");
+  }
+  std::optional<HierarchicalAllGather> ag;
+  if (enable_all_gather) {
+    MICS_ASSIGN_OR_RETURN(
+        HierarchicalAllGather h,
+        HierarchicalAllGather::Create(world, topo, group_ranks, global_rank));
+    ag = std::move(h);
+  }
+  std::optional<HierarchicalReduceScatter> rs;
+  if (enable_reduce_scatter) {
+    MICS_ASSIGN_OR_RETURN(HierarchicalReduceScatter h,
+                          HierarchicalReduceScatter::Create(
+                              world, topo, group_ranks, global_rank));
+    rs = std::move(h);
+  }
+  return HierarchicalComm(std::move(ag), std::move(rs), fallback);
+}
+
+int HierarchicalComm::size() const {
+  if (ag_.has_value()) return ag_->group_size();
+  if (rs_.has_value()) return rs_->group_size();
+  return fallback_->size();
+}
+
+Status HierarchicalComm::AllGather(const Tensor& input, Tensor* output) {
+  if (!ag_.has_value()) return fallback_->AllGather(input, output);
+  static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter(
+      "comm.hierarchical_all_gather.calls");
+  calls->Increment();
+  return ag_->Run(input, output);
+}
+
+Status HierarchicalComm::AllGatherCoalesced(const std::vector<Tensor>& inputs,
+                                            std::vector<Tensor>* outputs) {
+  if (!ag_.has_value()) return fallback_->AllGatherCoalesced(inputs, outputs);
+  static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter(
+      "comm.hierarchical_all_gather.calls");
+  calls->Increment();
+  return ag_->RunCoalesced(inputs, outputs);
+}
+
+Status HierarchicalComm::ReduceScatter(const Tensor& input, Tensor* output,
+                                       ReduceOp op) {
+  if (!rs_.has_value()) return fallback_->ReduceScatter(input, output, op);
+  static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter(
+      "comm.hierarchical_reduce_scatter.calls");
+  calls->Increment();
+  return rs_->Run(input, output, op);
+}
+
+}  // namespace mics

@@ -1,0 +1,113 @@
+#ifndef MICS_COMM_COLLECTIVE_H_
+#define MICS_COMM_COLLECTIVE_H_
+
+#include <optional>
+#include <vector>
+
+#include "comm/communicator.h"
+#include "comm/hierarchical.h"
+#include "comm/topology.h"
+#include "comm/world.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+
+/// The collective surface sharded training needs from a communication
+/// backend: gather a sharded buffer, and reduce-scatter gradients. Both
+/// the flat rendezvous communicator and the three-stage hierarchical
+/// algorithms of §3.3 implement it, so callers (GroupManager,
+/// ShardedDataParallel, LayerwiseGatherManager) pick an implementation
+/// once at setup instead of branching on `hierarchical_allgather` at each
+/// call site.
+class Collective {
+ public:
+  virtual ~Collective() = default;
+
+  /// Number of group members.
+  virtual int size() const = 0;
+
+  /// Implementation name ("flat" / "hierarchical"), for logs and metrics.
+  virtual const char* kind() const = 0;
+
+  /// output[r*N .. (r+1)*N) = member r's input (N = input.numel()).
+  virtual Status AllGather(const Tensor& input, Tensor* output) = 0;
+
+  /// Batched all-gather: one launch covering every (input, output) pair.
+  virtual Status AllGatherCoalesced(const std::vector<Tensor>& inputs,
+                                    std::vector<Tensor>* outputs) = 0;
+
+  /// output = reduction over members of input[rank*N .. (rank+1)*N).
+  virtual Status ReduceScatter(const Tensor& input, Tensor* output,
+                               ReduceOp op = ReduceOp::kSum) = 0;
+};
+
+/// A Collective backed directly by one Communicator (vanilla ring
+/// semantics). Borrows the communicator; the owner must outlive it.
+class FlatCollective : public Collective {
+ public:
+  explicit FlatCollective(Communicator* comm) : comm_(comm) {}
+
+  int size() const override { return comm_->size(); }
+  const char* kind() const override { return "flat"; }
+  Status AllGather(const Tensor& input, Tensor* output) override {
+    return comm_->AllGather(input, output);
+  }
+  Status AllGatherCoalesced(const std::vector<Tensor>& inputs,
+                            std::vector<Tensor>* outputs) override {
+    return comm_->AllGatherCoalesced(inputs, outputs);
+  }
+  Status ReduceScatter(const Tensor& input, Tensor* output,
+                       ReduceOp op) override {
+    return comm_->ReduceScatter(input, output, op);
+  }
+
+ private:
+  Communicator* comm_;
+};
+
+/// The hierarchical backend: all-gathers run the three-stage algorithm of
+/// §3.3 and (when enabled) reduce-scatters run its dual; anything not
+/// covered by a hierarchical algorithm falls back to `fallback`. Records
+/// `comm.hierarchical_all_gather.calls` / `comm.hierarchical_reduce_
+/// scatter.calls` so traces and benches can attribute traffic to the
+/// hierarchical path (the byte counters come from the underlying
+/// topology-aware communicators).
+class HierarchicalComm : public Collective {
+ public:
+  /// `fallback` (borrowed, must outlive the instance) handles ops the
+  /// hierarchical algorithms do not cover. Fails when the group is not
+  /// node-aligned; callers should then use FlatCollective.
+  static Result<HierarchicalComm> Create(World* world,
+                                         const RankTopology& topo,
+                                         const std::vector<int>& group_ranks,
+                                         int global_rank,
+                                         Communicator* fallback,
+                                         bool enable_all_gather,
+                                         bool enable_reduce_scatter);
+
+  int size() const override;
+  const char* kind() const override { return "hierarchical"; }
+  Status AllGather(const Tensor& input, Tensor* output) override;
+  Status AllGatherCoalesced(const std::vector<Tensor>& inputs,
+                            std::vector<Tensor>* outputs) override;
+  Status ReduceScatter(const Tensor& input, Tensor* output,
+                       ReduceOp op) override;
+
+  bool has_hierarchical_all_gather() const { return ag_.has_value(); }
+  bool has_hierarchical_reduce_scatter() const { return rs_.has_value(); }
+
+ private:
+  HierarchicalComm(std::optional<HierarchicalAllGather> ag,
+                   std::optional<HierarchicalReduceScatter> rs,
+                   Communicator* fallback)
+      : ag_(std::move(ag)), rs_(std::move(rs)), fallback_(fallback) {}
+
+  std::optional<HierarchicalAllGather> ag_;
+  std::optional<HierarchicalReduceScatter> rs_;
+  Communicator* fallback_;
+};
+
+}  // namespace mics
+
+#endif  // MICS_COMM_COLLECTIVE_H_

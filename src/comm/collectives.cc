@@ -62,6 +62,8 @@ Status Communicator::AllGather(const Tensor& input, Tensor* output) {
         std::to_string(output->numel()) + " vs " + std::to_string(n * size()) +
         ")");
   }
+  RecordOp(OpKind::kAllGather,
+           static_cast<double>(size() - 1) * input.nbytes());
   if (size() == 1) {
     if (output->data() != input.data()) {
       std::memcpy(output->data(), input.data(), input.nbytes());
@@ -97,6 +99,8 @@ Status Communicator::ReduceScatter(const Tensor& input, Tensor* output,
     return Status::InvalidArgument(
         "ReduceScatter: input numel must be output numel * group size");
   }
+  RecordOp(OpKind::kReduceScatter,
+           static_cast<double>(size() - 1) * output->nbytes());
   if (size() == 1) {
     if (output->data() != input.data()) {
       std::memcpy(output->data(), input.data(), input.nbytes());
@@ -119,6 +123,9 @@ Status Communicator::AllReduce(Tensor* inout, ReduceOp op) {
   if (!SupportedDtype(inout->dtype())) {
     return Status::InvalidArgument("AllReduce: unsupported dtype");
   }
+  RecordOp(OpKind::kAllReduce, 2.0 * (size() - 1) *
+                                   static_cast<double>(inout->nbytes()) /
+                                   size());
   if (size() == 1) return Status::OK();
   // Reduce into a private scratch first: members read each other's inputs,
   // so writing in place before the exit barrier would race.
@@ -140,6 +147,8 @@ Status Communicator::Broadcast(Tensor* inout, int root) {
   if (root < 0 || root >= size()) {
     return Status::InvalidArgument("Broadcast: root out of range");
   }
+  RecordOp(OpKind::kBroadcast,
+           static_cast<double>(size() - 1) * inout->nbytes() / size());
   if (size() == 1) return Status::OK();
   state_->Publish(group_rank_, inout->data());
   state_->ArriveAndWait();
@@ -168,6 +177,8 @@ Status Communicator::Reduce(const Tensor& input, Tensor* output, int root,
       return Status::InvalidArgument("Reduce: output shape mismatch");
     }
   }
+  RecordOp(OpKind::kReduce,
+           static_cast<double>(size() - 1) * input.nbytes() / size());
   if (size() == 1) {
     if (output->data() != input.data()) {
       std::memcpy(output->data(), input.data(), input.nbytes());
@@ -202,6 +213,8 @@ Status Communicator::Gather(const Tensor& input, Tensor* output, int root) {
       return Status::InvalidArgument("Gather: output shape mismatch");
     }
   }
+  RecordOp(OpKind::kGather,
+           static_cast<double>(size() - 1) * input.nbytes() / size());
   if (size() == 1) {
     if (output->data() != input.data()) {
       std::memcpy(output->data(), input.data(), input.nbytes());
@@ -238,6 +251,8 @@ Status Communicator::Scatter(const Tensor& input, Tensor* output, int root) {
        input.numel() != output->numel() * size())) {
     return Status::InvalidArgument("Scatter: input shape mismatch");
   }
+  RecordOp(OpKind::kScatter,
+           static_cast<double>(size() - 1) * output->nbytes() / size());
   if (size() == 1) {
     if (output->data() != input.data()) {
       std::memcpy(output->data(), input.data(), output->nbytes());
@@ -268,6 +283,8 @@ Status Communicator::AllToAll(const Tensor& input, Tensor* output) {
     return Status::InvalidArgument(
         "AllToAll: numel must be divisible by group size");
   }
+  RecordOp(OpKind::kAllToAll,
+           static_cast<double>(size() - 1) * input.nbytes() / size());
   if (size() == 1) {
     if (output->data() != input.data()) {
       std::memcpy(output->data(), input.data(), input.nbytes());
@@ -288,6 +305,7 @@ Status Communicator::AllToAll(const Tensor& input, Tensor* output) {
 }
 
 Status Communicator::Barrier() {
+  RecordOp(OpKind::kBarrier, 0.0);
   if (size() == 1) return Status::OK();
   state_->ArriveAndWait();
   return Status::OK();

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "comm/topology.h"
 #include "comm/world.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
@@ -18,12 +19,24 @@ enum class ReduceOp { kSum = 0, kAvg = 1, kMax = 2 };
 /// collectives with compatible sizes; each call blocks until the whole
 /// group participates. Reductions accumulate in f32 in a fixed rank order,
 /// so results are bitwise identical on every member and across runs.
+///
+/// Every collective records call counts and bytes-moved into the global
+/// obs::MetricsRegistry under `comm.<op>.*`. Byte accounting follows the
+/// ring-algorithm model the paper's traffic formulas use: each call, every
+/// rank records its per-link share of the algorithm's wire traffic (e.g.
+/// (p-1) * chunk_bytes for an all-gather), split into intra- vs inter-node
+/// bytes by the fraction of ring links that cross node boundaries. The
+/// split needs the rank-to-node mapping: pass `topo` at Create to enable
+/// it; without a topology everything counts as intra-node.
 class Communicator {
  public:
   /// Creates the handle for `global_rank`, which must appear in `ranks`.
   /// All members must pass the same `ranks` list (group order matters).
+  /// `topo` (optional, not retained) classifies traffic as intra- vs
+  /// inter-node for the `comm.*` metrics.
   static Result<Communicator> Create(World* world, std::vector<int> ranks,
-                                     int global_rank);
+                                     int global_rank,
+                                     const RankTopology* topo = nullptr);
 
   /// Rank within the group / group size / rank within the world.
   int rank() const { return group_rank_; }
@@ -86,20 +99,45 @@ class Communicator {
                                 std::vector<Tensor>* outputs,
                                 ReduceOp op = ReduceOp::kSum);
 
+  /// Fraction of this group's ring links that cross node boundaries
+  /// (0 when no topology was provided at Create). Drives the intra- vs
+  /// inter-node split of the `comm.*` traffic counters.
+  double inter_link_fraction() const { return inter_link_fraction_; }
+
  private:
   Communicator(World* world, std::vector<int> ranks, int group_rank,
-               int global_rank, std::shared_ptr<GroupState> state)
+               int global_rank, std::shared_ptr<GroupState> state,
+               double inter_link_fraction)
       : world_(world),
         ranks_(std::move(ranks)),
         group_rank_(group_rank),
         global_rank_(global_rank),
-        state_(std::move(state)) {}
+        state_(std::move(state)),
+        inter_link_fraction_(inter_link_fraction) {}
+
+  /// Instrumented collective kinds (rows of the `comm.<op>.*` counters).
+  enum class OpKind {
+    kAllGather = 0,
+    kReduceScatter,
+    kAllReduce,
+    kBroadcast,
+    kReduce,
+    kGather,
+    kScatter,
+    kAllToAll,
+    kBarrier,
+  };
+
+  /// Records one collective call into the global metrics registry.
+  /// `link_bytes` is this rank's per-link share of the op's wire traffic.
+  void RecordOp(OpKind op, double link_bytes) const;
 
   World* world_;
   std::vector<int> ranks_;
   int group_rank_;
   int global_rank_;
   std::shared_ptr<GroupState> state_;
+  double inter_link_fraction_ = 0.0;
 };
 
 }  // namespace mics

@@ -34,11 +34,12 @@ Result<HierarchicalAllGather> HierarchicalAllGather::Create(
       IntraNodeRanks(topo, group_ranks, global_rank);
   MICS_ASSIGN_OR_RETURN(
       Communicator channel,
-      Communicator::Create(world, channel_ranks, global_rank));
+      Communicator::Create(world, channel_ranks, global_rank, &topo));
   std::optional<Communicator> intra;
   if (k > 1) {
-    MICS_ASSIGN_OR_RETURN(Communicator c,
-                          Communicator::Create(world, intra_ranks, global_rank));
+    MICS_ASSIGN_OR_RETURN(
+        Communicator c,
+        Communicator::Create(world, intra_ranks, global_rank, &topo));
     intra = std::move(c);
   }
   // Group ranks are sorted and node-aligned, so my node's index within the
@@ -196,11 +197,12 @@ Result<HierarchicalReduceScatter> HierarchicalReduceScatter::Create(
       IntraNodeRanks(topo, group_ranks, global_rank);
   MICS_ASSIGN_OR_RETURN(
       Communicator channel,
-      Communicator::Create(world, channel_ranks, global_rank));
+      Communicator::Create(world, channel_ranks, global_rank, &topo));
   std::optional<Communicator> intra;
   if (k > 1) {
-    MICS_ASSIGN_OR_RETURN(Communicator c,
-                          Communicator::Create(world, intra_ranks, global_rank));
+    MICS_ASSIGN_OR_RETURN(
+        Communicator c,
+        Communicator::Create(world, intra_ranks, global_rank, &topo));
     intra = std::move(c);
   }
   const int node_index = channel.rank();

@@ -25,46 +25,40 @@ Result<GroupManager> GroupManager::Create(World* world,
 
   GroupManager gm;
   gm.global_rank_ = global_rank;
-  MICS_ASSIGN_OR_RETURN(Communicator part,
-                        Communicator::Create(world, part_ranks, global_rank));
-  MICS_ASSIGN_OR_RETURN(Communicator repl,
-                        Communicator::Create(world, repl_ranks, global_rank));
-  MICS_ASSIGN_OR_RETURN(Communicator all,
-                        Communicator::Create(world, all_ranks, global_rank));
+  MICS_ASSIGN_OR_RETURN(
+      Communicator part,
+      Communicator::Create(world, part_ranks, global_rank, &topo));
+  MICS_ASSIGN_OR_RETURN(
+      Communicator repl,
+      Communicator::Create(world, repl_ranks, global_rank, &topo));
+  MICS_ASSIGN_OR_RETURN(
+      Communicator all,
+      Communicator::Create(world, all_ranks, global_rank, &topo));
   gm.partition_ = std::make_unique<Communicator>(std::move(part));
   gm.replication_ = std::make_unique<Communicator>(std::move(repl));
   gm.world_comm_ = std::make_unique<Communicator>(std::move(all));
 
-  // Hierarchical all-gather is only defined for node-aligned groups that
-  // span more than one node; otherwise GatherParams falls back to the
-  // vanilla collective.
-  if (enable_hierarchical && IsNodeAligned(topo, part_ranks) &&
-      partition_group_size > topo.gpus_per_node) {
-    auto h = HierarchicalAllGather::Create(world, topo, part_ranks,
-                                           global_rank);
-    if (h.ok()) gm.hierarchical_ = std::move(h).value();
+  // The hierarchical algorithms are only defined for node-aligned groups
+  // that span more than one node; otherwise the flat backend serves
+  // everything.
+  const bool eligible = IsNodeAligned(topo, part_ranks) &&
+                        partition_group_size > topo.gpus_per_node;
+  if (eligible && (enable_hierarchical || enable_hierarchical_rs)) {
+    auto hc = HierarchicalComm::Create(world, topo, part_ranks, global_rank,
+                                       gm.partition_.get(),
+                                       enable_hierarchical,
+                                       enable_hierarchical_rs);
+    if (hc.ok()) {
+      HierarchicalComm built = std::move(hc).value();
+      gm.hierarchical_ag_ = built.has_hierarchical_all_gather();
+      gm.hierarchical_rs_ = built.has_hierarchical_reduce_scatter();
+      gm.collective_ = std::make_unique<HierarchicalComm>(std::move(built));
+    }
   }
-  if (enable_hierarchical_rs && IsNodeAligned(topo, part_ranks) &&
-      partition_group_size > topo.gpus_per_node) {
-    auto h = HierarchicalReduceScatter::Create(world, topo, part_ranks,
-                                               global_rank);
-    if (h.ok()) gm.hierarchical_rs_ = std::move(h).value();
+  if (gm.collective_ == nullptr) {
+    gm.collective_ = std::make_unique<FlatCollective>(gm.partition_.get());
   }
   return gm;
-}
-
-Status GroupManager::ReduceScatterGrads(const Tensor& input, Tensor* output) {
-  if (hierarchical_rs_.has_value()) {
-    return hierarchical_rs_->Run(input, output, ReduceOp::kSum);
-  }
-  return partition_->ReduceScatter(input, output, ReduceOp::kSum);
-}
-
-Status GroupManager::GatherParams(const Tensor& input, Tensor* output) {
-  if (hierarchical_.has_value()) {
-    return hierarchical_->Run(input, output);
-  }
-  return partition_->AllGather(input, output);
 }
 
 }  // namespace mics

@@ -2,11 +2,10 @@
 #define MICS_CORE_GROUP_MANAGER_H_
 
 #include <memory>
-#include <optional>
 #include <vector>
 
+#include "comm/collective.h"
 #include "comm/communicator.h"
-#include "comm/hierarchical.h"
 #include "comm/topology.h"
 #include "comm/world.h"
 #include "util/status.h"
@@ -16,8 +15,13 @@ namespace mics {
 /// Per-rank bundle of the communicators MiCS training needs: the
 /// partition-group communicator (parameter gathering, per-micro-step
 /// reduce-scatter), the replication-group communicator (boundary
-/// all-reduce of the 2-hop schedule), and, when the partition group is
-/// node-aligned and spans nodes, a hierarchical all-gather.
+/// all-reduce of the 2-hop schedule), and the world communicator.
+///
+/// Parameter gathering and gradient reduce-scatter go through one
+/// Collective chosen at Create time — HierarchicalComm when the partition
+/// group is node-aligned and spans nodes (and the hierarchical algorithms
+/// are enabled), FlatCollective otherwise — so callers never branch on the
+/// communication strategy.
 class GroupManager {
  public:
   static Result<GroupManager> Create(World* world, const RankTopology& topo,
@@ -26,9 +30,16 @@ class GroupManager {
                                      bool enable_hierarchical = true,
                                      bool enable_hierarchical_rs = false);
 
+  GroupManager(GroupManager&&) = default;
+  GroupManager& operator=(GroupManager&&) = default;
+
   Communicator& partition() { return *partition_; }
   Communicator& replication() { return *replication_; }
   Communicator& world_comm() { return *world_comm_; }
+
+  /// The collective backend for partition-group traffic (parameter
+  /// all-gathers, per-micro-step gradient reduce-scatters).
+  Collective& collective() { return *collective_; }
 
   int partition_group_size() const { return partition_->size(); }
   int replication_group_size() const { return replication_->size(); }
@@ -36,16 +47,8 @@ class GroupManager {
   /// This rank's shard index within its partition group.
   int shard_index() const { return partition_->rank(); }
 
-  /// All-gathers `input` across the partition group, using the
-  /// hierarchical three-stage algorithm when available.
-  Status GatherParams(const Tensor& input, Tensor* output);
-
-  /// Reduce-scatters `input` across the partition group (the 2-hop first
-  /// hop), using the hierarchical variant when enabled and available.
-  Status ReduceScatterGrads(const Tensor& input, Tensor* output);
-
-  bool has_hierarchical() const { return hierarchical_.has_value(); }
-  bool has_hierarchical_rs() const { return hierarchical_rs_.has_value(); }
+  bool has_hierarchical() const { return hierarchical_ag_; }
+  bool has_hierarchical_rs() const { return hierarchical_rs_; }
 
  private:
   GroupManager() = default;
@@ -54,8 +57,9 @@ class GroupManager {
   std::unique_ptr<Communicator> partition_;
   std::unique_ptr<Communicator> replication_;
   std::unique_ptr<Communicator> world_comm_;
-  std::optional<HierarchicalAllGather> hierarchical_;
-  std::optional<HierarchicalReduceScatter> hierarchical_rs_;
+  std::unique_ptr<Collective> collective_;
+  bool hierarchical_ag_ = false;
+  bool hierarchical_rs_ = false;
 };
 
 }  // namespace mics

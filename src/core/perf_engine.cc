@@ -59,7 +59,20 @@ MemoryBreakdown PerfEngine::EstimateMemory(const TrainJob& job,
 
 Result<PerfResult> PerfEngine::Simulate(const TrainJob& job,
                                         const MicsConfig& config,
-                                        std::ostream* trace) const {
+                                        obs::TraceRecorder* trace,
+                                        obs::MetricsRegistry* metrics) const {
+  // Phase-time accounting goes through the metrics registry; the
+  // PerfResult phase fields below are reads of this run's deltas. A
+  // scratch registry backs the counters when the caller passes none.
+  obs::MetricsRegistry scratch;
+  obs::MetricsRegistry& reg = metrics != nullptr ? *metrics : scratch;
+  obs::Counter* gather_time = reg.GetCounter("sim.param_gather_time_s");
+  obs::Counter* sync_time = reg.GetCounter("sim.grad_sync_time_s");
+  obs::Counter* opt_time = reg.GetCounter("sim.optimizer_time_s");
+  const double gather_base = gather_time->Value();
+  const double sync_base = sync_time->Value();
+  const double opt_base = opt_time->Value();
+
   const int n = cluster_.world_size();
   MICS_RETURN_NOT_OK(config.Validate(n));
   if (job.micro_batch <= 0 || job.global_batch <= 0) {
@@ -210,7 +223,7 @@ Result<PerfResult> PerfEngine::Simulate(const TrainJob& job,
         deps.push_back(compute_ids[window_anchor]);
       }
     }
-    result.param_gather_time += ag_dur[i];
+    gather_time->Add(ag_dur[i]);
     return sched.AddTask(ag_stream, ag_dur[i], deps,
                          trace ? "gather " + job.model.layers[i].name
                                : std::string());
@@ -246,7 +259,7 @@ Result<PerfResult> PerfEngine::Simulate(const TrainJob& job,
       prev_compute = last_compute;
       last_compute = bwd_compute_ids[j];
       if (grad_sync_dur[i] > 0.0) {
-        result.grad_sync_time += grad_sync_dur[i];
+        sync_time->Add(grad_sync_dur[i]);
         last_reduce = sched.AddTask(
             rs_stream, grad_sync_dur[i], {bwd_compute_ids[j]},
             trace ? "grad-sync " + job.model.layers[i].name : std::string());
@@ -263,7 +276,7 @@ Result<PerfResult> PerfEngine::Simulate(const TrainJob& job,
     const int stream =
         repl_shape.spans_nodes() ? kNicStream : kIntraCommStream;
     const double dur = cost_.AllReduceTime(repl_shape, shard_bytes);
-    result.grad_sync_time += dur;
+    sync_time->Add(dur);
     boundary_dep = sched.AddTask(
         stream, dur, {last_reduce >= 0 ? last_reduce : last_compute},
         trace ? "boundary all-reduce" : std::string());
@@ -273,7 +286,7 @@ Result<PerfResult> PerfEngine::Simulate(const TrainJob& job,
     const int stream =
         world_shape.spans_nodes() ? kNicStream : kIntraCommStream;
     const double dur = cost_.AllReduceTime(world_shape, grad_bytes);
-    result.grad_sync_time += dur;
+    sync_time->Add(dur);
     boundary_dep = sched.AddTask(stream, dur, {last_compute},
                                  trace ? "gradient all-reduce"
                                        : std::string());
@@ -282,7 +295,7 @@ Result<PerfResult> PerfEngine::Simulate(const TrainJob& job,
   // Optimizer step over this rank's shard.
   const double shard_params = total_params / config.OptimizerShards(n);
   const double opt_dur = compute_.OptimizerStepTime(shard_params);
-  result.optimizer_time += opt_dur;
+  opt_time->Add(opt_dur);
   const int opt_task =
       sched.AddTask(kComputeStream, opt_dur, {boundary_dep},
                     trace ? "optimizer step" : std::string());
@@ -296,7 +309,7 @@ Result<PerfResult> PerfEngine::Simulate(const TrainJob& job,
         world_shape.spans_nodes() ? kNicStream : kIntraCommStream;
     const double dur =
         cost_.AllGatherTime(world_shape, param_elem * total_params);
-    result.param_gather_time += dur;
+    gather_time->Add(dur);
     sched.AddTask(stream, dur, {opt_task},
                   trace ? "parameter refresh all-gather" : std::string());
   }
@@ -319,8 +332,17 @@ Result<PerfResult> PerfEngine::Simulate(const TrainJob& job,
   result.exposed_comm_time =
       std::max(0.0, result.iter_time - result.compute_time);
 
+  // The phase fields are registry reads: this run's contribution is the
+  // delta past whatever the shared registry already held.
+  result.param_gather_time = gather_time->Value() - gather_base;
+  result.grad_sync_time = sync_time->Value() - sync_base;
+  result.optimizer_time = opt_time->Value() - opt_base;
+  reg.GetCounter("sim.iterations")->Increment();
+  reg.GetGauge("sim.iter_time_s")->Set(result.iter_time);
+  reg.GetGauge("sim.exposed_comm_time_s")->Set(result.exposed_comm_time);
+
   if (trace != nullptr) {
-    sched.WriteChromeTrace(*trace, {"compute", "NVLink", "NIC"});
+    sched.ExportTrace(trace, {"compute", "NVLink", "NIC"});
   }
   return result;
 }

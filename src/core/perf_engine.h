@@ -1,11 +1,12 @@
 #ifndef MICS_CORE_PERF_ENGINE_H_
 #define MICS_CORE_PERF_ENGINE_H_
 
-#include <ostream>
 #include <string>
 
 #include "core/mics_config.h"
 #include "model/model_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/cluster_topology.h"
 #include "sim/compute_model.h"
 #include "sim/cost_model.h"
@@ -78,11 +79,21 @@ class PerfEngine {
 
   /// Simulates one iteration. Returns an OOM-flagged result (not an
   /// error) when the configuration does not fit in GPU memory, matching
-  /// how the paper reports "x" entries. When `trace` is non-null, a
-  /// Chrome trace-event JSON of the simulated timeline is written to it
-  /// (compute / NVLink / NIC streams).
+  /// how the paper reports "x" entries.
+  ///
+  /// Observability sinks (both optional, both borrowed):
+  ///  - `trace`: the simulated timeline is exported as complete events on
+  ///    "compute" / "NVLink" / "NIC" tracks (simulated seconds become
+  ///    trace microseconds); serialize with TraceRecorder::WriteChromeTrace.
+  ///  - `metrics`: per-phase time totals accumulate into the counters
+  ///    sim.param_gather_time_s / sim.grad_sync_time_s /
+  ///    sim.optimizer_time_s (plus sim.iterations). The PerfResult phase
+  ///    fields are reads of this run's deltas from those counters; when
+  ///    `metrics` is null a scratch registry backs them, so results are
+  ///    unchanged.
   Result<PerfResult> Simulate(const TrainJob& job, const MicsConfig& config,
-                              std::ostream* trace = nullptr) const;
+                              obs::TraceRecorder* trace = nullptr,
+                              obs::MetricsRegistry* metrics = nullptr) const;
 
   const ClusterSpec& cluster() const { return cluster_; }
   const CostModel& cost_model() const { return cost_; }

@@ -1,0 +1,129 @@
+#ifndef MICS_OBS_METRICS_H_
+#define MICS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mics::obs {
+
+/// Monotonically increasing metric. Add() is lock-free and safe to call
+/// concurrently from every rank thread; Reset() zeroes the value but keeps
+/// the object registered, so cached pointers stay valid.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment() { Add(1.0); }
+  void Add(double v);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-written-wins metric (loss scale, resident bytes, ...).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary histogram: Observe(v) lands v in the first bucket whose
+/// upper bound is >= v (the last bucket is +inf). Concurrent observers are
+/// counted exactly; sum/count allow mean queries.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double v);
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  /// Count of observations in bucket `i` (bounds().size() + 1 buckets; the
+  /// last one catches everything above the largest bound).
+  int64_t BucketCount(size_t i) const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;  // sorted upper bounds
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One sampled metric value, for Snapshot()/WriteText().
+struct MetricSample {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Process-wide registry of named metrics. Get*() registers on first use
+/// and returns a stable pointer — instrumentation sites look a metric up
+/// once and cache the pointer, so the per-update cost is one atomic op.
+/// Updates are lock-free; registration takes a mutex. Counters, gauges and
+/// histograms live in separate namespaces (a counter and a gauge may share
+/// a name, though conventionally they should not).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` is only consulted on first registration of `name`.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = DefaultBounds());
+
+  /// Value of a counter/gauge, or 0 when it was never registered.
+  double CounterValue(const std::string& name) const;
+  double GaugeValue(const std::string& name) const;
+
+  /// All counters and gauges (histograms contribute `<name>.count` and
+  /// `<name>.sum`), sorted by name.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Zeroes every metric but keeps registrations (cached pointers stay
+  /// valid).
+  void Reset();
+
+  /// Dumps `name value` lines for metrics whose name starts with `prefix`
+  /// (empty prefix = everything), sorted by name.
+  void WriteText(std::ostream& os, const std::string& prefix = "") const;
+
+  /// The process-wide registry all built-in instrumentation records into.
+  static MetricsRegistry& Global();
+
+  /// Default histogram bucket bounds: powers of four from 1us-scale up.
+  static std::vector<double> DefaultBounds();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mics::obs
+
+#endif  // MICS_OBS_METRICS_H_

@@ -1,0 +1,150 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace mics::obs {
+
+namespace {
+
+/// Escapes a string for embedding in a JSON string literal.
+void WriteJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+int TraceRecorder::RegisterTrack(const std::string& name, int pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i].pid == pid && tracks_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  tracks_.push_back({name, pid});
+  return static_cast<int>(tracks_.size()) - 1;
+}
+
+void TraceRecorder::AddCompleteEvent(int track, std::string name, double ts_us,
+                                     double dur_us, std::string category) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MICS_CHECK(track >= 0 && track < static_cast<int>(tracks_.size()))
+      << "unregistered trace track " << track;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.pid = tracks_[static_cast<size_t>(track)].pid;
+  e.tid = track;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  events_.push_back(std::move(e));
+}
+
+double TraceRecorder::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int TraceRecorder::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(events_.size());
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+const std::string& TraceRecorder::track_name(int track) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MICS_CHECK(track >= 0 && track < static_cast<int>(tracks_.size()));
+  return tracks_[static_cast<size_t>(track)].name;
+}
+
+int TraceRecorder::num_tracks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(tracks_.size());
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  tracks_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":";
+    WriteJsonString(os, e.name.empty() ? "span" : e.name);
+    if (!e.category.empty()) {
+      os << ",\"cat\":";
+      WriteJsonString(os, e.category);
+    }
+    os << ",\"ph\":\"X\",\"pid\":" << e.pid << ",\"tid\":" << e.tid
+       << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us << "}";
+  }
+  for (size_t t = 0; t < tracks_.size(); ++t) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+       << tracks_[t].pid << ",\"tid\":" << t << ",\"args\":{\"name\":";
+    WriteJsonString(os, tracks_[t].name);
+    os << "}}";
+  }
+  os << "\n]\n";
+}
+
+Status TraceRecorder::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os.good()) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  WriteChromeTrace(os);
+  if (!os.good()) return Status::Internal("trace write failed: " + path);
+  return Status::OK();
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+}  // namespace mics::obs

@@ -1,0 +1,124 @@
+#ifndef MICS_OBS_TRACE_H_
+#define MICS_OBS_TRACE_H_
+
+#include <chrono>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mics::obs {
+
+/// One completed span, in Chrome trace-event terms: a "complete" (ph:"X")
+/// event on track (pid, tid) starting `ts_us` microseconds after the
+/// recorder's epoch and lasting `dur_us`.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  int pid = 0;
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+/// Thread-safe span recorder shared by every layer of the stack: rank
+/// threads record real wall-clock spans (via ScopedSpan / MICS_TRACE_SPAN)
+/// and the simulator records virtual-time spans (via AddCompleteEvent with
+/// simulated timestamps). Exports chrome://tracing / Perfetto JSON.
+///
+/// Tracks play the role of trace "threads": register one per rank (or per
+/// simulated stream) and record every span of that actor onto it.
+/// RegisterTrack is idempotent per (pid, name), so independent layers
+/// instrumenting the same rank share a track.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Returns the tid for the track named `name` under `pid`, creating it
+  /// on first use. The viewer shows `name` as the thread label.
+  int RegisterTrack(const std::string& name, int pid = 0);
+
+  /// Records a finished span with caller-provided times (used for
+  /// simulated timelines; `ts_us` need not relate to wall time).
+  void AddCompleteEvent(int track, std::string name, double ts_us,
+                        double dur_us, std::string category = std::string());
+
+  /// Microseconds of wall time since the recorder's epoch (construction
+  /// or the last Clear). ScopedSpan uses this clock.
+  double NowUs() const;
+
+  int num_events() const;
+  std::vector<TraceEvent> events() const;
+  const std::string& track_name(int track) const;
+  int num_tracks() const;
+
+  /// Drops all events and tracks and resets the epoch.
+  void Clear();
+
+  /// Writes the recorded spans as a Chrome trace-event JSON array,
+  /// including thread_name metadata so tracks are labeled in the viewer.
+  void WriteChromeTrace(std::ostream& os) const;
+  Status WriteChromeTraceFile(const std::string& path) const;
+
+  /// Process-wide recorder for code without an explicit sink.
+  static TraceRecorder& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceEvent> events_;
+  struct Track {
+    std::string name;
+    int pid = 0;
+  };
+  std::vector<Track> tracks_;
+};
+
+/// RAII span: records [construction, destruction) as a complete event on
+/// `track`. A null recorder or negative track makes it a no-op (the cheap
+/// "tracing disabled" path: two pointer checks, no clock reads).
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, int track, std::string name,
+             const char* category = "")
+      : recorder_(track >= 0 ? recorder : nullptr),
+        track_(track),
+        name_(std::move(name)),
+        category_(category),
+        start_us_(recorder_ ? recorder_->NowUs() : 0.0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (recorder_ == nullptr) return;
+    const double end_us = recorder_->NowUs();
+    recorder_->AddCompleteEvent(track_, std::move(name_), start_us_,
+                                end_us - start_us_, category_);
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  int track_;
+  std::string name_;
+  const char* category_;
+  double start_us_;
+};
+
+#define MICS_TRACE_CONCAT_INNER_(a, b) a##b
+#define MICS_TRACE_CONCAT_(a, b) MICS_TRACE_CONCAT_INNER_(a, b)
+
+/// Traces the enclosing scope as one span. `recorder` may be null and
+/// `track` may be -1 (both disable the span).
+#define MICS_TRACE_SPAN(recorder, track, name)                            \
+  ::mics::obs::ScopedSpan MICS_TRACE_CONCAT_(mics_trace_span_, __LINE__)( \
+      (recorder), (track), (name))
+
+}  // namespace mics::obs
+
+#endif  // MICS_OBS_TRACE_H_

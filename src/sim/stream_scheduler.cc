@@ -54,31 +54,27 @@ std::vector<int> StreamScheduler::AllTaskIds() const {
   return ids;
 }
 
-void StreamScheduler::WriteChromeTrace(
-    std::ostream& os, const std::vector<std::string>& stream_names) const {
-  os << "[";
-  for (int i = 0; i < num_tasks(); ++i) {
-    if (i) os << ",";
-    const int stream = task_stream_[static_cast<size_t>(i)];
-    const std::string& name = names_[static_cast<size_t>(i)];
-    os << "\n{\"name\":\"" << (name.empty() ? "task" : name)
-       << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << stream
-       << ",\"ts\":" << start_[static_cast<size_t>(i)] * 1e6
-       << ",\"dur\":"
-       << (finish_[static_cast<size_t>(i)] - start_[static_cast<size_t>(i)]) *
-              1e6
-       << "}";
-  }
-  // Thread-name metadata so the viewer labels streams.
+void StreamScheduler::ExportTrace(obs::TraceRecorder* recorder,
+                                  const std::vector<std::string>& stream_names,
+                                  int pid) const {
+  MICS_CHECK(recorder != nullptr);
+  // One recorder track per stream; registration is idempotent, so
+  // exporting several schedules into one recorder merges by label.
+  std::vector<int> tracks(static_cast<size_t>(num_streams_));
   for (int s = 0; s < num_streams_; ++s) {
     const std::string label =
         s < static_cast<int>(stream_names.size())
             ? stream_names[static_cast<size_t>(s)]
             : "stream " + std::to_string(s);
-    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << s
-       << ",\"args\":{\"name\":\"" << label << "\"}}";
+    tracks[static_cast<size_t>(s)] = recorder->RegisterTrack(label, pid);
   }
-  os << "\n]\n";
+  for (int i = 0; i < num_tasks(); ++i) {
+    const size_t t = static_cast<size_t>(i);
+    const int track = tracks[static_cast<size_t>(task_stream_[t])];
+    recorder->AddCompleteEvent(track, names_[t].empty() ? "task" : names_[t],
+                               start_[t] * 1e6, (finish_[t] - start_[t]) * 1e6,
+                               "sim");
+  }
 }
 
 }  // namespace mics

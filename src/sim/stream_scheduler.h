@@ -1,10 +1,10 @@
 #ifndef MICS_SIM_STREAM_SCHEDULER_H_
 #define MICS_SIM_STREAM_SCHEDULER_H_
 
-#include <ostream>
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace mics {
@@ -39,11 +39,13 @@ class StreamScheduler {
   /// Ids of every task issued so far (useful for coarse sync barriers).
   std::vector<int> AllTaskIds() const;
 
-  /// Writes the schedule as a Chrome trace-event JSON (load it in
-  /// chrome://tracing or Perfetto). `stream_names` labels the "threads";
-  /// missing entries fall back to "stream N". Times are microseconds.
-  void WriteChromeTrace(std::ostream& os,
-                        const std::vector<std::string>& stream_names) const;
+  /// Exports the schedule into a TraceRecorder: one track per stream
+  /// (named from `stream_names`, falling back to "stream N") under `pid`,
+  /// one complete event per task. Simulated seconds become trace
+  /// microseconds; the recorder serializes to Chrome trace-event JSON.
+  void ExportTrace(obs::TraceRecorder* recorder,
+                   const std::vector<std::string>& stream_names,
+                   int pid = 0) const;
 
  private:
   int num_streams_;

@@ -60,7 +60,8 @@ Status LayerwiseGatherManager::GatherSegment(int index) {
   if (groups_->partition_group_size() == 1) {
     MICS_RETURN_NOT_OK(seg.gathered->CopyFrom(seg.shard));
   } else {
-    MICS_RETURN_NOT_OK(groups_->GatherParams(seg.shard, seg.gathered.get()));
+    MICS_RETURN_NOT_OK(
+        groups_->collective().AllGather(seg.shard, seg.gathered.get()));
   }
   peak_resident_bytes_ = std::max(peak_resident_bytes_, resident_bytes());
   return Status::OK();

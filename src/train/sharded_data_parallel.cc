@@ -59,6 +59,11 @@ ShardedDataParallel::ShardedDataParallel(GroupManager groups,
       accum_shard_({flat.shard_numel()}, DType::kF32),
       scratch_shard_({flat.shard_numel()}, DType::kF32),
       optimizer_(opt_flat.shard_numel(), adam) {
+  if (options_.trace != nullptr) {
+    trace_ = options_.trace;
+    trace_track_ = trace_->RegisterTrack(
+        "rank " + std::to_string(groups_.global_rank()));
+  }
   if (options_.strategy == Strategy::kZeRO2) {
     accum_opt_ = Tensor({opt_flat.shard_numel()}, DType::kF32);
     scratch_opt_ = Tensor({opt_flat.shard_numel()}, DType::kF32);
@@ -123,11 +128,12 @@ Status ShardedDataParallel::InitParameters(
 }
 
 Status ShardedDataParallel::GatherParams() {
+  MICS_TRACE_SPAN(trace_, trace_track_, "gather-params");
   if (!options_.mixed_precision) {
     if (flat_.num_shards() == 1) {
       return full_params_.CopyFrom(shard_params_);
     }
-    return groups_.GatherParams(shard_params_, &full_params_);
+    return groups_.collective().AllGather(shard_params_, &full_params_);
   }
   // Mixed precision: fp32 master -> fp16 wire -> gather -> fp32 compute
   // copy. Parameters round-trip through fp16 every iteration, exactly as
@@ -141,7 +147,7 @@ Status ShardedDataParallel::GatherParams() {
     MICS_RETURN_NOT_OK(full_params16_.CopyFrom(shard_params16_));
   } else {
     MICS_RETURN_NOT_OK(
-        groups_.GatherParams(shard_params16_, &full_params16_));
+        groups_.collective().AllGather(shard_params16_, &full_params16_));
   }
   const uint16_t* gathered = full_params16_.f16();
   float* compute = full_params_.f32();
@@ -152,6 +158,7 @@ Status ShardedDataParallel::GatherParams() {
 }
 
 Status ShardedDataParallel::ReduceMicroStepGrads() {
+  MICS_TRACE_SPAN(trace_, trace_track_, "grad-reduce");
   if (options_.strategy == Strategy::kZeRO1) {
     // ZeRO-1 accumulates FULL gradients locally; synchronization happens
     // once at the boundary (then each rank updates only its optimizer
@@ -181,8 +188,8 @@ Status ShardedDataParallel::ReduceMicroStepGrads() {
       g16[i] = FloatToHalf(g32[i] * scale);
     }
     if (options_.two_hop_sync) {
-      MICS_RETURN_NOT_OK(
-          groups_.ReduceScatterGrads(micro_grads16_, &scratch_shard16_));
+      MICS_RETURN_NOT_OK(groups_.collective().ReduceScatter(
+          micro_grads16_, &scratch_shard16_, ReduceOp::kSum));
     } else {
       MICS_RETURN_NOT_OK(
           groups_.world_comm().AllReduce(&micro_grads16_, ReduceOp::kSum));
@@ -210,8 +217,8 @@ Status ShardedDataParallel::ReduceMicroStepGrads() {
     // First hop: reduce-scatter within the partition group; each rank
     // accumulates its own slice. With p == 1 this degenerates to local
     // accumulation (plain DDP gradient accumulation).
-    MICS_RETURN_NOT_OK(
-        groups_.ReduceScatterGrads(micro_grads_, &scratch_shard_));
+    MICS_RETURN_NOT_OK(groups_.collective().ReduceScatter(
+        micro_grads_, &scratch_shard_, ReduceOp::kSum));
   } else {
     // Alternative schedule (§3.4): global all-reduce, then keep only the
     // owned slice — redundant traffic, identical math.
@@ -233,17 +240,20 @@ Status ShardedDataParallel::FinishIterationAndStep() {
   }
   const bool zero1 = options_.strategy == Strategy::kZeRO1;
   const bool zero2 = options_.strategy == Strategy::kZeRO2;
-  if (zero1) {
-    // ZeRO-1's single synchronization point: all-reduce the full local
-    // gradient accumulation across the world.
-    MICS_RETURN_NOT_OK(
-        groups_.world_comm().AllReduce(&accum_shard_, ReduceOp::kSum));
-  } else if (!zero2 && options_.two_hop_sync &&
-             groups_.replication_group_size() > 1) {
-    // Second hop: synchronize the shard across replication groups at the
-    // gradient accumulation boundary.
-    MICS_RETURN_NOT_OK(
-        groups_.replication().AllReduce(&accum_shard_, ReduceOp::kSum));
+  {
+    MICS_TRACE_SPAN(trace_, trace_track_, "boundary-sync");
+    if (zero1) {
+      // ZeRO-1's single synchronization point: all-reduce the full local
+      // gradient accumulation across the world.
+      MICS_RETURN_NOT_OK(
+          groups_.world_comm().AllReduce(&accum_shard_, ReduceOp::kSum));
+    } else if (!zero2 && options_.two_hop_sync &&
+               groups_.replication_group_size() > 1) {
+      // Second hop: synchronize the shard across replication groups at the
+      // gradient accumulation boundary.
+      MICS_RETURN_NOT_OK(
+          groups_.replication().AllReduce(&accum_shard_, ReduceOp::kSum));
+    }
   }
   // Every element now holds the SUM over all ranks and micro-steps of the
   // per-rank micro-batch-mean gradients; normalize to the global mean.
@@ -294,19 +304,22 @@ Status ShardedDataParallel::FinishIterationAndStep() {
     }
   }
 
-  if (zero1 || zero2) {
-    // Update only this rank's optimizer shard, then refresh the full
-    // replicated parameters with an in-place world all-gather — the
-    // boundary step DeepSpeed's ZeRO-1/2 perform.
-    Tensor param_slice = opt_flat_.ShardView(&shard_params_);
-    Tensor grad_slice =
-        zero2 ? grad_accum.Slice(0, grad_accum.numel())
-              : opt_flat_.ShardView(&accum_shard_);
-    MICS_RETURN_NOT_OK(optimizer_.Step(&param_slice, grad_slice));
-    MICS_RETURN_NOT_OK(
-        groups_.world_comm().AllGather(param_slice, &shard_params_));
-  } else {
-    MICS_RETURN_NOT_OK(optimizer_.Step(&shard_params_, accum_shard_));
+  {
+    MICS_TRACE_SPAN(trace_, trace_track_, "optimizer-step");
+    if (zero1 || zero2) {
+      // Update only this rank's optimizer shard, then refresh the full
+      // replicated parameters with an in-place world all-gather — the
+      // boundary step DeepSpeed's ZeRO-1/2 perform.
+      Tensor param_slice = opt_flat_.ShardView(&shard_params_);
+      Tensor grad_slice =
+          zero2 ? grad_accum.Slice(0, grad_accum.numel())
+                : opt_flat_.ShardView(&accum_shard_);
+      MICS_RETURN_NOT_OK(optimizer_.Step(&param_slice, grad_slice));
+      MICS_RETURN_NOT_OK(
+          groups_.world_comm().AllGather(param_slice, &shard_params_));
+    } else {
+      MICS_RETURN_NOT_OK(optimizer_.Step(&shard_params_, accum_shard_));
+    }
   }
   if (options_.mixed_precision) {
     ++clean_iterations_;

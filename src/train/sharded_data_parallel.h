@@ -9,6 +9,7 @@
 #include "comm/world.h"
 #include "core/group_manager.h"
 #include "core/mics_config.h"
+#include "obs/trace.h"
 #include "tensor/tensor.h"
 #include "train/flat_parameter.h"
 #include "train/optimizer.h"
@@ -53,6 +54,12 @@ struct SdpOptions {
   /// computed across ALL shards via an all-reduce within the partition
   /// group (each group holds the full gradient exactly once).
   float max_grad_norm = 0.0f;
+
+  /// Optional trace sink (borrowed; must outlive the engine). When set,
+  /// each rank records its training phases — parameter gather, gradient
+  /// reduce-scatter, boundary all-reduce, optimizer step — as spans on a
+  /// "rank <global>" track, alongside whatever the caller records there.
+  obs::TraceRecorder* trace = nullptr;
 
   /// Partition group size implied by (strategy, world size).
   int EffectiveGroupSize(int world_size) const;
@@ -164,6 +171,10 @@ class ShardedDataParallel {
   Tensor micro_grads16_;
   Tensor scratch_shard16_;
   AdamOptimizer optimizer_;
+
+  // Trace sink and this rank's track (-1 disables the spans).
+  obs::TraceRecorder* trace_ = nullptr;
+  int trace_track_ = -1;
 
   int pending_micro_steps_ = 0;
   int iterations_ = 0;

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "comm/world.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -45,8 +46,15 @@ Result<TrainCurve> RunLoop(int world_size, int gpus_per_node,
     MICS_RETURN_NOT_OK(
         model.BindParameters(sdp->full_params(), sdp->micro_grads()));
 
+    // Iteration/compute spans land on the same per-rank track the engine
+    // uses for its communication phases (registration is idempotent).
+    obs::TraceRecorder* trace = sdp_options.trace;
+    const int track =
+        trace ? trace->RegisterTrack("rank " + std::to_string(rank)) : -1;
+
     int64_t step_counter = 0;
     for (int iter = 0; iter < iterations; ++iter) {
+      MICS_TRACE_SPAN(trace, track, "iteration " + std::to_string(iter));
       if (lr_schedule != nullptr) {
         MICS_RETURN_NOT_OK(
             sdp->SetLearningRate(lr_schedule->LearningRate(iter)));
@@ -57,7 +65,11 @@ Result<TrainCurve> RunLoop(int world_size, int gpus_per_node,
         Tensor x;
         std::vector<int32_t> y;
         MICS_RETURN_NOT_OK(sample(step_counter++, rank, &x, &y));
-        MICS_ASSIGN_OR_RETURN(float loss, model.ForwardBackward(x, y));
+        float loss = 0.0f;
+        {
+          MICS_TRACE_SPAN(trace, track, "forward-backward");
+          MICS_ASSIGN_OR_RETURN(loss, model.ForwardBackward(x, y));
+        }
         iter_loss += loss;
         MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
       }
@@ -137,9 +149,13 @@ Result<TrainCurve> RunDistributedTraining(const TrainRunOptions& options) {
         model.BindParameters(sdp->full_params(), sdp->micro_grads()));
 
     SyntheticClassificationDataset dataset(data_config, options.seed + 1);
+    obs::TraceRecorder* trace = options.sdp.trace;
+    const int track =
+        trace ? trace->RegisterTrack("rank " + std::to_string(rank)) : -1;
     const int s = options.grad_accumulation_steps;
     int64_t step_counter = 0;
     for (int iter = 0; iter < options.iterations; ++iter) {
+      MICS_TRACE_SPAN(trace, track, "iteration " + std::to_string(iter));
       float iter_loss = 0.0f;
       for (int micro = 0; micro < s; ++micro) {
         MICS_RETURN_NOT_OK(sdp->GatherParams());
@@ -147,7 +163,11 @@ Result<TrainCurve> RunDistributedTraining(const TrainRunOptions& options) {
         std::vector<int32_t> y;
         MICS_RETURN_NOT_OK(
             dataset.Sample(step_counter++, rank, options.micro_batch, &x, &y));
-        MICS_ASSIGN_OR_RETURN(float loss, model.ForwardBackward(x, y));
+        float loss = 0.0f;
+        {
+          MICS_TRACE_SPAN(trace, track, "forward-backward");
+          MICS_ASSIGN_OR_RETURN(loss, model.ForwardBackward(x, y));
+        }
         iter_loss += loss;
         MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
       }

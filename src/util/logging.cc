@@ -1,9 +1,11 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <string>
 
 namespace mics {
 
@@ -36,6 +38,41 @@ const char* SeverityTag(LogSeverity s) {
 void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
 
 LogSeverity MinLogSeverity() { return g_min_severity; }
+
+bool ParseLogSeverity(const std::string& text, LogSeverity* out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "info" || lower == "0") {
+    *out = LogSeverity::kInfo;
+  } else if (lower == "warning" || lower == "1") {
+    *out = LogSeverity::kWarning;
+  } else if (lower == "error" || lower == "2") {
+    *out = LogSeverity::kError;
+  } else if (lower == "fatal" || lower == "3") {
+    *out = LogSeverity::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogSeverity InitLogSeverityFromEnv() {
+  const char* value = std::getenv("MICS_LOG_LEVEL");
+  LogSeverity parsed;
+  if (value != nullptr && ParseLogSeverity(value, &parsed)) {
+    SetMinLogSeverity(parsed);
+  }
+  return MinLogSeverity();
+}
+
+namespace {
+// Apply MICS_LOG_LEVEL before main() so early INFO logs obey it.
+[[maybe_unused]] const LogSeverity g_env_init = InitLogSeverityFromEnv();
+}  // namespace
 
 namespace internal_logging {
 

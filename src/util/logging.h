@@ -46,6 +46,17 @@ struct NullStream {
 void SetMinLogSeverity(LogSeverity severity);
 LogSeverity MinLogSeverity();
 
+/// Parses a severity name ("info", "warning", "error", "fatal",
+/// case-insensitive) or numeric level ("0".."3"). Returns false (leaving
+/// `out` untouched) for anything else.
+bool ParseLogSeverity(const std::string& text, LogSeverity* out);
+
+/// Applies the MICS_LOG_LEVEL environment variable to the minimum
+/// severity (unset or unparsable values leave it unchanged) and returns
+/// the resulting threshold. Runs automatically at process start; tests
+/// call it directly after mutating the environment.
+LogSeverity InitLogSeverityFromEnv();
+
 #define MICS_LOG(severity)                                          \
   ::mics::internal_logging::LogMessage(::mics::LogSeverity::k##severity, \
                                        __FILE__, __LINE__)

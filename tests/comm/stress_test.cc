@@ -102,7 +102,7 @@ TEST(CommStressTest, InterleavedPartitionAndReplicationGroups) {
     Tensor full({16}, DType::kF32);
     for (int iter = 0; iter < 60; ++iter) {
       shard.Fill(static_cast<float>(gm.shard_index() + iter));
-      MICS_RETURN_NOT_OK(gm.GatherParams(shard, &full));
+      MICS_RETURN_NOT_OK(gm.collective().AllGather(shard, &full));
       for (int s = 0; s < 4; ++s) {
         if (full.At(s * 4) != static_cast<float>(s + iter)) {
           return Status::Internal("gather wrong at iter " +
@@ -112,7 +112,8 @@ TEST(CommStressTest, InterleavedPartitionAndReplicationGroups) {
       Tensor grads({16}, DType::kF32);
       grads.Fill(1.0f);
       Tensor reduced({4}, DType::kF32);
-      MICS_RETURN_NOT_OK(gm.ReduceScatterGrads(grads, &reduced));
+      MICS_RETURN_NOT_OK(
+          gm.collective().ReduceScatter(grads, &reduced, ReduceOp::kSum));
       if (reduced.At(0) != 4.0f) return Status::Internal("RS wrong");
       MICS_RETURN_NOT_OK(gm.replication().AllReduce(&reduced));
       if (reduced.At(0) != 8.0f) return Status::Internal("repl AR wrong");

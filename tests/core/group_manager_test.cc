@@ -62,8 +62,8 @@ TEST(GroupManagerTest, GatherParamsEquivalentWithAndWithoutHierarchy) {
     shard.FillNormal(&rng, 1.0f);
     Tensor out1({24}, DType::kF32);
     Tensor out2({24}, DType::kF32);
-    MICS_RETURN_NOT_OK(hier.GatherParams(shard, &out1));
-    MICS_RETURN_NOT_OK(flat.GatherParams(shard, &out2));
+    MICS_RETURN_NOT_OK(hier.collective().AllGather(shard, &out1));
+    MICS_RETURN_NOT_OK(flat.collective().AllGather(shard, &out2));
     MICS_ASSIGN_OR_RETURN(float diff, Tensor::MaxAbsDiff(out1, out2));
     if (diff != 0.0f) return Status::Internal("gather mismatch");
     return Status::OK();

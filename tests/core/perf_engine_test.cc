@@ -261,11 +261,14 @@ TEST(PerfEngineTest, Section23GatherVsComputeRatio) {
 
 TEST(PerfEngineTest, ChromeTraceContainsStreamsAndTasks) {
   PerfEngine engine(ClusterSpec::P3dn(2));
-  std::ostringstream trace;
+  obs::TraceRecorder trace;
   auto r = engine.Simulate(MakeJob(Bert10B(), 8, 256), MicsConfig::Mics(8),
                            &trace);
   ASSERT_TRUE(r.ok());
-  const std::string json = trace.str();
+  EXPECT_EQ(trace.num_tracks(), 3);  // compute / NVLink / NIC
+  std::ostringstream os;
+  trace.WriteChromeTrace(os);
+  const std::string json = os.str();
   EXPECT_NE(json.find("\"gather layer0\""), std::string::npos);
   EXPECT_NE(json.find("\"fwd embedding\""), std::string::npos);
   EXPECT_NE(json.find("\"grad-sync"), std::string::npos);
@@ -273,6 +276,28 @@ TEST(PerfEngineTest, ChromeTraceContainsStreamsAndTasks) {
   EXPECT_NE(json.find("\"NIC\""), std::string::npos);
   EXPECT_EQ(json.front(), '[');
   EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+TEST(PerfEngineTest, PhaseTimesAccumulateIntoSharedRegistry) {
+  PerfEngine engine(ClusterSpec::P3dn(2));
+  obs::MetricsRegistry reg;
+  auto a = engine.Simulate(MakeJob(Bert10B(), 8, 256), MicsConfig::Mics(8),
+                           nullptr, &reg);
+  ASSERT_TRUE(a.ok());
+  const double after_one = reg.CounterValue("sim.param_gather_time_s");
+  EXPECT_DOUBLE_EQ(after_one, a.value().param_gather_time);
+  EXPECT_GT(after_one, 0.0);
+
+  // A second run adds on top of the shared registry, while the per-run
+  // result still reports only its own delta.
+  auto b = engine.Simulate(MakeJob(Bert10B(), 8, 256), MicsConfig::Mics(8),
+                           nullptr, &reg);
+  ASSERT_TRUE(b.ok());
+  // Counter accumulation reorders the floating-point sums slightly.
+  EXPECT_NEAR(b.value().param_gather_time, a.value().param_gather_time, 1e-9);
+  EXPECT_NEAR(reg.CounterValue("sim.param_gather_time_s"), 2.0 * after_one,
+              1e-9);
+  EXPECT_DOUBLE_EQ(reg.CounterValue("sim.iterations"), 2.0);
 }
 
 TEST(PerfEngineTest, Zero1RunsComputeOnlyMicroSteps) {

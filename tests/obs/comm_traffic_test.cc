@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "comm/communicator.h"
+#include "comm/hierarchical.h"
+#include "comm/topology.h"
+#include "comm/world.h"
+#include "obs/metrics.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+namespace {
+
+double Global(const std::string& name) {
+  return obs::MetricsRegistry::Global().CounterValue(name);
+}
+
+// The counters below follow the ring accounting documented on
+// Communicator: each rank records its per-link share of the algorithm's
+// wire traffic, split intra-/inter-node by the fraction of ring links
+// crossing node boundaries. Summing a counter over every rank of a node
+// therefore yields that node's wire traffic, the quantity the paper's
+// (p-1)M/p vs (p-k)M/p analysis (§3.3) is about.
+
+TEST(CommTrafficTest, FlatAllGatherMatchesVanillaInterNodeBytes) {
+  obs::MetricsRegistry::Global().Reset();
+  const RankTopology topo{8, 2};  // p = 8 ranks across 4 nodes, k = 2
+  World world(8);
+  const int64_t elems = 1024;
+  Status st = RunRanks(8, [&](int rank) -> Status {
+    std::vector<int> group(8);
+    std::iota(group.begin(), group.end(), 0);
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, group, rank, &topo));
+    Tensor in({elems}, DType::kF32);
+    in.Fill(static_cast<float>(rank));
+    Tensor out({elems * 8}, DType::kF32);
+    return comm.AllGather(in, &out);
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  const double chunk = static_cast<double>(elems) * 4.0;  // M/p bytes
+  const double model_bytes = 8.0 * chunk;                 // M
+  const int num_nodes = topo.world_size / topo.gpus_per_node;
+
+  EXPECT_DOUBLE_EQ(Global("comm.all_gather.calls"), 8.0);
+  // Every rank moves (p-1) chunks over its ring links.
+  EXPECT_DOUBLE_EQ(Global("comm.all_gather.bytes"), 8.0 * 7.0 * chunk);
+  // Per node, the vanilla ring ships (p-1)M/p across the NIC (§3.3).
+  EXPECT_DOUBLE_EQ(Global("comm.all_gather.inter_node_bytes") / num_nodes,
+                   VanillaInterNodeBytes(8, model_bytes));
+  // Intra + inter = total.
+  EXPECT_DOUBLE_EQ(Global("comm.all_gather.inter_node_bytes") +
+                       Global("comm.all_gather.intra_node_bytes"),
+                   Global("comm.all_gather.bytes"));
+}
+
+TEST(CommTrafficTest, HierarchicalAllGatherMatchesPaperFormula) {
+  obs::MetricsRegistry::Global().Reset();
+  const RankTopology topo{8, 2};
+  World world(8);
+  const int64_t elems = 1024;
+  Status st = RunRanks(8, [&](int rank) -> Status {
+    std::vector<int> group(8);
+    std::iota(group.begin(), group.end(), 0);
+    MICS_ASSIGN_OR_RETURN(
+        HierarchicalAllGather hier,
+        HierarchicalAllGather::Create(&world, topo, group, rank));
+    Tensor in({elems}, DType::kF32);
+    in.Fill(static_cast<float>(rank));
+    Tensor out({elems * 8}, DType::kF32);
+    return hier.Run(in, &out);
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  const double chunk = static_cast<double>(elems) * 4.0;
+  const double model_bytes = 8.0 * chunk;
+  const int num_nodes = topo.world_size / topo.gpus_per_node;
+
+  // Only stage 1 (the per-channel all-gather over one rank per node)
+  // crosses nodes: (p-k)M/p per node, the paper's headline reduction.
+  EXPECT_DOUBLE_EQ(Global("comm.all_gather.inter_node_bytes") / num_nodes,
+                   HierarchicalInterNodeBytes(8, 2, model_bytes));
+  // Strictly less wire traffic than the vanilla ring above.
+  EXPECT_LT(HierarchicalInterNodeBytes(8, 2, model_bytes),
+            VanillaInterNodeBytes(8, model_bytes));
+}
+
+TEST(CommTrafficTest, ReduceScatterAndAllReduceSplitByTopology) {
+  obs::MetricsRegistry::Global().Reset();
+  const RankTopology topo{4, 2};  // 2 nodes of 2
+  World world(4);
+  const int64_t elems = 256;
+  Status st = RunRanks(4, [&](int rank) -> Status {
+    std::vector<int> group(4);
+    std::iota(group.begin(), group.end(), 0);
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, group, rank, &topo));
+    Tensor in({elems * 4}, DType::kF32);
+    in.Fill(1.0f);
+    Tensor out({elems}, DType::kF32);
+    MICS_RETURN_NOT_OK(comm.ReduceScatter(in, &out, ReduceOp::kSum));
+    Tensor buf({elems}, DType::kF32);
+    buf.Fill(1.0f);
+    return comm.AllReduce(&buf, ReduceOp::kSum);
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  const double chunk = static_cast<double>(elems) * 4.0;
+  // Node-major {0,1,2,3} on 2 nodes: links (1,2) and (3,0) cross nodes,
+  // so half of each op's ring traffic is inter-node.
+  EXPECT_DOUBLE_EQ(Global("comm.reduce_scatter.calls"), 4.0);
+  EXPECT_DOUBLE_EQ(Global("comm.reduce_scatter.bytes"), 4.0 * 3.0 * chunk);
+  EXPECT_DOUBLE_EQ(Global("comm.reduce_scatter.inter_node_bytes"),
+                   0.5 * Global("comm.reduce_scatter.bytes"));
+  // All-reduce = reduce-scatter + all-gather: 2(p-1)/p of the buffer.
+  EXPECT_DOUBLE_EQ(Global("comm.all_reduce.bytes"),
+                   4.0 * 2.0 * 3.0 / 4.0 * chunk);
+}
+
+TEST(CommTrafficTest, IntraNodeGroupRecordsNoInterNodeBytes) {
+  obs::MetricsRegistry::Global().Reset();
+  const RankTopology topo{4, 2};
+  World world(4);
+  Status st = RunRanks(4, [&](int rank) -> Status {
+    // Each node's local pair: {0,1} or {2,3}.
+    const int base = (rank / 2) * 2;
+    std::vector<int> group = {base, base + 1};
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, group, rank, &topo));
+    Tensor in({16}, DType::kF32);
+    in.Fill(1.0f);
+    Tensor out({32}, DType::kF32);
+    return comm.AllGather(in, &out);
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_DOUBLE_EQ(Global("comm.all_gather.inter_node_bytes"), 0.0);
+  EXPECT_GT(Global("comm.all_gather.intra_node_bytes"), 0.0);
+}
+
+TEST(CommTrafficTest, SingleMemberGroupsStillCountCalls) {
+  obs::MetricsRegistry::Global().Reset();
+  World world(1);
+  Status st = RunRanks(1, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, {0}, rank));
+    Tensor in({8}, DType::kF32);
+    in.Fill(2.0f);
+    Tensor out({8}, DType::kF32);
+    return comm.AllGather(in, &out);
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_DOUBLE_EQ(Global("comm.all_gather.calls"), 1.0);
+  EXPECT_DOUBLE_EQ(Global("comm.all_gather.bytes"), 0.0);
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,125 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace mics::obs {
+namespace {
+
+TEST(CounterTest, AddAndIncrementAccumulate) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0.0);
+  c.Increment();
+  c.Add(2.5);
+  EXPECT_DOUBLE_EQ(c.Value(), 3.5);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0.0);
+}
+
+TEST(GaugeTest, SetOverwrites) {
+  Gauge g;
+  g.Set(7.0);
+  g.Set(-2.0);
+  EXPECT_DOUBLE_EQ(g.Value(), -2.0);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0.0);
+}
+
+TEST(HistogramTest, ObservationsLandInBuckets) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // bucket 0: <= 1
+  h.Observe(5.0);    // bucket 1: <= 10
+  h.Observe(50.0);   // bucket 2: <= 100
+  h.Observe(500.0);  // overflow bucket
+  EXPECT_EQ(h.Count(), 4);
+  EXPECT_DOUBLE_EQ(h.Sum(), 555.5);
+  EXPECT_DOUBLE_EQ(h.Mean(), 555.5 / 4.0);
+  EXPECT_EQ(h.BucketCount(0), 1);
+  EXPECT_EQ(h.BucketCount(1), 1);
+  EXPECT_EQ(h.BucketCount(2), 1);
+  EXPECT_EQ(h.BucketCount(3), 1);
+}
+
+TEST(MetricsRegistryTest, GetReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x");
+  Counter* b = reg.GetCounter("x");
+  EXPECT_EQ(a, b);
+  a->Add(4.0);
+  EXPECT_DOUBLE_EQ(reg.CounterValue("x"), 4.0);
+  EXPECT_DOUBLE_EQ(reg.CounterValue("never-registered"), 0.0);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  Gauge* g = reg.GetGauge("g");
+  c->Add(3.0);
+  g->Set(9.0);
+  reg.Reset();
+  // The same objects survive a reset, so cached pointers stay valid.
+  EXPECT_EQ(reg.GetCounter("c"), c);
+  EXPECT_EQ(reg.GetGauge("g"), g);
+  EXPECT_EQ(c->Value(), 0.0);
+  EXPECT_EQ(g->Value(), 0.0);
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesFromRankThreadsAreExact) {
+  // The registry's whole job is being shared by rank threads: hammer one
+  // counter, one gauge, and one histogram from many threads and check
+  // nothing is lost.
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      Counter* c = reg.GetCounter("stress.counter");
+      Histogram* h = reg.GetHistogram("stress.histogram");
+      Gauge* g = reg.GetGauge("stress.gauge");
+      for (int i = 0; i < kIters; ++i) {
+        c->Add(1.0);
+        h->Observe(static_cast<double>(t));
+        g->Set(static_cast<double>(t));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(reg.CounterValue("stress.counter"),
+                   static_cast<double>(kThreads) * kIters);
+  EXPECT_EQ(reg.GetHistogram("stress.histogram")->Count(),
+            static_cast<int64_t>(kThreads) * kIters);
+}
+
+TEST(MetricsRegistryTest, SnapshotAndWriteTextAreSortedAndFiltered) {
+  MetricsRegistry reg;
+  reg.GetCounter("comm.all_gather.calls")->Add(2.0);
+  reg.GetCounter("comm.all_reduce.calls")->Add(1.0);
+  reg.GetGauge("sim.iter_time_s")->Set(0.5);
+
+  std::vector<MetricSample> all = reg.Snapshot();
+  ASSERT_GE(all.size(), 3u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].name, all[i].name);
+  }
+
+  std::ostringstream comm_only;
+  reg.WriteText(comm_only, "comm.");
+  EXPECT_NE(comm_only.str().find("comm.all_gather.calls 2"),
+            std::string::npos);
+  EXPECT_EQ(comm_only.str().find("sim.iter_time_s"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GlobalIsOneRegistry) {
+  Counter* c = MetricsRegistry::Global().GetCounter("global.smoke");
+  c->Increment();
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+  EXPECT_GE(MetricsRegistry::Global().CounterValue("global.smoke"), 1.0);
+}
+
+}  // namespace
+}  // namespace mics::obs

@@ -1,0 +1,103 @@
+// End-to-end observability: run REAL MiCS training (executed collectives
+// on the in-process cluster) with a trace sink attached and check that
+// the export is a usable chrome://tracing file with per-rank spans, and
+// that the traffic counters saw the hierarchical path.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "train/trainer.h"
+
+namespace mics {
+namespace {
+
+TrainRunOptions SmallMicsRun() {
+  TrainRunOptions options;
+  options.world_size = 8;
+  options.gpus_per_node = 2;
+  options.sdp.strategy = Strategy::kMiCS;
+  options.sdp.partition_group_size = 4;  // spans 2 nodes -> hierarchical
+  options.sdp.hierarchical_allgather = true;
+  options.iterations = 3;
+  options.grad_accumulation_steps = 2;
+  options.micro_batch = 4;
+  return options;
+}
+
+TEST(ObsTrainingTest, RealMicsRunExportsPerRankSpans) {
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry::Global().Reset();
+
+  TrainRunOptions options = SmallMicsRun();
+  options.sdp.trace = &recorder;
+  Result<TrainCurve> curve = RunDistributedTraining(options);
+  ASSERT_TRUE(curve.ok()) << curve.status().ToString();
+  EXPECT_EQ(curve.value().losses.size(), 3u);
+
+  // One track per rank, named "rank <global>".
+  ASSERT_EQ(recorder.num_tracks(), 8);
+  std::set<std::string> track_names;
+  for (int t = 0; t < recorder.num_tracks(); ++t) {
+    track_names.insert(recorder.track_name(t));
+  }
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_TRUE(track_names.count("rank " + std::to_string(r)))
+        << "missing track for rank " << r;
+  }
+
+  // Every training phase shows up as a span, on every rank's track.
+  const std::vector<obs::TraceEvent> events = recorder.events();
+  const std::vector<std::string> phases = {
+      "gather-params", "grad-reduce", "boundary-sync",
+      "optimizer-step", "forward-backward", "iteration 0"};
+  for (const std::string& phase : phases) {
+    std::set<int> tracks_with_phase;
+    for (const obs::TraceEvent& e : events) {
+      if (e.name == phase) tracks_with_phase.insert(e.tid);
+    }
+    EXPECT_EQ(tracks_with_phase.size(), 8u) << "phase " << phase;
+  }
+  // Spans carry sane wall-clock times.
+  for (const obs::TraceEvent& e : events) {
+    EXPECT_GE(e.ts_us, 0.0);
+    EXPECT_GE(e.dur_us, 0.0);
+  }
+
+  // The export is a non-empty JSON array mentioning the rank tracks.
+  std::ostringstream os;
+  recorder.WriteChromeTrace(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("rank 7"), std::string::npos);
+  EXPECT_NE(json.find("gather-params"), std::string::npos);
+
+  // The hierarchical all-gather actually ran and the traffic counters
+  // recorded inter-node bytes (partition groups span nodes here).
+  EXPECT_GT(obs::MetricsRegistry::Global().CounterValue(
+                "comm.hierarchical_all_gather.calls"),
+            0.0);
+  EXPECT_GT(obs::MetricsRegistry::Global().CounterValue(
+                "comm.all_gather.inter_node_bytes"),
+            0.0);
+}
+
+TEST(ObsTrainingTest, TrainingWithoutSinkRecordsNothing) {
+  obs::TraceRecorder untouched;
+  TrainRunOptions options = SmallMicsRun();
+  options.world_size = 4;
+  options.sdp.partition_group_size = 2;
+  options.iterations = 1;
+  Result<TrainCurve> curve = RunDistributedTraining(options);
+  ASSERT_TRUE(curve.ok()) << curve.status().ToString();
+  EXPECT_EQ(untouched.num_events(), 0);
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mics::obs {
+namespace {
+
+TEST(TraceRecorderTest, RegisterTrackIsIdempotentPerPidAndName) {
+  TraceRecorder rec;
+  const int a = rec.RegisterTrack("rank 0");
+  const int b = rec.RegisterTrack("rank 1");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(rec.RegisterTrack("rank 0"), a);
+  // Same name under a different pid is a different track.
+  EXPECT_NE(rec.RegisterTrack("rank 0", 1), a);
+  EXPECT_EQ(rec.num_tracks(), 3);
+  EXPECT_EQ(rec.track_name(a), "rank 0");
+}
+
+TEST(TraceRecorderTest, ScopedSpanRecordsMonotonicSpans) {
+  TraceRecorder rec;
+  const int track = rec.RegisterTrack("rank 0");
+  {
+    ScopedSpan outer(&rec, track, "outer");
+    { MICS_TRACE_SPAN(&rec, track, "inner"); }
+  }
+  std::vector<TraceEvent> events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans close innermost-first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  for (const TraceEvent& e : events) {
+    EXPECT_GE(e.ts_us, 0.0);
+    EXPECT_GE(e.dur_us, 0.0);
+  }
+  // The inner span nests inside the outer one.
+  EXPECT_GE(events[0].ts_us, events[1].ts_us);
+  EXPECT_LE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us + 1e-3);
+}
+
+TEST(TraceRecorderTest, NullRecorderAndNegativeTrackAreNoOps) {
+  TraceRecorder rec;
+  { MICS_TRACE_SPAN(nullptr, 0, "nothing"); }
+  { MICS_TRACE_SPAN(&rec, -1, "nothing"); }
+  EXPECT_EQ(rec.num_events(), 0);
+}
+
+TEST(TraceRecorderTest, ConcurrentSpansFromManyThreadsAllLand) {
+  TraceRecorder rec;
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      const int track = rec.RegisterTrack("rank " + std::to_string(t));
+      for (int i = 0; i < kSpans; ++i) {
+        MICS_TRACE_SPAN(&rec, track, "work");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(rec.num_events(), kThreads * kSpans);
+  EXPECT_EQ(rec.num_tracks(), kThreads);
+}
+
+// Minimal structural JSON check (no JSON library in the repo): the
+// output must be one balanced array of balanced objects with quoted keys.
+void ExpectStructurallyValidJson(const std::string& json) {
+  ASSERT_FALSE(json.empty());
+  size_t first = json.find_first_not_of(" \n\t");
+  size_t last = json.find_last_not_of(" \n\t");
+  ASSERT_EQ(json[first], '[');
+  ASSERT_EQ(json[last], ']');
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(TraceRecorderTest, ChromeTraceIsValidJsonWithMetadata) {
+  TraceRecorder rec;
+  const int track = rec.RegisterTrack("rank \"0\"");  // needs escaping
+  rec.AddCompleteEvent(track, "gather\nparams", 10.0, 5.0, "comm");
+  rec.AddCompleteEvent(track, "compute", 15.0, 2.5);
+  std::ostringstream os;
+  rec.WriteChromeTrace(os);
+  const std::string json = os.str();
+  ExpectStructurallyValidJson(json);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\\\"0\\\""), std::string::npos);  // escaped quote
+  EXPECT_NE(json.find("\\n"), std::string::npos);        // escaped newline
+}
+
+TEST(TraceRecorderTest, ClearDropsEventsAndTracks) {
+  TraceRecorder rec;
+  const int track = rec.RegisterTrack("rank 0");
+  rec.AddCompleteEvent(track, "x", 0.0, 1.0);
+  rec.Clear();
+  EXPECT_EQ(rec.num_events(), 0);
+  EXPECT_EQ(rec.num_tracks(), 0);
+}
+
+TEST(TraceRecorderTest, NowUsIsMonotonic) {
+  TraceRecorder rec;
+  const double a = rec.NowUs();
+  const double b = rec.NowUs();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace mics::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "util/status.h"
 
 namespace mics {
@@ -34,6 +36,61 @@ TEST(LoggingTest, CheckPassesOnTrueCondition) {
 TEST(LoggingTest, CheckOkPassesOnOkStatus) {
   MICS_CHECK_OK(Status::OK());
   SUCCEED();
+}
+
+TEST(LoggingTest, ParseLogSeverityAcceptsNamesAndLevels) {
+  LogSeverity s = LogSeverity::kFatal;
+  EXPECT_TRUE(ParseLogSeverity("info", &s));
+  EXPECT_EQ(s, LogSeverity::kInfo);
+  EXPECT_TRUE(ParseLogSeverity("WARNING", &s));
+  EXPECT_EQ(s, LogSeverity::kWarning);
+  EXPECT_TRUE(ParseLogSeverity("Error", &s));
+  EXPECT_EQ(s, LogSeverity::kError);
+  EXPECT_TRUE(ParseLogSeverity("fatal", &s));
+  EXPECT_EQ(s, LogSeverity::kFatal);
+  EXPECT_TRUE(ParseLogSeverity("0", &s));
+  EXPECT_EQ(s, LogSeverity::kInfo);
+  EXPECT_TRUE(ParseLogSeverity("2", &s));
+  EXPECT_EQ(s, LogSeverity::kError);
+}
+
+TEST(LoggingTest, ParseLogSeverityRejectsGarbage) {
+  LogSeverity s = LogSeverity::kWarning;
+  EXPECT_FALSE(ParseLogSeverity("", &s));
+  EXPECT_FALSE(ParseLogSeverity("verbose", &s));
+  EXPECT_FALSE(ParseLogSeverity("4", &s));
+  EXPECT_FALSE(ParseLogSeverity("-1", &s));
+  // A failed parse leaves the output untouched.
+  EXPECT_EQ(s, LogSeverity::kWarning);
+}
+
+TEST(LoggingTest, EnvVarConfiguresThreshold) {
+  const LogSeverity prev = MinLogSeverity();
+  ASSERT_EQ(setenv("MICS_LOG_LEVEL", "error", 1), 0);
+  EXPECT_EQ(InitLogSeverityFromEnv(), LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+
+  // Unparsable and unset values leave the threshold alone.
+  ASSERT_EQ(setenv("MICS_LOG_LEVEL", "nonsense", 1), 0);
+  EXPECT_EQ(InitLogSeverityFromEnv(), LogSeverity::kError);
+  ASSERT_EQ(unsetenv("MICS_LOG_LEVEL"), 0);
+  EXPECT_EQ(InitLogSeverityFromEnv(), LogSeverity::kError);
+
+  SetMinLogSeverity(prev);
+}
+
+TEST(LoggingTest, ThresholdSuppressesLowerSeverities) {
+  const LogSeverity prev = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  testing::internal::CaptureStderr();
+  MICS_LOG(Info) << "suppressed info";
+  MICS_LOG(Warning) << "suppressed warning";
+  MICS_LOG(Error) << "emitted error";
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("suppressed info"), std::string::npos);
+  EXPECT_EQ(captured.find("suppressed warning"), std::string::npos);
+  EXPECT_NE(captured.find("emitted error"), std::string::npos);
+  SetMinLogSeverity(prev);
 }
 
 TEST(LoggingDeathTest, CheckFailureAborts) {
