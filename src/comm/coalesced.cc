@@ -86,7 +86,7 @@ Status Communicator::AllGatherCoalesced(const std::vector<Tensor>& inputs,
   }
   CoalescedDesc desc{&inputs};
   state_->Publish(group_rank_, &desc);
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   for (size_t i = 0; i < inputs.size(); ++i) {
     Tensor& out = (*outputs)[i];
     const int64_t chunk_bytes = inputs[i].nbytes();
@@ -98,7 +98,7 @@ Status Communicator::AllGatherCoalesced(const std::vector<Tensor>& inputs,
       if (src != dst) std::memcpy(dst, src, chunk_bytes);
     }
   }
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   return Status::OK();
 }
 
@@ -122,7 +122,7 @@ Status Communicator::ReduceScatterCoalesced(const std::vector<Tensor>& inputs,
   }
   CoalescedDesc desc{&inputs};
   state_->Publish(group_rank_, &desc);
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   const float inv = 1.0f / static_cast<float>(size());
   for (size_t i = 0; i < inputs.size(); ++i) {
     Tensor& out = (*outputs)[i];
@@ -141,7 +141,7 @@ Status Communicator::ReduceScatterCoalesced(const std::vector<Tensor>& inputs,
       StoreElem(out.data(), dt, j, acc);
     }
   }
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   return Status::OK();
 }
 

@@ -1,10 +1,90 @@
 #include "comm/collective.h"
 
+#include <chrono>
+#include <string>
+#include <thread>
 #include <utility>
 
 #include "obs/metrics.h"
 
 namespace mics {
+
+namespace {
+
+/// Fault-dispatch telemetry, looked up once per process.
+struct DispatchCounters {
+  obs::Counter* retries;          // transient attempts retried
+  obs::Counter* retry_exhausted;  // calls that burned the whole budget
+  obs::Counter* backoff_us;       // total microseconds slept in backoff
+};
+
+const DispatchCounters& Counters() {
+  static const DispatchCounters c = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    return DispatchCounters{
+        reg.GetCounter("fault.collective.retries"),
+        reg.GetCounter("fault.collective.retry_exhausted"),
+        reg.GetCounter("fault.collective.backoff_us"),
+    };
+  }();
+  return c;
+}
+
+int64_t CoalescedBytes(const std::vector<Tensor>& inputs) {
+  int64_t total = 0;
+  for (const Tensor& t : inputs) total += t.nbytes();
+  return total;
+}
+
+}  // namespace
+
+void Collective::InstallFaultHook(CollectiveFaultHook* hook,
+                                  RetryPolicy policy) {
+  fault_hook_ = hook;
+  retry_ = policy;
+}
+
+Status Collective::Dispatch(CollectiveCallInfo info,
+                            const std::function<Status()>& op) {
+  if (fault_hook_ == nullptr) return op();
+  int64_t backoff_us = retry_.backoff_us;
+  for (info.attempt = 0;; ++info.attempt) {
+    Status st = fault_hook_->OnCollective(info);
+    if (st.ok()) st = op();
+    if (!st.IsUnavailable()) return st;
+    if (info.attempt + 1 >= retry_.max_attempts) {
+      Counters().retry_exhausted->Increment();
+      return Status::Unavailable(
+          std::string(info.op) + " failed after " +
+          std::to_string(retry_.max_attempts) +
+          " attempts (retry budget exhausted): " + st.message());
+    }
+    Counters().retries->Increment();
+    if (backoff_us > 0) {
+      Counters().backoff_us->Add(static_cast<double>(backoff_us));
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+    backoff_us *= 2;
+  }
+}
+
+Status FlatCollective::AllGather(const Tensor& input, Tensor* output) {
+  return Dispatch({"all_gather", kind(), size(), input.nbytes(), 0},
+                  [&] { return comm_->AllGather(input, output); });
+}
+
+Status FlatCollective::AllGatherCoalesced(const std::vector<Tensor>& inputs,
+                                          std::vector<Tensor>* outputs) {
+  return Dispatch(
+      {"all_gather_coalesced", kind(), size(), CoalescedBytes(inputs), 0},
+      [&] { return comm_->AllGatherCoalesced(inputs, outputs); });
+}
+
+Status FlatCollective::ReduceScatter(const Tensor& input, Tensor* output,
+                                     ReduceOp op) {
+  return Dispatch({"reduce_scatter", kind(), size(), input.nbytes(), 0},
+                  [&] { return comm_->ReduceScatter(input, output, op); });
+}
 
 Result<HierarchicalComm> HierarchicalComm::Create(
     World* world, const RankTopology& topo,
@@ -42,29 +122,39 @@ int HierarchicalComm::size() const {
 }
 
 Status HierarchicalComm::AllGather(const Tensor& input, Tensor* output) {
-  if (!ag_.has_value()) return fallback_->AllGather(input, output);
-  static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter(
-      "comm.hierarchical_all_gather.calls");
-  calls->Increment();
-  return ag_->Run(input, output);
+  return Dispatch({"all_gather", kind(), size(), input.nbytes(), 0}, [&] {
+    if (!ag_.has_value()) return fallback_->AllGather(input, output);
+    static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter(
+        "comm.hierarchical_all_gather.calls");
+    calls->Increment();
+    return ag_->Run(input, output);
+  });
 }
 
 Status HierarchicalComm::AllGatherCoalesced(const std::vector<Tensor>& inputs,
                                             std::vector<Tensor>* outputs) {
-  if (!ag_.has_value()) return fallback_->AllGatherCoalesced(inputs, outputs);
-  static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter(
-      "comm.hierarchical_all_gather.calls");
-  calls->Increment();
-  return ag_->RunCoalesced(inputs, outputs);
+  return Dispatch(
+      {"all_gather_coalesced", kind(), size(), CoalescedBytes(inputs), 0},
+      [&] {
+        if (!ag_.has_value()) {
+          return fallback_->AllGatherCoalesced(inputs, outputs);
+        }
+        static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter(
+            "comm.hierarchical_all_gather.calls");
+        calls->Increment();
+        return ag_->RunCoalesced(inputs, outputs);
+      });
 }
 
 Status HierarchicalComm::ReduceScatter(const Tensor& input, Tensor* output,
                                        ReduceOp op) {
-  if (!rs_.has_value()) return fallback_->ReduceScatter(input, output, op);
-  static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter(
-      "comm.hierarchical_reduce_scatter.calls");
-  calls->Increment();
-  return rs_->Run(input, output, op);
+  return Dispatch({"reduce_scatter", kind(), size(), input.nbytes(), 0}, [&] {
+    if (!rs_.has_value()) return fallback_->ReduceScatter(input, output, op);
+    static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter(
+        "comm.hierarchical_reduce_scatter.calls");
+    calls->Increment();
+    return rs_->Run(input, output, op);
+  });
 }
 
 }  // namespace mics

@@ -1,6 +1,8 @@
 #ifndef MICS_COMM_COLLECTIVE_H_
 #define MICS_COMM_COLLECTIVE_H_
 
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -13,6 +15,39 @@
 
 namespace mics {
 
+/// One collective call about to run through a Collective backend —
+/// everything a fault hook needs to decide whether and how to perturb it.
+struct CollectiveCallInfo {
+  const char* op = "";       // "all_gather" | "all_gather_coalesced" | ...
+  const char* backend = "";  // kind() of the dispatching Collective
+  int group_size = 1;
+  int64_t bytes = 0;  // payload bytes this rank contributes
+  int attempt = 0;    // 0 on the first try, >0 on retries
+};
+
+/// Injection point consulted before every op a Collective backend
+/// dispatches. Because the hook sits on the Collective interface, the flat
+/// and hierarchical backends inject identically — a fault plan does not
+/// care which algorithm carries the traffic.
+///
+/// Contract: return OK to let the attempt run; return Unavailable to fail
+/// the attempt as a transient launch error (the dispatcher retries it with
+/// backoff); return any other error to kill the call outright — the rank
+/// never enters the rendezvous, so peers observe the death as a rendezvous
+/// DeadlineExceeded, never a hang. The hook may also sleep before
+/// returning OK to model stragglers and degraded links.
+class CollectiveFaultHook {
+ public:
+  virtual ~CollectiveFaultHook() = default;
+  virtual Status OnCollective(const CollectiveCallInfo& info) = 0;
+};
+
+/// Bounded-retry-with-backoff policy for transient collective failures.
+struct RetryPolicy {
+  int max_attempts = 4;     // total tries, including the first
+  int64_t backoff_us = 200; // sleep before the first retry; doubles after
+};
+
 /// The collective surface sharded training needs from a communication
 /// backend: gather a sharded buffer, and reduce-scatter gradients. Both
 /// the flat rendezvous communicator and the three-stage hierarchical
@@ -20,6 +55,11 @@ namespace mics {
 /// ShardedDataParallel, LayerwiseGatherManager) pick an implementation
 /// once at setup instead of branching on `hierarchical_allgather` at each
 /// call site.
+///
+/// Every op funnels through Dispatch(), the fault-injection hook point:
+/// with no hook installed dispatch is a direct call; with one installed
+/// each attempt first consults the hook, and Unavailable results (from the
+/// hook or the op itself) are retried transparently under the RetryPolicy.
 class Collective {
  public:
   virtual ~Collective() = default;
@@ -40,6 +80,23 @@ class Collective {
   /// output = reduction over members of input[rank*N .. (rank+1)*N).
   virtual Status ReduceScatter(const Tensor& input, Tensor* output,
                                ReduceOp op = ReduceOp::kSum) = 0;
+
+  /// Installs (or, with nullptr, removes) the fault hook consulted before
+  /// every dispatched op. Borrowed; must outlive the collective. Per-rank:
+  /// each rank's Collective gets that rank's hook.
+  void InstallFaultHook(CollectiveFaultHook* hook,
+                        RetryPolicy policy = RetryPolicy());
+
+  CollectiveFaultHook* fault_hook() const { return fault_hook_; }
+
+ protected:
+  /// Runs `op` through the fault hook with bounded-retry-with-backoff on
+  /// Unavailable. The fast path (no hook) is a single indirect call.
+  Status Dispatch(CollectiveCallInfo info, const std::function<Status()>& op);
+
+ private:
+  CollectiveFaultHook* fault_hook_ = nullptr;
+  RetryPolicy retry_;
 };
 
 /// A Collective backed directly by one Communicator (vanilla ring
@@ -50,17 +107,11 @@ class FlatCollective : public Collective {
 
   int size() const override { return comm_->size(); }
   const char* kind() const override { return "flat"; }
-  Status AllGather(const Tensor& input, Tensor* output) override {
-    return comm_->AllGather(input, output);
-  }
+  Status AllGather(const Tensor& input, Tensor* output) override;
   Status AllGatherCoalesced(const std::vector<Tensor>& inputs,
-                            std::vector<Tensor>* outputs) override {
-    return comm_->AllGatherCoalesced(inputs, outputs);
-  }
+                            std::vector<Tensor>* outputs) override;
   Status ReduceScatter(const Tensor& input, Tensor* output,
-                       ReduceOp op) override {
-    return comm_->ReduceScatter(input, output, op);
-  }
+                       ReduceOp op) override;
 
  private:
   Communicator* comm_;

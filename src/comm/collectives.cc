@@ -71,7 +71,7 @@ Status Communicator::AllGather(const Tensor& input, Tensor* output) {
     return Status::OK();
   }
   state_->Publish(group_rank_, input.data());
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   const int64_t chunk_bytes = input.nbytes();
   uint8_t* out = static_cast<uint8_t*>(output->data());
   for (int r = 0; r < size(); ++r) {
@@ -79,7 +79,7 @@ Status Communicator::AllGather(const Tensor& input, Tensor* output) {
     uint8_t* dst = out + r * chunk_bytes;
     if (src != dst) std::memcpy(dst, src, chunk_bytes);
   }
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   return Status::OK();
 }
 
@@ -108,11 +108,11 @@ Status Communicator::ReduceScatter(const Tensor& input, Tensor* output,
     return Status::OK();
   }
   state_->Publish(group_rank_, input.data());
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   std::vector<const void*> srcs(size());
   for (int r = 0; r < size(); ++r) srcs[r] = state_->Peek(r);
   ReduceInto(srcs, output->data(), input.dtype(), group_rank_ * n, n, op);
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   return Status::OK();
 }
 
@@ -131,11 +131,11 @@ Status Communicator::AllReduce(Tensor* inout, ReduceOp op) {
   // so writing in place before the exit barrier would race.
   Tensor scratch({inout->numel()}, inout->dtype());
   state_->Publish(group_rank_, inout->data());
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   std::vector<const void*> srcs(size());
   for (int r = 0; r < size(); ++r) srcs[r] = state_->Peek(r);
   ReduceInto(srcs, scratch.data(), inout->dtype(), 0, inout->numel(), op);
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   std::memcpy(inout->data(), scratch.data(), inout->nbytes());
   return Status::OK();
 }
@@ -151,11 +151,11 @@ Status Communicator::Broadcast(Tensor* inout, int root) {
            static_cast<double>(size() - 1) * inout->nbytes() / size());
   if (size() == 1) return Status::OK();
   state_->Publish(group_rank_, inout->data());
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   if (group_rank_ != root) {
     std::memcpy(inout->data(), state_->Peek(root), inout->nbytes());
   }
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   return Status::OK();
 }
 
@@ -186,13 +186,13 @@ Status Communicator::Reduce(const Tensor& input, Tensor* output, int root,
     return Status::OK();
   }
   state_->Publish(group_rank_, input.data());
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   if (is_root) {
     std::vector<const void*> srcs(size());
     for (int r = 0; r < size(); ++r) srcs[r] = state_->Peek(r);
     ReduceInto(srcs, output->data(), input.dtype(), 0, input.numel(), op);
   }
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   return Status::OK();
 }
 
@@ -222,7 +222,7 @@ Status Communicator::Gather(const Tensor& input, Tensor* output, int root) {
     return Status::OK();
   }
   state_->Publish(group_rank_, input.data());
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   if (is_root) {
     uint8_t* out = static_cast<uint8_t*>(output->data());
     const int64_t chunk = input.nbytes();
@@ -231,7 +231,7 @@ Status Communicator::Gather(const Tensor& input, Tensor* output, int root) {
       if (src != out + r * chunk) std::memcpy(out + r * chunk, src, chunk);
     }
   }
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   return Status::OK();
 }
 
@@ -260,11 +260,11 @@ Status Communicator::Scatter(const Tensor& input, Tensor* output, int root) {
     return Status::OK();
   }
   state_->Publish(group_rank_, is_root ? input.data() : nullptr);
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   const uint8_t* src = static_cast<const uint8_t*>(state_->Peek(root));
   std::memcpy(output->data(), src + group_rank_ * output->nbytes(),
               output->nbytes());
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   return Status::OK();
 }
 
@@ -292,7 +292,7 @@ Status Communicator::AllToAll(const Tensor& input, Tensor* output) {
     return Status::OK();
   }
   state_->Publish(group_rank_, input.data());
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   const int64_t chunk = input.nbytes() / size();
   uint8_t* out = static_cast<uint8_t*>(output->data());
   for (int r = 0; r < size(); ++r) {
@@ -300,14 +300,14 @@ Status Communicator::AllToAll(const Tensor& input, Tensor* output) {
     std::memcpy(out + r * chunk, src + group_rank_ * chunk,
                 static_cast<size_t>(chunk));
   }
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   return Status::OK();
 }
 
 Status Communicator::Barrier() {
   RecordOp(OpKind::kBarrier, 0.0);
   if (size() == 1) return Status::OK();
-  state_->ArriveAndWait();
+  MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   return Status::OK();
 }
 

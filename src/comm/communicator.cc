@@ -81,6 +81,13 @@ Result<Communicator> Communicator::Create(World* world,
                       std::move(state), inter_fraction);
 }
 
+Tensor* Communicator::RingScratch(int slot, int64_t numel) {
+  MICS_CHECK(slot == 0 || slot == 1);
+  Tensor& t = ring_scratch_[slot];
+  if (t.numel() < numel) t = Tensor({numel}, DType::kF32);
+  return &t;
+}
+
 void Communicator::RecordOp(OpKind op, double link_bytes) const {
   const OpCounters& c = CountersFor(static_cast<size_t>(op));
   c.calls->Increment();

@@ -104,6 +104,13 @@ class Communicator {
   /// inter-node split of the `comm.*` traffic counters.
   double inter_link_fraction() const { return inter_link_fraction_; }
 
+  /// Reusable fp32 scratch buffer for the step-by-step ring algorithms
+  /// (comm/ring.h): grown on demand, never shrunk, so steady-state
+  /// micro-steps take no allocations on the hot path. Two independent
+  /// slots (send/recv). Like the collectives themselves, scratch is for
+  /// the owning rank's thread only.
+  Tensor* RingScratch(int slot, int64_t numel);
+
  private:
   Communicator(World* world, std::vector<int> ranks, int group_rank,
                int global_rank, std::shared_ptr<GroupState> state,
@@ -138,6 +145,7 @@ class Communicator {
   int global_rank_;
   std::shared_ptr<GroupState> state_;
   double inter_link_fraction_ = 0.0;
+  Tensor ring_scratch_[2];
 };
 
 }  // namespace mics

@@ -42,12 +42,12 @@ Status RingAllGather(Communicator* comm, const Tensor& input,
     const int recv_idx = Mod(r - 1 - t, p);
     state->Publish(r, static_cast<const uint8_t*>(output->data()) +
                           static_cast<int64_t>(send_idx) * n * 4);
-    state->ArriveAndWait();
+    MICS_RETURN_NOT_OK(state->ArriveAndWait());
     const void* from_left = state->Peek(Mod(r - 1, p));
     std::memcpy(static_cast<uint8_t*>(output->data()) +
                     static_cast<int64_t>(recv_idx) * n * 4,
                 from_left, static_cast<size_t>(n) * 4);
-    state->ArriveAndWait();
+    MICS_RETURN_NOT_OK(state->ArriveAndWait());
   }
   return Status::OK();
 }
@@ -81,25 +81,28 @@ Status RingReduceScatter(Communicator* comm, const Tensor& input,
     return static_cast<const float*>(input.data()) +
            static_cast<int64_t>(idx) * n;
   };
-  Tensor send_buf({n}, DType::kF32);
-  Tensor recv_buf({n}, DType::kF32);
-  std::memcpy(send_buf.data(), input_chunk(Mod(r - 1, p)),
+  // Per-communicator scratch instead of two fresh tensors per call: this
+  // runs every micro-step of sharded training, so the buffers must stay
+  // off the allocator once warmed up.
+  float* send_buf = comm->RingScratch(0, n)->f32();
+  float* recv_buf = comm->RingScratch(1, n)->f32();
+  std::memcpy(send_buf, input_chunk(Mod(r - 1, p)),
               static_cast<size_t>(n) * 4);
 
   GroupState* state = comm->group_state();
   for (int t = 0; t < p - 1; ++t) {
-    state->Publish(r, send_buf.data());
-    state->ArriveAndWait();
+    state->Publish(r, send_buf);
+    MICS_RETURN_NOT_OK(state->ArriveAndWait());
     const int c = Mod(r - 2 - t, p);
     const float* from_left =
         static_cast<const float*>(state->Peek(Mod(r - 1, p)));
     const float* own = input_chunk(c);
-    float* dst = recv_buf.f32();
-    for (int64_t i = 0; i < n; ++i) dst[i] = from_left[i] + own[i];
-    state->ArriveAndWait();
+    for (int64_t i = 0; i < n; ++i) recv_buf[i] = from_left[i] + own[i];
+    MICS_RETURN_NOT_OK(state->ArriveAndWait());
     std::swap(send_buf, recv_buf);
   }
-  return output->CopyFrom(send_buf);
+  std::memcpy(output->data(), send_buf, static_cast<size_t>(n) * 4);
+  return Status::OK();
 }
 
 }  // namespace mics

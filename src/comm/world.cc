@@ -1,11 +1,111 @@
 #include "comm/world.h"
 
+#include <chrono>
 #include <string>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace mics {
 
-World::World(int world_size) : world_size_(world_size) {
+namespace {
+
+/// Rendezvous fault telemetry, looked up once per process.
+struct RendezvousCounters {
+  obs::Counter* timeouts;           // expired wait windows (incl. retries)
+  obs::Counter* deadline_exceeded;  // waits that exhausted their budget
+  obs::Counter* poisoned_waits;     // waits refused on a poisoned group
+};
+
+const RendezvousCounters& Counters() {
+  static const RendezvousCounters c = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    return RendezvousCounters{
+        reg.GetCounter("fault.rendezvous.timeouts"),
+        reg.GetCounter("fault.rendezvous.deadline_exceeded"),
+        reg.GetCounter("fault.rendezvous.poisoned_waits"),
+    };
+  }();
+  return c;
+}
+
+}  // namespace
+
+int64_t RendezvousOptions::TotalBudgetMs() const {
+  if (timeout_ms <= 0) return 0;
+  double total = 0.0;
+  double window = static_cast<double>(timeout_ms);
+  for (int i = 0; i <= max_retries; ++i) {
+    total += window;
+    window *= backoff;
+  }
+  return static_cast<int64_t>(total);
+}
+
+GroupState::GroupState(int size, RendezvousOptions opts)
+    : size_(size), opts_(opts), slots_(size, nullptr) {}
+
+void GroupState::SetRendezvousOptions(const RendezvousOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  opts_ = opts;
+}
+
+bool GroupState::poisoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return poisoned_;
+}
+
+Status GroupState::ArriveAndWait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (poisoned_) {
+    Counters().poisoned_waits->Increment();
+    return Status::DeadlineExceeded(
+        "rendezvous group poisoned by an earlier timeout (a member is dead "
+        "or stalled)");
+  }
+  const uint64_t gen = generation_;
+  if (++arrived_ == size_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return Status::OK();
+  }
+  const auto done = [&] { return generation_ != gen || poisoned_; };
+  if (opts_.timeout_ms <= 0) {
+    cv_.wait(lock, done);
+  } else {
+    double window_ms = static_cast<double>(opts_.timeout_ms);
+    for (int attempt = 0;; ++attempt) {
+      if (cv_.wait_for(lock,
+                       std::chrono::milliseconds(
+                           static_cast<int64_t>(window_ms)),
+                       done)) {
+        break;
+      }
+      Counters().timeouts->Increment();
+      if (attempt >= opts_.max_retries) {
+        poisoned_ = true;
+        Counters().deadline_exceeded->Increment();
+        const Status st = Status::DeadlineExceeded(
+            "collective rendezvous timed out after " +
+            std::to_string(opts_.TotalBudgetMs()) + "ms (" +
+            std::to_string(attempt + 1) + " waits): " +
+            std::to_string(arrived_) + "/" + std::to_string(size_) +
+            " members arrived; a rank is dead or stalled");
+        cv_.notify_all();
+        return st;
+      }
+      window_ms *= opts_.backoff;
+    }
+  }
+  if (generation_ != gen) return Status::OK();
+  Counters().poisoned_waits->Increment();
+  return Status::DeadlineExceeded(
+      "collective rendezvous aborted: a peer exhausted its deadline budget");
+}
+
+World::World(int world_size, RendezvousOptions rendezvous)
+    : world_size_(world_size), rendezvous_(rendezvous) {
   MICS_CHECK_GT(world_size, 0);
 }
 
@@ -24,7 +124,8 @@ Result<std::shared_ptr<GroupState>> World::GetOrCreateGroup(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = groups_.find(ranks);
   if (it != groups_.end()) return it->second;
-  auto state = std::make_shared<GroupState>(static_cast<int>(ranks.size()));
+  auto state = std::make_shared<GroupState>(static_cast<int>(ranks.size()),
+                                            rendezvous_);
   groups_[ranks] = state;
   return state;
 }

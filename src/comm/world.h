@@ -1,7 +1,8 @@
 #ifndef MICS_COMM_WORLD_H_
 #define MICS_COMM_WORLD_H_
 
-#include <barrier>
+#include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -12,21 +13,63 @@
 
 namespace mics {
 
+/// Deadline policy for collective rendezvous. A rank arriving at a barrier
+/// waits `timeout_ms` for the rest of the group; if the group is still
+/// incomplete it retries the wait up to `max_retries` more times, each
+/// window `backoff` times longer (modelling "wait a bit longer before
+/// declaring the peer gone" on a degraded cloud network). When the whole
+/// budget expires the wait fails with Status::DeadlineExceeded and the
+/// group is poisoned: every current and future waiter fails fast instead
+/// of hanging the process on a dead or stalled rank.
+///
+/// The defaults are deliberately generous (60s + 120s + 240s) so healthy
+/// runs never trip them; fault tests dial them down to milliseconds.
+struct RendezvousOptions {
+  /// First wait window in milliseconds. <= 0 disables deadlines entirely
+  /// (the pre-fault-layer behaviour: block until the group arrives).
+  int64_t timeout_ms = 60000;
+  /// Additional timed waits after the first window expires.
+  int max_retries = 2;
+  /// Multiplier applied to the window on each retry.
+  double backoff = 2.0;
+
+  /// Upper bound on the total wait in milliseconds (0 when disabled).
+  int64_t TotalBudgetMs() const;
+};
+
 /// Shared rendezvous state for one communication group (one unique set of
 /// ranks). Collectives publish per-member buffer pointers into `slots`,
-/// synchronize on `barrier`, read peers' buffers, and synchronize again
+/// synchronize on the barrier, read peers' buffers, and synchronize again
 /// before returning, which gives the same happens-before guarantees a real
 /// NCCL communicator provides at kernel boundaries.
+///
+/// The barrier is a generation-counted condition-variable barrier rather
+/// than std::barrier so that a wait can carry a deadline: a dead rank
+/// surfaces as Status::DeadlineExceeded on every survivor instead of a
+/// process-wide hang (see RendezvousOptions). Once any member times out
+/// the state is poisoned and all members fail fast; the group cannot be
+/// reused — recovery tears the world down and builds a fresh one.
 class GroupState {
  public:
-  explicit GroupState(int size)
-      : size_(size), barrier_(size), slots_(size, nullptr) {}
+  explicit GroupState(int size, RendezvousOptions opts = RendezvousOptions());
 
   GroupState(const GroupState&) = delete;
   GroupState& operator=(const GroupState&) = delete;
 
   int size() const { return size_; }
-  void ArriveAndWait() { barrier_.arrive_and_wait(); }
+
+  /// Blocks until all `size` members arrive, the rendezvous deadline
+  /// budget expires (DeadlineExceeded), or another member poisoned the
+  /// group (also DeadlineExceeded, tagged as a peer failure).
+  [[nodiscard]] Status ArriveAndWait();
+
+  /// Replaces the deadline policy for subsequent barrier phases. All
+  /// members must agree on the policy (same SPMD contract as the
+  /// collectives themselves).
+  void SetRendezvousOptions(const RendezvousOptions& opts);
+
+  /// True once a member timed out; every later ArriveAndWait fails fast.
+  bool poisoned() const;
 
   /// Publishes an opaque pointer for the member at `group_rank`. Only valid
   /// between the surrounding barrier phases of one collective.
@@ -34,22 +77,30 @@ class GroupState {
   const void* Peek(int group_rank) const { return slots_[group_rank]; }
 
  private:
-  int size_;
-  std::barrier<> barrier_;
+  const int size_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  RendezvousOptions opts_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+  bool poisoned_ = false;
   std::vector<const void*> slots_;
 };
 
 /// The in-process "cluster": a fixed number of ranks (threads) and a
 /// registry of communication groups. Plays the role NCCL's bootstrap plays
-/// in the real system. Thread-safe.
+/// in the real system. Thread-safe. The rendezvous deadline policy given
+/// here is inherited by every group the world creates.
 class World {
  public:
-  explicit World(int world_size);
+  explicit World(int world_size,
+                 RendezvousOptions rendezvous = RendezvousOptions());
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
   int world_size() const { return world_size_; }
+  const RendezvousOptions& rendezvous_options() const { return rendezvous_; }
 
   /// Returns the shared state for the group identified by this exact rank
   /// set (order-sensitive: ranks must be listed in group order, and all
@@ -59,6 +110,7 @@ class World {
 
  private:
   int world_size_;
+  RendezvousOptions rendezvous_;
   std::mutex mu_;
   std::map<std::vector<int>, std::shared_ptr<GroupState>> groups_;
 };

@@ -41,6 +41,14 @@ class GroupManager {
   /// all-gathers, per-micro-step gradient reduce-scatters).
   Collective& collective() { return *collective_; }
 
+  /// Installs this rank's fault hook on the collective backend (flat or
+  /// hierarchical — injection is backend-agnostic). Borrowed; nullptr
+  /// uninstalls.
+  void InstallFaultHook(CollectiveFaultHook* hook,
+                        RetryPolicy policy = RetryPolicy()) {
+    collective_->InstallFaultHook(hook, policy);
+  }
+
   int partition_group_size() const { return partition_->size(); }
   int replication_group_size() const { return replication_->size(); }
   int global_rank() const { return global_rank_; }

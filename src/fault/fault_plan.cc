@@ -1,0 +1,108 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace mics::fault {
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCollectiveDelay:
+      return "collective-delay";
+    case FaultKind::kTransientFailure:
+      return "transient-failure";
+    case FaultKind::kRankDeath:
+      return "rank-death";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::DelayAt(int rank, int64_t at_op, int64_t delay_us) {
+  events_.push_back(
+      {FaultKind::kCollectiveDelay, rank, at_op, delay_us, /*failures=*/0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::TransientFailureAt(int rank, int64_t at_op,
+                                         int failures) {
+  events_.push_back(
+      {FaultKind::kTransientFailure, rank, at_op, /*delay_us=*/0, failures});
+  return *this;
+}
+
+FaultPlan& FaultPlan::KillRankAt(int rank, int64_t at_op) {
+  events_.push_back(
+      {FaultKind::kRankDeath, rank, at_op, /*delay_us=*/0, /*failures=*/0});
+  return *this;
+}
+
+FaultPlan FaultPlan::Random(uint64_t seed, const RandomFaultOptions& options) {
+  FaultPlan plan;
+  Rng rng(seed);
+  const auto draw_rank = [&] {
+    return static_cast<int>(
+        rng.Uniform(static_cast<uint64_t>(std::max(1, options.world_size))));
+  };
+  const auto draw_op = [&] {
+    return static_cast<int64_t>(
+        rng.Uniform(static_cast<uint64_t>(std::max<int64_t>(1, options.max_op))));
+  };
+  for (int i = 0; i < options.delays; ++i) {
+    plan.DelayAt(draw_rank(), draw_op(), options.delay_us);
+  }
+  for (int i = 0; i < options.transient_failures; ++i) {
+    plan.TransientFailureAt(draw_rank(), draw_op());
+  }
+  for (int i = 0; i < options.deaths; ++i) {
+    plan.KillRankAt(draw_rank(), draw_op());
+  }
+  return plan;
+}
+
+std::vector<FaultEvent> FaultPlan::EventsForRank(int rank) const {
+  std::vector<FaultEvent> out;
+  for (const FaultEvent& e : events_) {
+    if (e.rank == rank) out.push_back(e);
+  }
+  return out;
+}
+
+Status FaultPlan::Validate(int world_size) const {
+  for (const FaultEvent& e : events_) {
+    if (e.rank < 0 || e.rank >= world_size) {
+      return Status::InvalidArgument(
+          "fault plan names rank " + std::to_string(e.rank) +
+          " outside world of size " + std::to_string(world_size));
+    }
+    if (e.at_op < 0) {
+      return Status::InvalidArgument("fault plan op index must be >= 0");
+    }
+    if (e.kind == FaultKind::kCollectiveDelay && e.delay_us < 0) {
+      return Status::InvalidArgument("fault plan delay must be >= 0");
+    }
+    if (e.kind == FaultKind::kTransientFailure && e.failures <= 0) {
+      return Status::InvalidArgument(
+          "fault plan transient failure count must be positive");
+    }
+  }
+  return Status::OK();
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const FaultEvent& e : events_) {
+    out += std::string(FaultKindToString(e.kind)) + " rank=" +
+           std::to_string(e.rank) + " at_op=" + std::to_string(e.at_op);
+    if (e.kind == FaultKind::kCollectiveDelay) {
+      out += " delay_us=" + std::to_string(e.delay_us);
+    }
+    if (e.kind == FaultKind::kTransientFailure) {
+      out += " failures=" + std::to_string(e.failures);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mics::fault

@@ -1,0 +1,80 @@
+#ifndef MICS_FAULT_FAULT_PLAN_H_
+#define MICS_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mics::fault {
+
+/// The injectable fault classes of the public-cloud failure model (see
+/// DESIGN.md "Fault model & recovery"): stragglers, transient collective
+/// launch failures, and instance preemption.
+enum class FaultKind {
+  kCollectiveDelay = 0,   // straggler: the op runs, late
+  kTransientFailure = 1,  // launch fails; transparent retry succeeds
+  kRankDeath = 2,         // preemption: the rank never collects again
+};
+
+const char* FaultKindToString(FaultKind kind);
+
+/// One scheduled fault. `at_op` indexes the victim rank's collective
+/// dispatches (0-based, counted per incarnation by its FaultInjector);
+/// retries of one call do not advance the index.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCollectiveDelay;
+  int rank = 0;         // victim global rank
+  int64_t at_op = 0;    // victim's at_op-th collective dispatch
+  int64_t delay_us = 0; // kCollectiveDelay: injected latency
+  int failures = 1;     // kTransientFailure: consecutive failing attempts
+};
+
+/// Knobs for FaultPlan::Random. Faults are placed uniformly over
+/// [0, max_op) x [0, world_size) by a seeded Rng, so a (seed, options)
+/// pair names one reproducible failure scenario.
+struct RandomFaultOptions {
+  int world_size = 1;
+  int64_t max_op = 128;   // ops are drawn from [0, max_op)
+  int delays = 0;
+  int64_t delay_us = 500;
+  int transient_failures = 0;
+  int deaths = 0;
+};
+
+/// A deterministic, seeded schedule of faults for one training run: the
+/// whole world shares one plan, and each rank's FaultInjector executes the
+/// events addressed to it. Events are one-shot — a death consumed in one
+/// incarnation does not re-fire after recovery restarts the world, exactly
+/// like a preempted cloud instance being replaced by a healthy one.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Builder-style schedule construction (chainable).
+  FaultPlan& DelayAt(int rank, int64_t at_op, int64_t delay_us);
+  FaultPlan& TransientFailureAt(int rank, int64_t at_op, int failures = 1);
+  FaultPlan& KillRankAt(int rank, int64_t at_op);
+
+  /// A seeded random schedule: same (seed, options) -> same plan, on any
+  /// platform (the Rng is portable).
+  static FaultPlan Random(uint64_t seed, const RandomFaultOptions& options);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::vector<FaultEvent> EventsForRank(int rank) const;
+  bool empty() const { return events_.empty(); }
+
+  /// Every event must name a rank inside [0, world_size) and sane params.
+  Status Validate(int world_size) const;
+
+  /// Human-readable one-line-per-event rendering for logs.
+  std::string ToString() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace mics::fault
+
+#endif  // MICS_FAULT_FAULT_PLAN_H_

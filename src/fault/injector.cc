@@ -1,0 +1,103 @@
+#include "fault/injector.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace mics::fault {
+
+namespace {
+
+/// Injection telemetry, looked up once per process.
+struct InjectCounters {
+  obs::Counter* delays;
+  obs::Counter* delay_us;
+  obs::Counter* transient_failures;
+  obs::Counter* deaths;
+  obs::Counter* dead_rank_calls;
+};
+
+const InjectCounters& Counters() {
+  static const InjectCounters c = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    return InjectCounters{
+        reg.GetCounter("fault.injected.delays"),
+        reg.GetCounter("fault.injected.delay_us"),
+        reg.GetCounter("fault.injected.transient_failures"),
+        reg.GetCounter("fault.injected.deaths"),
+        reg.GetCounter("fault.injected.dead_rank_calls"),
+    };
+  }();
+  return c;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int rank) : rank_(rank) {
+  for (const FaultEvent& e : plan.EventsForRank(rank)) {
+    pending_.push_back(
+        {e, e.kind == FaultKind::kTransientFailure ? e.failures : 1});
+  }
+}
+
+void FaultInjector::ResetForRestart() {
+  next_op_ = 0;
+  dead_ = false;
+  died_at_op_ = -1;
+}
+
+int FaultInjector::pending_events() const {
+  int n = 0;
+  for (const Pending& p : pending_) {
+    if (p.remaining > 0) ++n;
+  }
+  return n;
+}
+
+Status FaultInjector::OnCollective(const CollectiveCallInfo& info) {
+  if (dead_) {
+    Counters().dead_rank_calls->Increment();
+    return Status::FailedPrecondition(
+        "rank " + std::to_string(rank_) + " is dead (injected at op " +
+        std::to_string(died_at_op_) + ")");
+  }
+  // Retries re-present the same logical op; only first attempts advance
+  // the schedule.
+  const int64_t op = info.attempt == 0 ? next_op_++ : next_op_ - 1;
+  for (Pending& p : pending_) {
+    if (p.event.at_op != op || p.remaining <= 0) continue;
+    switch (p.event.kind) {
+      case FaultKind::kCollectiveDelay:
+        if (info.attempt == 0) {
+          p.remaining = 0;
+          Counters().delays->Increment();
+          Counters().delay_us->Add(
+              static_cast<double>(p.event.delay_us));
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(p.event.delay_us));
+        }
+        break;
+      case FaultKind::kTransientFailure:
+        --p.remaining;
+        Counters().transient_failures->Increment();
+        return Status::Unavailable(
+            "injected transient failure of " + std::string(info.op) +
+            " at rank " + std::to_string(rank_) + " op " +
+            std::to_string(op) + " (attempt " +
+            std::to_string(info.attempt) + ")");
+      case FaultKind::kRankDeath:
+        p.remaining = 0;
+        dead_ = true;
+        died_at_op_ = op;
+        Counters().deaths->Increment();
+        return Status::FailedPrecondition(
+            "rank " + std::to_string(rank_) + " died (injected) at op " +
+            std::to_string(op));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mics::fault

@@ -1,0 +1,68 @@
+#ifndef MICS_FAULT_INJECTOR_H_
+#define MICS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/collective.h"
+#include "fault/fault_plan.h"
+#include "util/status.h"
+
+namespace mics::fault {
+
+/// Per-rank executor of one rank's share of a FaultPlan: install it on the
+/// rank's Collective (directly or via ShardedDataParallel) and it fires
+/// the scheduled faults at the scheduled collective dispatches.
+///
+/// Semantics per FaultKind:
+///  - kCollectiveDelay: sleeps `delay_us` before the op runs (counted once,
+///    not again on retries) — a straggler, invisible to correctness.
+///  - kTransientFailure: fails `failures` consecutive attempts of the op
+///    with Status::Unavailable; the Collective dispatcher retries with
+///    backoff, so a plan whose failure count stays under the RetryPolicy
+///    budget is absorbed transparently.
+///  - kRankDeath: every dispatch from the event on (this incarnation)
+///    fails with Status::FailedPrecondition — non-retryable, returned
+///    before the rank enters the rendezvous. The rank's training loop
+///    unwinds; survivors observe DeadlineExceeded from their next
+///    rendezvous instead of hanging.
+///
+/// Events are one-shot across incarnations: ResetForRestart() (called by
+/// the recovery loop between world restarts) revives a dead rank and
+/// rewinds the op counter but does NOT restore consumed events, modelling
+/// a preempted instance being replaced by a healthy one.
+///
+/// Like the Collective it hooks, an injector belongs to one rank thread;
+/// it is not thread-safe.
+class FaultInjector : public CollectiveFaultHook {
+ public:
+  FaultInjector(const FaultPlan& plan, int rank);
+
+  Status OnCollective(const CollectiveCallInfo& info) override;
+
+  /// Prepares the injector for the next world incarnation after a
+  /// recovery restart (see class comment).
+  void ResetForRestart();
+
+  int rank() const { return rank_; }
+  int64_t ops_seen() const { return next_op_; }
+  bool dead() const { return dead_; }
+  /// Events not yet (fully) fired in any incarnation.
+  int pending_events() const;
+
+ private:
+  struct Pending {
+    FaultEvent event;
+    int remaining;  // transient: failures left; others: 1 until fired
+  };
+
+  int rank_;
+  std::vector<Pending> pending_;
+  int64_t next_op_ = 0;
+  bool dead_ = false;
+  int64_t died_at_op_ = -1;
+};
+
+}  // namespace mics::fault
+
+#endif  // MICS_FAULT_INJECTOR_H_

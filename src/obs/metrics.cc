@@ -111,6 +111,19 @@ void MetricsRegistry::Reset() {
   for (auto& [name, h] : histograms_) h->Reset();
 }
 
+void MetricsRegistry::ResetPrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    if (name.rfind(prefix, 0) == 0) c->Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    if (name.rfind(prefix, 0) == 0) g->Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    if (name.rfind(prefix, 0) == 0) h->Reset();
+  }
+}
+
 void MetricsRegistry::WriteText(std::ostream& os,
                                 const std::string& prefix) const {
   for (const MetricSample& s : Snapshot()) {

@@ -107,6 +107,10 @@ class MetricsRegistry {
   /// valid).
   void Reset();
 
+  /// Zeroes only metrics whose name starts with `prefix` (e.g. "fault."
+  /// between recovery experiments), keeping everything else intact.
+  void ResetPrefix(const std::string& prefix);
+
   /// Dumps `name value` lines for metrics whose name starts with `prefix`
   /// (empty prefix = everything), sorted by name.
   void WriteText(std::ostream& os, const std::string& prefix = "") const;

@@ -1,0 +1,78 @@
+#include "sim/recovery_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace mics {
+
+Status RecoveryCostParams::Validate() const {
+  if (iteration_time_s <= 0.0) {
+    return Status::InvalidArgument("iteration_time_s must be positive");
+  }
+  if (checkpoint_write_time_s <= 0.0) {
+    return Status::InvalidArgument("checkpoint_write_time_s must be positive");
+  }
+  if (restart_time_s < 0.0) {
+    return Status::InvalidArgument("restart_time_s must be non-negative");
+  }
+  if (mtbf_s <= 0.0) {
+    return Status::InvalidArgument("mtbf_s must be positive");
+  }
+  return Status::OK();
+}
+
+Result<RecoveryCostModel> RecoveryCostModel::Create(
+    const RecoveryCostParams& params) {
+  MICS_RETURN_NOT_OK(params.Validate());
+  return RecoveryCostModel(params);
+}
+
+double RecoveryCostModel::OptimalCheckpointIntervalS() const {
+  return std::sqrt(2.0 * params_.checkpoint_write_time_s * params_.mtbf_s);
+}
+
+int RecoveryCostModel::OptimalCheckpointIntervalIterations() const {
+  const double iters = OptimalCheckpointIntervalS() / params_.iteration_time_s;
+  return std::max(1, static_cast<int>(std::llround(iters)));
+}
+
+Result<double> RecoveryCostModel::OverheadFraction(double interval_s) const {
+  if (interval_s <= 0.0) {
+    return Status::InvalidArgument("checkpoint interval must be positive");
+  }
+  const double failure_tax =
+      (interval_s / 2.0 + params_.restart_time_s) / params_.mtbf_s;
+  if (failure_tax >= 1.0) {
+    return Status::InvalidArgument(
+        "infeasible checkpoint interval: expected loss per failure (" +
+        std::to_string(interval_s / 2.0 + params_.restart_time_s) +
+        "s) reaches the MTBF (" + std::to_string(params_.mtbf_s) + "s)");
+  }
+  return params_.checkpoint_write_time_s / interval_s + failure_tax;
+}
+
+Result<double> RecoveryCostModel::ExpectedRunTimeS(
+    int iterations, int interval_iterations) const {
+  if (iterations <= 0 || interval_iterations <= 0) {
+    return Status::InvalidArgument(
+        "iterations and interval must be positive");
+  }
+  const double tau = interval_iterations * params_.iteration_time_s;
+  const double failure_tax =
+      (tau / 2.0 + params_.restart_time_s) / params_.mtbf_s;
+  if (failure_tax >= 1.0) {
+    return Status::InvalidArgument(
+        "infeasible checkpoint interval: an expected failure erases more "
+        "work than an interval completes");
+  }
+  const double work_s = iterations * params_.iteration_time_s;
+  const double intervals = std::ceil(static_cast<double>(iterations) /
+                                     static_cast<double>(interval_iterations));
+  const double with_writes = work_s + intervals * params_.checkpoint_write_time_s;
+  // Renewal argument: each second of forward progress is stretched by the
+  // expected rework incurred per failure arriving at rate 1/M.
+  return with_writes / (1.0 - failure_tax);
+}
+
+}  // namespace mics

@@ -1,0 +1,66 @@
+#ifndef MICS_SIM_RECOVERY_MODEL_H_
+#define MICS_SIM_RECOVERY_MODEL_H_
+
+#include "util/status.h"
+
+namespace mics {
+
+/// First-order cost model for checkpoint/restart fault tolerance on
+/// preemptible public-cloud capacity — the analytical companion to the
+/// runtime recovery loop in train/trainer.h. Uses the classic Young/Daly
+/// approximation: with a mean time between failures M, a checkpoint write
+/// cost C and a restart cost R, a run that checkpoints every tau seconds
+/// pays C per interval plus, on each failure, the restart and an expected
+/// half-interval of re-execution.
+struct RecoveryCostParams {
+  /// Fault-free wall-clock seconds per training iteration.
+  double iteration_time_s = 1.0;
+  /// Seconds to write one (atomic, per-rank) checkpoint: C.
+  double checkpoint_write_time_s = 0.1;
+  /// Seconds to tear down, reschedule and rejoin the world after a rank
+  /// loss, before re-execution starts: R.
+  double restart_time_s = 1.0;
+  /// Mean time between failures of the whole world (the paper's Table 4
+  /// operates at the scale where this is hours, not days): M.
+  double mtbf_s = 3600.0;
+
+  Status Validate() const;
+};
+
+class RecoveryCostModel {
+ public:
+  /// Validates params (all positive; see OverheadFraction for the
+  /// additional feasibility constraint applied per interval).
+  static Result<RecoveryCostModel> Create(const RecoveryCostParams& params);
+
+  const RecoveryCostParams& params() const { return params_; }
+
+  /// The Young/Daly optimal checkpoint interval tau* = sqrt(2 C M), in
+  /// seconds of useful work between checkpoints.
+  double OptimalCheckpointIntervalS() const;
+
+  /// tau* expressed in whole iterations (>= 1), the unit the recovery
+  /// loop's `checkpoint_interval` knob uses.
+  int OptimalCheckpointIntervalIterations() const;
+
+  /// Expected fractional overhead of checkpointing every `interval_s`
+  /// seconds: C / tau (write cost) + (tau / 2 + R) / M (expected
+  /// re-execution + restart per failure). First-order expansion, valid
+  /// while both terms are small.
+  Result<double> OverheadFraction(double interval_s) const;
+
+  /// Expected wall-clock seconds to finish `iterations` iterations when
+  /// checkpointing every `interval_iterations`: useful work plus writes,
+  /// inflated by the expected failure tax. Errors when the interval is
+  /// infeasible (an expected failure erases more than it advances).
+  Result<double> ExpectedRunTimeS(int iterations, int interval_iterations) const;
+
+ private:
+  explicit RecoveryCostModel(RecoveryCostParams params) : params_(params) {}
+
+  RecoveryCostParams params_;
+};
+
+}  // namespace mics
+
+#endif  // MICS_SIM_RECOVERY_MODEL_H_

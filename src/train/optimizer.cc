@@ -67,11 +67,16 @@ Status AdamOptimizer::LoadState(std::istream& is) {
         "sharding?)");
   }
   is.read(reinterpret_cast<char*>(&step_), sizeof(step_));
-  is.read(reinterpret_cast<char*>(m_.data()),
-          static_cast<std::streamsize>(m_.size() * sizeof(float)));
-  is.read(reinterpret_cast<char*>(v_.data()),
-          static_cast<std::streamsize>(v_.size() * sizeof(float)));
-  if (!is.good()) return Status::Internal("optimizer state read failed");
+  const auto moments = static_cast<std::streamsize>(m_.size() * sizeof(float));
+  is.read(reinterpret_cast<char*>(m_.data()), moments);
+  if (is.gcount() != moments) {
+    return Status::InvalidArgument("truncated optimizer state (first moment)");
+  }
+  is.read(reinterpret_cast<char*>(v_.data()), moments);
+  if (is.gcount() != moments) {
+    return Status::InvalidArgument(
+        "truncated optimizer state (second moment)");
+  }
   return Status::OK();
 }
 

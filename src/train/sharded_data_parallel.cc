@@ -1,6 +1,8 @@
 #include "train/sharded_data_parallel.h"
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -338,8 +340,15 @@ Status ShardedDataParallel::FinishIterationAndStep() {
 namespace {
 
 constexpr uint64_t kCheckpointMagic = 0x4d694353434b5054ULL;  // "MiCSCKPT"
-constexpr uint32_t kCheckpointVersion = 1;
+// v2: the header is serialized field-by-field as fixed-width little-endian
+// values instead of a raw struct dump, so the on-disk format no longer
+// depends on compiler padding or host ABI. v1 files (raw struct) happen to
+// share the first 12 bytes (magic + version), so they are rejected with a
+// clear version error rather than misread.
+constexpr uint32_t kCheckpointVersion = 2;
 
+/// Decoded checkpoint header; the wire layout is the PutXX/TakeXX sequence
+/// in Save/LoadCheckpoint, not this struct's memory layout.
 struct CheckpointHeader {
   uint64_t magic = kCheckpointMagic;
   uint32_t version = kCheckpointVersion;
@@ -354,6 +363,67 @@ struct CheckpointHeader {
   int32_t clean_iterations = 0;
 };
 
+void PutU32(std::ostream& os, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(b, 4);
+}
+
+void PutU64(std::ostream& os, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(b, 8);
+}
+
+void PutI32(std::ostream& os, int32_t v) {
+  PutU32(os, static_cast<uint32_t>(v));
+}
+void PutI64(std::ostream& os, int64_t v) {
+  PutU64(os, static_cast<uint64_t>(v));
+}
+void PutF32(std::ostream& os, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(os, bits);
+}
+
+bool TakeU32(std::istream& is, uint32_t* v) {
+  unsigned char b[4];
+  is.read(reinterpret_cast<char*>(b), 4);
+  if (is.gcount() != 4) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(b[i]) << (8 * i);
+  return true;
+}
+
+bool TakeU64(std::istream& is, uint64_t* v) {
+  unsigned char b[8];
+  is.read(reinterpret_cast<char*>(b), 8);
+  if (is.gcount() != 8) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  return true;
+}
+
+bool TakeI32(std::istream& is, int32_t* v) {
+  uint32_t u;
+  if (!TakeU32(is, &u)) return false;
+  *v = static_cast<int32_t>(u);
+  return true;
+}
+bool TakeI64(std::istream& is, int64_t* v) {
+  uint64_t u;
+  if (!TakeU64(is, &u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+bool TakeF32(std::istream& is, float* v) {
+  uint32_t bits;
+  if (!TakeU32(is, &bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
 std::string CheckpointPath(const std::string& dir, int global_rank) {
   return dir + "/mics-rank" + std::to_string(global_rank) + ".ckpt";
 }
@@ -366,25 +436,44 @@ Status ShardedDataParallel::SaveCheckpoint(const std::string& dir) const {
         "checkpoint only at iteration boundaries (micro-steps pending)");
   }
   const std::string path = CheckpointPath(dir, groups_.global_rank());
-  std::ofstream os(path, std::ios::binary);
-  if (!os.good()) {
-    return Status::Internal("cannot open " + path + " for writing");
+  // Atomic protocol: write the full state to a temp file, then rename into
+  // place. A crash mid-write leaves only the temp file behind; readers
+  // either see the previous complete checkpoint or the new one, never a
+  // truncated hybrid.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os.good()) {
+      return Status::Internal("cannot open " + tmp + " for writing");
+    }
+    PutU64(os, kCheckpointMagic);
+    PutU32(os, kCheckpointVersion);
+    PutI32(os, world_size_);
+    PutI32(os, flat_.num_shards());
+    PutI32(os, groups_.global_rank());
+    PutI64(os, true_numel_);
+    PutI64(os, flat_.shard_numel());
+    PutI32(os, iterations_);
+    PutI32(os, skipped_steps_);
+    PutF32(os, loss_scale_);
+    PutI32(os, clean_iterations_);
+    os.write(static_cast<const char*>(shard_params_.data()),
+             static_cast<std::streamsize>(shard_params_.nbytes()));
+    Status st = optimizer_.SaveState(os);
+    if (st.ok()) {
+      os.flush();
+      if (!os.good()) st = Status::Internal("checkpoint write failed");
+    }
+    if (!st.ok()) {
+      os.close();
+      std::remove(tmp.c_str());
+      return st;
+    }
   }
-  CheckpointHeader header;
-  header.world_size = world_size_;
-  header.partition_group_size = flat_.num_shards();
-  header.global_rank = groups_.global_rank();
-  header.num_params = true_numel_;
-  header.shard_numel = flat_.shard_numel();
-  header.iterations = iterations_;
-  header.skipped_steps = skipped_steps_;
-  header.loss_scale = loss_scale_;
-  header.clean_iterations = clean_iterations_;
-  os.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  os.write(static_cast<const char*>(shard_params_.data()),
-           static_cast<std::streamsize>(shard_params_.nbytes()));
-  MICS_RETURN_NOT_OK(optimizer_.SaveState(os));
-  if (!os.good()) return Status::Internal("checkpoint write failed");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " into place");
+  }
   return Status::OK();
 }
 
@@ -395,12 +484,28 @@ Status ShardedDataParallel::LoadCheckpoint(const std::string& dir) {
     return Status::NotFound("no checkpoint at " + path);
   }
   CheckpointHeader header;
-  is.read(reinterpret_cast<char*>(&header), sizeof(header));
-  if (!is.good() || header.magic != kCheckpointMagic) {
+  if (!TakeU64(is, &header.magic) || header.magic != kCheckpointMagic) {
     return Status::InvalidArgument(path + " is not a MiCS checkpoint");
   }
+  if (!TakeU32(is, &header.version)) {
+    return Status::InvalidArgument(path + ": truncated checkpoint header");
+  }
   if (header.version != kCheckpointVersion) {
-    return Status::InvalidArgument("unsupported checkpoint version");
+    return Status::InvalidArgument(
+        path + ": unsupported checkpoint version " +
+        std::to_string(header.version) + " (this build reads version " +
+        std::to_string(kCheckpointVersion) + "; re-save from a current run)");
+  }
+  if (!TakeI32(is, &header.world_size) ||
+      !TakeI32(is, &header.partition_group_size) ||
+      !TakeI32(is, &header.global_rank) ||
+      !TakeI64(is, &header.num_params) ||
+      !TakeI64(is, &header.shard_numel) ||
+      !TakeI32(is, &header.iterations) ||
+      !TakeI32(is, &header.skipped_steps) ||
+      !TakeF32(is, &header.loss_scale) ||
+      !TakeI32(is, &header.clean_iterations)) {
+    return Status::InvalidArgument(path + ": truncated checkpoint header");
   }
   if (header.world_size != world_size_ ||
       header.partition_group_size != flat_.num_shards() ||
@@ -414,16 +519,24 @@ Status ShardedDataParallel::LoadCheckpoint(const std::string& dir) {
   }
   is.read(static_cast<char*>(shard_params_.data()),
           static_cast<std::streamsize>(shard_params_.nbytes()));
+  if (is.gcount() != static_cast<std::streamsize>(shard_params_.nbytes())) {
+    return Status::InvalidArgument(path +
+                                   ": truncated checkpoint (shard data)");
+  }
   MICS_RETURN_NOT_OK(optimizer_.LoadState(is));
-  if (!is.good()) return Status::Internal("checkpoint read failed");
   iterations_ = header.iterations;
   skipped_steps_ = header.skipped_steps;
   loss_scale_ = header.loss_scale;
   clean_iterations_ = header.clean_iterations;
+  // Anything restored-but-not-saved must be re-derived, not inherited from
+  // the pre-restore run: telemetry (last_grad_norm_) and every gradient
+  // accumulator are reset so post-recovery metrics and math start clean.
   pending_micro_steps_ = 0;
   overflow_ = false;
+  last_grad_norm_ = 0.0f;
   accum_shard_.FillZero();
   micro_grads_.FillZero();
+  if (options_.strategy == Strategy::kZeRO2) accum_opt_.FillZero();
   return Status::OK();
 }
 

@@ -122,6 +122,14 @@ class ShardedDataParallel {
   /// all ranks must pass the same value to stay in lockstep).
   Status SetLearningRate(float lr) { return optimizer_.SetLearningRate(lr); }
 
+  /// Installs this rank's fault hook (e.g. a fault::FaultInjector) on the
+  /// engine's collective backend. Borrowed; must outlive the engine;
+  /// nullptr uninstalls.
+  void InstallFaultHook(CollectiveFaultHook* hook,
+                        RetryPolicy policy = RetryPolicy()) {
+    groups_.InstallFaultHook(hook, policy);
+  }
+
   /// Distributed checkpointing: each rank writes/reads exactly its shard
   /// of the model states (fp32 master parameters + Adam moments + the
   /// loss-scale machinery) to `dir`/mics-rank<global>.ckpt. Every rank

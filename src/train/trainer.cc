@@ -1,8 +1,13 @@
 #include "train/trainer.h"
 
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
 #include <memory>
 
 #include "comm/world.h"
+#include "fault/injector.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -180,6 +185,161 @@ Result<TrainCurve> RunDistributedTraining(const TrainRunOptions& options) {
   });
   MICS_RETURN_NOT_OK(run_status);
   return curve;
+}
+
+namespace {
+
+/// Lock-free max-accumulate for the cross-rank progress trackers below.
+void AtomicMax(std::atomic<int>* target, int value) {
+  int cur = target->load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Result<RecoveryReport> RunDistributedTrainingWithRecovery(
+    const FaultTolerantTrainOptions& options) {
+  const TrainRunOptions& t = options.train;
+  RankTopology topo{t.world_size, t.gpus_per_node};
+  MICS_RETURN_NOT_OK(topo.Validate());
+  if (t.iterations <= 0 || t.grad_accumulation_steps <= 0 ||
+      t.micro_batch <= 0) {
+    return Status::InvalidArgument("training extents must be positive");
+  }
+  if (options.checkpoint_dir.empty()) {
+    return Status::InvalidArgument("recovery requires a checkpoint_dir");
+  }
+  if (options.checkpoint_interval <= 0) {
+    return Status::InvalidArgument("checkpoint_interval must be positive");
+  }
+  if (options.max_restarts < 0) {
+    return Status::InvalidArgument("max_restarts must be >= 0");
+  }
+  MICS_RETURN_NOT_OK(options.faults.Validate(t.world_size));
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_dir, ec);
+    if (ec) {
+      return Status::Internal("cannot create checkpoint dir " +
+                              options.checkpoint_dir + ": " + ec.message());
+    }
+  }
+
+  SyntheticClassificationDataset::Config data_config = t.data;
+  data_config.input_dim = t.model.input_dim;
+  data_config.classes = t.model.classes;
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter* restarts_counter = reg.GetCounter("fault.recovery.restarts");
+  obs::Counter* replayed_counter =
+      reg.GetCounter("fault.recovery.replayed_iterations");
+  obs::Counter* checkpoints_counter =
+      reg.GetCounter("fault.recovery.checkpoints");
+
+  RecoveryReport report;
+  report.curve.losses.assign(static_cast<size_t>(t.iterations), 0.0f);
+
+  // One injector per rank, persistent across world incarnations so that
+  // consumed one-shot events (a fired death, an absorbed transient) do not
+  // re-fire during replay.
+  std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+  injectors.reserve(static_cast<size_t>(t.world_size));
+  for (int r = 0; r < t.world_size; ++r) {
+    injectors.push_back(
+        std::make_unique<fault::FaultInjector>(options.faults, r));
+  }
+
+  // Furthest iteration any incarnation completed / checkpointed, for the
+  // replay accounting in the report.
+  std::atomic<int> completed{0};
+  std::atomic<int> saved{0};
+
+  for (;;) {
+    // A fresh world per incarnation: a poisoned rendezvous group cannot be
+    // reused, exactly like an NCCL communicator after a peer loss.
+    World world(t.world_size, options.rendezvous);
+    const int completed_before = completed.load();
+
+    Status run_status = RunRanks(t.world_size, [&](int rank) -> Status {
+      MlpModel model(t.model);
+      MICS_ASSIGN_OR_RETURN(
+          std::unique_ptr<ShardedDataParallel> sdp,
+          ShardedDataParallel::Create(&world, topo, t.sdp, model.NumParams(),
+                                      rank, t.adam));
+      sdp->InstallFaultHook(injectors[static_cast<size_t>(rank)].get(),
+                            options.retry);
+      MICS_RETURN_NOT_OK(sdp->InitParameters([&](Tensor* full) -> Status {
+        MICS_RETURN_NOT_OK(model.BindParameters(full, sdp->micro_grads()));
+        Rng init_rng(t.seed);
+        return model.InitParameters(&init_rng);
+      }));
+      MICS_RETURN_NOT_OK(
+          model.BindParameters(sdp->full_params(), sdp->micro_grads()));
+
+      // Roll back to the last atomic checkpoint, if any.
+      Status load = sdp->LoadCheckpoint(options.checkpoint_dir);
+      if (!load.ok() && !load.IsNotFound()) return load;
+      const int start = load.ok() ? sdp->completed_iterations() : 0;
+
+      SyntheticClassificationDataset dataset(data_config, t.seed + 1);
+      const int s = t.grad_accumulation_steps;
+      int64_t step_counter = static_cast<int64_t>(start) * s;
+      for (int iter = start; iter < t.iterations; ++iter) {
+        float iter_loss = 0.0f;
+        for (int micro = 0; micro < s; ++micro) {
+          MICS_RETURN_NOT_OK(sdp->GatherParams());
+          Tensor x;
+          std::vector<int32_t> y;
+          MICS_RETURN_NOT_OK(
+              dataset.Sample(step_counter++, rank, t.micro_batch, &x, &y));
+          float loss = 0.0f;
+          MICS_ASSIGN_OR_RETURN(loss, model.ForwardBackward(x, y));
+          iter_loss += loss;
+          MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+        }
+        MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
+        iter_loss /= static_cast<float>(s);
+        MICS_RETURN_NOT_OK(sdp->AverageScalar(&iter_loss));
+        if (rank == 0) {
+          report.curve.losses[static_cast<size_t>(iter)] = iter_loss;
+        }
+        AtomicMax(&completed, iter + 1);
+        if ((iter + 1) % options.checkpoint_interval == 0) {
+          MICS_RETURN_NOT_OK(sdp->SaveCheckpoint(options.checkpoint_dir));
+          AtomicMax(&saved, iter + 1);
+          if (rank == 0) checkpoints_counter->Increment();
+        }
+      }
+      return Status::OK();
+    });
+    if (run_status.ok()) break;
+
+    report.failures.push_back(run_status);
+    if (static_cast<int>(report.failures.size()) > options.max_restarts) {
+      return Status(run_status.code(),
+                    "recovery budget exhausted (" +
+                        std::to_string(options.max_restarts) +
+                        " restarts); last failure: " + run_status.message());
+    }
+    ++report.restarts;
+    restarts_counter->Increment();
+    // The doomed incarnation got to `completed`; the next one resumes from
+    // the last checkpoint and re-executes the difference.
+    const int replay =
+        std::max(0, std::max(completed.load(), completed_before) -
+                        saved.load());
+    report.replayed_iterations += replay;
+    replayed_counter->Add(static_cast<double>(replay));
+    MICS_LOG(Info) << "recovery: restart " << report.restarts
+                   << " after " << run_status.ToString() << "; rolling back "
+                   << replay << " iteration(s) to checkpoint at "
+                   << saved.load();
+    for (auto& inj : injectors) inj->ResetForRestart();
+  }
+  return report;
 }
 
 }  // namespace mics

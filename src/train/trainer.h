@@ -2,8 +2,10 @@
 #define MICS_TRAIN_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "train/dataset.h"
 #include "train/lr_scheduler.h"
 #include "train/mlp_model.h"
@@ -63,6 +65,51 @@ struct TransformerTrainRunOptions {
 
 Result<TrainCurve> RunDistributedTransformerTraining(
     const TransformerTrainRunOptions& options);
+
+/// Fault-tolerant training on the in-process cluster: the MLP run of
+/// RunDistributedTraining hardened for the public-cloud failure model.
+/// Each rank installs a fault::FaultInjector for its share of `faults`;
+/// every `checkpoint_interval` iterations every rank writes its atomic
+/// shard checkpoint; when an injected rank death collapses the world
+/// (survivors surface Status::DeadlineExceeded from the rendezvous
+/// deadline instead of hanging), the recovery loop tears the world down,
+/// restarts it, rolls back to the last checkpoint and replays. Training
+/// state lives entirely in the checkpoint, so the recovered run's losses
+/// are bit-identical to a fault-free run's.
+struct FaultTolerantTrainOptions {
+  TrainRunOptions train;
+  /// Seeded fault schedule; events are one-shot across restarts (a
+  /// preempted instance comes back healthy).
+  fault::FaultPlan faults;
+  /// Transparent bounded-retry-with-backoff for transient collective
+  /// failures.
+  RetryPolicy retry;
+  /// Rendezvous deadline policy: how long survivors wait for a dead or
+  /// stalled rank before collapsing with DeadlineExceeded.
+  RendezvousOptions rendezvous;
+  /// Directory for the per-rank shard checkpoints (required, must exist
+  /// or be creatable).
+  std::string checkpoint_dir;
+  /// Iterations between checkpoints (the re-execution window; see
+  /// sim/recovery_model.h for the cost of choosing it).
+  int checkpoint_interval = 5;
+  /// World restarts tolerated before the run reports the failure.
+  int max_restarts = 3;
+};
+
+/// What the recovery loop did, alongside the loss curve.
+struct RecoveryReport {
+  TrainCurve curve;
+  int restarts = 0;
+  /// Iterations completed by a doomed incarnation and re-executed after
+  /// rolling back to the last checkpoint.
+  int replayed_iterations = 0;
+  /// The status that killed each doomed incarnation, in order.
+  std::vector<Status> failures;
+};
+
+Result<RecoveryReport> RunDistributedTrainingWithRecovery(
+    const FaultTolerantTrainOptions& options);
 
 }  // namespace mics
 

@@ -21,6 +21,8 @@ enum class StatusCode {
   kUnimplemented = 4,
   kInternal = 5,
   kNotFound = 6,
+  kDeadlineExceeded = 7,
+  kUnavailable = 8,
 };
 
 /// Returns a human-readable name for a status code (e.g. "InvalidArgument").
@@ -54,6 +56,16 @@ class Status {
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
+  /// A bounded wait (collective rendezvous, retry budget) expired. The
+  /// operation did NOT complete; group state must be considered poisoned.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// A transient, retryable failure (injected collective fault, dead
+  /// peer). Safe to retry the same call after a backoff.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -69,6 +81,10 @@ class Status {
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// Renders "OK" or "<Code>: <message>".
   std::string ToString() const;

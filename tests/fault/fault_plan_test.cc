@@ -1,0 +1,96 @@
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace mics::fault {
+namespace {
+
+TEST(FaultPlanTest, BuilderRecordsEventsInOrder) {
+  FaultPlan plan;
+  plan.DelayAt(0, 3, 250).TransientFailureAt(1, 5, 2).KillRankAt(2, 7);
+  ASSERT_EQ(plan.events().size(), 3u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kCollectiveDelay);
+  EXPECT_EQ(plan.events()[0].rank, 0);
+  EXPECT_EQ(plan.events()[0].at_op, 3);
+  EXPECT_EQ(plan.events()[0].delay_us, 250);
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kTransientFailure);
+  EXPECT_EQ(plan.events()[1].failures, 2);
+  EXPECT_EQ(plan.events()[2].kind, FaultKind::kRankDeath);
+  EXPECT_EQ(plan.events()[2].rank, 2);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanTest, EventsForRankFilters) {
+  FaultPlan plan;
+  plan.DelayAt(0, 1, 10).KillRankAt(1, 2).TransientFailureAt(0, 3);
+  EXPECT_EQ(plan.EventsForRank(0).size(), 2u);
+  EXPECT_EQ(plan.EventsForRank(1).size(), 1u);
+  EXPECT_TRUE(plan.EventsForRank(2).empty());
+}
+
+TEST(FaultPlanTest, ValidateChecksRanksAndParams) {
+  FaultPlan ok;
+  ok.DelayAt(3, 0, 0).KillRankAt(0, 100);
+  EXPECT_TRUE(ok.Validate(4).ok());
+  // Rank outside the world.
+  EXPECT_TRUE(ok.Validate(2).IsInvalidArgument());
+
+  FaultPlan bad_op;
+  bad_op.KillRankAt(0, -1);
+  EXPECT_TRUE(bad_op.Validate(4).IsInvalidArgument());
+
+  FaultPlan bad_delay;
+  bad_delay.DelayAt(0, 0, -5);
+  EXPECT_TRUE(bad_delay.Validate(4).IsInvalidArgument());
+
+  FaultPlan bad_failures;
+  bad_failures.TransientFailureAt(0, 0, 0);
+  EXPECT_TRUE(bad_failures.Validate(4).IsInvalidArgument());
+}
+
+TEST(FaultPlanTest, RandomIsDeterministicPerSeed) {
+  RandomFaultOptions opts;
+  opts.world_size = 8;
+  opts.max_op = 64;
+  opts.delays = 3;
+  opts.transient_failures = 2;
+  opts.deaths = 1;
+
+  const FaultPlan a = FaultPlan::Random(7, opts);
+  const FaultPlan b = FaultPlan::Random(7, opts);
+  ASSERT_EQ(a.events().size(), 6u);
+  ASSERT_EQ(b.events().size(), a.events().size());
+  for (size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind) << i;
+    EXPECT_EQ(a.events()[i].rank, b.events()[i].rank) << i;
+    EXPECT_EQ(a.events()[i].at_op, b.events()[i].at_op) << i;
+  }
+  EXPECT_TRUE(a.Validate(opts.world_size).ok());
+  for (const FaultEvent& e : a.events()) {
+    EXPECT_GE(e.at_op, 0);
+    EXPECT_LT(e.at_op, opts.max_op);
+  }
+
+  // A different seed must give a different schedule.
+  const FaultPlan c = FaultPlan::Random(8, opts);
+  bool differs = false;
+  for (size_t i = 0; i < a.events().size(); ++i) {
+    if (a.events()[i].rank != c.events()[i].rank ||
+        a.events()[i].at_op != c.events()[i].at_op) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlanTest, ToStringNamesEveryKind) {
+  FaultPlan plan;
+  plan.DelayAt(0, 1, 10).TransientFailureAt(1, 2).KillRankAt(2, 3);
+  const std::string s = plan.ToString();
+  EXPECT_NE(s.find("collective-delay"), std::string::npos);
+  EXPECT_NE(s.find("transient-failure"), std::string::npos);
+  EXPECT_NE(s.find("rank-death"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mics::fault

@@ -1,0 +1,270 @@
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/collective.h"
+#include "comm/communicator.h"
+#include "comm/world.h"
+#include "core/group_manager.h"
+#include "fault/injector.h"
+#include "obs/metrics.h"
+
+namespace mics {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultPlan;
+
+std::vector<int> AllRanks(int n) {
+  std::vector<int> r(n);
+  for (int i = 0; i < n; ++i) r[i] = i;
+  return r;
+}
+
+int64_t ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+TEST(InjectionTest, TransientFailureRetriedTransparently) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.ResetPrefix("fault.");
+  const int n = 2;
+  World world(n);
+  FaultPlan plan;
+  plan.TransientFailureAt(/*rank=*/1, /*at_op=*/0, /*failures=*/2);
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.backoff_us = 1;
+
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    FlatCollective coll(&comm);
+    FaultInjector injector(plan, rank);
+    coll.InstallFaultHook(&injector, retry);
+    Tensor in({4}, DType::kF32);
+    in.Fill(static_cast<float>(rank + 1));
+    Tensor out({4 * n}, DType::kF32);
+    MICS_RETURN_NOT_OK(coll.AllGather(in, &out));
+    for (int r = 0; r < n; ++r) {
+      for (int64_t i = 0; i < 4; ++i) {
+        if (out.At(r * 4 + i) != r + 1.0f) {
+          return Status::Internal("wrong gathered value after retry");
+        }
+      }
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // Two injected failures, two transparent retries, zero surfaced errors.
+  EXPECT_EQ(reg.CounterValue("fault.injected.transient_failures"), 2.0);
+  EXPECT_EQ(reg.CounterValue("fault.collective.retries"), 2.0);
+  EXPECT_EQ(reg.CounterValue("fault.collective.retry_exhausted"), 0.0);
+}
+
+TEST(InjectionTest, RetryBudgetExhaustedSurfacesUnavailable) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.ResetPrefix("fault.");
+  const int n = 2;
+  RendezvousOptions rdv;
+  rdv.timeout_ms = 150;
+  rdv.max_retries = 1;
+  World world(n, rdv);
+  FaultPlan plan;
+  plan.TransientFailureAt(/*rank=*/1, /*at_op=*/0, /*failures=*/10);
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  retry.backoff_us = 0;
+
+  std::vector<Status> rank_status(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    FlatCollective coll(&comm);
+    FaultInjector injector(plan, rank);
+    coll.InstallFaultHook(&injector, retry);
+    Tensor in({4}, DType::kF32);
+    in.Fill(1.0f);
+    Tensor out({4 * n}, DType::kF32);
+    rank_status[rank] = coll.AllGather(in, &out);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // The victim exhausts its retry budget; the healthy peer, stuck in a
+  // rendezvous the victim never joins, gets a typed deadline error.
+  EXPECT_TRUE(rank_status[1].IsUnavailable()) << rank_status[1].ToString();
+  EXPECT_TRUE(rank_status[0].IsDeadlineExceeded())
+      << rank_status[0].ToString();
+  EXPECT_EQ(reg.CounterValue("fault.collective.retry_exhausted"), 1.0);
+}
+
+TEST(InjectionTest, DelayIsInvisibleToCorrectness) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.ResetPrefix("fault.");
+  const int n = 2;
+  World world(n);
+  FaultPlan plan;
+  plan.DelayAt(/*rank=*/0, /*at_op=*/0, /*delay_us=*/20000);
+
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    FlatCollective coll(&comm);
+    FaultInjector injector(plan, rank);
+    coll.InstallFaultHook(&injector);
+    Tensor in({4}, DType::kF32);
+    in.Fill(static_cast<float>(rank + 1));
+    Tensor out({4 * n}, DType::kF32);
+    MICS_RETURN_NOT_OK(coll.AllGather(in, &out));
+    for (int r = 0; r < n; ++r) {
+      if (out.At(r * 4) != r + 1.0f) {
+        return Status::Internal("straggler changed the result");
+      }
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(reg.CounterValue("fault.injected.delays"), 1.0);
+  EXPECT_EQ(reg.CounterValue("fault.injected.delay_us"), 20000.0);
+}
+
+TEST(InjectionTest, RankDeathSurfacesTypedErrorsWithinBudget) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.ResetPrefix("fault.");
+  const int n = 2;
+  RendezvousOptions rdv;
+  rdv.timeout_ms = 150;
+  rdv.max_retries = 2;
+  rdv.backoff = 2.0;  // budget: 150 + 300 + 600 = 1050ms per wait
+  World world(n, rdv);
+  FaultPlan plan;
+  plan.KillRankAt(/*rank=*/0, /*at_op=*/1);
+
+  std::vector<Status> first(n), second(n);
+  const auto start = std::chrono::steady_clock::now();
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    FlatCollective coll(&comm);
+    FaultInjector injector(plan, rank);
+    coll.InstallFaultHook(&injector);
+    Tensor in({4}, DType::kF32);
+    in.Fill(1.0f);
+    Tensor out({4 * n}, DType::kF32);
+    MICS_RETURN_NOT_OK(coll.AllGather(in, &out));  // op 0: healthy
+    first[rank] = coll.AllGather(in, &out);        // op 1: rank 0 dies
+    second[rank] = coll.AllGather(in, &out);       // post-mortem
+    return Status::OK();
+  });
+  const int64_t elapsed_ms = ElapsedMs(start);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  // The victim fails immediately and permanently.
+  EXPECT_TRUE(first[0].IsFailedPrecondition()) << first[0].ToString();
+  EXPECT_TRUE(second[0].IsFailedPrecondition()) << second[0].ToString();
+  // The survivor gets DeadlineExceeded — no hang — and the poisoned group
+  // fails fast on the next call instead of waiting the budget again.
+  EXPECT_TRUE(first[1].IsDeadlineExceeded()) << first[1].ToString();
+  EXPECT_TRUE(second[1].IsDeadlineExceeded()) << second[1].ToString();
+  // One full budget (1.05s) for the first timeout; the second call must
+  // not add another. Generous ceiling for loaded CI machines.
+  EXPECT_LT(elapsed_ms, 8000);
+  EXPECT_EQ(reg.CounterValue("fault.injected.deaths"), 1.0);
+  EXPECT_GE(reg.CounterValue("fault.rendezvous.deadline_exceeded"), 1.0);
+}
+
+TEST(InjectionTest, HierarchicalBackendInjectsIdentically) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.ResetPrefix("fault.");
+  const int n = 4;
+  RankTopology topo{n, 2};
+  World world(n);
+  FaultPlan plan;
+  plan.TransientFailureAt(/*rank=*/2, /*at_op=*/0, /*failures=*/1);
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.backoff_us = 1;
+
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(
+        GroupManager gm,
+        GroupManager::Create(&world, topo, /*partition_group_size=*/n, rank,
+                             /*enable_hierarchical=*/true));
+    if (!gm.has_hierarchical()) {
+      return Status::Internal("expected the hierarchical backend");
+    }
+    FaultInjector injector(plan, rank);
+    gm.InstallFaultHook(&injector, retry);
+    Tensor in({8}, DType::kF32);
+    in.Fill(static_cast<float>(rank + 1));
+    Tensor out({8 * n}, DType::kF32);
+    MICS_RETURN_NOT_OK(gm.collective().AllGather(in, &out));
+    for (int r = 0; r < n; ++r) {
+      if (out.At(r * 8) != r + 1.0f) {
+        return Status::Internal("wrong hierarchical gather after retry");
+      }
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(reg.CounterValue("fault.injected.transient_failures"), 1.0);
+  EXPECT_GE(reg.CounterValue("fault.collective.retries"), 1.0);
+}
+
+TEST(RendezvousTest, LoneWaiterTimesOutAndPoisonsGroup) {
+  RendezvousOptions opts;
+  opts.timeout_ms = 40;
+  opts.max_retries = 1;
+  opts.backoff = 2.0;  // budget: 40 + 80 = 120ms
+  GroupState state(2, opts);
+
+  const auto start = std::chrono::steady_clock::now();
+  Status st = state.ArriveAndWait();
+  const int64_t elapsed_ms = ElapsedMs(start);
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+  EXPECT_GE(elapsed_ms, 100);
+  EXPECT_LT(elapsed_ms, 5000);
+  EXPECT_TRUE(state.poisoned());
+
+  // Poisoned groups fail fast: no second budget is spent.
+  const auto again = std::chrono::steady_clock::now();
+  EXPECT_TRUE(state.ArriveAndWait().IsDeadlineExceeded());
+  EXPECT_LT(ElapsedMs(again), 40);
+}
+
+TEST(RendezvousTest, RetryWindowAbsorbsALatePeer) {
+  RendezvousOptions opts;
+  opts.timeout_ms = 30;
+  opts.max_retries = 3;
+  opts.backoff = 2.0;  // budget: 30 + 60 + 120 + 240 = 450ms
+  GroupState state(2, opts);
+
+  Status late;
+  std::thread peer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(90));
+    late = state.ArriveAndWait();
+  });
+  Status st = state.ArriveAndWait();
+  peer.join();
+  // The first window expires but a retry window catches the straggler.
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(late.ok()) << late.ToString();
+  EXPECT_FALSE(state.poisoned());
+}
+
+TEST(RendezvousTest, TotalBudgetSumsGeometricWindows) {
+  RendezvousOptions opts;
+  opts.timeout_ms = 100;
+  opts.max_retries = 2;
+  opts.backoff = 2.0;
+  EXPECT_EQ(opts.TotalBudgetMs(), 100 + 200 + 400);
+  opts.timeout_ms = 0;
+  EXPECT_EQ(opts.TotalBudgetMs(), 0);
+}
+
+}  // namespace
+}  // namespace mics

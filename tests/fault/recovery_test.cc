@@ -1,0 +1,152 @@
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "train/trainer.h"
+
+namespace mics {
+namespace {
+
+std::string FreshDir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("mics_recovery_" + std::string(tag));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+FaultTolerantTrainOptions SmallRecoveryRun(const std::string& dir) {
+  FaultTolerantTrainOptions o;
+  o.train.world_size = 4;
+  o.train.gpus_per_node = 2;
+  o.train.sdp.strategy = Strategy::kMiCS;
+  o.train.sdp.partition_group_size = 2;
+  o.train.model.input_dim = 8;
+  o.train.model.hidden = 16;
+  o.train.model.classes = 3;
+  o.train.iterations = 8;
+  o.train.grad_accumulation_steps = 2;
+  o.train.micro_batch = 8;
+  o.train.adam.lr = 0.02f;
+  o.train.seed = 99;
+  o.retry.backoff_us = 1;
+  // Fail fast in tests: 150 + 300 + 600 = 1050ms per blocked rendezvous.
+  o.rendezvous.timeout_ms = 150;
+  o.rendezvous.max_retries = 2;
+  o.rendezvous.backoff = 2.0;
+  o.checkpoint_dir = dir;
+  o.checkpoint_interval = 3;
+  o.max_restarts = 3;
+  return o;
+}
+
+TEST(RecoveryTest, FaultFreeRunMatchesPlainTrainingBitwise) {
+  FaultTolerantTrainOptions o = SmallRecoveryRun(FreshDir("faultfree"));
+  auto plain = RunDistributedTraining(o.train);
+  auto recovered = RunDistributedTrainingWithRecovery(o);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().restarts, 0);
+  EXPECT_EQ(recovered.value().replayed_iterations, 0);
+  ASSERT_EQ(recovered.value().curve.losses.size(), plain.value().losses.size());
+  for (size_t i = 0; i < plain.value().losses.size(); ++i) {
+    EXPECT_EQ(recovered.value().curve.losses[i], plain.value().losses[i]) << i;
+  }
+}
+
+TEST(RecoveryTest, RankDeathRollsBackAndReplaysBitIdentically) {
+  obs::MetricsRegistry::Global().ResetPrefix("fault.recovery.");
+  FaultTolerantTrainOptions o = SmallRecoveryRun(FreshDir("death"));
+  // 2 collective dispatches per micro-step (gather + reduce-scatter), 2
+  // micro-steps per iteration: op 22 lands mid-iteration 5, after the
+  // atomic checkpoint at iteration 3 — forcing a rollback and replay.
+  o.faults.KillRankAt(/*rank=*/1, /*at_op=*/22);
+
+  auto plain = RunDistributedTraining(o.train);
+  auto recovered = RunDistributedTrainingWithRecovery(o);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+  const RecoveryReport& report = recovered.value();
+  EXPECT_EQ(report.restarts, 1);
+  ASSERT_EQ(report.failures.size(), 1u);
+  // The collapse is typed: the victim's FailedPrecondition or a survivor's
+  // rendezvous DeadlineExceeded, never a hang.
+  EXPECT_TRUE(report.failures[0].IsDeadlineExceeded() ||
+              report.failures[0].IsFailedPrecondition())
+      << report.failures[0].ToString();
+  EXPECT_GT(report.replayed_iterations, 0);
+
+  // The acceptance bar: recovered training is bit-identical to fault-free.
+  ASSERT_EQ(report.curve.losses.size(), plain.value().losses.size());
+  for (size_t i = 0; i < plain.value().losses.size(); ++i) {
+    EXPECT_EQ(report.curve.losses[i], plain.value().losses[i]) << i;
+  }
+  EXPECT_EQ(
+      obs::MetricsRegistry::Global().CounterValue("fault.recovery.restarts"),
+      1.0);
+}
+
+TEST(RecoveryTest, DeathBeforeFirstCheckpointReplaysFromScratch) {
+  FaultTolerantTrainOptions o = SmallRecoveryRun(FreshDir("early"));
+  o.faults.KillRankAt(/*rank=*/3, /*at_op=*/1);
+
+  auto plain = RunDistributedTraining(o.train);
+  auto recovered = RunDistributedTrainingWithRecovery(o);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().restarts, 1);
+  for (size_t i = 0; i < plain.value().losses.size(); ++i) {
+    EXPECT_EQ(recovered.value().curve.losses[i], plain.value().losses[i]) << i;
+  }
+}
+
+TEST(RecoveryTest, TransientFaultsAbsorbedWithoutRestart) {
+  FaultTolerantTrainOptions o = SmallRecoveryRun(FreshDir("transient"));
+  o.faults.TransientFailureAt(/*rank=*/0, /*at_op=*/4, /*failures=*/2)
+      .TransientFailureAt(/*rank=*/2, /*at_op=*/9)
+      .DelayAt(/*rank=*/1, /*at_op=*/6, /*delay_us=*/2000);
+
+  auto plain = RunDistributedTraining(o.train);
+  auto recovered = RunDistributedTrainingWithRecovery(o);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().restarts, 0);
+  for (size_t i = 0; i < plain.value().losses.size(); ++i) {
+    EXPECT_EQ(recovered.value().curve.losses[i], plain.value().losses[i]) << i;
+  }
+}
+
+TEST(RecoveryTest, RestartBudgetExhaustionReportsLastFailure) {
+  FaultTolerantTrainOptions o = SmallRecoveryRun(FreshDir("budget"));
+  o.max_restarts = 1;
+  // Two independent one-shot deaths on the same rank: the second fires in
+  // the incarnation after the first restart and breaks the budget.
+  o.faults.KillRankAt(/*rank=*/1, /*at_op=*/2).KillRankAt(/*rank=*/1,
+                                                          /*at_op=*/6);
+  auto recovered = RunDistributedTrainingWithRecovery(o);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_NE(recovered.status().message().find("recovery budget exhausted"),
+            std::string::npos)
+      << recovered.status().ToString();
+}
+
+TEST(RecoveryTest, OptionsValidated) {
+  FaultTolerantTrainOptions o = SmallRecoveryRun(FreshDir("opts"));
+  o.checkpoint_dir = "";
+  EXPECT_TRUE(RunDistributedTrainingWithRecovery(o).status()
+                  .IsInvalidArgument());
+  o = SmallRecoveryRun(FreshDir("opts"));
+  o.checkpoint_interval = 0;
+  EXPECT_TRUE(RunDistributedTrainingWithRecovery(o).status()
+                  .IsInvalidArgument());
+  o = SmallRecoveryRun(FreshDir("opts"));
+  o.faults.KillRankAt(/*rank=*/9, /*at_op=*/0);  // outside the world
+  EXPECT_TRUE(RunDistributedTrainingWithRecovery(o).status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mics

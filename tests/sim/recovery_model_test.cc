@@ -1,0 +1,75 @@
+#include "sim/recovery_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mics {
+namespace {
+
+RecoveryCostParams Cloudy() {
+  RecoveryCostParams p;
+  p.iteration_time_s = 2.0;
+  p.checkpoint_write_time_s = 5.0;
+  p.restart_time_s = 30.0;
+  p.mtbf_s = 4.0 * 3600.0;
+  return p;
+}
+
+TEST(RecoveryModelTest, OptimalIntervalIsYoungDaly) {
+  auto model = RecoveryCostModel::Create(Cloudy());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const double tau = model.value().OptimalCheckpointIntervalS();
+  EXPECT_NEAR(tau, std::sqrt(2.0 * 5.0 * 4.0 * 3600.0), 1e-9);
+  // In iterations: tau / iteration_time, rounded, at least 1.
+  EXPECT_EQ(model.value().OptimalCheckpointIntervalIterations(),
+            static_cast<int>(std::llround(tau / 2.0)));
+}
+
+TEST(RecoveryModelTest, OptimalIntervalMinimizesOverhead) {
+  auto model = RecoveryCostModel::Create(Cloudy()).ValueOrDie();
+  const double tau = model.OptimalCheckpointIntervalS();
+  const double at_opt = model.OverheadFraction(tau).ValueOrDie();
+  EXPECT_LT(at_opt, model.OverheadFraction(tau / 4.0).ValueOrDie());
+  EXPECT_LT(at_opt, model.OverheadFraction(tau * 4.0).ValueOrDie());
+  EXPECT_GT(at_opt, 0.0);
+  EXPECT_LT(at_opt, 1.0);
+}
+
+TEST(RecoveryModelTest, ExpectedRunTimeExceedsUsefulWorkAndShrinksWithMtbf) {
+  auto model = RecoveryCostModel::Create(Cloudy()).ValueOrDie();
+  const int iters = 10000;
+  const int interval = model.OptimalCheckpointIntervalIterations();
+  const double expected = model.ExpectedRunTimeS(iters, interval).ValueOrDie();
+  EXPECT_GT(expected, iters * 2.0);  // never faster than the work itself
+
+  // A more reliable cluster finishes sooner at the same interval.
+  RecoveryCostParams reliable = Cloudy();
+  reliable.mtbf_s *= 10.0;
+  auto better = RecoveryCostModel::Create(reliable).ValueOrDie();
+  EXPECT_LT(better.ExpectedRunTimeS(iters, interval).ValueOrDie(), expected);
+}
+
+TEST(RecoveryModelTest, InfeasibleIntervalRejected) {
+  RecoveryCostParams p = Cloudy();
+  p.mtbf_s = 10.0;  // failures arrive faster than an interval completes
+  auto model = RecoveryCostModel::Create(p).ValueOrDie();
+  EXPECT_TRUE(model.ExpectedRunTimeS(1000, 100).status().IsInvalidArgument());
+  EXPECT_TRUE(model.OverheadFraction(1e6).status().IsInvalidArgument());
+  EXPECT_TRUE(model.OverheadFraction(0.0).status().IsInvalidArgument());
+}
+
+TEST(RecoveryModelTest, ParamsValidated) {
+  RecoveryCostParams p = Cloudy();
+  p.mtbf_s = 0.0;
+  EXPECT_TRUE(RecoveryCostModel::Create(p).status().IsInvalidArgument());
+  p = Cloudy();
+  p.checkpoint_write_time_s = -1.0;
+  EXPECT_TRUE(RecoveryCostModel::Create(p).status().IsInvalidArgument());
+  p = Cloudy();
+  p.iteration_time_s = 0.0;
+  EXPECT_TRUE(RecoveryCostModel::Create(p).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,6 +1,9 @@
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -21,6 +24,15 @@ Status FillInit(Tensor* full) {
 std::string TempDir(const char* tag) {
   const auto dir =
       std::filesystem::temp_directory_path() / ("mics_ckpt_" + std::string(tag));
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// Like TempDir but guaranteed empty (stale checkpoints removed).
+std::string FreshDir(const std::string& tag) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("mics_ckpt_" + tag);
+  std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   return dir.string();
 }
@@ -55,19 +67,19 @@ TEST(AdamStateTest, SizeMismatchRejected) {
   EXPECT_TRUE(b.LoadState(buf).IsInvalidArgument());
 }
 
-/// Runs `iters` deterministic iterations; optionally saves at `save_at`
-/// and returns final rank-0 full parameters.
-Result<std::vector<float>> RunWithCheckpoint(const std::string& dir,
-                                             int iters, int save_at,
-                                             bool load_first) {
+/// Runs `iters` deterministic iterations under (strategy, group);
+/// optionally saves at `save_at` and returns final rank-0 full parameters.
+Result<std::vector<float>> RunStrategyWithCheckpoint(
+    Strategy strategy, int partition_group_size, const std::string& dir,
+    int iters, int save_at, bool load_first) {
   const int world_size = 4;
   RankTopology topo{world_size, 2};
   World world(world_size);
   std::vector<float> final_params;
   Status st = RunRanks(world_size, [&](int rank) -> Status {
     SdpOptions opts;
-    opts.strategy = Strategy::kMiCS;
-    opts.partition_group_size = 2;
+    opts.strategy = strategy;
+    opts.partition_group_size = partition_group_size;
     MICS_ASSIGN_OR_RETURN(auto sdp, ShardedDataParallel::Create(
                                         &world, topo, opts, 37, rank));
     MICS_RETURN_NOT_OK(sdp->InitParameters(FillInit));
@@ -103,6 +115,13 @@ Result<std::vector<float>> RunWithCheckpoint(const std::string& dir,
   return final_params;
 }
 
+Result<std::vector<float>> RunWithCheckpoint(const std::string& dir,
+                                             int iters, int save_at,
+                                             bool load_first) {
+  return RunStrategyWithCheckpoint(Strategy::kMiCS, 2, dir, iters, save_at,
+                                   load_first);
+}
+
 TEST(CheckpointTest, ResumeReproducesUninterruptedRun) {
   const std::string dir = TempDir("resume");
   // Uninterrupted 6 iterations, saving at iteration 3.
@@ -113,6 +132,31 @@ TEST(CheckpointTest, ResumeReproducesUninterruptedRun) {
   ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
   for (size_t i = 0; i < full.value().size(); ++i) {
     EXPECT_EQ(full.value()[i], resumed.value()[i]) << i;  // bitwise
+  }
+}
+
+TEST(CheckpointTest, EveryStrategyRoundTripsBitwise) {
+  const struct {
+    Strategy strategy;
+    int group;
+    const char* tag;
+  } kCases[] = {{Strategy::kDDP, 1, "ddp"},
+                {Strategy::kZeRO1, 1, "zero1"},
+                {Strategy::kZeRO2, 1, "zero2"},
+                {Strategy::kZeRO3, 4, "zero3"},
+                {Strategy::kMiCS, 2, "mics"}};
+  for (const auto& c : kCases) {
+    const std::string dir = FreshDir(std::string("strategy_") + c.tag);
+    auto full =
+        RunStrategyWithCheckpoint(c.strategy, c.group, dir, 6, 3, false);
+    ASSERT_TRUE(full.ok()) << c.tag << ": " << full.status().ToString();
+    auto resumed =
+        RunStrategyWithCheckpoint(c.strategy, c.group, dir, 6, -1, true);
+    ASSERT_TRUE(resumed.ok()) << c.tag << ": " << resumed.status().ToString();
+    ASSERT_EQ(full.value().size(), resumed.value().size());
+    for (size_t i = 0; i < full.value().size(); ++i) {
+      EXPECT_EQ(full.value()[i], resumed.value()[i]) << c.tag << " " << i;
+    }
   }
 }
 
@@ -153,6 +197,157 @@ TEST(CheckpointTest, MissingCheckpointIsNotFound) {
     MICS_RETURN_NOT_OK(sdp->InitParameters(FillInit));
     Status s = sdp->LoadCheckpoint("/nonexistent/dir");
     if (!s.IsNotFound()) return Status::Internal("expected NotFound");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+/// Little-endian byte writer for crafting adversarial checkpoint files.
+template <typename T>
+void PutLe(std::ofstream& os, T v) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    os.put(static_cast<char>((static_cast<uint64_t>(v) >> (8 * i)) & 0xff));
+  }
+}
+
+constexpr uint64_t kMagic = 0x4d694353434b5054ULL;  // "MiCSCKPT"
+
+/// Loads `dir` on a 2-rank DDP world and returns rank 0's load status.
+Status LoadStatusRank0(const std::string& dir) {
+  const int world_size = 2;
+  RankTopology topo{world_size, 2};
+  World world(world_size);
+  Status rank0;
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    SdpOptions opts;
+    opts.strategy = Strategy::kDDP;
+    opts.partition_group_size = 1;
+    MICS_ASSIGN_OR_RETURN(auto sdp, ShardedDataParallel::Create(
+                                        &world, topo, opts, 16, rank));
+    MICS_RETURN_NOT_OK(sdp->InitParameters(FillInit));
+    Status s = sdp->LoadCheckpoint(dir);
+    if (rank == 0) rank0 = s;
+    return Status::OK();
+  });
+  MICS_RETURN_NOT_OK(st);
+  return rank0;
+}
+
+/// Saves a valid 2-rank DDP checkpoint into `dir`.
+void SaveDdpCheckpoint(const std::string& dir) {
+  const int world_size = 2;
+  RankTopology topo{world_size, 2};
+  World world(world_size);
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    SdpOptions opts;
+    opts.strategy = Strategy::kDDP;
+    opts.partition_group_size = 1;
+    MICS_ASSIGN_OR_RETURN(auto sdp, ShardedDataParallel::Create(
+                                        &world, topo, opts, 16, rank));
+    MICS_RETURN_NOT_OK(sdp->InitParameters(FillInit));
+    MICS_RETURN_NOT_OK(sdp->GatherParams());
+    sdp->micro_grads()->Fill(0.1f);
+    MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+    MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
+    return sdp->SaveCheckpoint(dir);
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(CheckpointTest, TruncatedFileRejectedCleanly) {
+  const std::string dir = FreshDir("truncated");
+  SaveDdpCheckpoint(dir);
+  // Chop rank 0's file roughly in half, inside the shard payload.
+  const std::string path = dir + "/mics-rank0.ckpt";
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+
+  Status s = LoadStatusRank0(dir);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("truncated"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(CheckpointTest, PreV2VersionRejectedWithClearError) {
+  const std::string dir = FreshDir("version");
+  SaveDdpCheckpoint(dir);
+  // Overwrite rank 0's file with a v1-style image: same magic, version 1,
+  // followed by a raw-struct-era payload the v2 reader must not touch.
+  {
+    std::ofstream os(dir + "/mics-rank0.ckpt",
+                     std::ios::binary | std::ios::trunc);
+    PutLe<uint64_t>(os, kMagic);
+    PutLe<uint32_t>(os, 1);
+    for (int i = 0; i < 64; ++i) PutLe<uint32_t>(os, 0xdeadbeef);
+  }
+  Status s = LoadStatusRank0(dir);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("unsupported checkpoint version 1"),
+            std::string::npos)
+      << s.ToString();
+}
+
+TEST(CheckpointTest, ForeignFileRejectedAsNotACheckpoint) {
+  const std::string dir = FreshDir("foreign");
+  SaveDdpCheckpoint(dir);
+  {
+    std::ofstream os(dir + "/mics-rank0.ckpt",
+                     std::ios::binary | std::ios::trunc);
+    os << "definitely not a checkpoint";
+  }
+  Status s = LoadStatusRank0(dir);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("not a MiCS checkpoint"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(CheckpointTest, AtomicSaveLeavesNoTempFiles) {
+  const std::string dir = FreshDir("atomic");
+  SaveDdpCheckpoint(dir);
+  int checkpoints = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+    ++checkpoints;
+  }
+  EXPECT_EQ(checkpoints, 2);  // one per rank, fully renamed into place
+}
+
+TEST(CheckpointTest, LoadResetsIterationTelemetry) {
+  const std::string dir = FreshDir("telemetry");
+  const int world_size = 2;
+  RankTopology topo{world_size, 2};
+  World world(world_size);
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    SdpOptions opts;
+    opts.strategy = Strategy::kMiCS;
+    opts.partition_group_size = 2;
+    opts.max_grad_norm = 0.5f;  // populate last_grad_norm_
+    MICS_ASSIGN_OR_RETURN(auto sdp, ShardedDataParallel::Create(
+                                        &world, topo, opts, 16, rank));
+    MICS_RETURN_NOT_OK(sdp->InitParameters(FillInit));
+    MICS_RETURN_NOT_OK(sdp->GatherParams());
+    sdp->micro_grads()->Fill(0.3f);
+    MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+    MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
+    if (sdp->last_grad_norm() == 0.0f) {
+      return Status::Internal("expected a recorded grad norm");
+    }
+    MICS_RETURN_NOT_OK(sdp->SaveCheckpoint(dir));
+
+    // Leave a micro-step half-accumulated, then roll back: the stale
+    // telemetry and partial accumulation must not leak into the resumed
+    // timeline.
+    MICS_RETURN_NOT_OK(sdp->GatherParams());
+    sdp->micro_grads()->Fill(0.7f);
+    MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+    MICS_RETURN_NOT_OK(sdp->LoadCheckpoint(dir));
+    if (sdp->pending_micro_steps() != 0) {
+      return Status::Internal("pending micro-steps survived the load");
+    }
+    if (sdp->last_grad_norm() != 0.0f) {
+      return Status::Internal("stale grad norm survived the load");
+    }
     return Status::OK();
   });
   EXPECT_TRUE(st.ok()) << st.ToString();
