@@ -1,0 +1,244 @@
+// Compute/communication overlap with the nonblocking collective engine.
+// Two experiments, both on the real in-process cluster with a latency
+// hook on every collective (modeling the 100 Gbps-network transfer times
+// the paper hides behind compute, §4):
+//
+//  1. Layerwise parameter gather: a forward+backward walk over
+//     transformer-like segments, acquire/compute/release per layer, with
+//     prefetched gathers either inline (serialized) or on the progress
+//     worker (overlapped).
+//
+//  2. Full training step on the multi-block transformer: the serialized
+//     schedule (gather, forward/backward, then one blocking
+//     reduce-scatter) against bucketed gradient reduction issued
+//     asynchronously as the backward pass retires each layer.
+//
+// Both report wall-clock per step; the overlapped column must win.
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "comm/world.h"
+#include "train/layerwise_gather.h"
+#include "train/sharded_data_parallel.h"
+#include "train/transformer_model.h"
+#include "train/dataset.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+namespace mics {
+namespace {
+
+/// Sleeps `base + bytes/bandwidth` before every collective attempt — a
+/// stand-in for the launch latency and wire time of a real inter-node
+/// transfer (so splitting a transfer into k pieces costs k launch fees
+/// but the same wire time, like a real network). Thread-safe (no state),
+/// so it composes with the async progress worker.
+class LatencyHook : public CollectiveFaultHook {
+ public:
+  LatencyHook(int64_t base_us, int64_t bytes_per_us)
+      : base_us_(base_us), bytes_per_us_(bytes_per_us) {}
+  Status OnCollective(const CollectiveCallInfo& info) override {
+    int64_t us = base_us_;
+    if (bytes_per_us_ > 0) us += info.bytes / bytes_per_us_;
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+    return Status::OK();
+  }
+
+ private:
+  int64_t base_us_;
+  int64_t bytes_per_us_;
+};
+
+/// Deterministic per-layer "compute": a fixed number of passes over the
+/// gathered segment. Returns a checksum so the work cannot be elided.
+float Compute(const Tensor& seg, int passes) {
+  float acc = 0.0f;
+  for (int p = 0; p < passes; ++p) {
+    for (int64_t i = 0; i < seg.numel(); ++i) {
+      acc += seg.At(i) * 1e-6f;
+    }
+  }
+  return acc;
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Experiment 1: layerwise walk, sync vs async gathers.
+double LayerwiseWalkMs(bool async, int64_t delay_us) {
+  const int kRanks = 4;
+  const int kLayers = 12;
+  const int64_t kSegNumel = 4096;
+  RankTopology topo{kRanks, 2};
+  World world(kRanks);
+  const auto start = std::chrono::steady_clock::now();
+  Status st = RunRanks(kRanks, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(GroupManager groups,
+                          GroupManager::Create(&world, topo, 2, rank));
+    LatencyHook hook(delay_us, /*bytes_per_us=*/0);
+    groups.InstallFaultHook(&hook, RetryPolicy());
+    LayerwiseGatherManager::Options opts;
+    opts.prefetch_depth = 2;
+    opts.async = async;
+    MICS_ASSIGN_OR_RETURN(
+        LayerwiseGatherManager mgr,
+        LayerwiseGatherManager::Create(
+            &groups, std::vector<int64_t>(kLayers, kSegNumel), opts));
+    for (int s = 0; s < mgr.num_segments(); ++s) {
+      MICS_ASSIGN_OR_RETURN(Tensor * shard, mgr.Shard(s));
+      shard->Fill(0.5f);
+    }
+    float sink = 0.0f;
+    // Forward then backward, releasing each layer after its compute.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int k = 0; k < kLayers; ++k) {
+        const int s = pass == 0 ? k : kLayers - 1 - k;
+        MICS_ASSIGN_OR_RETURN(Tensor seg, mgr.Acquire(s));
+        sink += Compute(seg, 20);
+        MICS_RETURN_NOT_OK(mgr.Release(s));
+      }
+    }
+    if (std::isnan(sink)) return Status::Internal("nan checksum");
+    return Status::OK();
+  });
+  MICS_CHECK_OK(st);
+  return MsSince(start);
+}
+
+/// Experiment 2: transformer train step, serialized vs bucketed + async
+/// gradient reduction. Latency is bytes-proportional plus a small launch
+/// fee. Returns (ms per iteration, final loss).
+std::pair<double, float> TrainStepMs(bool overlap, int64_t base_us,
+                                     int64_t bytes_per_us, int iterations) {
+  const int kRanks = 4;
+  RankTopology topo{kRanks, 2};
+  World world(kRanks);
+
+  SdpOptions sdp;
+  sdp.strategy = Strategy::kMiCS;
+  sdp.partition_group_size = 2;
+  if (overlap) {
+    sdp.grad_bucket_count = 3;
+    sdp.async_comm = true;
+  }
+
+  // Long sequences, modest width: plenty of backward compute (attention
+  // is O(seq^2)) per parameter byte on the wire — the regime where
+  // overlap pays.
+  TransformerClassifier::Config model_config;
+  model_config.vocab = 16;
+  model_config.seq_len = 64;
+  model_config.dim = 32;
+  model_config.heads = 2;
+  model_config.ffn = 64;
+  model_config.blocks = 6;
+  model_config.classes = 4;
+
+  SyntheticSequenceDataset::Config data_config;
+  data_config.vocab = model_config.vocab;
+  data_config.seq_len = model_config.seq_len;
+  data_config.classes = model_config.classes;
+  SyntheticSequenceDataset dataset(data_config, 7);
+
+  std::vector<float> final_loss(kRanks, 0.0f);
+  const auto start = std::chrono::steady_clock::now();
+  Status st = RunRanks(kRanks, [&](int rank) -> Status {
+    TransformerClassifier model(model_config);
+    MICS_ASSIGN_OR_RETURN(
+        std::unique_ptr<ShardedDataParallel> engine,
+        ShardedDataParallel::Create(&world, topo, sdp, model.NumParams(),
+                                    rank));
+    LatencyHook hook(base_us, bytes_per_us);
+    engine->InstallFaultHook(&hook, RetryPolicy());
+    MICS_RETURN_NOT_OK(engine->InitParameters([&](Tensor* full) -> Status {
+      MICS_RETURN_NOT_OK(model.BindParameters(full, engine->micro_grads()));
+      Rng init_rng(11);
+      return model.InitParameters(&init_rng);
+    }));
+    MICS_RETURN_NOT_OK(
+        model.BindParameters(engine->full_params(), engine->micro_grads()));
+    ShardedDataParallel* sdp_ptr = engine.get();
+    model.SetGradReadyCallback([sdp_ptr](int64_t off, int64_t n) {
+      return sdp_ptr->NotifyGradRange(off, n);
+    });
+
+    int64_t step = 0;
+    for (int iter = 0; iter < iterations; ++iter) {
+      float loss = 0.0f;
+      for (int micro = 0; micro < 2; ++micro) {
+        MICS_RETURN_NOT_OK(engine->GatherParams());
+        Tensor x;
+        std::vector<int32_t> y;
+        MICS_RETURN_NOT_OK(dataset.Sample(step++, rank, 1, &x, &y));
+        MICS_ASSIGN_OR_RETURN(loss, model.ForwardBackward(x, y));
+        MICS_RETURN_NOT_OK(engine->ReduceMicroStepGrads());
+      }
+      MICS_RETURN_NOT_OK(engine->FinishIterationAndStep());
+      MICS_RETURN_NOT_OK(engine->AverageScalar(&loss));
+      final_loss[static_cast<size_t>(rank)] = loss;
+    }
+    return Status::OK();
+  });
+  MICS_CHECK_OK(st);
+  return {MsSince(start) / iterations, final_loss[0]};
+}
+
+}  // namespace
+}  // namespace mics
+
+int main() {
+  using namespace mics;
+  constexpr int64_t kDelayUs = 1000;
+
+  bench::PrintHeader(
+      "Overlap: nonblocking collectives vs serialized schedule");
+  std::cout << "in-process cluster: 4 ranks / 2 nodes, " << kDelayUs
+            << " us injected latency per collective\n";
+
+  {
+    // Warm-up (thread pools, allocator) then measured runs.
+    (void)LayerwiseWalkMs(false, 0);
+    const double sync_ms = LayerwiseWalkMs(false, kDelayUs);
+    const double async_ms = LayerwiseWalkMs(true, kDelayUs);
+    TablePrinter table({"layerwise gather walk", "wall ms", "speedup"});
+    table.AddRow({"serialized (inline gathers)", TablePrinter::Fmt(sync_ms, 1),
+                  "1.0x"});
+    table.AddRow({"overlapped (async prefetch)",
+                  TablePrinter::Fmt(async_ms, 1),
+                  TablePrinter::Fmt(sync_ms / async_ms, 2) + "x"});
+    table.Print(std::cout);
+  }
+
+  {
+    // 20 us launch fee + 25 bytes/us (~0.025 GB/s, a slow cloud link).
+    (void)TrainStepMs(false, 0, 0, 1);
+    const auto [serial_ms, serial_loss] = TrainStepMs(false, 20, 25, 6);
+    const auto [overlap_ms, overlap_loss] = TrainStepMs(true, 20, 25, 6);
+    TablePrinter table(
+        {"transformer train step", "ms/iter", "speedup", "final loss"});
+    table.AddRow({"serialized reduce-scatter",
+                  TablePrinter::Fmt(serial_ms, 1), "1.0x",
+                  TablePrinter::Fmt(serial_loss, 5)});
+    table.AddRow({"bucketed async reduction",
+                  TablePrinter::Fmt(overlap_ms, 1),
+                  TablePrinter::Fmt(serial_ms / overlap_ms, 2) + "x",
+                  TablePrinter::Fmt(overlap_loss, 5)});
+    table.Print(std::cout);
+    // Identical final losses: the overlap changes scheduling, not math.
+    MICS_CHECK_EQ(serial_loss, overlap_loss);
+  }
+
+  std::cout << "\nPaper shape: hiding collective latency under compute is\n"
+               "what keeps MiCS near linear scale-out; the overlapped\n"
+               "schedules above do the same work in less wall-clock time.\n";
+  return 0;
+}

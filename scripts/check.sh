@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Repo check entry point.
+#
+#   scripts/check.sh              tier-1: configure, build, full ctest, then
+#                                 re-run the concurrency-heavy suites
+#                                 (-L 'tsan|async') on their own
+#   scripts/check.sh --sanitize   additionally build with
+#                                 MICS_SANITIZE=thread in build-tsan/ and run
+#                                 the tsan + async labels under TSan
+#
+# Both modes exit non-zero on the first failure.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+sanitize=0
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) sanitize=1 ;;
+    *) echo "usage: scripts/check.sh [--sanitize]" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo
+echo "== concurrency suites (tsan + async labels, plain build) =="
+ctest --test-dir build --output-on-failure -L 'tsan|async'
+
+if [[ "$sanitize" == 1 ]]; then
+  echo
+  echo "== ThreadSanitizer build (MICS_SANITIZE=thread) =="
+  cmake -B build-tsan -S . -DMICS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure -L 'tsan|async'
+fi
+
+echo
+echo "All checks passed."

@@ -1,0 +1,98 @@
+#include "comm/async.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mics {
+
+namespace {
+
+obs::Counter* OpsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("comm.async.ops");
+  return c;
+}
+
+}  // namespace
+
+AsyncEngine::AsyncEngine() : worker_([this] { Loop(); }) {}
+
+AsyncEngine::~AsyncEngine() {
+  std::deque<Task> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    orphaned.swap(queue_);
+  }
+  work_cv_.notify_all();
+  worker_.join();
+  // Fail (never drop) ops that were queued but will not run, so a caller
+  // blocked in Wait() on one of their handles is released with an error.
+  for (Task& t : orphaned) {
+    t.state->Complete(
+        Status::Internal("collective destroyed with pending async ops"));
+  }
+}
+
+CollectiveHandle AsyncEngine::Submit(const char* op_name,
+                                     std::function<Status()> fn,
+                                     obs::TraceRecorder* trace, int track) {
+  Task task;
+  task.state = std::make_shared<detail::AsyncOpState>();
+  task.fn = std::move(fn);
+  if (trace != nullptr && track >= 0 && op_name != nullptr) {
+    task.span_name = std::string("async ") + op_name;
+    task.trace = trace;
+    task.track = track;
+  }
+  CollectiveHandle handle(task.state);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  OpsCounter()->Increment();
+  work_cv_.notify_one();
+  return handle;
+}
+
+void AsyncEngine::Fence() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && !executing_; });
+}
+
+int AsyncEngine::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size()) + (executing_ ? 1 : 0);
+}
+
+void AsyncEngine::Loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      executing_ = true;
+    }
+    Status st;
+    {
+      obs::ScopedSpan span(task.trace, task.track, std::move(task.span_name),
+                           "comm");
+      st = task.fn();
+    }
+    {
+      // Complete the handle and retire the op under one lock so the two
+      // transitions are observed atomically: a thread returning from
+      // Wait() on the last op must see pending() == 0, and Fence() must
+      // not return before every fenced handle tests complete.
+      std::lock_guard<std::mutex> lock(mu_);
+      task.state->Complete(std::move(st));
+      executing_ = false;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+}  // namespace mics

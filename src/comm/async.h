@@ -1,0 +1,142 @@
+#ifndef MICS_COMM_ASYNC_H_
+#define MICS_COMM_ASYNC_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "util/status.h"
+
+namespace mics {
+
+namespace obs {
+class TraceRecorder;
+}  // namespace obs
+
+namespace detail {
+
+/// Shared completion state behind one CollectiveHandle: the progress
+/// worker completes it exactly once; any thread may Wait/Test.
+class AsyncOpState {
+ public:
+  void Complete(Status st) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      status_ = std::move(st);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  Status Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return done_; });
+    return status_;
+  }
+
+  bool Test() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  Status status_;
+};
+
+}  // namespace detail
+
+/// Completion token for a nonblocking collective. Cheap to copy (shared
+/// state); Wait/Test may be called from any thread, any number of times.
+/// A default-constructed handle is already complete with OK — the natural
+/// return for paths that finish inline (p == 1 fast paths, sync
+/// fallbacks), so callers never branch on "was this actually deferred".
+class CollectiveHandle {
+ public:
+  CollectiveHandle() = default;
+
+  /// An already-complete handle carrying `st` (inline execution paths).
+  static CollectiveHandle Completed(Status st) {
+    CollectiveHandle h;
+    h.immediate_ = std::move(st);
+    return h;
+  }
+
+  /// Blocks until the op completes and returns its status. Idempotent:
+  /// repeated Waits return the same status without blocking again.
+  Status Wait() { return state_ ? state_->Wait() : immediate_; }
+
+  /// True when the op has completed (a following Wait will not block).
+  bool Test() const { return state_ ? state_->Test() : true; }
+
+  /// True when this handle tracks an op issued to a progress worker
+  /// (false for the immediate/inline handles).
+  bool deferred() const { return state_ != nullptr; }
+
+ private:
+  friend class AsyncEngine;
+  explicit CollectiveHandle(std::shared_ptr<detail::AsyncOpState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::AsyncOpState> state_;
+  Status immediate_;  // result when not deferred
+};
+
+/// The per-collective progress worker: a single FIFO thread that executes
+/// submitted ops in submission order. One thread (not a pool) is the
+/// point — ops on one communicator must rendezvous in the same order on
+/// every member, and a FIFO worker preserves the caller's SPMD issue
+/// order by construction.
+///
+/// Created lazily by Collective on the first async submission; destroying
+/// the engine joins the worker and fails every not-yet-started op, so a
+/// handle can never be left hanging.
+class AsyncEngine {
+ public:
+  AsyncEngine();
+  ~AsyncEngine();
+
+  AsyncEngine(const AsyncEngine&) = delete;
+  AsyncEngine& operator=(const AsyncEngine&) = delete;
+
+  /// Queues `fn` for the worker. `op_name` labels the trace span recorded
+  /// around the execution when a sink is attached (may be null to skip).
+  CollectiveHandle Submit(const char* op_name, std::function<Status()> fn,
+                          obs::TraceRecorder* trace, int track);
+
+  /// Blocks until every op submitted so far has completed.
+  void Fence();
+
+  /// Ops submitted but not yet completed (includes the executing one).
+  int pending() const;
+
+ private:
+  struct Task {
+    std::shared_ptr<detail::AsyncOpState> state;
+    std::function<Status()> fn;
+    std::string span_name;  // empty = no span
+    obs::TraceRecorder* trace = nullptr;
+    int track = -1;
+  };
+
+  void Loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // worker waits for tasks / stop
+  std::condition_variable drain_cv_;  // Fence waits for an empty pipeline
+  std::deque<Task> queue_;
+  bool executing_ = false;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace mics
+
+#endif  // MICS_COMM_ASYNC_H_

@@ -87,13 +87,20 @@ Status Communicator::AllGatherCoalesced(const std::vector<Tensor>& inputs,
   CoalescedDesc desc{&inputs};
   state_->Publish(group_rank_, &desc);
   MICS_RETURN_NOT_OK(state_->ArriveAndWait());
+  // Resolve every peer's descriptor once, not once per (item, rank): the
+  // slots are frozen between the two barriers, and Peek in the copy loop
+  // was the dominant non-memcpy cost for many-item launches.
+  std::vector<const CoalescedDesc*> peers(static_cast<size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    peers[static_cast<size_t>(r)] =
+        static_cast<const CoalescedDesc*>(state_->Peek(r));
+  }
   for (size_t i = 0; i < inputs.size(); ++i) {
     Tensor& out = (*outputs)[i];
     const int64_t chunk_bytes = inputs[i].nbytes();
     uint8_t* out_base = static_cast<uint8_t*>(out.data());
     for (int r = 0; r < size(); ++r) {
-      const auto* peer = static_cast<const CoalescedDesc*>(state_->Peek(r));
-      const void* src = (*peer->inputs)[i].data();
+      const void* src = (*peers[static_cast<size_t>(r)]->inputs)[i].data();
       uint8_t* dst = out_base + r * chunk_bytes;
       if (src != dst) std::memcpy(dst, src, chunk_bytes);
     }
@@ -124,17 +131,31 @@ Status Communicator::ReduceScatterCoalesced(const std::vector<Tensor>& inputs,
   state_->Publish(group_rank_, &desc);
   MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   const float inv = 1.0f / static_cast<float>(size());
+  // Hoist the descriptor resolution out of the reduction: Peek per
+  // element made the inner loop a pointer chase. Peer slots are frozen
+  // between the barriers, so resolve each rank's item base pointer once
+  // per item and keep the j-loop pure arithmetic. The summation order
+  // (member 0, 1, ..., p-1) is unchanged — reductions stay bit-identical.
+  std::vector<const CoalescedDesc*> peers(static_cast<size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    peers[static_cast<size_t>(r)] =
+        static_cast<const CoalescedDesc*>(state_->Peek(r));
+  }
+  std::vector<const void*> peer_bases(static_cast<size_t>(size()));
   for (size_t i = 0; i < inputs.size(); ++i) {
     Tensor& out = (*outputs)[i];
     const DType dt = out.dtype();
     const int64_t n = out.numel();
     const int64_t base = group_rank_ * n;
+    for (int r = 0; r < size(); ++r) {
+      peer_bases[static_cast<size_t>(r)] =
+          (*peers[static_cast<size_t>(r)]->inputs)[i].data();
+    }
     for (int64_t j = 0; j < n; ++j) {
-      const auto* peer0 = static_cast<const CoalescedDesc*>(state_->Peek(0));
-      float acc = LoadElem((*peer0->inputs)[i].data(), dt, base + j);
+      float acc = LoadElem(peer_bases[0], dt, base + j);
       for (int r = 1; r < size(); ++r) {
-        const auto* peer = static_cast<const CoalescedDesc*>(state_->Peek(r));
-        const float v = LoadElem((*peer->inputs)[i].data(), dt, base + j);
+        const float v =
+            LoadElem(peer_bases[static_cast<size_t>(r)], dt, base + j);
         acc = (op == ReduceOp::kMax) ? std::max(acc, v) : acc + v;
       }
       if (op == ReduceOp::kAvg) acc *= inv;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mics {
 
@@ -36,12 +37,32 @@ int64_t CoalescedBytes(const std::vector<Tensor>& inputs) {
   return total;
 }
 
+/// Shallow alias of `t` that does not own storage: what an async op
+/// captures so the caller's Tensor object (often a temporary Slice view)
+/// can die while the underlying buffer, which the caller keeps alive per
+/// the API contract, is still being transferred.
+Tensor Alias(const Tensor& t) {
+  return Tensor::View(const_cast<void*>(t.data()), t.shape(), t.dtype());
+}
+
+std::vector<Tensor> AliasAll(const std::vector<Tensor>& ts) {
+  std::vector<Tensor> views;
+  views.reserve(ts.size());
+  for (const Tensor& t : ts) views.push_back(Alias(t));
+  return views;
+}
+
 }  // namespace
 
 void Collective::InstallFaultHook(CollectiveFaultHook* hook,
                                   RetryPolicy policy) {
   fault_hook_ = hook;
   retry_ = policy;
+}
+
+void Collective::SetTraceSink(obs::TraceRecorder* trace, int track) {
+  trace_ = trace;
+  trace_track_ = track;
 }
 
 Status Collective::Dispatch(CollectiveCallInfo info,
@@ -68,23 +89,125 @@ Status Collective::Dispatch(CollectiveCallInfo info,
   }
 }
 
-Status FlatCollective::AllGather(const Tensor& input, Tensor* output) {
-  return Dispatch({"all_gather", kind(), size(), input.nbytes(), 0},
-                  [&] { return comm_->AllGather(input, output); });
+void Collective::Fence() {
+  if (engine_ != nullptr) engine_->Fence();
 }
 
-Status FlatCollective::AllGatherCoalesced(const std::vector<Tensor>& inputs,
-                                          std::vector<Tensor>* outputs) {
+int Collective::pending_async() const {
+  return engine_ == nullptr ? 0 : engine_->pending();
+}
+
+CollectiveHandle Collective::Enqueue(const char* op_name,
+                                     CollectiveCallInfo info,
+                                     std::function<Status()> fn) {
+  if (engine_ == nullptr) engine_ = std::make_unique<AsyncEngine>();
+  return engine_->Submit(
+      op_name,
+      [this, info, fn = std::move(fn)] { return Dispatch(info, fn); },
+      trace_, trace_track_);
+}
+
+// ---------------------------------------------------------------------------
+// Blocking forms: fence any in-flight async work first so barrier
+// generations on the underlying group never interleave, then run inline
+// through Dispatch exactly as the pre-async code did.
+// ---------------------------------------------------------------------------
+
+Status Collective::AllGather(const Tensor& input, Tensor* output) {
+  Fence();
+  return Dispatch({"all_gather", kind(), size(), input.nbytes(), 0},
+                  [&] { return DoAllGather(input, output); });
+}
+
+Status Collective::AllGatherCoalesced(const std::vector<Tensor>& inputs,
+                                      std::vector<Tensor>* outputs) {
+  Fence();
   return Dispatch(
       {"all_gather_coalesced", kind(), size(), CoalescedBytes(inputs), 0},
-      [&] { return comm_->AllGatherCoalesced(inputs, outputs); });
+      [&] { return DoAllGatherCoalesced(inputs, outputs); });
 }
 
-Status FlatCollective::ReduceScatter(const Tensor& input, Tensor* output,
-                                     ReduceOp op) {
+Status Collective::ReduceScatter(const Tensor& input, Tensor* output,
+                                 ReduceOp op) {
+  Fence();
   return Dispatch({"reduce_scatter", kind(), size(), input.nbytes(), 0},
-                  [&] { return comm_->ReduceScatter(input, output, op); });
+                  [&] { return DoReduceScatter(input, output, op); });
 }
+
+Status Collective::Reduce(const Tensor& input, Tensor* output, int root,
+                          ReduceOp op) {
+  Fence();
+  return Dispatch({"reduce", kind(), size(), input.nbytes(), 0},
+                  [&] { return DoReduce(input, output, root, op); });
+}
+
+// ---------------------------------------------------------------------------
+// Async forms: capture shallow views and enqueue on the progress worker.
+// ---------------------------------------------------------------------------
+
+CollectiveHandle Collective::AllGatherAsync(const Tensor& input,
+                                            Tensor* output) {
+  CollectiveCallInfo info{"all_gather", kind(), size(), input.nbytes(), 0};
+  return Enqueue("all_gather", info,
+                 [this, in = Alias(input), output]() mutable {
+                   return DoAllGather(in, output);
+                 });
+}
+
+CollectiveHandle Collective::AllGatherCoalescedAsync(
+    const std::vector<Tensor>& inputs, std::vector<Tensor>* outputs) {
+  CollectiveCallInfo info{"all_gather_coalesced", kind(), size(),
+                          CoalescedBytes(inputs), 0};
+  return Enqueue("all_gather_coalesced", info,
+                 [this, ins = AliasAll(inputs), outputs]() mutable {
+                   return DoAllGatherCoalesced(ins, outputs);
+                 });
+}
+
+CollectiveHandle Collective::ReduceScatterAsync(const Tensor& input,
+                                                Tensor* output, ReduceOp op) {
+  CollectiveCallInfo info{"reduce_scatter", kind(), size(), input.nbytes(), 0};
+  return Enqueue("reduce_scatter", info,
+                 [this, in = Alias(input), output, op]() mutable {
+                   return DoReduceScatter(in, output, op);
+                 });
+}
+
+CollectiveHandle Collective::ReduceAsync(const Tensor& input, Tensor* output,
+                                         int root, ReduceOp op) {
+  CollectiveCallInfo info{"reduce", kind(), size(), input.nbytes(), 0};
+  return Enqueue("reduce", info,
+                 [this, in = Alias(input), output, root, op]() mutable {
+                   return DoReduce(in, output, root, op);
+                 });
+}
+
+// ---------------------------------------------------------------------------
+// Flat backend.
+// ---------------------------------------------------------------------------
+
+Status FlatCollective::DoAllGather(const Tensor& input, Tensor* output) {
+  return comm_->AllGather(input, output);
+}
+
+Status FlatCollective::DoAllGatherCoalesced(const std::vector<Tensor>& inputs,
+                                            std::vector<Tensor>* outputs) {
+  return comm_->AllGatherCoalesced(inputs, outputs);
+}
+
+Status FlatCollective::DoReduceScatter(const Tensor& input, Tensor* output,
+                                       ReduceOp op) {
+  return comm_->ReduceScatter(input, output, op);
+}
+
+Status FlatCollective::DoReduce(const Tensor& input, Tensor* output, int root,
+                                ReduceOp op) {
+  return comm_->Reduce(input, output, root, op);
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical backend.
+// ---------------------------------------------------------------------------
 
 Result<HierarchicalComm> HierarchicalComm::Create(
     World* world, const RankTopology& topo,
@@ -121,40 +244,37 @@ int HierarchicalComm::size() const {
   return fallback_->size();
 }
 
-Status HierarchicalComm::AllGather(const Tensor& input, Tensor* output) {
-  return Dispatch({"all_gather", kind(), size(), input.nbytes(), 0}, [&] {
-    if (!ag_.has_value()) return fallback_->AllGather(input, output);
-    static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter(
-        "comm.hierarchical_all_gather.calls");
-    calls->Increment();
-    return ag_->Run(input, output);
-  });
+Status HierarchicalComm::DoAllGather(const Tensor& input, Tensor* output) {
+  if (!ag_.has_value()) return fallback_->AllGather(input, output);
+  static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter(
+      "comm.hierarchical_all_gather.calls");
+  calls->Increment();
+  return ag_->Run(input, output);
 }
 
-Status HierarchicalComm::AllGatherCoalesced(const std::vector<Tensor>& inputs,
-                                            std::vector<Tensor>* outputs) {
-  return Dispatch(
-      {"all_gather_coalesced", kind(), size(), CoalescedBytes(inputs), 0},
-      [&] {
-        if (!ag_.has_value()) {
-          return fallback_->AllGatherCoalesced(inputs, outputs);
-        }
-        static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter(
-            "comm.hierarchical_all_gather.calls");
-        calls->Increment();
-        return ag_->RunCoalesced(inputs, outputs);
-      });
+Status HierarchicalComm::DoAllGatherCoalesced(
+    const std::vector<Tensor>& inputs, std::vector<Tensor>* outputs) {
+  if (!ag_.has_value()) return fallback_->AllGatherCoalesced(inputs, outputs);
+  static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter(
+      "comm.hierarchical_all_gather.calls");
+  calls->Increment();
+  return ag_->RunCoalesced(inputs, outputs);
 }
 
-Status HierarchicalComm::ReduceScatter(const Tensor& input, Tensor* output,
-                                       ReduceOp op) {
-  return Dispatch({"reduce_scatter", kind(), size(), input.nbytes(), 0}, [&] {
-    if (!rs_.has_value()) return fallback_->ReduceScatter(input, output, op);
-    static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter(
-        "comm.hierarchical_reduce_scatter.calls");
-    calls->Increment();
-    return rs_->Run(input, output, op);
-  });
+Status HierarchicalComm::DoReduceScatter(const Tensor& input, Tensor* output,
+                                         ReduceOp op) {
+  if (!rs_.has_value()) return fallback_->ReduceScatter(input, output, op);
+  static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter(
+      "comm.hierarchical_reduce_scatter.calls");
+  calls->Increment();
+  return rs_->Run(input, output, op);
+}
+
+Status HierarchicalComm::DoReduce(const Tensor& input, Tensor* output,
+                                  int root, ReduceOp op) {
+  // No three-stage variant for rooted reduce; the flat algorithm already
+  // moves the minimal (p-1)/p fraction of bytes over the slow links.
+  return fallback_->Reduce(input, output, root, op);
 }
 
 }  // namespace mics

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "comm/async.h"
 #include "comm/communicator.h"
 #include "comm/hierarchical.h"
 #include "comm/topology.h"
@@ -28,14 +30,18 @@ struct CollectiveCallInfo {
 /// Injection point consulted before every op a Collective backend
 /// dispatches. Because the hook sits on the Collective interface, the flat
 /// and hierarchical backends inject identically — a fault plan does not
-/// care which algorithm carries the traffic.
+/// care which algorithm carries the traffic. Async ops consult the hook
+/// too, from the progress worker, so deferred completion composes with
+/// injection and retry: a transient failure of an async op is retried on
+/// the worker and only the final status reaches the handle.
 ///
 /// Contract: return OK to let the attempt run; return Unavailable to fail
 /// the attempt as a transient launch error (the dispatcher retries it with
 /// backoff); return any other error to kill the call outright — the rank
 /// never enters the rendezvous, so peers observe the death as a rendezvous
 /// DeadlineExceeded, never a hang. The hook may also sleep before
-/// returning OK to model stragglers and degraded links.
+/// returning OK to model stragglers and degraded links. With async ops in
+/// play the hook must be thread-safe: it runs on the progress worker.
 class CollectiveFaultHook {
  public:
   virtual ~CollectiveFaultHook() = default;
@@ -49,17 +55,44 @@ struct RetryPolicy {
 };
 
 /// The collective surface sharded training needs from a communication
-/// backend: gather a sharded buffer, and reduce-scatter gradients. Both
-/// the flat rendezvous communicator and the three-stage hierarchical
-/// algorithms of §3.3 implement it, so callers (GroupManager,
-/// ShardedDataParallel, LayerwiseGatherManager) pick an implementation
-/// once at setup instead of branching on `hierarchical_allgather` at each
-/// call site.
+/// backend: gather a sharded buffer, reduce-scatter gradients, reduce a
+/// bucket to its owner. Both the flat rendezvous communicator and the
+/// three-stage hierarchical algorithms of §3.3 implement it, so callers
+/// (GroupManager, ShardedDataParallel, LayerwiseGatherManager) pick an
+/// implementation once at setup instead of branching on
+/// `hierarchical_allgather` at each call site.
 ///
-/// Every op funnels through Dispatch(), the fault-injection hook point:
-/// with no hook installed dispatch is a direct call; with one installed
-/// each attempt first consults the hook, and Unavailable results (from the
-/// hook or the op itself) are retried transparently under the RetryPolicy.
+/// Every op has two entry points:
+///
+///  - the blocking form (AllGather, ...) runs inline and returns when the
+///    result is ready, exactly as before this layer went nonblocking;
+///  - the *Async form enqueues the op on this collective's progress
+///    worker and returns a CollectiveHandle immediately; the caller
+///    overlaps compute with the transfer and calls Wait() when it needs
+///    the result.
+///
+/// Both funnel through Dispatch(), the fault-injection hook point: with
+/// no hook installed dispatch is a direct call; with one installed each
+/// attempt first consults the hook, and Unavailable results (from the
+/// hook or the op itself) are retried transparently under the
+/// RetryPolicy. For async ops Dispatch runs on the worker thread, so the
+/// retry/backoff loop overlaps the caller's compute like the op itself.
+///
+/// Ordering rules (what makes async correct on a rendezvous transport):
+///
+///  - ops on one Collective execute in submission order — the worker is a
+///    single FIFO thread, so identical SPMD issue orders on every member
+///    rendezvous identically;
+///  - a blocking op issued while async ops are pending first drains the
+///    worker (Fence) and then runs inline, so sync and async calls on the
+///    same group can never interleave their barrier generations;
+///  - callers must not bypass a Collective with direct Communicator calls
+///    on the same group while that Collective has async ops in flight.
+///
+/// Buffer lifetime: async ops borrow the caller's buffers (shallow views
+/// are captured, not copies). The underlying storage — not the Tensor
+/// object handed in — must stay alive and undisturbed until the handle
+/// completes.
 class Collective {
  public:
   virtual ~Collective() = default;
@@ -70,33 +103,100 @@ class Collective {
   /// Implementation name ("flat" / "hierarchical"), for logs and metrics.
   virtual const char* kind() const = 0;
 
+  // ---------------------------------------------------------------------
+  // Blocking API (fences pending async ops, then runs inline).
+  // ---------------------------------------------------------------------
+
   /// output[r*N .. (r+1)*N) = member r's input (N = input.numel()).
-  virtual Status AllGather(const Tensor& input, Tensor* output) = 0;
+  Status AllGather(const Tensor& input, Tensor* output);
 
   /// Batched all-gather: one launch covering every (input, output) pair.
-  virtual Status AllGatherCoalesced(const std::vector<Tensor>& inputs,
-                                    std::vector<Tensor>* outputs) = 0;
+  Status AllGatherCoalesced(const std::vector<Tensor>& inputs,
+                            std::vector<Tensor>* outputs);
 
   /// output = reduction over members of input[rank*N .. (rank+1)*N).
-  virtual Status ReduceScatter(const Tensor& input, Tensor* output,
-                               ReduceOp op = ReduceOp::kSum) = 0;
+  Status ReduceScatter(const Tensor& input, Tensor* output,
+                       ReduceOp op = ReduceOp::kSum);
+
+  /// Reduces every member's `input` into member `root`'s `output`
+  /// (non-roots pass output = nullptr). The gradient-bucket first hop:
+  /// reducing bucket-sized slices to their shard owners in production
+  /// order is elementwise identical to one big reduce-scatter, because
+  /// both reduce member-by-member in the same fixed order.
+  Status Reduce(const Tensor& input, Tensor* output, int root,
+                ReduceOp op = ReduceOp::kSum);
+
+  // ---------------------------------------------------------------------
+  // Nonblocking API: returns immediately; the op runs on this
+  // collective's progress worker in submission order.
+  // ---------------------------------------------------------------------
+
+  CollectiveHandle AllGatherAsync(const Tensor& input, Tensor* output);
+  CollectiveHandle AllGatherCoalescedAsync(const std::vector<Tensor>& inputs,
+                                           std::vector<Tensor>* outputs);
+  CollectiveHandle ReduceScatterAsync(const Tensor& input, Tensor* output,
+                                      ReduceOp op = ReduceOp::kSum);
+  CollectiveHandle ReduceAsync(const Tensor& input, Tensor* output, int root,
+                               ReduceOp op = ReduceOp::kSum);
+
+  /// Blocks until every async op issued so far on this collective has
+  /// completed (their statuses still arrive via their handles).
+  void Fence();
+
+  /// Async ops issued but not yet completed.
+  int pending_async() const;
 
   /// Installs (or, with nullptr, removes) the fault hook consulted before
   /// every dispatched op. Borrowed; must outlive the collective. Per-rank:
-  /// each rank's Collective gets that rank's hook.
+  /// each rank's Collective gets that rank's hook. Install before issuing
+  /// async ops; the hook is read from the progress worker.
   void InstallFaultHook(CollectiveFaultHook* hook,
                         RetryPolicy policy = RetryPolicy());
 
   CollectiveFaultHook* fault_hook() const { return fault_hook_; }
 
+  /// Attaches a span sink: the progress worker records one "async <op>"
+  /// span per executed op on `track`, so exported Chrome traces show comm
+  /// concurrent with the rank's compute spans. Set before issuing async
+  /// ops; nullptr (the default) disables recording.
+  void SetTraceSink(obs::TraceRecorder* trace, int track);
+
  protected:
+  // Movable (for Result<...> plumbing at setup time) but only before any
+  // async op has been issued: worker tasks capture `this`.
+  Collective() = default;
+  Collective(Collective&&) = default;
+  Collective& operator=(Collective&&) = default;
+
+  /// Backend implementations of the four ops, called via Dispatch from
+  /// either the calling thread (blocking form) or the progress worker
+  /// (async form).
+  virtual Status DoAllGather(const Tensor& input, Tensor* output) = 0;
+  virtual Status DoAllGatherCoalesced(const std::vector<Tensor>& inputs,
+                                      std::vector<Tensor>* outputs) = 0;
+  virtual Status DoReduceScatter(const Tensor& input, Tensor* output,
+                                 ReduceOp op) = 0;
+  virtual Status DoReduce(const Tensor& input, Tensor* output, int root,
+                          ReduceOp op) = 0;
+
   /// Runs `op` through the fault hook with bounded-retry-with-backoff on
   /// Unavailable. The fast path (no hook) is a single indirect call.
   Status Dispatch(CollectiveCallInfo info, const std::function<Status()>& op);
 
+  /// Joins the progress worker, failing queued-but-unstarted ops. Derived
+  /// destructors MUST call this first: the worker calls the Do* virtuals,
+  /// which must not outlive the derived object.
+  void StopWorker() { engine_.reset(); }
+
  private:
+  CollectiveHandle Enqueue(const char* op_name, CollectiveCallInfo info,
+                           std::function<Status()> fn);
+
   CollectiveFaultHook* fault_hook_ = nullptr;
   RetryPolicy retry_;
+  obs::TraceRecorder* trace_ = nullptr;
+  int trace_track_ = -1;
+  std::unique_ptr<AsyncEngine> engine_;  // lazily started progress worker
 };
 
 /// A Collective backed directly by one Communicator (vanilla ring
@@ -104,14 +204,22 @@ class Collective {
 class FlatCollective : public Collective {
  public:
   explicit FlatCollective(Communicator* comm) : comm_(comm) {}
+  ~FlatCollective() override { StopWorker(); }
+
+  FlatCollective(FlatCollective&&) = default;
+  FlatCollective& operator=(FlatCollective&&) = default;
 
   int size() const override { return comm_->size(); }
   const char* kind() const override { return "flat"; }
-  Status AllGather(const Tensor& input, Tensor* output) override;
-  Status AllGatherCoalesced(const std::vector<Tensor>& inputs,
-                            std::vector<Tensor>* outputs) override;
-  Status ReduceScatter(const Tensor& input, Tensor* output,
-                       ReduceOp op) override;
+
+ protected:
+  Status DoAllGather(const Tensor& input, Tensor* output) override;
+  Status DoAllGatherCoalesced(const std::vector<Tensor>& inputs,
+                              std::vector<Tensor>* outputs) override;
+  Status DoReduceScatter(const Tensor& input, Tensor* output,
+                         ReduceOp op) override;
+  Status DoReduce(const Tensor& input, Tensor* output, int root,
+                  ReduceOp op) override;
 
  private:
   Communicator* comm_;
@@ -137,16 +245,25 @@ class HierarchicalComm : public Collective {
                                          bool enable_all_gather,
                                          bool enable_reduce_scatter);
 
+  ~HierarchicalComm() override { StopWorker(); }
+
+  HierarchicalComm(HierarchicalComm&&) = default;
+  HierarchicalComm& operator=(HierarchicalComm&&) = default;
+
   int size() const override;
   const char* kind() const override { return "hierarchical"; }
-  Status AllGather(const Tensor& input, Tensor* output) override;
-  Status AllGatherCoalesced(const std::vector<Tensor>& inputs,
-                            std::vector<Tensor>* outputs) override;
-  Status ReduceScatter(const Tensor& input, Tensor* output,
-                       ReduceOp op) override;
 
   bool has_hierarchical_all_gather() const { return ag_.has_value(); }
   bool has_hierarchical_reduce_scatter() const { return rs_.has_value(); }
+
+ protected:
+  Status DoAllGather(const Tensor& input, Tensor* output) override;
+  Status DoAllGatherCoalesced(const std::vector<Tensor>& inputs,
+                              std::vector<Tensor>* outputs) override;
+  Status DoReduceScatter(const Tensor& input, Tensor* output,
+                         ReduceOp op) override;
+  Status DoReduce(const Tensor& input, Tensor* output, int root,
+                  ReduceOp op) override;
 
  private:
   HierarchicalComm(std::optional<HierarchicalAllGather> ag,

@@ -128,8 +128,14 @@ Status Communicator::AllReduce(Tensor* inout, ReduceOp op) {
                                    size());
   if (size() == 1) return Status::OK();
   // Reduce into a private scratch first: members read each other's inputs,
-  // so writing in place before the exit barrier would race.
-  Tensor scratch({inout->numel()}, inout->dtype());
+  // so writing in place before the exit barrier would race. The scratch is
+  // per-communicator (RingScratch slot 0, viewed at this call's dtype)
+  // rather than a fresh tensor: AllReduce runs at every iteration boundary
+  // of sharded training, so the buffer must stay off the allocator once
+  // warmed up.
+  Tensor scratch =
+      Tensor::View(RingScratch(0, (inout->nbytes() + 3) / 4)->data(),
+                   {inout->numel()}, inout->dtype());
   state_->Publish(group_rank_, inout->data());
   MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   std::vector<const void*> srcs(size());

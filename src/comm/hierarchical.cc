@@ -78,8 +78,14 @@ Status HierarchicalAllGather::Run(const Tensor& input, Tensor* output) {
 
   // Stage 1: inter-node all-gather on this rank's channel. All k channels
   // run concurrently (each rank drives its own). tmp[g] = node g's shard
-  // for local rank `local_rank_`.
-  Tensor tmp({n * num_nodes_}, input.dtype());
+  // for local rank `local_rank_`. The staging buffer lives in the
+  // channel's RingScratch (viewed at this call's dtype) so the hot path
+  // allocates nothing once warmed up; the channel's own collectives are
+  // rendezvous-based and never touch the scratch.
+  Tensor tmp =
+      Tensor::View(channel_.RingScratch(0, (n * num_nodes_ * elem + 3) / 4)
+                       ->data(),
+                   {n * num_nodes_}, input.dtype());
   MICS_RETURN_NOT_OK(channel_.AllGather(input, &tmp));
 
   // Stage 2: data movement. Place chunk g at its final strided position
@@ -132,18 +138,24 @@ Status HierarchicalAllGather::RunCoalesced(const std::vector<Tensor>& inputs,
     return channel_.AllGatherCoalesced(inputs, outputs);
   }
 
-  // Stage 1: one coalesced inter-node all-gather over all items.
-  std::vector<Tensor> tmps;
-  tmps.reserve(inputs.size());
+  // Stage 1: one coalesced inter-node all-gather over all items. Every
+  // item's staging buffer is carved out of one slab in the channel's
+  // RingScratch (4-byte-aligned offsets, viewed at each item's dtype), so
+  // a coalesced launch of any width allocates nothing once warmed up.
+  int64_t slab_bytes = 0;
   for (const Tensor& in : inputs) {
-    tmps.emplace_back(std::vector<int64_t>{in.numel() * num_nodes_},
-                      in.dtype());
+    slab_bytes += ((in.numel() * num_nodes_ * SizeOf(in.dtype()) + 3) / 4) * 4;
   }
-  // Hand non-owning views to the collective (Tensor copies are deep).
+  uint8_t* slab =
+      static_cast<uint8_t*>(channel_.RingScratch(0, slab_bytes / 4)->data());
   std::vector<Tensor> stage1_out;
-  stage1_out.reserve(tmps.size());
-  for (Tensor& t : tmps) {
-    stage1_out.push_back(Tensor::View(t.data(), t.shape(), t.dtype()));
+  stage1_out.reserve(inputs.size());
+  int64_t slab_off = 0;
+  for (const Tensor& in : inputs) {
+    const int64_t bytes = in.numel() * num_nodes_ * SizeOf(in.dtype());
+    stage1_out.push_back(Tensor::View(slab + slab_off,
+                                      {in.numel() * num_nodes_}, in.dtype()));
+    slab_off += ((bytes + 3) / 4) * 4;
   }
   MICS_RETURN_NOT_OK(channel_.AllGatherCoalesced(inputs, &stage1_out));
 
@@ -157,7 +169,8 @@ Status HierarchicalAllGather::RunCoalesced(const std::vector<Tensor>& inputs,
     const int64_t elem = SizeOf(inputs[item].dtype());
     const int64_t chunk_bytes = n * elem;
     uint8_t* out_base = static_cast<uint8_t*>((*outputs)[item].data());
-    const uint8_t* tmp_base = static_cast<const uint8_t*>(tmps[item].data());
+    const uint8_t* tmp_base =
+        static_cast<const uint8_t*>(stage1_out[item].data());
     for (int g = 0; g < num_nodes_; ++g) {
       const int64_t dst_slot =
           static_cast<int64_t>(g) * gpus_per_node_ + local_rank_;
@@ -242,8 +255,14 @@ Status HierarchicalReduceScatter::Run(const Tensor& input, Tensor* output,
   // Stage 1: G batched intra-node reduce-scatters. Segment g of the input
   // holds the chunks destined to node g's ranks; the intra-node
   // reduce-scatter of that segment leaves this rank the node-local
-  // partial sum of chunk (g*k + local_rank).
-  Tensor tmp({n * num_nodes_}, input.dtype());
+  // partial sum of chunk (g*k + local_rank). Staged through the channel's
+  // per-communicator RingScratch (never touched by its rendezvous ops)
+  // instead of a per-call allocation.
+  const int64_t elem = SizeOf(input.dtype());
+  Tensor tmp =
+      Tensor::View(channel_.RingScratch(0, (n * num_nodes_ * elem + 3) / 4)
+                       ->data(),
+                   {n * num_nodes_}, input.dtype());
   std::vector<Tensor> stage1_in;
   std::vector<Tensor> stage1_out;
   stage1_in.reserve(num_nodes_);

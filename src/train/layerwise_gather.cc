@@ -2,10 +2,40 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
+#include "obs/metrics.h"
 #include "util/math_util.h"
 
 namespace mics {
+
+namespace {
+
+/// Residency/overlap telemetry, looked up once per process. Counters
+/// aggregate across ranks (like comm.*); the gauges are last-writer-wins
+/// snapshots of one rank's working set — ranks are symmetric, so any
+/// rank's value is representative.
+struct GatherMetrics {
+  obs::Counter* issued;        // gathers started (sync or async)
+  obs::Counter* waited;        // Acquire/Release waits that actually blocked
+  obs::Gauge* resident_bytes;  // current materialized bytes
+  obs::Gauge* peak_bytes;      // high-water mark
+};
+
+const GatherMetrics& Metrics() {
+  static const GatherMetrics m = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    return GatherMetrics{
+        reg.GetCounter("train.gather.gathers_issued"),
+        reg.GetCounter("train.gather.gathers_waited"),
+        reg.GetGauge("train.gather.resident_bytes"),
+        reg.GetGauge("train.gather.peak_resident_bytes"),
+    };
+  }();
+  return m;
+}
+
+}  // namespace
 
 Result<LayerwiseGatherManager> LayerwiseGatherManager::Create(
     GroupManager* groups, std::vector<int64_t> segment_numels) {
@@ -40,6 +70,16 @@ Result<LayerwiseGatherManager> LayerwiseGatherManager::Create(
   return mgr;
 }
 
+LayerwiseGatherManager::~LayerwiseGatherManager() {
+  // A gathered buffer must not be freed under a live transfer; drain any
+  // prefetches still in flight before the segments (and their buffers)
+  // are destroyed. A moved-from manager has no segments, so this is a
+  // no-op there.
+  for (Segment& seg : segments_) {
+    if (seg.pending.deferred()) (void)seg.pending.Wait();
+  }
+}
+
 int64_t LayerwiseGatherManager::segment_numel(int index) const {
   MICS_CHECK(index >= 0 && index < num_segments());
   return segments_[static_cast<size_t>(index)].numel;
@@ -52,18 +92,40 @@ Result<Tensor*> LayerwiseGatherManager::Shard(int index) {
   return &segments_[static_cast<size_t>(index)].shard;
 }
 
+int LayerwiseGatherManager::PrefetchedResidentCount() const {
+  int n = 0;
+  for (const Segment& seg : segments_) {
+    if (seg.gathered != nullptr && !seg.acquired) ++n;
+  }
+  return n;
+}
+
+void LayerwiseGatherManager::RecordResidency() {
+  const int64_t bytes = resident_bytes();
+  peak_resident_bytes_ = std::max(peak_resident_bytes_, bytes);
+  Metrics().resident_bytes->Set(static_cast<double>(bytes));
+  Metrics().peak_bytes->Set(static_cast<double>(peak_resident_bytes_));
+}
+
 Status LayerwiseGatherManager::GatherSegment(int index) {
   Segment& seg = segments_[static_cast<size_t>(index)];
+  // Fast path: already resident or in flight. This is what makes
+  // direction flips cheap — the backward pass re-enters the forward
+  // window without re-gathering anything.
   if (seg.gathered != nullptr) return Status::OK();
   seg.gathered = std::make_unique<Tensor>(
       std::vector<int64_t>{seg.padded}, DType::kF32);
+  Metrics().issued->Increment();
   if (groups_->partition_group_size() == 1) {
     MICS_RETURN_NOT_OK(seg.gathered->CopyFrom(seg.shard));
+  } else if (options_.async) {
+    seg.pending =
+        groups_->collective().AllGatherAsync(seg.shard, seg.gathered.get());
   } else {
     MICS_RETURN_NOT_OK(
         groups_->collective().AllGather(seg.shard, seg.gathered.get()));
   }
-  peak_resident_bytes_ = std::max(peak_resident_bytes_, resident_bytes());
+  RecordResidency();
   return Status::OK();
 }
 
@@ -80,12 +142,33 @@ Result<Tensor> LayerwiseGatherManager::Acquire(int index) {
   last_acquired_ = index;
 
   MICS_RETURN_NOT_OK(GatherSegment(index));
+  Segment& seg = segments_[static_cast<size_t>(index)];
+  seg.acquired = true;
+
+  // Issue prefetches BEFORE waiting on this segment: with the async
+  // backend the whole window is then in flight while the caller computes
+  // on segment `index`. The budget caps prefetched (non-acquired)
+  // residency at prefetch_depth segments; already-resident segments are
+  // skipped without spending budget.
   for (int ahead = 1; ahead <= options_.prefetch_depth; ++ahead) {
     const int next = index + ahead * direction_;
     if (next < 0 || next >= num_segments()) break;
+    if (segments_[static_cast<size_t>(next)].gathered != nullptr) continue;
+    if (PrefetchedResidentCount() >= options_.prefetch_depth) break;
     MICS_RETURN_NOT_OK(GatherSegment(next));
   }
-  Segment& seg = segments_[static_cast<size_t>(index)];
+
+  if (seg.pending.deferred()) {
+    if (!seg.pending.Test()) Metrics().waited->Increment();
+    Status st = seg.pending.Wait();
+    seg.pending = CollectiveHandle();
+    if (!st.ok()) {
+      seg.gathered.reset();
+      seg.acquired = false;
+      RecordResidency();
+      return st;
+    }
+  }
   return seg.gathered->Slice(0, seg.numel);
 }
 
@@ -98,8 +181,16 @@ Status LayerwiseGatherManager::Release(int index) {
     return Status::FailedPrecondition("segment " + std::to_string(index) +
                                       " is not resident");
   }
+  Status st = Status::OK();
+  if (seg.pending.deferred()) {
+    if (!seg.pending.Test()) Metrics().waited->Increment();
+    st = seg.pending.Wait();
+    seg.pending = CollectiveHandle();
+  }
   seg.gathered.reset();
-  return Status::OK();
+  seg.acquired = false;
+  RecordResidency();
+  return st;
 }
 
 int LayerwiseGatherManager::resident_segments() const {

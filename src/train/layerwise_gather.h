@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "comm/async.h"
 #include "core/group_manager.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
@@ -17,12 +18,22 @@ namespace mics {
 ///
 /// The model's flat parameter space is split into segments (one per
 /// layer). Each segment stays SHARDED across the partition group; before
-/// a layer computes, Acquire() gathers its segment (and prefetches the
-/// next `prefetch_depth` segments in the traversal direction), and
-/// Release() frees the gathered buffer once the layer is done. The
-/// resident working set is therefore bounded by prefetch_depth + 1
-/// segments — the memory behaviour the PerfEngine's gathered-window model
-/// assumes, here implemented and enforced on real tensors.
+/// a layer computes, Acquire() gathers its segment and prefetches up to
+/// `prefetch_depth` segments ahead in the traversal direction, and
+/// Release() frees the gathered buffer once the layer is done.
+///
+/// With `async` on (the default), prefetched gathers are issued to the
+/// collective's progress worker and Acquire(i) blocks only on segment
+/// i's own handle — the prefetch window gathers in the background while
+/// the current layer computes, which is the real overlap §4 credits for
+/// MiCS's scaling. With `async` off every gather runs inline, but the
+/// residency accounting is identical, so the two modes produce the same
+/// buffers in the same order (gathered bytes are bit-identical).
+///
+/// Residency is bounded in both modes: beyond the segments the caller
+/// has acquired and not released, at most `prefetch_depth` prefetched
+/// segments are resident or in flight, and an already-resident segment
+/// is never re-gathered (direction flips reuse the window).
 ///
 /// All ranks of the partition group must call Acquire/Release in the same
 /// order (SPMD), like every collective in this library.
@@ -30,6 +41,10 @@ class LayerwiseGatherManager {
  public:
   struct Options {
     int prefetch_depth = 2;
+    /// Issue gathers through the nonblocking collective API so prefetch
+    /// overlaps the caller's compute. Off = inline gathers (original
+    /// behaviour), still subject to the same residency bound.
+    bool async = true;
   };
 
   /// `segment_numels` gives each layer's (unpadded) parameter count.
@@ -40,6 +55,10 @@ class LayerwiseGatherManager {
   static Result<LayerwiseGatherManager> Create(
       GroupManager* groups, std::vector<int64_t> segment_numels);
 
+  ~LayerwiseGatherManager();
+  LayerwiseGatherManager(LayerwiseGatherManager&&) = default;
+  LayerwiseGatherManager& operator=(LayerwiseGatherManager&&) = default;
+
   int num_segments() const { return static_cast<int>(segments_.size()); }
   int64_t segment_numel(int index) const;
 
@@ -47,16 +66,20 @@ class LayerwiseGatherManager {
   /// and updates it (optimizer).
   Result<Tensor*> Shard(int index);
 
-  /// Ensures segment `index` is gathered (collective!) and prefetches
-  /// ahead in the direction implied by the previous Acquire (+1 forward,
-  /// -1 backward). Returns a view of the full (unpadded) segment.
+  /// Ensures segment `index` is gathered, waits for it (and only it) if
+  /// the gather is still in flight, and prefetches ahead in the direction
+  /// implied by the previous Acquire (+1 forward, -1 backward). Returns a
+  /// view of the full (unpadded) segment.
   Result<Tensor> Acquire(int index);
 
-  /// Releases segment `index`'s gathered buffer. Acquired-but-unreleased
-  /// prefetched segments stay resident until their own Release.
+  /// Releases segment `index`'s gathered buffer (waiting out an in-flight
+  /// prefetch first — the buffer cannot be freed under a live transfer).
+  /// Acquired-but-unreleased prefetched segments stay resident until
+  /// their own Release.
   Status Release(int index);
 
-  /// Currently materialized segments / bytes, and the high-water mark.
+  /// Currently materialized segments / bytes (in-flight gathers count:
+  /// their buffers are allocated), and the high-water mark.
   int resident_segments() const;
   int64_t resident_bytes() const;
   int64_t peak_resident_bytes() const { return peak_resident_bytes_; }
@@ -71,12 +94,17 @@ class LayerwiseGatherManager {
     int64_t padded = 0;         // multiple of group size
     Tensor shard;               // this rank's slice (padded/p elements)
     std::unique_ptr<Tensor> gathered;  // padded buffer when resident
+    CollectiveHandle pending;   // completes when `gathered` is filled
+    bool acquired = false;      // handed to the caller, not yet released
   };
 
   LayerwiseGatherManager(GroupManager* groups, Options options)
       : groups_(groups), options_(options) {}
 
   Status GatherSegment(int index);
+  /// Prefetched (non-acquired) segments currently resident or in flight.
+  int PrefetchedResidentCount() const;
+  void RecordResidency();
 
   GroupManager* groups_;
   Options options_;

@@ -193,6 +193,9 @@ Result<float> MlpModel::ForwardBackward(const Tensor& x,
       for (int64_t j = 0; j < h; ++j) gwrow[j] += xv * dzrow[j];
     }
   }
+  if (grad_ready_) {
+    MICS_RETURN_NOT_OK(grad_ready_(0, NumParams()));
+  }
   return loss;
 }
 

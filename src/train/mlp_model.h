@@ -2,6 +2,8 @@
 #define MICS_TRAIN_MLP_MODEL_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -54,6 +56,13 @@ class MlpModel {
   /// Predicted class per row.
   Result<std::vector<int32_t>> Predict(const Tensor& x) const;
 
+  /// Backward-progress callback (same contract as the transformer's):
+  /// the MLP backward finishes all gradients at once, so it reports the
+  /// whole parameter range [0, NumParams()) at the end of
+  /// ForwardBackward. Wire to ShardedDataParallel::NotifyGradRange.
+  using GradReadyFn = std::function<Status(int64_t offset, int64_t numel)>;
+  void SetGradReadyCallback(GradReadyFn fn) { grad_ready_ = std::move(fn); }
+
   const Config& config() const { return config_; }
 
  private:
@@ -67,6 +76,8 @@ class MlpModel {
   // Views into the flat buffers.
   Tensor w1_, b1_, w2_, b2_;
   Tensor gw1_, gb1_, gw2_, gb2_;
+
+  GradReadyFn grad_ready_;
 };
 
 }  // namespace mics

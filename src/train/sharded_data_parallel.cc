@@ -1,5 +1,6 @@
 #include "train/sharded_data_parallel.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -65,6 +66,35 @@ ShardedDataParallel::ShardedDataParallel(GroupManager groups,
     trace_ = options_.trace;
     trace_track_ = trace_->RegisterTrack(
         "rank " + std::to_string(groups_.global_rank()));
+    // Async comm spans go on a sibling track so the viewer shows them
+    // side by side with (and overlapping) this rank's compute spans.
+    groups_.collective().SetTraceSink(
+        trace_, trace_->RegisterTrack(
+                    "rank " + std::to_string(groups_.global_rank()) +
+                    " comm"));
+  }
+  // Bucketed gradient overlap: only the plain-fp32 two-hop path (DDP/
+  // ZeRO-3/MiCS) reduces within the partition group per micro-step, so
+  // only it gets buckets; the other paths keep their single collectives.
+  const bool bucketable = options_.grad_bucket_count > 1 &&
+                          options_.two_hop_sync &&
+                          !options_.mixed_precision &&
+                          options_.strategy != Strategy::kZeRO1 &&
+                          options_.strategy != Strategy::kZeRO2;
+  if (bucketable) {
+    const int64_t s = flat.shard_numel();
+    const int64_t chunk =
+        (s + options_.grad_bucket_count - 1) / options_.grad_bucket_count;
+    for (int q = 0; q < flat.num_shards(); ++q) {
+      for (int64_t off = 0; off < s; off += chunk) {
+        GradBucket b;
+        b.begin = q * s + off;
+        b.numel = std::min(chunk, s - off);
+        b.root = q;
+        b.covered = PaddingCovered(b);
+        grad_buckets_.push_back(std::move(b));
+      }
+    }
   }
   if (options_.strategy == Strategy::kZeRO2) {
     accum_opt_ = Tensor({opt_flat.shard_numel()}, DType::kF32);
@@ -93,6 +123,9 @@ Result<std::unique_ptr<ShardedDataParallel>> ShardedDataParallel::Create(
                                   options.strategy == Strategy::kZeRO2)) {
     return Status::Unimplemented(
         "mixed precision is implemented for the DDP/ZeRO-3/MiCS paths");
+  }
+  if (options.grad_bucket_count < 1) {
+    return Status::InvalidArgument("grad_bucket_count must be >= 1");
   }
   MICS_ASSIGN_OR_RETURN(
       GroupManager groups,
@@ -159,6 +192,54 @@ Status ShardedDataParallel::GatherParams() {
   return Status::OK();
 }
 
+int64_t ShardedDataParallel::PaddingCovered(const GradBucket& b) const {
+  // The padding tail [true_numel_, padded) never receives gradients —
+  // the model writes only real parameters and micro_grads_ is re-zeroed
+  // each micro-step — so it counts as covered from the start. Without
+  // this the last bucket could never fill via NotifyGradRange and its
+  // reduction would always run serially at the flush.
+  const int64_t begin = std::max(b.begin, true_numel_);
+  return std::max<int64_t>(0, b.begin + b.numel - begin);
+}
+
+Status ShardedDataParallel::IssueBucket(GradBucket* bucket) {
+  bucket->issued = true;
+  const bool is_root = groups_.shard_index() == bucket->root;
+  Tensor in = micro_grads_.Slice(bucket->begin, bucket->numel);
+  // The bucket lies inside root's shard of the flat space, so its landing
+  // slot in root's reduce-scatter output is the same range rebased to the
+  // shard origin. The view must outlive the async op — it lives in the
+  // bucket, which is stable until the wait in ReduceMicroStepGrads.
+  if (is_root) {
+    bucket->out_view = scratch_shard_.Slice(
+        bucket->begin - static_cast<int64_t>(bucket->root) *
+                            flat_.shard_numel(),
+        bucket->numel);
+  }
+  Tensor* out = is_root ? &bucket->out_view : nullptr;
+  if (options_.async_comm) {
+    bucket->handle = groups_.collective().ReduceAsync(in, out, bucket->root);
+    return Status::OK();
+  }
+  return groups_.collective().Reduce(in, out, bucket->root);
+}
+
+Status ShardedDataParallel::NotifyGradRange(int64_t offset, int64_t numel) {
+  if (grad_buckets_.empty() || numel <= 0) return Status::OK();
+  const int64_t lo = std::max<int64_t>(offset, 0);
+  const int64_t hi = std::min(offset + numel, flat_.padded_numel());
+  for (GradBucket& b : grad_buckets_) {
+    const int64_t overlap =
+        std::min(hi, b.begin + b.numel) - std::max(lo, b.begin);
+    if (overlap <= 0) continue;
+    b.covered = std::min(b.numel, b.covered + overlap);
+    if (b.covered == b.numel && !b.issued) {
+      MICS_RETURN_NOT_OK(IssueBucket(&b));
+    }
+  }
+  return Status::OK();
+}
+
 Status ShardedDataParallel::ReduceMicroStepGrads() {
   MICS_TRACE_SPAN(trace_, trace_track_, "grad-reduce");
   if (options_.strategy == Strategy::kZeRO1) {
@@ -215,7 +296,30 @@ Status ShardedDataParallel::ReduceMicroStepGrads() {
     ++pending_micro_steps_;
     return Status::OK();
   }
-  if (options_.two_hop_sync) {
+  if (!grad_buckets_.empty()) {
+    // Bucketed first hop: most buckets were issued from inside the
+    // backward pass (NotifyGradRange) and are finishing or done by now.
+    // Flush never-notified buckets (e.g. the padded tail) in ascending
+    // order — every rank flushes the same set in the same order, so the
+    // worker queues stay SPMD-identical — then wait them all. The union
+    // of bucket outputs is elementwise the reduce-scatter result: same
+    // boundaries, same member summation order.
+    for (GradBucket& b : grad_buckets_) {
+      if (!b.issued) MICS_RETURN_NOT_OK(IssueBucket(&b));
+    }
+    Status first_error = Status::OK();
+    for (GradBucket& b : grad_buckets_) {
+      if (b.handle.deferred()) {
+        Status st = b.handle.Wait();
+        if (!st.ok() && first_error.ok()) first_error = st;
+      }
+      b.handle = CollectiveHandle();
+      b.out_view = Tensor();
+      b.covered = PaddingCovered(b);
+      b.issued = false;
+    }
+    MICS_RETURN_NOT_OK(first_error);
+  } else if (options_.two_hop_sync) {
     // First hop: reduce-scatter within the partition group; each rank
     // accumulates its own slice. With p == 1 this degenerates to local
     // accumulation (plain DDP gradient accumulation).

@@ -1,9 +1,11 @@
 #ifndef MICS_TRAIN_SHARDED_DATA_PARALLEL_H_
 #define MICS_TRAIN_SHARDED_DATA_PARALLEL_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "comm/topology.h"
 #include "comm/world.h"
@@ -54,6 +56,23 @@ struct SdpOptions {
   /// computed across ALL shards via an all-reduce within the partition
   /// group (each group holds the full gradient exactly once).
   float max_grad_norm = 0.0f;
+
+  /// Gradient-bucket overlap for the first hop (§4): > 1 splits each
+  /// shard's slice of the flat space into this many fixed buckets, and a
+  /// bucket's reduction (to the rank that owns it) is issued as soon as
+  /// the model reports its gradients final via NotifyGradRange — while
+  /// later layers are still producing theirs. Bucket boundaries and the
+  /// member summation order are fixed, so the accumulated shard is
+  /// bit-identical to the single reduce-scatter. Applies to the
+  /// two_hop_sync fp32 path (DDP/ZeRO-3/MiCS); the ZeRO-1/2, mixed-
+  /// precision, and alternative-schedule paths ignore it.
+  int grad_bucket_count = 1;
+  /// Issue bucket reductions through the nonblocking collective API so
+  /// the transfers genuinely overlap the rest of the backward pass
+  /// (otherwise ready buckets are reduced inline, still early but
+  /// blocking). Also routes comm spans onto a per-rank "comm" trace
+  /// track when `trace` is set.
+  bool async_comm = false;
 
   /// Optional trace sink (borrowed; must outlive the engine). When set,
   /// each rank records its training phases — parameter gather, gradient
@@ -109,7 +128,22 @@ class ShardedDataParallel {
   /// First hop: folds micro_grads() into the shard accumulator
   /// (reduce-scatter within the partition group under 2-hop; global
   /// all-reduce under the alternative schedule) and zeroes micro_grads().
+  /// With bucket overlap active this instead flushes and waits the
+  /// per-bucket reductions (most of which are already in flight).
   Status ReduceMicroStepGrads();
+
+  /// Backward-pass progress report: the model calls this as each
+  /// contiguous range [offset, offset + numel) of micro_grads() becomes
+  /// final (no further accumulation this micro-step). Fully covered
+  /// buckets are reduced immediately — asynchronously under async_comm —
+  /// so communication rides under the rest of the backward pass. A no-op
+  /// unless bucket overlap is active, so models may call it
+  /// unconditionally. Ranges must arrive in the same order on every rank
+  /// (SPMD, like every collective).
+  Status NotifyGradRange(int64_t offset, int64_t numel);
+
+  /// True when ReduceMicroStepGrads runs as overlapped bucket reductions.
+  bool bucketed_grad_overlap() const { return !grad_buckets_.empty(); }
 
   /// Second hop + update: all-reduce across the replication group (2-hop
   /// only), average by (world_size * micro_steps), Adam on the shard.
@@ -158,6 +192,24 @@ class ShardedDataParallel {
   static int OptimizerShards(Strategy strategy, int world_size,
                              int partition_shards);
 
+  /// One fixed slice of the flat gradient space, reduced to the partition
+  /// rank that owns it. Bucket (q, j) covers elements
+  /// [q*S + j*chunk, ...) — inside rank q's shard — so the union over j
+  /// of root q's outputs is exactly its reduce-scatter result.
+  struct GradBucket {
+    int64_t begin = 0;      // offset into the padded flat space
+    int64_t numel = 0;
+    int root = 0;           // owning partition-group rank
+    int64_t covered = 0;    // elements notified final this micro-step
+    bool issued = false;
+    Tensor out_view;        // root's scratch slice; alive until waited
+    CollectiveHandle handle;
+  };
+
+  Status IssueBucket(GradBucket* bucket);
+  /// Elements of `b` inside the padding tail (always-zero, pre-covered).
+  int64_t PaddingCovered(const GradBucket& b) const;
+
   GroupManager groups_;
   FlatParameter flat_;      // parameter sharding (partition group)
   FlatParameter opt_flat_;  // optimizer/gradient sharding (ZeRO-1/2: world)
@@ -183,6 +235,10 @@ class ShardedDataParallel {
   // Trace sink and this rank's track (-1 disables the spans).
   obs::TraceRecorder* trace_ = nullptr;
   int trace_track_ = -1;
+
+  // Empty unless bucket overlap is active; never resized after setup
+  // (IssueBucket hands out_view pointers to the progress worker).
+  std::vector<GradBucket> grad_buckets_;
 
   int pending_micro_steps_ = 0;
   int iterations_ = 0;

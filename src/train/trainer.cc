@@ -50,6 +50,13 @@ Result<TrainCurve> RunLoop(int world_size, int gpus_per_node,
     }));
     MICS_RETURN_NOT_OK(
         model.BindParameters(sdp->full_params(), sdp->micro_grads()));
+    // Stream backward-pass progress into the engine so bucketed gradient
+    // reductions launch under the rest of the backward (no-op unless
+    // grad_bucket_count > 1).
+    ShardedDataParallel* engine = sdp.get();
+    model.SetGradReadyCallback([engine](int64_t off, int64_t n) {
+      return engine->NotifyGradRange(off, n);
+    });
 
     // Iteration/compute spans land on the same per-rank track the engine
     // uses for its communication phases (registration is idempotent).
@@ -152,6 +159,10 @@ Result<TrainCurve> RunDistributedTraining(const TrainRunOptions& options) {
     // Rebind after init so views stay attached to the live buffers.
     MICS_RETURN_NOT_OK(
         model.BindParameters(sdp->full_params(), sdp->micro_grads()));
+    ShardedDataParallel* engine = sdp.get();
+    model.SetGradReadyCallback([engine](int64_t off, int64_t n) {
+      return engine->NotifyGradRange(off, n);
+    });
 
     SyntheticClassificationDataset dataset(data_config, options.seed + 1);
     obs::TraceRecorder* trace = options.sdp.trace;

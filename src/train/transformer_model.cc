@@ -148,6 +148,24 @@ int64_t TransformerClassifier::NumParams() const {
          d * config_.classes + config_.classes;    // head
 }
 
+int64_t TransformerClassifier::EmbeddingNumel() const {
+  return (config_.vocab + config_.seq_len) * config_.dim;
+}
+
+int64_t TransformerClassifier::PerBlockNumel() const {
+  const int64_t d = config_.dim;
+  const int64_t f = config_.ffn;
+  return 2 * d + 4 * (d * d + d) + 2 * d + d * f + f + f * d + d;
+}
+
+int64_t TransformerClassifier::BlockOffset(int64_t block) const {
+  return EmbeddingNumel() + block * PerBlockNumel();
+}
+
+int64_t TransformerClassifier::TailOffset() const {
+  return BlockOffset(config_.blocks);
+}
+
 Status TransformerClassifier::BindParameters(Tensor* params_flat,
                                              Tensor* grads_flat) {
   if (params_flat == nullptr || grads_flat == nullptr) {
@@ -396,9 +414,11 @@ void TransformerClassifier::ForwardSample(const int32_t* tokens,
   }
 }
 
-void TransformerClassifier::BackwardSample(const int32_t* tokens,
-                                           const SampleCache& cache,
-                                           const std::vector<float>& dlogits) {
+Status TransformerClassifier::BackwardSample(const int32_t* tokens,
+                                             const SampleCache& cache,
+                                             const std::vector<float>& dlogits,
+                                             bool notify) {
+  const bool report = notify && grad_ready_ != nullptr;
   const int64_t s = config_.seq_len;
   const int64_t d = config_.dim;
   const int64_t f = config_.ffn;
@@ -420,6 +440,11 @@ void TransformerClassifier::BackwardSample(const int32_t* tokens,
   std::vector<float> dx(s * d);
   LayerNormBwd(cache.f_hat.data(), cache.lnf_inv.data(), lnf_g_.f32(),
                df.data(), s, d, dx.data(), g_lnf_g_, g_lnf_b_);
+  if (report) {
+    // Head + final LN gradients are final — the first range the backward
+    // pass retires, so its reduction overlaps everything below.
+    MICS_RETURN_NOT_OK(grad_ready_(TailOffset(), NumParams() - TailOffset()));
+  }
 
   std::vector<float> dh2(s * d), dz1(s * f), da1(s * f), dm(s * d);
   std::vector<float> dctx(s * d), do_(s * d), dh1(s * d), dtmp(s * d);
@@ -518,6 +543,10 @@ void TransformerClassifier::BackwardSample(const int32_t* tokens,
                  dh1.data(), s, d, dtmp.data(), g.ln1_g, g.ln1_b);
     // dx_in = dx_mid (residual) + LN1 path.
     for (int64_t i = 0; i < s * d; ++i) dx[i] += dtmp[i];
+
+    if (report) {
+      MICS_RETURN_NOT_OK(grad_ready_(BlockOffset(blk), PerBlockNumel()));
+    }
   }
 
   // Embedding backward.
@@ -529,6 +558,10 @@ void TransformerClassifier::BackwardSample(const int32_t* tokens,
       gpos[i] += dx[t * d + i];
     }
   }
+  if (report) {
+    MICS_RETURN_NOT_OK(grad_ready_(0, EmbeddingNumel()));
+  }
+  return Status::OK();
 }
 
 Result<float> TransformerClassifier::ForwardBackward(
@@ -550,7 +583,9 @@ Result<float> TransformerClassifier::ForwardBackward(
       dlogits[static_cast<size_t>(j)] = probs[static_cast<size_t>(j)] * invb;
     }
     dlogits[static_cast<size_t>(label)] -= invb;
-    BackwardSample(toks, cache, dlogits);
+    // Every sample accumulates into every gradient, so ranges are only
+    // final (and reported) on the last sample's backward.
+    MICS_RETURN_NOT_OK(BackwardSample(toks, cache, dlogits, b == batch - 1));
   }
   return static_cast<float>(loss / batch);
 }

@@ -2,6 +2,8 @@
 #define MICS_TRAIN_TRANSFORMER_MODEL_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -59,6 +61,17 @@ class TransformerClassifier {
   /// Argmax class per sequence.
   Result<std::vector<int32_t>> Predict(const Tensor& tokens) const;
 
+  /// Backward-progress callback: invoked during the LAST sample's
+  /// backward pass as each contiguous parameter range [offset, numel)
+  /// receives its final gradient for this ForwardBackward call, in the
+  /// order the backward produces them — classifier head + final LN
+  /// first, then each block from last to first, embeddings last. Wire
+  /// this to ShardedDataParallel::NotifyGradRange to overlap gradient
+  /// reduction with the rest of the backward pass. The callback must be
+  /// identical across ranks (it issues collectives).
+  using GradReadyFn = std::function<Status(int64_t offset, int64_t numel)>;
+  void SetGradReadyCallback(GradReadyFn fn) { grad_ready_ = std::move(fn); }
+
   const Config& config() const { return config_; }
 
  private:
@@ -84,8 +97,16 @@ class TransformerClassifier {
   void ForwardSample(const int32_t* tokens, SampleCache* cache,
                      std::vector<float>* probs) const;
   /// Backward for one sample given dlogits; accumulates into grads.
-  void BackwardSample(const int32_t* tokens, const SampleCache& cache,
-                      const std::vector<float>& dlogits);
+  /// When `notify` is true (last sample of the batch), reports each
+  /// finalized gradient range through grad_ready_.
+  Status BackwardSample(const int32_t* tokens, const SampleCache& cache,
+                        const std::vector<float>& dlogits, bool notify);
+  /// Flat-space offsets established by BindParameters, used to map the
+  /// backward pass's completion points onto gradient ranges.
+  int64_t EmbeddingNumel() const;
+  int64_t PerBlockNumel() const;
+  int64_t BlockOffset(int64_t block) const;
+  int64_t TailOffset() const;
 
   Config config_;
   bool bound_ = false;
@@ -102,6 +123,8 @@ class TransformerClassifier {
   float* g_lnf_b_ = nullptr;
   float* g_whead_ = nullptr;
   float* g_bhead_ = nullptr;
+
+  GradReadyFn grad_ready_;
 };
 
 }  // namespace mics

@@ -1,0 +1,320 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/collective.h"
+#include "comm/communicator.h"
+#include "comm/topology.h"
+#include "comm/world.h"
+#include "fault/injector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace mics {
+namespace {
+
+std::vector<int> AllRanks(int n) {
+  std::vector<int> r(n);
+  for (int i = 0; i < n; ++i) r[i] = i;
+  return r;
+}
+
+TEST(CollectiveHandleTest, DefaultHandleIsAlreadyComplete) {
+  CollectiveHandle h;
+  EXPECT_TRUE(h.Test());
+  EXPECT_TRUE(h.Wait().ok());
+  EXPECT_FALSE(h.deferred());
+  // Wait is idempotent.
+  EXPECT_TRUE(h.Wait().ok());
+}
+
+TEST(CollectiveHandleTest, CompletedCarriesStatus) {
+  CollectiveHandle h = CollectiveHandle::Completed(
+      Status::Internal("prefabricated failure"));
+  EXPECT_TRUE(h.Test());
+  EXPECT_TRUE(h.Wait().IsInternal());
+}
+
+class AsyncFlatTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AsyncFlatTest, AllGatherMatchesSyncBitwise) {
+  const int n = GetParam();
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    FlatCollective coll(&comm);
+    Rng rng(77 + static_cast<uint64_t>(rank));
+    Tensor in({9}, DType::kF32);
+    in.FillNormal(&rng, 1.0f);
+
+    Tensor out_sync({9 * static_cast<int64_t>(n)}, DType::kF32);
+    MICS_RETURN_NOT_OK(coll.AllGather(in, &out_sync));
+
+    Tensor out_async({9 * static_cast<int64_t>(n)}, DType::kF32);
+    CollectiveHandle h = coll.AllGatherAsync(in, &out_async);
+    EXPECT_TRUE(h.deferred());
+    MICS_RETURN_NOT_OK(h.Wait());
+
+    MICS_ASSIGN_OR_RETURN(float diff, Tensor::MaxAbsDiff(out_sync, out_async));
+    if (diff != 0.0f) return Status::Internal("async != sync all-gather");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(AsyncFlatTest, ReduceScatterAndReduceMatchSyncBitwise) {
+  const int n = GetParam();
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    FlatCollective coll(&comm);
+    Rng rng(131 + static_cast<uint64_t>(rank));
+    Tensor in({6 * static_cast<int64_t>(n)}, DType::kF32);
+    in.FillNormal(&rng, 1.0f);
+
+    Tensor rs_sync({6}, DType::kF32);
+    MICS_RETURN_NOT_OK(coll.ReduceScatter(in, &rs_sync));
+    Tensor rs_async({6}, DType::kF32);
+    MICS_RETURN_NOT_OK(coll.ReduceScatterAsync(in, &rs_async).Wait());
+    MICS_ASSIGN_OR_RETURN(float diff, Tensor::MaxAbsDiff(rs_sync, rs_async));
+    if (diff != 0.0f) return Status::Internal("async != sync reduce-scatter");
+
+    const int root = n - 1;
+    Tensor red_sync({6 * static_cast<int64_t>(n)}, DType::kF32);
+    MICS_RETURN_NOT_OK(
+        coll.Reduce(in, rank == root ? &red_sync : nullptr, root));
+    Tensor red_async({6 * static_cast<int64_t>(n)}, DType::kF32);
+    MICS_RETURN_NOT_OK(
+        coll.ReduceAsync(in, rank == root ? &red_async : nullptr, root)
+            .Wait());
+    if (rank == root) {
+      MICS_ASSIGN_OR_RETURN(diff, Tensor::MaxAbsDiff(red_sync, red_async));
+      if (diff != 0.0f) return Status::Internal("async != sync reduce");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(AsyncFlatTest, CoalescedMatchesSyncBitwise) {
+  const int n = GetParam();
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    FlatCollective coll(&comm);
+    Rng rng(211 + static_cast<uint64_t>(rank));
+    std::vector<Tensor> ins;
+    std::vector<Tensor> outs_sync, outs_async;
+    for (int64_t numel : {3, 7, 1}) {
+      Tensor t({numel}, DType::kF32);
+      t.FillNormal(&rng, 1.0f);
+      ins.push_back(std::move(t));
+      outs_sync.emplace_back(std::vector<int64_t>{numel * n}, DType::kF32);
+      outs_async.emplace_back(std::vector<int64_t>{numel * n}, DType::kF32);
+    }
+    MICS_RETURN_NOT_OK(coll.AllGatherCoalesced(ins, &outs_sync));
+    MICS_RETURN_NOT_OK(coll.AllGatherCoalescedAsync(ins, &outs_async).Wait());
+    for (size_t i = 0; i < ins.size(); ++i) {
+      MICS_ASSIGN_OR_RETURN(float diff,
+                            Tensor::MaxAbsDiff(outs_sync[i], outs_async[i]));
+      if (diff != 0.0f) return Status::Internal("async != sync coalesced");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, AsyncFlatTest,
+                         ::testing::Values(1, 2, 4));
+
+TEST(AsyncCollectiveTest, HierarchicalAsyncMatchesSyncBitwise) {
+  const int n = 4;
+  RankTopology topo{n, 2};
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator fallback,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    MICS_ASSIGN_OR_RETURN(
+        HierarchicalComm coll,
+        HierarchicalComm::Create(&world, topo, AllRanks(n), rank, &fallback,
+                                 /*enable_all_gather=*/true,
+                                 /*enable_reduce_scatter=*/true));
+    Rng rng(307 + static_cast<uint64_t>(rank));
+    Tensor in({8}, DType::kF32);
+    in.FillNormal(&rng, 1.0f);
+
+    Tensor ag_sync({8 * n}, DType::kF32);
+    MICS_RETURN_NOT_OK(coll.AllGather(in, &ag_sync));
+    Tensor ag_async({8 * n}, DType::kF32);
+    MICS_RETURN_NOT_OK(coll.AllGatherAsync(in, &ag_async).Wait());
+    MICS_ASSIGN_OR_RETURN(float diff, Tensor::MaxAbsDiff(ag_sync, ag_async));
+    if (diff != 0.0f) {
+      return Status::Internal("hierarchical async != sync all-gather");
+    }
+
+    Tensor wide({8 * n}, DType::kF32);
+    wide.FillNormal(&rng, 1.0f);
+    Tensor rs_sync({8}, DType::kF32);
+    MICS_RETURN_NOT_OK(coll.ReduceScatter(wide, &rs_sync));
+    Tensor rs_async({8}, DType::kF32);
+    MICS_RETURN_NOT_OK(coll.ReduceScatterAsync(wide, &rs_async).Wait());
+    MICS_ASSIGN_OR_RETURN(diff, Tensor::MaxAbsDiff(rs_sync, rs_async));
+    if (diff != 0.0f) {
+      return Status::Internal("hierarchical async != sync reduce-scatter");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(AsyncCollectiveTest, BlockingOpFencesPendingAsyncOps) {
+  const int n = 2;
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    FlatCollective coll(&comm);
+    Tensor in({4}, DType::kF32);
+    in.Fill(static_cast<float>(rank + 1));
+    // In-flight ops hold pointers to their buffers, so the vector must
+    // not reallocate until they retire (the nonblocking contract).
+    std::vector<Tensor> outs;
+    outs.reserve(3);
+    std::vector<CollectiveHandle> handles;
+    for (int i = 0; i < 3; ++i) {
+      outs.emplace_back(std::vector<int64_t>{4 * n}, DType::kF32);
+      handles.push_back(coll.AllGatherAsync(in, &outs.back()));
+    }
+    // The blocking call must drain the worker before running inline; by
+    // the time it returns, every earlier async op has completed.
+    Tensor sync_out({4 * n}, DType::kF32);
+    MICS_RETURN_NOT_OK(coll.AllGather(in, &sync_out));
+    if (coll.pending_async() != 0) {
+      return Status::Internal("blocking op left async ops pending");
+    }
+    for (auto& h : handles) {
+      if (!h.Test()) return Status::Internal("handle not complete post-fence");
+      MICS_RETURN_NOT_OK(h.Wait());
+    }
+    for (const Tensor& out : outs) {
+      MICS_ASSIGN_OR_RETURN(float diff, Tensor::MaxAbsDiff(out, sync_out));
+      if (diff != 0.0f) return Status::Internal("fenced output mismatch");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(AsyncCollectiveTest, OpsWaitableOutOfIssueOrder) {
+  const int n = 4;
+  World world(n);
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    FlatCollective coll(&comm);
+    constexpr int kOps = 16;
+    // Buffers must not move while ops are in flight; reserve up front.
+    std::vector<Tensor> ins, outs;
+    ins.reserve(kOps);
+    outs.reserve(kOps);
+    std::vector<CollectiveHandle> handles;
+    for (int i = 0; i < kOps; ++i) {
+      Tensor in({5}, DType::kF32);
+      in.Fill(static_cast<float>(rank * 1000 + i));
+      ins.push_back(std::move(in));
+      outs.emplace_back(std::vector<int64_t>{5 * n}, DType::kF32);
+      handles.push_back(coll.AllGatherAsync(ins.back(), &outs.back()));
+    }
+    // Waiting in reverse order must be fine: the worker executes FIFO
+    // regardless of who waits when.
+    for (int i = kOps - 1; i >= 0; --i) {
+      MICS_RETURN_NOT_OK(handles[static_cast<size_t>(i)].Wait());
+      for (int r = 0; r < n; ++r) {
+        for (int64_t e = 0; e < 5; ++e) {
+          if (outs[static_cast<size_t>(i)].At(r * 5 + e) !=
+              static_cast<float>(r * 1000 + i)) {
+            return Status::Internal("wrong async payload op " +
+                                    std::to_string(i));
+          }
+        }
+      }
+    }
+    if (coll.pending_async() != 0) {
+      return Status::Internal("ops still pending after all waits");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(AsyncCollectiveTest, FaultHookRetryComposesWithAsync) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.ResetPrefix("fault.");
+  const int n = 2;
+  World world(n);
+  fault::FaultPlan plan;
+  plan.TransientFailureAt(/*rank=*/1, /*at_op=*/0, /*failures=*/2);
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.backoff_us = 1;
+
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    FlatCollective coll(&comm);
+    fault::FaultInjector injector(plan, rank);
+    coll.InstallFaultHook(&injector, retry);
+    Tensor in({4}, DType::kF32);
+    in.Fill(static_cast<float>(rank + 1));
+    Tensor out({4 * n}, DType::kF32);
+    // The transient failures hit the progress worker; the retry loop runs
+    // there too, and only the final (successful) status reaches the
+    // handle.
+    MICS_RETURN_NOT_OK(coll.AllGatherAsync(in, &out).Wait());
+    for (int r = 0; r < n; ++r) {
+      for (int64_t i = 0; i < 4; ++i) {
+        if (out.At(r * 4 + i) != r + 1.0f) {
+          return Status::Internal("wrong value after async retry");
+        }
+      }
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(reg.CounterValue("fault.collective.retries"), 2.0);
+  EXPECT_EQ(reg.CounterValue("fault.collective.retry_exhausted"), 0.0);
+}
+
+TEST(AsyncCollectiveTest, AsyncSpansLandOnConfiguredTrack) {
+  const int n = 2;
+  World world(n);
+  obs::TraceRecorder recorder;
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    FlatCollective coll(&comm);
+    const int track =
+        recorder.RegisterTrack("rank " + std::to_string(rank) + " comm");
+    coll.SetTraceSink(&recorder, track);
+    Tensor in({4}, DType::kF32);
+    in.Fill(1.0f);
+    Tensor out({4 * n}, DType::kF32);
+    MICS_RETURN_NOT_OK(coll.AllGatherAsync(in, &out).Wait());
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // One "async all_gather" span per rank.
+  int found = 0;
+  for (const auto& event : recorder.events()) {
+    if (event.name == "async all_gather") ++found;
+  }
+  EXPECT_EQ(found, n);
+}
+
+}  // namespace
+}  // namespace mics

@@ -40,8 +40,9 @@ TEST(ObsTrainingTest, RealMicsRunExportsPerRankSpans) {
   ASSERT_TRUE(curve.ok()) << curve.status().ToString();
   EXPECT_EQ(curve.value().losses.size(), 3u);
 
-  // One track per rank, named "rank <global>".
-  ASSERT_EQ(recorder.num_tracks(), 8);
+  // Two tracks per rank: "rank <global>" for compute/training phases and
+  // "rank <global> comm" for the nonblocking collective engine's spans.
+  ASSERT_EQ(recorder.num_tracks(), 16);
   std::set<std::string> track_names;
   for (int t = 0; t < recorder.num_tracks(); ++t) {
     track_names.insert(recorder.track_name(t));
@@ -49,6 +50,8 @@ TEST(ObsTrainingTest, RealMicsRunExportsPerRankSpans) {
   for (int r = 0; r < 8; ++r) {
     EXPECT_TRUE(track_names.count("rank " + std::to_string(r)))
         << "missing track for rank " << r;
+    EXPECT_TRUE(track_names.count("rank " + std::to_string(r) + " comm"))
+        << "missing comm track for rank " << r;
   }
 
   // Every training phase shows up as a span, on every rank's track.
