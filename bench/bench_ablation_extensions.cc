@@ -18,8 +18,9 @@
 #include "core/heuristics.h"
 #include "model/model_zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mics;
+  bench::Reporter rep(argc, argv, "ablation_extensions");
 
   bench::PrintHeader(
       "(a) Network-balance contrast: MiCS/ZeRO-3 speedup by fabric "
@@ -44,10 +45,12 @@ int main() {
         ratio = TablePrinter::Fmt(
             mics.value().throughput / z3.value().throughput, 2);
       }
+      const std::string workload = std::string("bert15b/") + net.name;
       table.AddRow({net.name,
                     TablePrinter::Fmt(net.spec.inter_node_bw / 1e9, 0) +
                         " GB/s",
-                    bench::Cell(mics), bench::Cell(z3), ratio});
+                    rep.Cell(workload, "mics_throughput", mics),
+                    rep.Cell(workload, "zero3_throughput", z3), ratio});
     }
     table.Print(std::cout);
     std::cout << "Expected: the speedup shrinks monotonically as the fabric\n"
@@ -73,8 +76,11 @@ int main() {
                    1) +
                "%";
       }
-      table.AddRow({std::to_string(nodes * 8), bench::Cell(a),
-                    bench::Cell(b), gain});
+      const std::string workload =
+          "bert15b/gpus=" + std::to_string(nodes * 8);
+      table.AddRow({std::to_string(nodes * 8),
+                    rep.Cell(workload, "hier_rs_throughput", a),
+                    rep.Cell(workload, "vanilla_rs_throughput", b), gain});
     }
     table.Print(std::cout);
   }
@@ -134,9 +140,14 @@ int main() {
                  mics.value().throughput > off.value().throughput) {
         note = "MiCS faster when it fits";
       }
+      const std::string workload =
+          c.model.name + "/gpus=" +
+          std::to_string(c.nodes * c.gpus_per_node);
       table.AddRow({c.model.name,
                     std::to_string(c.nodes * c.gpus_per_node),
-                    bench::Cell(mics), bench::Cell(off), note});
+                    rep.Cell(workload, "mics_throughput", mics),
+                    rep.Cell(workload, "zero_offload_throughput", off),
+                    note});
     }
     table.Print(std::cout);
   }

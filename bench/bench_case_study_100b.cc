@@ -10,8 +10,9 @@
 #include "bench_common.h"
 #include "model/model_zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mics;
+  bench::Reporter rep(argc, argv, "case_study_100b");
   bench::PrintHeader("Case study (§5.1.5): 52B / 100B models on A100-400G");
 
   auto job_for = [](const TransformerConfig& model, int gpus) {
@@ -45,9 +46,11 @@ int main() {
             mics.value().per_gpu_tflops / zero.value().per_gpu_tflops, 2);
       }
     }
+    const std::string workload =
+        r.model.name + "/gpus=" + std::to_string(gpus);
     table.AddRow({r.model.name, std::to_string(gpus),
-                  bench::TflopsCell(mics), pct, bench::TflopsCell(zero),
-                  ratio});
+                  rep.TflopsCell(workload, "mics_tflops", mics), pct,
+                  rep.TflopsCell(workload, "zero3_tflops", zero), ratio});
   }
   table.Print(std::cout);
 
@@ -60,7 +63,9 @@ int main() {
     const double eff =
         100.0 * (r512.value().throughput / 4.0) / r128.value().throughput;
     std::cout << "weak-scaling efficiency 128->512 GPUs (100B): "
-              << TablePrinter::Fmt(eff, 1) << "%\n";
+              << rep.Value("100b/gpus=512", "weak_scaling_efficiency", eff,
+                           "percent", 1)
+              << "%\n";
   }
   std::cout << "\nPaper shape: ~170-179 TFLOPS/GPU (~55% of A100 peak),\n"
                "~99% weak scaling, and ~2.7x over DeepSpeed ZeRO-3 at 512\n"

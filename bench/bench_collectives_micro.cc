@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "comm/communicator.h"
@@ -116,4 +117,29 @@ BENCHMARK(BM_AllGatherCoalesced)->Args({8, 1 << 10})->Args({32, 1 << 8});
 }  // namespace
 }  // namespace mics
 
-BENCHMARK_MAIN();
+// Same `--json <path>` convention as the figure benches (mapped onto
+// google-benchmark's native JSON writer; the schema is google-benchmark's,
+// so scripts/bench.sh keeps this file separate from BENCH_paper_suite.json).
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      out_flag = std::string("--benchmark_out=") + argv[i + 1];
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,8 +1,11 @@
 #ifndef MICS_BENCH_BENCH_COMMON_H_
 #define MICS_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/perf_engine.h"
 #include "model/transformer.h"
@@ -25,31 +28,148 @@ inline TrainJob PaperJob(const TransformerConfig& config,
   return job;
 }
 
-/// Formats a PerfResult cell: throughput, or "x" for OOM as the paper's
-/// figures do.
-inline std::string Cell(const Result<PerfResult>& r, int precision = 1) {
-  if (!r.ok()) return "err";
-  if (r.value().oom) return "x";
-  return TablePrinter::Fmt(r.value().throughput, precision);
-}
-
-inline std::string TflopsCell(const Result<PerfResult>& r) {
-  if (!r.ok()) return "err";
-  if (r.value().oom) return "x";
-  return TablePrinter::Fmt(r.value().per_gpu_tflops, 1);
-}
-
 inline void PrintHeader(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
 }
 
-/// Dumps the global comm.* traffic counters (call counts, bytes moved,
-/// intra-/inter-node split) accumulated by real in-process collectives
-/// since the last MetricsRegistry reset.
-inline void PrintCommCounters(const std::string& title = "comm counters") {
-  std::cout << "\n--- " << title << " ---\n";
-  obs::MetricsRegistry::Global().WriteText(std::cout, "comm.");
-}
+/// One machine-readable benchmark measurement. `units` doubles as the
+/// regression-gating contract: deterministic modeled units (samples_per_s,
+/// tflops, ratio, bytes, count) are compared strictly by bench_compare.py,
+/// while wall-clock units (containing "wall") are informational only.
+struct BenchRecord {
+  std::string benchmark;
+  std::string workload;
+  std::string metric;
+  double value = 0.0;
+  std::string units;
+};
+
+/// The single results funnel every bench binary reports through: each
+/// Cell/Value call BOTH formats the table cell and appends a BenchRecord,
+/// so the human table and the JSON file can never drift. Pass `--json
+/// <path>` to any bench binary to write the records (schema below) next
+/// to the unchanged table output; without the flag nothing is written.
+///
+/// JSON schema (consumed by scripts/bench_compare.py):
+///   {"schema_version": 1,
+///    "suite": "<benchmark>",
+///    "records": [{"benchmark": ..., "workload": ..., "metric": ...,
+///                 "value": <number>, "units": ...}, ...]}
+class Reporter {
+ public:
+  /// Parses `--json <path>` out of argv; `benchmark` names this binary's
+  /// records (conventionally the figure, e.g. "fig08_tflops").
+  Reporter(int argc, char** argv, std::string benchmark)
+      : benchmark_(std::move(benchmark)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") json_path_ = argv[i + 1];
+    }
+  }
+
+  /// Writes the JSON on destruction when --json was given; a write
+  /// failure is fatal (a CI pipeline must not silently gate on nothing).
+  ~Reporter() {
+    if (json_path_.empty()) return;
+    std::ofstream out(json_path_, std::ios::trunc);
+    WriteJson(out);
+    if (!out.good()) {
+      std::cerr << "FATAL: cannot write benchmark JSON to " << json_path_
+                << "\n";
+      std::abort();
+    }
+  }
+
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  /// Records `value` and returns it formatted for the table.
+  std::string Value(const std::string& workload, const std::string& metric,
+                    double value, const std::string& units,
+                    int precision = 2) {
+    records_.push_back({benchmark_, workload, metric, value, units});
+    return TablePrinter::Fmt(value, precision);
+  }
+
+  /// Records without formatting (for metrics not shown in a table).
+  void Record(const std::string& workload, const std::string& metric,
+              double value, const std::string& units) {
+    records_.push_back({benchmark_, workload, metric, value, units});
+  }
+
+  /// Simulated-throughput cell: formats like the paper's figures ("x" for
+  /// OOM, "err" for failures) and records samples/s for OK runs.
+  std::string Cell(const std::string& workload, const std::string& metric,
+                   const Result<PerfResult>& r, int precision = 1) {
+    if (!r.ok()) return "err";
+    if (r.value().oom) return "x";
+    return Value(workload, metric, r.value().throughput, "samples_per_s",
+                 precision);
+  }
+
+  /// Per-GPU TFLOPS cell (same OOM/error conventions).
+  std::string TflopsCell(const std::string& workload,
+                         const std::string& metric,
+                         const Result<PerfResult>& r) {
+    if (!r.ok()) return "err";
+    if (r.value().oom) return "x";
+    return Value(workload, metric, r.value().per_gpu_tflops, "tflops", 1);
+  }
+
+  /// Dumps the global comm.* traffic counters (call counts, bytes moved,
+  /// intra-/inter-node split) accumulated by real in-process collectives
+  /// since the last MetricsRegistry reset — and records each one, so the
+  /// deterministic traffic contract is regression-gated too.
+  void CommCounters(const std::string& workload,
+                    const std::string& title = "comm counters") {
+    std::cout << "\n--- " << title << " ---\n";
+    obs::MetricsRegistry::Global().WriteText(std::cout, "comm.");
+    for (const obs::MetricSample& s :
+         obs::MetricsRegistry::Global().Snapshot()) {
+      if (s.name.rfind("comm.", 0) != 0) continue;
+      // Latency histograms are wall-clock; everything else (bytes, call
+      // counts) is deterministic.
+      const bool wall = s.name.rfind("comm.latency_us.", 0) == 0;
+      Record(workload, s.name, s.value, wall ? "us_wall" : "count");
+    }
+  }
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+  void WriteJson(std::ostream& os) const {
+    os << "{\"schema_version\": 1, \"suite\": \"" << Escape(benchmark_)
+       << "\", \"records\": [";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      if (i > 0) os << ",";
+      char num[64];
+      std::snprintf(num, sizeof(num), "%.17g", r.value);
+      os << "\n  {\"benchmark\": \"" << Escape(r.benchmark)
+         << "\", \"workload\": \"" << Escape(r.workload)
+         << "\", \"metric\": \"" << Escape(r.metric) << "\", \"value\": "
+         << num << ", \"units\": \"" << Escape(r.units) << "\"}";
+    }
+    os << "\n]}\n";
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string benchmark_;
+  std::string json_path_;
+  std::vector<BenchRecord> records_;
+};
 
 }  // namespace mics::bench
 

@@ -10,8 +10,9 @@
 #include "sim/cost_model.h"
 #include "util/math_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mics;
+  bench::Reporter rep(argc, argv, "fig01_effective_bandwidth");
   bench::PrintHeader(
       "Figure 1: effective all-gather bandwidth (GB/s) vs message size");
 
@@ -29,7 +30,9 @@ int main() {
       const GroupShape g = GroupShape::World(model.cluster());
       const double bw =
           model.EffectiveAllGatherBandwidth(g, static_cast<double>(MiB(mb)));
-      row.push_back(TablePrinter::Fmt(bw / 1e9, 2));
+      row.push_back(rep.Value(std::to_string(mb) + "MB/" +
+                                  std::to_string(n) + "nodes",
+                              "allgather_bandwidth", bw / 1e9, "gbps", 2));
     }
     table.AddRow(row);
   }

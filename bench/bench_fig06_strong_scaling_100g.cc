@@ -11,8 +11,9 @@
 #include "bench_common.h"
 #include "model/model_zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mics;
+  bench::Reporter rep(argc, argv, "fig06_strong_scaling_100g");
   struct Case {
     TransformerConfig model;
     int group_size;  // ranks
@@ -51,8 +52,13 @@ int main() {
       if (mics_base > 0.0) {
         linear = TablePrinter::Fmt(mics_base * (nodes * 8) / base_gpus, 1);
       }
-      table.AddRow({std::to_string(nodes * 8), bench::Cell(mics),
-                    bench::Cell(z3), bench::Cell(z2), speedup, linear});
+      const std::string workload =
+          c.model.name + "/gpus=" + std::to_string(nodes * 8);
+      table.AddRow({std::to_string(nodes * 8),
+                    rep.Cell(workload, "mics_throughput", mics),
+                    rep.Cell(workload, "zero3_throughput", z3),
+                    rep.Cell(workload, "zero2_throughput", z2), speedup,
+                    linear});
     }
     table.Print(std::cout);
   }

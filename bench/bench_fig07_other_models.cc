@@ -9,8 +9,9 @@
 #include "bench_common.h"
 #include "model/model_zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mics;
+  bench::Reporter rep(argc, argv, "fig07_other_models");
   for (const auto& model : {Roberta20B(), Gpt2_20B()}) {
     bench::PrintHeader("Figure 7: " + model.name +
                        " strong scaling, 100Gbps V100 (seq/s)");
@@ -26,8 +27,12 @@ int main() {
         speedup = TablePrinter::Fmt(
             mics.value().throughput / z3.value().throughput, 2);
       }
-      table.AddRow({std::to_string(nodes * 8), bench::Cell(mics),
-                    bench::Cell(z3), bench::Cell(z2), speedup});
+      const std::string workload =
+          model.name + "/gpus=" + std::to_string(nodes * 8);
+      table.AddRow({std::to_string(nodes * 8),
+                    rep.Cell(workload, "mics_throughput", mics),
+                    rep.Cell(workload, "zero3_throughput", z3),
+                    rep.Cell(workload, "zero2_throughput", z2), speedup});
     }
     table.Print(std::cout);
   }

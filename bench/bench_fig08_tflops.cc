@@ -10,8 +10,9 @@
 #include "bench_common.h"
 #include "model/model_zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mics;
+  bench::Reporter rep(argc, argv, "fig08_tflops");
   struct Case {
     TransformerConfig model;
     int group_size;
@@ -36,8 +37,11 @@ int main() {
                   100.0 * mics.value().per_gpu_tflops / 125.0, 1) +
               "%";
       }
-      table.AddRow({std::to_string(nodes * 8), bench::TflopsCell(mics),
-                    bench::TflopsCell(z3), pct});
+      const std::string workload =
+          c.model.name + "/gpus=" + std::to_string(nodes * 8);
+      table.AddRow({std::to_string(nodes * 8),
+                    rep.TflopsCell(workload, "mics_tflops", mics),
+                    rep.TflopsCell(workload, "zero3_tflops", z3), pct});
     }
     table.Print(std::cout);
   }

@@ -9,8 +9,9 @@
 #include "bench_common.h"
 #include "model/model_zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mics;
+  bench::Reporter rep(argc, argv, "fig09_scaling_400g");
   for (const auto& model : {Bert15B(), Bert20B()}) {
     bench::PrintHeader("Figure 9: " + model.name +
                        " on 400Gbps A100 (seq/s)");
@@ -34,8 +35,11 @@ int main() {
           zero64 = z3.value().throughput;
         }
       }
-      table.AddRow({std::to_string(nodes * 8), bench::Cell(mics),
-                    bench::Cell(z3), speedup});
+      const std::string workload =
+          model.name + "/gpus=" + std::to_string(nodes * 8);
+      table.AddRow({std::to_string(nodes * 8),
+                    rep.Cell(workload, "mics_throughput", mics),
+                    rep.Cell(workload, "zero3_throughput", z3), speedup});
     }
     table.Print(std::cout);
     if (mics16 > 0 && mics64 > 0) {

@@ -13,8 +13,9 @@
 #include "model/model_zoo.h"
 #include "model/wide_resnet.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mics;
+  bench::Reporter rep(argc, argv, "fig10_megatron_wideresnet");
 
   bench::PrintHeader(
       "Figure 10a / Table 2: Megatron-LM-3D vs MiCS, BERT-10B-128L "
@@ -39,7 +40,9 @@ int main() {
       }
       auto mics = engine.Simulate(bench::PaperJob(Bert10B128Layer(), 8, 4096),
                                   MicsConfig::Mics(8));
-      row.push_back(bench::Cell(mics));
+      row.push_back(rep.Cell(
+          "bert10b_128l/gpus=" + std::to_string(nodes * 8),
+          "mics_throughput", mics));
       row.push_back(mics.ok() && !mics.value().oom && best > 0
                         ? TablePrinter::Fmt(mics.value().throughput / best, 2)
                         : "-");
@@ -68,8 +71,13 @@ int main() {
         speedup = TablePrinter::Fmt(
             mics.value().throughput / z3.value().throughput, 2);
       }
-      table.AddRow({std::to_string(nodes * 8), bench::Cell(mics),
-                    bench::Cell(z3), bench::Cell(z2), "no support", speedup});
+      const std::string workload =
+          "wideresnet3b/gpus=" + std::to_string(nodes * 8);
+      table.AddRow({std::to_string(nodes * 8),
+                    rep.Cell(workload, "mics_throughput", mics),
+                    rep.Cell(workload, "zero3_throughput", z3),
+                    rep.Cell(workload, "zero2_throughput", z2), "no support",
+                    speedup});
     }
     table.Print(std::cout);
   }

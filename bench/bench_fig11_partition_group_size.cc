@@ -8,8 +8,9 @@
 #include "bench_common.h"
 #include "model/model_zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mics;
+  bench::Reporter rep(argc, argv, "fig11_partition_group_size");
   bench::PrintHeader(
       "Figure 11: throughput vs partition group size (BERT 10B, 64 GPUs)");
   PerfEngine engine(ClusterSpec::P3dn(8));
@@ -26,7 +27,10 @@ int main() {
     if (r.ok() && !r.value().oom && p64 > 0) {
       rel = TablePrinter::Fmt(r.value().throughput / p64, 2) + "x";
     }
-    table.AddRow({std::to_string(p), bench::Cell(r), rel});
+    table.AddRow({std::to_string(p),
+                  rep.Cell("bert10b/gpus=64/p=" + std::to_string(p),
+                           "mics_throughput", r),
+                  rel});
   }
   table.Print(std::cout);
   std::cout << "\nPaper shape: throughput trends down as the group grows;\n"

@@ -20,7 +20,7 @@ namespace {
 
 using namespace mics;
 
-void MicroBenchmarkModel() {
+void MicroBenchmarkModel(bench::Reporter* rep) {
   bench::PrintHeader(
       "Figure 12a: hierarchical vs vanilla all-gather, 2 nodes (modeled)");
   const CostModel model(ClusterSpec::P3dn(2));
@@ -32,14 +32,18 @@ void MicroBenchmarkModel() {
     const double bytes = static_cast<double>(MiB(mb));
     const double v = model.AllGatherTime(group, bytes);
     const double h = model.HierarchicalAllGatherTime(group, bytes);
-    table.AddRow({std::to_string(mb) + "MB", TablePrinter::Fmt(v * 1e3, 2),
-                  TablePrinter::Fmt(h * 1e3, 2),
+    const std::string workload = std::to_string(mb) + "MB/2nodes";
+    table.AddRow({std::to_string(mb) + "MB",
+                  rep->Value(workload, "vanilla_allgather_ms", v * 1e3,
+                             "ms_modeled", 2),
+                  rep->Value(workload, "hierarchical_allgather_ms", h * 1e3,
+                             "ms_modeled", 2),
                   TablePrinter::Fmt(h / v, 3)});
   }
   table.Print(std::cout);
 }
 
-void MicroBenchmarkReal() {
+void MicroBenchmarkReal(bench::Reporter* rep) {
   bench::PrintHeader(
       "Figure 12a (real in-process collectives, wall-clock)");
   // 2 "nodes" x 4 "GPUs" in-process; sizes scaled down to host scale.
@@ -80,18 +84,23 @@ void MicroBenchmarkReal() {
       return Status::OK();
     });
     MICS_CHECK_OK(st);
-    table.AddRow({std::to_string(elems), TablePrinter::Fmt(vanilla_us, 1),
-                  TablePrinter::Fmt(hier_us, 1)});
+    const std::string workload = std::to_string(elems) + "elems/8ranks";
+    table.AddRow({std::to_string(elems),
+                  rep->Value(workload, "vanilla_allgather_us", vanilla_us,
+                             "us_wall", 1),
+                  rep->Value(workload, "hierarchical_allgather_us", hier_us,
+                             "us_wall", 1)});
   }
   table.Print(std::cout);
   std::cout << "(in-process wall-clock validates the code path; the network\n"
                " benefit is modeled above — host threads have no NIC.)\n";
-  bench::PrintCommCounters(
+  rep->CommCounters(
+      "real_allgather/8ranks",
       "real-collective traffic (note inter_node_bytes: hierarchical moves\n"
       " (p-k)M/p per rank across nodes vs vanilla's (p-1)M/p)");
 }
 
-void EndToEnd() {
+void EndToEnd(bench::Reporter* rep) {
   bench::PrintHeader(
       "Figure 12b: BERT 15B end-to-end, normalized to DeepSpeed ZeRO-3");
   TablePrinter table({"GPUs", "MiCS w/ hier", "MiCS w/o hier", "ZeRO-3=1.0"});
@@ -103,12 +112,18 @@ void EndToEnd() {
     auto w = engine.Simulate(bench::PaperJob(Bert15B()), with);
     auto wo = engine.Simulate(bench::PaperJob(Bert15B()), without);
     auto z = engine.Simulate(bench::PaperJob(Bert15B()), DeepSpeedZero3());
+    const std::string workload =
+        "bert15b/gpus=" + std::to_string(nodes * 8);
     std::string cw = "-", cwo = "-";
     if (w.ok() && z.ok() && !w.value().oom && !z.value().oom) {
-      cw = TablePrinter::Fmt(w.value().throughput / z.value().throughput, 2);
+      cw = rep->Value(workload, "hier_vs_zero3",
+                      w.value().throughput / z.value().throughput, "ratio",
+                      2);
     }
     if (wo.ok() && z.ok() && !wo.value().oom && !z.value().oom) {
-      cwo = TablePrinter::Fmt(wo.value().throughput / z.value().throughput, 2);
+      cwo = rep->Value(workload, "nohier_vs_zero3",
+                       wo.value().throughput / z.value().throughput, "ratio",
+                       2);
     }
     table.AddRow({std::to_string(nodes * 8), cw, cwo, "1.00"});
   }
@@ -117,10 +132,11 @@ void EndToEnd() {
 
 }  // namespace
 
-int main() {
-  MicroBenchmarkModel();
-  MicroBenchmarkReal();
-  EndToEnd();
+int main(int argc, char** argv) {
+  mics::bench::Reporter rep(argc, argv, "fig12_hierarchical_allgather");
+  MicroBenchmarkModel(&rep);
+  MicroBenchmarkReal(&rep);
+  EndToEnd(&rep);
   std::cout << "\nPaper shape: hierarchical all-gather ~72% of vanilla time\n"
                "at 128MB; +30.6% to +38% end-to-end throughput.\n";
   return 0;

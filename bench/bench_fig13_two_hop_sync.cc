@@ -9,8 +9,9 @@
 #include "bench_common.h"
 #include "model/model_zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mics;
+  bench::Reporter rep(argc, argv, "fig13_two_hop_sync");
   bench::PrintHeader("Figure 13: 2-hop gradient synchronization (BERT 10B)");
   TablePrinter table({"GPUs", "2-hop (seq/s)", "alternative (seq/s)",
                       "improvement"});
@@ -28,8 +29,11 @@ int main() {
                  1) +
              "%";
     }
-    table.AddRow({std::to_string(nodes * 8), bench::Cell(a), bench::Cell(b),
-                  gain});
+    const std::string workload =
+        "bert10b/gpus=" + std::to_string(nodes * 8);
+    table.AddRow({std::to_string(nodes * 8),
+                  rep.Cell(workload, "two_hop_throughput", a),
+                  rep.Cell(workload, "alternative_throughput", b), gain});
   }
   table.Print(std::cout);
   std::cout << "\nPaper shape: relative improvement 11%-24.9%, largest at\n"

@@ -24,6 +24,8 @@
 
 #include "bench_common.h"
 #include "comm/world.h"
+#include "obs/trace.h"
+#include "prof/step_profiler.h"
 #include "train/layerwise_gather.h"
 #include "train/sharded_data_parallel.h"
 #include "train/transformer_model.h"
@@ -118,7 +120,9 @@ double LayerwiseWalkMs(bool async, int64_t delay_us) {
 /// gradient reduction. Latency is bytes-proportional plus a small launch
 /// fee. Returns (ms per iteration, final loss).
 std::pair<double, float> TrainStepMs(bool overlap, int64_t base_us,
-                                     int64_t bytes_per_us, int iterations) {
+                                     int64_t bytes_per_us, int iterations,
+                                     prof::StepProfiler* profiler = nullptr,
+                                     obs::TraceRecorder* trace = nullptr) {
   const int kRanks = 4;
   RankTopology topo{kRanks, 2};
   World world(kRanks);
@@ -126,6 +130,8 @@ std::pair<double, float> TrainStepMs(bool overlap, int64_t base_us,
   SdpOptions sdp;
   sdp.strategy = Strategy::kMiCS;
   sdp.partition_group_size = 2;
+  sdp.profile = profiler;
+  sdp.trace = trace;
   if (overlap) {
     sdp.grad_bucket_count = 3;
     sdp.async_comm = true;
@@ -171,20 +177,30 @@ std::pair<double, float> TrainStepMs(bool overlap, int64_t base_us,
       return sdp_ptr->NotifyGradRange(off, n);
     });
 
+    const int track =
+        trace ? trace->RegisterTrack("rank " + std::to_string(rank)) : -1;
     int64_t step = 0;
     for (int iter = 0; iter < iterations; ++iter) {
+      MICS_TRACE_SPAN(trace, track, "iteration " + std::to_string(iter));
+      if (profiler != nullptr) profiler->BeginStep(rank);
       float loss = 0.0f;
       for (int micro = 0; micro < 2; ++micro) {
         MICS_RETURN_NOT_OK(engine->GatherParams());
         Tensor x;
         std::vector<int32_t> y;
         MICS_RETURN_NOT_OK(dataset.Sample(step++, rank, 1, &x, &y));
-        MICS_ASSIGN_OR_RETURN(loss, model.ForwardBackward(x, y));
+        {
+          MICS_TRACE_SPAN(trace, track, "forward-backward");
+          prof::StepProfiler::ScopedPhase compute(
+              profiler, rank, prof::Phase::kForwardBackward);
+          MICS_ASSIGN_OR_RETURN(loss, model.ForwardBackward(x, y));
+        }
         MICS_RETURN_NOT_OK(engine->ReduceMicroStepGrads());
       }
       MICS_RETURN_NOT_OK(engine->FinishIterationAndStep());
       MICS_RETURN_NOT_OK(engine->AverageScalar(&loss));
       final_loss[static_cast<size_t>(rank)] = loss;
+      if (profiler != nullptr) profiler->EndStep(rank);
     }
     return Status::OK();
   });
@@ -195,8 +211,9 @@ std::pair<double, float> TrainStepMs(bool overlap, int64_t base_us,
 }  // namespace
 }  // namespace mics
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mics;
+  bench::Reporter rep(argc, argv, "overlap_step");
   constexpr int64_t kDelayUs = 1000;
 
   bench::PrintHeader(
@@ -210,12 +227,17 @@ int main() {
     const double sync_ms = LayerwiseWalkMs(false, kDelayUs);
     const double async_ms = LayerwiseWalkMs(true, kDelayUs);
     TablePrinter table({"layerwise gather walk", "wall ms", "speedup"});
-    table.AddRow({"serialized (inline gathers)", TablePrinter::Fmt(sync_ms, 1),
+    table.AddRow({"serialized (inline gathers)",
+                  rep.Value("layerwise_walk", "serialized_wall", sync_ms,
+                            "ms_wall", 1),
                   "1.0x"});
     table.AddRow({"overlapped (async prefetch)",
-                  TablePrinter::Fmt(async_ms, 1),
+                  rep.Value("layerwise_walk", "overlapped_wall", async_ms,
+                            "ms_wall", 1),
                   TablePrinter::Fmt(sync_ms / async_ms, 2) + "x"});
     table.Print(std::cout);
+    rep.Record("layerwise_walk", "overlap_speedup", sync_ms / async_ms,
+               "ratio_wall");
   }
 
   {
@@ -226,15 +248,35 @@ int main() {
     TablePrinter table(
         {"transformer train step", "ms/iter", "speedup", "final loss"});
     table.AddRow({"serialized reduce-scatter",
-                  TablePrinter::Fmt(serial_ms, 1), "1.0x",
-                  TablePrinter::Fmt(serial_loss, 5)});
+                  rep.Value("transformer_step", "serialized_wall", serial_ms,
+                            "ms_wall", 1),
+                  "1.0x", TablePrinter::Fmt(serial_loss, 5)});
     table.AddRow({"bucketed async reduction",
-                  TablePrinter::Fmt(overlap_ms, 1),
+                  rep.Value("transformer_step", "overlapped_wall", overlap_ms,
+                            "ms_wall", 1),
                   TablePrinter::Fmt(serial_ms / overlap_ms, 2) + "x",
                   TablePrinter::Fmt(overlap_loss, 5)});
     table.Print(std::cout);
+    rep.Record("transformer_step", "final_loss",
+               static_cast<double>(overlap_loss), "loss");
     // Identical final losses: the overlap changes scheduling, not math.
     MICS_CHECK_EQ(serial_loss, overlap_loss);
+  }
+
+  {
+    // Profiled re-run of the overlapped schedule: the step profiler's
+    // phase breakdown plus the exposed/overlapped comm split from the
+    // per-rank comm trace tracks.
+    bench::PrintHeader("Step profile of the overlapped schedule");
+    prof::StepProfiler profiler;
+    obs::TraceRecorder trace;
+    (void)TrainStepMs(true, 20, 25, 6, &profiler, &trace);
+    const prof::StepProfileReport report = profiler.ReportWithOverlap(trace);
+    report.Print(std::cout);
+    rep.Record("transformer_step", "profiled_coverage", report.coverage,
+               "ratio_wall");
+    rep.Record("transformer_step", "comm_overlap_efficiency",
+               report.overlap.efficiency(), "ratio_wall");
   }
 
   std::cout << "\nPaper shape: hiding collective latency under compute is\n"

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Runs the fast benchmark subset and merges the per-binary JSON outputs
+# into one schema-versioned BENCH_paper_suite.json at the repo root.
+#
+#   scripts/bench.sh              build + run, write BENCH_paper_suite.json
+#   scripts/bench.sh --out FILE   write the merged JSON somewhere else
+#
+# The fast subset covers every modeled figure benchmark (deterministic:
+# pure cost-model arithmetic, identical on every machine) plus the cheap
+# real-training fidelity run. Excluded as too slow or wall-clock-only for
+# CI gating (see ROADMAP "Open items"): bench_overlap_step (seconds of
+# injected latency), bench_collectives_micro (google-benchmark wall-clock
+# suite; its --json writes google-benchmark's schema, not ours).
+#
+# Compare two merged files with scripts/bench_compare.py; deterministic
+# units gate hard, wall-clock units are informational.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+out="$repo_root/BENCH_paper_suite.json"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --out) out="$2"; shift 2 ;;
+    *) echo "usage: scripts/bench.sh [--out FILE]" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" >/dev/null
+
+# The fast, deterministic subset (binary names under build/bench/).
+benches=(
+  bench_fig01_effective_bandwidth
+  bench_fig06_strong_scaling_100g
+  bench_fig07_other_models
+  bench_fig08_tflops
+  bench_fig09_scaling_400g
+  bench_fig10_megatron_wideresnet
+  bench_fig11_partition_group_size
+  bench_fig12_hierarchical_allgather
+  bench_fig13_two_hop_sync
+  bench_fig14_impl_optimizations
+  bench_fig15_fidelity
+  bench_case_study_100b
+  bench_ablation_extensions
+)
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+for b in "${benches[@]}"; do
+  echo "== $b =="
+  "build/bench/$b" --json "$tmpdir/$b.json" > "$tmpdir/$b.txt"
+  tail -n 3 "$tmpdir/$b.txt"
+done
+
+python3 - "$out" "$tmpdir" <<'PY'
+import json, sys, glob, os
+
+out_path, tmpdir = sys.argv[1], sys.argv[2]
+records = []
+for path in sorted(glob.glob(os.path.join(tmpdir, "*.json"))):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc.get("schema_version") == 1, f"{path}: bad schema_version"
+    records.extend(doc["records"])
+merged = {
+    "schema_version": 1,
+    "suite": "paper_suite",
+    "records": records,
+}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print(f"wrote {out_path}: {len(records)} records")
+PY

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Diffs two benchmark JSON files and gates on regressions.
+
+    scripts/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.10]
+
+Both files follow the schema written by bench::Reporter / scripts/bench.sh:
+
+    {"schema_version": 1, "suite": ..., "records": [
+        {"benchmark": ..., "workload": ..., "metric": ..., "value": <num>,
+         "units": ...}, ...]}
+
+Records are keyed by (benchmark, workload, metric). The regression
+direction comes from the units:
+
+  - higher-is-better: samples_per_s, tflops, gbps, ratio, percent
+  - lower-is-better:  ms_modeled, loss
+  - informational:    any units containing "wall" (host wall-clock is not
+    comparable across machines or runs), plus raw counters ("count") that
+    should be compared for exact drift but never as a percentage.
+
+A record regresses when it moves in the bad direction by more than
+--threshold (relative). "count" units regress on ANY change: deterministic
+traffic counters (bytes, calls) must not drift silently. Missing or new
+records are reported but do not fail the comparison (the suite grows).
+
+Exit status: 0 = no regressions, 1 = at least one regression,
+2 = usage/schema error.
+
+Self-test (exercised by tests/prof): --selftest runs an internal
+regression-injection check and exits 0 iff the gating logic works.
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_IS_BETTER = {"samples_per_s", "tflops", "gbps", "ratio", "percent"}
+LOWER_IS_BETTER = {"ms_modeled", "loss"}
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        raise ValueError(f"{path}: unsupported schema_version "
+                         f"{doc.get('schema_version')!r}")
+    out = {}
+    for r in doc["records"]:
+        out[(r["benchmark"], r["workload"], r["metric"])] = (
+            float(r["value"]), r["units"])
+    return out
+
+
+def compare(baseline, current, threshold):
+    """Returns (regressions, improvements, infos) as lists of strings."""
+    regressions, improvements, infos = [], [], []
+    for key in sorted(baseline.keys() & current.keys()):
+        base_v, base_u = baseline[key]
+        cur_v, cur_u = current[key]
+        name = "/".join(key)
+        if base_u != cur_u:
+            regressions.append(f"{name}: units changed {base_u} -> {cur_u}")
+            continue
+        if "wall" in base_u:
+            continue  # host wall-clock: informational only
+        if base_u == "count":
+            if base_v != cur_v:
+                regressions.append(
+                    f"{name}: deterministic counter drifted "
+                    f"{base_v:g} -> {cur_v:g}")
+            continue
+        if base_v == 0.0:
+            if cur_v != 0.0:
+                infos.append(f"{name}: baseline 0, now {cur_v:g}")
+            continue
+        rel = (cur_v - base_v) / abs(base_v)
+        if base_u in LOWER_IS_BETTER:
+            rel = -rel
+        elif base_u not in HIGHER_IS_BETTER:
+            infos.append(f"{name}: unknown units '{base_u}', not gated")
+            continue
+        if rel < -threshold:
+            regressions.append(
+                f"{name}: {base_v:g} -> {cur_v:g} "
+                f"({100 * rel:+.1f}%, units {base_u})")
+        elif rel > threshold:
+            improvements.append(
+                f"{name}: {base_v:g} -> {cur_v:g} ({100 * rel:+.1f}%)")
+    for key in sorted(baseline.keys() - current.keys()):
+        infos.append("/".join(key) + ": missing from current run")
+    for key in sorted(current.keys() - baseline.keys()):
+        infos.append("/".join(key) + ": new (no baseline)")
+    return regressions, improvements, infos
+
+
+def selftest():
+    base = {
+        ("b", "w", "throughput"): (100.0, "samples_per_s"),
+        ("b", "w", "model_time"): (10.0, "ms_modeled"),
+        ("b", "w", "walltime"): (50.0, "ms_wall"),
+        ("b", "w", "bytes"): (4096.0, "count"),
+    }
+    # 1. Identical -> clean.
+    r, _, _ = compare(base, dict(base), 0.10)
+    assert not r, r
+    # 2. >=10% throughput drop -> regression (the acceptance criterion).
+    cur = dict(base)
+    cur[("b", "w", "throughput")] = (89.0, "samples_per_s")
+    r, _, _ = compare(base, cur, 0.10)
+    assert len(r) == 1, r
+    # 3. Modeled time increase -> regression (direction flips).
+    cur = dict(base)
+    cur[("b", "w", "model_time")] = (12.0, "ms_modeled")
+    r, _, _ = compare(base, cur, 0.10)
+    assert len(r) == 1, r
+    # 4. Wall-clock doubling -> informational, never gates.
+    cur = dict(base)
+    cur[("b", "w", "walltime")] = (100.0, "ms_wall")
+    r, _, _ = compare(base, cur, 0.10)
+    assert not r, r
+    # 5. Counter drift of any size -> regression.
+    cur = dict(base)
+    cur[("b", "w", "bytes")] = (4097.0, "count")
+    r, _, _ = compare(base, cur, 0.10)
+    assert len(r) == 1, r
+    # 6. Improvement -> reported, not a failure.
+    cur = dict(base)
+    cur[("b", "w", "throughput")] = (150.0, "samples_per_s")
+    r, imp, _ = compare(base, cur, 0.10)
+    assert not r and len(imp) == 1, (r, imp)
+    print("selftest OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("current", nargs="?")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative regression threshold (default 0.10)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run internal gating checks and exit")
+    args = ap.parse_args()
+
+    if args.selftest:
+        selftest()
+        return 0
+    if not args.baseline or not args.current:
+        ap.error("baseline and current JSON files are required")
+
+    try:
+        baseline = load(args.baseline)
+        current = load(args.current)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    regressions, improvements, infos = compare(
+        baseline, current, args.threshold)
+
+    for line in infos:
+        print(f"note: {line}")
+    for line in improvements:
+        print(f"improved: {line}")
+    for line in regressions:
+        print(f"REGRESSION: {line}")
+    print(f"{len(regressions)} regression(s), {len(improvements)} "
+          f"improvement(s), {len(baseline)} baseline / {len(current)} "
+          f"current records (threshold {args.threshold:.0%})")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

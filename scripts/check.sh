@@ -3,12 +3,17 @@
 #
 #   scripts/check.sh              tier-1: configure, build, full ctest, then
 #                                 re-run the concurrency-heavy suites
-#                                 (-L 'tsan|async') on their own
+#                                 (-L 'tsan|async|prof') on their own
 #   scripts/check.sh --sanitize   additionally build with
 #                                 MICS_SANITIZE=thread in build-tsan/ and run
-#                                 the tsan + async labels under TSan
+#                                 the tsan + async + prof labels under TSan
+#   scripts/check.sh --bench      additionally run the fast benchmark subset
+#                                 (scripts/bench.sh) into a fresh JSON and
+#                                 gate it against the committed baseline
+#                                 BENCH_paper_suite.json with
+#                                 scripts/bench_compare.py
 #
-# Both modes exit non-zero on the first failure.
+# All modes exit non-zero on the first failure.
 
 set -euo pipefail
 
@@ -16,10 +21,12 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$repo_root"
 
 sanitize=0
+bench=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
-    *) echo "usage: scripts/check.sh [--sanitize]" >&2; exit 2 ;;
+    --bench) bench=1 ;;
+    *) echo "usage: scripts/check.sh [--sanitize] [--bench]" >&2; exit 2 ;;
   esac
 done
 
@@ -31,15 +38,24 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo
-echo "== concurrency suites (tsan + async labels, plain build) =="
-ctest --test-dir build --output-on-failure -L 'tsan|async'
+echo "== concurrency suites (tsan + async + prof labels, plain build) =="
+ctest --test-dir build --output-on-failure -L 'tsan|async|prof'
 
 if [[ "$sanitize" == 1 ]]; then
   echo
   echo "== ThreadSanitizer build (MICS_SANITIZE=thread) =="
   cmake -B build-tsan -S . -DMICS_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs"
-  ctest --test-dir build-tsan --output-on-failure -L 'tsan|async'
+  ctest --test-dir build-tsan --output-on-failure -L 'tsan|async|prof'
+fi
+
+if [[ "$bench" == 1 ]]; then
+  echo
+  echo "== benchmark regression gate =="
+  python3 scripts/bench_compare.py --selftest
+  scripts/bench.sh --out build/BENCH_current.json
+  python3 scripts/bench_compare.py BENCH_paper_suite.json \
+    build/BENCH_current.json
 fi
 
 echo

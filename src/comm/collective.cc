@@ -1,6 +1,7 @@
 #include "comm/collective.h"
 
 #include <chrono>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <utility>
@@ -37,6 +38,27 @@ int64_t CoalescedBytes(const std::vector<Tensor>& inputs) {
   return total;
 }
 
+/// Per-op wall-clock latency distributions (comm.latency_us.<op>), fed
+/// from Dispatch so sync and async executions of the same op land in the
+/// same histogram. The four op names are compile-time constants, so the
+/// common case is a strcmp chain over cached pointers, not a registry
+/// lookup under the global mutex.
+obs::Histogram* LatencyHistogram(const char* op) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  static obs::Histogram* all_gather =
+      reg.GetHistogram("comm.latency_us.all_gather");
+  static obs::Histogram* coalesced =
+      reg.GetHistogram("comm.latency_us.all_gather_coalesced");
+  static obs::Histogram* reduce_scatter =
+      reg.GetHistogram("comm.latency_us.reduce_scatter");
+  static obs::Histogram* reduce = reg.GetHistogram("comm.latency_us.reduce");
+  if (std::strcmp(op, "all_gather") == 0) return all_gather;
+  if (std::strcmp(op, "all_gather_coalesced") == 0) return coalesced;
+  if (std::strcmp(op, "reduce_scatter") == 0) return reduce_scatter;
+  if (std::strcmp(op, "reduce") == 0) return reduce;
+  return reg.GetHistogram(std::string("comm.latency_us.") + op);
+}
+
 /// Shallow alias of `t` that does not own storage: what an async op
 /// captures so the caller's Tensor object (often a temporary Slice view)
 /// can die while the underlying buffer, which the caller keeps alive per
@@ -67,6 +89,22 @@ void Collective::SetTraceSink(obs::TraceRecorder* trace, int track) {
 
 Status Collective::Dispatch(CollectiveCallInfo info,
                             const std::function<Status()>& op) {
+  // Timestamp hook: every dispatched op — sync or async, flat or
+  // hierarchical, including any retry/backoff — lands its wall-clock
+  // latency in comm.latency_us.<op>, so per-collective percentiles come
+  // straight from the registry.
+  const char* op_name = info.op;
+  const auto start = std::chrono::steady_clock::now();
+  Status st = DispatchInner(std::move(info), op);
+  LatencyHistogram(op_name)->Observe(
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return st;
+}
+
+Status Collective::DispatchInner(CollectiveCallInfo info,
+                                 const std::function<Status()>& op) {
   if (fault_hook_ == nullptr) return op();
   int64_t backoff_us = retry_.backoff_us;
   for (info.attempt = 0;; ++info.attempt) {
@@ -110,11 +148,16 @@ CollectiveHandle Collective::Enqueue(const char* op_name,
 // ---------------------------------------------------------------------------
 // Blocking forms: fence any in-flight async work first so barrier
 // generations on the underlying group never interleave, then run inline
-// through Dispatch exactly as the pre-async code did.
+// through Dispatch exactly as the pre-async code did. With a trace sink
+// attached, each call is recorded as a "sync <op>" span on the comm track
+// — the sibling of the worker's "async <op>" spans — so the comm track is
+// a complete account of this rank's collective time either way, and the
+// profiler's exposed-vs-overlapped split can read it directly.
 // ---------------------------------------------------------------------------
 
 Status Collective::AllGather(const Tensor& input, Tensor* output) {
   Fence();
+  MICS_TRACE_SPAN(trace_, trace_track_, "sync all_gather");
   return Dispatch({"all_gather", kind(), size(), input.nbytes(), 0},
                   [&] { return DoAllGather(input, output); });
 }
@@ -122,6 +165,7 @@ Status Collective::AllGather(const Tensor& input, Tensor* output) {
 Status Collective::AllGatherCoalesced(const std::vector<Tensor>& inputs,
                                       std::vector<Tensor>* outputs) {
   Fence();
+  MICS_TRACE_SPAN(trace_, trace_track_, "sync all_gather_coalesced");
   return Dispatch(
       {"all_gather_coalesced", kind(), size(), CoalescedBytes(inputs), 0},
       [&] { return DoAllGatherCoalesced(inputs, outputs); });
@@ -130,6 +174,7 @@ Status Collective::AllGatherCoalesced(const std::vector<Tensor>& inputs,
 Status Collective::ReduceScatter(const Tensor& input, Tensor* output,
                                  ReduceOp op) {
   Fence();
+  MICS_TRACE_SPAN(trace_, trace_track_, "sync reduce_scatter");
   return Dispatch({"reduce_scatter", kind(), size(), input.nbytes(), 0},
                   [&] { return DoReduceScatter(input, output, op); });
 }
@@ -137,6 +182,7 @@ Status Collective::ReduceScatter(const Tensor& input, Tensor* output,
 Status Collective::Reduce(const Tensor& input, Tensor* output, int root,
                           ReduceOp op) {
   Fence();
+  MICS_TRACE_SPAN(trace_, trace_track_, "sync reduce");
   return Dispatch({"reduce", kind(), size(), input.nbytes(), 0},
                   [&] { return DoReduce(input, output, root, op); });
 }

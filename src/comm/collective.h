@@ -180,7 +180,9 @@ class Collective {
                           ReduceOp op) = 0;
 
   /// Runs `op` through the fault hook with bounded-retry-with-backoff on
-  /// Unavailable. The fast path (no hook) is a single indirect call.
+  /// Unavailable, and records the call's wall-clock latency into the
+  /// comm.latency_us.<op> histogram. The fast path (no hook) is a single
+  /// indirect call plus one clock pair.
   Status Dispatch(CollectiveCallInfo info, const std::function<Status()>& op);
 
   /// Joins the progress worker, failing queued-but-unstarted ops. Derived
@@ -189,6 +191,10 @@ class Collective {
   void StopWorker() { engine_.reset(); }
 
  private:
+  /// The hook/retry loop behind Dispatch (untimed).
+  Status DispatchInner(CollectiveCallInfo info,
+                       const std::function<Status()>& op);
+
   CollectiveHandle Enqueue(const char* op_name, CollectiveCallInfo info,
                            std::function<Status()> fn);
 

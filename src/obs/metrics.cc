@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 
 #include "util/logging.h"
 
@@ -40,6 +42,31 @@ void Histogram::Observe(double v) {
 double Histogram::Mean() const {
   const int64_t c = Count();
   return c == 0 ? 0.0 : Sum() / static_cast<double>(c);
+}
+
+double Histogram::Percentile(double q) const {
+  MICS_DCHECK(q >= 0.0 && q <= 1.0) << "quantile must be in [0, 1]";
+  const int64_t total = Count();
+  if (total == 0 || bounds_.empty()) return 0.0;
+  // The observation with (0-based) rank floor(q * (total - 1)); walk the
+  // buckets until the cumulative count passes it.
+  const double rank = q * static_cast<double>(total - 1);
+  int64_t cum = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const int64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (rank < static_cast<double>(cum + in_bucket)) {
+      if (i == bounds_.size()) return bounds_.back();  // overflow bucket
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      // Linear interpolation by position within the bucket.
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    cum += in_bucket;
+  }
+  return bounds_.back();
 }
 
 int64_t Histogram::BucketCount(size_t i) const {
@@ -130,6 +157,34 @@ void MetricsRegistry::WriteText(std::ostream& os,
     if (s.name.rfind(prefix, 0) != 0) continue;
     os << s.name << " " << s.value << "\n";
   }
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os,
+                                const std::string& prefix) const {
+  os << "{\n  \"schema_version\": 1,\n  \"metrics\": {";
+  char buf[64];
+  bool first = true;
+  for (const MetricSample& s : Snapshot()) {
+    if (s.name.rfind(prefix, 0) != 0) continue;
+    if (!first) os << ",";
+    first = false;
+    // Metric names are dot/underscore identifiers by convention, so no
+    // JSON escaping is needed; %.17g round-trips any double.
+    std::snprintf(buf, sizeof(buf), "%.17g", s.value);
+    os << "\n    \"" << s.name << "\": " << buf;
+  }
+  os << "\n  }\n}\n";
+}
+
+Status MetricsRegistry::WriteJsonFile(const std::string& path,
+                                      const std::string& prefix) const {
+  std::ofstream os(path);
+  if (!os.good()) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  WriteJson(os, prefix);
+  if (!os.good()) return Status::Internal("metrics write failed: " + path);
+  return Status::OK();
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace mics::obs {
 
 /// Monotonically increasing metric. Add() is lock-free and safe to call
@@ -58,6 +60,12 @@ class Histogram {
   int64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
   double Mean() const;
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation within the
+  /// fixed buckets, so p50/p95/p99 can be reported without retaining raw
+  /// samples. The first bucket interpolates from 0; observations in the
+  /// overflow bucket report the largest bound (a floor, as Prometheus's
+  /// histogram_quantile does). Returns 0 when empty.
+  double Percentile(double q) const;
   /// Count of observations in bucket `i` (bounds().size() + 1 buckets; the
   /// last one catches everything above the largest bound).
   int64_t BucketCount(size_t i) const;
@@ -114,6 +122,14 @@ class MetricsRegistry {
   /// Dumps `name value` lines for metrics whose name starts with `prefix`
   /// (empty prefix = everything), sorted by name.
   void WriteText(std::ostream& os, const std::string& prefix = "") const;
+
+  /// Machine-readable Snapshot(): a schema-versioned JSON object
+  ///   {"schema_version": 1, "metrics": {"<name>": <value>, ...}}
+  /// restricted to metrics whose name starts with `prefix`. Values are
+  /// printed with enough digits to round-trip a double exactly.
+  void WriteJson(std::ostream& os, const std::string& prefix = "") const;
+  Status WriteJsonFile(const std::string& path,
+                       const std::string& prefix = "") const;
 
   /// The process-wide registry all built-in instrumentation records into.
   static MetricsRegistry& Global();

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace mics::obs {
@@ -41,6 +42,13 @@ void WriteJsonString(std::ostream& os, const std::string& s) {
   os << '"';
 }
 
+/// The process-wide drop counter: one counter no matter how many
+/// recorders exist, so "did any trace lose events" is a single lookup.
+Counter* DroppedCounter() {
+  static Counter* c = MetricsRegistry::Global().GetCounter("obs.trace.dropped");
+  return c;
+}
+
 }  // namespace
 
 TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
@@ -69,6 +77,32 @@ void TraceRecorder::AddCompleteEvent(int track, std::string name, double ts_us,
   e.ts_us = ts_us;
   e.dur_us = dur_us;
   events_.push_back(std::move(e));
+  if (capacity_ > 0 && static_cast<int64_t>(events_.size()) > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+    DroppedCounter()->Increment();
+  }
+}
+
+void TraceRecorder::SetCapacity(int64_t max_events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MICS_CHECK(max_events >= 0) << "trace capacity must be >= 0";
+  capacity_ = max_events;
+  while (capacity_ > 0 && static_cast<int64_t>(events_.size()) > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+    DroppedCounter()->Increment();
+  }
+}
+
+int64_t TraceRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+int64_t TraceRecorder::num_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 double TraceRecorder::NowUs() const {
@@ -84,7 +118,7 @@ int TraceRecorder::num_events() const {
 
 std::vector<TraceEvent> TraceRecorder::events() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return events_;
+  return std::vector<TraceEvent>(events_.begin(), events_.end());
 }
 
 const std::string& TraceRecorder::track_name(int track) const {

@@ -2,6 +2,8 @@
 #define MICS_OBS_TRACE_H_
 
 #include <chrono>
+#include <cstdint>
+#include <deque>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -57,7 +59,18 @@ class TraceRecorder {
   const std::string& track_name(int track) const;
   int num_tracks() const;
 
-  /// Drops all events and tracks and resets the epoch.
+  /// Bounds the event buffer: once more than `max_events` spans are held,
+  /// the oldest are discarded (flight-recorder semantics — the tail of a
+  /// long run survives, the head scrolls away). 0 (the default) keeps the
+  /// historical unbounded behavior. Dropped spans bump this recorder's
+  /// num_dropped() and the process-wide `obs.trace.dropped` counter, so a
+  /// truncated trace is detectable instead of silently partial.
+  void SetCapacity(int64_t max_events);
+  int64_t capacity() const;
+  int64_t num_dropped() const;
+
+  /// Drops all events and tracks and resets the epoch (the capacity and
+  /// drop count persist across Clear).
   void Clear();
 
   /// Writes the recorded spans as a Chrome trace-event JSON array,
@@ -71,7 +84,10 @@ class TraceRecorder {
  private:
   mutable std::mutex mu_;
   std::chrono::steady_clock::time_point epoch_;
-  std::vector<TraceEvent> events_;
+  // Deque, not vector: the flight-recorder ring evicts from the front.
+  std::deque<TraceEvent> events_;
+  int64_t capacity_ = 0;  // 0 = unbounded
+  int64_t dropped_ = 0;
   struct Track {
     std::string name;
     int pid = 0;

@@ -1,0 +1,206 @@
+#include "prof/step_profiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "prof/trace_analyzer.h"
+#include "util/table_printer.h"
+
+namespace mics::prof {
+
+namespace {
+
+/// Powers-of-two bucket bounds, 1us .. ~67s. Finer than the registry
+/// default so linear interpolation inside a bucket stays tight for
+/// microsecond-scale phases.
+std::vector<double> ProfilerBounds() {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 67108864.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+}  // namespace
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kGather:
+      return "gather";
+    case Phase::kForwardBackward:
+      return "forward-backward";
+    case Phase::kGradReduce:
+      return "grad-reduce";
+    case Phase::kBoundarySync:
+      return "boundary-sync";
+    case Phase::kOptimizer:
+      return "optimizer";
+    case Phase::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+StepProfiler::StepProfiler() : epoch_(std::chrono::steady_clock::now()) {
+  for (int p = 0; p < kNumPhases; ++p) {
+    phase_hist_[p] = std::make_unique<obs::Histogram>(ProfilerBounds());
+  }
+  step_hist_ = std::make_unique<obs::Histogram>(ProfilerBounds());
+}
+
+double StepProfiler::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void StepProfiler::BeginStep(int rank) {
+  const double now = NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  RankState& state = rank_states_[rank];
+  state.in_step = true;
+  state.step_start_us = now;
+  for (double& us : state.phase_us) us = 0.0;
+}
+
+void StepProfiler::EndStep(int rank) {
+  const double now = NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rank_states_.find(rank);
+  if (it == rank_states_.end() || !it->second.in_step) return;
+  RankState& state = it->second;
+  state.in_step = false;
+  const double wall = now - state.step_start_us;
+  step_hist_->Observe(wall);
+  ++steps_;
+  ++steps_per_rank_[rank];
+  total_step_us_ += wall;
+  for (int p = 0; p < kNumPhases; ++p) {
+    if (state.phase_us[p] <= 0.0) continue;
+    phase_hist_[p]->Observe(state.phase_us[p]);
+    covered_us_ += state.phase_us[p];
+  }
+}
+
+void StepProfiler::RecordPhase(int rank, Phase p, double us) {
+  if (us < 0.0) us = 0.0;
+  const int idx = static_cast<int>(p);
+  std::lock_guard<std::mutex> lock(mu_);
+  phase_total_us_[idx] += us;
+  ++phase_calls_[idx];
+  auto it = rank_states_.find(rank);
+  if (it != rank_states_.end() && it->second.in_step) {
+    it->second.phase_us[idx] += us;
+  }
+}
+
+int64_t StepProfiler::steps_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return steps_;
+}
+
+StepProfileReport StepProfiler::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StepProfileReport report;
+  report.steps = steps_;
+  report.ranks = static_cast<int>(steps_per_rank_.size());
+  report.total_step_us = total_step_us_;
+  report.step_p50_us = step_hist_->Percentile(0.50);
+  report.step_p95_us = step_hist_->Percentile(0.95);
+  report.step_p99_us = step_hist_->Percentile(0.99);
+  for (int p = 0; p < kNumPhases; ++p) {
+    PhaseStats& stats = report.phases[p];
+    stats.total_us = phase_total_us_[p];
+    stats.observations = phase_hist_[p]->Count();
+    stats.p50_us = phase_hist_[p]->Percentile(0.50);
+    stats.p95_us = phase_hist_[p]->Percentile(0.95);
+    stats.p99_us = phase_hist_[p]->Percentile(0.99);
+  }
+  report.coverage = total_step_us_ > 0.0 ? covered_us_ / total_step_us_ : 0.0;
+  return report;
+}
+
+StepProfileReport StepProfiler::ReportWithOverlap(
+    const obs::TraceRecorder& trace) const {
+  StepProfileReport report = Report();
+  report.has_overlap = true;
+  report.overlap = ComputeOverlap(trace);
+  return report;
+}
+
+OverlapReport StepProfiler::ComputeOverlap(const obs::TraceRecorder& trace) {
+  TraceAnalyzer analyzer(trace);
+  OverlapReport overlap;
+  // Pair every "rank <r> comm" track with its sibling compute track
+  // "rank <r>"; comm time overlaps compute only when a collective span
+  // intersects a "forward-backward" span of the SAME rank.
+  std::map<std::string, int> by_name;
+  for (int t = 0; t < analyzer.num_tracks(); ++t) {
+    by_name[analyzer.track_name(t)] = t;
+  }
+  constexpr const char* kCommSuffix = " comm";
+  constexpr size_t kCommSuffixLen = 5;
+  for (const auto& [name, comm_track] : by_name) {
+    if (name.size() <= kCommSuffixLen ||
+        name.compare(name.size() - kCommSuffixLen, kCommSuffixLen,
+                     kCommSuffix) != 0) {
+      continue;
+    }
+    const auto compute_it =
+        by_name.find(name.substr(0, name.size() - kCommSuffixLen));
+    std::vector<Interval> comm_ivs;
+    std::vector<Interval> compute_ivs;
+    for (const obs::TraceEvent& e : analyzer.events()) {
+      if (e.tid == comm_track) {
+        comm_ivs.push_back({e.ts_us, e.ts_us + e.dur_us});
+      } else if (compute_it != by_name.end() &&
+                 e.tid == compute_it->second &&
+                 e.name == "forward-backward") {
+        compute_ivs.push_back({e.ts_us, e.ts_us + e.dur_us});
+      }
+    }
+    const std::vector<Interval> comm = MergeIntervals(std::move(comm_ivs));
+    const std::vector<Interval> compute =
+        MergeIntervals(std::move(compute_ivs));
+    overlap.total_comm_us += TotalLength(comm);
+    overlap.overlapped_comm_us += IntersectionLength(comm, compute);
+  }
+  overlap.exposed_comm_us = overlap.total_comm_us - overlap.overlapped_comm_us;
+  return overlap;
+}
+
+void StepProfileReport::Print(std::ostream& os) const {
+  os << "step profile: " << steps << " steps across " << ranks
+     << " ranks, coverage " << TablePrinter::Fmt(coverage * 100.0, 1)
+     << "%\n";
+  TablePrinter table(
+      {"phase", "total ms", "share %", "p50 us", "p95 us", "p99 us"});
+  for (int p = 0; p < kNumPhases; ++p) {
+    const PhaseStats& stats = phases[p];
+    if (stats.observations == 0) continue;
+    const double share =
+        total_step_us > 0.0 ? stats.total_us / total_step_us * 100.0 : 0.0;
+    table.AddRow({PhaseName(static_cast<Phase>(p)),
+                  TablePrinter::Fmt(stats.total_us / 1000.0, 3),
+                  TablePrinter::Fmt(share, 1),
+                  TablePrinter::Fmt(stats.p50_us, 1),
+                  TablePrinter::Fmt(stats.p95_us, 1),
+                  TablePrinter::Fmt(stats.p99_us, 1)});
+  }
+  table.Print(os);
+  os << "step wall: p50 " << TablePrinter::Fmt(step_p50_us / 1000.0, 3)
+     << " ms, p95 " << TablePrinter::Fmt(step_p95_us / 1000.0, 3)
+     << " ms, p99 " << TablePrinter::Fmt(step_p99_us / 1000.0, 3)
+     << " ms\n";
+  if (has_overlap) {
+    os << "comm overlap: total "
+       << TablePrinter::Fmt(overlap.total_comm_us / 1000.0, 3)
+       << " ms, overlapped "
+       << TablePrinter::Fmt(overlap.overlapped_comm_us / 1000.0, 3)
+       << " ms, exposed "
+       << TablePrinter::Fmt(overlap.exposed_comm_us / 1000.0, 3)
+       << " ms (efficiency "
+       << TablePrinter::Fmt(overlap.efficiency() * 100.0, 1) << "%)\n";
+  }
+}
+
+}  // namespace mics::prof

@@ -1,0 +1,165 @@
+#ifndef MICS_PROF_STEP_PROFILER_H_
+#define MICS_PROF_STEP_PROFILER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mics::prof {
+
+/// The phases of one training step (= one iteration: s micro-steps, then
+/// the boundary sync and the optimizer). Forward and backward are one
+/// phase because both real models interleave them per sample (there is no
+/// instant where "forward is done and backward has not started").
+enum class Phase {
+  kGather = 0,          // parameter all-gather (per micro-step)
+  kForwardBackward,     // model compute (per micro-step)
+  kGradReduce,          // first hop: intra-group reduce-scatter / buckets
+  kBoundarySync,        // second hop: inter-group all-reduce at boundary
+  kOptimizer,           // sharded Adam step
+  kOther,               // explicitly profiled non-core work (data, loss avg)
+};
+inline constexpr int kNumPhases = 6;
+
+const char* PhaseName(Phase phase);
+
+/// Aggregated timing of one phase across every profiled step and rank.
+struct PhaseStats {
+  double total_us = 0.0;
+  int64_t observations = 0;  // per-step per-rank phase times observed
+  double p50_us = 0.0;       // percentiles over those observations
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Exposed vs. overlapped communication, from the per-rank comm trace
+/// tracks: total = union of this rank's collective spans ("sync <op>" +
+/// "async <op>" on "rank <r> comm"), overlapped = the part of that union
+/// covered by "forward-backward" compute spans on "rank <r>". Exposed
+/// communication is what the step actually pays for; overlap efficiency
+/// is the fraction the engine managed to hide under compute.
+struct OverlapReport {
+  double total_comm_us = 0.0;
+  double overlapped_comm_us = 0.0;
+  double exposed_comm_us = 0.0;
+
+  double efficiency() const {
+    return total_comm_us > 0.0 ? overlapped_comm_us / total_comm_us : 0.0;
+  }
+};
+
+/// Everything the profiler measured, ready to print or assert on.
+struct StepProfileReport {
+  int64_t steps = 0;          // completed (rank, iteration) pairs
+  int ranks = 0;              // distinct ranks that completed a step
+  double total_step_us = 0.0; // sum of step wall times over those pairs
+  double step_p50_us = 0.0;
+  double step_p95_us = 0.0;
+  double step_p99_us = 0.0;
+  PhaseStats phases[kNumPhases];
+  /// Fraction of step wall time covered by recorded phases (in-step
+  /// only). ~1.0 means the breakdown accounts for the whole step.
+  double coverage = 0.0;
+  bool has_overlap = false;
+  OverlapReport overlap;
+
+  const PhaseStats& phase(Phase p) const {
+    return phases[static_cast<int>(p)];
+  }
+  /// Human-readable report: phase table (share of wall, percentiles),
+  /// step wall percentiles, and the overlap block when present.
+  void Print(std::ostream& os) const;
+};
+
+/// Per-training-step phase profiler for real (executed) training. One
+/// instance is shared by every rank thread of a run; all entry points are
+/// thread-safe. ShardedDataParallel records the communication/optimizer
+/// phases and the trainer records compute and step boundaries, both
+/// behind SdpOptions::profile — a null profiler costs two pointer checks
+/// per phase, and a non-null one only reads clocks, so training math is
+/// bit-identical with profiling on or off.
+class StepProfiler {
+ public:
+  StepProfiler();
+  StepProfiler(const StepProfiler&) = delete;
+  StepProfiler& operator=(const StepProfiler&) = delete;
+
+  /// Microseconds since construction (steady clock).
+  double NowUs() const;
+
+  /// Marks the start/end of rank `rank`'s current training step. Phases
+  /// recorded between the two accumulate into that step; EndStep flushes
+  /// them into the per-phase histograms and step wall statistics.
+  void BeginStep(int rank);
+  void EndStep(int rank);
+
+  /// Adds `us` of phase `p` to rank `rank`'s current step (or to the
+  /// global totals only, when called outside a step).
+  void RecordPhase(int rank, Phase p, double us);
+
+  /// RAII phase timer; a null profiler makes it a no-op.
+  class ScopedPhase {
+   public:
+    ScopedPhase(StepProfiler* profiler, int rank, Phase phase)
+        : profiler_(profiler),
+          rank_(rank),
+          phase_(phase),
+          start_us_(profiler != nullptr ? profiler->NowUs() : 0.0) {}
+    ScopedPhase(const ScopedPhase&) = delete;
+    ScopedPhase& operator=(const ScopedPhase&) = delete;
+    ~ScopedPhase() {
+      if (profiler_ == nullptr) return;
+      profiler_->RecordPhase(rank_, phase_, profiler_->NowUs() - start_us_);
+    }
+
+   private:
+    StepProfiler* profiler_;
+    int rank_;
+    Phase phase_;
+    double start_us_;
+  };
+
+  int64_t steps_completed() const;
+
+  /// Snapshot of everything measured so far (no overlap block).
+  StepProfileReport Report() const;
+
+  /// Report() plus the overlap-efficiency block computed from `trace`
+  /// (the same recorder the run used as SdpOptions::trace).
+  StepProfileReport ReportWithOverlap(const obs::TraceRecorder& trace) const;
+
+  /// The overlap math alone: aggregates every "rank <r> comm" track of
+  /// `trace` against its sibling compute track (see OverlapReport).
+  static OverlapReport ComputeOverlap(const obs::TraceRecorder& trace);
+
+ private:
+  struct RankState {
+    bool in_step = false;
+    double step_start_us = 0.0;
+    double phase_us[kNumPhases] = {};
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::map<int, RankState> rank_states_;
+  double phase_total_us_[kNumPhases] = {};
+  int64_t phase_calls_[kNumPhases] = {};
+  std::unique_ptr<obs::Histogram> phase_hist_[kNumPhases];
+  std::unique_ptr<obs::Histogram> step_hist_;
+  int64_t steps_ = 0;
+  std::map<int, int64_t> steps_per_rank_;
+  double total_step_us_ = 0.0;
+  double covered_us_ = 0.0;  // phase time recorded inside completed steps
+};
+
+}  // namespace mics::prof
+
+#endif  // MICS_PROF_STEP_PROFILER_H_

@@ -1,0 +1,276 @@
+#include "prof/trace_analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace mics::prof {
+
+namespace {
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Umbrella spans delimit steps; they cover their children and would make
+/// every busy/critical-path question degenerate to 100%.
+bool IsUmbrella(const obs::TraceEvent& e) {
+  return StartsWith(e.name, "iteration");
+}
+
+/// Exact quantile of a sorted sample set, linearly interpolated between
+/// order statistics (the offline twin of Histogram::Percentile).
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+std::vector<Interval> MergeIntervals(std::vector<Interval> intervals) {
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin_us < b.begin_us;
+            });
+  std::vector<Interval> merged;
+  for (const Interval& iv : intervals) {
+    if (iv.end_us <= iv.begin_us) continue;  // empty or inverted
+    if (!merged.empty() && iv.begin_us <= merged.back().end_us) {
+      merged.back().end_us = std::max(merged.back().end_us, iv.end_us);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+double TotalLength(const std::vector<Interval>& merged) {
+  double total = 0.0;
+  for (const Interval& iv : merged) total += iv.length();
+  return total;
+}
+
+double IntersectionLength(const std::vector<Interval>& a,
+                          const std::vector<Interval>& b) {
+  double total = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double lo = std::max(a[i].begin_us, b[j].begin_us);
+    const double hi = std::min(a[i].end_us, b[j].end_us);
+    if (hi > lo) total += hi - lo;
+    if (a[i].end_us < b[j].end_us) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+double CriticalPath::AttributedUs(const std::string& name) const {
+  double total = 0.0;
+  for (const CriticalSegment& s : segments) {
+    if (s.name == name) total += s.length();
+  }
+  return total;
+}
+
+TraceAnalyzer::TraceAnalyzer(const obs::TraceRecorder& recorder)
+    : events_(recorder.events()) {
+  track_names_.reserve(static_cast<size_t>(recorder.num_tracks()));
+  for (int t = 0; t < recorder.num_tracks(); ++t) {
+    track_names_.push_back(recorder.track_name(t));
+  }
+  double begin = std::numeric_limits<double>::infinity();
+  double end = -std::numeric_limits<double>::infinity();
+  for (const obs::TraceEvent& e : events_) {
+    begin = std::min(begin, e.ts_us);
+    end = std::max(end, e.ts_us + e.dur_us);
+  }
+  trace_begin_us_ = events_.empty() ? 0.0 : begin;
+  trace_end_us_ = events_.empty() ? 0.0 : end;
+}
+
+TraceAnalyzer::TraceAnalyzer(std::vector<obs::TraceEvent> events,
+                             std::vector<std::string> track_names)
+    : events_(std::move(events)), track_names_(std::move(track_names)) {
+  double begin = std::numeric_limits<double>::infinity();
+  double end = -std::numeric_limits<double>::infinity();
+  for (const obs::TraceEvent& e : events_) {
+    begin = std::min(begin, e.ts_us);
+    end = std::max(end, e.ts_us + e.dur_us);
+  }
+  trace_begin_us_ = events_.empty() ? 0.0 : begin;
+  trace_end_us_ = events_.empty() ? 0.0 : end;
+}
+
+int TraceAnalyzer::FindTrack(const std::string& name) const {
+  for (size_t t = 0; t < track_names_.size(); ++t) {
+    if (track_names_[t] == name) return static_cast<int>(t);
+  }
+  return -1;
+}
+
+std::vector<obs::TraceEvent> TraceAnalyzer::TrackEvents(
+    int track, bool drop_umbrellas) const {
+  std::vector<obs::TraceEvent> out;
+  if (track < 0) return out;
+  for (const obs::TraceEvent& e : events_) {
+    if (e.tid != track) continue;
+    if (drop_umbrellas && IsUmbrella(e)) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TrackUtilization> TraceAnalyzer::TrackUtilizations() const {
+  const double window = trace_end_us_ - trace_begin_us_;
+  std::vector<TrackUtilization> out;
+  for (int t = 0; t < num_tracks(); ++t) {
+    TrackUtilization u;
+    u.track = t;
+    u.name = track_names_[static_cast<size_t>(t)];
+    std::vector<Interval> busy;
+    for (const obs::TraceEvent& e : events_) {
+      if (e.tid != t || IsUmbrella(e)) continue;
+      ++u.spans;
+      busy.push_back({e.ts_us, e.ts_us + e.dur_us});
+    }
+    u.busy_us = TotalLength(MergeIntervals(std::move(busy)));
+    u.busy_fraction = window > 0.0 ? u.busy_us / window : 0.0;
+    out.push_back(std::move(u));
+  }
+  return out;
+}
+
+std::vector<CollectiveLatency> TraceAnalyzer::CollectiveLatencies() const {
+  std::map<std::string, std::vector<double>> durations;
+  for (const obs::TraceEvent& e : events_) {
+    if (e.tid < 0 || e.tid >= num_tracks()) continue;
+    if (!EndsWith(track_names_[static_cast<size_t>(e.tid)], " comm")) continue;
+    durations[e.name].push_back(e.dur_us);
+  }
+  std::vector<CollectiveLatency> out;
+  for (auto& [op, ds] : durations) {
+    std::sort(ds.begin(), ds.end());
+    CollectiveLatency lat;
+    lat.op = op;
+    lat.count = static_cast<int64_t>(ds.size());
+    for (double d : ds) lat.total_us += d;
+    lat.mean_us = lat.total_us / static_cast<double>(ds.size());
+    lat.p50_us = SortedQuantile(ds, 0.50);
+    lat.p95_us = SortedQuantile(ds, 0.95);
+    lat.p99_us = SortedQuantile(ds, 0.99);
+    lat.max_us = ds.back();
+    out.push_back(std::move(lat));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CollectiveLatency& a, const CollectiveLatency& b) {
+              return a.total_us > b.total_us;
+            });
+  return out;
+}
+
+CriticalPath TraceAnalyzer::ComputeCriticalPath(int rank, double t0,
+                                                double t1) const {
+  CriticalPath path;
+  path.window_begin_us = t0;
+  path.window_end_us = t1;
+  if (t1 <= t0) return path;
+  const std::string rank_name = "rank " + std::to_string(rank);
+  const std::vector<obs::TraceEvent> compute =
+      TrackEvents(FindTrack(rank_name), /*drop_umbrellas=*/true);
+  const std::vector<obs::TraceEvent> comm =
+      TrackEvents(FindTrack(rank_name + " comm"), /*drop_umbrellas=*/false);
+
+  // Elementary slices between consecutive span boundaries inside the
+  // window; each slice has one well-defined attribution.
+  std::vector<double> cuts{t0, t1};
+  for (const obs::TraceEvent& e : compute) {
+    cuts.push_back(e.ts_us);
+    cuts.push_back(e.ts_us + e.dur_us);
+  }
+  for (const obs::TraceEvent& e : comm) {
+    cuts.push_back(e.ts_us);
+    cuts.push_back(e.ts_us + e.dur_us);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  // The innermost (shortest) span covering an instant is the most
+  // specific description of what ran then — nested phase spans resolve to
+  // the leaf.
+  const auto innermost =
+      [](const std::vector<obs::TraceEvent>& spans,
+         double at) -> const obs::TraceEvent* {
+    const obs::TraceEvent* best = nullptr;
+    for (const obs::TraceEvent& e : spans) {
+      if (e.ts_us <= at && at < e.ts_us + e.dur_us) {
+        if (best == nullptr || e.dur_us < best->dur_us) best = &e;
+      }
+    }
+    return best;
+  };
+
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double a = std::max(cuts[i], t0);
+    const double b = std::min(cuts[i + 1], t1);
+    if (b <= a) continue;
+    const double mid = a + (b - a) / 2.0;
+    CriticalSegment seg;
+    seg.begin_us = a;
+    seg.end_us = b;
+    if (const obs::TraceEvent* e = innermost(compute, mid)) {
+      seg.kind = CriticalSegment::Kind::kCompute;
+      seg.name = e->name;
+      path.compute_us += b - a;
+    } else if (const obs::TraceEvent* e2 = innermost(comm, mid)) {
+      seg.kind = CriticalSegment::Kind::kComm;
+      seg.name = e2->name;
+      path.comm_us += b - a;
+    } else {
+      seg.kind = CriticalSegment::Kind::kIdle;
+      path.idle_us += b - a;
+    }
+    if (!path.segments.empty() &&
+        path.segments.back().kind == seg.kind &&
+        path.segments.back().name == seg.name &&
+        path.segments.back().end_us == seg.begin_us) {
+      path.segments.back().end_us = seg.end_us;
+    } else {
+      path.segments.push_back(std::move(seg));
+    }
+  }
+  return path;
+}
+
+std::vector<CriticalPath> TraceAnalyzer::PerStepCriticalPaths(
+    int rank) const {
+  const int track = FindTrack("rank " + std::to_string(rank));
+  std::vector<obs::TraceEvent> steps;
+  for (const obs::TraceEvent& e : events_) {
+    if (e.tid == track && IsUmbrella(e)) steps.push_back(e);
+  }
+  std::sort(steps.begin(), steps.end(),
+            [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  std::vector<CriticalPath> out;
+  out.reserve(steps.size());
+  for (const obs::TraceEvent& s : steps) {
+    out.push_back(ComputeCriticalPath(rank, s.ts_us, s.ts_us + s.dur_us));
+  }
+  return out;
+}
+
+}  // namespace mics::prof

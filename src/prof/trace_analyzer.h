@@ -1,0 +1,151 @@
+#ifndef MICS_PROF_TRACE_ANALYZER_H_
+#define MICS_PROF_TRACE_ANALYZER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace mics::prof {
+
+/// Half-open span of trace time, [begin_us, end_us).
+struct Interval {
+  double begin_us = 0.0;
+  double end_us = 0.0;
+
+  double length() const { return end_us - begin_us; }
+};
+
+/// Sorts and unions overlapping/adjacent intervals. The result is the
+/// minimal disjoint cover, ascending.
+std::vector<Interval> MergeIntervals(std::vector<Interval> intervals);
+
+/// Total length of a set of DISJOINT sorted intervals (MergeIntervals
+/// output).
+double TotalLength(const std::vector<Interval>& merged);
+
+/// Length of the intersection of two disjoint sorted interval sets.
+double IntersectionLength(const std::vector<Interval>& a,
+                          const std::vector<Interval>& b);
+
+/// How much of a track's analysis window its spans cover.
+struct TrackUtilization {
+  int track = -1;
+  std::string name;
+  int64_t spans = 0;        // non-umbrella spans on the track
+  double busy_us = 0.0;     // union of those spans
+  double busy_fraction = 0.0;  // busy_us / analysis window
+};
+
+/// Latency distribution of one collective span name ("sync all_gather",
+/// "async reduce", ...) across every comm track. Percentiles are exact
+/// (computed offline from the raw durations, not histogram buckets).
+struct CollectiveLatency {
+  std::string op;
+  int64_t count = 0;
+  double total_us = 0.0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// One attributed stretch of a critical path.
+struct CriticalSegment {
+  enum class Kind { kCompute, kComm, kIdle };
+  Kind kind = Kind::kIdle;
+  std::string name;  // span name; empty for idle
+  double begin_us = 0.0;
+  double end_us = 0.0;
+
+  double length() const { return end_us - begin_us; }
+};
+
+/// The critical path of one rank over one window: a contiguous chain of
+/// segments covering [window_begin, window_end), each attributed to the
+/// work that bound progress at that instant under the priority
+///   compute > communication > idle.
+/// The model: this rank's step cannot finish before its compute finishes,
+/// so any instant with compute running is compute-bound; an instant with
+/// only communication running is comm-bound (the rank is stalled on, or
+/// would next be stalled on, that transfer); anything else is idle
+/// (rendezvous wait, scheduling). A collective fully covered by compute
+/// spans therefore contributes ZERO to the critical path — the
+/// machine-checkable version of "the hierarchical all-gather is off the
+/// critical path".
+struct CriticalPath {
+  double window_begin_us = 0.0;
+  double window_end_us = 0.0;
+  std::vector<CriticalSegment> segments;
+  double compute_us = 0.0;
+  double comm_us = 0.0;
+  double idle_us = 0.0;
+
+  double window_us() const { return window_end_us - window_begin_us; }
+  /// Critical-path time attributed to spans named `name` (e.g. how much
+  /// "sync all_gather" actually gated the step).
+  double AttributedUs(const std::string& name) const;
+};
+
+/// Offline analysis over a finished TraceRecorder: per-track busy/idle
+/// fractions, per-collective latency percentiles, and per-step
+/// critical-path extraction. Reads the recorder once at construction;
+/// the recorder may keep recording (or be destroyed) afterwards.
+///
+/// Track conventions (what the training plane records):
+///  - "rank <r>"      — rank r's compute/phase spans; "iteration <k>"
+///                      umbrella spans delimit training steps and are
+///                      excluded from busy time;
+///  - "rank <r> comm" — rank r's collective spans ("sync <op>" from
+///                      blocking calls, "async <op>" from the progress
+///                      worker).
+class TraceAnalyzer {
+ public:
+  explicit TraceAnalyzer(const obs::TraceRecorder& recorder);
+  TraceAnalyzer(std::vector<obs::TraceEvent> events,
+                std::vector<std::string> track_names);
+
+  /// Trace extent: [min ts, max ts+dur) over every event (0,0 if empty).
+  double trace_begin_us() const { return trace_begin_us_; }
+  double trace_end_us() const { return trace_end_us_; }
+
+  int num_tracks() const { return static_cast<int>(track_names_.size()); }
+  const std::string& track_name(int track) const {
+    return track_names_[static_cast<size_t>(track)];
+  }
+  const std::vector<obs::TraceEvent>& events() const { return events_; }
+
+  /// Busy/idle per track over the whole trace extent. Umbrella spans
+  /// (names starting with "iteration") do not count as busy.
+  std::vector<TrackUtilization> TrackUtilizations() const;
+
+  /// Latency percentiles per span name across every "* comm" track,
+  /// sorted by total time descending.
+  std::vector<CollectiveLatency> CollectiveLatencies() const;
+
+  /// Critical path for `rank` over [t0, t1): compute spans from
+  /// "rank <r>" (minus umbrellas), comm spans from "rank <r> comm".
+  CriticalPath ComputeCriticalPath(int rank, double t0, double t1) const;
+
+  /// One critical path per "iteration <k>" umbrella span on this rank's
+  /// track, in step order. The per-step answer to "what bound this step".
+  std::vector<CriticalPath> PerStepCriticalPaths(int rank) const;
+
+ private:
+  int FindTrack(const std::string& name) const;  // -1 when absent
+  /// Events on `track`, optionally dropping "iteration *" umbrellas.
+  std::vector<obs::TraceEvent> TrackEvents(int track,
+                                           bool drop_umbrellas) const;
+
+  std::vector<obs::TraceEvent> events_;
+  std::vector<std::string> track_names_;
+  double trace_begin_us_ = 0.0;
+  double trace_end_us_ = 0.0;
+};
+
+}  // namespace mics::prof
+
+#endif  // MICS_PROF_TRACE_ANALYZER_H_

@@ -9,6 +9,7 @@
 #include <string>
 #include <utility>
 
+#include "prof/step_profiler.h"
 #include "tensor/half.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -164,6 +165,8 @@ Status ShardedDataParallel::InitParameters(
 
 Status ShardedDataParallel::GatherParams() {
   MICS_TRACE_SPAN(trace_, trace_track_, "gather-params");
+  prof::StepProfiler::ScopedPhase phase(options_.profile, global_rank(),
+                                        prof::Phase::kGather);
   if (!options_.mixed_precision) {
     if (flat_.num_shards() == 1) {
       return full_params_.CopyFrom(shard_params_);
@@ -242,6 +245,8 @@ Status ShardedDataParallel::NotifyGradRange(int64_t offset, int64_t numel) {
 
 Status ShardedDataParallel::ReduceMicroStepGrads() {
   MICS_TRACE_SPAN(trace_, trace_track_, "grad-reduce");
+  prof::StepProfiler::ScopedPhase phase(options_.profile, global_rank(),
+                                        prof::Phase::kGradReduce);
   if (options_.strategy == Strategy::kZeRO1) {
     // ZeRO-1 accumulates FULL gradients locally; synchronization happens
     // once at the boundary (then each rank updates only its optimizer
@@ -348,6 +353,8 @@ Status ShardedDataParallel::FinishIterationAndStep() {
   const bool zero2 = options_.strategy == Strategy::kZeRO2;
   {
     MICS_TRACE_SPAN(trace_, trace_track_, "boundary-sync");
+    prof::StepProfiler::ScopedPhase phase(options_.profile, global_rank(),
+                                          prof::Phase::kBoundarySync);
     if (zero1) {
       // ZeRO-1's single synchronization point: all-reduce the full local
       // gradient accumulation across the world.
@@ -412,6 +419,8 @@ Status ShardedDataParallel::FinishIterationAndStep() {
 
   {
     MICS_TRACE_SPAN(trace_, trace_track_, "optimizer-step");
+    prof::StepProfiler::ScopedPhase phase(options_.profile, global_rank(),
+                                          prof::Phase::kOptimizer);
     if (zero1 || zero2) {
       // Update only this rank's optimizer shard, then refresh the full
       // replicated parameters with an in-place world all-gather — the

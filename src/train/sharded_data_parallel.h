@@ -19,6 +19,10 @@
 
 namespace mics {
 
+namespace prof {
+class StepProfiler;
+}  // namespace prof
+
 /// Options for real (executed, not simulated) sharded data-parallel
 /// training. In execution, every strategy is a special case of MiCS's
 /// partition-group scheme: DDP is partition_group_size == 1 (states
@@ -79,6 +83,15 @@ struct SdpOptions {
   /// reduce-scatter, boundary all-reduce, optimizer step — as spans on a
   /// "rank <global>" track, alongside whatever the caller records there.
   obs::TraceRecorder* trace = nullptr;
+
+  /// Optional step profiler (borrowed; must outlive the engine and be
+  /// shared by every rank of the run). When set, the engine reports its
+  /// phase times — gather, grad-reduce, boundary-sync, optimizer — and
+  /// the trainer reports compute and step boundaries, feeding the
+  /// per-phase breakdown of prof::StepProfiler::Report(). Null (the
+  /// default) costs one pointer check per phase; profiling never touches
+  /// training math, so losses are bit-identical with it on or off.
+  prof::StepProfiler* profile = nullptr;
 
   /// Partition group size implied by (strategy, world size).
   int EffectiveGroupSize(int world_size) const;

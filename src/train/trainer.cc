@@ -9,6 +9,7 @@
 #include "fault/injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "prof/step_profiler.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -63,10 +64,12 @@ Result<TrainCurve> RunLoop(int world_size, int gpus_per_node,
     obs::TraceRecorder* trace = sdp_options.trace;
     const int track =
         trace ? trace->RegisterTrack("rank " + std::to_string(rank)) : -1;
+    prof::StepProfiler* profile = sdp_options.profile;
 
     int64_t step_counter = 0;
     for (int iter = 0; iter < iterations; ++iter) {
       MICS_TRACE_SPAN(trace, track, "iteration " + std::to_string(iter));
+      if (profile != nullptr) profile->BeginStep(rank);
       if (lr_schedule != nullptr) {
         MICS_RETURN_NOT_OK(
             sdp->SetLearningRate(lr_schedule->LearningRate(iter)));
@@ -76,10 +79,18 @@ Result<TrainCurve> RunLoop(int world_size, int gpus_per_node,
         MICS_RETURN_NOT_OK(sdp->GatherParams());
         Tensor x;
         std::vector<int32_t> y;
-        MICS_RETURN_NOT_OK(sample(step_counter++, rank, &x, &y));
+        {
+          // Data sampling is "other": real step time, but not a core
+          // training phase — recording it keeps the phase sum ≈ step wall.
+          prof::StepProfiler::ScopedPhase other(profile, rank,
+                                                prof::Phase::kOther);
+          MICS_RETURN_NOT_OK(sample(step_counter++, rank, &x, &y));
+        }
         float loss = 0.0f;
         {
           MICS_TRACE_SPAN(trace, track, "forward-backward");
+          prof::StepProfiler::ScopedPhase compute(
+              profile, rank, prof::Phase::kForwardBackward);
           MICS_ASSIGN_OR_RETURN(loss, model.ForwardBackward(x, y));
         }
         iter_loss += loss;
@@ -87,8 +98,13 @@ Result<TrainCurve> RunLoop(int world_size, int gpus_per_node,
       }
       MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
       iter_loss /= static_cast<float>(grad_accumulation_steps);
-      MICS_RETURN_NOT_OK(sdp->AverageScalar(&iter_loss));
+      {
+        prof::StepProfiler::ScopedPhase other(profile, rank,
+                                              prof::Phase::kOther);
+        MICS_RETURN_NOT_OK(sdp->AverageScalar(&iter_loss));
+      }
       if (rank == 0) curve.losses[static_cast<size_t>(iter)] = iter_loss;
+      if (profile != nullptr) profile->EndStep(rank);
     }
     return Status::OK();
   });
@@ -168,20 +184,28 @@ Result<TrainCurve> RunDistributedTraining(const TrainRunOptions& options) {
     obs::TraceRecorder* trace = options.sdp.trace;
     const int track =
         trace ? trace->RegisterTrack("rank " + std::to_string(rank)) : -1;
+    prof::StepProfiler* profile = options.sdp.profile;
     const int s = options.grad_accumulation_steps;
     int64_t step_counter = 0;
     for (int iter = 0; iter < options.iterations; ++iter) {
       MICS_TRACE_SPAN(trace, track, "iteration " + std::to_string(iter));
+      if (profile != nullptr) profile->BeginStep(rank);
       float iter_loss = 0.0f;
       for (int micro = 0; micro < s; ++micro) {
         MICS_RETURN_NOT_OK(sdp->GatherParams());
         Tensor x;
         std::vector<int32_t> y;
-        MICS_RETURN_NOT_OK(
-            dataset.Sample(step_counter++, rank, options.micro_batch, &x, &y));
+        {
+          prof::StepProfiler::ScopedPhase other(profile, rank,
+                                                prof::Phase::kOther);
+          MICS_RETURN_NOT_OK(dataset.Sample(step_counter++, rank,
+                                            options.micro_batch, &x, &y));
+        }
         float loss = 0.0f;
         {
           MICS_TRACE_SPAN(trace, track, "forward-backward");
+          prof::StepProfiler::ScopedPhase compute(
+              profile, rank, prof::Phase::kForwardBackward);
           MICS_ASSIGN_OR_RETURN(loss, model.ForwardBackward(x, y));
         }
         iter_loss += loss;
@@ -189,8 +213,13 @@ Result<TrainCurve> RunDistributedTraining(const TrainRunOptions& options) {
       }
       MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
       iter_loss /= static_cast<float>(s);
-      MICS_RETURN_NOT_OK(sdp->AverageScalar(&iter_loss));
+      {
+        prof::StepProfiler::ScopedPhase other(profile, rank,
+                                              prof::Phase::kOther);
+        MICS_RETURN_NOT_OK(sdp->AverageScalar(&iter_loss));
+      }
       if (rank == 0) curve.losses[static_cast<size_t>(iter)] = iter_loss;
+      if (profile != nullptr) profile->EndStep(rank);
     }
     return Status::OK();
   });
