@@ -11,6 +11,7 @@
 
 #include "baselines/zero.h"
 #include "bench_common.h"
+#include "comm/communicator.h"
 #include "comm/hierarchical.h"
 #include "model/model_zoo.h"
 #include "sim/cost_model.h"

@@ -1,0 +1,231 @@
+// Real multi-process MiCS training over the socket transport.
+//
+// Run under the launcher (each process is one rank):
+//
+//   ./tools/mics_launch -n 4 -- ./examples/multiprocess_training
+//       --strategy mics --iterations 12 --out /tmp/losses.txt
+//
+// or single-process for the bit-identity reference:
+//
+//   ./examples/multiprocess_training --single --strategy mics
+//       --iterations 12 --out /tmp/ref.txt
+//
+// Both paths run the identical SPMD training body with the same seeds, so
+// the loss files match bit-for-bit — the correctness bar for the whole
+// net stack. `--out` receives one "<iteration> <loss-bits-as-hex> <loss>"
+// line per iteration (append mode: relaunched attempts add their
+// iterations after the ones already recorded).
+//
+// Fault drill flags: --die-rank R --die-iter I makes rank R abort mid-run
+// at iteration I on the first attempt; with --checkpoint-dir set and
+// mics_launch --attempts > 1, the relaunch rolls back to the last
+// checkpoint and replays bit-identically.
+
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "train/multiprocess.h"
+#include "train/trainer.h"
+
+namespace {
+
+struct Flags {
+  std::string strategy = "mics";
+  int iterations = 12;
+  int grad_accumulation_steps = 2;
+  int world_size = 4;       // --single only; under the launcher env wins
+  int gpus_per_node = 2;    // --single only
+  std::string out;
+  std::string checkpoint_dir;
+  int checkpoint_interval = 4;
+  int die_rank = -1;
+  int die_iter = -1;
+  long rendezvous_ms = 60000;
+  std::string status_log;
+  bool single = false;
+};
+
+bool ParseInt(const char* s, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+mics::Status ApplyStrategy(const std::string& name, int world_size,
+                           mics::SdpOptions* sdp) {
+  if (name == "ddp") {
+    sdp->strategy = mics::Strategy::kDDP;
+  } else if (name == "zero3") {
+    sdp->strategy = mics::Strategy::kZeRO3;
+  } else if (name == "mics") {
+    sdp->strategy = mics::Strategy::kMiCS;
+    sdp->partition_group_size = world_size >= 4 ? world_size / 2 : world_size;
+  } else {
+    return mics::Status::InvalidArgument("unknown strategy '" + name +
+                                         "' (want ddp, zero3, or mics)");
+  }
+  return mics::Status::OK();
+}
+
+void AppendLosses(const std::string& path, int start,
+                  const std::vector<float>& losses) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return;
+  for (size_t i = static_cast<size_t>(start); i < losses.size(); ++i) {
+    uint32_t bits = 0;
+    std::memcpy(&bits, &losses[i], sizeof(bits));
+    std::fprintf(f, "%zu %08" PRIx32 " %.9g\n", i, bits,
+                 static_cast<double>(losses[i]));
+  }
+  std::fclose(f);
+}
+
+void LogStatus(const std::string& path, int attempt, int rank,
+               const mics::Status& st) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return;
+  std::fprintf(f, "attempt %d rank %d status %d %s\n", attempt, rank,
+               static_cast<int>(st.code()), st.ToString().c_str());
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&](int* out) {
+      return ++i < argc && ParseInt(argv[i], out);
+    };
+    if (std::strcmp(arg, "--strategy") == 0 && ++i < argc) {
+      flags.strategy = argv[i];
+    } else if (std::strcmp(arg, "--iterations") == 0) {
+      if (!next(&flags.iterations)) break;
+    } else if (std::strcmp(arg, "--grad-accum") == 0) {
+      if (!next(&flags.grad_accumulation_steps)) break;
+    } else if (std::strcmp(arg, "--world-size") == 0) {
+      if (!next(&flags.world_size)) break;
+    } else if (std::strcmp(arg, "--gpus-per-node") == 0) {
+      if (!next(&flags.gpus_per_node)) break;
+    } else if (std::strcmp(arg, "--out") == 0 && ++i < argc) {
+      flags.out = argv[i];
+    } else if (std::strcmp(arg, "--checkpoint-dir") == 0 && ++i < argc) {
+      flags.checkpoint_dir = argv[i];
+    } else if (std::strcmp(arg, "--checkpoint-interval") == 0) {
+      if (!next(&flags.checkpoint_interval)) break;
+    } else if (std::strcmp(arg, "--die-rank") == 0) {
+      if (!next(&flags.die_rank)) break;
+    } else if (std::strcmp(arg, "--die-iter") == 0) {
+      if (!next(&flags.die_iter)) break;
+    } else if (std::strcmp(arg, "--rendezvous-ms") == 0) {
+      int ms = 0;
+      if (!next(&ms)) break;
+      flags.rendezvous_ms = ms;
+    } else if (std::strcmp(arg, "--status-log") == 0 && ++i < argc) {
+      flags.status_log = argv[i];
+    } else if (std::strcmp(arg, "--single") == 0) {
+      flags.single = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      return 2;
+    }
+  }
+
+  // The shared config: same model, data, seeds and schedule in both modes,
+  // so the losses depend only on the math — not the transport.
+  mics::MlpModel::Config model;
+  model.input_dim = 24;
+  model.hidden = 32;
+  model.classes = 5;
+  mics::SyntheticClassificationDataset::Config data;
+  mics::AdamOptimizer::Config adam;
+  adam.lr = 1e-3f;
+
+  if (flags.single) {
+    mics::TrainRunOptions run;
+    run.world_size = flags.world_size;
+    run.gpus_per_node = flags.gpus_per_node;
+    run.model = model;
+    run.data = data;
+    run.adam = adam;
+    run.iterations = flags.iterations;
+    run.grad_accumulation_steps = flags.grad_accumulation_steps;
+    mics::Status st =
+        ApplyStrategy(flags.strategy, run.world_size, &run.sdp);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return static_cast<int>(st.code());
+    }
+    auto curve = mics::RunDistributedTraining(run);
+    if (!curve.ok()) {
+      std::fprintf(stderr, "%s\n", curve.status().ToString().c_str());
+      return static_cast<int>(curve.status().code());
+    }
+    AppendLosses(flags.out, 0, curve.value().losses);
+    std::printf("single-process %s final loss %.9g\n", flags.strategy.c_str(),
+                static_cast<double>(curve.value().final_loss()));
+    return 0;
+  }
+
+  auto ctx = mics::net::DistributedContext::FromEnv();
+  if (!ctx.ok()) {
+    std::fprintf(stderr, "%s\n", ctx.status().ToString().c_str());
+    return static_cast<int>(ctx.status().code());
+  }
+  mics::MultiProcessTrainOptions options;
+  options.ctx = ctx.value();
+  options.model = model;
+  options.data = data;
+  options.adam = adam;
+  options.iterations = flags.iterations;
+  options.grad_accumulation_steps = flags.grad_accumulation_steps;
+  options.rendezvous_ms = flags.rendezvous_ms;
+  options.checkpoint_dir = flags.checkpoint_dir;
+  options.checkpoint_interval = flags.checkpoint_interval;
+  mics::Status st = ApplyStrategy(flags.strategy, options.ctx.world_size,
+                                  &options.sdp);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return static_cast<int>(st.code());
+  }
+  if (flags.die_rank == options.ctx.rank && flags.die_iter >= 0 &&
+      options.ctx.attempt == 0) {
+    options.on_iteration = [&](int iter) {
+      if (iter == flags.die_iter) {
+        // A hard mid-step death, as a preempted cloud instance would die:
+        // SIGKILL leaves no teardown and no flushing — peers must detect
+        // the loss through their socket deadlines.
+        ::kill(::getpid(), SIGKILL);
+      }
+    };
+  }
+  auto result = mics::RunMultiProcessTraining(options);
+  if (!result.ok()) {
+    LogStatus(flags.status_log, options.ctx.attempt, options.ctx.rank,
+              result.status());
+    std::fprintf(stderr, "rank %d: %s\n", options.ctx.rank,
+                 result.status().ToString().c_str());
+    return static_cast<int>(result.status().code());
+  }
+  LogStatus(flags.status_log, options.ctx.attempt, options.ctx.rank,
+            mics::Status::OK());
+  if (options.ctx.rank == 0) {
+    AppendLosses(flags.out, result.value().start_iteration,
+                 result.value().losses);
+    std::printf("multi-process %s (world %d) final loss %.9g\n",
+                flags.strategy.c_str(), options.ctx.world_size,
+                static_cast<double>(result.value().losses.back()));
+  }
+  return 0;
+}

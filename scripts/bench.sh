@@ -6,11 +6,13 @@
 #   scripts/bench.sh --out FILE   write the merged JSON somewhere else
 #
 # The fast subset covers every modeled figure benchmark (deterministic:
-# pure cost-model arithmetic, identical on every machine) plus the cheap
-# real-training fidelity run. Excluded as too slow or wall-clock-only for
-# CI gating (see ROADMAP "Open items"): bench_overlap_step (seconds of
-# injected latency), bench_collectives_micro (google-benchmark wall-clock
-# suite; its --json writes google-benchmark's schema, not ours).
+# pure cost-model arithmetic, identical on every machine), the cheap
+# real-training fidelity run, and bench_overlap_step --fast (sleepless
+# run of the real overlapped train step; its modeled exposed/overlapped
+# comm split and final loss are schedule-determined and gate hard).
+# Excluded as wall-clock-only for CI gating (see ROADMAP "Open items"):
+# bench_collectives_micro (google-benchmark wall-clock suite; its --json
+# writes google-benchmark's schema, not ours).
 #
 # Compare two merged files with scripts/bench_compare.py; deterministic
 # units gate hard, wall-clock units are informational.
@@ -57,6 +59,14 @@ for b in "${benches[@]}"; do
   "build/bench/$b" --json "$tmpdir/$b.json" > "$tmpdir/$b.txt"
   tail -n 3 "$tmpdir/$b.txt"
 done
+
+# Deterministic subset of the overlap benchmark: no injected sleeps, so
+# it finishes in under a second; the recorded modeled metrics are
+# identical to the full run's.
+echo "== bench_overlap_step (--fast) =="
+build/bench/bench_overlap_step --fast \
+  --json "$tmpdir/bench_overlap_step.json" > "$tmpdir/bench_overlap_step.txt"
+tail -n 3 "$tmpdir/bench_overlap_step.txt"
 
 python3 - "$out" "$tmpdir" <<'PY'
 import json, sys, glob, os

@@ -3,10 +3,15 @@
 #
 #   scripts/check.sh              tier-1: configure, build, full ctest, then
 #                                 re-run the concurrency-heavy suites
-#                                 (-L 'tsan|async|prof') on their own
+#                                 (-L 'tsan|async|prof|net') on their own
 #   scripts/check.sh --sanitize   additionally build with
 #                                 MICS_SANITIZE=thread in build-tsan/ and run
-#                                 the tsan + async + prof labels under TSan
+#                                 the tsan + async + prof + net labels under
+#                                 TSan
+#   scripts/check.sh --net        additionally smoke the real multi-process
+#                                 path: mics_launch with 4 worker processes
+#                                 on localhost, losses gated bit-identical
+#                                 to the single-process trainer
 #   scripts/check.sh --bench      additionally run the fast benchmark subset
 #                                 (scripts/bench.sh) into a fresh JSON and
 #                                 gate it against the committed baseline
@@ -22,11 +27,14 @@ cd "$repo_root"
 
 sanitize=0
 bench=0
+net=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
     --bench) bench=1 ;;
-    *) echo "usage: scripts/check.sh [--sanitize] [--bench]" >&2; exit 2 ;;
+    --net) net=1 ;;
+    *) echo "usage: scripts/check.sh [--sanitize] [--net] [--bench]" >&2
+       exit 2 ;;
   esac
 done
 
@@ -38,15 +46,34 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo
-echo "== concurrency suites (tsan + async + prof labels, plain build) =="
-ctest --test-dir build --output-on-failure -L 'tsan|async|prof'
+echo "== concurrency suites (tsan + async + prof + net labels, plain build) =="
+ctest --test-dir build --output-on-failure -L 'tsan|async|prof|net'
 
 if [[ "$sanitize" == 1 ]]; then
   echo
   echo "== ThreadSanitizer build (MICS_SANITIZE=thread) =="
   cmake -B build-tsan -S . -DMICS_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs"
-  ctest --test-dir build-tsan --output-on-failure -L 'tsan|async|prof'
+  ctest --test-dir build-tsan --output-on-failure -L 'tsan|async|prof|net'
+fi
+
+if [[ "$net" == 1 ]]; then
+  echo
+  echo "== multi-process smoke (mics_launch, 4 real processes) =="
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "$smoke_dir"' EXIT
+  build/examples/multiprocess_training --single --strategy mics \
+    --iterations 6 --out "$smoke_dir/single.txt"
+  build/tools/mics_launch -n 4 --gpus-per-node 2 -- \
+    build/examples/multiprocess_training --strategy mics \
+    --iterations 6 --out "$smoke_dir/multi.txt"
+  # The per-iteration loss lines carry the fp32 bits as hex: the
+  # multi-process run must reproduce the single-process run exactly.
+  diff "$smoke_dir/single.txt" "$smoke_dir/multi.txt" || {
+    echo "multi-process losses differ from single-process" >&2
+    exit 1
+  }
+  echo "multi-process losses bit-identical to single-process"
 fi
 
 if [[ "$bench" == 1 ]]; then

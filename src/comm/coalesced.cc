@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "comm/communicator.h"
-#include "tensor/half.h"
+#include "comm/reduce_kernels.h"
 #include "util/logging.h"
 
 namespace mics {
@@ -18,19 +18,6 @@ namespace {
 struct CoalescedDesc {
   const std::vector<Tensor>* inputs;
 };
-
-float LoadElem(const void* base, DType dt, int64_t i) {
-  if (dt == DType::kF32) return static_cast<const float*>(base)[i];
-  return HalfToFloat(static_cast<const uint16_t*>(base)[i]);
-}
-
-void StoreElem(void* base, DType dt, int64_t i, float v) {
-  if (dt == DType::kF32) {
-    static_cast<float*>(base)[i] = v;
-  } else {
-    static_cast<uint16_t*>(base)[i] = FloatToHalf(v);
-  }
-}
 
 Status ValidateCoalesced(const std::vector<Tensor>& inputs,
                          const std::vector<Tensor>* outputs, int group_size,

@@ -256,10 +256,9 @@ Status FlatCollective::DoReduce(const Tensor& input, Tensor* output, int root,
 // ---------------------------------------------------------------------------
 
 Result<HierarchicalComm> HierarchicalComm::Create(
-    World* world, const RankTopology& topo,
-    const std::vector<int>& group_ranks, int global_rank,
-    Communicator* fallback, bool enable_all_gather,
-    bool enable_reduce_scatter) {
+    const CommFactory& factory, const RankTopology& topo,
+    const std::vector<int>& group_ranks, int global_rank, Comm* fallback,
+    bool enable_all_gather, bool enable_reduce_scatter) {
   if (fallback == nullptr) {
     return Status::InvalidArgument("hierarchical comm needs a fallback");
   }
@@ -269,19 +268,29 @@ Result<HierarchicalComm> HierarchicalComm::Create(
   }
   std::optional<HierarchicalAllGather> ag;
   if (enable_all_gather) {
-    MICS_ASSIGN_OR_RETURN(
-        HierarchicalAllGather h,
-        HierarchicalAllGather::Create(world, topo, group_ranks, global_rank));
+    MICS_ASSIGN_OR_RETURN(HierarchicalAllGather h,
+                          HierarchicalAllGather::Create(factory, topo,
+                                                        group_ranks,
+                                                        global_rank));
     ag = std::move(h);
   }
   std::optional<HierarchicalReduceScatter> rs;
   if (enable_reduce_scatter) {
     MICS_ASSIGN_OR_RETURN(HierarchicalReduceScatter h,
                           HierarchicalReduceScatter::Create(
-                              world, topo, group_ranks, global_rank));
+                              factory, topo, group_ranks, global_rank));
     rs = std::move(h);
   }
   return HierarchicalComm(std::move(ag), std::move(rs), fallback);
+}
+
+Result<HierarchicalComm> HierarchicalComm::Create(
+    World* world, const RankTopology& topo,
+    const std::vector<int>& group_ranks, int global_rank, Comm* fallback,
+    bool enable_all_gather, bool enable_reduce_scatter) {
+  return Create(WorldCommFactory(world, &topo, global_rank), topo, group_ranks,
+                global_rank, fallback, enable_all_gather,
+                enable_reduce_scatter);
 }
 
 int HierarchicalComm::size() const {

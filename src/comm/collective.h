@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "comm/async.h"
-#include "comm/communicator.h"
+#include "comm/comm.h"
 #include "comm/hierarchical.h"
 #include "comm/topology.h"
 #include "comm/world.h"
@@ -205,11 +205,11 @@ class Collective {
   std::unique_ptr<AsyncEngine> engine_;  // lazily started progress worker
 };
 
-/// A Collective backed directly by one Communicator (vanilla ring
-/// semantics). Borrows the communicator; the owner must outlive it.
+/// A Collective backed directly by one Comm (vanilla ring semantics, any
+/// transport). Borrows the communicator; the owner must outlive it.
 class FlatCollective : public Collective {
  public:
-  explicit FlatCollective(Communicator* comm) : comm_(comm) {}
+  explicit FlatCollective(Comm* comm) : comm_(comm) {}
   ~FlatCollective() override { StopWorker(); }
 
   FlatCollective(FlatCollective&&) = default;
@@ -228,7 +228,7 @@ class FlatCollective : public Collective {
                   ReduceOp op) override;
 
  private:
-  Communicator* comm_;
+  Comm* comm_;
 };
 
 /// The hierarchical backend: all-gathers run the three-stage algorithm of
@@ -242,12 +242,21 @@ class HierarchicalComm : public Collective {
  public:
   /// `fallback` (borrowed, must outlive the instance) handles ops the
   /// hierarchical algorithms do not cover. Fails when the group is not
-  /// node-aligned; callers should then use FlatCollective.
+  /// node-aligned; callers should then use FlatCollective. The sub-groups
+  /// of the three-stage schedules come from `factory`, so this backend is
+  /// transport-agnostic.
+  static Result<HierarchicalComm> Create(const CommFactory& factory,
+                                         const RankTopology& topo,
+                                         const std::vector<int>& group_ranks,
+                                         int global_rank, Comm* fallback,
+                                         bool enable_all_gather,
+                                         bool enable_reduce_scatter);
+
+  /// In-process convenience: sub-groups come from `world`.
   static Result<HierarchicalComm> Create(World* world,
                                          const RankTopology& topo,
                                          const std::vector<int>& group_ranks,
-                                         int global_rank,
-                                         Communicator* fallback,
+                                         int global_rank, Comm* fallback,
                                          bool enable_all_gather,
                                          bool enable_reduce_scatter);
 
@@ -274,12 +283,12 @@ class HierarchicalComm : public Collective {
  private:
   HierarchicalComm(std::optional<HierarchicalAllGather> ag,
                    std::optional<HierarchicalReduceScatter> rs,
-                   Communicator* fallback)
+                   Comm* fallback)
       : ag_(std::move(ag)), rs_(std::move(rs)), fallback_(fallback) {}
 
   std::optional<HierarchicalAllGather> ag_;
   std::optional<HierarchicalReduceScatter> rs_;
-  Communicator* fallback_;
+  Comm* fallback_;
 };
 
 }  // namespace mics

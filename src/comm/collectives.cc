@@ -4,46 +4,10 @@
 #include <vector>
 
 #include "comm/communicator.h"
-#include "tensor/half.h"
+#include "comm/reduce_kernels.h"
 #include "util/logging.h"
 
 namespace mics {
-
-namespace {
-
-bool SupportedDtype(DType dt) { return dt == DType::kF32 || dt == DType::kF16; }
-
-float LoadElem(const void* base, DType dt, int64_t i) {
-  if (dt == DType::kF32) return static_cast<const float*>(base)[i];
-  return HalfToFloat(static_cast<const uint16_t*>(base)[i]);
-}
-
-void StoreElem(void* base, DType dt, int64_t i, float v) {
-  if (dt == DType::kF32) {
-    static_cast<float*>(base)[i] = v;
-  } else {
-    static_cast<uint16_t*>(base)[i] = FloatToHalf(v);
-  }
-}
-
-/// Reduces element range [0, n) across `srcs` (in fixed member order, f32
-/// accumulation) into dst. Deterministic: every caller produces identical
-/// bits for the same inputs.
-void ReduceInto(const std::vector<const void*>& srcs, void* dst, DType dt,
-                int64_t src_offset, int64_t n, ReduceOp op) {
-  const float inv = 1.0f / static_cast<float>(srcs.size());
-  for (int64_t i = 0; i < n; ++i) {
-    float acc = LoadElem(srcs[0], dt, src_offset + i);
-    for (size_t m = 1; m < srcs.size(); ++m) {
-      const float v = LoadElem(srcs[m], dt, src_offset + i);
-      acc = (op == ReduceOp::kMax) ? std::max(acc, v) : acc + v;
-    }
-    if (op == ReduceOp::kAvg) acc *= inv;
-    StoreElem(dst, dt, i, acc);
-  }
-}
-
-}  // namespace
 
 Status Communicator::AllGather(const Tensor& input, Tensor* output) {
   if (output == nullptr) {

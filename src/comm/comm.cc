@@ -1,0 +1,58 @@
+#include "comm/comm.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace mics {
+
+namespace {
+
+struct OpCounters {
+  obs::Counter* calls;
+  obs::Counter* bytes;
+  obs::Counter* inter_node_bytes;
+  obs::Counter* intra_node_bytes;
+};
+
+OpCounters MakeOpCounters(const char* op) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const std::string base = std::string("comm.") + op;
+  return {reg.GetCounter(base + ".calls"), reg.GetCounter(base + ".bytes"),
+          reg.GetCounter(base + ".inter_node_bytes"),
+          reg.GetCounter(base + ".intra_node_bytes")};
+}
+
+/// Counter pointers are looked up once per process and cached; after that
+/// a RecordOp is four relaxed atomic adds.
+const OpCounters& CountersFor(size_t op) {
+  static const OpCounters table[] = {
+      MakeOpCounters("all_gather"),    MakeOpCounters("reduce_scatter"),
+      MakeOpCounters("all_reduce"),    MakeOpCounters("broadcast"),
+      MakeOpCounters("reduce"),        MakeOpCounters("gather"),
+      MakeOpCounters("scatter"),       MakeOpCounters("all_to_all"),
+      MakeOpCounters("barrier"),
+  };
+  return table[op];
+}
+
+}  // namespace
+
+Tensor* Comm::RingScratch(int slot, int64_t numel) {
+  MICS_CHECK(slot == 0 || slot == 1);
+  Tensor& t = ring_scratch_[slot];
+  if (t.numel() < numel) t = Tensor({numel}, DType::kF32);
+  return &t;
+}
+
+void Comm::RecordOp(OpKind op, double link_bytes) const {
+  const OpCounters& c = CountersFor(static_cast<size_t>(op));
+  const double inter = inter_link_fraction();
+  c.calls->Increment();
+  c.bytes->Add(link_bytes);
+  c.inter_node_bytes->Add(link_bytes * inter);
+  c.intra_node_bytes->Add(link_bytes * (1.0 - inter));
+}
+
+}  // namespace mics

@@ -1,0 +1,144 @@
+#ifndef MICS_COMM_COMM_H_
+#define MICS_COMM_COMM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+
+/// Reduction operators supported by the reducing collectives.
+enum class ReduceOp { kSum = 0, kAvg = 1, kMax = 2 };
+
+/// The abstract communicator: one rank's handle to a communication group,
+/// analogous to an ncclComm_t / torch ProcessGroup. Two transports
+/// implement it — the in-process rendezvous Communicator (threads as
+/// ranks, shared-memory publish/peek) and net::SocketCommunicator (real
+/// processes over framed TCP) — and everything above this seam (the flat
+/// and hierarchical Collective backends, the async engine, fault
+/// injection, sharded training) is transport-agnostic.
+///
+/// Contract, identical for every implementation:
+///  - SPMD: all members issue the same sequence of collectives with
+///    compatible sizes; each call completes only when the whole group
+///    participates.
+///  - Reductions accumulate in f32 in fixed member order (0, 1, ..., p-1),
+///    so results are bitwise identical on every member, across runs, and
+///    across transports.
+///  - Every collective records call counts and ring-model traffic bytes
+///    into the global obs::MetricsRegistry under `comm.<op>.*`, split
+///    intra-/inter-node by the group's inter_link_fraction().
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  /// Rank within the group / group size / rank within the world.
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+  virtual int global_rank() const = 0;
+  virtual const std::vector<int>& ranks() const = 0;
+
+  /// Fraction of this group's ring links that cross node boundaries
+  /// (0 without topology information). Drives the intra- vs inter-node
+  /// split of the `comm.*` traffic counters.
+  virtual double inter_link_fraction() const = 0;
+
+  /// output[r*N .. (r+1)*N) = member r's input (N = input.numel()).
+  /// Requires output.numel() == input.numel() * size() and equal dtypes.
+  /// Supports in-place use: input may alias output at this rank's slot.
+  virtual Status AllGather(const Tensor& input, Tensor* output) = 0;
+
+  /// output = sum/avg over members of input[rank*N .. (rank+1)*N) where
+  /// N = output.numel(). Requires input.numel() == output.numel()*size().
+  virtual Status ReduceScatter(const Tensor& input, Tensor* output,
+                               ReduceOp op = ReduceOp::kSum) = 0;
+
+  /// In-place reduction of `inout` across the group.
+  virtual Status AllReduce(Tensor* inout, ReduceOp op = ReduceOp::kSum) = 0;
+
+  /// Copies root's buffer to every member.
+  virtual Status Broadcast(Tensor* inout, int root) = 0;
+
+  /// Reduces every member's `input` into root's `output` (non-roots may
+  /// pass output == nullptr).
+  virtual Status Reduce(const Tensor& input, Tensor* output, int root,
+                        ReduceOp op = ReduceOp::kSum) = 0;
+
+  /// Root's output[r*N..(r+1)*N) = member r's input (N = input numel).
+  /// Non-roots may pass output == nullptr.
+  virtual Status Gather(const Tensor& input, Tensor* output, int root) = 0;
+
+  /// Every member's output = root's input[rank*N..(rank+1)*N). Non-roots
+  /// pass input with numel 0 (ignored); root's input must have
+  /// N * size() elements.
+  virtual Status Scatter(const Tensor& input, Tensor* output, int root) = 0;
+
+  /// output[r*N..(r+1)*N) = member r's input[rank*N..(rank+1)*N): every
+  /// pair of members exchanges one chunk (the transpose collective).
+  virtual Status AllToAll(const Tensor& input, Tensor* output) = 0;
+
+  /// Synchronizes all members.
+  virtual Status Barrier() = 0;
+
+  /// Batched all-gather: item i gathers inputs[i] (N_i elements per rank)
+  /// into outputs[i] (N_i * size() elements). Matches MiCS's
+  /// all_gather_coalesced API (§4): one group launch.
+  virtual Status AllGatherCoalesced(const std::vector<Tensor>& inputs,
+                                    std::vector<Tensor>* outputs) = 0;
+
+  /// Batched reduce-scatter, the dual of AllGatherCoalesced.
+  virtual Status ReduceScatterCoalesced(const std::vector<Tensor>& inputs,
+                                        std::vector<Tensor>* outputs,
+                                        ReduceOp op = ReduceOp::kSum) = 0;
+
+  /// Reusable fp32 scratch buffer for the algorithms layered on top of a
+  /// communicator (comm/ring.h, the hierarchical stages): grown on demand,
+  /// never shrunk, so steady-state steps take no allocations on the hot
+  /// path. Two independent slots (send/recv). Like the collectives
+  /// themselves, scratch is for the owning rank's thread only.
+  Tensor* RingScratch(int slot, int64_t numel);
+
+ protected:
+  Comm() = default;
+  Comm(const Comm&) = default;
+  Comm& operator=(const Comm&) = default;
+  Comm(Comm&&) noexcept = default;
+  Comm& operator=(Comm&&) noexcept = default;
+
+  /// Instrumented collective kinds (rows of the `comm.<op>.*` counters).
+  enum class OpKind {
+    kAllGather = 0,
+    kReduceScatter,
+    kAllReduce,
+    kBroadcast,
+    kReduce,
+    kGather,
+    kScatter,
+    kAllToAll,
+    kBarrier,
+  };
+
+  /// Records one collective call into the global metrics registry.
+  /// `link_bytes` is this rank's per-link share of the op's ring-model
+  /// wire traffic, split intra-/inter-node by inter_link_fraction().
+  void RecordOp(OpKind op, double link_bytes) const;
+
+ private:
+  Tensor ring_scratch_[2];
+};
+
+/// Builds a Comm over an ordered member list — the seam through which the
+/// hierarchical algorithms and GroupManager create their sub-groups
+/// (channel, intra-node, replication) without knowing the transport. The
+/// in-process World and the socket transport each provide one; all members
+/// must call their factories with identical lists in the same SPMD order.
+using CommFactory =
+    std::function<Result<std::unique_ptr<Comm>>(const std::vector<int>&)>;
+
+}  // namespace mics
+
+#endif  // MICS_COMM_COMM_H_

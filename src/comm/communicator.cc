@@ -3,59 +3,7 @@
 #include <algorithm>
 #include <string>
 
-#include "obs/metrics.h"
-
 namespace mics {
-
-namespace {
-
-/// Fraction of the group's ring links (member i -> member i+1 mod p) whose
-/// endpoints live on different nodes. This is the paper's traffic model:
-/// a ring collective loads every link equally, so the inter-node share of
-/// its volume is the inter-node share of its links.
-double InterLinkFraction(const RankTopology& topo,
-                         const std::vector<int>& ranks) {
-  const int p = static_cast<int>(ranks.size());
-  if (p <= 1) return 0.0;
-  int inter = 0;
-  for (int i = 0; i < p; ++i) {
-    const int next = ranks[static_cast<size_t>((i + 1) % p)];
-    if (topo.NodeOf(ranks[static_cast<size_t>(i)]) != topo.NodeOf(next)) {
-      ++inter;
-    }
-  }
-  return static_cast<double>(inter) / static_cast<double>(p);
-}
-
-struct OpCounters {
-  obs::Counter* calls;
-  obs::Counter* bytes;
-  obs::Counter* inter_node_bytes;
-  obs::Counter* intra_node_bytes;
-};
-
-OpCounters MakeOpCounters(const char* op) {
-  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
-  const std::string base = std::string("comm.") + op;
-  return {reg.GetCounter(base + ".calls"), reg.GetCounter(base + ".bytes"),
-          reg.GetCounter(base + ".inter_node_bytes"),
-          reg.GetCounter(base + ".intra_node_bytes")};
-}
-
-/// Counter pointers are looked up once per process and cached; after that
-/// a RecordOp is four relaxed atomic adds.
-const OpCounters& CountersFor(size_t op) {
-  static const OpCounters table[] = {
-      MakeOpCounters("all_gather"),    MakeOpCounters("reduce_scatter"),
-      MakeOpCounters("all_reduce"),    MakeOpCounters("broadcast"),
-      MakeOpCounters("reduce"),        MakeOpCounters("gather"),
-      MakeOpCounters("scatter"),       MakeOpCounters("all_to_all"),
-      MakeOpCounters("barrier"),
-  };
-  return table[op];
-}
-
-}  // namespace
 
 Result<Communicator> Communicator::Create(World* world,
                                           std::vector<int> ranks,
@@ -79,21 +27,6 @@ Result<Communicator> Communicator::Create(World* world,
   MICS_ASSIGN_OR_RETURN(auto state, world->GetOrCreateGroup(ranks));
   return Communicator(world, std::move(ranks), group_rank, global_rank,
                       std::move(state), inter_fraction);
-}
-
-Tensor* Communicator::RingScratch(int slot, int64_t numel) {
-  MICS_CHECK(slot == 0 || slot == 1);
-  Tensor& t = ring_scratch_[slot];
-  if (t.numel() < numel) t = Tensor({numel}, DType::kF32);
-  return &t;
-}
-
-void Communicator::RecordOp(OpKind op, double link_bytes) const {
-  const OpCounters& c = CountersFor(static_cast<size_t>(op));
-  c.calls->Increment();
-  c.bytes->Add(link_bytes);
-  c.inter_node_bytes->Add(link_bytes * inter_link_fraction_);
-  c.intra_node_bytes->Add(link_bytes * (1.0 - inter_link_fraction_));
 }
 
 }  // namespace mics

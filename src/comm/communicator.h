@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "comm/comm.h"
 #include "comm/topology.h"
 #include "comm/world.h"
 #include "tensor/tensor.h"
@@ -11,24 +12,19 @@
 
 namespace mics {
 
-/// Reduction operators supported by the reducing collectives.
-enum class ReduceOp { kSum = 0, kAvg = 1, kMax = 2 };
-
-/// Per-rank handle to a communication group, analogous to an ncclComm_t /
-/// torch ProcessGroup. All members must issue the same sequence of
-/// collectives with compatible sizes; each call blocks until the whole
-/// group participates. Reductions accumulate in f32 in a fixed rank order,
-/// so results are bitwise identical on every member and across runs.
+/// The in-process transport: ranks are threads of one World sharing an
+/// address space, and collectives move data through the GroupState
+/// publish/peek rendezvous. This is the reference implementation of the
+/// Comm contract — net::SocketCommunicator must match it bit for bit.
 ///
-/// Every collective records call counts and bytes-moved into the global
-/// obs::MetricsRegistry under `comm.<op>.*`. Byte accounting follows the
-/// ring-algorithm model the paper's traffic formulas use: each call, every
-/// rank records its per-link share of the algorithm's wire traffic (e.g.
-/// (p-1) * chunk_bytes for an all-gather), split into intra- vs inter-node
-/// bytes by the fraction of ring links that cross node boundaries. The
-/// split needs the rank-to-node mapping: pass `topo` at Create to enable
-/// it; without a topology everything counts as intra-node.
-class Communicator {
+/// Byte accounting follows the ring-algorithm model the paper's traffic
+/// formulas use: each call, every rank records its per-link share of the
+/// algorithm's wire traffic (e.g. (p-1) * chunk_bytes for an all-gather),
+/// split into intra- vs inter-node bytes by the fraction of ring links
+/// that cross node boundaries. The split needs the rank-to-node mapping:
+/// pass `topo` at Create to enable it; without a topology everything
+/// counts as intra-node.
+class Communicator : public Comm {
  public:
   /// Creates the handle for `global_rank`, which must appear in `ranks`.
   /// All members must pass the same `ranks` list (group order matters).
@@ -38,78 +34,34 @@ class Communicator {
                                      int global_rank,
                                      const RankTopology* topo = nullptr);
 
-  /// Rank within the group / group size / rank within the world.
-  int rank() const { return group_rank_; }
-  int size() const { return static_cast<int>(ranks_.size()); }
-  int global_rank() const { return global_rank_; }
-  const std::vector<int>& ranks() const { return ranks_; }
+  int rank() const override { return group_rank_; }
+  int size() const override { return static_cast<int>(ranks_.size()); }
+  int global_rank() const override { return global_rank_; }
+  const std::vector<int>& ranks() const override { return ranks_; }
+  double inter_link_fraction() const override { return inter_link_fraction_; }
 
-  /// output[r*N .. (r+1)*N) = member r's input (N = input.numel()).
-  /// Requires output.numel() == input.numel() * size() and equal dtypes.
-  /// Supports in-place use: input may alias output at this rank's slot.
-  Status AllGather(const Tensor& input, Tensor* output);
-
-  /// output = sum/avg over members of input[rank*N .. (rank+1)*N) where
-  /// N = output.numel(). Requires input.numel() == output.numel()*size().
+  Status AllGather(const Tensor& input, Tensor* output) override;
   Status ReduceScatter(const Tensor& input, Tensor* output,
-                       ReduceOp op = ReduceOp::kSum);
-
-  /// In-place reduction of `inout` across the group.
-  Status AllReduce(Tensor* inout, ReduceOp op = ReduceOp::kSum);
-
-  /// Copies root's buffer to every member.
-  Status Broadcast(Tensor* inout, int root);
-
-  /// Reduces every member's `input` into root's `output` (non-roots may
-  /// pass output == nullptr).
+                       ReduceOp op = ReduceOp::kSum) override;
+  Status AllReduce(Tensor* inout, ReduceOp op = ReduceOp::kSum) override;
+  Status Broadcast(Tensor* inout, int root) override;
   Status Reduce(const Tensor& input, Tensor* output, int root,
-                ReduceOp op = ReduceOp::kSum);
-
-  /// Root's output[r*N..(r+1)*N) = member r's input (N = input numel).
-  /// Non-roots may pass output == nullptr.
-  Status Gather(const Tensor& input, Tensor* output, int root);
-
-  /// Every member's output = root's input[rank*N..(rank+1)*N). Non-roots
-  /// pass input with numel 0 (ignored); root's input must have
-  /// N * size() elements.
-  Status Scatter(const Tensor& input, Tensor* output, int root);
-
-  /// output[r*N..(r+1)*N) = member r's input[rank*N..(rank+1)*N): every
-  /// pair of members exchanges one chunk (the transpose collective).
-  Status AllToAll(const Tensor& input, Tensor* output);
-
-  /// Synchronizes all members.
-  Status Barrier();
+                ReduceOp op = ReduceOp::kSum) override;
+  Status Gather(const Tensor& input, Tensor* output, int root) override;
+  Status Scatter(const Tensor& input, Tensor* output, int root) override;
+  Status AllToAll(const Tensor& input, Tensor* output) override;
+  Status Barrier() override;
+  Status AllGatherCoalesced(const std::vector<Tensor>& inputs,
+                            std::vector<Tensor>* outputs) override;
+  Status ReduceScatterCoalesced(const std::vector<Tensor>& inputs,
+                                std::vector<Tensor>* outputs,
+                                ReduceOp op = ReduceOp::kSum) override;
 
   /// Shared rendezvous state — the building block for collective
   /// algorithms layered on top of the communicator (e.g. comm/ring.h).
   /// Same SPMD contract as the collectives: all members must issue the
   /// same publish/wait sequence.
   GroupState* group_state() { return state_.get(); }
-
-  /// Batched all-gather: item i gathers inputs[i] (N_i elements per rank)
-  /// into outputs[i] (N_i * size() elements). Matches MiCS's
-  /// all_gather_coalesced API (§4): one group launch, no shared staging
-  /// buffer or interleaving copies.
-  Status AllGatherCoalesced(const std::vector<Tensor>& inputs,
-                            std::vector<Tensor>* outputs);
-
-  /// Batched reduce-scatter, the dual of AllGatherCoalesced.
-  Status ReduceScatterCoalesced(const std::vector<Tensor>& inputs,
-                                std::vector<Tensor>* outputs,
-                                ReduceOp op = ReduceOp::kSum);
-
-  /// Fraction of this group's ring links that cross node boundaries
-  /// (0 when no topology was provided at Create). Drives the intra- vs
-  /// inter-node split of the `comm.*` traffic counters.
-  double inter_link_fraction() const { return inter_link_fraction_; }
-
-  /// Reusable fp32 scratch buffer for the step-by-step ring algorithms
-  /// (comm/ring.h): grown on demand, never shrunk, so steady-state
-  /// micro-steps take no allocations on the hot path. Two independent
-  /// slots (send/recv). Like the collectives themselves, scratch is for
-  /// the owning rank's thread only.
-  Tensor* RingScratch(int slot, int64_t numel);
 
  private:
   Communicator(World* world, std::vector<int> ranks, int group_rank,
@@ -122,30 +74,12 @@ class Communicator {
         state_(std::move(state)),
         inter_link_fraction_(inter_link_fraction) {}
 
-  /// Instrumented collective kinds (rows of the `comm.<op>.*` counters).
-  enum class OpKind {
-    kAllGather = 0,
-    kReduceScatter,
-    kAllReduce,
-    kBroadcast,
-    kReduce,
-    kGather,
-    kScatter,
-    kAllToAll,
-    kBarrier,
-  };
-
-  /// Records one collective call into the global metrics registry.
-  /// `link_bytes` is this rank's per-link share of the op's wire traffic.
-  void RecordOp(OpKind op, double link_bytes) const;
-
   World* world_;
   std::vector<int> ranks_;
   int group_rank_;
   int global_rank_;
   std::shared_ptr<GroupState> state_;
   double inter_link_fraction_ = 0.0;
-  Tensor ring_scratch_[2];
 };
 
 }  // namespace mics

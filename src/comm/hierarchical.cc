@@ -2,19 +2,25 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 
+#include "comm/communicator.h"
 #include "util/logging.h"
 
 namespace mics {
 
-Result<HierarchicalAllGather> HierarchicalAllGather::Create(
-    World* world, const RankTopology& topo, std::vector<int> group_ranks,
-    int global_rank) {
+namespace {
+
+/// Shared validation for both hierarchical algorithms' Creates.
+Status ValidateHierarchicalGroup(const RankTopology& topo,
+                                 const std::vector<int>& group_ranks,
+                                 int global_rank, const char* what) {
   MICS_RETURN_NOT_OK(topo.Validate());
   if (!IsNodeAligned(topo, group_ranks)) {
-    return Status::InvalidArgument(
-        "hierarchical all-gather requires a node-aligned group");
+    return Status::InvalidArgument(std::string(what) +
+                                   " requires a node-aligned group");
   }
   if (std::find(group_ranks.begin(), group_ranks.end(), global_rank) ==
       group_ranks.end()) {
@@ -24,6 +30,27 @@ Result<HierarchicalAllGather> HierarchicalAllGather::Create(
     return Status::InvalidArgument(
         "group ranks must be sorted (node-major order)");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+CommFactory WorldCommFactory(World* world, const RankTopology* topo,
+                             int global_rank) {
+  return [world, topo, global_rank](
+             const std::vector<int>& ranks) -> Result<std::unique_ptr<Comm>> {
+    MICS_ASSIGN_OR_RETURN(Communicator c,
+                          Communicator::Create(world, ranks, global_rank,
+                                               topo));
+    return std::unique_ptr<Comm>(new Communicator(std::move(c)));
+  };
+}
+
+Result<HierarchicalAllGather> HierarchicalAllGather::Create(
+    const CommFactory& factory, const RankTopology& topo,
+    std::vector<int> group_ranks, int global_rank) {
+  MICS_RETURN_NOT_OK(ValidateHierarchicalGroup(topo, group_ranks, global_rank,
+                                               "hierarchical all-gather"));
   const int k = topo.gpus_per_node;
   const int p = static_cast<int>(group_ranks.size());
   const int num_nodes = p / k;
@@ -32,22 +59,24 @@ Result<HierarchicalAllGather> HierarchicalAllGather::Create(
       ChannelRanks(topo, group_ranks, global_rank);
   const std::vector<int> intra_ranks =
       IntraNodeRanks(topo, group_ranks, global_rank);
-  MICS_ASSIGN_OR_RETURN(
-      Communicator channel,
-      Communicator::Create(world, channel_ranks, global_rank, &topo));
-  std::optional<Communicator> intra;
+  MICS_ASSIGN_OR_RETURN(std::unique_ptr<Comm> channel, factory(channel_ranks));
+  std::unique_ptr<Comm> intra;
   if (k > 1) {
-    MICS_ASSIGN_OR_RETURN(
-        Communicator c,
-        Communicator::Create(world, intra_ranks, global_rank, &topo));
-    intra = std::move(c);
+    MICS_ASSIGN_OR_RETURN(intra, factory(intra_ranks));
   }
   // Group ranks are sorted and node-aligned, so my node's index within the
   // group equals my channel rank.
-  const int node_index = channel.rank();
+  const int node_index = channel->rank();
   const int local_rank = topo.LocalRankOf(global_rank);
   return HierarchicalAllGather(std::move(channel), std::move(intra), p,
                                num_nodes, k, node_index, local_rank);
+}
+
+Result<HierarchicalAllGather> HierarchicalAllGather::Create(
+    World* world, const RankTopology& topo, std::vector<int> group_ranks,
+    int global_rank) {
+  return Create(WorldCommFactory(world, &topo, global_rank), topo,
+                std::move(group_ranks), global_rank);
 }
 
 Status HierarchicalAllGather::Run(const Tensor& input, Tensor* output) {
@@ -67,10 +96,10 @@ Status HierarchicalAllGather::Run(const Tensor& input, Tensor* output) {
   // rank per node -> the channel all-gather IS the whole operation.
   if (num_nodes_ == 1) {
     return intra_ ? intra_->AllGather(input, output)
-                  : channel_.AllGather(input, output);
+                  : channel_->AllGather(input, output);
   }
   if (gpus_per_node_ == 1) {
-    return channel_.AllGather(input, output);
+    return channel_->AllGather(input, output);
   }
 
   const int64_t elem = SizeOf(input.dtype());
@@ -83,10 +112,10 @@ Status HierarchicalAllGather::Run(const Tensor& input, Tensor* output) {
   // allocates nothing once warmed up; the channel's own collectives are
   // rendezvous-based and never touch the scratch.
   Tensor tmp =
-      Tensor::View(channel_.RingScratch(0, (n * num_nodes_ * elem + 3) / 4)
+      Tensor::View(channel_->RingScratch(0, (n * num_nodes_ * elem + 3) / 4)
                        ->data(),
                    {n * num_nodes_}, input.dtype());
-  MICS_RETURN_NOT_OK(channel_.AllGather(input, &tmp));
+  MICS_RETURN_NOT_OK(channel_->AllGather(input, &tmp));
 
   // Stage 2: data movement. Place chunk g at its final strided position
   // (g*k + local_rank) in the output; a direct intra-node all-gather on
@@ -132,10 +161,10 @@ Status HierarchicalAllGather::RunCoalesced(const std::vector<Tensor>& inputs,
   // Degenerate topologies reduce to a single coalesced collective.
   if (num_nodes_ == 1) {
     return intra_ ? intra_->AllGatherCoalesced(inputs, outputs)
-                  : channel_.AllGatherCoalesced(inputs, outputs);
+                  : channel_->AllGatherCoalesced(inputs, outputs);
   }
   if (gpus_per_node_ == 1) {
-    return channel_.AllGatherCoalesced(inputs, outputs);
+    return channel_->AllGatherCoalesced(inputs, outputs);
   }
 
   // Stage 1: one coalesced inter-node all-gather over all items. Every
@@ -147,7 +176,7 @@ Status HierarchicalAllGather::RunCoalesced(const std::vector<Tensor>& inputs,
     slab_bytes += ((in.numel() * num_nodes_ * SizeOf(in.dtype()) + 3) / 4) * 4;
   }
   uint8_t* slab =
-      static_cast<uint8_t*>(channel_.RingScratch(0, slab_bytes / 4)->data());
+      static_cast<uint8_t*>(channel_->RingScratch(0, slab_bytes / 4)->data());
   std::vector<Tensor> stage1_out;
   stage1_out.reserve(inputs.size());
   int64_t slab_off = 0;
@@ -157,7 +186,7 @@ Status HierarchicalAllGather::RunCoalesced(const std::vector<Tensor>& inputs,
                                       {in.numel() * num_nodes_}, in.dtype()));
     slab_off += ((bytes + 3) / 4) * 4;
   }
-  MICS_RETURN_NOT_OK(channel_.AllGatherCoalesced(inputs, &stage1_out));
+  MICS_RETURN_NOT_OK(channel_->AllGatherCoalesced(inputs, &stage1_out));
 
   // Stage 2: place every item's chunks at their strided positions.
   std::vector<Tensor> stage3_in;
@@ -187,41 +216,32 @@ Status HierarchicalAllGather::RunCoalesced(const std::vector<Tensor>& inputs,
 }
 
 Result<HierarchicalReduceScatter> HierarchicalReduceScatter::Create(
-    World* world, const RankTopology& topo, std::vector<int> group_ranks,
-    int global_rank) {
-  MICS_RETURN_NOT_OK(topo.Validate());
-  if (!IsNodeAligned(topo, group_ranks)) {
-    return Status::InvalidArgument(
-        "hierarchical reduce-scatter requires a node-aligned group");
-  }
-  if (std::find(group_ranks.begin(), group_ranks.end(), global_rank) ==
-      group_ranks.end()) {
-    return Status::InvalidArgument("rank is not a member of the group");
-  }
-  if (!std::is_sorted(group_ranks.begin(), group_ranks.end())) {
-    return Status::InvalidArgument(
-        "group ranks must be sorted (node-major order)");
-  }
+    const CommFactory& factory, const RankTopology& topo,
+    std::vector<int> group_ranks, int global_rank) {
+  MICS_RETURN_NOT_OK(ValidateHierarchicalGroup(topo, group_ranks, global_rank,
+                                               "hierarchical reduce-scatter"));
   const int k = topo.gpus_per_node;
   const int p = static_cast<int>(group_ranks.size());
   const std::vector<int> channel_ranks =
       ChannelRanks(topo, group_ranks, global_rank);
   const std::vector<int> intra_ranks =
       IntraNodeRanks(topo, group_ranks, global_rank);
-  MICS_ASSIGN_OR_RETURN(
-      Communicator channel,
-      Communicator::Create(world, channel_ranks, global_rank, &topo));
-  std::optional<Communicator> intra;
+  MICS_ASSIGN_OR_RETURN(std::unique_ptr<Comm> channel, factory(channel_ranks));
+  std::unique_ptr<Comm> intra;
   if (k > 1) {
-    MICS_ASSIGN_OR_RETURN(
-        Communicator c,
-        Communicator::Create(world, intra_ranks, global_rank, &topo));
-    intra = std::move(c);
+    MICS_ASSIGN_OR_RETURN(intra, factory(intra_ranks));
   }
-  const int node_index = channel.rank();
+  const int node_index = channel->rank();
   return HierarchicalReduceScatter(std::move(channel), std::move(intra), p,
                                    p / k, k, node_index,
                                    topo.LocalRankOf(global_rank));
+}
+
+Result<HierarchicalReduceScatter> HierarchicalReduceScatter::Create(
+    World* world, const RankTopology& topo, std::vector<int> group_ranks,
+    int global_rank) {
+  return Create(WorldCommFactory(world, &topo, global_rank), topo,
+                std::move(group_ranks), global_rank);
 }
 
 Status HierarchicalReduceScatter::Run(const Tensor& input, Tensor* output,
@@ -246,10 +266,10 @@ Status HierarchicalReduceScatter::Run(const Tensor& input, Tensor* output,
 
   if (num_nodes_ == 1) {
     return intra_ ? intra_->ReduceScatter(input, output, op)
-                  : channel_.ReduceScatter(input, output, op);
+                  : channel_->ReduceScatter(input, output, op);
   }
   if (gpus_per_node_ == 1) {
-    return channel_.ReduceScatter(input, output, op);
+    return channel_->ReduceScatter(input, output, op);
   }
 
   // Stage 1: G batched intra-node reduce-scatters. Segment g of the input
@@ -260,7 +280,7 @@ Status HierarchicalReduceScatter::Run(const Tensor& input, Tensor* output,
   // instead of a per-call allocation.
   const int64_t elem = SizeOf(input.dtype());
   Tensor tmp =
-      Tensor::View(channel_.RingScratch(0, (n * num_nodes_ * elem + 3) / 4)
+      Tensor::View(channel_->RingScratch(0, (n * num_nodes_ * elem + 3) / 4)
                        ->data(),
                    {n * num_nodes_}, input.dtype());
   std::vector<Tensor> stage1_in;
@@ -283,7 +303,7 @@ Status HierarchicalReduceScatter::Run(const Tensor& input, Tensor* output,
   // `tmp` in node order, which is exactly the channel's input layout.
   // Stage 3: inter-node reduce-scatter over the channel completes the sum
   // and keeps only this rank's chunk.
-  return channel_.ReduceScatter(tmp, output, op);
+  return channel_->ReduceScatter(tmp, output, op);
 }
 
 double VanillaInterNodeBytes(int p, double model_bytes) {

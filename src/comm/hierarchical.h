@@ -1,10 +1,10 @@
 #ifndef MICS_COMM_HIERARCHICAL_H_
 #define MICS_COMM_HIERARCHICAL_H_
 
-#include <optional>
+#include <memory>
 #include <vector>
 
-#include "comm/communicator.h"
+#include "comm/comm.h"
 #include "comm/topology.h"
 #include "comm/world.h"
 #include "tensor/tensor.h"
@@ -28,10 +28,20 @@ namespace mics {
 /// This reduces inter-node traffic from (p-1)M/p to (p-k)M/p and the
 /// inter-node latency term from (p-1)*alpha to (p/k-1)*alpha. The result is
 /// bit-identical to a vanilla AllGather over the whole group (tested).
+///
+/// Transport-agnostic: the channel and intra-node sub-groups come from a
+/// CommFactory, so the same schedule runs over in-process threads or real
+/// sockets (and stays bit-identical, stage by stage).
 class HierarchicalAllGather {
  public:
   /// Fails with InvalidArgument when the group is not node-aligned (the
   /// caller should fall back to a vanilla all-gather in that case).
+  static Result<HierarchicalAllGather> Create(const CommFactory& factory,
+                                              const RankTopology& topo,
+                                              std::vector<int> group_ranks,
+                                              int global_rank);
+
+  /// In-process convenience: sub-groups come from `world`.
   static Result<HierarchicalAllGather> Create(World* world,
                                               const RankTopology& topo,
                                               std::vector<int> group_ranks,
@@ -54,9 +64,10 @@ class HierarchicalAllGather {
   int group_size() const { return group_size_; }
 
  private:
-  HierarchicalAllGather(Communicator channel, std::optional<Communicator> intra,
-                        int group_size, int num_nodes, int gpus_per_node,
-                        int node_index, int local_rank)
+  HierarchicalAllGather(std::unique_ptr<Comm> channel,
+                        std::unique_ptr<Comm> intra, int group_size,
+                        int num_nodes, int gpus_per_node, int node_index,
+                        int local_rank)
       : channel_(std::move(channel)),
         intra_(std::move(intra)),
         group_size_(group_size),
@@ -65,8 +76,8 @@ class HierarchicalAllGather {
         node_index_(node_index),
         local_rank_(local_rank) {}
 
-  Communicator channel_;             // same local rank across group nodes
-  std::optional<Communicator> intra_;  // this node's ranks within the group
+  std::unique_ptr<Comm> channel_;  // same local rank across group nodes
+  std::unique_ptr<Comm> intra_;    // this node's group ranks (null if k == 1)
   int group_size_;
   int num_nodes_;
   int gpus_per_node_;
@@ -92,6 +103,10 @@ class HierarchicalAllGather {
 class HierarchicalReduceScatter {
  public:
   static Result<HierarchicalReduceScatter> Create(
+      const CommFactory& factory, const RankTopology& topo,
+      std::vector<int> group_ranks, int global_rank);
+
+  static Result<HierarchicalReduceScatter> Create(
       World* world, const RankTopology& topo, std::vector<int> group_ranks,
       int global_rank);
 
@@ -103,8 +118,8 @@ class HierarchicalReduceScatter {
   int group_size() const { return group_size_; }
 
  private:
-  HierarchicalReduceScatter(Communicator channel,
-                            std::optional<Communicator> intra, int group_size,
+  HierarchicalReduceScatter(std::unique_ptr<Comm> channel,
+                            std::unique_ptr<Comm> intra, int group_size,
                             int num_nodes, int gpus_per_node, int node_index,
                             int local_rank)
       : channel_(std::move(channel)),
@@ -115,14 +130,19 @@ class HierarchicalReduceScatter {
         node_index_(node_index),
         local_rank_(local_rank) {}
 
-  Communicator channel_;
-  std::optional<Communicator> intra_;
+  std::unique_ptr<Comm> channel_;
+  std::unique_ptr<Comm> intra_;
   int group_size_;
   int num_nodes_;
   int gpus_per_node_;
   int node_index_;
   int local_rank_;
 };
+
+/// An in-process CommFactory: sub-groups are Communicators over `world`.
+/// `world` and `topo` are borrowed and must outlive the factory.
+CommFactory WorldCommFactory(World* world, const RankTopology* topo,
+                             int global_rank);
 
 /// Inter-node bytes each rank's node sends during a vanilla all-gather of
 /// an M-byte model sharded over p ranks: (p-1)*M/p. Used in tests/benches.

@@ -1,0 +1,36 @@
+#ifndef MICS_COMM_REDUCE_KERNELS_H_
+#define MICS_COMM_REDUCE_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/comm.h"
+#include "tensor/tensor.h"
+
+namespace mics {
+
+/// Element kernels shared by every Comm implementation's reducing
+/// collectives. Determinism contract: reductions accumulate in f32 in the
+/// order the sources are listed (member 0, 1, ..., p-1), so any transport
+/// that feeds ReduceInto the same member-ordered inputs produces the same
+/// bits — this is what makes the socket backend bit-identical to the
+/// in-process one.
+
+/// True for the dtypes the reducing collectives accept (f32, f16).
+bool SupportedDtype(DType dt);
+
+/// Reads element i of `base` (dtype dt) widened to f32.
+float LoadElem(const void* base, DType dt, int64_t i);
+
+/// Writes f32 value v to element i of `base`, narrowing per dtype.
+void StoreElem(void* base, DType dt, int64_t i, float v);
+
+/// Reduces element range [src_offset, src_offset + n) across `srcs` (in
+/// fixed member order, f32 accumulation) into dst[0, n). Deterministic:
+/// every caller produces identical bits for the same inputs.
+void ReduceInto(const std::vector<const void*>& srcs, void* dst, DType dt,
+                int64_t src_offset, int64_t n, ReduceOp op);
+
+}  // namespace mics
+
+#endif  // MICS_COMM_REDUCE_KERNELS_H_

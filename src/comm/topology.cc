@@ -122,4 +122,18 @@ bool IsNodeAligned(const RankTopology& topo, const std::vector<int>& group) {
   return true;
 }
 
+double InterLinkFraction(const RankTopology& topo,
+                         const std::vector<int>& ranks) {
+  const int p = static_cast<int>(ranks.size());
+  if (p <= 1) return 0.0;
+  int inter = 0;
+  for (int i = 0; i < p; ++i) {
+    const int next = ranks[static_cast<size_t>((i + 1) % p)];
+    if (topo.NodeOf(ranks[static_cast<size_t>(i)]) != topo.NodeOf(next)) {
+      ++inter;
+    }
+  }
+  return static_cast<double>(inter) / static_cast<double>(p);
+}
+
 }  // namespace mics

@@ -54,6 +54,14 @@ std::vector<int> ChannelRanks(const RankTopology& topo,
 /// node of the group contributing all of its gpus_per_node ranks.
 bool IsNodeAligned(const RankTopology& topo, const std::vector<int>& group);
 
+/// Fraction of the group's ring links (member i -> member i+1 mod p) whose
+/// endpoints live on different nodes. This is the paper's traffic model: a
+/// ring collective loads every link equally, so the inter-node share of its
+/// volume is the inter-node share of its links. Shared by both transports'
+/// `comm.*` byte accounting.
+double InterLinkFraction(const RankTopology& topo,
+                         const std::vector<int>& ranks);
+
 }  // namespace mics
 
 #endif  // MICS_COMM_TOPOLOGY_H_

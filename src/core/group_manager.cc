@@ -2,18 +2,17 @@
 
 #include <utility>
 
+#include "comm/hierarchical.h"
+
 namespace mics {
 
-Result<GroupManager> GroupManager::Create(World* world,
+Result<GroupManager> GroupManager::Create(const CommFactory& factory,
                                           const RankTopology& topo,
                                           int partition_group_size,
                                           int global_rank,
                                           bool enable_hierarchical,
                                           bool enable_hierarchical_rs) {
   MICS_RETURN_NOT_OK(topo.Validate());
-  if (world->world_size() != topo.world_size) {
-    return Status::InvalidArgument("world and topology sizes differ");
-  }
   MICS_ASSIGN_OR_RETURN(
       std::vector<int> part_ranks,
       PartitionGroupOf(topo, partition_group_size, global_rank));
@@ -25,18 +24,9 @@ Result<GroupManager> GroupManager::Create(World* world,
 
   GroupManager gm;
   gm.global_rank_ = global_rank;
-  MICS_ASSIGN_OR_RETURN(
-      Communicator part,
-      Communicator::Create(world, part_ranks, global_rank, &topo));
-  MICS_ASSIGN_OR_RETURN(
-      Communicator repl,
-      Communicator::Create(world, repl_ranks, global_rank, &topo));
-  MICS_ASSIGN_OR_RETURN(
-      Communicator all,
-      Communicator::Create(world, all_ranks, global_rank, &topo));
-  gm.partition_ = std::make_unique<Communicator>(std::move(part));
-  gm.replication_ = std::make_unique<Communicator>(std::move(repl));
-  gm.world_comm_ = std::make_unique<Communicator>(std::move(all));
+  MICS_ASSIGN_OR_RETURN(gm.partition_, factory(part_ranks));
+  MICS_ASSIGN_OR_RETURN(gm.replication_, factory(repl_ranks));
+  MICS_ASSIGN_OR_RETURN(gm.world_comm_, factory(all_ranks));
 
   // The hierarchical algorithms are only defined for node-aligned groups
   // that span more than one node; otherwise the flat backend serves
@@ -44,7 +34,7 @@ Result<GroupManager> GroupManager::Create(World* world,
   const bool eligible = IsNodeAligned(topo, part_ranks) &&
                         partition_group_size > topo.gpus_per_node;
   if (eligible && (enable_hierarchical || enable_hierarchical_rs)) {
-    auto hc = HierarchicalComm::Create(world, topo, part_ranks, global_rank,
+    auto hc = HierarchicalComm::Create(factory, topo, part_ranks, global_rank,
                                        gm.partition_.get(),
                                        enable_hierarchical,
                                        enable_hierarchical_rs);
@@ -59,6 +49,23 @@ Result<GroupManager> GroupManager::Create(World* world,
     gm.collective_ = std::make_unique<FlatCollective>(gm.partition_.get());
   }
   return gm;
+}
+
+Result<GroupManager> GroupManager::Create(World* world,
+                                          const RankTopology& topo,
+                                          int partition_group_size,
+                                          int global_rank,
+                                          bool enable_hierarchical,
+                                          bool enable_hierarchical_rs) {
+  if (world == nullptr) {
+    return Status::InvalidArgument("world must not be null");
+  }
+  if (world->world_size() != topo.world_size) {
+    return Status::InvalidArgument("world and topology sizes differ");
+  }
+  return Create(WorldCommFactory(world, &topo, global_rank), topo,
+                partition_group_size, global_rank, enable_hierarchical,
+                enable_hierarchical_rs);
 }
 
 }  // namespace mics

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "comm/collective.h"
-#include "comm/communicator.h"
+#include "comm/comm.h"
 #include "comm/topology.h"
 #include "comm/world.h"
 #include "util/status.h"
@@ -22,8 +22,23 @@ namespace mics {
 /// group is node-aligned and spans nodes (and the hierarchical algorithms
 /// are enabled), FlatCollective otherwise — so callers never branch on the
 /// communication strategy.
+///
+/// Transport-agnostic: the factory-based Create assembles the same group
+/// structure over any Comm implementation (in-process threads or the
+/// socket transport), so everything above this layer — ShardedDataParallel
+/// included — runs unchanged across real processes.
 class GroupManager {
  public:
+  /// Builds every group through `factory` (called with the partition,
+  /// replication, and world rank lists, in that order on every member).
+  static Result<GroupManager> Create(const CommFactory& factory,
+                                     const RankTopology& topo,
+                                     int partition_group_size,
+                                     int global_rank,
+                                     bool enable_hierarchical = true,
+                                     bool enable_hierarchical_rs = false);
+
+  /// In-process convenience: groups are Communicators over `world`.
   static Result<GroupManager> Create(World* world, const RankTopology& topo,
                                      int partition_group_size,
                                      int global_rank,
@@ -33,9 +48,9 @@ class GroupManager {
   GroupManager(GroupManager&&) = default;
   GroupManager& operator=(GroupManager&&) = default;
 
-  Communicator& partition() { return *partition_; }
-  Communicator& replication() { return *replication_; }
-  Communicator& world_comm() { return *world_comm_; }
+  Comm& partition() { return *partition_; }
+  Comm& replication() { return *replication_; }
+  Comm& world_comm() { return *world_comm_; }
 
   /// The collective backend for partition-group traffic (parameter
   /// all-gathers, per-micro-step gradient reduce-scatters).
@@ -62,9 +77,9 @@ class GroupManager {
   GroupManager() = default;
 
   int global_rank_ = 0;
-  std::unique_ptr<Communicator> partition_;
-  std::unique_ptr<Communicator> replication_;
-  std::unique_ptr<Communicator> world_comm_;
+  std::unique_ptr<Comm> partition_;
+  std::unique_ptr<Comm> replication_;
+  std::unique_ptr<Comm> world_comm_;
   std::unique_ptr<Collective> collective_;
   bool hierarchical_ag_ = false;
   bool hierarchical_rs_ = false;

@@ -1,0 +1,199 @@
+#include "net/launch.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+#include "net/tcp_store.h"
+#include "util/logging.h"
+
+namespace mics {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Result<int> EnvInt(const char* name, bool required, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') {
+    if (required) {
+      return Status::InvalidArgument(std::string(name) +
+                                     " is not set (run under mics_launch)");
+    }
+    return fallback;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return Status::InvalidArgument(std::string(name) + "='" + raw +
+                                   "' is not an integer");
+  }
+  return static_cast<int>(v);
+}
+
+/// One attempt: fork/exec all workers against `store_addr`, wait with the
+/// deadline, SIGKILL stragglers past it. Fills `results` (per rank).
+Status RunAttempt(const LaunchOptions& options, const std::string& store_addr,
+                  int attempt, std::vector<WorkerResult>* results) {
+  const int n = options.num_workers;
+  results->assign(static_cast<size_t>(n), WorkerResult{});
+
+  // argv is shared by every worker; the per-rank difference is purely in
+  // the environment.
+  std::vector<std::string> argv_store;
+  argv_store.push_back(options.binary);
+  for (const std::string& a : options.args) argv_store.push_back(a);
+  std::vector<char*> argv;
+  for (std::string& s : argv_store) argv.push_back(s.data());
+  argv.push_back(nullptr);
+
+  std::vector<pid_t> pids(static_cast<size_t>(n), -1);
+  for (int rank = 0; rank < n; ++rank) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // Could not spawn the full world: kill what we started so the
+      // attempt fails fast instead of hanging in rendezvous.
+      for (int r = 0; r < rank; ++r) ::kill(pids[static_cast<size_t>(r)], SIGKILL);
+      for (int r = 0; r < rank; ++r) {
+        int ignored = 0;
+        ::waitpid(pids[static_cast<size_t>(r)], &ignored, 0);
+      }
+      return Status::Internal(std::string("fork: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+      ::setenv(kEnvStoreAddr, store_addr.c_str(), 1);
+      ::setenv(kEnvRank, std::to_string(rank).c_str(), 1);
+      ::setenv(kEnvWorldSize, std::to_string(n).c_str(), 1);
+      ::setenv(kEnvAttempt, std::to_string(attempt).c_str(), 1);
+      ::setenv(kEnvGpusPerNode, std::to_string(options.gpus_per_node).c_str(),
+               1);
+      ::execv(options.binary.c_str(), argv.data());
+      // Exec failed; exit without running the parent's atexit handlers.
+      std::fprintf(stderr, "mics_launch: exec %s: %s\n",
+                   options.binary.c_str(), std::strerror(errno));
+      ::_exit(127);
+    }
+    pids[static_cast<size_t>(rank)] = pid;
+    (*results)[static_cast<size_t>(rank)].rank = rank;
+  }
+
+  const auto deadline = Clock::now() + std::chrono::milliseconds(options.timeout_ms);
+  int live = n;
+  bool killed = false;
+  while (live > 0) {
+    bool reaped = false;
+    for (int rank = 0; rank < n; ++rank) {
+      pid_t& pid = pids[static_cast<size_t>(rank)];
+      if (pid < 0) continue;
+      int wstatus = 0;
+      const pid_t rc = ::waitpid(pid, &wstatus, WNOHANG);
+      if (rc == 0) continue;
+      WorkerResult& res = (*results)[static_cast<size_t>(rank)];
+      if (rc < 0) {
+        res.exit_code = 255;
+      } else if (WIFEXITED(wstatus)) {
+        res.exit_code = WEXITSTATUS(wstatus);
+      } else if (WIFSIGNALED(wstatus)) {
+        res.exit_code = 128 + WTERMSIG(wstatus);
+        res.signaled = true;
+      }
+      pid = -1;
+      --live;
+      reaped = true;
+    }
+    if (live == 0) break;
+    if (!killed && Clock::now() >= deadline) {
+      // Attempt deadline: whatever is still running is wedged (likely
+      // blocked in a collective against a dead peer whose recv deadline
+      // outlives ours) — kill it and collect the 128+SIGKILL results.
+      for (int rank = 0; rank < n; ++rank) {
+        if (pids[static_cast<size_t>(rank)] >= 0) {
+          ::kill(pids[static_cast<size_t>(rank)], SIGKILL);
+        }
+      }
+      killed = true;
+    }
+    if (!reaped) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<LaunchReport> LaunchWorkers(const LaunchOptions& options) {
+  if (options.binary.empty()) {
+    return Status::InvalidArgument("LaunchWorkers: binary is empty");
+  }
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("LaunchWorkers: num_workers must be >= 1");
+  }
+  if (options.max_attempts < 1) {
+    return Status::InvalidArgument("LaunchWorkers: max_attempts must be >= 1");
+  }
+  if (::access(options.binary.c_str(), X_OK) != 0) {
+    return Status::InvalidArgument("LaunchWorkers: '" + options.binary +
+                                   "' is not executable");
+  }
+  LaunchReport report;
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    // A fresh store per attempt: a poisoned rendezvous (worker death mid
+    // barrier) must not leak into the relaunch, exactly like the fresh
+    // World incarnation in the in-process recovery loop.
+    MICS_ASSIGN_OR_RETURN(std::unique_ptr<TcpStoreServer> store,
+                          TcpStoreServer::Start());
+    report.attempts = attempt + 1;
+    MICS_RETURN_NOT_OK(RunAttempt(options, store->addr(), attempt,
+                                  &report.last_results));
+    store->Stop();
+    bool all_ok = true;
+    for (const WorkerResult& r : report.last_results) {
+      if (r.exit_code != 0) all_ok = false;
+    }
+    if (all_ok) {
+      report.success = true;
+      return report;
+    }
+  }
+  report.success = false;
+  return report;
+}
+
+Result<DistributedContext> DistributedContext::FromEnv() {
+  DistributedContext ctx;
+  const char* addr = std::getenv(kEnvStoreAddr);
+  if (addr == nullptr || addr[0] == '\0') {
+    return Status::InvalidArgument(std::string(kEnvStoreAddr) +
+                                   " is not set (run under mics_launch)");
+  }
+  ctx.store_addr = addr;
+  MICS_ASSIGN_OR_RETURN(ctx.rank, EnvInt(kEnvRank, true, 0));
+  MICS_ASSIGN_OR_RETURN(ctx.world_size, EnvInt(kEnvWorldSize, true, 1));
+  MICS_ASSIGN_OR_RETURN(ctx.attempt, EnvInt(kEnvAttempt, false, 0));
+  MICS_ASSIGN_OR_RETURN(ctx.gpus_per_node, EnvInt(kEnvGpusPerNode, false, 1));
+  if (ctx.rank < 0 || ctx.world_size < 1 || ctx.rank >= ctx.world_size) {
+    return Status::InvalidArgument("inconsistent launcher environment (rank " +
+                                   std::to_string(ctx.rank) + " of " +
+                                   std::to_string(ctx.world_size) + ")");
+  }
+  if (ctx.gpus_per_node < 1 || ctx.world_size % ctx.gpus_per_node != 0) {
+    return Status::InvalidArgument(
+        "MICS_GPUS_PER_NODE must divide MICS_WORLD_SIZE");
+  }
+  return ctx;
+}
+
+bool DistributedContext::InLauncher() {
+  const char* addr = std::getenv(kEnvStoreAddr);
+  return addr != nullptr && addr[0] != '\0';
+}
+
+}  // namespace net
+}  // namespace mics

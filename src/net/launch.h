@@ -1,0 +1,81 @@
+#ifndef MICS_NET_LAUNCH_H_
+#define MICS_NET_LAUNCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mics {
+namespace net {
+
+/// Environment variables through which the launcher hands each worker its
+/// rendezvous coordinates (the torchrun convention, MICS-prefixed).
+inline constexpr const char* kEnvStoreAddr = "MICS_STORE_ADDR";
+inline constexpr const char* kEnvRank = "MICS_RANK";
+inline constexpr const char* kEnvWorldSize = "MICS_WORLD_SIZE";
+inline constexpr const char* kEnvAttempt = "MICS_ATTEMPT";
+inline constexpr const char* kEnvGpusPerNode = "MICS_GPUS_PER_NODE";
+
+struct LaunchOptions {
+  /// Worker executable and its argv tail (argv[0] is derived from binary).
+  std::string binary;
+  std::vector<std::string> args;
+  int num_workers = 1;
+  /// Wall-clock budget for one attempt; on expiry every surviving worker
+  /// is SIGKILLed and the attempt counts as failed.
+  int64_t timeout_ms = 120000;
+  /// Total attempts (1 = no relaunch). Each retry gets a fresh rendezvous
+  /// store and a bumped MICS_ATTEMPT, mirroring the in-process recovery
+  /// loop's incarnation counter.
+  int max_attempts = 1;
+  /// Forwarded to workers as MICS_GPUS_PER_NODE so every rank models the
+  /// same topology.
+  int gpus_per_node = 1;
+};
+
+struct WorkerResult {
+  int rank = -1;
+  /// WEXITSTATUS when the worker exited; 128 + signal when killed.
+  int exit_code = 0;
+  bool signaled = false;
+};
+
+struct LaunchReport {
+  /// Attempts actually run (1-based count).
+  int attempts = 0;
+  /// True when every worker of the final attempt exited 0.
+  bool success = false;
+  /// Per-rank outcome of the final attempt.
+  std::vector<WorkerResult> last_results;
+};
+
+/// Fork/execs `num_workers` copies of `binary`, each with the rendezvous
+/// environment set, hosting the TcpStore in this process. Waits for all of
+/// them (with the deadline), retrying failed attempts with a fresh store.
+/// Returns the report even when the final attempt failed; non-Status
+/// errors (bad options, fork failure) surface as a failed Status.
+Result<LaunchReport> LaunchWorkers(const LaunchOptions& options);
+
+/// Worker-side view of the launcher's environment.
+struct DistributedContext {
+  std::string store_addr;
+  int rank = 0;
+  int world_size = 1;
+  int attempt = 0;
+  int gpus_per_node = 1;
+
+  /// Reads MICS_STORE_ADDR / MICS_RANK / MICS_WORLD_SIZE (required) and
+  /// MICS_ATTEMPT / MICS_GPUS_PER_NODE (optional, default 0 / 1).
+  static Result<DistributedContext> FromEnv();
+
+  /// True when the launcher environment is present at all — lets a binary
+  /// fall back to single-process mode when run directly.
+  static bool InLauncher();
+};
+
+}  // namespace net
+}  // namespace mics
+
+#endif  // MICS_NET_LAUNCH_H_

@@ -1,0 +1,225 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+
+namespace mics {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t RemainingMs(Clock::time_point deadline) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                               Clock::now())
+      .count();
+}
+
+Status ErrnoStatus(const char* what, int err) {
+  const std::string msg = std::string(what) + ": " + std::strerror(err);
+  if (err == ECONNRESET || err == EPIPE || err == ECONNREFUSED ||
+      err == ENOTCONN) {
+    return Status::Unavailable(msg);
+  }
+  return Status::Internal(msg);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Blocks until `fd` is ready for `events` or the deadline passes.
+Status PollFor(int fd, short events, Clock::time_point deadline,
+               const char* what) {
+  for (;;) {
+    const int64_t left = RemainingMs(deadline);
+    if (left <= 0) {
+      return Status::DeadlineExceeded(std::string(what) + ": timed out");
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, static_cast<int>(left));
+    if (rc > 0) return Status::OK();
+    if (rc == 0) {
+      return Status::DeadlineExceeded(std::string(what) + ": timed out");
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus(what, errno);
+  }
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownRw() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+int Socket::Release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+Status ParseHostPort(const std::string& addr, std::string* host, int* port) {
+  const size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= addr.size()) {
+    return Status::InvalidArgument("malformed address '" + addr +
+                                   "' (want host:port)");
+  }
+  *host = addr.substr(0, colon);
+  char* end = nullptr;
+  const long p = std::strtol(addr.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || p <= 0 || p > 65535) {
+    return Status::InvalidArgument("bad port in address '" + addr + "'");
+  }
+  *port = static_cast<int>(p);
+  return Status::OK();
+}
+
+Result<Socket> ListenOn(const std::string& host, int port, int* bound_port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return ErrnoStatus("socket", errno);
+  int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen host '" + host + "'");
+  }
+  if (::bind(sock.fd(), reinterpret_cast<struct sockaddr*>(&sa),
+             sizeof(sa)) != 0) {
+    return ErrnoStatus("bind", errno);
+  }
+  if (::listen(sock.fd(), SOMAXCONN) != 0) return ErrnoStatus("listen", errno);
+  if (bound_port != nullptr) {
+    struct sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (::getsockname(sock.fd(), reinterpret_cast<struct sockaddr*>(&actual),
+                      &len) != 0) {
+      return ErrnoStatus("getsockname", errno);
+    }
+    *bound_port = static_cast<int>(ntohs(actual.sin_port));
+  }
+  return sock;
+}
+
+Result<Socket> AcceptWithDeadline(const Socket& listener, int64_t timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  MICS_RETURN_NOT_OK(PollFor(listener.fd(), POLLIN, deadline, "accept"));
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) return ErrnoStatus("accept", errno);
+  SetNoDelay(fd);
+  return Socket(fd);
+}
+
+Result<Socket> ConnectWithRetry(const std::string& host, int port,
+                                int64_t timeout_ms) {
+  static obs::Counter* retries =
+      obs::MetricsRegistry::Global().GetCounter("net.connect.retries");
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  struct sockaddr_in sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    return Status::InvalidArgument("bad connect host '" + host + "'");
+  }
+  for (;;) {
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) return ErrnoStatus("socket", errno);
+    if (::connect(sock.fd(), reinterpret_cast<struct sockaddr*>(&sa),
+                  sizeof(sa)) == 0) {
+      SetNoDelay(sock.fd());
+      return sock;
+    }
+    const int err = errno;
+    if (err != ECONNREFUSED && err != ETIMEDOUT && err != EINTR) {
+      return ErrnoStatus("connect", err);
+    }
+    if (RemainingMs(deadline) <= 0) {
+      return Status::DeadlineExceeded("connect to " + host + ":" +
+                                      std::to_string(port) + ": timed out");
+    }
+    retries->Increment();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+Status SendAll(const Socket& sock, const void* data, size_t n,
+               int64_t timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(sock.fd(), p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      MICS_RETURN_NOT_OK(PollFor(sock.fd(), POLLOUT, deadline, "send"));
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    return ErrnoStatus("send", rc < 0 ? errno : ECONNRESET);
+  }
+  return Status::OK();
+}
+
+Status WaitReadable(const Socket& sock, int64_t timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  return PollFor(sock.fd(), POLLIN, deadline, "wait readable");
+}
+
+Status RecvAll(const Socket& sock, void* data, size_t n, int64_t timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < n) {
+    MICS_RETURN_NOT_OK(PollFor(sock.fd(), POLLIN, deadline, "recv"));
+    const ssize_t rc = ::recv(sock.fd(), p + got, n - got, 0);
+    if (rc > 0) {
+      got += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc == 0) return Status::Unavailable("recv: peer closed connection");
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return ErrnoStatus("recv", errno);
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace mics

@@ -1,0 +1,87 @@
+#ifndef MICS_NET_SOCKET_H_
+#define MICS_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace mics {
+namespace net {
+
+/// RAII wrapper around a file descriptor. Move-only; closes on
+/// destruction. The blocking helpers below implement the deadline and
+/// partial-transfer semantics every layer of mics::net builds on:
+///
+///   - timeouts map to Status::DeadlineExceeded (mirroring the GroupState
+///     rendezvous contract),
+///   - peer-gone conditions (EOF, ECONNRESET, EPIPE) map to
+///     Status::Unavailable (a transient/launch-style failure),
+///   - everything else maps to Status::Internal.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Idempotent; also usable to force-fail blocked peers.
+  void Close();
+
+  /// Half-closes both directions (::shutdown SHUT_RDWR) without releasing
+  /// the descriptor. Unlike Close, this WAKES threads already blocked in
+  /// poll/recv on this socket — the only reliable way to interrupt a
+  /// reader thread from another thread (close on a polled fd does not
+  /// wake the poller). No-op on an invalid socket.
+  void ShutdownRw();
+
+  /// Releases ownership of the descriptor without closing it.
+  int Release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Splits "host:port". Fails with InvalidArgument on malformed input.
+Status ParseHostPort(const std::string& addr, std::string* host, int* port);
+
+/// Creates a listening TCP socket bound to `host` (numeric, e.g.
+/// "127.0.0.1"). Pass port 0 for an ephemeral port; *bound_port receives
+/// the actual one.
+Result<Socket> ListenOn(const std::string& host, int port, int* bound_port);
+
+/// Accepts one connection, waiting up to `timeout_ms` (DeadlineExceeded on
+/// timeout). TCP_NODELAY is set on the accepted socket.
+Result<Socket> AcceptWithDeadline(const Socket& listener, int64_t timeout_ms);
+
+/// Connects to host:port, retrying refused connections with a short sleep
+/// until `timeout_ms` elapses — the server side of a rendezvous may not be
+/// listening yet. Retries are counted in `net.connect.retries`.
+Result<Socket> ConnectWithRetry(const std::string& host, int port,
+                                int64_t timeout_ms);
+
+/// Writes exactly `n` bytes (partial-write loop). `timeout_ms` bounds the
+/// total wall-clock time across all partial writes.
+Status SendAll(const Socket& sock, const void* data, size_t n,
+               int64_t timeout_ms);
+
+/// Reads exactly `n` bytes (partial-read loop with poll-based deadline).
+/// EOF before `n` bytes is Unavailable ("peer closed the connection").
+Status RecvAll(const Socket& sock, void* data, size_t n, int64_t timeout_ms);
+
+/// Blocks until the socket has readable data (or hangup), up to
+/// `timeout_ms` (DeadlineExceeded on timeout). Lets server loops poll in
+/// short slices so shutdown flags are honoured promptly.
+Status WaitReadable(const Socket& sock, int64_t timeout_ms);
+
+}  // namespace net
+}  // namespace mics
+
+#endif  // MICS_NET_SOCKET_H_

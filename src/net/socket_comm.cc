@@ -1,0 +1,640 @@
+#include "net/socket_comm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "comm/reduce_kernels.h"
+#include "util/logging.h"
+
+namespace mics {
+namespace net {
+
+namespace {
+
+/// Mirrors the coalesced validation of the in-process backend so both
+/// transports reject malformed launches with the same errors.
+Status ValidateCoalesced(const std::vector<Tensor>& inputs,
+                         const std::vector<Tensor>* outputs, int group_size,
+                         bool gather) {
+  if (outputs == nullptr) {
+    return Status::InvalidArgument("coalesced: outputs is null");
+  }
+  if (inputs.size() != outputs->size()) {
+    return Status::InvalidArgument("coalesced: item count mismatch");
+  }
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const Tensor& in = inputs[i];
+    const Tensor& out = (*outputs)[i];
+    if (in.dtype() != out.dtype()) {
+      return Status::InvalidArgument("coalesced: dtype mismatch at item " +
+                                     std::to_string(i));
+    }
+    if (!SupportedDtype(in.dtype())) {
+      return Status::InvalidArgument("coalesced: unsupported dtype");
+    }
+    const int64_t expect =
+        gather ? in.numel() * group_size : out.numel() * group_size;
+    const int64_t got = gather ? out.numel() : in.numel();
+    if (got != expect) {
+      return Status::InvalidArgument(
+          "coalesced: size mismatch at item " + std::to_string(i) + " (" +
+          std::to_string(got) + " vs " + std::to_string(expect) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SocketCommunicator>> SocketCommunicator::Create(
+    SocketTransport* transport, std::vector<int> ranks,
+    const RankTopology* topo) {
+  if (transport == nullptr) {
+    return Status::InvalidArgument("SocketCommunicator: transport is null");
+  }
+  if (ranks.empty()) {
+    return Status::InvalidArgument("SocketCommunicator: empty rank list");
+  }
+  int group_rank = -1;
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    const int r = ranks[i];
+    if (r < 0 || r >= transport->world_size()) {
+      return Status::InvalidArgument("SocketCommunicator: rank " +
+                                     std::to_string(r) + " outside mesh");
+    }
+    for (size_t j = i + 1; j < ranks.size(); ++j) {
+      if (ranks[j] == r) {
+        return Status::InvalidArgument("SocketCommunicator: duplicate rank " +
+                                       std::to_string(r));
+      }
+    }
+    if (r == transport->rank()) group_rank = static_cast<int>(i);
+  }
+  if (group_rank < 0) {
+    return Status::InvalidArgument(
+        "SocketCommunicator: rank " + std::to_string(transport->rank()) +
+        " is not a member of the group");
+  }
+  double inter_fraction = 0.0;
+  if (topo != nullptr) {
+    if (transport->world_size() != topo->world_size) {
+      return Status::InvalidArgument(
+          "SocketCommunicator: topology world size mismatch");
+    }
+    inter_fraction = InterLinkFraction(*topo, ranks);
+  }
+  MICS_ASSIGN_OR_RETURN(uint64_t channel, transport->AllocateChannel(ranks));
+  return std::unique_ptr<SocketCommunicator>(new SocketCommunicator(
+      transport, std::move(ranks), group_rank, channel, inter_fraction));
+}
+
+Status SocketCommunicator::CheckHealthy() const {
+  if (poisoned_) {
+    return Status::DeadlineExceeded(
+        "socket communicator poisoned by an earlier transport failure");
+  }
+  return Status::OK();
+}
+
+Status SocketCommunicator::Poisoned(Status st) {
+  poisoned_ = true;
+  // Surface every wire failure as DeadlineExceeded: a transport error
+  // means a peer died or stalled mid-collective, and the fault layer's
+  // Unavailable-retry must not re-run a half-completed wire schedule.
+  return Status::DeadlineExceeded("socket collective failed: " +
+                                  st.ToString());
+}
+
+uint8_t* SocketCommunicator::Scratch(int slot, int64_t nbytes) {
+  std::vector<uint8_t>& buf = scratch_[slot];
+  if (static_cast<int64_t>(buf.size()) < nbytes) {
+    buf.resize(static_cast<size_t>(nbytes));
+  }
+  return buf.data();
+}
+
+Status SocketCommunicator::SendTo(int member, const void* data,
+                                  int64_t nbytes) {
+  const Status st =
+      transport_->Send(ranks_[static_cast<size_t>(member)], channel_, data,
+                       nbytes);
+  if (!st.ok()) return Poisoned(st);
+  return Status::OK();
+}
+
+Status SocketCommunicator::RecvFrom(int member, void* data, int64_t nbytes) {
+  const Status st = transport_->Recv(ranks_[static_cast<size_t>(member)],
+                                     channel_, data, nbytes);
+  if (!st.ok()) return Poisoned(st);
+  return Status::OK();
+}
+
+Status SocketCommunicator::RingAllGatherInPlace(uint8_t* out,
+                                                int64_t chunk_bytes) {
+  const int p = size();
+  const int right = (group_rank_ + 1) % p;
+  const int left = (group_rank_ + p - 1) % p;
+  // The textbook ring: at step s this rank forwards the chunk it obtained
+  // at step s-1 (starting from its own) to the right and receives one from
+  // the left. Pure data movement, so the result is bit-identical to any
+  // other all-gather schedule.
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_chunk = (group_rank_ - s + p) % p;
+    const int recv_chunk = (group_rank_ - s - 1 + p) % p;
+    MICS_RETURN_NOT_OK(SendTo(right, out + send_chunk * chunk_bytes,
+                              chunk_bytes));
+    MICS_RETURN_NOT_OK(RecvFrom(left, out + recv_chunk * chunk_bytes,
+                                chunk_bytes));
+  }
+  return Status::OK();
+}
+
+Status SocketCommunicator::ReduceChunkToOwner(int owner,
+                                              const uint8_t* my_chunk,
+                                              int64_t chunk_numel, DType dt,
+                                              void* dst, ReduceOp op) {
+  const int p = size();
+  const int64_t chunk_bytes = chunk_numel * SizeOf(dt);
+  if (group_rank_ != owner) {
+    return SendTo(owner, my_chunk, chunk_bytes);
+  }
+  uint8_t* stage = Scratch(1, static_cast<int64_t>(p) * chunk_bytes);
+  std::vector<const void*> srcs(static_cast<size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    if (r == group_rank_) {
+      srcs[static_cast<size_t>(r)] = my_chunk;
+      continue;
+    }
+    uint8_t* slot = stage + r * chunk_bytes;
+    MICS_RETURN_NOT_OK(RecvFrom(r, slot, chunk_bytes));
+    srcs[static_cast<size_t>(r)] = slot;
+  }
+  // Member-order f32 accumulation — the same tree the in-process backend
+  // hands ReduceInto, so the bits match exactly.
+  ReduceInto(srcs, dst, dt, 0, chunk_numel, op);
+  return Status::OK();
+}
+
+Status SocketCommunicator::AllGather(const Tensor& input, Tensor* output) {
+  if (output == nullptr) {
+    return Status::InvalidArgument("AllGather: output is null");
+  }
+  if (!SupportedDtype(input.dtype())) {
+    return Status::InvalidArgument("AllGather: unsupported dtype");
+  }
+  if (input.dtype() != output->dtype()) {
+    return Status::InvalidArgument("AllGather: dtype mismatch");
+  }
+  const int64_t n = input.numel();
+  if (output->numel() != n * size()) {
+    return Status::InvalidArgument(
+        "AllGather: output numel must be input numel * group size (" +
+        std::to_string(output->numel()) + " vs " + std::to_string(n * size()) +
+        ")");
+  }
+  MICS_RETURN_NOT_OK(CheckHealthy());
+  RecordOp(OpKind::kAllGather,
+           static_cast<double>(size() - 1) * input.nbytes());
+  const int64_t chunk_bytes = input.nbytes();
+  uint8_t* out = static_cast<uint8_t*>(output->data());
+  if (size() == 1) {
+    if (output->data() != input.data()) {
+      std::memcpy(out, input.data(), static_cast<size_t>(chunk_bytes));
+    }
+    return Status::OK();
+  }
+  uint8_t* own_slot = out + group_rank_ * chunk_bytes;
+  if (own_slot != input.data()) {
+    std::memcpy(own_slot, input.data(), static_cast<size_t>(chunk_bytes));
+  }
+  return RingAllGatherInPlace(out, chunk_bytes);
+}
+
+Status SocketCommunicator::ReduceScatter(const Tensor& input, Tensor* output,
+                                         ReduceOp op) {
+  if (output == nullptr) {
+    return Status::InvalidArgument("ReduceScatter: output is null");
+  }
+  if (!SupportedDtype(input.dtype())) {
+    return Status::InvalidArgument("ReduceScatter: unsupported dtype");
+  }
+  if (input.dtype() != output->dtype()) {
+    return Status::InvalidArgument("ReduceScatter: dtype mismatch");
+  }
+  const int64_t n = output->numel();
+  if (input.numel() != n * size()) {
+    return Status::InvalidArgument(
+        "ReduceScatter: input numel must be output numel * group size");
+  }
+  MICS_RETURN_NOT_OK(CheckHealthy());
+  RecordOp(OpKind::kReduceScatter,
+           static_cast<double>(size() - 1) * output->nbytes());
+  if (size() == 1) {
+    if (output->data() != input.data()) {
+      std::memcpy(output->data(), input.data(),
+                  static_cast<size_t>(input.nbytes()));
+    }
+    return Status::OK();
+  }
+  const int p = size();
+  const DType dt = input.dtype();
+  const int64_t chunk_bytes = output->nbytes();
+  const uint8_t* in = static_cast<const uint8_t*>(input.data());
+  // Direct exchange: every member posts chunk r of its input to owner r
+  // first (sends never block on the peers' schedules — reader threads
+  // drain them), then reduces its own chunk from the staged sources.
+  for (int r = 0; r < p; ++r) {
+    if (r == group_rank_) continue;
+    MICS_RETURN_NOT_OK(SendTo(r, in + r * chunk_bytes, chunk_bytes));
+  }
+  return ReduceChunkToOwner(group_rank_, in + group_rank_ * chunk_bytes, n,
+                            dt, output->data(), op);
+}
+
+Status SocketCommunicator::AllReduce(Tensor* inout, ReduceOp op) {
+  if (inout == nullptr) {
+    return Status::InvalidArgument("AllReduce: buffer is null");
+  }
+  if (!SupportedDtype(inout->dtype())) {
+    return Status::InvalidArgument("AllReduce: unsupported dtype");
+  }
+  MICS_RETURN_NOT_OK(CheckHealthy());
+  RecordOp(OpKind::kAllReduce, 2.0 * (size() - 1) *
+                                   static_cast<double>(inout->nbytes()) /
+                                   size());
+  if (size() == 1) return Status::OK();
+  const int p = size();
+  const DType dt = inout->dtype();
+  const int64_t n = inout->numel();
+  uint8_t* data = static_cast<uint8_t*>(inout->data());
+  if (n % p == 0) {
+    // Reduce-scatter + ring all-gather. Each element is still reduced in
+    // member order by its owner, so the result is bit-identical to the
+    // in-process one-shot member-order reduction of the whole buffer.
+    const int64_t chunk_n = n / p;
+    const int64_t chunk_bytes = chunk_n * SizeOf(dt);
+    for (int r = 0; r < p; ++r) {
+      if (r == group_rank_) continue;
+      MICS_RETURN_NOT_OK(SendTo(r, data + r * chunk_bytes, chunk_bytes));
+    }
+    MICS_RETURN_NOT_OK(ReduceChunkToOwner(group_rank_,
+                                          data + group_rank_ * chunk_bytes,
+                                          chunk_n, dt,
+                                          data + group_rank_ * chunk_bytes,
+                                          op));
+    return RingAllGatherInPlace(data, chunk_bytes);
+  }
+  // Indivisible sizes (scalars, odd tails): full exchange, every member
+  // reduces all p inputs locally in member order.
+  const int64_t nbytes = inout->nbytes();
+  for (int r = 0; r < p; ++r) {
+    if (r == group_rank_) continue;
+    MICS_RETURN_NOT_OK(SendTo(r, data, nbytes));
+  }
+  uint8_t* stage = Scratch(1, static_cast<int64_t>(p) * nbytes);
+  std::vector<const void*> srcs(static_cast<size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    if (r == group_rank_) {
+      srcs[static_cast<size_t>(r)] = data;
+      continue;
+    }
+    uint8_t* slot = stage + r * nbytes;
+    MICS_RETURN_NOT_OK(RecvFrom(r, slot, nbytes));
+    srcs[static_cast<size_t>(r)] = slot;
+  }
+  ReduceInto(srcs, data, dt, 0, n, op);
+  return Status::OK();
+}
+
+Status SocketCommunicator::Broadcast(Tensor* inout, int root) {
+  if (inout == nullptr) {
+    return Status::InvalidArgument("Broadcast: buffer is null");
+  }
+  if (root < 0 || root >= size()) {
+    return Status::InvalidArgument("Broadcast: root out of range");
+  }
+  MICS_RETURN_NOT_OK(CheckHealthy());
+  RecordOp(OpKind::kBroadcast,
+           static_cast<double>(size() - 1) * inout->nbytes() / size());
+  if (size() == 1) return Status::OK();
+  if (group_rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      MICS_RETURN_NOT_OK(SendTo(r, inout->data(), inout->nbytes()));
+    }
+    return Status::OK();
+  }
+  return RecvFrom(root, inout->data(), inout->nbytes());
+}
+
+Status SocketCommunicator::Reduce(const Tensor& input, Tensor* output,
+                                  int root, ReduceOp op) {
+  if (root < 0 || root >= size()) {
+    return Status::InvalidArgument("Reduce: root out of range");
+  }
+  if (!SupportedDtype(input.dtype())) {
+    return Status::InvalidArgument("Reduce: unsupported dtype");
+  }
+  const bool is_root = group_rank_ == root;
+  if (is_root) {
+    if (output == nullptr) {
+      return Status::InvalidArgument("Reduce: root needs an output");
+    }
+    if (output->dtype() != input.dtype() ||
+        output->numel() != input.numel()) {
+      return Status::InvalidArgument("Reduce: output shape mismatch");
+    }
+  }
+  MICS_RETURN_NOT_OK(CheckHealthy());
+  RecordOp(OpKind::kReduce,
+           static_cast<double>(size() - 1) * input.nbytes() / size());
+  if (size() == 1) {
+    if (output->data() != input.data()) {
+      std::memcpy(output->data(), input.data(),
+                  static_cast<size_t>(input.nbytes()));
+    }
+    return Status::OK();
+  }
+  if (!is_root) {
+    return SendTo(root, input.data(), input.nbytes());
+  }
+  return ReduceChunkToOwner(root, static_cast<const uint8_t*>(input.data()),
+                            input.numel(), input.dtype(), output->data(), op);
+}
+
+Status SocketCommunicator::Gather(const Tensor& input, Tensor* output,
+                                  int root) {
+  if (root < 0 || root >= size()) {
+    return Status::InvalidArgument("Gather: root out of range");
+  }
+  if (!SupportedDtype(input.dtype())) {
+    return Status::InvalidArgument("Gather: unsupported dtype");
+  }
+  const bool is_root = group_rank_ == root;
+  if (is_root) {
+    if (output == nullptr) {
+      return Status::InvalidArgument("Gather: root needs an output");
+    }
+    if (output->dtype() != input.dtype() ||
+        output->numel() != input.numel() * size()) {
+      return Status::InvalidArgument("Gather: output shape mismatch");
+    }
+  }
+  MICS_RETURN_NOT_OK(CheckHealthy());
+  RecordOp(OpKind::kGather,
+           static_cast<double>(size() - 1) * input.nbytes() / size());
+  if (size() == 1) {
+    if (output->data() != input.data()) {
+      std::memcpy(output->data(), input.data(),
+                  static_cast<size_t>(input.nbytes()));
+    }
+    return Status::OK();
+  }
+  if (!is_root) {
+    return SendTo(root, input.data(), input.nbytes());
+  }
+  const int64_t chunk = input.nbytes();
+  uint8_t* out = static_cast<uint8_t*>(output->data());
+  uint8_t* own = out + group_rank_ * chunk;
+  if (own != input.data()) {
+    std::memcpy(own, input.data(), static_cast<size_t>(chunk));
+  }
+  for (int r = 0; r < size(); ++r) {
+    if (r == root) continue;
+    MICS_RETURN_NOT_OK(RecvFrom(r, out + r * chunk, chunk));
+  }
+  return Status::OK();
+}
+
+Status SocketCommunicator::Scatter(const Tensor& input, Tensor* output,
+                                   int root) {
+  if (root < 0 || root >= size()) {
+    return Status::InvalidArgument("Scatter: root out of range");
+  }
+  if (output == nullptr) {
+    return Status::InvalidArgument("Scatter: output is null");
+  }
+  if (!SupportedDtype(output->dtype())) {
+    return Status::InvalidArgument("Scatter: unsupported dtype");
+  }
+  const bool is_root = group_rank_ == root;
+  if (is_root &&
+      (input.dtype() != output->dtype() ||
+       input.numel() != output->numel() * size())) {
+    return Status::InvalidArgument("Scatter: input shape mismatch");
+  }
+  MICS_RETURN_NOT_OK(CheckHealthy());
+  RecordOp(OpKind::kScatter,
+           static_cast<double>(size() - 1) * output->nbytes() / size());
+  if (size() == 1) {
+    if (output->data() != input.data()) {
+      std::memcpy(output->data(), input.data(),
+                  static_cast<size_t>(output->nbytes()));
+    }
+    return Status::OK();
+  }
+  const int64_t chunk = output->nbytes();
+  if (is_root) {
+    const uint8_t* in = static_cast<const uint8_t*>(input.data());
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      MICS_RETURN_NOT_OK(SendTo(r, in + r * chunk, chunk));
+    }
+    if (output->data() != in + root * chunk) {
+      std::memcpy(output->data(), in + root * chunk,
+                  static_cast<size_t>(chunk));
+    }
+    return Status::OK();
+  }
+  return RecvFrom(root, output->data(), chunk);
+}
+
+Status SocketCommunicator::AllToAll(const Tensor& input, Tensor* output) {
+  if (output == nullptr) {
+    return Status::InvalidArgument("AllToAll: output is null");
+  }
+  if (!SupportedDtype(input.dtype())) {
+    return Status::InvalidArgument("AllToAll: unsupported dtype");
+  }
+  if (input.dtype() != output->dtype() ||
+      input.numel() != output->numel()) {
+    return Status::InvalidArgument("AllToAll: shape mismatch");
+  }
+  if (input.numel() % size() != 0) {
+    return Status::InvalidArgument(
+        "AllToAll: numel must be divisible by group size");
+  }
+  MICS_RETURN_NOT_OK(CheckHealthy());
+  RecordOp(OpKind::kAllToAll,
+           static_cast<double>(size() - 1) * input.nbytes() / size());
+  if (size() == 1) {
+    if (output->data() != input.data()) {
+      std::memcpy(output->data(), input.data(),
+                  static_cast<size_t>(input.nbytes()));
+    }
+    return Status::OK();
+  }
+  const int64_t chunk = input.nbytes() / size();
+  const uint8_t* in = static_cast<const uint8_t*>(input.data());
+  uint8_t* out = static_cast<uint8_t*>(output->data());
+  for (int r = 0; r < size(); ++r) {
+    if (r == group_rank_) continue;
+    MICS_RETURN_NOT_OK(SendTo(r, in + r * chunk, chunk));
+  }
+  if (out + group_rank_ * chunk != in + group_rank_ * chunk) {
+    std::memcpy(out + group_rank_ * chunk, in + group_rank_ * chunk,
+                static_cast<size_t>(chunk));
+  }
+  for (int r = 0; r < size(); ++r) {
+    if (r == group_rank_) continue;
+    MICS_RETURN_NOT_OK(RecvFrom(r, out + r * chunk, chunk));
+  }
+  return Status::OK();
+}
+
+Status SocketCommunicator::Barrier() {
+  MICS_RETURN_NOT_OK(CheckHealthy());
+  RecordOp(OpKind::kBarrier, 0.0);
+  if (size() == 1) return Status::OK();
+  // Gather-to-member-0 plus fan-out token: member 0 releases nobody until
+  // every member has arrived, which is exactly the rendezvous barrier.
+  uint8_t token = 1;
+  if (group_rank_ == 0) {
+    for (int r = 1; r < size(); ++r) {
+      MICS_RETURN_NOT_OK(RecvFrom(r, &token, 1));
+    }
+    for (int r = 1; r < size(); ++r) {
+      MICS_RETURN_NOT_OK(SendTo(r, &token, 1));
+    }
+    return Status::OK();
+  }
+  MICS_RETURN_NOT_OK(SendTo(0, &token, 1));
+  return RecvFrom(0, &token, 1);
+}
+
+Status SocketCommunicator::AllGatherCoalesced(
+    const std::vector<Tensor>& inputs, std::vector<Tensor>* outputs) {
+  MICS_RETURN_NOT_OK(ValidateCoalesced(inputs, outputs, size(), true));
+  double link_bytes = 0.0;
+  int64_t total = 0;
+  for (const Tensor& in : inputs) {
+    link_bytes += static_cast<double>(size() - 1) * in.nbytes();
+    total += in.nbytes();
+  }
+  MICS_RETURN_NOT_OK(CheckHealthy());
+  RecordOp(OpKind::kAllGather, link_bytes);
+  if (size() == 1) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if ((*outputs)[i].data() != inputs[i].data()) {
+        std::memcpy((*outputs)[i].data(), inputs[i].data(),
+                    static_cast<size_t>(inputs[i].nbytes()));
+      }
+    }
+    return Status::OK();
+  }
+  const int p = size();
+  // One frame per peer each way: pack all items, exchange, unpack. Pure
+  // data movement, so coalescing over the wire cannot change the bits.
+  uint8_t* pack = Scratch(0, total);
+  int64_t off = 0;
+  for (const Tensor& in : inputs) {
+    std::memcpy(pack + off, in.data(), static_cast<size_t>(in.nbytes()));
+    off += in.nbytes();
+  }
+  for (int r = 0; r < p; ++r) {
+    if (r == group_rank_) continue;
+    MICS_RETURN_NOT_OK(SendTo(r, pack, total));
+  }
+  uint8_t* stage = Scratch(1, static_cast<int64_t>(p) * total);
+  for (int r = 0; r < p; ++r) {
+    if (r == group_rank_) continue;
+    MICS_RETURN_NOT_OK(RecvFrom(r, stage + r * total, total));
+  }
+  for (int r = 0; r < p; ++r) {
+    const uint8_t* src = (r == group_rank_) ? pack : stage + r * total;
+    int64_t item_off = 0;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      const int64_t nb = inputs[i].nbytes();
+      uint8_t* dst = static_cast<uint8_t*>((*outputs)[i].data()) + r * nb;
+      std::memcpy(dst, src + item_off, static_cast<size_t>(nb));
+      item_off += nb;
+    }
+  }
+  return Status::OK();
+}
+
+Status SocketCommunicator::ReduceScatterCoalesced(
+    const std::vector<Tensor>& inputs, std::vector<Tensor>* outputs,
+    ReduceOp op) {
+  MICS_RETURN_NOT_OK(ValidateCoalesced(inputs, outputs, size(), false));
+  double link_bytes = 0.0;
+  int64_t total = 0;
+  for (const Tensor& out : *outputs) {
+    link_bytes += static_cast<double>(size() - 1) * out.nbytes();
+    total += out.nbytes();
+  }
+  MICS_RETURN_NOT_OK(CheckHealthy());
+  RecordOp(OpKind::kReduceScatter, link_bytes);
+  if (size() == 1) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if ((*outputs)[i].data() != inputs[i].data()) {
+        std::memcpy((*outputs)[i].data(), inputs[i].data(),
+                    static_cast<size_t>(inputs[i].nbytes()));
+      }
+    }
+    return Status::OK();
+  }
+  const int p = size();
+  // To owner r goes one frame: the concatenation over items of chunk r of
+  // this member's input. The owner then reduces each item's p sources in
+  // member order — the same per-item accumulation as in-process.
+  uint8_t* pack = Scratch(0, total);
+  for (int r = 0; r < p; ++r) {
+    if (r == group_rank_) continue;
+    int64_t off = 0;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      const int64_t nb = (*outputs)[i].nbytes();
+      const uint8_t* in = static_cast<const uint8_t*>(inputs[i].data());
+      std::memcpy(pack + off, in + r * nb, static_cast<size_t>(nb));
+      off += nb;
+    }
+    MICS_RETURN_NOT_OK(SendTo(r, pack, total));
+  }
+  uint8_t* stage = Scratch(1, static_cast<int64_t>(p) * total);
+  for (int r = 0; r < p; ++r) {
+    if (r == group_rank_) continue;
+    MICS_RETURN_NOT_OK(RecvFrom(r, stage + r * total, total));
+  }
+  std::vector<const void*> srcs(static_cast<size_t>(p));
+  int64_t item_off = 0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    Tensor& out = (*outputs)[i];
+    const int64_t nb = out.nbytes();
+    const uint8_t* own =
+        static_cast<const uint8_t*>(inputs[i].data()) + group_rank_ * nb;
+    for (int r = 0; r < p; ++r) {
+      srcs[static_cast<size_t>(r)] =
+          (r == group_rank_) ? static_cast<const void*>(own)
+                             : stage + r * total + item_off;
+    }
+    ReduceInto(srcs, out.data(), out.dtype(), 0, out.numel(), op);
+    item_off += nb;
+  }
+  return Status::OK();
+}
+
+CommFactory SocketCommFactory(SocketTransport* transport,
+                              const RankTopology* topo) {
+  return [transport, topo](
+             const std::vector<int>& ranks) -> Result<std::unique_ptr<Comm>> {
+    MICS_ASSIGN_OR_RETURN(
+        std::unique_ptr<SocketCommunicator> comm,
+        SocketCommunicator::Create(transport, ranks, topo));
+    return std::unique_ptr<Comm>(std::move(comm));
+  };
+}
+
+}  // namespace net
+}  // namespace mics

@@ -1,0 +1,134 @@
+#ifndef MICS_NET_SOCKET_COMM_H_
+#define MICS_NET_SOCKET_COMM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comm/comm.h"
+#include "comm/topology.h"
+#include "net/transport.h"
+#include "util/status.h"
+
+namespace mics {
+namespace net {
+
+/// The socket-backed Comm: the same collective schedules as the
+/// in-process Communicator, carried over a SocketTransport between real
+/// processes — bit-identical by construction:
+///
+///  - pure data-movement collectives (all-gather, broadcast, gather,
+///    scatter, all-to-all) move the same bytes to the same slots; the
+///    all-gather runs the textbook ring schedule (p-1 steps, each
+///    forwarding one chunk to the right neighbour);
+///  - reducing collectives gather member chunks and fold them with the
+///    shared ReduceInto kernel in fixed member order (0, 1, ..., p-1) —
+///    the exact accumulation tree the in-process backend uses, so float
+///    sums land on identical bits (a ring's rotated accumulation order
+///    would not);
+///  - all-reduce runs reduce-scatter + ring all-gather when the group
+///    size divides the element count (per-element identical to the
+///    one-shot member-order reduction), and a full exchange with local
+///    member-order reduction otherwise (scalars, odd sizes).
+///
+/// Failure semantics mirror the GroupState rendezvous: the first
+/// transport error (peer death, timeout) POISONS this communicator —
+/// the failing call and every later one return DeadlineExceeded, so the
+/// fault layer's Dispatch never retries a half-completed wire collective,
+/// and recovery tears the incarnation down exactly as it does in-process.
+class SocketCommunicator : public Comm {
+ public:
+  /// All members must call Create with the same `ranks` (global mesh
+  /// ranks, group order) in the same SPMD order — channel allocation
+  /// rendezvouses through the transport's store. `topo` (optional, not
+  /// retained) drives the intra-/inter-node split of `comm.*` counters.
+  /// The transport is borrowed and must outlive the communicator.
+  static Result<std::unique_ptr<SocketCommunicator>> Create(
+      SocketTransport* transport, std::vector<int> ranks,
+      const RankTopology* topo = nullptr);
+
+  int rank() const override { return group_rank_; }
+  int size() const override { return static_cast<int>(ranks_.size()); }
+  int global_rank() const override { return transport_->rank(); }
+  const std::vector<int>& ranks() const override { return ranks_; }
+  double inter_link_fraction() const override { return inter_link_fraction_; }
+
+  Status AllGather(const Tensor& input, Tensor* output) override;
+  Status ReduceScatter(const Tensor& input, Tensor* output,
+                       ReduceOp op = ReduceOp::kSum) override;
+  Status AllReduce(Tensor* inout, ReduceOp op = ReduceOp::kSum) override;
+  Status Broadcast(Tensor* inout, int root) override;
+  Status Reduce(const Tensor& input, Tensor* output, int root,
+                ReduceOp op = ReduceOp::kSum) override;
+  Status Gather(const Tensor& input, Tensor* output, int root) override;
+  Status Scatter(const Tensor& input, Tensor* output, int root) override;
+  Status AllToAll(const Tensor& input, Tensor* output) override;
+  Status Barrier() override;
+  Status AllGatherCoalesced(const std::vector<Tensor>& inputs,
+                            std::vector<Tensor>* outputs) override;
+  Status ReduceScatterCoalesced(const std::vector<Tensor>& inputs,
+                                std::vector<Tensor>* outputs,
+                                ReduceOp op = ReduceOp::kSum) override;
+
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  SocketCommunicator(SocketTransport* transport, std::vector<int> ranks,
+                     int group_rank, uint64_t channel,
+                     double inter_link_fraction)
+      : transport_(transport),
+        ranks_(std::move(ranks)),
+        group_rank_(group_rank),
+        channel_(channel),
+        inter_link_fraction_(inter_link_fraction) {}
+
+  /// Fails fast once poisoned (DeadlineExceeded, like a poisoned
+  /// GroupState).
+  Status CheckHealthy() const;
+
+  /// Wraps a transport error: poisons this communicator and converts the
+  /// status to DeadlineExceeded so Dispatch never wire-retries.
+  Status Poisoned(Status st);
+
+  Status SendTo(int member, const void* data, int64_t nbytes);
+  Status RecvFrom(int member, void* data, int64_t nbytes);
+
+  /// The ring all-gather over an output buffer whose slot `group_rank_`
+  /// already holds this rank's contribution.
+  Status RingAllGatherInPlace(uint8_t* out, int64_t chunk_bytes);
+
+  /// Member-order reduction of one chunk: every member sends chunk
+  /// `owner` of its input to the owner; the owner folds the p sources
+  /// with ReduceInto. Non-owners return after their send.
+  Status ReduceChunkToOwner(int owner, const uint8_t* my_chunk,
+                            int64_t chunk_numel, DType dt, void* dst,
+                            ReduceOp op);
+
+  /// Grow-only internal staging buffer (slot 0: pack, slot 1: peer
+  /// staging). Deliberately NOT Comm::RingScratch: RingScratch belongs to
+  /// the algorithms layered on top — the hierarchical stages carve views
+  /// into it and pass them back down as collective outputs, so using it
+  /// here would alias caller buffers.
+  uint8_t* Scratch(int slot, int64_t nbytes);
+
+  SocketTransport* transport_;
+  std::vector<int> ranks_;
+  int group_rank_;
+  uint64_t channel_;
+  double inter_link_fraction_ = 0.0;
+  bool poisoned_ = false;
+  std::vector<uint8_t> scratch_[2];
+};
+
+/// A CommFactory over `transport`, the multi-process mirror of
+/// WorldCommFactory: hand it to GroupManager/ShardedDataParallel and the
+/// whole training stack (flat, hierarchical, async, fault dispatch) runs
+/// over sockets unchanged. `transport` and `topo` are borrowed and must
+/// outlive the factory and every Comm it creates.
+CommFactory SocketCommFactory(SocketTransport* transport,
+                              const RankTopology* topo);
+
+}  // namespace net
+}  // namespace mics
+
+#endif  // MICS_NET_SOCKET_COMM_H_

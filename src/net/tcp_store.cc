@@ -1,0 +1,319 @@
+#include "net/tcp_store.h"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace mics {
+namespace net {
+
+namespace {
+
+constexpr uint8_t kOpSet = 1;
+constexpr uint8_t kOpGet = 2;
+constexpr uint8_t kOpAdd = 3;
+constexpr uint8_t kOpWait = 4;
+constexpr uint8_t kOpPoison = 5;
+
+/// I/O on the store's control socket is bounded by this rather than the
+/// caller's rendezvous deadline: control messages are tiny, so anything
+/// slower than this means the server is gone.
+constexpr int64_t kIoTimeoutMs = 60000;
+
+/// Caps one key/value or one request field; the store carries addresses
+/// and counters, not tensors.
+constexpr uint32_t kMaxFieldBytes = 1 << 20;
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, 4);
+}
+
+void PutI64(std::string* out, int64_t v) {
+  char b[8];
+  const uint64_t u = static_cast<uint64_t>(v);
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((u >> (8 * i)) & 0xff);
+  out->append(b, 8);
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+int64_t ReadI64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return static_cast<int64_t>(v);
+}
+
+std::string EncodeI64(int64_t v) {
+  std::string s;
+  PutI64(&s, v);
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Server.
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<TcpStoreServer>> TcpStoreServer::Start(int port) {
+  std::unique_ptr<TcpStoreServer> server(new TcpStoreServer());
+  int bound = 0;
+  MICS_ASSIGN_OR_RETURN(server->listener_, ListenOn("127.0.0.1", port,
+                                                    &bound));
+  server->addr_ = "127.0.0.1:" + std::to_string(bound);
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+TcpStoreServer::~TcpStoreServer() { Stop(); }
+
+void TcpStoreServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // shutdown() (not close) wakes the accept loop: it fails the pending
+  // poll/accept without invalidating the descriptor under the accept
+  // thread's feet. The fd is closed only after the join, so no thread can
+  // observe it mid-teardown. Client threads notice `stopping_` the next
+  // time their blocked Wait re-checks or their poll slice expires.
+  listener_.ShutdownRw();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  std::vector<std::thread> clients;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    clients.swap(client_threads_);
+  }
+  for (std::thread& t : clients) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpStoreServer::AcceptLoop() {
+  for (;;) {
+    auto accepted = AcceptWithDeadline(listener_, 100);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
+    if (!accepted.ok()) {
+      if (accepted.status().IsDeadlineExceeded()) continue;
+      return;  // listener closed or broken
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    client_threads_.emplace_back(
+        [this, sock = std::make_shared<Socket>(std::move(accepted).value())]()
+            mutable { ServeClient(std::move(*sock)); });
+  }
+}
+
+void TcpStoreServer::ServeClient(Socket sock) {
+  for (;;) {
+    // Poll in short slices between requests so Stop() is honoured even
+    // while a client holds its connection open but idle.
+    const Status ready = WaitReadable(sock, 100);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
+    if (!ready.ok()) {
+      if (ready.IsDeadlineExceeded()) continue;
+      return;
+    }
+    if (!HandleRequest(sock)) return;
+  }
+}
+
+bool TcpStoreServer::HandleRequest(const Socket& sock) {
+  // Header: op(1) + klen(4).
+  uint8_t head[5];
+  if (!RecvAll(sock, head, sizeof(head), kIoTimeoutMs).ok()) return false;
+  const uint8_t op = head[0];
+  const uint32_t klen = ReadU32(head + 1);
+  if (klen > kMaxFieldBytes) return false;
+  std::string key(klen, '\0');
+  if (klen > 0 && !RecvAll(sock, key.data(), klen, kIoTimeoutMs).ok()) {
+    return false;
+  }
+  uint8_t vhead[4];
+  if (!RecvAll(sock, vhead, sizeof(vhead), kIoTimeoutMs).ok()) return false;
+  const uint32_t vlen = ReadU32(vhead);
+  if (vlen > kMaxFieldBytes) return false;
+  std::string value(vlen, '\0');
+  if (vlen > 0 && !RecvAll(sock, value.data(), vlen, kIoTimeoutMs).ok()) {
+    return false;
+  }
+  uint8_t argbuf[8];
+  if (!RecvAll(sock, argbuf, sizeof(argbuf), kIoTimeoutMs).ok()) return false;
+  const int64_t arg = ReadI64(argbuf);
+
+  StatusCode code = StatusCode::kOk;
+  std::string reply;
+  switch (op) {
+    case kOpSet: {
+      std::lock_guard<std::mutex> lock(mu_);
+      data_[key] = value;
+      cv_.notify_all();
+      break;
+    }
+    case kOpGet: {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = data_.find(key);
+      if (it == data_.end()) {
+        code = StatusCode::kNotFound;
+      } else {
+        reply = it->second;
+      }
+      break;
+    }
+    case kOpAdd: {
+      std::lock_guard<std::mutex> lock(mu_);
+      int64_t total = arg;
+      auto it = data_.find(key);
+      if (it != data_.end() && it->second.size() == 8) {
+        total += ReadI64(reinterpret_cast<const uint8_t*>(it->second.data()));
+      }
+      data_[key] = EncodeI64(total);
+      reply = data_[key];
+      cv_.notify_all();
+      break;
+    }
+    case kOpWait: {
+      std::unique_lock<std::mutex> lock(mu_);
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(arg);
+      const bool found = cv_.wait_until(lock, deadline, [&] {
+        return poisoned_ || stopping_ || data_.count(key) > 0;
+      });
+      if (poisoned_) {
+        code = StatusCode::kDeadlineExceeded;
+        reply = poison_reason_;
+      } else if (stopping_) {
+        code = StatusCode::kUnavailable;
+      } else if (!found) {
+        // Rendezvous timeout: poison the store so every other waiter —
+        // current and future — fails fast instead of each burning its own
+        // full timeout (the GroupState poison-on-timeout contract).
+        poisoned_ = true;
+        poison_reason_ = "rendezvous wait for '" + key + "' timed out";
+        code = StatusCode::kDeadlineExceeded;
+        reply = poison_reason_;
+        cv_.notify_all();
+      } else {
+        reply = data_[key];
+      }
+      break;
+    }
+    case kOpPoison: {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!poisoned_) {
+        poisoned_ = true;
+        poison_reason_ = value.empty() ? "poisoned by client" : value;
+      }
+      cv_.notify_all();
+      break;
+    }
+    default:
+      return false;
+  }
+
+  std::string out;
+  out.push_back(static_cast<char>(code));
+  PutU32(&out, static_cast<uint32_t>(reply.size()));
+  out += reply;
+  return SendAll(sock, out.data(), out.size(), kIoTimeoutMs).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Client.
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<TcpStoreClient>> TcpStoreClient::Connect(
+    const std::string& addr, int64_t timeout_ms) {
+  std::string host;
+  int port = 0;
+  MICS_RETURN_NOT_OK(ParseHostPort(addr, &host, &port));
+  MICS_ASSIGN_OR_RETURN(Socket sock, ConnectWithRetry(host, port, timeout_ms));
+  return std::unique_ptr<TcpStoreClient>(new TcpStoreClient(std::move(sock)));
+}
+
+Result<std::string> TcpStoreClient::Call(uint8_t op, const std::string& key,
+                                         const std::string& value, int64_t arg,
+                                         int64_t io_timeout_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string req;
+  req.push_back(static_cast<char>(op));
+  PutU32(&req, static_cast<uint32_t>(key.size()));
+  req += key;
+  PutU32(&req, static_cast<uint32_t>(value.size()));
+  req += value;
+  PutI64(&req, arg);
+  MICS_RETURN_NOT_OK(SendAll(sock_, req.data(), req.size(), io_timeout_ms));
+  uint8_t head[5];
+  MICS_RETURN_NOT_OK(RecvAll(sock_, head, sizeof(head), io_timeout_ms));
+  const StatusCode code = static_cast<StatusCode>(head[0]);
+  const uint32_t vlen = ReadU32(head + 1);
+  if (vlen > kMaxFieldBytes) {
+    return Status::Internal("store reply too large");
+  }
+  std::string reply(vlen, '\0');
+  if (vlen > 0) {
+    MICS_RETURN_NOT_OK(RecvAll(sock_, reply.data(), vlen, io_timeout_ms));
+  }
+  if (code != StatusCode::kOk) {
+    return Status(code, "store " + std::to_string(op) + " '" + key +
+                            "': " + reply);
+  }
+  return reply;
+}
+
+Status TcpStoreClient::Set(const std::string& key, const std::string& value) {
+  return Call(kOpSet, key, value, 0, kIoTimeoutMs).status();
+}
+
+Result<std::string> TcpStoreClient::Get(const std::string& key) {
+  return Call(kOpGet, key, "", 0, kIoTimeoutMs);
+}
+
+Result<int64_t> TcpStoreClient::Add(const std::string& key, int64_t delta) {
+  MICS_ASSIGN_OR_RETURN(std::string reply,
+                        Call(kOpAdd, key, "", delta, kIoTimeoutMs));
+  if (reply.size() != 8) return Status::Internal("bad Add reply");
+  return ReadI64(reinterpret_cast<const uint8_t*>(reply.data()));
+}
+
+Result<std::string> TcpStoreClient::Wait(const std::string& key,
+                                         int64_t timeout_ms) {
+  // The socket deadline must outlast the server-side wait so a legitimate
+  // long wait is not misreported as an I/O failure.
+  return Call(kOpWait, key, "", timeout_ms, timeout_ms + kIoTimeoutMs);
+}
+
+Status TcpStoreClient::Poison(const std::string& reason) {
+  return Call(kOpPoison, "", reason, 0, kIoTimeoutMs).status();
+}
+
+Status TcpStoreClient::Barrier(const std::string& name, int world_size,
+                               int64_t timeout_ms) {
+  const std::string count_key = "barrier/" + name;
+  MICS_ASSIGN_OR_RETURN(int64_t arrived, Add(count_key, 1));
+  if (arrived == world_size) {
+    MICS_RETURN_NOT_OK(Set(count_key + "/go", "1"));
+  }
+  return Wait(count_key + "/go", timeout_ms).status();
+}
+
+}  // namespace net
+}  // namespace mics

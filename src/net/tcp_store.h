@@ -1,0 +1,116 @@
+#ifndef MICS_NET_TCP_STORE_H_
+#define MICS_NET_TCP_STORE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace mics {
+namespace net {
+
+/// Rendezvous key/value server, the multi-process analogue of the World's
+/// GroupState registry: processes exchange listen addresses through it at
+/// startup and use its blocking Wait as a startup barrier. One instance
+/// runs in the launcher (or rank 0 of a manual launch); every worker
+/// talks to it through a TcpStoreClient.
+///
+/// Semantics mirror the in-process rendezvous:
+///  - Wait(key) blocks (server-side) until the key exists or the caller's
+///    deadline passes; a timeout POISONS the store, so every current and
+///    future Wait fails fast with DeadlineExceeded instead of hanging —
+///    exactly the GroupState poison-on-timeout contract.
+///  - Set/Get/Add never block; Get of a missing key is NotFound.
+///
+/// Wire protocol (all integers little-endian):
+///   request:  u8 op | u32 klen | key | u32 vlen | value | i64 arg
+///   response: u8 status_code | u32 vlen | value
+/// with op: 1=Set 2=Get 3=Add(arg=delta) 4=Wait(arg=timeout_ms) 5=Poison.
+/// Add returns the post-increment total as an 8-byte LE i64 value.
+class TcpStoreServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving.
+  static Result<std::unique_ptr<TcpStoreServer>> Start(int port = 0);
+
+  ~TcpStoreServer();
+
+  /// "127.0.0.1:<port>" — what workers put in MICS_STORE_ADDR.
+  const std::string& addr() const { return addr_; }
+
+  /// Stops serving and joins every thread. Idempotent.
+  void Stop();
+
+ private:
+  TcpStoreServer() = default;
+
+  void AcceptLoop();
+  void ServeClient(Socket sock);
+  /// One request/response exchange; false ends the connection.
+  bool HandleRequest(const Socket& sock);
+
+  Socket listener_;
+  std::string addr_;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::string> data_;
+  bool poisoned_ = false;
+  std::string poison_reason_;
+  bool stopping_ = false;
+  std::vector<std::thread> client_threads_;
+};
+
+/// One process's connection to the store. Methods are thread-safe (the
+/// single request/response socket is mutex-serialized).
+class TcpStoreClient {
+ public:
+  static Result<std::unique_ptr<TcpStoreClient>> Connect(
+      const std::string& addr, int64_t timeout_ms = 60000);
+
+  Status Set(const std::string& key, const std::string& value);
+  Result<std::string> Get(const std::string& key);
+
+  /// Atomically adds `delta` to the integer at `key` (missing = 0) and
+  /// returns the new total.
+  Result<int64_t> Add(const std::string& key, int64_t delta);
+
+  /// Blocks until `key` exists, up to `timeout_ms`. Timeout poisons the
+  /// store and returns DeadlineExceeded; on a poisoned store every Wait
+  /// fails immediately.
+  Result<std::string> Wait(const std::string& key, int64_t timeout_ms);
+
+  /// Marks the store poisoned (e.g. a worker noticed a dead peer) so
+  /// every blocked or future Wait aborts with DeadlineExceeded.
+  Status Poison(const std::string& reason);
+
+  /// Rendezvous barrier over the store: all `world_size` participants
+  /// call Barrier with the same `name`; everyone returns once the last
+  /// one arrives (or DeadlineExceeded on timeout/poison).
+  Status Barrier(const std::string& name, int world_size, int64_t timeout_ms);
+
+ private:
+  explicit TcpStoreClient(Socket sock) : sock_(std::move(sock)) {}
+
+  /// Sends one request and decodes the response into (status, value).
+  /// `io_timeout_ms` bounds the socket I/O; for Wait it must exceed the
+  /// server-side wait timeout.
+  Result<std::string> Call(uint8_t op, const std::string& key,
+                           const std::string& value, int64_t arg,
+                           int64_t io_timeout_ms);
+
+  std::mutex mu_;
+  Socket sock_;
+};
+
+}  // namespace net
+}  // namespace mics
+
+#endif  // MICS_NET_TCP_STORE_H_

@@ -1,0 +1,392 @@
+#include "net/transport.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace mics {
+namespace net {
+
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x4D494353;  // 'MICS'
+constexpr size_t kHeaderBytes = 32;
+
+/// net.* traffic counters, split by whether the peer lives on another
+/// node (per the topology passed at Connect). Looked up once per process.
+struct NetCounters {
+  obs::Counter* frames_sent;
+  obs::Counter* frames_received;
+  obs::Counter* bytes_sent_intra;
+  obs::Counter* bytes_sent_inter;
+  obs::Counter* bytes_received_intra;
+  obs::Counter* bytes_received_inter;
+  obs::Counter* recv_timeouts;
+};
+
+const NetCounters& Counters() {
+  static const NetCounters c = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    return NetCounters{
+        reg.GetCounter("net.frames_sent"),
+        reg.GetCounter("net.frames_received"),
+        reg.GetCounter("net.bytes_sent.intra_node"),
+        reg.GetCounter("net.bytes_sent.inter_node"),
+        reg.GetCounter("net.bytes_received.intra_node"),
+        reg.GetCounter("net.bytes_received.inter_node"),
+        reg.GetCounter("net.recv.deadline_exceeded"),
+    };
+  }();
+  return c;
+}
+
+void PutU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>((v >> (8 * i)));
+}
+
+void PutU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>((v >> (8 * i)));
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+bool NetDebug() {
+  static const bool on = std::getenv("MICS_NET_DEBUG") != nullptr;
+  return on;
+}
+
+std::string RanksKey(const std::vector<int>& ranks) {
+  std::string s;
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    if (i > 0) s.push_back('-');
+    s += std::to_string(ranks[i]);
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
+    const std::string& store_addr, int rank, int world_size,
+    const RankTopology* topo, TransportOptions options) {
+  if (rank < 0 || world_size <= 0 || rank >= world_size) {
+    return Status::InvalidArgument("bad rank/world_size");
+  }
+  if (topo != nullptr) {
+    MICS_RETURN_NOT_OK(topo->Validate());
+    if (topo->world_size != world_size) {
+      return Status::InvalidArgument("topology/world size mismatch");
+    }
+  }
+  std::unique_ptr<SocketTransport> t(new SocketTransport());
+  t->rank_ = rank;
+  t->world_size_ = world_size;
+  t->options_ = std::move(options);
+  MICS_RETURN_NOT_OK(t->MeshConnect(store_addr, topo));
+  return t;
+}
+
+Status SocketTransport::MeshConnect(const std::string& store_addr,
+                                    const RankTopology* topo) {
+  const int64_t budget = options_.connect_timeout_ms;
+  MICS_ASSIGN_OR_RETURN(store_, TcpStoreClient::Connect(store_addr, budget));
+
+  peers_.clear();
+  for (int r = 0; r < world_size_; ++r) {
+    peers_.push_back(std::make_unique<Peer>());
+    if (topo != nullptr && r != rank_) {
+      peers_.back()->inter_fraction =
+          topo->NodeOf(r) != topo->NodeOf(rank_) ? 1.0 : 0.0;
+    }
+  }
+  if (world_size_ == 1) return Status::OK();
+
+  // Publish my listen address, then dial every lower rank and accept from
+  // every higher rank. Dialing only downward means every connect has a
+  // listener already bound (the store Wait orders us after its publish),
+  // so the mesh forms without accept/connect deadlock.
+  int port = 0;
+  MICS_ASSIGN_OR_RETURN(Socket listener, ListenOn("127.0.0.1", 0, &port));
+  const std::string prefix = options_.key_prefix + "/";
+  MICS_RETURN_NOT_OK(store_->Set(prefix + "addr/" + std::to_string(rank_),
+                                 "127.0.0.1:" + std::to_string(port)));
+
+  for (int r = 0; r < rank_; ++r) {
+    MICS_ASSIGN_OR_RETURN(
+        std::string addr,
+        store_->Wait(prefix + "addr/" + std::to_string(r), budget));
+    std::string host;
+    int peer_port = 0;
+    MICS_RETURN_NOT_OK(ParseHostPort(addr, &host, &peer_port));
+    MICS_ASSIGN_OR_RETURN(Socket sock,
+                          ConnectWithRetry(host, peer_port, budget));
+    // Hello frame: tell the acceptor which mesh rank this connection is.
+    uint8_t hello[4];
+    PutU32(hello, static_cast<uint32_t>(rank_));
+    MICS_RETURN_NOT_OK(SendAll(sock, hello, sizeof(hello), budget));
+    peers_[static_cast<size_t>(r)]->sock = std::move(sock);
+  }
+  for (int i = rank_ + 1; i < world_size_; ++i) {
+    MICS_ASSIGN_OR_RETURN(Socket sock, AcceptWithDeadline(listener, budget));
+    uint8_t hello[4];
+    MICS_RETURN_NOT_OK(RecvAll(sock, hello, sizeof(hello), budget));
+    const int peer = static_cast<int>(ReadU32(hello));
+    if (peer <= rank_ || peer >= world_size_) {
+      return Status::Internal("mesh hello from unexpected rank " +
+                              std::to_string(peer));
+    }
+    if (peers_[static_cast<size_t>(peer)]->sock.valid()) {
+      return Status::Internal("duplicate mesh connection from rank " +
+                              std::to_string(peer));
+    }
+    peers_[static_cast<size_t>(peer)]->sock = std::move(sock);
+  }
+
+  for (int r = 0; r < world_size_; ++r) {
+    if (r == rank_) continue;
+    peers_[static_cast<size_t>(r)]->reader =
+        std::thread([this, r] { ReaderLoop(r); });
+  }
+
+  // Everyone is wired; barrier so no rank starts sending into a mesh a
+  // peer is still assembling.
+  return store_->Barrier(prefix + "mesh", world_size_, budget);
+}
+
+SocketTransport::~SocketTransport() { Shutdown(); }
+
+void SocketTransport::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // shutdown() before close(): a reader already blocked in poll on the
+  // socket is only woken by shutdown — close alone leaves it blocked on
+  // the still-open file description.
+  for (auto& peer : peers_) {
+    if (peer != nullptr) peer->sock.ShutdownRw();
+  }
+  for (auto& peer : peers_) {
+    if (peer != nullptr && peer->reader.joinable()) peer->reader.join();
+  }
+  for (auto& peer : peers_) {
+    if (peer != nullptr) peer->sock.Close();
+  }
+}
+
+void SocketTransport::ReaderLoop(int peer) {
+  Peer& p = *peers_[static_cast<size_t>(peer)];
+  const NetCounters& counters = Counters();
+  for (;;) {
+    uint8_t header[kHeaderBytes];
+    // Readers block without deadline: frame arrival times are the
+    // receiver's business (Recv enforces deadlines); the reader just
+    // drains. Shutdown unblocks it by closing the socket.
+    Status st = RecvAll(p.sock, header, sizeof(header),
+                        /*timeout_ms=*/3600 * 1000);
+    Frame frame;
+    uint64_t channel = 0;
+    if (st.ok()) {
+      const uint32_t magic = ReadU32(header);
+      channel = ReadU64(header + 8);
+      frame.seq = ReadU64(header + 16);
+      const uint64_t len = ReadU64(header + 24);
+      if (magic != kFrameMagic) {
+        st = Status::Internal("bad frame magic from rank " +
+                              std::to_string(peer));
+      } else if (len > (1ull << 32)) {
+        st = Status::Internal("oversized frame from rank " +
+                              std::to_string(peer));
+      } else {
+        frame.payload.resize(len);
+        if (len > 0) {
+          st = RecvAll(p.sock, frame.payload.data(), len,
+                       /*timeout_ms=*/3600 * 1000);
+        }
+      }
+    }
+    if (NetDebug()) {
+      std::fprintf(stderr, "[net %d] reader %d frame chan %llu st %s\n",
+                   rank_, peer,
+                   static_cast<unsigned long long>(channel),
+                   st.ToString().c_str());
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    if (!st.ok()) {
+      // Deadline on the raw socket means the peer is wedged or gone;
+      // surface every reader failure as Unavailable on this peer.
+      peer_error_[peer] = st.IsUnavailable()
+                              ? st
+                              : Status::Unavailable("reader for rank " +
+                                                    std::to_string(peer) +
+                                                    " failed: " +
+                                                    st.message());
+      cv_.notify_all();
+      return;
+    }
+    counters.frames_received->Increment();
+    (p.inter_fraction > 0.0 ? counters.bytes_received_inter
+                            : counters.bytes_received_intra)
+        ->Add(static_cast<double>(frame.payload.size()));
+    mailboxes_[{peer, channel}].push_back(std::move(frame));
+    cv_.notify_all();
+  }
+}
+
+Result<uint64_t> SocketTransport::AllocateChannel(
+    const std::vector<int>& ranks) {
+  bool member = false;
+  for (int r : ranks) {
+    if (r == rank_) member = true;
+    if (r < 0 || r >= world_size_) {
+      return Status::InvalidArgument("channel rank out of mesh range");
+    }
+  }
+  if (!member) {
+    return Status::InvalidArgument("this rank is not in the channel group");
+  }
+  uint64_t instance = 0;
+  {
+    std::lock_guard<std::mutex> lock(channel_mu_);
+    instance = channel_counts_[ranks]++;
+  }
+  // Members agree on (ranks, instance) because SPMD code creates
+  // communicators over identical rank lists in identical order. The
+  // lowest member allocates a mesh-unique id from the store; the rest
+  // wait for it — so ids never collide across groups, whatever the
+  // interleaving of different groups' creations.
+  const std::string key = options_.key_prefix + "/chan/" + RanksKey(ranks) +
+                          "/" + std::to_string(instance);
+  if (rank_ == ranks[0]) {
+    MICS_ASSIGN_OR_RETURN(
+        int64_t id, store_->Add(options_.key_prefix + "/next_channel", 1));
+    MICS_RETURN_NOT_OK(store_->Set(key, std::to_string(id)));
+    return static_cast<uint64_t>(id);
+  }
+  MICS_ASSIGN_OR_RETURN(std::string value,
+                        store_->Wait(key, options_.connect_timeout_ms));
+  return static_cast<uint64_t>(std::strtoll(value.c_str(), nullptr, 10));
+}
+
+Status SocketTransport::Send(int peer, uint64_t channel, const void* data,
+                             int64_t nbytes) {
+  if (peer < 0 || peer >= world_size_ || peer == rank_) {
+    return Status::InvalidArgument("Send: bad peer rank");
+  }
+  if (nbytes < 0) return Status::InvalidArgument("Send: negative size");
+  Peer& p = *peers_[static_cast<size_t>(peer)];
+  if (NetDebug()) {
+    std::fprintf(stderr, "[net %d] send -> %d chan %llu bytes %lld\n", rank_,
+                 peer, static_cast<unsigned long long>(channel),
+                 static_cast<long long>(nbytes));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return Status::Unavailable("transport shut down");
+    auto it = peer_error_.find(peer);
+    if (it != peer_error_.end()) return it->second;
+  }
+  std::lock_guard<std::mutex> send_lock(p.send_mu);
+  uint8_t header[kHeaderBytes] = {0};
+  PutU32(header, kFrameMagic);
+  PutU64(header + 8, channel);
+  PutU64(header + 16, p.send_seq[channel]++);
+  PutU64(header + 24, static_cast<uint64_t>(nbytes));
+  Status st = SendAll(p.sock, header, sizeof(header),
+                      options_.recv_timeout_ms);
+  if (st.ok() && nbytes > 0) {
+    st = SendAll(p.sock, data, static_cast<size_t>(nbytes),
+                 options_.recv_timeout_ms);
+  }
+  if (!st.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (peer_error_.find(peer) == peer_error_.end()) {
+      peer_error_[peer] = st.IsUnavailable()
+                              ? st
+                              : Status::Unavailable("send to rank " +
+                                                    std::to_string(peer) +
+                                                    " failed: " +
+                                                    st.message());
+    }
+    cv_.notify_all();
+    return peer_error_[peer];
+  }
+  const NetCounters& counters = Counters();
+  counters.frames_sent->Increment();
+  (p.inter_fraction > 0.0 ? counters.bytes_sent_inter
+                          : counters.bytes_sent_intra)
+      ->Add(static_cast<double>(nbytes));
+  return Status::OK();
+}
+
+Status SocketTransport::Recv(int peer, uint64_t channel, void* data,
+                             int64_t nbytes, int64_t timeout_ms) {
+  if (peer < 0 || peer >= world_size_ || peer == rank_) {
+    return Status::InvalidArgument("Recv: bad peer rank");
+  }
+  if (timeout_ms < 0) timeout_ms = options_.recv_timeout_ms;
+  if (NetDebug()) {
+    std::fprintf(stderr, "[net %d] recv <- %d chan %llu bytes %lld\n", rank_,
+                 peer, static_cast<unsigned long long>(channel),
+                 static_cast<long long>(nbytes));
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  const std::pair<int, uint64_t> box_key{peer, channel};
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stopping_) return Status::Unavailable("transport shut down");
+    auto box = mailboxes_.find(box_key);
+    if (box != mailboxes_.end() && !box->second.empty()) {
+      Frame frame = std::move(box->second.front());
+      box->second.pop_front();
+      const uint64_t expect = recv_seq_[box_key]++;
+      if (frame.seq != expect) {
+        return Status::Internal(
+            "frame sequence mismatch from rank " + std::to_string(peer) +
+            " channel " + std::to_string(channel) + ": got " +
+            std::to_string(frame.seq) + ", want " + std::to_string(expect));
+      }
+      if (static_cast<int64_t>(frame.payload.size()) != nbytes) {
+        return Status::Internal(
+            "frame size mismatch from rank " + std::to_string(peer) +
+            ": got " + std::to_string(frame.payload.size()) + ", want " +
+            std::to_string(nbytes));
+      }
+      if (nbytes > 0) {
+        std::memcpy(data, frame.payload.data(),
+                    static_cast<size_t>(nbytes));
+      }
+      return Status::OK();
+    }
+    auto err = peer_error_.find(peer);
+    if (err != peer_error_.end()) return err->second;
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      Counters().recv_timeouts->Increment();
+      return Status::DeadlineExceeded(
+          "recv from rank " + std::to_string(peer) + " channel " +
+          std::to_string(channel) + " timed out after " +
+          std::to_string(timeout_ms) + "ms");
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace mics

@@ -1,0 +1,134 @@
+#ifndef MICS_NET_TRANSPORT_H_
+#define MICS_NET_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/topology.h"
+#include "net/socket.h"
+#include "net/tcp_store.h"
+#include "util/status.h"
+
+namespace mics {
+namespace net {
+
+struct TransportOptions {
+  /// Rendezvous budget: store connect, address exchange, and full-mesh
+  /// dialing must finish within this.
+  int64_t connect_timeout_ms = 60000;
+  /// Default Recv deadline when the caller does not pass one.
+  int64_t recv_timeout_ms = 60000;
+  /// Key namespace inside the store, so one store can host several
+  /// transports (e.g. tests).
+  std::string key_prefix = "mics";
+};
+
+/// Framed point-to-point transport over a full TCP mesh between
+/// `world_size` processes on localhost. Rendezvous runs through a
+/// TcpStore: every rank listens on an ephemeral port, publishes its
+/// address under "<prefix>/addr/<rank>", dials every lower rank, accepts
+/// from every higher rank, and barriers before returning.
+///
+/// Wire format — every message is one frame (integers little-endian):
+///
+///   [u32 magic 'MICS'] [u32 reserved] [u64 channel] [u64 seq] [u64 len]
+///   [len payload bytes]
+///
+/// `channel` demultiplexes independent communicators sharing a rank pair
+/// (e.g. a partition group and the world group both connect ranks 0 and
+/// 1); `seq` is a per-(peer, channel) sequence number checked on receipt,
+/// so a schedule mismatch fails loudly instead of delivering misordered
+/// bytes. A reader thread per connection drains frames into per-(peer,
+/// channel) mailboxes, which is what makes concurrent all-to-all traffic
+/// deadlock-free: sends never wait on the peer's read loop.
+///
+/// Error mapping: Recv past its deadline is DeadlineExceeded; a closed or
+/// reset connection is Unavailable (both on the failing call and on every
+/// later call touching that peer).
+class SocketTransport {
+ public:
+  /// Connects rank `rank` of `world_size` to the mesh. `topo` (optional,
+  /// not retained) classifies per-peer traffic for the `net.*` counters.
+  static Result<std::unique_ptr<SocketTransport>> Connect(
+      const std::string& store_addr, int rank, int world_size,
+      const RankTopology* topo = nullptr,
+      TransportOptions options = TransportOptions());
+
+  ~SocketTransport();
+
+  int rank() const { return rank_; }
+  int world_size() const { return world_size_; }
+  TcpStoreClient* store() { return store_.get(); }
+  const TransportOptions& options() const { return options_; }
+
+  /// Allocates a mesh-wide-unique channel id for a communicator over
+  /// `ranks` (every member must call in the same SPMD order; all members
+  /// get the same id, coordinated through the store). This rank must be a
+  /// member.
+  Result<uint64_t> AllocateChannel(const std::vector<int>& ranks);
+
+  /// Sends one frame to `peer` (a mesh rank != rank()).
+  Status Send(int peer, uint64_t channel, const void* data, int64_t nbytes);
+
+  /// Receives one frame from `peer` on `channel` into `data` (which must
+  /// be exactly the sender's size; a mismatch is an Internal error).
+  /// `timeout_ms` < 0 uses options().recv_timeout_ms.
+  Status Recv(int peer, uint64_t channel, void* data, int64_t nbytes,
+              int64_t timeout_ms = -1);
+
+  /// Closes every connection and joins the reader threads. Idempotent;
+  /// called by the destructor. In-flight and later calls fail with
+  /// Unavailable.
+  void Shutdown();
+
+ private:
+  SocketTransport() = default;
+
+  struct Frame {
+    uint64_t seq = 0;
+    std::vector<uint8_t> payload;
+  };
+
+  /// One mesh connection and its reader state.
+  struct Peer {
+    Socket sock;
+    std::thread reader;
+    std::mutex send_mu;
+    std::map<uint64_t, uint64_t> send_seq;  // channel -> next seq
+    double inter_fraction = 0.0;            // 1 when on another node
+  };
+
+  void ReaderLoop(int peer);
+
+  Status MeshConnect(const std::string& store_addr,
+                     const RankTopology* topo);
+
+  int rank_ = 0;
+  int world_size_ = 0;
+  TransportOptions options_;
+  std::unique_ptr<TcpStoreClient> store_;
+
+  std::vector<std::unique_ptr<Peer>> peers_;  // indexed by mesh rank
+
+  std::mutex mu_;  // guards mailboxes_, recv_seq_, peer_error_, stopping_
+  std::condition_variable cv_;
+  std::map<std::pair<int, uint64_t>, std::deque<Frame>> mailboxes_;
+  std::map<std::pair<int, uint64_t>, uint64_t> recv_seq_;
+  std::map<int, Status> peer_error_;
+  bool stopping_ = false;
+
+  std::mutex channel_mu_;
+  std::map<std::vector<int>, uint64_t> channel_counts_;
+};
+
+}  // namespace net
+}  // namespace mics
+
+#endif  // MICS_NET_TRANSPORT_H_

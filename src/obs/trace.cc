@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <utility>
 
@@ -49,18 +50,38 @@ Counter* DroppedCounter() {
   return c;
 }
 
+/// Launcher rank (MICS_RANK, the mics_launch rendezvous env — see
+/// net/launch.h) or -1 when not under the launcher. Read per call, not
+/// cached: RegisterTrack is setup-path only, and tests toggle the env.
+int LauncherRank() {
+  const char* s = std::getenv("MICS_RANK");
+  if (s == nullptr || *s == '\0') return -1;
+  char* end = nullptr;
+  const long rank = std::strtol(s, &end, 10);
+  if (end == nullptr || *end != '\0' || rank < 0) return -1;
+  return static_cast<int>(rank);
+}
+
 }  // namespace
 
 TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
 
 int TraceRecorder::RegisterTrack(const std::string& name, int pid) {
+  // Under mics_launch every worker records its own trace; prefixing each
+  // track with the launcher rank keeps the tracks distinct when the
+  // per-process JSON files are merged into one Chrome trace. The prefix
+  // is deterministic, so idempotency per (pid, name) is preserved.
+  const int launcher_rank = LauncherRank();
+  const std::string full =
+      launcher_rank >= 0 ? "proc" + std::to_string(launcher_rank) + "/" + name
+                         : name;
   std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < tracks_.size(); ++i) {
-    if (tracks_[i].pid == pid && tracks_[i].name == name) {
+    if (tracks_[i].pid == pid && tracks_[i].name == full) {
       return static_cast<int>(i);
     }
   }
-  tracks_.push_back({name, pid});
+  tracks_.push_back({full, pid});
   return static_cast<int>(tracks_.size()) - 1;
 }
 

@@ -42,7 +42,9 @@ class TraceRecorder {
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
   /// Returns the tid for the track named `name` under `pid`, creating it
-  /// on first use. The viewer shows `name` as the thread label.
+  /// on first use. The viewer shows `name` as the thread label. Under
+  /// mics_launch (MICS_RANK set) the stored name is prefixed
+  /// "proc<rank>/" so per-worker trace files merge without colliding.
   int RegisterTrack(const std::string& name, int pid = 0);
 
   /// Records a finished span with caller-provided times (used for

@@ -1,0 +1,115 @@
+#include "train/multiprocess.h"
+
+#include <filesystem>
+#include <memory>
+#include <system_error>
+
+#include "net/socket_comm.h"
+#include "net/transport.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace mics {
+
+Result<MultiProcessTrainResult> RunMultiProcessTraining(
+    const MultiProcessTrainOptions& options) {
+  const net::DistributedContext& ctx = options.ctx;
+  RankTopology topo{ctx.world_size, ctx.gpus_per_node};
+  MICS_RETURN_NOT_OK(topo.Validate());
+  if (options.iterations <= 0 || options.grad_accumulation_steps <= 0 ||
+      options.micro_batch <= 0) {
+    return Status::InvalidArgument("training extents must be positive");
+  }
+  if (!options.checkpoint_dir.empty()) {
+    if (options.checkpoint_interval <= 0) {
+      return Status::InvalidArgument("checkpoint_interval must be positive");
+    }
+    // Create the directory up front: a worker must not train for an hour
+    // and then fail its first save because the launcher's cwd lacked it.
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_dir, ec);
+    if (ec) {
+      return Status::InvalidArgument("cannot create checkpoint dir '" +
+                                     options.checkpoint_dir +
+                                     "': " + ec.message());
+    }
+  }
+
+  net::TransportOptions topt;
+  topt.connect_timeout_ms = options.rendezvous_ms;
+  topt.recv_timeout_ms = options.rendezvous_ms;
+  MICS_ASSIGN_OR_RETURN(
+      std::unique_ptr<net::SocketTransport> transport,
+      net::SocketTransport::Connect(ctx.store_addr, ctx.rank, ctx.world_size,
+                                    &topo, topt));
+  const CommFactory factory = net::SocketCommFactory(transport.get(), &topo);
+
+  MlpModel model(options.model);
+  MICS_ASSIGN_OR_RETURN(
+      std::unique_ptr<ShardedDataParallel> sdp,
+      ShardedDataParallel::Create(factory, topo, options.sdp,
+                                  model.NumParams(), ctx.rank, options.adam));
+  MICS_RETURN_NOT_OK(sdp->InitParameters([&](Tensor* full) -> Status {
+    MICS_RETURN_NOT_OK(model.BindParameters(full, sdp->micro_grads()));
+    Rng init_rng(options.seed);
+    return model.InitParameters(&init_rng);
+  }));
+  MICS_RETURN_NOT_OK(
+      model.BindParameters(sdp->full_params(), sdp->micro_grads()));
+  ShardedDataParallel* engine = sdp.get();
+  model.SetGradReadyCallback([engine](int64_t off, int64_t n) {
+    return engine->NotifyGradRange(off, n);
+  });
+
+  MultiProcessTrainResult result;
+  result.losses.assign(static_cast<size_t>(options.iterations), 0.0f);
+  if (!options.checkpoint_dir.empty()) {
+    // Roll back to the last atomic shard checkpoint, if any — a relaunch
+    // after a rank death resumes here instead of from scratch.
+    Status load = sdp->LoadCheckpoint(options.checkpoint_dir);
+    if (!load.ok() && !load.IsNotFound()) return load;
+    if (load.ok()) result.start_iteration = sdp->completed_iterations();
+  }
+
+  SyntheticClassificationDataset::Config data_config = options.data;
+  data_config.input_dim = options.model.input_dim;
+  data_config.classes = options.model.classes;
+  SyntheticClassificationDataset dataset(data_config, options.seed + 1);
+
+  const int s = options.grad_accumulation_steps;
+  int64_t step_counter = static_cast<int64_t>(result.start_iteration) * s;
+  for (int iter = result.start_iteration; iter < options.iterations; ++iter) {
+    if (options.on_iteration) options.on_iteration(iter);
+    float iter_loss = 0.0f;
+    for (int micro = 0; micro < s; ++micro) {
+      MICS_RETURN_NOT_OK(sdp->GatherParams());
+      Tensor x;
+      std::vector<int32_t> y;
+      MICS_RETURN_NOT_OK(dataset.Sample(step_counter++, ctx.rank,
+                                        options.micro_batch, &x, &y));
+      float loss = 0.0f;
+      MICS_ASSIGN_OR_RETURN(loss, model.ForwardBackward(x, y));
+      iter_loss += loss;
+      MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+    }
+    MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
+    iter_loss /= static_cast<float>(s);
+    MICS_RETURN_NOT_OK(sdp->AverageScalar(&iter_loss));
+    result.losses[static_cast<size_t>(iter)] = iter_loss;
+    if (!options.checkpoint_dir.empty() &&
+        (iter + 1) % options.checkpoint_interval == 0) {
+      MICS_RETURN_NOT_OK(sdp->SaveCheckpoint(options.checkpoint_dir));
+    }
+  }
+  // An orderly mesh teardown: without it a fast-exiting rank's closed
+  // connections race slower ranks' final collectives into Unavailable.
+  std::vector<int> all_ranks(static_cast<size_t>(ctx.world_size));
+  for (int r = 0; r < ctx.world_size; ++r) all_ranks[static_cast<size_t>(r)] = r;
+  MICS_ASSIGN_OR_RETURN(std::unique_ptr<net::SocketCommunicator> world_comm,
+                        net::SocketCommunicator::Create(
+                            transport.get(), all_ranks, &topo));
+  MICS_RETURN_NOT_OK(world_comm->Barrier());
+  return result;
+}
+
+}  // namespace mics

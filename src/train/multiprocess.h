@@ -1,0 +1,67 @@
+#ifndef MICS_TRAIN_MULTIPROCESS_H_
+#define MICS_TRAIN_MULTIPROCESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/launch.h"
+#include "train/dataset.h"
+#include "train/mlp_model.h"
+#include "train/optimizer.h"
+#include "train/sharded_data_parallel.h"
+#include "util/status.h"
+
+namespace mics {
+
+/// One rank's share of a real multi-process training job: the caller is a
+/// worker process spawned by mics_launch, `ctx` carries its rendezvous
+/// coordinates, and every collective runs over the socket transport. The
+/// training body is the same SPMD loop the in-process harness runs
+/// (trainer.cc), so for identical configs and seeds the losses are
+/// bit-identical to RunDistributedTraining — that is the correctness bar
+/// for the whole net stack.
+struct MultiProcessTrainOptions {
+  net::DistributedContext ctx;
+  SdpOptions sdp;
+  MlpModel::Config model;
+  SyntheticClassificationDataset::Config data;
+  AdamOptimizer::Config adam;
+  int iterations = 20;
+  int grad_accumulation_steps = 2;
+  int64_t micro_batch = 8;
+  uint64_t seed = 42;
+
+  /// Socket rendezvous and per-collective recv deadline: how long this
+  /// rank waits for a dead or stalled peer before collapsing with
+  /// DeadlineExceeded (the RendezvousOptions of the wire world).
+  int64_t rendezvous_ms = 60000;
+
+  /// Checkpoint-and-resume across launcher attempts: empty disables. With
+  /// a directory set, the rank rolls back to the last atomic shard
+  /// checkpoint on entry (so a relaunched attempt replays from there) and
+  /// writes one every `checkpoint_interval` iterations.
+  std::string checkpoint_dir;
+  int checkpoint_interval = 5;
+
+  /// Test hook, called at the top of each iteration (after any checkpoint
+  /// roll-back). Fault tests abort the process here mid-run.
+  std::function<void(int iteration)> on_iteration;
+};
+
+struct MultiProcessTrainResult {
+  /// Iteration this attempt resumed from (0 on a fresh run).
+  int start_iteration = 0;
+  /// World-averaged loss per iteration, valid from start_iteration on
+  /// (earlier entries belong to a previous attempt and stay 0). Identical
+  /// on every rank — AverageScalar runs on the world group.
+  std::vector<float> losses;
+};
+
+Result<MultiProcessTrainResult> RunMultiProcessTraining(
+    const MultiProcessTrainOptions& options);
+
+}  // namespace mics
+
+#endif  // MICS_TRAIN_MULTIPROCESS_H_

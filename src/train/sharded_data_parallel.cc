@@ -111,8 +111,9 @@ ShardedDataParallel::ShardedDataParallel(GroupManager groups,
 }
 
 Result<std::unique_ptr<ShardedDataParallel>> ShardedDataParallel::Create(
-    World* world, const RankTopology& topo, const SdpOptions& options,
-    int64_t num_params, int global_rank, AdamOptimizer::Config adam) {
+    const CommFactory& factory, const RankTopology& topo,
+    const SdpOptions& options, int64_t num_params, int global_rank,
+    AdamOptimizer::Config adam) {
   MICS_RETURN_NOT_OK(topo.Validate());
   const int n = topo.world_size;
   const int p = options.EffectiveGroupSize(n);
@@ -130,7 +131,7 @@ Result<std::unique_ptr<ShardedDataParallel>> ShardedDataParallel::Create(
   }
   MICS_ASSIGN_OR_RETURN(
       GroupManager groups,
-      GroupManager::Create(world, topo, p, global_rank,
+      GroupManager::Create(factory, topo, p, global_rank,
                            options.hierarchical_allgather,
                            options.hierarchical_reduce_scatter));
   // Pad the flat space to a multiple of the world size so the optimizer
@@ -149,6 +150,19 @@ Result<std::unique_ptr<ShardedDataParallel>> ShardedDataParallel::Create(
                                               opt_index));
   return std::unique_ptr<ShardedDataParallel>(new ShardedDataParallel(
       std::move(groups), flat, opt_flat, options, n, num_params, adam));
+}
+
+Result<std::unique_ptr<ShardedDataParallel>> ShardedDataParallel::Create(
+    World* world, const RankTopology& topo, const SdpOptions& options,
+    int64_t num_params, int global_rank, AdamOptimizer::Config adam) {
+  if (world == nullptr) {
+    return Status::InvalidArgument("world must not be null");
+  }
+  if (world->world_size() != topo.world_size) {
+    return Status::InvalidArgument("world and topology sizes differ");
+  }
+  return Create(WorldCommFactory(world, &topo, global_rank), topo, options,
+                num_params, global_rank, adam);
 }
 
 Status ShardedDataParallel::InitParameters(
@@ -407,7 +421,7 @@ Status ShardedDataParallel::FinishIterationAndStep() {
     }
     Tensor total({1}, DType::kF32);
     total.f32()[0] = static_cast<float>(sq);
-    Communicator& norm_comm =
+    Comm& norm_comm =
         zero2 ? groups_.world_comm() : groups_.partition();
     MICS_RETURN_NOT_OK(norm_comm.AllReduce(&total, ReduceOp::kSum));
     const float norm = std::sqrt(std::max(0.0f, total.f32()[0]));

@@ -110,6 +110,16 @@ struct SdpOptions {
 ///   FinishIterationAndStep();       // inter-group hop + Adam
 class ShardedDataParallel {
  public:
+  /// Transport-agnostic Create: every communication group (partition,
+  /// replication, world, hierarchical sub-groups) comes from `factory`, so
+  /// the same training stack runs over in-process threads or the socket
+  /// transport — bit-identically.
+  static Result<std::unique_ptr<ShardedDataParallel>> Create(
+      const CommFactory& factory, const RankTopology& topo,
+      const SdpOptions& options, int64_t num_params, int global_rank,
+      AdamOptimizer::Config adam = AdamOptimizer::Config());
+
+  /// In-process convenience (threads-as-ranks over `world`).
   static Result<std::unique_ptr<ShardedDataParallel>> Create(
       World* world, const RankTopology& topo, const SdpOptions& options,
       int64_t num_params, int global_rank,

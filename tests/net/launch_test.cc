@@ -1,0 +1,219 @@
+// mics_launch's process manager (LaunchWorkers) and the rendezvous env
+// protocol, plus the real-rank-death drill: SIGKILL a worker of a live
+// 4-process training job and assert the survivors collapse with
+// DeadlineExceeded (no hang) and the relaunch replays bit-identically
+// from the last checkpoint.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/launch.h"
+#include "util/status.h"
+
+namespace mics {
+namespace net {
+namespace {
+
+std::string FreshDir(const std::string& tag) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("mics_launch_" + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+LaunchOptions ShellJob(const std::string& script) {
+  LaunchOptions options;
+  options.binary = "/bin/sh";
+  options.args = {"-c", script};
+  options.timeout_ms = 30000;
+  return options;
+}
+
+TEST(LaunchTest, RunsWorkersToSuccess) {
+  LaunchOptions options = ShellJob("exit 0");
+  options.num_workers = 3;
+  auto report = LaunchWorkers(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().success);
+  EXPECT_EQ(report.value().attempts, 1);
+  ASSERT_EQ(report.value().last_results.size(), 3u);
+  for (const WorkerResult& r : report.value().last_results) {
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_FALSE(r.signaled);
+  }
+}
+
+TEST(LaunchTest, ReportsFailingWorkerExitCode) {
+  LaunchOptions options =
+      ShellJob("if [ \"$MICS_RANK\" = 1 ]; then exit 3; fi; exit 0");
+  options.num_workers = 2;
+  auto report = LaunchWorkers(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report.value().success);
+  EXPECT_EQ(report.value().attempts, 1);
+  ASSERT_EQ(report.value().last_results.size(), 2u);
+  EXPECT_EQ(report.value().last_results[0].exit_code, 0);
+  EXPECT_EQ(report.value().last_results[1].exit_code, 3);
+}
+
+TEST(LaunchTest, ExportsRendezvousEnvironmentToEveryWorker) {
+  const std::string dir = FreshDir("env");
+  // Each worker proves it saw the full rendezvous env by writing its own
+  // rank file with the world size and store address non-empty.
+  LaunchOptions options = ShellJob(
+      "[ -n \"$MICS_STORE_ADDR\" ] || exit 9; "
+      "echo \"$MICS_WORLD_SIZE $MICS_ATTEMPT $MICS_GPUS_PER_NODE\" > " +
+      dir + "/rank$MICS_RANK");
+  options.num_workers = 2;
+  options.gpus_per_node = 2;
+  auto report = LaunchWorkers(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report.value().success);
+  for (int rank = 0; rank < 2; ++rank) {
+    std::ifstream in(dir + "/rank" + std::to_string(rank));
+    ASSERT_TRUE(in.good()) << "worker " << rank << " left no file";
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "2 0 2");
+  }
+}
+
+TEST(LaunchTest, RetriesUntilAttemptSucceeds) {
+  // Attempt 0 fails on every worker; attempt 1 passes — the launcher's
+  // relaunch loop with MICS_ATTEMPT is the recovery mechanism the
+  // checkpoint replay rides on.
+  LaunchOptions options = ShellJob("[ \"$MICS_ATTEMPT\" -ge 1 ]");
+  options.num_workers = 2;
+  options.max_attempts = 3;
+  auto report = LaunchWorkers(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().success);
+  EXPECT_EQ(report.value().attempts, 2);
+}
+
+TEST(LaunchTest, RejectsMissingBinary) {
+  LaunchOptions options;
+  options.binary = "/nonexistent/worker";
+  auto report = LaunchWorkers(options);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(LaunchTest, DistributedContextReadsAndValidatesEnv) {
+  ::setenv(kEnvStoreAddr, "127.0.0.1:4242", 1);
+  ::setenv(kEnvRank, "3", 1);
+  ::setenv(kEnvWorldSize, "8", 1);
+  ::setenv(kEnvAttempt, "1", 1);
+  ::setenv(kEnvGpusPerNode, "4", 1);
+  EXPECT_TRUE(DistributedContext::InLauncher());
+  auto ctx = DistributedContext::FromEnv();
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+  EXPECT_EQ(ctx.value().store_addr, "127.0.0.1:4242");
+  EXPECT_EQ(ctx.value().rank, 3);
+  EXPECT_EQ(ctx.value().world_size, 8);
+  EXPECT_EQ(ctx.value().attempt, 1);
+  EXPECT_EQ(ctx.value().gpus_per_node, 4);
+
+  ::setenv(kEnvRank, "8", 1);  // out of range for world size 8
+  EXPECT_FALSE(DistributedContext::FromEnv().ok());
+
+  ::unsetenv(kEnvStoreAddr);
+  ::unsetenv(kEnvRank);
+  ::unsetenv(kEnvWorldSize);
+  ::unsetenv(kEnvAttempt);
+  ::unsetenv(kEnvGpusPerNode);
+  EXPECT_FALSE(DistributedContext::InLauncher());
+  EXPECT_FALSE(DistributedContext::FromEnv().ok());
+}
+
+// ---------------------------------------------------------------------
+// The real-rank-death drill, over actual processes.
+// ---------------------------------------------------------------------
+
+/// Parses "<iter> <bits> <loss>" loss lines into iter -> bits-hex.
+std::map<int, std::string> ReadLossBits(const std::string& path) {
+  std::map<int, std::string> bits;
+  std::ifstream in(path);
+  int iter = 0;
+  std::string hex, loss;
+  while (in >> iter >> hex >> loss) bits[iter] = hex;
+  return bits;
+}
+
+TEST(LaunchTrainingTest, SigkilledRankRecoversAndReplaysBitIdentically) {
+#ifndef MICS_MP_EXAMPLE_BIN
+  GTEST_SKIP() << "example binary path not configured";
+#else
+  const std::string dir = FreshDir("sigkill");
+  const std::vector<std::string> common = {
+      "--strategy",   "mics", "--iterations", "6", "--grad-accum", "1",
+      "--rendezvous-ms", "5000"};
+
+  // Fault-free reference job.
+  LaunchOptions ref;
+  ref.binary = MICS_MP_EXAMPLE_BIN;
+  ref.args = common;
+  ref.args.insert(ref.args.end(), {"--out", dir + "/ref.txt"});
+  ref.num_workers = 4;
+  ref.gpus_per_node = 2;
+  ref.timeout_ms = 120000;
+  auto ref_report = LaunchWorkers(ref);
+  ASSERT_TRUE(ref_report.ok()) << ref_report.status().ToString();
+  ASSERT_TRUE(ref_report.value().success);
+
+  // Fault job: rank 2 SIGKILLs itself at the top of iteration 4 on
+  // attempt 0; checkpoints land after iterations 1 and 3 (interval 2).
+  LaunchOptions fault = ref;
+  fault.args = common;
+  fault.args.insert(fault.args.end(),
+                    {"--out", dir + "/fault.txt",
+                     "--checkpoint-dir", dir + "/ckpt",
+                     "--checkpoint-interval", "2",
+                     "--die-rank", "2", "--die-iter", "4",
+                     "--status-log", dir + "/status.txt"});
+  fault.max_attempts = 2;
+  std::filesystem::create_directories(dir + "/ckpt");
+  auto fault_report = LaunchWorkers(fault);
+  ASSERT_TRUE(fault_report.ok()) << fault_report.status().ToString();
+  EXPECT_TRUE(fault_report.value().success);
+  EXPECT_EQ(fault_report.value().attempts, 2);
+
+  // Survivors of attempt 0 must have collapsed with DeadlineExceeded
+  // (status code 7) — detected through socket deadlines, never a hang.
+  std::ifstream status_in(dir + "/status.txt");
+  std::stringstream status_buf;
+  status_buf << status_in.rdbuf();
+  const std::string status_log = status_buf.str();
+  EXPECT_NE(status_log.find("attempt 0"), std::string::npos) << status_log;
+  EXPECT_NE(status_log.find("status 7"), std::string::npos) << status_log;
+  EXPECT_NE(status_log.find("attempt 1 rank 0 status 0"), std::string::npos)
+      << status_log;
+
+  // Attempt 1 rolled back to the last checkpoint — saved after iteration
+  // 3, so 4 iterations were complete — and replayed the tail; every
+  // replayed loss must carry the reference's exact bits.
+  const std::map<int, std::string> ref_bits = ReadLossBits(dir + "/ref.txt");
+  const std::map<int, std::string> fault_bits =
+      ReadLossBits(dir + "/fault.txt");
+  ASSERT_EQ(ref_bits.size(), 6u);
+  ASSERT_FALSE(fault_bits.empty());
+  EXPECT_EQ(fault_bits.begin()->first, 4) << "resume point moved";
+  EXPECT_EQ(fault_bits.rbegin()->first, 5);
+  for (const auto& [iter, hex] : fault_bits) {
+    ASSERT_TRUE(ref_bits.count(iter)) << "iteration " << iter;
+    EXPECT_EQ(hex, ref_bits.at(iter)) << "iteration " << iter;
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace mics

@@ -1,0 +1,224 @@
+// The layers above the Comm seam — FlatCollective, the three-stage
+// HierarchicalComm, the async engine, and fault-injection Dispatch — must
+// compose over SocketCommunicator unchanged and stay bit-identical to the
+// same stack over the in-process transport.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/collective.h"
+#include "comm/communicator.h"
+#include "comm/topology.h"
+#include "comm/world.h"
+#include "net/socket_comm.h"
+#include "socket_test_util.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+namespace net {
+namespace {
+
+TEST(SocketCollectiveTest, FlatCollectiveBitIdenticalToInProcess) {
+  const int n = 4;
+  World world(n, ShortRendezvous());
+  Status st = RunRanksOverSockets(
+      n, nullptr, [&](int rank, SocketTransport* t) -> Status {
+        MICS_ASSIGN_OR_RETURN(Communicator ref_comm,
+                              Communicator::Create(&world, AllRanks(n), rank));
+        MICS_ASSIGN_OR_RETURN(std::unique_ptr<SocketCommunicator> sock_comm,
+                              SocketCommunicator::Create(t, AllRanks(n)));
+        FlatCollective ref(&ref_comm);
+        FlatCollective sock(sock_comm.get());
+
+        Tensor in({6}, DType::kF32);
+        FillTensor(&in, rank);
+        Tensor want({6 * n}, DType::kF32), got({6 * n}, DType::kF32);
+        MICS_RETURN_NOT_OK(ref.AllGather(in, &want));
+        MICS_RETURN_NOT_OK(sock.AllGather(in, &got));
+        MICS_RETURN_NOT_OK(ExpectBitEqual(got, want, "flat all_gather"));
+
+        Tensor grad({4 * static_cast<int64_t>(n)}, DType::kF32);
+        FillTensor(&grad, rank + 50);
+        Tensor rs_want({4}, DType::kF32), rs_got({4}, DType::kF32);
+        MICS_RETURN_NOT_OK(ref.ReduceScatter(grad, &rs_want, ReduceOp::kAvg));
+        MICS_RETURN_NOT_OK(sock.ReduceScatter(grad, &rs_got, ReduceOp::kAvg));
+        MICS_RETURN_NOT_OK(
+            ExpectBitEqual(rs_got, rs_want, "flat reduce_scatter"));
+
+        // Reduce of a bucket to its shard owner, the gradient first hop.
+        Tensor r_want({4 * static_cast<int64_t>(n)}, DType::kF32);
+        Tensor r_got({4 * static_cast<int64_t>(n)}, DType::kF32);
+        MICS_RETURN_NOT_OK(
+            ref.Reduce(grad, rank == 2 ? &r_want : nullptr, 2));
+        MICS_RETURN_NOT_OK(
+            sock.Reduce(grad, rank == 2 ? &r_got : nullptr, 2));
+        if (rank == 2) {
+          MICS_RETURN_NOT_OK(ExpectBitEqual(r_got, r_want, "flat reduce"));
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SocketCollectiveTest, AsyncOpsOverSocketsBitIdentical) {
+  const int n = 4;
+  World world(n, ShortRendezvous());
+  Status st = RunRanksOverSockets(
+      n, nullptr, [&](int rank, SocketTransport* t) -> Status {
+        MICS_ASSIGN_OR_RETURN(Communicator ref_comm,
+                              Communicator::Create(&world, AllRanks(n), rank));
+        MICS_ASSIGN_OR_RETURN(std::unique_ptr<SocketCommunicator> sock_comm,
+                              SocketCommunicator::Create(t, AllRanks(n)));
+        FlatCollective ref(&ref_comm);
+        FlatCollective sock(sock_comm.get());
+
+        // Two async ops in flight at once on the socket backend; the FIFO
+        // progress worker keeps the SPMD issue order, so the wire schedule
+        // matches the blocking in-process reference.
+        Tensor in({5}, DType::kF32);
+        FillTensor(&in, rank);
+        Tensor grad({3 * static_cast<int64_t>(n)}, DType::kF32);
+        FillTensor(&grad, rank + 9);
+
+        Tensor got_ag({5 * n}, DType::kF32), got_rs({3}, DType::kF32);
+        CollectiveHandle h1 = sock.AllGatherAsync(in, &got_ag);
+        CollectiveHandle h2 = sock.ReduceScatterAsync(grad, &got_rs);
+        MICS_RETURN_NOT_OK(h1.Wait());
+        MICS_RETURN_NOT_OK(h2.Wait());
+
+        Tensor want_ag({5 * n}, DType::kF32), want_rs({3}, DType::kF32);
+        MICS_RETURN_NOT_OK(ref.AllGather(in, &want_ag));
+        MICS_RETURN_NOT_OK(ref.ReduceScatter(grad, &want_rs));
+        MICS_RETURN_NOT_OK(ExpectBitEqual(got_ag, want_ag, "async ag"));
+        return ExpectBitEqual(got_rs, want_rs, "async rs");
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SocketCollectiveTest, HierarchicalSchedulesBitIdenticalToInProcess) {
+  // 4 ranks on 2 "nodes": the three-stage all-gather (§3.3) and its
+  // reduce-scatter dual run over socket sub-communicators created through
+  // SocketCommFactory — same schedule, same bits as the world factory.
+  const int n = 4;
+  const RankTopology topo{n, 2};
+  World world(n, ShortRendezvous());
+  Status st = RunRanksOverSockets(
+      n, &topo, [&](int rank, SocketTransport* t) -> Status {
+        MICS_ASSIGN_OR_RETURN(Communicator ref_comm,
+                              Communicator::Create(&world, AllRanks(n), rank));
+        MICS_ASSIGN_OR_RETURN(std::unique_ptr<SocketCommunicator> sock_comm,
+                              SocketCommunicator::Create(t, AllRanks(n),
+                                                         &topo));
+        MICS_ASSIGN_OR_RETURN(
+            HierarchicalComm ref,
+            HierarchicalComm::Create(WorldCommFactory(&world, &topo, rank),
+                                     topo, AllRanks(n), rank, &ref_comm,
+                                     /*enable_all_gather=*/true,
+                                     /*enable_reduce_scatter=*/true));
+        MICS_ASSIGN_OR_RETURN(
+            HierarchicalComm sock,
+            HierarchicalComm::Create(SocketCommFactory(t, &topo), topo,
+                                     AllRanks(n), rank, sock_comm.get(),
+                                     /*enable_all_gather=*/true,
+                                     /*enable_reduce_scatter=*/true));
+        if (!sock.has_hierarchical_all_gather() ||
+            !sock.has_hierarchical_reduce_scatter()) {
+          return Status::Internal("hierarchical paths not engaged");
+        }
+
+        Tensor shard({8}, DType::kF32);
+        FillTensor(&shard, rank);
+        Tensor want({8 * n}, DType::kF32), got({8 * n}, DType::kF32);
+        MICS_RETURN_NOT_OK(ref.AllGather(shard, &want));
+        MICS_RETURN_NOT_OK(sock.AllGather(shard, &got));
+        MICS_RETURN_NOT_OK(
+            ExpectBitEqual(got, want, "hierarchical all_gather"));
+
+        Tensor grad({6 * static_cast<int64_t>(n)}, DType::kF32);
+        FillTensor(&grad, rank + 13);
+        Tensor rs_want({6}, DType::kF32), rs_got({6}, DType::kF32);
+        MICS_RETURN_NOT_OK(ref.ReduceScatter(grad, &rs_want, ReduceOp::kSum));
+        MICS_RETURN_NOT_OK(sock.ReduceScatter(grad, &rs_got, ReduceOp::kSum));
+        MICS_RETURN_NOT_OK(
+            ExpectBitEqual(rs_got, rs_want, "hierarchical reduce_scatter"));
+
+        // Coalesced gather through the hierarchical backend.
+        std::vector<Tensor> ins, wants, gots;
+        for (int64_t sz : {2, 5}) {
+          Tensor item({sz}, DType::kF32);
+          FillTensor(&item, rank * 3 + static_cast<int>(sz));
+          ins.push_back(std::move(item));
+          wants.emplace_back(std::vector<int64_t>{sz * n}, DType::kF32);
+          gots.emplace_back(std::vector<int64_t>{sz * n}, DType::kF32);
+        }
+        MICS_RETURN_NOT_OK(ref.AllGatherCoalesced(ins, &wants));
+        MICS_RETURN_NOT_OK(sock.AllGatherCoalesced(ins, &gots));
+        for (size_t i = 0; i < ins.size(); ++i) {
+          MICS_RETURN_NOT_OK(
+              ExpectBitEqual(gots[i], wants[i], "hierarchical coalesced"));
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+// A fault hook that fails the first attempt of every op as a transient
+// launch error; Dispatch must retry and succeed. The hook fires BEFORE
+// the wire op runs, so the retry path composes with the socket backend's
+// no-wire-retry poison rule (which only covers failures DURING an op).
+class FirstAttemptUnavailableHook : public CollectiveFaultHook {
+ public:
+  Status OnCollective(const CollectiveCallInfo& info) override {
+    calls_.fetch_add(1);
+    if (info.attempt == 0) {
+      return Status::Unavailable("injected transient failure");
+    }
+    return Status::OK();
+  }
+  int calls() const { return calls_.load(); }
+
+ private:
+  std::atomic<int> calls_{0};
+};
+
+TEST(SocketCollectiveTest, FaultDispatchRetriesComposeOverSockets) {
+  const int n = 2;
+  Status st = RunRanksOverSockets(
+      n, nullptr, [&](int rank, SocketTransport* t) -> Status {
+        MICS_ASSIGN_OR_RETURN(std::unique_ptr<SocketCommunicator> comm,
+                              SocketCommunicator::Create(t, AllRanks(n)));
+        FlatCollective coll(comm.get());
+        FirstAttemptUnavailableHook hook;
+        coll.InstallFaultHook(&hook);
+
+        Tensor in({4}, DType::kF32);
+        FillTensor(&in, rank);
+        Tensor out({4 * n}, DType::kF32);
+        MICS_RETURN_NOT_OK(coll.AllGather(in, &out));
+        for (int r = 0; r < n; ++r) {
+          for (int64_t i = 0; i < 4; ++i) {
+            if (out.At(r * 4 + i) != TestValue(r, i)) {
+              return Status::Internal("wrong gathered value after retry");
+            }
+          }
+        }
+        if (hook.calls() < 2) {
+          return Status::Internal("hook not consulted on retry");
+        }
+        if (comm->poisoned()) {
+          return Status::Internal(
+              "hook-level transient poisoned the communicator");
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace mics

@@ -1,0 +1,317 @@
+// SocketCommunicator vs the in-process Communicator: every collective,
+// bit-identical. Each rank thread joins BOTH worlds — the shared-memory
+// rendezvous World and the localhost socket mesh — runs the same op with
+// the same inputs through both, and memcmps the results. Reductions use
+// sign-mixed non-dyadic values so any accumulation-order difference
+// breaks the comparison at full precision.
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/communicator.h"
+#include "comm/world.h"
+#include "net/socket_comm.h"
+#include "socket_test_util.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+namespace net {
+namespace {
+
+/// Runs `body(rank, in-process comm, socket comm)` SPMD over both
+/// transports at world size n.
+Status RunBothBackends(
+    int n,
+    const std::function<Status(int, Comm*, SocketCommunicator*)>& body) {
+  World world(n, ShortRendezvous());
+  return RunRanksOverSockets(
+      n, nullptr, [&](int rank, SocketTransport* t) -> Status {
+        MICS_ASSIGN_OR_RETURN(Communicator ref,
+                              Communicator::Create(&world, AllRanks(n), rank));
+        MICS_ASSIGN_OR_RETURN(std::unique_ptr<SocketCommunicator> sock,
+                              SocketCommunicator::Create(t, AllRanks(n)));
+        return body(rank, &ref, sock.get());
+      });
+}
+
+class SocketCommTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SocketCommTest, AllGatherBitIdentical) {
+  const int n = GetParam();
+  Status st = RunBothBackends(
+      n, [n](int rank, Comm* ref, SocketCommunicator* sock) -> Status {
+        Tensor in({5}, DType::kF32);
+        FillTensor(&in, rank);
+        Tensor want({5 * n}, DType::kF32), got({5 * n}, DType::kF32);
+        MICS_RETURN_NOT_OK(ref->AllGather(in, &want));
+        MICS_RETURN_NOT_OK(sock->AllGather(in, &got));
+        return ExpectBitEqual(got, want, "all_gather");
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(SocketCommTest, ReduceScatterSumBitIdentical) {
+  const int n = GetParam();
+  Status st = RunBothBackends(
+      n, [n](int rank, Comm* ref, SocketCommunicator* sock) -> Status {
+        Tensor in({7 * static_cast<int64_t>(n)}, DType::kF32);
+        FillTensor(&in, rank);
+        Tensor want({7}, DType::kF32), got({7}, DType::kF32);
+        MICS_RETURN_NOT_OK(ref->ReduceScatter(in, &want, ReduceOp::kSum));
+        MICS_RETURN_NOT_OK(sock->ReduceScatter(in, &got, ReduceOp::kSum));
+        return ExpectBitEqual(got, want, "reduce_scatter");
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(SocketCommTest, ReduceScatterAvgAndMaxBitIdentical) {
+  const int n = GetParam();
+  Status st = RunBothBackends(
+      n, [n](int rank, Comm* ref, SocketCommunicator* sock) -> Status {
+        Tensor in({3 * static_cast<int64_t>(n)}, DType::kF32);
+        FillTensor(&in, rank + 100);
+        for (ReduceOp op : {ReduceOp::kAvg, ReduceOp::kMax}) {
+          Tensor want({3}, DType::kF32), got({3}, DType::kF32);
+          MICS_RETURN_NOT_OK(ref->ReduceScatter(in, &want, op));
+          MICS_RETURN_NOT_OK(sock->ReduceScatter(in, &got, op));
+          MICS_RETURN_NOT_OK(ExpectBitEqual(got, want, "reduce_scatter op"));
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(SocketCommTest, ReduceScatterHalfPrecisionBitIdentical) {
+  const int n = GetParam();
+  Status st = RunBothBackends(
+      n, [n](int rank, Comm* ref, SocketCommunicator* sock) -> Status {
+        // f16 payloads: the wire carries halves, both backends accumulate
+        // in f32 and round once on store — bits must still match.
+        Tensor in({4 * static_cast<int64_t>(n)}, DType::kF16);
+        FillTensor(&in, rank);
+        Tensor want({4}, DType::kF16), got({4}, DType::kF16);
+        MICS_RETURN_NOT_OK(ref->ReduceScatter(in, &want, ReduceOp::kSum));
+        MICS_RETURN_NOT_OK(sock->ReduceScatter(in, &got, ReduceOp::kSum));
+        return ExpectBitEqual(got, want, "reduce_scatter f16");
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(SocketCommTest, AllReduceDivisibleAndIndivisibleBitIdentical) {
+  const int n = GetParam();
+  Status st = RunBothBackends(
+      n, [n](int rank, Comm* ref, SocketCommunicator* sock) -> Status {
+        // numel % n == 0: the socket backend takes its RS + ring-AG path.
+        Tensor a_ref({2 * static_cast<int64_t>(n)}, DType::kF32);
+        FillTensor(&a_ref, rank);
+        Tensor a_sock({2 * static_cast<int64_t>(n)}, DType::kF32);
+        FillTensor(&a_sock, rank);
+        MICS_RETURN_NOT_OK(ref->AllReduce(&a_ref, ReduceOp::kSum));
+        MICS_RETURN_NOT_OK(sock->AllReduce(&a_sock, ReduceOp::kSum));
+        MICS_RETURN_NOT_OK(ExpectBitEqual(a_sock, a_ref, "all_reduce even"));
+
+        // A scalar: the full-exchange fallback path.
+        Tensor b_ref({1}, DType::kF32);
+        FillTensor(&b_ref, rank + 7);
+        Tensor b_sock({1}, DType::kF32);
+        FillTensor(&b_sock, rank + 7);
+        MICS_RETURN_NOT_OK(ref->AllReduce(&b_ref, ReduceOp::kAvg));
+        MICS_RETURN_NOT_OK(sock->AllReduce(&b_sock, ReduceOp::kAvg));
+        return ExpectBitEqual(b_sock, b_ref, "all_reduce scalar");
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(SocketCommTest, RootedCollectivesBitIdentical) {
+  const int n = GetParam();
+  Status st = RunBothBackends(
+      n, [n](int rank, Comm* ref, SocketCommunicator* sock) -> Status {
+        const int root = n - 1;
+        // Broadcast.
+        Tensor b_ref({6}, DType::kF32), b_sock({6}, DType::kF32);
+        FillTensor(&b_ref, rank);
+        FillTensor(&b_sock, rank);
+        MICS_RETURN_NOT_OK(ref->Broadcast(&b_ref, root));
+        MICS_RETURN_NOT_OK(sock->Broadcast(&b_sock, root));
+        MICS_RETURN_NOT_OK(ExpectBitEqual(b_sock, b_ref, "broadcast"));
+
+        // Reduce to root.
+        Tensor in({4}, DType::kF32);
+        FillTensor(&in, rank + 31);
+        Tensor r_ref({4}, DType::kF32), r_sock({4}, DType::kF32);
+        Tensor* out_ref = rank == root ? &r_ref : nullptr;
+        Tensor* out_sock = rank == root ? &r_sock : nullptr;
+        MICS_RETURN_NOT_OK(ref->Reduce(in, out_ref, root, ReduceOp::kSum));
+        MICS_RETURN_NOT_OK(sock->Reduce(in, out_sock, root, ReduceOp::kSum));
+        if (rank == root) {
+          MICS_RETURN_NOT_OK(ExpectBitEqual(r_sock, r_ref, "reduce"));
+        }
+
+        // Gather to root.
+        Tensor g_ref({4 * static_cast<int64_t>(n)}, DType::kF32);
+        Tensor g_sock({4 * static_cast<int64_t>(n)}, DType::kF32);
+        MICS_RETURN_NOT_OK(
+            ref->Gather(in, rank == root ? &g_ref : nullptr, root));
+        MICS_RETURN_NOT_OK(
+            sock->Gather(in, rank == root ? &g_sock : nullptr, root));
+        if (rank == root) {
+          MICS_RETURN_NOT_OK(ExpectBitEqual(g_sock, g_ref, "gather"));
+        }
+
+        // Scatter from root.
+        Tensor src({3 * static_cast<int64_t>(n)}, DType::kF32);
+        if (rank == root) FillTensor(&src, 999);
+        Tensor empty({0}, DType::kF32);
+        Tensor s_ref({3}, DType::kF32), s_sock({3}, DType::kF32);
+        MICS_RETURN_NOT_OK(
+            ref->Scatter(rank == root ? src : empty, &s_ref, root));
+        MICS_RETURN_NOT_OK(
+            sock->Scatter(rank == root ? src : empty, &s_sock, root));
+        return ExpectBitEqual(s_sock, s_ref, "scatter");
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(SocketCommTest, AllToAllBitIdentical) {
+  const int n = GetParam();
+  Status st = RunBothBackends(
+      n, [n](int rank, Comm* ref, SocketCommunicator* sock) -> Status {
+        Tensor in({2 * static_cast<int64_t>(n)}, DType::kF32);
+        FillTensor(&in, rank);
+        Tensor want({2 * static_cast<int64_t>(n)}, DType::kF32);
+        Tensor got({2 * static_cast<int64_t>(n)}, DType::kF32);
+        MICS_RETURN_NOT_OK(ref->AllToAll(in, &want));
+        MICS_RETURN_NOT_OK(sock->AllToAll(in, &got));
+        return ExpectBitEqual(got, want, "all_to_all");
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_P(SocketCommTest, CoalescedAllGatherAndReduceScatterBitIdentical) {
+  const int n = GetParam();
+  Status st = RunBothBackends(
+      n, [n](int rank, Comm* ref, SocketCommunicator* sock) -> Status {
+        // Uneven item sizes, MiCS's all_gather_coalesced shape.
+        const std::vector<int64_t> sizes = {3, 1, 6};
+        std::vector<Tensor> ag_in, ag_want, ag_got;
+        for (size_t i = 0; i < sizes.size(); ++i) {
+          Tensor t({sizes[i]}, DType::kF32);
+          FillTensor(&t, rank * 10 + static_cast<int>(i));
+          ag_in.push_back(std::move(t));
+          ag_want.emplace_back(
+              std::vector<int64_t>{sizes[i] * n}, DType::kF32);
+          ag_got.emplace_back(
+              std::vector<int64_t>{sizes[i] * n}, DType::kF32);
+        }
+        MICS_RETURN_NOT_OK(ref->AllGatherCoalesced(ag_in, &ag_want));
+        MICS_RETURN_NOT_OK(sock->AllGatherCoalesced(ag_in, &ag_got));
+        for (size_t i = 0; i < sizes.size(); ++i) {
+          MICS_RETURN_NOT_OK(
+              ExpectBitEqual(ag_got[i], ag_want[i], "coalesced ag item"));
+        }
+
+        std::vector<Tensor> rs_in, rs_want, rs_got;
+        for (size_t i = 0; i < sizes.size(); ++i) {
+          Tensor t({sizes[i] * n}, DType::kF32);
+          FillTensor(&t, rank * 10 + static_cast<int>(i));
+          rs_in.push_back(std::move(t));
+          rs_want.emplace_back(std::vector<int64_t>{sizes[i]}, DType::kF32);
+          rs_got.emplace_back(std::vector<int64_t>{sizes[i]}, DType::kF32);
+        }
+        MICS_RETURN_NOT_OK(
+            ref->ReduceScatterCoalesced(rs_in, &rs_want, ReduceOp::kSum));
+        MICS_RETURN_NOT_OK(
+            sock->ReduceScatterCoalesced(rs_in, &rs_got, ReduceOp::kSum));
+        for (size_t i = 0; i < sizes.size(); ++i) {
+          MICS_RETURN_NOT_OK(
+              ExpectBitEqual(rs_got[i], rs_want[i], "coalesced rs item"));
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, SocketCommTest,
+                         ::testing::Values(2, 3, 4));
+
+TEST(SocketCommTest, BarrierSynchronizesAndRecordsNothingExtra) {
+  Status st = RunRanksOverSockets(
+      3, nullptr, [](int /*rank*/, SocketTransport* t) -> Status {
+        MICS_ASSIGN_OR_RETURN(std::unique_ptr<SocketCommunicator> comm,
+                              SocketCommunicator::Create(t, AllRanks(3)));
+        for (int i = 0; i < 5; ++i) {
+          MICS_RETURN_NOT_OK(comm->Barrier());
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SocketCommTest, SubGroupCollectivesStayWithinGroup) {
+  // Two disjoint pair groups of a 4-rank mesh run independent all-reduces
+  // concurrently; group values must never bleed across channels.
+  Status st = RunRanksOverSockets(
+      4, nullptr, [](int rank, SocketTransport* t) -> Status {
+        const std::vector<int> group =
+            rank < 2 ? std::vector<int>{0, 1} : std::vector<int>{2, 3};
+        MICS_ASSIGN_OR_RETURN(std::unique_ptr<SocketCommunicator> comm,
+                              SocketCommunicator::Create(t, group));
+        if (comm->rank() != (rank % 2) || comm->size() != 2 ||
+            comm->global_rank() != rank) {
+          return Status::Internal("wrong group numbering");
+        }
+        Tensor buf({4}, DType::kF32);
+        buf.Fill(static_cast<float>(rank + 1));
+        MICS_RETURN_NOT_OK(comm->AllReduce(&buf, ReduceOp::kSum));
+        const float want = rank < 2 ? 3.0f : 7.0f;  // 1+2 / 3+4
+        for (int64_t i = 0; i < 4; ++i) {
+          if (buf.At(i) != want) {
+            return Status::Internal("sub-group values bled across groups");
+          }
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SocketCommTest, PeerSilencePoisonsCommunicator) {
+  TransportOptions opts;
+  opts.recv_timeout_ms = 1000;  // keep the deliberate timeout quick
+  Status st = RunRanksOverSockets(
+      2, nullptr,
+      [](int rank, SocketTransport* t) -> Status {
+        MICS_ASSIGN_OR_RETURN(std::unique_ptr<SocketCommunicator> comm,
+                              SocketCommunicator::Create(t, AllRanks(2)));
+        if (rank == 1) return Status::OK();  // never shows up for the op
+
+        Tensor buf({3}, DType::kF32);
+        buf.Fill(1.0f);
+        Status ar = comm->AllReduce(&buf, ReduceOp::kSum);
+        if (!ar.IsDeadlineExceeded()) {
+          return Status::Internal("want DeadlineExceeded, got " +
+                                  ar.ToString());
+        }
+        if (!comm->poisoned()) {
+          return Status::Internal("communicator not poisoned after failure");
+        }
+        // Poison is sticky and fails fast — the fault layer's Dispatch
+        // must never wire-retry a half-completed collective.
+        Status barrier = comm->Barrier();
+        if (!barrier.IsDeadlineExceeded()) {
+          return Status::Internal("poisoned comm retried the wire: " +
+                                  barrier.ToString());
+        }
+        return Status::OK();
+      },
+      opts);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace mics

@@ -1,0 +1,136 @@
+#ifndef MICS_TESTS_NET_SOCKET_TEST_UTIL_H_
+#define MICS_TESTS_NET_SOCKET_TEST_UTIL_H_
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/topology.h"
+#include "comm/world.h"
+#include "net/tcp_store.h"
+#include "net/transport.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+namespace net {
+
+/// Threads-as-processes harness for the socket stack: each "rank" is a
+/// thread with its OWN SocketTransport speaking real localhost TCP
+/// through one TcpStoreServer — the in-process analogue of an n-worker
+/// mics_launch job, so the whole wire path (rendezvous, mesh, framing,
+/// reader threads) runs inside one test binary and under TSan.
+///
+/// Mirrors the World + RunRanks idiom from tests/comm: fn runs SPMD on
+/// every rank; the first non-OK status (lowest rank) is returned. Ranks
+/// that return OK meet in a store barrier before tearing their transport
+/// down, so one rank's shutdown can never RST a peer's still-in-flight
+/// last collective.
+inline Status RunRanksOverSockets(
+    int n, const RankTopology* topo,
+    const std::function<Status(int rank, SocketTransport* transport)>& fn,
+    TransportOptions options = TransportOptions()) {
+  auto server = TcpStoreServer::Start();
+  if (!server.ok()) return server.status();
+  // Tighter-than-production budgets: a wedged schedule should fail the
+  // test, not ride the ctest timeout.
+  if (options.connect_timeout_ms == 60000) options.connect_timeout_ms = 20000;
+  if (options.recv_timeout_ms == 60000) options.recv_timeout_ms = 20000;
+
+  std::vector<Status> statuses(n, Status::OK());
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+  for (int rank = 0; rank < n; ++rank) {
+    threads.emplace_back([&, rank] {
+      auto transport = SocketTransport::Connect(server.value()->addr(), rank,
+                                                n, topo, options);
+      if (!transport.ok()) {
+        statuses[static_cast<size_t>(rank)] = transport.status();
+        return;
+      }
+      Status st = fn(rank, transport.value().get());
+      if (st.ok()) {
+        // Exit barrier (status deliberately ignored: peers that failed fn
+        // skip it, and the poisoned store then releases us immediately).
+        transport.value()->store()->Barrier("harness/exit", n,
+                                            options.recv_timeout_ms);
+      }
+      statuses[static_cast<size_t>(rank)] = st;
+      transport.value()->Shutdown();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Report the root cause: when one rank fails an assertion and abandons
+  // the schedule, its peers die of rendezvous timeouts — prefer the
+  // non-deadline status so the interesting failure isn't masked.
+  const Status* first_failure = nullptr;
+  for (int r = 0; r < n; ++r) {
+    const Status& st = statuses[static_cast<size_t>(r)];
+    if (st.ok()) continue;
+    if (first_failure == nullptr || (first_failure->IsDeadlineExceeded() &&
+                                     !st.IsDeadlineExceeded())) {
+      first_failure = &st;
+    }
+  }
+  if (first_failure != nullptr) {
+    const int r = static_cast<int>(first_failure - statuses.data());
+    return Status(first_failure->code(), "rank " + std::to_string(r) + ": " +
+                                             first_failure->message());
+  }
+  return Status::OK();
+}
+
+/// Rendezvous budget for in-process reference Worlds in mixed-backend
+/// tests: when a rank fails a local assertion and abandons the SPMD
+/// schedule, its peers should collapse in seconds, not ride out the
+/// 7-minute production budget.
+inline RendezvousOptions ShortRendezvous() {
+  RendezvousOptions opts;
+  opts.timeout_ms = 15000;
+  opts.max_retries = 0;
+  return opts;
+}
+
+inline std::vector<int> AllRanks(int n) {
+  std::vector<int> r(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) r[static_cast<size_t>(i)] = i;
+  return r;
+}
+
+/// Deterministic, sign-mixed, non-dyadic test values: float summation of
+/// these is order-sensitive, so any deviation from member-order
+/// accumulation shows up as a bit mismatch, not a tolerance miss.
+inline float TestValue(int rank, int64_t i) {
+  const uint32_t h = static_cast<uint32_t>(rank * 2654435761u) ^
+                     static_cast<uint32_t>(i * 40503u + 1u);
+  return (static_cast<float>(h % 2000003u) / 1234.5f - 800.0f) * 1e-3f;
+}
+
+inline void FillTensor(Tensor* t, int rank) {
+  for (int64_t i = 0; i < t->numel(); ++i) {
+    t->Set(i, TestValue(rank, i));
+  }
+}
+
+/// Bitwise comparison — the correctness bar of the net stack is
+/// bit-identity with the in-process backend, not closeness.
+inline Status ExpectBitEqual(const Tensor& got, const Tensor& want,
+                             const char* what) {
+  if (got.numel() != want.numel() || got.dtype() != want.dtype()) {
+    return Status::Internal(std::string(what) + ": shape/dtype mismatch");
+  }
+  if (std::memcmp(got.data(), want.data(),
+                  static_cast<size_t>(got.nbytes())) != 0) {
+    return Status::Internal(std::string(what) +
+                            ": bits differ from in-process result");
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace mics
+
+#endif  // MICS_TESTS_NET_SOCKET_TEST_UTIL_H_

@@ -1,0 +1,177 @@
+// End-to-end training over the socket transport, threads-as-processes:
+// RunMultiProcessTraining's losses must be bit-identical to the
+// in-process RunDistributedTraining harness for every strategy, and a
+// relaunched "attempt" must resume from the checkpoint and replay the
+// remaining iterations bit-identically.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mics_config.h"
+#include "net/tcp_store.h"
+#include "train/multiprocess.h"
+#include "train/trainer.h"
+#include "util/status.h"
+
+namespace mics {
+namespace net {
+namespace {
+
+constexpr int kWorld = 4;
+constexpr int kGpusPerNode = 2;
+
+TrainRunOptions ReferenceRun(Strategy strategy, int iterations) {
+  TrainRunOptions run;
+  run.world_size = kWorld;
+  run.gpus_per_node = kGpusPerNode;
+  run.iterations = iterations;
+  run.grad_accumulation_steps = 2;
+  run.sdp.strategy = strategy;
+  run.sdp.partition_group_size = 2;
+  return run;
+}
+
+MultiProcessTrainOptions SocketRun(const std::string& store_addr, int rank,
+                                   Strategy strategy, int iterations) {
+  MultiProcessTrainOptions options;
+  options.ctx.store_addr = store_addr;
+  options.ctx.rank = rank;
+  options.ctx.world_size = kWorld;
+  options.ctx.gpus_per_node = kGpusPerNode;
+  options.iterations = iterations;
+  options.grad_accumulation_steps = 2;
+  options.rendezvous_ms = 30000;
+  options.sdp.strategy = strategy;
+  options.sdp.partition_group_size = 2;
+  return options;
+}
+
+/// One multi-process "job": a fresh store plus kWorld worker threads,
+/// each running the real socket training path. Returns rank 0's result
+/// after checking every rank produced identical losses.
+Result<MultiProcessTrainResult> RunSocketJob(
+    const std::function<MultiProcessTrainOptions(const std::string&, int)>&
+        make_options) {
+  MICS_ASSIGN_OR_RETURN(std::unique_ptr<TcpStoreServer> server,
+                        TcpStoreServer::Start());
+  std::vector<Status> statuses(kWorld, Status::OK());
+  std::vector<MultiProcessTrainResult> results(kWorld);
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < kWorld; ++rank) {
+    threads.emplace_back([&, rank] {
+      auto result =
+          RunMultiProcessTraining(make_options(server->addr(), rank));
+      if (result.ok()) {
+        results[static_cast<size_t>(rank)] = std::move(result.value());
+      } else {
+        statuses[static_cast<size_t>(rank)] = result.status();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int rank = 0; rank < kWorld; ++rank) {
+    MICS_RETURN_NOT_OK(statuses[static_cast<size_t>(rank)]);
+  }
+  for (int rank = 1; rank < kWorld; ++rank) {
+    const MultiProcessTrainResult& r = results[static_cast<size_t>(rank)];
+    if (r.losses.size() != results[0].losses.size() ||
+        std::memcmp(r.losses.data(), results[0].losses.data(),
+                    r.losses.size() * sizeof(float)) != 0) {
+      return Status::Internal("rank " + std::to_string(rank) +
+                              " losses differ from rank 0");
+    }
+  }
+  return std::move(results[0]);
+}
+
+Status ExpectLossesBitIdentical(const std::vector<float>& got,
+                                const std::vector<float>& want, int from) {
+  if (got.size() != want.size()) {
+    return Status::Internal("loss curve length mismatch");
+  }
+  for (size_t i = static_cast<size_t>(from); i < want.size(); ++i) {
+    if (std::memcmp(&got[i], &want[i], sizeof(float)) != 0) {
+      return Status::Internal("loss bits differ at iteration " +
+                              std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+class SocketTrainTest : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(SocketTrainTest, LossesBitIdenticalToInProcessHarness) {
+  const Strategy strategy = GetParam();
+  const int iterations = 4;
+  auto reference = RunDistributedTraining(ReferenceRun(strategy, iterations));
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  auto job = RunSocketJob([&](const std::string& addr, int rank) {
+    return SocketRun(addr, rank, strategy, iterations);
+  });
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  EXPECT_EQ(job.value().start_iteration, 0);
+  Status st = ExpectLossesBitIdentical(job.value().losses,
+                                       reference.value().losses, 0);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, SocketTrainTest,
+                         ::testing::Values(Strategy::kDDP, Strategy::kZeRO3,
+                                           Strategy::kMiCS),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Strategy::kDDP: return "DDP";
+                             case Strategy::kZeRO3: return "ZeRO3";
+                             default: return "MiCS";
+                           }
+                         });
+
+TEST(SocketTrainTest, ResumedAttemptReplaysTailBitIdentically) {
+  const auto dir_path =
+      std::filesystem::temp_directory_path() / "mics_net_resume";
+  std::filesystem::remove_all(dir_path);
+  std::filesystem::create_directories(dir_path);
+  const std::string dir = dir_path.string();
+  const int total_iters = 6;
+  auto reference =
+      RunDistributedTraining(ReferenceRun(Strategy::kMiCS, total_iters));
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  // Attempt 0: train 3 iterations, checkpointing every iteration.
+  auto first = RunSocketJob([&](const std::string& addr, int rank) {
+    MultiProcessTrainOptions o = SocketRun(addr, rank, Strategy::kMiCS, 3);
+    o.checkpoint_dir = dir;
+    o.checkpoint_interval = 1;
+    return o;
+  });
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  // Attempt 1 (fresh store, fresh transports — a relaunch): rolls back to
+  // the iteration-3 checkpoint and must finish with the reference's bits.
+  auto second = RunSocketJob([&](const std::string& addr, int rank) {
+    MultiProcessTrainOptions o =
+        SocketRun(addr, rank, Strategy::kMiCS, total_iters);
+    o.ctx.attempt = 1;
+    o.checkpoint_dir = dir;
+    o.checkpoint_interval = 2;
+    return o;
+  });
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second.value().start_iteration, 3);
+  Status st = ExpectLossesBitIdentical(second.value().losses,
+                                       reference.value().losses, 3);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace mics

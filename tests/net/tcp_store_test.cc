@@ -1,0 +1,174 @@
+// TcpStore rendezvous semantics: the multi-process mirror of the
+// GroupState registry, including its poison-on-timeout contract.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/tcp_store.h"
+#include "util/status.h"
+
+namespace mics {
+namespace net {
+namespace {
+
+struct StorePair {
+  std::unique_ptr<TcpStoreServer> server;
+  std::unique_ptr<TcpStoreClient> client;
+};
+
+StorePair MakeStore() {
+  StorePair p;
+  auto server = TcpStoreServer::Start();
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  p.server = std::move(server.value());
+  auto client = TcpStoreClient::Connect(p.server->addr());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  p.client = std::move(client.value());
+  return p;
+}
+
+TEST(TcpStoreTest, SetThenGetRoundTrips) {
+  StorePair s = MakeStore();
+  ASSERT_TRUE(s.client->Set("addr/0", "127.0.0.1:1234").ok());
+  auto got = s.client->Get("addr/0");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), "127.0.0.1:1234");
+  // Binary-safe values (embedded NUL) survive the length-prefixed frames.
+  const std::string blob("a\0b", 3);
+  ASSERT_TRUE(s.client->Set("blob", blob).ok());
+  auto got2 = s.client->Get("blob");
+  ASSERT_TRUE(got2.ok());
+  EXPECT_EQ(got2.value(), blob);
+}
+
+TEST(TcpStoreTest, GetMissingKeyIsNotFound) {
+  StorePair s = MakeStore();
+  auto got = s.client->Get("never-set");
+  EXPECT_TRUE(got.status().IsNotFound()) << got.status().ToString();
+}
+
+TEST(TcpStoreTest, AddAccumulatesAndReturnsTotal) {
+  StorePair s = MakeStore();
+  auto a = s.client->Add("counter", 2);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a.value(), 2);
+  auto b = s.client->Add("counter", 5);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), 7);
+  auto c = s.client->Add("counter", -3);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value(), 4);
+}
+
+TEST(TcpStoreTest, WaitReturnsExistingKeyImmediately) {
+  StorePair s = MakeStore();
+  ASSERT_TRUE(s.client->Set("ready", "yes").ok());
+  auto got = s.client->Wait("ready", 2000);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), "yes");
+}
+
+TEST(TcpStoreTest, WaitBlocksUntilAnotherClientSets) {
+  StorePair s = MakeStore();
+  std::atomic<bool> set_done{false};
+  std::thread setter([&] {
+    auto other = TcpStoreClient::Connect(s.server->addr());
+    ASSERT_TRUE(other.ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    set_done.store(true);
+    ASSERT_TRUE(other.value()->Set("late", "value").ok());
+  });
+  auto got = s.client->Wait("late", 10000);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(set_done.load());  // Wait really blocked for the Set
+  EXPECT_EQ(got.value(), "value");
+  setter.join();
+}
+
+TEST(TcpStoreTest, WaitTimeoutPoisonsStoreForEveryLaterWait) {
+  StorePair s = MakeStore();
+  auto got = s.client->Wait("nobody-sets-this", 100);
+  EXPECT_TRUE(got.status().IsDeadlineExceeded()) << got.status().ToString();
+
+  // The GroupState contract: one timed-out rendezvous poisons the store,
+  // so later waiters fail fast instead of each burning their own timeout.
+  auto other = TcpStoreClient::Connect(s.server->addr());
+  ASSERT_TRUE(other.ok());
+  const auto before = std::chrono::steady_clock::now();
+  auto got2 = other.value()->Wait("some-other-key", 30000);
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+  EXPECT_TRUE(got2.status().IsDeadlineExceeded()) << got2.status().ToString();
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+
+  // Non-blocking ops still work on a poisoned store (recovery reads state).
+  EXPECT_TRUE(other.value()->Set("k", "v").ok());
+}
+
+TEST(TcpStoreTest, PoisonReleasesBlockedWaiters) {
+  StorePair s = MakeStore();
+  std::thread waiter([&] {
+    auto other = TcpStoreClient::Connect(s.server->addr());
+    ASSERT_TRUE(other.ok());
+    auto got = other.value()->Wait("never", 30000);
+    EXPECT_TRUE(got.status().IsDeadlineExceeded())
+        << got.status().ToString();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(s.client->Poison("worker 3 died").ok());
+  waiter.join();  // released promptly, not after the 30s budget
+}
+
+TEST(TcpStoreTest, BarrierReleasesAllParticipantsTogether) {
+  StorePair s = MakeStore();
+  const int n = 3;
+  std::atomic<int> done{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      auto client = TcpStoreClient::Connect(s.server->addr());
+      ASSERT_TRUE(client.ok());
+      if (r != 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20 * r));
+      }
+      Status st = client.value()->Barrier("startup", n, 10000);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      done.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(done.load(), n);
+}
+
+TEST(TcpStoreTest, ClientsAreThreadSafeOverOneSocket) {
+  StorePair s = MakeStore();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 25; ++i) {
+        auto total = s.client->Add("shared", 1);
+        ASSERT_TRUE(total.ok()) << total.status().ToString();
+        const std::string key =
+            "t" + std::to_string(t) + "/" + std::to_string(i);
+        ASSERT_TRUE(s.client->Set(key, key).ok());
+        auto got = s.client->Get(key);
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(got.value(), key);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  auto total = s.client->Add("shared", 0);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(total.value(), 100);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace mics

@@ -1,0 +1,101 @@
+// mics_launch: the process launcher for multi-process MiCS training.
+//
+//   mics_launch -n 4 [--attempts 3] [--timeout-ms 120000]
+//               [--gpus-per-node 2] -- ./worker --worker-args...
+//
+// Hosts the TcpStore rendezvous in this process, fork/execs one worker per
+// rank with MICS_STORE_ADDR / MICS_RANK / MICS_WORLD_SIZE (plus
+// MICS_ATTEMPT and MICS_GPUS_PER_NODE) set, and waits for them all.
+// Failed attempts are relaunched with a fresh store up to --attempts
+// times; the exit code is 0 when the final attempt succeeds, otherwise
+// the first failing worker's exit code.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/launch.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s -n <workers> [--attempts N] [--timeout-ms MS]\n"
+      "       [--gpus-per-node G] -- <binary> [args...]\n",
+      argv0);
+}
+
+bool ParseInt(const char* s, long* out) {
+  char* end = nullptr;
+  *out = std::strtol(s, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mics::net::LaunchOptions options;
+  long timeout_ms = options.timeout_ms;
+  long workers = 0, attempts = 1, gpus_per_node = 1;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--") == 0) {
+      ++i;
+      break;
+    }
+    if (std::strcmp(arg, "-n") == 0 || std::strcmp(arg, "--nproc") == 0) {
+      if (++i >= argc || !ParseInt(argv[i], &workers)) break;
+    } else if (std::strcmp(arg, "--attempts") == 0) {
+      if (++i >= argc || !ParseInt(argv[i], &attempts)) break;
+    } else if (std::strcmp(arg, "--timeout-ms") == 0) {
+      if (++i >= argc || !ParseInt(argv[i], &timeout_ms)) break;
+    } else if (std::strcmp(arg, "--gpus-per-node") == 0) {
+      if (++i >= argc || !ParseInt(argv[i], &gpus_per_node)) break;
+    } else {
+      std::fprintf(stderr, "mics_launch: unknown option '%s'\n", arg);
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (workers < 1 || i >= argc) {
+    Usage(argv[0]);
+    return 2;
+  }
+  options.binary = argv[i++];
+  for (; i < argc; ++i) options.args.push_back(argv[i]);
+  options.num_workers = static_cast<int>(workers);
+  options.max_attempts = static_cast<int>(attempts);
+  options.timeout_ms = timeout_ms;
+  options.gpus_per_node = static_cast<int>(gpus_per_node);
+
+  auto launched = mics::net::LaunchWorkers(options);
+  if (!launched.ok()) {
+    std::fprintf(stderr, "mics_launch: %s\n",
+                 launched.status().ToString().c_str());
+    return 2;
+  }
+  const mics::net::LaunchReport& report = launched.value();
+  if (report.success) {
+    if (report.attempts > 1) {
+      std::fprintf(stderr, "mics_launch: succeeded on attempt %d\n",
+                   report.attempts);
+    }
+    return 0;
+  }
+  int first_failure = 0;
+  for (const mics::net::WorkerResult& r : report.last_results) {
+    if (r.exit_code != 0) {
+      std::fprintf(stderr, "mics_launch: rank %d exited %d%s\n", r.rank,
+                   r.exit_code, r.signaled ? " (signal)" : "");
+      if (first_failure == 0) first_failure = r.exit_code;
+    }
+  }
+  if (first_failure == 0) first_failure = 1;
+  std::fprintf(stderr, "mics_launch: failed after %d attempt(s)\n",
+               report.attempts);
+  return first_failure;
+}
