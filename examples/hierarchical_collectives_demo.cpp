@@ -6,12 +6,13 @@
 //   $ ./hierarchical_collectives_demo
 
 #include <iostream>
+#include <memory>
 #include <vector>
 
-#include "comm/communicator.h"
 #include "comm/hierarchical.h"
 #include "comm/topology.h"
 #include "comm/world.h"
+#include "net/backend.h"
 #include "tensor/tensor.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -31,11 +32,15 @@ int main() {
     std::vector<int> group(world_size);
     for (int i = 0; i < world_size; ++i) group[i] = i;
 
-    MICS_ASSIGN_OR_RETURN(Communicator vanilla,
-                          Communicator::Create(&world, group, rank));
+    // The backend factory is the one place a transport is chosen; the
+    // rest of this demo only sees the abstract CommFactory seam.
+    MICS_ASSIGN_OR_RETURN(CommBackendFactory backend,
+                          CommBackendFactory::InProcess(&world, &topo, rank));
+    MICS_ASSIGN_OR_RETURN(std::unique_ptr<Comm> vanilla,
+                          backend.factory()(group));
     MICS_ASSIGN_OR_RETURN(
         HierarchicalAllGather hier,
-        HierarchicalAllGather::Create(&world, topo, group, rank));
+        HierarchicalAllGather::Create(backend.factory(), topo, group, rank));
 
     // Each rank contributes a chunk tagged with its rank id.
     Tensor shard({elems}, DType::kF32);
@@ -43,7 +48,7 @@ int main() {
     Tensor out_v({elems * world_size}, DType::kF32);
     Tensor out_h({elems * world_size}, DType::kF32);
 
-    MICS_RETURN_NOT_OK(vanilla.AllGather(shard, &out_v));
+    MICS_RETURN_NOT_OK(vanilla->AllGather(shard, &out_v));
     MICS_RETURN_NOT_OK(hier.Run(shard, &out_h));
 
     MICS_ASSIGN_OR_RETURN(float diff, Tensor::MaxAbsDiff(out_v, out_h));

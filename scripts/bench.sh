@@ -68,6 +68,15 @@ build/bench/bench_overlap_step --fast \
   --json "$tmpdir/bench_overlap_step.json" > "$tmpdir/bench_overlap_step.txt"
 tail -n 3 "$tmpdir/bench_overlap_step.txt"
 
+# Deterministic subset of the serving benchmark: the closed-loop
+# ServeBatch stream (serve.* counters, prediction checksum, batched-vs-
+# single bit-identity, modeled gather cost) without the wall-clock
+# multi-client load generator.
+echo "== bench_serve_latency (--fast) =="
+build/bench/bench_serve_latency --fast \
+  --json "$tmpdir/bench_serve_latency.json" > "$tmpdir/bench_serve_latency.txt"
+tail -n 3 "$tmpdir/bench_serve_latency.txt"
+
 python3 - "$out" "$tmpdir" <<'PY'
 import json, sys, glob, os
 

@@ -3,11 +3,11 @@
 #
 #   scripts/check.sh              tier-1: configure, build, full ctest, then
 #                                 re-run the concurrency-heavy suites
-#                                 (-L 'tsan|async|prof|net') on their own
+#                                 (-L 'tsan|async|prof|net|serve') on their own
 #   scripts/check.sh --sanitize   additionally build with
 #                                 MICS_SANITIZE=thread in build-tsan/ and run
-#                                 the tsan + async + prof + net labels under
-#                                 TSan
+#                                 the tsan + async + prof + net + serve labels
+#                                 under TSan
 #   scripts/check.sh --net        additionally smoke the real multi-process
 #                                 path: mics_launch with 4 worker processes
 #                                 on localhost, losses gated bit-identical
@@ -46,15 +46,15 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo
-echo "== concurrency suites (tsan + async + prof + net labels, plain build) =="
-ctest --test-dir build --output-on-failure -L 'tsan|async|prof|net'
+echo "== concurrency suites (tsan + async + prof + net + serve labels, plain build) =="
+ctest --test-dir build --output-on-failure -L 'tsan|async|prof|net|serve'
 
 if [[ "$sanitize" == 1 ]]; then
   echo
   echo "== ThreadSanitizer build (MICS_SANITIZE=thread) =="
   cmake -B build-tsan -S . -DMICS_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs"
-  ctest --test-dir build-tsan --output-on-failure -L 'tsan|async|prof|net'
+  ctest --test-dir build-tsan --output-on-failure -L 'tsan|async|prof|net|serve'
 fi
 
 if [[ "$net" == 1 ]]; then

@@ -1,0 +1,96 @@
+#include "net/backend.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+#include "comm/hierarchical.h"
+#include "net/socket_comm.h"
+
+namespace mics {
+
+const char* ToString(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kInProcess:
+      return "inprocess";
+    case BackendKind::kSocket:
+      return "socket";
+  }
+  return "unknown";
+}
+
+Result<BackendKind> ParseBackendKind(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    if (c == '-' || c == '_') continue;
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "inprocess" || lower == "world" || lower == "threads") {
+    return BackendKind::kInProcess;
+  }
+  if (lower == "socket" || lower == "tcp" || lower == "net") {
+    return BackendKind::kSocket;
+  }
+  return Status::InvalidArgument(
+      "unknown backend '" + name +
+      "'; expected 'inprocess' (threads-as-ranks) or 'socket' (TCP)");
+}
+
+Result<BackendKind> BackendKindFromEnv(BackendKind fallback) {
+  const char* env = std::getenv("MICS_BACKEND");
+  if (env == nullptr || env[0] == '\0') return fallback;
+  return ParseBackendKind(env);
+}
+
+Result<CommBackendFactory> CommBackendFactory::Make(const Options& options) {
+  if (options.topo == nullptr) {
+    return Status::InvalidArgument("backend factory requires a topology");
+  }
+  switch (options.kind) {
+    case BackendKind::kInProcess:
+      if (options.world == nullptr) {
+        return Status::InvalidArgument(
+            "the in-process backend requires a World");
+      }
+      if (options.global_rank < 0 ||
+          options.global_rank >= options.world->world_size()) {
+        return Status::InvalidArgument(
+            "global_rank out of range for the in-process backend");
+      }
+      return CommBackendFactory(
+          BackendKind::kInProcess,
+          WorldCommFactory(options.world, options.topo, options.global_rank));
+    case BackendKind::kSocket:
+      if (options.transport == nullptr) {
+        return Status::InvalidArgument(
+            "the socket backend requires a SocketTransport");
+      }
+      return CommBackendFactory(
+          BackendKind::kSocket,
+          net::SocketCommFactory(options.transport, options.topo));
+  }
+  return Status::InvalidArgument("unknown backend kind");
+}
+
+Result<CommBackendFactory> CommBackendFactory::InProcess(
+    World* world, const RankTopology* topo, int global_rank) {
+  Options o;
+  o.kind = BackendKind::kInProcess;
+  o.world = world;
+  o.topo = topo;
+  o.global_rank = global_rank;
+  return Make(o);
+}
+
+Result<CommBackendFactory> CommBackendFactory::Socket(
+    net::SocketTransport* transport, const RankTopology* topo) {
+  Options o;
+  o.kind = BackendKind::kSocket;
+  o.transport = transport;
+  o.topo = topo;
+  return Make(o);
+}
+
+}  // namespace mics

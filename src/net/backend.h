@@ -1,0 +1,80 @@
+#ifndef MICS_NET_BACKEND_H_
+#define MICS_NET_BACKEND_H_
+
+#include <string>
+
+#include "comm/comm.h"
+#include "comm/topology.h"
+#include "comm/world.h"
+#include "util/status.h"
+
+namespace mics {
+namespace net {
+class SocketTransport;
+}  // namespace net
+
+/// Which transport a CommFactory is built over. Every harness (training,
+/// serving, examples, tools) selects a backend through this one enum
+/// instead of hard-coding WorldCommFactory or net::SocketCommFactory.
+enum class BackendKind {
+  kInProcess,  ///< threads-as-ranks over a shared World
+  kSocket,     ///< one OS process per rank over TCP sockets
+};
+
+const char* ToString(BackendKind kind);
+
+/// Parses "inprocess" / "in-process" / "world" => kInProcess,
+/// "socket" / "tcp" / "net" => kSocket (case-insensitive).
+Result<BackendKind> ParseBackendKind(const std::string& name);
+
+/// Backend selected by the MICS_BACKEND environment variable, or
+/// `fallback` when the variable is unset or empty. An unparseable value
+/// is an error (silently ignoring a typo'd backend would be worse).
+Result<BackendKind> BackendKindFromEnv(BackendKind fallback);
+
+/// The one place a CommFactory is constructed: wraps WorldCommFactory and
+/// net::SocketCommFactory behind a backend tag so call sites carry a
+/// `CommBackendFactory` instead of knowing which transport they run over.
+/// Copyable; the World / SocketTransport / RankTopology are borrowed and
+/// must outlive the factory and every Comm it creates.
+class CommBackendFactory {
+ public:
+  struct Options {
+    BackendKind kind = BackendKind::kInProcess;
+    /// Required for kInProcess.
+    World* world = nullptr;
+    /// Required for kSocket.
+    net::SocketTransport* transport = nullptr;
+    /// Required for both backends.
+    const RankTopology* topo = nullptr;
+    /// This rank's global id; used by the in-process backend to pick its
+    /// member slot (the socket transport already knows its rank).
+    int global_rank = 0;
+  };
+
+  static Result<CommBackendFactory> Make(const Options& options);
+
+  /// Convenience constructors for the common cases.
+  static Result<CommBackendFactory> InProcess(World* world,
+                                              const RankTopology* topo,
+                                              int global_rank);
+  static Result<CommBackendFactory> Socket(net::SocketTransport* transport,
+                                           const RankTopology* topo);
+
+  BackendKind kind() const { return kind_; }
+  const CommFactory& factory() const { return factory_; }
+
+  /// A CommBackendFactory is usable anywhere a CommFactory is expected.
+  operator const CommFactory&() const { return factory_; }
+
+ private:
+  CommBackendFactory(BackendKind kind, CommFactory factory)
+      : kind_(kind), factory_(std::move(factory)) {}
+
+  BackendKind kind_;
+  CommFactory factory_;
+};
+
+}  // namespace mics
+
+#endif  // MICS_NET_BACKEND_H_

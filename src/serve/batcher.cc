@@ -1,0 +1,290 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace mics {
+namespace serve {
+
+namespace {
+
+void Fulfill(const std::shared_ptr<ReplyState>& state,
+             Result<ServeReply> reply) {
+  if (state == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->reply = std::move(reply);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+}  // namespace
+
+bool ReplyFuture::ready() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+Result<ServeReply> ReplyFuture::Wait() const {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition("waiting on an invalid ReplyFuture");
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->reply;
+}
+
+Status BatcherOptions::Validate() const {
+  if (max_batch_samples < 1) {
+    return Status::InvalidArgument("max_batch_samples must be >= 1");
+  }
+  if (max_wait_us < 0) {
+    return Status::InvalidArgument("max_wait_us must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DynamicBatcher>> DynamicBatcher::Create(
+    const BatcherOptions& options) {
+  MICS_RETURN_NOT_OK(options.Validate());
+  return std::unique_ptr<DynamicBatcher>(new DynamicBatcher(options));
+}
+
+DynamicBatcher::DynamicBatcher(const BatcherOptions& options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  requests_counter_ = reg.GetCounter("serve.requests");
+  rejected_counter_ = reg.GetCounter("serve.rejected");
+  batches_counter_ = reg.GetCounter("serve.batches");
+  failed_batches_counter_ = reg.GetCounter("serve.failed_batches");
+  batch_size_hist_ =
+      reg.GetHistogram("serve.batch_size", {1, 2, 4, 8, 16, 32, 64});
+  queue_wait_hist_ = reg.GetHistogram("serve.queue_wait_us");
+  if (options_.trace != nullptr) {
+    trace_track_ = options_.trace->RegisterTrack("serve/batcher");
+  }
+}
+
+DynamicBatcher::~DynamicBatcher() {
+  Shutdown();
+  // Strand nothing: requests never handed to a consumer fail cleanly.
+  std::vector<std::shared_ptr<ReplyState>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Group& g : groups_) {
+      for (BatchRequest& r : g.queue) orphans.push_back(std::move(r.reply));
+      g.queue.clear();
+    }
+    pending_ = 0;
+  }
+  for (const auto& state : orphans) {
+    Fulfill(state,
+            Status::Unavailable("batcher destroyed before the request ran"));
+  }
+}
+
+double DynamicBatcher::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Result<ReplyFuture> DynamicBatcher::Submit(const Tensor& input,
+                                           int64_t sample_numel) {
+  if (sample_numel < 1) {
+    return Status::InvalidArgument("sample_numel must be >= 1");
+  }
+  if (input.numel() == 0 || input.numel() % sample_numel != 0) {
+    return Status::InvalidArgument(
+        "request of " + std::to_string(input.numel()) +
+        " elements is not a positive multiple of sample_numel " +
+        std::to_string(sample_numel));
+  }
+
+  BatchRequest request;
+  request.samples = input.numel() / sample_numel;
+  // Owning copy, so a client handing in a view may reuse its buffer the
+  // moment Submit returns.
+  request.input = Tensor({input.numel()}, input.dtype());
+  MICS_RETURN_NOT_OK(request.input.CopyFrom(input));
+  request.reply = std::make_shared<ReplyState>();
+  ReplyFuture future(request.reply);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      rejected_counter_->Increment();
+      return Status::Unavailable("batcher is shut down; request rejected");
+    }
+    request.id = next_request_id_++;
+    request.enqueue_us = NowUs();
+    if (options_.trace != nullptr) {
+      request.trace_ts_us = options_.trace->NowUs();
+    }
+    Group* group = nullptr;
+    for (Group& g : groups_) {
+      if (g.dtype == input.dtype() && g.sample_numel == sample_numel) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups_.emplace_back();
+      group = &groups_.back();
+      group->dtype = input.dtype();
+      group->sample_numel = sample_numel;
+    }
+    group->queued_samples += request.samples;
+    group->queue.push_back(std::move(request));
+    ++pending_;
+    requests_counter_->Increment();
+  }
+  cv_.notify_all();
+  return future;
+}
+
+DynamicBatcher::Group* DynamicBatcher::FlushableGroupLocked(double now_us) {
+  // Full groups first (they bound memory), then the most-overdue group,
+  // then — only when shutting down — whatever holds the oldest request.
+  for (Group& g : groups_) {
+    if (g.queued_samples >= options_.max_batch_samples) return &g;
+  }
+  Group* oldest = nullptr;
+  for (Group& g : groups_) {
+    if (g.queue.empty()) continue;
+    if (oldest == nullptr ||
+        g.queue.front().enqueue_us < oldest->queue.front().enqueue_us) {
+      oldest = &g;
+    }
+  }
+  if (oldest == nullptr) return nullptr;
+  if (shutdown_) return oldest;
+  const double age = now_us - oldest->queue.front().enqueue_us;
+  if (age >= static_cast<double>(options_.max_wait_us)) return oldest;
+  return nullptr;
+}
+
+Batch DynamicBatcher::PopBatchLocked(Group* group) {
+  Batch batch;
+  batch.id = next_batch_id_++;
+  batch.dtype = group->dtype;
+  batch.sample_numel = group->sample_numel;
+  while (!group->queue.empty()) {
+    const BatchRequest& front = group->queue.front();
+    if (!batch.requests.empty() &&
+        batch.total_samples + front.samples > options_.max_batch_samples) {
+      break;
+    }
+    batch.total_samples += front.samples;
+    group->queued_samples -= front.samples;
+    batch.requests.push_back(std::move(group->queue.front()));
+    group->queue.pop_front();
+    --pending_;
+  }
+  return batch;
+}
+
+Result<std::optional<Batch>> DynamicBatcher::NextBatch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const double now = NowUs();
+    Group* group = FlushableGroupLocked(now);
+    if (group != nullptr) return std::optional<Batch>(PopBatchLocked(group));
+    if (shutdown_) return std::optional<Batch>(std::nullopt);
+    if (pending_ == 0) {
+      cv_.wait(lock);
+      continue;
+    }
+    // Sleep until the oldest request's deadline (new arrivals wake us).
+    double oldest = now;
+    for (const Group& g : groups_) {
+      if (!g.queue.empty()) {
+        oldest = std::min(oldest, g.queue.front().enqueue_us);
+      }
+    }
+    const double deadline = oldest + static_cast<double>(options_.max_wait_us);
+    const double wait = std::max(1.0, deadline - now);
+    cv_.wait_for(lock, std::chrono::duration<double, std::micro>(wait));
+  }
+}
+
+void DynamicBatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+void DynamicBatcher::CompleteBatch(const Batch& batch, const Tensor& scores,
+                                   const std::vector<int32_t>& predictions) {
+  const double now = NowUs();
+  const double trace_now =
+      options_.trace != nullptr ? options_.trace->NowUs() : 0.0;
+  const int64_t classes =
+      batch.total_samples > 0 ? scores.numel() / batch.total_samples : 0;
+  batches_counter_->Increment();
+  batch_size_hist_->Observe(static_cast<double>(batch.total_samples));
+
+  int64_t row = 0;
+  for (const BatchRequest& request : batch.requests) {
+    ServeReply reply;
+    reply.batch_id = batch.id;
+    reply.batch_samples = batch.total_samples;
+    reply.queue_wait_us = now - request.enqueue_us;
+    reply.scores = Tensor({request.samples, classes}, DType::kF32);
+    // Slice() is non-const; the deep copy below never writes to `scores`.
+    Tensor rows = const_cast<Tensor&>(scores).Slice(row * classes,
+                                                    request.samples * classes);
+    Status copied = reply.scores.CopyFrom(rows);
+    if (copied.ok()) {
+      const size_t begin = static_cast<size_t>(row);
+      const size_t end = static_cast<size_t>(row + request.samples);
+      if (end <= predictions.size()) {
+        reply.predictions.assign(predictions.begin() + begin,
+                                 predictions.begin() + end);
+      } else {
+        copied = Status::Internal("prediction vector shorter than the batch");
+      }
+    }
+    queue_wait_hist_->Observe(reply.queue_wait_us);
+    if (options_.trace != nullptr) {
+      options_.trace->AddCompleteEvent(
+          trace_track_, "request " + std::to_string(request.id),
+          request.trace_ts_us, trace_now - request.trace_ts_us, "serve");
+    }
+    if (copied.ok()) {
+      Fulfill(request.reply, std::move(reply));
+    } else {
+      Fulfill(request.reply, copied);
+    }
+    row += request.samples;
+  }
+}
+
+void DynamicBatcher::FailBatch(const Batch& batch, const Status& status) {
+  failed_batches_counter_->Increment();
+  const double trace_now =
+      options_.trace != nullptr ? options_.trace->NowUs() : 0.0;
+  for (const BatchRequest& request : batch.requests) {
+    if (options_.trace != nullptr) {
+      options_.trace->AddCompleteEvent(
+          trace_track_, "request " + std::to_string(request.id) + " (failed)",
+          request.trace_ts_us, trace_now - request.trace_ts_us, "serve");
+    }
+    Fulfill(request.reply,
+            Status(status.code(), "batch " + std::to_string(batch.id) +
+                                      " failed: " + status.message()));
+  }
+}
+
+int64_t DynamicBatcher::pending_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+}  // namespace serve
+}  // namespace mics

@@ -1,0 +1,187 @@
+#ifndef MICS_SERVE_BATCHER_H_
+#define MICS_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+namespace serve {
+
+/// What a client gets back for one request: its rows of the batch's
+/// class-probability matrix plus queueing/batching metadata.
+struct ServeReply {
+  /// [samples, classes] fp32 probabilities — this request's rows only.
+  Tensor scores;
+  /// Argmax class per sample.
+  std::vector<int32_t> predictions;
+  /// Microseconds the request waited in the admission queue before its
+  /// batch was formed.
+  double queue_wait_us = 0.0;
+  int64_t batch_id = -1;
+  /// Total samples in the batch this request rode in (>= this request's
+  /// own sample count).
+  int64_t batch_samples = 0;
+};
+
+/// Shared completion slot between a submitted request and the serving
+/// thread. Internal — clients hold it through ReplyFuture.
+struct ReplyState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Result<ServeReply> reply{Status::Unavailable("request still pending")};
+};
+
+/// Per-request completion future: Submit() returns one immediately, the
+/// serving thread fulfills it when the request's batch completes (or
+/// fails). Copyable; all copies observe the same completion.
+class ReplyFuture {
+ public:
+  ReplyFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const;
+
+  /// Blocks until the request completes; returns the reply or the
+  /// failure that killed its batch. Invalid futures fail.
+  Result<ServeReply> Wait() const;
+
+ private:
+  friend class DynamicBatcher;
+  explicit ReplyFuture(std::shared_ptr<ReplyState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<ReplyState> state_;
+};
+
+/// One admitted request, as carried inside a formed batch.
+struct BatchRequest {
+  int64_t id = 0;
+  /// Owning flat copy of the client's input.
+  Tensor input;
+  int64_t samples = 0;
+  /// Admission timestamp on the batcher's steady clock (us).
+  double enqueue_us = 0.0;
+  /// Admission timestamp on the trace recorder's clock, when tracing.
+  double trace_ts_us = 0.0;
+  std::shared_ptr<ReplyState> reply;
+};
+
+/// A formed batch: requests of one shape key (dtype, sample_numel), in
+/// admission order. The consumer must hand it back through
+/// CompleteBatch() or FailBatch() — dropping it strands the futures.
+struct Batch {
+  int64_t id = 0;
+  DType dtype = DType::kF32;
+  int64_t sample_numel = 0;
+  int64_t total_samples = 0;
+  std::vector<BatchRequest> requests;
+};
+
+struct BatcherOptions {
+  /// A shape group is flushed as soon as its queued samples reach this.
+  int64_t max_batch_samples = 8;
+  /// ... or as soon as its oldest request has waited this long, whatever
+  /// is queued at that point (the latency bound of dynamic batching).
+  int64_t max_wait_us = 2000;
+  /// Optional recorder for per-request queue+execution spans. Borrowed.
+  obs::TraceRecorder* trace = nullptr;
+
+  Status Validate() const;
+};
+
+/// CTranslate2-style dynamic request batching: clients Submit() tensors
+/// of possibly different sample counts and shapes; the batcher groups
+/// compatible requests (same dtype and per-sample element count) and
+/// releases a batch when it is full or its oldest member has waited
+/// max_wait_us. One serving thread drains NextBatch(); Shutdown() lets
+/// it finish everything already admitted, then yields nullopt.
+///
+/// Metrics (global registry): serve.requests, serve.rejected,
+/// serve.batches, serve.failed_batches, histogram serve.batch_size,
+/// histogram serve.queue_wait_us.
+class DynamicBatcher {
+ public:
+  static Result<std::unique_ptr<DynamicBatcher>> Create(
+      const BatcherOptions& options);
+
+  ~DynamicBatcher();
+  DynamicBatcher(const DynamicBatcher&) = delete;
+  DynamicBatcher& operator=(const DynamicBatcher&) = delete;
+
+  /// Admits one request of `input.numel() / sample_numel` samples (deep
+  /// copy — the caller's buffer is free immediately). Fails with
+  /// Unavailable after Shutdown() and InvalidArgument on a sample size
+  /// that does not divide the input.
+  Result<ReplyFuture> Submit(const Tensor& input, int64_t sample_numel);
+
+  /// Blocks for the next batch. nullopt = shut down and fully drained.
+  Result<std::optional<Batch>> NextBatch();
+
+  /// Stops admission; already-queued requests still get served.
+  void Shutdown();
+
+  /// Fulfills every request of `batch` from the batch-level results:
+  /// request r receives its own rows of `scores` ([total_samples,
+  /// classes]) and its slice of `predictions`.
+  void CompleteBatch(const Batch& batch, const Tensor& scores,
+                     const std::vector<int32_t>& predictions);
+
+  /// Fails every request of `batch` with `status`.
+  void FailBatch(const Batch& batch, const Status& status);
+
+  int64_t pending_requests() const;
+
+ private:
+  struct Group {
+    DType dtype = DType::kF32;
+    int64_t sample_numel = 0;
+    std::deque<BatchRequest> queue;
+    int64_t queued_samples = 0;
+  };
+
+  explicit DynamicBatcher(const BatcherOptions& options);
+
+  double NowUs() const;
+  /// Pops up to max_batch_samples from the front of `group` (always at
+  /// least one request). Caller holds mu_.
+  Batch PopBatchLocked(Group* group);
+  /// The group to flush right now (full, expired, or shutdown-drain), or
+  /// nullptr. Caller holds mu_.
+  Group* FlushableGroupLocked(double now_us);
+
+  BatcherOptions options_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Group> groups_;
+  bool shutdown_ = false;
+  int64_t next_request_id_ = 0;
+  int64_t next_batch_id_ = 0;
+  int64_t pending_ = 0;
+
+  obs::Counter* requests_counter_;
+  obs::Counter* rejected_counter_;
+  obs::Counter* batches_counter_;
+  obs::Counter* failed_batches_counter_;
+  obs::Histogram* batch_size_hist_;
+  obs::Histogram* queue_wait_hist_;
+  int trace_track_ = -1;
+};
+
+}  // namespace serve
+}  // namespace mics
+
+#endif  // MICS_SERVE_BATCHER_H_

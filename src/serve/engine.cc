@@ -1,0 +1,307 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/random.h"
+
+namespace mics {
+namespace serve {
+
+const char* ToString(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kDDP:
+      return "ddp";
+    case Strategy::kZeRO3:
+      return "zero3";
+    case Strategy::kMiCS:
+      return "mics";
+  }
+  return "unknown";
+}
+
+int ServeOptions::EffectiveGroupSize(int world_size) const {
+  switch (strategy) {
+    case Strategy::kDDP:
+      return 1;
+    case Strategy::kZeRO3:
+      return world_size;
+    case Strategy::kMiCS:
+      return partition_group_size;
+  }
+  return 1;
+}
+
+Status ServeOptions::Validate() const {
+  if (strategy == Strategy::kMiCS && partition_group_size < 1) {
+    return Status::InvalidArgument(
+        "the MiCS strategy requires partition_group_size >= 1");
+  }
+  if (prefetch_depth < 0) {
+    return Status::InvalidArgument("prefetch_depth must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ServeEngine>> ServeEngine::Create(
+    const CommFactory& factory, const RankTopology& topo,
+    const ServeOptions& options, train::Model* model, int global_rank) {
+  MICS_RETURN_NOT_OK(options.Validate());
+  if (model == nullptr) {
+    return Status::InvalidArgument("model must not be null");
+  }
+  const int group_size = options.EffectiveGroupSize(topo.world_size);
+  std::unique_ptr<ServeEngine> engine(new ServeEngine(options, model));
+
+  MICS_ASSIGN_OR_RETURN(
+      GroupManager groups,
+      GroupManager::Create(factory, topo, group_size, global_rank,
+                           options.hierarchical_allgather,
+                           /*enable_hierarchical_rs=*/false));
+  engine->groups_.emplace(std::move(groups));
+
+  engine->segment_numels_ = model->ParameterSegments();
+  int64_t total = 0;
+  for (int64_t n : engine->segment_numels_) {
+    if (n <= 0) {
+      return Status::InvalidArgument(
+          "model reported a non-positive parameter segment");
+    }
+    engine->segment_offsets_.push_back(total);
+    total += n;
+  }
+  if (total != model->NumParams()) {
+    return Status::InvalidArgument(
+        "model parameter segments sum to " + std::to_string(total) +
+        " but NumParams() is " + std::to_string(model->NumParams()));
+  }
+
+  LayerwiseGatherManager::Options gather_options;
+  gather_options.prefetch_depth = options.prefetch_depth;
+  gather_options.async = options.async_prefetch;
+  MICS_ASSIGN_OR_RETURN(
+      LayerwiseGatherManager gather,
+      LayerwiseGatherManager::Create(&*engine->groups_,
+                                     engine->segment_numels_, gather_options));
+  engine->gather_.emplace(std::move(gather));
+
+  engine->full_params_ = Tensor({model->NumParams()}, DType::kF32);
+  engine->resident_ = options.gather_mode == GatherMode::kResident;
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  engine->batches_counter_ = reg.GetCounter("serve.engine.batches");
+  engine->samples_counter_ = reg.GetCounter("serve.engine.samples");
+  if (options.trace != nullptr) {
+    engine->trace_track_ = options.trace->RegisterTrack(
+        "serve/rank " + std::to_string(global_rank));
+  }
+  return engine;
+}
+
+Status ServeEngine::LoadParameters(uint64_t seed) {
+  return LoadParameters([this, seed](Tensor*) -> Status {
+    Rng rng(seed);
+    return model_->InitParameters(&rng);
+  });
+}
+
+Status ServeEngine::LoadParameters(
+    const std::function<Status(Tensor*)>& init) {
+  // The model computes the full weights into the forward buffer once;
+  // each rank then keeps only its shard of every segment and the shards
+  // become the single source of truth (the buffer is wiped below).
+  MICS_RETURN_NOT_OK(model_->BindParameters(&full_params_, nullptr));
+  MICS_RETURN_NOT_OK(init(&full_params_));
+
+  const int shard_index = groups_->shard_index();
+  for (int i = 0; i < gather_->num_segments(); ++i) {
+    MICS_ASSIGN_OR_RETURN(Tensor * shard, gather_->Shard(i));
+    shard->FillZero();
+    const int64_t per_rank = shard->numel();  // padded / p
+    const int64_t start = static_cast<int64_t>(shard_index) * per_rank;
+    const int64_t n = std::min(
+        per_rank, std::max<int64_t>(0, segment_numels_[i] - start));
+    if (n > 0) {
+      Tensor src = full_params_.Slice(segment_offsets_[i] + start, n);
+      Tensor dst = shard->Slice(0, n);
+      MICS_RETURN_NOT_OK(dst.CopyFrom(src));
+    }
+  }
+  // Serving must reconstruct the weights from the shards — proven by
+  // serving out of a wiped buffer, not the init-time copy.
+  full_params_.FillZero();
+  loaded_ = true;
+  if (resident_) MICS_RETURN_NOT_OK(MaterializeAll());
+  return Status::OK();
+}
+
+Status ServeEngine::MaterializeAll() {
+  for (int i = 0; i < gather_->num_segments(); ++i) {
+    MICS_ASSIGN_OR_RETURN(Tensor segment, gather_->Acquire(i));
+    Tensor dst = full_params_.Slice(segment_offsets_[i], segment_numels_[i]);
+    MICS_RETURN_NOT_OK(dst.CopyFrom(segment));
+    MICS_RETURN_NOT_OK(gather_->Release(i));
+  }
+  return Status::OK();
+}
+
+Status ServeEngine::CheckBatchGeometry(DType dtype, int64_t sample_numel,
+                                       int64_t numel) const {
+  if (dtype != model_->input_dtype()) {
+    return Status::InvalidArgument(
+        "batch dtype does not match the model's input dtype");
+  }
+  if (sample_numel != model_->sample_numel()) {
+    return Status::InvalidArgument(
+        "batch sample size " + std::to_string(sample_numel) +
+        " does not match the model's " +
+        std::to_string(model_->sample_numel()));
+  }
+  if (numel <= 0 || numel % sample_numel != 0) {
+    return Status::InvalidArgument(
+        "batch of " + std::to_string(numel) +
+        " elements is not a positive multiple of the sample size");
+  }
+  return Status::OK();
+}
+
+Result<Tensor> ServeEngine::ServeBatch(const Tensor& inputs) {
+  if (!loaded_) {
+    return Status::FailedPrecondition(
+        "LoadParameters must run before serving");
+  }
+  MICS_RETURN_NOT_OK(CheckBatchGeometry(inputs.dtype(),
+                                        model_->sample_numel(),
+                                        inputs.numel()));
+  const int64_t samples = inputs.numel() / model_->sample_numel();
+  if (!resident_) {
+    MICS_TRACE_SPAN(options_.trace, trace_track_, "gather-params");
+    MICS_RETURN_NOT_OK(MaterializeAll());
+  }
+  Result<Tensor> scores = [&]() -> Result<Tensor> {
+    MICS_TRACE_SPAN(options_.trace, trace_track_, "forward");
+    return model_->Forward(inputs);
+  }();
+  // In per-batch mode the gathered weights are dropped after every
+  // batch, successful or not — §4's release step.
+  if (!resident_) full_params_.FillZero();
+  if (!scores.ok()) return scores.status();
+  batches_counter_->Increment();
+  samples_counter_->Add(static_cast<double>(samples));
+  return std::move(scores).value();
+}
+
+std::vector<int32_t> ServeEngine::PredictionsFromScores(const Tensor& scores) {
+  std::vector<int32_t> out;
+  if (scores.shape().size() != 2) return out;
+  const int64_t samples = scores.shape()[0];
+  const int64_t classes = scores.shape()[1];
+  if (samples <= 0 || classes <= 0) return out;
+  out.resize(static_cast<size_t>(samples));
+  const float* s = scores.f32();
+  for (int64_t i = 0; i < samples; ++i) {
+    const float* row = s + i * classes;
+    int32_t best = 0;
+    for (int64_t j = 1; j < classes; ++j) {
+      if (row[j] > row[best]) best = static_cast<int32_t>(j);
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+Status ServeEngine::DriverLoop(DynamicBatcher* batcher) {
+  if (batcher == nullptr) {
+    return Status::InvalidArgument("DriverLoop requires a batcher");
+  }
+  if (!is_driver()) {
+    return Status::FailedPrecondition(
+        "DriverLoop must run on shard 0 of the partition group");
+  }
+  const int p = groups_->partition_group_size();
+  Comm& partition = groups_->partition();
+  for (;;) {
+    MICS_ASSIGN_OR_RETURN(std::optional<Batch> next, batcher->NextBatch());
+    if (!next.has_value()) {
+      if (p > 1) {
+        Tensor desc({4}, DType::kI32);
+        desc.i32()[0] = 1;  // shutdown marker
+        MICS_RETURN_NOT_OK(partition.Broadcast(&desc, 0));
+      }
+      return Status::OK();
+    }
+    Batch batch = std::move(*next);
+
+    // Geometry is checked before any collective: a mismatched batch
+    // fails locally and the followers never hear about it.
+    Status prepared = CheckBatchGeometry(
+        batch.dtype, batch.sample_numel,
+        batch.total_samples * batch.sample_numel);
+    Tensor inputs;
+    if (prepared.ok()) {
+      inputs = Tensor({batch.total_samples, batch.sample_numel}, batch.dtype);
+      int64_t offset = 0;
+      for (const BatchRequest& request : batch.requests) {
+        Tensor dst = inputs.Slice(offset, request.input.numel());
+        prepared = dst.CopyFrom(request.input);
+        if (!prepared.ok()) break;
+        offset += request.input.numel();
+      }
+    }
+    if (!prepared.ok()) {
+      batcher->FailBatch(batch, prepared);
+      continue;
+    }
+
+    if (p > 1) {
+      Tensor desc({4}, DType::kI32);
+      desc.i32()[0] = 0;  // batch
+      desc.i32()[1] = static_cast<int32_t>(batch.total_samples);
+      desc.i32()[2] = static_cast<int32_t>(batch.sample_numel);
+      desc.i32()[3] = static_cast<int32_t>(batch.dtype);
+      MICS_RETURN_NOT_OK(partition.Broadcast(&desc, 0));
+      MICS_RETURN_NOT_OK(partition.Broadcast(&inputs, 0));
+    }
+
+    Result<Tensor> scores = ServeBatch(inputs);
+    if (!scores.ok()) {
+      batcher->FailBatch(batch, scores.status());
+      // Inputs are identical group-wide, so every rank reaches the same
+      // verdict: batch-local failures keep all loops alive.
+      if (IsBatchLocalError(scores.status())) continue;
+      return scores.status();
+    }
+    batcher->CompleteBatch(batch, scores.value(),
+                           PredictionsFromScores(scores.value()));
+  }
+}
+
+Status ServeEngine::FollowerLoop() {
+  if (is_driver()) {
+    return Status::FailedPrecondition(
+        "FollowerLoop must run on a non-driver shard (this rank drives)");
+  }
+  Comm& partition = groups_->partition();
+  for (;;) {
+    Tensor desc({4}, DType::kI32);
+    MICS_RETURN_NOT_OK(partition.Broadcast(&desc, 0));
+    if (desc.i32()[0] == 1) return Status::OK();
+    const int64_t samples = desc.i32()[1];
+    const int64_t sample_numel = desc.i32()[2];
+    const DType dtype = static_cast<DType>(desc.i32()[3]);
+    if (samples <= 0 || sample_numel <= 0) {
+      return Status::Internal("malformed batch descriptor from the driver");
+    }
+    Tensor inputs({samples, sample_numel}, dtype);
+    MICS_RETURN_NOT_OK(partition.Broadcast(&inputs, 0));
+    Result<Tensor> scores = ServeBatch(inputs);
+    if (!scores.ok()) {
+      if (IsBatchLocalError(scores.status())) continue;
+      return scores.status();
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace mics

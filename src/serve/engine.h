@@ -1,0 +1,150 @@
+#ifndef MICS_SERVE_ENGINE_H_
+#define MICS_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "comm/comm.h"
+#include "comm/topology.h"
+#include "core/group_manager.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/batcher.h"
+#include "tensor/tensor.h"
+#include "train/layerwise_gather.h"
+#include "train/model.h"
+#include "util/status.h"
+
+namespace mics {
+namespace serve {
+
+/// Which sharding geometry the engine serves under — the same spectrum
+/// the training plane exposes: DDP (every rank holds the full model),
+/// ZeRO-3 (sharded over the world), MiCS (sharded over a partition
+/// group smaller than the world).
+enum class Strategy { kDDP = 0, kZeRO3 = 1, kMiCS = 2 };
+
+const char* ToString(Strategy strategy);
+
+/// When gathered parameters live in the forward buffer.
+enum class GatherMode {
+  /// Gather once at load; every batch reuses the materialized weights
+  /// (throughput mode — memory cost is the full model per rank).
+  kResident = 0,
+  /// Gather layer-by-layer per batch and drop the full weights after
+  /// (memory mode — the serving analogue of §4's parameter lifecycle,
+  /// with the LayerwiseGatherManager prefetching ahead of compute).
+  kPerBatch = 1,
+};
+
+struct ServeOptions {
+  Strategy strategy = Strategy::kDDP;
+  /// Partition-group size under kMiCS (ignored otherwise).
+  int partition_group_size = 1;
+  /// Use the three-stage hierarchical all-gather when node-aligned.
+  bool hierarchical_allgather = true;
+  GatherMode gather_mode = GatherMode::kResident;
+  /// Layerwise prefetch window under kPerBatch.
+  int prefetch_depth = 2;
+  bool async_prefetch = true;
+  /// Optional span recorder (per-batch gather/forward spans). Borrowed.
+  obs::TraceRecorder* trace = nullptr;
+
+  int EffectiveGroupSize(int world_size) const;
+  Status Validate() const;
+};
+
+/// Forward-only serving engine over the sharded parameter store: the
+/// model's flat parameters stay sharded across the partition group
+/// exactly as in training (FlatParameter shards behind a
+/// LayerwiseGatherManager) — no optimizer or gradient state exists —
+/// and batches run through train::Model::Forward against a gathered
+/// weight buffer.
+///
+/// SPMD contract: every rank of a partition group must execute the same
+/// ServeBatch sequence with identical inputs (gathers are collectives).
+/// DriverLoop/FollowerLoop implement that contract over a
+/// DynamicBatcher: the group's shard 0 drains the batcher and
+/// broadcasts each batch (then a shutdown marker) to its followers.
+///
+/// Counters: serve.engine.batches, serve.engine.samples.
+class ServeEngine {
+ public:
+  /// `model` and everything behind `factory` are borrowed and must
+  /// outlive the engine. The model is rebound forward-only.
+  static Result<std::unique_ptr<ServeEngine>> Create(
+      const CommFactory& factory, const RankTopology& topo,
+      const ServeOptions& options, train::Model* model, int global_rank);
+
+  /// Deterministically initializes the weights (same seed => identical
+  /// weights on every rank), then shards them: each rank keeps only its
+  /// partition-group slice, and the forward buffer holds gathered
+  /// weights only as the gather mode dictates.
+  Status LoadParameters(uint64_t seed);
+  /// Same, but the caller writes the full flat parameters (`init` must
+  /// produce identical bytes on every rank).
+  Status LoadParameters(const std::function<Status(Tensor*)>& init);
+
+  /// Runs one batch (numel = samples * model sample_numel) through the
+  /// gathered weights; returns [samples, classes] probabilities. All
+  /// partition-group ranks must call this with identical inputs.
+  Result<Tensor> ServeBatch(const Tensor& inputs);
+
+  /// Argmax per row of a ServeBatch result.
+  static std::vector<int32_t> PredictionsFromScores(const Tensor& scores);
+
+  /// Shard 0 of each partition group drives; the rest follow.
+  bool is_driver() const { return groups_->shard_index() == 0; }
+  int shard_index() const { return groups_->shard_index(); }
+  int partition_group_size() const { return groups_->partition_group_size(); }
+
+  /// Drains `batcher` until Shutdown + empty: forms batches, broadcasts
+  /// them to followers, serves, completes futures. Model-level
+  /// InvalidArgument/FailedPrecondition failures fail only that batch;
+  /// transport failures abort the loop (after failing the batch).
+  Status DriverLoop(DynamicBatcher* batcher);
+
+  /// Serves driver-broadcast batches until the shutdown marker.
+  Status FollowerLoop();
+
+  const ServeOptions& options() const { return options_; }
+  train::Model* model() const { return model_; }
+
+ private:
+  ServeEngine(const ServeOptions& options, train::Model* model)
+      : options_(options), model_(model) {}
+
+  /// Copies every gathered segment into the forward buffer.
+  Status MaterializeAll();
+  /// Rejects inputs whose geometry does not match the model.
+  Status CheckBatchGeometry(DType dtype, int64_t sample_numel,
+                            int64_t numel) const;
+  /// True for failures that poison one batch, not the engine.
+  static bool IsBatchLocalError(const Status& status) {
+    return status.IsInvalidArgument() || status.IsFailedPrecondition();
+  }
+
+  ServeOptions options_;
+  train::Model* model_;
+  bool resident_ = true;
+  bool loaded_ = false;
+
+  std::optional<GroupManager> groups_;
+  std::optional<LayerwiseGatherManager> gather_;
+  std::vector<int64_t> segment_numels_;
+  std::vector<int64_t> segment_offsets_;
+  /// The forward buffer the model's parameter views are bound to.
+  Tensor full_params_;
+
+  obs::Counter* batches_counter_ = nullptr;
+  obs::Counter* samples_counter_ = nullptr;
+  int trace_track_ = -1;
+};
+
+}  // namespace serve
+}  // namespace mics
+
+#endif  // MICS_SERVE_ENGINE_H_

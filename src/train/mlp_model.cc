@@ -20,16 +20,23 @@ int64_t MlpModel::NumParams() const {
          config_.hidden * config_.classes + config_.classes;
 }
 
+std::vector<int64_t> MlpModel::ParameterSegments() const {
+  const int64_t d = config_.input_dim;
+  const int64_t h = config_.hidden;
+  const int64_t c = config_.classes;
+  return {d * h + h, h * c + c};
+}
+
 Status MlpModel::BindParameters(Tensor* params_flat, Tensor* grads_flat) {
-  if (params_flat == nullptr || grads_flat == nullptr) {
-    return Status::InvalidArgument("null parameter buffers");
+  if (params_flat == nullptr) {
+    return Status::InvalidArgument("null parameter buffer");
   }
   if (params_flat->dtype() != DType::kF32 ||
-      grads_flat->dtype() != DType::kF32) {
+      (grads_flat != nullptr && grads_flat->dtype() != DType::kF32)) {
     return Status::InvalidArgument("parameter buffers must be fp32");
   }
   if (params_flat->numel() < NumParams() ||
-      grads_flat->numel() < NumParams()) {
+      (grads_flat != nullptr && grads_flat->numel() < NumParams())) {
     return Status::InvalidArgument("parameter buffers too small");
   }
   const int64_t d = config_.input_dim;
@@ -37,16 +44,20 @@ Status MlpModel::BindParameters(Tensor* params_flat, Tensor* grads_flat) {
   const int64_t c = config_.classes;
   int64_t off = 0;
   w1_ = params_flat->Slice(off, d * h);
-  gw1_ = grads_flat->Slice(off, d * h);
+  if (grads_flat != nullptr) gw1_ = grads_flat->Slice(off, d * h);
   off += d * h;
   b1_ = params_flat->Slice(off, h);
-  gb1_ = grads_flat->Slice(off, h);
+  if (grads_flat != nullptr) gb1_ = grads_flat->Slice(off, h);
   off += h;
   w2_ = params_flat->Slice(off, h * c);
-  gw2_ = grads_flat->Slice(off, h * c);
+  if (grads_flat != nullptr) gw2_ = grads_flat->Slice(off, h * c);
   off += h * c;
   b2_ = params_flat->Slice(off, c);
-  gb2_ = grads_flat->Slice(off, c);
+  if (grads_flat != nullptr) gb2_ = grads_flat->Slice(off, c);
+  if (grads_flat == nullptr) {
+    gw1_ = gb1_ = gw2_ = gb2_ = Tensor();
+  }
+  has_grads_ = grads_flat != nullptr;
   bound_ = true;
   return Status::OK();
 }
@@ -141,6 +152,11 @@ float SoftmaxCrossEntropy(std::vector<float>* logits,
 Result<float> MlpModel::ForwardBackward(const Tensor& x,
                                         const std::vector<int32_t>& y) {
   MICS_RETURN_NOT_OK(CheckBatch(x, static_cast<int64_t>(y.size())));
+  if (!has_grads_) {
+    return Status::FailedPrecondition(
+        "model is bound forward-only (no gradient buffer); rebind with a "
+        "gradient buffer to train");
+  }
   const int64_t d = config_.input_dim;
   const int64_t h = config_.hidden;
   const int64_t c = config_.classes;
@@ -205,6 +221,32 @@ Result<float> MlpModel::Loss(const Tensor& x,
   std::vector<float> z1, probs;
   ForwardImpl(x, &z1, &probs);
   return SoftmaxCrossEntropy(&probs, y, config_.classes);
+}
+
+Result<Tensor> MlpModel::Forward(const Tensor& x) const {
+  MICS_RETURN_NOT_OK(CheckBatch(x, x.numel() / config_.input_dim));
+  const int64_t c = config_.classes;
+  const int64_t batch = x.numel() / config_.input_dim;
+  std::vector<float> z1, logits;
+  ForwardImpl(x, &z1, &logits);
+  Tensor scores({batch, c}, DType::kF32);
+  float* out = scores.f32();
+  // Row-wise softmax, each row a pure function of its own sample — the
+  // batched/unbatched bit-identity contract of train::Model::Forward.
+  for (int64_t i = 0; i < batch; ++i) {
+    const float* row = logits.data() + i * c;
+    float mx = row[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    float* orow = out + i * c;
+    for (int64_t j = 0; j < c; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < c; ++j) orow[j] *= inv;
+  }
+  return scores;
 }
 
 Result<std::vector<int32_t>> MlpModel::Predict(const Tensor& x) const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "train/model.h"
 #include "util/status.h"
 
 namespace mics {
@@ -23,7 +24,7 @@ class Rng;
 /// parameters (§3.2): the model computes, the distributed engine owns
 /// storage and synchronization. Used by the fidelity experiment (Fig. 15)
 /// to show MiCS trains identically to plain data parallelism.
-class MlpModel {
+class MlpModel : public train::Model {
  public:
   struct Config {
     int64_t input_dim = 32;
@@ -34,34 +35,51 @@ class MlpModel {
   explicit MlpModel(Config config);
 
   /// Total parameter count (W1 + b1 + W2 + b2).
-  int64_t NumParams() const;
+  int64_t NumParams() const override;
 
-  /// Binds parameter/gradient storage. Both must be fp32 with at least
-  /// NumParams() elements; the model keeps views, not copies.
-  Status BindParameters(Tensor* params_flat, Tensor* grads_flat);
+  /// Two segments: the hidden layer (W1 + b1) and the output layer
+  /// (W2 + b2).
+  std::vector<int64_t> ParameterSegments() const override;
+
+  /// Binds parameter/gradient storage. Buffers must be fp32 with at
+  /// least NumParams() elements; the model keeps views, not copies.
+  /// `grads_flat == nullptr` binds forward-only (serving).
+  Status BindParameters(Tensor* params_flat, Tensor* grads_flat) override;
+
+  bool forward_only() const override { return bound_ && !has_grads_; }
 
   /// Writes a deterministic initialization into the bound parameters
   /// (same seed => identical weights on every rank).
-  Status InitParameters(Rng* rng);
+  Status InitParameters(Rng* rng) override;
 
   /// Runs forward + backward on a batch: `x` is [batch, input_dim] fp32,
   /// `y` holds `batch` labels. ACCUMULATES dLoss/dparams into the bound
   /// gradient buffer (callers zero it per micro-step or let it
   /// accumulate, as gradient accumulation requires). Returns mean loss.
-  Result<float> ForwardBackward(const Tensor& x, const std::vector<int32_t>& y);
+  Result<float> ForwardBackward(const Tensor& x,
+                                const std::vector<int32_t>& y) override;
 
   /// Forward only; returns mean loss.
-  Result<float> Loss(const Tensor& x, const std::vector<int32_t>& y) const;
+  Result<float> Loss(const Tensor& x,
+                     const std::vector<int32_t>& y) const override;
+
+  /// Per-row class probabilities, [batch, classes].
+  Result<Tensor> Forward(const Tensor& x) const override;
 
   /// Predicted class per row.
-  Result<std::vector<int32_t>> Predict(const Tensor& x) const;
+  Result<std::vector<int32_t>> Predict(const Tensor& x) const override;
 
   /// Backward-progress callback (same contract as the transformer's):
   /// the MLP backward finishes all gradients at once, so it reports the
   /// whole parameter range [0, NumParams()) at the end of
   /// ForwardBackward. Wire to ShardedDataParallel::NotifyGradRange.
-  using GradReadyFn = std::function<Status(int64_t offset, int64_t numel)>;
-  void SetGradReadyCallback(GradReadyFn fn) { grad_ready_ = std::move(fn); }
+  void SetGradReadyCallback(GradReadyFn fn) override {
+    grad_ready_ = std::move(fn);
+  }
+
+  DType input_dtype() const override { return DType::kF32; }
+  int64_t sample_numel() const override { return config_.input_dim; }
+  int64_t num_classes() const override { return config_.classes; }
 
   const Config& config() const { return config_; }
 
@@ -73,6 +91,7 @@ class MlpModel {
 
   Config config_;
   bool bound_ = false;
+  bool has_grads_ = false;
   // Views into the flat buffers.
   Tensor w1_, b1_, w2_, b2_;
   Tensor gw1_, gb1_, gw2_, gb2_;

@@ -1,0 +1,98 @@
+#ifndef MICS_TRAIN_MODEL_H_
+#define MICS_TRAIN_MODEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/dtype.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+
+class Rng;
+
+namespace train {
+
+/// The one model interface every real (CPU-executed) workload implements
+/// and every consumer — Trainer, ShardedDataParallel::BindModel, the
+/// serve engine — programs against. Parameters and gradients are views
+/// into externally owned flat buffers: the model computes, the
+/// distributed plane owns storage and synchronization.
+///
+/// Two binding modes:
+///  - training: BindParameters(params, grads) with a gradient buffer;
+///    ForwardBackward accumulates into it and reports progress through
+///    the GradReady callback.
+///  - forward-only (serving): BindParameters(params, nullptr). No
+///    gradient state exists, and ForwardBackward fails with
+///    FailedPrecondition — the compile-time "inference mode" of real
+///    engines, enforced at the API boundary.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Total flat parameter count.
+  virtual int64_t NumParams() const = 0;
+
+  /// Layer-granular split of the flat parameter space, in layout order;
+  /// entries sum to NumParams(). Drives the per-layer gather lifecycle
+  /// (LayerwiseGatherManager segments) in the serve engine. The default
+  /// is one monolithic segment.
+  virtual std::vector<int64_t> ParameterSegments() const {
+    return {NumParams()};
+  }
+
+  /// Binds parameter (and optionally gradient) storage. Both buffers
+  /// must be fp32 with at least NumParams() elements; the model keeps
+  /// views, not copies. `grads_flat == nullptr` binds forward-only.
+  virtual Status BindParameters(Tensor* params_flat, Tensor* grads_flat) = 0;
+
+  /// True when the last successful BindParameters bound no gradient
+  /// buffer; every gradient-touching entry point then fails.
+  virtual bool forward_only() const = 0;
+
+  /// Writes a deterministic initialization into the bound parameters
+  /// (same seed => identical weights on every rank).
+  virtual Status InitParameters(Rng* rng) = 0;
+
+  /// Forward + backward on a batch; ACCUMULATES dLoss/dparams into the
+  /// bound gradient buffer and returns the mean loss. Fails with
+  /// FailedPrecondition under a forward-only binding.
+  virtual Result<float> ForwardBackward(const Tensor& x,
+                                        const std::vector<int32_t>& y) = 0;
+
+  /// Forward only; returns the mean loss.
+  virtual Result<float> Loss(const Tensor& x,
+                             const std::vector<int32_t>& y) const = 0;
+
+  /// Per-sample class scores, [batch, classes] fp32 (post-softmax
+  /// probabilities). Every row is a function of its own sample only, so
+  /// batched scores are bit-identical to single-sample calls — the
+  /// property the serve engine's dynamic batching relies on (and tests).
+  virtual Result<Tensor> Forward(const Tensor& x) const = 0;
+
+  /// Argmax class per sample.
+  virtual Result<std::vector<int32_t>> Predict(const Tensor& x) const = 0;
+
+  /// Backward-progress callback: invoked as each contiguous flat range
+  /// [offset, offset + numel) receives its final gradient for the
+  /// current ForwardBackward, in backward order. Wire to
+  /// ShardedDataParallel::NotifyGradRange. Must be identical across
+  /// ranks (it issues collectives).
+  using GradReadyFn = std::function<Status(int64_t offset, int64_t numel)>;
+  virtual void SetGradReadyCallback(GradReadyFn fn) = 0;
+
+  /// Serving geometry: what one request sample looks like on the wire.
+  virtual DType input_dtype() const = 0;
+  /// Elements per sample (input_dim for the MLP, seq_len for the
+  /// transformer).
+  virtual int64_t sample_numel() const = 0;
+  virtual int64_t num_classes() const = 0;
+};
+
+}  // namespace train
+}  // namespace mics
+
+#endif  // MICS_TRAIN_MODEL_H_

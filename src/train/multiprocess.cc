@@ -4,6 +4,7 @@
 #include <memory>
 #include <system_error>
 
+#include "net/backend.h"
 #include "net/socket_comm.h"
 #include "net/transport.h"
 #include "util/logging.h"
@@ -42,24 +43,16 @@ Result<MultiProcessTrainResult> RunMultiProcessTraining(
       std::unique_ptr<net::SocketTransport> transport,
       net::SocketTransport::Connect(ctx.store_addr, ctx.rank, ctx.world_size,
                                     &topo, topt));
-  const CommFactory factory = net::SocketCommFactory(transport.get(), &topo);
+  MICS_ASSIGN_OR_RETURN(
+      CommBackendFactory backend,
+      CommBackendFactory::Socket(transport.get(), &topo));
 
   MlpModel model(options.model);
   MICS_ASSIGN_OR_RETURN(
       std::unique_ptr<ShardedDataParallel> sdp,
-      ShardedDataParallel::Create(factory, topo, options.sdp,
+      ShardedDataParallel::Create(backend.factory(), topo, options.sdp,
                                   model.NumParams(), ctx.rank, options.adam));
-  MICS_RETURN_NOT_OK(sdp->InitParameters([&](Tensor* full) -> Status {
-    MICS_RETURN_NOT_OK(model.BindParameters(full, sdp->micro_grads()));
-    Rng init_rng(options.seed);
-    return model.InitParameters(&init_rng);
-  }));
-  MICS_RETURN_NOT_OK(
-      model.BindParameters(sdp->full_params(), sdp->micro_grads()));
-  ShardedDataParallel* engine = sdp.get();
-  model.SetGradReadyCallback([engine](int64_t off, int64_t n) {
-    return engine->NotifyGradRange(off, n);
-  });
+  MICS_RETURN_NOT_OK(sdp->BindModel(&model, options.seed));
 
   MultiProcessTrainResult result;
   result.losses.assign(static_cast<size_t>(options.iterations), 0.0f);

@@ -13,8 +13,71 @@
 #include "tensor/half.h"
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/random.h"
 
 namespace mics {
+
+Status SdpOptions::Validate() const {
+  if (strategy == Strategy::kMiCS && partition_group_size < 1) {
+    return Status::InvalidArgument(
+        "partition_group_size must be >= 1 for MiCS");
+  }
+  if (grad_bucket_count < 1) {
+    return Status::InvalidArgument("grad_bucket_count must be >= 1");
+  }
+  const bool zero12 =
+      strategy == Strategy::kZeRO1 || strategy == Strategy::kZeRO2;
+  if (mixed_precision && zero12) {
+    return Status::Unimplemented(
+        "mixed precision is implemented for the DDP/ZeRO-3/MiCS paths");
+  }
+  if (grad_bucket_count > 1) {
+    if (mixed_precision) {
+      return Status::InvalidArgument(
+          "grad_bucket_count > 1 is ignored by the mixed-precision path "
+          "(its fp16 reduce-scatter runs once per micro-step); set "
+          "grad_bucket_count = 1 or disable mixed_precision");
+    }
+    if (!two_hop_sync) {
+      return Status::InvalidArgument(
+          "grad_bucket_count > 1 is ignored by the alternative schedule "
+          "(two_hop_sync = false uses one global all-reduce per "
+          "micro-step); set grad_bucket_count = 1 or enable two_hop_sync");
+    }
+    if (zero12) {
+      return Status::InvalidArgument(
+          "grad_bucket_count > 1 is ignored by ZeRO-1/ZeRO-2 (they reduce "
+          "on the world group, not the partition group); set "
+          "grad_bucket_count = 1 or use DDP/ZeRO-3/MiCS");
+    }
+  }
+  if (async_comm && grad_bucket_count <= 1) {
+    return Status::InvalidArgument(
+        "async_comm only affects bucketed gradient reductions and is "
+        "ignored with grad_bucket_count = 1; set grad_bucket_count > 1 or "
+        "disable async_comm");
+  }
+  if (hierarchical_reduce_scatter && !two_hop_sync) {
+    return Status::InvalidArgument(
+        "hierarchical_reduce_scatter is ignored by the alternative "
+        "schedule (two_hop_sync = false never reduce-scatters); enable "
+        "two_hop_sync or disable hierarchical_reduce_scatter");
+  }
+  if (mixed_precision && initial_loss_scale <= 0.0f) {
+    return Status::InvalidArgument(
+        "initial_loss_scale must be positive under mixed_precision");
+  }
+  if (mixed_precision && loss_scale_growth_interval <= 0) {
+    return Status::InvalidArgument(
+        "loss_scale_growth_interval must be positive under "
+        "mixed_precision");
+  }
+  if (max_grad_norm < 0.0f) {
+    return Status::InvalidArgument(
+        "max_grad_norm must be >= 0 (0 disables clipping)");
+  }
+  return Status::OK();
+}
 
 int SdpOptions::EffectiveGroupSize(int world_size) const {
   switch (strategy) {
@@ -115,19 +178,12 @@ Result<std::unique_ptr<ShardedDataParallel>> ShardedDataParallel::Create(
     const SdpOptions& options, int64_t num_params, int global_rank,
     AdamOptimizer::Config adam) {
   MICS_RETURN_NOT_OK(topo.Validate());
+  MICS_RETURN_NOT_OK(options.Validate());
   const int n = topo.world_size;
   const int p = options.EffectiveGroupSize(n);
   if (p <= 0 || n % p != 0) {
     return Status::InvalidArgument(
         "partition group size must divide the world size");
-  }
-  if (options.mixed_precision && (options.strategy == Strategy::kZeRO1 ||
-                                  options.strategy == Strategy::kZeRO2)) {
-    return Status::Unimplemented(
-        "mixed precision is implemented for the DDP/ZeRO-3/MiCS paths");
-  }
-  if (options.grad_bucket_count < 1) {
-    return Status::InvalidArgument("grad_bucket_count must be >= 1");
   }
   MICS_ASSIGN_OR_RETURN(
       GroupManager groups,
@@ -174,6 +230,30 @@ Status ShardedDataParallel::InitParameters(
   micro_grads_.FillZero();
   accum_shard_.FillZero();
   if (options_.strategy == Strategy::kZeRO2) accum_opt_.FillZero();
+  return Status::OK();
+}
+
+Status ShardedDataParallel::BindModel(train::Model* model, uint64_t seed) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("model must not be null");
+  }
+  if (model->NumParams() != true_numel_) {
+    return Status::InvalidArgument(
+        "model parameter count does not match the engine's");
+  }
+  MICS_RETURN_NOT_OK(InitParameters([&](Tensor* full) -> Status {
+    MICS_RETURN_NOT_OK(model->BindParameters(full, &micro_grads_));
+    Rng init_rng(seed);
+    return model->InitParameters(&init_rng);
+  }));
+  // Rebind after init so views stay attached to the live buffers.
+  MICS_RETURN_NOT_OK(model->BindParameters(&full_params_, &micro_grads_));
+  // Stream backward-pass progress into the engine so bucketed gradient
+  // reductions launch under the rest of the backward (no-op unless
+  // grad_bucket_count > 1).
+  model->SetGradReadyCallback([this](int64_t off, int64_t n) {
+    return NotifyGradRange(off, n);
+  });
   return Status::OK();
 }
 

@@ -14,6 +14,7 @@
 #include "obs/trace.h"
 #include "tensor/tensor.h"
 #include "train/flat_parameter.h"
+#include "train/model.h"
 #include "train/optimizer.h"
 #include "util/status.h"
 
@@ -95,6 +96,14 @@ struct SdpOptions {
 
   /// Partition group size implied by (strategy, world size).
   int EffectiveGroupSize(int world_size) const;
+
+  /// Rejects, with actionable messages, option combinations the engine
+  /// would otherwise silently ignore (e.g. grad_bucket_count > 1 with
+  /// mixed_precision or the alternative schedule) or that are plain
+  /// invalid. World-size-dependent constraints (partition group divides
+  /// the world) are checked by ShardedDataParallel::Create, which calls
+  /// this first.
+  Status Validate() const;
 };
 
 /// The real MiCS training engine for one rank: owns the sharded fp32
@@ -144,6 +153,15 @@ class ShardedDataParallel {
   /// Runs `init` on the full buffer (must be deterministic and identical
   /// on every rank), then keeps this rank's shard as the master copy.
   Status InitParameters(const std::function<Status(Tensor*)>& init);
+
+  /// The one model-setup path every harness (trainer, multiprocess
+  /// workers, serve loaders) shares: deterministically initializes
+  /// `model`'s parameters through InitParameters (same seed => identical
+  /// weights on every rank), rebinds its views to the live gathered
+  /// workspace and gradient buffer, and wires its backward-progress
+  /// callback to NotifyGradRange. `model` is borrowed and must outlive
+  /// the engine's use; its NumParams() must match this engine's.
+  Status BindModel(train::Model* model, uint64_t seed);
 
   /// Makes the current parameters visible in full_params().
   Status GatherParams();

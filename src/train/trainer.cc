@@ -17,17 +17,20 @@ namespace mics {
 
 namespace {
 
-/// Shared SPMD training loop: `Model` must expose NumParams /
-/// BindParameters / InitParameters / ForwardBackward, and `sample` must
-/// fill a batch for (step, rank). Both real models (MLP, transformer)
-/// run through this one harness.
-template <typename Model, typename SampleFn>
+/// The one SPMD training loop both real workloads run through: the model
+/// comes from `make_model` as a train::Model (no per-type dispatch), and
+/// `sample` fills a batch for (step, rank).
+using ModelFactory = std::function<std::unique_ptr<train::Model>()>;
+using SampleBatchFn =
+    std::function<Status(int64_t step, int rank, Tensor* x,
+                         std::vector<int32_t>* y)>;
+
 Result<TrainCurve> RunLoop(int world_size, int gpus_per_node,
                            const SdpOptions& sdp_options,
                            const AdamOptimizer::Config& adam, int iterations,
                            int grad_accumulation_steps, uint64_t seed,
-                           const std::function<Model()>& make_model,
-                           const SampleFn& sample,
+                           const ModelFactory& make_model,
+                           const SampleBatchFn& sample,
                            const LrSchedule* lr_schedule = nullptr) {
   RankTopology topo{world_size, gpus_per_node};
   MICS_RETURN_NOT_OK(topo.Validate());
@@ -39,25 +42,12 @@ Result<TrainCurve> RunLoop(int world_size, int gpus_per_node,
   curve.losses.assign(static_cast<size_t>(iterations), 0.0f);
 
   Status run_status = RunRanks(world_size, [&](int rank) -> Status {
-    Model model = make_model();
+    std::unique_ptr<train::Model> model = make_model();
     MICS_ASSIGN_OR_RETURN(
         std::unique_ptr<ShardedDataParallel> sdp,
         ShardedDataParallel::Create(&world, topo, sdp_options,
-                                    model.NumParams(), rank, adam));
-    MICS_RETURN_NOT_OK(sdp->InitParameters([&](Tensor* full) -> Status {
-      MICS_RETURN_NOT_OK(model.BindParameters(full, sdp->micro_grads()));
-      Rng init_rng(seed);
-      return model.InitParameters(&init_rng);
-    }));
-    MICS_RETURN_NOT_OK(
-        model.BindParameters(sdp->full_params(), sdp->micro_grads()));
-    // Stream backward-pass progress into the engine so bucketed gradient
-    // reductions launch under the rest of the backward (no-op unless
-    // grad_bucket_count > 1).
-    ShardedDataParallel* engine = sdp.get();
-    model.SetGradReadyCallback([engine](int64_t off, int64_t n) {
-      return engine->NotifyGradRange(off, n);
-    });
+                                    model->NumParams(), rank, adam));
+    MICS_RETURN_NOT_OK(sdp->BindModel(model.get(), seed));
 
     // Iteration/compute spans land on the same per-rank track the engine
     // uses for its communication phases (registration is idempotent).
@@ -91,7 +81,7 @@ Result<TrainCurve> RunLoop(int world_size, int gpus_per_node,
           MICS_TRACE_SPAN(trace, track, "forward-backward");
           prof::StepProfiler::ScopedPhase compute(
               profile, rank, prof::Phase::kForwardBackward);
-          MICS_ASSIGN_OR_RETURN(loss, model.ForwardBackward(x, y));
+          MICS_ASSIGN_OR_RETURN(loss, model->ForwardBackward(x, y));
         }
         iter_loss += loss;
         MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
@@ -135,10 +125,12 @@ Result<TrainCurve> RunDistributedTransformerTraining(
                                     options.iterations));
     schedule = std::make_unique<WarmupLinearDecayLr>(s);
   }
-  return RunLoop<TransformerClassifier>(
+  return RunLoop(
       options.world_size, options.gpus_per_node, options.sdp, options.adam,
       options.iterations, options.grad_accumulation_steps, options.seed,
-      [&]() { return TransformerClassifier(model_config); },
+      [&]() -> std::unique_ptr<train::Model> {
+        return std::make_unique<TransformerClassifier>(model_config);
+      },
       [&](int64_t step, int rank, Tensor* x, std::vector<int32_t>* y) {
         return dataset.Sample(step, rank, options.micro_batch, x, y);
       },
@@ -146,85 +138,23 @@ Result<TrainCurve> RunDistributedTransformerTraining(
 }
 
 Result<TrainCurve> RunDistributedTraining(const TrainRunOptions& options) {
-  RankTopology topo{options.world_size, options.gpus_per_node};
-  MICS_RETURN_NOT_OK(topo.Validate());
-  if (options.iterations <= 0 || options.grad_accumulation_steps <= 0 ||
-      options.micro_batch <= 0) {
-    return Status::InvalidArgument("training extents must be positive");
+  if (options.micro_batch <= 0) {
+    return Status::InvalidArgument("micro_batch must be positive");
   }
-
-  World world(options.world_size);
   SyntheticClassificationDataset::Config data_config = options.data;
   data_config.input_dim = options.model.input_dim;
   data_config.classes = options.model.classes;
+  SyntheticClassificationDataset dataset(data_config, options.seed + 1);
 
-  TrainCurve curve;
-  curve.losses.assign(static_cast<size_t>(options.iterations), 0.0f);
-
-  Status run_status = RunRanks(options.world_size, [&](int rank) -> Status {
-    MlpModel model(options.model);
-    MICS_ASSIGN_OR_RETURN(
-        std::unique_ptr<ShardedDataParallel> sdp,
-        ShardedDataParallel::Create(&world, topo, options.sdp,
-                                    model.NumParams(), rank, options.adam));
-    MICS_RETURN_NOT_OK(sdp->InitParameters([&](Tensor* full) -> Status {
-      MICS_RETURN_NOT_OK(model.BindParameters(full, sdp->micro_grads()));
-      Rng init_rng(options.seed);
-      return model.InitParameters(&init_rng);
-    }));
-    // Rebind after init so views stay attached to the live buffers.
-    MICS_RETURN_NOT_OK(
-        model.BindParameters(sdp->full_params(), sdp->micro_grads()));
-    ShardedDataParallel* engine = sdp.get();
-    model.SetGradReadyCallback([engine](int64_t off, int64_t n) {
-      return engine->NotifyGradRange(off, n);
-    });
-
-    SyntheticClassificationDataset dataset(data_config, options.seed + 1);
-    obs::TraceRecorder* trace = options.sdp.trace;
-    const int track =
-        trace ? trace->RegisterTrack("rank " + std::to_string(rank)) : -1;
-    prof::StepProfiler* profile = options.sdp.profile;
-    const int s = options.grad_accumulation_steps;
-    int64_t step_counter = 0;
-    for (int iter = 0; iter < options.iterations; ++iter) {
-      MICS_TRACE_SPAN(trace, track, "iteration " + std::to_string(iter));
-      if (profile != nullptr) profile->BeginStep(rank);
-      float iter_loss = 0.0f;
-      for (int micro = 0; micro < s; ++micro) {
-        MICS_RETURN_NOT_OK(sdp->GatherParams());
-        Tensor x;
-        std::vector<int32_t> y;
-        {
-          prof::StepProfiler::ScopedPhase other(profile, rank,
-                                                prof::Phase::kOther);
-          MICS_RETURN_NOT_OK(dataset.Sample(step_counter++, rank,
-                                            options.micro_batch, &x, &y));
-        }
-        float loss = 0.0f;
-        {
-          MICS_TRACE_SPAN(trace, track, "forward-backward");
-          prof::StepProfiler::ScopedPhase compute(
-              profile, rank, prof::Phase::kForwardBackward);
-          MICS_ASSIGN_OR_RETURN(loss, model.ForwardBackward(x, y));
-        }
-        iter_loss += loss;
-        MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
-      }
-      MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
-      iter_loss /= static_cast<float>(s);
-      {
-        prof::StepProfiler::ScopedPhase other(profile, rank,
-                                              prof::Phase::kOther);
-        MICS_RETURN_NOT_OK(sdp->AverageScalar(&iter_loss));
-      }
-      if (rank == 0) curve.losses[static_cast<size_t>(iter)] = iter_loss;
-      if (profile != nullptr) profile->EndStep(rank);
-    }
-    return Status::OK();
-  });
-  MICS_RETURN_NOT_OK(run_status);
-  return curve;
+  return RunLoop(
+      options.world_size, options.gpus_per_node, options.sdp, options.adam,
+      options.iterations, options.grad_accumulation_steps, options.seed,
+      [&]() -> std::unique_ptr<train::Model> {
+        return std::make_unique<MlpModel>(options.model);
+      },
+      [&](int64_t step, int rank, Tensor* x, std::vector<int32_t>* y) {
+        return dataset.Sample(step, rank, options.micro_batch, x, y);
+      });
 }
 
 namespace {
@@ -311,13 +241,7 @@ Result<RecoveryReport> RunDistributedTrainingWithRecovery(
                                       rank, t.adam));
       sdp->InstallFaultHook(injectors[static_cast<size_t>(rank)].get(),
                             options.retry);
-      MICS_RETURN_NOT_OK(sdp->InitParameters([&](Tensor* full) -> Status {
-        MICS_RETURN_NOT_OK(model.BindParameters(full, sdp->micro_grads()));
-        Rng init_rng(t.seed);
-        return model.InitParameters(&init_rng);
-      }));
-      MICS_RETURN_NOT_OK(
-          model.BindParameters(sdp->full_params(), sdp->micro_grads()));
+      MICS_RETURN_NOT_OK(sdp->BindModel(&model, t.seed));
 
       // Roll back to the last atomic checkpoint, if any.
       Status load = sdp->LoadCheckpoint(options.checkpoint_dir);

@@ -166,17 +166,28 @@ int64_t TransformerClassifier::TailOffset() const {
   return BlockOffset(config_.blocks);
 }
 
+std::vector<int64_t> TransformerClassifier::ParameterSegments() const {
+  std::vector<int64_t> segments;
+  segments.reserve(static_cast<size_t>(config_.blocks) + 2);
+  segments.push_back(EmbeddingNumel());
+  for (int64_t b = 0; b < config_.blocks; ++b) {
+    segments.push_back(PerBlockNumel());
+  }
+  segments.push_back(NumParams() - TailOffset());
+  return segments;
+}
+
 Status TransformerClassifier::BindParameters(Tensor* params_flat,
                                              Tensor* grads_flat) {
-  if (params_flat == nullptr || grads_flat == nullptr) {
-    return Status::InvalidArgument("null parameter buffers");
+  if (params_flat == nullptr) {
+    return Status::InvalidArgument("null parameter buffer");
   }
   if (params_flat->dtype() != DType::kF32 ||
-      grads_flat->dtype() != DType::kF32) {
+      (grads_flat != nullptr && grads_flat->dtype() != DType::kF32)) {
     return Status::InvalidArgument("parameter buffers must be fp32");
   }
   if (params_flat->numel() < NumParams() ||
-      grads_flat->numel() < NumParams()) {
+      (grads_flat != nullptr && grads_flat->numel() < NumParams())) {
     return Status::InvalidArgument("parameter buffers too small");
   }
   const int64_t d = config_.dim;
@@ -184,7 +195,7 @@ Status TransformerClassifier::BindParameters(Tensor* params_flat,
   int64_t off = 0;
   auto take = [&](int64_t n, Tensor* view, float** grad) {
     *view = params_flat->Slice(off, n);
-    *grad = grads_flat->Slice(off, n).f32();
+    *grad = grads_flat != nullptr ? grads_flat->Slice(off, n).f32() : nullptr;
     off += n;
   };
   take(config_.vocab * d, &tok_emb_, &g_tok_emb_);
@@ -216,6 +227,7 @@ Status TransformerClassifier::BindParameters(Tensor* params_flat,
   take(d * config_.classes, &whead_, &g_whead_);
   take(config_.classes, &bhead_, &g_bhead_);
   MICS_CHECK_EQ(off, NumParams());
+  has_grads_ = grads_flat != nullptr;
   bound_ = true;
   return Status::OK();
 }
@@ -567,6 +579,11 @@ Status TransformerClassifier::BackwardSample(const int32_t* tokens,
 Result<float> TransformerClassifier::ForwardBackward(
     const Tensor& tokens, const std::vector<int32_t>& y) {
   MICS_RETURN_NOT_OK(CheckBatch(tokens, static_cast<int64_t>(y.size())));
+  if (!has_grads_) {
+    return Status::FailedPrecondition(
+        "model is bound forward-only (no gradient buffer); rebind with a "
+        "gradient buffer to train");
+  }
   const int64_t batch = tokens.numel() / config_.seq_len;
   const int64_t c = config_.classes;
   const float invb = 1.0f / static_cast<float>(batch);
@@ -602,6 +619,22 @@ Result<float> TransformerClassifier::Loss(const Tensor& tokens,
         1e-12f, probs[static_cast<size_t>(y[static_cast<size_t>(b)])]));
   }
   return static_cast<float>(loss / batch);
+}
+
+Result<Tensor> TransformerClassifier::Forward(const Tensor& tokens) const {
+  MICS_RETURN_NOT_OK(CheckBatch(tokens, -1));
+  const int64_t batch = tokens.numel() / config_.seq_len;
+  const int64_t c = config_.classes;
+  Tensor scores({batch, c}, DType::kF32);
+  std::vector<float> probs;
+  // ForwardSample is per-sequence, so each output row is a pure function
+  // of its own sample — batched scores match single-sample calls bitwise.
+  for (int64_t b = 0; b < batch; ++b) {
+    ForwardSample(tokens.i32() + b * config_.seq_len, nullptr, &probs);
+    float* row = scores.f32() + b * c;
+    for (int64_t j = 0; j < c; ++j) row[j] = probs[static_cast<size_t>(j)];
+  }
+  return scores;
 }
 
 Result<std::vector<int32_t>> TransformerClassifier::Predict(

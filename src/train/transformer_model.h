@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "train/model.h"
 #include "util/status.h"
 
 namespace mics {
@@ -26,7 +27,7 @@ class Rng;
 /// owned flat buffers, so the sharded training engine can gather/scatter
 /// them. This is the workload class the paper actually trains; the
 /// fidelity tests run it under DDP / ZeRO-3 / MiCS and compare curves.
-class TransformerClassifier {
+class TransformerClassifier : public train::Model {
  public:
   struct Config {
     int64_t vocab = 32;
@@ -42,24 +43,35 @@ class TransformerClassifier {
 
   explicit TransformerClassifier(Config config);
 
-  int64_t NumParams() const;
+  int64_t NumParams() const override;
+
+  /// Layer-granular segments in flat-layout order: embeddings, one per
+  /// transformer block, then the final-LN + classifier-head tail.
+  std::vector<int64_t> ParameterSegments() const override;
 
   /// Binds parameter/gradient storage (fp32, >= NumParams() elements).
-  Status BindParameters(Tensor* params_flat, Tensor* grads_flat);
+  /// `grads_flat == nullptr` binds forward-only (serving).
+  Status BindParameters(Tensor* params_flat, Tensor* grads_flat) override;
+
+  bool forward_only() const override { return bound_ && !has_grads_; }
 
   /// Deterministic initialization (same seed => same weights).
-  Status InitParameters(Rng* rng);
+  Status InitParameters(Rng* rng) override;
 
   /// tokens: i32 tensor of batch*seq_len entries in [0, vocab);
   /// y: batch labels. ACCUMULATES gradients; returns mean loss.
   Result<float> ForwardBackward(const Tensor& tokens,
-                                const std::vector<int32_t>& y);
+                                const std::vector<int32_t>& y) override;
 
   /// Forward only.
-  Result<float> Loss(const Tensor& tokens, const std::vector<int32_t>& y) const;
+  Result<float> Loss(const Tensor& tokens,
+                     const std::vector<int32_t>& y) const override;
+
+  /// Per-sequence class probabilities, [batch, classes].
+  Result<Tensor> Forward(const Tensor& tokens) const override;
 
   /// Argmax class per sequence.
-  Result<std::vector<int32_t>> Predict(const Tensor& tokens) const;
+  Result<std::vector<int32_t>> Predict(const Tensor& tokens) const override;
 
   /// Backward-progress callback: invoked during the LAST sample's
   /// backward pass as each contiguous parameter range [offset, numel)
@@ -69,8 +81,13 @@ class TransformerClassifier {
   /// this to ShardedDataParallel::NotifyGradRange to overlap gradient
   /// reduction with the rest of the backward pass. The callback must be
   /// identical across ranks (it issues collectives).
-  using GradReadyFn = std::function<Status(int64_t offset, int64_t numel)>;
-  void SetGradReadyCallback(GradReadyFn fn) { grad_ready_ = std::move(fn); }
+  void SetGradReadyCallback(GradReadyFn fn) override {
+    grad_ready_ = std::move(fn);
+  }
+
+  DType input_dtype() const override { return DType::kI32; }
+  int64_t sample_numel() const override { return config_.seq_len; }
+  int64_t num_classes() const override { return config_.classes; }
 
   const Config& config() const { return config_; }
 
@@ -110,6 +127,7 @@ class TransformerClassifier {
 
   Config config_;
   bool bound_ = false;
+  bool has_grads_ = false;
 
   Tensor tok_emb_, pos_emb_;
   std::vector<BlockParams> block_params_;

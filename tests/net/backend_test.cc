@@ -1,0 +1,102 @@
+#include "net/backend.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "comm/topology.h"
+#include "comm/world.h"
+#include "tensor/tensor.h"
+
+namespace mics {
+namespace {
+
+TEST(BackendKindTest, ParsesCanonicalAndAliasNames) {
+  EXPECT_EQ(ParseBackendKind("inprocess").ValueOrDie(),
+            BackendKind::kInProcess);
+  EXPECT_EQ(ParseBackendKind("in-process").ValueOrDie(),
+            BackendKind::kInProcess);
+  EXPECT_EQ(ParseBackendKind("WORLD").ValueOrDie(), BackendKind::kInProcess);
+  EXPECT_EQ(ParseBackendKind("threads").ValueOrDie(),
+            BackendKind::kInProcess);
+  EXPECT_EQ(ParseBackendKind("socket").ValueOrDie(), BackendKind::kSocket);
+  EXPECT_EQ(ParseBackendKind("TCP").ValueOrDie(), BackendKind::kSocket);
+  EXPECT_EQ(ParseBackendKind("net").ValueOrDie(), BackendKind::kSocket);
+  EXPECT_TRUE(ParseBackendKind("carrier-pigeon").status().IsInvalidArgument());
+}
+
+TEST(BackendKindTest, RoundTripsThroughToString) {
+  EXPECT_EQ(ParseBackendKind(ToString(BackendKind::kInProcess)).ValueOrDie(),
+            BackendKind::kInProcess);
+  EXPECT_EQ(ParseBackendKind(ToString(BackendKind::kSocket)).ValueOrDie(),
+            BackendKind::kSocket);
+}
+
+TEST(BackendKindTest, EnvSelectionFallsBackWhenUnset) {
+  ::unsetenv("MICS_BACKEND");
+  EXPECT_EQ(BackendKindFromEnv(BackendKind::kSocket).ValueOrDie(),
+            BackendKind::kSocket);
+  ::setenv("MICS_BACKEND", "inprocess", 1);
+  EXPECT_EQ(BackendKindFromEnv(BackendKind::kSocket).ValueOrDie(),
+            BackendKind::kInProcess);
+  ::setenv("MICS_BACKEND", "bogus", 1);
+  EXPECT_TRUE(
+      BackendKindFromEnv(BackendKind::kSocket).status().IsInvalidArgument());
+  ::unsetenv("MICS_BACKEND");
+}
+
+TEST(CommBackendFactoryTest, InProcessFactoryBuildsWorkingComms) {
+  const int world_size = 4;
+  const RankTopology topo{world_size, 2};
+  World world(world_size);
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(
+        CommBackendFactory backend,
+        CommBackendFactory::InProcess(&world, &topo, rank));
+    if (backend.kind() != BackendKind::kInProcess) {
+      return Status::Internal("wrong kind");
+    }
+    std::vector<int> group(world_size);
+    for (int i = 0; i < world_size; ++i) group[i] = i;
+    MICS_ASSIGN_OR_RETURN(std::unique_ptr<Comm> comm,
+                          backend.factory()(group));
+    Tensor shard({8}, DType::kF32);
+    shard.Fill(static_cast<float>(rank + 1));
+    Tensor out({8 * world_size}, DType::kF32);
+    MICS_RETURN_NOT_OK(comm->AllGather(shard, &out));
+    for (int r = 0; r < world_size; ++r) {
+      if (out.f32()[r * 8] != static_cast<float>(r + 1)) {
+        return Status::Internal("gathered bytes wrong");
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(CommBackendFactoryTest, RejectsMissingDependencies) {
+  const RankTopology topo{2, 1};
+  World world(2);
+  // Socket backend without a transport.
+  CommBackendFactory::Options o;
+  o.kind = BackendKind::kSocket;
+  o.topo = &topo;
+  EXPECT_TRUE(CommBackendFactory::Make(o).status().IsInvalidArgument());
+  // In-process backend without a world.
+  o = CommBackendFactory::Options();
+  o.kind = BackendKind::kInProcess;
+  o.topo = &topo;
+  EXPECT_TRUE(CommBackendFactory::Make(o).status().IsInvalidArgument());
+  // No topology at all.
+  o = CommBackendFactory::Options();
+  o.world = &world;
+  o.topo = nullptr;
+  EXPECT_TRUE(CommBackendFactory::Make(o).status().IsInvalidArgument());
+  // Rank out of range.
+  EXPECT_TRUE(CommBackendFactory::InProcess(&world, &topo, 7)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mics

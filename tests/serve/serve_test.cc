@@ -1,0 +1,502 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "comm/topology.h"
+#include "comm/world.h"
+#include "net/backend.h"
+#include "serve/batcher.h"
+#include "serve/engine.h"
+#include "train/mlp_model.h"
+#include "train/transformer_model.h"
+#include "util/random.h"
+
+namespace mics {
+namespace {
+
+using serve::Batch;
+using serve::BatcherOptions;
+using serve::DynamicBatcher;
+using serve::GatherMode;
+using serve::ReplyFuture;
+using serve::ServeEngine;
+using serve::ServeOptions;
+using serve::Strategy;
+
+// ---------------------------------------------------------------------
+// DynamicBatcher edge cases
+// ---------------------------------------------------------------------
+
+Tensor F32Request(int64_t numel, float fill) {
+  Tensor t({numel}, DType::kF32);
+  t.Fill(fill);
+  return t;
+}
+
+std::unique_ptr<DynamicBatcher> MakeBatcher(int64_t max_batch_samples,
+                                            int64_t max_wait_us) {
+  BatcherOptions o;
+  o.max_batch_samples = max_batch_samples;
+  o.max_wait_us = max_wait_us;
+  auto created = DynamicBatcher::Create(o);
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  return std::move(created).value();
+}
+
+TEST(DynamicBatcherTest, FullGroupFlushesImmediately) {
+  auto batcher = MakeBatcher(/*max_batch_samples=*/4, /*max_wait_us=*/
+                             60'000'000);  // would block for a minute
+  std::vector<ReplyFuture> futures;
+  for (int i = 0; i < 4; ++i) {
+    auto f = batcher->Submit(F32Request(8, static_cast<float>(i)), 8);
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    futures.push_back(std::move(f).value());
+  }
+  auto next = batcher->NextBatch();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next.value().has_value());
+  const Batch& batch = *next.value();
+  EXPECT_EQ(batch.total_samples, 4);
+  EXPECT_EQ(batch.requests.size(), 4u);
+  EXPECT_EQ(batch.sample_numel, 8);
+  batcher->FailBatch(batch, Status::Internal("test cleanup"));
+}
+
+TEST(DynamicBatcherTest, LateBatchFlushesAtMaxWait) {
+  auto batcher = MakeBatcher(/*max_batch_samples=*/64, /*max_wait_us=*/5000);
+  auto f = batcher->Submit(F32Request(8, 1.0f), 8);
+  ASSERT_TRUE(f.ok());
+  const auto start = std::chrono::steady_clock::now();
+  auto next = batcher->NextBatch();  // must flush the undersized batch
+  const auto waited = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next.value().has_value());
+  EXPECT_EQ(next.value()->total_samples, 1);
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(waited)
+                .count(),
+            4000);  // honored (most of) the wait bound before flushing
+  batcher->FailBatch(*next.value(), Status::Internal("test cleanup"));
+}
+
+TEST(DynamicBatcherTest, ShapeMismatchedRequestsLandInSeparateBatches) {
+  auto batcher = MakeBatcher(/*max_batch_samples=*/8, /*max_wait_us=*/0);
+  ASSERT_TRUE(batcher->Submit(F32Request(8, 1.0f), 8).ok());
+  ASSERT_TRUE(batcher->Submit(F32Request(4, 2.0f), 4).ok());
+  ASSERT_TRUE(batcher->Submit(F32Request(16, 3.0f), 8).ok());
+  std::vector<Batch> batches;
+  for (int i = 0; i < 2; ++i) {
+    auto next = batcher->NextBatch();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next.value().has_value());
+    batches.push_back(std::move(*std::move(next).value()));
+  }
+  // Each batch is shape-homogeneous: the sample_numel-8 requests ride
+  // together, the sample_numel-4 request goes alone.
+  int64_t total_requests = 0;
+  for (const Batch& b : batches) {
+    total_requests += static_cast<int64_t>(b.requests.size());
+    for (const auto& r : b.requests) {
+      EXPECT_EQ(r.input.numel() % b.sample_numel, 0);
+    }
+    if (b.sample_numel == 8) {
+      EXPECT_EQ(b.total_samples, 3);  // 1 + 2 samples
+    } else {
+      EXPECT_EQ(b.sample_numel, 4);
+      EXPECT_EQ(b.total_samples, 1);
+    }
+    batcher->FailBatch(b, Status::Internal("test cleanup"));
+  }
+  EXPECT_EQ(total_requests, 3);
+}
+
+TEST(DynamicBatcherTest, ShutdownDrainsQueuedRequestsThenYieldsNull) {
+  auto batcher = MakeBatcher(/*max_batch_samples=*/64,
+                             /*max_wait_us=*/60'000'000);
+  std::vector<ReplyFuture> futures;
+  for (int i = 0; i < 3; ++i) {
+    auto f = batcher->Submit(F32Request(8, static_cast<float>(i)), 8);
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(f).value());
+  }
+  batcher->Shutdown();
+  auto next = batcher->NextBatch();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next.value().has_value());
+  const Batch batch = std::move(*std::move(next).value());
+  EXPECT_EQ(batch.total_samples, 3);
+  // Complete with a dummy score matrix: 3 samples x 2 classes.
+  Tensor scores({3, 2}, DType::kF32);
+  scores.Fill(0.5f);
+  batcher->CompleteBatch(batch, scores, {0, 1, 0});
+  for (const ReplyFuture& f : futures) {
+    auto reply = f.Wait();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply.value().batch_samples, 3);
+    EXPECT_EQ(reply.value().predictions.size(), 1u);
+  }
+  auto drained = batcher->NextBatch();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_FALSE(drained.value().has_value());
+}
+
+TEST(DynamicBatcherTest, SubmitAfterShutdownIsRejected) {
+  auto batcher = MakeBatcher(8, 1000);
+  batcher->Shutdown();
+  auto f = batcher->Submit(F32Request(8, 1.0f), 8);
+  ASSERT_FALSE(f.ok());
+  EXPECT_TRUE(f.status().IsUnavailable());
+}
+
+TEST(DynamicBatcherTest, DestructionFailsUndeliveredRequests) {
+  ReplyFuture future;
+  {
+    auto batcher = MakeBatcher(/*max_batch_samples=*/64,
+                               /*max_wait_us=*/60'000'000);
+    auto f = batcher->Submit(F32Request(8, 1.0f), 8);
+    ASSERT_TRUE(f.ok());
+    future = std::move(f).value();
+  }
+  auto reply = future.Wait();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_TRUE(reply.status().IsUnavailable());
+}
+
+TEST(DynamicBatcherTest, InvalidSubmissionsRejected) {
+  auto batcher = MakeBatcher(8, 1000);
+  EXPECT_TRUE(
+      batcher->Submit(F32Request(7, 0.0f), 8).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      batcher->Submit(F32Request(8, 0.0f), 0).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------
+// ServeEngine: bit-identity across sharding strategies + batching
+// ---------------------------------------------------------------------
+
+MlpModel::Config SmallMlp() {
+  MlpModel::Config c;
+  c.input_dim = 6;
+  c.hidden = 10;
+  c.classes = 4;
+  return c;
+}
+
+constexpr uint64_t kSeed = 1234;
+
+// Reference scores from an unsharded, unbatched model: one Forward per
+// single sample, concatenated.
+Tensor ReferenceScores(train::Model* model, const Tensor& inputs,
+                       int64_t samples) {
+  Tensor params({model->NumParams()}, DType::kF32);
+  EXPECT_TRUE(model->BindParameters(&params, nullptr).ok());
+  Rng rng(kSeed);
+  EXPECT_TRUE(model->InitParameters(&rng).ok());
+  const int64_t sn = model->sample_numel();
+  Tensor all({samples, model->num_classes()}, DType::kF32);
+  for (int64_t i = 0; i < samples; ++i) {
+    Tensor one = const_cast<Tensor&>(inputs).Slice(i * sn, sn);
+    auto scores = model->Forward(one);
+    EXPECT_TRUE(scores.ok()) << scores.status().ToString();
+    Tensor dst = all.Slice(i * model->num_classes(), model->num_classes());
+    EXPECT_TRUE(dst.CopyFrom(scores.value()).ok());
+  }
+  return all;
+}
+
+bool SameBits(const Tensor& a, const Tensor& b) {
+  return a.numel() == b.numel() &&
+         std::memcmp(a.data(), b.data(), static_cast<size_t>(a.nbytes())) == 0;
+}
+
+Tensor MlpBatch(int64_t samples, int64_t input_dim) {
+  Tensor x({samples, input_dim}, DType::kF32);
+  Rng rng(77);
+  rng.FillNormal(x.f32(), x.numel(), 1.0f);
+  return x;
+}
+
+ServeOptions StrategyOptions(Strategy strategy, int group,
+                             GatherMode mode = GatherMode::kResident) {
+  ServeOptions o;
+  o.strategy = strategy;
+  o.partition_group_size = group;
+  o.gather_mode = mode;
+  return o;
+}
+
+void ExpectBatchedMatchesReference(const ServeOptions& options) {
+  const int world_size = 4;
+  const RankTopology topo{world_size, 2};
+  World world(world_size);
+  const int64_t samples = 5;
+  const Tensor inputs = MlpBatch(samples, SmallMlp().input_dim);
+  MlpModel reference(SmallMlp());
+  const Tensor expected = ReferenceScores(&reference, inputs, samples);
+
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(
+        CommBackendFactory backend,
+        CommBackendFactory::InProcess(&world, &topo, rank));
+    MlpModel model(SmallMlp());
+    MICS_ASSIGN_OR_RETURN(
+        std::unique_ptr<ServeEngine> engine,
+        ServeEngine::Create(backend.factory(), topo, options, &model, rank));
+    MICS_RETURN_NOT_OK(engine->LoadParameters(kSeed));
+    EXPECT_TRUE(model.forward_only());
+    // Twice: the second batch proves per-batch gather/release re-arms.
+    for (int round = 0; round < 2; ++round) {
+      MICS_ASSIGN_OR_RETURN(Tensor scores, engine->ServeBatch(inputs));
+      if (!SameBits(scores, expected)) {
+        return Status::Internal("batched scores differ from single-sample "
+                                "reference on rank " + std::to_string(rank));
+      }
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(ServeEngineTest, BatchedMatchesUnbatchedUnderDdp) {
+  ExpectBatchedMatchesReference(StrategyOptions(Strategy::kDDP, 1));
+}
+
+TEST(ServeEngineTest, BatchedMatchesUnbatchedUnderZero3) {
+  ExpectBatchedMatchesReference(StrategyOptions(Strategy::kZeRO3, 4));
+}
+
+TEST(ServeEngineTest, BatchedMatchesUnbatchedUnderMics) {
+  ExpectBatchedMatchesReference(StrategyOptions(Strategy::kMiCS, 2));
+}
+
+TEST(ServeEngineTest, PerBatchGatherMatchesResident) {
+  ExpectBatchedMatchesReference(
+      StrategyOptions(Strategy::kMiCS, 2, GatherMode::kPerBatch));
+  ExpectBatchedMatchesReference(
+      StrategyOptions(Strategy::kZeRO3, 4, GatherMode::kPerBatch));
+}
+
+TEST(ServeEngineTest, ForwardOnlyBindingRejectsTraining) {
+  const RankTopology topo{1, 1};
+  World world(1);
+  Status st = RunRanks(1, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(
+        CommBackendFactory backend,
+        CommBackendFactory::InProcess(&world, &topo, rank));
+    MlpModel model(SmallMlp());
+    MICS_ASSIGN_OR_RETURN(
+        std::unique_ptr<ServeEngine> engine,
+        ServeEngine::Create(backend.factory(), topo,
+                            StrategyOptions(Strategy::kDDP, 1), &model, rank));
+    MICS_RETURN_NOT_OK(engine->LoadParameters(kSeed));
+    Tensor x = MlpBatch(2, SmallMlp().input_dim);
+    Status fb = model.ForwardBackward(x, {0, 1}).status();
+    if (!fb.IsFailedPrecondition()) {
+      return Status::Internal("expected FailedPrecondition, got " +
+                              fb.ToString());
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(ServeEngineTest, ServingBeforeLoadFails) {
+  const RankTopology topo{1, 1};
+  World world(1);
+  Status st = RunRanks(1, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(
+        CommBackendFactory backend,
+        CommBackendFactory::InProcess(&world, &topo, rank));
+    MlpModel model(SmallMlp());
+    MICS_ASSIGN_OR_RETURN(
+        std::unique_ptr<ServeEngine> engine,
+        ServeEngine::Create(backend.factory(), topo,
+                            StrategyOptions(Strategy::kDDP, 1), &model, rank));
+    Status served =
+        engine->ServeBatch(MlpBatch(1, SmallMlp().input_dim)).status();
+    if (!served.IsFailedPrecondition()) {
+      return Status::Internal("expected FailedPrecondition, got " +
+                              served.ToString());
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+// ---------------------------------------------------------------------
+// Driver/follower serving over the batcher (the full SPMD loop)
+// ---------------------------------------------------------------------
+
+TEST(ServeLoopTest, DriverFollowerServesClientsAndShutsDownCleanly) {
+  const int world_size = 4;
+  const RankTopology topo{world_size, 2};
+  World world(world_size);
+  const ServeOptions options = StrategyOptions(Strategy::kZeRO3, 4);
+  const MlpModel::Config cfg = SmallMlp();
+
+  const int kClients = 3;
+  const int kRequestsPerClient = 4;
+  std::atomic<int> ok_replies{0};
+
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(
+        CommBackendFactory backend,
+        CommBackendFactory::InProcess(&world, &topo, rank));
+    MlpModel model(cfg);
+    MICS_ASSIGN_OR_RETURN(
+        std::unique_ptr<ServeEngine> engine,
+        ServeEngine::Create(backend.factory(), topo, options, &model, rank));
+    MICS_RETURN_NOT_OK(engine->LoadParameters(kSeed));
+    if (!engine->is_driver()) return engine->FollowerLoop();
+
+    BatcherOptions bo;
+    bo.max_batch_samples = 4;
+    bo.max_wait_us = 500;
+    MICS_ASSIGN_OR_RETURN(std::unique_ptr<DynamicBatcher> batcher,
+                          DynamicBatcher::Create(bo));
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        Rng rng(1000 + static_cast<uint64_t>(c));
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          const int64_t samples = 1 + static_cast<int64_t>(rng.Uniform(2));
+          Tensor x({samples, cfg.input_dim}, DType::kF32);
+          rng.FillNormal(x.f32(), x.numel(), 1.0f);
+          auto f = batcher->Submit(x, cfg.input_dim);
+          ASSERT_TRUE(f.ok()) << f.status().ToString();
+          auto reply = f.value().Wait();
+          ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+          EXPECT_EQ(reply.value().predictions.size(),
+                    static_cast<size_t>(samples));
+          EXPECT_EQ(reply.value().scores.numel(), samples * cfg.classes);
+          ok_replies.fetch_add(1);
+        }
+      });
+    }
+    std::thread closer([&] {
+      for (auto& t : clients) t.join();
+      batcher->Shutdown();
+    });
+    Status drive = engine->DriverLoop(batcher.get());
+    closer.join();
+    return drive;
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(ok_replies.load(), kClients * kRequestsPerClient);
+}
+
+TEST(ServeLoopTest, MismatchedBatchFailsAloneEngineSurvives) {
+  const int world_size = 2;
+  const RankTopology topo{world_size, 1};
+  World world(world_size);
+  const ServeOptions options = StrategyOptions(Strategy::kZeRO3, 2);
+  const MlpModel::Config cfg = SmallMlp();
+
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(
+        CommBackendFactory backend,
+        CommBackendFactory::InProcess(&world, &topo, rank));
+    MlpModel model(cfg);
+    MICS_ASSIGN_OR_RETURN(
+        std::unique_ptr<ServeEngine> engine,
+        ServeEngine::Create(backend.factory(), topo, options, &model, rank));
+    MICS_RETURN_NOT_OK(engine->LoadParameters(kSeed));
+    if (!engine->is_driver()) return engine->FollowerLoop();
+
+    BatcherOptions bo;
+    bo.max_batch_samples = 8;
+    bo.max_wait_us = 0;  // flush each request as its own batch
+    MICS_ASSIGN_OR_RETURN(std::unique_ptr<DynamicBatcher> batcher,
+                          DynamicBatcher::Create(bo));
+    // Good, bad (sample size != input_dim), good.
+    auto good1 = batcher->Submit(MlpBatch(2, cfg.input_dim), cfg.input_dim);
+    auto bad = batcher->Submit(F32Request(10, 1.0f), 5);
+    auto good2 = batcher->Submit(MlpBatch(1, cfg.input_dim), cfg.input_dim);
+    MICS_RETURN_NOT_OK(good1.status());
+    MICS_RETURN_NOT_OK(bad.status());
+    MICS_RETURN_NOT_OK(good2.status());
+    batcher->Shutdown();
+    MICS_RETURN_NOT_OK(engine->DriverLoop(batcher.get()));
+
+    auto r1 = good1.value().Wait();
+    auto rb = bad.value().Wait();
+    auto r2 = good2.value().Wait();
+    if (!r1.ok()) return Status::Internal("good1: " + r1.status().ToString());
+    if (rb.ok() || !rb.status().IsInvalidArgument()) {
+      return Status::Internal("bad batch should fail InvalidArgument, got " +
+                              rb.status().ToString());
+    }
+    if (!r2.ok()) {
+      return Status::Internal("engine did not survive the bad batch: " +
+                              r2.status().ToString());
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(ServeLoopTest, TransformerServesBitIdenticalUnderMics) {
+  TransformerClassifier::Config cfg;
+  cfg.vocab = 12;
+  cfg.seq_len = 6;
+  cfg.dim = 12;
+  cfg.heads = 2;
+  cfg.ffn = 16;
+  cfg.blocks = 2;
+  cfg.classes = 3;
+  const int world_size = 4;
+  const RankTopology topo{world_size, 2};
+  World world(world_size);
+  const ServeOptions options =
+      StrategyOptions(Strategy::kMiCS, 2, GatherMode::kPerBatch);
+
+  const int64_t samples = 3;
+  Rng token_rng(55);
+  Tensor tokens({samples, cfg.seq_len}, DType::kI32);
+  std::vector<int32_t> toks = token_rng.Tokens(
+      samples * cfg.seq_len, static_cast<int32_t>(cfg.vocab));
+  std::memcpy(tokens.data(), toks.data(), toks.size() * sizeof(int32_t));
+
+  TransformerClassifier reference(cfg);
+  const Tensor expected = ReferenceScores(&reference, tokens, samples);
+
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(
+        CommBackendFactory backend,
+        CommBackendFactory::InProcess(&world, &topo, rank));
+    TransformerClassifier model(cfg);
+    MICS_ASSIGN_OR_RETURN(
+        std::unique_ptr<ServeEngine> engine,
+        ServeEngine::Create(backend.factory(), topo, options, &model, rank));
+    MICS_RETURN_NOT_OK(engine->LoadParameters(kSeed));
+    MICS_ASSIGN_OR_RETURN(Tensor scores, engine->ServeBatch(tokens));
+    if (!SameBits(scores, expected)) {
+      return Status::Internal("transformer serve scores differ from the "
+                              "single-sequence reference");
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(ServeEngineTest, PredictionsFromScoresMatchesModelPredict) {
+  MlpModel model(SmallMlp());
+  const int64_t samples = 6;
+  Tensor x = MlpBatch(samples, SmallMlp().input_dim);
+  Tensor params({model.NumParams()}, DType::kF32);
+  ASSERT_TRUE(model.BindParameters(&params, nullptr).ok());
+  Rng rng(kSeed);
+  ASSERT_TRUE(model.InitParameters(&rng).ok());
+  auto scores = model.Forward(x);
+  ASSERT_TRUE(scores.ok());
+  auto direct = model.Predict(x);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(ServeEngine::PredictionsFromScores(scores.value()),
+            direct.value());
+}
+
+}  // namespace
+}  // namespace mics

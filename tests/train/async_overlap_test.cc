@@ -233,9 +233,12 @@ TEST(AsyncOverlapTest, OverlappedTrainingBitIdenticalAcrossStrategies) {
     int group;
     const char* name;
   };
+  // Bucket overlap exists on the two-hop partition-group paths only;
+  // SdpOptions::Validate rejects it under ZeRO-1/2 outright (tested in
+  // sdp_options_test.cc) rather than silently ignoring it as before.
   const Case cases[] = {
-      {Strategy::kDDP, 1, "ddp"},       {Strategy::kZeRO1, 1, "zero1"},
-      {Strategy::kZeRO2, 1, "zero2"},   {Strategy::kZeRO3, 4, "zero3"},
+      {Strategy::kDDP, 1, "ddp"},
+      {Strategy::kZeRO3, 4, "zero3"},
       {Strategy::kMiCS, 2, "mics"},
   };
   for (const Case& c : cases) {

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "comm/world.h"
+#include "train/sharded_data_parallel.h"
+
+namespace mics {
+namespace {
+
+// SdpOptions::Validate rejects, with actionable messages, every option
+// combination the engine would otherwise silently ignore — one test per
+// rejected combo, plus proof that Create enforces it at construction.
+
+SdpOptions Base() {
+  SdpOptions o;
+  o.strategy = Strategy::kMiCS;
+  o.partition_group_size = 2;
+  return o;
+}
+
+TEST(SdpOptionsTest, DefaultsAreValid) {
+  EXPECT_TRUE(Base().Validate().ok());
+  EXPECT_TRUE(SdpOptions().Validate().ok());
+}
+
+TEST(SdpOptionsTest, ValidOverlapAndMixedCombosPass) {
+  SdpOptions o = Base();
+  o.grad_bucket_count = 4;
+  o.async_comm = true;
+  EXPECT_TRUE(o.Validate().ok());
+
+  o = Base();
+  o.mixed_precision = true;
+  EXPECT_TRUE(o.Validate().ok());
+
+  o = Base();
+  o.hierarchical_reduce_scatter = true;
+  EXPECT_TRUE(o.Validate().ok());
+
+  o = Base();
+  o.two_hop_sync = false;  // alternative schedule alone is fine
+  EXPECT_TRUE(o.Validate().ok());
+}
+
+TEST(SdpOptionsTest, RejectsNonPositivePartitionGroup) {
+  SdpOptions o = Base();
+  o.partition_group_size = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(SdpOptionsTest, RejectsNonPositiveBucketCount) {
+  SdpOptions o = Base();
+  o.grad_bucket_count = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(SdpOptionsTest, RejectsMixedPrecisionUnderZero12) {
+  SdpOptions o = Base();
+  o.strategy = Strategy::kZeRO1;
+  o.mixed_precision = true;
+  EXPECT_TRUE(o.Validate().IsUnimplemented());
+  o.strategy = Strategy::kZeRO2;
+  EXPECT_TRUE(o.Validate().IsUnimplemented());
+}
+
+TEST(SdpOptionsTest, RejectsBucketsWithMixedPrecision) {
+  SdpOptions o = Base();
+  o.grad_bucket_count = 4;
+  o.mixed_precision = true;
+  Status st = o.Validate();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  // Actionable: the message names both knobs.
+  EXPECT_NE(st.message().find("grad_bucket_count"), std::string::npos);
+  EXPECT_NE(st.message().find("mixed_precision"), std::string::npos);
+}
+
+TEST(SdpOptionsTest, RejectsBucketsWithAlternativeSchedule) {
+  SdpOptions o = Base();
+  o.grad_bucket_count = 4;
+  o.two_hop_sync = false;
+  Status st = o.Validate();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("two_hop_sync"), std::string::npos);
+}
+
+TEST(SdpOptionsTest, RejectsBucketsUnderZero12) {
+  SdpOptions o = Base();
+  o.grad_bucket_count = 4;
+  o.strategy = Strategy::kZeRO2;
+  Status st = o.Validate();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("ZeRO"), std::string::npos);
+}
+
+TEST(SdpOptionsTest, RejectsAsyncCommWithoutBuckets) {
+  SdpOptions o = Base();
+  o.async_comm = true;  // grad_bucket_count stays 1
+  Status st = o.Validate();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("async_comm"), std::string::npos);
+}
+
+TEST(SdpOptionsTest, RejectsHierarchicalRsWithAlternativeSchedule) {
+  SdpOptions o = Base();
+  o.hierarchical_reduce_scatter = true;
+  o.two_hop_sync = false;
+  Status st = o.Validate();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("hierarchical_reduce_scatter"),
+            std::string::npos);
+}
+
+TEST(SdpOptionsTest, RejectsBadLossScaleSettings) {
+  SdpOptions o = Base();
+  o.mixed_precision = true;
+  o.initial_loss_scale = 0.0f;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+
+  o = Base();
+  o.mixed_precision = true;
+  o.loss_scale_growth_interval = 0;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(SdpOptionsTest, RejectsNegativeGradNormClip) {
+  SdpOptions o = Base();
+  o.max_grad_norm = -1.0f;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(SdpOptionsTest, CreateRunsValidateAtConstruction) {
+  const RankTopology topo{2, 1};
+  World world(2);
+  SdpOptions bad = Base();
+  bad.grad_bucket_count = 4;
+  bad.mixed_precision = true;
+  Status st = RunRanks(2, [&](int rank) -> Status {
+    auto sdp = ShardedDataParallel::Create(&world, topo, bad,
+                                           /*num_params=*/64, rank);
+    if (sdp.ok()) return Status::Internal("invalid combo was accepted");
+    if (!sdp.status().IsInvalidArgument()) {
+      return Status::Internal("wrong code: " + sdp.status().ToString());
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace mics
