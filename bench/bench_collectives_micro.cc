@@ -1,17 +1,34 @@
-// Google-benchmark micro-benchmarks of the REAL in-process collective
-// library: vanilla vs hierarchical all-gather, reduce-scatter, coalesced
-// launches. These measure the implementation (rendezvous + copy/reduce
-// costs), complementing the modeled network costs in the figure benches.
+// Micro-benchmarks of the REAL in-process collective library: vanilla vs
+// hierarchical all-gather, reduce-scatter, coalesced launches, and the
+// block-quantized layer.
+//
+// Two modes:
+//  - without --json: google-benchmark wall-clock timing, human-readable —
+//    measures the implementation (rendezvous + copy/reduce costs);
+//  - with --json <path>: a deterministic pass through the same workloads
+//    reporting the modeled comm.* traffic counters and compression ratios
+//    as bench::Reporter rows. This used to hand --json to google-
+//    benchmark's own JSON writer, whose schema is not ours — the file
+//    could never be folded into BENCH_paper_suite.json or gated by
+//    scripts/bench_compare.py. Wall clock is never recorded in the JSON;
+//    every row is a byte/call/ratio invariant of the algorithms.
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
+#include "comm/collective.h"
 #include "comm/communicator.h"
 #include "comm/hierarchical.h"
+#include "comm/quantize.h"
+#include "comm/quantized.h"
 #include "comm/topology.h"
 #include "comm/world.h"
+#include "obs/metrics.h"
 #include "tensor/tensor.h"
 #include "util/logging.h"
 
@@ -23,6 +40,10 @@ std::vector<int> Range(int n) {
   for (int i = 0; i < n; ++i) r[i] = i;
   return r;
 }
+
+// ---------------------------------------------------------------------
+// Wall-clock mode (google-benchmark; no --json).
+// ---------------------------------------------------------------------
 
 void BM_AllGather(benchmark::State& state) {
   const int ranks = static_cast<int>(state.range(0));
@@ -114,31 +135,192 @@ void BM_AllGatherCoalesced(benchmark::State& state) {
 }
 BENCHMARK(BM_AllGatherCoalesced)->Args({8, 1 << 10})->Args({32, 1 << 8});
 
+void BM_QuantizedAllGather(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int64_t elems = state.range(1);
+  const RankTopology topo{ranks, ranks};
+  CompressionOptions copts;
+  copts.quantize_all_gather = true;
+  for (auto _ : state) {
+    World world(ranks);
+    MICS_CHECK_OK(RunRanks(ranks, [&](int rank) -> Status {
+      MICS_ASSIGN_OR_RETURN(Communicator comm,
+                            Communicator::Create(&world, Range(ranks), rank));
+      MICS_ASSIGN_OR_RETURN(
+          std::unique_ptr<QuantizedCollective> qc,
+          QuantizedCollective::Create(
+              std::make_unique<FlatCollective>(&comm), &comm,
+              WorldCommFactory(&world, &topo, rank), topo, Range(ranks), rank,
+              copts));
+      Tensor in({elems}, DType::kF32);
+      Tensor out({elems * ranks}, DType::kF32);
+      for (int i = 0; i < 8; ++i) {
+        MICS_RETURN_NOT_OK(qc->AllGather(in, &out));
+      }
+      return Status::OK();
+    }));
+  }
+  state.SetBytesProcessed(state.iterations() * 8 * elems * 4 * ranks);
+}
+BENCHMARK(BM_QuantizedAllGather)->Args({4, 1 << 14});
+
+// ---------------------------------------------------------------------
+// Deterministic mode (--json): modeled traffic, not wall clock.
+// ---------------------------------------------------------------------
+
+double CommCounter(const std::string& name) {
+  return obs::MetricsRegistry::Global().CounterValue(name);
+}
+
+/// Runs `body` on a fresh comm.* counter slate and reports the named
+/// counters (plus whatever `extra` adds) as strict-gated rows.
+Status Workload(bench::Reporter* reporter, const std::string& workload,
+                int ranks, const std::function<Status(World*, int)>& body,
+                const std::vector<std::string>& counters) {
+  obs::MetricsRegistry::Global().ResetPrefix("comm.");
+  World world(ranks);
+  MICS_RETURN_NOT_OK(RunRanks(
+      ranks, [&](int rank) -> Status { return body(&world, rank); }));
+  for (const std::string& name : counters) {
+    reporter->Record(workload, name, CommCounter(name),
+                     name.find("bytes") != std::string::npos ? "bytes"
+                                                             : "count");
+  }
+  return Status::OK();
+}
+
+Status RunDeterministic(bench::Reporter* reporter) {
+  constexpr int kReps = 8;
+  constexpr int64_t kElems = 1 << 12;
+
+  // Flat all-gather: p=4, 8 calls per rank.
+  MICS_RETURN_NOT_OK(Workload(
+      reporter, "all_gather/p4", 4,
+      [&](World* world, int rank) -> Status {
+        MICS_ASSIGN_OR_RETURN(Communicator comm,
+                              Communicator::Create(world, Range(4), rank));
+        Tensor in({kElems}, DType::kF32);
+        Tensor out({kElems * 4}, DType::kF32);
+        for (int i = 0; i < kReps; ++i) {
+          MICS_RETURN_NOT_OK(comm.AllGather(in, &out));
+        }
+        return Status::OK();
+      },
+      {"comm.all_gather.calls", "comm.all_gather.bytes"}));
+
+  // Hierarchical all-gather: p=8 over two 4-rank "nodes" — the inter-node
+  // byte reduction (p-1 -> p-k chunks per rank) is the gated invariant.
+  const RankTopology topo8{8, 4};
+  MICS_RETURN_NOT_OK(Workload(
+      reporter, "hierarchical_all_gather/p8_k4", 8,
+      [&](World* world, int rank) -> Status {
+        MICS_ASSIGN_OR_RETURN(
+            HierarchicalAllGather hier,
+            HierarchicalAllGather::Create(world, topo8, Range(8), rank));
+        Tensor in({kElems}, DType::kF32);
+        Tensor out({kElems * 8}, DType::kF32);
+        for (int i = 0; i < kReps; ++i) {
+          MICS_RETURN_NOT_OK(hier.Run(in, &out));
+        }
+        return Status::OK();
+      },
+      {"comm.all_gather.calls", "comm.all_gather.bytes",
+       "comm.all_gather.inter_node_bytes",
+       "comm.all_gather.intra_node_bytes"}));
+  reporter->Record(
+      "hierarchical_all_gather/p8_k4", "modeled_inter_node_reduction",
+      VanillaInterNodeBytes(8, 1.0) / HierarchicalInterNodeBytes(8, 4, 1.0),
+      "ratio");
+
+  // Flat reduce-scatter.
+  MICS_RETURN_NOT_OK(Workload(
+      reporter, "reduce_scatter/p4", 4,
+      [&](World* world, int rank) -> Status {
+        MICS_ASSIGN_OR_RETURN(Communicator comm,
+                              Communicator::Create(world, Range(4), rank));
+        Tensor in({kElems * 4}, DType::kF32);
+        Tensor out({kElems}, DType::kF32);
+        for (int i = 0; i < kReps; ++i) {
+          MICS_RETURN_NOT_OK(comm.ReduceScatter(in, &out));
+        }
+        return Status::OK();
+      },
+      {"comm.reduce_scatter.calls", "comm.reduce_scatter.bytes"}));
+
+  // Coalesced all-gather: 8 items in one launch count as ONE call.
+  MICS_RETURN_NOT_OK(Workload(
+      reporter, "all_gather_coalesced/p4_items8", 4,
+      [&](World* world, int rank) -> Status {
+        MICS_ASSIGN_OR_RETURN(Communicator comm,
+                              Communicator::Create(world, Range(4), rank));
+        std::vector<Tensor> ins;
+        std::vector<Tensor> outs;
+        for (int i = 0; i < 8; ++i) {
+          ins.emplace_back(std::vector<int64_t>{1 << 10}, DType::kF32);
+          outs.emplace_back(std::vector<int64_t>{(1 << 10) * 4}, DType::kF32);
+        }
+        for (int i = 0; i < kReps; ++i) {
+          MICS_RETURN_NOT_OK(comm.AllGatherCoalesced(ins, &outs));
+        }
+        return Status::OK();
+      },
+      {"comm.all_gather.calls", "comm.all_gather.bytes"}));
+
+  // Quantized all-gather (qwZ): the wire-byte reduction is the headline.
+  const RankTopology topo4{4, 4};
+  CompressionOptions copts;
+  copts.quantize_all_gather = true;
+  MICS_RETURN_NOT_OK(Workload(
+      reporter, "quantized_all_gather/p4", 4,
+      [&](World* world, int rank) -> Status {
+        MICS_ASSIGN_OR_RETURN(Communicator comm,
+                              Communicator::Create(world, Range(4), rank));
+        MICS_ASSIGN_OR_RETURN(
+            std::unique_ptr<QuantizedCollective> qc,
+            QuantizedCollective::Create(
+                std::make_unique<FlatCollective>(&comm), &comm,
+                WorldCommFactory(world, &topo4, rank), topo4, Range(4), rank,
+                copts));
+        Tensor in({kElems}, DType::kF32);
+        Tensor out({kElems * 4}, DType::kF32);
+        for (int i = 0; i < kReps; ++i) {
+          MICS_RETURN_NOT_OK(qc->AllGather(in, &out));
+        }
+        return Status::OK();
+      },
+      {"comm.compress.bytes_in", "comm.compress.bytes_out",
+       "comm.compress.blocks"}));
+  reporter->Record("quantized_all_gather/p4", "wire_compression",
+                   CommCounter("comm.compress.bytes_in") /
+                       CommCounter("comm.compress.bytes_out"),
+                   "ratio");
+  reporter->Record(
+      "quantized_all_gather/p4", "modeled_wire_bytes_per_shard",
+      static_cast<double>(QuantizedWireBytes(kElems, copts.block_size)),
+      "bytes");
+
+  return Status::OK();
+}
+
 }  // namespace
 }  // namespace mics
 
-// Same `--json <path>` convention as the figure benches (mapped onto
-// google-benchmark's native JSON writer; the schema is google-benchmark's,
-// so scripts/bench.sh keeps this file separate from BENCH_paper_suite.json).
 int main(int argc, char** argv) {
-  std::vector<char*> args;
-  std::string out_flag;
-  std::string fmt_flag = "--benchmark_out_format=json";
-  for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
-      out_flag = std::string("--benchmark_out=") + argv[i + 1];
-      ++i;
-      continue;
-    }
-    args.push_back(argv[i]);
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") json = true;
   }
-  if (!out_flag.empty()) {
-    args.push_back(out_flag.data());
-    args.push_back(fmt_flag.data());
+  if (json) {
+    // Deterministic reporting pass: our schema, our Reporter, gateable.
+    mics::bench::Reporter reporter(argc, argv, "collectives_micro");
+    mics::bench::PrintHeader("collectives micro (deterministic traffic)");
+    MICS_CHECK_OK(mics::RunDeterministic(&reporter));
+    std::cout << "recorded " << reporter.records().size()
+              << " deterministic rows\n";
+    return 0;
   }
-  int count = static_cast<int>(args.size());
-  benchmark::Initialize(&count, args.data());
-  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -1,0 +1,157 @@
+// Fidelity and byte-reduction contract of the ZeRO++-style compressed
+// collectives (qwZ / hpZ / qgZ), in the Figure 15 setup: real distributed
+// training, 4 ranks on 2 "nodes", gradient accumulation 4. Three runs of
+// the same job — uncompressed MiCS, hpZ only, qwZ+qgZ — gated on:
+//
+//   - hpZ is lossless: its loss curve is bit-identical to uncompressed,
+//     and the gather path's inter-node bytes collapse (only the one
+//     refresh per optimizer step crosses nodes);
+//   - qwZ+qgZ is lossy but faithful: the loss gap stays within tolerance
+//     while the gather wire carries ~3.9x fewer bytes (>= 3x gated).
+//
+// Everything recorded is deterministic (fixed seeds, fixed reduction and
+// quantization order), so all records gate hard in BENCH_paper_suite.json.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "train/trainer.h"
+
+namespace {
+
+struct RunOutput {
+  mics::TrainCurve curve;
+  double gather_inter_bytes = 0.0;    // comm.all_gather.inter_node_bytes
+  double compress_bytes_in = 0.0;     // comm.compress.bytes_in
+  double compress_bytes_out = 0.0;    // comm.compress.bytes_out
+};
+
+RunOutput Run(const mics::CompressionOptions& compression) {
+  using namespace mics;
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.ResetPrefix("comm.");
+  TrainRunOptions o;
+  o.world_size = 4;
+  o.gpus_per_node = 2;
+  o.sdp.strategy = Strategy::kMiCS;
+  o.sdp.partition_group_size = 4;  // spans both nodes: compression bites
+  o.sdp.compression = compression;
+  o.model.input_dim = 16;
+  o.model.hidden = 32;
+  o.model.classes = 4;
+  o.iterations = 40;
+  o.grad_accumulation_steps = 4;
+  o.micro_batch = 8;
+  o.adam.lr = 0.01f;
+  o.seed = 2022;
+  auto curve = RunDistributedTraining(o);
+  MICS_CHECK(curve.ok()) << curve.status().ToString();
+  RunOutput out;
+  out.curve = std::move(curve).value();
+  out.gather_inter_bytes =
+      reg.CounterValue("comm.all_gather.inter_node_bytes");
+  out.compress_bytes_in = reg.CounterValue("comm.compress.bytes_in");
+  out.compress_bytes_out = reg.CounterValue("comm.compress.bytes_out");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mics;
+  bench::Reporter rep(argc, argv, "compress_fidelity");
+  bench::PrintHeader(
+      "Compression fidelity: qwZ / hpZ / qgZ vs uncompressed MiCS");
+
+  const RunOutput plain = Run(CompressionOptions());
+
+  CompressionOptions hpz_opts;
+  hpz_opts.secondary_all_gather = true;
+  const RunOutput hpz = Run(hpz_opts);
+
+  CompressionOptions q_opts;
+  q_opts.quantize_all_gather = true;
+  q_opts.quantize_reduce_scatter = true;
+  const RunOutput quant = Run(q_opts);
+
+  TablePrinter table({"iteration", "plain loss", "hpZ loss", "qwZ+qgZ loss",
+                      "|qwZ+qgZ-plain|"});
+  float hpz_gap = 0.0f;
+  float quant_gap = 0.0f;
+  for (size_t i = 0; i < plain.curve.losses.size(); ++i) {
+    hpz_gap = std::max(
+        hpz_gap, std::abs(hpz.curve.losses[i] - plain.curve.losses[i]));
+    const float qg =
+        std::abs(quant.curve.losses[i] - plain.curve.losses[i]);
+    quant_gap = std::max(quant_gap, qg);
+    if (i % 4 == 0) {
+      table.AddRow({std::to_string(i),
+                    TablePrinter::Fmt(plain.curve.losses[i], 4),
+                    TablePrinter::Fmt(hpz.curve.losses[i], 4),
+                    TablePrinter::Fmt(quant.curve.losses[i], 4),
+                    TablePrinter::Fmt(qg, 5)});
+    }
+  }
+  table.Print(std::cout);
+
+  // hpZ is lossless by construction — gate bit-equality, not closeness.
+  MICS_CHECK(hpz_gap == 0.0f)
+      << "hpZ changed the loss curve (gap " << hpz_gap << ")";
+  std::cout << "max |hpZ-plain| loss gap: "
+            << rep.Value("mlp/world=4", "max_loss_gap_hpz_vs_plain",
+                         static_cast<double>(hpz_gap), "loss", 6)
+            << " (bit-identical)\n";
+
+  // qwZ+qgZ: same convergence behaviour, bounded gap.
+  std::cout << "max |qwZ+qgZ-plain| loss gap: "
+            << rep.Value("mlp/world=4", "max_loss_gap_quant_vs_plain",
+                         static_cast<double>(quant_gap), "loss", 6)
+            << "\n";
+  MICS_CHECK(quant_gap < 0.05f) << "quantized loss gap " << quant_gap;
+  rep.Record("mlp/world=4", "final_plain_loss",
+             static_cast<double>(plain.curve.final_loss()), "loss");
+  rep.Record("mlp/world=4", "final_quant_loss",
+             static_cast<double>(quant.curve.final_loss()), "loss");
+
+  // Byte reduction, gather path. hpZ: only one refresh per optimizer
+  // step crosses nodes — of the 4 gathers per iteration, 3 are served
+  // from the intra-node secondary replica.
+  const double hpz_reduction =
+      plain.gather_inter_bytes / hpz.gather_inter_bytes;
+  std::cout << "\ngather inter-node bytes, plain:  "
+            << plain.gather_inter_bytes << "\n"
+            << "gather inter-node bytes, hpZ:    " << hpz.gather_inter_bytes
+            << "  (" << rep.Value("mlp/world=4", "hpz_inter_node_reduction",
+                                  hpz_reduction, "ratio", 2)
+            << "x fewer; repeat gathers are node-local)\n";
+  MICS_CHECK(hpz_reduction >= 3.0) << "hpZ reduction " << hpz_reduction;
+  rep.Record("mlp/world=4", "hpz_gather_inter_node_bytes",
+             hpz.gather_inter_bytes, "bytes");
+
+  // qwZ: int8 wire with one f32 scale per 256-element block, ~3.94x
+  // fewer bytes than the f32 payload (>= 3x gated per the paper's claim
+  // class).
+  const double wire_ratio =
+      quant.compress_bytes_in / quant.compress_bytes_out;
+  std::cout << "qwZ wire compression: "
+            << rep.Value("mlp/world=4", "qwz_wire_compression", wire_ratio,
+                         "ratio", 3)
+            << "x (" << quant.compress_bytes_in << " payload bytes -> "
+            << quant.compress_bytes_out << " wire bytes)\n";
+  MICS_CHECK(wire_ratio >= 3.0) << "qwZ wire ratio " << wire_ratio;
+  const double quant_inter_reduction =
+      plain.gather_inter_bytes / quant.gather_inter_bytes;
+  std::cout << "qwZ gather inter-node byte reduction: "
+            << rep.Value("mlp/world=4", "qwz_inter_node_reduction",
+                         quant_inter_reduction, "ratio", 3)
+            << "x\n";
+  MICS_CHECK(quant_inter_reduction >= 3.0)
+      << "qwZ inter-node reduction " << quant_inter_reduction;
+
+  std::cout << "\nPaper shape (ZeRO++ adapted to MiCS): compressed "
+               "collectives preserve\nconvergence while cutting gather "
+               "traffic ~4x (qwZ) or serving repeat\ngathers node-locally "
+               "(hpZ).\n";
+  return 0;
+}

@@ -7,12 +7,13 @@
 #
 # The fast subset covers every modeled figure benchmark (deterministic:
 # pure cost-model arithmetic, identical on every machine), the cheap
-# real-training fidelity run, and bench_overlap_step --fast (sleepless
-# run of the real overlapped train step; its modeled exposed/overlapped
-# comm split and final loss are schedule-determined and gate hard).
-# Excluded as wall-clock-only for CI gating (see ROADMAP "Open items"):
-# bench_collectives_micro (google-benchmark wall-clock suite; its --json
-# writes google-benchmark's schema, not ours).
+# real-training fidelity runs (plain and compressed), and
+# bench_overlap_step --fast (sleepless run of the real overlapped train
+# step; its modeled exposed/overlapped comm split and final loss are
+# schedule-determined and gate hard). bench_collectives_micro's --json
+# mode runs a deterministic traffic-counter pass in our schema (its
+# wall-clock google-benchmark mode runs only without --json), so it is
+# folded in too.
 #
 # Compare two merged files with scripts/bench_compare.py; deterministic
 # units gate hard, wall-clock units are informational.
@@ -49,6 +50,8 @@ benches=(
   bench_fig15_fidelity
   bench_case_study_100b
   bench_ablation_extensions
+  bench_compress_fidelity
+  bench_collectives_micro
 )
 
 tmpdir="$(mktemp -d)"

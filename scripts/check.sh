@@ -3,11 +3,10 @@
 #
 #   scripts/check.sh              tier-1: configure, build, full ctest, then
 #                                 re-run the concurrency-heavy suites
-#                                 (-L 'tsan|async|prof|net|serve') on their own
+#                                 ($concurrency_labels below) on their own
 #   scripts/check.sh --sanitize   additionally build with
 #                                 MICS_SANITIZE=thread in build-tsan/ and run
-#                                 the tsan + async + prof + net + serve labels
-#                                 under TSan
+#                                 the concurrency-heavy labels under TSan
 #   scripts/check.sh --net        additionally smoke the real multi-process
 #                                 path: mics_launch with 4 worker processes
 #                                 on localhost, losses gated bit-identical
@@ -40,21 +39,27 @@ done
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
+# The concurrency-heavy ctest labels: re-run standalone after the full
+# suite, and again under TSan with --sanitize. One definition — the
+# usage text, the plain re-run, and the TSan run each used to hard-code
+# this list, and they drifted when labels were added.
+concurrency_labels='tsan|async|prof|net|serve|compress'
+
 echo "== tier-1: build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo
-echo "== concurrency suites (tsan + async + prof + net + serve labels, plain build) =="
-ctest --test-dir build --output-on-failure -L 'tsan|async|prof|net|serve'
+echo "== concurrency suites (-L '$concurrency_labels', plain build) =="
+ctest --test-dir build --output-on-failure -L "$concurrency_labels"
 
 if [[ "$sanitize" == 1 ]]; then
   echo
   echo "== ThreadSanitizer build (MICS_SANITIZE=thread) =="
   cmake -B build-tsan -S . -DMICS_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$jobs"
-  ctest --test-dir build-tsan --output-on-failure -L 'tsan|async|prof|net|serve'
+  ctest --test-dir build-tsan --output-on-failure -L "$concurrency_labels"
 fi
 
 if [[ "$net" == 1 ]]; then

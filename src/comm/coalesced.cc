@@ -35,7 +35,10 @@ Status ValidateCoalesced(const std::vector<Tensor>& inputs,
       return Status::InvalidArgument("coalesced: dtype mismatch at item " +
                                      std::to_string(i));
     }
-    if (in.dtype() != DType::kF32 && in.dtype() != DType::kF16) {
+    // Gathers are pure data movement, so any dtype (including the kU8
+    // wire buffers of the quantized layer) may ride a coalesced launch;
+    // reductions keep the arithmetic-dtype gate.
+    if (!(gather ? MovableDtype(in.dtype()) : SupportedDtype(in.dtype()))) {
       return Status::InvalidArgument("coalesced: unsupported dtype");
     }
     const int64_t expect =

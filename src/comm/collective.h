@@ -179,6 +179,32 @@ class Collective {
   virtual Status DoReduce(const Tensor& input, Tensor* output, int root,
                           ReduceOp op) = 0;
 
+  /// Pass-throughs for decorators (QuantizedCollective) that wrap another
+  /// Collective: they invoke the inner backend's Do* implementation
+  /// directly, WITHOUT re-entering its Dispatch. The outer collective's
+  /// Dispatch already ran the fault hook, retries, and latency histogram
+  /// for this logical op — routing the inner leg through the public
+  /// blocking API would double-count all three (and double-fence the
+  /// async worker). Static members of the base class so decorators get
+  /// protected-virtual access to any inner instance.
+  static Status RawAllGather(Collective* c, const Tensor& input,
+                             Tensor* output) {
+    return c->DoAllGather(input, output);
+  }
+  static Status RawAllGatherCoalesced(Collective* c,
+                                      const std::vector<Tensor>& inputs,
+                                      std::vector<Tensor>* outputs) {
+    return c->DoAllGatherCoalesced(inputs, outputs);
+  }
+  static Status RawReduceScatter(Collective* c, const Tensor& input,
+                                 Tensor* output, ReduceOp op) {
+    return c->DoReduceScatter(input, output, op);
+  }
+  static Status RawReduce(Collective* c, const Tensor& input, Tensor* output,
+                          int root, ReduceOp op) {
+    return c->DoReduce(input, output, root, op);
+  }
+
   /// Runs `op` through the fault hook with bounded-retry-with-backoff on
   /// Unavailable, and records the call's wall-clock latency into the
   /// comm.latency_us.<op> histogram. The fast path (no hook) is a single

@@ -13,7 +13,7 @@ Status Communicator::AllGather(const Tensor& input, Tensor* output) {
   if (output == nullptr) {
     return Status::InvalidArgument("AllGather: output is null");
   }
-  if (!SupportedDtype(input.dtype())) {
+  if (!MovableDtype(input.dtype())) {
     return Status::InvalidArgument("AllGather: unsupported dtype");
   }
   if (input.dtype() != output->dtype()) {
@@ -170,7 +170,7 @@ Status Communicator::Gather(const Tensor& input, Tensor* output, int root) {
   if (root < 0 || root >= size()) {
     return Status::InvalidArgument("Gather: root out of range");
   }
-  if (!SupportedDtype(input.dtype())) {
+  if (!MovableDtype(input.dtype())) {
     return Status::InvalidArgument("Gather: unsupported dtype");
   }
   const bool is_root = group_rank_ == root;
@@ -212,7 +212,7 @@ Status Communicator::Scatter(const Tensor& input, Tensor* output, int root) {
   if (output == nullptr) {
     return Status::InvalidArgument("Scatter: output is null");
   }
-  if (!SupportedDtype(output->dtype())) {
+  if (!MovableDtype(output->dtype())) {
     return Status::InvalidArgument("Scatter: unsupported dtype");
   }
   const bool is_root = group_rank_ == root;
@@ -242,7 +242,7 @@ Status Communicator::AllToAll(const Tensor& input, Tensor* output) {
   if (output == nullptr) {
     return Status::InvalidArgument("AllToAll: output is null");
   }
-  if (!SupportedDtype(input.dtype())) {
+  if (!MovableDtype(input.dtype())) {
     return Status::InvalidArgument("AllToAll: unsupported dtype");
   }
   if (input.dtype() != output->dtype() ||

@@ -1,0 +1,67 @@
+#ifndef MICS_COMM_QUANTIZE_H_
+#define MICS_COMM_QUANTIZE_H_
+
+#include <cstdint>
+
+#include "comm/comm.h"
+#include "tensor/dtype.h"
+
+namespace mics {
+
+/// Block-wise symmetric int8 quantization — the wire format of the
+/// ZeRO++-style compressed collectives (qwZ parameter all-gather, qgZ
+/// gradient reduce-scatter).
+///
+/// An N-element f32/f16 tensor with block size B becomes one opaque kU8
+/// buffer:
+///
+///   [ f32 scale  x ceil(N/B) ][ int8 code x N ][ zero pad to 4 bytes ]
+///
+/// where scale = absmax(block) / 127 and code = round(v / scale) clamped
+/// to [-127, 127] (round-half-away-from-zero; every operation is exact
+/// IEEE arithmetic, so quantization is bit-deterministic across ranks,
+/// transports, and repeated runs). Dequantization is scale * code widened
+/// or narrowed per the destination dtype via the reduce_kernels
+/// Load/StoreElem contract.
+///
+/// Edge cases, all deterministic:
+///  - an all-zero block stores scale 0 and codes 0 (dequantizes to +0.0f);
+///  - a block whose absmax is non-finite (overflowed mixed-precision
+///    gradients) stores that non-finite scale and code 1 everywhere, so
+///    the whole block dequantizes non-finite and the loss-scaling
+///    overflow consensus still fires after a quantized reduce.
+///
+/// The wire buffer is padded to a multiple of 4 bytes so per-member
+/// segments of a gathered/exchanged wire tensor keep the scale region
+/// 4-byte aligned (scales are nonetheless moved with memcpy — alignment
+/// is a performance nicety, not a correctness requirement).
+
+/// Number of quantization blocks for `numel` elements (block_size >= 1).
+int64_t QuantBlocks(int64_t numel, int block_size);
+
+/// Bytes of the wire buffer for `numel` elements: 4*blocks + numel,
+/// rounded up to a multiple of 4.
+int64_t QuantizedWireBytes(int64_t numel, int block_size);
+
+/// Quantizes `numel` elements of `src` (dtype dt, f32 or f16) into `wire`
+/// (at least QuantizedWireBytes bytes). Deterministic.
+void QuantizeBlockwise(const void* src, DType dt, int64_t numel,
+                       int block_size, uint8_t* wire);
+
+/// Inverse: expands `wire` back into `numel` elements of `dst` (dtype dt,
+/// f32 or f16; f16 narrows with the same RNE StoreElem path reductions
+/// use).
+void DequantizeBlockwise(const uint8_t* wire, int64_t numel, int block_size,
+                         void* dst, DType dt);
+
+/// Dequantize-and-accumulate for qgZ: acc[i] = dequant(wire[i]) when
+/// `first`, else acc[i] op= dequant(wire[i]) with f32 accumulation (kSum
+/// and kAvg accumulate sums — the caller divides at the end; kMax takes
+/// the running maximum). Accumulation order is the caller's member order,
+/// preserving the reduce_kernels determinism contract.
+void DequantizeAccumulate(const uint8_t* wire, int64_t numel, int block_size,
+                          ReduceOp op, bool first, float* acc);
+
+}  // namespace mics
+
+#endif  // MICS_COMM_QUANTIZE_H_

@@ -1,0 +1,425 @@
+#include "comm/quantized.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "comm/quantize.h"
+#include "comm/reduce_kernels.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace mics {
+
+namespace {
+
+/// Compression-layer counters, looked up once (Reset keeps registrations,
+/// so the cached pointers stay valid across metric resets).
+struct CompressCounters {
+  obs::Counter* bytes_in;             // uncompressed payload bytes quantized
+  obs::Counter* bytes_out;            // wire bytes produced
+  obs::Counter* blocks;               // quantization blocks encoded
+  obs::Counter* secondary_hits;       // hpZ gathers served node-locally
+  obs::Counter* secondary_refreshes;  // hpZ replicas (re)built
+};
+
+const CompressCounters& Counters() {
+  static const CompressCounters c = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    return CompressCounters{r.GetCounter("comm.compress.bytes_in"),
+                            r.GetCounter("comm.compress.bytes_out"),
+                            r.GetCounter("comm.compress.blocks"),
+                            r.GetCounter("comm.compress.secondary_hits"),
+                            r.GetCounter("comm.compress.secondary_refreshes")};
+  }();
+  return c;
+}
+
+}  // namespace
+
+Status CompressionOptions::Validate() const {
+  if (!enabled()) return Status::OK();
+  if (block_size < 1) {
+    return Status::InvalidArgument(
+        "compression: block_size must be >= 1 (got " +
+        std::to_string(block_size) + ")");
+  }
+  return Status::OK();
+}
+
+QuantizedCollective::QuantizedCollective(std::unique_ptr<Collective> inner,
+                                         Comm* comm,
+                                         std::unique_ptr<Comm> intra,
+                                         std::unique_ptr<Comm> channel,
+                                         const CompressionOptions& options)
+    : inner_(std::move(inner)),
+      comm_(comm),
+      intra_(std::move(intra)),
+      channel_(std::move(channel)),
+      opt_(options) {}
+
+Result<std::unique_ptr<QuantizedCollective>> QuantizedCollective::Create(
+    std::unique_ptr<Collective> inner, Comm* comm, const CommFactory& factory,
+    const RankTopology& topo, const std::vector<int>& group_ranks,
+    int global_rank, const CompressionOptions& options) {
+  MICS_RETURN_NOT_OK(options.Validate());
+  if (!options.enabled()) {
+    return Status::InvalidArgument(
+        "QuantizedCollective: no compression enabled — use the inner "
+        "collective directly (the bit-exact path)");
+  }
+  if (inner == nullptr || comm == nullptr) {
+    return Status::InvalidArgument("QuantizedCollective: null inner or comm");
+  }
+  if (inner->size() != comm->size()) {
+    return Status::InvalidArgument(
+        "QuantizedCollective: inner and comm group sizes differ");
+  }
+
+  // The intra-node / channel sub-groups exist only for multi-node,
+  // node-aligned groups — exactly the regime where hpZ sharding and the
+  // hierarchical qgZ schedule pay off. Everywhere else the flat forms
+  // (whole-buffer secondary, partition-wide AllToAll) are used. The
+  // conditions depend only on SPMD-uniform inputs, so every member takes
+  // the same branch and issues the same factory calls in the same order.
+  const int p = comm->size();
+  const int k = topo.gpus_per_node;
+  const bool multi_node = k > 1 && p > k && topo.Validate().ok() &&
+                          std::is_sorted(group_ranks.begin(),
+                                         group_ranks.end()) &&
+                          IsNodeAligned(topo, group_ranks);
+  std::unique_ptr<Comm> intra;
+  std::unique_ptr<Comm> channel;
+  if (multi_node) {
+    if (options.secondary_all_gather || options.quantize_reduce_scatter) {
+      MICS_ASSIGN_OR_RETURN(
+          intra, factory(IntraNodeRanks(topo, group_ranks, global_rank)));
+    }
+    if (options.quantize_reduce_scatter) {
+      MICS_ASSIGN_OR_RETURN(
+          channel, factory(ChannelRanks(topo, group_ranks, global_rank)));
+    }
+  }
+  std::unique_ptr<QuantizedCollective> qc(
+      new QuantizedCollective(std::move(inner), comm, std::move(intra),
+                              std::move(channel), options));
+  qc->num_nodes_ = multi_node ? p / k : 1;
+  return qc;
+}
+
+void QuantizedCollective::InvalidateSecondary() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Mark stale, never erase: the next refresh reuses the buffer, and an
+  // async gather borrowing an entry's storage never sees it freed.
+  for (auto& kv : secondary_) kv.second.valid = false;
+}
+
+uint8_t* QuantizedCollective::Scratch(Tensor* t, int64_t nbytes) {
+  if (t->numel() < nbytes) *t = Tensor({nbytes}, DType::kU8);
+  return t->u8();
+}
+
+Status QuantizedCollective::DoAllGather(const Tensor& input, Tensor* output) {
+  if (output == nullptr) {
+    return Status::InvalidArgument("quantized all-gather: output is null");
+  }
+  if (input.dtype() != output->dtype()) {
+    return Status::InvalidArgument("quantized all-gather: dtype mismatch");
+  }
+  const int64_t n = input.numel();
+  const int p = comm_->size();
+  if (output->numel() != n * p) {
+    return Status::InvalidArgument(
+        "quantized all-gather: output numel must be input numel * p");
+  }
+  const bool compressible =
+      (opt_.quantize_all_gather || opt_.secondary_all_gather) &&
+      SupportedDtype(input.dtype()) && p > 1;
+  if (!compressible) return RawAllGather(inner_.get(), input, output);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opt_.secondary_all_gather) return GatherFull(input, output);
+
+  // hpZ: the cache key is the shard's data pointer — stable across
+  // micro-steps for SDP's flat shard buffers. Hit/miss is SPMD-uniform
+  // because every member runs the same gather sequence and the same
+  // invalidations.
+  Secondary& sec = secondary_[input.data()];
+  const int64_t total_bytes = output->numel() * SizeOf(input.dtype());
+  if (sec.valid && sec.numel == output->numel() &&
+      sec.dtype == input.dtype()) {
+    Counters().secondary_hits->Increment();
+    if (intra_) {
+      // The replica is sharded across the node's k ranks; one intra-node
+      // all-gather of the byte slices reassembles the full buffer with
+      // zero inter-node traffic.
+      const int64_t slice_bytes = total_bytes / intra_->size();
+      Tensor slice = Tensor::View(sec.slice.data(), {slice_bytes}, DType::kU8);
+      Tensor out = Tensor::View(output->data(), {total_bytes}, DType::kU8);
+      return intra_->AllGather(slice, &out);
+    }
+    std::memcpy(output->data(), sec.slice.data(), total_bytes);
+    return Status::OK();
+  }
+
+  // Miss (first gather, or parameters changed): run the real gather —
+  // quantized when qwZ is also on — then keep this rank's share of the
+  // result as the secondary replica.
+  MICS_RETURN_NOT_OK(GatherFull(input, output));
+  const int64_t slice_bytes = intra_ ? total_bytes / intra_->size()
+                                     : total_bytes;
+  const int64_t off = intra_ ? intra_->rank() * slice_bytes : 0;
+  uint8_t* dst = Scratch(&sec.slice, slice_bytes);
+  std::memcpy(dst, static_cast<const uint8_t*>(output->data()) + off,
+              slice_bytes);
+  sec.numel = output->numel();
+  sec.dtype = input.dtype();
+  sec.valid = true;
+  Counters().secondary_refreshes->Increment();
+  return Status::OK();
+}
+
+Status QuantizedCollective::GatherFull(const Tensor& input, Tensor* output) {
+  if (!opt_.quantize_all_gather) {
+    // hpZ-only: the refresh gather is the ordinary lossless one.
+    return RawAllGather(inner_.get(), input, output);
+  }
+  const int64_t n = input.numel();
+  const int p = comm_->size();
+  const DType dt = input.dtype();
+  const int B = opt_.block_size;
+  const int64_t W = QuantizedWireBytes(n, B);
+  uint8_t* win = Scratch(&wire_in_, W);
+  uint8_t* wout = Scratch(&wire_out_, W * p);
+  QuantizeBlockwise(input.data(), dt, n, B, win);
+  Counters().bytes_in->Add(static_cast<double>(input.nbytes()));
+  Counters().bytes_out->Add(static_cast<double>(W));
+  Counters().blocks->Add(static_cast<double>(QuantBlocks(n, B)));
+  // The wire buffers ride the inner backend unchanged, so a hierarchical
+  // inner runs its three-stage schedule on ~4x fewer bytes.
+  Tensor wire_in = Tensor::View(win, {W}, DType::kU8);
+  Tensor wire_out = Tensor::View(wout, {W * p}, DType::kU8);
+  MICS_RETURN_NOT_OK(RawAllGather(inner_.get(), wire_in, &wire_out));
+  uint8_t* out_base = static_cast<uint8_t*>(output->data());
+  const int64_t chunk_bytes = n * SizeOf(dt);
+  // Every member — including this one — takes the dequantized values, so
+  // all p ranks hold bit-identical parameters after the gather.
+  for (int r = 0; r < p; ++r) {
+    DequantizeBlockwise(wout + r * W, n, B, out_base + r * chunk_bytes, dt);
+  }
+  return Status::OK();
+}
+
+Status QuantizedCollective::DoAllGatherCoalesced(
+    const std::vector<Tensor>& inputs, std::vector<Tensor>* outputs) {
+  if (outputs == nullptr || inputs.size() != outputs->size()) {
+    return Status::InvalidArgument("quantized coalesced: item mismatch");
+  }
+  const int p = comm_->size();
+  bool compressible = opt_.quantize_all_gather && p > 1 && !inputs.empty();
+  for (const Tensor& in : inputs) {
+    compressible = compressible && SupportedDtype(in.dtype());
+  }
+  // hpZ is deliberately not applied to coalesced launches: they carry
+  // layer bundles whose buffer lists vary call to call, so pointer-keyed
+  // caching would thrash. Layerwise single-tensor gathers get the cache.
+  if (!compressible) {
+    return RawAllGatherCoalesced(inner_.get(), inputs, outputs);
+  }
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if ((*outputs)[i].dtype() != inputs[i].dtype() ||
+        (*outputs)[i].numel() != inputs[i].numel() * p) {
+      return Status::InvalidArgument(
+          "quantized coalesced: bad shapes at item " + std::to_string(i));
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const int B = opt_.block_size;
+  int64_t slab = 0;
+  for (const Tensor& in : inputs) slab += QuantizedWireBytes(in.numel(), B);
+  uint8_t* win = Scratch(&wire_in_, slab);
+  uint8_t* wout = Scratch(&wire_out_, slab * p);
+
+  std::vector<Tensor> wire_in;
+  std::vector<Tensor> wire_out;
+  wire_in.reserve(inputs.size());
+  wire_out.reserve(inputs.size());
+  int64_t off = 0;
+  for (const Tensor& in : inputs) {
+    const int64_t n = in.numel();
+    const int64_t W = QuantizedWireBytes(n, B);
+    QuantizeBlockwise(in.data(), in.dtype(), n, B, win + off);
+    Counters().bytes_in->Add(static_cast<double>(in.nbytes()));
+    Counters().bytes_out->Add(static_cast<double>(W));
+    Counters().blocks->Add(static_cast<double>(QuantBlocks(n, B)));
+    wire_in.push_back(Tensor::View(win + off, {W}, DType::kU8));
+    wire_out.push_back(Tensor::View(wout + off * p, {W * p}, DType::kU8));
+    off += W;
+  }
+  MICS_RETURN_NOT_OK(
+      RawAllGatherCoalesced(inner_.get(), wire_in, &wire_out));
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const int64_t n = inputs[i].numel();
+    const int64_t W = QuantizedWireBytes(n, B);
+    const DType dt = inputs[i].dtype();
+    const int64_t chunk_bytes = n * SizeOf(dt);
+    uint8_t* out_base = static_cast<uint8_t*>((*outputs)[i].data());
+    const uint8_t* w = wire_out[i].u8();
+    for (int r = 0; r < p; ++r) {
+      DequantizeBlockwise(w + r * W, n, B, out_base + r * chunk_bytes, dt);
+    }
+  }
+  return Status::OK();
+}
+
+Status QuantizedCollective::DoReduceScatter(const Tensor& input,
+                                            Tensor* output, ReduceOp op) {
+  if (output == nullptr) {
+    return Status::InvalidArgument("quantized reduce-scatter: output is null");
+  }
+  if (input.dtype() != output->dtype()) {
+    return Status::InvalidArgument("quantized reduce-scatter: dtype mismatch");
+  }
+  const int p = comm_->size();
+  if (input.numel() != output->numel() * p) {
+    return Status::InvalidArgument(
+        "quantized reduce-scatter: input numel must be output numel * p");
+  }
+  if (!opt_.quantize_reduce_scatter || !SupportedDtype(input.dtype()) ||
+      p == 1) {
+    return RawReduceScatter(inner_.get(), input, output, op);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (intra_ && channel_) return ReduceScatterHierarchical(input, output, op);
+  return ReduceScatterFlat(input, output, op);
+}
+
+Status QuantizedCollective::ReduceScatterFlat(const Tensor& input,
+                                              Tensor* output, ReduceOp op) {
+  // qgZ over a single node (or a non-aligned group): quantize the p
+  // per-member chunks, transpose them with one AllToAll, and accumulate
+  // in fixed member order 0..p-1 with f32 precision.
+  const int p = comm_->size();
+  const int64_t n = output->numel();
+  const DType dt = input.dtype();
+  const int B = opt_.block_size;
+  const int64_t elem = SizeOf(dt);
+  const int64_t W = QuantizedWireBytes(n, B);
+  uint8_t* win = Scratch(&wire_in_, W * p);
+  uint8_t* wout = Scratch(&wire_out_, W * p);
+  const uint8_t* in_base = static_cast<const uint8_t*>(input.data());
+  for (int d = 0; d < p; ++d) {
+    QuantizeBlockwise(in_base + d * n * elem, dt, n, B, win + d * W);
+  }
+  Counters().bytes_in->Add(static_cast<double>(input.nbytes()));
+  Counters().bytes_out->Add(static_cast<double>(W * p));
+  Counters().blocks->Add(static_cast<double>(p * QuantBlocks(n, B)));
+  Tensor wire_in = Tensor::View(win, {W * p}, DType::kU8);
+  Tensor wire_out = Tensor::View(wout, {W * p}, DType::kU8);
+  MICS_RETURN_NOT_OK(comm_->AllToAll(wire_in, &wire_out));
+  float* acc = reinterpret_cast<float*>(Scratch(&acc_, n * 4));
+  for (int r = 0; r < p; ++r) {
+    DequantizeAccumulate(wout + r * W, n, B, op, r == 0, acc);
+  }
+  if (op == ReduceOp::kAvg) {
+    const float inv = 1.0f / static_cast<float>(p);
+    for (int64_t i = 0; i < n; ++i) acc[i] *= inv;
+  }
+  for (int64_t i = 0; i < n; ++i) StoreElem(output->data(), dt, i, acc[i]);
+  return Status::OK();
+}
+
+Status QuantizedCollective::ReduceScatterHierarchical(const Tensor& input,
+                                                      Tensor* output,
+                                                      ReduceOp op) {
+  // The qgZ schedule: quantize -> intra-node transpose -> node-local
+  // partial reduction -> requantize -> inter-node transpose -> final
+  // reduction. Inter-node wire bytes per rank drop from (p-1)*W (flat
+  // AllToAll share) to (G-1)*W, and everything crossing a link is int8.
+  const int p = comm_->size();
+  const int k = intra_->size();
+  const int G = num_nodes_;
+  const int64_t n = output->numel();
+  const DType dt = input.dtype();
+  const int B = opt_.block_size;
+  const int64_t elem = SizeOf(dt);
+  const int64_t W = QuantizedWireBytes(n, B);
+
+  // Quantize all p input chunks, laid out for the intra-node AllToAll:
+  // send-slot j (a local rank) carries the G chunks destined to the
+  // members with local rank j — chunk for member (g*k + j) at offset
+  // (j*G + g)*W.
+  uint8_t* win = Scratch(&wire_in_, W * p);
+  uint8_t* wout = Scratch(&wire_out_, W * p);
+  const uint8_t* in_base = static_cast<const uint8_t*>(input.data());
+  for (int j = 0; j < k; ++j) {
+    for (int g = 0; g < G; ++g) {
+      const int64_t d = static_cast<int64_t>(g) * k + j;
+      QuantizeBlockwise(in_base + d * n * elem, dt, n, B,
+                        win + (static_cast<int64_t>(j) * G + g) * W);
+    }
+  }
+  Counters().bytes_in->Add(static_cast<double>(input.nbytes()));
+  Counters().bytes_out->Add(static_cast<double>(W * p));
+  Counters().blocks->Add(static_cast<double>(p * QuantBlocks(n, B)));
+
+  // Stage 1: intra-node transpose. Output slot m now holds local peer
+  // m's G chunks for this rank's local index, chunk for node g at
+  // (m*G + g)*W.
+  Tensor s1_in = Tensor::View(win, {W * p}, DType::kU8);
+  Tensor s1_out = Tensor::View(wout, {W * p}, DType::kU8);
+  MICS_RETURN_NOT_OK(intra_->AllToAll(s1_in, &s1_out));
+
+  // Node-local partial reduction, one f32 partial per destination node,
+  // accumulated over local members in fixed order m = 0..k-1.
+  float* partials = reinterpret_cast<float*>(Scratch(&acc_, G * n * 4));
+  for (int g = 0; g < G; ++g) {
+    for (int m = 0; m < k; ++m) {
+      DequantizeAccumulate(wout + (static_cast<int64_t>(m) * G + g) * W, n, B,
+                           op, m == 0, partials + static_cast<int64_t>(g) * n);
+    }
+  }
+
+  // Stage 2: requantize the partials for the inter-node hop. Partials are
+  // f32 regardless of the payload dtype, so no precision is dropped
+  // before the wire.
+  uint8_t* st = Scratch(&stage_, W * G);
+  for (int g = 0; g < G; ++g) {
+    QuantizeBlockwise(partials + static_cast<int64_t>(g) * n, DType::kF32, n,
+                      B, st + static_cast<int64_t>(g) * W);
+  }
+  Counters().bytes_in->Add(static_cast<double>(G * n * 4));
+  Counters().bytes_out->Add(static_cast<double>(W * G));
+  Counters().blocks->Add(static_cast<double>(G * QuantBlocks(n, B)));
+
+  // Stage 3: inter-node transpose over the channel (one member per node,
+  // this rank's local index). Slot g of the input is the partial destined
+  // to node g's member of this channel; wire_in_ is free again after
+  // stage 1, so it stages the output.
+  Tensor s3_in = Tensor::View(st, {W * G}, DType::kU8);
+  Tensor s3_out = Tensor::View(win, {W * G}, DType::kU8);
+  MICS_RETURN_NOT_OK(channel_->AllToAll(s3_in, &s3_out));
+
+  // Final reduction over node partials in fixed node order h = 0..G-1.
+  float* acc = partials;
+  for (int h = 0; h < G; ++h) {
+    DequantizeAccumulate(win + static_cast<int64_t>(h) * W, n, B, op, h == 0,
+                         acc);
+  }
+  if (op == ReduceOp::kAvg) {
+    const float inv = 1.0f / static_cast<float>(p);
+    for (int64_t i = 0; i < n; ++i) acc[i] *= inv;
+  }
+  for (int64_t i = 0; i < n; ++i) StoreElem(output->data(), dt, i, acc[i]);
+  return Status::OK();
+}
+
+Status QuantizedCollective::DoReduce(const Tensor& input, Tensor* output,
+                                     int root, ReduceOp op) {
+  // The bucketed-gradient first hop stays uncompressed: SdpOptions
+  // rejects qgZ together with bucketing, so this is plain delegation.
+  return RawReduce(inner_.get(), input, output, root, op);
+}
+
+}  // namespace mics

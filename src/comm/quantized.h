@@ -1,0 +1,154 @@
+#ifndef MICS_COMM_QUANTIZED_H_
+#define MICS_COMM_QUANTIZED_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/collective.h"
+#include "comm/comm.h"
+#include "comm/topology.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+
+/// Which of the ZeRO++-style communication compressions to apply to a
+/// partition group's collectives (arXiv 2306.10209, adapted to MiCS
+/// partition groups). All default off; the default-constructed value is
+/// the bit-exactness escape hatch — with every flag false the decorator
+/// is never interposed and traffic is bit-identical to the uncompressed
+/// stack (asserted by tests).
+struct CompressionOptions {
+  /// qwZ: block-quantize parameter all-gathers to int8 wire format
+  /// (~3.9x fewer bytes for f32 shards at the default block size).
+  bool quantize_all_gather = false;
+
+  /// hpZ: keep a secondary intra-node replica of each gathered buffer so
+  /// repeat gathers of unchanged parameters are served node-locally —
+  /// inter-node bytes for the gather path drop to ~0 between optimizer
+  /// steps. Trades one extra shard-sized buffer per parameter per rank.
+  bool secondary_all_gather = false;
+
+  /// qgZ: quantized hierarchical gradient reduce-scatter (quantize ->
+  /// intra-node exchange+reduce -> inter-node exchange -> dequantize,
+  /// f32 accumulation throughout).
+  bool quantize_reduce_scatter = false;
+
+  /// Elements per quantization block (one f32 scale per block).
+  int block_size = 256;
+
+  bool enabled() const {
+    return quantize_all_gather || secondary_all_gather ||
+           quantize_reduce_scatter;
+  }
+
+  Status Validate() const;
+};
+
+/// Decorator over any Collective backend (flat or hierarchical) adding
+/// the compressions selected by CompressionOptions. Composes with the
+/// existing layers unchanged: the inner backend still carries the wire
+/// traffic (as kU8 tensors), so the hierarchical schedule, async worker,
+/// fault hook, retries, and latency histograms all see the compressed
+/// ops — Dispatch runs ONCE, here, and the inner legs go through the
+/// protected Raw* pass-throughs.
+///
+/// Determinism: quantization/dequantization is exact IEEE arithmetic and
+/// accumulation is f32 in fixed member order, so compressed results are
+/// bit-identical across transports and runs (but NOT to the uncompressed
+/// results — compression is lossy by design; hpZ alone is lossless).
+///
+/// The secondary (hpZ) cache is keyed by the input shard's data pointer:
+/// SDP's shard buffers are stable across micro-steps, so repeated
+/// layerwise gathers of the same shard hit. The owner must call
+/// InvalidateSecondary() whenever parameter bytes change (optimizer step,
+/// checkpoint load); a hit after a missed invalidation would serve stale
+/// parameters. Invalidation marks entries stale but never frees them —
+/// buffers are reused on the next refresh.
+class QuantizedCollective : public Collective {
+ public:
+  /// `inner` carries the (possibly compressed) wire traffic; `comm` is
+  /// the borrowed partition-group communicator (for AllToAll and the
+  /// degenerate paths) and must outlive the instance. The intra-node and
+  /// channel sub-comms hpZ and hierarchical qgZ need come from `factory`
+  /// exactly like HierarchicalComm's, so the decorator is
+  /// transport-agnostic. All members must call Create in the same SPMD
+  /// order with identical options.
+  static Result<std::unique_ptr<QuantizedCollective>> Create(
+      std::unique_ptr<Collective> inner, Comm* comm, const CommFactory& factory,
+      const RankTopology& topo, const std::vector<int>& group_ranks,
+      int global_rank, const CompressionOptions& options);
+
+  ~QuantizedCollective() override { StopWorker(); }
+
+  int size() const override { return comm_->size(); }
+  const char* kind() const override { return "quantized"; }
+
+  const CompressionOptions& options() const { return opt_; }
+  Collective* inner() const { return inner_.get(); }
+
+  /// True when hpZ is on and gathers are being cached.
+  bool secondary_active() const { return opt_.secondary_all_gather; }
+
+  /// Marks every hpZ secondary replica stale; the next gather of each
+  /// shard refreshes it over the real (possibly quantized) path. Call
+  /// after every parameter mutation. Thread-safe.
+  void InvalidateSecondary();
+
+ protected:
+  Status DoAllGather(const Tensor& input, Tensor* output) override;
+  Status DoAllGatherCoalesced(const std::vector<Tensor>& inputs,
+                              std::vector<Tensor>* outputs) override;
+  Status DoReduceScatter(const Tensor& input, Tensor* output,
+                         ReduceOp op) override;
+  Status DoReduce(const Tensor& input, Tensor* output, int root,
+                  ReduceOp op) override;
+
+ private:
+  /// One cached gather result (hpZ). When the intra-node sub-comm exists
+  /// the full gathered buffer is sharded across the node's k ranks (this
+  /// rank keeps slice [intra_rank*P*n/k, ...)) and a hit re-assembles it
+  /// with one intra-node all-gather; otherwise the whole buffer is kept
+  /// and a hit is a memcpy.
+  struct Secondary {
+    Tensor slice;        // kU8 byte buffer, grow-only
+    int64_t numel = 0;   // gathered elements this entry covers (P * n)
+    DType dtype = DType::kF32;
+    bool valid = false;
+  };
+
+  QuantizedCollective(std::unique_ptr<Collective> inner, Comm* comm,
+                      std::unique_ptr<Comm> intra, std::unique_ptr<Comm> channel,
+                      const CompressionOptions& options);
+
+  /// The gather path behind both the cache miss and the qwZ-only case.
+  Status GatherFull(const Tensor& input, Tensor* output);
+  Status ReduceScatterFlat(const Tensor& input, Tensor* output, ReduceOp op);
+  Status ReduceScatterHierarchical(const Tensor& input, Tensor* output,
+                                   ReduceOp op);
+
+  /// Grow-only kU8 scratch: returns t's bytes, reallocating if needed.
+  static uint8_t* Scratch(Tensor* t, int64_t nbytes);
+
+  std::unique_ptr<Collective> inner_;
+  Comm* comm_;                      // borrowed partition communicator
+  std::unique_ptr<Comm> intra_;     // hpZ shard group / qgZ stage 1 (or null)
+  std::unique_ptr<Comm> channel_;   // qgZ stage 2 (or null)
+  CompressionOptions opt_;
+  int num_nodes_ = 1;
+
+  // Serializes the secondary map and scratch tensors between the blocking
+  // path, the async progress worker, and InvalidateSecondary callers.
+  std::mutex mu_;
+  std::map<const void*, Secondary> secondary_;
+  Tensor wire_in_;    // quantized local payload
+  Tensor wire_out_;   // gathered / exchanged wire buffers
+  Tensor stage_;      // qgZ stage-2 requantized partials
+  Tensor acc_;        // f32 accumulators (kU8 storage, viewed as f32)
+};
+
+}  // namespace mics
+
+#endif  // MICS_COMM_QUANTIZED_H_

@@ -8,6 +8,8 @@ namespace mics {
 
 bool SupportedDtype(DType dt) { return dt == DType::kF32 || dt == DType::kF16; }
 
+bool MovableDtype(DType dt) { return SizeOf(dt) > 0; }
+
 float LoadElem(const void* base, DType dt, int64_t i) {
   if (dt == DType::kF32) return static_cast<const float*>(base)[i];
   return HalfToFloat(static_cast<const uint16_t*>(base)[i]);

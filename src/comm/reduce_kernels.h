@@ -19,6 +19,13 @@ namespace mics {
 /// True for the dtypes the reducing collectives accept (f32, f16).
 bool SupportedDtype(DType dt);
 
+/// True for the dtypes pure data-movement collectives (all-gather,
+/// all-to-all, broadcast, gather, scatter) accept: every dtype, including
+/// the kU8 wire buffers of the block-quantized layer. Reducing collectives
+/// keep the stricter SupportedDtype gate — arithmetic on raw bytes would
+/// be meaningless.
+bool MovableDtype(DType dt);
+
 /// Reads element i of `base` (dtype dt) widened to f32.
 float LoadElem(const void* base, DType dt, int64_t i);
 

@@ -11,8 +11,10 @@ Result<GroupManager> GroupManager::Create(const CommFactory& factory,
                                           int partition_group_size,
                                           int global_rank,
                                           bool enable_hierarchical,
-                                          bool enable_hierarchical_rs) {
+                                          bool enable_hierarchical_rs,
+                                          const CompressionOptions& compression) {
   MICS_RETURN_NOT_OK(topo.Validate());
+  MICS_RETURN_NOT_OK(compression.Validate());
   MICS_ASSIGN_OR_RETURN(
       std::vector<int> part_ranks,
       PartitionGroupOf(topo, partition_group_size, global_rank));
@@ -48,6 +50,20 @@ Result<GroupManager> GroupManager::Create(const CommFactory& factory,
   if (gm.collective_ == nullptr) {
     gm.collective_ = std::make_unique<FlatCollective>(gm.partition_.get());
   }
+  if (compression.enabled()) {
+    // Decorate whichever backend was chosen: the compressed wire tensors
+    // ride it unchanged, so qwZ composes with the hierarchical schedule
+    // and with the flat one alike. Unlike the hierarchical fallback above
+    // this is NOT silent-on-failure — the caller asked for compression,
+    // so a setup error must surface, not quietly revert to fat traffic.
+    MICS_ASSIGN_OR_RETURN(
+        std::unique_ptr<QuantizedCollective> qc,
+        QuantizedCollective::Create(std::move(gm.collective_),
+                                    gm.partition_.get(), factory, topo,
+                                    part_ranks, global_rank, compression));
+    gm.quantized_ = qc.get();
+    gm.collective_ = std::move(qc);
+  }
   return gm;
 }
 
@@ -56,7 +72,8 @@ Result<GroupManager> GroupManager::Create(World* world,
                                           int partition_group_size,
                                           int global_rank,
                                           bool enable_hierarchical,
-                                          bool enable_hierarchical_rs) {
+                                          bool enable_hierarchical_rs,
+                                          const CompressionOptions& compression) {
   if (world == nullptr) {
     return Status::InvalidArgument("world must not be null");
   }
@@ -65,7 +82,7 @@ Result<GroupManager> GroupManager::Create(World* world,
   }
   return Create(WorldCommFactory(world, &topo, global_rank), topo,
                 partition_group_size, global_rank, enable_hierarchical,
-                enable_hierarchical_rs);
+                enable_hierarchical_rs, compression);
 }
 
 }  // namespace mics

@@ -6,6 +6,7 @@
 
 #include "comm/collective.h"
 #include "comm/comm.h"
+#include "comm/quantized.h"
 #include "comm/topology.h"
 #include "comm/world.h"
 #include "util/status.h"
@@ -31,19 +32,27 @@ class GroupManager {
  public:
   /// Builds every group through `factory` (called with the partition,
   /// replication, and world rank lists, in that order on every member).
+  /// When `compression` enables anything, the partition collective is
+  /// wrapped in a QuantizedCollective (qwZ/hpZ/qgZ), composing with the
+  /// flat or hierarchical backend unchanged; with the default options the
+  /// decorator is never interposed and traffic is bit-identical.
   static Result<GroupManager> Create(const CommFactory& factory,
                                      const RankTopology& topo,
                                      int partition_group_size,
                                      int global_rank,
                                      bool enable_hierarchical = true,
-                                     bool enable_hierarchical_rs = false);
+                                     bool enable_hierarchical_rs = false,
+                                     const CompressionOptions& compression =
+                                         CompressionOptions());
 
   /// In-process convenience: groups are Communicators over `world`.
   static Result<GroupManager> Create(World* world, const RankTopology& topo,
                                      int partition_group_size,
                                      int global_rank,
                                      bool enable_hierarchical = true,
-                                     bool enable_hierarchical_rs = false);
+                                     bool enable_hierarchical_rs = false,
+                                     const CompressionOptions& compression =
+                                         CompressionOptions());
 
   GroupManager(GroupManager&&) = default;
   GroupManager& operator=(GroupManager&&) = default;
@@ -73,6 +82,17 @@ class GroupManager {
   bool has_hierarchical() const { return hierarchical_ag_; }
   bool has_hierarchical_rs() const { return hierarchical_rs_; }
 
+  /// The compression decorator when one was interposed, else nullptr.
+  QuantizedCollective* quantized() { return quantized_; }
+  bool has_compression() const { return quantized_ != nullptr; }
+
+  /// Tells the hpZ secondary-replica cache (if active) that parameter
+  /// bytes changed — optimizer step, checkpoint load — so the next gather
+  /// of each shard refreshes over the real path. No-op without hpZ.
+  void NotifyParamsUpdated() {
+    if (quantized_ != nullptr) quantized_->InvalidateSecondary();
+  }
+
  private:
   GroupManager() = default;
 
@@ -81,6 +101,7 @@ class GroupManager {
   std::unique_ptr<Comm> replication_;
   std::unique_ptr<Comm> world_comm_;
   std::unique_ptr<Collective> collective_;
+  QuantizedCollective* quantized_ = nullptr;  // borrowed view of collective_
   bool hierarchical_ag_ = false;
   bool hierarchical_rs_ = false;
 };

@@ -31,7 +31,10 @@ Status ValidateCoalesced(const std::vector<Tensor>& inputs,
       return Status::InvalidArgument("coalesced: dtype mismatch at item " +
                                      std::to_string(i));
     }
-    if (!SupportedDtype(in.dtype())) {
+    // Same gate split as the in-process transport: gathers move any
+    // dtype (kU8 wire buffers included), reductions need arithmetic
+    // dtypes.
+    if (!(gather ? MovableDtype(in.dtype()) : SupportedDtype(in.dtype()))) {
       return Status::InvalidArgument("coalesced: unsupported dtype");
     }
     const int64_t expect =
@@ -181,7 +184,7 @@ Status SocketCommunicator::AllGather(const Tensor& input, Tensor* output) {
   if (output == nullptr) {
     return Status::InvalidArgument("AllGather: output is null");
   }
-  if (!SupportedDtype(input.dtype())) {
+  if (!MovableDtype(input.dtype())) {
     return Status::InvalidArgument("AllGather: unsupported dtype");
   }
   if (input.dtype() != output->dtype()) {
@@ -369,7 +372,7 @@ Status SocketCommunicator::Gather(const Tensor& input, Tensor* output,
   if (root < 0 || root >= size()) {
     return Status::InvalidArgument("Gather: root out of range");
   }
-  if (!SupportedDtype(input.dtype())) {
+  if (!MovableDtype(input.dtype())) {
     return Status::InvalidArgument("Gather: unsupported dtype");
   }
   const bool is_root = group_rank_ == root;
@@ -416,7 +419,7 @@ Status SocketCommunicator::Scatter(const Tensor& input, Tensor* output,
   if (output == nullptr) {
     return Status::InvalidArgument("Scatter: output is null");
   }
-  if (!SupportedDtype(output->dtype())) {
+  if (!MovableDtype(output->dtype())) {
     return Status::InvalidArgument("Scatter: unsupported dtype");
   }
   const bool is_root = group_rank_ == root;
@@ -455,7 +458,7 @@ Status SocketCommunicator::AllToAll(const Tensor& input, Tensor* output) {
   if (output == nullptr) {
     return Status::InvalidArgument("AllToAll: output is null");
   }
-  if (!SupportedDtype(input.dtype())) {
+  if (!MovableDtype(input.dtype())) {
     return Status::InvalidArgument("AllToAll: unsupported dtype");
   }
   if (input.dtype() != output->dtype() ||

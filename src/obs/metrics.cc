@@ -45,7 +45,16 @@ double Histogram::Mean() const {
 }
 
 double Histogram::Percentile(double q) const {
-  MICS_DCHECK(q >= 0.0 && q <= 1.0) << "quantile must be in [0, 1]";
+  // Clamp rather than trust the caller: in release builds an out-of-range
+  // q used to extrapolate below the first bucket (q < 0) or fall through
+  // to the overflow floor (q > 1), and a NaN q walked the loop with every
+  // comparison false. !(q >= 0.0) is true for NaN too, so all three
+  // misuses collapse to the nearest valid quantile.
+  if (!(q >= 0.0)) {
+    q = 0.0;
+  } else if (q > 1.0) {
+    q = 1.0;
+  }
   const int64_t total = Count();
   if (total == 0 || bounds_.empty()) return 0.0;
   // The observation with (0-based) rank floor(q * (total - 1)); walk the
@@ -57,7 +66,11 @@ double Histogram::Percentile(double q) const {
     if (in_bucket == 0) continue;
     if (rank < static_cast<double>(cum + in_bucket)) {
       if (i == bounds_.size()) return bounds_.back();  // overflow bucket
-      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      // The first bucket spans (-inf, bounds_[0]]; interpolating from 0
+      // is only sane when 0 is below the bucket's upper bound. With an
+      // all-negative bounds list that produced values ABOVE hi — take
+      // min(0, hi) so the interpolation stays inside the bucket.
+      const double lo = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
       const double hi = bounds_[i];
       // Linear interpolation by position within the bucket.
       const double frac =

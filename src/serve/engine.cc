@@ -41,6 +41,13 @@ Status ServeOptions::Validate() const {
   if (prefetch_depth < 0) {
     return Status::InvalidArgument("prefetch_depth must be >= 0");
   }
+  MICS_RETURN_NOT_OK(compression.Validate());
+  if (compression.quantize_reduce_scatter) {
+    return Status::InvalidArgument(
+        "serving is forward-only: quantize_reduce_scatter compresses "
+        "gradient traffic that never happens here; enable only "
+        "quantize_all_gather / secondary_all_gather");
+  }
   return Status::OK();
 }
 
@@ -58,7 +65,8 @@ Result<std::unique_ptr<ServeEngine>> ServeEngine::Create(
       GroupManager groups,
       GroupManager::Create(factory, topo, group_size, global_rank,
                            options.hierarchical_allgather,
-                           /*enable_hierarchical_rs=*/false));
+                           /*enable_hierarchical_rs=*/false,
+                           options.compression));
   engine->groups_.emplace(std::move(groups));
 
   engine->segment_numels_ = model->ParameterSegments();
@@ -131,6 +139,9 @@ Status ServeEngine::LoadParameters(
   // Serving must reconstruct the weights from the shards — proven by
   // serving out of a wiped buffer, not the init-time copy.
   full_params_.FillZero();
+  // A reload replaces the shards; cached hpZ gathers of the old weights
+  // must not survive it.
+  groups_->NotifyParamsUpdated();
   loaded_ = true;
   if (resident_) MICS_RETURN_NOT_OK(MaterializeAll());
   return Status::OK();

@@ -50,6 +50,11 @@ struct ServeOptions {
   /// Layerwise prefetch window under kPerBatch.
   int prefetch_depth = 2;
   bool async_prefetch = true;
+  /// Gather-path compression (qwZ / hpZ). Serving is forward-only, so
+  /// quantize_reduce_scatter is rejected by Validate — there is no
+  /// gradient traffic to compress. hpZ shines under kPerBatch: after the
+  /// first batch every layerwise gather is served node-locally.
+  CompressionOptions compression;
   /// Optional span recorder (per-batch gather/forward spans). Borrowed.
   obs::TraceRecorder* trace = nullptr;
 

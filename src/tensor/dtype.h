@@ -11,6 +11,9 @@ enum class DType : uint8_t {
   kF16 = 1,
   kBF16 = 2,
   kI32 = 3,
+  /// Raw bytes: the wire type of block-quantized collective payloads
+  /// (per-block f32 scales + int8 codes packed into one opaque buffer).
+  kU8 = 4,
 };
 
 /// Bytes per element.
@@ -23,6 +26,8 @@ constexpr int64_t SizeOf(DType dt) {
       return 2;
     case DType::kI32:
       return 4;
+    case DType::kU8:
+      return 1;
   }
   return 0;
 }
@@ -37,6 +42,8 @@ constexpr const char* DTypeName(DType dt) {
       return "bf16";
     case DType::kI32:
       return "i32";
+    case DType::kU8:
+      return "u8";
   }
   return "?";
 }

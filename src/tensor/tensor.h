@@ -50,6 +50,8 @@ class Tensor {
   const uint16_t* f16() const { return static_cast<const uint16_t*>(data_); }
   int32_t* i32() { return static_cast<int32_t*>(data_); }
   const int32_t* i32() const { return static_cast<const int32_t*>(data_); }
+  uint8_t* u8() { return static_cast<uint8_t*>(data_); }
+  const uint8_t* u8() const { return static_cast<const uint8_t*>(data_); }
 
   /// A view of elements [offset, offset+n) as a 1-D tensor of same dtype.
   Tensor Slice(int64_t offset, int64_t n);

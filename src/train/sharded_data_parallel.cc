@@ -63,6 +63,32 @@ Status SdpOptions::Validate() const {
         "schedule (two_hop_sync = false never reduce-scatters); enable "
         "two_hop_sync or disable hierarchical_reduce_scatter");
   }
+  MICS_RETURN_NOT_OK(compression.Validate());
+  if (compression.enabled() && zero12) {
+    return Status::InvalidArgument(
+        "compression decorates the partition-group collective, which "
+        "ZeRO-1/ZeRO-2 bypass (they synchronize on the world group); "
+        "disable compression or use DDP/ZeRO-3/MiCS");
+  }
+  if (compression.quantize_reduce_scatter) {
+    if (!two_hop_sync) {
+      return Status::InvalidArgument(
+          "quantize_reduce_scatter is ignored by the alternative schedule "
+          "(two_hop_sync = false all-reduces instead of reduce-"
+          "scattering); enable two_hop_sync or disable it");
+    }
+    if (grad_bucket_count > 1) {
+      return Status::InvalidArgument(
+          "quantize_reduce_scatter is ignored by bucketed gradient "
+          "overlap (buckets reduce to their owners via Reduce, not "
+          "ReduceScatter); set grad_bucket_count = 1 or disable it");
+    }
+    if (hierarchical_reduce_scatter) {
+      return Status::InvalidArgument(
+          "quantize_reduce_scatter supplies its own hierarchical "
+          "schedule (qgZ); disable hierarchical_reduce_scatter");
+    }
+  }
   if (mixed_precision && initial_loss_scale <= 0.0f) {
     return Status::InvalidArgument(
         "initial_loss_scale must be positive under mixed_precision");
@@ -189,7 +215,8 @@ Result<std::unique_ptr<ShardedDataParallel>> ShardedDataParallel::Create(
       GroupManager groups,
       GroupManager::Create(factory, topo, p, global_rank,
                            options.hierarchical_allgather,
-                           options.hierarchical_reduce_scatter));
+                           options.hierarchical_reduce_scatter,
+                           options.compression));
   // Pad the flat space to a multiple of the world size so the optimizer
   // sharding of ZeRO-1/2 (world-wide) tiles the same buffers as the
   // parameter sharding (p divides the world, so both alignments hold).
@@ -230,6 +257,7 @@ Status ShardedDataParallel::InitParameters(
   micro_grads_.FillZero();
   accum_shard_.FillZero();
   if (options_.strategy == Strategy::kZeRO2) accum_opt_.FillZero();
+  groups_.NotifyParamsUpdated();
   return Status::OK();
 }
 
@@ -530,6 +558,10 @@ Status ShardedDataParallel::FinishIterationAndStep() {
       MICS_RETURN_NOT_OK(optimizer_.Step(&shard_params_, accum_shard_));
     }
   }
+  // The master shard changed, so any hpZ secondary replicas are stale.
+  // The overflow-skip path above leaves parameters untouched and keeps
+  // its replicas — skipped steps stay inter-node-silent.
+  groups_.NotifyParamsUpdated();
   if (options_.mixed_precision) {
     ++clean_iterations_;
     if (clean_iterations_ >= options_.loss_scale_growth_interval &&
@@ -744,6 +776,9 @@ Status ShardedDataParallel::LoadCheckpoint(const std::string& dir) {
   accum_shard_.FillZero();
   micro_grads_.FillZero();
   if (options_.strategy == Strategy::kZeRO2) accum_opt_.FillZero();
+  // The restored shard replaces the live parameters wholesale; serving a
+  // cached pre-restore gather would be silent corruption.
+  groups_.NotifyParamsUpdated();
   return Status::OK();
 }
 

@@ -79,6 +79,16 @@ struct SdpOptions {
   /// track when `trace` is set.
   bool async_comm = false;
 
+  /// ZeRO++-style communication compression for the partition group's
+  /// collectives (qwZ quantized parameter gathers, hpZ intra-node
+  /// secondary replicas, qgZ quantized gradient reduce-scatter). All off
+  /// by default — the bit-exact escape hatch. qwZ/qgZ are lossy:
+  /// per-step numerics differ from the uncompressed run by bounded
+  /// quantization error (the fidelity bench tracks the loss gap); hpZ
+  /// alone is lossless. The engine invalidates hpZ's replicas after every
+  /// parameter mutation (optimizer step, checkpoint load) automatically.
+  CompressionOptions compression;
+
   /// Optional trace sink (borrowed; must outlive the engine). When set,
   /// each rank records its training phases — parameter gather, gradient
   /// reduce-scatter, boundary all-reduce, optimizer step — as spans on a

@@ -152,11 +152,25 @@ TEST(CollectivesValidationTest, SizeAndDtypeMismatchesRejected) {
     Tensor f16_out({8}, DType::kF16);
     s = comm.AllGather(in, &f16_out);
     if (!s.IsInvalidArgument()) return Status::Internal("expected error");
+    // Non-arithmetic dtypes are movable: all-gather is pure data
+    // movement, and the quantized layer gathers kU8 wire buffers.
+    // Reductions keep the stricter f32/f16 gate.
     Tensor i32({4}, DType::kI32);
+    for (int64_t i = 0; i < 4; ++i) {
+      static_cast<int32_t*>(i32.data())[i] = rank * 100 + static_cast<int>(i);
+    }
     Tensor i32_out({8}, DType::kI32);
-    s = comm.AllGather(i32, &i32_out);
+    MICS_RETURN_NOT_OK(comm.AllGather(i32, &i32_out));
+    for (int64_t i = 0; i < 8; ++i) {
+      const int32_t want = static_cast<int32_t>(i / 4) * 100 +
+                           static_cast<int32_t>(i % 4);
+      if (static_cast<int32_t*>(i32_out.data())[i] != want) {
+        return Status::Internal("i32 gather wrong");
+      }
+    }
+    s = comm.AllReduce(&i32, ReduceOp::kSum);
     if (!s.IsInvalidArgument()) return Status::Internal("expected error");
-    // Keep the group in lockstep: the errors above return before any
+    // Keep the group in lockstep: the error paths return before any
     // barrier, so no rendezvous mismatch occurs.
     return Status::OK();
   });

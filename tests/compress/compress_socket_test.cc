@@ -1,0 +1,151 @@
+// The compressed collectives over the real socket transport: qwZ, hpZ,
+// and qgZ results must be bit-identical to the same compressed stack over
+// the in-process backend — quantization is exact IEEE arithmetic and
+// accumulation is fixed-order f32, so the transport must not matter.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/collective.h"
+#include "comm/communicator.h"
+#include "comm/hierarchical.h"
+#include "comm/quantized.h"
+#include "comm/topology.h"
+#include "comm/world.h"
+#include "net/socket_comm.h"
+#include "../net/socket_test_util.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace mics {
+namespace net {
+namespace {
+
+Result<std::unique_ptr<QuantizedCollective>> Wrap(
+    Comm* comm, const CommFactory& factory, const RankTopology& topo,
+    int n, int rank, const CompressionOptions& options) {
+  return QuantizedCollective::Create(std::make_unique<FlatCollective>(comm),
+                                     comm, factory, topo, AllRanks(n), rank,
+                                     options);
+}
+
+TEST(CompressSocketTest, QuantizedGatherBitIdenticalAcrossTransports) {
+  const int n = 4;
+  const RankTopology topo{4, 2};
+  World world(n, ShortRendezvous());
+  CompressionOptions c;
+  c.quantize_all_gather = true;
+  c.block_size = 32;
+  Status st = RunRanksOverSockets(
+      n, &topo, [&](int rank, SocketTransport* t) -> Status {
+        MICS_ASSIGN_OR_RETURN(Communicator ref_comm,
+                              Communicator::Create(&world, AllRanks(n), rank,
+                                                   &topo));
+        MICS_ASSIGN_OR_RETURN(std::unique_ptr<SocketCommunicator> sock_comm,
+                              SocketCommunicator::Create(t, AllRanks(n),
+                                                         &topo));
+        MICS_ASSIGN_OR_RETURN(
+            auto ref, Wrap(&ref_comm, WorldCommFactory(&world, &topo, rank),
+                           topo, n, rank, c));
+        MICS_ASSIGN_OR_RETURN(
+            auto sock, Wrap(sock_comm.get(), SocketCommFactory(t, &topo),
+                            topo, n, rank, c));
+
+        Tensor in({70}, DType::kF32);  // partial final block
+        FillTensor(&in, rank);
+        Tensor want({70 * n}, DType::kF32), got({70 * n}, DType::kF32);
+        MICS_RETURN_NOT_OK(ref->AllGather(in, &want));
+        MICS_RETURN_NOT_OK(sock->AllGather(in, &got));
+        return ExpectBitEqual(got, want, "qwZ all_gather over sockets");
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(CompressSocketTest, SecondaryReplicaBitIdenticalAcrossTransports) {
+  // hpZ over sockets: the intra-node reassembly gather runs on socket
+  // sub-communicators from SocketCommFactory. Cached results must match
+  // the in-process cached results bitwise, before and after invalidation.
+  const int n = 4;
+  const RankTopology topo{4, 2};
+  World world(n, ShortRendezvous());
+  CompressionOptions c;
+  c.secondary_all_gather = true;
+  Status st = RunRanksOverSockets(
+      n, &topo, [&](int rank, SocketTransport* t) -> Status {
+        MICS_ASSIGN_OR_RETURN(Communicator ref_comm,
+                              Communicator::Create(&world, AllRanks(n), rank,
+                                                   &topo));
+        MICS_ASSIGN_OR_RETURN(std::unique_ptr<SocketCommunicator> sock_comm,
+                              SocketCommunicator::Create(t, AllRanks(n),
+                                                         &topo));
+        MICS_ASSIGN_OR_RETURN(
+            auto ref, Wrap(&ref_comm, WorldCommFactory(&world, &topo, rank),
+                           topo, n, rank, c));
+        MICS_ASSIGN_OR_RETURN(
+            auto sock, Wrap(sock_comm.get(), SocketCommFactory(t, &topo),
+                            topo, n, rank, c));
+        if (!sock->secondary_active()) {
+          return Status::Internal("hpZ inactive over sockets");
+        }
+
+        Tensor in({24}, DType::kF32);
+        FillTensor(&in, rank);
+        for (int pass = 0; pass < 3; ++pass) {
+          Tensor want({24 * n}, DType::kF32), got({24 * n}, DType::kF32);
+          MICS_RETURN_NOT_OK(ref->AllGather(in, &want));
+          MICS_RETURN_NOT_OK(sock->AllGather(in, &got));
+          MICS_RETURN_NOT_OK(
+              ExpectBitEqual(got, want, "hpZ gather over sockets"));
+          if (pass == 1) {
+            ref->InvalidateSecondary();
+            sock->InvalidateSecondary();
+          }
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(CompressSocketTest, QuantizedReduceScatterBitIdenticalAcrossTransports) {
+  // The full hierarchical qgZ schedule (intra AllToAll, requantize,
+  // channel AllToAll) over socket sub-communicators.
+  const int n = 4;
+  const RankTopology topo{4, 2};
+  World world(n, ShortRendezvous());
+  CompressionOptions c;
+  c.quantize_reduce_scatter = true;
+  c.block_size = 16;
+  Status st = RunRanksOverSockets(
+      n, &topo, [&](int rank, SocketTransport* t) -> Status {
+        MICS_ASSIGN_OR_RETURN(Communicator ref_comm,
+                              Communicator::Create(&world, AllRanks(n), rank,
+                                                   &topo));
+        MICS_ASSIGN_OR_RETURN(std::unique_ptr<SocketCommunicator> sock_comm,
+                              SocketCommunicator::Create(t, AllRanks(n),
+                                                         &topo));
+        MICS_ASSIGN_OR_RETURN(
+            auto ref, Wrap(&ref_comm, WorldCommFactory(&world, &topo, rank),
+                           topo, n, rank, c));
+        MICS_ASSIGN_OR_RETURN(
+            auto sock, Wrap(sock_comm.get(), SocketCommFactory(t, &topo),
+                            topo, n, rank, c));
+
+        Tensor grad({40 * static_cast<int64_t>(n)}, DType::kF32);
+        FillTensor(&grad, rank + 7);
+        for (ReduceOp op : {ReduceOp::kSum, ReduceOp::kAvg}) {
+          Tensor want({40}, DType::kF32), got({40}, DType::kF32);
+          MICS_RETURN_NOT_OK(ref->ReduceScatter(grad, &want, op));
+          MICS_RETURN_NOT_OK(sock->ReduceScatter(grad, &got, op));
+          MICS_RETURN_NOT_OK(
+              ExpectBitEqual(got, want, "qgZ reduce_scatter over sockets"));
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace mics

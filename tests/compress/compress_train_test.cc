@@ -1,0 +1,198 @@
+// End-to-end compression through the training engine: hpZ alone must be
+// bit-identical to the uncompressed run (and actually exercise the
+// secondary cache), qwZ+qgZ must train deterministically and land close
+// to the uncompressed trajectory, and the option surface must reject the
+// combinations the engine cannot honor.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "train/sharded_data_parallel.h"
+#include "util/random.h"
+
+namespace mics {
+namespace {
+
+Status FillInitDeterministic(Tensor* full) {
+  Rng rng(1234);
+  full->FillNormal(&rng, 0.5f);
+  return Status::OK();
+}
+
+/// The synthetic deterministic training job from the SDP tests: rank r's
+/// gradient for element i at micro-step m is 0.01*(r+1)*(i%5+1)*(m+1).
+Result<std::vector<float>> RunSyntheticTraining(int world_size,
+                                                int gpus_per_node,
+                                                SdpOptions opts, int iters,
+                                                int micro_steps,
+                                                int64_t num_params) {
+  RankTopology topo{world_size, gpus_per_node};
+  World world(world_size);
+  std::vector<float> rank0_params;
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(auto sdp,
+                          ShardedDataParallel::Create(&world, topo, opts,
+                                                      num_params, rank));
+    MICS_RETURN_NOT_OK(sdp->InitParameters(FillInitDeterministic));
+    for (int iter = 0; iter < iters; ++iter) {
+      for (int m = 0; m < micro_steps; ++m) {
+        MICS_RETURN_NOT_OK(sdp->GatherParams());
+        Tensor* g = sdp->micro_grads();
+        for (int64_t i = 0; i < num_params; ++i) {
+          g->Set(i, 0.01f * (rank + 1) * (i % 5 + 1) * (m + 1));
+        }
+        MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+      }
+      MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
+    }
+    MICS_RETURN_NOT_OK(sdp->GatherParams());
+    if (rank == 0) {
+      rank0_params.resize(static_cast<size_t>(num_params));
+      for (int64_t i = 0; i < num_params; ++i) {
+        rank0_params[static_cast<size_t>(i)] = sdp->full_params()->At(i);
+      }
+    }
+    return Status::OK();
+  });
+  MICS_RETURN_NOT_OK(st);
+  return rank0_params;
+}
+
+SdpOptions MicsOptions() {
+  SdpOptions o;
+  o.strategy = Strategy::kMiCS;
+  o.partition_group_size = 4;
+  return o;
+}
+
+TEST(CompressTrainTest, HpzAloneIsBitIdenticalAndUsesTheCache) {
+  // 4 ranks on 2 nodes, 4 iterations x 3 micro-steps: the 2nd and 3rd
+  // gather of each iteration hit the secondary replica (the optimizer
+  // step invalidates it between iterations). hpZ is lossless, so the
+  // trained parameters must match the uncompressed run bit for bit — a
+  // single stale-cache serve would break this.
+  const int iters = 4;
+  const int micro = 3;
+  auto plain = RunSyntheticTraining(4, 2, MicsOptions(), iters, micro, 64);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.ResetPrefix("comm.compress.");
+  SdpOptions hpz = MicsOptions();
+  hpz.compression.secondary_all_gather = true;
+  auto cached = RunSyntheticTraining(4, 2, hpz, iters, micro, 64);
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+
+  EXPECT_EQ(plain.value(), cached.value());  // exact float equality
+  // Per rank: one refresh per iteration plus the final publish gather
+  // (a hit — params unchanged after the last step... it follows the
+  // optimizer step, so it refreshes), hits for the rest.
+  const double hits = reg.CounterValue("comm.compress.secondary_hits");
+  const double refreshes =
+      reg.CounterValue("comm.compress.secondary_refreshes");
+  EXPECT_GT(hits, 0.0);
+  EXPECT_GT(refreshes, 0.0);
+  // Every gather either hit or refreshed: (iters * micro + 1) per rank.
+  EXPECT_EQ(hits + refreshes, 4.0 * (iters * micro + 1));
+}
+
+TEST(CompressTrainTest, QwzQgzTrainsCloseAndDeterministic) {
+  SdpOptions comp = MicsOptions();
+  comp.compression.quantize_all_gather = true;
+  comp.compression.quantize_reduce_scatter = true;
+  comp.compression.block_size = 32;
+
+  auto plain = RunSyntheticTraining(4, 2, MicsOptions(), 3, 2, 80);
+  auto a = RunSyntheticTraining(4, 2, comp, 3, 2, 80);
+  auto b = RunSyntheticTraining(4, 2, comp, 3, 2, 80);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  // Lossy compression is still deterministic: identical runs, identical
+  // bits.
+  EXPECT_EQ(a.value(), b.value());
+
+  // And close to the uncompressed trajectory: Adam's per-element update
+  // magnitude is bounded by ~lr, so 3 iterations can diverge by at most
+  // a few multiples of lr = 1e-3 (the engine default); quantization only
+  // perturbs the gradient direction.
+  float max_diff = 0.0f;
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    ASSERT_TRUE(std::isfinite(a.value()[i])) << i;
+    max_diff = std::max(max_diff,
+                        std::fabs(a.value()[i] - plain.value()[i]));
+  }
+  EXPECT_LT(max_diff, 0.05f);
+  EXPECT_NE(a.value(), plain.value());  // it IS lossy — not a no-op
+}
+
+TEST(CompressTrainTest, QgzComposesWithMixedPrecision) {
+  // f16 wire + quantized reduce-scatter together: must run and stay
+  // finite (the non-finite poison blocks keep overflow detection alive;
+  // here nothing overflows).
+  SdpOptions comp = MicsOptions();
+  comp.mixed_precision = true;
+  comp.compression.quantize_reduce_scatter = true;
+  auto params = RunSyntheticTraining(4, 2, comp, 2, 2, 48);
+  ASSERT_TRUE(params.ok()) << params.status().ToString();
+  for (float v : params.value()) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(CompressTrainTest, SdpValidateRejectsUnsupportedCombos) {
+  SdpOptions o = MicsOptions();
+  o.compression.quantize_all_gather = true;
+  EXPECT_TRUE(o.Validate().ok());
+
+  // ZeRO-1/2 bypass the partition-group collective entirely.
+  o.strategy = Strategy::kZeRO1;
+  Status st = o.Validate();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  o.strategy = Strategy::kZeRO2;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+
+  // qgZ needs the two-hop schedule's partition-group reduce-scatter.
+  o = MicsOptions();
+  o.compression.quantize_reduce_scatter = true;
+  o.two_hop_sync = false;
+  st = o.Validate();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("two_hop_sync"), std::string::npos);
+
+  // Bucketed gradients reduce to their owners via Reduce, never the
+  // reduce-scatter qgZ compresses.
+  o = MicsOptions();
+  o.compression.quantize_reduce_scatter = true;
+  o.grad_bucket_count = 4;
+  st = o.Validate();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("grad_bucket_count"), std::string::npos);
+
+  // qgZ supplies its own hierarchical schedule.
+  o = MicsOptions();
+  o.compression.quantize_reduce_scatter = true;
+  o.hierarchical_reduce_scatter = true;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+
+  // Invalid block size surfaces through SdpOptions::Validate too.
+  o = MicsOptions();
+  o.compression.quantize_all_gather = true;
+  o.compression.block_size = -8;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());
+}
+
+TEST(CompressTrainTest, ServeOptionsRejectQgz) {
+  serve::ServeOptions o;
+  o.compression.quantize_all_gather = true;
+  o.compression.secondary_all_gather = true;
+  EXPECT_TRUE(o.Validate().ok());
+  o.compression.quantize_reduce_scatter = true;
+  EXPECT_TRUE(o.Validate().IsInvalidArgument());  // serving is forward-only
+}
+
+}  // namespace
+}  // namespace mics

@@ -1,0 +1,206 @@
+// Unit tests of the block-wise int8 wire format (comm/quantize.h): size
+// arithmetic, the round-trip error bound, the exact-grid case, the
+// all-zero and non-finite edge blocks, bit-determinism, and the f32
+// accumulate path qgZ builds on.
+
+#include "comm/quantize.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/reduce_kernels.h"
+#include "tensor/half.h"
+#include "util/random.h"
+
+namespace mics {
+namespace {
+
+std::vector<uint8_t> Quantize(const std::vector<float>& v, int block) {
+  std::vector<uint8_t> wire(
+      static_cast<size_t>(QuantizedWireBytes(v.size(), block)));
+  QuantizeBlockwise(v.data(), DType::kF32, static_cast<int64_t>(v.size()),
+                    block, wire.data());
+  return wire;
+}
+
+std::vector<float> Dequantize(const std::vector<uint8_t>& wire, int64_t numel,
+                              int block) {
+  std::vector<float> out(static_cast<size_t>(numel));
+  DequantizeBlockwise(wire.data(), numel, block, out.data(), DType::kF32);
+  return out;
+}
+
+TEST(QuantizeTest, SizeArithmetic) {
+  EXPECT_EQ(QuantBlocks(0, 256), 0);
+  EXPECT_EQ(QuantBlocks(1, 256), 1);
+  EXPECT_EQ(QuantBlocks(256, 256), 1);
+  EXPECT_EQ(QuantBlocks(257, 256), 2);
+  EXPECT_EQ(QuantBlocks(10, 1), 10);
+  // 4 bytes of scale per block + 1 byte per element, padded to 4.
+  EXPECT_EQ(QuantizedWireBytes(0, 256), 0);
+  EXPECT_EQ(QuantizedWireBytes(256, 256), 4 + 256);
+  EXPECT_EQ(QuantizedWireBytes(5, 4), 2 * 4 + 5 + 3);  // pad 13 -> 16
+  EXPECT_EQ(QuantizedWireBytes(5, 4) % 4, 0);
+  EXPECT_EQ(QuantizedWireBytes(7, 8), 4 + 7 + 1);
+}
+
+TEST(QuantizeTest, RoundTripErrorBound) {
+  // Symmetric quantization: per-element error <= scale/2 = absmax/254.
+  Rng rng(7);
+  const int64_t n = 1000;
+  const int block = 64;
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.Normal() * 3.0f;
+  const auto back = Dequantize(Quantize(v, block), n, block);
+  for (int64_t b = 0; b * block < n; ++b) {
+    float absmax = 0.0f;
+    const int64_t lo = b * block;
+    const int64_t hi = std::min<int64_t>(n, lo + block);
+    for (int64_t i = lo; i < hi; ++i) {
+      absmax = std::max(absmax, std::fabs(v[static_cast<size_t>(i)]));
+    }
+    const float bound = absmax / 254.0f + absmax * 1e-6f;
+    for (int64_t i = lo; i < hi; ++i) {
+      EXPECT_NEAR(back[static_cast<size_t>(i)], v[static_cast<size_t>(i)],
+                  bound)
+          << "i=" << i;
+    }
+  }
+}
+
+TEST(QuantizeTest, ExactOnTheQuantizationGrid) {
+  // Integer values in [-127, 127] with a 127 in every block: scale is
+  // exactly 1, codes are exactly the values, so the round trip is lossless
+  // — the property the bit-determinism tests of the collectives lean on.
+  const int block = 8;
+  std::vector<float> v;
+  for (int b = 0; b < 5; ++b) {
+    v.push_back(127.0f);
+    for (int i = 1; i < block; ++i) {
+      v.push_back(static_cast<float>((b * 31 + i * 17) % 255 - 127));
+    }
+  }
+  const auto back = Dequantize(Quantize(v, block), v.size(), block);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(back[i], v[i]) << "i=" << i;
+  }
+}
+
+TEST(QuantizeTest, AllZeroBlockDequantizesToPositiveZero) {
+  std::vector<float> v(10, 0.0f);
+  v[3] = -0.0f;
+  const auto wire = Quantize(v, 4);
+  for (uint8_t b : wire) EXPECT_EQ(b, 0);  // scale 0, codes 0, zero pad
+  const auto back = Dequantize(wire, 10, 4);
+  for (float x : back) {
+    EXPECT_EQ(x, 0.0f);
+    EXPECT_FALSE(std::signbit(x));
+  }
+}
+
+TEST(QuantizeTest, NonFiniteBlockPoisonsWholeBlockOnly) {
+  // An Inf/NaN absmax (overflowed mixed-precision gradients) must survive
+  // the wire so the loss-scale overflow consensus still fires — and must
+  // not leak into neighbouring blocks.
+  const int block = 4;
+  std::vector<float> v{1.0f, 2.0f, 3.0f, 4.0f,
+                       1.0f, std::numeric_limits<float>::infinity(), 3.0f,
+                       4.0f,
+                       1.0f, 2.0f, std::numeric_limits<float>::quiet_NaN(),
+                       4.0f};
+  const auto back = Dequantize(Quantize(v, block), v.size(), block);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(std::isfinite(back[i]));
+  for (int i = 4; i < 8; ++i) EXPECT_TRUE(std::isinf(back[i])) << i;
+  for (int i = 8; i < 12; ++i) EXPECT_TRUE(std::isnan(back[i])) << i;
+}
+
+TEST(QuantizeTest, NanDominatesInfInOneBlock) {
+  std::vector<float> v{std::numeric_limits<float>::infinity(),
+                       std::numeric_limits<float>::quiet_NaN()};
+  const auto back = Dequantize(Quantize(v, 2), 2, 2);
+  EXPECT_TRUE(std::isnan(back[0]));
+  EXPECT_TRUE(std::isnan(back[1]));
+}
+
+TEST(QuantizeTest, DeterministicIncludingPadBytes) {
+  Rng rng(11);
+  std::vector<float> v(37);
+  for (auto& x : v) x = rng.Normal() * 2.0f;
+  const auto a = Quantize(v, 16);
+  auto b = std::vector<uint8_t>(a.size(), 0xff);  // dirty buffer
+  QuantizeBlockwise(v.data(), DType::kF32, 37, 16, b.data());
+  EXPECT_EQ(a, b);  // every wire byte, pads included, is deterministic
+}
+
+TEST(QuantizeTest, HalfPayloadUsesRneNarrowing) {
+  // f16 source widens via HalfToFloat before quantizing; f16 destination
+  // narrows with the same RNE StoreElem path reductions use.
+  std::vector<uint16_t> h{FloatToHalf(1.0f), FloatToHalf(-0.5f),
+                          FloatToHalf(0.25f), FloatToHalf(-1.0f)};
+  std::vector<uint8_t> wire(static_cast<size_t>(QuantizedWireBytes(4, 4)));
+  QuantizeBlockwise(h.data(), DType::kF16, 4, 4, wire.data());
+  std::vector<uint16_t> back(4);
+  DequantizeBlockwise(wire.data(), 4, 4, back.data(), DType::kF16);
+  // Reference: dequantize to f32, then narrow with FloatToHalf.
+  std::vector<float> f32(4);
+  DequantizeBlockwise(wire.data(), 4, 4, f32.data(), DType::kF32);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(back[static_cast<size_t>(i)], FloatToHalf(f32[static_cast<size_t>(i)]))
+        << i;
+  }
+}
+
+TEST(QuantizeTest, AccumulateSumAvgAndMax) {
+  const int64_t n = 6;
+  const int block = 4;
+  std::vector<float> a{1, -2, 3, -4, 5, -6};
+  std::vector<float> b{10, 20, -30, 40, -50, 60};
+  const auto wa = Quantize(a, block);
+  const auto wb = Quantize(b, block);
+  const auto da = Dequantize(wa, n, block);
+  const auto db = Dequantize(wb, n, block);
+
+  std::vector<float> acc(n, 99.0f);  // `first` must overwrite, not add
+  DequantizeAccumulate(wa.data(), n, block, ReduceOp::kSum, true, acc.data());
+  DequantizeAccumulate(wb.data(), n, block, ReduceOp::kSum, false, acc.data());
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(acc[static_cast<size_t>(i)],
+              da[static_cast<size_t>(i)] + db[static_cast<size_t>(i)]);
+  }
+
+  // kAvg accumulates plain sums — the caller divides at the end.
+  std::vector<float> avg(n, -1.0f);
+  DequantizeAccumulate(wa.data(), n, block, ReduceOp::kAvg, true, avg.data());
+  DequantizeAccumulate(wb.data(), n, block, ReduceOp::kAvg, false, avg.data());
+  EXPECT_EQ(avg, acc);
+
+  std::vector<float> mx(n, 0.0f);
+  DequantizeAccumulate(wa.data(), n, block, ReduceOp::kMax, true, mx.data());
+  DequantizeAccumulate(wb.data(), n, block, ReduceOp::kMax, false, mx.data());
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(mx[static_cast<size_t>(i)],
+              std::max(da[static_cast<size_t>(i)], db[static_cast<size_t>(i)]));
+  }
+}
+
+TEST(QuantizeTest, DegenerateBlockSizes) {
+  // block_size 1: one scale per element, lossless for any finite value
+  // with a tiny relative wobble (code is +/-127, scale carries the rest).
+  std::vector<float> v{0.1f, -2.5f, 1e-7f, 3e8f};
+  const auto back = Dequantize(Quantize(v, 1), v.size(), 1);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(back[i], v[i], std::fabs(v[i]) * 1e-5f) << i;
+  }
+  // block_size far larger than numel: one partial block.
+  std::vector<float> w{4.0f, -8.0f};
+  const auto back2 = Dequantize(Quantize(w, 1024), 2, 1024);
+  EXPECT_NEAR(back2[0], 4.0f, 8.0f / 254.0f);
+  EXPECT_NEAR(back2[1], -8.0f, 1e-6f);  // absmax itself is exact
+}
+
+}  // namespace
+}  // namespace mics

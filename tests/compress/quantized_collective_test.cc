@@ -1,0 +1,527 @@
+// In-process tests of the QuantizedCollective decorator: qwZ quantized
+// all-gathers, hpZ node-local secondary replicas, qgZ quantized
+// reduce-scatter (flat and hierarchical), the counters they record, and
+// the compression-off escape hatch.
+
+#include "comm/quantized.h"
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/collective.h"
+#include "comm/communicator.h"
+#include "comm/hierarchical.h"
+#include "comm/quantize.h"
+#include "comm/topology.h"
+#include "comm/world.h"
+#include "core/group_manager.h"
+#include "obs/metrics.h"
+#include "util/random.h"
+
+namespace mics {
+namespace {
+
+std::vector<int> Range(int n) {
+  std::vector<int> r(n);
+  for (int i = 0; i < n; ++i) r[i] = i;
+  return r;
+}
+
+/// Deterministic non-dyadic per-rank values (order-sensitive to sum).
+float TestValue(int rank, int64_t i) {
+  const uint32_t h = static_cast<uint32_t>(rank * 2654435761u) ^
+                     static_cast<uint32_t>(i * 40503u + 1u);
+  return (static_cast<float>(h % 2000003u) / 1234.5f - 800.0f) * 1e-3f;
+}
+
+void FillTensor(Tensor* t, int rank) {
+  for (int64_t i = 0; i < t->numel(); ++i) t->Set(i, TestValue(rank, i));
+}
+
+/// On-grid integers in [-127, 127] with a 127 leading every block, so
+/// quantization at any block boundary that divides `block` is lossless
+/// and quantized reductions match vanilla f32 reductions bitwise.
+void FillOnGrid(Tensor* t, int rank, int block) {
+  for (int64_t i = 0; i < t->numel(); ++i) {
+    if (i % block == 0) {
+      t->Set(i, 127.0f);
+    } else {
+      t->Set(i, static_cast<float>((rank * 31 + i * 17) % 255 - 127));
+    }
+  }
+}
+
+Status BitEqual(const Tensor& got, const Tensor& want, const char* what) {
+  if (got.numel() != want.numel() || got.dtype() != want.dtype()) {
+    return Status::Internal(std::string(what) + ": shape/dtype mismatch");
+  }
+  if (std::memcmp(got.data(), want.data(),
+                  static_cast<size_t>(got.nbytes())) != 0) {
+    return Status::Internal(std::string(what) + ": bits differ");
+  }
+  return Status::OK();
+}
+
+/// Builds a QuantizedCollective over a FlatCollective on `comm` with
+/// in-process sub-groups from `world`.
+Result<std::unique_ptr<QuantizedCollective>> MakeQuantized(
+    World* world, const RankTopology& topo, Comm* comm,
+    const std::vector<int>& group, int rank,
+    const CompressionOptions& options) {
+  return QuantizedCollective::Create(std::make_unique<FlatCollective>(comm),
+                                     comm, WorldCommFactory(world, &topo, rank),
+                                     topo, group, rank, options);
+}
+
+TEST(CompressionOptionsTest, ValidateRules) {
+  CompressionOptions off;
+  EXPECT_TRUE(off.Validate().ok());  // disabled: always valid
+  off.block_size = 0;
+  EXPECT_TRUE(off.Validate().ok());  // block size unchecked while off
+
+  CompressionOptions bad;
+  bad.quantize_all_gather = true;
+  bad.block_size = 0;
+  EXPECT_TRUE(bad.Validate().IsInvalidArgument());
+}
+
+TEST(QuantizedCollectiveTest, CreateRejectsDisabledOptions) {
+  // The escape hatch is structural: with everything off the decorator is
+  // never constructed, so the uncompressed stack is untouched.
+  RankTopology topo{2, 1};
+  World world(2);
+  Status st = RunRanks(2, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, Range(2), rank));
+    auto qc = MakeQuantized(&world, topo, &comm, Range(2), rank,
+                            CompressionOptions());
+    if (qc.ok()) return Status::Internal("disabled options accepted");
+    if (!qc.status().IsInvalidArgument()) {
+      return Status::Internal("wrong code: " + qc.status().ToString());
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(QuantizedCollectiveTest, GroupManagerInterposesOnlyWhenEnabled) {
+  RankTopology topo{4, 2};
+  World world(4);
+  Status st = RunRanks(4, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(GroupManager plain,
+                          GroupManager::Create(&world, topo, 4, rank));
+    if (plain.has_compression() || plain.quantized() != nullptr) {
+      return Status::Internal("decorator interposed with compression off");
+    }
+    CompressionOptions c;
+    c.quantize_all_gather = true;
+    MICS_ASSIGN_OR_RETURN(GroupManager comp,
+                          GroupManager::Create(&world, topo, 4, rank,
+                                               /*enable_hierarchical=*/true,
+                                               /*enable_hierarchical_rs=*/false,
+                                               c));
+    if (!comp.has_compression() || comp.quantized() == nullptr) {
+      return Status::Internal("decorator missing with compression on");
+    }
+    if (std::string(comp.collective().kind()) != "quantized") {
+      return Status::Internal("collective kind not quantized");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(QuantizedCollectiveTest, QwzAllGatherMatchesLocalReference) {
+  // Every rank must hold the same dequantized bytes: quantize each
+  // member's chunk locally (inputs are deterministic) and compare.
+  const int p = 4;
+  const int64_t n = 300;  // not a block multiple: exercises partial block
+  const RankTopology topo{4, 2};
+  World world(p);
+  CompressionOptions c;
+  c.quantize_all_gather = true;
+  c.block_size = 64;
+  Status st = RunRanks(p, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, Range(p), rank));
+    MICS_ASSIGN_OR_RETURN(auto qc,
+                          MakeQuantized(&world, topo, &comm, Range(p), rank, c));
+    Tensor in({n}, DType::kF32);
+    FillTensor(&in, rank);
+    Tensor out({n * p}, DType::kF32);
+    MICS_RETURN_NOT_OK(qc->AllGather(in, &out));
+
+    Tensor want({n * p}, DType::kF32);
+    std::vector<uint8_t> wire(
+        static_cast<size_t>(QuantizedWireBytes(n, c.block_size)));
+    for (int r = 0; r < p; ++r) {
+      Tensor chunk({n}, DType::kF32);
+      FillTensor(&chunk, r);
+      QuantizeBlockwise(chunk.data(), DType::kF32, n, c.block_size,
+                        wire.data());
+      DequantizeBlockwise(wire.data(), n, c.block_size,
+                          static_cast<float*>(want.data()) + r * n,
+                          DType::kF32);
+    }
+    MICS_RETURN_NOT_OK(BitEqual(out, want, "qwZ all_gather"));
+    // Lossy but close: the error bound of the wire format.
+    for (int64_t i = 0; i < n; ++i) {
+      if (std::fabs(out.At(rank * n + i) - in.At(i)) > 1.0f / 100.0f) {
+        return Status::Internal("qwZ error above bound at " +
+                                std::to_string(i));
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(QuantizedCollectiveTest, QwzByteReductionCountersAtLeast3x) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.ResetPrefix("comm.compress.");
+  const int p = 4;
+  const int64_t n = 4096;
+  const RankTopology topo{4, 2};
+  World world(p);
+  CompressionOptions c;
+  c.quantize_all_gather = true;
+  Status st = RunRanks(p, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, Range(p), rank));
+    MICS_ASSIGN_OR_RETURN(auto qc,
+                          MakeQuantized(&world, topo, &comm, Range(p), rank, c));
+    Tensor in({n}, DType::kF32);
+    FillTensor(&in, rank);
+    Tensor out({n * p}, DType::kF32);
+    return qc->AllGather(in, &out);
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const double in_bytes = reg.CounterValue("comm.compress.bytes_in");
+  const double out_bytes = reg.CounterValue("comm.compress.bytes_out");
+  const double blocks = reg.CounterValue("comm.compress.blocks");
+  EXPECT_EQ(in_bytes, static_cast<double>(p) * n * 4);
+  EXPECT_EQ(out_bytes,
+            static_cast<double>(p) * QuantizedWireBytes(n, c.block_size));
+  EXPECT_EQ(blocks, static_cast<double>(p) * QuantBlocks(n, c.block_size));
+  // f32 at block 256: 16384 -> 4160 wire bytes, a 3.94x reduction.
+  EXPECT_GE(in_bytes / out_bytes, 3.0);
+}
+
+TEST(QuantizedCollectiveTest, QwzCoalescedMatchesPerItemGathers) {
+  const int p = 4;
+  const RankTopology topo{4, 2};
+  World world(p);
+  CompressionOptions c;
+  c.quantize_all_gather = true;
+  c.block_size = 32;
+  Status st = RunRanks(p, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, Range(p), rank));
+    MICS_ASSIGN_OR_RETURN(auto qc,
+                          MakeQuantized(&world, topo, &comm, Range(p), rank, c));
+    const std::vector<int64_t> sizes{5, 33, 64};
+    std::vector<Tensor> ins;
+    std::vector<Tensor> outs;
+    for (size_t i = 0; i < sizes.size(); ++i) {
+      Tensor in({sizes[i]}, DType::kF32);
+      FillTensor(&in, rank + static_cast<int>(i) * 7);
+      ins.push_back(in);
+      outs.emplace_back(std::vector<int64_t>{sizes[i] * p}, DType::kF32);
+    }
+    MICS_RETURN_NOT_OK(qc->AllGatherCoalesced(ins, &outs));
+    for (size_t i = 0; i < sizes.size(); ++i) {
+      Tensor single({sizes[i] * p}, DType::kF32);
+      MICS_RETURN_NOT_OK(qc->AllGather(ins[i], &single));
+      MICS_RETURN_NOT_OK(BitEqual(outs[i], single, "qwZ coalesced item"));
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(QuantizedCollectiveTest, HpzCachedGatherIsLosslessAndNodeLocal) {
+  auto& reg = obs::MetricsRegistry::Global();
+  const int p = 4;
+  const int64_t n = 48;
+  const RankTopology topo{4, 2};  // 2 nodes x 2 GPUs: intra group exists
+
+  // Phase 1: one uncompressed gather, to price a single inter-node pass.
+  reg.ResetPrefix("comm.");
+  World world1(p);
+  Status st = RunRanks(p, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world1, Range(p), rank, &topo));
+    FlatCollective flat(&comm);
+    Tensor in({n}, DType::kF32);
+    FillTensor(&in, rank);
+    Tensor out({n * p}, DType::kF32);
+    return flat.AllGather(in, &out);
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const double one_pass_inter =
+      reg.CounterValue("comm.all_gather.inter_node_bytes");
+  ASSERT_GT(one_pass_inter, 0.0);
+
+  // Phase 2: hpZ with 3 gathers of the same shard. Only the refresh may
+  // cross nodes: total inter-node gather bytes == exactly one pass.
+  reg.ResetPrefix("comm.");
+  World world2(p);
+  CompressionOptions c;
+  c.secondary_all_gather = true;
+  Status st2 = RunRanks(p, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world2, Range(p), rank, &topo));
+    MICS_ASSIGN_OR_RETURN(auto qc,
+                          MakeQuantized(&world2, topo, &comm, Range(p), rank, c));
+    if (!qc->secondary_active()) return Status::Internal("hpZ inactive");
+    Tensor in({n}, DType::kF32);
+    FillTensor(&in, rank);
+    Tensor first({n * p}, DType::kF32);
+    MICS_RETURN_NOT_OK(qc->AllGather(in, &first));
+    // hpZ alone is lossless: the refresh is an ordinary gather.
+    for (int r = 0; r < p; ++r) {
+      for (int64_t i = 0; i < n; ++i) {
+        if (first.At(r * n + i) != TestValue(r, i)) {
+          return Status::Internal("hpZ refresh not lossless");
+        }
+      }
+    }
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      Tensor again({n * p}, DType::kF32);
+      MICS_RETURN_NOT_OK(qc->AllGather(in, &again));
+      MICS_RETURN_NOT_OK(BitEqual(again, first, "hpZ cached gather"));
+    }
+    // Invalidation forces the next gather back over the real path.
+    qc->InvalidateSecondary();
+    Tensor after({n * p}, DType::kF32);
+    MICS_RETURN_NOT_OK(qc->AllGather(in, &after));
+    return BitEqual(after, first, "post-invalidate gather");
+  });
+  ASSERT_TRUE(st2.ok()) << st2.ToString();
+  // 4 gathers ran (refresh, hit, hit, refresh) but only the two
+  // refreshes crossed nodes.
+  EXPECT_EQ(reg.CounterValue("comm.all_gather.inter_node_bytes"),
+            2.0 * one_pass_inter);
+  EXPECT_EQ(reg.CounterValue("comm.compress.secondary_hits"),
+            2.0 * p);
+  EXPECT_EQ(reg.CounterValue("comm.compress.secondary_refreshes"),
+            2.0 * p);
+}
+
+TEST(QuantizedCollectiveTest, HpzComposesWithQwz) {
+  // With both on, the refresh rides the quantized path and hits must
+  // serve exactly those dequantized bytes.
+  const int p = 4;
+  const int64_t n = 96;
+  const RankTopology topo{4, 2};
+  World world(p);
+  CompressionOptions c;
+  c.quantize_all_gather = true;
+  c.secondary_all_gather = true;
+  c.block_size = 32;
+  Status st = RunRanks(p, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, Range(p), rank));
+    MICS_ASSIGN_OR_RETURN(auto qc,
+                          MakeQuantized(&world, topo, &comm, Range(p), rank, c));
+    Tensor in({n}, DType::kF32);
+    FillTensor(&in, rank);
+    Tensor first({n * p}, DType::kF32);
+    Tensor second({n * p}, DType::kF32);
+    MICS_RETURN_NOT_OK(qc->AllGather(in, &first));
+    MICS_RETURN_NOT_OK(qc->AllGather(in, &second));
+    return BitEqual(second, first, "hpZ+qwZ cached gather");
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(QuantizedCollectiveTest, QgzFlatBitEqualsVanillaOnGrid) {
+  // Single node: the flat qgZ path (quantize + AllToAll + ordered f32
+  // accumulate). On-grid integer payloads make quantization lossless, so
+  // the result must equal the vanilla reduce-scatter bit for bit.
+  const int p = 4;
+  const int64_t n = 24;
+  const RankTopology topo{4, 4};  // one node: no intra/channel sub-groups
+  World world(p);
+  CompressionOptions c;
+  c.quantize_reduce_scatter = true;
+  c.block_size = 8;
+  Status st = RunRanks(p, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, Range(p), rank));
+    MICS_ASSIGN_OR_RETURN(Communicator vanilla,
+                          Communicator::Create(&world, Range(p), rank));
+    MICS_ASSIGN_OR_RETURN(auto qc,
+                          MakeQuantized(&world, topo, &comm, Range(p), rank, c));
+    Tensor in({n * p}, DType::kF32);
+    FillOnGrid(&in, rank, c.block_size);
+    Tensor got({n}, DType::kF32);
+    Tensor want({n}, DType::kF32);
+    MICS_RETURN_NOT_OK(qc->ReduceScatter(in, &got, ReduceOp::kSum));
+    MICS_RETURN_NOT_OK(vanilla.ReduceScatter(in, &want, ReduceOp::kSum));
+    MICS_RETURN_NOT_OK(BitEqual(got, want, "qgZ flat kSum"));
+
+    // kAvg: sums divided by p (= 4, exact in fp) must match too.
+    Tensor got_avg({n}, DType::kF32);
+    Tensor want_avg({n}, DType::kF32);
+    MICS_RETURN_NOT_OK(qc->ReduceScatter(in, &got_avg, ReduceOp::kAvg));
+    MICS_RETURN_NOT_OK(vanilla.ReduceScatter(in, &want_avg, ReduceOp::kAvg));
+    MICS_RETURN_NOT_OK(BitEqual(got_avg, want_avg, "qgZ flat kAvg"));
+
+    // kMax: max of per-member maxima, exact for on-grid values.
+    Tensor got_max({n}, DType::kF32);
+    Tensor want_max({n}, DType::kF32);
+    MICS_RETURN_NOT_OK(qc->ReduceScatter(in, &got_max, ReduceOp::kMax));
+    MICS_RETURN_NOT_OK(vanilla.ReduceScatter(in, &want_max, ReduceOp::kMax));
+    return BitEqual(got_max, want_max, "qgZ flat kMax");
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(QuantizedCollectiveTest, QgzHierarchicalBitEqualsVanillaOnGrid) {
+  // 2 nodes x 4 GPUs: the full qgZ schedule (intra transpose, node-local
+  // partials, requantize, channel transpose, final accumulate). One
+  // contributor per node keeps the partials on-grid, so requantization is
+  // lossless and the result must equal vanilla bitwise.
+  const int p = 8;
+  const int64_t n = 16;
+  const RankTopology topo{8, 4};
+  World world(p);
+  CompressionOptions c;
+  c.quantize_reduce_scatter = true;
+  c.block_size = 8;
+  Status st = RunRanks(p, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, Range(p), rank));
+    MICS_ASSIGN_OR_RETURN(Communicator vanilla,
+                          Communicator::Create(&world, Range(p), rank));
+    MICS_ASSIGN_OR_RETURN(auto qc,
+                          MakeQuantized(&world, topo, &comm, Range(p), rank, c));
+    Tensor in({n * p}, DType::kF32);
+    if (rank % topo.gpus_per_node == 0) {
+      FillOnGrid(&in, rank, c.block_size);
+    } else {
+      in.FillZero();
+    }
+    Tensor got({n}, DType::kF32);
+    Tensor want({n}, DType::kF32);
+    MICS_RETURN_NOT_OK(qc->ReduceScatter(in, &got, ReduceOp::kSum));
+    MICS_RETURN_NOT_OK(vanilla.ReduceScatter(in, &want, ReduceOp::kSum));
+    return BitEqual(got, want, "qgZ hierarchical kSum");
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(QuantizedCollectiveTest, QgzHierarchicalCloseAndDeterministic) {
+  // Random payloads: lossy, but within the wire format's error envelope
+  // of the vanilla result, and bit-identical when repeated.
+  const int p = 8;
+  const int64_t n = 32;
+  const RankTopology topo{8, 4};
+  World world(p);
+  CompressionOptions c;
+  c.quantize_reduce_scatter = true;
+  c.block_size = 16;
+  Status st = RunRanks(p, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, Range(p), rank));
+    MICS_ASSIGN_OR_RETURN(Communicator vanilla,
+                          Communicator::Create(&world, Range(p), rank));
+    MICS_ASSIGN_OR_RETURN(auto qc,
+                          MakeQuantized(&world, topo, &comm, Range(p), rank, c));
+    Tensor in({n * p}, DType::kF32);
+    FillTensor(&in, rank);
+    Tensor a({n}, DType::kF32);
+    Tensor b({n}, DType::kF32);
+    Tensor want({n}, DType::kF32);
+    MICS_RETURN_NOT_OK(qc->ReduceScatter(in, &a, ReduceOp::kSum));
+    MICS_RETURN_NOT_OK(qc->ReduceScatter(in, &b, ReduceOp::kSum));
+    MICS_RETURN_NOT_OK(BitEqual(b, a, "qgZ repeat determinism"));
+    MICS_RETURN_NOT_OK(vanilla.ReduceScatter(in, &want, ReduceOp::kSum));
+    // |values| < ~0.9; two quantization hops over 8 members stay well
+    // under this envelope.
+    MICS_ASSIGN_OR_RETURN(float diff, Tensor::MaxAbsDiff(a, want));
+    if (diff > 0.1f) {
+      return Status::Internal("qgZ drift " + std::to_string(diff));
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(QuantizedCollectiveTest, ReduceAndUnsupportedOpsPassThrough) {
+  // Rooted Reduce is never compressed (SdpOptions rejects qgZ+bucketing),
+  // so it must match the vanilla result bit for bit.
+  const int p = 4;
+  const RankTopology topo{4, 2};
+  World world(p);
+  CompressionOptions c;
+  c.quantize_reduce_scatter = true;
+  Status st = RunRanks(p, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, Range(p), rank));
+    MICS_ASSIGN_OR_RETURN(Communicator vanilla,
+                          Communicator::Create(&world, Range(p), rank));
+    MICS_ASSIGN_OR_RETURN(auto qc,
+                          MakeQuantized(&world, topo, &comm, Range(p), rank, c));
+    Tensor in({12}, DType::kF32);
+    FillTensor(&in, rank);
+    Tensor got({12}, DType::kF32);
+    Tensor want({12}, DType::kF32);
+    MICS_RETURN_NOT_OK(
+        qc->Reduce(in, rank == 1 ? &got : nullptr, /*root=*/1));
+    MICS_RETURN_NOT_OK(
+        vanilla.Reduce(in, rank == 1 ? &want : nullptr, /*root=*/1));
+    if (rank == 1) {
+      MICS_RETURN_NOT_OK(BitEqual(got, want, "passthrough reduce"));
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(QuantizedCollectiveTest, AsyncOpsMatchBlockingThroughDecorator) {
+  // The decorator sits under the base-class async engine: enqueued ops
+  // run its Do* overrides on the progress worker, results must match the
+  // blocking path bitwise (TSan covers the mutex discipline).
+  const int p = 4;
+  const int64_t n = 40;
+  const RankTopology topo{4, 2};
+  World world(p);
+  CompressionOptions c;
+  c.quantize_all_gather = true;
+  c.quantize_reduce_scatter = true;
+  c.block_size = 16;
+  Status st = RunRanks(p, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, Range(p), rank));
+    MICS_ASSIGN_OR_RETURN(auto qc,
+                          MakeQuantized(&world, topo, &comm, Range(p), rank, c));
+    Tensor in({n}, DType::kF32);
+    FillTensor(&in, rank);
+    Tensor grad({n * p}, DType::kF32);
+    FillTensor(&grad, rank + 21);
+
+    Tensor ag_async({n * p}, DType::kF32);
+    Tensor rs_async({n}, DType::kF32);
+    CollectiveHandle h1 = qc->AllGatherAsync(in, &ag_async);
+    CollectiveHandle h2 = qc->ReduceScatterAsync(grad, &rs_async);
+    MICS_RETURN_NOT_OK(h1.Wait());
+    MICS_RETURN_NOT_OK(h2.Wait());
+
+    Tensor ag_sync({n * p}, DType::kF32);
+    Tensor rs_sync({n}, DType::kF32);
+    MICS_RETURN_NOT_OK(qc->AllGather(in, &ag_sync));
+    MICS_RETURN_NOT_OK(qc->ReduceScatter(grad, &rs_sync));
+    MICS_RETURN_NOT_OK(BitEqual(ag_async, ag_sync, "async qwZ gather"));
+    return BitEqual(rs_async, rs_sync, "async qgZ reduce-scatter");
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace mics

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "comm/reduce_kernels.h"
+#include "tensor/dtype.h"
+
 namespace mics {
 namespace {
 
@@ -70,6 +73,57 @@ TEST(HalfTest, RoundToNearestEven) {
   EXPECT_EQ(FloatToHalf(halfway), 0x3c00);  // ties to even: stays 1.0
   const float above = 1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -13);
   EXPECT_EQ(FloatToHalf(above), 0x3c01);
+}
+
+TEST(HalfTest, RoundToNearestEvenInSubnormalRange) {
+  // Ties at and inside the subnormal range must round to even too — a
+  // different branch of FloatToHalf than the normal-range tie test above.
+  const float min_sub = std::ldexp(1.0f, -24);  // 1 subnormal ulp
+  // Exactly halfway between 0 and 1 ulp: ties to even keeps 0.
+  EXPECT_EQ(FloatToHalf(min_sub / 2.0f), 0x0000);
+  // Just above halfway rounds up to 1 ulp.
+  EXPECT_EQ(FloatToHalf(std::nextafterf(min_sub / 2.0f, 1.0f)), 0x0001);
+  // Halfway between 1 and 2 ulps: ties to even picks 2.
+  EXPECT_EQ(FloatToHalf(min_sub * 1.5f), 0x0002);
+  // Halfway between 2 and 3 ulps: ties to even stays 2.
+  EXPECT_EQ(FloatToHalf(min_sub * 2.5f), 0x0002);
+}
+
+TEST(HalfTest, StoreElemNarrowsLikeFloatToHalf) {
+  // StoreElem's f32 -> f16 narrowing IS the wire format of mixed-precision
+  // and quantized-f16 collectives; any divergence from FloatToHalf would
+  // break the cross-backend bit-identity contract. Exercise the rounding
+  // edges: a normal-range RNE tie, subnormal ties, overflow, and NaN.
+  uint16_t buf[1] = {0};
+  const float cases[] = {0.0f,
+                         -0.0f,
+                         1.0f + std::ldexp(1.0f, -11),   // normal RNE tie
+                         std::ldexp(1.0f, -24) * 1.5f,   // subnormal tie
+                         std::ldexp(1.0f, -25),          // underflow tie
+                         std::ldexp(1.0f, -20),          // plain subnormal
+                         0.1f,
+                         -65504.0f,
+                         1e6f,                           // overflow -> inf
+                         std::numeric_limits<float>::quiet_NaN()};
+  for (float v : cases) {
+    StoreElem(buf, DType::kF16, 0, v);
+    EXPECT_EQ(buf[0], FloatToHalf(v)) << "v=" << v;
+  }
+}
+
+TEST(HalfTest, LoadStoreElemRoundTripsEveryFiniteHalf) {
+  // Load (widen) then store (narrow) must be the identity on every finite
+  // half bit pattern — the property that makes repeated f16 gathers of
+  // unchanged parameters byte-stable.
+  uint16_t buf[1];
+  for (uint32_t bits = 0; bits <= 0xffff; ++bits) {
+    const uint16_t h = static_cast<uint16_t>(bits);
+    if (((h >> 10) & 0x1f) == 0x1f) continue;  // skip inf/nan
+    buf[0] = h;
+    const float widened = LoadElem(buf, DType::kF16, 0);
+    StoreElem(buf, DType::kF16, 0, widened);
+    EXPECT_EQ(buf[0], h) << "bits=" << bits;
+  }
 }
 
 class HalfRoundTripTest : public ::testing::TestWithParam<float> {};
