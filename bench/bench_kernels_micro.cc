@@ -1,0 +1,243 @@
+// Microbenchmark for the mics::kernels backends: scalar-vs-simd GEMM
+// throughput on transformer-shaped matmuls, plus the elementwise and
+// codec kernels, timed through explicit backend handles so one binary
+// measures both sides of the MICS_KERNELS A/B.
+//
+// Reporting contract (scripts/bench_compare.py): wall-clock throughput
+// and speedup rows carry "wall" units and are informational; the
+// deterministic rows (scalar checksums — pure functions of shape and
+// seed on every machine — and the backend bit/tolerance contract
+// checks) gate regressions.
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "kernels/backend.h"
+#include "kernels/kernels.h"
+#include "util/table_printer.h"
+
+namespace mics {
+namespace {
+
+using kernels::Backend;
+using kernels::BackendKind;
+
+std::vector<float> FillRandom(size_t n, unsigned seed) {
+  std::vector<float> v(n);
+  unsigned state = seed * 2654435761u + 12345u;
+  for (size_t i = 0; i < n; ++i) {
+    state = state * 1664525u + 1013904223u;
+    v[i] = static_cast<float>(state >> 8) / static_cast<float>(1u << 24) -
+           0.5f;
+  }
+  return v;
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs fn() until ~80ms of wall time has accumulated (after one
+/// warmup call) and returns seconds per call.
+template <typename Fn>
+double TimePerCall(Fn&& fn) {
+  fn();  // warmup / first-touch
+  int reps = 1;
+  for (;;) {
+    const double t0 = NowSeconds();
+    for (int i = 0; i < reps; ++i) fn();
+    const double elapsed = NowSeconds() - t0;
+    if (elapsed > 0.08) return elapsed / reps;
+    reps = elapsed <= 0.0 ? reps * 8 : reps * 4;
+  }
+}
+
+struct GemmShape {
+  const char* name;
+  int64_t rows, in, out;
+};
+
+uint32_t ChecksumBits(const std::vector<float>& v) {
+  // Deterministic f32 fold in index order: a pure function of the
+  // values, stable across machines for the scalar backend.
+  float acc = 0.0f;
+  for (float f : v) acc = acc * 0.5f + f;
+  uint32_t bits;
+  std::memcpy(&bits, &acc, sizeof(bits));
+  return bits;
+}
+
+int Run(int argc, char** argv) {
+  bench::Reporter reporter(argc, argv, "kernels_micro");
+  const Backend* scalar = kernels::GetBackend(BackendKind::kScalar);
+  const Backend* simd = kernels::GetBackend(BackendKind::kSimd);
+  const bool have_simd = simd != nullptr;
+
+  bench::PrintHeader(std::string("mics::kernels microbench (active=") +
+                     kernels::ActiveName() +
+                     (have_simd ? ", simd available)" : ", scalar only)"));
+
+  // Transformer-shaped GEMMs: qkv/output projections and the two FFN
+  // matmuls of a dim-256 block at seq 64, plus the attention-score
+  // shape via MatmulNT.
+  const GemmShape kShapes[] = {
+      {"proj_64x256x256", 64, 256, 256},
+      {"ffn_up_64x256x1024", 64, 256, 1024},
+      {"ffn_down_64x1024x256", 64, 1024, 256},
+      {"head_64x256x32", 64, 256, 32},
+  };
+
+  TablePrinter table({"gemm shape", "scalar GF/s", "simd GF/s", "speedup"});
+  double min_speedup = 1e9;
+  for (const GemmShape& s : kShapes) {
+    const std::vector<float> x =
+        FillRandom(static_cast<size_t>(s.rows * s.in), 11);
+    const std::vector<float> w =
+        FillRandom(static_cast<size_t>(s.in * s.out), 13);
+    const std::vector<float> bias =
+        FillRandom(static_cast<size_t>(s.out), 17);
+    std::vector<float> y(static_cast<size_t>(s.rows * s.out));
+    const double flops = 2.0 * static_cast<double>(s.rows) *
+                         static_cast<double>(s.in) *
+                         static_cast<double>(s.out);
+
+    const double t_scalar = TimePerCall([&] {
+      scalar->gemm(x.data(), w.data(), bias.data(), s.rows, s.in, s.out,
+                   y.data());
+    });
+    const double scalar_gfs = flops / t_scalar / 1e9;
+    reporter.Record(s.name, "scalar_gflops", scalar_gfs, "gflops_wall");
+    // The gated, machine-independent row: scalar output checksum.
+    reporter.Record(s.name, "scalar_output_checksum",
+                    static_cast<double>(ChecksumBits(y)), "count");
+
+    double simd_gfs = 0.0, speedup = 0.0;
+    if (have_simd) {
+      const double t_simd = TimePerCall([&] {
+        simd->gemm(x.data(), w.data(), bias.data(), s.rows, s.in, s.out,
+                   y.data());
+      });
+      simd_gfs = flops / t_simd / 1e9;
+      speedup = t_scalar / t_simd;
+      min_speedup = std::min(min_speedup, speedup);
+      reporter.Record(s.name, "simd_gflops", simd_gfs, "gflops_wall");
+      reporter.Record(s.name, "simd_speedup", speedup, "ratio_wall");
+    }
+    table.AddRow({s.name, TablePrinter::Fmt(scalar_gfs, 2),
+                  have_simd ? TablePrinter::Fmt(simd_gfs, 2) : "n/a",
+                  have_simd ? TablePrinter::Fmt(speedup, 2) + "x" : "n/a"});
+  }
+  table.Print(std::cout);
+  if (have_simd) {
+    reporter.Record("gemm_all_shapes", "min_simd_speedup", min_speedup,
+                    "ratio_wall");
+    std::printf("\nminimum simd GEMM speedup across shapes: %.2fx\n",
+                min_speedup);
+  }
+
+  // Elementwise + codec kernels at a gradient-bucket-ish size.
+  const int64_t n = 1 << 20;
+  std::vector<float> a = FillRandom(static_cast<size_t>(n), 23);
+  const std::vector<float> b = FillRandom(static_cast<size_t>(n), 29);
+  TablePrinter etable({"kernel", "scalar GB/s", "simd GB/s", "speedup"});
+  struct Named {
+    const char* name;
+    double bytes;
+    void (*run)(const Backend*, float*, const float*, int64_t);
+  };
+  const Named kElementwise[] = {
+      {"axpy_1m", 3.0 * 4 * static_cast<double>(n),
+       [](const Backend* be, float* dst, const float* src, int64_t len) {
+         be->axpy(0.125f, src, dst, len);
+       }},
+      {"add_1m", 3.0 * 4 * static_cast<double>(n),
+       [](const Backend* be, float* dst, const float* src, int64_t len) {
+         be->add(dst, src, len);
+       }},
+      {"relu_1m", 2.0 * 4 * static_cast<double>(n),
+       [](const Backend* be, float* dst, const float* src, int64_t len) {
+         be->relu_fwd(src, len, dst);
+       }},
+  };
+  for (const Named& e : kElementwise) {
+    const double t_scalar =
+        TimePerCall([&] { e.run(scalar, a.data(), b.data(), n); });
+    reporter.Record(e.name, "scalar_gbps", e.bytes / t_scalar / 1e9,
+                    "gbps_wall");
+    std::string simd_cell = "n/a", speed_cell = "n/a";
+    if (have_simd) {
+      const double t_simd =
+          TimePerCall([&] { e.run(simd, a.data(), b.data(), n); });
+      reporter.Record(e.name, "simd_gbps", e.bytes / t_simd / 1e9,
+                      "gbps_wall");
+      reporter.Record(e.name, "simd_speedup", t_scalar / t_simd,
+                      "ratio_wall");
+      simd_cell = TablePrinter::Fmt(e.bytes / t_simd / 1e9, 2);
+      speed_cell = TablePrinter::Fmt(t_scalar / t_simd, 2) + "x";
+    }
+    etable.AddRow({e.name, TablePrinter::Fmt(e.bytes / t_scalar / 1e9, 2),
+                   simd_cell, speed_cell});
+  }
+
+  // int8 block codec (the qwZ/qgZ wire path).
+  const int block = 64;
+  std::vector<uint8_t> wire(
+      static_cast<size_t>(kernels::QuantWireBytes(n, block)));
+  const double qbytes = 4.0 * static_cast<double>(n);
+  const double tq_scalar = TimePerCall([&] {
+    scalar->quantize_blockwise(b.data(), DType::kF32, n, block, wire.data());
+  });
+  reporter.Record("quantize_1m", "scalar_gbps", qbytes / tq_scalar / 1e9,
+                  "gbps_wall");
+  std::string qsimd = "n/a", qspeed = "n/a";
+  if (have_simd) {
+    const double tq_simd = TimePerCall([&] {
+      simd->quantize_blockwise(b.data(), DType::kF32, n, block, wire.data());
+    });
+    reporter.Record("quantize_1m", "simd_gbps", qbytes / tq_simd / 1e9,
+                    "gbps_wall");
+    reporter.Record("quantize_1m", "simd_speedup", tq_scalar / tq_simd,
+                    "ratio_wall");
+    qsimd = TablePrinter::Fmt(qbytes / tq_simd / 1e9, 2);
+    qspeed = TablePrinter::Fmt(tq_scalar / tq_simd, 2) + "x";
+  }
+  etable.AddRow({"quantize_1m", TablePrinter::Fmt(qbytes / tq_scalar / 1e9, 2),
+                 qsimd, qspeed});
+  etable.Print(std::cout);
+
+  // Deterministic contract rows: the backend-invariant kernels must be
+  // bit-identical across backends (1 = held). Machine-independent —
+  // when simd is unavailable the contract holds vacuously.
+  int invariant_ok = 1;
+  if (have_simd) {
+    std::vector<float> sa = a, sb = a;
+    scalar->axpy(0.125f, b.data(), sa.data(), n);
+    simd->axpy(0.125f, b.data(), sb.data(), n);
+    if (std::memcmp(sa.data(), sb.data(), sa.size() * sizeof(float)) != 0) {
+      invariant_ok = 0;
+    }
+    std::vector<uint8_t> w2(wire.size());
+    scalar->quantize_blockwise(b.data(), DType::kF32, n, block, wire.data());
+    simd->quantize_blockwise(b.data(), DType::kF32, n, block, w2.data());
+    if (std::memcmp(wire.data(), w2.data(), wire.size()) != 0) {
+      invariant_ok = 0;
+    }
+  }
+  reporter.Record("backend_contract", "invariant_kernels_bit_identical",
+                  invariant_ok, "count");
+  std::printf("\nbackend-invariant kernels bit-identical: %s\n",
+              invariant_ok ? "yes" : "NO — CONTRACT BROKEN");
+  return invariant_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mics
+
+int main(int argc, char** argv) { return mics::Run(argc, argv); }

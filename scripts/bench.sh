@@ -35,6 +35,15 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" >/dev/null
 
+# The gated subset must produce identical records on every machine, so
+# pin the kernel backend to scalar: the simd matmul family legally
+# reassociates (FMA + partial sums) and its bits depend on the host ISA.
+# Wall-clock rows are informational either way; this keeps the
+# deterministic rows (loss bits, checksums, traffic counters)
+# ISA-independent. bench_kernels_micro overrides this per call through
+# explicit backend handles, so its scalar/simd A/B still measures both.
+export MICS_KERNELS=scalar
+
 # The fast, deterministic subset (binary names under build/bench/).
 benches=(
   bench_fig01_effective_bandwidth
@@ -52,6 +61,7 @@ benches=(
   bench_ablation_extensions
   bench_compress_fidelity
   bench_collectives_micro
+  bench_kernels_micro
 )
 
 tmpdir="$(mktemp -d)"

@@ -43,7 +43,7 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 # suite, and again under TSan with --sanitize. One definition — the
 # usage text, the plain re-run, and the TSan run each used to hard-code
 # this list, and they drifted when labels were added.
-concurrency_labels='tsan|async|prof|net|serve|compress'
+concurrency_labels='tsan|async|prof|net|serve|compress|kernels'
 
 echo "== tier-1: build + full test suite =="
 cmake -B build -S . >/dev/null

@@ -120,12 +120,12 @@ Status Communicator::ReduceScatterCoalesced(const std::vector<Tensor>& inputs,
   CoalescedDesc desc{&inputs};
   state_->Publish(group_rank_, &desc);
   MICS_RETURN_NOT_OK(state_->ArriveAndWait());
-  const float inv = 1.0f / static_cast<float>(size());
   // Hoist the descriptor resolution out of the reduction: Peek per
   // element made the inner loop a pointer chase. Peer slots are frozen
   // between the barriers, so resolve each rank's item base pointer once
-  // per item and keep the j-loop pure arithmetic. The summation order
-  // (member 0, 1, ..., p-1) is unchanged — reductions stay bit-identical.
+  // per item and hand the contiguous span to ReduceInto. The summation
+  // order (member 0, 1, ..., p-1) is unchanged — reductions stay
+  // bit-identical.
   std::vector<const CoalescedDesc*> peers(static_cast<size_t>(size()));
   for (int r = 0; r < size(); ++r) {
     peers[static_cast<size_t>(r)] =
@@ -141,16 +141,7 @@ Status Communicator::ReduceScatterCoalesced(const std::vector<Tensor>& inputs,
       peer_bases[static_cast<size_t>(r)] =
           (*peers[static_cast<size_t>(r)]->inputs)[i].data();
     }
-    for (int64_t j = 0; j < n; ++j) {
-      float acc = LoadElem(peer_bases[0], dt, base + j);
-      for (int r = 1; r < size(); ++r) {
-        const float v =
-            LoadElem(peer_bases[static_cast<size_t>(r)], dt, base + j);
-        acc = (op == ReduceOp::kMax) ? std::max(acc, v) : acc + v;
-      }
-      if (op == ReduceOp::kAvg) acc *= inv;
-      StoreElem(out.data(), dt, j, acc);
-    }
+    ReduceInto(peer_bases, out.data(), dt, base, n, op);
   }
   MICS_RETURN_NOT_OK(state_->ArriveAndWait());
   return Status::OK();

@@ -1,123 +1,44 @@
 #include "comm/quantize.h"
 
-#include <algorithm>
-#include <cmath>
-#include <cstring>
-#include <limits>
-
-#include "comm/reduce_kernels.h"
+#include "kernels/backend.h"
+#include "kernels/kernels.h"
 #include "util/logging.h"
+
+// The block loops live in mics::kernels (kernels/scalar.cc holds the
+// reference codec; kernels/avx2.cc a bit-identical vectorized one).
+// This file owns the wire layout contract and maps comm's ReduceOp onto
+// the kernel layer's RedOp (same underlying values).
 
 namespace mics {
 
-namespace {
-
-/// Rounds up to a multiple of 4 so per-member wire segments keep the
-/// leading scale region 4-byte aligned.
-int64_t AlignUp4(int64_t v) { return (v + 3) & ~int64_t{3}; }
-
-int8_t EncodeOne(float v, float scale) {
-  // scale == 0 means an all-zero block; every code is 0 by construction.
-  if (scale == 0.0f) return 0;
-  const float t = v / scale;
-  // Round half away from zero: exact and platform-independent for the
-  // magnitudes involved (|t| <= 127 by construction of scale).
-  int q = static_cast<int>(t >= 0.0f ? t + 0.5f : t - 0.5f);
-  q = std::min(127, std::max(-127, q));
-  return static_cast<int8_t>(q);
-}
-
-}  // namespace
-
 int64_t QuantBlocks(int64_t numel, int block_size) {
   MICS_CHECK(block_size >= 1) << "quantize: block_size must be >= 1";
-  return (numel + block_size - 1) / block_size;
+  return kernels::QuantBlockCount(numel, block_size);
 }
 
 int64_t QuantizedWireBytes(int64_t numel, int block_size) {
-  return AlignUp4(4 * QuantBlocks(numel, block_size) + numel);
+  MICS_CHECK(block_size >= 1) << "quantize: block_size must be >= 1";
+  return kernels::QuantWireBytes(numel, block_size);
 }
 
 void QuantizeBlockwise(const void* src, DType dt, int64_t numel,
                        int block_size, uint8_t* wire) {
-  const int64_t blocks = QuantBlocks(numel, block_size);
-  uint8_t* scales = wire;
-  int8_t* codes = reinterpret_cast<int8_t*>(wire + 4 * blocks);
-  // Zero the alignment pad so wire buffers compare bit-equal.
-  std::memset(wire, 0, QuantizedWireBytes(numel, block_size));
-  for (int64_t b = 0; b < blocks; ++b) {
-    const int64_t lo = b * block_size;
-    const int64_t hi = std::min(numel, lo + block_size);
-    float absmax = 0.0f;
-    bool finite = true;
-    for (int64_t i = lo; i < hi; ++i) {
-      const float v = LoadElem(src, dt, i);
-      if (!std::isfinite(v)) {
-        finite = false;
-        // Keep a deterministic non-finite representative: Inf dominates
-        // NaN only through this explicit choice, not float compare order.
-        absmax = std::isnan(v) || std::isnan(absmax)
-                     ? std::numeric_limits<float>::quiet_NaN()
-                     : std::numeric_limits<float>::infinity();
-        continue;
-      }
-      absmax = std::max(absmax, std::fabs(v));
-    }
-    float scale;
-    if (!finite) {
-      // Poison the whole block: store the non-finite value as the scale
-      // and code 1 everywhere so dequantization reproduces a non-finite
-      // result and downstream overflow detection (loss scaling) fires.
-      scale = absmax;
-      std::memcpy(scales + 4 * b, &scale, 4);
-      for (int64_t i = lo; i < hi; ++i) codes[i] = 1;
-      continue;
-    }
-    scale = absmax / 127.0f;
-    std::memcpy(scales + 4 * b, &scale, 4);
-    for (int64_t i = lo; i < hi; ++i) {
-      codes[i] = EncodeOne(LoadElem(src, dt, i), scale);
-    }
-  }
+  MICS_CHECK(block_size >= 1) << "quantize: block_size must be >= 1";
+  kernels::QuantizeBlockwise(src, dt, numel, block_size, wire);
 }
 
 void DequantizeBlockwise(const uint8_t* wire, int64_t numel, int block_size,
                          void* dst, DType dt) {
-  const int64_t blocks = QuantBlocks(numel, block_size);
-  const uint8_t* scales = wire;
-  const int8_t* codes = reinterpret_cast<const int8_t*>(wire + 4 * blocks);
-  for (int64_t b = 0; b < blocks; ++b) {
-    const int64_t lo = b * block_size;
-    const int64_t hi = std::min(numel, lo + block_size);
-    float scale;
-    std::memcpy(&scale, scales + 4 * b, 4);
-    for (int64_t i = lo; i < hi; ++i) {
-      StoreElem(dst, dt, i, scale * static_cast<float>(codes[i]));
-    }
-  }
+  MICS_CHECK(block_size >= 1) << "quantize: block_size must be >= 1";
+  kernels::DequantizeBlockwise(wire, numel, block_size, dst, dt);
 }
 
 void DequantizeAccumulate(const uint8_t* wire, int64_t numel, int block_size,
                           ReduceOp op, bool first, float* acc) {
-  const int64_t blocks = QuantBlocks(numel, block_size);
-  const uint8_t* scales = wire;
-  const int8_t* codes = reinterpret_cast<const int8_t*>(wire + 4 * blocks);
-  for (int64_t b = 0; b < blocks; ++b) {
-    const int64_t lo = b * block_size;
-    const int64_t hi = std::min(numel, lo + block_size);
-    float scale;
-    std::memcpy(&scale, scales + 4 * b, 4);
-    for (int64_t i = lo; i < hi; ++i) {
-      const float v = scale * static_cast<float>(codes[i]);
-      if (first) {
-        acc[i] = v;
-      } else if (op == ReduceOp::kMax) {
-        acc[i] = std::max(acc[i], v);
-      } else {
-        acc[i] += v;  // kSum and kAvg both accumulate sums here.
-      }
-    }
-  }
+  MICS_CHECK(block_size >= 1) << "quantize: block_size must be >= 1";
+  kernels::DequantizeAccumulate(
+      wire, numel, block_size,
+      static_cast<kernels::RedOp>(static_cast<int>(op)), first, acc);
 }
 
 }  // namespace mics

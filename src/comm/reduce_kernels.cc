@@ -1,8 +1,14 @@
 #include "comm/reduce_kernels.h"
 
 #include <algorithm>
+#include <vector>
 
-#include "tensor/half.h"
+#include "kernels/kernels.h"
+
+// Thin seam over mics::kernels: the comm plane keeps its historical API
+// (LoadElem/StoreElem/ReduceInto) while the element loops live in the
+// kernel layer. ReduceMembers is backend-invariant (element-wise, no
+// FMA), so wire payloads stay bit-identical across scalar/simd runs.
 
 namespace mics {
 
@@ -11,29 +17,36 @@ bool SupportedDtype(DType dt) { return dt == DType::kF32 || dt == DType::kF16; }
 bool MovableDtype(DType dt) { return SizeOf(dt) > 0; }
 
 float LoadElem(const void* base, DType dt, int64_t i) {
-  if (dt == DType::kF32) return static_cast<const float*>(base)[i];
-  return HalfToFloat(static_cast<const uint16_t*>(base)[i]);
+  return kernels::LoadElem(base, dt, i);
 }
 
 void StoreElem(void* base, DType dt, int64_t i, float v) {
-  if (dt == DType::kF32) {
-    static_cast<float*>(base)[i] = v;
-  } else {
-    static_cast<uint16_t*>(base)[i] = FloatToHalf(v);
-  }
+  kernels::StoreElem(base, dt, i, v);
 }
 
 void ReduceInto(const std::vector<const void*>& srcs, void* dst, DType dt,
                 int64_t src_offset, int64_t n, ReduceOp op) {
+  const auto red = static_cast<kernels::RedOp>(static_cast<int>(op));
+  if (dt == DType::kF32) {
+    std::vector<const float*> fsrcs(srcs.size());
+    for (size_t m = 0; m < srcs.size(); ++m) {
+      fsrcs[m] = static_cast<const float*>(srcs[m]);
+    }
+    kernels::ReduceMembers(fsrcs.data(),
+                           static_cast<int64_t>(fsrcs.size()), src_offset, n,
+                           red, static_cast<float*>(dst));
+    return;
+  }
+  // Narrow storage widens element-by-element through the kernels seam.
   const float inv = 1.0f / static_cast<float>(srcs.size());
   for (int64_t i = 0; i < n; ++i) {
-    float acc = LoadElem(srcs[0], dt, src_offset + i);
+    float acc = kernels::LoadElem(srcs[0], dt, src_offset + i);
     for (size_t m = 1; m < srcs.size(); ++m) {
-      const float v = LoadElem(srcs[m], dt, src_offset + i);
+      const float v = kernels::LoadElem(srcs[m], dt, src_offset + i);
       acc = (op == ReduceOp::kMax) ? std::max(acc, v) : acc + v;
     }
     if (op == ReduceOp::kAvg) acc *= inv;
-    StoreElem(dst, dt, i, acc);
+    kernels::StoreElem(dst, dt, i, acc);
   }
 }
 

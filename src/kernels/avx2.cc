@@ -1,0 +1,618 @@
+#include "kernels/backend.h"
+
+// AVX2+FMA backend for x86-64. This translation unit is compiled with
+// -mavx2 -mfma (and MICS_KERNELS_AVX2 defined) when the compiler
+// supports those flags; the rest of the library stays on the baseline
+// ISA, and Avx2Augment additionally gates on runtime CPU support before
+// installing anything — so a binary built here still runs (scalar) on a
+// pre-Haswell machine.
+//
+// Bit contract (see kernels.h):
+//   - Matmul-family kernels (Gemm, GemmBackward, MatmulNT/NN/TN,
+//     ReduceSum) use FMA and fixed-width partial sums: faster, still
+//     deterministic run-to-run (blocking depends only on the shape),
+//     but not bit-identical to scalar.
+//   - Everything else here is bit-identical to the scalar reference:
+//     element-wise kernels keep each element's operation sequence
+//     (separate mul+add intrinsics — intrinsics never contract to FMA),
+//     and the quantize encoder mirrors the scalar rounding exactly.
+
+#if defined(MICS_KERNELS_AVX2) && defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace mics {
+namespace kernels {
+namespace avx2 {
+namespace {
+
+inline float Hsum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Matmul family (FMA; deterministic, not scalar-bit-identical).
+// ---------------------------------------------------------------------
+
+void Gemm(const float* x, const float* w, const float* bias, int64_t rows,
+          int64_t in, int64_t out, float* y) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * in;
+    float* yr = y + r * out;
+    int64_t o = 0;
+    // Column blocks keep the output row in registers across the whole
+    // k-loop; the block ladder (32/16/8) is a pure function of `out`.
+    for (; o + 32 <= out; o += 32) {
+      __m256 a0, a1, a2, a3;
+      if (bias != nullptr) {
+        a0 = _mm256_loadu_ps(bias + o);
+        a1 = _mm256_loadu_ps(bias + o + 8);
+        a2 = _mm256_loadu_ps(bias + o + 16);
+        a3 = _mm256_loadu_ps(bias + o + 24);
+      } else {
+        a0 = a1 = a2 = a3 = _mm256_setzero_ps();
+      }
+      const float* wp = w + o;
+      for (int64_t i = 0; i < in; ++i, wp += out) {
+        const __m256 xv = _mm256_set1_ps(xr[i]);
+        a0 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(wp), a0);
+        a1 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(wp + 8), a1);
+        a2 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(wp + 16), a2);
+        a3 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(wp + 24), a3);
+      }
+      _mm256_storeu_ps(yr + o, a0);
+      _mm256_storeu_ps(yr + o + 8, a1);
+      _mm256_storeu_ps(yr + o + 16, a2);
+      _mm256_storeu_ps(yr + o + 24, a3);
+    }
+    for (; o + 8 <= out; o += 8) {
+      __m256 acc = bias != nullptr ? _mm256_loadu_ps(bias + o)
+                                   : _mm256_setzero_ps();
+      const float* wp = w + o;
+      for (int64_t i = 0; i < in; ++i, wp += out) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(xr[i]), _mm256_loadu_ps(wp),
+                              acc);
+      }
+      _mm256_storeu_ps(yr + o, acc);
+    }
+    for (; o < out; ++o) {
+      float acc = bias != nullptr ? bias[o] : 0.0f;
+      for (int64_t i = 0; i < in; ++i) acc += xr[i] * w[i * out + o];
+      yr[o] = acc;
+    }
+  }
+}
+
+void GemmBackward(const float* x, const float* w, const float* dy,
+                  int64_t rows, int64_t in, int64_t out, float* dx, float* dw,
+                  float* db) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* dyr = dy + r * out;
+    const float* xr = x + r * in;
+    if (db != nullptr) {
+      // db[o] += dyr[o]: element-wise add, bit-identical to scalar.
+      int64_t o = 0;
+      for (; o + 8 <= out; o += 8) {
+        _mm256_storeu_ps(
+            db + o, _mm256_add_ps(_mm256_loadu_ps(db + o),
+                                  _mm256_loadu_ps(dyr + o)));
+      }
+      for (; o < out; ++o) db[o] += dyr[o];
+    }
+    for (int64_t i = 0; i < in; ++i) {
+      const float xv = xr[i];
+      if (dw != nullptr) {
+        float* dwrow = dw + i * out;
+        const __m256 xvv = _mm256_set1_ps(xv);
+        int64_t o = 0;
+        for (; o + 8 <= out; o += 8) {
+          _mm256_storeu_ps(
+              dwrow + o, _mm256_fmadd_ps(xvv, _mm256_loadu_ps(dyr + o),
+                                         _mm256_loadu_ps(dwrow + o)));
+        }
+        for (; o < out; ++o) dwrow[o] += xv * dyr[o];
+      }
+      if (dx != nullptr) {
+        const float* wrow = w + i * out;
+        __m256 acc = _mm256_setzero_ps();
+        int64_t o = 0;
+        for (; o + 8 <= out; o += 8) {
+          acc = _mm256_fmadd_ps(_mm256_loadu_ps(wrow + o),
+                                _mm256_loadu_ps(dyr + o), acc);
+        }
+        float dot = Hsum(acc);
+        for (; o < out; ++o) dot += wrow[o] * dyr[o];
+        dx[r * in + i] = dot;
+      }
+    }
+  }
+}
+
+void MatmulNT(const float* a, int64_t lda, const float* b, int64_t ldb,
+              int64_t m, int64_t n, int64_t k, float scale, float* c,
+              int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * lda;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* bj = b + j * ldb;
+      __m256 acc = _mm256_setzero_ps();
+      int64_t kk = 0;
+      for (; kk + 8 <= k; kk += 8) {
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(ai + kk),
+                              _mm256_loadu_ps(bj + kk), acc);
+      }
+      float dot = Hsum(acc);
+      for (; kk < k; ++kk) dot += ai[kk] * bj[kk];
+      c[i * ldc + j] = dot * scale;
+    }
+  }
+}
+
+void MatmulNN(const float* a, int64_t lda, const float* b, int64_t ldb,
+              int64_t m, int64_t n, int64_t k, float* c, int64_t ldc,
+              bool accumulate) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      const float* bp = b + j;
+      for (int64_t kk = 0; kk < k; ++kk, bp += ldb) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(ai[kk]), _mm256_loadu_ps(bp),
+                              acc);
+      }
+      if (accumulate) acc = _mm256_add_ps(_mm256_loadu_ps(ci + j), acc);
+      _mm256_storeu_ps(ci + j, acc);
+    }
+    for (; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += ai[kk] * b[kk * ldb + j];
+      if (accumulate) {
+        ci[j] += acc;
+      } else {
+        ci[j] = acc;
+      }
+    }
+  }
+}
+
+void MatmulTN(const float* a, int64_t lda, const float* b, int64_t ldb,
+              int64_t m, int64_t n, int64_t k, float* c, int64_t ldc,
+              bool accumulate) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * ldc;
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(a[kk * lda + i]),
+                              _mm256_loadu_ps(b + kk * ldb + j), acc);
+      }
+      if (accumulate) acc = _mm256_add_ps(_mm256_loadu_ps(ci + j), acc);
+      _mm256_storeu_ps(ci + j, acc);
+    }
+    for (; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a[kk * lda + i] * b[kk * ldb + j];
+      if (accumulate) {
+        ci[j] += acc;
+      } else {
+        ci[j] = acc;
+      }
+    }
+  }
+}
+
+float ReduceSum(const float* x, int64_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_add_ps(acc, _mm256_loadu_ps(x + i));
+  }
+  float sum = Hsum(acc);
+  for (; i < n; ++i) sum += x[i];
+  return sum;
+}
+
+// ---------------------------------------------------------------------
+// Element-wise kernels (bit-identical to scalar: each element keeps its
+// exact operation sequence; mul and add stay separate instructions).
+// ---------------------------------------------------------------------
+
+void LayerNormFwd(const float* x, const float* gamma, const float* beta,
+                  int64_t rows, int64_t d, float eps, float* y, float* xhat,
+                  float* inv_sigma) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * d;
+    // Statistics stay scalar f64 in ascending element order — the
+    // accumulation order is part of the bit contract.
+    double mean = 0.0;
+    for (int64_t i = 0; i < d; ++i) mean += xr[i];
+    mean /= d;
+    double var = 0.0;
+    for (int64_t i = 0; i < d; ++i) {
+      const double c = xr[i] - mean;
+      var += c * c;
+    }
+    var /= d;
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    inv_sigma[r] = inv;
+    const float mf = static_cast<float>(mean);
+    const __m256 vm = _mm256_set1_ps(mf);
+    const __m256 vi = _mm256_set1_ps(inv);
+    int64_t i = 0;
+    for (; i + 8 <= d; i += 8) {
+      const __m256 h =
+          _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(xr + i), vm), vi);
+      _mm256_storeu_ps(xhat + r * d + i, h);
+      _mm256_storeu_ps(
+          y + r * d + i,
+          _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(gamma + i), h),
+                        _mm256_loadu_ps(beta + i)));
+    }
+    for (; i < d; ++i) {
+      const float h = (xr[i] - mf) * inv;
+      xhat[r * d + i] = h;
+      y[r * d + i] = gamma[i] * h + beta[i];
+    }
+  }
+}
+
+void LayerNormBwd(const float* xhat, const float* inv_sigma,
+                  const float* gamma, const float* dy, int64_t rows, int64_t d,
+                  float* dx, float* dgamma, float* dbeta) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* hy = xhat + r * d;
+    const float* dyr = dy + r * d;
+    double sum_dyg = 0.0;
+    double sum_dyg_h = 0.0;
+    for (int64_t i = 0; i < d; ++i) {
+      const float dyg = dyr[i] * gamma[i];
+      sum_dyg += dyg;
+      sum_dyg_h += dyg * hy[i];
+      dgamma[i] += dyr[i] * hy[i];
+      dbeta[i] += dyr[i];
+    }
+    const float m1 = static_cast<float>(sum_dyg / d);
+    const float m2 = static_cast<float>(sum_dyg_h / d);
+    const __m256 vm1 = _mm256_set1_ps(m1);
+    const __m256 vm2 = _mm256_set1_ps(m2);
+    const __m256 vinv = _mm256_set1_ps(inv_sigma[r]);
+    int64_t i = 0;
+    for (; i + 8 <= d; i += 8) {
+      const __m256 dyg =
+          _mm256_mul_ps(_mm256_loadu_ps(dyr + i), _mm256_loadu_ps(gamma + i));
+      const __m256 t = _mm256_sub_ps(
+          _mm256_sub_ps(dyg, vm1),
+          _mm256_mul_ps(_mm256_loadu_ps(hy + i), vm2));
+      _mm256_storeu_ps(dx + r * d + i, _mm256_mul_ps(vinv, t));
+    }
+    for (; i < d; ++i) {
+      dx[r * d + i] = inv_sigma[r] * (dyr[i] * gamma[i] - m1 - hy[i] * m2);
+    }
+  }
+}
+
+void ReluFwd(const float* x, int64_t n, float* y) {
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  // vmaxps(x, 0) returns the second operand (0) when x is NaN — exactly
+  // std::max(0.0f, x)'s behavior.
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
+  }
+  for (; i < n; ++i) y[i] = std::max(0.0f, x[i]);
+}
+
+void ReluBwd(const float* z, const float* dy, int64_t n, float* dx) {
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 mask =
+        _mm256_cmp_ps(_mm256_loadu_ps(z + i), zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(dx + i, _mm256_and_ps(mask, _mm256_loadu_ps(dy + i)));
+  }
+  for (; i < n; ++i) dx[i] = z[i] > 0.0f ? dy[i] : 0.0f;
+}
+
+void Add(float* dst, const float* src, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                            _mm256_loadu_ps(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void Axpy(float alpha, const float* x, float* y, int64_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_loadu_ps(y + i),
+                             _mm256_mul_ps(va, _mm256_loadu_ps(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleK(float* x, int64_t n, float s) {
+  const __m256 vs = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), vs));
+  }
+  for (; i < n; ++i) x[i] *= s;
+}
+
+void ReduceMembers(const float* const* srcs, int64_t nsrc, int64_t src_offset,
+                   int64_t n, RedOp op, float* dst) {
+  const float inv = 1.0f / static_cast<float>(nsrc);
+  const __m256 vinv = _mm256_set1_ps(inv);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 acc = _mm256_loadu_ps(srcs[0] + src_offset + i);
+    for (int64_t m = 1; m < nsrc; ++m) {
+      const __m256 v = _mm256_loadu_ps(srcs[m] + src_offset + i);
+      // vmaxps(v, acc) keeps acc when either operand is NaN — matching
+      // std::max(acc, v) bit-for-bit.
+      acc = (op == RedOp::kMax) ? _mm256_max_ps(v, acc)
+                                : _mm256_add_ps(acc, v);
+    }
+    if (op == RedOp::kAvg) acc = _mm256_mul_ps(acc, vinv);
+    _mm256_storeu_ps(dst + i, acc);
+  }
+  for (; i < n; ++i) {
+    float acc = srcs[0][src_offset + i];
+    for (int64_t m = 1; m < nsrc; ++m) {
+      const float v = srcs[m][src_offset + i];
+      acc = (op == RedOp::kMax) ? std::max(acc, v) : acc + v;
+    }
+    if (op == RedOp::kAvg) acc *= inv;
+    dst[i] = acc;
+  }
+}
+
+void GemmTyped(const void* x, DType xdt, const void* w, DType wdt,
+               const float* bias, int64_t rows, int64_t in, int64_t out,
+               void* y, DType ydt) {
+  if (xdt == DType::kF32 && wdt == DType::kF32 && ydt == DType::kF32) {
+    Gemm(static_cast<const float*>(x), static_cast<const float*>(w), bias,
+         rows, in, out, static_cast<float*>(y));
+    return;
+  }
+  // Narrow-storage paths widen element-by-element; the scalar reference
+  // already accumulates in f32, which is the contract that matters.
+  ScalarBackend()->gemm_typed(x, xdt, w, wdt, bias, rows, in, out, y, ydt);
+}
+
+// ---------------------------------------------------------------------
+// int8 block codecs (bit-identical to scalar, wire bytes included).
+// ---------------------------------------------------------------------
+
+namespace {
+
+// Mirrors scalar EncodeOne for a whole block of f32 values: t = v/scale,
+// add copysign(0.5, t), truncate toward zero (cvttps), clamp to ±127.
+// Round-half-away-from-zero, exactly as the scalar encoder.
+void EncodeBlockF32(const float* v, int64_t count, float scale,
+                    int8_t* codes) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  const __m256 vhalf = _mm256_set1_ps(0.5f);
+  const __m256 vsign = _mm256_set1_ps(-0.0f);
+  const __m256i vmin = _mm256_set1_epi32(-127);
+  const __m256i vmax = _mm256_set1_epi32(127);
+  int64_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256 t = _mm256_div_ps(_mm256_loadu_ps(v + i), vscale);
+    const __m256 half =
+        _mm256_or_ps(_mm256_and_ps(t, vsign), vhalf);
+    __m256i q = _mm256_cvttps_epi32(_mm256_add_ps(t, half));
+    q = _mm256_max_epi32(vmin, _mm256_min_epi32(vmax, q));
+    alignas(32) int32_t tmp[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), q);
+    for (int lane = 0; lane < 8; ++lane) {
+      codes[i + lane] = static_cast<int8_t>(tmp[lane]);
+    }
+  }
+  for (; i < count; ++i) {
+    const float t = v[i] / scale;
+    int q = static_cast<int>(t >= 0.0f ? t + 0.5f : t - 0.5f);
+    q = std::min(127, std::max(-127, q));
+    codes[i] = static_cast<int8_t>(q);
+  }
+}
+
+}  // namespace
+
+void QuantizeBlockwise(const void* src, DType dt, int64_t numel,
+                       int block_size, uint8_t* wire) {
+  if (dt != DType::kF32) {
+    ScalarBackend()->quantize_blockwise(src, dt, numel, block_size, wire);
+    return;
+  }
+  const float* v = static_cast<const float*>(src);
+  const int64_t blocks = QuantBlockCount(numel, block_size);
+  uint8_t* scales = wire;
+  int8_t* codes = reinterpret_cast<int8_t*>(wire + 4 * blocks);
+  std::memset(wire, 0, QuantWireBytes(numel, block_size));
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  const __m256 inf = _mm256_set1_ps(std::numeric_limits<float>::infinity());
+  for (int64_t b = 0; b < blocks; ++b) {
+    const int64_t lo = b * block_size;
+    const int64_t hi = std::min(numel, lo + block_size);
+    const int64_t count = hi - lo;
+    // Vector absmax + finiteness scan. |x| < inf is false for NaN and
+    // Inf alike, so one mask catches both.
+    __m256 vmax8 = _mm256_setzero_ps();
+    bool finite = true;
+    int64_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+      const __m256 a = _mm256_andnot_ps(sign, _mm256_loadu_ps(v + lo + i));
+      if (_mm256_movemask_ps(_mm256_cmp_ps(a, inf, _CMP_NLT_UQ)) != 0) {
+        finite = false;
+        break;
+      }
+      vmax8 = _mm256_max_ps(a, vmax8);
+    }
+    float absmax = 0.0f;
+    if (finite) {
+      alignas(32) float tmp[8];
+      _mm256_store_ps(tmp, vmax8);
+      for (int lane = 0; lane < 8; ++lane) absmax = std::max(absmax, tmp[lane]);
+      for (; i < count; ++i) {
+        const float a = std::fabs(v[lo + i]);
+        if (!(a < std::numeric_limits<float>::infinity())) {
+          finite = false;
+          break;
+        }
+        absmax = std::max(absmax, a);
+      }
+    }
+    if (!finite) {
+      // Re-run the scalar poison path over the whole block so the wire
+      // bytes (NaN-dominates-Inf representative, code 1) match scalar.
+      absmax = 0.0f;
+      for (int64_t j = lo; j < hi; ++j) {
+        const float val = v[j];
+        if (!std::isfinite(val)) {
+          absmax = std::isnan(val) || std::isnan(absmax)
+                       ? std::numeric_limits<float>::quiet_NaN()
+                       : std::numeric_limits<float>::infinity();
+          continue;
+        }
+        absmax = std::max(absmax, std::fabs(val));
+      }
+      std::memcpy(scales + 4 * b, &absmax, 4);
+      for (int64_t j = lo; j < hi; ++j) codes[j] = 1;
+      continue;
+    }
+    const float scale = absmax / 127.0f;
+    std::memcpy(scales + 4 * b, &scale, 4);
+    if (scale == 0.0f) continue;  // all-zero block: codes stay memset-0.
+    EncodeBlockF32(v + lo, count, scale, codes + lo);
+  }
+}
+
+void DequantizeBlockwise(const uint8_t* wire, int64_t numel, int block_size,
+                         void* dst, DType dt) {
+  if (dt != DType::kF32) {
+    ScalarBackend()->dequantize_blockwise(wire, numel, block_size, dst, dt);
+    return;
+  }
+  float* out = static_cast<float*>(dst);
+  const int64_t blocks = QuantBlockCount(numel, block_size);
+  const uint8_t* scales = wire;
+  const int8_t* codes = reinterpret_cast<const int8_t*>(wire + 4 * blocks);
+  for (int64_t b = 0; b < blocks; ++b) {
+    const int64_t lo = b * block_size;
+    const int64_t hi = std::min(numel, lo + block_size);
+    float scale;
+    std::memcpy(&scale, scales + 4 * b, 4);
+    const __m256 vs = _mm256_set1_ps(scale);
+    int64_t i = lo;
+    for (; i + 8 <= hi; i += 8) {
+      const __m256i q = _mm256_cvtepi8_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + i)));
+      _mm256_storeu_ps(out + i, _mm256_mul_ps(vs, _mm256_cvtepi32_ps(q)));
+    }
+    for (; i < hi; ++i) out[i] = scale * static_cast<float>(codes[i]);
+  }
+}
+
+void DequantizeAccumulate(const uint8_t* wire, int64_t numel, int block_size,
+                          RedOp op, bool first, float* acc) {
+  const int64_t blocks = QuantBlockCount(numel, block_size);
+  const uint8_t* scales = wire;
+  const int8_t* codes = reinterpret_cast<const int8_t*>(wire + 4 * blocks);
+  for (int64_t b = 0; b < blocks; ++b) {
+    const int64_t lo = b * block_size;
+    const int64_t hi = std::min(numel, lo + block_size);
+    float scale;
+    std::memcpy(&scale, scales + 4 * b, 4);
+    const __m256 vs = _mm256_set1_ps(scale);
+    int64_t i = lo;
+    for (; i + 8 <= hi; i += 8) {
+      const __m256i q = _mm256_cvtepi8_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + i)));
+      const __m256 v = _mm256_mul_ps(vs, _mm256_cvtepi32_ps(q));
+      __m256 r;
+      if (first) {
+        r = v;
+      } else if (op == RedOp::kMax) {
+        r = _mm256_max_ps(v, _mm256_loadu_ps(acc + i));
+      } else {
+        r = _mm256_add_ps(_mm256_loadu_ps(acc + i), v);
+      }
+      _mm256_storeu_ps(acc + i, r);
+    }
+    for (; i < hi; ++i) {
+      const float v = scale * static_cast<float>(codes[i]);
+      if (first) {
+        acc[i] = v;
+      } else if (op == RedOp::kMax) {
+        acc[i] = std::max(acc[i], v);
+      } else {
+        acc[i] += v;
+      }
+    }
+  }
+}
+
+}  // namespace avx2
+
+bool Avx2Augment(Backend* table) {
+  if (!__builtin_cpu_supports("avx2") || !__builtin_cpu_supports("fma")) {
+    return false;
+  }
+  table->name = "simd-avx2";
+  table->gemm = avx2::Gemm;
+  table->gemm_backward = avx2::GemmBackward;
+  table->matmul_nt = avx2::MatmulNT;
+  table->matmul_nn = avx2::MatmulNN;
+  table->matmul_tn = avx2::MatmulTN;
+  table->layer_norm_fwd = avx2::LayerNormFwd;
+  table->layer_norm_bwd = avx2::LayerNormBwd;
+  table->relu_fwd = avx2::ReluFwd;
+  table->relu_bwd = avx2::ReluBwd;
+  table->add = avx2::Add;
+  table->axpy = avx2::Axpy;
+  table->scale = avx2::ScaleK;
+  table->reduce_sum = avx2::ReduceSum;
+  table->reduce_members = avx2::ReduceMembers;
+  table->gemm_typed = avx2::GemmTyped;
+  table->quantize_blockwise = avx2::QuantizeBlockwise;
+  table->dequantize_blockwise = avx2::DequantizeBlockwise;
+  table->dequantize_accumulate = avx2::DequantizeAccumulate;
+  // softmax/softmax_backward/softmax_xent/gelu/argmax keep the shared
+  // scalar implementation (transcendental-heavy or branchy; one body
+  // guarantees cross-backend bit identity).
+  return true;
+}
+
+}  // namespace kernels
+}  // namespace mics
+
+#else  // !MICS_KERNELS_AVX2
+
+namespace mics {
+namespace kernels {
+
+bool Avx2Augment(Backend*) { return false; }
+
+}  // namespace kernels
+}  // namespace mics
+
+#endif

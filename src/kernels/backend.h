@@ -1,0 +1,102 @@
+#ifndef MICS_KERNELS_BACKEND_H_
+#define MICS_KERNELS_BACKEND_H_
+
+#include <cstdint>
+
+#include "kernels/kernels.h"
+
+namespace mics {
+namespace kernels {
+
+/// The dispatch table one backend fills in. Function pointers, selected
+/// once at startup (kernels.h::Active) — no virtual calls on the hot
+/// path, and benchmarks/tests can drive two backends side by side
+/// through explicit GetBackend() handles.
+///
+/// Every entry must be non-null: backends that do not specialize a
+/// kernel point at the scalar reference (or a shared implementation).
+struct Backend {
+  const char* name;
+
+  void (*gemm)(const float* x, const float* w, const float* bias,
+               int64_t rows, int64_t in, int64_t out, float* y);
+  void (*gemm_backward)(const float* x, const float* w, const float* dy,
+                        int64_t rows, int64_t in, int64_t out, float* dx,
+                        float* dw, float* db);
+  void (*matmul_nt)(const float* a, int64_t lda, const float* b, int64_t ldb,
+                    int64_t m, int64_t n, int64_t k, float scale, float* c,
+                    int64_t ldc);
+  void (*matmul_nn)(const float* a, int64_t lda, const float* b, int64_t ldb,
+                    int64_t m, int64_t n, int64_t k, float* c, int64_t ldc,
+                    bool accumulate);
+  void (*matmul_tn)(const float* a, int64_t lda, const float* b, int64_t ldb,
+                    int64_t m, int64_t n, int64_t k, float* c, int64_t ldc,
+                    bool accumulate);
+
+  void (*layer_norm_fwd)(const float* x, const float* gamma,
+                         const float* beta, int64_t rows, int64_t d,
+                         float eps, float* y, float* xhat, float* inv_sigma);
+  void (*layer_norm_bwd)(const float* xhat, const float* inv_sigma,
+                         const float* gamma, const float* dy, int64_t rows,
+                         int64_t d, float* dx, float* dgamma, float* dbeta);
+
+  void (*softmax)(float* x, int64_t rows, int64_t cols);
+  void (*softmax_backward)(const float* p, const float* dp, int64_t rows,
+                           int64_t cols, float scale, float* dx);
+  double (*softmax_xent)(float* logits, const int32_t* labels, int64_t rows,
+                         int64_t classes);
+
+  void (*relu_fwd)(const float* x, int64_t n, float* y);
+  void (*relu_bwd)(const float* z, const float* dy, int64_t n, float* dx);
+  void (*gelu_fwd)(const float* x, int64_t n, float* y);
+  void (*gelu_bwd)(const float* x, const float* dy, int64_t n, float* dx);
+
+  void (*add)(float* dst, const float* src, int64_t n);
+  void (*axpy)(float alpha, const float* x, float* y, int64_t n);
+  void (*scale)(float* x, int64_t n, float s);
+  float (*reduce_sum)(const float* x, int64_t n);
+  void (*argmax_rows)(const float* x, int64_t rows, int64_t cols,
+                      int32_t* out);
+  void (*reduce_members)(const float* const* srcs, int64_t nsrc,
+                         int64_t src_offset, int64_t n, RedOp op, float* dst);
+
+  void (*gemm_typed)(const void* x, DType xdt, const void* w, DType wdt,
+                     const float* bias, int64_t rows, int64_t in, int64_t out,
+                     void* y, DType ydt);
+
+  void (*quantize_blockwise)(const void* src, DType dt, int64_t numel,
+                             int block_size, uint8_t* wire);
+  void (*dequantize_blockwise)(const uint8_t* wire, int64_t numel,
+                               int block_size, void* dst, DType dt);
+  void (*dequantize_accumulate)(const uint8_t* wire, int64_t numel,
+                                int block_size, RedOp op, bool first,
+                                float* acc);
+};
+
+/// The scalar reference table (always available).
+const Backend* ScalarBackend();
+
+/// The SIMD table for this build (AVX2+FMA on x86-64, NEON on aarch64),
+/// or nullptr when not compiled in or not supported by this CPU.
+const Backend* SimdBackend();
+
+/// Implemented by the per-ISA translation units. Each overwrites the
+/// table entries it specializes (the rest keep their scalar reference
+/// pointers) and returns true; unavailable ISAs (not compiled in, or
+/// the CPU lacks the feature at runtime) return false untouched.
+bool Avx2Augment(Backend* table);
+bool NeonAugment(Backend* table);
+
+/// Shared wire-layout arithmetic for the block codecs (mirrors
+/// comm/quantize.h's public QuantBlocks/QuantizedWireBytes).
+inline int64_t QuantBlockCount(int64_t numel, int block_size) {
+  return (numel + block_size - 1) / block_size;
+}
+inline int64_t QuantWireBytes(int64_t numel, int block_size) {
+  return (4 * QuantBlockCount(numel, block_size) + numel + 3) & ~int64_t{3};
+}
+
+}  // namespace kernels
+}  // namespace mics
+
+#endif  // MICS_KERNELS_BACKEND_H_

@@ -1,0 +1,233 @@
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+#include "kernels/backend.h"
+#include "kernels/kernels.h"
+#include "util/logging.h"
+
+// Backend selection and the dispatched entry points. The choice is made
+// once, on first use (any rank thread may get there first; the init is
+// guarded), from:
+//   1. MICS_KERNELS=scalar|simd when set — the A/B switch. An explicit
+//      "simd" on a machine without a SIMD backend falls back to scalar
+//      with a warning rather than aborting a training job at startup.
+//   2. Otherwise: the SIMD backend when the CPU supports it, else scalar.
+// SelectBackend() lets tests and benchmarks override after the fact.
+
+namespace mics {
+namespace kernels {
+
+namespace {
+
+std::atomic<const Backend*> g_active{nullptr};
+std::atomic<int> g_active_kind{static_cast<int>(BackendKind::kScalar)};
+std::once_flag g_init_once;
+
+void InitActive() {
+  BackendKind kind =
+      SimdBackend() != nullptr ? BackendKind::kSimd : BackendKind::kScalar;
+  const char* env = std::getenv("MICS_KERNELS");
+  if (env != nullptr && env[0] != '\0') {
+    Result<BackendKind> parsed = ParseBackendName(env);
+    if (!parsed.ok()) {
+      MICS_LOG(Warning) << "MICS_KERNELS=" << env
+                        << " is not 'scalar' or 'simd'; using the default "
+                           "backend selection";
+    } else if (parsed.value() == BackendKind::kSimd &&
+               SimdBackend() == nullptr) {
+      MICS_LOG(Warning) << "MICS_KERNELS=simd requested but no SIMD backend "
+                           "is available on this machine; using scalar";
+      kind = BackendKind::kScalar;
+    } else {
+      kind = parsed.value();
+    }
+  }
+  const Backend* b =
+      kind == BackendKind::kSimd ? SimdBackend() : ScalarBackend();
+  g_active_kind.store(static_cast<int>(kind), std::memory_order_relaxed);
+  g_active.store(b, std::memory_order_release);
+}
+
+const Backend* ActivePtr() {
+  const Backend* b = g_active.load(std::memory_order_acquire);
+  if (b == nullptr) {
+    std::call_once(g_init_once, InitActive);
+    b = g_active.load(std::memory_order_acquire);
+  }
+  return b;
+}
+
+}  // namespace
+
+const Backend* SimdBackend() {
+  static const Backend* simd = []() -> const Backend* {
+    static Backend table = *ScalarBackend();
+    if (Avx2Augment(&table)) return &table;
+    if (NeonAugment(&table)) return &table;
+    return nullptr;
+  }();
+  return simd;
+}
+
+const Backend& Active() { return *ActivePtr(); }
+
+BackendKind ActiveKind() {
+  ActivePtr();
+  return static_cast<BackendKind>(
+      g_active_kind.load(std::memory_order_relaxed));
+}
+
+const char* ActiveName() { return ActivePtr()->name; }
+
+const Backend* GetBackend(BackendKind kind) {
+  return kind == BackendKind::kScalar ? ScalarBackend() : SimdBackend();
+}
+
+bool SimdAvailable() { return SimdBackend() != nullptr; }
+
+Status SelectBackend(BackendKind kind) {
+  const Backend* b = GetBackend(kind);
+  if (b == nullptr) {
+    return Status::InvalidArgument(
+        "requested kernel backend is not available on this machine");
+  }
+  // Ensure the once-init ran so a later Active() cannot overwrite this.
+  ActivePtr();
+  g_active_kind.store(static_cast<int>(kind), std::memory_order_relaxed);
+  g_active.store(b, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<BackendKind> ParseBackendName(const char* value) {
+  if (value != nullptr) {
+    if (std::strcmp(value, "scalar") == 0) return BackendKind::kScalar;
+    if (std::strcmp(value, "simd") == 0) return BackendKind::kSimd;
+  }
+  return Status::InvalidArgument(
+      "MICS_KERNELS must be 'scalar' or 'simd', got '" +
+      std::string(value == nullptr ? "" : value) + "'");
+}
+
+// ---------------------------------------------------------------------
+// Dispatched wrappers.
+// ---------------------------------------------------------------------
+
+void Gemm(const float* x, const float* w, const float* bias, int64_t rows,
+          int64_t in, int64_t out, float* y) {
+  Active().gemm(x, w, bias, rows, in, out, y);
+}
+
+void GemmBackward(const float* x, const float* w, const float* dy,
+                  int64_t rows, int64_t in, int64_t out, float* dx, float* dw,
+                  float* db) {
+  Active().gemm_backward(x, w, dy, rows, in, out, dx, dw, db);
+}
+
+void MatmulNT(const float* a, int64_t lda, const float* b, int64_t ldb,
+              int64_t m, int64_t n, int64_t k, float scale, float* c,
+              int64_t ldc) {
+  Active().matmul_nt(a, lda, b, ldb, m, n, k, scale, c, ldc);
+}
+
+void MatmulNN(const float* a, int64_t lda, const float* b, int64_t ldb,
+              int64_t m, int64_t n, int64_t k, float* c, int64_t ldc,
+              bool accumulate) {
+  Active().matmul_nn(a, lda, b, ldb, m, n, k, c, ldc, accumulate);
+}
+
+void MatmulTN(const float* a, int64_t lda, const float* b, int64_t ldb,
+              int64_t m, int64_t n, int64_t k, float* c, int64_t ldc,
+              bool accumulate) {
+  Active().matmul_tn(a, lda, b, ldb, m, n, k, c, ldc, accumulate);
+}
+
+void LayerNormFwd(const float* x, const float* gamma, const float* beta,
+                  int64_t rows, int64_t d, float eps, float* y, float* xhat,
+                  float* inv_sigma) {
+  Active().layer_norm_fwd(x, gamma, beta, rows, d, eps, y, xhat, inv_sigma);
+}
+
+void LayerNormBwd(const float* xhat, const float* inv_sigma,
+                  const float* gamma, const float* dy, int64_t rows, int64_t d,
+                  float* dx, float* dgamma, float* dbeta) {
+  Active().layer_norm_bwd(xhat, inv_sigma, gamma, dy, rows, d, dx, dgamma,
+                          dbeta);
+}
+
+void Softmax(float* x, int64_t rows, int64_t cols) {
+  Active().softmax(x, rows, cols);
+}
+
+void SoftmaxBackward(const float* p, const float* dp, int64_t rows,
+                     int64_t cols, float scale, float* dx) {
+  Active().softmax_backward(p, dp, rows, cols, scale, dx);
+}
+
+double SoftmaxCrossEntropy(float* logits, const int32_t* labels, int64_t rows,
+                           int64_t classes) {
+  return Active().softmax_xent(logits, labels, rows, classes);
+}
+
+void ReluFwd(const float* x, int64_t n, float* y) {
+  Active().relu_fwd(x, n, y);
+}
+
+void ReluBwd(const float* z, const float* dy, int64_t n, float* dx) {
+  Active().relu_bwd(z, dy, n, dx);
+}
+
+void GeluFwd(const float* x, int64_t n, float* y) {
+  Active().gelu_fwd(x, n, y);
+}
+
+void GeluBwd(const float* x, const float* dy, int64_t n, float* dx) {
+  Active().gelu_bwd(x, dy, n, dx);
+}
+
+void Add(float* dst, const float* src, int64_t n) {
+  Active().add(dst, src, n);
+}
+
+void Axpy(float alpha, const float* x, float* y, int64_t n) {
+  Active().axpy(alpha, x, y, n);
+}
+
+void Scale(float* x, int64_t n, float s) { Active().scale(x, n, s); }
+
+float ReduceSum(const float* x, int64_t n) { return Active().reduce_sum(x, n); }
+
+void ArgmaxRows(const float* x, int64_t rows, int64_t cols, int32_t* out) {
+  Active().argmax_rows(x, rows, cols, out);
+}
+
+void ReduceMembers(const float* const* srcs, int64_t nsrc, int64_t src_offset,
+                   int64_t n, RedOp op, float* dst) {
+  Active().reduce_members(srcs, nsrc, src_offset, n, op, dst);
+}
+
+void GemmTyped(const void* x, DType xdt, const void* w, DType wdt,
+               const float* bias, int64_t rows, int64_t in, int64_t out,
+               void* y, DType ydt) {
+  Active().gemm_typed(x, xdt, w, wdt, bias, rows, in, out, y, ydt);
+}
+
+void QuantizeBlockwise(const void* src, DType dt, int64_t numel,
+                       int block_size, uint8_t* wire) {
+  Active().quantize_blockwise(src, dt, numel, block_size, wire);
+}
+
+void DequantizeBlockwise(const uint8_t* wire, int64_t numel, int block_size,
+                         void* dst, DType dt) {
+  Active().dequantize_blockwise(wire, numel, block_size, dst, dt);
+}
+
+void DequantizeAccumulate(const uint8_t* wire, int64_t numel, int block_size,
+                          RedOp op, bool first, float* acc) {
+  Active().dequantize_accumulate(wire, numel, block_size, op, first, acc);
+}
+
+}  // namespace kernels
+}  // namespace mics

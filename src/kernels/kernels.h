@@ -1,0 +1,210 @@
+#ifndef MICS_KERNELS_KERNELS_H_
+#define MICS_KERNELS_KERNELS_H_
+
+#include <cstdint>
+
+#include "tensor/dtype.h"
+#include "util/status.h"
+
+namespace mics {
+namespace kernels {
+
+/// mics::kernels — the typed compute substrate under every hot path in
+/// the repo: training forward/backward (MlpModel, TransformerClassifier),
+/// serving forward, the comm plane's reductions (ReduceInto) and the
+/// int8 block-quantized wire codecs. One blocked GEMM and one reduction
+/// path serve train, serve, and comm alike.
+///
+/// Backends. Two implementations sit behind one dispatch table:
+///   - scalar: the bit-exact reference. Identical operation-for-operation
+///     to the historical hand-written loops, so fp32 training losses are
+///     bit-identical to the pre-kernel-layer code.
+///   - simd:   AVX2+FMA on x86-64, NEON on aarch64. Selected at startup
+///     when the CPU supports it; otherwise scalar.
+/// Override with MICS_KERNELS=scalar|simd (checked once, at first use)
+/// for A/B runs; an unavailable explicit choice falls back to scalar
+/// with a warning.
+///
+/// Determinism / reassociation contract. Kernels come in two classes:
+///   - Backend-invariant kernels produce bit-identical results under
+///     scalar and simd: all element-wise kernels (Add/Axpy/Scale/Relu,
+///     ReduceMembers, LayerNorm normalize+backward, quantize/dequantize
+///     codecs) vectorize across elements without changing any single
+///     element's operation sequence, and use separate mul+add (never
+///     FMA). Softmax / SoftmaxBackward / SoftmaxCrossEntropy / Gelu /
+///     ArgmaxRows share one implementation outright.
+///   - Matmul-family kernels (Gemm, GemmBackward, MatmulNT/NN/TN,
+///     ReduceSum) may differ between backends: the simd body contracts
+///     mul+add into FMA and reduces dot products through fixed-width
+///     partial sums. Blocking is a pure function of the shape — never of
+///     the data or the machine load — so every backend is deterministic
+///     run-to-run on the same ISA; only cross-backend bits differ.
+///
+/// Storage types. The hot entry points are fp32. f16/bf16 storage rides
+/// through the tensor/half.h seam: LoadElem/StoreElem widen and narrow
+/// (RNE), and GemmTyped accumulates every product in f32 regardless of
+/// the storage dtype — narrow-storage GEMM output equals the f32 GEMM
+/// of the widened inputs, narrowed once on store.
+
+enum class BackendKind { kScalar = 0, kSimd = 1 };
+
+struct Backend;  // dispatch table; layout in kernels/backend.h
+
+/// The backend selected at startup (env MICS_KERNELS, else simd when the
+/// CPU supports it). Thread-safe; the choice is made once.
+const Backend& Active();
+BackendKind ActiveKind();
+const char* ActiveName();
+
+/// Explicit handles for A/B tests and benchmarks. Returns nullptr when
+/// the backend is not available on this machine/build.
+const Backend* GetBackend(BackendKind kind);
+
+/// True when a SIMD backend was compiled in and the CPU supports it.
+bool SimdAvailable();
+
+/// Overrides the active backend (tests/benchmarks only). Fails with
+/// InvalidArgument when the backend is unavailable.
+Status SelectBackend(BackendKind kind);
+
+/// Parses a MICS_KERNELS value ("scalar" or "simd").
+Result<BackendKind> ParseBackendName(const char* value);
+
+/// Reduction flavor for ReduceMembers / DequantizeAccumulate. Mirrors
+/// comm's ReduceOp without depending on the comm layer.
+enum class RedOp : int { kSum = 0, kAvg = 1, kMax = 2 };
+
+// ---------------------------------------------------------------------
+// Dispatched entry points (all call through Active()).
+// ---------------------------------------------------------------------
+
+/// y[r, :out] = x[r, :in] * w[in, out] + bias[out]  (row-major).
+/// bias == nullptr initializes the accumulators to 0. No sparsity fast
+/// path: the result is a pure function of the values, identical whether
+/// activations contain exact zeros, denormals, or neither.
+void Gemm(const float* x, const float* w, const float* bias, int64_t rows,
+          int64_t in, int64_t out, float* y);
+
+/// Backward of Gemm: accumulates dw[in, out] += x^T dy and
+/// db[out] += column-sums(dy), and overwrites dx[rows, in] = dy w^T.
+/// Any of dx/dw/db may be nullptr to skip that output (w may be nullptr
+/// when dx is).
+void GemmBackward(const float* x, const float* w, const float* dy,
+                  int64_t rows, int64_t in, int64_t out, float* dx, float* dw,
+                  float* db);
+
+/// c[m, n] = scale * (a b^T): c[i,j] = scale * sum_k a[i*lda+k]*b[j*ldb+k].
+/// Overwrites c. The strided form covers per-head attention scores.
+void MatmulNT(const float* a, int64_t lda, const float* b, int64_t ldb,
+              int64_t m, int64_t n, int64_t k, float scale, float* c,
+              int64_t ldc);
+
+/// c[m, n] (+)= a b: c[i,j] = sum_k a[i*lda+k] * b[k*ldb+j].
+/// accumulate=false overwrites, true adds into c.
+void MatmulNN(const float* a, int64_t lda, const float* b, int64_t ldb,
+              int64_t m, int64_t n, int64_t k, float* c, int64_t ldc,
+              bool accumulate);
+
+/// c[m, n] (+)= a^T b: c[i,j] = sum_k a[k*lda+i] * b[k*ldb+j].
+void MatmulTN(const float* a, int64_t lda, const float* b, int64_t ldb,
+              int64_t m, int64_t n, int64_t k, float* c, int64_t ldc,
+              bool accumulate);
+
+/// Row-wise LayerNorm with cached normalized activations and 1/sigma.
+/// Statistics (mean/variance) accumulate in f64 in element order.
+void LayerNormFwd(const float* x, const float* gamma, const float* beta,
+                  int64_t rows, int64_t d, float eps, float* y, float* xhat,
+                  float* inv_sigma);
+
+/// LayerNorm backward from cached xhat/inv_sigma. Accumulates
+/// dgamma/dbeta, overwrites dx.
+void LayerNormBwd(const float* xhat, const float* inv_sigma,
+                  const float* gamma, const float* dy, int64_t rows, int64_t d,
+                  float* dx, float* dgamma, float* dbeta);
+
+/// Row-wise softmax in place (numerically stable max-subtraction form;
+/// the denominator accumulates in f64).
+void Softmax(float* x, int64_t rows, int64_t cols);
+
+/// Backward through a row-wise softmax with probabilities p and upstream
+/// gradient dp: dx[i,j] = p[i,j] * (dp[i,j] - sum_j dp*p) * scale.
+void SoftmaxBackward(const float* p, const float* dp, int64_t rows,
+                     int64_t cols, float scale, float* dx);
+
+/// Row-wise softmax cross-entropy: converts `logits` to probabilities in
+/// place (same arithmetic as Softmax) and returns the f64 SUM over rows
+/// of the f32 -log(max(1e-12, p[label])) terms. Callers divide by the
+/// batch once — preserving the historical "f64 sum of f32 terms, one
+/// final division" loss arithmetic of every model.
+double SoftmaxCrossEntropy(float* logits, const int32_t* labels, int64_t rows,
+                           int64_t classes);
+
+/// y = max(0, x).
+void ReluFwd(const float* x, int64_t n, float* y);
+/// dx = z > 0 ? dy : 0 (z is the pre-activation).
+void ReluBwd(const float* z, const float* dy, int64_t n, float* dx);
+
+/// Tanh-approximation GELU forward/backward.
+void GeluFwd(const float* x, int64_t n, float* y);
+void GeluBwd(const float* x, const float* dy, int64_t n, float* dx);
+
+/// dst[i] += src[i].
+void Add(float* dst, const float* src, int64_t n);
+/// y[i] += alpha * x[i] (separate mul+add; backend-invariant).
+void Axpy(float alpha, const float* x, float* y, int64_t n);
+/// x[i] *= s.
+void Scale(float* x, int64_t n, float s);
+/// Sum of x[0..n). Scalar sums in ascending order; simd uses fixed-width
+/// partial sums (reassociates — see the contract above).
+float ReduceSum(const float* x, int64_t n);
+
+/// out[r] = index of the first maximum of row r (strictly-greater
+/// comparison, so ties resolve to the lowest index on every backend).
+void ArgmaxRows(const float* x, int64_t rows, int64_t cols, int32_t* out);
+
+/// The comm plane's member-ordered reduction: dst[i] = reduce over
+/// srcs[0..nsrc) of src[src_offset + i], accumulating in listed member
+/// order. kAvg multiplies by 1/nsrc once at the end. Backend-invariant
+/// (element-wise), which is what keeps every transport bit-identical.
+void ReduceMembers(const float* const* srcs, int64_t nsrc, int64_t src_offset,
+                   int64_t n, RedOp op, float* dst);
+
+// ---------------------------------------------------------------------
+// Typed storage (the tensor/half.h seam).
+// ---------------------------------------------------------------------
+
+/// Reads element i of `base` (dtype f32/f16/bf16) widened to f32.
+float LoadElem(const void* base, DType dt, int64_t i);
+/// Writes f32 value v to element i of `base`, narrowing per dtype (RNE).
+void StoreElem(void* base, DType dt, int64_t i, float v);
+/// True for dtypes LoadElem/StoreElem handle (f32, f16, bf16).
+bool LoadStoreDtype(DType dt);
+
+/// Gemm over f16/bf16/f32 storage with f32 accumulation: inputs widen
+/// element-wise, every product and partial sum stays f32, and the result
+/// narrows once on store. All-f32 calls take the fast Gemm path.
+void GemmTyped(const void* x, DType xdt, const void* w, DType wdt,
+               const float* bias, int64_t rows, int64_t in, int64_t out,
+               void* y, DType ydt);
+
+// ---------------------------------------------------------------------
+// int8 block quantization (the comm wire codecs).
+// ---------------------------------------------------------------------
+// Wire layout (owned by comm/quantize.h): per-block f32 scales, then
+// int8 codes, zero-padded to 4 bytes. These kernels implement the block
+// loops; comm/quantize.cc wraps them behind the existing API. Backend-
+// invariant: the simd encoder mirrors the scalar rounding (round half
+// away from zero, clamp to ±127) operation-for-operation, so wire
+// images are byte-identical across backends and transports.
+
+void QuantizeBlockwise(const void* src, DType dt, int64_t numel,
+                       int block_size, uint8_t* wire);
+void DequantizeBlockwise(const uint8_t* wire, int64_t numel, int block_size,
+                         void* dst, DType dt);
+void DequantizeAccumulate(const uint8_t* wire, int64_t numel, int block_size,
+                          RedOp op, bool first, float* acc);
+
+}  // namespace kernels
+}  // namespace mics
+
+#endif  // MICS_KERNELS_KERNELS_H_

@@ -1,0 +1,166 @@
+#include "kernels/backend.h"
+
+// NEON backend for aarch64. Advanced SIMD is architecturally mandatory
+// on AArch64, so there is no runtime CPU gate — only the compile-time
+// one. Smaller than the AVX2 table: it specializes the bandwidth-bound
+// kernels (GEMM families, element-wise, reductions) and leaves the
+// codecs and normalization on the shared scalar reference.
+//
+// Same bit contract as avx2.cc: matmul-family kernels use 4-wide FMA
+// partial sums (deterministic per shape, not scalar-bit-identical);
+// element-wise kernels keep separate mul+add and are bit-identical.
+
+#if defined(MICS_KERNELS_NEON) && defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+
+namespace mics {
+namespace kernels {
+namespace neon {
+
+void Gemm(const float* x, const float* w, const float* bias, int64_t rows,
+          int64_t in, int64_t out, float* y) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * in;
+    float* yr = y + r * out;
+    int64_t o = 0;
+    for (; o + 16 <= out; o += 16) {
+      float32x4_t a0, a1, a2, a3;
+      if (bias != nullptr) {
+        a0 = vld1q_f32(bias + o);
+        a1 = vld1q_f32(bias + o + 4);
+        a2 = vld1q_f32(bias + o + 8);
+        a3 = vld1q_f32(bias + o + 12);
+      } else {
+        a0 = a1 = a2 = a3 = vdupq_n_f32(0.0f);
+      }
+      const float* wp = w + o;
+      for (int64_t i = 0; i < in; ++i, wp += out) {
+        const float32x4_t xv = vdupq_n_f32(xr[i]);
+        a0 = vfmaq_f32(a0, xv, vld1q_f32(wp));
+        a1 = vfmaq_f32(a1, xv, vld1q_f32(wp + 4));
+        a2 = vfmaq_f32(a2, xv, vld1q_f32(wp + 8));
+        a3 = vfmaq_f32(a3, xv, vld1q_f32(wp + 12));
+      }
+      vst1q_f32(yr + o, a0);
+      vst1q_f32(yr + o + 4, a1);
+      vst1q_f32(yr + o + 8, a2);
+      vst1q_f32(yr + o + 12, a3);
+    }
+    for (; o + 4 <= out; o += 4) {
+      float32x4_t acc =
+          bias != nullptr ? vld1q_f32(bias + o) : vdupq_n_f32(0.0f);
+      const float* wp = w + o;
+      for (int64_t i = 0; i < in; ++i, wp += out) {
+        acc = vfmaq_f32(acc, vdupq_n_f32(xr[i]), vld1q_f32(wp));
+      }
+      vst1q_f32(yr + o, acc);
+    }
+    for (; o < out; ++o) {
+      float acc = bias != nullptr ? bias[o] : 0.0f;
+      for (int64_t i = 0; i < in; ++i) acc += xr[i] * w[i * out + o];
+      yr[o] = acc;
+    }
+  }
+}
+
+void Add(float* dst, const float* src, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(dst + i, vaddq_f32(vld1q_f32(dst + i), vld1q_f32(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void Axpy(float alpha, const float* x, float* y, int64_t n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vaddq_f32(vld1q_f32(y + i),
+                               vmulq_f32(va, vld1q_f32(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleK(float* x, int64_t n, float s) {
+  const float32x4_t vs = vdupq_n_f32(s);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(x + i, vmulq_f32(vld1q_f32(x + i), vs));
+  }
+  for (; i < n; ++i) x[i] *= s;
+}
+
+void ReluFwd(const float* x, int64_t n, float* y) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vmaxq_f32(vld1q_f32(x + i), zero));
+  }
+  for (; i < n; ++i) y[i] = std::max(0.0f, x[i]);
+}
+
+float ReduceSum(const float* x, int64_t n) {
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) acc = vaddq_f32(acc, vld1q_f32(x + i));
+  float sum = vaddvq_f32(acc);
+  for (; i < n; ++i) sum += x[i];
+  return sum;
+}
+
+void ReduceMembers(const float* const* srcs, int64_t nsrc, int64_t src_offset,
+                   int64_t n, RedOp op, float* dst) {
+  const float inv = 1.0f / static_cast<float>(nsrc);
+  const float32x4_t vinv = vdupq_n_f32(inv);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    float32x4_t acc = vld1q_f32(srcs[0] + src_offset + i);
+    for (int64_t m = 1; m < nsrc; ++m) {
+      const float32x4_t v = vld1q_f32(srcs[m] + src_offset + i);
+      acc = (op == RedOp::kMax) ? vmaxq_f32(acc, v) : vaddq_f32(acc, v);
+    }
+    if (op == RedOp::kAvg) acc = vmulq_f32(acc, vinv);
+    vst1q_f32(dst + i, acc);
+  }
+  for (; i < n; ++i) {
+    float acc = srcs[0][src_offset + i];
+    for (int64_t m = 1; m < nsrc; ++m) {
+      const float v = srcs[m][src_offset + i];
+      acc = (op == RedOp::kMax) ? std::max(acc, v) : acc + v;
+    }
+    if (op == RedOp::kAvg) acc *= inv;
+    dst[i] = acc;
+  }
+}
+
+}  // namespace neon
+
+bool NeonAugment(Backend* table) {
+  table->name = "simd-neon";
+  table->gemm = neon::Gemm;
+  table->add = neon::Add;
+  table->axpy = neon::Axpy;
+  table->scale = neon::ScaleK;
+  table->relu_fwd = neon::ReluFwd;
+  table->reduce_sum = neon::ReduceSum;
+  table->reduce_members = neon::ReduceMembers;
+  return true;
+}
+
+}  // namespace kernels
+}  // namespace mics
+
+#else  // !MICS_KERNELS_NEON
+
+namespace mics {
+namespace kernels {
+
+bool NeonAugment(Backend*) { return false; }
+
+}  // namespace kernels
+}  // namespace mics
+
+#endif

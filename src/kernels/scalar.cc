@@ -1,0 +1,495 @@
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "kernels/backend.h"
+#include "tensor/half.h"
+#include "util/logging.h"
+
+// The scalar reference backend. Every function here is the bit-exact
+// contract the SIMD backends are measured against, and — for the
+// training kernels — operation-for-operation identical to the
+// hand-written loops that used to live in train/transformer_model.cc,
+// train/mlp_model.cc, comm/reduce_kernels.cc and comm/quantize.cc, so
+// fp32 training under MICS_KERNELS=scalar reproduces the historical
+// losses bit-for-bit. Change the arithmetic order here and that
+// guarantee (asserted by tests/kernels/seed_loss_bits_test) breaks.
+
+namespace mics {
+namespace kernels {
+namespace scalar {
+
+void Gemm(const float* x, const float* w, const float* bias, int64_t rows,
+          int64_t in, int64_t out, float* y) {
+  for (int64_t r = 0; r < rows; ++r) {
+    float* yr = y + r * out;
+    if (bias != nullptr) {
+      for (int64_t o = 0; o < out; ++o) yr[o] = bias[o];
+    } else {
+      for (int64_t o = 0; o < out; ++o) yr[o] = 0.0f;
+    }
+    const float* xr = x + r * in;
+    for (int64_t i = 0; i < in; ++i) {
+      // No `xv == 0` fast path: exact zeros and denormal activations
+      // take the same multiply-add sequence as every other value, so
+      // the result is independent of activation sparsity.
+      const float xv = xr[i];
+      const float* wrow = w + i * out;
+      for (int64_t o = 0; o < out; ++o) yr[o] += xv * wrow[o];
+    }
+  }
+}
+
+void GemmBackward(const float* x, const float* w, const float* dy,
+                  int64_t rows, int64_t in, int64_t out, float* dx, float* dw,
+                  float* db) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* dyr = dy + r * out;
+    const float* xr = x + r * in;
+    if (db != nullptr) {
+      for (int64_t o = 0; o < out; ++o) db[o] += dyr[o];
+    }
+    for (int64_t i = 0; i < in; ++i) {
+      const float xv = xr[i];
+      if (dw != nullptr && dx != nullptr) {
+        const float* wrow = w + i * out;
+        float* dwrow = dw + i * out;
+        float acc = 0.0f;
+        for (int64_t o = 0; o < out; ++o) {
+          dwrow[o] += xv * dyr[o];
+          acc += wrow[o] * dyr[o];
+        }
+        dx[r * in + i] = acc;
+      } else if (dw != nullptr) {
+        float* dwrow = dw + i * out;
+        for (int64_t o = 0; o < out; ++o) dwrow[o] += xv * dyr[o];
+      } else if (dx != nullptr) {
+        const float* wrow = w + i * out;
+        float acc = 0.0f;
+        for (int64_t o = 0; o < out; ++o) acc += wrow[o] * dyr[o];
+        dx[r * in + i] = acc;
+      }
+    }
+  }
+}
+
+void MatmulNT(const float* a, int64_t lda, const float* b, int64_t ldb,
+              int64_t m, int64_t n, int64_t k, float scale, float* c,
+              int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * lda;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* bj = b + j * ldb;
+      float dot = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) dot += ai[kk] * bj[kk];
+      c[i * ldc + j] = dot * scale;
+    }
+  }
+}
+
+void MatmulNN(const float* a, int64_t lda, const float* b, int64_t ldb,
+              int64_t m, int64_t n, int64_t k, float* c, int64_t ldc,
+              bool accumulate) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * lda;
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += ai[kk] * b[kk * ldb + j];
+      if (accumulate) {
+        c[i * ldc + j] += acc;
+      } else {
+        c[i * ldc + j] = acc;
+      }
+    }
+  }
+}
+
+void MatmulTN(const float* a, int64_t lda, const float* b, int64_t ldb,
+              int64_t m, int64_t n, int64_t k, float* c, int64_t ldc,
+              bool accumulate) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a[kk * lda + i] * b[kk * ldb + j];
+      if (accumulate) {
+        c[i * ldc + j] += acc;
+      } else {
+        c[i * ldc + j] = acc;
+      }
+    }
+  }
+}
+
+void LayerNormFwd(const float* x, const float* gamma, const float* beta,
+                  int64_t rows, int64_t d, float eps, float* y, float* xhat,
+                  float* inv_sigma) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * d;
+    double mean = 0.0;
+    for (int64_t i = 0; i < d; ++i) mean += xr[i];
+    mean /= d;
+    double var = 0.0;
+    for (int64_t i = 0; i < d; ++i) {
+      const double c = xr[i] - mean;
+      var += c * c;
+    }
+    var /= d;
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    inv_sigma[r] = inv;
+    for (int64_t i = 0; i < d; ++i) {
+      const float h = (xr[i] - static_cast<float>(mean)) * inv;
+      xhat[r * d + i] = h;
+      y[r * d + i] = gamma[i] * h + beta[i];
+    }
+  }
+}
+
+void LayerNormBwd(const float* xhat, const float* inv_sigma,
+                  const float* gamma, const float* dy, int64_t rows, int64_t d,
+                  float* dx, float* dgamma, float* dbeta) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* hy = xhat + r * d;
+    const float* dyr = dy + r * d;
+    double sum_dyg = 0.0;
+    double sum_dyg_h = 0.0;
+    for (int64_t i = 0; i < d; ++i) {
+      const float dyg = dyr[i] * gamma[i];
+      sum_dyg += dyg;
+      sum_dyg_h += dyg * hy[i];
+      dgamma[i] += dyr[i] * hy[i];
+      dbeta[i] += dyr[i];
+    }
+    const float m1 = static_cast<float>(sum_dyg / d);
+    const float m2 = static_cast<float>(sum_dyg_h / d);
+    for (int64_t i = 0; i < d; ++i) {
+      dx[r * d + i] = inv_sigma[r] * (dyr[i] * gamma[i] - m1 - hy[i] * m2);
+    }
+  }
+}
+
+void Softmax(float* x, int64_t rows, int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = x + r * cols;
+    float mx = row[0];
+    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      denom += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < cols; ++j) row[j] *= inv;
+  }
+}
+
+void SoftmaxBackward(const float* p, const float* dp, int64_t rows,
+                     int64_t cols, float scale, float* dx) {
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* pi = p + i * cols;
+    const float* dpi = dp + i * cols;
+    double dot = 0.0;
+    for (int64_t j = 0; j < cols; ++j) {
+      dot += static_cast<double>(dpi[j]) * pi[j];
+    }
+    for (int64_t j = 0; j < cols; ++j) {
+      dx[i * cols + j] =
+          pi[j] * (dpi[j] - static_cast<float>(dot)) * scale;
+    }
+  }
+}
+
+double SoftmaxXent(float* logits, const int32_t* labels, int64_t rows,
+                   int64_t classes) {
+  double loss = 0.0;
+  for (int64_t i = 0; i < rows; ++i) {
+    float* row = logits + i * classes;
+    float mx = row[0];
+    for (int64_t j = 1; j < classes; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < classes; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      denom += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < classes; ++j) row[j] *= inv;
+    loss += -std::log(std::max(1e-12f, row[labels[i]]));
+  }
+  return loss;
+}
+
+void ReluFwd(const float* x, int64_t n, float* y) {
+  for (int64_t i = 0; i < n; ++i) y[i] = std::max(0.0f, x[i]);
+}
+
+void ReluBwd(const float* z, const float* dy, int64_t n, float* dx) {
+  for (int64_t i = 0; i < n; ++i) dx[i] = z[i] > 0.0f ? dy[i] : 0.0f;
+}
+
+// Tanh-approximation GELU (the BERT/GPT form):
+//   gelu(x) = 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+
+void GeluFwd(const float* x, int64_t n, float* y) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    const float u = kGeluC * (v + kGeluA * v * v * v);
+    y[i] = 0.5f * v * (1.0f + std::tanh(u));
+  }
+}
+
+void GeluBwd(const float* x, const float* dy, int64_t n, float* dx) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    const float u = kGeluC * (v + kGeluA * v * v * v);
+    const float t = std::tanh(u);
+    const float du = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
+    const float g = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+    dx[i] = dy[i] * g;
+  }
+}
+
+void Add(float* dst, const float* src, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void Axpy(float alpha, const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleK(float* x, int64_t n, float s) {
+  for (int64_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+float ReduceSum(const float* x, int64_t n) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+void ArgmaxRows(const float* x, int64_t rows, int64_t cols, int32_t* out) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = x + r * cols;
+    int32_t best = 0;
+    for (int64_t j = 1; j < cols; ++j) {
+      if (row[j] > row[best]) best = static_cast<int32_t>(j);
+    }
+    out[r] = best;
+  }
+}
+
+void ReduceMembers(const float* const* srcs, int64_t nsrc, int64_t src_offset,
+                   int64_t n, RedOp op, float* dst) {
+  const float inv = 1.0f / static_cast<float>(nsrc);
+  for (int64_t i = 0; i < n; ++i) {
+    float acc = srcs[0][src_offset + i];
+    for (int64_t m = 1; m < nsrc; ++m) {
+      const float v = srcs[m][src_offset + i];
+      acc = (op == RedOp::kMax) ? std::max(acc, v) : acc + v;
+    }
+    if (op == RedOp::kAvg) acc *= inv;
+    dst[i] = acc;
+  }
+}
+
+}  // namespace scalar
+
+float LoadElem(const void* base, DType dt, int64_t i) {
+  switch (dt) {
+    case DType::kF32:
+      return static_cast<const float*>(base)[i];
+    case DType::kF16:
+      return HalfToFloat(static_cast<const uint16_t*>(base)[i]);
+    case DType::kBF16:
+      return Bfloat16ToFloat(static_cast<const uint16_t*>(base)[i]);
+    default:
+      MICS_LOG(Fatal) << "LoadElem: unsupported dtype " << DTypeName(dt);
+      return 0.0f;
+  }
+}
+
+void StoreElem(void* base, DType dt, int64_t i, float v) {
+  switch (dt) {
+    case DType::kF32:
+      static_cast<float*>(base)[i] = v;
+      return;
+    case DType::kF16:
+      static_cast<uint16_t*>(base)[i] = FloatToHalf(v);
+      return;
+    case DType::kBF16:
+      static_cast<uint16_t*>(base)[i] = FloatToBfloat16(v);
+      return;
+    default:
+      MICS_LOG(Fatal) << "StoreElem: unsupported dtype " << DTypeName(dt);
+  }
+}
+
+bool LoadStoreDtype(DType dt) {
+  return dt == DType::kF32 || dt == DType::kF16 || dt == DType::kBF16;
+}
+
+namespace scalar {
+
+void GemmTyped(const void* x, DType xdt, const void* w, DType wdt,
+               const float* bias, int64_t rows, int64_t in, int64_t out,
+               void* y, DType ydt) {
+  if (xdt == DType::kF32 && wdt == DType::kF32 && ydt == DType::kF32) {
+    Gemm(static_cast<const float*>(x), static_cast<const float*>(w), bias,
+         rows, in, out, static_cast<float*>(y));
+    return;
+  }
+  MICS_CHECK(LoadStoreDtype(xdt) && LoadStoreDtype(wdt) &&
+             LoadStoreDtype(ydt))
+      << "GemmTyped: unsupported dtype";
+  // f32 accumulate regardless of storage dtype; narrow once on store.
+  std::vector<float> acc(static_cast<size_t>(out));
+  for (int64_t r = 0; r < rows; ++r) {
+    if (bias != nullptr) {
+      for (int64_t o = 0; o < out; ++o) acc[o] = bias[o];
+    } else {
+      for (int64_t o = 0; o < out; ++o) acc[o] = 0.0f;
+    }
+    for (int64_t i = 0; i < in; ++i) {
+      const float xv = LoadElem(x, xdt, r * in + i);
+      for (int64_t o = 0; o < out; ++o) {
+        acc[o] += xv * LoadElem(w, wdt, i * out + o);
+      }
+    }
+    for (int64_t o = 0; o < out; ++o) StoreElem(y, ydt, r * out + o, acc[o]);
+  }
+}
+
+// ---------------------------------------------------------------------
+// int8 block codecs (moved verbatim from comm/quantize.cc).
+// ---------------------------------------------------------------------
+
+int8_t EncodeOne(float v, float scale) {
+  // scale == 0 means an all-zero block; every code is 0 by construction.
+  if (scale == 0.0f) return 0;
+  const float t = v / scale;
+  // Round half away from zero: exact and platform-independent for the
+  // magnitudes involved (|t| <= 127 by construction of scale).
+  int q = static_cast<int>(t >= 0.0f ? t + 0.5f : t - 0.5f);
+  q = std::min(127, std::max(-127, q));
+  return static_cast<int8_t>(q);
+}
+
+void QuantizeBlockwise(const void* src, DType dt, int64_t numel,
+                       int block_size, uint8_t* wire) {
+  const int64_t blocks = QuantBlockCount(numel, block_size);
+  uint8_t* scales = wire;
+  int8_t* codes = reinterpret_cast<int8_t*>(wire + 4 * blocks);
+  // Zero the alignment pad so wire buffers compare bit-equal.
+  std::memset(wire, 0, QuantWireBytes(numel, block_size));
+  for (int64_t b = 0; b < blocks; ++b) {
+    const int64_t lo = b * block_size;
+    const int64_t hi = std::min(numel, lo + block_size);
+    float absmax = 0.0f;
+    bool finite = true;
+    for (int64_t i = lo; i < hi; ++i) {
+      const float v = LoadElem(src, dt, i);
+      if (!std::isfinite(v)) {
+        finite = false;
+        // Keep a deterministic non-finite representative: Inf dominates
+        // NaN only through this explicit choice, not float compare order.
+        absmax = std::isnan(v) || std::isnan(absmax)
+                     ? std::numeric_limits<float>::quiet_NaN()
+                     : std::numeric_limits<float>::infinity();
+        continue;
+      }
+      absmax = std::max(absmax, std::fabs(v));
+    }
+    float scale;
+    if (!finite) {
+      // Poison the whole block: store the non-finite value as the scale
+      // and code 1 everywhere so dequantization reproduces a non-finite
+      // result and downstream overflow detection (loss scaling) fires.
+      scale = absmax;
+      std::memcpy(scales + 4 * b, &scale, 4);
+      for (int64_t i = lo; i < hi; ++i) codes[i] = 1;
+      continue;
+    }
+    scale = absmax / 127.0f;
+    std::memcpy(scales + 4 * b, &scale, 4);
+    for (int64_t i = lo; i < hi; ++i) {
+      codes[i] = EncodeOne(LoadElem(src, dt, i), scale);
+    }
+  }
+}
+
+void DequantizeBlockwise(const uint8_t* wire, int64_t numel, int block_size,
+                         void* dst, DType dt) {
+  const int64_t blocks = QuantBlockCount(numel, block_size);
+  const uint8_t* scales = wire;
+  const int8_t* codes = reinterpret_cast<const int8_t*>(wire + 4 * blocks);
+  for (int64_t b = 0; b < blocks; ++b) {
+    const int64_t lo = b * block_size;
+    const int64_t hi = std::min(numel, lo + block_size);
+    float scale;
+    std::memcpy(&scale, scales + 4 * b, 4);
+    for (int64_t i = lo; i < hi; ++i) {
+      StoreElem(dst, dt, i, scale * static_cast<float>(codes[i]));
+    }
+  }
+}
+
+void DequantizeAccumulate(const uint8_t* wire, int64_t numel, int block_size,
+                          RedOp op, bool first, float* acc) {
+  const int64_t blocks = QuantBlockCount(numel, block_size);
+  const uint8_t* scales = wire;
+  const int8_t* codes = reinterpret_cast<const int8_t*>(wire + 4 * blocks);
+  for (int64_t b = 0; b < blocks; ++b) {
+    const int64_t lo = b * block_size;
+    const int64_t hi = std::min(numel, lo + block_size);
+    float scale;
+    std::memcpy(&scale, scales + 4 * b, 4);
+    for (int64_t i = lo; i < hi; ++i) {
+      const float v = scale * static_cast<float>(codes[i]);
+      if (first) {
+        acc[i] = v;
+      } else if (op == RedOp::kMax) {
+        acc[i] = std::max(acc[i], v);
+      } else {
+        acc[i] += v;  // kSum and kAvg both accumulate sums here.
+      }
+    }
+  }
+}
+
+}  // namespace scalar
+
+const Backend* ScalarBackend() {
+  static const Backend table = {
+      "scalar",
+      scalar::Gemm,
+      scalar::GemmBackward,
+      scalar::MatmulNT,
+      scalar::MatmulNN,
+      scalar::MatmulTN,
+      scalar::LayerNormFwd,
+      scalar::LayerNormBwd,
+      scalar::Softmax,
+      scalar::SoftmaxBackward,
+      scalar::SoftmaxXent,
+      scalar::ReluFwd,
+      scalar::ReluBwd,
+      scalar::GeluFwd,
+      scalar::GeluBwd,
+      scalar::Add,
+      scalar::Axpy,
+      scalar::ScaleK,
+      scalar::ReduceSum,
+      scalar::ArgmaxRows,
+      scalar::ReduceMembers,
+      scalar::GemmTyped,
+      scalar::QuantizeBlockwise,
+      scalar::DequantizeBlockwise,
+      scalar::DequantizeAccumulate,
+  };
+  return &table;
+}
+
+}  // namespace kernels
+}  // namespace mics

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "kernels/kernels.h"
 #include "util/random.h"
 
 namespace mics {
@@ -210,15 +211,7 @@ std::vector<int32_t> ServeEngine::PredictionsFromScores(const Tensor& scores) {
   const int64_t classes = scores.shape()[1];
   if (samples <= 0 || classes <= 0) return out;
   out.resize(static_cast<size_t>(samples));
-  const float* s = scores.f32();
-  for (int64_t i = 0; i < samples; ++i) {
-    const float* row = s + i * classes;
-    int32_t best = 0;
-    for (int64_t j = 1; j < classes; ++j) {
-      if (row[j] > row[best]) best = static_cast<int32_t>(j);
-    }
-    out[static_cast<size_t>(i)] = best;
-  }
+  kernels::ArgmaxRows(scores.f32(), samples, classes, out.data());
   return out;
 }
 

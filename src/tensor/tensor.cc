@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "kernels/kernels.h"
 #include "tensor/half.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -115,16 +116,13 @@ Status Tensor::Add(const Tensor& other) {
   if (numel_ != other.numel_) {
     return Status::InvalidArgument("Tensor::Add numel mismatch");
   }
-  const float* src = other.f32();
-  float* dst = f32();
-  for (int64_t i = 0; i < numel_; ++i) dst[i] += src[i];
+  kernels::Add(f32(), other.f32(), numel_);
   return Status::OK();
 }
 
 void Tensor::Scale(float s) {
   MICS_CHECK(dtype_ == DType::kF32);
-  float* dst = f32();
-  for (int64_t i = 0; i < numel_; ++i) dst[i] *= s;
+  kernels::Scale(f32(), numel_, s);
 }
 
 Result<Tensor> Tensor::Cast(DType to) const {

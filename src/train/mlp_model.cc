@@ -2,10 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <string>
 
+#include "kernels/kernels.h"
 #include "util/logging.h"
 #include "util/random.h"
+
+// Dense compute routes through mics::kernels. The scalar backend
+// replicates the historical in-file loops bit-for-bit (the only
+// intentional change: activation-sparsity fast paths are gone, which
+// does not alter results — see kernels.h's Gemm contract).
 
 namespace mics {
 
@@ -103,47 +110,24 @@ void MlpModel::ForwardImpl(const Tensor& x, std::vector<float>* z1,
 
   z1->assign(static_cast<size_t>(batch * h), 0.0f);
   logits->assign(static_cast<size_t>(batch * c), 0.0f);
-  for (int64_t i = 0; i < batch; ++i) {
-    float* zrow = z1->data() + i * h;
-    const float* xrow = xp + i * d;
-    for (int64_t j = 0; j < h; ++j) zrow[j] = b1[j];
-    for (int64_t kd = 0; kd < d; ++kd) {
-      const float xv = xrow[kd];
-      const float* wrow = w1 + kd * h;
-      for (int64_t j = 0; j < h; ++j) zrow[j] += xv * wrow[j];
-    }
-    float* lrow = logits->data() + i * c;
-    for (int64_t j = 0; j < c; ++j) lrow[j] = b2[j];
-    for (int64_t j = 0; j < h; ++j) {
-      const float a = std::max(0.0f, zrow[j]);
-      if (a == 0.0f) continue;
-      const float* wrow = w2 + j * c;
-      for (int64_t kc = 0; kc < c; ++kc) lrow[kc] += a * wrow[kc];
-    }
-  }
+  kernels::Gemm(xp, w1, b1, batch, d, h, z1->data());
+  std::vector<float> a1(static_cast<size_t>(batch * h));
+  kernels::ReluFwd(z1->data(), batch * h, a1.data());
+  kernels::Gemm(a1.data(), w2, b2, batch, h, c, logits->data());
 }
 
 namespace {
 
 /// Row-wise softmax cross-entropy; writes probabilities in place over the
-/// logits and returns the mean loss.
-float SoftmaxCrossEntropy(std::vector<float>* logits,
-                          const std::vector<int32_t>& y, int64_t classes) {
+/// logits and returns the mean loss. The f64-sum-then-one-division shape
+/// (kernels::SoftmaxCrossEntropy returns the sum) matches the historical
+/// loss arithmetic exactly.
+float MeanSoftmaxCrossEntropy(std::vector<float>* logits,
+                              const std::vector<int32_t>& y,
+                              int64_t classes) {
   const int64_t batch = static_cast<int64_t>(y.size());
-  double loss = 0.0;
-  for (int64_t i = 0; i < batch; ++i) {
-    float* row = logits->data() + i * classes;
-    float mx = row[0];
-    for (int64_t j = 1; j < classes; ++j) mx = std::max(mx, row[j]);
-    double denom = 0.0;
-    for (int64_t j = 0; j < classes; ++j) {
-      row[j] = std::exp(row[j] - mx);
-      denom += row[j];
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t j = 0; j < classes; ++j) row[j] *= inv;
-    loss += -std::log(std::max(1e-12f, row[y[static_cast<size_t>(i)]]));
-  }
+  const double loss =
+      kernels::SoftmaxCrossEntropy(logits->data(), y.data(), batch, classes);
   return static_cast<float>(loss / batch);
 }
 
@@ -164,7 +148,7 @@ Result<float> MlpModel::ForwardBackward(const Tensor& x,
 
   std::vector<float> z1, probs;
   ForwardImpl(x, &z1, &probs);
-  const float loss = SoftmaxCrossEntropy(&probs, y, c);
+  const float loss = MeanSoftmaxCrossEntropy(&probs, y, c);
 
   // dlogits = (probs - onehot(y)) / batch.
   const float invb = 1.0f / static_cast<float>(batch);
@@ -174,41 +158,17 @@ Result<float> MlpModel::ForwardBackward(const Tensor& x,
     dlogits[i * c + y[static_cast<size_t>(i)]] -= invb;
   }
 
-  const float* xp = x.f32();
-  const float* w2 = w2_.f32();
-  float* gw1 = gw1_.f32();
-  float* gb1 = gb1_.f32();
-  float* gw2 = gw2_.f32();
-  float* gb2 = gb2_.f32();
-
+  // Layer 2: gb2 += dlogits; gw2 += a1^T dlogits; da1 = dlogits W2^T.
+  // Then relu mask, and layer 1: gb1 += dz1; gw1 += x^T dz1 (no dx).
+  std::vector<float> a1(static_cast<size_t>(batch * h));
+  kernels::ReluFwd(z1.data(), batch * h, a1.data());
+  std::vector<float> da1(static_cast<size_t>(batch * h), 0.0f);
+  kernels::GemmBackward(a1.data(), w2_.f32(), dlogits.data(), batch, h, c,
+                        da1.data(), gw2_.f32(), gb2_.f32());
   std::vector<float> dz1(static_cast<size_t>(batch * h), 0.0f);
-  for (int64_t i = 0; i < batch; ++i) {
-    const float* drow = dlogits.data() + i * c;
-    const float* zrow = z1.data() + i * h;
-    // gb2 += dlogits; gw2 += a^T dlogits; da = dlogits W2^T (relu-masked).
-    for (int64_t j = 0; j < c; ++j) gb2[j] += drow[j];
-    float* dzrow = dz1.data() + i * h;
-    for (int64_t j = 0; j < h; ++j) {
-      const float a = std::max(0.0f, zrow[j]);
-      float da = 0.0f;
-      const float* wrow = w2 + j * c;
-      float* gwrow = gw2 + j * c;
-      for (int64_t kc = 0; kc < c; ++kc) {
-        gwrow[kc] += a * drow[kc];
-        da += wrow[kc] * drow[kc];
-      }
-      dzrow[j] = zrow[j] > 0.0f ? da : 0.0f;
-    }
-    // gb1 += dz1; gw1 += x^T dz1.
-    const float* xrow = xp + i * d;
-    for (int64_t j = 0; j < h; ++j) gb1[j] += dzrow[j];
-    for (int64_t kd = 0; kd < d; ++kd) {
-      const float xv = xrow[kd];
-      if (xv == 0.0f) continue;
-      float* gwrow = gw1 + kd * h;
-      for (int64_t j = 0; j < h; ++j) gwrow[j] += xv * dzrow[j];
-    }
-  }
+  kernels::ReluBwd(z1.data(), da1.data(), batch * h, dz1.data());
+  kernels::GemmBackward(x.f32(), /*w=*/nullptr, dz1.data(), batch, d, h,
+                        /*dx=*/nullptr, gw1_.f32(), gb1_.f32());
   if (grad_ready_) {
     MICS_RETURN_NOT_OK(grad_ready_(0, NumParams()));
   }
@@ -220,7 +180,7 @@ Result<float> MlpModel::Loss(const Tensor& x,
   MICS_RETURN_NOT_OK(CheckBatch(x, static_cast<int64_t>(y.size())));
   std::vector<float> z1, probs;
   ForwardImpl(x, &z1, &probs);
-  return SoftmaxCrossEntropy(&probs, y, config_.classes);
+  return MeanSoftmaxCrossEntropy(&probs, y, config_.classes);
 }
 
 Result<Tensor> MlpModel::Forward(const Tensor& x) const {
@@ -230,22 +190,11 @@ Result<Tensor> MlpModel::Forward(const Tensor& x) const {
   std::vector<float> z1, logits;
   ForwardImpl(x, &z1, &logits);
   Tensor scores({batch, c}, DType::kF32);
-  float* out = scores.f32();
   // Row-wise softmax, each row a pure function of its own sample — the
   // batched/unbatched bit-identity contract of train::Model::Forward.
-  for (int64_t i = 0; i < batch; ++i) {
-    const float* row = logits.data() + i * c;
-    float mx = row[0];
-    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
-    double denom = 0.0;
-    float* orow = out + i * c;
-    for (int64_t j = 0; j < c; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      denom += orow[j];
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t j = 0; j < c; ++j) orow[j] *= inv;
-  }
+  std::memcpy(scores.f32(), logits.data(),
+              static_cast<size_t>(batch * c) * sizeof(float));
+  kernels::Softmax(scores.f32(), batch, c);
   return scores;
 }
 
@@ -256,14 +205,9 @@ Result<std::vector<int32_t>> MlpModel::Predict(const Tensor& x) const {
   std::vector<float> z1, logits;
   ForwardImpl(x, &z1, &logits);
   std::vector<int32_t> out(static_cast<size_t>(batch));
-  for (int64_t i = 0; i < batch; ++i) {
-    const float* row = logits.data() + i * c;
-    int32_t best = 0;
-    for (int64_t j = 1; j < c; ++j) {
-      if (row[j] > row[best]) best = static_cast<int32_t>(j);
-    }
-    out[static_cast<size_t>(i)] = best;
-  }
+  // Argmax over raw logits (softmax is monotonic; this path never
+  // normalized, and ties resolve to the lowest index either way).
+  kernels::ArgmaxRows(logits.data(), batch, c, out.data());
   return out;
 }
 

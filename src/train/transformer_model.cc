@@ -5,118 +5,21 @@
 #include <cstring>
 #include <string>
 
+#include "kernels/kernels.h"
 #include "util/logging.h"
 #include "util/random.h"
+
+// All dense compute routes through mics::kernels (Gemm/GemmBackward,
+// LayerNorm, the Matmul* strided forms for per-head attention, Softmax
+// and friends). Under MICS_KERNELS=scalar the kernels replicate the
+// historical in-file loops operation-for-operation, so fp32 training
+// losses are bit-identical to the pre-kernel-layer code.
 
 namespace mics {
 
 namespace {
 
 constexpr float kLnEps = 1e-5f;
-
-/// y[r, :out] = x[r, :in] * w[in, out] + b[out], row-major.
-void Linear(const float* x, const float* w, const float* b, int64_t rows,
-            int64_t in, int64_t out, float* y) {
-  for (int64_t r = 0; r < rows; ++r) {
-    float* yr = y + r * out;
-    for (int64_t o = 0; o < out; ++o) yr[o] = b[o];
-    const float* xr = x + r * in;
-    for (int64_t i = 0; i < in; ++i) {
-      const float xv = xr[i];
-      if (xv == 0.0f) continue;
-      const float* wrow = w + i * out;
-      for (int64_t o = 0; o < out; ++o) yr[o] += xv * wrow[o];
-    }
-  }
-}
-
-/// Accumulates dw/db and writes dx (overwriting) for y = xW + b.
-void LinearBackward(const float* x, const float* w, const float* dy,
-                    int64_t rows, int64_t in, int64_t out, float* dx,
-                    float* dw, float* db) {
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* dyr = dy + r * out;
-    const float* xr = x + r * in;
-    for (int64_t o = 0; o < out; ++o) db[o] += dyr[o];
-    for (int64_t i = 0; i < in; ++i) {
-      const float* wrow = w + i * out;
-      float* dwrow = dw + i * out;
-      const float xv = xr[i];
-      float acc = 0.0f;
-      for (int64_t o = 0; o < out; ++o) {
-        dwrow[o] += xv * dyr[o];
-        acc += wrow[o] * dyr[o];
-      }
-      dx[r * in + i] = acc;
-    }
-  }
-}
-
-/// Row-wise LayerNorm. Writes y, and caches xhat and 1/sigma per row.
-void LayerNormFwd(const float* x, const float* gamma, const float* beta,
-                  int64_t rows, int64_t d, float* y, float* xhat,
-                  float* inv_sigma) {
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = x + r * d;
-    double mean = 0.0;
-    for (int64_t i = 0; i < d; ++i) mean += xr[i];
-    mean /= d;
-    double var = 0.0;
-    for (int64_t i = 0; i < d; ++i) {
-      const double c = xr[i] - mean;
-      var += c * c;
-    }
-    var /= d;
-    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + kLnEps);
-    inv_sigma[r] = inv;
-    for (int64_t i = 0; i < d; ++i) {
-      const float h = (xr[i] - static_cast<float>(mean)) * inv;
-      xhat[r * d + i] = h;
-      y[r * d + i] = gamma[i] * h + beta[i];
-    }
-  }
-}
-
-/// dx = (gamma/sigma) * (dy - mean(dy*gamma)/gamma... ) — standard LN
-/// backward using cached xhat and inv_sigma. Accumulates dgamma/dbeta.
-void LayerNormBwd(const float* xhat, const float* inv_sigma,
-                  const float* gamma, const float* dy, int64_t rows,
-                  int64_t d, float* dx, float* dgamma, float* dbeta) {
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* hy = xhat + r * d;
-    const float* dyr = dy + r * d;
-    double sum_dyg = 0.0;
-    double sum_dyg_h = 0.0;
-    for (int64_t i = 0; i < d; ++i) {
-      const float dyg = dyr[i] * gamma[i];
-      sum_dyg += dyg;
-      sum_dyg_h += dyg * hy[i];
-      dgamma[i] += dyr[i] * hy[i];
-      dbeta[i] += dyr[i];
-    }
-    const float m1 = static_cast<float>(sum_dyg / d);
-    const float m2 = static_cast<float>(sum_dyg_h / d);
-    for (int64_t i = 0; i < d; ++i) {
-      dx[r * d + i] =
-          inv_sigma[r] * (dyr[i] * gamma[i] - m1 - hy[i] * m2);
-    }
-  }
-}
-
-void SoftmaxRows(float* x, int64_t rows, int64_t cols) {
-  for (int64_t r = 0; r < rows; ++r) {
-    float* row = x + r * cols;
-    float mx = row[0];
-    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
-    double denom = 0.0;
-    for (int64_t j = 0; j < cols; ++j) {
-      row[j] = std::exp(row[j] - mx);
-      denom += row[j];
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t j = 0; j < cols; ++j) row[j] *= inv;
-  }
-}
 
 }  // namespace
 
@@ -309,7 +212,7 @@ struct TransformerClassifier::SampleCache {
 
 void TransformerClassifier::ForwardSample(const int32_t* tokens,
                                           SampleCache* cache,
-                                          std::vector<float>* probs) const {
+                                          std::vector<float>* logits) const {
   const int64_t s = config_.seq_len;
   const int64_t d = config_.dim;
   const int64_t f = config_.ffn;
@@ -340,38 +243,25 @@ void TransformerClassifier::ForwardSample(const int32_t* tokens,
     const BlockParams& p = block_params_[static_cast<size_t>(blk)];
     if (cache) cache->blocks[static_cast<size_t>(blk)].x_in = x;
 
-    LayerNormFwd(x.data(), p.ln1_g.f32(), p.ln1_b.f32(), s, d, h1.data(),
-                 h1_hat.data(), inv1.data());
-    Linear(h1.data(), p.wq.f32(), p.bq.f32(), s, d, d, q.data());
-    Linear(h1.data(), p.wk.f32(), p.bk.f32(), s, d, d, k.data());
-    Linear(h1.data(), p.wv.f32(), p.bv.f32(), s, d, d, v.data());
+    kernels::LayerNormFwd(x.data(), p.ln1_g.f32(), p.ln1_b.f32(), s, d,
+                          kLnEps, h1.data(), h1_hat.data(), inv1.data());
+    kernels::Gemm(h1.data(), p.wq.f32(), p.bq.f32(), s, d, d, q.data());
+    kernels::Gemm(h1.data(), p.wk.f32(), p.bk.f32(), s, d, d, k.data());
+    kernels::Gemm(h1.data(), p.wv.f32(), p.bv.f32(), s, d, d, v.data());
 
     // Per-head scaled dot-product attention (no mask: encoder style).
+    // Heads are column slices of q/k/v, hence the strided matmul forms.
     for (int64_t head = 0; head < h; ++head) {
       float* a = attn.data() + head * s * s;
       const int64_t col = head * dh;
-      for (int64_t i = 0; i < s; ++i) {
-        for (int64_t j = 0; j < s; ++j) {
-          float dot = 0.0f;
-          for (int64_t c = 0; c < dh; ++c) {
-            dot += q[i * d + col + c] * k[j * d + col + c];
-          }
-          a[i * s + j] = dot * scale;
-        }
-      }
-      SoftmaxRows(a, s, s);
-      for (int64_t i = 0; i < s; ++i) {
-        for (int64_t c = 0; c < dh; ++c) {
-          float acc = 0.0f;
-          for (int64_t j = 0; j < s; ++j) {
-            acc += a[i * s + j] * v[j * d + col + c];
-          }
-          ctx[i * d + col + c] = acc;
-        }
-      }
+      kernels::MatmulNT(q.data() + col, d, k.data() + col, d, s, s, dh, scale,
+                        a, s);
+      kernels::Softmax(a, s, s);
+      kernels::MatmulNN(a, s, v.data() + col, d, s, dh, s,
+                        ctx.data() + col, d, /*accumulate=*/false);
     }
-    Linear(ctx.data(), p.wo.f32(), p.bo.f32(), s, d, d, o.data());
-    for (int64_t i = 0; i < s * d; ++i) x[i] += o[i];
+    kernels::Gemm(ctx.data(), p.wo.f32(), p.bo.f32(), s, d, d, o.data());
+    kernels::Add(x.data(), o.data(), s * d);
 
     if (cache) {
       auto& bc = cache->blocks[static_cast<size_t>(blk)];
@@ -386,12 +276,12 @@ void TransformerClassifier::ForwardSample(const int32_t* tokens,
       bc.x_mid = x;
     }
 
-    LayerNormFwd(x.data(), p.ln2_g.f32(), p.ln2_b.f32(), s, d, h2.data(),
-                 h2_hat.data(), inv2.data());
-    Linear(h2.data(), p.w1.f32(), p.b1.f32(), s, d, f, z1.data());
-    for (int64_t i = 0; i < s * f; ++i) a1[i] = std::max(0.0f, z1[i]);
-    Linear(a1.data(), p.w2.f32(), p.b2.f32(), s, f, d, m.data());
-    for (int64_t i = 0; i < s * d; ++i) x[i] += m[i];
+    kernels::LayerNormFwd(x.data(), p.ln2_g.f32(), p.ln2_b.f32(), s, d,
+                          kLnEps, h2.data(), h2_hat.data(), inv2.data());
+    kernels::Gemm(h2.data(), p.w1.f32(), p.b1.f32(), s, d, f, z1.data());
+    kernels::ReluFwd(z1.data(), s * f, a1.data());
+    kernels::Gemm(a1.data(), p.w2.f32(), p.b2.f32(), s, f, d, m.data());
+    kernels::Add(x.data(), m.data(), s * d);
 
     if (cache) {
       auto& bc = cache->blocks[static_cast<size_t>(blk)];
@@ -403,19 +293,18 @@ void TransformerClassifier::ForwardSample(const int32_t* tokens,
   }
 
   std::vector<float> fout(s * d), f_hat(s * d), invf(s);
-  LayerNormFwd(x.data(), lnf_g_.f32(), lnf_b_.f32(), s, d, fout.data(),
-               f_hat.data(), invf.data());
+  kernels::LayerNormFwd(x.data(), lnf_g_.f32(), lnf_b_.f32(), s, d, kLnEps,
+                        fout.data(), f_hat.data(), invf.data());
   std::vector<float> pooled(static_cast<size_t>(d), 0.0f);
   for (int64_t t = 0; t < s; ++t) {
-    for (int64_t i = 0; i < d; ++i) pooled[i] += fout[t * d + i];
+    kernels::Add(pooled.data(), fout.data() + t * d, d);
   }
   const float invs = 1.0f / static_cast<float>(s);
-  for (int64_t i = 0; i < d; ++i) pooled[i] *= invs;
+  kernels::Scale(pooled.data(), d, invs);
 
-  probs->assign(static_cast<size_t>(config_.classes), 0.0f);
-  Linear(pooled.data(), whead_.f32(), bhead_.f32(), 1, d, config_.classes,
-         probs->data());
-  SoftmaxRows(probs->data(), 1, config_.classes);
+  logits->assign(static_cast<size_t>(config_.classes), 0.0f);
+  kernels::Gemm(pooled.data(), whead_.f32(), bhead_.f32(), 1, d,
+                config_.classes, logits->data());
 
   if (cache) {
     cache->x_final = x;
@@ -440,8 +329,9 @@ Status TransformerClassifier::BackwardSample(const int32_t* tokens,
 
   // Head: logits = pooled * Whead + bhead.
   std::vector<float> dpooled(static_cast<size_t>(d), 0.0f);
-  LinearBackward(cache.pooled.data(), whead_.f32(), dlogits.data(), 1, d,
-                 config_.classes, dpooled.data(), g_whead_, g_bhead_);
+  kernels::GemmBackward(cache.pooled.data(), whead_.f32(), dlogits.data(), 1,
+                        d, config_.classes, dpooled.data(), g_whead_,
+                        g_bhead_);
 
   // Mean pool: df[t] = dpooled / s; final LayerNorm backward.
   std::vector<float> df(s * d);
@@ -450,8 +340,9 @@ Status TransformerClassifier::BackwardSample(const int32_t* tokens,
     for (int64_t i = 0; i < d; ++i) df[t * d + i] = dpooled[i] * invs;
   }
   std::vector<float> dx(s * d);
-  LayerNormBwd(cache.f_hat.data(), cache.lnf_inv.data(), lnf_g_.f32(),
-               df.data(), s, d, dx.data(), g_lnf_g_, g_lnf_b_);
+  kernels::LayerNormBwd(cache.f_hat.data(), cache.lnf_inv.data(),
+                        lnf_g_.f32(), df.data(), s, d, dx.data(), g_lnf_g_,
+                        g_lnf_b_);
   if (report) {
     // Head + final LN gradients are final — the first range the backward
     // pass retires, so its reduction overlaps everything below.
@@ -471,25 +362,23 @@ Status TransformerClassifier::BackwardSample(const int32_t* tokens,
     // ---- MLP sub-block: x_out = x_mid + W2 relu(W1 LN2(x_mid)) ----
     // dm = dx (residual); back through W2, relu, W1, LN2.
     std::vector<float> a1(s * f);
-    for (int64_t i = 0; i < s * f; ++i) a1[i] = std::max(0.0f, bc.z1[i]);
+    kernels::ReluFwd(bc.z1.data(), s * f, a1.data());
     std::fill(da1.begin(), da1.end(), 0.0f);
-    LinearBackward(a1.data(), p.w2.f32(), dx.data(), s, f, d, da1.data(),
-                   g.w2, g.b2);
-    for (int64_t i = 0; i < s * f; ++i) {
-      dz1[i] = bc.z1[i] > 0.0f ? da1[i] : 0.0f;
-    }
+    kernels::GemmBackward(a1.data(), p.w2.f32(), dx.data(), s, f, d,
+                          da1.data(), g.w2, g.b2);
+    kernels::ReluBwd(bc.z1.data(), da1.data(), s * f, dz1.data());
     std::fill(dh2.begin(), dh2.end(), 0.0f);
-    LinearBackward(bc.h2.data(), p.w1.f32(), dz1.data(), s, d, f, dh2.data(),
-                   g.w1, g.b1);
-    LayerNormBwd(bc.h2_hat.data(), bc.ln2_inv.data(), p.ln2_g.f32(),
-                 dh2.data(), s, d, dtmp.data(), g.ln2_g, g.ln2_b);
+    kernels::GemmBackward(bc.h2.data(), p.w1.f32(), dz1.data(), s, d, f,
+                          dh2.data(), g.w1, g.b1);
+    kernels::LayerNormBwd(bc.h2_hat.data(), bc.ln2_inv.data(), p.ln2_g.f32(),
+                          dh2.data(), s, d, dtmp.data(), g.ln2_g, g.ln2_b);
     // dx_mid = dx (residual) + LN2 path.
-    for (int64_t i = 0; i < s * d; ++i) dx[i] += dtmp[i];
+    kernels::Add(dx.data(), dtmp.data(), s * d);
 
     // ---- Attention sub-block: x_mid = x_in + Wo * Attn(LN1(x_in)) ----
     std::fill(dctx.begin(), dctx.end(), 0.0f);
-    LinearBackward(bc.ctx.data(), p.wo.f32(), dx.data(), s, d, d,
-                   dctx.data(), g.wo, g.bo);
+    kernels::GemmBackward(bc.ctx.data(), p.wo.f32(), dx.data(), s, d, d,
+                          dctx.data(), g.wo, g.bo);
 
     std::fill(dq.begin(), dq.end(), 0.0f);
     std::fill(dk.begin(), dk.end(), 0.0f);
@@ -498,63 +387,34 @@ Status TransformerClassifier::BackwardSample(const int32_t* tokens,
       const float* a = bc.attn.data() + head * s * s;
       const int64_t col = head * dh;
       // da[i][j] = dctx_i . v_j ; dv_j += sum_i a[i][j] dctx_i.
-      for (int64_t i = 0; i < s; ++i) {
-        for (int64_t j = 0; j < s; ++j) {
-          float dot = 0.0f;
-          for (int64_t c = 0; c < dh; ++c) {
-            dot += dctx[i * d + col + c] * bc.v[j * d + col + c];
-          }
-          da[i * s + j] = dot;
-        }
-      }
-      for (int64_t j = 0; j < s; ++j) {
-        for (int64_t c = 0; c < dh; ++c) {
-          float acc = 0.0f;
-          for (int64_t i = 0; i < s; ++i) {
-            acc += a[i * s + j] * dctx[i * d + col + c];
-          }
-          dv[j * d + col + c] += acc;
-        }
-      }
+      kernels::MatmulNT(dctx.data() + col, d, bc.v.data() + col, d, s, s, dh,
+                        1.0f, da.data(), s);
+      kernels::MatmulTN(a, s, dctx.data() + col, d, s, dh, s,
+                        dv.data() + col, d, /*accumulate=*/true);
       // Softmax backward: ds = a * (da - sum_j da*a), then scale.
-      for (int64_t i = 0; i < s; ++i) {
-        double dot = 0.0;
-        for (int64_t j = 0; j < s; ++j) {
-          dot += static_cast<double>(da[i * s + j]) * a[i * s + j];
-        }
-        for (int64_t j = 0; j < s; ++j) {
-          ds[i * s + j] = a[i * s + j] *
-                          (da[i * s + j] - static_cast<float>(dot)) * scale;
-        }
-      }
+      kernels::SoftmaxBackward(a, da.data(), s, s, scale, ds.data());
       // dq_i += sum_j ds[i][j] k_j ; dk_j += sum_i ds[i][j] q_i.
-      for (int64_t i = 0; i < s; ++i) {
-        for (int64_t j = 0; j < s; ++j) {
-          const float dsv = ds[i * s + j];
-          if (dsv == 0.0f) continue;
-          for (int64_t c = 0; c < dh; ++c) {
-            dq[i * d + col + c] += dsv * bc.k[j * d + col + c];
-            dk[j * d + col + c] += dsv * bc.q[i * d + col + c];
-          }
-        }
-      }
+      kernels::MatmulNN(ds.data(), s, bc.k.data() + col, d, s, dh, s,
+                        dq.data() + col, d, /*accumulate=*/true);
+      kernels::MatmulTN(ds.data(), s, bc.q.data() + col, d, s, dh, s,
+                        dk.data() + col, d, /*accumulate=*/true);
     }
 
     std::fill(dh1.begin(), dh1.end(), 0.0f);
-    LinearBackward(bc.h1.data(), p.wq.f32(), dq.data(), s, d, d, dtmp.data(),
-                   g.wq, g.bq);
-    for (int64_t i = 0; i < s * d; ++i) dh1[i] += dtmp[i];
-    LinearBackward(bc.h1.data(), p.wk.f32(), dk.data(), s, d, d, dtmp.data(),
-                   g.wk, g.bk);
-    for (int64_t i = 0; i < s * d; ++i) dh1[i] += dtmp[i];
-    LinearBackward(bc.h1.data(), p.wv.f32(), dv.data(), s, d, d, dtmp.data(),
-                   g.wv, g.bv);
-    for (int64_t i = 0; i < s * d; ++i) dh1[i] += dtmp[i];
+    kernels::GemmBackward(bc.h1.data(), p.wq.f32(), dq.data(), s, d, d,
+                          dtmp.data(), g.wq, g.bq);
+    kernels::Add(dh1.data(), dtmp.data(), s * d);
+    kernels::GemmBackward(bc.h1.data(), p.wk.f32(), dk.data(), s, d, d,
+                          dtmp.data(), g.wk, g.bk);
+    kernels::Add(dh1.data(), dtmp.data(), s * d);
+    kernels::GemmBackward(bc.h1.data(), p.wv.f32(), dv.data(), s, d, d,
+                          dtmp.data(), g.wv, g.bv);
+    kernels::Add(dh1.data(), dtmp.data(), s * d);
 
-    LayerNormBwd(bc.h1_hat.data(), bc.ln1_inv.data(), p.ln1_g.f32(),
-                 dh1.data(), s, d, dtmp.data(), g.ln1_g, g.ln1_b);
+    kernels::LayerNormBwd(bc.h1_hat.data(), bc.ln1_inv.data(), p.ln1_g.f32(),
+                          dh1.data(), s, d, dtmp.data(), g.ln1_g, g.ln1_b);
     // dx_in = dx_mid (residual) + LN1 path.
-    for (int64_t i = 0; i < s * d; ++i) dx[i] += dtmp[i];
+    kernels::Add(dx.data(), dtmp.data(), s * d);
 
     if (report) {
       MICS_RETURN_NOT_OK(grad_ready_(BlockOffset(blk), PerBlockNumel()));
@@ -563,12 +423,9 @@ Status TransformerClassifier::BackwardSample(const int32_t* tokens,
 
   // Embedding backward.
   for (int64_t t = 0; t < s; ++t) {
-    float* gtok = g_tok_emb_ + static_cast<int64_t>(tokens[t]) * d;
-    float* gpos = g_pos_emb_ + t * d;
-    for (int64_t i = 0; i < d; ++i) {
-      gtok[i] += dx[t * d + i];
-      gpos[i] += dx[t * d + i];
-    }
+    kernels::Add(g_tok_emb_ + static_cast<int64_t>(tokens[t]) * d,
+                 dx.data() + t * d, d);
+    kernels::Add(g_pos_emb_ + t * d, dx.data() + t * d, d);
   }
   if (report) {
     MICS_RETURN_NOT_OK(grad_ready_(0, EmbeddingNumel()));
@@ -595,7 +452,9 @@ Result<float> TransformerClassifier::ForwardBackward(
     const int32_t* toks = tokens.i32() + b * config_.seq_len;
     ForwardSample(toks, &cache, &probs);
     const int32_t label = y[static_cast<size_t>(b)];
-    loss += -std::log(std::max(1e-12f, probs[static_cast<size_t>(label)]));
+    // Converts the sample's logits to probabilities in place and adds
+    // this row's -log p[label] term to the f64 running sum.
+    loss += kernels::SoftmaxCrossEntropy(probs.data(), &label, 1, c);
     for (int64_t j = 0; j < c; ++j) {
       dlogits[static_cast<size_t>(j)] = probs[static_cast<size_t>(j)] * invb;
     }
@@ -612,11 +471,12 @@ Result<float> TransformerClassifier::Loss(const Tensor& tokens,
   MICS_RETURN_NOT_OK(CheckBatch(tokens, static_cast<int64_t>(y.size())));
   const int64_t batch = tokens.numel() / config_.seq_len;
   double loss = 0.0;
-  std::vector<float> probs;
+  std::vector<float> logits;
   for (int64_t b = 0; b < batch; ++b) {
-    ForwardSample(tokens.i32() + b * config_.seq_len, nullptr, &probs);
-    loss += -std::log(std::max(
-        1e-12f, probs[static_cast<size_t>(y[static_cast<size_t>(b)])]));
+    ForwardSample(tokens.i32() + b * config_.seq_len, nullptr, &logits);
+    const int32_t label = y[static_cast<size_t>(b)];
+    loss += kernels::SoftmaxCrossEntropy(logits.data(), &label, 1,
+                                         config_.classes);
   }
   return static_cast<float>(loss / batch);
 }
@@ -626,13 +486,14 @@ Result<Tensor> TransformerClassifier::Forward(const Tensor& tokens) const {
   const int64_t batch = tokens.numel() / config_.seq_len;
   const int64_t c = config_.classes;
   Tensor scores({batch, c}, DType::kF32);
-  std::vector<float> probs;
+  std::vector<float> logits;
   // ForwardSample is per-sequence, so each output row is a pure function
   // of its own sample — batched scores match single-sample calls bitwise.
   for (int64_t b = 0; b < batch; ++b) {
-    ForwardSample(tokens.i32() + b * config_.seq_len, nullptr, &probs);
+    ForwardSample(tokens.i32() + b * config_.seq_len, nullptr, &logits);
     float* row = scores.f32() + b * c;
-    for (int64_t j = 0; j < c; ++j) row[j] = probs[static_cast<size_t>(j)];
+    for (int64_t j = 0; j < c; ++j) row[j] = logits[static_cast<size_t>(j)];
+    kernels::Softmax(row, 1, c);
   }
   return scores;
 }
@@ -642,16 +503,12 @@ Result<std::vector<int32_t>> TransformerClassifier::Predict(
   MICS_RETURN_NOT_OK(CheckBatch(tokens, -1));
   const int64_t batch = tokens.numel() / config_.seq_len;
   std::vector<int32_t> out(static_cast<size_t>(batch));
-  std::vector<float> probs;
+  std::vector<float> logits;
   for (int64_t b = 0; b < batch; ++b) {
-    ForwardSample(tokens.i32() + b * config_.seq_len, nullptr, &probs);
-    int32_t best = 0;
-    for (int64_t j = 1; j < config_.classes; ++j) {
-      if (probs[static_cast<size_t>(j)] > probs[static_cast<size_t>(best)]) {
-        best = static_cast<int32_t>(j);
-      }
-    }
-    out[static_cast<size_t>(b)] = best;
+    ForwardSample(tokens.i32() + b * config_.seq_len, nullptr, &logits);
+    kernels::Softmax(logits.data(), 1, config_.classes);
+    kernels::ArgmaxRows(logits.data(), 1, config_.classes,
+                        &out[static_cast<size_t>(b)]);
   }
   return out;
 }

@@ -110,9 +110,11 @@ class TransformerClassifier : public train::Model {
 
   Status CheckBatch(const Tensor& tokens, int64_t labels) const;
   /// Forward for one sample; fills `cache` when non-null. Returns the
-  /// class probabilities (after softmax) for the sample.
+  /// raw class logits (pre-softmax) for the sample — the loss paths
+  /// feed them to kernels::SoftmaxCrossEntropy, the inference paths to
+  /// kernels::Softmax.
   void ForwardSample(const int32_t* tokens, SampleCache* cache,
-                     std::vector<float>* probs) const;
+                     std::vector<float>* logits) const;
   /// Backward for one sample given dlogits; accumulates into grads.
   /// When `notify` is true (last sample of the batch), reports each
   /// finalized gradient range through grad_ready_.

@@ -1,0 +1,401 @@
+// Golden tests for the backend determinism contract (kernels/kernels.h):
+// backend-invariant kernels must be BIT-identical between scalar and
+// simd; matmul-family kernels may reassociate but must agree to f32
+// rounding tolerance. Shapes deliberately cover the awkward cases —
+// lengths that are not multiples of any vector width, unaligned
+// pointers, rows == 1, inner dim == 1 — because that is where tail
+// handling breaks.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "kernels/backend.h"
+#include "kernels/kernels.h"
+
+namespace mics {
+namespace kernels {
+namespace {
+
+std::vector<float> RandomVec(size_t n, unsigned seed, float scale = 1.0f) {
+  std::vector<float> v(n);
+  unsigned state = seed * 2654435761u + 911u;
+  for (size_t i = 0; i < n; ++i) {
+    state = state * 1664525u + 1013904223u;
+    v[i] = scale * (static_cast<float>(state >> 8) /
+                        static_cast<float>(1u << 24) -
+                    0.5f);
+  }
+  return v;
+}
+
+bool BitsEqual(const float* a, const float* b, size_t n) {
+  return std::memcmp(a, b, n * sizeof(float)) == 0;
+}
+
+// Every test body runs against this fixture; when no simd backend exists
+// on the host the comparisons are vacuous and we skip.
+class GoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scalar_ = GetBackend(BackendKind::kScalar);
+    simd_ = GetBackend(BackendKind::kSimd);
+    ASSERT_NE(scalar_, nullptr);
+    if (simd_ == nullptr) {
+      GTEST_SKIP() << "no simd backend on this host; nothing to compare";
+    }
+  }
+  const Backend* scalar_ = nullptr;
+  const Backend* simd_ = nullptr;
+};
+
+// Lengths chosen to straddle 4/8/16-lane widths, plus 1 and a long tail.
+const int64_t kLens[] = {1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 33, 100, 1027};
+
+TEST_F(GoldenTest, ElementwiseBitIdenticalIncludingUnaligned) {
+  for (int64_t n : kLens) {
+    for (int64_t off : {int64_t{0}, int64_t{1}, int64_t{3}}) {
+      const size_t total = static_cast<size_t>(n + off);
+      std::vector<float> src = RandomVec(total, 11u + static_cast<unsigned>(n));
+      std::vector<float> a = RandomVec(total, 17u + static_cast<unsigned>(n));
+      std::vector<float> b = a;
+
+      scalar_->add(a.data() + off, src.data() + off, n);
+      simd_->add(b.data() + off, src.data() + off, n);
+      EXPECT_TRUE(BitsEqual(a.data(), b.data(), total)) << "add n=" << n
+                                                        << " off=" << off;
+
+      a = RandomVec(total, 23u);
+      b = a;
+      scalar_->axpy(0.3125f, src.data() + off, a.data() + off, n);
+      simd_->axpy(0.3125f, src.data() + off, b.data() + off, n);
+      EXPECT_TRUE(BitsEqual(a.data(), b.data(), total)) << "axpy n=" << n
+                                                        << " off=" << off;
+
+      a = RandomVec(total, 29u);
+      b = a;
+      scalar_->scale(a.data() + off, n, 1.0f / 3.0f);
+      simd_->scale(b.data() + off, n, 1.0f / 3.0f);
+      EXPECT_TRUE(BitsEqual(a.data(), b.data(), total)) << "scale n=" << n
+                                                        << " off=" << off;
+
+      std::vector<float> ya(total, -9.0f), yb(total, -9.0f);
+      scalar_->relu_fwd(src.data() + off, n, ya.data() + off);
+      simd_->relu_fwd(src.data() + off, n, yb.data() + off);
+      EXPECT_TRUE(BitsEqual(ya.data(), yb.data(), total)) << "relu n=" << n
+                                                          << " off=" << off;
+
+      std::vector<float> dy = RandomVec(total, 31u);
+      std::vector<float> dxa(total, -9.0f), dxb(total, -9.0f);
+      scalar_->relu_bwd(src.data() + off, dy.data() + off, n,
+                        dxa.data() + off);
+      simd_->relu_bwd(src.data() + off, dy.data() + off, n, dxb.data() + off);
+      EXPECT_TRUE(BitsEqual(dxa.data(), dxb.data(), total))
+          << "relu_bwd n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST_F(GoldenTest, ReluSpecialValues) {
+  // -0 must map to +0, NaN to 0 via the max(0, x) contract, and the
+  // backends must agree bitwise on all of it.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> x = {-0.0f, 0.0f, nan, -nan,
+                                std::numeric_limits<float>::denorm_min(),
+                                -std::numeric_limits<float>::denorm_min(),
+                                std::numeric_limits<float>::infinity(),
+                                -std::numeric_limits<float>::infinity(),
+                                1.0f};
+  const int64_t n = static_cast<int64_t>(x.size());
+  std::vector<float> ya(x.size()), yb(x.size());
+  scalar_->relu_fwd(x.data(), n, ya.data());
+  simd_->relu_fwd(x.data(), n, yb.data());
+  EXPECT_TRUE(BitsEqual(ya.data(), yb.data(), x.size()));
+  uint32_t bits;
+  std::memcpy(&bits, &ya[0], 4);
+  EXPECT_EQ(bits, 0u) << "relu(-0) must be +0";
+}
+
+TEST_F(GoldenTest, ReduceMembersBitIdenticalAllOps) {
+  for (int64_t n : kLens) {
+    for (int nsrc : {1, 2, 3, 5}) {
+      std::vector<std::vector<float>> bufs;
+      std::vector<const float*> ptrs;
+      for (int s = 0; s < nsrc; ++s) {
+        bufs.push_back(RandomVec(static_cast<size_t>(n + 2),
+                                 40u * static_cast<unsigned>(s + 1) +
+                                     static_cast<unsigned>(n)));
+        ptrs.push_back(bufs.back().data());
+      }
+      for (RedOp op : {RedOp::kSum, RedOp::kAvg, RedOp::kMax}) {
+        std::vector<float> da(static_cast<size_t>(n)),
+            db(static_cast<size_t>(n));
+        scalar_->reduce_members(ptrs.data(), nsrc, 2, n, op, da.data());
+        simd_->reduce_members(ptrs.data(), nsrc, 2, n, op, db.data());
+        EXPECT_TRUE(BitsEqual(da.data(), db.data(), da.size()))
+            << "reduce_members n=" << n << " nsrc=" << nsrc
+            << " op=" << static_cast<int>(op);
+      }
+    }
+  }
+}
+
+TEST_F(GoldenTest, ReduceMembersMaxWithNaNs) {
+  // The seed's kMax used std::max(acc, v) — NaN handling included in the
+  // bit contract (a NaN accumulator survives; a NaN member does not
+  // replace a non-NaN accumulator).
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> a = {1.0f, nan, 2.0f, -1.0f, nan, 0.5f, 3.0f, -2.0f,
+                          nan, 1.5f};
+  std::vector<float> b = {nan, 2.0f, nan, -3.0f, 1.0f, nan, -1.0f, 4.0f,
+                          0.0f, nan};
+  const float* srcs[] = {a.data(), b.data()};
+  std::vector<float> da(a.size()), db(a.size());
+  scalar_->reduce_members(srcs, 2, 0, static_cast<int64_t>(a.size()),
+                          RedOp::kMax, da.data());
+  simd_->reduce_members(srcs, 2, 0, static_cast<int64_t>(a.size()),
+                        RedOp::kMax, db.data());
+  EXPECT_TRUE(BitsEqual(da.data(), db.data(), da.size()));
+}
+
+TEST_F(GoldenTest, LayerNormBitIdentical) {
+  for (int64_t rows : {int64_t{1}, int64_t{3}}) {
+    for (int64_t d : {int64_t{1}, int64_t{5}, int64_t{8}, int64_t{17},
+                      int64_t{33}}) {
+      const size_t nd = static_cast<size_t>(rows * d);
+      std::vector<float> x = RandomVec(nd, 51u + static_cast<unsigned>(d));
+      std::vector<float> gamma =
+          RandomVec(static_cast<size_t>(d), 53u, 2.0f);
+      std::vector<float> beta = RandomVec(static_cast<size_t>(d), 57u);
+      std::vector<float> ya(nd), xha(nd), isa(static_cast<size_t>(rows));
+      std::vector<float> yb(nd), xhb(nd), isb(static_cast<size_t>(rows));
+      scalar_->layer_norm_fwd(x.data(), gamma.data(), beta.data(), rows, d,
+                              1e-5f, ya.data(), xha.data(), isa.data());
+      simd_->layer_norm_fwd(x.data(), gamma.data(), beta.data(), rows, d,
+                            1e-5f, yb.data(), xhb.data(), isb.data());
+      EXPECT_TRUE(BitsEqual(ya.data(), yb.data(), nd)) << "ln y d=" << d;
+      EXPECT_TRUE(BitsEqual(xha.data(), xhb.data(), nd)) << "ln xhat d=" << d;
+      EXPECT_TRUE(BitsEqual(isa.data(), isb.data(), isa.size()))
+          << "ln inv_sigma d=" << d;
+
+      std::vector<float> dy = RandomVec(nd, 61u);
+      std::vector<float> dxa(nd), dga(static_cast<size_t>(d), 0.25f),
+          dba(static_cast<size_t>(d), -0.25f);
+      std::vector<float> dxb(nd), dgb = dga, dbb = dba;
+      scalar_->layer_norm_bwd(xha.data(), isa.data(), gamma.data(), dy.data(),
+                              rows, d, dxa.data(), dga.data(), dba.data());
+      simd_->layer_norm_bwd(xhb.data(), isb.data(), gamma.data(), dy.data(),
+                            rows, d, dxb.data(), dgb.data(), dbb.data());
+      EXPECT_TRUE(BitsEqual(dxa.data(), dxb.data(), nd)) << "ln dx d=" << d;
+      EXPECT_TRUE(BitsEqual(dga.data(), dgb.data(), dga.size()));
+      EXPECT_TRUE(BitsEqual(dba.data(), dbb.data(), dba.size()));
+    }
+  }
+}
+
+TEST_F(GoldenTest, SoftmaxFamilySharedImplementation) {
+  // These are pointer-shared between the tables by design: one
+  // implementation, zero drift possible.
+  EXPECT_EQ(scalar_->softmax, simd_->softmax);
+  EXPECT_EQ(scalar_->softmax_backward, simd_->softmax_backward);
+  EXPECT_EQ(scalar_->softmax_xent, simd_->softmax_xent);
+  EXPECT_EQ(scalar_->gelu_fwd, simd_->gelu_fwd);
+  EXPECT_EQ(scalar_->gelu_bwd, simd_->gelu_bwd);
+  EXPECT_EQ(scalar_->argmax_rows, simd_->argmax_rows);
+}
+
+TEST_F(GoldenTest, QuantizeCodecBitIdentical) {
+  for (int64_t n : {int64_t{1}, int64_t{5}, int64_t{31}, int64_t{64},
+                    int64_t{100}, int64_t{131}}) {
+    for (int bs : {1, 4, 7, 32, 64}) {
+      std::vector<float> src =
+          RandomVec(static_cast<size_t>(n), 71u + static_cast<unsigned>(n),
+                    3.0f);
+      // Exercise the scale==0 path: one all-zero block when it fits.
+      if (n > bs) std::fill(src.begin(), src.begin() + bs, 0.0f);
+      const int64_t bytes = QuantWireBytes(n, bs);
+      std::vector<uint8_t> wa(static_cast<size_t>(bytes), 0xAB),
+          wb(static_cast<size_t>(bytes), 0xAB);
+      scalar_->quantize_blockwise(src.data(), DType::kF32, n, bs, wa.data());
+      simd_->quantize_blockwise(src.data(), DType::kF32, n, bs, wb.data());
+      EXPECT_EQ(0, std::memcmp(wa.data(), wb.data(), wa.size()))
+          << "wire n=" << n << " bs=" << bs;
+
+      std::vector<float> da(static_cast<size_t>(n), -7.0f),
+          db(static_cast<size_t>(n), -7.0f);
+      scalar_->dequantize_blockwise(wa.data(), n, bs, da.data(), DType::kF32);
+      simd_->dequantize_blockwise(wa.data(), n, bs, db.data(), DType::kF32);
+      EXPECT_TRUE(BitsEqual(da.data(), db.data(), da.size()))
+          << "dequant n=" << n << " bs=" << bs;
+
+      for (bool first : {true, false}) {
+        for (RedOp op : {RedOp::kSum, RedOp::kAvg, RedOp::kMax}) {
+          std::vector<float> aa =
+              RandomVec(static_cast<size_t>(n), 73u, 1.0f);
+          std::vector<float> ab = aa;
+          scalar_->dequantize_accumulate(wa.data(), n, bs, op, first,
+                                         aa.data());
+          simd_->dequantize_accumulate(wa.data(), n, bs, op, first,
+                                       ab.data());
+          EXPECT_TRUE(BitsEqual(aa.data(), ab.data(), aa.size()))
+              << "deq-acc n=" << n << " bs=" << bs << " first=" << first
+              << " op=" << static_cast<int>(op);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(GoldenTest, QuantizePoisonBlocksBitIdentical) {
+  // Non-finite inputs take the poison-block path (scale NaN/Inf, codes
+  // encode the finite members' signs) — must match bitwise too.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  std::vector<float> src = RandomVec(40, 79u, 2.0f);
+  src[3] = nan;
+  src[17] = inf;
+  src[18] = -inf;
+  const int bs = 8;
+  const int64_t n = static_cast<int64_t>(src.size());
+  const int64_t bytes = QuantWireBytes(n, bs);
+  std::vector<uint8_t> wa(static_cast<size_t>(bytes), 0),
+      wb(static_cast<size_t>(bytes), 0);
+  scalar_->quantize_blockwise(src.data(), DType::kF32, n, bs, wa.data());
+  simd_->quantize_blockwise(src.data(), DType::kF32, n, bs, wb.data());
+  EXPECT_EQ(0, std::memcmp(wa.data(), wb.data(), wa.size()));
+}
+
+// ---------------------------------------------------------------------
+// Matmul family: tolerance comparison (simd reassociates via FMA and
+// fixed-width partial sums) across the same awkward shapes.
+// ---------------------------------------------------------------------
+
+void ExpectClose(const std::vector<float>& a, const std::vector<float>& b,
+                 const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double tol =
+        1e-4 * (std::fabs(static_cast<double>(a[i])) + 1e-2);
+    EXPECT_NEAR(a[i], b[i], tol) << what << " index " << i;
+  }
+}
+
+TEST_F(GoldenTest, GemmOddShapesWithinTolerance) {
+  for (int64_t rows : {int64_t{1}, int64_t{2}, int64_t{5}}) {
+    for (int64_t in : {int64_t{1}, int64_t{7}, int64_t{16}, int64_t{33}}) {
+      for (int64_t out : {int64_t{1}, int64_t{5}, int64_t{8}, int64_t{17},
+                          int64_t{40}}) {
+        const std::vector<float> x = RandomVec(
+            static_cast<size_t>(rows * in), 83u + static_cast<unsigned>(in));
+        const std::vector<float> w =
+            RandomVec(static_cast<size_t>(in * out),
+                      89u + static_cast<unsigned>(out));
+        const std::vector<float> bias =
+            RandomVec(static_cast<size_t>(out), 97u);
+        std::vector<float> ya(static_cast<size_t>(rows * out)),
+            yb(static_cast<size_t>(rows * out));
+        scalar_->gemm(x.data(), w.data(), bias.data(), rows, in, out,
+                      ya.data());
+        simd_->gemm(x.data(), w.data(), bias.data(), rows, in, out,
+                    yb.data());
+        ExpectClose(ya, yb, "gemm");
+
+        const std::vector<float> dy = RandomVec(
+            static_cast<size_t>(rows * out), 101u);
+        std::vector<float> dxa(static_cast<size_t>(rows * in), 0.0f),
+            dwa(static_cast<size_t>(in * out), 0.125f),
+            dba(static_cast<size_t>(out), -0.125f);
+        std::vector<float> dxb = dxa, dwb = dwa, dbb = dba;
+        scalar_->gemm_backward(x.data(), w.data(), dy.data(), rows, in, out,
+                               dxa.data(), dwa.data(), dba.data());
+        simd_->gemm_backward(x.data(), w.data(), dy.data(), rows, in, out,
+                             dxb.data(), dwb.data(), dbb.data());
+        ExpectClose(dxa, dxb, "gemm_backward dx");
+        ExpectClose(dwa, dwb, "gemm_backward dw");
+        ExpectClose(dba, dbb, "gemm_backward db");
+      }
+    }
+  }
+}
+
+TEST_F(GoldenTest, StridedMatmulsWithinTolerance) {
+  // Attention-style strided views: m×k and n×k panels embedded in wider
+  // row strides (lda/ldb > k), including k == 1 and m == 1.
+  for (int64_t m : {int64_t{1}, int64_t{6}}) {
+    for (int64_t n : {int64_t{1}, int64_t{6}, int64_t{9}}) {
+      for (int64_t k : {int64_t{1}, int64_t{4}, int64_t{13}}) {
+        const int64_t lda = k + 3, ldb = k + 2, ldc = n + 1;
+        const std::vector<float> a =
+            RandomVec(static_cast<size_t>(m * lda), 103u);
+        // b is read as n×k (matmul_nt), k×n (matmul_nn), AND m×n with
+        // inner dim m (the matmul_tn call below) — size for all three.
+        const std::vector<float> b = RandomVec(
+            static_cast<size_t>(std::max({m, n, k}) * ldb + std::max(n, k)),
+            107u);
+        std::vector<float> ca(static_cast<size_t>(m * ldc), 0.5f);
+        std::vector<float> cb = ca;
+        scalar_->matmul_nt(a.data(), lda, b.data(), ldb, m, n, k, 0.75f,
+                           ca.data(), ldc);
+        simd_->matmul_nt(a.data(), lda, b.data(), ldb, m, n, k, 0.75f,
+                         cb.data(), ldc);
+        ExpectClose(ca, cb, "matmul_nt");
+
+        for (bool acc : {false, true}) {
+          std::vector<float> na(static_cast<size_t>(m * ldc), 0.5f);
+          std::vector<float> nb = na;
+          scalar_->matmul_nn(a.data(), lda, b.data(), ldb, m, n, k,
+                             na.data(), ldc, acc);
+          simd_->matmul_nn(a.data(), lda, b.data(), ldb, m, n, k, nb.data(),
+                           ldc, acc);
+          ExpectClose(na, nb, "matmul_nn");
+
+          std::vector<float> ta(static_cast<size_t>(k * ldc), 0.5f);
+          std::vector<float> tb = ta;
+          // a^T b with a as k-major: here m plays the "k" role.
+          scalar_->matmul_tn(a.data(), lda, b.data(), ldb, k, n, m,
+                             ta.data(), ldc, acc);
+          simd_->matmul_tn(a.data(), lda, b.data(), ldb, k, n, m, tb.data(),
+                           ldc, acc);
+          ExpectClose(ta, tb, "matmul_tn");
+        }
+      }
+    }
+  }
+}
+
+TEST_F(GoldenTest, ReduceSumWithinTolerance) {
+  for (int64_t n : kLens) {
+    const std::vector<float> x =
+        RandomVec(static_cast<size_t>(n), 109u + static_cast<unsigned>(n));
+    const float a = scalar_->reduce_sum(x.data(), n);
+    const float b = simd_->reduce_sum(x.data(), n);
+    EXPECT_NEAR(a, b, 1e-4 * (std::fabs(a) + 1.0)) << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Both MICS_KERNELS settings exercised through the dispatch layer in the
+// same binary: SelectBackend is exactly what the env override does after
+// parsing.
+// ---------------------------------------------------------------------
+
+TEST_F(GoldenTest, DispatchSwitchMatchesExplicitHandles) {
+  const BackendKind original = ActiveKind();
+  std::vector<float> src = RandomVec(37, 127u);
+  std::vector<float> via_scalar = RandomVec(37, 131u);
+  std::vector<float> via_simd = via_scalar;
+
+  ASSERT_TRUE(SelectBackend(BackendKind::kScalar).ok());
+  Add(via_scalar.data(), src.data(), 37);
+  ASSERT_TRUE(SelectBackend(BackendKind::kSimd).ok());
+  Add(via_simd.data(), src.data(), 37);
+  ASSERT_TRUE(SelectBackend(original).ok());
+
+  EXPECT_TRUE(BitsEqual(via_scalar.data(), via_simd.data(), 37));
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace mics

@@ -1,0 +1,139 @@
+// The kernel layer's load-bearing promise: under the scalar backend the
+// fp32 training losses are BIT-identical to the pre-kernel-layer code.
+// The constants below are the exact loss bits captured from the seed
+// tree (before train/serve/comm were refactored onto mics::kernels) for
+// MLP and transformer training under DDP, ZeRO-3, and MiCS. Any change
+// to the scalar kernels' operation order shows up here as a one-ulp
+// diff long before it shows up anywhere a human would notice.
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "kernels/kernels.h"
+#include "train/trainer.h"
+
+namespace mics {
+namespace {
+
+// Seed capture: 4 ranks (2 nodes x 2), 8 iterations, grad accumulation
+// 2, micro batch 8, lr 0.02, seed 99, MLP 8->16->3.
+constexpr uint32_t kMlpDdp[] = {0x40527940u, 0x406eacc6u, 0x401954e5u,
+                                0x3fe16764u, 0x3f9744dcu, 0x3f5043c1u,
+                                0x3f041a4cu, 0x3ec8ab5cu};
+constexpr uint32_t kMlpZero3[] = {0x40527940u, 0x406eacc6u, 0x401954e5u,
+                                  0x3fe16763u, 0x3f9744ddu, 0x3f5043c1u,
+                                  0x3f041a4cu, 0x3ec8ab5cu};
+constexpr uint32_t kMlpMics[] = {0x40527940u, 0x406eacc6u, 0x401954e5u,
+                                 0x3fe16763u, 0x3f9744ddu, 0x3f5043c1u,
+                                 0x3f041a4bu, 0x3ec8ab5cu};
+
+// Seed capture: 4 ranks, 4 iterations, grad accumulation 2, micro batch
+// 4, lr 0.01, seed 1234, transformer vocab 17 / seq 6 / dim 8 / heads 2
+// / ffn 16 / blocks 2 / classes 3.
+constexpr uint32_t kTfDdp[] = {0x3f7d4205u, 0x3f85a4fcu, 0x3f59c52fu,
+                               0x3f552fc9u};
+constexpr uint32_t kTfZero3[] = {0x3f7d4205u, 0x3f85a4fcu, 0x3f59c52eu,
+                                 0x3f552fc9u};
+constexpr uint32_t kTfMics[] = {0x3f7d4205u, 0x3f85a4fcu, 0x3f59c52fu,
+                                0x3f552fc9u};
+
+template <size_t N>
+void ExpectLossBits(const Result<TrainCurve>& run, const uint32_t (&want)[N],
+                    const char* tag) {
+  ASSERT_TRUE(run.ok()) << tag << ": " << run.status().ToString();
+  const std::vector<float>& losses = run.value().losses;
+  ASSERT_EQ(losses.size(), N) << tag;
+  for (size_t i = 0; i < N; ++i) {
+    uint32_t got;
+    std::memcpy(&got, &losses[i], sizeof(got));
+    EXPECT_EQ(got, want[i]) << tag << " iteration " << i
+                            << " (loss=" << losses[i] << ")";
+  }
+}
+
+TrainRunOptions MlpOptions(Strategy s, int pgs) {
+  TrainRunOptions o;
+  o.world_size = 4;
+  o.gpus_per_node = 2;
+  o.sdp.strategy = s;
+  o.sdp.partition_group_size = pgs;
+  o.model.input_dim = 8;
+  o.model.hidden = 16;
+  o.model.classes = 3;
+  o.iterations = 8;
+  o.grad_accumulation_steps = 2;
+  o.micro_batch = 8;
+  o.adam.lr = 0.02f;
+  o.seed = 99;
+  return o;
+}
+
+TransformerTrainRunOptions TransformerOptions(Strategy s, int pgs) {
+  TransformerTrainRunOptions o;
+  o.world_size = 4;
+  o.gpus_per_node = 2;
+  o.sdp.strategy = s;
+  o.sdp.partition_group_size = pgs;
+  o.model.vocab = 17;
+  o.model.seq_len = 6;
+  o.model.dim = 8;
+  o.model.heads = 2;
+  o.model.ffn = 16;
+  o.model.blocks = 2;
+  o.model.classes = 3;
+  o.iterations = 4;
+  o.grad_accumulation_steps = 2;
+  o.micro_batch = 4;
+  o.adam.lr = 0.01f;
+  o.seed = 1234;
+  return o;
+}
+
+class SeedLossBitsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The bit contract is stated for the scalar backend; the simd
+    // matmul family may legally differ in low-order bits.
+    ASSERT_TRUE(
+        kernels::SelectBackend(kernels::BackendKind::kScalar).ok());
+  }
+  void TearDown() override {
+    (void)kernels::SelectBackend(kernels::BackendKind::kScalar);
+  }
+};
+
+TEST_F(SeedLossBitsTest, MlpDdp) {
+  ExpectLossBits(RunDistributedTraining(MlpOptions(Strategy::kDDP, 1)),
+                 kMlpDdp, "mlp/ddp");
+}
+
+TEST_F(SeedLossBitsTest, MlpZero3) {
+  ExpectLossBits(RunDistributedTraining(MlpOptions(Strategy::kZeRO3, 4)),
+                 kMlpZero3, "mlp/zero3");
+}
+
+TEST_F(SeedLossBitsTest, MlpMics) {
+  ExpectLossBits(RunDistributedTraining(MlpOptions(Strategy::kMiCS, 2)),
+                 kMlpMics, "mlp/mics");
+}
+
+TEST_F(SeedLossBitsTest, TransformerDdp) {
+  ExpectLossBits(
+      RunDistributedTransformerTraining(TransformerOptions(Strategy::kDDP, 1)),
+      kTfDdp, "transformer/ddp");
+}
+
+TEST_F(SeedLossBitsTest, TransformerZero3) {
+  ExpectLossBits(RunDistributedTransformerTraining(
+                     TransformerOptions(Strategy::kZeRO3, 4)),
+                 kTfZero3, "transformer/zero3");
+}
+
+TEST_F(SeedLossBitsTest, TransformerMics) {
+  ExpectLossBits(RunDistributedTransformerTraining(
+                     TransformerOptions(Strategy::kMiCS, 2)),
+                 kTfMics, "transformer/mics");
+}
+
+}  // namespace
+}  // namespace mics
