@@ -1,0 +1,249 @@
+// Telemetry-plane benchmark: deterministic contract rows (wire size,
+// straggler verdicts, ring accounting, merge counts, loss bit-identity
+// with the observer attached) that gate hard in bench_compare.py, plus
+// informational wall-clock rows for snapshot serialization throughput and
+// telemetry-on vs telemetry-off training overhead.
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "obs/trace_merge.h"
+#include "train/trainer.h"
+#include "util/json.h"
+
+namespace mics {
+namespace {
+
+using bench::Reporter;
+
+double NowUs() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+obs::TelemetrySnapshot SyntheticSnapshot(int rank, int64_t seq, int metrics) {
+  obs::TelemetrySnapshot s;
+  s.rank = rank;
+  s.seq = seq;
+  s.unix_us = 1723180800000000;
+  s.samples.reserve(static_cast<size_t>(metrics));
+  for (int i = 0; i < metrics; ++i) {
+    s.samples.push_back({"telemetry.bench.metric_" + std::to_string(i),
+                         static_cast<double>(i) * 1.5 + rank});
+  }
+  return s;
+}
+
+/// Wire-format contract: byte size of a canonical snapshot and a
+/// round-trip integrity count, both exact on every machine.
+void BenchWireFormat(Reporter* reporter) {
+  bench::PrintHeader("telemetry wire format");
+  const obs::TelemetrySnapshot snapshot = SyntheticSnapshot(3, 42, 64);
+  const std::string wire = obs::SerializeTelemetrySnapshot(snapshot);
+  reporter->Record("wire", "telemetry.snapshot.wire_bytes",
+                   static_cast<double>(wire.size()), "bytes");
+
+  auto parsed = obs::ParseTelemetrySnapshot(wire);
+  const bool intact = parsed.ok() && parsed.value().rank == snapshot.rank &&
+                      parsed.value().samples.size() == snapshot.samples.size();
+  reporter->Record("wire", "telemetry.snapshot.round_trip_ok",
+                   intact ? 1.0 : 0.0, "count");
+  std::cout << "snapshot: 64 metrics -> " << wire.size()
+            << " wire bytes, round trip " << (intact ? "ok" : "BROKEN")
+            << "\n";
+
+  // Informational: serialize+parse throughput.
+  const int kIters = 2000;
+  const double t0 = NowUs();
+  size_t sink = 0;
+  for (int i = 0; i < kIters; ++i) {
+    sink += obs::SerializeTelemetrySnapshot(snapshot).size();
+  }
+  const double serialize_us = (NowUs() - t0) / kIters;
+  reporter->Record("wire", "telemetry.snapshot.serialize_us", serialize_us,
+                   "us_wall");
+  std::cout << "serialize: " << serialize_us << " us/snapshot (sink " << sink
+            << ")\n";
+}
+
+/// Straggler-detector contract on a synthetic 16-rank cluster: rank 11
+/// runs 5x the median; everyone else sits within noise. Exact counts.
+void BenchStragglerSweep(Reporter* reporter) {
+  bench::PrintHeader("straggler detector (16 synthetic ranks)");
+  obs::MetricsRegistry registry;
+  obs::TelemetryAggregator::Options options;
+  options.registry = &registry;
+  options.straggler.metric = "prof.step_p50_us";
+  options.straggler.factor = 2.0;
+  obs::TelemetryAggregator aggregator(options);
+
+  const int kRanks = 16;
+  const int kSweeps = 8;
+  for (int sweep = 0; sweep < kSweeps; ++sweep) {
+    for (int r = 0; r < kRanks; ++r) {
+      const double base = 1000.0 + (r % 3);
+      const double value = (r == 11) ? base * 5.0 : base;
+      obs::TelemetrySnapshot s = SyntheticSnapshot(r, sweep + 1, 4);
+      s.samples.push_back({"prof.step_p50_us", value});
+      aggregator.Ingest(s);
+    }
+    aggregator.DetectStragglers();
+  }
+
+  reporter->Record("straggler", "telemetry.snapshots.ingested",
+                   registry.CounterValue("telemetry.snapshots.ingested"),
+                   "count");
+  reporter->Record("straggler", "telemetry.straggler.checks",
+                   registry.CounterValue("telemetry.straggler.checks"),
+                   "count");
+  reporter->Record("straggler", "telemetry.straggler.flagged",
+                   registry.CounterValue("telemetry.straggler.flagged"),
+                   "count");
+  reporter->Record("straggler", "telemetry.straggler.flagged_rank",
+                   static_cast<double>(*aggregator.flagged().begin()),
+                   "count");
+  const std::vector<obs::ClusterMetric> view = aggregator.ClusterView();
+  reporter->Record("straggler", "telemetry.cluster.metrics",
+                   static_cast<double>(view.size()), "count");
+  std::cout << "sweeps " << kSweeps << ": flagged "
+            << registry.CounterValue("telemetry.straggler.flagged")
+            << " rank(s), cluster view " << view.size() << " metrics\n";
+}
+
+/// Flight-recorder + ring contract: bounded trace drops exactly, the dump
+/// parses, and the merged cluster trace holds every surviving span.
+void BenchFlightAndMerge(Reporter* reporter) {
+  bench::PrintHeader("flight recorder ring + trace merge");
+  const auto dir =
+      std::filesystem::temp_directory_path() / "mics_bench_telemetry";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const int kEvents = 10000;
+  const int64_t kCapacity = 1024;
+  std::vector<std::string> traces;
+  for (int r = 0; r < 2; ++r) {
+    obs::TraceRecorder rec;
+    rec.SetCapacity(kCapacity);
+    const int t = rec.RegisterTrack("rank " + std::to_string(r));
+    for (int i = 0; i < kEvents; ++i) {
+      rec.AddCompleteEvent(t, "span", i * 10.0, 5.0, "bench");
+    }
+    if (r == 0) {
+      reporter->Record("flight", "telemetry.trace.dropped",
+                       static_cast<double>(rec.num_dropped()), "count");
+      reporter->Record("flight", "telemetry.trace.retained",
+                       static_cast<double>(rec.num_events()), "count");
+
+      obs::MetricsRegistry registry;
+      registry.GetCounter("bench.progress")->Add(7.0);
+      obs::FlightRecorder::Options options;
+      options.dir = dir.string();
+      options.rank = r;
+      options.registry = &registry;
+      options.trace = &rec;
+      options.trace_capacity = 0;  // ring already bounded above
+      obs::FlightRecorder flight(options);
+      const bool dumped = flight.DumpNow("bench dump").ok();
+      const bool parses = dumped && ParseJsonFile(flight.dump_path()).ok();
+      reporter->Record("flight", "telemetry.flight.dump_parses",
+                       parses ? 1.0 : 0.0, "count");
+    }
+    const std::string path =
+        (dir / ("trace.rank" + std::to_string(r) + ".json")).string();
+    if (rec.WriteChromeTraceFile(path).ok()) traces.push_back(path);
+  }
+
+  const std::string merged = (dir / "merged.json").string();
+  double merged_events = 0.0;
+  if (obs::MergeChromeTracesToFile(traces, merged).ok()) {
+    auto doc = ParseJsonFile(merged);
+    if (doc.ok() && doc.value().is_array()) {
+      merged_events = static_cast<double>(doc.value().array.size());
+    }
+  }
+  // 2 ranks x (1024 surviving spans + 1 thread_name record); the merge
+  // drops the two clock_syncs.
+  reporter->Record("flight", "telemetry.merge.events", merged_events, "count");
+  std::cout << "ring: " << kEvents << " spans -> " << kCapacity
+            << " retained; merged cluster trace " << merged_events
+            << " events\n";
+  std::filesystem::remove_all(dir);
+}
+
+/// The observer contract under a real training run: losses with a live
+/// exporter must carry the exact bits of the bare run (gated), and the
+/// wall-clock delta is the telemetry overhead (informational).
+void BenchObserverOverhead(Reporter* reporter) {
+  bench::PrintHeader("telemetry on/off training overhead (MiCS, 4 ranks)");
+  TrainRunOptions run;
+  run.world_size = 4;
+  run.iterations = 8;
+  run.grad_accumulation_steps = 1;
+  run.sdp.strategy = Strategy::kMiCS;
+  run.sdp.partition_group_size = 2;
+
+  const double t_off0 = NowUs();
+  auto off = RunDistributedTraining(run);
+  const double off_us = NowUs() - t_off0;
+  if (!off.ok()) {
+    std::cerr << "baseline run failed: " << off.status().ToString() << "\n";
+    reporter->Record("observer", "telemetry.loss_bits_match", 0.0, "count");
+    return;
+  }
+
+  obs::TelemetryAggregator aggregator;
+  obs::TelemetryExporter::Options ex;
+  ex.interval_ms = 5;
+  ex.publish = [&aggregator](const obs::TelemetrySnapshot& s) {
+    aggregator.Ingest(s);
+  };
+  obs::TelemetryExporter exporter(ex);
+  exporter.Start();
+  const double t_on0 = NowUs();
+  auto on = RunDistributedTraining(run);
+  const double on_us = NowUs() - t_on0;
+  exporter.Stop();
+  if (!on.ok()) {
+    std::cerr << "observed run failed: " << on.status().ToString() << "\n";
+    reporter->Record("observer", "telemetry.loss_bits_match", 0.0, "count");
+    return;
+  }
+
+  const std::vector<float>& a = off.value().losses;
+  const std::vector<float>& b = on.value().losses;
+  const bool match =
+      a.size() == b.size() &&
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+  reporter->Record("observer", "telemetry.loss_bits_match", match ? 1.0 : 0.0,
+                   "count");
+  reporter->Record("observer", "telemetry.off.train_us", off_us, "us_wall");
+  reporter->Record("observer", "telemetry.on.train_us", on_us, "us_wall");
+  std::cout << "loss bits " << (match ? "identical" : "DIVERGED")
+            << "; bare " << off_us / 1000.0 << " ms vs observed "
+            << on_us / 1000.0 << " ms (" << exporter.published()
+            << " snapshots published)\n";
+}
+
+}  // namespace
+}  // namespace mics
+
+int main(int argc, char** argv) {
+  mics::bench::Reporter reporter(argc, argv, "telemetry");
+  mics::BenchWireFormat(&reporter);
+  mics::BenchStragglerSweep(&reporter);
+  mics::BenchFlightAndMerge(&reporter);
+  mics::BenchObserverOverhead(&reporter);
+  std::cout << "\ndone: " << reporter.records().size() << " records\n";
+  return 0;
+}

@@ -13,7 +13,11 @@
 # schedule-determined and gate hard). bench_collectives_micro's --json
 # mode runs a deterministic traffic-counter pass in our schema (its
 # wall-clock google-benchmark mode runs only without --json), so it is
-# folded in too.
+# folded in too. bench_telemetry gates the telemetry plane's contracts
+# (wire size, straggler verdicts, ring drop accounting, merged-trace
+# event counts, loss bit-identity with the observer attached) and
+# reports the telemetry-on/off training overhead as informational wall
+# rows.
 #
 # Compare two merged files with scripts/bench_compare.py; deterministic
 # units gate hard, wall-clock units are informational.
@@ -62,6 +66,7 @@ benches=(
   bench_compress_fidelity
   bench_collectives_micro
   bench_kernels_micro
+  bench_telemetry
 )
 
 tmpdir="$(mktemp -d)"

@@ -10,7 +10,11 @@
 #   scripts/check.sh --net        additionally smoke the real multi-process
 #                                 path: mics_launch with 4 worker processes
 #                                 on localhost, losses gated bit-identical
-#                                 to the single-process trainer
+#                                 to the single-process trainer — with and
+#                                 without the telemetry plane attached —
+#                                 plus a SIGKILL drill asserting the
+#                                 survivors leave valid flight-recorder
+#                                 dumps and the per-rank traces merge
 #   scripts/check.sh --bench      additionally run the fast benchmark subset
 #                                 (scripts/bench.sh) into a fresh JSON and
 #                                 gate it against the committed baseline
@@ -43,7 +47,7 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 # suite, and again under TSan with --sanitize. One definition — the
 # usage text, the plain re-run, and the TSan run each used to hard-code
 # this list, and they drifted when labels were added.
-concurrency_labels='tsan|async|prof|net|serve|compress|kernels'
+concurrency_labels='tsan|async|prof|net|serve|compress|kernels|telemetry'
 
 echo "== tier-1: build + full test suite =="
 cmake -B build -S . >/dev/null
@@ -79,6 +83,68 @@ if [[ "$net" == 1 ]]; then
     exit 1
   }
   echo "multi-process losses bit-identical to single-process"
+
+  echo
+  echo "== telemetry smoke (observer on, losses still bit-identical) =="
+  telemetry_dir="$smoke_dir/telemetry"
+  mkdir -p "$telemetry_dir"
+  MICS_TELEMETRY=1 MICS_TELEMETRY_DIR="$telemetry_dir" \
+  MICS_TELEMETRY_INTERVAL_MS=50 \
+    build/tools/mics_launch -n 4 --gpus-per-node 2 -- \
+    build/examples/multiprocess_training --strategy mics \
+    --iterations 6 --out "$smoke_dir/multi_telemetry.txt"
+  diff "$smoke_dir/single.txt" "$smoke_dir/multi_telemetry.txt" || {
+    echo "telemetry-enabled losses differ from single-process" >&2
+    exit 1
+  }
+  traces=("$telemetry_dir"/trace.rank*.json)
+  [[ ${#traces[@]} -eq 4 ]] || {
+    echo "expected 4 per-rank traces, got ${#traces[@]}" >&2
+    exit 1
+  }
+  build/tools/trace_merge -o "$telemetry_dir/cluster.json" "${traces[@]}"
+  python3 -c "
+import json, sys
+events = json.load(open(sys.argv[1]))
+assert isinstance(events, list) and events, 'merged trace empty'
+assert not any(e.get('name') == 'clock_sync' for e in events)
+print(f'merged cluster trace: {len(events)} events')
+" "$telemetry_dir/cluster.json"
+  echo "telemetry-enabled losses bit-identical; cluster trace merges"
+
+  echo
+  echo "== flight-recorder drill (rank 2 SIGKILLed mid-run) =="
+  drill_dir="$smoke_dir/drill"
+  mkdir -p "$drill_dir"
+  set +e
+  MICS_TELEMETRY=1 MICS_TELEMETRY_DIR="$drill_dir" \
+  MICS_TELEMETRY_INTERVAL_MS=50 \
+    build/tools/mics_launch -n 4 --gpus-per-node 2 --attempts 1 \
+    --timeout-ms 30000 -- \
+    build/examples/multiprocess_training --strategy mics \
+    --iterations 6 --die-rank 2 --die-iter 3 \
+    --out "$drill_dir/doomed.txt" >/dev/null 2>&1
+  drill_status=$?
+  set -e
+  [[ "$drill_status" -ne 0 ]] || {
+    echo "SIGKILL drill unexpectedly succeeded" >&2
+    exit 1
+  }
+  dumps=("$drill_dir"/flight.rank*.json)
+  [[ -e "${dumps[0]}" ]] || {
+    echo "no flight-recorder dumps after SIGKILL drill" >&2
+    exit 1
+  }
+  python3 -c "
+import json, sys
+for path in sys.argv[1:]:
+    doc = json.load(open(path))
+    assert doc['schema_version'] == 1, path
+    assert doc['reason'], path
+    assert isinstance(doc['metrics'], dict), path
+    assert isinstance(doc['trace'], list), path
+print(f'{len(sys.argv) - 1} survivor flight dump(s) parse cleanly')
+" "${dumps[@]}"
 fi
 
 if [[ "$bench" == 1 ]]; then

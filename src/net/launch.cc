@@ -1,5 +1,6 @@
 #include "net/launch.h"
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -12,6 +13,7 @@
 #include <unistd.h>
 
 #include "net/tcp_store.h"
+#include "net/telemetry.h"
 #include "util/logging.h"
 
 namespace mics {
@@ -126,6 +128,67 @@ Status RunAttempt(const LaunchOptions& options, const std::string& store_addr,
   return Status::OK();
 }
 
+/// The launcher's half of the telemetry plane: polls the attempt's store
+/// for every worker's latest snapshot, runs the straggler detector per
+/// sweep, and logs the final per-rank table when the attempt ends. Pure
+/// observer — it shares the store connection path with nothing the
+/// workers block on, so a dead monitor cannot wedge training.
+class TelemetryMonitor {
+ public:
+  TelemetryMonitor(const std::string& store_addr, int world_size,
+                   const obs::TelemetryConfig& config)
+      : world_size_(world_size), config_(config) {
+    obs::TelemetryAggregator::Options agg_options;
+    agg_options.straggler = config.straggler;
+    aggregator_ = std::make_unique<obs::TelemetryAggregator>(agg_options);
+    thread_ = std::thread([this, store_addr] { Poll(store_addr); });
+  }
+
+  ~TelemetryMonitor() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Poll(const std::string& store_addr) {
+    auto client = TcpStoreClient::Connect(store_addr);
+    if (!client.ok()) {
+      MICS_LOG(Warning) << "telemetry monitor: cannot reach store: "
+                        << client.status().ToString();
+      return;
+    }
+    bool saw_any = false;
+    while (!stop_.load()) {
+      Result<int> swept = IngestTelemetryFromStore(client.value().get(),
+                                                   world_size_,
+                                                   aggregator_.get());
+      if (!swept.ok()) break;  // store gone = attempt over
+      saw_any |= swept.value() > 0;
+      aggregator_->DetectStragglers();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.interval_ms));
+    }
+    // One last sweep: workers publish a final snapshot on exit, after
+    // which the attempt (and this monitor) winds down.
+    Result<int> final_sweep = IngestTelemetryFromStore(
+        client.value().get(), world_size_, aggregator_.get());
+    if (final_sweep.ok()) {
+      saw_any |= final_sweep.value() > 0;
+      aggregator_->DetectStragglers();
+    }
+    if (saw_any) {
+      MICS_LOG(Info) << "telemetry: final cluster view\n"
+                     << aggregator_->RenderTable();
+    }
+  }
+
+  const int world_size_;
+  const obs::TelemetryConfig config_;
+  std::unique_ptr<obs::TelemetryAggregator> aggregator_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
 }  // namespace
 
 Result<LaunchReport> LaunchWorkers(const LaunchOptions& options) {
@@ -150,8 +213,19 @@ Result<LaunchReport> LaunchWorkers(const LaunchOptions& options) {
     MICS_ASSIGN_OR_RETURN(std::unique_ptr<TcpStoreServer> store,
                           TcpStoreServer::Start());
     report.attempts = attempt + 1;
-    MICS_RETURN_NOT_OK(RunAttempt(options, store->addr(), attempt,
-                                  &report.last_results));
+    std::unique_ptr<TelemetryMonitor> monitor;
+    if (options.telemetry.enabled) {
+      // The store binds an ephemeral port; print it so mics_top can
+      // attach to this attempt from another terminal.
+      MICS_LOG(Info) << "telemetry: attach with mics_top --store "
+                     << store->addr();
+      monitor = std::make_unique<TelemetryMonitor>(
+          store->addr(), options.num_workers, options.telemetry);
+    }
+    Status attempt_status = RunAttempt(options, store->addr(), attempt,
+                                       &report.last_results);
+    monitor.reset();  // final sweep + table before the store goes away
+    MICS_RETURN_NOT_OK(attempt_status);
     store->Stop();
     bool all_ok = true;
     for (const WorkerResult& r : report.last_results) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "util/status.h"
 
 namespace mics {
@@ -33,6 +34,12 @@ struct LaunchOptions {
   /// Forwarded to workers as MICS_GPUS_PER_NODE so every rank models the
   /// same topology.
   int gpus_per_node = 1;
+  /// Telemetry monitor: when enabled the launcher runs a background
+  /// thread per attempt that polls the attempt's store for worker
+  /// snapshots, feeds a TelemetryAggregator, runs the straggler detector
+  /// every poll, and logs the final per-rank table when the attempt
+  /// ends. mics_launch fills this from MICS_TELEMETRY* env vars.
+  obs::TelemetryConfig telemetry;
 };
 
 struct WorkerResult {

@@ -1,0 +1,69 @@
+#include "net/telemetry.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace mics {
+namespace net {
+
+namespace {
+
+std::string RankKey(int rank) {
+  return "telemetry/rank/" + std::to_string(rank);
+}
+
+}  // namespace
+
+Status PublishTelemetryWorldSize(TcpStoreClient* store, int world_size) {
+  return store->Set("telemetry/world_size", std::to_string(world_size));
+}
+
+Result<int> FetchTelemetryWorldSize(TcpStoreClient* store) {
+  Result<std::string> value = store->Get("telemetry/world_size");
+  if (!value.ok()) {
+    if (value.status().code() == StatusCode::kNotFound) return 0;
+    return value.status();
+  }
+  return std::atoi(value.value().c_str());
+}
+
+Status PublishTelemetrySnapshot(TcpStoreClient* store,
+                                const obs::TelemetrySnapshot& snapshot) {
+  return store->Set(RankKey(snapshot.rank),
+                    obs::SerializeTelemetrySnapshot(snapshot));
+}
+
+Status PublishTelemetryEpoch(TcpStoreClient* store, int rank,
+                             int64_t epoch_unix_us) {
+  return store->Set("telemetry/epoch/" + std::to_string(rank),
+                    std::to_string(epoch_unix_us));
+}
+
+Result<int> IngestTelemetryFromStore(TcpStoreClient* store, int world_size,
+                                     obs::TelemetryAggregator* aggregator) {
+  int ingested = 0;
+  for (int r = 0; r < world_size; ++r) {
+    Result<std::string> bytes = store->Get(RankKey(r));
+    if (!bytes.ok()) {
+      if (bytes.status().code() == StatusCode::kNotFound) continue;
+      return bytes.status();
+    }
+    Result<obs::TelemetrySnapshot> snapshot =
+        obs::ParseTelemetrySnapshot(bytes.value());
+    if (!snapshot.ok()) {
+      // A torn value cannot happen (store values are replaced whole), but
+      // a version-skewed peer could publish a format we don't read — log
+      // once per sweep and keep the plane alive.
+      MICS_LOG(Warning) << "telemetry: dropping unparsable snapshot for rank "
+                        << r << ": " << snapshot.status().ToString();
+      continue;
+    }
+    aggregator->Ingest(snapshot.value());
+    ++ingested;
+  }
+  return ingested;
+}
+
+}  // namespace net
+}  // namespace mics

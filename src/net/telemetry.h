@@ -1,0 +1,55 @@
+#ifndef MICS_NET_TELEMETRY_H_
+#define MICS_NET_TELEMETRY_H_
+
+#include <string>
+#include <vector>
+
+#include "net/tcp_store.h"
+#include "obs/telemetry.h"
+#include "util/status.h"
+
+namespace mics {
+namespace net {
+
+/// TcpStore glue for the telemetry plane. Workers publish their latest
+/// serialized snapshot under a per-rank key; anything holding a store
+/// client — the launcher's monitor thread, mics_top attached from another
+/// terminal — polls the keys and feeds a TelemetryAggregator. The store
+/// is last-write-wins per key, which is exactly telemetry's contract
+/// (only the newest snapshot of each rank matters; the aggregator drops
+/// stale seq numbers on re-reads).
+///
+/// Key layout:
+///   telemetry/world_size   decimal world size, set once by the job
+///   telemetry/rank/<r>     latest serialized TelemetrySnapshot of rank r
+///   telemetry/epoch/<r>    decimal trace epoch (unix us of ts=0) of rank
+///                          r, for timeline alignment by viewers
+
+/// Announces the job's world size (so attachers know how many rank keys
+/// to poll) — called once by rank 0 or the launcher.
+Status PublishTelemetryWorldSize(TcpStoreClient* store, int world_size);
+
+/// World size previously announced; 0 when the job has not (yet)
+/// published telemetry.
+Result<int> FetchTelemetryWorldSize(TcpStoreClient* store);
+
+/// Publishes `snapshot` as rank `snapshot.rank`'s latest. Never blocks on
+/// missing keys (plain Set).
+Status PublishTelemetrySnapshot(TcpStoreClient* store,
+                                const obs::TelemetrySnapshot& snapshot);
+
+/// Publishes rank `rank`'s trace epoch (obs::TraceRecorder::epoch_unix_us).
+Status PublishTelemetryEpoch(TcpStoreClient* store, int rank,
+                             int64_t epoch_unix_us);
+
+/// Reads every `telemetry/rank/<r>` key for r in [0, world_size) and
+/// ingests the ones that exist and parse. Ranks that have not published
+/// yet are skipped silently (NotFound is the steady state during
+/// startup). Returns the number of snapshots ingested this sweep.
+Result<int> IngestTelemetryFromStore(TcpStoreClient* store, int world_size,
+                                     obs::TelemetryAggregator* aggregator);
+
+}  // namespace net
+}  // namespace mics
+
+#endif  // MICS_NET_TELEMETRY_H_

@@ -222,10 +222,8 @@ void SocketTransport::ReaderLoop(int peer) {
       }
     }
     if (NetDebug()) {
-      std::fprintf(stderr, "[net %d] reader %d frame chan %llu st %s\n",
-                   rank_, peer,
-                   static_cast<unsigned long long>(channel),
-                   st.ToString().c_str());
+      MICS_LOG(Info) << "net " << rank_ << ": reader " << peer
+                     << " frame chan " << channel << " st " << st.ToString();
     }
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;
@@ -293,9 +291,8 @@ Status SocketTransport::Send(int peer, uint64_t channel, const void* data,
   if (nbytes < 0) return Status::InvalidArgument("Send: negative size");
   Peer& p = *peers_[static_cast<size_t>(peer)];
   if (NetDebug()) {
-    std::fprintf(stderr, "[net %d] send -> %d chan %llu bytes %lld\n", rank_,
-                 peer, static_cast<unsigned long long>(channel),
-                 static_cast<long long>(nbytes));
+    MICS_LOG(Info) << "net " << rank_ << ": send -> " << peer << " chan "
+                   << channel << " bytes " << nbytes;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -343,9 +340,8 @@ Status SocketTransport::Recv(int peer, uint64_t channel, void* data,
   }
   if (timeout_ms < 0) timeout_ms = options_.recv_timeout_ms;
   if (NetDebug()) {
-    std::fprintf(stderr, "[net %d] recv <- %d chan %llu bytes %lld\n", rank_,
-                 peer, static_cast<unsigned long long>(channel),
-                 static_cast<long long>(nbytes));
+    MICS_LOG(Info) << "net " << rank_ << ": recv <- " << peer << " chan "
+                   << channel << " bytes " << nbytes;
   }
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);

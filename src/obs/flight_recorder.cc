@@ -1,0 +1,111 @@
+#include "obs/flight_recorder.h"
+
+#include <csignal>
+#include <cstdio>
+#include <chrono>
+
+#include "util/atomic_file.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace mics::obs {
+
+namespace {
+
+// The recorder the fatal-signal handlers dump from. Plain atomic pointer:
+// handlers cannot take locks, and arming happens once during setup.
+std::atomic<FlightRecorder*> g_armed{nullptr};
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS,
+                                 SIGFPE,  SIGILL,  SIGTERM};
+
+int64_t UnixNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(Options options) : options_(options) {
+  if (options_.registry == nullptr) {
+    options_.registry = &MetricsRegistry::Global();
+  }
+  if (options_.trace == nullptr) {
+    options_.trace = &TraceRecorder::Global();
+  }
+  if (options_.trace_capacity > 0) {
+    options_.trace->SetCapacity(options_.trace_capacity);
+  }
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (armed_) {
+    FlightRecorder* self = this;
+    if (g_armed.compare_exchange_strong(self, nullptr)) {
+      for (int signum : kFatalSignals) {
+        std::signal(signum, SIG_DFL);
+      }
+    }
+  }
+}
+
+std::string FlightRecorder::dump_path() const {
+  return options_.dir + "/flight.rank" + std::to_string(options_.rank) +
+         ".attempt" + std::to_string(options_.attempt) + ".json";
+}
+
+Status FlightRecorder::DumpNow(const std::string& reason) {
+  bool expected = false;
+  if (!dumping_.compare_exchange_strong(expected, true)) {
+    return Status::OK();  // dump already in flight (signal during dump)
+  }
+  Status st = AtomicWriteFile(dump_path(), [&](std::ostream& os) {
+    os << "{\n  \"schema_version\": 1,\n  \"reason\": " << JsonQuote(reason)
+       << ",\n  \"rank\": " << options_.rank
+       << ",\n  \"attempt\": " << options_.attempt
+       << ",\n  \"unix_us\": " << UnixNowUs()
+       << ",\n  \"trace_dropped\": " << options_.trace->num_dropped()
+       << ",\n  \"metrics\": {";
+    char buf[64];
+    bool first = true;
+    for (const MetricSample& s : options_.registry->Snapshot()) {
+      if (!first) os << ",";
+      first = false;
+      std::snprintf(buf, sizeof(buf), "%.17g", s.value);
+      os << "\n    " << JsonQuote(s.name) << ": " << buf;
+    }
+    os << "\n  },\n  \"trace\": ";
+    options_.trace->WriteChromeTrace(os);
+    os << "}\n";
+    return Status::OK();
+  });
+  dumping_.store(false);
+  if (st.ok()) {
+    dumps_.fetch_add(1);
+    options_.registry->GetCounter("telemetry.flight.dumps")->Increment();
+  }
+  return st;
+}
+
+void FlightRecorder::ArmSignalHandlers() {
+  g_armed.store(this);
+  armed_ = true;
+  for (int signum : kFatalSignals) {
+    std::signal(signum, &FlightRecorder::HandleFatalSignal);
+  }
+}
+
+void FlightRecorder::HandleFatalSignal(int signum) {
+  FlightRecorder* recorder = g_armed.load();
+  if (recorder != nullptr) {
+    // Best effort: serialization allocates, which a hostile heap state
+    // may not survive — but the alternative is zero forensics, and the
+    // re-raise below preserves the original death either way.
+    (void)recorder->DumpNow("signal " + std::to_string(signum));
+  }
+  std::signal(signum, SIG_DFL);
+  std::raise(signum);
+}
+
+}  // namespace mics::obs

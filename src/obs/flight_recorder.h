@@ -1,0 +1,79 @@
+#ifndef MICS_OBS_FLIGHT_RECORDER_H_
+#define MICS_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace mics::obs {
+
+/// Black box for rank death: keeps the trace recorder bounded (a ring of
+/// the most recent spans) and, when the run dies, dumps that tail plus a
+/// full metrics snapshot to one atomically-written JSON file. A rank
+/// SIGKILLed by the chaos drill leaves nothing itself — its *survivors*
+/// collapse with DeadlineExceeded when the store poisons the rendezvous,
+/// and their dumps carry the forensics: which collective was in flight,
+/// how far each rank had stepped, what the comm counters said.
+///
+/// Two triggers:
+///  - DumpNow(reason): the error path of RunMultiProcessTraining / serve
+///    calls this when a sticky non-OK Status unwinds the run.
+///  - ArmSignalHandlers(): best-effort dump on fatal signals (SIGSEGV,
+///    SIGABRT, SIGBUS, SIGFPE, SIGILL, SIGTERM) before re-raising. The
+///    handler allocates (JSON serialization), which is not strictly
+///    async-signal-safe — acceptable for a forensics path whose
+///    alternative is no data at all; the re-raise preserves the original
+///    death and exit code.
+///
+/// The dump file is `<dir>/flight.rank<rank>.attempt<attempt>.json`:
+///   {"schema_version": 1, "reason": ..., "rank": N, "attempt": N,
+///    "unix_us": ..., "trace_dropped": N, "metrics": {...},
+///    "trace": [...Chrome trace events...]}
+class FlightRecorder {
+ public:
+  struct Options {
+    std::string dir = ".";
+    int rank = 0;
+    int attempt = 0;
+    /// Snapshotted into the dump. Defaults to the global registry.
+    MetricsRegistry* registry = nullptr;
+    /// Ring-bounded on construction and embedded in the dump. Defaults
+    /// to the global recorder.
+    TraceRecorder* trace = nullptr;
+    /// Ring bound applied to `trace` (0 leaves its capacity untouched).
+    int64_t trace_capacity = 4096;
+  };
+
+  explicit FlightRecorder(Options options);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Writes the dump (atomic tmp+rename; pollers never see a torn file).
+  /// Re-entrant calls (signal during a dump) return immediately.
+  Status DumpNow(const std::string& reason);
+
+  std::string dump_path() const;
+  int64_t dumps_written() const { return dumps_.load(); }
+
+  /// Installs the fatal-signal handlers, routing them to this recorder.
+  /// One recorder per process may be armed; arming a second replaces the
+  /// first. Disarmed automatically on destruction.
+  void ArmSignalHandlers();
+
+ private:
+  static void HandleFatalSignal(int signum);
+
+  Options options_;
+  std::atomic<bool> dumping_{false};
+  std::atomic<int64_t> dumps_{0};
+  bool armed_ = false;
+};
+
+}  // namespace mics::obs
+
+#endif  // MICS_OBS_FLIGHT_RECORDER_H_

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "util/atomic_file.h"
 #include "util/logging.h"
 
 namespace mics::obs {
@@ -191,13 +192,12 @@ void MetricsRegistry::WriteJson(std::ostream& os,
 
 Status MetricsRegistry::WriteJsonFile(const std::string& path,
                                       const std::string& prefix) const {
-  std::ofstream os(path);
-  if (!os.good()) {
-    return Status::Internal("cannot open " + path + " for writing");
-  }
-  WriteJson(os, prefix);
-  if (!os.good()) return Status::Internal("metrics write failed: " + path);
-  return Status::OK();
+  // Atomic (tmp + rename) so a scraper polling the path mid-write never
+  // reads a torn document.
+  return AtomicWriteFile(path, [&](std::ostream& os) {
+    WriteJson(os, prefix);
+    return Status::OK();
+  });
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

@@ -1,0 +1,460 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/table_printer.h"
+
+namespace mics::obs {
+
+namespace {
+
+constexpr uint32_t kSnapshotMagic = 0x3154434D;  // "MCT1" little-endian
+
+int64_t UnixNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+class Reader {
+ public:
+  Reader(const char* p, size_t n) : p_(p), end_(p + n) {}
+
+  bool U32(uint32_t* out) {
+    if (end_ - p_ < 4) return false;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(p_[i])) << (8 * i);
+    }
+    p_ += 4;
+    *out = v;
+    return true;
+  }
+
+  bool U64(uint64_t* out) {
+    if (end_ - p_ < 8) return false;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(p_[i])) << (8 * i);
+    }
+    p_ += 8;
+    *out = v;
+    return true;
+  }
+
+  bool F64(double* out) {
+    uint64_t bits = 0;
+    if (!U64(&bits)) return false;
+    std::memcpy(out, &bits, sizeof(*out));
+    return true;
+  }
+
+  bool Bytes(size_t n, std::string* out) {
+    if (static_cast<size_t>(end_ - p_) < n) return false;
+    out->assign(p_, n);
+    p_ += n;
+    return true;
+  }
+
+  bool AtEnd() const { return p_ == end_; }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+const MetricSample* TelemetrySnapshot::Find(const std::string& name) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+double TelemetrySnapshot::ValueOr(const std::string& name,
+                                  double fallback) const {
+  const MetricSample* s = Find(name);
+  return s != nullptr ? s->value : fallback;
+}
+
+std::string SerializeTelemetrySnapshot(const TelemetrySnapshot& snapshot) {
+  std::string out;
+  PutU32(&out, kSnapshotMagic);
+  PutU32(&out, static_cast<uint32_t>(snapshot.rank));
+  PutU64(&out, static_cast<uint64_t>(snapshot.seq));
+  PutU64(&out, static_cast<uint64_t>(snapshot.unix_us));
+  PutU32(&out, static_cast<uint32_t>(snapshot.samples.size()));
+  for (const MetricSample& s : snapshot.samples) {
+    PutU32(&out, static_cast<uint32_t>(s.name.size()));
+    out.append(s.name);
+    PutF64(&out, s.value);
+  }
+  return out;
+}
+
+Result<TelemetrySnapshot> ParseTelemetrySnapshot(const std::string& bytes) {
+  Reader r(bytes.data(), bytes.size());
+  uint32_t magic = 0;
+  if (!r.U32(&magic) || magic != kSnapshotMagic) {
+    return Status::InvalidArgument("telemetry snapshot: bad magic");
+  }
+  TelemetrySnapshot snapshot;
+  uint32_t rank = 0;
+  uint64_t seq = 0;
+  uint64_t unix_us = 0;
+  uint32_t count = 0;
+  if (!r.U32(&rank) || !r.U64(&seq) || !r.U64(&unix_us) || !r.U32(&count)) {
+    return Status::InvalidArgument("telemetry snapshot: truncated header");
+  }
+  snapshot.rank = static_cast<int32_t>(rank);
+  snapshot.seq = static_cast<int64_t>(seq);
+  snapshot.unix_us = static_cast<int64_t>(unix_us);
+  // A name-length check per sample bounds memory before trusting `count`.
+  snapshot.samples.reserve(std::min<uint32_t>(count, 4096));
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    MetricSample s;
+    if (!r.U32(&len) || len > bytes.size() || !r.Bytes(len, &s.name) ||
+        !r.F64(&s.value)) {
+      return Status::InvalidArgument("telemetry snapshot: truncated sample");
+    }
+    snapshot.samples.push_back(std::move(s));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("telemetry snapshot: trailing bytes");
+  }
+  return snapshot;
+}
+
+TelemetryAggregator::TelemetryAggregator(Options options)
+    : options_(options) {
+  if (options_.registry == nullptr) {
+    options_.registry = &MetricsRegistry::Global();
+  }
+  if (options_.trace != nullptr) {
+    telemetry_track_ = options_.trace->RegisterTrack("telemetry");
+  }
+}
+
+void TelemetryAggregator::Ingest(const TelemetrySnapshot& snapshot) {
+  if (snapshot.rank < 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = latest_.find(snapshot.rank);
+    if (it != latest_.end() && it->second.seq >= snapshot.seq) return;
+    latest_[snapshot.rank] = snapshot;
+    ++ingested_;
+  }
+  options_.registry->GetCounter("telemetry.snapshots.ingested")->Increment();
+}
+
+std::vector<int> TelemetryAggregator::Ranks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> ranks;
+  ranks.reserve(latest_.size());
+  for (const auto& [rank, snapshot] : latest_) ranks.push_back(rank);
+  return ranks;
+}
+
+bool TelemetryAggregator::Latest(int rank, TelemetrySnapshot* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = latest_.find(rank);
+  if (it == latest_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+int64_t TelemetryAggregator::ingested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ingested_;
+}
+
+std::vector<ClusterMetric> TelemetryAggregator::ClusterView() const {
+  // metric name -> (rank, value) pairs over the latest snapshots.
+  std::map<std::string, std::vector<std::pair<int, double>>> by_name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [rank, snapshot] : latest_) {
+      for (const MetricSample& s : snapshot.samples) {
+        by_name[s.name].emplace_back(rank, s.value);
+      }
+    }
+  }
+  std::vector<ClusterMetric> view;
+  view.reserve(by_name.size());
+  for (auto& [name, values] : by_name) {
+    ClusterMetric m;
+    m.name = name;
+    m.ranks = static_cast<int>(values.size());
+    double sum = 0.0;
+    for (const auto& [rank, v] : values) {
+      sum += v;
+      if (m.min_rank < 0 || v < m.min) {
+        m.min = v;
+        m.min_rank = rank;
+      }
+      if (m.max_rank < 0 || v > m.max) {
+        m.max = v;
+        m.max_rank = rank;
+      }
+    }
+    m.mean = sum / static_cast<double>(values.size());
+    std::vector<double> sorted;
+    sorted.reserve(values.size());
+    for (const auto& [rank, v] : values) sorted.push_back(v);
+    std::sort(sorted.begin(), sorted.end());
+    // Nearest-rank p99 — with a handful of ranks this is the max, which
+    // is the honest answer for small clusters.
+    const size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(0.99 * static_cast<double>(sorted.size())));
+    m.p99 = sorted[idx];
+    view.push_back(std::move(m));
+  }
+  return view;
+}
+
+std::vector<StragglerReport> TelemetryAggregator::DetectStragglers() {
+  const StragglerOptions& opts = options_.straggler;
+  options_.registry->GetCounter("telemetry.straggler.checks")->Increment();
+
+  std::vector<std::pair<int, double>> values;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [rank, snapshot] : latest_) {
+      const MetricSample* s = snapshot.Find(opts.metric);
+      if (s != nullptr) values.emplace_back(rank, s->value);
+    }
+  }
+  std::vector<StragglerReport> reports;
+  if (static_cast<int>(values.size()) < opts.min_ranks) return reports;
+
+  std::vector<double> sorted;
+  sorted.reserve(values.size());
+  for (const auto& [rank, v] : values) sorted.push_back(v);
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  const double median = (n % 2 == 1)
+                            ? sorted[n / 2]
+                            : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  if (median <= 0.0) return reports;
+
+  for (const auto& [rank, v] : values) {
+    if (v <= opts.factor * median) continue;
+    StragglerReport report;
+    report.rank = rank;
+    report.metric = opts.metric;
+    report.value = v;
+    report.median = median;
+    report.ratio = v / median;
+    bool newly_flagged = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      newly_flagged = flagged_.insert(rank).second;
+    }
+    if (newly_flagged) {
+      options_.registry->GetCounter("telemetry.straggler.flagged")
+          ->Increment();
+      if (options_.trace != nullptr && telemetry_track_ >= 0) {
+        options_.trace->AddInstantEvent(
+            telemetry_track_,
+            "straggler rank " + std::to_string(rank) + " (" + opts.metric +
+                " " + std::to_string(report.ratio) + "x median)",
+            options_.trace->NowUs(), "telemetry");
+      }
+      MICS_LOG(Warning) << "telemetry: rank " << rank << " straggling — "
+                        << opts.metric << " = " << v << " vs median "
+                        << median << " (" << report.ratio << "x, threshold "
+                        << opts.factor << "x)";
+    }
+    reports.push_back(std::move(report));
+  }
+  options_.registry->GetGauge("telemetry.straggler.current")
+      ->Set(static_cast<double>(reports.size()));
+  return reports;
+}
+
+std::set<int> TelemetryAggregator::flagged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flagged_;
+}
+
+std::string TelemetryAggregator::RenderTable(
+    const std::vector<std::string>& table_metrics) const {
+  std::vector<std::string> metrics = table_metrics;
+  if (metrics.empty()) metrics.push_back(options_.straggler.metric);
+
+  std::ostringstream os;
+  std::map<int, TelemetrySnapshot> latest;
+  std::set<int> flagged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    latest = latest_;
+    flagged = flagged_;
+  }
+  const int64_t now_us = UnixNowUs();
+
+  std::vector<std::string> headers = {"rank", "seq", "age ms", "flag"};
+  for (const std::string& m : metrics) headers.push_back(m);
+  TablePrinter table(std::move(headers));
+  for (const auto& [rank, snapshot] : latest) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(rank));
+    row.push_back(std::to_string(snapshot.seq));
+    row.push_back(TablePrinter::Fmt(
+        static_cast<double>(now_us - snapshot.unix_us) / 1000.0, 0));
+    row.push_back(flagged.count(rank) != 0 ? "STRAGGLER" : "");
+    for (const std::string& m : metrics) {
+      const MetricSample* s = snapshot.Find(m);
+      row.push_back(s != nullptr ? TablePrinter::Fmt(s->value) : "-");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(os);
+
+  TablePrinter cluster({"metric", "ranks", "min", "mean", "max", "p99"});
+  for (const ClusterMetric& m : ClusterView()) {
+    bool wanted = false;
+    for (const std::string& want : metrics) wanted |= (m.name == want);
+    if (!wanted) continue;
+    cluster.AddRow({m.name, std::to_string(m.ranks), TablePrinter::Fmt(m.min),
+                    TablePrinter::Fmt(m.mean), TablePrinter::Fmt(m.max),
+                    TablePrinter::Fmt(m.p99)});
+  }
+  if (cluster.num_rows() > 0) {
+    os << "\n";
+    cluster.Print(os);
+  }
+  return os.str();
+}
+
+TelemetryExporter::TelemetryExporter(Options options)
+    : options_(std::move(options)) {
+  if (options_.registry == nullptr) {
+    options_.registry = &MetricsRegistry::Global();
+  }
+  MICS_CHECK(options_.publish != nullptr)
+      << "TelemetryExporter needs a publish destination";
+  if (options_.interval_ms < 1) options_.interval_ms = 1;
+}
+
+TelemetryExporter::~TelemetryExporter() { Stop(); }
+
+TelemetrySnapshot TelemetryExporter::Capture() {
+  TelemetrySnapshot snapshot;
+  snapshot.rank = options_.rank;
+  snapshot.unix_us = UnixNowUs();
+  snapshot.samples = options_.registry->Snapshot();
+  if (options_.extra_samples) options_.extra_samples(&snapshot.samples);
+  return snapshot;
+}
+
+void TelemetryExporter::PublishNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TelemetrySnapshot snapshot = Capture();
+  snapshot.seq = ++seq_;
+  options_.publish(snapshot);
+  published_.fetch_add(1);
+  options_.registry->GetCounter("telemetry.snapshots.published")->Increment();
+}
+
+void TelemetryExporter::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return;
+    started_ = true;
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                     [this] { return stop_requested_; });
+        if (stop_requested_) return;
+      }
+      PublishNow();
+    }
+  });
+}
+
+void TelemetryExporter::Stop() {
+  bool was_started = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    was_started = started_;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (was_started) {
+    // Final flush so a run shorter than one interval still reports.
+    PublishNow();
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = false;
+  }
+}
+
+namespace {
+
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  return (end != nullptr && *end == '\0') ? static_cast<int64_t>(v) : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+}  // namespace
+
+TelemetryConfig TelemetryConfigFromEnv() {
+  TelemetryConfig config;
+  const char* enabled = std::getenv("MICS_TELEMETRY");
+  config.enabled = enabled != nullptr && *enabled != '\0' &&
+                   std::string(enabled) != "0";
+  config.interval_ms = static_cast<int>(
+      EnvInt64("MICS_TELEMETRY_INTERVAL_MS", config.interval_ms));
+  const char* dir = std::getenv("MICS_TELEMETRY_DIR");
+  if (dir != nullptr && *dir != '\0') config.dir = dir;
+  config.trace_capacity =
+      EnvInt64("MICS_TELEMETRY_TRACE_CAPACITY", config.trace_capacity);
+  const char* metric = std::getenv("MICS_TELEMETRY_STRAGGLER_METRIC");
+  if (metric != nullptr && *metric != '\0') config.straggler.metric = metric;
+  config.straggler.factor =
+      EnvDouble("MICS_TELEMETRY_STRAGGLER_FACTOR", config.straggler.factor);
+  return config;
+}
+
+}  // namespace mics::obs

@@ -1,0 +1,209 @@
+#ifndef MICS_OBS_TELEMETRY_H_
+#define MICS_OBS_TELEMETRY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace mics::obs {
+
+/// One rank's metric state at one moment: the payload of the telemetry
+/// plane. Generic named samples — registry counters/gauges plus whatever
+/// the producer appends (profiler phase times flatten into "prof.*").
+/// Strictly read-only with respect to training: producing a snapshot
+/// never touches model math, so losses are bit-identical with telemetry
+/// on or off.
+struct TelemetrySnapshot {
+  int rank = -1;
+  int64_t seq = 0;      // producer-local, monotonically increasing
+  int64_t unix_us = 0;  // wall-clock capture time
+  std::vector<MetricSample> samples;
+
+  const MetricSample* Find(const std::string& name) const;
+  double ValueOr(const std::string& name, double fallback) const;
+};
+
+/// Wire format (version 1): little-endian binary —
+///   u32 magic 'MCT1', i32 rank, i64 seq, i64 unix_us, u32 sample count,
+///   then per sample: u32 name length, name bytes, f64 value bits.
+/// Compact enough to push through TcpStore values every interval without
+/// bothering the rendezvous path.
+std::string SerializeTelemetrySnapshot(const TelemetrySnapshot& snapshot);
+Result<TelemetrySnapshot> ParseTelemetrySnapshot(const std::string& bytes);
+
+/// Straggler heuristic knobs. A rank is flagged when its value of
+/// `metric` exceeds `factor` times the median of that metric across all
+/// reporting ranks, provided at least `min_ranks` ranks reported it (a
+/// median over one or two ranks flags nothing but noise).
+struct StragglerOptions {
+  std::string metric = "prof.step_p50_us";
+  double factor = 2.0;
+  int min_ranks = 3;
+};
+
+/// One straggler verdict from DetectStragglers().
+struct StragglerReport {
+  int rank = -1;
+  std::string metric;
+  double value = 0.0;
+  double median = 0.0;
+  double ratio = 0.0;  // value / median
+};
+
+/// Cross-rank aggregate of one metric (the cluster view row).
+struct ClusterMetric {
+  std::string name;
+  int ranks = 0;  // ranks reporting this metric
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p99 = 0.0;  // nearest-rank percentile across ranks
+  int min_rank = -1;
+  int max_rank = -1;
+};
+
+/// Cluster-side sink of the telemetry plane: holds the latest snapshot
+/// per rank, derives min/max/mean/p99 cluster views per metric, and runs
+/// the straggler detector. Hosted by the launcher (fed from TcpStore
+/// keys), by the serve driver (fed in-process), and by mics_top.
+/// Thread-safe; Ingest and readers may race freely.
+class TelemetryAggregator {
+ public:
+  struct Options {
+    StragglerOptions straggler;
+    /// Receives `telemetry.straggler.*` counters. Defaults to the global
+    /// registry; tests pass their own to keep accounting exact.
+    MetricsRegistry* registry = nullptr;
+    /// When set, straggler flags are annotated onto this recorder as
+    /// instant events (track "telemetry").
+    TraceRecorder* trace = nullptr;
+  };
+
+  TelemetryAggregator() : TelemetryAggregator(Options{}) {}
+  explicit TelemetryAggregator(Options options);
+  TelemetryAggregator(const TelemetryAggregator&) = delete;
+  TelemetryAggregator& operator=(const TelemetryAggregator&) = delete;
+
+  /// Replaces rank's view when `snapshot.seq` is newer (stale or
+  /// duplicate sequence numbers are dropped, so store re-reads are
+  /// harmless).
+  void Ingest(const TelemetrySnapshot& snapshot);
+
+  std::vector<int> Ranks() const;
+  /// Latest snapshot of `rank`; false when the rank never reported.
+  bool Latest(int rank, TelemetrySnapshot* out) const;
+  int64_t ingested() const;
+
+  /// Cross-rank aggregation over the latest snapshot of every rank,
+  /// sorted by metric name. Metrics reported by a single rank still get
+  /// a row (min == max == mean).
+  std::vector<ClusterMetric> ClusterView() const;
+
+  /// Runs the straggler heuristic over the configured metric. Bumps
+  /// `telemetry.straggler.checks` per call and
+  /// `telemetry.straggler.flagged` per newly flagged rank, remembers
+  /// flags across calls (flagged() is cumulative), and drops an instant
+  /// trace annotation per new flag when a recorder was provided.
+  std::vector<StragglerReport> DetectStragglers();
+  std::set<int> flagged() const;
+
+  /// Renders the live per-rank table mics_top and the launcher print:
+  /// one row per rank (age, seq, key metrics) followed by cluster rows
+  /// for `table_metrics` (default: the straggler metric).
+  std::string RenderTable(const std::vector<std::string>& table_metrics =
+                              std::vector<std::string>()) const;
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<int, TelemetrySnapshot> latest_;
+  std::set<int> flagged_;
+  int64_t ingested_ = 0;
+  int telemetry_track_ = -1;
+};
+
+/// Per-rank background publisher: every `interval_ms` it snapshots the
+/// registry (plus caller-provided extra samples, e.g. flattened
+/// StepProfiler phase times) and hands the result to `publish`. The
+/// destination is a plain callback so obs stays independent of net: the
+/// multiprocess path publishes to TcpStore keys (net/telemetry.h), serve
+/// feeds an in-process TelemetryAggregator directly.
+class TelemetryExporter {
+ public:
+  struct Options {
+    int rank = 0;
+    int interval_ms = 200;
+    /// Registry snapshotted each tick. Defaults to the global registry.
+    MetricsRegistry* registry = nullptr;
+    /// Appends producer-specific samples each tick; may be empty.
+    std::function<void(std::vector<MetricSample>*)> extra_samples;
+    /// Required. Called off the training threads; must be thread-safe.
+    /// Publish failures are the destination's problem (telemetry must
+    /// never take the job down).
+    std::function<void(const TelemetrySnapshot&)> publish;
+  };
+
+  explicit TelemetryExporter(Options options);
+  ~TelemetryExporter();
+  TelemetryExporter(const TelemetryExporter&) = delete;
+  TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+  void Start();
+  /// Publishes one final snapshot (so short runs still report) and joins
+  /// the thread. Idempotent.
+  void Stop();
+
+  int64_t published() const { return published_.load(); }
+
+  /// One synchronous capture+publish, also used by Stop's final flush.
+  void PublishNow();
+
+ private:
+  TelemetrySnapshot Capture();
+
+  Options options_;
+  std::atomic<int64_t> published_{0};
+  int64_t seq_ = 0;  // touched only by the exporter thread + PublishNow
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+/// Knobs of the whole plane, resolved from the environment in one place
+/// so every entry point (mics_launch, RunMultiProcessTraining, serve
+/// loops, examples) agrees on the spelling:
+///   MICS_TELEMETRY                   1/0 master switch (default off)
+///   MICS_TELEMETRY_INTERVAL_MS       exporter period (default 200)
+///   MICS_TELEMETRY_DIR               flight dumps + per-rank trace files
+///                                    (default ".")
+///   MICS_TELEMETRY_TRACE_CAPACITY    flight-recorder ring bound
+///                                    (default 4096 events)
+///   MICS_TELEMETRY_STRAGGLER_METRIC  straggler metric name
+///   MICS_TELEMETRY_STRAGGLER_FACTOR  multiple-of-median threshold
+struct TelemetryConfig {
+  bool enabled = false;
+  int interval_ms = 200;
+  std::string dir = ".";
+  int64_t trace_capacity = 4096;
+  StragglerOptions straggler;
+};
+
+TelemetryConfig TelemetryConfigFromEnv();
+
+}  // namespace mics::obs
+
+#endif  // MICS_OBS_TELEMETRY_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 
 namespace mics::obs {
@@ -64,7 +65,16 @@ int LauncherRank() {
 
 }  // namespace
 
-TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+namespace {
+int64_t UnixNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+TraceRecorder::TraceRecorder()
+    : epoch_(std::chrono::steady_clock::now()), epoch_unix_us_(UnixNowUs()) {}
 
 int TraceRecorder::RegisterTrack(const std::string& name, int pid) {
   // Under mics_launch every worker records its own trace; prefixing each
@@ -97,6 +107,26 @@ void TraceRecorder::AddCompleteEvent(int track, std::string name, double ts_us,
   e.tid = track;
   e.ts_us = ts_us;
   e.dur_us = dur_us;
+  events_.push_back(std::move(e));
+  if (capacity_ > 0 && static_cast<int64_t>(events_.size()) > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+    DroppedCounter()->Increment();
+  }
+}
+
+void TraceRecorder::AddInstantEvent(int track, std::string name, double ts_us,
+                                    std::string category) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MICS_CHECK(track >= 0 && track < static_cast<int>(tracks_.size()))
+      << "unregistered trace track " << track;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.pid = tracks_[static_cast<size_t>(track)].pid;
+  e.tid = track;
+  e.ts_us = ts_us;
+  e.phase = 'i';
   events_.push_back(std::move(e));
   if (capacity_ > 0 && static_cast<int64_t>(events_.size()) > capacity_) {
     events_.pop_front();
@@ -153,33 +183,43 @@ int TraceRecorder::num_tracks() const {
   return static_cast<int>(tracks_.size());
 }
 
+int64_t TraceRecorder::epoch_unix_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_unix_us_;
+}
+
 void TraceRecorder::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   tracks_.clear();
   epoch_ = std::chrono::steady_clock::now();
+  epoch_unix_us_ = UnixNowUs();
 }
 
 void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mu_);
   os << "[";
-  bool first = true;
+  // clock_sync carries the wall-clock moment of ts=0 so trace_merge can
+  // align independently-recorded per-rank files onto one timeline.
+  os << "\n{\"name\":\"clock_sync\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+     << "\"args\":{\"unix_us\":" << epoch_unix_us_ << "}}";
   for (const TraceEvent& e : events_) {
-    if (!first) os << ",";
-    first = false;
-    os << "\n{\"name\":";
+    os << ",\n{\"name\":";
     WriteJsonString(os, e.name.empty() ? "span" : e.name);
     if (!e.category.empty()) {
       os << ",\"cat\":";
       WriteJsonString(os, e.category);
     }
-    os << ",\"ph\":\"X\",\"pid\":" << e.pid << ",\"tid\":" << e.tid
-       << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us << "}";
+    if (e.phase == 'i') {
+      os << ",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << e.pid
+         << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts_us << "}";
+    } else {
+      os << ",\"ph\":\"X\",\"pid\":" << e.pid << ",\"tid\":" << e.tid
+         << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us << "}";
+    }
   }
   for (size_t t = 0; t < tracks_.size(); ++t) {
-    if (!first) os << ",";
-    first = false;
-    os << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
        << tracks_[t].pid << ",\"tid\":" << t << ",\"args\":{\"name\":";
     WriteJsonString(os, tracks_[t].name);
     os << "}}";
@@ -188,13 +228,12 @@ void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
 }
 
 Status TraceRecorder::WriteChromeTraceFile(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os.good()) {
-    return Status::Internal("cannot open " + path + " for writing");
-  }
-  WriteChromeTrace(os);
-  if (!os.good()) return Status::Internal("trace write failed: " + path);
-  return Status::OK();
+  // Atomic (tmp + rename): trace_merge and viewers may poll the path
+  // while a rank is still flushing.
+  return AtomicWriteFile(path, [&](std::ostream& os) {
+    WriteChromeTrace(os);
+    return Status::OK();
+  });
 }
 
 TraceRecorder& TraceRecorder::Global() {

@@ -24,6 +24,9 @@ struct TraceEvent {
   int tid = 0;
   double ts_us = 0.0;
   double dur_us = 0.0;
+  // Chrome phase: 'X' = complete span, 'i' = instant annotation (used by
+  // the straggler detector to pin "rank N flagged" onto the timeline).
+  char phase = 'X';
 };
 
 /// Thread-safe span recorder shared by every layer of the stack: rank
@@ -52,9 +55,20 @@ class TraceRecorder {
   void AddCompleteEvent(int track, std::string name, double ts_us,
                         double dur_us, std::string category = std::string());
 
+  /// Records a zero-duration instant annotation (ph:"i") — telemetry uses
+  /// these to mark straggler flags and crash-dump moments on the timeline.
+  void AddInstantEvent(int track, std::string name, double ts_us,
+                       std::string category = std::string());
+
   /// Microseconds of wall time since the recorder's epoch (construction
   /// or the last Clear). ScopedSpan uses this clock.
   double NowUs() const;
+
+  /// Wall-clock time (unix microseconds, system clock) at which the
+  /// span clock's zero point was taken. Embedded in the exported trace
+  /// as a clock_sync metadata event so tools/trace_merge can shift
+  /// per-rank files onto one cluster timeline.
+  int64_t epoch_unix_us() const;
 
   int num_events() const;
   std::vector<TraceEvent> events() const;
@@ -86,6 +100,7 @@ class TraceRecorder {
  private:
   mutable std::mutex mu_;
   std::chrono::steady_clock::time_point epoch_;
+  int64_t epoch_unix_us_ = 0;
   // Deque, not vector: the flight-recorder ring evicts from the front.
   std::deque<TraceEvent> events_;
   int64_t capacity_ = 0;  // 0 = unbounded

@@ -1,0 +1,131 @@
+#include "obs/trace_merge.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+
+#include "util/atomic_file.h"
+#include "util/json.h"
+
+namespace mics::obs {
+
+namespace {
+
+/// One event tagged with its merged timestamp for the final sort.
+/// Metadata (ph:"M") sorts first at ts 0 so viewers see track names
+/// before spans.
+struct MergedEvent {
+  double sort_ts = 0.0;
+  bool metadata = false;
+  std::string json;
+};
+
+void SetNumber(JsonValue* obj, const std::string& key, double value) {
+  for (auto& [k, v] : obj->object) {
+    if (k == key) {
+      v.kind = JsonValue::Kind::kNumber;
+      v.number = value;
+      return;
+    }
+  }
+  JsonValue v;
+  v.kind = JsonValue::Kind::kNumber;
+  v.number = value;
+  obj->object.emplace_back(key, std::move(v));
+}
+
+/// The file's clock_sync epoch (unix us of its ts=0), or -1 when absent.
+int64_t FileEpochUs(const JsonValue& events) {
+  for (const JsonValue& e : events.array) {
+    if (!e.is_object()) continue;
+    if (e.StringOr("name", "") != "clock_sync") continue;
+    const JsonValue* args = e.Find("args");
+    if (args == nullptr || !args->is_object()) continue;
+    const JsonValue* unix_us = args->Find("unix_us");
+    if (unix_us != nullptr && unix_us->is_number()) {
+      return static_cast<int64_t>(unix_us->number);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+Result<std::string> MergeChromeTraces(
+    const std::vector<std::string>& input_paths) {
+  if (input_paths.empty()) {
+    return Status::InvalidArgument("trace merge: no input files");
+  }
+
+  std::vector<JsonValue> files;
+  files.reserve(input_paths.size());
+  std::vector<int64_t> epochs(input_paths.size(), -1);
+  int64_t min_epoch = -1;
+  for (size_t i = 0; i < input_paths.size(); ++i) {
+    MICS_ASSIGN_OR_RETURN(JsonValue doc, ParseJsonFile(input_paths[i]));
+    if (!doc.is_array()) {
+      return Status::InvalidArgument("trace merge: " + input_paths[i] +
+                                     " is not a Chrome trace-event array");
+    }
+    epochs[i] = FileEpochUs(doc);
+    if (epochs[i] >= 0 && (min_epoch < 0 || epochs[i] < min_epoch)) {
+      min_epoch = epochs[i];
+    }
+    files.push_back(std::move(doc));
+  }
+
+  std::vector<MergedEvent> merged;
+  for (size_t i = 0; i < files.size(); ++i) {
+    // Files without a clock_sync epoch stay unshifted.
+    const double offset_us =
+        (epochs[i] >= 0 && min_epoch >= 0)
+            ? static_cast<double>(epochs[i] - min_epoch)
+            : 0.0;
+    for (JsonValue& e : files[i].array) {
+      if (!e.is_object()) continue;
+      const std::string name = e.StringOr("name", "");
+      const std::string ph = e.StringOr("ph", "");
+      // Per-file clock_syncs have served their purpose; the merged
+      // timeline is already in cluster time.
+      if (name == "clock_sync") continue;
+      SetNumber(&e, "pid", static_cast<double>(i));
+      MergedEvent out;
+      out.metadata = (ph == "M");
+      if (!out.metadata) {
+        const double ts = e.NumberOr("ts", 0.0) + offset_us;
+        SetNumber(&e, "ts", ts);
+        out.sort_ts = ts;
+      }
+      out.json = e.ToString();
+      merged.push_back(std::move(out));
+    }
+  }
+
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const MergedEvent& a, const MergedEvent& b) {
+                     if (a.metadata != b.metadata) return a.metadata;
+                     return a.sort_ts < b.sort_ts;
+                   });
+
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const MergedEvent& e : merged) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << e.json;
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+Status MergeChromeTracesToFile(const std::vector<std::string>& input_paths,
+                               const std::string& output_path) {
+  MICS_ASSIGN_OR_RETURN(std::string merged, MergeChromeTraces(input_paths));
+  return AtomicWriteFile(output_path, [&](std::ostream& os) {
+    os << merged;
+    return Status::OK();
+  });
+}
+
+}  // namespace mics::obs

@@ -1,0 +1,34 @@
+#ifndef MICS_OBS_TRACE_MERGE_H_
+#define MICS_OBS_TRACE_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mics::obs {
+
+/// Merges per-rank Chrome trace files (as written by
+/// TraceRecorder::WriteChromeTraceFile, typically trace.rank<r>.json from
+/// one mics_launch run) into a single cluster timeline:
+///  - Each input's `clock_sync` metadata event ({"args":{"unix_us":...}},
+///    the wall-clock moment of that recorder's ts=0) aligns the files:
+///    every event is shifted by (file epoch - earliest epoch), so spans
+///    from different ranks line up in real time. Files lacking clock_sync
+///    (hand-written traces) are left unshifted.
+///  - Events get pid = input index, keeping per-rank tracks separate even
+///    when two ranks used the same (pid, tid); thread_name metadata is
+///    carried over so tracks stay labeled.
+///  - The output is sorted by timestamp, so per-track spans are monotone.
+/// Returns the merged trace as a JSON string (a single Chrome trace-event
+/// array, loadable in chrome://tracing or Perfetto).
+Result<std::string> MergeChromeTraces(
+    const std::vector<std::string>& input_paths);
+
+/// MergeChromeTraces + atomic write to `output_path`.
+Status MergeChromeTracesToFile(const std::vector<std::string>& input_paths,
+                               const std::string& output_path);
+
+}  // namespace mics::obs
+
+#endif  // MICS_OBS_TRACE_MERGE_H_

@@ -168,6 +168,23 @@ OverlapReport StepProfiler::ComputeOverlap(const obs::TraceRecorder& trace) {
   return overlap;
 }
 
+void StepProfileReport::AppendSamples(std::vector<obs::MetricSample>* out) const {
+  out->push_back({"prof.steps", static_cast<double>(steps)});
+  out->push_back({"prof.step_p50_us", step_p50_us});
+  out->push_back({"prof.step_p95_us", step_p95_us});
+  out->push_back({"prof.step_p99_us", step_p99_us});
+  out->push_back({"prof.coverage", coverage});
+  for (int p = 0; p < kNumPhases; ++p) {
+    const PhaseStats& stats = phases[p];
+    if (stats.observations == 0) continue;
+    const std::string base =
+        std::string("prof.phase.") + PhaseName(static_cast<Phase>(p));
+    out->push_back({base + ".total_us", stats.total_us});
+    out->push_back({base + ".p50_us", stats.p50_us});
+    out->push_back({base + ".p99_us", stats.p99_us});
+  }
+}
+
 void StepProfileReport::Print(std::ostream& os) const {
   os << "step profile: " << steps << " steps across " << ranks
      << " ranks, coverage " << TablePrinter::Fmt(coverage * 100.0, 1)

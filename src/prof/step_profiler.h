@@ -77,6 +77,12 @@ struct StepProfileReport {
   /// Human-readable report: phase table (share of wall, percentiles),
   /// step wall percentiles, and the overlap block when present.
   void Print(std::ostream& os) const;
+
+  /// Flattens the report into "prof.*" metric samples (steps, step wall
+  /// percentiles, per-phase totals/percentiles) for the telemetry
+  /// exporter, so per-rank phase timing crosses the wire in the same
+  /// shape as registry metrics.
+  void AppendSamples(std::vector<obs::MetricSample>* out) const;
 };
 
 /// Per-training-step phase profiler for real (executed) training. One

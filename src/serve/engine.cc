@@ -105,7 +105,23 @@ Result<std::unique_ptr<ServeEngine>> ServeEngine::Create(
     engine->trace_track_ = options.trace->RegisterTrack(
         "serve/rank " + std::to_string(global_rank));
   }
+  engine->global_rank_ = global_rank;
   return engine;
+}
+
+std::unique_ptr<obs::TelemetryExporter> ServeEngine::MakeLoopExporter() {
+  if (options_.telemetry == nullptr) return nullptr;
+  obs::TelemetryExporter::Options ex_options;
+  ex_options.rank = global_rank_;
+  ex_options.interval_ms = options_.telemetry_interval_ms;
+  obs::TelemetryAggregator* sink = options_.telemetry;
+  ex_options.publish = [sink](const obs::TelemetrySnapshot& snapshot) {
+    sink->Ingest(snapshot);
+  };
+  auto exporter =
+      std::make_unique<obs::TelemetryExporter>(std::move(ex_options));
+  exporter->Start();
+  return exporter;
 }
 
 Status ServeEngine::LoadParameters(uint64_t seed) {
@@ -223,6 +239,7 @@ Status ServeEngine::DriverLoop(DynamicBatcher* batcher) {
     return Status::FailedPrecondition(
         "DriverLoop must run on shard 0 of the partition group");
   }
+  std::unique_ptr<obs::TelemetryExporter> exporter = MakeLoopExporter();
   const int p = groups_->partition_group_size();
   Comm& partition = groups_->partition();
   for (;;) {
@@ -286,6 +303,7 @@ Status ServeEngine::FollowerLoop() {
     return Status::FailedPrecondition(
         "FollowerLoop must run on a non-driver shard (this rank drives)");
   }
+  std::unique_ptr<obs::TelemetryExporter> exporter = MakeLoopExporter();
   Comm& partition = groups_->partition();
   for (;;) {
     Tensor desc({4}, DType::kI32);

@@ -11,6 +11,7 @@
 #include "comm/topology.h"
 #include "core/group_manager.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "serve/batcher.h"
 #include "tensor/tensor.h"
@@ -57,6 +58,16 @@ struct ServeOptions {
   CompressionOptions compression;
   /// Optional span recorder (per-batch gather/forward spans). Borrowed.
   obs::TraceRecorder* trace = nullptr;
+
+  /// Optional in-process telemetry sink (borrowed; must outlive the
+  /// engine). When set, DriverLoop/FollowerLoop run a background
+  /// exporter pushing this rank's snapshots into the aggregator every
+  /// `telemetry_interval_ms` — the serving analogue of the training
+  /// plane's store-based export, minus the wire (serve ranks share the
+  /// process in the in-process harness). Read-only: outputs are
+  /// bit-identical with telemetry on or off.
+  obs::TelemetryAggregator* telemetry = nullptr;
+  int telemetry_interval_ms = 50;
 
   int EffectiveGroupSize(int world_size) const;
   Status Validate() const;
@@ -147,6 +158,11 @@ class ServeEngine {
   obs::Counter* batches_counter_ = nullptr;
   obs::Counter* samples_counter_ = nullptr;
   int trace_track_ = -1;
+  int global_rank_ = 0;
+
+  /// The exporter for one Driver/FollowerLoop invocation, or null when
+  /// ServeOptions::telemetry is unset. RAII: final snapshot on stop.
+  std::unique_ptr<obs::TelemetryExporter> MakeLoopExporter();
 };
 
 }  // namespace serve

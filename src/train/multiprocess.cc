@@ -6,7 +6,11 @@
 
 #include "net/backend.h"
 #include "net/socket_comm.h"
+#include "net/telemetry.h"
 #include "net/transport.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
+#include "prof/step_profiler.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -47,10 +51,68 @@ Result<MultiProcessTrainResult> RunMultiProcessTraining(
       CommBackendFactory backend,
       CommBackendFactory::Socket(transport.get(), &topo));
 
+  // The telemetry plane rides along as a pure observer: profiler + trace
+  // feed the background exporter (snapshots through the rendezvous
+  // store), and the flight recorder keeps a bounded span ring to dump if
+  // this rank dies. None of it touches training math.
+  const obs::TelemetryConfig& telemetry = options.telemetry;
+  SdpOptions sdp_options = options.sdp;
+  std::unique_ptr<prof::StepProfiler> owned_profiler;
+  std::unique_ptr<obs::FlightRecorder> flight;
+  std::unique_ptr<obs::TelemetryExporter> exporter;
+  if (telemetry.enabled) {
+    std::error_code ec;
+    std::filesystem::create_directories(telemetry.dir, ec);
+    if (ec) {
+      return Status::InvalidArgument("cannot create telemetry dir '" +
+                                     telemetry.dir + "': " + ec.message());
+    }
+    if (sdp_options.trace == nullptr) {
+      sdp_options.trace = &obs::TraceRecorder::Global();
+    }
+    if (sdp_options.profile == nullptr) {
+      owned_profiler = std::make_unique<prof::StepProfiler>();
+      sdp_options.profile = owned_profiler.get();
+    }
+    obs::FlightRecorder::Options fr_options;
+    fr_options.dir = telemetry.dir;
+    fr_options.rank = ctx.rank;
+    fr_options.attempt = ctx.attempt;
+    fr_options.trace = sdp_options.trace;
+    fr_options.trace_capacity = telemetry.trace_capacity;
+    flight = std::make_unique<obs::FlightRecorder>(fr_options);
+    flight->ArmSignalHandlers();
+
+    net::TcpStoreClient* store = transport->store();
+    if (ctx.rank == 0) {
+      MICS_RETURN_NOT_OK(
+          net::PublishTelemetryWorldSize(store, ctx.world_size));
+    }
+    MICS_RETURN_NOT_OK(net::PublishTelemetryEpoch(
+        store, ctx.rank, sdp_options.trace->epoch_unix_us()));
+    obs::TelemetryExporter::Options ex_options;
+    ex_options.rank = ctx.rank;
+    ex_options.interval_ms = telemetry.interval_ms;
+    prof::StepProfiler* profile = sdp_options.profile;
+    ex_options.extra_samples = [profile](std::vector<obs::MetricSample>* out) {
+      profile->Report().AppendSamples(out);
+    };
+    ex_options.publish = [store, ctx](const obs::TelemetrySnapshot& snapshot) {
+      // Publish failures mean the store (= the attempt) is going away;
+      // telemetry must never take the worker down with it.
+      Status st = net::PublishTelemetrySnapshot(store, snapshot);
+      if (!st.ok() && ctx.rank == 0) {
+        MICS_LOG(Info) << "telemetry publish skipped: " << st.ToString();
+      }
+    };
+    exporter = std::make_unique<obs::TelemetryExporter>(std::move(ex_options));
+    exporter->Start();
+  }
+
   MlpModel model(options.model);
   MICS_ASSIGN_OR_RETURN(
       std::unique_ptr<ShardedDataParallel> sdp,
-      ShardedDataParallel::Create(backend.factory(), topo, options.sdp,
+      ShardedDataParallel::Create(backend.factory(), topo, sdp_options,
                                   model.NumParams(), ctx.rank, options.adam));
   MICS_RETURN_NOT_OK(sdp->BindModel(&model, options.seed));
 
@@ -69,39 +131,91 @@ Result<MultiProcessTrainResult> RunMultiProcessTraining(
   data_config.classes = options.model.classes;
   SyntheticClassificationDataset dataset(data_config, options.seed + 1);
 
-  const int s = options.grad_accumulation_steps;
-  int64_t step_counter = static_cast<int64_t>(result.start_iteration) * s;
-  for (int iter = result.start_iteration; iter < options.iterations; ++iter) {
-    if (options.on_iteration) options.on_iteration(iter);
-    float iter_loss = 0.0f;
-    for (int micro = 0; micro < s; ++micro) {
-      MICS_RETURN_NOT_OK(sdp->GatherParams());
-      Tensor x;
-      std::vector<int32_t> y;
-      MICS_RETURN_NOT_OK(dataset.Sample(step_counter++, ctx.rank,
-                                        options.micro_batch, &x, &y));
-      float loss = 0.0f;
-      MICS_ASSIGN_OR_RETURN(loss, model.ForwardBackward(x, y));
-      iter_loss += loss;
-      MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+  // Mirrors trainer.cc's instrumentation so the profiler breakdown means
+  // the same thing in-process and multi-process. All MICS_RETURN_NOT_OK
+  // exits funnel through the lambda so the flight recorder can dump on
+  // any sticky error (the surviving ranks of a SIGKILL drill die here
+  // with DeadlineExceeded — their dumps are the forensics).
+  obs::TraceRecorder* trace = sdp_options.trace;
+  const int track =
+      trace ? trace->RegisterTrack("rank " + std::to_string(ctx.rank)) : -1;
+  prof::StepProfiler* profile = sdp_options.profile;
+  auto run_loop = [&]() -> Status {
+    const int s = options.grad_accumulation_steps;
+    int64_t step_counter = static_cast<int64_t>(result.start_iteration) * s;
+    for (int iter = result.start_iteration; iter < options.iterations;
+         ++iter) {
+      MICS_TRACE_SPAN(trace, track, "iteration " + std::to_string(iter));
+      if (profile != nullptr) profile->BeginStep(ctx.rank);
+      if (options.on_iteration) options.on_iteration(iter);
+      float iter_loss = 0.0f;
+      for (int micro = 0; micro < s; ++micro) {
+        MICS_RETURN_NOT_OK(sdp->GatherParams());
+        Tensor x;
+        std::vector<int32_t> y;
+        {
+          prof::StepProfiler::ScopedPhase other(profile, ctx.rank,
+                                                prof::Phase::kOther);
+          MICS_RETURN_NOT_OK(dataset.Sample(step_counter++, ctx.rank,
+                                            options.micro_batch, &x, &y));
+        }
+        float loss = 0.0f;
+        {
+          MICS_TRACE_SPAN(trace, track, "forward-backward");
+          prof::StepProfiler::ScopedPhase compute(
+              profile, ctx.rank, prof::Phase::kForwardBackward);
+          MICS_ASSIGN_OR_RETURN(loss, model.ForwardBackward(x, y));
+        }
+        iter_loss += loss;
+        MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+      }
+      MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
+      iter_loss /= static_cast<float>(s);
+      {
+        prof::StepProfiler::ScopedPhase other(profile, ctx.rank,
+                                              prof::Phase::kOther);
+        MICS_RETURN_NOT_OK(sdp->AverageScalar(&iter_loss));
+      }
+      result.losses[static_cast<size_t>(iter)] = iter_loss;
+      if (profile != nullptr) profile->EndStep(ctx.rank);
+      if (!options.checkpoint_dir.empty() &&
+          (iter + 1) % options.checkpoint_interval == 0) {
+        MICS_RETURN_NOT_OK(sdp->SaveCheckpoint(options.checkpoint_dir));
+      }
     }
-    MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
-    iter_loss /= static_cast<float>(s);
-    MICS_RETURN_NOT_OK(sdp->AverageScalar(&iter_loss));
-    result.losses[static_cast<size_t>(iter)] = iter_loss;
-    if (!options.checkpoint_dir.empty() &&
-        (iter + 1) % options.checkpoint_interval == 0) {
-      MICS_RETURN_NOT_OK(sdp->SaveCheckpoint(options.checkpoint_dir));
+    // An orderly mesh teardown: without it a fast-exiting rank's closed
+    // connections race slower ranks' final collectives into Unavailable.
+    std::vector<int> all_ranks(static_cast<size_t>(ctx.world_size));
+    for (int r = 0; r < ctx.world_size; ++r) {
+      all_ranks[static_cast<size_t>(r)] = r;
+    }
+    MICS_ASSIGN_OR_RETURN(std::unique_ptr<net::SocketCommunicator> world_comm,
+                          net::SocketCommunicator::Create(
+                              transport.get(), all_ranks, &topo));
+    return world_comm->Barrier();
+  };
+  Status loop_status = run_loop();
+  if (exporter != nullptr) exporter->Stop();  // final snapshot, then quiet
+  if (!loop_status.ok()) {
+    if (flight != nullptr) {
+      Status dump = flight->DumpNow(loop_status.ToString());
+      if (dump.ok()) {
+        MICS_LOG(Warning) << "telemetry: flight recorder dump at "
+                          << flight->dump_path() << " (reason: "
+                          << loop_status.ToString() << ")";
+      }
+    }
+    return loop_status;
+  }
+  if (telemetry.enabled && trace != nullptr) {
+    const std::string trace_path = telemetry.dir + "/trace.rank" +
+                                   std::to_string(ctx.rank) + ".json";
+    Status wrote = trace->WriteChromeTraceFile(trace_path);
+    if (!wrote.ok()) {
+      MICS_LOG(Warning) << "telemetry: trace write failed: "
+                        << wrote.ToString();
     }
   }
-  // An orderly mesh teardown: without it a fast-exiting rank's closed
-  // connections race slower ranks' final collectives into Unavailable.
-  std::vector<int> all_ranks(static_cast<size_t>(ctx.world_size));
-  for (int r = 0; r < ctx.world_size; ++r) all_ranks[static_cast<size_t>(r)] = r;
-  MICS_ASSIGN_OR_RETURN(std::unique_ptr<net::SocketCommunicator> world_comm,
-                        net::SocketCommunicator::Create(
-                            transport.get(), all_ranks, &topo));
-  MICS_RETURN_NOT_OK(world_comm->Barrier());
   return result;
 }
 

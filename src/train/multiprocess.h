@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/launch.h"
+#include "obs/telemetry.h"
 #include "train/dataset.h"
 #include "train/mlp_model.h"
 #include "train/optimizer.h"
@@ -48,6 +49,17 @@ struct MultiProcessTrainOptions {
   /// Test hook, called at the top of each iteration (after any checkpoint
   /// roll-back). Fault tests abort the process here mid-run.
   std::function<void(int iteration)> on_iteration;
+
+  /// Telemetry plane, resolved from MICS_TELEMETRY* at construction (so
+  /// worker binaries under mics_launch pick it up automatically; tests
+  /// override fields directly). When enabled the rank runs a background
+  /// exporter pushing snapshots through the rendezvous store, profiles
+  /// every step, keeps the trace recorder ring-bounded with an armed
+  /// flight recorder (crash dump on fatal signal or sticky error), and
+  /// writes `<dir>/trace.rank<r>.json` on success. Every piece is a
+  /// read-only observer: losses are bit-identical with telemetry on or
+  /// off.
+  obs::TelemetryConfig telemetry = obs::TelemetryConfigFromEnv();
 };
 
 struct MultiProcessTrainResult {

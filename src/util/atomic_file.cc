@@ -1,0 +1,34 @@
+#include "util/atomic_file.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace mics {
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::function<Status(std::ostream&)>& writer) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os.good()) {
+      return Status::Internal("cannot open " + tmp + " for writing");
+    }
+    Status st = writer(os);
+    if (st.ok()) {
+      os.flush();
+      if (!os.good()) st = Status::Internal("write to " + tmp + " failed");
+    }
+    if (!st.ok()) {
+      os.close();
+      std::remove(tmp.c_str());
+      return st;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " into place");
+  }
+  return Status::OK();
+}
+
+}  // namespace mics

@@ -1,0 +1,23 @@
+#ifndef MICS_UTIL_ATOMIC_FILE_H_
+#define MICS_UTIL_ATOMIC_FILE_H_
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "util/status.h"
+
+namespace mics {
+
+/// Writes a file atomically: `writer` streams the full contents into
+/// "<path>.tmp", which is renamed into place only when every byte landed
+/// (checkpoint-v2 protocol). Readers polling `path` — mics_top, metric
+/// scrapers, trace mergers — therefore never observe a torn or partial
+/// file: they see the old version or the new one, nothing in between.
+/// On any failure the temp file is removed and `path` is untouched.
+Status AtomicWriteFile(const std::string& path,
+                       const std::function<Status(std::ostream&)>& writer);
+
+}  // namespace mics
+
+#endif  // MICS_UTIL_ATOMIC_FILE_H_

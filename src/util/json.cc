@@ -1,0 +1,371 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace mics {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->number : fallback;
+}
+
+std::string JsonValue::StringOr(const std::string& key,
+                                const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->string : fallback;
+}
+
+void JsonValue::Write(std::ostream& os) const {
+  switch (kind) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kBool:
+      os << (boolean ? "true" : "false");
+      break;
+    case Kind::kNumber: {
+      char buf[64];
+      // Integral values print as integers ("ts":12 not "ts":12.0) so
+      // merged traces look like the originals.
+      if (number == static_cast<double>(static_cast<int64_t>(number))) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", number);
+      }
+      os << buf;
+      break;
+    }
+    case Kind::kString:
+      os << JsonQuote(string);
+      break;
+    case Kind::kArray: {
+      os << "[";
+      bool first = true;
+      for (const JsonValue& v : array) {
+        if (!first) os << ",";
+        first = false;
+        v.Write(os);
+      }
+      os << "]";
+      break;
+    }
+    case Kind::kObject: {
+      os << "{";
+      bool first = true;
+      for (const auto& [k, v] : object) {
+        if (!first) os << ",";
+        first = false;
+        os << JsonQuote(k) << ":";
+        v.Write(os);
+      }
+      os << "}";
+      break;
+    }
+  }
+}
+
+std::string JsonValue::ToString() const {
+  std::ostringstream os;
+  Write(os);
+  return os.str();
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded character range. Depth is
+/// bounded so a pathological input cannot blow the stack.
+class Parser {
+ public:
+  Parser(const char* p, const char* end) : p_(p), end_(end) {}
+
+  Status Parse(JsonValue* out) {
+    MICS_RETURN_NOT_OK(ParseValue(out, 0));
+    SkipWhitespace();
+    if (p_ != end_) return Err("trailing characters after JSON document");
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(offset_));
+  }
+
+  void SkipWhitespace() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      Advance();
+    }
+  }
+
+  void Advance() {
+    ++p_;
+    ++offset_;
+  }
+
+  bool Consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    SkipWhitespace();
+    if (p_ == end_) return Err("unexpected end of input");
+    switch (*p_) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+      case 'f':
+        return ParseLiteral(out);
+      case 'n':
+        return ParseLiteral(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kObject;
+    Advance();  // '{'
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipWhitespace();
+      if (p_ == end_ || *p_ != '"') return Err("expected object key");
+      std::string key;
+      MICS_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Err("expected ':' after object key");
+      JsonValue value;
+      MICS_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Err("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kArray;
+    Advance();  // '['
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      JsonValue value;
+      MICS_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Err("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    Advance();  // opening quote
+    out->clear();
+    while (p_ != end_) {
+      const char c = *p_;
+      if (c == '"') {
+        Advance();
+        return Status::OK();
+      }
+      if (c == '\\') {
+        Advance();
+        if (p_ == end_) break;
+        const char esc = *p_;
+        Advance();
+        switch (esc) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              if (p_ == end_ || !std::isxdigit(static_cast<unsigned char>(*p_))) {
+                return Err("bad \\u escape");
+              }
+              const char h = *p_;
+              code = code * 16 +
+                     (h <= '9' ? h - '0'
+                               : (std::tolower(static_cast<unsigned char>(h)) -
+                                  'a' + 10));
+              Advance();
+            }
+            // UTF-8 encode the code point (no surrogate-pair handling —
+            // our own writers only emit \u00xx control escapes).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Err("unknown escape");
+        }
+        continue;
+      }
+      out->push_back(c);
+      Advance();
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseLiteral(JsonValue* out) {
+    auto matches = [&](const char* word) {
+      const char* q = p_;
+      for (const char* w = word; *w != '\0'; ++w, ++q) {
+        if (q == end_ || *q != *w) return false;
+      }
+      return true;
+    };
+    if (matches("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      for (int i = 0; i < 4; ++i) Advance();
+      return Status::OK();
+    }
+    if (matches("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      for (int i = 0; i < 5; ++i) Advance();
+      return Status::OK();
+    }
+    if (matches("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      for (int i = 0; i < 4; ++i) Advance();
+      return Status::OK();
+    }
+    return Err("unknown literal");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) Advance();
+    bool any = false;
+    while (p_ != end_ &&
+           (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '.' ||
+            *p_ == 'e' || *p_ == 'E' || *p_ == '-' || *p_ == '+')) {
+      any = true;
+      Advance();
+    }
+    if (!any) return Err("expected a value");
+    const std::string text(start, p_);
+    char* endp = nullptr;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(text.c_str(), &endp);
+    if (endp == nullptr || *endp != '\0') return Err("malformed number");
+    return Status::OK();
+  }
+
+  const char* p_;
+  const char* end_;
+  size_t offset_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  JsonValue value;
+  Parser parser(text.data(), text.data() + text.size());
+  MICS_RETURN_NOT_OK(parser.Parse(&value));
+  return value;
+}
+
+Result<JsonValue> ParseJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseJson(buf.str());
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  const char* hex = "0123456789abcdef";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out.push_back(hex[(c >> 4) & 0xf]);
+          out.push_back(hex[c & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace mics

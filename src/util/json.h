@@ -1,0 +1,63 @@
+#ifndef MICS_UTIL_JSON_H_
+#define MICS_UTIL_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mics {
+
+/// Minimal JSON document model, just enough for the observability plane:
+/// trace_merge parses the Chrome-trace files the TraceRecorder writes,
+/// tests validate flight-recorder dumps, and mics_top could parse metric
+/// files. Not a general-purpose library — no number-precision guarantees
+/// beyond double, object keys keep insertion order, duplicate keys keep
+/// the last value via Find semantics (first match wins on lookup).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Find(key)->number with a default when absent or not a number.
+  double NumberOr(const std::string& key, double fallback) const;
+  /// Find(key)->string with a default when absent or not a string.
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+
+  /// Serializes the value back to compact JSON (numbers via %.17g, so
+  /// doubles round-trip; integers print without a trailing ".0").
+  void Write(std::ostream& os) const;
+  std::string ToString() const;
+};
+
+/// Parses one JSON document (object, array, or scalar). Trailing
+/// whitespace is allowed; trailing garbage is an InvalidArgument.
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Parses the file at `path` (convenience over ParseJson).
+Result<JsonValue> ParseJsonFile(const std::string& path);
+
+/// Escapes and quotes `s` as a JSON string literal.
+std::string JsonQuote(const std::string& s);
+
+}  // namespace mics
+
+#endif  // MICS_UTIL_JSON_H_

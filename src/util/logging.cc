@@ -12,11 +12,19 @@ namespace mics {
 namespace {
 
 std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
+std::atomic<int> g_log_rank{-1};
 
 // Serializes emission so concurrent ranks do not interleave lines.
 std::mutex& EmitMutex() {
   static std::mutex* m = new std::mutex;
   return *m;
+}
+
+// Guarded by EmitMutex(); leaked so destruction order never races
+// late log lines from detached threads.
+LogSink*& SinkSlot() {
+  static LogSink* sink = new LogSink;
+  return sink;
 }
 
 const char* SeverityTag(LogSeverity s) {
@@ -69,24 +77,59 @@ LogSeverity InitLogSeverityFromEnv() {
   return MinLogSeverity();
 }
 
+void SetLogRank(int rank) { g_log_rank = rank; }
+
+int LogRank() { return g_log_rank; }
+
+int InitLogRankFromEnv() {
+  const char* value = std::getenv("MICS_RANK");
+  if (value != nullptr && *value != '\0') {
+    char* end = nullptr;
+    const long rank = std::strtol(value, &end, 10);
+    if (end != nullptr && *end == '\0' && rank >= 0) {
+      SetLogRank(static_cast<int>(rank));
+    }
+  }
+  return LogRank();
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  *SinkSlot() = std::move(sink);
+}
+
+std::string FormatLogPrefix(LogSeverity severity, const char* file, int line) {
+  std::ostringstream prefix;
+  prefix << "[" << SeverityTag(severity) << " " << file << ":" << line << "] ";
+  const int rank = LogRank();
+  if (rank >= 0) prefix << "[rank " << rank << "] ";
+  return prefix.str();
+}
+
 namespace {
-// Apply MICS_LOG_LEVEL before main() so early INFO logs obey it.
+// Apply MICS_LOG_LEVEL and MICS_RANK before main() so early INFO logs
+// obey the threshold and carry the launcher-assigned rank tag.
 [[maybe_unused]] const LogSeverity g_env_init = InitLogSeverityFromEnv();
+[[maybe_unused]] const int g_env_rank_init = InitLogRankFromEnv();
 }  // namespace
 
 namespace internal_logging {
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
     : severity_(severity) {
-  stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line
-          << "] ";
+  stream_ << FormatLogPrefix(severity, file, line);
 }
 
 LogMessage::~LogMessage() {
   if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
     std::lock_guard<std::mutex> lock(EmitMutex());
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
-    std::fflush(stderr);
+    LogSink& sink = *SinkSlot();
+    if (sink) {
+      sink(severity_, stream_.str());
+    } else {
+      std::fprintf(stderr, "%s\n", stream_.str().c_str());
+      std::fflush(stderr);
+    }
   }
   if (severity_ == LogSeverity::kFatal) {
     std::abort();

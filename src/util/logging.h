@@ -1,6 +1,7 @@
 #ifndef MICS_UTIL_LOGGING_H_
 #define MICS_UTIL_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -56,6 +57,31 @@ bool ParseLogSeverity(const std::string& text, LogSeverity* out);
 /// the resulting threshold. Runs automatically at process start; tests
 /// call it directly after mutating the environment.
 LogSeverity InitLogSeverityFromEnv();
+
+/// Tags every emitted line with a "[rank N]" prefix so interleaved
+/// multi-rank stderr (one launcher, many workers sharing the terminal)
+/// stays attributable. -1 (the default) emits no prefix. Under
+/// mics_launch the rank is picked up from MICS_RANK automatically at
+/// process start; in-process harnesses may set it explicitly.
+void SetLogRank(int rank);
+int LogRank();
+
+/// Applies the MICS_RANK environment variable (the mics_launch
+/// rendezvous env) to the log rank. Unset/unparsable leaves it at -1.
+/// Runs automatically at process start; tests call it after mutating
+/// the environment.
+int InitLogRankFromEnv();
+
+/// Redirects emitted lines (severity, fully formatted message without
+/// the trailing newline) away from stderr — the telemetry plane and
+/// tests capture logs this way. Pass nullptr to restore stderr. The
+/// sink runs under the emission mutex, so it must not log.
+using LogSink = std::function<void(LogSeverity, const std::string&)>;
+void SetLogSink(LogSink sink);
+
+/// Formats the line prefix exactly as emission does:
+/// "[<tag> <file>:<line>] " plus "[rank N] " when a rank is set.
+std::string FormatLogPrefix(LogSeverity severity, const char* file, int line);
 
 #define MICS_LOG(severity)                                          \
   ::mics::internal_logging::LogMessage(::mics::LogSeverity::k##severity, \

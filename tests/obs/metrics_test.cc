@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "util/json.h"
 
 namespace mics::obs {
 namespace {
@@ -112,6 +116,45 @@ TEST(MetricsRegistryTest, SnapshotAndWriteTextAreSortedAndFiltered) {
   EXPECT_NE(comm_only.str().find("comm.all_gather.calls 2"),
             std::string::npos);
   EXPECT_EQ(comm_only.str().find("sim.iter_time_s"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, WriteJsonFileIsAtomicAndParsable) {
+  const auto dir = std::filesystem::temp_directory_path() / "mics_metrics_json";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "metrics.json").string();
+
+  MetricsRegistry reg;
+  reg.GetCounter("train.steps")->Add(12.0);
+  reg.GetGauge("train.loss")->Set(0.62353515625);  // exactly representable
+  ASSERT_TRUE(reg.WriteJsonFile(path).ok());
+
+  auto doc = ParseJsonFile(path);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value().NumberOr("schema_version", -1), 1.0);
+  const JsonValue* metrics = doc.value().Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->NumberOr("train.steps", -1), 12.0);
+  EXPECT_EQ(metrics->NumberOr("train.loss", -1), 0.62353515625);
+
+  // Overwriting an existing file also works (rename over the old one) and
+  // the tmp staging file never survives — pollers reading `path` can only
+  // ever see a complete document.
+  reg.GetCounter("train.steps")->Add(1.0);
+  ASSERT_TRUE(reg.WriteJsonFile(path).ok());
+  doc = ParseJsonFile(path);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().Find("metrics")->NumberOr("train.steps", -1), 13.0);
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++files;
+    EXPECT_EQ(entry.path().filename().string(), "metrics.json")
+        << "staging file leaked: " << entry.path();
+  }
+  EXPECT_EQ(files, 1);
+
+  // An unwritable destination fails with a Status, not a partial file.
+  EXPECT_FALSE(reg.WriteJsonFile("/nonexistent/dir/metrics.json").ok());
 }
 
 TEST(MetricsRegistryTest, GlobalIsOneRegistry) {

@@ -1,0 +1,241 @@
+// Telemetry over real processes: the launcher runs 4-worker training
+// jobs with MICS_TELEMETRY=1 and the suite asserts the plane's three
+// production promises — (1) losses carry the exact bits of a
+// telemetry-off run on every strategy (the observer never touches math),
+// (2) a SIGKILLed rank's surviving peers leave parsable flight-recorder
+// dumps, and (3) the per-rank trace files merge into one valid cluster
+// timeline.
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/launch.h"
+#include "obs/trace_merge.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace mics {
+namespace net {
+namespace {
+
+std::string FreshDir(const std::string& tag) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("mics_tel_drill_" + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// Parses "<iter> <bits> <loss>" loss lines into iter -> bits-hex.
+std::map<int, std::string> ReadLossBits(const std::string& path) {
+  std::map<int, std::string> bits;
+  std::ifstream in(path);
+  int iter = 0;
+  std::string hex, loss;
+  while (in >> iter >> hex >> loss) bits[iter] = hex;
+  return bits;
+}
+
+/// Scoped MICS_TELEMETRY* environment: LaunchWorkers' fork/exec children
+/// inherit it, which is exactly how production jobs get configured.
+class ScopedTelemetryEnv {
+ public:
+  explicit ScopedTelemetryEnv(const std::string& dir) {
+    ::setenv("MICS_TELEMETRY", "1", 1);
+    ::setenv("MICS_TELEMETRY_DIR", dir.c_str(), 1);
+    ::setenv("MICS_TELEMETRY_INTERVAL_MS", "25", 1);
+  }
+  ~ScopedTelemetryEnv() {
+    ::unsetenv("MICS_TELEMETRY");
+    ::unsetenv("MICS_TELEMETRY_DIR");
+    ::unsetenv("MICS_TELEMETRY_INTERVAL_MS");
+  }
+};
+
+#ifdef MICS_MP_EXAMPLE_BIN
+
+LaunchOptions TrainingJob(const std::string& strategy, const std::string& out) {
+  LaunchOptions options;
+  options.binary = MICS_MP_EXAMPLE_BIN;
+  options.args = {"--strategy",      strategy, "--iterations", "4",
+                  "--grad-accum",    "1",      "--rendezvous-ms", "8000",
+                  "--out",           out};
+  options.num_workers = 4;
+  options.gpus_per_node = 2;
+  options.timeout_ms = 120000;
+  return options;
+}
+
+std::vector<std::string> GlobFiles(const std::string& dir,
+                                   const std::string& prefix) {
+  std::vector<std::string> paths;
+  if (!std::filesystem::exists(dir)) return paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0) paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+#endif  // MICS_MP_EXAMPLE_BIN
+
+TEST(TelemetryLaunchDrillTest, LossBitsIdenticalWithTelemetryOnEveryStrategy) {
+#ifndef MICS_MP_EXAMPLE_BIN
+  GTEST_SKIP() << "example binary path not configured";
+#else
+  for (const std::string strategy : {"ddp", "zero3", "mics"}) {
+    const std::string dir = FreshDir("bits_" + strategy);
+
+    // Telemetry off: the reference bits.
+    auto off = LaunchWorkers(TrainingJob(strategy, dir + "/off.txt"));
+    ASSERT_TRUE(off.ok()) << off.status().ToString();
+    ASSERT_TRUE(off.value().success) << strategy;
+
+    // Telemetry on, with the launcher's own monitor attached as well.
+    const std::string tel = dir + "/tel";
+    std::map<int, std::string> on_bits;
+    {
+      ScopedTelemetryEnv env(tel);
+      LaunchOptions job = TrainingJob(strategy, dir + "/on.txt");
+      job.telemetry = obs::TelemetryConfigFromEnv();
+      auto on = LaunchWorkers(job);
+      ASSERT_TRUE(on.ok()) << on.status().ToString();
+      ASSERT_TRUE(on.value().success) << strategy;
+      on_bits = ReadLossBits(dir + "/on.txt");
+    }
+
+    const std::map<int, std::string> off_bits =
+        ReadLossBits(dir + "/off.txt");
+    ASSERT_EQ(off_bits.size(), 4u) << strategy;
+    ASSERT_EQ(on_bits.size(), 4u) << strategy;
+    for (const auto& [iter, hex] : off_bits) {
+      ASSERT_TRUE(on_bits.count(iter)) << strategy << " iteration " << iter;
+      EXPECT_EQ(on_bits.at(iter), hex)
+          << strategy << " iteration " << iter
+          << ": telemetry moved the loss bits";
+    }
+
+    // Every rank of the successful run left its trace file, and the
+    // files merge into one valid cluster timeline.
+    const std::vector<std::string> traces = GlobFiles(tel, "trace.rank");
+    ASSERT_EQ(traces.size(), 4u) << strategy;
+    const std::string merged = dir + "/merged.json";
+    Status st = obs::MergeChromeTracesToFile(traces, merged);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    auto doc = ParseJsonFile(merged);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    ASSERT_TRUE(doc.value().is_array());
+    // All four workers contribute spans: distinct remapped pids, with
+    // cluster timestamps sorted across the merge.
+    std::set<double> pids;
+    double last_ts = -1.0;
+    int spans = 0;
+    for (const JsonValue& e : doc.value().array) {
+      ASSERT_TRUE(e.is_object());
+      EXPECT_NE(e.StringOr("name", ""), "clock_sync");
+      if (e.StringOr("ph", "") == "M") continue;
+      pids.insert(e.NumberOr("pid", -1.0));
+      EXPECT_GE(e.NumberOr("ts", -1.0), last_ts);
+      last_ts = e.NumberOr("ts", -1.0);
+      ++spans;
+    }
+    EXPECT_EQ(pids.size(), 4u) << strategy;
+    EXPECT_GE(spans, 4 * 4) << "at least one span per iteration per rank";
+  }
+#endif
+}
+
+TEST(TelemetryLaunchDrillTest, SigkilledRankLeavesSurvivorFlightDumps) {
+#ifndef MICS_MP_EXAMPLE_BIN
+  GTEST_SKIP() << "example binary path not configured";
+#else
+  const std::string dir = FreshDir("sigkill");
+  const std::string tel = dir + "/tel";
+  ScopedTelemetryEnv env(tel);
+
+  // Rank 2 SIGKILLs itself mid-iteration on attempt 0; the relaunch
+  // replays from the checkpoint — same drill as net_test, now with the
+  // telemetry plane armed.
+  LaunchOptions job = TrainingJob("mics", dir + "/out.txt");
+  job.args = {"--strategy",        "mics",
+              "--iterations",      "6",
+              "--grad-accum",      "1",
+              "--rendezvous-ms",   "5000",
+              "--out",             dir + "/out.txt",
+              "--checkpoint-dir",  dir + "/ckpt",
+              "--checkpoint-interval", "2",
+              "--die-rank",        "2",
+              "--die-iter",        "4",
+              "--status-log",      dir + "/status.txt"};
+  job.max_attempts = 2;
+  job.telemetry = obs::TelemetryConfigFromEnv();
+  std::filesystem::create_directories(dir + "/ckpt");
+  auto report = LaunchWorkers(job);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().success);
+  EXPECT_EQ(report.value().attempts, 2);
+
+  // The survivors collapsed with DeadlineExceeded (status 7)...
+  std::ifstream status_in(dir + "/status.txt");
+  std::stringstream status_buf;
+  status_buf << status_in.rdbuf();
+  const std::string status_log = status_buf.str();
+  EXPECT_NE(status_log.find("status 7"), std::string::npos) << status_log;
+
+  // ...and that error path dumped their black boxes: attempt-0 flight
+  // files from surviving ranks (0, 1, 3 — never the SIGKILLed rank 2,
+  // which got no chance to write anything).
+  std::vector<std::string> dumps;
+  for (const std::string& path : GlobFiles(tel, "flight.rank")) {
+    if (path.find(".attempt0.json") != std::string::npos) dumps.push_back(path);
+  }
+  ASSERT_GE(dumps.size(), 1u)
+      << "no survivor left a flight dump in " << tel;
+  EXPECT_LE(dumps.size(), 3u);
+  EXPECT_EQ(std::count_if(dumps.begin(), dumps.end(),
+                          [](const std::string& p) {
+                            return p.find("flight.rank2.") != std::string::npos;
+                          }),
+            0)
+      << "SIGKILL is uncatchable; rank 2 cannot have dumped";
+
+  for (const std::string& path : dumps) {
+    auto doc = ParseJsonFile(path);
+    ASSERT_TRUE(doc.ok()) << path << ": " << doc.status().ToString();
+    const JsonValue& root = doc.value();
+    EXPECT_EQ(root.NumberOr("schema_version", -1), 1.0) << path;
+    EXPECT_EQ(root.NumberOr("attempt", -1), 0.0) << path;
+    EXPECT_FALSE(root.StringOr("reason", "").empty()) << path;
+    const JsonValue* metrics = root.Find("metrics");
+    ASSERT_NE(metrics, nullptr) << path;
+    ASSERT_TRUE(metrics->is_object()) << path;
+    const JsonValue* trace = root.Find("trace");
+    ASSERT_NE(trace, nullptr) << path;
+    EXPECT_TRUE(trace->is_array()) << path;
+  }
+
+  // Attempt 1 succeeded with telemetry still on: its trace files exist
+  // and merge cleanly even alongside the wreckage of attempt 0.
+  const std::vector<std::string> traces = GlobFiles(tel, "trace.rank");
+  ASSERT_EQ(traces.size(), 4u);
+  const std::string merged = dir + "/merged.json";
+  ASSERT_TRUE(obs::MergeChromeTracesToFile(traces, merged).ok());
+  auto doc = ParseJsonFile(merged);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(doc.value().is_array());
+#endif
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace mics

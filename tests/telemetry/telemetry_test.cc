@@ -1,0 +1,650 @@
+// The telemetry plane's core: snapshot wire format, the cluster-side
+// aggregator (ingest, cluster views, straggler detection), the per-rank
+// exporter thread, env-var config resolution, the TcpStore glue, and the
+// two acceptance drills — a mics::fault-injected delay must be flagged as
+// a straggler, and running the telemetry observer must not move a single
+// loss bit.
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/collective.h"
+#include "comm/communicator.h"
+#include "comm/topology.h"
+#include "comm/world.h"
+#include "fault/injector.h"
+#include "net/backend.h"
+#include "net/tcp_store.h"
+#include "net/telemetry.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "serve/batcher.h"
+#include "serve/engine.h"
+#include "tensor/tensor.h"
+#include "train/mlp_model.h"
+#include "train/trainer.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace mics {
+namespace obs {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultPlan;
+
+std::vector<int> AllRanks(int n) {
+  std::vector<int> r(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) r[static_cast<size_t>(i)] = i;
+  return r;
+}
+
+TelemetrySnapshot MakeSnapshot(int rank, int64_t seq,
+                               std::vector<MetricSample> samples) {
+  TelemetrySnapshot s;
+  s.rank = rank;
+  s.seq = seq;
+  s.unix_us = 1723180800000000 + seq;
+  s.samples = std::move(samples);
+  return s;
+}
+
+TEST(TelemetryWireTest, RoundTripsSnapshots) {
+  TelemetrySnapshot in = MakeSnapshot(
+      3, 42,
+      {{"comm.bytes", 1.5e12},
+       {"", -0.0},  // empty names and negative zero must survive verbatim
+       {"loss", 0.62353515625},
+       {"weird name \"quotes\" \n", 1e-308}});
+  auto out = ParseTelemetrySnapshot(SerializeTelemetrySnapshot(in));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const TelemetrySnapshot& got = out.value();
+  EXPECT_EQ(got.rank, 3);
+  EXPECT_EQ(got.seq, 42);
+  EXPECT_EQ(got.unix_us, in.unix_us);
+  ASSERT_EQ(got.samples.size(), in.samples.size());
+  for (size_t i = 0; i < in.samples.size(); ++i) {
+    EXPECT_EQ(got.samples[i].name, in.samples[i].name) << i;
+    // Bitwise: the wire format must not round values through text.
+    EXPECT_EQ(std::memcmp(&got.samples[i].value, &in.samples[i].value,
+                          sizeof(double)),
+              0)
+        << i;
+  }
+}
+
+TEST(TelemetryWireTest, RoundTripsEmptySampleList) {
+  auto out =
+      ParseTelemetrySnapshot(SerializeTelemetrySnapshot(MakeSnapshot(0, 1, {})));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out.value().samples.empty());
+}
+
+TEST(TelemetryWireTest, RejectsCorruptInput) {
+  const std::string good =
+      SerializeTelemetrySnapshot(MakeSnapshot(1, 7, {{"a", 1.0}}));
+
+  EXPECT_FALSE(ParseTelemetrySnapshot("").ok());
+  EXPECT_FALSE(ParseTelemetrySnapshot("nope").ok());
+  // Flipped magic.
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(ParseTelemetrySnapshot(bad_magic).ok());
+  // Every truncation point must be rejected, never read past the end.
+  for (size_t n = 1; n < good.size(); ++n) {
+    EXPECT_FALSE(ParseTelemetrySnapshot(good.substr(0, n)).ok()) << n;
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(ParseTelemetrySnapshot(good + "x").ok());
+  // A hostile sample count with no payload behind it must fail cleanly
+  // (bounded parse), not allocate 4 billion samples.
+  std::string hostile = good.substr(0, 24);
+  hostile.resize(24);
+  hostile[20] = static_cast<char>(0xFF);
+  hostile[21] = static_cast<char>(0xFF);
+  hostile[22] = static_cast<char>(0xFF);
+  hostile[23] = static_cast<char>(0xFF);
+  EXPECT_FALSE(ParseTelemetrySnapshot(hostile).ok());
+}
+
+TEST(TelemetrySnapshotTest, FindAndValueOr) {
+  TelemetrySnapshot s = MakeSnapshot(0, 1, {{"a", 2.0}, {"b", 3.0}});
+  ASSERT_NE(s.Find("a"), nullptr);
+  EXPECT_EQ(s.Find("a")->value, 2.0);
+  EXPECT_EQ(s.Find("missing"), nullptr);
+  EXPECT_EQ(s.ValueOr("b", -1.0), 3.0);
+  EXPECT_EQ(s.ValueOr("missing", -1.0), -1.0);
+}
+
+TEST(TelemetryAggregatorTest, IngestKeepsNewestSeqPerRank) {
+  MetricsRegistry registry;
+  TelemetryAggregator::Options options;
+  options.registry = &registry;
+  TelemetryAggregator agg(options);
+
+  agg.Ingest(MakeSnapshot(0, 2, {{"x", 20.0}}));
+  agg.Ingest(MakeSnapshot(0, 1, {{"x", 10.0}}));  // stale: dropped
+  agg.Ingest(MakeSnapshot(0, 2, {{"x", 99.0}}));  // duplicate: dropped
+  agg.Ingest(MakeSnapshot(0, 3, {{"x", 30.0}}));
+  agg.Ingest(MakeSnapshot(-1, 9, {{"x", 1.0}}));  // invalid rank: ignored
+
+  EXPECT_EQ(agg.ingested(), 2);
+  EXPECT_EQ(registry.CounterValue("telemetry.snapshots.ingested"), 2.0);
+  ASSERT_EQ(agg.Ranks(), std::vector<int>{0});
+  TelemetrySnapshot latest;
+  ASSERT_TRUE(agg.Latest(0, &latest));
+  EXPECT_EQ(latest.seq, 3);
+  EXPECT_EQ(latest.ValueOr("x", -1.0), 30.0);
+  EXPECT_FALSE(agg.Latest(1, &latest));
+}
+
+TEST(TelemetryAggregatorTest, ClusterViewAggregatesAcrossRanks) {
+  MetricsRegistry registry;
+  TelemetryAggregator::Options options;
+  options.registry = &registry;
+  TelemetryAggregator agg(options);
+  for (int r = 0; r < 4; ++r) {
+    std::vector<MetricSample> samples = {
+        {"step_us", 10.0 * (r + 1)}};  // 10, 20, 30, 40
+    if (r == 2) samples.push_back({"solo", 7.0});
+    agg.Ingest(MakeSnapshot(r, 1, samples));
+  }
+  const std::vector<ClusterMetric> view = agg.ClusterView();
+  ASSERT_EQ(view.size(), 2u);  // sorted by name: "solo", "step_us"
+  EXPECT_EQ(view[0].name, "solo");
+  EXPECT_EQ(view[0].ranks, 1);
+  EXPECT_EQ(view[0].min, 7.0);
+  EXPECT_EQ(view[0].max, 7.0);
+  EXPECT_EQ(view[0].mean, 7.0);
+  EXPECT_EQ(view[0].min_rank, 2);
+  EXPECT_EQ(view[0].max_rank, 2);
+  EXPECT_EQ(view[1].name, "step_us");
+  EXPECT_EQ(view[1].ranks, 4);
+  EXPECT_EQ(view[1].min, 10.0);
+  EXPECT_EQ(view[1].min_rank, 0);
+  EXPECT_EQ(view[1].max, 40.0);
+  EXPECT_EQ(view[1].max_rank, 3);
+  EXPECT_EQ(view[1].mean, 25.0);
+  // Nearest-rank p99 over 4 ranks is the max.
+  EXPECT_EQ(view[1].p99, 40.0);
+}
+
+TEST(TelemetryAggregatorTest, StragglerDetectorFlagsSlowRank) {
+  MetricsRegistry registry;
+  TraceRecorder trace;
+  TelemetryAggregator::Options options;
+  options.registry = &registry;
+  options.trace = &trace;
+  options.straggler.metric = "step_us";
+  options.straggler.factor = 2.0;
+  TelemetryAggregator agg(options);
+  const double values[4] = {100.0, 100.0, 100.0, 250.0};
+  for (int r = 0; r < 4; ++r) {
+    agg.Ingest(MakeSnapshot(r, 1, {{"step_us", values[r]}}));
+  }
+
+  std::vector<StragglerReport> reports = agg.DetectStragglers();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].rank, 3);
+  EXPECT_EQ(reports[0].metric, "step_us");
+  EXPECT_EQ(reports[0].value, 250.0);
+  EXPECT_EQ(reports[0].median, 100.0);
+  EXPECT_EQ(reports[0].ratio, 2.5);
+  EXPECT_EQ(agg.flagged(), std::set<int>{3});
+  EXPECT_EQ(registry.CounterValue("telemetry.straggler.checks"), 1.0);
+  EXPECT_EQ(registry.CounterValue("telemetry.straggler.flagged"), 1.0);
+  EXPECT_EQ(registry.GaugeValue("telemetry.straggler.current"), 1.0);
+
+  // The flag lands on the timeline as an instant annotation.
+  bool saw_instant = false;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.phase == 'i' && e.name.find("straggler rank 3") != std::string::npos) {
+      saw_instant = true;
+    }
+  }
+  EXPECT_TRUE(saw_instant);
+
+  // A second sweep still reports the straggler but does not re-flag it:
+  // `flagged` counts transitions, not sweeps.
+  reports = agg.DetectStragglers();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(registry.CounterValue("telemetry.straggler.checks"), 2.0);
+  EXPECT_EQ(registry.CounterValue("telemetry.straggler.flagged"), 1.0);
+}
+
+TEST(TelemetryAggregatorTest, StragglerDetectorNeedsMinRanks) {
+  MetricsRegistry registry;
+  TelemetryAggregator::Options options;
+  options.registry = &registry;
+  options.straggler.metric = "step_us";
+  options.straggler.min_ranks = 3;
+  TelemetryAggregator agg(options);
+  agg.Ingest(MakeSnapshot(0, 1, {{"step_us", 10.0}}));
+  agg.Ingest(MakeSnapshot(1, 1, {{"step_us", 500.0}}));
+  // Two ranks: a 50x outlier is still not enough evidence.
+  EXPECT_TRUE(agg.DetectStragglers().empty());
+  EXPECT_TRUE(agg.flagged().empty());
+}
+
+TEST(TelemetryAggregatorTest, StragglerDetectorIgnoresZeroMedian) {
+  MetricsRegistry registry;
+  TelemetryAggregator::Options options;
+  options.registry = &registry;
+  options.straggler.metric = "step_us";
+  TelemetryAggregator agg(options);
+  for (int r = 0; r < 3; ++r) {
+    agg.Ingest(MakeSnapshot(r, 1, {{"step_us", r == 2 ? 5.0 : 0.0}}));
+  }
+  // Median 0 would make every nonzero value an infinite ratio — the
+  // detector refuses to divide by it.
+  EXPECT_TRUE(agg.DetectStragglers().empty());
+}
+
+TEST(TelemetryAggregatorTest, RenderTableShowsRanksAndClusterRows) {
+  MetricsRegistry registry;
+  TelemetryAggregator::Options options;
+  options.registry = &registry;
+  options.straggler.metric = "step_us";
+  TelemetryAggregator agg(options);
+  for (int r = 0; r < 3; ++r) {
+    agg.Ingest(MakeSnapshot(r, 5, {{"step_us", r == 1 ? 900.0 : 100.0}}));
+  }
+  agg.DetectStragglers();
+  const std::string table = agg.RenderTable();
+  EXPECT_NE(table.find("rank"), std::string::npos) << table;
+  EXPECT_NE(table.find("step_us"), std::string::npos) << table;
+  EXPECT_NE(table.find("STRAGGLER"), std::string::npos) << table;
+  // Cluster summary row for the straggler metric.
+  EXPECT_NE(table.find("p99"), std::string::npos) << table;
+}
+
+TEST(TelemetryExporterTest, PublishesPeriodicallyAndFlushesOnStop) {
+  MetricsRegistry registry;
+  registry.GetCounter("probe.counter")->Add(11.0);
+
+  std::mutex mu;
+  std::vector<TelemetrySnapshot> seen;
+  TelemetryExporter::Options options;
+  options.rank = 5;
+  options.interval_ms = 2;
+  options.registry = &registry;
+  options.extra_samples = [](std::vector<MetricSample>* out) {
+    out->push_back({"probe.extra", 3.5});
+  };
+  options.publish = [&](const TelemetrySnapshot& s) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(s);
+  };
+  TelemetryExporter exporter(options);
+  exporter.Start();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (exporter.published() < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  exporter.Stop();
+  exporter.Stop();  // idempotent
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_GE(seen.size(), 4u);  // >= 3 periodic + the final flush
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), exporter.published());
+  EXPECT_EQ(registry.CounterValue("telemetry.snapshots.published"),
+            static_cast<double>(seen.size()));
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].rank, 5);
+    EXPECT_EQ(seen[i].seq, static_cast<int64_t>(i + 1)) << "seq must be "
+                                                           "monotone";
+    EXPECT_EQ(seen[i].ValueOr("probe.counter", -1.0), 11.0);
+    EXPECT_EQ(seen[i].ValueOr("probe.extra", -1.0), 3.5);
+  }
+}
+
+TEST(TelemetryExporterTest, PublishNowWorksWithoutStart) {
+  MetricsRegistry registry;
+  int calls = 0;
+  TelemetryExporter::Options options;
+  options.registry = &registry;
+  options.publish = [&](const TelemetrySnapshot&) { ++calls; };
+  TelemetryExporter exporter(options);
+  exporter.PublishNow();
+  exporter.PublishNow();
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(exporter.published(), 2);
+  exporter.Stop();  // never started: no final flush, no crash
+  EXPECT_EQ(calls, 2);
+}
+
+class TelemetryEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const char* name :
+         {"MICS_TELEMETRY", "MICS_TELEMETRY_INTERVAL_MS", "MICS_TELEMETRY_DIR",
+          "MICS_TELEMETRY_TRACE_CAPACITY", "MICS_TELEMETRY_STRAGGLER_METRIC",
+          "MICS_TELEMETRY_STRAGGLER_FACTOR"}) {
+      ::unsetenv(name);
+    }
+  }
+};
+
+TEST_F(TelemetryEnvTest, DefaultsAreOffAndSane) {
+  TelemetryConfig config = TelemetryConfigFromEnv();
+  EXPECT_FALSE(config.enabled);
+  EXPECT_EQ(config.interval_ms, 200);
+  EXPECT_EQ(config.dir, ".");
+  EXPECT_EQ(config.trace_capacity, 4096);
+  EXPECT_EQ(config.straggler.metric, "prof.step_p50_us");
+  EXPECT_EQ(config.straggler.factor, 2.0);
+}
+
+TEST_F(TelemetryEnvTest, ReadsEveryKnob) {
+  ::setenv("MICS_TELEMETRY", "1", 1);
+  ::setenv("MICS_TELEMETRY_INTERVAL_MS", "50", 1);
+  ::setenv("MICS_TELEMETRY_DIR", "/tmp/tel", 1);
+  ::setenv("MICS_TELEMETRY_TRACE_CAPACITY", "128", 1);
+  ::setenv("MICS_TELEMETRY_STRAGGLER_METRIC", "comm.bytes", 1);
+  ::setenv("MICS_TELEMETRY_STRAGGLER_FACTOR", "3.5", 1);
+  TelemetryConfig config = TelemetryConfigFromEnv();
+  EXPECT_TRUE(config.enabled);
+  EXPECT_EQ(config.interval_ms, 50);
+  EXPECT_EQ(config.dir, "/tmp/tel");
+  EXPECT_EQ(config.trace_capacity, 128);
+  EXPECT_EQ(config.straggler.metric, "comm.bytes");
+  EXPECT_EQ(config.straggler.factor, 3.5);
+}
+
+TEST_F(TelemetryEnvTest, ZeroAndEmptyMeanDisabled) {
+  ::setenv("MICS_TELEMETRY", "0", 1);
+  EXPECT_FALSE(TelemetryConfigFromEnv().enabled);
+  ::setenv("MICS_TELEMETRY", "", 1);
+  EXPECT_FALSE(TelemetryConfigFromEnv().enabled);
+  ::setenv("MICS_TELEMETRY", "1", 1);
+  ::setenv("MICS_TELEMETRY_INTERVAL_MS", "garbage", 1);
+  // Unparsable numbers fall back instead of exploding the exporter.
+  EXPECT_EQ(TelemetryConfigFromEnv().interval_ms, 200);
+}
+
+TEST(TelemetryStoreTest, PublishAndIngestRoundTripOverTcpStore) {
+  auto server = net::TcpStoreServer::Start();
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = net::TcpStoreClient::Connect(server.value()->addr());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  net::TcpStoreClient* store = client.value().get();
+
+  // Before the job announces anything, attachers see world size 0.
+  auto world = net::FetchTelemetryWorldSize(store);
+  ASSERT_TRUE(world.ok()) << world.status().ToString();
+  EXPECT_EQ(world.value(), 0);
+
+  ASSERT_TRUE(net::PublishTelemetryWorldSize(store, 3).ok());
+  world = net::FetchTelemetryWorldSize(store);
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world.value(), 3);
+
+  // Ranks 0 and 2 publish; rank 1 is still starting up (NotFound must be
+  // skipped silently — it is the steady state during warmup).
+  ASSERT_TRUE(
+      net::PublishTelemetrySnapshot(store, MakeSnapshot(0, 1, {{"x", 1.0}}))
+          .ok());
+  ASSERT_TRUE(
+      net::PublishTelemetrySnapshot(store, MakeSnapshot(2, 4, {{"x", 3.0}}))
+          .ok());
+  ASSERT_TRUE(net::PublishTelemetryEpoch(store, 0, 1723180800000000).ok());
+
+  MetricsRegistry registry;
+  TelemetryAggregator::Options agg_options;
+  agg_options.registry = &registry;
+  TelemetryAggregator agg(agg_options);
+  auto swept = net::IngestTelemetryFromStore(store, 3, &agg);
+  ASSERT_TRUE(swept.ok()) << swept.status().ToString();
+  EXPECT_EQ(swept.value(), 2);
+  EXPECT_EQ(agg.Ranks(), (std::vector<int>{0, 2}));
+
+  // Re-sweeping the same keys is harmless: stale seqs are dropped.
+  swept = net::IngestTelemetryFromStore(store, 3, &agg);
+  ASSERT_TRUE(swept.ok());
+  EXPECT_EQ(agg.ingested(), 2);
+
+  // A corrupt value under a rank key is logged and skipped, not fatal.
+  ASSERT_TRUE(store->Set("telemetry/rank/1", "garbage").ok());
+  swept = net::IngestTelemetryFromStore(store, 3, &agg);
+  ASSERT_TRUE(swept.ok()) << swept.status().ToString();
+  EXPECT_EQ(agg.Ranks(), (std::vector<int>{0, 2}));
+
+  // Newer snapshots replace on the next sweep (last-write-wins keys).
+  ASSERT_TRUE(
+      net::PublishTelemetrySnapshot(store, MakeSnapshot(0, 2, {{"x", 9.0}}))
+          .ok());
+  swept = net::IngestTelemetryFromStore(store, 3, &agg);
+  ASSERT_TRUE(swept.ok());
+  TelemetrySnapshot latest;
+  ASSERT_TRUE(agg.Latest(0, &latest));
+  EXPECT_EQ(latest.seq, 2);
+  EXPECT_EQ(latest.ValueOr("x", -1.0), 9.0);
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: a rank slowed by an injected mics::fault delay must be
+// flagged by the straggler detector (ISSUE 9 criterion).
+// ---------------------------------------------------------------------
+
+TEST(TelemetryStragglerDrillTest, FaultInjectedDelayIsFlagged) {
+  MetricsRegistry::Global().ResetPrefix("fault.");
+  const int n = 4;
+  const int victim = 2;
+  World world(n);
+  FaultPlan plan;
+  // The victim's local compute stalls 40ms per step, twice — the kind of
+  // thing a throttled or oversubscribed cloud instance does.
+  plan.DelayAt(victim, /*at_op=*/0, /*delay_us=*/40000);
+  plan.DelayAt(victim, /*at_op=*/1, /*delay_us=*/40000);
+
+  MetricsRegistry registry;
+  TelemetryAggregator::Options agg_options;
+  agg_options.registry = &registry;
+  agg_options.straggler.metric = "probe.compute_us";
+  agg_options.straggler.factor = 2.0;
+  TelemetryAggregator agg(agg_options);
+
+  Status st = RunRanks(n, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(Communicator comm,
+                          Communicator::Create(&world, AllRanks(n), rank));
+    FlatCollective coll(&comm);
+    FaultInjector injector(plan, rank);
+
+    // Each rank times its LOCAL compute (where the injector fires), then
+    // joins a synchronizing collective. Timing the collective itself
+    // would hide the straggler — every rank waits for the slowest —
+    // which is exactly why the detector feeds on per-phase times rather
+    // than whole-step wall clock.
+    double compute_us = 0.0;
+    for (int step = 0; step < 2; ++step) {
+      CollectiveCallInfo info;
+      info.op = "local_compute";
+      info.backend = "probe";
+      info.group_size = n;
+      const auto t0 = std::chrono::steady_clock::now();
+      MICS_RETURN_NOT_OK(injector.OnCollective(info));
+      compute_us += static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      Tensor in({4}, DType::kF32);
+      in.Fill(static_cast<float>(rank + 1));
+      Tensor out({4 * n}, DType::kF32);
+      MICS_RETURN_NOT_OK(coll.AllGather(in, &out));
+      for (int r = 0; r < n; ++r) {
+        if (out.At(r * 4) != r + 1.0f) {
+          return Status::Internal("straggler changed collective results");
+        }
+      }
+    }
+    // Threads-as-ranks share the process-global registry, so each rank
+    // publishes a hand-built snapshot of its own probe (what a real
+    // per-process exporter does with its private registry).
+    agg.Ingest(MakeSnapshot(rank, 1, {{"probe.compute_us",
+                                       std::max(compute_us, 1.0)}}));
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(agg.Ranks().size(), 4u);
+
+  std::vector<StragglerReport> reports = agg.DetectStragglers();
+  ASSERT_EQ(reports.size(), 1u)
+      << "flagged " << reports.size() << " ranks:\n" << agg.RenderTable();
+  EXPECT_EQ(reports[0].rank, victim);
+  EXPECT_GT(reports[0].ratio, 2.0);
+  EXPECT_EQ(agg.flagged(), std::set<int>{victim});
+  EXPECT_EQ(registry.CounterValue("telemetry.straggler.flagged"), 1.0);
+  // The injected delays really fired through the fault plane.
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("fault.injected.delays"),
+            2.0);
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: telemetry is a pure observer — with the exporter running
+// against the global registry, training losses carry the exact bits of a
+// telemetry-off run (in-process backend; the launch drill covers the
+// socket backend).
+// ---------------------------------------------------------------------
+
+TEST(TelemetryBitIdentityTest, ObserverDoesNotMoveLossBits) {
+  for (const Strategy strategy :
+       {Strategy::kDDP, Strategy::kZeRO3, Strategy::kMiCS}) {
+    TrainRunOptions run;
+    run.world_size = 4;
+    run.iterations = 3;
+    run.grad_accumulation_steps = 1;
+    run.sdp.strategy = strategy;
+    if (strategy == Strategy::kMiCS) run.sdp.partition_group_size = 2;
+
+    auto baseline = RunDistributedTraining(run);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+    TelemetryAggregator agg;
+    TelemetryExporter::Options ex;
+    ex.interval_ms = 1;  // hammer the registry while training runs
+    ex.publish = [&](const TelemetrySnapshot& s) {
+      agg.Ingest(s);
+      // Exercise the full wire path under load too.
+      auto parsed = ParseTelemetrySnapshot(SerializeTelemetrySnapshot(s));
+      ASSERT_TRUE(parsed.ok());
+    };
+    TelemetryExporter exporter(ex);
+    exporter.Start();
+    auto observed = RunDistributedTraining(run);
+    exporter.Stop();
+    ASSERT_TRUE(observed.ok()) << observed.status().ToString();
+    EXPECT_GT(exporter.published(), 0);
+    EXPECT_GE(agg.ingested(), 1);
+
+    const std::vector<float>& a = baseline.value().losses;
+    const std::vector<float>& b = observed.value().losses;
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+        << "telemetry observer moved loss bits (strategy "
+        << static_cast<int>(strategy) << ")";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: the same observer contract on the serving side — the
+// driver/follower loops with ServeOptions::telemetry attached return the
+// exact score bits of a telemetry-off run, on every strategy.
+// ---------------------------------------------------------------------
+
+// Runs a 4-rank driver/follower serving loop over three fixed requests
+// and returns the concatenated reply score bits from the driver.
+std::vector<float> ServeLoopScores(serve::ServeOptions options,
+                                   TelemetryAggregator* telemetry) {
+  const int world_size = 4;
+  const RankTopology topo{world_size, 2};
+  World world(world_size);
+  MlpModel::Config cfg;
+  cfg.input_dim = 6;
+  cfg.hidden = 10;
+  cfg.classes = 4;
+  options.telemetry = telemetry;
+  options.telemetry_interval_ms = 1;
+
+  std::vector<float> scores;
+  std::mutex scores_mu;
+  Status st = RunRanks(world_size, [&](int rank) -> Status {
+    MICS_ASSIGN_OR_RETURN(
+        CommBackendFactory backend,
+        CommBackendFactory::InProcess(&world, &topo, rank));
+    MlpModel model(cfg);
+    MICS_ASSIGN_OR_RETURN(std::unique_ptr<serve::ServeEngine> engine,
+                          serve::ServeEngine::Create(backend.factory(), topo,
+                                                     options, &model, rank));
+    MICS_RETURN_NOT_OK(engine->LoadParameters(1234));
+    if (!engine->is_driver()) return engine->FollowerLoop();
+
+    serve::BatcherOptions bo;
+    bo.max_batch_samples = 8;
+    bo.max_wait_us = 0;  // one batch per request: deterministic grouping
+    MICS_ASSIGN_OR_RETURN(std::unique_ptr<serve::DynamicBatcher> batcher,
+                          serve::DynamicBatcher::Create(bo));
+    std::vector<serve::ReplyFuture> futures;
+    Rng rng(77);
+    for (const int64_t samples : {2, 1, 3}) {
+      Tensor x({samples, cfg.input_dim}, DType::kF32);
+      rng.FillNormal(x.f32(), x.numel(), 1.0f);
+      MICS_ASSIGN_OR_RETURN(serve::ReplyFuture f,
+                            batcher->Submit(x, cfg.input_dim));
+      futures.push_back(std::move(f));
+    }
+    batcher->Shutdown();
+    MICS_RETURN_NOT_OK(engine->DriverLoop(batcher.get()));
+    std::lock_guard<std::mutex> lock(scores_mu);
+    for (serve::ReplyFuture& f : futures) {
+      MICS_ASSIGN_OR_RETURN(serve::ServeReply reply, f.Wait());
+      const float* data = reply.scores.f32();
+      scores.insert(scores.end(), data, data + reply.scores.numel());
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return scores;
+}
+
+TEST(TelemetryBitIdentityTest, ObserverDoesNotMoveServingScoreBits) {
+  struct Case {
+    serve::Strategy strategy;
+    int group;
+  };
+  for (const Case c : {Case{serve::Strategy::kDDP, 1},
+                       Case{serve::Strategy::kZeRO3, 4},
+                       Case{serve::Strategy::kMiCS, 2}}) {
+    serve::ServeOptions options;
+    options.strategy = c.strategy;
+    options.partition_group_size = c.group;
+
+    const std::vector<float> baseline = ServeLoopScores(options, nullptr);
+    ASSERT_FALSE(baseline.empty());
+
+    TelemetryAggregator agg;
+    const std::vector<float> observed = ServeLoopScores(options, &agg);
+    ASSERT_EQ(baseline.size(), observed.size());
+    EXPECT_EQ(std::memcmp(baseline.data(), observed.data(),
+                          baseline.size() * sizeof(float)),
+              0)
+        << "telemetry observer moved serving score bits (strategy "
+        << static_cast<int>(c.strategy) << ")";
+    // The loop exporters really published through the aggregator.
+    EXPECT_GE(agg.ingested(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace mics

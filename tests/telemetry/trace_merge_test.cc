@@ -1,0 +1,169 @@
+// trace_merge: per-rank Chrome trace files become one cluster timeline.
+// Timestamps shift by each file's clock_sync epoch, pids remap to the
+// input index, per-file clock_syncs disappear, metadata leads, and the
+// result parses as a single valid trace-event array with sorted spans —
+// both for hand-crafted inputs (deterministic offsets) and for files the
+// real TraceRecorder wrote.
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+#include "obs/trace_merge.h"
+#include "util/json.h"
+
+namespace mics {
+namespace obs {
+namespace {
+
+std::string FreshDir(const std::string& tag) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("mics_merge_" + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string WriteFile(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+/// A minimal rank trace: a clock_sync at `epoch_us`, a thread_name
+/// metadata event, and one span at local ts 100.
+std::string RankTrace(int64_t epoch_us, const std::string& span_name) {
+  return "[\n"
+         "{\"name\":\"clock_sync\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"unix_us\":" + std::to_string(epoch_us) + "}},\n"
+         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\"" + span_name + " track\"}},\n"
+         "{\"name\":\"" + span_name + "\",\"cat\":\"train\",\"ph\":\"X\","
+         "\"pid\":0,\"tid\":0,\"ts\":100,\"dur\":50}\n"
+         "]\n";
+}
+
+TEST(TraceMergeTest, AlignsEpochsRemapsPidsAndDropsClockSyncs) {
+  const std::string dir = FreshDir("align");
+  // Rank 1's clock started 3000us after rank 0's: its local ts 100 is
+  // cluster ts 3100.
+  const std::vector<std::string> inputs = {
+      WriteFile(dir + "/a.json", RankTrace(1000000, "alpha")),
+      WriteFile(dir + "/b.json", RankTrace(1003000, "beta"))};
+
+  auto merged = MergeChromeTraces(inputs);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  auto doc = ParseJson(merged.value());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc.value().is_array());
+
+  bool saw_alpha = false;
+  bool saw_beta = false;
+  int metadata_seen = 0;
+  bool spans_started = false;
+  double last_ts = -1.0;
+  for (const JsonValue& e : doc.value().array) {
+    ASSERT_TRUE(e.is_object());
+    const std::string name = e.StringOr("name", "");
+    EXPECT_NE(name, "clock_sync") << "per-file clock_syncs must not leak";
+    if (e.StringOr("ph", "") == "M") {
+      EXPECT_FALSE(spans_started) << "metadata must precede spans";
+      ++metadata_seen;
+      continue;
+    }
+    spans_started = true;
+    const double ts = e.NumberOr("ts", -1.0);
+    EXPECT_GE(ts, last_ts) << "spans must be sorted by cluster time";
+    last_ts = ts;
+    if (name == "alpha") {
+      saw_alpha = true;
+      EXPECT_EQ(e.NumberOr("ts", -1.0), 100.0) << "earliest epoch: unshifted";
+      EXPECT_EQ(e.NumberOr("pid", -1.0), 0.0);
+    }
+    if (name == "beta") {
+      saw_beta = true;
+      EXPECT_EQ(e.NumberOr("ts", -1.0), 3100.0) << "shifted by epoch delta";
+      EXPECT_EQ(e.NumberOr("pid", -1.0), 1.0) << "pid remapped to input index";
+    }
+  }
+  EXPECT_TRUE(saw_alpha);
+  EXPECT_TRUE(saw_beta);
+  EXPECT_EQ(metadata_seen, 2) << "both thread_name records survive";
+}
+
+TEST(TraceMergeTest, EpochlessFileStaysUnshifted) {
+  const std::string dir = FreshDir("epochless");
+  const std::vector<std::string> inputs = {
+      WriteFile(dir + "/a.json", RankTrace(2000000, "alpha")),
+      WriteFile(dir + "/b.json",
+                "[{\"name\":\"legacy\",\"ph\":\"X\",\"pid\":0,\"tid\":0,"
+                "\"ts\":40,\"dur\":5}]")};
+  auto merged = MergeChromeTraces(inputs);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  auto doc = ParseJson(merged.value());
+  ASSERT_TRUE(doc.ok());
+  for (const JsonValue& e : doc.value().array) {
+    if (e.StringOr("name", "") == "legacy") {
+      EXPECT_EQ(e.NumberOr("ts", -1.0), 40.0)
+          << "no clock_sync, no shift — old traces stay loadable";
+      EXPECT_EQ(e.NumberOr("pid", -1.0), 1.0);
+    }
+  }
+}
+
+TEST(TraceMergeTest, MergesRealRecorderOutput) {
+  const std::string dir = FreshDir("real");
+  std::vector<std::string> inputs;
+  for (int r = 0; r < 2; ++r) {
+    TraceRecorder rec;
+    const int t = rec.RegisterTrack("rank " + std::to_string(r));
+    rec.AddCompleteEvent(t, "iteration 0", 5.0, 100.0, "train");
+    rec.AddCompleteEvent(t, "iteration 1", 120.0, 100.0, "train");
+    rec.AddInstantEvent(t, "flag", 60.0, "telemetry");
+    const std::string path = dir + "/trace.rank" + std::to_string(r) + ".json";
+    ASSERT_TRUE(rec.WriteChromeTraceFile(path).ok());
+    inputs.push_back(path);
+  }
+  const std::string out = dir + "/merged.json";
+  ASSERT_TRUE(MergeChromeTracesToFile(inputs, out).ok());
+
+  auto doc = ParseJsonFile(out);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc.value().is_array());
+  int spans = 0;
+  int instants = 0;
+  double last_ts = -1.0;
+  for (const JsonValue& e : doc.value().array) {
+    ASSERT_TRUE(e.is_object());
+    EXPECT_NE(e.StringOr("name", ""), "clock_sync");
+    const std::string ph = e.StringOr("ph", "");
+    if (ph == "M") continue;
+    EXPECT_GE(e.NumberOr("ts", -1.0), last_ts);
+    last_ts = e.NumberOr("ts", -1.0);
+    const double pid = e.NumberOr("pid", -1.0);
+    EXPECT_TRUE(pid == 0.0 || pid == 1.0) << pid;
+    if (ph == "X") ++spans;
+    if (ph == "i") ++instants;
+  }
+  EXPECT_EQ(spans, 4);
+  EXPECT_EQ(instants, 2);
+}
+
+TEST(TraceMergeTest, RejectsBadInputs) {
+  const std::string dir = FreshDir("bad");
+  EXPECT_FALSE(MergeChromeTraces({}).ok());
+  EXPECT_FALSE(MergeChromeTraces({dir + "/missing.json"}).ok());
+  const std::string not_array =
+      WriteFile(dir + "/object.json", "{\"not\": \"a trace\"}");
+  EXPECT_FALSE(MergeChromeTraces({not_array}).ok());
+  const std::string garbage = WriteFile(dir + "/garbage.json", "[{");
+  EXPECT_FALSE(MergeChromeTraces({garbage}).ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace mics

@@ -1,0 +1,149 @@
+// The flight-recorder ring on TraceRecorder (SetCapacity): eviction
+// order, exact `obs.trace.dropped` accounting, capacity changes while
+// events already exist, and — the satellite's core — concurrent writers
+// racing the ring without torn events or lost drop counts. The whole
+// suite runs under scripts/check.sh --sanitize (TSan) via the telemetry
+// label.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mics {
+namespace obs {
+namespace {
+
+double GlobalDropped() {
+  return MetricsRegistry::Global().CounterValue("obs.trace.dropped");
+}
+
+TEST(TraceRingTest, UnboundedByDefault) {
+  TraceRecorder rec;
+  EXPECT_EQ(rec.capacity(), 0);
+  const int t = rec.RegisterTrack("w");
+  for (int i = 0; i < 1000; ++i) rec.AddCompleteEvent(t, "e", i, 1.0);
+  EXPECT_EQ(rec.num_events(), 1000);
+  EXPECT_EQ(rec.num_dropped(), 0);
+}
+
+TEST(TraceRingTest, EvictsOldestAndCountsDrops) {
+  const double before = GlobalDropped();
+  TraceRecorder rec;
+  rec.SetCapacity(8);
+  EXPECT_EQ(rec.capacity(), 8);
+  const int t = rec.RegisterTrack("w");
+  for (int i = 0; i < 20; ++i) {
+    rec.AddCompleteEvent(t, "e" + std::to_string(i), i, 1.0);
+  }
+  EXPECT_EQ(rec.num_events(), 8);
+  EXPECT_EQ(rec.num_dropped(), 12);
+  // The tail survives, the head scrolls away — flight-recorder semantics.
+  const std::vector<TraceEvent> events = rec.events();
+  ASSERT_EQ(events.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(events[i].name, "e" + std::to_string(12 + i));
+  }
+  EXPECT_EQ(GlobalDropped() - before, 12.0);
+}
+
+TEST(TraceRingTest, ShrinkingCapacityEvictsExistingEvents) {
+  TraceRecorder rec;
+  const int t = rec.RegisterTrack("w");
+  for (int i = 0; i < 10; ++i) {
+    rec.AddCompleteEvent(t, "e" + std::to_string(i), i, 1.0);
+  }
+  rec.SetCapacity(4);
+  EXPECT_EQ(rec.num_events(), 4);
+  EXPECT_EQ(rec.num_dropped(), 6);
+  EXPECT_EQ(rec.events().front().name, "e6");
+  EXPECT_EQ(rec.events().back().name, "e9");
+  // Growing the bound never resurrects dropped events.
+  rec.SetCapacity(100);
+  EXPECT_EQ(rec.num_events(), 4);
+  EXPECT_EQ(rec.num_dropped(), 6);
+}
+
+TEST(TraceRingTest, ClearKeepsCapacityAndDropCount) {
+  TraceRecorder rec;
+  rec.SetCapacity(2);
+  const int t = rec.RegisterTrack("w");
+  for (int i = 0; i < 5; ++i) rec.AddCompleteEvent(t, "e", i, 1.0);
+  EXPECT_EQ(rec.num_dropped(), 3);
+  rec.Clear();
+  EXPECT_EQ(rec.num_events(), 0);
+  EXPECT_EQ(rec.capacity(), 2);
+  EXPECT_EQ(rec.num_dropped(), 3) << "drop accounting survives Clear";
+}
+
+// The satellite's acceptance: many writer threads race the ring (and a
+// churn thread re-bounds it mid-flight). Afterwards every retained event
+// must be internally consistent — its payload fields must match what its
+// name encodes, proving no event was ever published half-written — and
+// retained + dropped must account for every single Add.
+TEST(TraceRingTest, ConcurrentWritersNeverTearEventsOrLoseDrops) {
+  const double before = GlobalDropped();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  TraceRecorder rec;
+  rec.SetCapacity(256);
+
+  std::vector<int> tracks(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    tracks[w] = rec.RegisterTrack("w" + std::to_string(w));
+  }
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&rec, &tracks, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Every field derives from (w, i) so a torn event is detectable.
+        rec.AddCompleteEvent(tracks[w],
+                             "w" + std::to_string(w) + "/e" + std::to_string(i),
+                             /*ts_us=*/w * 1000000.0 + i,
+                             /*dur_us=*/static_cast<double>(i % 97),
+                             "ring");
+      }
+    });
+  }
+  std::thread churn([&rec] {
+    for (int i = 0; i < 50; ++i) {
+      rec.SetCapacity(i % 2 == 0 ? 128 : 256);
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  churn.join();
+
+  // Conservation: every Add either survived or was counted as dropped.
+  EXPECT_EQ(rec.num_events() + rec.num_dropped(), kThreads * kPerThread);
+  EXPECT_LE(rec.num_events(), rec.capacity());
+  EXPECT_EQ(GlobalDropped() - before, static_cast<double>(rec.num_dropped()));
+
+  for (const TraceEvent& e : rec.events()) {
+    int w = -1;
+    int i = -1;
+    ASSERT_EQ(std::sscanf(e.name.c_str(), "w%d/e%d", &w, &i), 2)
+        << "unparsable event name '" << e.name << "'";
+    ASSERT_GE(w, 0);
+    ASSERT_LT(w, kThreads);
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, kPerThread);
+    EXPECT_EQ(e.ts_us, w * 1000000.0 + i) << "torn ts in " << e.name;
+    EXPECT_EQ(e.dur_us, static_cast<double>(i % 97)) << "torn dur in "
+                                                     << e.name;
+    EXPECT_EQ(e.tid, tracks[w]) << "torn track in " << e.name;
+    EXPECT_EQ(e.category, "ring");
+    EXPECT_EQ(e.phase, 'X');
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace mics

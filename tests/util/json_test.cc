@@ -1,0 +1,117 @@
+// The minimal JSON DOM behind the observability plane (flight dumps,
+// trace merging) and the atomic tmp+rename file writer underneath every
+// machine-readable artifact.
+
+#include "util/json.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/atomic_file.h"
+
+namespace mics {
+namespace {
+
+TEST(JsonTest, ParsesScalarsArraysAndObjects) {
+  auto v = ParseJson(" {\"a\": 1.5, \"b\": [true, null, \"x\\n\"], "
+                     "\"c\": {\"nested\": -2e3}} ");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const JsonValue& root = v.value();
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.NumberOr("a", 0), 1.5);
+  const JsonValue* b = root.Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_TRUE(b->array[0].is_bool());
+  EXPECT_TRUE(b->array[0].boolean);
+  EXPECT_TRUE(b->array[1].is_null());
+  EXPECT_EQ(b->array[2].string, "x\n");
+  const JsonValue* c = root.Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->NumberOr("nested", 0), -2000.0);
+  EXPECT_EQ(root.Find("missing"), nullptr);
+  EXPECT_EQ(root.StringOr("missing", "dflt"), "dflt");
+}
+
+TEST(JsonTest, RejectsGarbageAndTrailingBytes) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("'single'").ok());
+  EXPECT_FALSE(ParseJsonFile("/nonexistent/doc.json").ok());
+}
+
+TEST(JsonTest, WriteRoundTripsThroughParse) {
+  const std::string text =
+      "{\"name\":\"clock_sync\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"unix_us\":1723180800000001,\"frac\":0.1}}";
+  auto v = ParseJson(text);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const std::string emitted = v.value().ToString();
+  // Integers print without ".0"; doubles keep round-trip precision.
+  EXPECT_NE(emitted.find("\"unix_us\":1723180800000001"), std::string::npos)
+      << emitted;
+  auto again = ParseJson(emitted);
+  ASSERT_TRUE(again.ok()) << emitted;
+  EXPECT_EQ(again.value().Find("args")->NumberOr("frac", 0), 0.1);
+  EXPECT_EQ(again.value().StringOr("ph", ""), "M");
+}
+
+TEST(JsonTest, QuoteEscapesControlCharacters) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("a\"b\\c\n\t"), "\"a\\\"b\\\\c\\n\\t\"");
+  // Escaped output must parse back to the original.
+  auto v = ParseJson(JsonQuote(std::string("nul \x01 byte")));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().string, "nul \x01 byte");
+}
+
+TEST(AtomicFileTest, WritesAtomicallyAndCleansUpOnFailure) {
+  const auto dir = std::filesystem::temp_directory_path() / "mics_atomic";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "out.txt").string();
+
+  ASSERT_TRUE(AtomicWriteFile(path, [](std::ostream& os) {
+                os << "v1";
+                return Status::OK();
+              }).ok());
+  ASSERT_TRUE(AtomicWriteFile(path, [](std::ostream& os) {
+                os << "v2";
+                return Status::OK();
+              }).ok());
+  std::ifstream in(path);
+  std::string body;
+  in >> body;
+  EXPECT_EQ(body, "v2");
+
+  // A writer that fails must leave the previous contents intact and no
+  // staging file behind.
+  EXPECT_FALSE(AtomicWriteFile(path, [](std::ostream& os) {
+                 os << "half-written";
+                 return Status::Internal("writer failed");
+               }).ok());
+  std::ifstream after(path);
+  std::string preserved;
+  after >> preserved;
+  EXPECT_EQ(preserved, "v2");
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++files;
+    EXPECT_EQ(entry.path().filename().string(), "out.txt") << entry.path();
+  }
+  EXPECT_EQ(files, 1);
+
+  EXPECT_FALSE(AtomicWriteFile("/nonexistent/dir/file", [](std::ostream& os) {
+                 os << "x";
+                 return Status::OK();
+               }).ok());
+}
+
+}  // namespace
+}  // namespace mics

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/status.h"
 
@@ -91,6 +94,74 @@ TEST(LoggingTest, ThresholdSuppressesLowerSeverities) {
   EXPECT_EQ(captured.find("suppressed warning"), std::string::npos);
   EXPECT_NE(captured.find("emitted error"), std::string::npos);
   SetMinLogSeverity(prev);
+}
+
+TEST(LoggingTest, RankPrefixAppearsOnceSet) {
+  const int prev = LogRank();
+  SetLogRank(3);
+  EXPECT_EQ(LogRank(), 3);
+  testing::internal::CaptureStderr();
+  MICS_LOG(Warning) << "ranked message";
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("[rank 3]"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("ranked message"), std::string::npos);
+
+  // Clearing the rank removes the prefix again.
+  SetLogRank(-1);
+  testing::internal::CaptureStderr();
+  MICS_LOG(Warning) << "unranked message";
+  const std::string unranked = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(unranked.find("[rank"), std::string::npos) << unranked;
+  SetLogRank(prev);
+}
+
+TEST(LoggingTest, EnvVarConfiguresRank) {
+  const int prev = LogRank();
+  ASSERT_EQ(setenv("MICS_RANK", "5", 1), 0);
+  EXPECT_EQ(InitLogRankFromEnv(), 5);
+  EXPECT_EQ(LogRank(), 5);
+  // Garbage and unset leave the rank alone.
+  ASSERT_EQ(setenv("MICS_RANK", "banana", 1), 0);
+  EXPECT_EQ(InitLogRankFromEnv(), 5);
+  ASSERT_EQ(unsetenv("MICS_RANK"), 0);
+  EXPECT_EQ(InitLogRankFromEnv(), 5);
+  SetLogRank(prev);
+}
+
+TEST(LoggingTest, SinkCapturesInsteadOfStderr) {
+  std::vector<std::pair<LogSeverity, std::string>> captured;
+  SetLogSink([&captured](LogSeverity severity, const std::string& line) {
+    captured.emplace_back(severity, line);
+  });
+  testing::internal::CaptureStderr();
+  MICS_LOG(Warning) << "sunk message";
+  const std::string stderr_out = testing::internal::GetCapturedStderr();
+  SetLogSink(nullptr);  // restore stderr before asserting
+
+  EXPECT_EQ(stderr_out.find("sunk message"), std::string::npos)
+      << "a sink must divert the line away from stderr";
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogSeverity::kWarning);
+  EXPECT_NE(captured[0].second.find("sunk message"), std::string::npos);
+  EXPECT_NE(captured[0].second.find("[W "), std::string::npos)
+      << "sink lines keep the structured prefix: " << captured[0].second;
+
+  // Back on stderr after the reset.
+  testing::internal::CaptureStderr();
+  MICS_LOG(Warning) << "back on stderr";
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("back on stderr"),
+            std::string::npos);
+}
+
+TEST(LoggingTest, FormatLogPrefixCarriesTagFileLineAndRank) {
+  const int prev = LogRank();
+  SetLogRank(2);
+  const std::string prefix =
+      FormatLogPrefix(LogSeverity::kError, "net/transport.cc", 42);
+  EXPECT_NE(prefix.find("E "), std::string::npos) << prefix;
+  EXPECT_NE(prefix.find("net/transport.cc:42"), std::string::npos) << prefix;
+  EXPECT_NE(prefix.find("[rank 2]"), std::string::npos) << prefix;
+  SetLogRank(prev);
 }
 
 TEST(LoggingDeathTest, CheckFailureAborts) {

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "net/launch.h"
+#include "obs/telemetry.h"
+#include "util/logging.h"
 
 namespace {
 
@@ -71,31 +73,33 @@ int main(int argc, char** argv) {
   options.max_attempts = static_cast<int>(attempts);
   options.timeout_ms = timeout_ms;
   options.gpus_per_node = static_cast<int>(gpus_per_node);
+  // Workers inherit the MICS_TELEMETRY* environment through fork/exec;
+  // the same config arms the launcher-side monitor.
+  options.telemetry = mics::obs::TelemetryConfigFromEnv();
 
   auto launched = mics::net::LaunchWorkers(options);
   if (!launched.ok()) {
-    std::fprintf(stderr, "mics_launch: %s\n",
-                 launched.status().ToString().c_str());
+    MICS_LOG(Error) << "mics_launch: " << launched.status().ToString();
     return 2;
   }
   const mics::net::LaunchReport& report = launched.value();
   if (report.success) {
     if (report.attempts > 1) {
-      std::fprintf(stderr, "mics_launch: succeeded on attempt %d\n",
-                   report.attempts);
+      MICS_LOG(Info) << "mics_launch: succeeded on attempt "
+                     << report.attempts;
     }
     return 0;
   }
   int first_failure = 0;
   for (const mics::net::WorkerResult& r : report.last_results) {
     if (r.exit_code != 0) {
-      std::fprintf(stderr, "mics_launch: rank %d exited %d%s\n", r.rank,
-                   r.exit_code, r.signaled ? " (signal)" : "");
+      MICS_LOG(Warning) << "mics_launch: rank " << r.rank << " exited "
+                        << r.exit_code << (r.signaled ? " (signal)" : "");
       if (first_failure == 0) first_failure = r.exit_code;
     }
   }
   if (first_failure == 0) first_failure = 1;
-  std::fprintf(stderr, "mics_launch: failed after %d attempt(s)\n",
-               report.attempts);
+  MICS_LOG(Error) << "mics_launch: failed after " << report.attempts
+                  << " attempt(s)";
   return first_failure;
 }

@@ -1,0 +1,115 @@
+// mics_top: attach to a running mics_launch job and watch it live.
+//
+//   mics_top --store 127.0.0.1:PORT [--interval-ms 500] [--sweeps 0]
+//            [--metric NAME]...
+//
+// Connects to the job's TcpStore (the address the launcher logs /
+// MICS_STORE_ADDR in any worker's environment), polls every rank's
+// telemetry key, and redraws a per-rank table: snapshot age, straggler
+// flags, and the requested metrics (default: the straggler metric),
+// plus cluster min/mean/max/p99 rows. Requires the job to run with
+// MICS_TELEMETRY=1; a job without telemetry shows "no telemetry yet".
+//
+// --sweeps N exits after N redraws (0 = until the store goes away),
+// which is how the smoke test drives it non-interactively.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/telemetry.h"
+#include "obs/telemetry.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --store HOST:PORT [--interval-ms MS] [--sweeps N]\n"
+               "       [--metric NAME]...\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string store_addr;
+  long interval_ms = 500;
+  long sweeps = 0;
+  std::vector<std::string> metrics;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* { return ++i < argc ? argv[i] : nullptr; };
+    if (std::strcmp(arg, "--store") == 0) {
+      const char* v = next();
+      if (v == nullptr) break;
+      store_addr = v;
+    } else if (std::strcmp(arg, "--interval-ms") == 0) {
+      const char* v = next();
+      if (v == nullptr) break;
+      interval_ms = std::strtol(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--sweeps") == 0) {
+      const char* v = next();
+      if (v == nullptr) break;
+      sweeps = std::strtol(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--metric") == 0) {
+      const char* v = next();
+      if (v == nullptr) break;
+      metrics.push_back(v);
+    } else {
+      std::fprintf(stderr, "mics_top: unknown option '%s'\n", arg);
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (store_addr.empty() || interval_ms < 1) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  auto client = mics::net::TcpStoreClient::Connect(store_addr);
+  if (!client.ok()) {
+    std::fprintf(stderr, "mics_top: cannot reach store %s: %s\n",
+                 store_addr.c_str(), client.status().ToString().c_str());
+    return 1;
+  }
+
+  mics::obs::TelemetryAggregator::Options agg_options;
+  agg_options.straggler = mics::obs::TelemetryConfigFromEnv().straggler;
+  mics::obs::TelemetryAggregator aggregator(agg_options);
+
+  long done = 0;
+  while (sweeps == 0 || done < sweeps) {
+    auto world = mics::net::FetchTelemetryWorldSize(client.value().get());
+    if (!world.ok()) {
+      std::fprintf(stderr, "mics_top: store gone: %s\n",
+                   world.status().ToString().c_str());
+      return done > 0 ? 0 : 1;
+    }
+    if (world.value() > 0) {
+      auto swept = mics::net::IngestTelemetryFromStore(
+          client.value().get(), world.value(), &aggregator);
+      if (!swept.ok()) {
+        std::fprintf(stderr, "mics_top: store gone: %s\n",
+                     swept.status().ToString().c_str());
+        return done > 0 ? 0 : 1;
+      }
+      aggregator.DetectStragglers();
+      std::printf("--- mics_top: %s (world %d) ---\n%s\n", store_addr.c_str(),
+                  world.value(), aggregator.RenderTable(metrics).c_str());
+    } else {
+      std::printf("--- mics_top: %s (no telemetry yet; is the job running "
+                  "with MICS_TELEMETRY=1?) ---\n",
+                  store_addr.c_str());
+    }
+    std::fflush(stdout);
+    ++done;
+    if (sweeps == 0 || done < sweeps) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  return 0;
+}

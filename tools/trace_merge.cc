@@ -1,0 +1,49 @@
+// trace_merge: merge per-rank Chrome trace files into one cluster
+// timeline.
+//
+//   trace_merge -o merged.json trace.rank0.json trace.rank1.json ...
+//
+// Each input is a Chrome trace-event array as written by
+// obs::TraceRecorder (the trace.rank<r>.json files a telemetry-enabled
+// run leaves in MICS_TELEMETRY_DIR). Timelines are aligned via each
+// file's clock_sync epoch, pids are remapped to the input index so
+// per-rank tracks stay separate, and the output sorts spans by cluster
+// time — loadable as a single trace in chrome://tracing or Perfetto.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/trace_merge.h"
+
+int main(int argc, char** argv) {
+  std::string output;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 ||
+        std::strcmp(argv[i], "--output") == 0) {
+      if (++i >= argc) {
+        std::fprintf(stderr, "trace_merge: %s needs a path\n", argv[i - 1]);
+        return 2;
+      }
+      output = argv[i];
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (output.empty() || inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s -o <merged.json> <trace.json> [trace.json...]\n",
+                 argv[0]);
+    return 2;
+  }
+  mics::Status st = mics::obs::MergeChromeTracesToFile(inputs, output);
+  if (!st.ok()) {
+    std::fprintf(stderr, "trace_merge: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "trace_merge: wrote %s (%zu inputs)\n", output.c_str(),
+               inputs.size());
+  return 0;
+}
