@@ -1,0 +1,290 @@
+// Elastic membership benchmark: deterministic contract rows for the
+// pieces of a view change that are pure arithmetic — codec wire sizes,
+// topology-packed placement decisions, and reshard-plan traffic across
+// canonical shrink/grow/fallback geometries — plus, when --worker points
+// at the multiprocess_training binary, a real SIGKILL-shrink churn drill
+// whose membership facts (view changes, planned reshard bytes, final
+// geometry, post-churn loss bits) gate hard and whose time-to-recovery
+// and throughput land as informational wall rows.
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "elastic/membership.h"
+#include "elastic/placement.h"
+#include "elastic/reshard.h"
+#include "net/launch.h"
+
+namespace mics {
+namespace {
+
+using bench::Reporter;
+using namespace elastic;  // NOLINT: WorldView, PlanPlacement, BuildReshardPlan
+
+WorldView SyntheticView(int old_world, int old_p, int world, int p, int gpn,
+                        int live_survivors) {
+  WorldView view;
+  view.generation = 2;
+  view.gpus_per_node = gpn;
+  view.partition_group_size = p;
+  view.old_world_size = old_world;
+  view.old_partition_group_size = old_p;
+  view.reshard_iteration = 5;
+  for (int i = 0; i < world; ++i) {
+    ViewMember m;
+    m.member_id = static_cast<uint64_t>(i);
+    m.node = "n" + std::to_string(i / gpn);
+    m.old_rank = i < live_survivors ? i : -1;
+    m.has_state = i < live_survivors;
+    view.members.push_back(m);
+  }
+  return view;
+}
+
+void BenchCodecs(Reporter* reporter) {
+  bench::PrintHeader("membership wire format");
+  const WorldView view = SyntheticView(8, 4, 8, 4, 4, 8);
+  const std::string elm = EncodeWorldView(view);
+  reporter->Record("codec", "elastic.view.wire_bytes",
+                   static_cast<double>(elm.size()), "bytes");
+  auto round = ParseWorldView(elm);
+  const bool view_ok =
+      round.ok() && EncodeWorldView(round.value()) == elm;
+  reporter->Record("codec", "elastic.view.round_trip_ok", view_ok ? 1.0 : 0.0,
+                   "count");
+
+  EnterRecord enter;
+  enter.member_id = 3;
+  enter.node = "n0";
+  enter.old_rank = 3;
+  enter.iterations = 5;
+  enter.has_history = true;
+  enter.history_iterations = 4;
+  const std::string ele = EncodeEnterRecord(enter);
+  auto enter_round = ParseEnterRecord(ele);
+  reporter->Record("codec", "elastic.enter.wire_bytes",
+                   static_cast<double>(ele.size()), "bytes");
+  reporter->Record(
+      "codec", "elastic.enter.round_trip_ok",
+      enter_round.ok() && EncodeEnterRecord(enter_round.value()) == ele
+          ? 1.0
+          : 0.0,
+      "count");
+  std::cout << "ELM1 view (8 members): " << elm.size()
+            << " bytes, ELE1 enter: " << ele.size() << " bytes\n";
+}
+
+void BenchPlacement(Reporter* reporter) {
+  bench::PrintHeader("topology-aware placement");
+  struct Case {
+    const char* name;
+    std::vector<PlacementMember> members;
+    int max_p;
+  };
+  auto pm = [](uint64_t id, const std::string& node) {
+    PlacementMember m;
+    m.member_id = id;
+    m.node = node;
+    m.old_rank = static_cast<int>(id);
+    m.has_state = true;
+    return m;
+  };
+  std::vector<Case> cases;
+  {  // two full nodes of 4: groups stay intra-node at p=4
+    Case c{"2x4_p4", {}, 4};
+    for (uint64_t i = 0; i < 8; ++i) c.members.push_back(pm(i, i < 4 ? "a" : "b"));
+    cases.push_back(std::move(c));
+  }
+  {  // one rank lost from the second node: p re-packs down
+    Case c{"4+3_p4", {}, 4};
+    for (uint64_t i = 0; i < 7; ++i) c.members.push_back(pm(i, i < 4 ? "a" : "b"));
+    cases.push_back(std::move(c));
+  }
+  {  // three ragged nodes
+    Case c{"3+2+1_p2", {}, 2};
+    for (uint64_t i = 0; i < 6; ++i)
+      c.members.push_back(pm(i, i < 3 ? "a" : (i < 5 ? "b" : "c")));
+    cases.push_back(std::move(c));
+  }
+  for (const Case& c : cases) {
+    auto plan = PlanPlacement(c.members, c.max_p);
+    if (!plan.ok()) {
+      std::cout << c.name << ": " << plan.status().ToString() << "\n";
+      continue;
+    }
+    reporter->Record(c.name, "elastic.placement.partition_group_size",
+                     plan.value().partition_group_size, "count");
+    reporter->Record(c.name, "elastic.placement.gpus_per_node",
+                     plan.value().gpus_per_node, "count");
+    reporter->Record(c.name, "elastic.placement.packed",
+                     plan.value().packed ? 1.0 : 0.0, "count");
+    std::cout << c.name << ": p=" << plan.value().partition_group_size
+              << " gpn=" << plan.value().gpus_per_node
+              << (plan.value().packed ? " packed" : " STRADDLING") << "\n";
+  }
+}
+
+void BenchReshardPlans(Reporter* reporter) {
+  bench::PrintHeader("reshard plan traffic (1M-param flat space)");
+  const int64_t kNumel = 1 << 20;
+  struct Case {
+    const char* name;
+    WorldView view;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"grow_4to8_p4", SyntheticView(4, 4, 8, 4, 4, 4)});
+  {  // shrink 8 -> 6 keeping p=2: survivors re-cover the lost shards
+    WorldView v = SyntheticView(8, 2, 6, 2, 2, 6);
+    cases.push_back({"shrink_8to6_p2", v});
+  }
+  {  // every holder of the old state is gone: checkpoint fallback
+    WorldView v = SyntheticView(4, 2, 4, 2, 2, 0);
+    v.from_checkpoint = true;
+    cases.push_back({"fallback_ckpt_p2", v});
+  }
+  for (Case& c : cases) {
+    auto plan = BuildReshardPlan(c.view, kNumel);
+    if (!plan.ok()) {
+      std::cout << c.name << ": " << plan.status().ToString() << "\n";
+      continue;
+    }
+    const ReshardPlan& p = plan.value();
+    reporter->Record(c.name, "elastic.reshard.wire_bytes",
+                     static_cast<double>(p.wire_bytes), "bytes");
+    reporter->Record(c.name, "elastic.reshard.local_bytes",
+                     static_cast<double>(p.local_bytes), "bytes");
+    reporter->Record(c.name, "elastic.reshard.pieces",
+                     static_cast<double>(p.pieces.size()), "count");
+    reporter->Record(c.name, "elastic.reshard.from_checkpoint",
+                     p.from_checkpoint ? 1.0 : 0.0, "count");
+    std::cout << c.name << ": " << p.pieces.size() << " pieces, "
+              << p.wire_bytes << " wire B, " << p.local_bytes << " local B"
+              << (p.from_checkpoint ? " (checkpoint)" : "") << "\n";
+  }
+}
+
+std::map<std::string, std::string> ReadReport(const std::string& path) {
+  std::map<std::string, std::string> kv;
+  std::ifstream is(path);
+  std::string key, value;
+  while (is >> key >> value) kv[key] = value;
+  return kv;
+}
+
+/// The real churn drill: 3 single-rank nodes, rank 2 SIGKILLed at the
+/// top of iteration 4, survivors reshard peer-to-peer and finish 8
+/// iterations. The membership facts and the post-churn loss bits are
+/// deterministic; the recovery and end-to-end walls are not.
+void BenchChurnDrill(Reporter* reporter, const std::string& worker) {
+  bench::PrintHeader("live shrink drill (SIGKILL rank 2 at iteration 4)");
+  const auto dir =
+      std::filesystem::temp_directory_path() / "mics_bench_elastic";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir / "ckpt");
+  const std::string out = (dir / "losses.txt").string();
+  const std::string report_path = (dir / "report.txt").string();
+
+  net::LaunchOptions drill;
+  drill.binary = worker;
+  drill.args = {"--elastic", "--iterations", "8", "--grad-accum", "1",
+                "--partition", "1", "--checkpoint-dir",
+                (dir / "ckpt").string(), "--checkpoint-interval", "0",
+                "--die-rank", "2", "--die-iter", "4",
+                "--out", out, "--report", report_path};
+  drill.num_workers = 3;
+  drill.gpus_per_node = 1;
+  drill.elastic = true;
+  drill.timeout_ms = 120000;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto launched = net::LaunchWorkers(drill);
+  const double wall_us =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+  if (!launched.ok() || !launched.value().success) {
+    std::cout << "drill failed: "
+              << (launched.ok() ? "worker failure"
+                                : launched.status().ToString())
+              << "\n";
+    reporter->Record("shrink_drill", "elastic.drill.success", 0.0, "count");
+    return;
+  }
+  const std::map<std::string, std::string> facts = ReadReport(report_path);
+  reporter->Record("shrink_drill", "elastic.drill.success", 1.0, "count");
+  reporter->Record("shrink_drill", "elastic.drill.view_changes",
+                   std::stod(facts.at("view_changes")), "count");
+  reporter->Record("shrink_drill", "elastic.drill.reshard_bytes",
+                   std::stod(facts.at("reshard_bytes")), "bytes");
+  reporter->Record("shrink_drill", "elastic.drill.final_world",
+                   std::stod(facts.at("final_world")), "count");
+  reporter->Record("shrink_drill", "elastic.drill.final_partition",
+                   std::stod(facts.at("final_partition")), "count");
+  reporter->Record("shrink_drill", "elastic.drill.packed",
+                   std::stod(facts.at("packed")), "count");
+  reporter->Record("shrink_drill", "elastic.drill.from_checkpoint",
+                   std::stod(facts.at("from_checkpoint")), "count");
+  reporter->Record("shrink_drill", "elastic.drill.reshard_iteration",
+                   std::stod(facts.at("reshard_iteration")), "count");
+
+  // The post-churn loss bits: the last appended line's float bit pattern
+  // is the whole continuation's fingerprint (bit-identical to the
+  // fixed-world reference by the elastic_test drill's contract).
+  std::ifstream losses(out);
+  int iter = 0;
+  std::string hex, value;
+  uint32_t final_bits = 0;
+  int lines = 0;
+  while (losses >> iter >> hex >> value) {
+    final_bits = static_cast<uint32_t>(std::stoul(hex, nullptr, 16));
+    ++lines;
+  }
+  reporter->Record("shrink_drill", "elastic.drill.post_churn_iterations",
+                   static_cast<double>(lines), "count");
+  reporter->Record("shrink_drill", "elastic.drill.final_loss_bits",
+                   static_cast<double>(final_bits), "count");
+
+  // Informational walls: time-to-recovery (alarm observed -> training
+  // resumed, from the report) and the whole-drill wall.
+  reporter->Record("shrink_drill", "elastic.drill.ttr_us_wall",
+                   std::stod(facts.at("ttr_us")), "us_wall");
+  reporter->Record("shrink_drill", "elastic.drill.total_us_wall", wall_us,
+                   "us_wall");
+  const double iters_per_s =
+      wall_us > 0.0 ? 8.0 / (wall_us / 1e6) : 0.0;
+  reporter->Record("shrink_drill", "elastic.drill.iters_per_s_wall",
+                   iters_per_s, "iters_per_s_wall");
+  std::cout << "view changes " << facts.at("view_changes") << ", reshard "
+            << facts.at("reshard_bytes") << " B, world "
+            << facts.at("final_world") << ", ttr " << facts.at("ttr_us")
+            << " us, drill wall " << wall_us / 1e6 << " s\n";
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mics
+
+int main(int argc, char** argv) {
+  mics::bench::Reporter reporter(argc, argv, "elastic");
+  std::string worker;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--worker") == 0) worker = argv[i + 1];
+  }
+  mics::BenchCodecs(&reporter);
+  mics::BenchPlacement(&reporter);
+  mics::BenchReshardPlans(&reporter);
+  if (!worker.empty()) {
+    mics::BenchChurnDrill(&reporter, worker);
+  } else {
+    std::cout << "\n(no --worker <multiprocess_training>; skipping the live "
+                 "churn drill)\n";
+  }
+  return 0;
+}

@@ -30,6 +30,7 @@
 #include <unistd.h>
 #include <vector>
 
+#include "elastic/elastic_train.h"
 #include "train/multiprocess.h"
 #include "train/trainer.h"
 
@@ -41,6 +42,7 @@ struct Flags {
   int grad_accumulation_steps = 2;
   int world_size = 4;       // --single only; under the launcher env wins
   int gpus_per_node = 2;    // --single only
+  int partition = 0;        // 0 = the strategy's default group size
   std::string out;
   std::string checkpoint_dir;
   int checkpoint_interval = 4;
@@ -49,6 +51,16 @@ struct Flags {
   long rendezvous_ms = 60000;
   std::string status_log;
   bool single = false;
+  // Elastic mode (mics::elastic): ride world churn instead of dying
+  // with the attempt. --report receives the final view's facts.
+  bool elastic = false;
+  std::string report;
+  long heartbeat_ms = 100;
+  long stale_ms = 2000;
+  long view_timeout_ms = 60000;
+  long comm_timeout_ms = 5000;
+  int await_grow_iter = -1;
+  int await_grow_world = 0;
 };
 
 bool ParseInt(const char* s, int* out) {
@@ -136,6 +148,37 @@ int main(int argc, char** argv) {
       flags.status_log = argv[i];
     } else if (std::strcmp(arg, "--single") == 0) {
       flags.single = true;
+    } else if (std::strcmp(arg, "--partition") == 0) {
+      if (!next(&flags.partition)) break;
+    } else if (std::strcmp(arg, "--elastic") == 0) {
+      flags.elastic = true;
+    } else if (std::strcmp(arg, "--report") == 0 && ++i < argc) {
+      flags.report = argv[i];
+    } else if (std::strcmp(arg, "--heartbeat-ms") == 0) {
+      int ms = 0;
+      if (!next(&ms)) break;
+      flags.heartbeat_ms = ms;
+    } else if (std::strcmp(arg, "--stale-ms") == 0) {
+      int ms = 0;
+      if (!next(&ms)) break;
+      flags.stale_ms = ms;
+    } else if (std::strcmp(arg, "--view-timeout-ms") == 0) {
+      int ms = 0;
+      if (!next(&ms)) break;
+      flags.view_timeout_ms = ms;
+    } else if (std::strcmp(arg, "--comm-timeout-ms") == 0) {
+      int ms = 0;
+      if (!next(&ms)) break;
+      flags.comm_timeout_ms = ms;
+    } else if (std::strcmp(arg, "--await-grow") == 0 && ++i < argc) {
+      // I:W — at iteration I, idle until the world has W members.
+      const char* colon = std::strchr(argv[i], ':');
+      if (colon == nullptr) {
+        std::fprintf(stderr, "--await-grow wants ITER:WORLD\n");
+        return 2;
+      }
+      flags.await_grow_iter = std::atoi(argv[i]);
+      flags.await_grow_world = std::atoi(colon + 1);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg);
       return 2;
@@ -167,6 +210,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return static_cast<int>(st.code());
     }
+    if (flags.partition > 0) run.sdp.partition_group_size = flags.partition;
     auto curve = mics::RunDistributedTraining(run);
     if (!curve.ok()) {
       std::fprintf(stderr, "%s\n", curve.status().ToString().c_str());
@@ -183,6 +227,78 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", ctx.status().ToString().c_str());
     return static_cast<int>(ctx.status().code());
   }
+
+  if (flags.elastic) {
+    mics::elastic::ElasticTrainOptions eopts;
+    eopts.ctx = ctx.value();
+    eopts.model = model;
+    eopts.data = data;
+    eopts.adam = adam;
+    eopts.iterations = flags.iterations;
+    eopts.grad_accumulation_steps = flags.grad_accumulation_steps;
+    eopts.desired_partition_size =
+        flags.partition > 0 ? flags.partition
+                            : (eopts.ctx.world_size >= 4
+                                   ? eopts.ctx.world_size / 2
+                                   : eopts.ctx.world_size);
+    eopts.rendezvous_ms = flags.rendezvous_ms;
+    eopts.comm_timeout_ms = flags.comm_timeout_ms;
+    eopts.heartbeat_ms = flags.heartbeat_ms;
+    eopts.stale_ms = flags.stale_ms;
+    eopts.view_timeout_ms = flags.view_timeout_ms;
+    eopts.checkpoint_dir = flags.checkpoint_dir;
+    eopts.checkpoint_interval = flags.checkpoint_interval;
+    eopts.await_grow_iteration = flags.await_grow_iter;
+    eopts.await_grow_world = flags.await_grow_world;
+    if (flags.die_rank == eopts.ctx.rank && flags.die_iter >= 0 &&
+        !eopts.ctx.elastic_join) {
+      eopts.on_iteration = [&](int64_t generation, int iter) {
+        // The shrink drill: die at the top of an iteration in the
+        // founding generation, exactly like a preempted cloud instance.
+        if (generation == 1 && iter == flags.die_iter) {
+          ::kill(::getpid(), SIGKILL);
+        }
+      };
+    }
+    auto elastic_result = mics::elastic::RunElasticTraining(eopts);
+    if (!elastic_result.ok()) {
+      LogStatus(flags.status_log, eopts.ctx.attempt, eopts.ctx.rank,
+                elastic_result.status());
+      std::fprintf(stderr, "member %" PRId64 ": %s\n",
+                   static_cast<int64_t>(eopts.ctx.member_id),
+                   elastic_result.status().ToString().c_str());
+      return static_cast<int>(elastic_result.status().code());
+    }
+    const mics::elastic::ElasticTrainResult& er = elastic_result.value();
+    LogStatus(flags.status_log, eopts.ctx.attempt, er.final_rank,
+              mics::Status::OK());
+    if (er.final_rank == 0) {
+      AppendLosses(flags.out, er.start_iteration, er.losses);
+      if (!flags.report.empty()) {
+        std::FILE* f = std::fopen(flags.report.c_str(), "w");
+        if (f != nullptr) {
+          std::fprintf(f,
+                       "generation %" PRId64 "\nview_changes %d\n"
+                       "reshard_bytes %" PRId64 "\nttr_us %" PRId64 "\n"
+                       "final_world %d\nfinal_partition %d\n"
+                       "gpus_per_node %d\npacked %d\n"
+                       "reshard_iteration %d\nfrom_checkpoint %d\n",
+                       er.final_generation, er.view_changes,
+                       er.reshard_bytes, er.ttr_us, er.final_world,
+                       er.final_partition, er.gpus_per_node,
+                       er.packed ? 1 : 0, er.reshard_iteration,
+                       er.from_checkpoint ? 1 : 0);
+          std::fclose(f);
+        }
+      }
+      std::printf("elastic mics (world %d, p %d, gen %" PRId64
+                  ") final loss %.9g\n",
+                  er.final_world, er.final_partition, er.final_generation,
+                  static_cast<double>(er.losses.back()));
+    }
+    return 0;
+  }
+
   mics::MultiProcessTrainOptions options;
   options.ctx = ctx.value();
   options.model = model;
@@ -198,6 +314,9 @@ int main(int argc, char** argv) {
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return static_cast<int>(st.code());
+  }
+  if (flags.partition > 0) {
+    options.sdp.partition_group_size = flags.partition;
   }
   if (flags.die_rank == options.ctx.rank && flags.die_iter >= 0 &&
       options.ctx.attempt == 0) {

@@ -17,7 +17,10 @@
 # (wire size, straggler verdicts, ring drop accounting, merged-trace
 # event counts, loss bit-identity with the observer attached) and
 # reports the telemetry-on/off training overhead as informational wall
-# rows.
+# rows. bench_elastic gates the elastic membership plane's arithmetic
+# (codec wire sizes, placement packing, reshard-plan traffic) and a real
+# SIGKILL-shrink churn drill's membership facts + post-churn loss bits;
+# its time-to-recovery lands as informational wall rows.
 #
 # Compare two merged files with scripts/bench_compare.py; deterministic
 # units gate hard, wall-clock units are informational.
@@ -94,6 +97,14 @@ echo "== bench_serve_latency (--fast) =="
 build/bench/bench_serve_latency --fast \
   --json "$tmpdir/bench_serve_latency.json" > "$tmpdir/bench_serve_latency.txt"
 tail -n 3 "$tmpdir/bench_serve_latency.txt"
+
+# Elastic membership: the deterministic plan/codec rows plus the live
+# SIGKILL-shrink churn drill against the real example binary (gated
+# membership facts and loss bits; walls informational).
+echo "== bench_elastic (--worker) =="
+build/bench/bench_elastic --worker build/examples/multiprocess_training \
+  --json "$tmpdir/bench_elastic.json" > "$tmpdir/bench_elastic.txt"
+tail -n 3 "$tmpdir/bench_elastic.txt"
 
 python3 - "$out" "$tmpdir" <<'PY'
 import json, sys, glob, os

@@ -14,7 +14,10 @@
 #                                 without the telemetry plane attached —
 #                                 plus a SIGKILL drill asserting the
 #                                 survivors leave valid flight-recorder
-#                                 dumps and the per-rank traces merge
+#                                 dumps and the per-rank traces merge,
+#                                 plus an elastic churn smoke: SIGKILL one
+#                                 rank of an elastic job and assert the
+#                                 survivors re-form the world and finish
 #   scripts/check.sh --bench      additionally run the fast benchmark subset
 #                                 (scripts/bench.sh) into a fresh JSON and
 #                                 gate it against the committed baseline
@@ -47,7 +50,7 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 # suite, and again under TSan with --sanitize. One definition — the
 # usage text, the plain re-run, and the TSan run each used to hard-code
 # this list, and they drifted when labels were added.
-concurrency_labels='tsan|async|prof|net|serve|compress|kernels|telemetry'
+concurrency_labels='tsan|async|prof|net|serve|compress|kernels|telemetry|elastic'
 
 echo "== tier-1: build + full test suite =="
 cmake -B build -S . >/dev/null
@@ -145,6 +148,34 @@ for path in sys.argv[1:]:
     assert isinstance(doc['trace'], list), path
 print(f'{len(sys.argv) - 1} survivor flight dump(s) parse cleanly')
 " "${dumps[@]}"
+
+  echo
+  echo "== elastic churn smoke (rank 2 SIGKILLed, survivors re-form) =="
+  elastic_dir="$smoke_dir/elastic"
+  mkdir -p "$elastic_dir/ckpt"
+  build/tools/mics_launch -n 3 --gpus-per-node 1 --elastic \
+    --timeout-ms 60000 -- \
+    build/examples/multiprocess_training --elastic \
+    --iterations 8 --grad-accum 1 --partition 1 \
+    --checkpoint-dir "$elastic_dir/ckpt" --checkpoint-interval 0 \
+    --die-rank 2 --die-iter 4 \
+    --out "$elastic_dir/losses.txt" --report "$elastic_dir/report.txt"
+  grep -q '^generation 2$' "$elastic_dir/report.txt" || {
+    echo "elastic smoke: survivors did not reach generation 2" >&2
+    cat "$elastic_dir/report.txt" >&2
+    exit 1
+  }
+  grep -q '^final_world 2$' "$elastic_dir/report.txt" || {
+    echo "elastic smoke: post-churn world is not 2" >&2
+    cat "$elastic_dir/report.txt" >&2
+    exit 1
+  }
+  grep -q '^from_checkpoint 0$' "$elastic_dir/report.txt" || {
+    echo "elastic smoke: reshard fell back to the checkpoint" >&2
+    cat "$elastic_dir/report.txt" >&2
+    exit 1
+  }
+  echo "elastic smoke: world re-formed at generation 2, peer-to-peer reshard"
 fi
 
 if [[ "$bench" == 1 ]]; then

@@ -1,0 +1,442 @@
+#include "elastic/elastic_train.h"
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <system_error>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "elastic/membership.h"
+#include "elastic/reshard.h"
+#include "net/backend.h"
+#include "net/socket_comm.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace mics {
+namespace elastic {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The two ways a live peer's death surfaces through the socket layer.
+bool IsPeerLoss(const Status& s) {
+  return s.code() == StatusCode::kDeadlineExceeded ||
+         s.code() == StatusCode::kUnavailable;
+}
+
+int64_t ElapsedUs(Clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               t0)
+      .count();
+}
+
+bool ViewIsPacked(const WorldView& view) {
+  const int p = view.partition_group_size;
+  for (int g = 0; g < view.world_size() / p; ++g) {
+    const std::string& node =
+        view.members[static_cast<size_t>(g) * static_cast<size_t>(p)].node;
+    for (int i = 1; i < p; ++i) {
+      if (view.members[static_cast<size_t>(g * p + i)].node != node) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ElasticTrainResult> RunElasticTraining(
+    const ElasticTrainOptions& options) {
+  const net::DistributedContext& ctx = options.ctx;
+  if (options.iterations <= 0 || options.grad_accumulation_steps <= 0 ||
+      options.micro_batch <= 0) {
+    return Status::InvalidArgument("training extents must be positive");
+  }
+  if (options.desired_partition_size < 1) {
+    return Status::InvalidArgument("desired_partition_size must be >= 1");
+  }
+  if (!options.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_dir, ec);
+    if (ec) {
+      return Status::InvalidArgument("cannot create checkpoint dir '" +
+                                     options.checkpoint_dir +
+                                     "': " + ec.message());
+    }
+  }
+
+  MICS_ASSIGN_OR_RETURN(std::unique_ptr<net::TcpStoreClient> control,
+                        net::TcpStoreClient::Connect(ctx.store_addr));
+  net::TcpStoreClient* store = control.get();
+  const uint64_t member_id = ctx.member_id >= 0
+                                 ? static_cast<uint64_t>(ctx.member_id)
+                                 : static_cast<uint64_t>(ctx.rank);
+  // The lease runs on its own store connection for the whole job; its
+  // counter stalling is how peers declare this process dead.
+  HeartbeatLease lease(ctx.store_addr, member_id, options.heartbeat_ms);
+
+  MembershipOptions mopts;
+  mopts.heartbeat_ms = options.heartbeat_ms;
+  mopts.stale_ms = options.stale_ms;
+  mopts.view_timeout_ms = options.view_timeout_ms;
+  mopts.bootstrap_world_size = ctx.world_size;
+  mopts.desired_partition_size = options.desired_partition_size;
+  mopts.has_checkpoint = !options.checkpoint_dir.empty();
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Gauge* gen_gauge = metrics.GetGauge("elastic.generation");
+  obs::Counter* change_counter = metrics.GetCounter("elastic.view_changes");
+  obs::Counter* bytes_counter = metrics.GetCounter("elastic.reshard_bytes");
+  obs::Counter* ttr_counter = metrics.GetCounter("elastic.ttr_us");
+
+  EnterRecord me;
+  me.member_id = member_id;
+  me.node = ctx.node.empty() ? "n0" : ctx.node;
+
+  // First view: founders rendezvous as generation 1; joiners wait for a
+  // live generation, raise its alarm, and negotiate themselves in. A
+  // joiner can lose the publish race (two simultaneous joiners, the
+  // publisher listed only the first) — it holds no state yet, so it just
+  // re-raises the alarm against the committed generation and tries again.
+  WorldView view;
+  if (ctx.elastic_join) {
+    const auto join_deadline =
+        Clock::now() + std::chrono::milliseconds(options.view_timeout_ms);
+    while (true) {
+      int64_t gen = 0;
+      while (true) {
+        MICS_ASSIGN_OR_RETURN(gen, ReadGeneration(store));
+        if (gen >= 1) break;
+        if (Clock::now() >= join_deadline) {
+          return Status::DeadlineExceeded(
+              "no live generation to join within the view timeout");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+      MICS_ASSIGN_OR_RETURN(WorldView current, FetchView(store, gen));
+      MICS_RETURN_NOT_OK(RaiseAlarm(
+          store, gen, "join: member " + std::to_string(member_id)));
+      MICS_ASSIGN_OR_RETURN(view,
+                            NegotiateViewChange(store, &current, me, mopts));
+      if (view.RankOf(member_id) >= 0) break;
+      if (Clock::now() >= join_deadline) {
+        return Status::DeadlineExceeded("join: never admitted into a view");
+      }
+      MICS_LOG(Warning) << "elastic: missed the publish window for "
+                        << "generation " << view.generation << "; rejoining";
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  } else {
+    MICS_ASSIGN_OR_RETURN(view,
+                          NegotiateViewChange(store, nullptr, me, mopts));
+  }
+
+  MlpModel model(options.model);
+  SyntheticClassificationDataset::Config data_config = options.data;
+  data_config.input_dim = options.model.input_dim;
+  data_config.classes = options.model.classes;
+  SyntheticClassificationDataset dataset(data_config, options.seed + 1);
+
+  ElasticTrainResult result;
+  result.losses.assign(static_cast<size_t>(options.iterations), 0.0f);
+
+  std::unique_ptr<net::SocketTransport> transport;
+  std::unique_ptr<RankTopology> topo;
+  std::optional<CommBackendFactory> backend;
+  std::unique_ptr<ShardedDataParallel> sdp;
+  // Boundary snapshot taken at the top of the running iteration: the
+  // one-step rollback a survivor offers when peers are an iteration
+  // behind at the reshard point.
+  ShardStateSnapshot history;
+  Clock::time_point recover_t0 = Clock::now();
+  bool recovering = ctx.elastic_join;  // a joiner's first view IS recovery
+
+  while (true) {
+    const int my_rank = view.RankOf(member_id);
+    if (my_rank < 0) {
+      return Status::Unavailable("member " + std::to_string(member_id) +
+                                 " was evicted from generation " +
+                                 std::to_string(view.generation));
+    }
+    const int world = view.world_size();
+    // Re-rank this process's observability: log lines and merged-trace
+    // process tracks must follow the member's rank, not its birth rank.
+    SetLogRank(my_rank);
+    obs::TraceRecorder::SetProcessRank(my_rank);
+    gen_gauge->Set(static_cast<double>(view.generation));
+    MICS_LOG(Info) << "elastic: generation " << view.generation << " rank "
+                   << my_rank << "/" << world << " p="
+                   << view.partition_group_size
+                   << (view.from_checkpoint ? " (checkpoint fallback)" : "");
+
+    auto next_topo = std::make_unique<RankTopology>();
+    next_topo->world_size = world;
+    next_topo->gpus_per_node = view.gpus_per_node;
+    MICS_RETURN_NOT_OK(next_topo->Validate());
+    net::TransportOptions topt;
+    topt.connect_timeout_ms = options.rendezvous_ms;
+    topt.recv_timeout_ms = options.comm_timeout_ms;
+    topt.key_prefix = TransportPrefix(view.generation);
+    MICS_ASSIGN_OR_RETURN(
+        std::unique_ptr<net::SocketTransport> next_transport,
+        net::SocketTransport::Connect(ctx.store_addr, my_rank, world,
+                                      next_topo.get(), topt));
+    MICS_ASSIGN_OR_RETURN(
+        CommBackendFactory next_backend,
+        CommBackendFactory::Socket(next_transport.get(), next_topo.get()));
+
+    SdpOptions sdp_options;
+    sdp_options.strategy = Strategy::kMiCS;
+    sdp_options.partition_group_size = view.partition_group_size;
+
+    int segment_start = 0;
+    if (view.old_world_size == 0) {
+      // Founding generation: fresh engine, deterministic init, optional
+      // same-geometry checkpoint resume.
+      MICS_ASSIGN_OR_RETURN(
+          sdp, ShardedDataParallel::Create(next_backend.factory(), *next_topo,
+                                           sdp_options, model.NumParams(),
+                                           my_rank, options.adam));
+      MICS_RETURN_NOT_OK(sdp->BindModel(&model, options.seed));
+      if (!options.checkpoint_dir.empty()) {
+        Status load = sdp->LoadCheckpoint(options.checkpoint_dir);
+        if (load.ok()) {
+          segment_start = sdp->completed_iterations();
+        } else if (!load.IsNotFound() &&
+                   load.code() != StatusCode::kInvalidArgument) {
+          // NotFound = fresh start; InvalidArgument = files from another
+          // geometry (a pre-churn world) — also a fresh start.
+          return load;
+        }
+      }
+    } else {
+      // View change: reshard live state into the new world.
+      MICS_ASSIGN_OR_RETURN(ReshardPlan plan,
+                            BuildReshardPlan(view, model.NumParams()));
+      ShardStateSnapshot snap;
+      if (view.members[static_cast<size_t>(my_rank)].has_state) {
+        ShardStateSnapshot live;
+        MICS_RETURN_NOT_OK(sdp->ExportShardState(&live));
+        if (live.iterations == view.reshard_iteration) {
+          snap = std::move(live);
+        } else if (history.valid() &&
+                   history.iterations == view.reshard_iteration) {
+          snap = std::move(history);
+        } else {
+          // The publisher admitted this member as a state holder only if
+          // one of the two boundaries matches; anything else is a bug.
+          return Status::Internal(
+              "no boundary snapshot at the agreed reshard iteration " +
+              std::to_string(view.reshard_iteration));
+        }
+      }
+      if (sdp == nullptr) {
+        // Joiner: fresh zeroed engine; state arrives through the plan.
+        MICS_ASSIGN_OR_RETURN(
+            sdp, ShardedDataParallel::Create(
+                     next_backend.factory(), *next_topo, sdp_options,
+                     model.NumParams(), my_rank, options.adam));
+      } else {
+        // Survivor: swap geometry in place. The old communicators die
+        // here, while the old transport (reassigned below) is still
+        // alive.
+        MICS_RETURN_NOT_OK(sdp->Resize(next_backend.factory(), *next_topo,
+                                       my_rank,
+                                       view.partition_group_size));
+      }
+      transport = std::move(next_transport);
+      topo = std::move(next_topo);
+      backend = next_backend;
+
+      std::vector<int> all_ranks(static_cast<size_t>(world));
+      for (int r = 0; r < world; ++r) all_ranks[static_cast<size_t>(r)] = r;
+      MICS_ASSIGN_OR_RETURN(uint64_t channel,
+                            transport->AllocateChannel(all_ranks));
+      int64_t moved = 0;
+      MICS_RETURN_NOT_OK(ExecuteReshardPlan(
+          transport.get(), channel, plan, my_rank,
+          snap.valid() ? &snap : nullptr, options.checkpoint_dir, sdp.get(),
+          &moved));
+
+      int replay_iterations;
+      float loss_scale;
+      int skipped, clean;
+      int64_t adam_step;
+      if (plan.from_checkpoint) {
+        // The files carry the authoritative scalars; rank 0's header is
+        // as good as any (they are lockstep by construction).
+        float dummy = 0.0f;
+        MICS_ASSIGN_OR_RETURN(
+            CheckpointScalars scalars,
+            ReadCheckpointWindow(options.checkpoint_dir, 0, plan.old_geo, 0,
+                                 0, &dummy, &dummy, &dummy));
+        replay_iterations = scalars.iterations;
+        loss_scale = scalars.loss_scale;
+        skipped = scalars.skipped_steps;
+        clean = scalars.clean_iterations;
+        adam_step = scalars.adam_step;
+      } else {
+        replay_iterations = view.reshard_iteration;
+        loss_scale = view.loss_scale;
+        skipped = view.skipped_steps;
+        clean = view.clean_iterations;
+        adam_step = view.adam_step;
+      }
+      MICS_RETURN_NOT_OK(sdp->SetReplayScalars(
+          replay_iterations, skipped, loss_scale, clean, adam_step));
+      MICS_RETURN_NOT_OK(sdp->BindModelForReplay(&model));
+      segment_start = replay_iterations;
+      if (!options.checkpoint_dir.empty()) {
+        // The durable floor in the NEW geometry: a later double fault can
+        // always fall back to these files.
+        MICS_RETURN_NOT_OK(sdp->SaveCheckpoint(options.checkpoint_dir));
+      }
+
+      result.view_changes += 1;
+      change_counter->Increment();
+      result.reshard_bytes += plan.wire_bytes;
+      bytes_counter->Add(static_cast<double>(plan.wire_bytes));
+      result.reshard_iteration = segment_start;
+      result.from_checkpoint = plan.from_checkpoint;
+      if (recovering) {
+        const int64_t ttr = ElapsedUs(recover_t0);
+        result.ttr_us += ttr;
+        ttr_counter->Add(static_cast<double>(ttr));
+        recovering = false;
+      }
+      MICS_LOG(Info) << "elastic: reshard complete at iteration "
+                     << segment_start << " (wire bytes " << plan.wire_bytes
+                     << ", this rank moved " << moved << ")";
+    }
+    if (view.old_world_size == 0) {
+      transport = std::move(next_transport);
+      topo = std::move(next_topo);
+      backend = next_backend;
+    }
+    history = ShardStateSnapshot{};
+
+    result.final_generation = view.generation;
+    result.final_rank = my_rank;
+    result.final_world = world;
+    result.final_partition = view.partition_group_size;
+    result.gpus_per_node = view.gpus_per_node;
+    result.packed = ViewIsPacked(view);
+    result.start_iteration = segment_start;
+
+    // One generation's training segment. Returns true when a view change
+    // was requested (alarm seen at an iteration top).
+    auto segment = [&]() -> Result<bool> {
+      const int s = options.grad_accumulation_steps;
+      for (int iter = segment_start; iter < options.iterations; ++iter) {
+        MICS_ASSIGN_OR_RETURN(bool alarm,
+                              CheckAlarm(store, view.generation));
+        if (!alarm && iter == options.await_grow_iteration &&
+            world < options.await_grow_world) {
+          // Grow drill: idle here (no collectives in flight, so every
+          // founder observes the join at the same boundary) until the
+          // joiners raise the alarm.
+          const auto grow_deadline =
+              Clock::now() +
+              std::chrono::milliseconds(options.view_timeout_ms);
+          while (!alarm) {
+            if (Clock::now() >= grow_deadline) {
+              return Status::DeadlineExceeded(
+                  "await-grow: no joiner raised the alarm");
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            MICS_ASSIGN_OR_RETURN(alarm,
+                                  CheckAlarm(store, view.generation));
+          }
+        }
+        if (alarm) return true;
+        MICS_RETURN_NOT_OK(sdp->ExportShardState(&history));
+        if (options.on_iteration) {
+          options.on_iteration(view.generation, iter);
+        }
+        int64_t step_counter = static_cast<int64_t>(iter) * s;
+        float iter_loss = 0.0f;
+        for (int micro = 0; micro < s; ++micro) {
+          MICS_RETURN_NOT_OK(sdp->GatherParams());
+          Tensor x;
+          std::vector<int32_t> y;
+          MICS_RETURN_NOT_OK(dataset.Sample(step_counter++, my_rank,
+                                            options.micro_batch, &x, &y));
+          MICS_ASSIGN_OR_RETURN(float loss, model.ForwardBackward(x, y));
+          iter_loss += loss;
+          MICS_RETURN_NOT_OK(sdp->ReduceMicroStepGrads());
+        }
+        MICS_RETURN_NOT_OK(sdp->FinishIterationAndStep());
+        iter_loss /= static_cast<float>(s);
+        MICS_RETURN_NOT_OK(sdp->AverageScalar(&iter_loss));
+        result.losses[static_cast<size_t>(iter)] = iter_loss;
+        if (!options.checkpoint_dir.empty() &&
+            options.checkpoint_interval > 0 &&
+            (iter + 1) % options.checkpoint_interval == 0) {
+          MICS_RETURN_NOT_OK(sdp->SaveCheckpoint(options.checkpoint_dir));
+        }
+      }
+      return false;
+    };
+
+    Result<bool> outcome = segment();
+    if (!outcome.ok()) {
+      if (!IsPeerLoss(outcome.status())) return outcome.status();
+      // A peer died mid-collective. Raise the alarm (idempotent — other
+      // survivors hit the same wall) and fall into negotiation.
+      MICS_LOG(Warning) << "elastic: peer loss ("
+                        << outcome.status().ToString()
+                        << "); requesting a view change";
+      recover_t0 = Clock::now();
+      recovering = true;
+      Status raised =
+          RaiseAlarm(store, view.generation, outcome.status().ToString());
+      if (!raised.ok()) return outcome.status();
+    } else if (outcome.value()) {
+      recover_t0 = Clock::now();
+      recovering = true;
+    } else {
+      break;  // all iterations done
+    }
+
+    ShardStateSnapshot live;
+    MICS_RETURN_NOT_OK(sdp->ExportShardState(&live));
+    me.old_rank = my_rank;
+    me.iterations = live.iterations;
+    me.loss_scale = live.loss_scale;
+    me.skipped_steps = live.skipped_steps;
+    me.clean_iterations = live.clean_iterations;
+    me.adam_step = live.adam_step;
+    me.has_history = history.valid();
+    me.history_iterations = history.iterations;
+    me.history_loss_scale = history.loss_scale;
+    me.history_skipped_steps = history.skipped_steps;
+    me.history_clean_iterations = history.clean_iterations;
+    me.history_adam_step = history.adam_step;
+    MICS_ASSIGN_OR_RETURN(WorldView next_view,
+                          NegotiateViewChange(store, &view, me, mopts));
+    view = std::move(next_view);
+  }
+
+  // Orderly teardown on the final mesh (mirrors RunMultiProcessTraining).
+  std::vector<int> all_ranks(static_cast<size_t>(view.world_size()));
+  for (int r = 0; r < view.world_size(); ++r) {
+    all_ranks[static_cast<size_t>(r)] = r;
+  }
+  MICS_ASSIGN_OR_RETURN(
+      std::unique_ptr<net::SocketCommunicator> world_comm,
+      net::SocketCommunicator::Create(transport.get(), all_ranks,
+                                      topo.get()));
+  MICS_RETURN_NOT_OK(world_comm->Barrier());
+  return result;
+}
+
+}  // namespace elastic
+}  // namespace mics

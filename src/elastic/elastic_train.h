@@ -1,0 +1,111 @@
+#ifndef MICS_ELASTIC_ELASTIC_TRAIN_H_
+#define MICS_ELASTIC_ELASTIC_TRAIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/launch.h"
+#include "train/dataset.h"
+#include "train/mlp_model.h"
+#include "train/optimizer.h"
+#include "train/sharded_data_parallel.h"
+#include "util/status.h"
+
+namespace mics {
+namespace elastic {
+
+/// One member's share of an elastic multi-process training job: the same
+/// SPMD body as RunMultiProcessTraining, wrapped in the membership plane
+/// so a rank joining or leaving mid-run re-forms the world in place —
+/// survivors keep their shard state and reshard peer-to-peer, joiners
+/// hydrate from peers, and nobody reloads a checkpoint unless some shard
+/// has no live holder at all.
+struct ElasticTrainOptions {
+  net::DistributedContext ctx;
+  MlpModel::Config model;
+  SyntheticClassificationDataset::Config data;
+  AdamOptimizer::Config adam;
+  /// Partition group size the founders ask for; every later generation
+  /// re-packs to the largest divisor that still fits in one node. The
+  /// strategy is always MiCS (DDP and ZeRO-3 are its p=1 / p=world
+  /// corners; ZeRO-1/2 cannot reshard — their optimizer shard is not the
+  /// parameter shard).
+  int desired_partition_size = 1;
+  int iterations = 12;
+  int grad_accumulation_steps = 2;
+  int64_t micro_batch = 8;
+  uint64_t seed = 42;
+
+  /// Mesh rendezvous budget per generation.
+  int64_t rendezvous_ms = 60000;
+  /// Per-collective recv deadline. Much shorter than rendezvous_ms on
+  /// purpose: this is how fast a survivor notices a dead peer. A spurious
+  /// trip is benign — the view change re-admits everyone.
+  int64_t comm_timeout_ms = 5000;
+  int64_t heartbeat_ms = 100;
+  /// Heartbeat-counter non-progress before a member is declared dead.
+  int64_t stale_ms = 2000;
+  /// Budget for one full view change (enter → publish → ack → commit).
+  int64_t view_timeout_ms = 60000;
+
+  /// Checkpoint directory: loaded at bootstrap when the geometry matches,
+  /// written right after every resize (the durable floor under the
+  /// peer-to-peer path), written every `checkpoint_interval` iterations
+  /// when > 0, and read back only when a view change finds some shard
+  /// without a live holder.
+  std::string checkpoint_dir;
+  int checkpoint_interval = 0;
+
+  /// Grow drill hook: at iteration `await_grow_iteration`, idle-wait for
+  /// a view-change alarm until the world reaches `await_grow_world`
+  /// members — pinning the reshard point so grown runs are deterministic.
+  /// Disabled when < 0.
+  int await_grow_iteration = -1;
+  int await_grow_world = 0;
+
+  /// Test hook at each iteration top, after any replay
+  /// (generation, iteration); fault drills SIGKILL themselves here.
+  std::function<void(int64_t generation, int iteration)> on_iteration;
+};
+
+struct ElasticTrainResult {
+  int64_t final_generation = 0;
+  int final_rank = 0;
+  int final_world = 0;
+  int final_partition = 0;
+  int gpus_per_node = 1;
+  /// View changes this member lived through (bootstrap excluded).
+  int view_changes = 0;
+  /// Reshard bytes planned over the wire, summed across view changes
+  /// (deterministic — a plan property, not a timing).
+  int64_t reshard_bytes = 0;
+  /// Wall-clock time-to-recovery summed across view changes (alarm
+  /// observed to training resumed); informational.
+  int64_t ttr_us = 0;
+  /// Last view change's reshard iteration (-1 when none happened).
+  int reshard_iteration = -1;
+  /// True when the last view change fell back to checkpoint files.
+  bool from_checkpoint = false;
+  /// True when every partition group of the final view sits on one node.
+  bool packed = false;
+  /// First iteration of the final generation's segment (loss entries
+  /// before it may belong to this member's earlier generations or — for
+  /// joiners — to nobody).
+  int start_iteration = 0;
+  /// World-averaged loss per iteration, valid from start_iteration on.
+  std::vector<float> losses;
+};
+
+/// Runs this member until `iterations` are done, surviving view changes.
+/// Founders (ctx.elastic_join == false) rendezvous as generation 1;
+/// joiners wait for a live generation, raise the alarm, and enter the
+/// negotiated next view. Returns Unavailable when evicted from a view.
+Result<ElasticTrainResult> RunElasticTraining(
+    const ElasticTrainOptions& options);
+
+}  // namespace elastic
+}  // namespace mics
+
+#endif  // MICS_ELASTIC_ELASTIC_TRAIN_H_

@@ -1,0 +1,747 @@
+#include "elastic/membership.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "elastic/placement.h"
+#include "util/logging.h"
+
+namespace mics {
+namespace elastic {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// 'ELM1' / 'ELE1' little-endian.
+constexpr uint32_t kViewMagic = 0x314d4c45;
+constexpr uint32_t kEnterMagic = 0x31454c45;
+constexpr uint32_t kWireVersion = 1;
+// Hostile-input bounds: a view is a handful of processes, not a tensor.
+constexpr uint32_t kMaxMembers = 65536;
+constexpr uint32_t kMaxNodeNameBytes = 1024;
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, 4);
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, 8);
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF32(std::string* out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(out, bits);
+}
+
+/// Bounded cursor over a wire record: every Take checks the remaining
+/// length, so a truncated or hostile record fails cleanly instead of
+/// reading past the end.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& bytes) : bytes_(bytes) {}
+
+  bool TakeU32(uint32_t* v) {
+    if (bytes_.size() - pos_ < 4) return false;
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(bytes_.data() + pos_);
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+  bool TakeI32(int32_t* v) {
+    uint32_t u;
+    if (!TakeU32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+  bool TakeU64(uint64_t* v) {
+    if (bytes_.size() - pos_ < 8) return false;
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(bytes_.data() + pos_);
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+  bool TakeI64(int64_t* v) {
+    uint64_t u;
+    if (!TakeU64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+  bool TakeF32(float* v) {
+    uint32_t bits;
+    if (!TakeU32(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool TakeString(uint32_t len, std::string* v) {
+    if (bytes_.size() - pos_ < len) return false;
+    v->assign(bytes_, pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Wire records.
+// ---------------------------------------------------------------------------
+
+int WorldView::RankOf(uint64_t member_id) const {
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (members[i].member_id == member_id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status WorldView::Validate() const {
+  if (generation < 1) {
+    return Status::InvalidArgument("view generation must be >= 1");
+  }
+  const int n = world_size();
+  if (n < 1) return Status::InvalidArgument("view has no members");
+  if (gpus_per_node < 1 || n % gpus_per_node != 0) {
+    return Status::InvalidArgument(
+        "view world size " + std::to_string(n) +
+        " is not a positive multiple of gpus_per_node " +
+        std::to_string(gpus_per_node));
+  }
+  if (partition_group_size < 1 || n % partition_group_size != 0) {
+    return Status::InvalidArgument(
+        "view partition group size " + std::to_string(partition_group_size) +
+        " does not divide world size " + std::to_string(n));
+  }
+  if (old_world_size > 0 &&
+      (old_partition_group_size < 1 ||
+       old_world_size % old_partition_group_size != 0)) {
+    return Status::InvalidArgument("view old geometry is inconsistent");
+  }
+  std::set<uint64_t> ids;
+  for (const ViewMember& m : members) {
+    if (!ids.insert(m.member_id).second) {
+      return Status::InvalidArgument("duplicate member id " +
+                                     std::to_string(m.member_id));
+    }
+    if (m.node.empty()) {
+      return Status::InvalidArgument("member without a node name");
+    }
+    if (m.old_rank >= old_world_size) {
+      return Status::InvalidArgument("member old_rank outside the old world");
+    }
+  }
+  return Status::OK();
+}
+
+std::string EncodeWorldView(const WorldView& view) {
+  std::string out;
+  PutU32(&out, kViewMagic);
+  PutU32(&out, kWireVersion);
+  PutI64(&out, view.generation);
+  PutU32(&out, static_cast<uint32_t>(view.gpus_per_node));
+  PutU32(&out, static_cast<uint32_t>(view.partition_group_size));
+  PutU32(&out, static_cast<uint32_t>(view.old_world_size));
+  PutU32(&out, static_cast<uint32_t>(view.old_partition_group_size));
+  PutI32(&out, view.reshard_iteration);
+  PutU32(&out, view.from_checkpoint ? 1u : 0u);
+  PutF32(&out, view.loss_scale);
+  PutI32(&out, view.skipped_steps);
+  PutI32(&out, view.clean_iterations);
+  PutI64(&out, view.adam_step);
+  PutU32(&out, static_cast<uint32_t>(view.members.size()));
+  for (const ViewMember& m : view.members) {
+    PutU64(&out, m.member_id);
+    PutU32(&out, static_cast<uint32_t>(m.node.size()));
+    out += m.node;
+    PutI32(&out, m.old_rank);
+    PutU32(&out, m.has_state ? 1u : 0u);
+  }
+  return out;
+}
+
+Result<WorldView> ParseWorldView(const std::string& bytes) {
+  Cursor c(bytes);
+  uint32_t magic = 0, version = 0;
+  if (!c.TakeU32(&magic) || magic != kViewMagic) {
+    return Status::InvalidArgument("not an ELM1 world view record");
+  }
+  if (!c.TakeU32(&version) || version != kWireVersion) {
+    return Status::InvalidArgument("unsupported ELM1 version");
+  }
+  WorldView view;
+  uint32_t gpn = 0, p = 0, old_n = 0, old_p = 0, flags = 0, count = 0;
+  if (!c.TakeI64(&view.generation) || !c.TakeU32(&gpn) || !c.TakeU32(&p) ||
+      !c.TakeU32(&old_n) || !c.TakeU32(&old_p) ||
+      !c.TakeI32(&view.reshard_iteration) || !c.TakeU32(&flags) ||
+      !c.TakeF32(&view.loss_scale) || !c.TakeI32(&view.skipped_steps) ||
+      !c.TakeI32(&view.clean_iterations) || !c.TakeI64(&view.adam_step) ||
+      !c.TakeU32(&count)) {
+    return Status::InvalidArgument("truncated ELM1 header");
+  }
+  if (count == 0 || count > kMaxMembers) {
+    return Status::InvalidArgument("hostile ELM1 member count " +
+                                   std::to_string(count));
+  }
+  view.gpus_per_node = static_cast<int>(gpn);
+  view.partition_group_size = static_cast<int>(p);
+  view.old_world_size = static_cast<int>(old_n);
+  view.old_partition_group_size = static_cast<int>(old_p);
+  view.from_checkpoint = (flags & 1u) != 0;
+  view.members.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ViewMember m;
+    uint32_t node_len = 0, state = 0;
+    if (!c.TakeU64(&m.member_id) || !c.TakeU32(&node_len)) {
+      return Status::InvalidArgument("truncated ELM1 member");
+    }
+    if (node_len > kMaxNodeNameBytes) {
+      return Status::InvalidArgument("hostile ELM1 node name length");
+    }
+    if (!c.TakeString(node_len, &m.node) || !c.TakeI32(&m.old_rank) ||
+        !c.TakeU32(&state)) {
+      return Status::InvalidArgument("truncated ELM1 member");
+    }
+    m.has_state = state != 0;
+    view.members.push_back(std::move(m));
+  }
+  if (!c.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after ELM1 record");
+  }
+  MICS_RETURN_NOT_OK(view.Validate());
+  return view;
+}
+
+std::string EncodeEnterRecord(const EnterRecord& record) {
+  std::string out;
+  PutU32(&out, kEnterMagic);
+  PutU32(&out, kWireVersion);
+  PutU64(&out, record.member_id);
+  PutU32(&out, static_cast<uint32_t>(record.node.size()));
+  out += record.node;
+  PutI32(&out, record.old_rank);
+  PutI32(&out, record.iterations);
+  PutF32(&out, record.loss_scale);
+  PutI32(&out, record.skipped_steps);
+  PutI32(&out, record.clean_iterations);
+  PutI64(&out, record.adam_step);
+  PutU32(&out, record.has_history ? 1u : 0u);
+  PutI32(&out, record.history_iterations);
+  PutF32(&out, record.history_loss_scale);
+  PutI32(&out, record.history_skipped_steps);
+  PutI32(&out, record.history_clean_iterations);
+  PutI64(&out, record.history_adam_step);
+  return out;
+}
+
+Result<EnterRecord> ParseEnterRecord(const std::string& bytes) {
+  Cursor c(bytes);
+  uint32_t magic = 0, version = 0;
+  if (!c.TakeU32(&magic) || magic != kEnterMagic) {
+    return Status::InvalidArgument("not an ELE1 enter record");
+  }
+  if (!c.TakeU32(&version) || version != kWireVersion) {
+    return Status::InvalidArgument("unsupported ELE1 version");
+  }
+  EnterRecord r;
+  uint32_t node_len = 0, history = 0;
+  if (!c.TakeU64(&r.member_id) || !c.TakeU32(&node_len)) {
+    return Status::InvalidArgument("truncated ELE1 record");
+  }
+  if (node_len > kMaxNodeNameBytes) {
+    return Status::InvalidArgument("hostile ELE1 node name length");
+  }
+  if (!c.TakeString(node_len, &r.node) || !c.TakeI32(&r.old_rank) ||
+      !c.TakeI32(&r.iterations) || !c.TakeF32(&r.loss_scale) ||
+      !c.TakeI32(&r.skipped_steps) || !c.TakeI32(&r.clean_iterations) ||
+      !c.TakeI64(&r.adam_step) || !c.TakeU32(&history) ||
+      !c.TakeI32(&r.history_iterations) || !c.TakeF32(&r.history_loss_scale) ||
+      !c.TakeI32(&r.history_skipped_steps) ||
+      !c.TakeI32(&r.history_clean_iterations) ||
+      !c.TakeI64(&r.history_adam_step)) {
+    return Status::InvalidArgument("truncated ELE1 record");
+  }
+  r.has_history = history != 0;
+  if (!c.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after ELE1 record");
+  }
+  if (r.node.empty()) {
+    return Status::InvalidArgument("ELE1 record without a node name");
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Store keys and small helpers.
+// ---------------------------------------------------------------------------
+
+std::string GenKey() { return "elastic/gen"; }
+std::string MembersKey(int64_t generation) {
+  return "elastic/members/" + std::to_string(generation);
+}
+std::string EnterPrefix(int64_t generation) {
+  return "elastic/enter/" + std::to_string(generation) + "/";
+}
+std::string EnterKey(int64_t generation, uint64_t member_id) {
+  return EnterPrefix(generation) + std::to_string(member_id);
+}
+std::string AlarmKey(int64_t generation) {
+  return "elastic/alarm/" + std::to_string(generation);
+}
+std::string HeartbeatKey(uint64_t member_id) {
+  return "elastic/hb/" + std::to_string(member_id);
+}
+std::string TransportPrefix(int64_t generation) {
+  return "mics/gen" + std::to_string(generation);
+}
+
+namespace {
+
+std::string CoordKey(int64_t generation) {
+  return "elastic/coord/" + std::to_string(generation);
+}
+std::string AckPrefix(int64_t generation) {
+  return "elastic/ack/" + std::to_string(generation) + "/";
+}
+std::string AckKey(int64_t generation, uint64_t member_id) {
+  return AckPrefix(generation) + std::to_string(member_id);
+}
+std::string CommitKey(int64_t generation) {
+  return "elastic/commit/" + std::to_string(generation);
+}
+
+}  // namespace
+
+Result<int64_t> ReadGeneration(net::TcpStoreClient* store) {
+  Result<std::string> raw = store->Get(GenKey());
+  if (!raw.ok()) {
+    if (raw.status().IsNotFound()) return 0;
+    return raw.status();
+  }
+  char* end = nullptr;
+  const long long gen = std::strtoll(raw.value().c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || gen < 1) {
+    return Status::Internal("corrupt elastic/gen value '" + raw.value() + "'");
+  }
+  return static_cast<int64_t>(gen);
+}
+
+Result<WorldView> FetchView(net::TcpStoreClient* store, int64_t generation) {
+  MICS_ASSIGN_OR_RETURN(std::string raw, store->Get(MembersKey(generation)));
+  return ParseWorldView(raw);
+}
+
+Status RaiseAlarm(net::TcpStoreClient* store, int64_t generation,
+                  const std::string& reason) {
+  // First reason wins: Add is the store's only atomic read-modify-write,
+  // so use it as a test-and-set and only write the reason on first entry.
+  MICS_ASSIGN_OR_RETURN(int64_t token,
+                        store->Add(AlarmKey(generation) + "/token", 1));
+  if (token == 1) {
+    return store->Set(AlarmKey(generation), reason);
+  }
+  return Status::OK();
+}
+
+Result<bool> CheckAlarm(net::TcpStoreClient* store, int64_t generation) {
+  Result<std::string> raw = store->Get(AlarmKey(generation));
+  if (raw.ok()) return true;
+  if (raw.status().IsNotFound()) return false;
+  return raw.status();
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats.
+// ---------------------------------------------------------------------------
+
+HeartbeatLease::HeartbeatLease(std::string store_addr, uint64_t member_id,
+                               int64_t interval_ms) {
+  thread_ = std::thread([this, addr = std::move(store_addr), member_id,
+                         interval_ms] { Run(addr, member_id, interval_ms); });
+}
+
+HeartbeatLease::~HeartbeatLease() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+}
+
+void HeartbeatLease::Run(std::string store_addr, uint64_t member_id,
+                         int64_t interval_ms) {
+  // Own connection: TcpStoreClient holds its socket mutex for a full
+  // round trip, so sharing the training thread's control client would
+  // serialize heartbeats behind long store calls (and vice versa).
+  auto client = net::TcpStoreClient::Connect(store_addr);
+  if (!client.ok()) {
+    MICS_LOG(Warning) << "heartbeat lease: cannot reach store: "
+                      << client.status().ToString();
+    return;
+  }
+  const std::string key = HeartbeatKey(member_id);
+  while (!stop_.load()) {
+    Result<int64_t> bumped = client.value()->Add(key, 1);
+    if (!bumped.ok()) return;  // store gone = run over
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(interval_ms);
+    while (!stop_.load() && Clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// View-change negotiation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Local death detector: a member is dead once its heartbeat counter
+/// stops advancing for stale_ms of *this observer's* clock. Observing the
+/// counter (not a timestamp) keeps the verdict clock-skew-free.
+class StalenessTracker {
+ public:
+  explicit StalenessTracker(int64_t stale_ms) : stale_ms_(stale_ms) {}
+
+  /// Feeds one observation of the member's counter (-1 = no lease key
+  /// yet, which still starts the staleness clock: a founder that died
+  /// before its first beat must not block the view forever).
+  void Observe(uint64_t member_id, int64_t counter) {
+    auto [it, fresh] = last_.try_emplace(member_id, Entry{counter,
+                                                         Clock::now()});
+    if (!fresh && counter != it->second.counter) {
+      it->second.counter = counter;
+      it->second.changed = Clock::now();
+    }
+  }
+
+  bool IsStale(uint64_t member_id) const {
+    auto it = last_.find(member_id);
+    if (it == last_.end()) return false;
+    return Clock::now() - it->second.changed >
+           std::chrono::milliseconds(stale_ms_);
+  }
+
+ private:
+  struct Entry {
+    int64_t counter;
+    Clock::time_point changed;
+  };
+  const int64_t stale_ms_;
+  std::map<uint64_t, Entry> last_;
+};
+
+/// The publisher's half: decide the reshard point, plan placement, and
+/// build the next view from the final set of enter records.
+Result<WorldView> BuildNextView(const WorldView* current, int64_t generation,
+                                const std::map<uint64_t, EnterRecord>& entered,
+                                const MembershipOptions& opts) {
+  WorldView next;
+  next.generation = generation + 1;
+
+  // Split entrants into survivors (members of the current view) and
+  // joiners; everyone is a joiner at bootstrap.
+  std::vector<const EnterRecord*> survivors;
+  for (const auto& [id, record] : entered) {
+    const int old_rank = current != nullptr ? current->RankOf(id) : -1;
+    if (old_rank >= 0) survivors.push_back(&record);
+  }
+
+  if (current == nullptr) {
+    // Bootstrap: fresh world, fresh state (iteration -1 => the runtime
+    // initializes parameters / loads a same-geometry checkpoint).
+    next.old_world_size = 0;
+    next.old_partition_group_size = 1;
+    next.reshard_iteration = -1;
+  } else {
+    next.old_world_size = current->world_size();
+    next.old_partition_group_size = current->partition_group_size;
+    if (survivors.empty()) {
+      return Status::Unavailable(
+          "no survivor entered the view change; relaunch from checkpoint");
+    }
+    // Reshard point: the lowest boundary any survivor is at. Lockstep
+    // guarantees the spread is <= 1, and every survivor above the min
+    // carries a one-step history snapshot to roll back with.
+    int r = survivors[0]->iterations;
+    for (const EnterRecord* s : survivors) r = std::min(r, s->iterations);
+    const EnterRecord* authority = nullptr;
+    bool rollback_ok = true;
+    for (const EnterRecord* s : survivors) {
+      if (s->iterations == r) {
+        if (authority == nullptr) authority = s;
+      } else if (s->iterations == r + 1) {
+        if (!s->has_history || s->history_iterations != r) rollback_ok = false;
+      } else {
+        rollback_ok = false;  // lockstep violation; do not trust live state
+      }
+    }
+    // Shard coverage: every old partition shard needs a live holder,
+    // otherwise peer hydration cannot reconstruct the flat state.
+    const int old_p = current->partition_group_size;
+    std::vector<bool> covered(static_cast<size_t>(old_p), false);
+    for (const EnterRecord* s : survivors) {
+      const int old_rank = current->RankOf(s->member_id);
+      if (s->iterations >= 0) {
+        covered[static_cast<size_t>(old_rank % old_p)] = true;
+      }
+    }
+    bool full_coverage = true;
+    for (bool c : covered) full_coverage &= c;
+    if (rollback_ok && full_coverage && r >= 0) {
+      next.reshard_iteration = r;
+      next.loss_scale = authority->loss_scale;
+      next.skipped_steps = authority->skipped_steps;
+      next.clean_iterations = authority->clean_iterations;
+      next.adam_step = authority->adam_step;
+    } else if (opts.has_checkpoint) {
+      // Some shard (or consistent scalar state) has no live source: fall
+      // back to the old generation's checkpoint files wholesale. Never
+      // mix peer state with file state — they are different boundaries.
+      next.from_checkpoint = true;
+      next.reshard_iteration = -1;
+    } else {
+      return Status::Unavailable(
+          "shard state lost (no live holder, no checkpoint directory)");
+    }
+  }
+
+  std::vector<PlacementMember> placement;
+  placement.reserve(entered.size());
+  for (const auto& [id, record] : entered) {
+    PlacementMember m;
+    m.member_id = id;
+    m.node = record.node;
+    m.old_rank = current != nullptr ? current->RankOf(id) : -1;
+    m.has_state = m.old_rank >= 0 && record.iterations >= 0;
+    placement.push_back(std::move(m));
+  }
+  const int max_p = current != nullptr ? current->partition_group_size
+                                       : opts.desired_partition_size;
+  MICS_ASSIGN_OR_RETURN(PlacementPlan plan,
+                        PlanPlacement(std::move(placement), max_p));
+  next.gpus_per_node = plan.gpus_per_node;
+  next.partition_group_size = plan.partition_group_size;
+  next.members.reserve(plan.members.size());
+  for (const PlacementMember& m : plan.members) {
+    ViewMember v;
+    v.member_id = m.member_id;
+    v.node = m.node;
+    v.old_rank = m.old_rank;
+    v.has_state = m.has_state && !next.from_checkpoint;
+    next.members.push_back(std::move(v));
+  }
+  MICS_RETURN_NOT_OK(next.Validate());
+  return next;
+}
+
+}  // namespace
+
+Result<WorldView> NegotiateViewChange(net::TcpStoreClient* store,
+                                      const WorldView* current,
+                                      const EnterRecord& me,
+                                      const MembershipOptions& opts) {
+  const int64_t g = current != nullptr ? current->generation : 0;
+  const int64_t next_gen = g + 1;
+  if (current == nullptr && opts.bootstrap_world_size < 1) {
+    return Status::InvalidArgument(
+        "bootstrap negotiation needs bootstrap_world_size");
+  }
+  MICS_RETURN_NOT_OK(store->Set(EnterKey(g, me.member_id),
+                                EncodeEnterRecord(me)));
+
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(opts.view_timeout_ms);
+  StalenessTracker staleness(opts.stale_ms);
+  std::string published;
+  bool i_am_publisher = false;
+
+  // Resolve loop: wait until every current member has either entered or
+  // been declared dead, then race for the publisher token. Polling Gets
+  // (not store Waits) on purpose — a Wait timeout poisons the store for
+  // everyone, which is the right collapse for a missing commit but far
+  // too big a hammer for "peer hasn't entered yet".
+  while (true) {
+    Result<std::string> view_raw = store->Get(MembersKey(next_gen));
+    if (view_raw.ok()) {
+      published = std::move(view_raw).value();
+      break;
+    }
+    if (!view_raw.status().IsNotFound()) return view_raw.status();
+
+    MICS_ASSIGN_OR_RETURN(std::vector<std::string> enter_keys,
+                          store->ListByPrefix(EnterPrefix(g)));
+    std::map<uint64_t, EnterRecord> entered;
+    for (const std::string& key : enter_keys) {
+      MICS_ASSIGN_OR_RETURN(std::string raw, store->Get(key));
+      Result<EnterRecord> record = ParseEnterRecord(raw);
+      if (!record.ok()) {
+        return Status::Internal("corrupt enter record at " + key + ": " +
+                                record.status().ToString());
+      }
+      entered.emplace(record.value().member_id, std::move(record).value());
+    }
+
+    bool resolved;
+    if (current == nullptr) {
+      resolved =
+          static_cast<int>(entered.size()) >= opts.bootstrap_world_size;
+    } else {
+      resolved = true;
+      for (const ViewMember& m : current->members) {
+        if (entered.count(m.member_id) > 0) continue;
+        Result<std::string> hb = store->Get(HeartbeatKey(m.member_id));
+        int64_t counter = -1;
+        if (hb.ok() && hb.value().size() == 8) {
+          uint64_t u = 0;
+          for (int i = 0; i < 8; ++i) {
+            u |= static_cast<uint64_t>(
+                     static_cast<uint8_t>(hb.value()[static_cast<size_t>(i)]))
+                 << (8 * i);
+          }
+          counter = static_cast<int64_t>(u);
+        } else if (!hb.ok() && !hb.status().IsNotFound()) {
+          return hb.status();
+        }
+        staleness.Observe(m.member_id, counter);
+        if (!staleness.IsStale(m.member_id)) resolved = false;
+      }
+    }
+
+    if (resolved) {
+      MICS_ASSIGN_OR_RETURN(int64_t token, store->Add(CoordKey(next_gen), 1));
+      if (token == 1) {
+        // Elected publisher. One final snapshot of the enter keys picks
+        // up last-instant joiners, then the view is authoritative.
+        MICS_ASSIGN_OR_RETURN(std::vector<std::string> final_keys,
+                              store->ListByPrefix(EnterPrefix(g)));
+        for (const std::string& key : final_keys) {
+          MICS_ASSIGN_OR_RETURN(std::string raw, store->Get(key));
+          Result<EnterRecord> record = ParseEnterRecord(raw);
+          if (record.ok()) {
+            entered.emplace(record.value().member_id,
+                            std::move(record).value());
+          }
+        }
+        Result<WorldView> next = BuildNextView(current, g, entered, opts);
+        if (!next.ok()) {
+          // The world cannot continue (state lost). Poison the store so
+          // every participant collapses fast into the relaunch path.
+          store->Poison("view change failed: " + next.status().ToString());
+          return next.status();
+        }
+        published = EncodeWorldView(next.value());
+        MICS_RETURN_NOT_OK(store->Set(MembersKey(next_gen), published));
+        i_am_publisher = true;
+        break;
+      }
+      // Lost the election: the winner publishes momentarily. Fall through
+      // to the poll sleep; the top of the loop will find the view.
+    }
+
+    if (Clock::now() >= deadline) {
+      return Status::DeadlineExceeded("view change for generation " +
+                                      std::to_string(next_gen) +
+                                      " did not resolve in time");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(opts.poll_ms));
+  }
+
+  MICS_ASSIGN_OR_RETURN(WorldView view, ParseWorldView(published));
+
+  // Two-phase barrier, phase 2: ack the parsed view, wait for commit.
+  // Members *in* the view must not touch the new mesh before commit.
+  // Members absent from it (evicted) neither ack — their ack would count
+  // toward the |view| threshold and could commit a view whose actual
+  // members have not all parsed it — nor wait: they return the view to
+  // the caller, who reports eviction or rejoins.
+  if (view.RankOf(me.member_id) < 0) {
+    return view;
+  }
+  MICS_RETURN_NOT_OK(store->Set(AckKey(next_gen, me.member_id), "1"));
+
+  if (i_am_publisher) {
+    // The process that won Add(coord) == 1 and wrote the view drives the
+    // commit. If it dies between publish and commit, nobody takes over:
+    // the ack Wait below times out and poisons the store, collapsing the
+    // attempt into the launcher's relaunch path — the safe outcome.
+    while (true) {
+      MICS_ASSIGN_OR_RETURN(std::vector<std::string> acks,
+                            store->ListByPrefix(AckPrefix(next_gen)));
+      if (static_cast<int>(acks.size()) >= view.world_size()) break;
+      if (Clock::now() >= deadline) {
+        store->Poison("view " + std::to_string(next_gen) +
+                      " ack barrier timed out");
+        return Status::DeadlineExceeded("view ack barrier timed out");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(opts.poll_ms));
+    }
+    MICS_RETURN_NOT_OK(store->Set(CommitKey(next_gen), "1"));
+    MICS_RETURN_NOT_OK(store->Set(GenKey(), std::to_string(next_gen)));
+    std::vector<uint64_t> dead;
+    if (current != nullptr) {
+      for (const ViewMember& m : current->members) {
+        if (view.RankOf(m.member_id) < 0) dead.push_back(m.member_id);
+      }
+    }
+    CleanupRetiredGeneration(store, g, dead);
+  }
+  const int64_t remaining_ms = std::max<int64_t>(
+      1, std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                               Clock::now())
+             .count());
+  MICS_RETURN_NOT_OK(store->Wait(CommitKey(next_gen), remaining_ms).status());
+  return view;
+}
+
+void CleanupRetiredGeneration(net::TcpStoreClient* store, int64_t generation,
+                              const std::vector<uint64_t>& dead_members) {
+  // Garbage, not state: failures here are logged-and-forgotten. The
+  // telemetry keys are per-run scratch (rank count changes across
+  // generations, so stale per-rank snapshots would mislead mics_top).
+  auto drop = [&](const std::string& prefix) {
+    Result<int64_t> removed = store->DeleteByPrefix(prefix);
+    if (!removed.ok()) {
+      MICS_LOG(Warning) << "elastic cleanup: " << prefix << ": "
+                        << removed.status().ToString();
+    }
+  };
+  drop(EnterPrefix(generation));
+  drop(AlarmKey(generation));
+  drop(CoordKey(generation));
+  drop(AckPrefix(generation));
+  drop("telemetry/");
+  if (generation >= 1) {
+    drop(MembersKey(generation - 1));
+    drop(CommitKey(generation - 1));
+    // The retired mesh's rendezvous namespace: addr/chan keys under the
+    // transport prefix plus its barrier counters.
+    drop(TransportPrefix(generation - 1) + "/");
+    drop("barrier/" + TransportPrefix(generation - 1) + "/");
+  }
+  for (uint64_t id : dead_members) drop(HeartbeatKey(id));
+}
+
+}  // namespace elastic
+}  // namespace mics

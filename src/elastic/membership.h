@@ -1,0 +1,207 @@
+#ifndef MICS_ELASTIC_MEMBERSHIP_H_
+#define MICS_ELASTIC_MEMBERSHIP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/tcp_store.h"
+#include "util/status.h"
+
+namespace mics {
+namespace elastic {
+
+/// The membership plane: generation-numbered world views negotiated
+/// through the rendezvous TcpStore, so rank join/leave becomes an in-run
+/// event instead of a relaunch.
+///
+/// Store key layout (all under "elastic/"):
+///   elastic/gen              committed generation, decimal
+///   elastic/members/<g>      the generation's WorldView (ELM1 record)
+///   elastic/enter/<g>/<id>   a member's bid to enter g+1 (ELE1 record)
+///   elastic/alarm/<g>        view-change request visible to gen-g members
+///   elastic/coord/<g>        Add-elected publisher token for view g
+///   elastic/ack/<g>/<id>     two-phase barrier: member parsed view g
+///   elastic/commit/<g>       two-phase barrier: view g is live
+///   elastic/hb/<id>          heartbeat lease counter (Add-bumped)
+///
+/// View-change protocol (entrants = survivors of gen g + joiners):
+///   1. every entrant writes elastic/enter/<g>/<id>;
+///   2. entrants poll until every gen-g member is *resolved* — entered,
+///      or its heartbeat counter stopped advancing for stale_ms;
+///   3. the first resolved entrant to win Add(elastic/coord/<g+1>) == 1
+///      publishes elastic/members/<g+1>: reshard point = min survivor
+///      iteration, topology-packed placement, new geometry;
+///   4. everyone acks; the publisher waits for |view| acks, then sets
+///      elastic/commit/<g+1> and elastic/gen, and deletes the retired
+///      generation's keys (enter/ack/alarm/coord, the old transport
+///      prefix, stale telemetry/*, dead members' heartbeat leases).
+/// A member absent from the committed view has been evicted (e.g. a
+/// false-positive death verdict) and must rejoin as a joiner or exit.
+
+/// One member of a generation, in new-rank order (the vector index in
+/// WorldView::members IS the member's global rank for that generation).
+struct ViewMember {
+  uint64_t member_id = 0;
+  std::string node;
+  /// The member's rank in the previous generation; -1 for joiners (and
+  /// for everyone at bootstrap).
+  int old_rank = -1;
+  /// True when the member holds live shard state at the view's reshard
+  /// iteration (survivors; false for joiners).
+  bool has_state = false;
+};
+
+/// A committed generation: the agreed world, its geometry, and the
+/// reshard point every member replays from. Serialized as the ELM1
+/// record under elastic/members/<g>.
+struct WorldView {
+  int64_t generation = 0;
+  int gpus_per_node = 1;
+  int partition_group_size = 1;
+  /// Previous generation's geometry, so every member can derive the same
+  /// reshard plan without fetching the old view.
+  int old_world_size = 0;
+  int old_partition_group_size = 1;
+  /// Iteration whose boundary state the new generation resumes from; -1
+  /// at bootstrap (fresh parameter init / same-geometry checkpoint load).
+  int reshard_iteration = -1;
+  /// True when no live peer holds some shard: every member hydrates from
+  /// the old generation's checkpoint files instead (scalars come from the
+  /// files too).
+  bool from_checkpoint = false;
+  /// Scalar lockstep state at the reshard iteration (ignored when
+  /// from_checkpoint).
+  float loss_scale = 1.0f;
+  int skipped_steps = 0;
+  int clean_iterations = 0;
+  int64_t adam_step = 0;
+  std::vector<ViewMember> members;
+
+  int world_size() const { return static_cast<int>(members.size()); }
+  /// New rank of `member_id`, or -1 when evicted.
+  int RankOf(uint64_t member_id) const;
+  /// Structural sanity: positive sizes, divisibility, unique ids.
+  Status Validate() const;
+};
+
+/// Binary codecs for the store records. Parse never reads past the end,
+/// rejects bad magic/version, hostile counts, and trailing bytes (same
+/// hardening bar as the MCT1 telemetry wire format).
+std::string EncodeWorldView(const WorldView& view);
+Result<WorldView> ParseWorldView(const std::string& bytes);
+
+/// A member's bid to enter the next generation (ELE1 record): identity,
+/// placement hints, and the state it can serve — its live boundary
+/// iteration plus an optional one-step-back history snapshot, so the
+/// publisher can pick a reshard point every survivor can actually reach.
+struct EnterRecord {
+  uint64_t member_id = 0;
+  std::string node;
+  int old_rank = -1;       // rank in the current generation; -1 joiner
+  int iterations = -1;     // live boundary iteration; -1 = no state
+  float loss_scale = 1.0f;
+  int skipped_steps = 0;
+  int clean_iterations = 0;
+  int64_t adam_step = 0;
+  bool has_history = false;  // can roll back one iteration
+  int history_iterations = -1;
+  float history_loss_scale = 1.0f;
+  int history_skipped_steps = 0;
+  int history_clean_iterations = 0;
+  int64_t history_adam_step = 0;
+};
+
+std::string EncodeEnterRecord(const EnterRecord& record);
+Result<EnterRecord> ParseEnterRecord(const std::string& bytes);
+
+struct MembershipOptions {
+  int64_t heartbeat_ms = 100;
+  /// A member whose heartbeat counter has not advanced for this long is
+  /// declared dead during negotiation.
+  int64_t stale_ms = 2000;
+  /// Budget for one full view change (resolve + publish + ack + commit).
+  int64_t view_timeout_ms = 60000;
+  int64_t poll_ms = 25;
+  /// Bootstrap only: how many founders must enter generation 0 (the
+  /// launcher world size). Ignored once a view exists.
+  int bootstrap_world_size = 0;
+  /// Bootstrap only: the partition group size cap the founders ask for.
+  int desired_partition_size = 1;
+  /// True when a checkpoint directory exists, making checkpoint-fallback
+  /// hydration legal when no live peer holds a shard.
+  bool has_checkpoint = false;
+};
+
+/// Background heartbeat lease: bumps elastic/hb/<id> on its own store
+/// connection (TcpStoreClient serializes one request per socket, so the
+/// training thread's control calls must not share it).
+class HeartbeatLease {
+ public:
+  HeartbeatLease(std::string store_addr, uint64_t member_id,
+                 int64_t interval_ms);
+  ~HeartbeatLease();
+
+  HeartbeatLease(const HeartbeatLease&) = delete;
+  HeartbeatLease& operator=(const HeartbeatLease&) = delete;
+
+ private:
+  void Run(std::string store_addr, uint64_t member_id, int64_t interval_ms);
+
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// Store key helpers (exposed for tests and the cleanup path).
+std::string GenKey();
+std::string MembersKey(int64_t generation);
+std::string EnterPrefix(int64_t generation);
+std::string EnterKey(int64_t generation, uint64_t member_id);
+std::string AlarmKey(int64_t generation);
+std::string HeartbeatKey(uint64_t member_id);
+
+/// Committed generation number; 0 when none committed yet.
+Result<int64_t> ReadGeneration(net::TcpStoreClient* store);
+
+/// Fetches and parses elastic/members/<generation>.
+Result<WorldView> FetchView(net::TcpStoreClient* store, int64_t generation);
+
+/// Requests a view change visible to generation-g members at their next
+/// iteration top (idempotent; later callers keep the first reason).
+Status RaiseAlarm(net::TcpStoreClient* store, int64_t generation,
+                  const std::string& reason);
+
+/// Non-blocking alarm probe: true when a view change is requested.
+Result<bool> CheckAlarm(net::TcpStoreClient* store, int64_t generation);
+
+/// Runs the full view-change protocol for this member and returns the
+/// committed next view. `current` is null at bootstrap (then
+/// opts.bootstrap_world_size founders rendezvous as generation 1) and for
+/// joiners `current` is the fetched live view. The caller must already
+/// heartbeat. On return the caller checks RankOf(me) — absence means
+/// eviction.
+Result<WorldView> NegotiateViewChange(net::TcpStoreClient* store,
+                                      const WorldView* current,
+                                      const EnterRecord& me,
+                                      const MembershipOptions& opts);
+
+/// Deletes the retired generation's keys (enter/ack/coord/alarm, the old
+/// "mics/gen<g>" transport namespace and its rendezvous barrier keys,
+/// stale telemetry/*) plus the heartbeat leases of `dead_members`.
+/// Invoked by the publisher after commit; any failure is non-fatal (the
+/// keys are garbage, not state).
+void CleanupRetiredGeneration(net::TcpStoreClient* store, int64_t generation,
+                              const std::vector<uint64_t>& dead_members);
+
+/// The transport key namespace for a generation's socket mesh: a fresh
+/// prefix per view keeps a re-formed mesh from colliding with the old
+/// generation's addr/chan/barrier keys.
+std::string TransportPrefix(int64_t generation);
+
+}  // namespace elastic
+}  // namespace mics
+
+#endif  // MICS_ELASTIC_MEMBERSHIP_H_

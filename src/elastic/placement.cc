@@ -1,0 +1,91 @@
+#include "elastic/placement.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace mics {
+namespace elastic {
+
+Result<PlacementPlan> PlanPlacement(std::vector<PlacementMember> members,
+                                    int max_partition_size) {
+  if (members.empty()) {
+    return Status::InvalidArgument("placement needs at least one member");
+  }
+  if (max_partition_size < 1) {
+    return Status::InvalidArgument("max_partition_size must be >= 1");
+  }
+  for (const PlacementMember& m : members) {
+    if (m.node.empty()) {
+      return Status::InvalidArgument("member " + std::to_string(m.member_id) +
+                                     " has no node name");
+    }
+  }
+  // Node-major order: nodes by name, members by id within a node. This is
+  // deterministic from the member set alone, so every entrant computing a
+  // placement for the same set gets the same ranks.
+  std::sort(members.begin(), members.end(),
+            [](const PlacementMember& a, const PlacementMember& b) {
+              if (a.node != b.node) return a.node < b.node;
+              return a.member_id < b.member_id;
+            });
+  for (size_t i = 1; i < members.size(); ++i) {
+    if (members[i].member_id == members[i - 1].member_id &&
+        members[i].node == members[i - 1].node) {
+      return Status::InvalidArgument(
+          "duplicate member id " + std::to_string(members[i].member_id));
+    }
+  }
+
+  std::map<std::string, int> node_counts;
+  for (const PlacementMember& m : members) ++node_counts[m.node];
+
+  const int n = static_cast<int>(members.size());
+  // The largest node-major block size the member set tiles: consecutive
+  // blocks of gcd(counts) ranks never span two physical nodes, which is
+  // exactly what RankTopology's synthetic node model needs to stay
+  // conservative (it may split a real node, never merge two).
+  int gpn = 0;
+  for (const auto& [node, count] : node_counts) {
+    gpn = std::gcd(gpn, count);
+  }
+  // Partition size: largest divisor of the world, capped by the previous
+  // size, that divides every node's count — with node-major ordering that
+  // makes every partition group a within-node block. d == 1 always
+  // qualifies, so a valid (if degenerate) packing always exists.
+  int p = 1;
+  for (int d = std::min(max_partition_size, n); d >= 1; --d) {
+    if (n % d != 0) continue;
+    bool packs = true;
+    for (const auto& [node, count] : node_counts) {
+      if (count % d != 0) {
+        packs = false;
+        break;
+      }
+    }
+    if (packs) {
+      p = d;
+      break;
+    }
+  }
+
+  PlacementPlan plan;
+  plan.members = std::move(members);
+  plan.gpus_per_node = gpn;
+  plan.partition_group_size = p;
+  plan.packed = true;
+  for (int g = 0; g < n / p && plan.packed; ++g) {
+    const std::string& node = plan.members[static_cast<size_t>(g) *
+                                           static_cast<size_t>(p)].node;
+    for (int i = 1; i < p; ++i) {
+      if (plan.members[static_cast<size_t>(g * p + i)].node != node) {
+        plan.packed = false;
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace elastic
+}  // namespace mics

@@ -1,0 +1,51 @@
+#ifndef MICS_ELASTIC_PLACEMENT_H_
+#define MICS_ELASTIC_PLACEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mics {
+namespace elastic {
+
+/// One member as the placement planner sees it: identity, physical node,
+/// and what it can serve.
+struct PlacementMember {
+  uint64_t member_id = 0;
+  std::string node;
+  int old_rank = -1;
+  bool has_state = false;
+};
+
+/// A topology-packed placement for a new world: members in new-rank
+/// order plus the geometry the comm layer should model.
+///
+/// MiCS partition groups are consecutive-rank blocks, so packing reduces
+/// to ordering: members are sorted node-major (nodes by name, members by
+/// id within a node) and the partition size is the largest divisor of
+/// the world that also divides every node's member count — then no group
+/// ever straddles a node boundary (Shi et al., arXiv 2010.10458: the
+/// intra-/inter-node bandwidth gap dominates on public cloud, so a
+/// smaller intra-node group beats a larger straddling one). gpus_per_node
+/// is the gcd of the per-node counts, the largest node-major block size
+/// the (possibly ragged) survivor set still tiles.
+struct PlacementPlan {
+  std::vector<PlacementMember> members;  // index == new global rank
+  int gpus_per_node = 1;
+  int partition_group_size = 1;
+  /// True when every partition group's members share one node.
+  bool packed = false;
+};
+
+/// Plans the new world. `max_partition_size` caps the group size (the
+/// previous generation's partition size, or the requested size at
+/// bootstrap) — elastic resize never grows groups, it re-packs them.
+Result<PlacementPlan> PlanPlacement(std::vector<PlacementMember> members,
+                                    int max_partition_size);
+
+}  // namespace elastic
+}  // namespace mics
+
+#endif  // MICS_ELASTIC_PLACEMENT_H_

@@ -1,0 +1,335 @@
+#include "elastic/reshard.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <vector>
+
+namespace mics {
+namespace elastic {
+
+namespace {
+
+// Mirrors the v2 checkpoint layout in sharded_data_parallel.cc:
+// 56-byte field-by-field LE header, then the shard's fp32 parameters,
+// then AdamOptimizer::SaveState (numel i64 | step i64 | m | v, host
+// order — the optimizer writes raw struct fields).
+constexpr uint64_t kCheckpointMagic = 0x4d694353434b5054ULL;  // "MiCSCKPT"
+constexpr uint32_t kCheckpointVersion = 2;
+constexpr int64_t kHeaderBytes = 56;
+
+bool TakeU32(std::istream& is, uint32_t* v) {
+  unsigned char b[4];
+  is.read(reinterpret_cast<char*>(b), 4);
+  if (is.gcount() != 4) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(b[i]) << (8 * i);
+  return true;
+}
+
+bool TakeU64(std::istream& is, uint64_t* v) {
+  unsigned char b[8];
+  is.read(reinterpret_cast<char*>(b), 8);
+  if (is.gcount() != 8) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  return true;
+}
+
+bool TakeI32(std::istream& is, int32_t* v) {
+  uint32_t u;
+  if (!TakeU32(is, &u)) return false;
+  *v = static_cast<int32_t>(u);
+  return true;
+}
+
+bool TakeI64(std::istream& is, int64_t* v) {
+  uint64_t u;
+  if (!TakeU64(is, &u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool TakeF32(std::istream& is, float* v) {
+  uint32_t bits;
+  if (!TakeU32(is, &bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool ReadFloatsAt(std::istream& is, int64_t byte_offset, int64_t count,
+                  float* out) {
+  is.clear();
+  is.seekg(byte_offset, std::ios::beg);
+  if (!is.good()) return false;
+  const auto bytes = static_cast<std::streamsize>(count * 4);
+  is.read(reinterpret_cast<char*>(out), bytes);
+  return is.gcount() == bytes;
+}
+
+}  // namespace
+
+Result<ReshardPlan> BuildReshardPlan(const WorldView& view,
+                                     int64_t true_numel) {
+  if (view.old_world_size <= 0) {
+    return Status::InvalidArgument(
+        "reshard plan needs a previous generation (bootstrap views have "
+        "nothing to move)");
+  }
+  ReshardPlan plan;
+  plan.old_geo = ShardGeometry{true_numel, view.old_world_size,
+                               view.old_partition_group_size};
+  plan.new_geo =
+      ShardGeometry{true_numel, view.world_size(), view.partition_group_size};
+  if (!plan.old_geo.valid() || !plan.new_geo.valid()) {
+    return Status::InvalidArgument("reshard geometry is inconsistent");
+  }
+  plan.from_checkpoint = view.from_checkpoint;
+
+  const int old_p = plan.old_geo.partition_group_size;
+  // holders[q] = survivors (as new ranks) of every old rank that held old
+  // shard q, in ascending old-rank order.
+  std::vector<std::vector<std::pair<int, int>>> holders(
+      static_cast<size_t>(old_p));  // (old_rank, new_rank)
+  for (int new_rank = 0; new_rank < view.world_size(); ++new_rank) {
+    const ViewMember& m = view.members[static_cast<size_t>(new_rank)];
+    if (m.old_rank >= 0 && m.has_state) {
+      holders[static_cast<size_t>(m.old_rank % old_p)].emplace_back(
+          m.old_rank, new_rank);
+    }
+  }
+  for (auto& h : holders) std::sort(h.begin(), h.end());
+
+  // First sweep decides feasibility: if any needed old shard has no live
+  // holder, the whole plan flips to checkpoint files — never a mix.
+  if (!plan.from_checkpoint) {
+    for (int dst = 0; dst < view.world_size() && !plan.from_checkpoint;
+         ++dst) {
+      const int64_t lo = plan.new_geo.shard_begin(plan.new_geo.shard_of_rank(dst));
+      const int64_t hi = std::min(lo + plan.new_geo.shard_numel(), true_numel);
+      for (int64_t at = lo; at < hi;) {
+        const int q = static_cast<int>(at / plan.old_geo.shard_numel());
+        if (holders[static_cast<size_t>(q)].empty()) {
+          plan.from_checkpoint = true;
+          break;
+        }
+        at = plan.old_geo.shard_begin(q + 1);
+      }
+    }
+  }
+
+  for (int dst = 0; dst < view.world_size(); ++dst) {
+    const ViewMember& dst_member = view.members[static_cast<size_t>(dst)];
+    const int64_t lo =
+        plan.new_geo.shard_begin(plan.new_geo.shard_of_rank(dst));
+    const int64_t hi = std::min(lo + plan.new_geo.shard_numel(), true_numel);
+    for (int64_t at = lo; at < hi;) {
+      const int q = static_cast<int>(at / plan.old_geo.shard_numel());
+      CopyPiece piece;
+      piece.begin = at;
+      piece.count = std::min(hi, plan.old_geo.shard_begin(q + 1)) - at;
+      piece.dst_new_rank = dst;
+      if (plan.from_checkpoint) {
+        // Lowest old rank holding shard q is rank q itself (shard index
+        // is old_rank % old_p), and every old rank wrote a checkpoint.
+        piece.src_new_rank = -1;
+        piece.src_old_rank = q;
+      } else {
+        const auto& h = holders[static_cast<size_t>(q)];
+        const auto self = std::find_if(
+            h.begin(), h.end(),
+            [dst](const std::pair<int, int>& c) { return c.second == dst; });
+        if (self != h.end()) {
+          piece.src_old_rank = self->first;
+          piece.src_new_rank = self->second;
+          piece.local = true;
+        } else {
+          // Same-node holder beats a remote one (the MiCS premise: the
+          // intra-/inter-node bandwidth gap dominates); ties go to the
+          // lowest old rank for determinism.
+          const auto same_node = std::find_if(
+              h.begin(), h.end(), [&](const std::pair<int, int>& c) {
+                return view.members[static_cast<size_t>(c.second)].node ==
+                       dst_member.node;
+              });
+          const auto& pick = same_node != h.end() ? *same_node : h.front();
+          piece.src_old_rank = pick.first;
+          piece.src_new_rank = pick.second;
+        }
+      }
+      const int64_t payload = piece.count * 3 * 4;  // params + m + v, fp32
+      if (piece.local) {
+        plan.local_bytes += payload;
+      } else if (piece.src_new_rank >= 0) {
+        plan.wire_bytes += payload;
+      }
+      plan.pieces.push_back(piece);
+      at += piece.count;
+    }
+  }
+  return plan;
+}
+
+Result<CheckpointScalars> ReadCheckpointWindow(const std::string& dir,
+                                               int old_rank,
+                                               const ShardGeometry& old_geo,
+                                               int64_t begin, int64_t count,
+                                               float* params, float* m,
+                                               float* v) {
+  const std::string path =
+      dir + "/mics-rank" + std::to_string(old_rank) + ".ckpt";
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) {
+    return Status::NotFound("no checkpoint at " + path);
+  }
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  int32_t world = 0, p = 0, rank = 0, iterations = 0, skipped = 0, clean = 0;
+  int64_t num_params = 0, shard_numel = 0;
+  float loss_scale = 1.0f;
+  if (!TakeU64(is, &magic) || magic != kCheckpointMagic) {
+    return Status::InvalidArgument(path + " is not a MiCS checkpoint");
+  }
+  if (!TakeU32(is, &version) || version != kCheckpointVersion) {
+    return Status::InvalidArgument(path + ": unsupported checkpoint version");
+  }
+  if (!TakeI32(is, &world) || !TakeI32(is, &p) || !TakeI32(is, &rank) ||
+      !TakeI64(is, &num_params) || !TakeI64(is, &shard_numel) ||
+      !TakeI32(is, &iterations) || !TakeI32(is, &skipped) ||
+      !TakeF32(is, &loss_scale) || !TakeI32(is, &clean)) {
+    return Status::InvalidArgument(path + ": truncated checkpoint header");
+  }
+  if (world != old_geo.world_size || p != old_geo.partition_group_size ||
+      rank != old_rank || num_params != old_geo.true_numel ||
+      shard_numel != old_geo.shard_numel()) {
+    return Status::InvalidArgument(
+        path + ": checkpoint geometry does not match the retired "
+               "generation (was world=" +
+        std::to_string(world) + " p=" + std::to_string(p) + ")");
+  }
+  const int64_t s = old_geo.shard_numel();
+  const int64_t rel = begin - old_geo.shard_begin(old_geo.shard_of_rank(old_rank));
+  if (count < 0 || rel < 0 || rel + count > s) {
+    return Status::InvalidArgument("window outside old rank " +
+                                   std::to_string(old_rank) + "'s shard");
+  }
+  // Optimizer block prefix: numel + step, raw host-order i64s.
+  const int64_t opt_at = kHeaderBytes + s * 4;
+  char prefix[16];
+  is.clear();
+  is.seekg(opt_at, std::ios::beg);
+  is.read(prefix, sizeof(prefix));
+  if (is.gcount() != static_cast<std::streamsize>(sizeof(prefix))) {
+    return Status::InvalidArgument(path + ": truncated optimizer state");
+  }
+  int64_t opt_numel = 0, adam_step = 0;
+  std::memcpy(&opt_numel, prefix, 8);
+  std::memcpy(&adam_step, prefix + 8, 8);
+  if (opt_numel != s) {
+    return Status::InvalidArgument(path + ": optimizer state size mismatch");
+  }
+  if (!ReadFloatsAt(is, kHeaderBytes + rel * 4, count, params) ||
+      !ReadFloatsAt(is, opt_at + 16 + rel * 4, count, m) ||
+      !ReadFloatsAt(is, opt_at + 16 + s * 4 + rel * 4, count, v)) {
+    return Status::InvalidArgument(path + ": truncated checkpoint window");
+  }
+  CheckpointScalars scalars;
+  scalars.iterations = iterations;
+  scalars.skipped_steps = skipped;
+  scalars.clean_iterations = clean;
+  scalars.loss_scale = loss_scale;
+  scalars.adam_step = adam_step;
+  return scalars;
+}
+
+Status ExecuteReshardPlan(net::SocketTransport* transport, uint64_t channel,
+                          const ReshardPlan& plan, int my_new_rank,
+                          const ShardStateSnapshot* old_state,
+                          const std::string& checkpoint_dir,
+                          ShardedDataParallel* sdp,
+                          int64_t* wire_bytes_moved) {
+  int64_t moved = 0;
+  const int64_t old_shard_begin =
+      old_state != nullptr && old_state->valid()
+          ? old_state->shard_offset
+          : -1;
+  auto window = [&](int64_t begin, int64_t count, const float** p,
+                    const float** mm, const float** vv) -> Status {
+    if (old_shard_begin < 0) {
+      return Status::FailedPrecondition(
+          "piece sourced from a rank without exported state");
+    }
+    const int64_t rel = begin - old_shard_begin;
+    if (rel < 0 || rel + count > old_state->shard_numel) {
+      return Status::Internal("reshard piece outside this rank's old shard");
+    }
+    *p = old_state->params.data() + rel;
+    *mm = old_state->m.data() + rel;
+    *vv = old_state->v.data() + rel;
+    return Status::OK();
+  };
+
+  // Pass 1: every outbound piece goes first. The transport's per-peer
+  // mailbox readers drain frames whether or not the peer has posted its
+  // Recv yet, so all-send-then-all-recv cannot deadlock.
+  std::vector<float> payload;
+  for (const CopyPiece& piece : plan.pieces) {
+    if (piece.src_new_rank != my_new_rank || piece.local) continue;
+    const float *p = nullptr, *m = nullptr, *v = nullptr;
+    MICS_RETURN_NOT_OK(window(piece.begin, piece.count, &p, &m, &v));
+    payload.resize(static_cast<size_t>(piece.count) * 3);
+    std::memcpy(payload.data(), p, static_cast<size_t>(piece.count) * 4);
+    std::memcpy(payload.data() + piece.count, m,
+                static_cast<size_t>(piece.count) * 4);
+    std::memcpy(payload.data() + 2 * piece.count, v,
+                static_cast<size_t>(piece.count) * 4);
+    MICS_RETURN_NOT_OK(transport->Send(piece.dst_new_rank, channel,
+                                       payload.data(), piece.count * 12));
+    moved += piece.count * 12;
+  }
+
+  // Pass 2: materialize this rank's inbound pieces in plan order (the
+  // source sends in the same order, so per-(peer, channel) sequence
+  // numbers line up).
+  std::vector<float> inbound;
+  for (const CopyPiece& piece : plan.pieces) {
+    if (piece.dst_new_rank != my_new_rank) continue;
+    if (piece.local) {
+      const float *p = nullptr, *m = nullptr, *v = nullptr;
+      MICS_RETURN_NOT_OK(window(piece.begin, piece.count, &p, &m, &v));
+      MICS_RETURN_NOT_OK(
+          sdp->WriteShardWindow(piece.begin, piece.count, p, m, v));
+    } else if (piece.src_new_rank >= 0) {
+      inbound.resize(static_cast<size_t>(piece.count) * 3);
+      MICS_RETURN_NOT_OK(transport->Recv(piece.src_new_rank, channel,
+                                         inbound.data(), piece.count * 12));
+      moved += piece.count * 12;
+      MICS_RETURN_NOT_OK(sdp->WriteShardWindow(
+          piece.begin, piece.count, inbound.data(),
+          inbound.data() + piece.count, inbound.data() + 2 * piece.count));
+    } else {
+      if (checkpoint_dir.empty()) {
+        return Status::FailedPrecondition(
+            "plan needs checkpoint files but no checkpoint directory is "
+            "configured");
+      }
+      inbound.resize(static_cast<size_t>(piece.count) * 3);
+      MICS_ASSIGN_OR_RETURN(
+          CheckpointScalars scalars,
+          ReadCheckpointWindow(checkpoint_dir, piece.src_old_rank,
+                               plan.old_geo, piece.begin, piece.count,
+                               inbound.data(), inbound.data() + piece.count,
+                               inbound.data() + 2 * piece.count));
+      (void)scalars;  // the view carries the authoritative scalars
+      MICS_RETURN_NOT_OK(sdp->WriteShardWindow(
+          piece.begin, piece.count, inbound.data(),
+          inbound.data() + piece.count, inbound.data() + 2 * piece.count));
+    }
+  }
+  if (wire_bytes_moved != nullptr) *wire_bytes_moved = moved;
+  return Status::OK();
+}
+
+}  // namespace elastic
+}  // namespace mics

@@ -1,0 +1,117 @@
+#ifndef MICS_ELASTIC_RESHARD_H_
+#define MICS_ELASTIC_RESHARD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "elastic/membership.h"
+#include "net/transport.h"
+#include "train/sharded_data_parallel.h"
+#include "util/math_util.h"
+#include "util/status.h"
+
+namespace mics {
+namespace elastic {
+
+/// A world's flat-state geometry, as FlatParameter models it: the true
+/// parameter count padded to the world size, then cut into
+/// partition_group_size equal shards (rank r holds shard r % p).
+struct ShardGeometry {
+  int64_t true_numel = 0;
+  int world_size = 0;
+  int partition_group_size = 1;
+
+  int64_t padded() const { return AlignUp(true_numel, world_size); }
+  int64_t shard_numel() const { return padded() / partition_group_size; }
+  int shard_of_rank(int rank) const { return rank % partition_group_size; }
+  int64_t shard_begin(int shard) const { return shard_numel() * shard; }
+  bool valid() const {
+    return true_numel > 0 && world_size > 0 && partition_group_size > 0 &&
+           world_size % partition_group_size == 0;
+  }
+};
+
+/// One contiguous run of flat elements moving to a new-world rank.
+/// `begin`/`count` are flat offsets inside [0, true_numel) — the padding
+/// tail is always zero on both sides and never moves. The payload is
+/// parameters plus both Adam moments (3 * count floats), because the
+/// moments shard identically to the parameters under DDP/ZeRO-3/MiCS.
+struct CopyPiece {
+  int64_t begin = 0;
+  int64_t count = 0;
+  int dst_new_rank = -1;
+  /// Rank (in the NEW world) that serves the bytes; -1 means no live
+  /// holder — read from the old generation's checkpoint file instead.
+  int src_new_rank = -1;
+  /// Old-world rank whose shard (live or checkpointed) covers the run.
+  int src_old_rank = -1;
+  /// True when src and dst are the same process (memcpy, no wire).
+  bool local = false;
+};
+
+/// The minimal copy set taking the old generation's sharding to the new
+/// one. Deterministic from (view, true_numel) alone, so every member
+/// derives the same plan without another store round.
+struct ReshardPlan {
+  ShardGeometry old_geo;
+  ShardGeometry new_geo;
+  std::vector<CopyPiece> pieces;  // ordered by (dst rank, begin)
+  /// All-or-nothing fallback: every piece reads checkpoint files.
+  bool from_checkpoint = false;
+  int64_t wire_bytes = 0;   // payload bytes that cross the transport
+  int64_t local_bytes = 0;  // payload bytes satisfied by local memcpy
+};
+
+/// Plans the redistribution for `view` (a committed post-change view with
+/// old_world_size > 0). Each new rank's shard window is intersected with
+/// the true range and split at old shard boundaries; every piece prefers
+/// the destination itself, then a same-node survivor, then the lowest
+/// surviving old rank. When `view.from_checkpoint` is set — or some old
+/// shard has no live holder — the whole plan reads checkpoint files
+/// (peer and file state are different boundaries; mixing them would
+/// stitch two different training states together).
+Result<ReshardPlan> BuildReshardPlan(const WorldView& view,
+                                     int64_t true_numel);
+
+/// Training-loop scalars recovered alongside a checkpoint window.
+struct CheckpointScalars {
+  int iterations = 0;
+  int skipped_steps = 0;
+  int clean_iterations = 0;
+  float loss_scale = 1.0f;
+  int64_t adam_step = 0;
+};
+
+/// Reads `count` elements starting at flat offset `begin` from old rank
+/// `old_rank`'s v2 checkpoint in `dir`, without loading the whole shard:
+/// validates the header against `old_geo`, then seeks to the parameter /
+/// first-moment / second-moment windows. The window must lie inside that
+/// rank's shard.
+Result<CheckpointScalars> ReadCheckpointWindow(const std::string& dir,
+                                               int old_rank,
+                                               const ShardGeometry& old_geo,
+                                               int64_t begin, int64_t count,
+                                               float* params, float* m,
+                                               float* v);
+
+/// Executes `plan` for `my_new_rank` over an established new-world mesh:
+/// pass 1 posts every outbound piece (the transport's mailbox readers
+/// make all-send-then-all-recv deadlock-free), pass 2 materializes this
+/// rank's inbound pieces in plan order — wire, local copy, or checkpoint
+/// window — directly into `sdp` via WriteShardWindow. `old_state` is the
+/// pre-resize snapshot (null for joiners, who serve nothing);
+/// `checkpoint_dir` may be empty when the plan has no checkpoint pieces.
+/// On success `*wire_bytes_moved` (optional) is the bytes this rank sent
+/// plus received over the transport.
+Status ExecuteReshardPlan(net::SocketTransport* transport, uint64_t channel,
+                          const ReshardPlan& plan, int my_new_rank,
+                          const ShardStateSnapshot* old_state,
+                          const std::string& checkpoint_dir,
+                          ShardedDataParallel* sdp,
+                          int64_t* wire_bytes_moved);
+
+}  // namespace elastic
+}  // namespace mics
+
+#endif  // MICS_ELASTIC_RESHARD_H_

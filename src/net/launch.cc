@@ -128,6 +128,160 @@ Status RunAttempt(const LaunchOptions& options, const std::string& store_addr,
   return Status::OK();
 }
 
+/// One elastic attempt: the initial world plus scripted churn. Workers
+/// that die by signal are tolerated (the elastic membership plane turns
+/// their death into a view change); optional respawns and scripted grow
+/// spawn joiners into the live generation. Success := no deadline kill,
+/// every normally-exited worker exited 0, and at least one worker
+/// finished cleanly.
+Status RunElasticAttempt(const LaunchOptions& options,
+                         const std::string& store_addr, int attempt,
+                         std::vector<WorkerResult>* results,
+                         bool* attempt_ok) {
+  struct ElasticWorker {
+    pid_t pid = -1;
+    int bootstrap_rank = -1;  // -1 for joiners
+    int64_t member_id = 0;
+    std::string node;
+    WorkerResult result;
+  };
+
+  const int n = options.num_workers;
+  std::vector<std::string> argv_store;
+  argv_store.push_back(options.binary);
+  for (const std::string& a : options.args) argv_store.push_back(a);
+  std::vector<char*> argv;
+  for (std::string& s : argv_store) argv.push_back(s.data());
+  argv.push_back(nullptr);
+
+  std::vector<ElasticWorker> workers;
+  int64_t next_member_id = 0;
+  int next_node = (n + options.gpus_per_node - 1) / options.gpus_per_node;
+
+  auto spawn = [&](int bootstrap_rank, const std::string& node) -> Status {
+    ElasticWorker w;
+    w.bootstrap_rank = bootstrap_rank;
+    w.member_id = next_member_id++;
+    w.node = node;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      return Status::Internal(std::string("fork: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+      const bool joiner = bootstrap_rank < 0;
+      ::setenv(kEnvStoreAddr, store_addr.c_str(), 1);
+      // Joiners carry placeholder rendezvous coordinates: their rank and
+      // world come from the membership view they join, not the bootstrap.
+      ::setenv(kEnvRank, std::to_string(joiner ? 0 : bootstrap_rank).c_str(),
+               1);
+      ::setenv(kEnvWorldSize, std::to_string(joiner ? 1 : n).c_str(), 1);
+      ::setenv(kEnvAttempt, std::to_string(attempt).c_str(), 1);
+      ::setenv(kEnvGpusPerNode,
+               std::to_string(joiner ? 1 : options.gpus_per_node).c_str(), 1);
+      ::setenv(kEnvMemberId, std::to_string(w.member_id).c_str(), 1);
+      ::setenv(kEnvNode, w.node.c_str(), 1);
+      ::setenv(kEnvElasticJoin, joiner ? "1" : "0", 1);
+      ::execv(options.binary.c_str(), argv.data());
+      std::fprintf(stderr, "mics_launch: exec %s: %s\n",
+                   options.binary.c_str(), std::strerror(errno));
+      ::_exit(127);
+    }
+    w.pid = pid;
+    w.result.rank = bootstrap_rank;
+    workers.push_back(std::move(w));
+    return Status::OK();
+  };
+
+  for (int rank = 0; rank < n; ++rank) {
+    Status st =
+        spawn(rank, "n" + std::to_string(rank / options.gpus_per_node));
+    if (!st.ok()) {
+      for (ElasticWorker& w : workers) {
+        if (w.pid >= 0) ::kill(w.pid, SIGKILL);
+      }
+      for (ElasticWorker& w : workers) {
+        int ignored = 0;
+        if (w.pid >= 0) ::waitpid(w.pid, &ignored, 0);
+      }
+      return st;
+    }
+  }
+
+  const auto start = Clock::now();
+  const auto deadline = start + std::chrono::milliseconds(options.timeout_ms);
+  bool grew = options.grow_workers <= 0;
+  bool killed = false;
+  int respawns_left = options.respawn_limit;
+  int live = static_cast<int>(workers.size());
+  while (live > 0 || !grew) {
+    bool progressed = false;
+    for (size_t i = 0; i < workers.size(); ++i) {
+      ElasticWorker& w = workers[i];
+      if (w.pid < 0) continue;
+      int wstatus = 0;
+      const pid_t rc = ::waitpid(w.pid, &wstatus, WNOHANG);
+      if (rc == 0) continue;
+      if (rc < 0) {
+        w.result.exit_code = 255;
+      } else if (WIFEXITED(wstatus)) {
+        w.result.exit_code = WEXITSTATUS(wstatus);
+      } else if (WIFSIGNALED(wstatus)) {
+        w.result.exit_code = 128 + WTERMSIG(wstatus);
+        w.result.signaled = true;
+      }
+      w.pid = -1;
+      --live;
+      progressed = true;
+      if (!killed && w.result.signaled && respawns_left > 0) {
+        // Replace the dead member on its node: the replacement joins the
+        // live generation as a fresh member instead of reusing the id.
+        --respawns_left;
+        const std::string node = w.node;
+        MICS_RETURN_NOT_OK(spawn(-1, node));
+        ++live;
+      }
+    }
+    if (!grew && Clock::now() >= start + std::chrono::milliseconds(
+                                            options.grow_delay_ms)) {
+      grew = true;
+      for (int i = 0; i < options.grow_workers; ++i) {
+        const std::string node =
+            !options.grow_node.empty()
+                ? options.grow_node
+                : "n" + std::to_string(next_node + i / options.gpus_per_node);
+        MICS_RETURN_NOT_OK(spawn(-1, node));
+        ++live;
+      }
+      next_node += (options.grow_workers + options.gpus_per_node - 1) /
+                   options.gpus_per_node;
+    }
+    if (live == 0 && grew) break;
+    if (!killed && Clock::now() >= deadline) {
+      for (ElasticWorker& w : workers) {
+        if (w.pid >= 0) ::kill(w.pid, SIGKILL);
+      }
+      killed = true;
+    }
+    if (!progressed) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  results->clear();
+  int clean_exits = 0;
+  bool dirty_exit = false;
+  for (const ElasticWorker& w : workers) {
+    results->push_back(w.result);
+    if (!w.result.signaled) {
+      if (w.result.exit_code == 0) {
+        ++clean_exits;
+      } else {
+        dirty_exit = true;
+      }
+    }
+  }
+  *attempt_ok = !killed && !dirty_exit && clean_exits > 0;
+  return Status::OK();
+}
+
 /// The launcher's half of the telemetry plane: polls the attempt's store
 /// for every worker's latest snapshot, runs the straggler detector per
 /// sweep, and logs the final per-rank table when the attempt ends. Pure
@@ -201,6 +355,18 @@ Result<LaunchReport> LaunchWorkers(const LaunchOptions& options) {
   if (options.max_attempts < 1) {
     return Status::InvalidArgument("LaunchWorkers: max_attempts must be >= 1");
   }
+  if (options.gpus_per_node < 1) {
+    return Status::InvalidArgument(
+        "LaunchWorkers: gpus_per_node=" +
+        std::to_string(options.gpus_per_node) + " must be >= 1");
+  }
+  if (options.num_workers % options.gpus_per_node != 0) {
+    return Status::InvalidArgument(
+        "LaunchWorkers: num_workers=" + std::to_string(options.num_workers) +
+        " must be a positive multiple of gpus_per_node=" +
+        std::to_string(options.gpus_per_node) +
+        " (the comm::Topology node-major contract)");
+  }
   if (::access(options.binary.c_str(), X_OK) != 0) {
     return Status::InvalidArgument("LaunchWorkers: '" + options.binary +
                                    "' is not executable");
@@ -222,16 +388,23 @@ Result<LaunchReport> LaunchWorkers(const LaunchOptions& options) {
       monitor = std::make_unique<TelemetryMonitor>(
           store->addr(), options.num_workers, options.telemetry);
     }
-    Status attempt_status = RunAttempt(options, store->addr(), attempt,
-                                       &report.last_results);
+    bool attempt_ok = false;
+    Status attempt_status;
+    if (options.elastic) {
+      attempt_status = RunElasticAttempt(options, store->addr(), attempt,
+                                         &report.last_results, &attempt_ok);
+    } else {
+      attempt_status = RunAttempt(options, store->addr(), attempt,
+                                  &report.last_results);
+      attempt_ok = attempt_status.ok();
+      for (const WorkerResult& r : report.last_results) {
+        if (r.exit_code != 0) attempt_ok = false;
+      }
+    }
     monitor.reset();  // final sweep + table before the store goes away
     MICS_RETURN_NOT_OK(attempt_status);
     store->Stop();
-    bool all_ok = true;
-    for (const WorkerResult& r : report.last_results) {
-      if (r.exit_code != 0) all_ok = false;
-    }
-    if (all_ok) {
+    if (attempt_ok) {
       report.success = true;
       return report;
     }
@@ -252,15 +425,45 @@ Result<DistributedContext> DistributedContext::FromEnv() {
   MICS_ASSIGN_OR_RETURN(ctx.world_size, EnvInt(kEnvWorldSize, true, 1));
   MICS_ASSIGN_OR_RETURN(ctx.attempt, EnvInt(kEnvAttempt, false, 0));
   MICS_ASSIGN_OR_RETURN(ctx.gpus_per_node, EnvInt(kEnvGpusPerNode, false, 1));
-  if (ctx.rank < 0 || ctx.world_size < 1 || ctx.rank >= ctx.world_size) {
-    return Status::InvalidArgument("inconsistent launcher environment (rank " +
-                                   std::to_string(ctx.rank) + " of " +
-                                   std::to_string(ctx.world_size) + ")");
-  }
-  if (ctx.gpus_per_node < 1 || ctx.world_size % ctx.gpus_per_node != 0) {
+  if (ctx.world_size < 1) {
     return Status::InvalidArgument(
-        "MICS_GPUS_PER_NODE must divide MICS_WORLD_SIZE");
+        std::string(kEnvWorldSize) + "=" + std::to_string(ctx.world_size) +
+        " is not a positive world size; set it to the number of workers "
+        "(mics_launch -n N does this for you)");
   }
+  if (ctx.rank < 0 || ctx.rank >= ctx.world_size) {
+    return Status::InvalidArgument(
+        std::string(kEnvRank) + "=" + std::to_string(ctx.rank) +
+        " is outside [0, " + std::string(kEnvWorldSize) + "=" +
+        std::to_string(ctx.world_size) +
+        "); every worker needs a distinct rank in that range");
+  }
+  if (ctx.gpus_per_node < 1) {
+    return Status::InvalidArgument(
+        std::string(kEnvGpusPerNode) + "=" +
+        std::to_string(ctx.gpus_per_node) +
+        " must be >= 1 (ranks per node of the modeled topology)");
+  }
+  if (ctx.world_size % ctx.gpus_per_node != 0) {
+    return Status::InvalidArgument(
+        std::string(kEnvWorldSize) + "=" + std::to_string(ctx.world_size) +
+        " must be a positive multiple of " + std::string(kEnvGpusPerNode) +
+        "=" + std::to_string(ctx.gpus_per_node) +
+        " (the comm::Topology node-major contract); pick a world size "
+        "divisible by gpus-per-node or adjust " +
+        std::string(kEnvGpusPerNode));
+  }
+  // Elastic identity, defaulted so a manual (non-launcher) elastic run
+  // still has a usable unique id per bootstrap rank.
+  MICS_ASSIGN_OR_RETURN(int member_id,
+                        EnvInt(kEnvMemberId, false, ctx.rank));
+  ctx.member_id = member_id;
+  const char* node = std::getenv(kEnvNode);
+  ctx.node = (node != nullptr && node[0] != '\0')
+                 ? node
+                 : "n" + std::to_string(ctx.rank / ctx.gpus_per_node);
+  MICS_ASSIGN_OR_RETURN(int join, EnvInt(kEnvElasticJoin, false, 0));
+  ctx.elastic_join = join != 0;
   return ctx;
 }
 

@@ -18,6 +18,12 @@ inline constexpr const char* kEnvRank = "MICS_RANK";
 inline constexpr const char* kEnvWorldSize = "MICS_WORLD_SIZE";
 inline constexpr const char* kEnvAttempt = "MICS_ATTEMPT";
 inline constexpr const char* kEnvGpusPerNode = "MICS_GPUS_PER_NODE";
+/// Elastic membership identity (mics::elastic): a launcher-unique member
+/// id, the member's physical node name, and whether the process joins a
+/// live generation instead of rendezvousing at bootstrap.
+inline constexpr const char* kEnvMemberId = "MICS_MEMBER_ID";
+inline constexpr const char* kEnvNode = "MICS_NODE";
+inline constexpr const char* kEnvElasticJoin = "MICS_ELASTIC_JOIN";
 
 struct LaunchOptions {
   /// Worker executable and its argv tail (argv[0] is derived from binary).
@@ -40,6 +46,22 @@ struct LaunchOptions {
   /// every poll, and logs the final per-rank table when the attempt
   /// ends. mics_launch fills this from MICS_TELEMETRY* env vars.
   obs::TelemetryConfig telemetry;
+
+  /// Elastic mode (mics::elastic): workers run the elastic membership
+  /// protocol, so a rank death is a view change (shrink) instead of an
+  /// attempt failure, and new workers can join a live generation. The
+  /// attempt succeeds when every worker that exited *normally* exited 0
+  /// and at least one did; signal-killed workers are the tolerated churn.
+  bool elastic = false;
+  /// Workers respawned (as joiners, inheriting the dead worker's node)
+  /// after abnormal deaths; 0 disables replacement — the world shrinks.
+  int respawn_limit = 0;
+  /// Scripted grow: this many extra joiners are spawned `grow_delay_ms`
+  /// after the attempt starts, on `grow_node` (empty = a fresh node name
+  /// continuing the n<i> sequence).
+  int grow_workers = 0;
+  int64_t grow_delay_ms = 0;
+  std::string grow_node;
 };
 
 struct WorkerResult {
@@ -72,9 +94,19 @@ struct DistributedContext {
   int world_size = 1;
   int attempt = 0;
   int gpus_per_node = 1;
+  /// Elastic identity: launcher-unique member id (defaults to the
+  /// bootstrap rank when MICS_MEMBER_ID is unset, so manual launches
+  /// work), physical node name (defaults to "n<rank/gpus_per_node>"),
+  /// and the join flag.
+  int64_t member_id = -1;
+  std::string node;
+  bool elastic_join = false;
 
   /// Reads MICS_STORE_ADDR / MICS_RANK / MICS_WORLD_SIZE (required) and
-  /// MICS_ATTEMPT / MICS_GPUS_PER_NODE (optional, default 0 / 1).
+  /// MICS_ATTEMPT / MICS_GPUS_PER_NODE / MICS_MEMBER_ID / MICS_NODE /
+  /// MICS_ELASTIC_JOIN (optional). Rejects a non-positive world size or a
+  /// world size that is not a positive multiple of gpus-per-node (the
+  /// comm::Topology contract) with an actionable message.
   static Result<DistributedContext> FromEnv();
 
   /// True when the launcher environment is present at all — lets a binary

@@ -16,6 +16,8 @@ constexpr uint8_t kOpGet = 2;
 constexpr uint8_t kOpAdd = 3;
 constexpr uint8_t kOpWait = 4;
 constexpr uint8_t kOpPoison = 5;
+constexpr uint8_t kOpDeletePrefix = 6;
+constexpr uint8_t kOpListPrefix = 7;
 
 /// I/O on the store's control socket is bounded by this rather than the
 /// caller's rendezvous deadline: control messages are tiny, so anything
@@ -225,6 +227,47 @@ bool TcpStoreServer::HandleRequest(const Socket& sock) {
       cv_.notify_all();
       break;
     }
+    case kOpDeletePrefix: {
+      if (key.empty()) {
+        code = StatusCode::kInvalidArgument;
+        reply = "empty prefix would wipe the store";
+        break;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      int64_t removed = 0;
+      // data_ is ordered, so the prefix range is one contiguous slice.
+      auto it = data_.lower_bound(key);
+      while (it != data_.end() && it->first.compare(0, key.size(), key) == 0) {
+        it = data_.erase(it);
+        ++removed;
+      }
+      reply = EncodeI64(removed);
+      break;
+    }
+    case kOpListPrefix: {
+      if (key.empty()) {
+        code = StatusCode::kInvalidArgument;
+        reply = "empty prefix would list the whole store";
+        break;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      std::vector<const std::string*> keys;
+      for (auto it = data_.lower_bound(key);
+           it != data_.end() && it->first.compare(0, key.size(), key) == 0;
+           ++it) {
+        keys.push_back(&it->first);
+      }
+      PutU32(&reply, static_cast<uint32_t>(keys.size()));
+      for (const std::string* k : keys) {
+        PutU32(&reply, static_cast<uint32_t>(k->size()));
+        reply += *k;
+      }
+      if (reply.size() > kMaxFieldBytes) {
+        code = StatusCode::kOutOfMemory;
+        reply = "prefix listing exceeds the field cap";
+      }
+      break;
+    }
     default:
       return false;
   }
@@ -303,6 +346,47 @@ Result<std::string> TcpStoreClient::Wait(const std::string& key,
 
 Status TcpStoreClient::Poison(const std::string& reason) {
   return Call(kOpPoison, "", reason, 0, kIoTimeoutMs).status();
+}
+
+Result<int64_t> TcpStoreClient::DeleteByPrefix(const std::string& prefix) {
+  if (prefix.empty()) {
+    return Status::InvalidArgument("DeleteByPrefix: empty prefix");
+  }
+  MICS_ASSIGN_OR_RETURN(std::string reply,
+                        Call(kOpDeletePrefix, prefix, "", 0, kIoTimeoutMs));
+  if (reply.size() != 8) return Status::Internal("bad DeleteByPrefix reply");
+  return ReadI64(reinterpret_cast<const uint8_t*>(reply.data()));
+}
+
+Result<std::vector<std::string>> TcpStoreClient::ListByPrefix(
+    const std::string& prefix) {
+  if (prefix.empty()) {
+    return Status::InvalidArgument("ListByPrefix: empty prefix");
+  }
+  MICS_ASSIGN_OR_RETURN(std::string reply,
+                        Call(kOpListPrefix, prefix, "", 0, kIoTimeoutMs));
+  size_t pos = 0;
+  auto read_u32 = [&](uint32_t* out) -> bool {
+    if (reply.size() - pos < 4) return false;
+    *out = ReadU32(reinterpret_cast<const uint8_t*>(reply.data() + pos));
+    pos += 4;
+    return true;
+  };
+  uint32_t count = 0;
+  if (!read_u32(&count)) return Status::Internal("bad ListPrefix reply");
+  std::vector<std::string> keys;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t klen = 0;
+    if (!read_u32(&klen) || reply.size() - pos < klen) {
+      return Status::Internal("truncated ListPrefix reply");
+    }
+    keys.emplace_back(reply, pos, klen);
+    pos += klen;
+  }
+  if (pos != reply.size()) {
+    return Status::Internal("trailing bytes in ListPrefix reply");
+  }
+  return keys;
 }
 
 Status TcpStoreClient::Barrier(const std::string& name, int world_size,

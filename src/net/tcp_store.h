@@ -32,8 +32,12 @@ namespace net {
 /// Wire protocol (all integers little-endian):
 ///   request:  u8 op | u32 klen | key | u32 vlen | value | i64 arg
 ///   response: u8 status_code | u32 vlen | value
-/// with op: 1=Set 2=Get 3=Add(arg=delta) 4=Wait(arg=timeout_ms) 5=Poison.
+/// with op: 1=Set 2=Get 3=Add(arg=delta) 4=Wait(arg=timeout_ms) 5=Poison
+/// 6=DeletePrefix 7=ListPrefix.
 /// Add returns the post-increment total as an 8-byte LE i64 value.
+/// DeletePrefix removes every key starting with `key` and returns the
+/// removed count as an 8-byte LE i64. ListPrefix returns the matching
+/// keys as `u32 count | (u32 klen | key)*`, bounded by the field cap.
 class TcpStoreServer {
  public:
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving.
@@ -90,6 +94,15 @@ class TcpStoreClient {
   /// Marks the store poisoned (e.g. a worker noticed a dead peer) so
   /// every blocked or future Wait aborts with DeadlineExceeded.
   Status Poison(const std::string& reason);
+
+  /// Deletes every key starting with `prefix` and returns how many were
+  /// removed. Rejects an empty prefix: key hygiene is scoped (stale
+  /// `telemetry/*`, a retired elastic generation), never a store wipe.
+  Result<int64_t> DeleteByPrefix(const std::string& prefix);
+
+  /// Lists every key starting with `prefix`, in the store's sorted key
+  /// order. Empty prefix is rejected like DeleteByPrefix.
+  Result<std::vector<std::string>> ListByPrefix(const std::string& prefix);
 
   /// Rendezvous barrier over the store: all `world_size` participants
   /// call Barrier with the same `name`; everyone returns once the last

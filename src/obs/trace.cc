@@ -1,7 +1,9 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -51,10 +53,23 @@ Counter* DroppedCounter() {
   return c;
 }
 
+/// Elastic re-rank override for the track prefix; INT_MIN = unset (fall
+/// back to the environment). See TraceRecorder::SetProcessRank.
+std::atomic<int>& ProcessRankOverride() {
+  static std::atomic<int> rank{std::numeric_limits<int>::min()};
+  return rank;
+}
+
 /// Launcher rank (MICS_RANK, the mics_launch rendezvous env — see
 /// net/launch.h) or -1 when not under the launcher. Read per call, not
 /// cached: RegisterTrack is setup-path only, and tests toggle the env.
+/// A SetProcessRank override wins over the environment: after an elastic
+/// view change the env still holds the bootstrap rank.
 int LauncherRank() {
+  const int override_rank = ProcessRankOverride().load(std::memory_order_acquire);
+  if (override_rank != std::numeric_limits<int>::min()) {
+    return override_rank >= 0 ? override_rank : -1;
+  }
   const char* s = std::getenv("MICS_RANK");
   if (s == nullptr || *s == '\0') return -1;
   char* end = nullptr;
@@ -75,6 +90,11 @@ int64_t UnixNowUs() {
 
 TraceRecorder::TraceRecorder()
     : epoch_(std::chrono::steady_clock::now()), epoch_unix_us_(UnixNowUs()) {}
+
+void TraceRecorder::SetProcessRank(int rank) {
+  ProcessRankOverride().store(rank < 0 ? std::numeric_limits<int>::min() : rank,
+                              std::memory_order_release);
+}
 
 int TraceRecorder::RegisterTrack(const std::string& name, int pid) {
   // Under mics_launch every worker records its own trace; prefixing each

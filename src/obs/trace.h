@@ -50,6 +50,13 @@ class TraceRecorder {
   /// "proc<rank>/" so per-worker trace files merge without colliding.
   int RegisterTrack(const std::string& name, int pid = 0);
 
+  /// Overrides the launcher rank used for the "proc<rank>/" track prefix.
+  /// An elastic resize re-ranks a live process, and setenv("MICS_RANK")
+  /// mid-run is not thread-safe against concurrent getenv readers — so
+  /// the override is a process-wide atomic instead. Negative restores the
+  /// environment-derived default.
+  static void SetProcessRank(int rank);
+
   /// Records a finished span with caller-provided times (used for
   /// simulated timelines; `ts_us` need not relate to wall time).
   void AddCompleteEvent(int track, std::string name, double ts_us,

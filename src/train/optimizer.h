@@ -48,6 +48,16 @@ class AdamOptimizer {
   /// "optimizer states" for fp32, used by memory assertions in tests).
   int64_t StateBytes() const { return 2 * numel_ * 4; }
 
+  /// Direct moment access for elastic resharding: a view change moves
+  /// optimizer state between ranks as raw shard windows, exactly like
+  /// checkpointing does through SaveState/LoadState but without the
+  /// stream round trip.
+  const float* m_data() const { return m_.data(); }
+  const float* v_data() const { return v_.data(); }
+  float* mutable_m() { return m_.data(); }
+  float* mutable_v() { return v_.data(); }
+  void set_step_count(int64_t step) { step_ = step; }
+
  private:
   int64_t numel_;
   Config config_;

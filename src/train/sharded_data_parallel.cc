@@ -782,6 +782,152 @@ Status ShardedDataParallel::LoadCheckpoint(const std::string& dir) {
   return Status::OK();
 }
 
+namespace {
+
+/// Elastic resize moves parameter and optimizer shards as one unit, so it
+/// is defined only where the optimizer shard tiles the parameter shard:
+/// DDP (both unsharded), ZeRO-3 and MiCS (both partition-sharded).
+/// ZeRO-1/2 world-shard the optimizer separately.
+bool ElasticResharddable(Strategy strategy) {
+  return strategy == Strategy::kDDP || strategy == Strategy::kZeRO3 ||
+         strategy == Strategy::kMiCS;
+}
+
+}  // namespace
+
+Status ShardedDataParallel::ExportShardState(ShardStateSnapshot* out) const {
+  if (out == nullptr) return Status::InvalidArgument("null snapshot");
+  if (!ElasticResharddable(options_.strategy)) {
+    return Status::Unimplemented(
+        "elastic reshard supports DDP/ZeRO-3/MiCS (optimizer shard == "
+        "parameter shard); ZeRO-1/2 world-shard their optimizer state");
+  }
+  const int64_t s = flat_.shard_numel();
+  out->world_size = world_size_;
+  out->partition_group_size = flat_.num_shards();
+  out->true_numel = true_numel_;
+  out->shard_offset = flat_.shard_offset();
+  out->shard_numel = s;
+  const float* p = shard_params_.f32();
+  out->params.assign(p, p + s);
+  out->m.assign(optimizer_.m_data(), optimizer_.m_data() + s);
+  out->v.assign(optimizer_.v_data(), optimizer_.v_data() + s);
+  out->adam_step = optimizer_.step_count();
+  out->iterations = iterations_;
+  out->skipped_steps = skipped_steps_;
+  out->clean_iterations = clean_iterations_;
+  out->loss_scale = loss_scale_;
+  return Status::OK();
+}
+
+Status ShardedDataParallel::ImportShardState(const ShardStateSnapshot& snap) {
+  if (snap.world_size != world_size_ ||
+      snap.partition_group_size != flat_.num_shards() ||
+      snap.true_numel != true_numel_ ||
+      snap.shard_offset != flat_.shard_offset() ||
+      snap.shard_numel != flat_.shard_numel()) {
+    return Status::InvalidArgument(
+        "snapshot geometry mismatch (rollback requires an identical world)");
+  }
+  MICS_RETURN_NOT_OK(WriteShardWindow(snap.shard_offset, snap.shard_numel,
+                                      snap.params.data(), snap.m.data(),
+                                      snap.v.data()));
+  return SetReplayScalars(snap.iterations, snap.skipped_steps, snap.loss_scale,
+                          snap.clean_iterations, snap.adam_step);
+}
+
+Status ShardedDataParallel::Resize(const CommFactory& factory,
+                                   const RankTopology& topo,
+                                   int new_global_rank,
+                                   int new_partition_group_size) {
+  if (!ElasticResharddable(options_.strategy)) {
+    return Status::Unimplemented(
+        "elastic reshard supports DDP/ZeRO-3/MiCS (optimizer shard == "
+        "parameter shard); ZeRO-1/2 world-shard their optimizer state");
+  }
+  SdpOptions next = options_;
+  next.partition_group_size = new_partition_group_size;
+  AdamOptimizer::Config adam = optimizer_.config();
+  MICS_ASSIGN_OR_RETURN(
+      std::unique_ptr<ShardedDataParallel> fresh,
+      Create(factory, topo, next, true_numel_, new_global_rank, adam));
+  // Create-and-swap: nothing above could touch *this, so a failed resize
+  // leaves the old engine fully usable (the caller may fall back to a
+  // checkpoint relaunch).
+  *this = std::move(*fresh);
+  // The fresh buffers are not init'd through BindModel on this path —
+  // state arrives via WriteShardWindow — so zero everything now. This is
+  // also what keeps the padding tail (and its Adam moments) at the
+  // all-zero invariant every geometry relies on.
+  shard_params_.FillZero();
+  full_params_.FillZero();
+  micro_grads_.FillZero();
+  accum_shard_.FillZero();
+  if (options_.strategy == Strategy::kZeRO2) accum_opt_.FillZero();
+  return Status::OK();
+}
+
+Status ShardedDataParallel::WriteShardWindow(int64_t offset, int64_t count,
+                                             const float* params,
+                                             const float* m, const float* v) {
+  if (!ElasticResharddable(options_.strategy)) {
+    return Status::Unimplemented("elastic reshard unsupported strategy");
+  }
+  if (count < 0 || params == nullptr || m == nullptr || v == nullptr) {
+    return Status::InvalidArgument("bad shard window");
+  }
+  const int64_t lo = flat_.shard_offset();
+  const int64_t hi = lo + flat_.shard_numel();
+  if (offset < lo || offset + count > hi) {
+    return Status::InvalidArgument(
+        "shard window [" + std::to_string(offset) + ", " +
+        std::to_string(offset + count) + ") outside this rank's shard [" +
+        std::to_string(lo) + ", " + std::to_string(hi) + ")");
+  }
+  const int64_t at = offset - lo;
+  std::memcpy(shard_params_.f32() + at, params, count * sizeof(float));
+  std::memcpy(optimizer_.mutable_m() + at, m, count * sizeof(float));
+  std::memcpy(optimizer_.mutable_v() + at, v, count * sizeof(float));
+  return Status::OK();
+}
+
+Status ShardedDataParallel::SetReplayScalars(int iterations, int skipped_steps,
+                                             float loss_scale,
+                                             int clean_iterations,
+                                             int64_t adam_step) {
+  iterations_ = iterations;
+  skipped_steps_ = skipped_steps;
+  loss_scale_ = loss_scale;
+  clean_iterations_ = clean_iterations;
+  optimizer_.set_step_count(adam_step);
+  // Same discipline as LoadCheckpoint: accumulators and telemetry restart
+  // clean, and the comm layer must not serve a stale gathered replica of
+  // the pre-reshard parameters.
+  pending_micro_steps_ = 0;
+  overflow_ = false;
+  last_grad_norm_ = 0.0f;
+  accum_shard_.FillZero();
+  micro_grads_.FillZero();
+  if (options_.strategy == Strategy::kZeRO2) accum_opt_.FillZero();
+  groups_.NotifyParamsUpdated();
+  return Status::OK();
+}
+
+Status ShardedDataParallel::BindModelForReplay(train::Model* model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("model must not be null");
+  }
+  if (model->NumParams() != true_numel_) {
+    return Status::InvalidArgument(
+        "model parameter count does not match the engine's");
+  }
+  MICS_RETURN_NOT_OK(model->BindParameters(&full_params_, &micro_grads_));
+  model->SetGradReadyCallback([this](int64_t off, int64_t n) {
+    return NotifyGradRange(off, n);
+  });
+  return Status::OK();
+}
+
 Status ShardedDataParallel::AverageScalar(float* value) {
   if (value == nullptr) return Status::InvalidArgument("null value");
   Tensor t({1}, DType::kF32);

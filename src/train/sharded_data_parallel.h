@@ -116,6 +116,30 @@ struct SdpOptions {
   Status Validate() const;
 };
 
+/// A rank's complete training state at an iteration boundary, detached
+/// from any communicator: the fp32 master shard, the Adam moments, and
+/// the scalar lockstep state. mics::elastic captures one of these before
+/// a view change (and after every iteration, as one-step rollback
+/// history) and replays it into the resized engine — the horizontal
+/// analogue of the v2 checkpoint, without touching disk.
+struct ShardStateSnapshot {
+  int world_size = 0;
+  int partition_group_size = 0;
+  int64_t true_numel = 0;
+  int64_t shard_offset = 0;  // this shard's start in the padded flat space
+  int64_t shard_numel = 0;
+  std::vector<float> params;  // fp32 master shard
+  std::vector<float> m;       // Adam first moment
+  std::vector<float> v;       // Adam second moment
+  int64_t adam_step = 0;
+  int iterations = 0;
+  int skipped_steps = 0;
+  int clean_iterations = 0;
+  float loss_scale = 1.0f;
+
+  bool valid() const { return world_size > 0; }
+};
+
 /// The real MiCS training engine for one rank: owns the sharded fp32
 /// master parameters, the gathered-parameter workspace, gradient
 /// accumulation, the 2-hop synchronization schedule, and the sharded
@@ -223,6 +247,53 @@ class ShardedDataParallel {
   Status SaveCheckpoint(const std::string& dir) const;
   Status LoadCheckpoint(const std::string& dir);
 
+  // -- Elastic resize support (mics::elastic) --------------------------------
+  //
+  // A view change replaces this engine's communicators and geometry while
+  // the process keeps running. The protocol is:
+  //   snap = ExportShardState()            // boundary state, old geometry
+  //   Resize(factory', topo', rank', p')   // fresh groups/buffers, zeroed
+  //   WriteShardWindow(...) per plan piece // peer/local/checkpoint sources
+  //   SetReplayScalars(...)                // agreed reshard-point scalars
+  //   BindModelForReplay(model)            // rebind views, keep weights
+  // Supported for the strategies whose optimizer shard equals the
+  // parameter shard (DDP / ZeRO-3 / MiCS); ZeRO-1/2 world-shard their
+  // optimizer states separately and return Unimplemented.
+
+  /// Captures this rank's boundary state (master shard + Adam moments +
+  /// scalars). Legal mid-iteration too: master state only mutates inside
+  /// FinishIterationAndStep, so the export is always the last boundary.
+  Status ExportShardState(ShardStateSnapshot* out) const;
+
+  /// Restores a snapshot captured from an identical geometry (the
+  /// one-step rollback on a view change). Clears accumulators and
+  /// invalidates gathered replicas.
+  Status ImportShardState(const ShardStateSnapshot& snap);
+
+  /// Rebuilds this engine for a new world: fresh communicator groups from
+  /// `factory`, new rank/partition geometry, zeroed shard and moments
+  /// (state arrives afterwards through WriteShardWindow). Implemented as
+  /// create-and-swap, so a failed resize leaves the engine untouched.
+  Status Resize(const CommFactory& factory, const RankTopology& topo,
+                int new_global_rank, int new_partition_group_size);
+
+  /// Writes `count` elements of master params + Adam moments at flat-space
+  /// offset `offset` (padded coordinates). The range must lie inside this
+  /// rank's shard.
+  Status WriteShardWindow(int64_t offset, int64_t count, const float* params,
+                          const float* m, const float* v);
+
+  /// Installs the agreed reshard-point scalar state (iteration counter,
+  /// loss-scale machinery, Adam step) after the shard windows landed, and
+  /// publishes the rebuilt parameters to the comm layer.
+  Status SetReplayScalars(int iterations, int skipped_steps, float loss_scale,
+                          int clean_iterations, int64_t adam_step);
+
+  /// BindModel minus the parameter initialization: rebinds `model`'s views
+  /// and gradient callback to this engine's buffers without touching the
+  /// transferred weights. Used after Resize and by hydrating joiners.
+  Status BindModelForReplay(train::Model* model);
+
   int completed_iterations() const { return iterations_; }
   int pending_micro_steps() const { return pending_micro_steps_; }
 
@@ -232,6 +303,12 @@ class ShardedDataParallel {
   /// Global gradient norm of the last completed iteration (post-scale,
   /// pre-clip); 0 until an iteration finishes or when clipping is off.
   float last_grad_norm() const { return last_grad_norm_; }
+
+  // Movable (Resize swaps in a freshly created engine), not copyable.
+  ShardedDataParallel(ShardedDataParallel&&) = default;
+  ShardedDataParallel& operator=(ShardedDataParallel&&) = default;
+  ShardedDataParallel(const ShardedDataParallel&) = delete;
+  ShardedDataParallel& operator=(const ShardedDataParallel&) = delete;
 
  private:
   ShardedDataParallel(GroupManager groups, FlatParameter flat,

@@ -1,0 +1,229 @@
+// The elastic churn drills, run against the real example binary under
+// the real launcher (fork/exec, real TCP, real SIGKILL):
+//
+//  * shrink: SIGKILL one rank of a live 3-process elastic job mid-run;
+//    the survivors must re-form the world at generation 2, reshard
+//    peer-to-peer (no checkpoint reload), and resume — and the post-churn
+//    losses must be bit-identical to a fixed-world run of the post-shrink
+//    geometry resumed from the same reshard-point state.
+//
+//  * grow: two joiners on a fresh node enter a live 2-process job; they
+//    must hydrate their shards from peers, the re-packed groups must not
+//    straddle nodes, and the grown run must continue bit-identically to
+//    a fixed-world run of the grown geometry.
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/launch.h"
+#include "util/status.h"
+
+namespace mics {
+namespace elastic {
+namespace {
+
+std::string FreshDir(const std::string& tag) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("mics_elastic_" + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::map<int, std::string> ReadLossBits(const std::string& path) {
+  std::map<int, std::string> bits;
+  std::ifstream is(path);
+  int iter = 0;
+  std::string hex, value;
+  while (is >> iter >> hex >> value) bits[iter] = hex;
+  return bits;
+}
+
+std::map<std::string, std::string> ReadReport(const std::string& path) {
+  std::map<std::string, std::string> kv;
+  std::ifstream is(path);
+  std::string key, value;
+  while (is >> key >> value) kv[key] = value;
+  return kv;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+TEST(ElasticDrillTest, ShrinkReshardsPeerToPeerAndStaysBitIdentical) {
+#ifndef MICS_MP_EXAMPLE_BIN
+  GTEST_SKIP() << "example binary path not configured";
+#else
+  const std::string dir = FreshDir("shrink");
+  std::filesystem::create_directories(dir + "/ckpt");
+
+  // 3 single-rank nodes, p pinned to 1; rank 2 SIGKILLs itself at the
+  // top of iteration 4 of generation 1 — a preempted instance, mid-run.
+  net::LaunchOptions fault;
+  fault.binary = MICS_MP_EXAMPLE_BIN;
+  fault.args = {"--elastic",        "--iterations",
+                "8",                "--grad-accum",
+                "1",                "--partition",
+                "1",                "--checkpoint-dir",
+                dir + "/ckpt",      "--checkpoint-interval",
+                "0",                "--die-rank",
+                "2",                "--die-iter",
+                "4",                "--out",
+                dir + "/fault.txt", "--report",
+                dir + "/report.txt", "--status-log",
+                dir + "/status.txt"};
+  fault.num_workers = 3;
+  fault.gpus_per_node = 1;
+  fault.elastic = true;
+  fault.timeout_ms = 120000;
+  auto report = net::LaunchWorkers(fault);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().success);
+  EXPECT_EQ(report.value().attempts, 1) << "churn must not cost an attempt";
+
+  const std::map<std::string, std::string> facts =
+      ReadReport(dir + "/report.txt");
+  ASSERT_FALSE(facts.empty()) << "no report written";
+  EXPECT_EQ(facts.at("generation"), "2");
+  EXPECT_EQ(facts.at("view_changes"), "1");
+  EXPECT_EQ(facts.at("final_world"), "2");
+  EXPECT_EQ(facts.at("final_partition"), "1");
+  EXPECT_EQ(facts.at("reshard_iteration"), "4");
+  // The dir held no checkpoint at kill time (interval 0): survivors can
+  // only have resharded from live peer state.
+  EXPECT_EQ(facts.at("from_checkpoint"), "0");
+  EXPECT_EQ(facts.at("packed"), "1");
+
+  // The post-churn reference: a fixed-world job of the post-shrink
+  // geometry resuming from the post-resize checkpoint (the drill's only
+  // save) must reproduce the surviving run's losses bit-for-bit.
+  net::LaunchOptions ref;
+  ref.binary = MICS_MP_EXAMPLE_BIN;
+  ref.args = {"--strategy", "mics", "--partition", "1",
+              "--iterations", "8", "--grad-accum", "1",
+              "--checkpoint-dir", dir + "/ckpt",
+              "--checkpoint-interval", "8",
+              "--out", dir + "/ref.txt"};
+  ref.num_workers = 2;
+  ref.gpus_per_node = 1;
+  ref.timeout_ms = 120000;
+  auto ref_report = net::LaunchWorkers(ref);
+  ASSERT_TRUE(ref_report.ok()) << ref_report.status().ToString();
+  ASSERT_TRUE(ref_report.value().success);
+
+  const std::map<int, std::string> fault_bits =
+      ReadLossBits(dir + "/fault.txt");
+  const std::map<int, std::string> ref_bits = ReadLossBits(dir + "/ref.txt");
+  ASSERT_FALSE(fault_bits.empty());
+  EXPECT_EQ(fault_bits.begin()->first, 4) << "reshard point moved";
+  EXPECT_EQ(fault_bits.rbegin()->first, 7);
+  ASSERT_EQ(ref_bits.size(), fault_bits.size());
+  for (const auto& [iter, hex] : fault_bits) {
+    ASSERT_TRUE(ref_bits.count(iter)) << "iteration " << iter;
+    EXPECT_EQ(hex, ref_bits.at(iter)) << "iteration " << iter;
+  }
+#endif
+}
+
+TEST(ElasticDrillTest, GrowHydratesJoinersAndPacksGroups) {
+#ifndef MICS_MP_EXAMPLE_BIN
+  GTEST_SKIP() << "example binary path not configured";
+#else
+  const std::string dir = FreshDir("grow");
+  std::filesystem::create_directories(dir + "/ckpt");
+
+  // 2 founders on node n0 (p=2 inside the node); 500 ms in, two joiners
+  // spawn on n1. --await-grow 3:4 pins the reshard point: the founders
+  // idle at iteration 3 until the world has 4 members, so the drill is
+  // deterministic (no race between the join alarm and iteration 3's
+  // collectives).
+  net::LaunchOptions grow;
+  grow.binary = MICS_MP_EXAMPLE_BIN;
+  grow.args = {"--elastic",       "--iterations",
+               "8",               "--grad-accum",
+               "1",               "--partition",
+               "2",               "--await-grow",
+               "3:4",             "--checkpoint-dir",
+               dir + "/ckpt",     "--checkpoint-interval",
+               "0",               "--out",
+               dir + "/grow.txt", "--report",
+               dir + "/report.txt", "--status-log",
+               dir + "/status.txt"};
+  grow.num_workers = 2;
+  grow.gpus_per_node = 2;
+  grow.elastic = true;
+  grow.grow_workers = 2;
+  grow.grow_delay_ms = 500;
+  grow.timeout_ms = 120000;
+  auto report = net::LaunchWorkers(grow);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().success);
+
+  const std::map<std::string, std::string> facts =
+      ReadReport(dir + "/report.txt");
+  ASSERT_FALSE(facts.empty()) << "no report written";
+  EXPECT_EQ(facts.at("final_world"), "4");
+  EXPECT_EQ(facts.at("final_partition"), "2");
+  EXPECT_EQ(facts.at("gpus_per_node"), "2");
+  // New groups never straddle nodes when intra-node packing exists:
+  // [0,1] on n0, [2,3] on n1.
+  EXPECT_EQ(facts.at("packed"), "1");
+  EXPECT_EQ(facts.at("from_checkpoint"), "0");
+  EXPECT_NE(facts.at("view_changes"), "0");
+  // Joiners pulled real shard payload over the wire (params + both Adam
+  // moments for every element they now hold).
+  EXPECT_GT(std::stoll(facts.at("reshard_bytes")), 0);
+
+  // Every member of the final view — including both joiners, re-ranked
+  // into 2 and 3 — finished cleanly under its view rank.
+  const std::string status_log = Slurp(dir + "/status.txt");
+  for (int rank = 0; rank < 4; ++rank) {
+    EXPECT_NE(status_log.find("rank " + std::to_string(rank) + " status 0"),
+              std::string::npos)
+        << status_log;
+  }
+
+  // Bit-identity: a fixed-world run of the grown geometry resuming from
+  // the post-grow checkpoint reproduces the grown run's tail exactly.
+  net::LaunchOptions ref;
+  ref.binary = MICS_MP_EXAMPLE_BIN;
+  ref.args = {"--strategy", "mics", "--partition", "2",
+              "--iterations", "8", "--grad-accum", "1",
+              "--checkpoint-dir", dir + "/ckpt",
+              "--checkpoint-interval", "8",
+              "--out", dir + "/ref.txt"};
+  ref.num_workers = 4;
+  ref.gpus_per_node = 2;
+  ref.timeout_ms = 120000;
+  auto ref_report = net::LaunchWorkers(ref);
+  ASSERT_TRUE(ref_report.ok()) << ref_report.status().ToString();
+  ASSERT_TRUE(ref_report.value().success);
+
+  const std::map<int, std::string> grow_bits =
+      ReadLossBits(dir + "/grow.txt");
+  const std::map<int, std::string> ref_bits = ReadLossBits(dir + "/ref.txt");
+  ASSERT_FALSE(grow_bits.empty());
+  const int reshard_iter = std::stoi(facts.at("reshard_iteration"));
+  EXPECT_EQ(grow_bits.begin()->first, reshard_iter);
+  EXPECT_EQ(grow_bits.rbegin()->first, 7);
+  ASSERT_EQ(ref_bits.size(), grow_bits.size());
+  for (const auto& [iter, hex] : grow_bits) {
+    ASSERT_TRUE(ref_bits.count(iter)) << "iteration " << iter;
+    EXPECT_EQ(hex, ref_bits.at(iter)) << "iteration " << iter;
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace elastic
+}  // namespace mics

@@ -1,0 +1,533 @@
+// mics::elastic units: the ELM1/ELE1 store-record codecs (including the
+// truncation/corruption fuzz bar the MCT1 telemetry wire format set),
+// the topology-packed placement planner, the reshard plan builder, the
+// checkpoint window reader, the TcpStore prefix ops the cleanup path
+// relies on, the launcher-env validation, and the per-view re-ranking of
+// the log/trace identity.
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "elastic/membership.h"
+#include "elastic/placement.h"
+#include "elastic/reshard.h"
+#include "net/launch.h"
+#include "net/tcp_store.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace mics {
+namespace elastic {
+namespace {
+
+WorldView SampleView() {
+  WorldView view;
+  view.generation = 3;
+  view.gpus_per_node = 2;
+  view.partition_group_size = 2;
+  view.old_world_size = 6;
+  view.old_partition_group_size = 2;
+  view.reshard_iteration = 7;
+  view.from_checkpoint = false;
+  view.loss_scale = 1024.0f;
+  view.skipped_steps = 2;
+  view.clean_iterations = 5;
+  view.adam_step = 14;
+  for (int i = 0; i < 4; ++i) {
+    ViewMember m;
+    m.member_id = static_cast<uint64_t>(10 + i);
+    m.node = "n" + std::to_string(i / 2);
+    m.old_rank = i < 3 ? i : -1;  // the last member is a joiner
+    m.has_state = i < 3;
+    view.members.push_back(m);
+  }
+  return view;
+}
+
+EnterRecord SampleEnter() {
+  EnterRecord e;
+  e.member_id = 42;
+  e.node = "n3";
+  e.old_rank = 5;
+  e.iterations = 9;
+  e.loss_scale = 512.0f;
+  e.skipped_steps = 1;
+  e.clean_iterations = 3;
+  e.adam_step = 17;
+  e.has_history = true;
+  e.history_iterations = 8;
+  e.history_loss_scale = 256.0f;
+  e.history_skipped_steps = 1;
+  e.history_clean_iterations = 2;
+  e.history_adam_step = 16;
+  return e;
+}
+
+TEST(WorldViewCodec, RoundTrips) {
+  const WorldView view = SampleView();
+  const std::string bytes = EncodeWorldView(view);
+  auto parsed = ParseWorldView(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const WorldView& got = parsed.value();
+  EXPECT_EQ(got.generation, view.generation);
+  EXPECT_EQ(got.gpus_per_node, view.gpus_per_node);
+  EXPECT_EQ(got.partition_group_size, view.partition_group_size);
+  EXPECT_EQ(got.old_world_size, view.old_world_size);
+  EXPECT_EQ(got.old_partition_group_size, view.old_partition_group_size);
+  EXPECT_EQ(got.reshard_iteration, view.reshard_iteration);
+  EXPECT_EQ(got.from_checkpoint, view.from_checkpoint);
+  EXPECT_EQ(got.loss_scale, view.loss_scale);
+  EXPECT_EQ(got.skipped_steps, view.skipped_steps);
+  EXPECT_EQ(got.clean_iterations, view.clean_iterations);
+  EXPECT_EQ(got.adam_step, view.adam_step);
+  ASSERT_EQ(got.members.size(), view.members.size());
+  for (size_t i = 0; i < view.members.size(); ++i) {
+    EXPECT_EQ(got.members[i].member_id, view.members[i].member_id);
+    EXPECT_EQ(got.members[i].node, view.members[i].node);
+    EXPECT_EQ(got.members[i].old_rank, view.members[i].old_rank);
+    EXPECT_EQ(got.members[i].has_state, view.members[i].has_state);
+  }
+  // Re-encoding the parse is byte-stable (the store dedups on bytes).
+  EXPECT_EQ(EncodeWorldView(got), bytes);
+}
+
+TEST(WorldViewCodec, RejectsEveryTruncation) {
+  const std::string good = EncodeWorldView(SampleView());
+  for (size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(ParseWorldView(good.substr(0, len)).ok())
+        << "truncation to " << len << " of " << good.size()
+        << " bytes parsed";
+  }
+}
+
+TEST(WorldViewCodec, RejectsBadMagicTrailingAndHostileCount) {
+  const std::string good = EncodeWorldView(SampleView());
+  ASSERT_TRUE(ParseWorldView(good).ok());
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(ParseWorldView(bad_magic).ok());
+
+  std::string trailing = good + "\0";
+  trailing.push_back('\0');
+  EXPECT_FALSE(ParseWorldView(trailing).ok());
+
+  // Member count patched to 0xFFFFFFFF with no payload behind it must
+  // fail cleanly, not allocate or scan garbage. The count sits right
+  // before the first member record; find it by encoding a one-member
+  // view and patching the known offset instead of scanning.
+  WorldView one = SampleView();
+  one.members.resize(1);
+  one.members[0].old_rank = 0;
+  std::string hostile = EncodeWorldView(one);
+  const size_t count_at = hostile.size() -
+                          (8 + 4 + static_cast<size_t>(one.members[0].node.size()) + 4 + 4) - 4;
+  for (int i = 0; i < 4; ++i) {
+    hostile[count_at + static_cast<size_t>(i)] = static_cast<char>(0xFF);
+  }
+  EXPECT_FALSE(ParseWorldView(hostile).ok());
+}
+
+TEST(EnterCodec, RoundTripsAndRejectsCorruption) {
+  const EnterRecord record = SampleEnter();
+  const std::string good = EncodeEnterRecord(record);
+  auto parsed = ParseEnterRecord(good);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const EnterRecord& got = parsed.value();
+  EXPECT_EQ(got.member_id, record.member_id);
+  EXPECT_EQ(got.node, record.node);
+  EXPECT_EQ(got.old_rank, record.old_rank);
+  EXPECT_EQ(got.iterations, record.iterations);
+  EXPECT_EQ(got.loss_scale, record.loss_scale);
+  EXPECT_EQ(got.adam_step, record.adam_step);
+  EXPECT_EQ(got.has_history, record.has_history);
+  EXPECT_EQ(got.history_iterations, record.history_iterations);
+  EXPECT_EQ(got.history_adam_step, record.history_adam_step);
+  EXPECT_EQ(EncodeEnterRecord(got), good);
+
+  for (size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(ParseEnterRecord(good.substr(0, len)).ok())
+        << "truncation to " << len << " bytes parsed";
+  }
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(ParseEnterRecord(bad_magic).ok());
+  std::string trailing = good;
+  trailing.push_back('\0');
+  EXPECT_FALSE(ParseEnterRecord(trailing).ok());
+}
+
+TEST(WorldViewValidate, CatchesStructuralNonsense) {
+  EXPECT_TRUE(SampleView().Validate().ok());
+
+  WorldView bad = SampleView();
+  bad.partition_group_size = 3;  // does not divide world 4
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = SampleView();
+  bad.members[1].member_id = bad.members[0].member_id;  // duplicate id
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = SampleView();
+  bad.members[2].old_rank = 6;  // outside the old world
+  EXPECT_FALSE(bad.Validate().ok());
+
+  bad = SampleView();
+  bad.members.clear();
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+PlacementMember PM(uint64_t id, const std::string& node, int old_rank) {
+  PlacementMember m;
+  m.member_id = id;
+  m.node = node;
+  m.old_rank = old_rank;
+  m.has_state = old_rank >= 0;
+  return m;
+}
+
+TEST(Placement, PacksGroupsInsideNodes) {
+  // Two full nodes: groups of 2 fit inside nodes, so p stays 2 and the
+  // node-major order never lets a group straddle.
+  auto plan = PlanPlacement(
+      {PM(4, "n1", 2), PM(1, "n0", 0), PM(3, "n1", 3), PM(2, "n0", 1)}, 2);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan.value().partition_group_size, 2);
+  EXPECT_EQ(plan.value().gpus_per_node, 2);
+  EXPECT_TRUE(plan.value().packed);
+  // Node-major, by id within a node.
+  EXPECT_EQ(plan.value().members[0].member_id, 1u);
+  EXPECT_EQ(plan.value().members[1].member_id, 2u);
+  EXPECT_EQ(plan.value().members[2].member_id, 3u);
+  EXPECT_EQ(plan.value().members[3].member_id, 4u);
+}
+
+TEST(Placement, RaggedSurvivorsShrinkThePartition) {
+  // 2 + 1 survivors: p must divide every node count, so it collapses to
+  // 1 (pure DDP groups) rather than letting a group straddle nodes.
+  auto plan =
+      PlanPlacement({PM(1, "n0", 0), PM(2, "n0", 1), PM(3, "n1", 2)}, 2);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan.value().partition_group_size, 1);
+  EXPECT_EQ(plan.value().gpus_per_node, 1);
+  EXPECT_TRUE(plan.value().packed);
+}
+
+TEST(Placement, RejectsDuplicateMembers) {
+  EXPECT_FALSE(PlanPlacement({PM(1, "n0", 0), PM(1, "n0", 1)}, 1).ok());
+  EXPECT_FALSE(PlanPlacement({}, 1).ok());
+}
+
+WorldView GrowView() {
+  // Old world: 2 ranks, p=2 (rank r holds shard r). New world: 4 ranks,
+  // p=2, two joiners on n1.
+  WorldView view;
+  view.generation = 2;
+  view.gpus_per_node = 2;
+  view.partition_group_size = 2;
+  view.old_world_size = 2;
+  view.old_partition_group_size = 2;
+  view.reshard_iteration = 3;
+  for (int i = 0; i < 4; ++i) {
+    ViewMember m;
+    m.member_id = static_cast<uint64_t>(i);
+    m.node = i < 2 ? "n0" : "n1";
+    m.old_rank = i < 2 ? i : -1;
+    m.has_state = i < 2;
+    view.members.push_back(m);
+  }
+  return view;
+}
+
+TEST(ReshardPlan, GrowHydratesJoinersOverTheWire) {
+  const int64_t kNumel = 1000;
+  auto plan = BuildReshardPlan(GrowView(), kNumel);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const ReshardPlan& p = plan.value();
+  EXPECT_FALSE(p.from_checkpoint);
+  // shard_numel = AlignUp(1000, 4) / 2 = 500; survivors self-serve,
+  // joiners (ranks 2, 3) each pull one whole shard over the wire.
+  EXPECT_EQ(p.new_geo.shard_numel(), 500);
+  int64_t wire_elems = 0;
+  for (const CopyPiece& piece : p.pieces) {
+    ASSERT_GE(piece.src_new_rank, 0);  // live peers, no checkpoint reads
+    if (piece.dst_new_rank <= 1) {
+      EXPECT_TRUE(piece.local)
+          << "survivor rank " << piece.dst_new_rank << " went to the wire";
+    } else {
+      EXPECT_FALSE(piece.local);
+      EXPECT_EQ(piece.src_new_rank, piece.dst_new_rank - 2);
+      wire_elems += piece.count;
+    }
+  }
+  EXPECT_EQ(wire_elems, 1000);
+  EXPECT_EQ(p.wire_bytes, wire_elems * 12);  // params + m + v
+}
+
+TEST(ReshardPlan, ShrinkServesLocallyWhenTheReplicaSurvives) {
+  // Old world 4 p=2 -> new world 2 p=2: each survivor held its shard
+  // already, so nothing moves at all.
+  WorldView view = GrowView();
+  view.old_world_size = 4;
+  view.members.resize(2);
+  view.members[0].old_rank = 0;
+  view.members[1].old_rank = 1;
+  auto plan = BuildReshardPlan(view, 1000);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan.value().wire_bytes, 0);
+  for (const CopyPiece& piece : plan.value().pieces) {
+    EXPECT_TRUE(piece.local);
+  }
+}
+
+TEST(ReshardPlan, FallsBackToCheckpointWhenAShardHasNoHolder) {
+  // Both holders of old shard 1 are gone: a committed from_checkpoint
+  // view makes every piece a checkpoint read (mixing live and file state
+  // would stitch two different boundaries together).
+  WorldView view = GrowView();
+  view.from_checkpoint = true;
+  for (ViewMember& m : view.members) {
+    m.old_rank = -1;
+    m.has_state = false;
+  }
+  auto plan = BuildReshardPlan(view, 1000);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan.value().from_checkpoint);
+  for (const CopyPiece& piece : plan.value().pieces) {
+    EXPECT_EQ(piece.src_new_rank, -1);
+    EXPECT_GE(piece.src_old_rank, 0);
+  }
+}
+
+TEST(ReshardPlan, DerivesCheckpointFallbackFromMissingCoverage) {
+  // The builder itself must notice uncovered shards even when the view
+  // did not flag it (defense in depth against a buggy publisher).
+  WorldView view = GrowView();
+  view.members[1].has_state = false;  // old shard 1's only holder
+  view.members[1].old_rank = -1;
+  auto plan = BuildReshardPlan(view, 1000);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan.value().from_checkpoint);
+}
+
+// Writes a v2 checkpoint for old rank `rank` of `geo` where
+// params[i] = base + i, m[i] = base + i + 0.25, v[i] = base + i + 0.5
+// over the rank's whole shard window (base = shard start offset).
+void WriteFakeCheckpoint(const std::string& dir, const ShardGeometry& geo,
+                         int rank, int iterations) {
+  const int64_t shard = geo.shard_numel();
+  const int64_t start = geo.shard_begin(geo.shard_of_rank(rank));
+  std::ofstream os(dir + "/mics-rank" + std::to_string(rank) + ".ckpt",
+                   std::ios::binary | std::ios::trunc);
+  auto put = [&os](const void* p, size_t n) {
+    os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  };
+  const uint64_t magic = 0x4d694353434b5054ULL;
+  const uint32_t version = 2;
+  const int32_t world = geo.world_size;
+  const int32_t p = geo.partition_group_size;
+  const int32_t r = rank;
+  const int64_t numel = geo.true_numel;
+  const int64_t shard_numel = shard;
+  const int32_t iters = iterations;
+  const int32_t skipped = 1;
+  const float loss_scale = 2048.0f;
+  const int32_t clean = 2;
+  put(&magic, 8);
+  put(&version, 4);
+  put(&world, 4);
+  put(&p, 4);
+  put(&r, 4);
+  put(&numel, 8);
+  put(&shard_numel, 8);
+  put(&iters, 4);
+  put(&skipped, 4);
+  put(&loss_scale, 4);
+  put(&clean, 4);
+  std::vector<float> buf(static_cast<size_t>(shard));
+  for (int64_t i = 0; i < shard; ++i) {
+    buf[static_cast<size_t>(i)] = static_cast<float>(start + i);
+  }
+  put(buf.data(), buf.size() * 4);
+  // AdamOptimizer::SaveState: numel, step (host order), then m, v.
+  const int64_t opt_numel = shard;
+  const int64_t step = 11;
+  put(&opt_numel, 8);
+  put(&step, 8);
+  for (int64_t i = 0; i < shard; ++i) {
+    buf[static_cast<size_t>(i)] = static_cast<float>(start + i) + 0.25f;
+  }
+  put(buf.data(), buf.size() * 4);
+  for (int64_t i = 0; i < shard; ++i) {
+    buf[static_cast<size_t>(i)] = static_cast<float>(start + i) + 0.5f;
+  }
+  put(buf.data(), buf.size() * 4);
+}
+
+TEST(CheckpointWindow, ReadsWindowsWithoutLoadingTheShard) {
+  const auto dir = std::filesystem::temp_directory_path() / "mics_ckpt_win";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ShardGeometry geo;
+  geo.true_numel = 100;
+  geo.world_size = 4;
+  geo.partition_group_size = 2;  // shard_numel = 50
+  WriteFakeCheckpoint(dir.string(), geo, 1, 6);  // rank 1 holds [50, 100)
+
+  std::vector<float> params(10), m(10), v(10);
+  auto scalars = ReadCheckpointWindow(dir.string(), 1, geo, 60, 10,
+                                      params.data(), m.data(), v.data());
+  ASSERT_TRUE(scalars.ok()) << scalars.status().ToString();
+  EXPECT_EQ(scalars.value().iterations, 6);
+  EXPECT_EQ(scalars.value().skipped_steps, 1);
+  EXPECT_EQ(scalars.value().clean_iterations, 2);
+  EXPECT_EQ(scalars.value().loss_scale, 2048.0f);
+  EXPECT_EQ(scalars.value().adam_step, 11);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(params[static_cast<size_t>(i)], static_cast<float>(60 + i));
+    EXPECT_EQ(m[static_cast<size_t>(i)], static_cast<float>(60 + i) + 0.25f);
+    EXPECT_EQ(v[static_cast<size_t>(i)], static_cast<float>(60 + i) + 0.5f);
+  }
+
+  // Windows outside the rank's shard are rejected, not clamped.
+  float one = 0.0f;
+  EXPECT_FALSE(
+      ReadCheckpointWindow(dir.string(), 1, geo, 40, 1, &one, &one, &one)
+          .ok());
+  EXPECT_FALSE(
+      ReadCheckpointWindow(dir.string(), 1, geo, 95, 10, &one, &one, &one)
+          .ok());
+  // A geometry mismatch (wrong world) is rejected by the header check.
+  ShardGeometry wrong = geo;
+  wrong.world_size = 8;
+  wrong.partition_group_size = 4;
+  EXPECT_FALSE(
+      ReadCheckpointWindow(dir.string(), 1, wrong, 60, 1, &one, &one, &one)
+          .ok());
+  std::filesystem::remove_all(dir);
+}
+
+// Satellite regression: the prefix-scoped store ops CleanupRetiredGeneration
+// is built on. Delete removes exactly the prefix; list returns sorted keys.
+TEST(TcpStorePrefix, DeleteAndListScopeToThePrefix) {
+  auto server = net::TcpStoreServer::Start();
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = net::TcpStoreClient::Connect(server.value()->addr());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  net::TcpStoreClient* store = client.value().get();
+
+  ASSERT_TRUE(store->Set("elastic/enter/3/10", "a").ok());
+  ASSERT_TRUE(store->Set("elastic/enter/3/11", "b").ok());
+  ASSERT_TRUE(store->Set("elastic/enter/30/99", "c").ok());
+  ASSERT_TRUE(store->Set("elastic/gen", "3").ok());
+
+  auto listed = store->ListByPrefix(EnterPrefix(3));
+  ASSERT_TRUE(listed.ok()) << listed.status().ToString();
+  ASSERT_EQ(listed.value().size(), 2u);
+  EXPECT_EQ(listed.value()[0], "elastic/enter/3/10");
+  EXPECT_EQ(listed.value()[1], "elastic/enter/3/11");
+
+  auto removed = store->DeleteByPrefix(EnterPrefix(3));
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_EQ(removed.value(), 2);
+  // The sibling generation and unrelated keys are untouched.
+  EXPECT_TRUE(store->Get("elastic/enter/30/99").ok());
+  EXPECT_TRUE(store->Get("elastic/gen").ok());
+  EXPECT_TRUE(store->Get("elastic/enter/3/10").status().IsNotFound());
+  // Deleting nothing is fine; an empty prefix (wipe-the-store) is not.
+  auto none = store->DeleteByPrefix(EnterPrefix(3));
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value(), 0);
+  EXPECT_FALSE(store->DeleteByPrefix("").ok());
+  EXPECT_FALSE(store->ListByPrefix("").ok());
+}
+
+// Satellite regression: FromEnv must reject a non-positive world size and
+// a world/gpus-per-node mismatch with actionable messages.
+TEST(FromEnvValidation, RejectsBadWorldGeometry) {
+  ::setenv(net::kEnvStoreAddr, "127.0.0.1:4242", 1);
+  ::setenv(net::kEnvRank, "0", 1);
+  ::setenv(net::kEnvAttempt, "0", 1);
+
+  ::setenv(net::kEnvWorldSize, "0", 1);
+  ::setenv(net::kEnvGpusPerNode, "1", 1);
+  auto zero = net::DistributedContext::FromEnv();
+  ASSERT_FALSE(zero.ok());
+  EXPECT_NE(zero.status().ToString().find("positive world size"),
+            std::string::npos)
+      << zero.status().ToString();
+
+  ::setenv(net::kEnvWorldSize, "-4", 1);
+  EXPECT_FALSE(net::DistributedContext::FromEnv().ok());
+
+  ::setenv(net::kEnvWorldSize, "6", 1);
+  ::setenv(net::kEnvGpusPerNode, "4", 1);
+  auto ragged = net::DistributedContext::FromEnv();
+  ASSERT_FALSE(ragged.ok());
+  EXPECT_NE(ragged.status().ToString().find("multiple of"),
+            std::string::npos)
+      << ragged.status().ToString();
+
+  ::setenv(net::kEnvGpusPerNode, "0", 1);
+  EXPECT_FALSE(net::DistributedContext::FromEnv().ok());
+
+  // A consistent geometry with elastic identity parses.
+  ::setenv(net::kEnvWorldSize, "6", 1);
+  ::setenv(net::kEnvGpusPerNode, "3", 1);
+  ::setenv(net::kEnvMemberId, "12", 1);
+  ::setenv(net::kEnvNode, "host-a", 1);
+  ::setenv(net::kEnvElasticJoin, "1", 1);
+  auto ok = net::DistributedContext::FromEnv();
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().member_id, 12);
+  EXPECT_EQ(ok.value().node, "host-a");
+  EXPECT_TRUE(ok.value().elastic_join);
+  ::unsetenv(net::kEnvStoreAddr);
+  ::unsetenv(net::kEnvRank);
+  ::unsetenv(net::kEnvWorldSize);
+  ::unsetenv(net::kEnvAttempt);
+  ::unsetenv(net::kEnvGpusPerNode);
+  ::unsetenv(net::kEnvMemberId);
+  ::unsetenv(net::kEnvNode);
+  ::unsetenv(net::kEnvElasticJoin);
+}
+
+// Satellite regression: a view change re-ranks a live process's
+// observability — SetProcessRank must override the bootstrap MICS_RANK
+// for new trace tracks (setenv mid-run is not thread-safe).
+TEST(ProcessRank, TraceTracksFollowTheViewRank) {
+  ::setenv("MICS_RANK", "1", 1);
+  obs::TraceRecorder recorder;
+  const int boot = recorder.RegisterTrack("loop");
+  obs::TraceRecorder::SetProcessRank(3);
+  const int reranked = recorder.RegisterTrack("loop");
+  obs::TraceRecorder::SetProcessRank(-1);  // restore env default
+  ::unsetenv("MICS_RANK");
+  EXPECT_NE(boot, reranked);
+  recorder.AddCompleteEvent(boot, "a", 0.0, 1.0);
+  recorder.AddCompleteEvent(reranked, "b", 1.0, 1.0);
+  std::ostringstream os;
+  recorder.WriteChromeTrace(os);
+  EXPECT_NE(os.str().find("proc1/loop"), std::string::npos) << os.str();
+  EXPECT_NE(os.str().find("proc3/loop"), std::string::npos) << os.str();
+}
+
+TEST(Keys, GenerationNamespacesAreDisjoint) {
+  EXPECT_EQ(MembersKey(7), "elastic/members/7");
+  EXPECT_EQ(EnterKey(7, 3), "elastic/enter/7/3");
+  EXPECT_EQ(AlarmKey(7), "elastic/alarm/7");
+  EXPECT_EQ(HeartbeatKey(3), "elastic/hb/3");
+  EXPECT_EQ(TransportPrefix(7), "mics/gen7");
+  EXPECT_NE(TransportPrefix(7), TransportPrefix(8));
+}
+
+}  // namespace
+}  // namespace elastic
+}  // namespace mics

@@ -26,7 +26,8 @@ void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s -n <workers> [--attempts N] [--timeout-ms MS]\n"
-      "       [--gpus-per-node G] -- <binary> [args...]\n",
+      "       [--gpus-per-node G] [--elastic] [--respawn N] [--grow C]\n"
+      "       [--grow-delay-ms MS] [--grow-node NAME] -- <binary> [args...]\n",
       argv0);
 }
 
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
   mics::net::LaunchOptions options;
   long timeout_ms = options.timeout_ms;
   long workers = 0, attempts = 1, gpus_per_node = 1;
+  long respawn = 0, grow = 0, grow_delay_ms = 0;
   int i = 1;
   for (; i < argc; ++i) {
     const char* arg = argv[i];
@@ -57,6 +59,17 @@ int main(int argc, char** argv) {
       if (++i >= argc || !ParseInt(argv[i], &timeout_ms)) break;
     } else if (std::strcmp(arg, "--gpus-per-node") == 0) {
       if (++i >= argc || !ParseInt(argv[i], &gpus_per_node)) break;
+    } else if (std::strcmp(arg, "--elastic") == 0) {
+      options.elastic = true;
+    } else if (std::strcmp(arg, "--respawn") == 0) {
+      if (++i >= argc || !ParseInt(argv[i], &respawn)) break;
+    } else if (std::strcmp(arg, "--grow") == 0) {
+      if (++i >= argc || !ParseInt(argv[i], &grow)) break;
+    } else if (std::strcmp(arg, "--grow-delay-ms") == 0) {
+      if (++i >= argc || !ParseInt(argv[i], &grow_delay_ms)) break;
+    } else if (std::strcmp(arg, "--grow-node") == 0) {
+      if (++i >= argc) break;
+      options.grow_node = argv[i];
     } else {
       std::fprintf(stderr, "mics_launch: unknown option '%s'\n", arg);
       Usage(argv[0]);
@@ -73,6 +86,9 @@ int main(int argc, char** argv) {
   options.max_attempts = static_cast<int>(attempts);
   options.timeout_ms = timeout_ms;
   options.gpus_per_node = static_cast<int>(gpus_per_node);
+  options.respawn_limit = static_cast<int>(respawn);
+  options.grow_workers = static_cast<int>(grow);
+  options.grow_delay_ms = grow_delay_ms;
   // Workers inherit the MICS_TELEMETRY* environment through fork/exec;
   // the same config arms the launcher-side monitor.
   options.telemetry = mics::obs::TelemetryConfigFromEnv();
